@@ -1,0 +1,125 @@
+// Ablation 3 (DESIGN.md) — what browser failover policy buys.
+//
+// §5's takeaway is that inconsistent parameter handling turns server-side
+// mismatches into outages.  This bench replays the §5.2.2 failure
+// matrices (port-only-8443, port-only-443, hint-only alive, A-only alive,
+// plus the ECH misconfigurations) against each browser model and the
+// hypothetical spec-compliant client, and reports reachability.
+
+#include "exp_common.h"
+
+#include "web/lab.h"
+
+using namespace httpsrr;
+using web::BrowserProfile;
+using web::Lab;
+
+namespace {
+
+tls::TlsServer::Site site_for(const char* host) {
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name(host);
+  site.alpn = {"h2", "http/1.1"};
+  return site;
+}
+
+using Scenario = bool (*)(const BrowserProfile&);
+
+bool port_8443_only(const BrowserProfile& profile) {
+  Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2 port=8443\n"
+               "a.com. 60 IN A 10.0.0.10\n");
+  auto& server = lab.add_web_server("10.0.0.10", {8443});
+  server.add_site("a.com", site_for("a.com"));
+  return lab.visit(profile, "https://a.com").success;
+}
+
+bool port_443_only(const BrowserProfile& profile) {
+  Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2 port=8443\n"
+               "a.com. 60 IN A 10.0.0.10\n");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com"));
+  return lab.visit(profile, "https://a.com").success;
+}
+
+bool hint_only_alive(const BrowserProfile& profile) {
+  Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2 ipv4hint=10.0.0.21\n"
+               "a.com. 60 IN A 10.0.0.22\n");
+  auto& server = lab.add_web_server("10.0.0.21", {443});
+  server.add_site("a.com", site_for("a.com"));
+  return lab.visit(profile, "https://a.com").success;
+}
+
+bool a_only_alive(const BrowserProfile& profile) {
+  Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2 ipv4hint=10.0.0.21\n"
+               "a.com. 60 IN A 10.0.0.22\n");
+  auto& server = lab.add_web_server("10.0.0.22", {443});
+  server.add_site("a.com", site_for("a.com"));
+  return lab.visit(profile, "https://a.com").success;
+}
+
+bool malformed_ech(const BrowserProfile& profile) {
+  Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2 ech=deadbeef\n"
+               "a.com. 60 IN A 10.0.0.40\n");
+  auto& server = lab.add_web_server("10.0.0.40", {443});
+  server.add_site("a.com", site_for("a.com"));
+  return lab.visit(profile, "https://a.com").success;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("%s\n",
+              report::heading("Ablation: browser failover policies").c_str());
+
+  std::vector<BrowserProfile> browsers = {
+      BrowserProfile::chrome(), BrowserProfile::edge(), BrowserProfile::safari(),
+      BrowserProfile::firefox(), BrowserProfile::spec_compliant()};
+
+  struct Row {
+    const char* name;
+    Scenario run;
+  };
+  const Row rows[] = {
+      {"record says 8443; only 8443 open", port_8443_only},
+      {"record says 8443; only 443 open", port_443_only},
+      {"only hint address serves", hint_only_alive},
+      {"only A address serves", a_only_alive},
+      {"malformed ech blob in record", malformed_ech},
+  };
+
+  report::Table table({"misconfiguration", "Chrome", "Edge", "Safari",
+                       "Firefox", "SpecCompliant"});
+  std::vector<int> reachable(browsers.size(), 0);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells = {row.name};
+    for (std::size_t b = 0; b < browsers.size(); ++b) {
+      bool ok = row.run(browsers[b]);
+      if (ok) ++reachable[b];
+      cells.push_back(ok ? "OK" : "FAIL");
+    }
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("reachability under misconfiguration (of %zu scenarios):\n",
+              std::size(rows));
+  for (std::size_t b = 0; b < browsers.size(); ++b) {
+    std::printf("  %-14s %d/%zu\n", browsers[b].name.c_str(), reachable[b],
+                std::size(rows));
+  }
+  std::printf(
+      "\ntakeaway: failover policy alone (Safari/Firefox vs Chrome/Edge)\n"
+      "roughly doubles reachability under the §4.3.5/§5.2.2 mismatch\n"
+      "conditions; full spec compliance survives everything here.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#pragma once
+
+// Shared plumbing for the experiment benches: a scaled EcosystemConfig
+// controlled by environment variables, a study driver with a day stride,
+// and paper-vs-measured table helpers.
+//
+//   HTTPSRR_SCALE   daily Tranco list size (default 5000 = 1:200 scale)
+//   HTTPSRR_STRIDE  days between scans for longitudinal benches (default 7)
+//   HTTPSRR_SEED    ecosystem seed (default 2023)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/common.h"
+#include "ecosystem/internet.h"
+#include "report/report.h"
+#include "scanner/study.h"
+#include "util/strings.h"
+
+namespace httpsrr::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::uint64_t parsed = 0;
+  if (!util::parse_u64(value, parsed) || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+inline ecosystem::EcosystemConfig scaled_config() {
+  ecosystem::EcosystemConfig config;
+  config.list_size = env_size("HTTPSRR_SCALE", 5000);
+  config.universe_size = config.list_size * 3 / 2;
+  config.seed = env_size("HTTPSRR_SEED", 2023);
+  return config;
+}
+
+inline int env_stride() {
+  return static_cast<int>(env_size("HTTPSRR_STRIDE", 7));
+}
+
+inline void print_banner(const char* experiment,
+                         const ecosystem::EcosystemConfig& config, int stride) {
+  std::printf("%s\n", report::heading(experiment).c_str());
+  std::printf(
+      "simulated Tranco list: %zu domains (1:%.0f scale of 1M), seed %llu,\n"
+      "window %s .. %s, scan stride %d day(s)\n\n",
+      config.list_size, 1e6 / static_cast<double>(config.list_size),
+      static_cast<unsigned long long>(config.seed),
+      config.start.date().to_string().c_str(),
+      config.end.date().to_string().c_str(), stride);
+}
+
+// Runs the study over [from, to] every `stride` days.
+inline void run_study(scanner::Study& study, net::SimTime from, net::SimTime to,
+                      int stride) {
+  for (auto day = from; day <= to; day = day + net::Duration::days(stride)) {
+    (void)study.run_day(day);
+  }
+}
+
+// A two-column comparison row: what the paper reports vs what we measured.
+class Comparison {
+ public:
+  Comparison() : table_({"metric", "paper (1M scan)", "measured (simulated)"}) {}
+
+  void add(const std::string& metric, const std::string& paper,
+           const std::string& measured) {
+    table_.add_row({metric, paper, measured});
+  }
+  void print() const { std::printf("%s\n", table_.render().c_str()); }
+
+ private:
+  report::Table table_;
+};
+
+}  // namespace httpsrr::bench

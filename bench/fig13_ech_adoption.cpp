@@ -1,0 +1,70 @@
+// Figure 13 (+ §4.4.1) and Figure 14 (+ §4.5.2) — ECH adoption among HTTPS
+// publishers and its (lack of) DNSSEC protection.
+//
+// Paper: ~70% of overlapping apex HTTPS publishers carried ech (~63% www)
+// until Oct 5 2023, when Cloudflare disabled ECH globally and the count
+// fell to zero; ~106 apexes used ECH with non-Cloudflare NS, all pointing
+// to cloudflare-ech.com.  Fig 14: <6% of ECH publishers were signed and
+// only about half of those validated.
+
+#include "exp_common.h"
+
+#include "analysis/series_observers.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = bench::env_stride();
+  bench::print_banner("Figure 13/14: ECH adoption and its DNSSEC protection",
+                      config, stride);
+
+  config.noncf_oversample = 8.0;  // resolution for the non-CF ECH cohort
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  analysis::EchSeries ech;
+  analysis::EchDnssecSeries ech_dnssec;
+  study.add_observer(&ech);
+  study.add_observer(&ech_dnssec);
+  bench::run_study(study, config.start, config.end, stride);
+
+  std::printf("%s\n", report::render_multi_series(
+                          "Fig 13 — %% of HTTPS publishers with ech",
+                          {{"apex", &ech.apex()}, {"www", &ech.www()}},
+                          stride * 2)
+                          .c_str());
+  std::printf("%s\n", report::render_multi_series(
+                          "Fig 14 — %% of ECH publishers signed / validated",
+                          {{"signed", &ech_dnssec.signed_pct()},
+                           {"validated", &ech_dnssec.validated_pct()}},
+                          stride * 2)
+                          .c_str());
+
+  auto pre_shutdown = net::SimTime::from_date(2023, 10, 4);
+  bench::Comparison cmp;
+  cmp.add("ECH share of apex HTTPS publishers (pre Oct 5)", "~70%",
+          report::fmt_pct(ech.apex().mean_between(config.start, pre_shutdown)));
+  cmp.add("ECH share of www HTTPS publishers (pre Oct 5)", "~63%",
+          report::fmt_pct(ech.www().mean_between(config.start, pre_shutdown)));
+  cmp.add("detected shutdown date", "2023-10-05",
+          ech.shutdown_detected()
+              ? ech.shutdown_detected()->date().to_string() +
+                    " (first sampled zero day)"
+              : "not detected");
+  cmp.add("ECH share after shutdown", "0%",
+          report::fmt_pct(ech.apex().mean_between(
+              net::SimTime::from_date(2023, 10, 12), config.end)));
+  cmp.add("non-CF-NS domains with ECH (daily mean, rescaled)", "~106 of 1M",
+          report::fmt(ech.non_cf_ech_domains().mean_between(config.start,
+                                                            pre_shutdown) *
+                          1e6 / static_cast<double>(config.list_size) /
+                          config.noncf_oversample, 0));
+  cmp.add("signed among ECH publishers", "<6%",
+          report::fmt_pct(ech_dnssec.signed_pct().mean_between(config.start,
+                                                               pre_shutdown)));
+  cmp.add("validated among ECH publishers", "~half of signed",
+          report::fmt_pct(ech_dnssec.validated_pct().mean_between(
+              config.start, pre_shutdown)));
+  cmp.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 4 (+ §4.4.2) — ECH key-rotation frequency: hourly HTTPS scans
+// over 7 days (Jul 21–27 2023), tracking distinct ECH configurations and
+// their lifetimes.
+//
+// Paper: 169 unique configurations, all naming cloudflare-ech.com; most
+// survive 2 consecutive hourly scans; average config lifetime 1.26 h
+// (range 1.1–1.4 h across domains).
+
+#include "exp_common.h"
+
+#include "scanner/ech_scanner.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  bench::print_banner("Figure 4: ECH configuration lifetime", config, 0);
+
+  ecosystem::Internet net(config);
+  scanner::HourlyEchScanner scanner;
+  auto from = net::SimTime::from_date(2023, 7, 21);
+  const int hours = 7 * 24;
+  auto result = scanner.run(net, from, hours, /*sample_limit=*/50);
+
+  std::printf("hourly scans: %zu over %d hours, %zu domains tracked\n\n",
+              result.scans, hours, result.domains_tracked);
+
+  std::printf("consecutive-hourly-scan histogram (scans -> configs):\n");
+  for (const auto& [scans, configs] : result.consecutive_scan_histogram) {
+    std::printf("  seen in %d consecutive scans: %s (%d)\n", scans,
+                std::string(static_cast<std::size_t>(std::min(configs, 60)), '#')
+                    .c_str(),
+                configs);
+  }
+  std::printf("\n");
+
+  std::string names;
+  for (const auto& n : result.public_names) names += n + " ";
+
+  // Fig. 4 distribution: per-domain average lifetimes.
+  double lo = 99, hi = 0;
+  for (double h : result.per_domain_avg_hours) {
+    lo = std::min(lo, h);
+    hi = std::max(hi, h);
+  }
+
+  bench::Comparison cmp;
+  cmp.add("unique ECH configurations (7 days)", "169",
+          std::to_string(result.unique_configs));
+  cmp.add("client-facing server in every config", "cloudflare-ech.com", names);
+  cmp.add("modal consecutive-scan count", "2 hourly scans",
+          [&] {
+            int best_scans = 0, best_count = -1;
+            for (auto& [s, c] : result.consecutive_scan_histogram) {
+              if (c > best_count) { best_count = c; best_scans = s; }
+            }
+            return std::to_string(best_scans) + " hourly scans";
+          }());
+  cmp.add("average config lifetime", "1.26 h",
+          report::fmt(result.overall_avg_hours) + " h");
+  cmp.add("per-domain lifetime range", "1.1 - 1.4 h",
+          report::fmt(lo) + " - " + report::fmt(hi) + " h");
+  cmp.print();
+  return 0;
+}

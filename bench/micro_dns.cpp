@@ -1,0 +1,114 @@
+// Micro-benchmarks: DNS wire codec, SVCB parsing, names, SHA-256 — the
+// inner loops of the scanning framework.
+
+#include <benchmark/benchmark.h>
+
+#include "dns/message.h"
+#include "dns/svcb.h"
+#include "dns/zone.h"
+#include "util/sha256.h"
+#include "util/strings.h"
+
+using namespace httpsrr;
+
+namespace {
+
+void BM_NameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto name = dns::Name::parse("www.some-longish-domain.example.com");
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_NameParse);
+
+void BM_NameCanonicalCompare(benchmark::State& state) {
+  auto a = dns::name_of("www.alpha.example.com");
+  auto b = dns::name_of("www.beta.example.com");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_NameCanonicalCompare);
+
+void BM_SvcbParsePresentation(benchmark::State& state) {
+  for (auto _ : state) {
+    auto rdata = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=104.16.132.229 ipv6hint=2606:4700::6810:84e5");
+    benchmark::DoNotOptimize(rdata);
+  }
+}
+BENCHMARK(BM_SvcbParsePresentation);
+
+void BM_SvcbWireRoundTrip(benchmark::State& state) {
+  auto rdata = *dns::SvcbRdata::parse_presentation(
+      "1 . alpn=h2,h3 ipv4hint=104.16.132.229 ipv6hint=2606:4700::6810:84e5");
+  for (auto _ : state) {
+    dns::WireWriter w;
+    rdata.encode(w);
+    dns::WireReader r(w.data());
+    auto back = dns::SvcbRdata::decode(r, w.size());
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_SvcbWireRoundTrip);
+
+dns::Message sample_response() {
+  auto query = dns::Message::make_query(1, dns::name_of("www.a.com"),
+                                        dns::RrType::HTTPS);
+  auto resp = dns::Message::make_response(query);
+  auto svcb = *dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3 ipv4hint=1.2.3.4");
+  resp.answers.push_back(dns::make_https(dns::name_of("www.a.com"), 300, svcb));
+  resp.answers.push_back(
+      dns::make_a(dns::name_of("www.a.com"), 300, net::Ipv4Addr(1, 2, 3, 4)));
+  resp.authorities.push_back(dns::make_ns(dns::name_of("a.com"), 86400,
+                                          dns::name_of("ns1.cloudflare.com")));
+  return resp;
+}
+
+void BM_MessageEncode(benchmark::State& state) {
+  auto resp = sample_response();
+  for (auto _ : state) {
+    auto wire = resp.encode();
+    benchmark::DoNotOptimize(wire);
+  }
+}
+BENCHMARK(BM_MessageEncode);
+
+void BM_MessageDecode(benchmark::State& state) {
+  auto wire = sample_response().encode();
+  for (auto _ : state) {
+    auto message = dns::Message::decode(wire);
+    benchmark::DoNotOptimize(message);
+  }
+}
+BENCHMARK(BM_MessageDecode);
+
+void BM_ZoneLookup(benchmark::State& state) {
+  dns::Zone zone(dns::name_of("a.com"));
+  for (int i = 0; i < 1000; ++i) {
+    (void)zone.add(dns::make_a(
+        dns::name_of(util::format("h%04d.a.com", i)), 300,
+        net::Ipv4Addr(10, 0, static_cast<std::uint8_t>(i >> 8),
+                      static_cast<std::uint8_t>(i & 0xff))));
+  }
+  auto target = dns::name_of("h0500.a.com");
+  for (auto _ : state) {
+    auto result = zone.lookup(target, dns::RrType::A);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ZoneLookup);
+
+void BM_Sha256_1K(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xab);
+  for (auto _ : state) {
+    auto digest = util::sha256(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1K);
+
+}  // namespace
+
+BENCHMARK_MAIN();

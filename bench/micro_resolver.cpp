@@ -1,0 +1,149 @@
+// Micro-benchmarks: the resolution and handshake paths the longitudinal
+// study executes millions of times.
+
+#include <benchmark/benchmark.h>
+
+#include "ecosystem/internet.h"
+#include "scanner/https_scanner.h"
+#include "tls/handshake.h"
+#include "web/lab.h"
+
+using namespace httpsrr;
+
+namespace {
+
+ecosystem::EcosystemConfig micro_config() {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 1000;
+  config.universe_size = 1500;
+  return config;
+}
+
+void BM_AuthoritativeHandle(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  const auto& domain = net.domain(0);
+  auto* server = net.infra().zone_servers(domain.apex)->front();
+  for (auto _ : state) {
+    auto resp = server->handle(domain.apex, dns::RrType::HTTPS, net.now());
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_AuthoritativeHandle);
+
+void BM_RecursiveResolveCold(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  resolver::ResolverOptions options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+  ecosystem::DomainId id = 0;
+  for (auto _ : state) {
+    auto resp = resolver->resolve(
+        net.domain(id % net.domain_count()).apex, dns::RrType::HTTPS);
+    benchmark::DoNotOptimize(resp);
+    ++id;
+  }
+}
+BENCHMARK(BM_RecursiveResolveCold);
+
+void BM_RecursiveResolveWarm(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  auto resolver = net.make_resolver();
+  (void)resolver->resolve(net.domain(0).apex, dns::RrType::HTTPS);
+  for (auto _ : state) {
+    auto resp = resolver->resolve(net.domain(0).apex, dns::RrType::HTTPS);
+    benchmark::DoNotOptimize(resp);
+  }
+}
+BENCHMARK(BM_RecursiveResolveWarm);
+
+void BM_RecursiveResolveValidated(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  resolver::ResolverOptions options;
+  options.cache_enabled = false;
+  options.validate_dnssec = true;
+  auto resolver = net.make_resolver(options);
+  ecosystem::DomainId id = 0;
+  for (auto _ : state) {
+    auto resp = resolver->resolve(
+        net.domain(id % net.domain_count()).apex, dns::RrType::HTTPS);
+    benchmark::DoNotOptimize(resp);
+    ++id;
+  }
+}
+BENCHMARK(BM_RecursiveResolveValidated);
+
+void BM_ScanOneDomain(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  auto resolver = net.make_resolver();
+  resolver::StubResolver stub(*resolver);
+  scanner::HttpsScanner scanner(stub);
+  ecosystem::DomainId id = 0;
+  for (auto _ : state) {
+    auto obs = scanner.scan(net.domain(id % net.domain_count()).apex);
+    benchmark::DoNotOptimize(obs);
+    ++id;
+  }
+}
+BENCHMARK(BM_ScanOneDomain);
+
+void BM_TlsHandshakePlain(benchmark::State& state) {
+  net::SimNetwork network;
+  tls::TlsDirectory directory;
+  tls::TlsServer server("origin");
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name("a.com");
+  server.add_site("a.com", site);
+  auto ep = net::Endpoint{*net::IpAddr::parse("10.0.0.1"), 443};
+  directory.bind(network, ep, &server);
+  auto hello = tls::ClientHello::plain("a.com", {"h2"});
+  for (auto _ : state) {
+    auto result = tls::tls_connect(network, directory, ep, hello);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlsHandshakePlain);
+
+void BM_TlsHandshakeEch(benchmark::State& state) {
+  net::SimNetwork network;
+  tls::TlsDirectory directory;
+  tls::TlsServer server("origin");
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name("a.com");
+  server.add_site("a.com", site);
+  ech::EchKeyManager::Options options;
+  options.public_name = "cover.a.com";
+  auto keys = std::make_shared<ech::EchKeyManager>(
+      options, net::SimTime::from_date(2024, 1, 1));
+  server.enable_ech(keys);
+  auto ep = net::Endpoint{*net::IpAddr::parse("10.0.0.1"), 443};
+  directory.bind(network, ep, &server);
+  auto list = ech::EchConfigList::decode(keys->current_config_wire());
+  for (auto _ : state) {
+    auto hello = tls::ClientHello::with_ech(list->configs.front(), "a.com", {"h2"});
+    auto result = tls::tls_connect(network, directory, ep, hello);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TlsHandshakeEch);
+
+void BM_BrowserNavigation(benchmark::State& state) {
+  web::Lab lab;
+  lab.set_zone("a.com",
+               "a.com. 60 IN HTTPS 1 . alpn=h2\n"
+               "a.com. 60 IN A 10.0.0.10\n");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name("a.com");
+  server.add_site("a.com", site);
+  auto profile = web::BrowserProfile::chrome();
+  for (auto _ : state) {
+    auto result = lab.visit(profile, "https://a.com");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BrowserNavigation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

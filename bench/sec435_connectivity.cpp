@@ -1,0 +1,57 @@
+// §4.3.5 connectivity experiment — for every daily hint/A mismatch between
+// Jan 24 and Mar 31 2024, TLS-probe every address in the hint and A sets.
+//
+// Paper: 1,022 mismatch occurrences across 317 distinct domains; 193
+// domains had at least one unreachable address; 117 were reachable only
+// via the hint; 59 only via the A record; 5 domains were mismatched on
+// every observed day.
+
+#include "exp_common.h"
+
+#include "scanner/connectivity.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = 1;  // the experiment reacts to daily observations
+  bench::print_banner("Section 4.3.5: connectivity of mismatched domains",
+                      config, stride);
+
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  auto from = net::SimTime::from_date(2024, 1, 24);
+  scanner::ConnectivityAudit audit(from, config.end);
+  study.add_observer(&audit);
+  // Warm the event state up to the experiment window, then scan daily.
+  net.advance_to(from);
+  bench::run_study(study, from, config.end, stride);
+
+  auto result = audit.result();
+  double scale = 1e6 / static_cast<double>(config.list_size);
+  auto scaled = [&](std::size_t n) {
+    return std::to_string(n) + " (x" + report::fmt(scale, 0) + " = " +
+           report::fmt(static_cast<double>(n) * scale, 0) + ")";
+  };
+
+  bench::Comparison cmp;
+  cmp.add("mismatch occurrences (domain-days)", "1,022",
+          scaled(result.occurrences));
+  cmp.add("distinct mismatching domains", "317", scaled(result.distinct_domains));
+  cmp.add("domains with >=1 unreachable address", "193",
+          scaled(result.domains_with_unreachable));
+  cmp.add("reachable only via IP hint", "117", scaled(result.hint_only_reachable));
+  cmp.add("reachable only via A record", "59", scaled(result.a_only_reachable));
+  cmp.add("mismatched every observed day", "5", scaled(result.always_mismatched));
+  cmp.print();
+
+  std::printf(
+      "note: cohorts clamped to >=1 domain at small scale (the chronic\n"
+      "cohort is 5 domains at 1M) inflate the rescaled column; compare\n"
+      "shares, not absolute rescaled counts.\n");
+  std::printf(
+      "shape target: occurrences >> distinct domains; hint-only beats\n"
+      "A-only roughly 2:1 — exactly the failure a hint-ignoring browser\n"
+      "(Chrome/Edge) cannot survive (§5 ablation: ablate_failover).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 2 — Cloudflare vs non-Cloudflare name servers among apex domains
+// publishing HTTPS records (NS window Oct 11 2023 – Mar 31 2024).
+//
+// Paper: Full Cloudflare 99.89% ± 0.03 (dynamic) / 99.87% ± 0.04
+// (overlapping); None ~0.11/0.13%; Partial < 0.01%.
+
+#include "exp_common.h"
+
+#include "analysis/ns_analysis.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = bench::env_stride();
+  bench::print_banner("Table 2: Cloudflare vs non-Cloudflare name servers",
+                      config, stride);
+
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  analysis::NsCategoryAnalysis categories(config.ns_window_start, config.end);
+  study.add_observer(&categories);
+  bench::run_study(study, config.ns_window_start, config.end, stride);
+
+  auto dyn = categories.dynamic_shares();
+  auto ovl = categories.overlapping_shares();
+
+  report::Table table({"NS category", "paper dyn mean(std)", "measured dyn",
+                       "paper ovl mean(std)", "measured ovl"});
+  table.add_row({"Full Cloudflare NS", "99.89 (0.03)",
+                 report::fmt(dyn.full_mean) + " (" + report::fmt(dyn.full_std) + ")",
+                 "99.87 (0.04)",
+                 report::fmt(ovl.full_mean) + " (" + report::fmt(ovl.full_std) + ")"});
+  table.add_row({"None Cloudflare NS", "0.11 (0.03)",
+                 report::fmt(dyn.none_mean) + " (" + report::fmt(dyn.none_std) + ")",
+                 "0.13 (0.04)",
+                 report::fmt(ovl.none_mean) + " (" + report::fmt(ovl.none_std) + ")"});
+  table.add_row({"Partial Cloudflare NS", "< 0.01",
+                 report::fmt(dyn.partial_mean, 4), "< 0.01",
+                 report::fmt(ovl.partial_mean, 4)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "note: the non-Cloudflare share runs above the paper's 0.11%% at small\n"
+      "scales because rare-provider cohorts are clamped to at least one\n"
+      "domain each; the ordering (Full >> None >> Partial) is the target.\n");
+  return 0;
+}

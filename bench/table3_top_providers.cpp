@@ -1,0 +1,59 @@
+// Table 3 — top non-Cloudflare DNS providers by distinct HTTPS-publishing
+// domains, Oct 11 2023 – Mar 31 2024, dynamic vs overlapping.
+//
+// Paper (dynamic): eName 185, Google 159, GoDaddy 105, NSONE 79,
+// Domeneshop 16.  (overlapping): GoDaddy 59, Google 40, NSONE 20,
+// Hover 11, Domeneshop 6.  Counts scale with the simulated list.
+
+#include "exp_common.h"
+
+#include "analysis/ns_analysis.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = bench::env_stride();
+  bench::print_banner("Table 3: top non-Cloudflare DNS providers", config,
+                      stride);
+
+  config.noncf_oversample = 8.0;  // resolution for the tiny non-CF sector
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  analysis::ProviderAnalysis providers(config.ns_window_start, config.end);
+  study.add_observer(&providers);
+  bench::run_study(study, config.ns_window_start, config.end, stride);
+
+  double scale =
+      1e6 / static_cast<double>(config.list_size) / config.noncf_oversample;
+
+  report::Table dynamic({"rank", "provider (dynamic)", "distinct domains",
+                         "rescaled to 1M"});
+  auto top_dyn = providers.top_dynamic(5);
+  for (std::size_t i = 0; i < top_dyn.size(); ++i) {
+    dynamic.add_row({std::to_string(i + 1), top_dyn[i].first,
+                     std::to_string(top_dyn[i].second),
+                     report::fmt(static_cast<double>(top_dyn[i].second) * scale, 0)});
+  }
+  std::printf("paper order (dynamic): eName 185, Google 159, GoDaddy 105, "
+              "NSONE 79, Domeneshop 16\n%s\n",
+              dynamic.render().c_str());
+
+  report::Table overlapping({"rank", "provider (overlapping)",
+                             "distinct domains", "rescaled to 1M"});
+  auto top_ovl = providers.top_overlapping(5);
+  for (std::size_t i = 0; i < top_ovl.size(); ++i) {
+    overlapping.add_row(
+        {std::to_string(i + 1), top_ovl[i].first,
+         std::to_string(top_ovl[i].second),
+         report::fmt(static_cast<double>(top_ovl[i].second) * scale, 0)});
+  }
+  std::printf("paper order (overlapping): GoDaddy 59, Google 40, NSONE 20, "
+              "Hover 11, Domeneshop 6\n%s\n",
+              overlapping.render().c_str());
+
+  std::printf(
+      "shape target: eName leads the dynamic column but nearly vanishes from\n"
+      "the overlapping one (its customers churn); GoDaddy leads overlapping.\n");
+  return 0;
+}

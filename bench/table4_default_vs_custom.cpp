@@ -1,0 +1,39 @@
+// Table 4 — Cloudflare-hosted domains with the default auto-generated
+// HTTPS configuration vs a customised one.
+//
+// Paper: default 79.96% (dynamic) / 72.37% (overlapping).
+
+#include "exp_common.h"
+
+#include "analysis/params_analysis.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = bench::env_stride();
+  bench::print_banner("Table 4: Cloudflare default vs customized HTTPS config",
+                      config, stride);
+
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  analysis::CfConfigClassifier classifier;
+  study.add_observer(&classifier);
+  bench::run_study(study, config.start, config.end, stride);
+
+  double dyn_default = classifier.default_pct_dynamic();
+  double ovl_default = classifier.default_pct_overlapping();
+
+  report::Table table({"HTTPS RR configuration", "paper dyn", "measured dyn",
+                       "paper ovl", "measured ovl"});
+  table.add_row({"Default", "79.96%", report::fmt_pct(dyn_default), "72.37%",
+                 report::fmt_pct(ovl_default)});
+  table.add_row({"Customized", "20.04%", report::fmt_pct(100.0 - dyn_default),
+                 "27.63%", report::fmt_pct(100.0 - ovl_default)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "shape target: default dominates both columns, and the overlapping\n"
+      "(stable, more invested) domains customise noticeably more often.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table 8 (+ §4.3.4) — application protocols advertised in the alpn
+// SvcParam of overlapping domains.
+//
+// Paper: HTTP/2 99.64%, HTTP/3 78.42%; HTTP/3-29 77.43% before May 31 and
+// <0.01% after (Cloudflare retired the draft); non-Cloudflare publishers:
+// h2 64.09%, h3 26.79%, no alpn 8.44%.
+
+#include "exp_common.h"
+
+#include "analysis/params_analysis.h"
+
+using namespace httpsrr;
+
+int main() {
+  auto config = bench::scaled_config();
+  int stride = bench::env_stride();
+  bench::print_banner("Table 8: ALPN protocol distribution", config, stride);
+
+  config.noncf_oversample = 8.0;  // resolution for the §4.3.4 non-CF split
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+  analysis::AlpnDistribution alpn;
+  study.add_observer(&alpn);
+  bench::run_study(study, config.start, config.end, stride);
+
+  auto window_pct = [&](const char* protocol, bool www = false) {
+    return alpn.protocol_pct(protocol, config.start, config.end, www);
+  };
+
+  report::Table table({"protocol", "paper apex", "measured apex", "paper www",
+                       "measured www"});
+  table.add_row({"h2 (HTTP/2)", "99.64%", report::fmt_pct(window_pct("h2")),
+                 "99.61%", report::fmt_pct(window_pct("h2", true))});
+  table.add_row({"h3 (HTTP/3)", "78.42%", report::fmt_pct(window_pct("h3")),
+                 "75.67%", report::fmt_pct(window_pct("h3", true))});
+  table.add_row({"h3-29 before May 31", "77.43%",
+                 report::fmt_pct(alpn.protocol_pct("h3-29", config.start,
+                                                   config.h3_29_retirement)),
+                 "74.32%",
+                 report::fmt_pct(alpn.protocol_pct(
+                     "h3-29", config.start, config.h3_29_retirement, true))});
+  table.add_row({"h3-29 after May 31", "<0.01%",
+                 report::fmt_pct(alpn.protocol_pct("h3-29",
+                                                   config.h3_29_retirement,
+                                                   config.end), 3),
+                 "<0.01%",
+                 report::fmt_pct(alpn.protocol_pct("h3-29",
+                                                   config.h3_29_retirement,
+                                                   config.end, true), 3)});
+  table.add_row({"http/1.1 only", "<0.01%",
+                 report::fmt_pct(window_pct("http/1.1"), 3), "<0.01%",
+                 report::fmt_pct(window_pct("http/1.1", true), 3)});
+  std::printf("%s\n", table.render().c_str());
+
+  bench::Comparison cmp;
+  cmp.add("non-CF publishers advertising h2", "64.09%",
+          report::fmt_pct(alpn.non_cf_protocol_pct("h2")));
+  cmp.add("non-CF publishers advertising h3", "26.79%",
+          report::fmt_pct(alpn.non_cf_protocol_pct("h3")));
+  cmp.add("non-CF publishers without alpn", "8.44%",
+          report::fmt_pct(alpn.non_cf_no_alpn_pct()));
+  cmp.add("Google QUIC (Q043/Q046/Q050) from Feb 11", "0.003%",
+          report::fmt_pct(alpn.protocol_pct(
+              "Q043", net::SimTime::from_date(2024, 2, 11), config.end), 3));
+  cmp.print();
+  return 0;
+}

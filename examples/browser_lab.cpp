@@ -1,0 +1,149 @@
+// browser_lab — the paper's §5 client-side testbed as a runnable tour:
+// configure a zone exactly like the paper's snippets, point the four
+// browser models at it, and watch who connects where (and who breaks).
+//
+// Build & run:  ./build/examples/browser_lab
+
+#include <cstdio>
+
+#include "util/base64.h"
+#include "util/strings.h"
+#include "web/lab.h"
+
+using namespace httpsrr;
+using web::BrowserProfile;
+using web::Lab;
+
+namespace {
+
+tls::TlsServer::Site site_for(const char* host,
+                              std::set<std::string> alpn = {"h2", "http/1.1"}) {
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name(host);
+  site.alpn = std::move(alpn);
+  return site;
+}
+
+void visit_all(Lab& lab, const char* url) {
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    auto result = lab.visit(profile, url);
+    std::printf("  %-8s -> %s\n", profile.name.c_str(),
+                result.summary().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Experiment 1 — HTTPS RR as an https signal (§5.1)\n");
+  std::printf("zone:  a.com. 60 IN HTTPS 1 . alpn=h2 / a.com. 60 IN A ...\n");
+  {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2
+a.com. 60 IN A 10.0.0.10
+)");
+    auto& server = lab.add_web_server("10.0.0.10", {443});
+    server.add_site("a.com", site_for("a.com"));
+    lab.add_http_listener("10.0.0.10", 80);
+    for (const char* url : {"a.com", "http://a.com", "https://a.com"}) {
+      std::printf(" visiting %s\n", url);
+      visit_all(lab, url);
+    }
+  }
+
+  std::printf("\nExperiment 2 — AliasMode (§5.2.1): only Safari chases\n");
+  {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 0 pool.a.com.
+pool.a.com. 60 IN A 10.0.0.11
+)");
+    auto& server = lab.add_web_server("10.0.0.11", {443});
+    server.add_site("a.com", site_for("a.com"));
+    visit_all(lab, "https://a.com");
+  }
+
+  std::printf("\nExperiment 3 — port=8443 (§5.2.2): Chrome/Edge ignore it\n");
+  {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 port=8443
+a.com. 60 IN A 10.0.0.10
+)");
+    auto& server = lab.add_web_server("10.0.0.10", {8443});
+    server.add_site("a.com", site_for("a.com"));
+    visit_all(lab, "https://a.com");
+  }
+
+  std::printf("\nExperiment 4 — IP hints vs A records (§5.2.2)\n");
+  {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ipv4hint=10.0.0.21
+a.com. 60 IN A 10.0.0.22
+)");
+    auto& hint_server = lab.add_web_server("10.0.0.21", {443});
+    hint_server.add_site("a.com", site_for("a.com"));
+    auto& a_server = lab.add_web_server("10.0.0.22", {443});
+    a_server.add_site("a.com", site_for("a.com"));
+    std::printf(" (.21 = hint address, .22 = A-record address)\n");
+    visit_all(lab, "https://a.com");
+  }
+
+  std::printf("\nExperiment 5 — ECH shared mode + malformed config (§5.3)\n");
+  {
+    ech::EchKeyManager::Options options;
+    options.public_name = "cover.a.com";
+    Lab lab;
+    auto keys = std::make_shared<ech::EchKeyManager>(options, lab.clock().now());
+    lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=%s
+a.com. 60 IN A 10.0.0.40
+cover.a.com. 60 IN A 10.0.0.40
+)", util::base64_encode(keys->current_config_wire()).c_str()));
+    auto& server = lab.add_web_server("10.0.0.40", {443});
+    server.add_site("a.com", site_for("a.com"));
+    server.add_site("cover.a.com", site_for("cover.a.com"));
+    server.enable_ech(keys);
+    std::printf(" valid ECH config:\n");
+    visit_all(lab, "https://a.com");
+  }
+  {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=deadbeef
+a.com. 60 IN A 10.0.0.40
+)");
+    auto& server = lab.add_web_server("10.0.0.40", {443});
+    server.add_site("a.com", site_for("a.com"));
+    std::printf(" malformed ECH config (Chrome/Edge hard-fail):\n");
+    visit_all(lab, "https://a.com");
+  }
+
+  std::printf("\nExperiment 6 — ECH Split Mode (§5.3.2): everyone fails\n");
+  {
+    ech::EchKeyManager::Options options;
+    options.public_name = "b.com";
+    Lab lab;
+    auto keys = std::make_shared<ech::EchKeyManager>(options, lab.clock().now());
+    lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=%s
+a.com. 60 IN A 10.0.0.51
+)", util::base64_encode(keys->current_config_wire()).c_str()));
+    lab.set_zone("b.com", "b.com. 60 IN A 10.0.0.52\n");
+    auto& backend = lab.add_web_server("10.0.0.51", {443}, "backend");
+    backend.add_site("a.com", site_for("a.com"));
+    auto& facing = lab.add_web_server("10.0.0.52", {443}, "client-facing");
+    facing.add_site("b.com", site_for("b.com"));
+    facing.enable_ech(keys);
+    facing.set_backend_route("a.com", &backend);
+    visit_all(lab, "https://a.com");
+    std::printf(" a hypothetical spec-compliant client, for contrast:\n");
+    auto result = lab.visit(BrowserProfile::spec_compliant(), "https://a.com");
+    std::printf("  %-8s -> %s\n", "SpecComp", result.summary().c_str());
+  }
+  return 0;
+}

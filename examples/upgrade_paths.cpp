@@ -1,0 +1,102 @@
+// upgrade_paths — the paper's motivation (§1), made quantitative: how many
+// network round trips does each HTTP->HTTPS upgrade mechanism cost before
+// the first byte of the real response, and which mechanisms leak or break?
+//
+//   legacy        http://a.com -> 301 redirect -> TLS        (plaintext leak)
+//   HSTS preload  browser list consulted, straight to TLS    (manual lists)
+//   HTTPS RR      one extra DNS query, straight to TLS
+//   HTTPS RR+ECH  same, with the SNI encrypted
+//
+// Build & run:  ./build/examples/upgrade_paths
+
+#include <cstdio>
+
+#include "report/report.h"
+#include "util/base64.h"
+#include "util/strings.h"
+#include "web/lab.h"
+
+using namespace httpsrr;
+
+namespace {
+
+struct PathCost {
+  const char* mechanism;
+  int dns_queries;
+  int tcp_handshakes;
+  int tls_handshakes;
+  bool plaintext_request;  // an unencrypted HTTP request went on the wire
+  bool sni_encrypted;
+  const char* caveat;
+};
+
+void print_costs(const std::vector<PathCost>& rows) {
+  report::Table table({"mechanism", "DNS", "TCP", "TLS", "plaintext req",
+                       "SNI hidden", "caveat"});
+  for (const auto& row : rows) {
+    table.add_row({row.mechanism, std::to_string(row.dns_queries),
+                   std::to_string(row.tcp_handshakes),
+                   std::to_string(row.tls_handshakes),
+                   row.plaintext_request ? "YES" : "no",
+                   row.sni_encrypted ? "yes" : "no", row.caveat});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("How a browser reaches https://a.com when the user types "
+              "\"a.com\":\n\n");
+
+  // Drive the actual lab for the two DNS-driven paths, so the numbers come
+  // from real navigations rather than arithmetic.
+  web::Lab lab;
+  ech::EchKeyManager::Options ech_options;
+  ech_options.public_name = "cover.a.com";
+  auto keys = std::make_shared<ech::EchKeyManager>(ech_options, lab.clock().now());
+  lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=%s
+a.com. 60 IN A 10.0.0.10
+cover.a.com. 60 IN A 10.0.0.10
+)", util::base64_encode(keys->current_config_wire()).c_str()));
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  tls::TlsServer::Site site;
+  site.certificate = tls::Certificate::for_name("a.com");
+  server.add_site("a.com", site);
+  tls::TlsServer::Site cover;
+  cover.certificate = tls::Certificate::for_name("cover.a.com");
+  server.add_site("cover.a.com", cover);
+  server.enable_ech(keys);
+  lab.add_http_listener("10.0.0.10", 80);
+
+  // Chrome with HTTPS RR (+ECH): bare "a.com" goes straight to TLS.
+  auto chrome = lab.visit(web::BrowserProfile::chrome(), "a.com");
+  std::printf("Chrome, HTTPS RR + ECH published:\n  %s\n  DNS queries: %zu, "
+              "connection attempts: %zu, ECH accepted: %s\n\n",
+              chrome.summary().c_str(), chrome.dns_queries.size(),
+              chrome.attempts.size(), chrome.ech_accepted ? "yes" : "no");
+
+  // Safari ignores the record for bare URLs: the legacy plaintext first hop.
+  auto safari = lab.visit(web::BrowserProfile::safari(), "a.com");
+  std::printf("Safari, same zone (no upgrade for bare URLs):\n  %s\n"
+              "  -> first request travels as plaintext HTTP on port 80,\n"
+              "     the §1 man-in-the-middle window the HTTPS RR closes.\n\n",
+              safari.summary().c_str());
+
+  print_costs({
+      {"legacy redirect", 1, 2, 1, true, false, "MITM can hijack the redirect"},
+      {"HSTS (after first visit)", 1, 1, 1, false, false,
+       "trust on first use"},
+      {"HSTS preload", 1, 1, 1, false, false, "manual list, tiny coverage"},
+      {"HTTPS RR", 2, 1, 1, false, false, "needs DNSSEC for integrity"},
+      {"HTTPS RR + ECH", 2, 1, 1, false, true, "key rotation + retry needed"},
+  });
+
+  std::printf(
+      "\nThe HTTPS RR paths issue one extra (parallel) DNS query and remove\n"
+      "both the plaintext request and one TCP handshake; with ech they also\n"
+      "hide the SNI. That is the adoption incentive the paper measures the\n"
+      "ecosystem acting on (20%% -> 27%% of the top million in 11 months).\n");
+  return 0;
+}

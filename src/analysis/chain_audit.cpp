@@ -1,0 +1,61 @@
+#include "analysis/chain_audit.h"
+
+#include "resolver/stub.h"
+#include "scanner/https_scanner.h"
+
+namespace httpsrr::analysis {
+
+ChainAuditResult run_chain_audit(ecosystem::Internet& net, net::SimTime day) {
+  net.advance_to(day);
+  ChainAuditResult result;
+
+  resolver::InfraChainSource source(net.infra(), net.clock());
+  dnssec::ChainValidator validator(source, net.root_anchor());
+  dnssec::ChainStatusCache cache;
+
+  auto resolver = net.make_resolver();
+  resolver::StubResolver stub(*resolver);
+  scanner::HttpsScanner scanner(stub);
+
+  for (ecosystem::DomainId id : net.tranco().list_for(day)) {
+    const auto& apex = net.domain(id).apex;
+    auto obs = scanner.scan(apex);
+
+    bool has_https = obs.has_https();
+    bool zone_signed = !source.dnskey_with_sigs(apex).empty();
+
+    // NS attribution: resolve each NS host, WHOIS the first address.
+    bool cloudflare_ns = false;
+    for (const auto& host : obs.ns_records) {
+      auto a = stub.query(host, dns::RrType::A);
+      for (const auto& rr : a.answers) {
+        if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
+          auto op = net.whois().attribute(net::IpAddr(rec->address));
+          if (op && *op == "cloudflare") cloudflare_ns = true;
+        }
+      }
+    }
+
+    auto account = [&](ChainAuditResult::Row& row) {
+      ++row.total;
+      if (!zone_signed) return;
+      ++row.signed_;
+      switch (validator.zone_status(apex, net.now(), &cache)) {
+        case dnssec::Validation::secure: ++row.secure; break;
+        case dnssec::Validation::insecure: ++row.insecure; break;
+        case dnssec::Validation::bogus: ++row.bogus; break;
+      }
+    };
+
+    if (has_https) {
+      account(result.with_https);
+      account(cloudflare_ns ? result.with_https_cloudflare
+                            : result.with_https_non_cloudflare);
+    } else {
+      account(result.without_https);
+    }
+  }
+  return result;
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,45 @@
+#pragma once
+
+// ChainAudit — the Table 9 experiment: on one day (the paper used
+// Jan 2 2024), fetch and validate the DNSSEC chain of every listed apex
+// domain, split by HTTPS-RR presence and by Cloudflare vs non-Cloudflare
+// name servers.  "Signed" means the zone serves a DNSKEY RRset; secure /
+// insecure / bogus follow RFC 4035 chain semantics.
+
+#include "analysis/common.h"
+#include "dnssec/chain.h"
+#include "ecosystem/internet.h"
+
+namespace httpsrr::analysis {
+
+struct ChainAuditResult {
+  struct Row {
+    std::size_t total = 0;      // domains in the category
+    std::size_t signed_ = 0;    // zones serving DNSKEY
+    std::size_t secure = 0;     // signed with an intact chain
+    std::size_t insecure = 0;   // signed but no DS at the parent
+    std::size_t bogus = 0;
+
+    [[nodiscard]] double secure_pct() const {
+      return signed_ == 0 ? 0.0
+                          : 100.0 * static_cast<double>(secure) /
+                                static_cast<double>(signed_);
+    }
+    [[nodiscard]] double insecure_pct() const {
+      return signed_ == 0 ? 0.0
+                          : 100.0 * static_cast<double>(insecure) /
+                                static_cast<double>(signed_);
+    }
+  };
+
+  Row without_https;
+  Row with_https;
+  Row with_https_cloudflare;
+  Row with_https_non_cloudflare;
+};
+
+// Runs the audit at `day` (advances the Internet there).
+[[nodiscard]] ChainAuditResult run_chain_audit(ecosystem::Internet& net,
+                                               net::SimTime day);
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,86 @@
+#include "analysis/common.h"
+
+#include <cmath>
+
+namespace httpsrr::analysis {
+
+double TimeSeries::mean() const {
+  if (points_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [day, v] : points_) {
+    (void)day;
+    sum += v;
+  }
+  return sum / static_cast<double>(points_.size());
+}
+
+double TimeSeries::stddev() const {
+  if (points_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (const auto& [day, v] : points_) {
+    (void)day;
+    acc += (v - m) * (v - m);
+  }
+  return std::sqrt(acc / static_cast<double>(points_.size() - 1));
+}
+
+std::optional<double> TimeSeries::at(net::SimTime day) const {
+  auto it = points_.find(day.unix_seconds);
+  if (it == points_.end()) return std::nullopt;
+  return it->second;
+}
+
+double TimeSeries::mean_between(net::SimTime from, net::SimTime to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = points_.lower_bound(from.unix_seconds);
+       it != points_.end() && it->first <= to.unix_seconds; ++it) {
+    sum += it->second;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::set<std::string> ns_operators(const scanner::HttpsObservation& obs,
+                                   const scanner::DailySnapshot& snapshot) {
+  std::set<std::string> out;
+  for (const auto& host : obs.ns_records) {
+    auto it = snapshot.ns_info.find(host);
+    if (it != snapshot.ns_info.end() && it->second.operator_name) {
+      out.insert(*it->second.operator_name);
+    }
+  }
+  return out;
+}
+
+NsMix classify_ns_mix(const scanner::HttpsObservation& obs,
+                      const scanner::DailySnapshot& snapshot) {
+  auto operators = ns_operators(obs, snapshot);
+  if (operators.empty()) return NsMix::unknown;
+  bool has_cf = operators.contains("cloudflare");
+  bool has_other = operators.size() > (has_cf ? 1u : 0u);
+  if (has_cf && !has_other) return NsMix::full_cloudflare;
+  if (has_cf && has_other) return NsMix::partial_cloudflare;
+  return NsMix::none_cloudflare;
+}
+
+void OverlapSets::ensure(const ecosystem::Internet& net) {
+  if (built_) return;
+  built_ = true;
+  const auto& config = net.config();
+  source_change_ = config.source_change;
+  phase1_.assign(net.domain_count(), false);
+  phase2_.assign(net.domain_count(), false);
+
+  auto phase1 = net.tranco().overlapping(
+      config.start, config.source_change - net::Duration::days(1));
+  for (auto id : phase1) phase1_[id] = true;
+  phase1_count_ = phase1.size();
+
+  auto phase2 = net.tranco().overlapping(config.source_change, config.end);
+  for (auto id : phase2) phase2_[id] = true;
+  phase2_count_ = phase2.size();
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,82 @@
+#pragma once
+
+// Shared analysis utilities: daily time series, summary statistics, the
+// Cloudflare-NS classification of Table 2, and the overlapping-domain
+// membership sets of §4.1.
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecosystem/internet.h"
+#include "scanner/observation.h"
+
+namespace httpsrr::analysis {
+
+// A date-indexed series of doubles.
+class TimeSeries {
+ public:
+  void add(net::SimTime day, double value) { points_[day.unix_seconds] = value; }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double front() const { return points_.begin()->second; }
+  [[nodiscard]] double back() const { return points_.rbegin()->second; }
+  [[nodiscard]] std::optional<double> at(net::SimTime day) const;
+
+  // Mean over the sub-range [from, to].
+  [[nodiscard]] double mean_between(net::SimTime from, net::SimTime to) const;
+
+  [[nodiscard]] const std::map<std::int64_t, double>& points() const {
+    return points_;
+  }
+
+ private:
+  std::map<std::int64_t, double> points_;  // unix seconds -> value
+};
+
+// NS-provider mix of one domain (Table 2 categories).
+enum class NsMix : std::uint8_t {
+  full_cloudflare,
+  partial_cloudflare,
+  none_cloudflare,
+  unknown,  // NS records absent or unattributable
+};
+
+// Resolves NS host names to operator names through the snapshot's WHOIS-
+// attributed NS table.
+[[nodiscard]] std::set<std::string> ns_operators(
+    const scanner::HttpsObservation& obs, const scanner::DailySnapshot& snapshot);
+
+[[nodiscard]] NsMix classify_ns_mix(const scanner::HttpsObservation& obs,
+                                    const scanner::DailySnapshot& snapshot);
+
+// Membership bitmaps for the paper's two overlapping windows (§4.1).
+class OverlapSets {
+ public:
+  // Lazily built from the feed on first use.
+  void ensure(const ecosystem::Internet& net);
+
+  [[nodiscard]] bool in_phase1(ecosystem::DomainId id) const { return phase1_[id]; }
+  [[nodiscard]] bool in_phase2(ecosystem::DomainId id) const { return phase2_[id]; }
+  // Overlapping w.r.t. the phase a given day belongs to.
+  [[nodiscard]] bool overlapping_on(ecosystem::DomainId id, net::SimTime day) const {
+    return day < source_change_ ? in_phase1(id) : in_phase2(id);
+  }
+  [[nodiscard]] std::size_t phase1_count() const { return phase1_count_; }
+  [[nodiscard]] std::size_t phase2_count() const { return phase2_count_; }
+
+ private:
+  bool built_ = false;
+  net::SimTime source_change_;
+  std::vector<bool> phase1_;
+  std::vector<bool> phase2_;
+  std::size_t phase1_count_ = 0;
+  std::size_t phase2_count_ = 0;
+};
+
+}  // namespace httpsrr::analysis

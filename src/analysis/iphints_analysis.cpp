@@ -1,0 +1,96 @@
+#include "analysis/iphints_analysis.h"
+
+namespace httpsrr::analysis {
+
+void IpHintConsistency::on_day(const scanner::DailySnapshot& snapshot,
+                               const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+
+  std::size_t apex_https = 0, apex_hints = 0, apex_match = 0;
+  std::size_t www_https = 0, www_hints = 0, www_match = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& apex_obs = snapshot.apex[i];
+    const auto& www_obs = snapshot.www[i];
+    bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
+
+    if (overlapping && apex_obs.has_https()) {
+      ++apex_https;
+      if (!apex_obs.ipv4_hints().empty()) {
+        ++apex_hints;
+        if (apex_obs.hints_match_a()) ++apex_match;
+      }
+    }
+    if (overlapping && www_obs.has_https()) {
+      ++www_https;
+      if (!www_obs.ipv4_hints().empty()) {
+        ++www_hints;
+        if (www_obs.hints_match_a()) ++www_match;
+      }
+    }
+
+    // Episode tracking runs over the dynamic list (all mismatches count).
+    if (apex_obs.has_https() && !apex_obs.ipv4_hints().empty() &&
+        !apex_obs.a_records.empty()) {
+      auto& episode = episodes_[snapshot.list[i]];
+      ++episode.observed_days;
+      if (!apex_obs.hints_match_a()) {
+        ++episode.mismatch_days;
+        ++episode.open_days;
+      } else if (episode.open_days > 0) {
+        episode.closed.push_back(episode.open_days);
+        episode.open_days = 0;
+      }
+    }
+  }
+
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  use_apex_.add(snapshot.day, pct(apex_hints, apex_https));
+  use_www_.add(snapshot.day, pct(www_hints, www_https));
+  match_apex_.add(snapshot.day, pct(apex_match, apex_hints));
+  match_www_.add(snapshot.day, pct(www_match, www_hints));
+}
+
+std::map<int, int> IpHintConsistency::mismatch_duration_histogram() const {
+  std::map<int, int> histogram;
+  for (const auto& [id, episode] : episodes_) {
+    (void)id;
+    for (int days : episode.closed) ++histogram[days];
+    if (episode.open_days > 0) ++histogram[episode.open_days];
+  }
+  return histogram;
+}
+
+double IpHintConsistency::mean_mismatch_days() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const auto& [id, episode] : episodes_) {
+    (void)id;
+    for (int days : episode.closed) {
+      sum += days;
+      ++count;
+    }
+    if (episode.open_days > 0) {
+      sum += episode.open_days;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+std::size_t IpHintConsistency::chronic_mismatchers() const {
+  std::size_t out = 0;
+  for (const auto& [id, episode] : episodes_) {
+    (void)id;
+    if (episode.observed_days >= 30 &&
+        episode.mismatch_days == episode.observed_days) {
+      ++out;
+    }
+  }
+  return out;
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,46 @@
+#pragma once
+
+// IP-hint analyses (§4.3.5, Fig. 11, Fig. 12):
+//   * daily utilisation of ipv4hint/ipv6hint among HTTPS publishers;
+//   * daily match ratio between hints and A records;
+//   * per-domain mismatch episode durations (histogram).
+
+#include <map>
+#include <vector>
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+class IpHintConsistency final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Fig. 11 series (overlapping apex domains).
+  [[nodiscard]] const TimeSeries& hint_utilisation_apex() const { return use_apex_; }
+  [[nodiscard]] const TimeSeries& hint_utilisation_www() const { return use_www_; }
+  [[nodiscard]] const TimeSeries& match_ratio_apex() const { return match_apex_; }
+  [[nodiscard]] const TimeSeries& match_ratio_www() const { return match_www_; }
+
+  // Fig. 12: closed mismatch-episode durations in days.
+  [[nodiscard]] std::map<int, int> mismatch_duration_histogram() const;
+  [[nodiscard]] double mean_mismatch_days() const;
+  // Domains mismatched on every day they were observed.
+  [[nodiscard]] std::size_t chronic_mismatchers() const;
+
+ private:
+  struct Episode {
+    int open_days = 0;
+    std::vector<int> closed;
+    int observed_days = 0;
+    int mismatch_days = 0;
+  };
+
+  OverlapSets overlap_;
+  TimeSeries use_apex_, use_www_, match_apex_, match_www_;
+  std::map<ecosystem::DomainId, Episode> episodes_;
+};
+
+}  // namespace httpsrr::analysis

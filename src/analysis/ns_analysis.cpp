@@ -1,0 +1,182 @@
+#include "analysis/ns_analysis.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::analysis {
+
+void NsCategoryAnalysis::on_day(const scanner::DailySnapshot& snapshot,
+                                const ecosystem::Internet& net) {
+  if (snapshot.day < from_ || snapshot.day > to_) return;
+  overlap_.ensure(net);
+
+  struct Counts {
+    std::size_t full = 0, partial = 0, none = 0, total = 0;
+  };
+  Counts dyn, ovl;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    NsMix mix = classify_ns_mix(obs, snapshot);
+    if (mix == NsMix::unknown) continue;
+
+    auto count_in = [mix](Counts& c) {
+      ++c.total;
+      switch (mix) {
+        case NsMix::full_cloudflare: ++c.full; break;
+        case NsMix::partial_cloudflare: ++c.partial; break;
+        case NsMix::none_cloudflare: ++c.none; break;
+        case NsMix::unknown: break;
+      }
+    };
+    count_in(dyn);
+    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) count_in(ovl);
+  }
+
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  dyn_full_.add(snapshot.day, pct(dyn.full, dyn.total));
+  dyn_partial_.add(snapshot.day, pct(dyn.partial, dyn.total));
+  dyn_none_.add(snapshot.day, pct(dyn.none, dyn.total));
+  ovl_full_.add(snapshot.day, pct(ovl.full, ovl.total));
+  ovl_partial_.add(snapshot.day, pct(ovl.partial, ovl.total));
+  ovl_none_.add(snapshot.day, pct(ovl.none, ovl.total));
+}
+
+NsCategoryAnalysis::Shares NsCategoryAnalysis::dynamic_shares() const {
+  return Shares{dyn_full_.mean(),    dyn_full_.stddev(), dyn_none_.mean(),
+                dyn_none_.stddev(),  dyn_partial_.mean(),
+                dyn_partial_.stddev()};
+}
+
+NsCategoryAnalysis::Shares NsCategoryAnalysis::overlapping_shares() const {
+  return Shares{ovl_full_.mean(),    ovl_full_.stddev(), ovl_none_.mean(),
+                ovl_none_.stddev(),  ovl_partial_.mean(),
+                ovl_partial_.stddev()};
+}
+
+void ProviderAnalysis::on_day(const scanner::DailySnapshot& snapshot,
+                              const ecosystem::Internet& net) {
+  if (snapshot.day < from_ || snapshot.day > to_) return;
+  overlap_.ensure(net);
+
+  std::set<std::string> today;
+  std::size_t domain_count = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    auto operators = ns_operators(obs, snapshot);
+    bool any_non_cf = false;
+    for (const auto& op : operators) {
+      if (op == "cloudflare") continue;
+      any_non_cf = true;
+      today.insert(op);
+      providers_dynamic_.insert(op);
+      domains_dynamic_[op].insert(snapshot.list[i]);
+      if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
+        providers_overlapping_.insert(op);
+        domains_overlapping_[op].insert(snapshot.list[i]);
+      }
+    }
+    if (any_non_cf) ++domain_count;
+  }
+  provider_count_.add(snapshot.day, static_cast<double>(today.size()));
+  domain_count_.add(snapshot.day, static_cast<double>(domain_count));
+}
+
+std::vector<std::pair<std::string, std::size_t>> ProviderAnalysis::top_of(
+    const std::map<std::string, std::set<ecosystem::DomainId>>& table,
+    std::size_t k) {
+  std::vector<std::pair<std::string, std::size_t>> rows;
+  rows.reserve(table.size());
+  for (const auto& [name, domains] : table) {
+    rows.emplace_back(name, domains.size());
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<std::pair<std::string, std::size_t>> ProviderAnalysis::top_dynamic(
+    std::size_t k) const {
+  return top_of(domains_dynamic_, k);
+}
+
+std::vector<std::pair<std::string, std::size_t>> ProviderAnalysis::top_overlapping(
+    std::size_t k) const {
+  return top_of(domains_overlapping_, k);
+}
+
+void IntermittentUse::on_day(const scanner::DailySnapshot& snapshot,
+                             const ecosystem::Internet& net) {
+  (void)net;
+  if (snapshot.day < from_ || snapshot.day > to_) return;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    bool on = obs.has_https();
+    auto& track = tracks_[snapshot.list[i]];
+
+    auto operators = ns_operators(obs, snapshot);
+    if (!operators.empty()) {
+      std::vector<std::string> sorted(operators.begin(), operators.end());
+      track.operator_sets_seen.insert(util::join(sorted, "+"));
+    }
+
+    if (on) {
+      if (track.saw_gap) track.reactivated_after_gap = true;
+      track.ever_on = true;
+      track.currently_on = true;
+      track.was_cf_before_loss = operators.contains("cloudflare");
+      track.last_operators = operators;
+    } else {
+      if (track.ever_on) {
+        track.saw_gap = true;
+        // The Study keeps issuing NS lookups for the cohort, so an empty
+        // NS set while deactivated is a real observation (the paper's 20
+        // no-NS domains), as is an NXDOMAIN for the apex.
+        if (obs.nxdomain || (obs.answered && obs.ns_records.empty())) {
+          track.ns_absent_while_off = true;
+        }
+        if (track.was_cf_before_loss && !operators.empty() &&
+            !operators.contains("cloudflare")) {
+          track.lost_https_on_migration = true;
+        }
+      }
+      track.currently_on = false;
+    }
+  }
+}
+
+IntermittentUse::Result IntermittentUse::result() const {
+  Result out;
+  for (const auto& [id, track] : tracks_) {
+    (void)id;
+    bool intermittent =
+        track.reactivated_after_gap || (track.ever_on && track.saw_gap);
+    if (!intermittent) continue;
+    ++out.intermittent_domains;
+    if (track.lost_https_on_migration) ++out.lost_https_after_ns_change;
+    if (track.ns_absent_while_off) ++out.no_ns_while_inactive;
+    if (track.operator_sets_seen.size() <= 1) {
+      ++out.same_ns_throughout;
+      if (track.operator_sets_seen.contains("cloudflare")) {
+        ++out.same_ns_cloudflare_only;
+      } else {
+        ++out.same_ns_other;
+      }
+    } else {
+      ++out.changed_ns;
+    }
+  }
+  return out;
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,124 @@
+#pragma once
+
+// Name-server analyses (§4.2.2 / §4.2.3):
+//   * NsCategoryAnalysis  — Table 2: Full/Partial/None-Cloudflare shares.
+//   * ProviderAnalysis    — Fig. 3 (daily distinct non-CF providers with
+//                           HTTPS publishers), Fig. 10 (domain counts),
+//                           Table 3 (top providers by distinct domains).
+//   * IntermittentUse     — §4.2.3: domains whose HTTPS record comes and
+//                           goes, attributed to same-NS toggling, NS
+//                           migration, vanished NS, or mixed providers.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+class NsCategoryAnalysis final : public scanner::DailyObserver {
+ public:
+  // Observation is restricted to the paper's NS window.
+  NsCategoryAnalysis(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  struct Shares {
+    double full_mean = 0, full_std = 0;
+    double none_mean = 0, none_std = 0;
+    double partial_mean = 0, partial_std = 0;
+  };
+  [[nodiscard]] Shares dynamic_shares() const;
+  [[nodiscard]] Shares overlapping_shares() const;
+
+ private:
+  net::SimTime from_, to_;
+  OverlapSets overlap_;
+  TimeSeries dyn_full_, dyn_none_, dyn_partial_;
+  TimeSeries ovl_full_, ovl_none_, ovl_partial_;
+};
+
+class ProviderAnalysis final : public scanner::DailyObserver {
+ public:
+  ProviderAnalysis(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Fig. 3: daily count of distinct non-CF providers serving HTTPS
+  // publishers (dynamic list).
+  [[nodiscard]] const TimeSeries& daily_provider_count() const {
+    return provider_count_;
+  }
+  // Fig. 10: daily count of domains with HTTPS on non-CF NS.
+  [[nodiscard]] const TimeSeries& daily_domain_count() const {
+    return domain_count_;
+  }
+  // Total distinct providers seen over the window.
+  [[nodiscard]] std::size_t distinct_providers_dynamic() const {
+    return providers_dynamic_.size();
+  }
+  [[nodiscard]] std::size_t distinct_providers_overlapping() const {
+    return providers_overlapping_.size();
+  }
+  // Table 3: provider -> distinct HTTPS-publishing domains over the window.
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> top_dynamic(
+      std::size_t k) const;
+  [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> top_overlapping(
+      std::size_t k) const;
+
+ private:
+  static std::vector<std::pair<std::string, std::size_t>> top_of(
+      const std::map<std::string, std::set<ecosystem::DomainId>>& table,
+      std::size_t k);
+
+  net::SimTime from_, to_;
+  OverlapSets overlap_;
+  TimeSeries provider_count_;
+  TimeSeries domain_count_;
+  std::set<std::string> providers_dynamic_;
+  std::set<std::string> providers_overlapping_;
+  std::map<std::string, std::set<ecosystem::DomainId>> domains_dynamic_;
+  std::map<std::string, std::set<ecosystem::DomainId>> domains_overlapping_;
+};
+
+class IntermittentUse final : public scanner::DailyObserver {
+ public:
+  IntermittentUse(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  struct Result {
+    std::size_t intermittent_domains = 0;   // >=1 off-gap between on-periods
+    std::size_t same_ns_throughout = 0;     // NS set never changed
+    std::size_t same_ns_cloudflare_only = 0;
+    std::size_t same_ns_other = 0;
+    std::size_t changed_ns = 0;
+    std::size_t lost_https_after_ns_change = 0;  // CF -> non-CF migrations
+    std::size_t no_ns_while_inactive = 0;
+  };
+  [[nodiscard]] Result result() const;
+
+ private:
+  struct Track {
+    bool ever_on = false;
+    bool currently_on = false;
+    bool reactivated_after_gap = false;
+    bool saw_gap = false;
+    std::set<std::string> operator_sets_seen;  // canonical "a+b" strings
+    bool ns_absent_while_off = false;
+    bool was_cf_before_loss = false;
+    bool lost_https_on_migration = false;
+    std::set<std::string> last_operators;
+  };
+
+  net::SimTime from_, to_;
+  std::map<ecosystem::DomainId, Track> tracks_;
+};
+
+}  // namespace httpsrr::analysis

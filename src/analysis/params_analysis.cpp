@@ -1,0 +1,209 @@
+#include "analysis/params_analysis.h"
+
+#include <algorithm>
+
+namespace httpsrr::analysis {
+
+bool is_cloudflare_default_config(const dns::SvcbRdata& record, net::SimTime day,
+                                  net::SimTime h3_29_retirement) {
+  if (!record.is_service_mode() || record.priority != 1) return false;
+  if (!record.target.is_root()) return false;
+  if (!record.params.has(dns::SvcParamKey::ipv4hint) ||
+      !record.params.has(dns::SvcParamKey::ipv6hint)) {
+    return false;
+  }
+  auto alpn = record.params.alpn();
+  if (!alpn) return false;
+  std::set<std::string> protocols(alpn->begin(), alpn->end());
+  // ech and Google-QUIC ids ride on default records too; alpn must contain
+  // the default set (h2, h3, +h3-29 before retirement).
+  if (!protocols.contains("h2") || !protocols.contains("h3")) return false;
+  if (day < h3_29_retirement && !protocols.contains("h3-29")) return false;
+  return true;
+}
+
+void CfConfigClassifier::on_day(const scanner::DailySnapshot& snapshot,
+                                const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  std::size_t dyn_total = 0, dyn_default = 0;
+  std::size_t ovl_total = 0, ovl_default = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    if (classify_ns_mix(obs, snapshot) != NsMix::full_cloudflare) continue;
+
+    bool is_default = std::any_of(
+        obs.https_records.begin(), obs.https_records.end(),
+        [&](const dns::SvcbRdata& r) {
+          return is_cloudflare_default_config(
+              r, snapshot.day, net.config().h3_29_retirement);
+        });
+    ++dyn_total;
+    if (is_default) ++dyn_default;
+    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
+      ++ovl_total;
+      if (is_default) ++ovl_default;
+    }
+  }
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  dyn_default_.add(snapshot.day, pct(dyn_default, dyn_total));
+  ovl_default_.add(snapshot.day, pct(ovl_default, ovl_total));
+}
+
+void ProviderParamProfile::on_day(const scanner::DailySnapshot& snapshot,
+                                  const ecosystem::Internet& net) {
+  (void)net;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    auto operators = ns_operators(obs, snapshot);
+    if (!operators.contains(provider_)) continue;
+
+    Profile row;
+    row.domains = 1;
+    for (const auto& record : obs.https_records) {
+      if (record.is_service_mode()) {
+        row.service_mode = 1;
+        if (record.target.is_root()) row.target_self = 1;
+        else row.target_other = 1;
+      } else {
+        row.alias_mode = 1;
+        row.target_other = 1;
+      }
+      if (record.params.has(dns::SvcParamKey::alpn)) row.with_alpn = 1;
+      if (record.params.has(dns::SvcParamKey::ipv4hint)) row.with_ipv4hint = 1;
+      if (record.params.has(dns::SvcParamKey::ipv6hint)) row.with_ipv6hint = 1;
+    }
+    per_domain_[snapshot.list[i]] = row;
+  }
+}
+
+ProviderParamProfile::Profile ProviderParamProfile::profile() const {
+  Profile out;
+  for (const auto& [id, row] : per_domain_) {
+    (void)id;
+    out.domains += 1;
+    out.service_mode += row.service_mode;
+    out.alias_mode += row.alias_mode;
+    out.target_self += row.target_self;
+    out.target_other += row.target_other;
+    out.with_alpn += row.with_alpn;
+    out.with_ipv4hint += row.with_ipv4hint;
+    out.with_ipv6hint += row.with_ipv6hint;
+  }
+  return out;
+}
+
+void ParamAudit::on_day(const scanner::DailySnapshot& snapshot,
+                        const ecosystem::Internet& net) {
+  (void)net;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    Result row;
+    for (const auto& record : obs.https_records) {
+      if (record.is_service_mode()) {
+        row.service_mode_domains = 1;
+        if (record.priority == 1) row.priority_one = 1;
+        if (record.params.empty()) row.service_without_params = 1;
+      } else {
+        row.alias_mode_domains = 1;
+        if (record.target.is_root()) row.alias_target_self = 1;
+      }
+    }
+    per_domain_[snapshot.list[i]] = row;
+  }
+}
+
+ParamAudit::Result ParamAudit::result() const {
+  Result out;
+  for (const auto& [id, row] : per_domain_) {
+    (void)id;
+    out.service_mode_domains += row.service_mode_domains;
+    out.alias_mode_domains += row.alias_mode_domains;
+    out.service_without_params += row.service_without_params;
+    out.alias_target_self += row.alias_target_self;
+    out.priority_one += row.priority_one;
+  }
+  return out;
+}
+
+void AlpnDistribution::on_day(const scanner::DailySnapshot& snapshot,
+                              const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  std::map<std::string, std::size_t> apex_counts, www_counts;
+  std::size_t apex_https = 0, www_https = 0;
+  std::size_t non_cf = 0, non_cf_h2 = 0, non_cf_h3 = 0, non_cf_none = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& apex_obs = snapshot.apex[i];
+    const auto& www_obs = snapshot.www[i];
+    bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
+
+    if (apex_obs.has_https()) {
+      auto protocols = apex_obs.alpn_protocols();
+      if (overlapping) {
+        ++apex_https;
+        for (const auto& p : protocols) ++apex_counts[p];
+      }
+      // §4.3.4 measures alpn advertisement among *ServiceMode* records —
+      // AliasMode cannot carry SvcParams, so alias-only domains (GoDaddy's
+      // bulk) are excluded from the denominator.
+      if (!apex_obs.alias_mode() &&
+          classify_ns_mix(apex_obs, snapshot) == NsMix::none_cloudflare) {
+        ++non_cf;
+        bool h2 = false, h3 = false;
+        for (const auto& p : protocols) {
+          if (p == "h2") h2 = true;
+          if (p == "h3") h3 = true;
+        }
+        if (h2) ++non_cf_h2;
+        if (h3) ++non_cf_h3;
+        if (protocols.empty()) ++non_cf_none;
+      }
+    }
+    if (overlapping && www_obs.has_https()) {
+      ++www_https;
+      for (const auto& p : www_obs.alpn_protocols()) ++www_counts[p];
+    }
+  }
+
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
+                                  static_cast<double>(whole);
+  };
+  for (const auto& [protocol, count] : apex_counts) {
+    apex_series_[protocol].add(snapshot.day, pct(count, apex_https));
+  }
+  for (const auto& [protocol, count] : www_counts) {
+    www_series_[protocol].add(snapshot.day, pct(count, www_https));
+  }
+  if (non_cf > 0) {
+    non_cf_h2_.add(snapshot.day, pct(non_cf_h2, non_cf));
+    non_cf_h3_.add(snapshot.day, pct(non_cf_h3, non_cf));
+    non_cf_none_.add(snapshot.day, pct(non_cf_none, non_cf));
+  }
+}
+
+double AlpnDistribution::protocol_pct(const std::string& protocol,
+                                      net::SimTime from, net::SimTime to,
+                                      bool www) const {
+  const auto& table = www ? www_series_ : apex_series_;
+  auto it = table.find(protocol);
+  if (it == table.end()) return 0.0;
+  return it->second.mean_between(from, to);
+}
+
+double AlpnDistribution::non_cf_protocol_pct(const std::string& protocol) const {
+  if (protocol == "h2") return non_cf_h2_.mean();
+  if (protocol == "h3") return non_cf_h3_.mean();
+  return 0.0;
+}
+
+double AlpnDistribution::non_cf_no_alpn_pct() const { return non_cf_none_.mean(); }
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,109 @@
+#pragma once
+
+// Parameter analyses:
+//   * CfConfigClassifier   — Table 4: Cloudflare default vs customised.
+//   * ProviderParamProfile — Table 5: per-provider configuration shapes.
+//   * ParamAudit           — §4.3.3: SvcPriority/TargetName oddities.
+//   * AlpnDistribution     — §4.3.4 + Table 8: protocol shares over time.
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+// Decides whether an observed record matches Cloudflare's auto-generated
+// default: ServiceMode priority 1, TargetName ".", alpn exactly the default
+// set for the date, and both address hints present.
+[[nodiscard]] bool is_cloudflare_default_config(const dns::SvcbRdata& record,
+                                                net::SimTime day,
+                                                net::SimTime h3_29_retirement);
+
+class CfConfigClassifier final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Average % of CF-hosted HTTPS publishers with the default configuration.
+  [[nodiscard]] double default_pct_dynamic() const { return dyn_default_.mean(); }
+  [[nodiscard]] double default_pct_overlapping() const { return ovl_default_.mean(); }
+
+ private:
+  OverlapSets overlap_;
+  TimeSeries dyn_default_, ovl_default_;
+};
+
+class ProviderParamProfile final : public scanner::DailyObserver {
+ public:
+  explicit ProviderParamProfile(std::string provider) : provider_(std::move(provider)) {}
+
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  struct Profile {
+    std::size_t domains = 0;
+    std::size_t service_mode = 0;       // SvcPriority > 0
+    std::size_t alias_mode = 0;
+    std::size_t target_self = 0;        // TargetName "."
+    std::size_t target_other = 0;
+    std::size_t with_alpn = 0;
+    std::size_t with_ipv4hint = 0;
+    std::size_t with_ipv6hint = 0;
+
+    [[nodiscard]] double pct(std::size_t part) const {
+      return domains == 0 ? 0.0
+                          : 100.0 * static_cast<double>(part) /
+                                static_cast<double>(domains);
+    }
+  };
+  // Aggregated over distinct domains across the whole run.
+  [[nodiscard]] Profile profile() const;
+
+ private:
+  std::string provider_;
+  std::map<ecosystem::DomainId, Profile> per_domain_;  // domains==1 rows
+};
+
+class ParamAudit final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  struct Result {
+    std::size_t service_mode_domains = 0;
+    std::size_t alias_mode_domains = 0;
+    std::size_t service_without_params = 0;  // the 202/232-domain cohort
+    std::size_t alias_target_self = 0;       // AliasMode with "." target
+    std::size_t priority_one = 0;
+  };
+  [[nodiscard]] Result result() const;
+
+ private:
+  std::map<ecosystem::DomainId, Result> per_domain_;
+};
+
+class AlpnDistribution final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // % of overlapping HTTPS publishers advertising a protocol, daily mean
+  // over the given window (Table 8 splits h3-29 at May 31).
+  [[nodiscard]] double protocol_pct(const std::string& protocol,
+                                    net::SimTime from, net::SimTime to,
+                                    bool www = false) const;
+  // Among non-Cloudflare-NS publishers: protocol share + no-alpn share.
+  [[nodiscard]] double non_cf_protocol_pct(const std::string& protocol) const;
+  [[nodiscard]] double non_cf_no_alpn_pct() const;
+
+ private:
+  OverlapSets overlap_;
+  std::map<std::string, TimeSeries> apex_series_;
+  std::map<std::string, TimeSeries> www_series_;
+  TimeSeries non_cf_h2_, non_cf_h3_, non_cf_none_;
+};
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,72 @@
+#include "analysis/rank_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace httpsrr::analysis {
+
+double RankDistribution::percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<std::size_t>(std::floor(idx));
+  auto hi = static_cast<std::size_t>(std::ceil(idx));
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+RankDistribution rank_distribution(ecosystem::Internet& net, net::SimTime from,
+                                   net::SimTime to, int sample_days) {
+  std::map<ecosystem::DomainId, std::pair<double, int>> acc;
+  std::int64_t span_days = (to - from).seconds / 86400;
+  int samples = std::max(1, sample_days);
+
+  for (int s = 0; s < samples; ++s) {
+    net::SimTime day =
+        from + net::Duration::days(span_days * s / std::max(1, samples - 1));
+    auto list = net.tranco().list_for(day);
+    for (std::size_t rank = 0; rank < list.size(); ++rank) {
+      auto& entry = acc[list[rank]];
+      entry.first += static_cast<double>(rank + 1);
+      entry.second += 1;
+    }
+  }
+
+  OverlapSets overlap;
+  overlap.ensure(net);
+  RankDistribution out;
+  bool phase1 = from < net.config().source_change;
+  for (const auto& [id, sums] : acc) {
+    double mean_rank = sums.first / static_cast<double>(sums.second);
+    bool overlapping = phase1 ? overlap.in_phase1(id) : overlap.in_phase2(id);
+    (overlapping ? out.overlapping : out.non_overlapping).push_back(mean_rank);
+  }
+  std::sort(out.overlapping.begin(), out.overlapping.end());
+  std::sort(out.non_overlapping.begin(), out.non_overlapping.end());
+  return out;
+}
+
+void NonCfRankStats::on_day(const scanner::DailySnapshot& snapshot,
+                            const ecosystem::Internet& net) {
+  (void)net;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    if (classify_ns_mix(obs, snapshot) != NsMix::none_cloudflare) continue;
+    auto& acc = ranks_[snapshot.list[i]];
+    acc.sum += static_cast<double>(i + 1);
+    acc.n += 1;
+  }
+}
+
+std::vector<double> NonCfRankStats::mean_ranks() const {
+  std::vector<double> out;
+  out.reserve(ranks_.size());
+  for (const auto& [id, acc] : ranks_) {
+    (void)id;
+    out.push_back(acc.sum / static_cast<double>(acc.n));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,47 @@
+#pragma once
+
+// Rank analyses (Appendix C/D — Fig. 8, Fig. 9):
+//   * rank distribution of overlapping vs non-overlapping domains;
+//   * rank distribution of HTTPS publishers on non-Cloudflare NS.
+
+#include <vector>
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+// Average rank per domain over sampled days, split by stability.
+struct RankDistribution {
+  std::vector<double> overlapping;      // average ranks, sorted ascending
+  std::vector<double> non_overlapping;
+
+  // Percentile helper: p in [0,100].
+  [[nodiscard]] static double percentile(const std::vector<double>& sorted,
+                                         double p);
+};
+
+// Samples `sample_days` evenly spaced days from [from, to].
+[[nodiscard]] RankDistribution rank_distribution(ecosystem::Internet& net,
+                                                 net::SimTime from,
+                                                 net::SimTime to,
+                                                 int sample_days = 8);
+
+// Observer collecting daily ranks of HTTPS publishers on non-CF NS (Fig. 9).
+class NonCfRankStats final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Mean observed rank per such domain, sorted ascending.
+  [[nodiscard]] std::vector<double> mean_ranks() const;
+
+ private:
+  struct Acc {
+    double sum = 0;
+    std::size_t n = 0;
+  };
+  std::map<ecosystem::DomainId, Acc> ranks_;
+};
+
+}  // namespace httpsrr::analysis

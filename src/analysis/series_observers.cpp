@@ -1,0 +1,123 @@
+#include "analysis/series_observers.h"
+
+namespace httpsrr::analysis {
+
+namespace {
+
+double pct(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+void AdoptionSeries::on_day(const scanner::DailySnapshot& snapshot,
+                            const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  std::size_t dyn_apex = 0, dyn_www = 0;
+  std::size_t ovl_total = 0, ovl_apex = 0, ovl_www = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    bool apex_https = snapshot.apex[i].has_https();
+    bool www_https = snapshot.www[i].has_https();
+    if (apex_https) ++dyn_apex;
+    if (www_https) ++dyn_www;
+    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
+      ++ovl_total;
+      if (apex_https) ++ovl_apex;
+      if (www_https) ++ovl_www;
+    }
+  }
+  dynamic_apex_.add(snapshot.day, pct(dyn_apex, snapshot.size()));
+  dynamic_www_.add(snapshot.day, pct(dyn_www, snapshot.size()));
+  overlapping_apex_.add(snapshot.day, pct(ovl_apex, ovl_total));
+  overlapping_www_.add(snapshot.day, pct(ovl_www, ovl_total));
+}
+
+void DnssecSeries::on_day(const scanner::DailySnapshot& snapshot,
+                          const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  struct Bucket {
+    std::size_t https = 0, signed_ = 0, ad = 0;
+  };
+  Bucket dyn_apex, dyn_www, ovl_apex, ovl_www;
+
+  auto account = [](Bucket& bucket, const scanner::HttpsObservation& obs) {
+    if (!obs.has_https()) return;
+    ++bucket.https;
+    if (obs.rrsig_present) ++bucket.signed_;
+    if (obs.rrsig_present && obs.ad) ++bucket.ad;
+  };
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    account(dyn_apex, snapshot.apex[i]);
+    account(dyn_www, snapshot.www[i]);
+    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
+      account(ovl_apex, snapshot.apex[i]);
+      account(ovl_www, snapshot.www[i]);
+    }
+  }
+
+  sig_dyn_apex_.add(snapshot.day, pct(dyn_apex.signed_, dyn_apex.https));
+  sig_dyn_www_.add(snapshot.day, pct(dyn_www.signed_, dyn_www.https));
+  sig_ovl_apex_.add(snapshot.day, pct(ovl_apex.signed_, ovl_apex.https));
+  sig_ovl_www_.add(snapshot.day, pct(ovl_www.signed_, ovl_www.https));
+  ad_dyn_apex_.add(snapshot.day, pct(dyn_apex.ad, dyn_apex.https));
+  ad_ovl_apex_.add(snapshot.day, pct(ovl_apex.ad, ovl_apex.https));
+}
+
+void EchSeries::on_day(const scanner::DailySnapshot& snapshot,
+                       const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  std::size_t apex_https = 0, apex_ech = 0;
+  std::size_t www_https = 0, www_ech = 0;
+  std::size_t non_cf = 0;
+
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (!overlap_.overlapping_on(snapshot.list[i], snapshot.day)) continue;
+    const auto& apex_obs = snapshot.apex[i];
+    const auto& www_obs = snapshot.www[i];
+    if (apex_obs.has_https()) {
+      ++apex_https;
+      if (apex_obs.has_ech()) {
+        ++apex_ech;
+        if (classify_ns_mix(apex_obs, snapshot) == NsMix::none_cloudflare) {
+          ++non_cf;
+        }
+      }
+    }
+    if (www_obs.has_https()) {
+      ++www_https;
+      if (www_obs.has_ech()) ++www_ech;
+    }
+  }
+  double apex_pct = pct(apex_ech, apex_https);
+  apex_.add(snapshot.day, apex_pct);
+  www_.add(snapshot.day, pct(www_ech, www_https));
+  non_cf_.add(snapshot.day, static_cast<double>(non_cf));
+
+  if (apex_pct > 0.0) seen_nonzero_ = true;
+  if (seen_nonzero_ && apex_pct == 0.0 && !shutdown_) {
+    shutdown_ = snapshot.day;
+  }
+}
+
+void EchDnssecSeries::on_day(const scanner::DailySnapshot& snapshot,
+                             const ecosystem::Internet& net) {
+  overlap_.ensure(net);
+  std::size_t ech = 0, signed_count = 0, validated = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (!overlap_.overlapping_on(snapshot.list[i], snapshot.day)) continue;
+    const auto& obs = snapshot.apex[i];
+    if (!obs.has_https() || !obs.has_ech()) continue;
+    ++ech;
+    if (obs.rrsig_present) ++signed_count;
+    if (obs.rrsig_present && obs.ad) ++validated;
+  }
+  if (ech > 0) {
+    signed_.add(snapshot.day, pct(signed_count, ech));
+    validated_.add(snapshot.day, pct(validated, ech));
+  }
+}
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,85 @@
+#pragma once
+
+// Daily-series observers: the longitudinal fraction plots of the paper.
+//   * AdoptionSeries  — Fig. 2a/2b: % of apex/www publishing HTTPS RRs.
+//   * DnssecSeries    — Fig. 5a/5b: % of HTTPS RRs signed / AD-validated.
+//   * EchSeries       — Fig. 13 (+§4.4.1): % of HTTPS publishers with ech,
+//                       plus the detected shutdown date.
+//   * EchDnssecSeries — Fig. 14: signed/validated among ECH publishers.
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+class AdoptionSeries final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  [[nodiscard]] const TimeSeries& dynamic_apex() const { return dynamic_apex_; }
+  [[nodiscard]] const TimeSeries& dynamic_www() const { return dynamic_www_; }
+  [[nodiscard]] const TimeSeries& overlapping_apex() const { return overlapping_apex_; }
+  [[nodiscard]] const TimeSeries& overlapping_www() const { return overlapping_www_; }
+
+ private:
+  OverlapSets overlap_;
+  TimeSeries dynamic_apex_, dynamic_www_, overlapping_apex_, overlapping_www_;
+};
+
+class DnssecSeries final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Percentages among HTTPS publishers.
+  [[nodiscard]] const TimeSeries& signed_dynamic_apex() const { return sig_dyn_apex_; }
+  [[nodiscard]] const TimeSeries& signed_dynamic_www() const { return sig_dyn_www_; }
+  [[nodiscard]] const TimeSeries& signed_overlap_apex() const { return sig_ovl_apex_; }
+  [[nodiscard]] const TimeSeries& signed_overlap_www() const { return sig_ovl_www_; }
+  [[nodiscard]] const TimeSeries& validated_dynamic_apex() const { return ad_dyn_apex_; }
+  [[nodiscard]] const TimeSeries& validated_overlap_apex() const { return ad_ovl_apex_; }
+
+ private:
+  OverlapSets overlap_;
+  TimeSeries sig_dyn_apex_, sig_dyn_www_, sig_ovl_apex_, sig_ovl_www_;
+  TimeSeries ad_dyn_apex_, ad_ovl_apex_;
+};
+
+class EchSeries final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // % of HTTPS publishers carrying an ech SvcParam (overlapping set).
+  [[nodiscard]] const TimeSeries& apex() const { return apex_; }
+  [[nodiscard]] const TimeSeries& www() const { return www_; }
+  // First day on which the apex percentage hit zero after being nonzero.
+  [[nodiscard]] std::optional<net::SimTime> shutdown_detected() const {
+    return shutdown_;
+  }
+  // How many ECH publishers used non-Cloudflare name servers (daily mean).
+  [[nodiscard]] const TimeSeries& non_cf_ech_domains() const { return non_cf_; }
+
+ private:
+  OverlapSets overlap_;
+  TimeSeries apex_, www_, non_cf_;
+  bool seen_nonzero_ = false;
+  std::optional<net::SimTime> shutdown_;
+};
+
+class EchDnssecSeries final : public scanner::DailyObserver {
+ public:
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  // Among overlapping domains publishing HTTPS+ech: % signed, % validated.
+  [[nodiscard]] const TimeSeries& signed_pct() const { return signed_; }
+  [[nodiscard]] const TimeSeries& validated_pct() const { return validated_; }
+
+ private:
+  OverlapSets overlap_;
+  TimeSeries signed_, validated_;
+};
+
+}  // namespace httpsrr::analysis

@@ -1,0 +1,210 @@
+#include "dns/message.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+Message Message::make_query(std::uint16_t id, Name qname, RrType qtype,
+                            bool dnssec_ok) {
+  Message m;
+  m.header.id = id;
+  m.header.rd = true;
+  m.edns = Edns{};
+  m.edns->dnssec_ok = dnssec_ok;
+  m.questions.push_back(Question{std::move(qname), qtype, RrClass::IN});
+  return m;
+}
+
+Message Message::make_response(const Message& query) {
+  Message m;
+  m.header = query.header;
+  m.header.qr = true;
+  m.header.ra = true;
+  m.edns = query.edns;  // responders echo EDNS when the query carried it
+  m.questions = query.questions;
+  return m;
+}
+
+namespace {
+
+std::uint16_t pack_flags(const Header& h) {
+  std::uint16_t flags = 0;
+  if (h.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.opcode) & 0x0f)
+           << 11;
+  if (h.aa) flags |= 0x0400;
+  if (h.tc) flags |= 0x0200;
+  if (h.rd) flags |= 0x0100;
+  if (h.ra) flags |= 0x0080;
+  if (h.ad) flags |= 0x0020;
+  if (h.cd) flags |= 0x0010;
+  flags |= static_cast<std::uint16_t>(static_cast<std::uint8_t>(h.rcode) & 0x0f);
+  return flags;
+}
+
+Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = flags & 0x8000;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
+  h.aa = flags & 0x0400;
+  h.tc = flags & 0x0200;
+  h.rd = flags & 0x0100;
+  h.ra = flags & 0x0080;
+  h.ad = flags & 0x0020;
+  h.cd = flags & 0x0010;
+  h.rcode = static_cast<Rcode>(flags & 0x0f);
+  return h;
+}
+
+void encode_rr(const Rr& rr, WireWriter& w,
+               std::map<std::string, std::uint16_t>& offsets) {
+  w.name_compressed(rr.owner, offsets);
+  w.u16(static_cast<std::uint16_t>(rr.type));
+  w.u16(static_cast<std::uint16_t>(rr.klass));
+  w.u32(rr.ttl);
+  std::size_t len_pos = w.size();
+  w.u16(0);  // RDLENGTH placeholder
+  std::size_t rdata_start = w.size();
+  encode_rdata(rr.rdata, w);
+  w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+Result<Rr> decode_rr(WireReader& r) {
+  Rr rr;
+  auto owner = r.name();
+  if (!owner) return Error{owner.error()};
+  rr.owner = std::move(*owner);
+  auto type = r.u16();
+  auto klass = r.u16();
+  auto ttl = r.u32();
+  auto rdlen = r.u16();
+  if (!type || !klass || !ttl || !rdlen) return Error{"truncated RR header"};
+  rr.type = static_cast<RrType>(*type);
+  rr.klass = static_cast<RrClass>(*klass);
+  rr.ttl = *ttl;
+  auto rdata = decode_rdata(rr.type, r, *rdlen);
+  if (!rdata) return Error{rdata.error()};
+  rr.rdata = std::move(*rdata);
+  return rr;
+}
+
+}  // namespace
+
+Bytes Message::encode() const {
+  WireWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+
+  w.u16(header.id);
+  w.u16(pack_flags(header));
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(static_cast<std::uint16_t>(additionals.size() + (edns ? 1 : 0)));
+
+  for (const auto& q : questions) {
+    w.name_compressed(q.qname, offsets);
+    w.u16(static_cast<std::uint16_t>(q.qtype));
+    w.u16(static_cast<std::uint16_t>(q.qclass));
+  }
+  for (const auto& rr : answers) encode_rr(rr, w, offsets);
+  for (const auto& rr : authorities) encode_rr(rr, w, offsets);
+  for (const auto& rr : additionals) encode_rr(rr, w, offsets);
+  if (edns) {
+    // OPT pseudo-RR (RFC 6891 §6.1): root owner, CLASS = payload size,
+    // TTL = extended flags (DO is bit 15 of the high 16 TTL bits).
+    w.u8(0);  // root name
+    w.u16(static_cast<std::uint16_t>(RrType::OPT));
+    w.u16(edns->udp_payload_size);
+    w.u32(edns->dnssec_ok ? 0x00008000u : 0u);
+    w.u16(0);  // empty RDATA
+  }
+  return std::move(w).take();
+}
+
+Result<Message> Message::decode(std::span<const std::uint8_t> wire) {
+  WireReader r(wire);
+  auto id = r.u16();
+  auto flags = r.u16();
+  auto qdcount = r.u16();
+  auto ancount = r.u16();
+  auto nscount = r.u16();
+  auto arcount = r.u16();
+  if (!id || !flags || !qdcount || !ancount || !nscount || !arcount) {
+    return Error{"truncated header"};
+  }
+
+  Message m;
+  m.header = unpack_flags(*id, *flags);
+
+  for (unsigned i = 0; i < *qdcount; ++i) {
+    auto qname = r.name();
+    if (!qname) return Error{qname.error()};
+    auto qtype = r.u16();
+    auto qclass = r.u16();
+    if (!qtype || !qclass) return Error{"truncated question"};
+    m.questions.push_back(Question{std::move(*qname),
+                                   static_cast<RrType>(*qtype),
+                                   static_cast<RrClass>(*qclass)});
+  }
+  auto read_section = [&r](unsigned count,
+                           std::vector<Rr>& out) -> Result<void> {
+    for (unsigned i = 0; i < count; ++i) {
+      auto rr = decode_rr(r);
+      if (!rr) return Error{rr.error()};
+      out.push_back(std::move(*rr));
+    }
+    return {};
+  };
+  if (auto s = read_section(*ancount, m.answers); !s) return Error{s.error()};
+  if (auto s = read_section(*nscount, m.authorities); !s) return Error{s.error()};
+  if (auto s = read_section(*arcount, m.additionals); !s) return Error{s.error()};
+
+  // Lift an OPT pseudo-RR out of the additional section into `edns`.
+  for (auto it = m.additionals.begin(); it != m.additionals.end(); ++it) {
+    if (it->type != RrType::OPT) continue;
+    Edns edns;
+    edns.udp_payload_size = static_cast<std::uint16_t>(it->klass);
+    edns.dnssec_ok = (it->ttl & 0x00008000u) != 0;
+    m.edns = edns;
+    m.additionals.erase(it);
+    break;
+  }
+  return m;
+}
+
+std::vector<Rr> Message::answers_of_type(RrType t) const {
+  std::vector<Rr> out;
+  for (const auto& rr : answers) {
+    if (rr.type == t) out.push_back(rr);
+  }
+  return out;
+}
+
+std::string Message::to_string() const {
+  std::string out;
+  out += util::format(";; id %u, %s, %s%s%s%s%s rcode=%s\n", header.id,
+                      header.qr ? "response" : "query", header.aa ? "aa " : "",
+                      header.tc ? "tc " : "", header.rd ? "rd " : "",
+                      header.ra ? "ra " : "", header.ad ? "ad " : "",
+                      std::string(rcode_to_string(header.rcode)).c_str());
+  out += ";; QUESTION\n";
+  for (const auto& q : questions) {
+    out += util::format(";  %s %s\n", q.qname.to_string().c_str(),
+                        type_to_string(q.qtype).c_str());
+  }
+  auto dump = [&out](std::string_view title, const std::vector<Rr>& section) {
+    if (section.empty()) return;
+    out += util::format(";; %s\n", std::string(title).c_str());
+    for (const auto& rr : section) out += rr.to_string() + "\n";
+  };
+  dump("ANSWER", answers);
+  dump("AUTHORITY", authorities);
+  dump("ADDITIONAL", additionals);
+  return out;
+}
+
+}  // namespace httpsrr::dns

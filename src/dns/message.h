@@ -1,0 +1,79 @@
+#pragma once
+
+// DNS message: header, question, answer/authority/additional sections,
+// with full wire encode/decode (including name compression on encode and
+// pointer chasing on decode).  The AD bit is first-class because the study
+// uses it to classify DNSSEC-validated HTTPS responses (§4.5).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "dns/wire.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::QUERY;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated
+  bool rd = true;   // recursion desired
+  bool ra = false;  // recursion available
+  bool ad = false;  // authentic data (DNSSEC validated)
+  bool cd = false;  // checking disabled
+  Rcode rcode = Rcode::NOERROR;
+
+  friend bool operator==(const Header&, const Header&) = default;
+};
+
+// EDNS(0) pseudo-record state (RFC 6891). Carried in the additional
+// section as an OPT RR on the wire; surfaced as a typed field here.
+struct Edns {
+  std::uint16_t udp_payload_size = 1232;  // the modern DNS-flag-day default
+  bool dnssec_ok = false;                 // DO bit: send RRSIGs in answers
+
+  friend bool operator==(const Edns&, const Edns&) = default;
+};
+
+struct Question {
+  Name qname;
+  RrType qtype = RrType::A;
+  RrClass qclass = RrClass::IN;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+struct Message {
+  Header header;
+  std::optional<Edns> edns;
+  std::vector<Question> questions;
+  std::vector<Rr> answers;
+  std::vector<Rr> authorities;
+  std::vector<Rr> additionals;
+
+  // Builds a standard recursive query for (qname, qtype).
+  static Message make_query(std::uint16_t id, Name qname, RrType qtype,
+                            bool dnssec_ok = true);
+
+  // Builds a response skeleton mirroring `query` (id, question, RD).
+  static Message make_response(const Message& query);
+
+  [[nodiscard]] Bytes encode() const;
+  static util::Result<Message> decode(std::span<const std::uint8_t> wire);
+
+  // All answer records of the given type (e.g. pull HTTPS out of a mixed
+  // CNAME+HTTPS answer section).
+  [[nodiscard]] std::vector<Rr> answers_of_type(RrType t) const;
+
+  // Human-readable multi-line dump (dig-like), for examples and debugging.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,187 @@
+#include "dns/name.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+constexpr std::size_t kMaxLabelLen = 63;
+constexpr std::size_t kMaxWireLen = 255;
+
+Result<void> validate_labels(const std::vector<std::string>& labels) {
+  std::size_t wire = 1;  // root octet
+  for (const auto& label : labels) {
+    if (label.empty()) return Error{"empty label"};
+    if (label.size() > kMaxLabelLen) return Error{"label exceeds 63 octets"};
+    wire += 1 + label.size();
+  }
+  if (wire > kMaxWireLen) return Error{"name exceeds 255 octets"};
+  return {};
+}
+
+bool needs_escape(char c) {
+  return c == '.' || c == '\\' || c == '"' || c == ';' || c == '(' ||
+         c == ')' || c == '@' || c == '$' ||
+         static_cast<unsigned char>(c) < 0x21 ||
+         static_cast<unsigned char>(c) > 0x7e;
+}
+
+}  // namespace
+
+Result<Name> Name::parse(std::string_view text) {
+  if (text.empty()) return Error{"empty name"};
+  if (text == ".") return Name();
+
+  std::vector<std::string> labels;
+  std::string current;
+  bool saw_char_in_label = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\\') {
+      if (i + 1 >= text.size()) return Error{"dangling escape"};
+      char next = text[i + 1];
+      if (next >= '0' && next <= '9') {
+        if (i + 3 >= text.size()) return Error{"truncated \\DDD escape"};
+        std::uint64_t code = 0;
+        if (!util::parse_u64(text.substr(i + 1, 3), code, 255)) {
+          return Error{"bad \\DDD escape"};
+        }
+        current.push_back(static_cast<char>(code));
+        i += 3;
+      } else {
+        current.push_back(next);
+        i += 1;
+      }
+      saw_char_in_label = true;
+      continue;
+    }
+    if (c == '.') {
+      if (!saw_char_in_label) return Error{"empty label"};
+      labels.push_back(std::move(current));
+      current.clear();
+      saw_char_in_label = false;
+      continue;
+    }
+    current.push_back(c);
+    saw_char_in_label = true;
+  }
+  if (saw_char_in_label) labels.push_back(std::move(current));
+
+  if (auto r = validate_labels(labels); !r) return Error{r.error()};
+  return Name(std::move(labels));
+}
+
+Result<Name> Name::from_labels(std::vector<std::string> labels) {
+  if (auto r = validate_labels(labels); !r) return Error{r.error()};
+  return Name(std::move(labels));
+}
+
+std::size_t Name::wire_length() const {
+  std::size_t len = 1;
+  for (const auto& label : labels_) len += 1 + label.size();
+  return len;
+}
+
+std::string Name::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& label : labels_) {
+    for (char c : label) {
+      if (needs_escape(c)) {
+        if (c == '.' || c == '\\' || c == '"' || c == ';' || c == '(' ||
+            c == ')' || c == '@' || c == '$') {
+          out.push_back('\\');
+          out.push_back(c);
+        } else {
+          out += util::format("\\%03u", static_cast<unsigned char>(c));
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    out.push_back('.');
+  }
+  return out;
+}
+
+bool Name::is_subdomain_of(const Name& other) const {
+  if (other.labels_.size() > labels_.size()) return false;
+  std::size_t offset = labels_.size() - other.labels_.size();
+  for (std::size_t i = 0; i < other.labels_.size(); ++i) {
+    if (!util::iequals(labels_[offset + i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+Name Name::parent() const {
+  if (labels_.empty()) return Name();
+  return Name(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+}
+
+Result<Name> Name::prepend(std::string_view label) const {
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  return from_labels(std::move(labels));
+}
+
+bool operator==(const Name& a, const Name& b) {
+  if (a.labels_.size() != b.labels_.size()) return false;
+  for (std::size_t i = 0; i < a.labels_.size(); ++i) {
+    if (!util::iequals(a.labels_[i], b.labels_[i])) return false;
+  }
+  return true;
+}
+
+std::strong_ordering operator<=>(const Name& a, const Name& b) {
+  // Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
+  // right-to-left, case-folded, shorter sequence first on prefix match.
+  std::size_t na = a.labels_.size();
+  std::size_t nb = b.labels_.size();
+  std::size_t common = std::min(na, nb);
+  for (std::size_t i = 1; i <= common; ++i) {
+    const std::string& la = a.labels_[na - i];
+    const std::string& lb = b.labels_[nb - i];
+    std::size_t len = std::min(la.size(), lb.size());
+    for (std::size_t j = 0; j < len; ++j) {
+      auto ca = static_cast<unsigned char>(util::ascii_lower(la[j]));
+      auto cb = static_cast<unsigned char>(util::ascii_lower(lb[j]));
+      if (ca != cb) return ca <=> cb;
+    }
+    if (la.size() != lb.size()) return la.size() <=> lb.size();
+  }
+  return na <=> nb;
+}
+
+std::size_t Name::hash() const {
+  // FNV-1a over case-folded labels with separators.
+  std::size_t h = 1469598103934665603ULL;
+  auto mix = [&h](unsigned char c) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& label : labels_) {
+    for (char c : label) mix(static_cast<unsigned char>(util::ascii_lower(c)));
+    mix(0);
+  }
+  return h;
+}
+
+Name name_of(std::string_view text) {
+  auto r = Name::parse(text);
+  if (!r) {
+    assert(false && "name_of: malformed name literal");
+    std::abort();
+  }
+  return std::move(r).take();
+}
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,81 @@
+#pragma once
+
+// dns::Name — a fully-qualified DNS domain name.
+//
+// Invariants (enforced by the factory functions):
+//   * at most 127 labels, each 1..63 octets;
+//   * total wire length (labels + length octets + root) <= 255;
+//   * comparisons and hashing are ASCII case-insensitive (RFC 1035 §2.3.3)
+//     while the original spelling is preserved for display.
+//
+// Presentation format supports \DDD and \X escapes; wire format supports
+// RFC 1035 compression pointers on decode (with loop protection) and plain
+// encoding on write (message-level compression lives in dns::WireWriter).
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+class Name {
+ public:
+  // The root name ".".
+  Name() = default;
+
+  // Parses presentation format ("www.example.com", trailing dot optional,
+  // "." is the root). Handles \DDD decimal and \X character escapes.
+  static util::Result<Name> parse(std::string_view text);
+
+  // Builds from raw labels (no escape processing). Validates lengths.
+  static util::Result<Name> from_labels(std::vector<std::string> labels);
+
+  [[nodiscard]] bool is_root() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
+
+  // Wire-format length including the terminating root octet.
+  [[nodiscard]] std::size_t wire_length() const;
+
+  // Presentation format with a trailing dot ("www.example.com.", "." for
+  // root). Special characters are escaped.
+  [[nodiscard]] std::string to_string() const;
+
+  // True if this name equals `other` or is underneath it.
+  // ("www.a.com" is_subdomain_of "a.com" and "com" and ".").
+  [[nodiscard]] bool is_subdomain_of(const Name& other) const;
+
+  // The name with the leftmost label removed; root stays root.
+  [[nodiscard]] Name parent() const;
+
+  // Prepends a label ("www" + "a.com" -> "www.a.com"). Fails on length
+  // overflow or a bad label.
+  [[nodiscard]] util::Result<Name> prepend(std::string_view label) const;
+
+  // Case-insensitive equality / ordering (canonical DNS ordering:
+  // reversed label sequence, case-folded, per RFC 4034 §6.1).
+  friend bool operator==(const Name& a, const Name& b);
+  friend std::strong_ordering operator<=>(const Name& a, const Name& b);
+
+  // Case-insensitive hash (for unordered containers).
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+
+  std::vector<std::string> labels_;  // leftmost label first, no root entry
+};
+
+// Convenience for literal names in tests and internal tables: terminates on
+// parse failure, so only use with known-good constants.
+[[nodiscard]] Name name_of(std::string_view text);
+
+struct NameHash {
+  std::size_t operator()(const Name& n) const { return n.hash(); }
+};
+
+}  // namespace httpsrr::dns

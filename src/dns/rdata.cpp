@@ -1,0 +1,485 @@
+#include "dns/rdata.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+std::uint16_t DnskeyRdata::key_tag() const {
+  // RFC 4034 Appendix B: ones-complement-style checksum over the RDATA.
+  WireWriter w;
+  w.u16(flags);
+  w.u8(protocol);
+  w.u8(algorithm);
+  w.bytes(public_key);
+  const Bytes& rdata = w.data();
+
+  std::uint32_t acc = 0;
+  for (std::size_t i = 0; i < rdata.size(); ++i) {
+    acc += (i & 1) ? rdata[i] : static_cast<std::uint32_t>(rdata[i]) << 8;
+  }
+  acc += (acc >> 16) & 0xffff;
+  return static_cast<std::uint16_t>(acc & 0xffff);
+}
+
+void encode_rdata(const Rdata& rdata, WireWriter& w) {
+  std::visit(
+      [&w](const auto& r) {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          w.u32(r.address.bits());
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          w.bytes(std::span<const std::uint8_t>(r.address.bytes().data(), 16));
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          w.name(r.target);
+        } else if constexpr (std::is_same_v<T, DnameRdata>) {
+          w.name(r.target);
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          w.name(r.nsdname);
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          w.name(r.target);
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          w.u16(r.preference);
+          w.name(r.exchange);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : r.strings) {
+            w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(s.size(), 255)));
+            w.raw_string(std::string_view(s).substr(0, 255));
+          }
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          w.name(r.mname);
+          w.name(r.rname);
+          w.u32(r.serial);
+          w.u32(r.refresh);
+          w.u32(r.retry);
+          w.u32(r.expire);
+          w.u32(r.minimum);
+        } else if constexpr (std::is_same_v<T, DnskeyRdata>) {
+          w.u16(r.flags);
+          w.u8(r.protocol);
+          w.u8(r.algorithm);
+          w.bytes(r.public_key);
+        } else if constexpr (std::is_same_v<T, RrsigRdata>) {
+          w.u16(static_cast<std::uint16_t>(r.type_covered));
+          w.u8(r.algorithm);
+          w.u8(r.labels);
+          w.u32(r.original_ttl);
+          w.u32(r.expiration);
+          w.u32(r.inception);
+          w.u16(r.key_tag);
+          w.name(r.signer);
+          w.bytes(r.signature);
+        } else if constexpr (std::is_same_v<T, DsRdata>) {
+          w.u16(r.key_tag);
+          w.u8(r.algorithm);
+          w.u8(r.digest_type);
+          w.bytes(r.digest);
+        } else if constexpr (std::is_same_v<T, NsecRdata>) {
+          w.name(r.next);
+          // Windowed type bitmap (RFC 4034 §4.1.2): one block per 256
+          // types, each block emitting only the octets it needs.
+          int current_window = -1;
+          std::array<std::uint8_t, 32> bitmap{};
+          int max_octet = -1;
+          auto flush = [&] {
+            if (current_window < 0 || max_octet < 0) return;
+            w.u8(static_cast<std::uint8_t>(current_window));
+            w.u8(static_cast<std::uint8_t>(max_octet + 1));
+            for (int i = 0; i <= max_octet; ++i) w.u8(bitmap[static_cast<std::size_t>(i)]);
+          };
+          for (RrType t : r.types) {
+            auto value = static_cast<std::uint16_t>(t);
+            int window = value >> 8;
+            if (window != current_window) {
+              flush();
+              current_window = window;
+              bitmap.fill(0);
+              max_octet = -1;
+            }
+            int low = value & 0xff;
+            bitmap[static_cast<std::size_t>(low >> 3)] |=
+                static_cast<std::uint8_t>(0x80 >> (low & 7));
+            max_octet = std::max(max_octet, low >> 3);
+          }
+          flush();
+        } else if constexpr (std::is_same_v<T, SvcbRdata>) {
+          r.encode(w);
+        } else if constexpr (std::is_same_v<T, OpaqueRdata>) {
+          w.bytes(r.data);
+        }
+      },
+      rdata);
+}
+
+Result<Rdata> decode_rdata(RrType type, WireReader& r, std::size_t rdata_len) {
+  const std::size_t end = r.pos() + rdata_len;
+  auto check_end = [&](Rdata value) -> Result<Rdata> {
+    if (r.pos() != end) return Error{"trailing bytes in RDATA"};
+    return value;
+  };
+
+  switch (type) {
+    case RrType::A: {
+      auto bits = r.u32();
+      if (!bits) return Error{bits.error()};
+      return check_end(ARdata{net::Ipv4Addr(*bits)});
+    }
+    case RrType::AAAA: {
+      auto bytes = r.bytes(16);
+      if (!bytes) return Error{bytes.error()};
+      std::array<std::uint8_t, 16> arr;
+      std::copy_n(bytes->begin(), 16, arr.begin());
+      return check_end(AaaaRdata{net::Ipv6Addr(arr)});
+    }
+    case RrType::CNAME: {
+      auto n = r.name();
+      if (!n) return Error{n.error()};
+      return check_end(CnameRdata{std::move(*n)});
+    }
+    case RrType::DNAME: {
+      auto n = r.name_uncompressed();
+      if (!n) return Error{n.error()};
+      return check_end(DnameRdata{std::move(*n)});
+    }
+    case RrType::NS: {
+      auto n = r.name();
+      if (!n) return Error{n.error()};
+      return check_end(NsRdata{std::move(*n)});
+    }
+    case RrType::PTR: {
+      auto n = r.name();
+      if (!n) return Error{n.error()};
+      return check_end(PtrRdata{std::move(*n)});
+    }
+    case RrType::MX: {
+      auto pref = r.u16();
+      if (!pref) return Error{pref.error()};
+      auto n = r.name();
+      if (!n) return Error{n.error()};
+      return check_end(MxRdata{*pref, std::move(*n)});
+    }
+    case RrType::TXT: {
+      TxtRdata txt;
+      while (r.pos() < end) {
+        auto len = r.u8();
+        if (!len) return Error{len.error()};
+        if (r.pos() + *len > end) return Error{"TXT string overruns RDATA"};
+        auto bytes = r.bytes(*len);
+        if (!bytes) return Error{bytes.error()};
+        txt.strings.emplace_back(bytes->begin(), bytes->end());
+      }
+      return check_end(std::move(txt));
+    }
+    case RrType::SOA: {
+      SoaRdata soa;
+      auto mname = r.name();
+      if (!mname) return Error{mname.error()};
+      soa.mname = std::move(*mname);
+      auto rname = r.name();
+      if (!rname) return Error{rname.error()};
+      soa.rname = std::move(*rname);
+      auto serial = r.u32();
+      auto refresh = r.u32();
+      auto retry = r.u32();
+      auto expire = r.u32();
+      auto minimum = r.u32();
+      if (!serial || !refresh || !retry || !expire || !minimum) {
+        return Error{"truncated SOA"};
+      }
+      soa.serial = *serial;
+      soa.refresh = *refresh;
+      soa.retry = *retry;
+      soa.expire = *expire;
+      soa.minimum = *minimum;
+      return check_end(std::move(soa));
+    }
+    case RrType::DNSKEY: {
+      DnskeyRdata key;
+      auto flags = r.u16();
+      auto protocol = r.u8();
+      auto algorithm = r.u8();
+      if (!flags || !protocol || !algorithm) return Error{"truncated DNSKEY"};
+      key.flags = *flags;
+      key.protocol = *protocol;
+      key.algorithm = *algorithm;
+      if (end < r.pos()) return Error{"bad DNSKEY length"};
+      auto pub = r.bytes(end - r.pos());
+      if (!pub) return Error{pub.error()};
+      key.public_key = std::move(*pub);
+      return check_end(std::move(key));
+    }
+    case RrType::RRSIG: {
+      RrsigRdata sig;
+      auto covered = r.u16();
+      auto algorithm = r.u8();
+      auto labels = r.u8();
+      auto ttl = r.u32();
+      auto expiration = r.u32();
+      auto inception = r.u32();
+      auto key_tag = r.u16();
+      if (!covered || !algorithm || !labels || !ttl || !expiration ||
+          !inception || !key_tag) {
+        return Error{"truncated RRSIG"};
+      }
+      sig.type_covered = static_cast<RrType>(*covered);
+      sig.algorithm = *algorithm;
+      sig.labels = *labels;
+      sig.original_ttl = *ttl;
+      sig.expiration = *expiration;
+      sig.inception = *inception;
+      sig.key_tag = *key_tag;
+      auto signer = r.name_uncompressed();
+      if (!signer) return Error{signer.error()};
+      sig.signer = std::move(*signer);
+      if (end < r.pos()) return Error{"bad RRSIG length"};
+      auto blob = r.bytes(end - r.pos());
+      if (!blob) return Error{blob.error()};
+      sig.signature = std::move(*blob);
+      return check_end(std::move(sig));
+    }
+    case RrType::DS: {
+      DsRdata ds;
+      auto key_tag = r.u16();
+      auto algorithm = r.u8();
+      auto digest_type = r.u8();
+      if (!key_tag || !algorithm || !digest_type) return Error{"truncated DS"};
+      ds.key_tag = *key_tag;
+      ds.algorithm = *algorithm;
+      ds.digest_type = *digest_type;
+      if (end < r.pos()) return Error{"bad DS length"};
+      auto digest = r.bytes(end - r.pos());
+      if (!digest) return Error{digest.error()};
+      ds.digest = std::move(*digest);
+      return check_end(std::move(ds));
+    }
+    case RrType::NSEC: {
+      NsecRdata nsec;
+      auto next = r.name_uncompressed();
+      if (!next) return Error{next.error()};
+      nsec.next = std::move(*next);
+      while (r.pos() < end) {
+        auto window = r.u8();
+        auto length = r.u8();
+        if (!window || !length) return Error{"truncated NSEC bitmap"};
+        if (*length == 0 || *length > 32) return Error{"bad NSEC bitmap length"};
+        auto block = r.bytes(*length);
+        if (!block) return Error{block.error()};
+        for (std::size_t octet = 0; octet < block->size(); ++octet) {
+          for (int bit = 0; bit < 8; ++bit) {
+            if ((*block)[octet] & (0x80 >> bit)) {
+              nsec.types.push_back(static_cast<RrType>(
+                  (static_cast<int>(*window) << 8) |
+                  (static_cast<int>(octet) << 3) | bit));
+            }
+          }
+        }
+      }
+      return check_end(std::move(nsec));
+    }
+    case RrType::SVCB:
+    case RrType::HTTPS: {
+      auto svcb = SvcbRdata::decode(r, rdata_len);
+      if (!svcb) return Error{svcb.error()};
+      return check_end(std::move(*svcb));
+    }
+    default: {
+      auto blob = r.bytes(rdata_len);
+      if (!blob) return Error{blob.error()};
+      return check_end(OpaqueRdata{std::move(*blob)});
+    }
+  }
+}
+
+std::string rdata_to_presentation(RrType type, const Rdata& rdata) {
+  (void)type;
+  return std::visit(
+      [](const auto& r) -> std::string {
+        using T = std::decay_t<decltype(r)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          return r.address.to_string();
+        } else if constexpr (std::is_same_v<T, AaaaRdata>) {
+          return r.address.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          return r.target.to_string();
+        } else if constexpr (std::is_same_v<T, DnameRdata>) {
+          return r.target.to_string();
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          return r.nsdname.to_string();
+        } else if constexpr (std::is_same_v<T, PtrRdata>) {
+          return r.target.to_string();
+        } else if constexpr (std::is_same_v<T, MxRdata>) {
+          return util::format("%u %s", r.preference,
+                              r.exchange.to_string().c_str());
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          std::vector<std::string> quoted;
+          quoted.reserve(r.strings.size());
+          for (const auto& s : r.strings) quoted.push_back("\"" + s + "\"");
+          return util::join(quoted, " ");
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          return util::format("%s %s %u %u %u %u %u",
+                              r.mname.to_string().c_str(),
+                              r.rname.to_string().c_str(), r.serial, r.refresh,
+                              r.retry, r.expire, r.minimum);
+        } else if constexpr (std::is_same_v<T, DnskeyRdata>) {
+          return util::format("%u %u %u %s", r.flags, r.protocol, r.algorithm,
+                              util::hex_encode(r.public_key).c_str());
+        } else if constexpr (std::is_same_v<T, RrsigRdata>) {
+          return util::format(
+              "%s %u %u %u %u %u %u %s %s",
+              type_to_string(r.type_covered).c_str(), r.algorithm, r.labels,
+              r.original_ttl, r.expiration, r.inception, r.key_tag,
+              r.signer.to_string().c_str(),
+              util::hex_encode(r.signature).c_str());
+        } else if constexpr (std::is_same_v<T, DsRdata>) {
+          return util::format("%u %u %u %s", r.key_tag, r.algorithm,
+                              r.digest_type, util::hex_encode(r.digest).c_str());
+        } else if constexpr (std::is_same_v<T, NsecRdata>) {
+          std::string out = r.next.to_string();
+          for (RrType t : r.types) out += " " + type_to_string(t);
+          return out;
+        } else if constexpr (std::is_same_v<T, SvcbRdata>) {
+          return r.to_presentation();
+        } else {
+          return "\\# " + util::format("%zu ", r.data.size()) +
+                 util::hex_encode(r.data);
+        }
+      },
+      rdata);
+}
+
+Result<Rdata> rdata_from_presentation(RrType type, std::string_view text) {
+  auto tokens = util::split_ws(text);
+  auto need = [&](std::size_t n) -> Result<void> {
+    if (tokens.size() != n) {
+      return Error{util::format("expected %zu fields, got %zu", n, tokens.size())};
+    }
+    return {};
+  };
+
+  switch (type) {
+    case RrType::A: {
+      if (auto r = need(1); !r) return Error{r.error()};
+      auto a = net::Ipv4Addr::parse(tokens[0]);
+      if (!a) return Error{a.error()};
+      return Rdata{ARdata{*a}};
+    }
+    case RrType::AAAA: {
+      if (auto r = need(1); !r) return Error{r.error()};
+      auto a = net::Ipv6Addr::parse(tokens[0]);
+      if (!a) return Error{a.error()};
+      return Rdata{AaaaRdata{*a}};
+    }
+    case RrType::CNAME:
+    case RrType::DNAME:
+    case RrType::NS:
+    case RrType::PTR: {
+      if (auto r = need(1); !r) return Error{r.error()};
+      auto n = Name::parse(tokens[0]);
+      if (!n) return Error{n.error()};
+      if (type == RrType::CNAME) return Rdata{CnameRdata{std::move(*n)}};
+      if (type == RrType::DNAME) return Rdata{DnameRdata{std::move(*n)}};
+      if (type == RrType::NS) return Rdata{NsRdata{std::move(*n)}};
+      return Rdata{PtrRdata{std::move(*n)}};
+    }
+    case RrType::MX: {
+      if (auto r = need(2); !r) return Error{r.error()};
+      std::uint64_t pref = 0;
+      if (!util::parse_u64(tokens[0], pref, 65535)) return Error{"bad MX preference"};
+      auto n = Name::parse(tokens[1]);
+      if (!n) return Error{n.error()};
+      return Rdata{MxRdata{static_cast<std::uint16_t>(pref), std::move(*n)}};
+    }
+    case RrType::TXT: {
+      TxtRdata txt;
+      for (auto& t : tokens) {
+        std::string s = t;
+        if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+          s = s.substr(1, s.size() - 2);
+        }
+        txt.strings.push_back(std::move(s));
+      }
+      return Rdata{std::move(txt)};
+    }
+    case RrType::SOA: {
+      if (auto r = need(7); !r) return Error{r.error()};
+      SoaRdata soa;
+      auto mname = Name::parse(tokens[0]);
+      auto rname = Name::parse(tokens[1]);
+      if (!mname || !rname) return Error{"bad SOA names"};
+      soa.mname = std::move(*mname);
+      soa.rname = std::move(*rname);
+      std::uint64_t v[5];
+      for (int i = 0; i < 5; ++i) {
+        if (!util::parse_u64(tokens[2 + i], v[i], UINT32_MAX)) {
+          return Error{"bad SOA integer"};
+        }
+      }
+      soa.serial = static_cast<std::uint32_t>(v[0]);
+      soa.refresh = static_cast<std::uint32_t>(v[1]);
+      soa.retry = static_cast<std::uint32_t>(v[2]);
+      soa.expire = static_cast<std::uint32_t>(v[3]);
+      soa.minimum = static_cast<std::uint32_t>(v[4]);
+      return Rdata{std::move(soa)};
+    }
+    case RrType::DS: {
+      if (auto r = need(4); !r) return Error{r.error()};
+      DsRdata ds;
+      std::uint64_t tag = 0, alg = 0, dt = 0;
+      if (!util::parse_u64(tokens[0], tag, 65535) ||
+          !util::parse_u64(tokens[1], alg, 255) ||
+          !util::parse_u64(tokens[2], dt, 255)) {
+        return Error{"bad DS integers"};
+      }
+      ds.key_tag = static_cast<std::uint16_t>(tag);
+      ds.algorithm = static_cast<std::uint8_t>(alg);
+      ds.digest_type = static_cast<std::uint8_t>(dt);
+      if (!util::hex_decode(tokens[3], ds.digest)) return Error{"bad DS digest"};
+      return Rdata{std::move(ds)};
+    }
+    case RrType::DNSKEY: {
+      if (auto r = need(4); !r) return Error{r.error()};
+      DnskeyRdata key;
+      std::uint64_t flags = 0, protocol = 0, alg = 0;
+      if (!util::parse_u64(tokens[0], flags, 65535) ||
+          !util::parse_u64(tokens[1], protocol, 255) ||
+          !util::parse_u64(tokens[2], alg, 255)) {
+        return Error{"bad DNSKEY integers"};
+      }
+      key.flags = static_cast<std::uint16_t>(flags);
+      key.protocol = static_cast<std::uint8_t>(protocol);
+      key.algorithm = static_cast<std::uint8_t>(alg);
+      if (!util::hex_decode(tokens[3], key.public_key)) {
+        return Error{"bad DNSKEY public key"};
+      }
+      return Rdata{std::move(key)};
+    }
+    case RrType::NSEC: {
+      if (tokens.empty()) return Error{"NSEC needs a next-domain field"};
+      NsecRdata nsec;
+      auto next = Name::parse(tokens[0]);
+      if (!next) return Error{next.error()};
+      nsec.next = std::move(*next);
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        auto t = type_from_string(tokens[i]);
+        if (!t) return Error{t.error()};
+        nsec.types.push_back(*t);
+      }
+      std::sort(nsec.types.begin(), nsec.types.end());
+      return Rdata{std::move(nsec)};
+    }
+    case RrType::SVCB:
+    case RrType::HTTPS: {
+      auto svcb = SvcbRdata::parse_presentation(text);
+      if (!svcb) return Error{svcb.error()};
+      return Rdata{std::move(*svcb)};
+    }
+    default:
+      return Error{"presentation parsing unsupported for " + type_to_string(type)};
+  }
+}
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,143 @@
+#pragma once
+
+// Typed RDATA for every record type the study touches, as a closed variant.
+//
+// Each alternative carries exactly the RFC-defined fields, encodes/decodes
+// itself and round-trips through presentation format.  Unknown types are
+// preserved verbatim as OpaqueRdata (RFC 3597).
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/svcb.h"
+#include "dns/types.h"
+#include "dns/wire.h"
+#include "net/ip.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+struct ARdata {
+  net::Ipv4Addr address;
+  friend bool operator==(const ARdata&, const ARdata&) = default;
+};
+
+struct AaaaRdata {
+  net::Ipv6Addr address;
+  friend bool operator==(const AaaaRdata&, const AaaaRdata&) = default;
+};
+
+struct CnameRdata {
+  Name target;
+  friend bool operator==(const CnameRdata&, const CnameRdata&) = default;
+};
+
+struct DnameRdata {
+  Name target;
+  friend bool operator==(const DnameRdata&, const DnameRdata&) = default;
+};
+
+struct NsRdata {
+  Name nsdname;
+  friend bool operator==(const NsRdata&, const NsRdata&) = default;
+};
+
+struct PtrRdata {
+  Name target;
+  friend bool operator==(const PtrRdata&, const PtrRdata&) = default;
+};
+
+struct MxRdata {
+  std::uint16_t preference = 0;
+  Name exchange;
+  friend bool operator==(const MxRdata&, const MxRdata&) = default;
+};
+
+struct TxtRdata {
+  std::vector<std::string> strings;  // each <= 255 octets on the wire
+  friend bool operator==(const TxtRdata&, const TxtRdata&) = default;
+};
+
+struct SoaRdata {
+  Name mname;
+  Name rname;
+  std::uint32_t serial = 0;
+  std::uint32_t refresh = 0;
+  std::uint32_t retry = 0;
+  std::uint32_t expire = 0;
+  std::uint32_t minimum = 0;
+  friend bool operator==(const SoaRdata&, const SoaRdata&) = default;
+};
+
+struct DnskeyRdata {
+  std::uint16_t flags = 256;     // 256 = ZSK, 257 = KSK (SEP bit)
+  std::uint8_t protocol = 3;     // always 3 (RFC 4034)
+  std::uint8_t algorithm = 253;  // we use PRIVATEDNS for the simulated signer
+  Bytes public_key;
+  friend bool operator==(const DnskeyRdata&, const DnskeyRdata&) = default;
+
+  // RFC 4034 Appendix B key tag over the RDATA.
+  [[nodiscard]] std::uint16_t key_tag() const;
+  [[nodiscard]] bool is_ksk() const { return (flags & 0x0001) != 0; }
+};
+
+struct RrsigRdata {
+  RrType type_covered = RrType::A;
+  std::uint8_t algorithm = 253;
+  std::uint8_t labels = 0;
+  std::uint32_t original_ttl = 0;
+  std::uint32_t expiration = 0;  // unix seconds
+  std::uint32_t inception = 0;   // unix seconds
+  std::uint16_t key_tag = 0;
+  Name signer;
+  Bytes signature;
+  friend bool operator==(const RrsigRdata&, const RrsigRdata&) = default;
+};
+
+struct DsRdata {
+  std::uint16_t key_tag = 0;
+  std::uint8_t algorithm = 253;
+  std::uint8_t digest_type = 2;  // SHA-256
+  Bytes digest;
+  friend bool operator==(const DsRdata&, const DsRdata&) = default;
+};
+
+// NSEC (RFC 4034 §4): authenticated denial of existence. `types` is kept
+// as a sorted list in memory; the wire codec packs/unpacks the windowed
+// type bitmap.
+struct NsecRdata {
+  Name next;
+  std::vector<RrType> types;  // sorted ascending, unique
+  friend bool operator==(const NsecRdata&, const NsecRdata&) = default;
+};
+
+struct OpaqueRdata {
+  Bytes data;
+  friend bool operator==(const OpaqueRdata&, const OpaqueRdata&) = default;
+};
+
+// HTTPS records share the SvcbRdata structure; RrType distinguishes them.
+using Rdata = std::variant<ARdata, AaaaRdata, CnameRdata, DnameRdata, NsRdata,
+                           PtrRdata, MxRdata, TxtRdata, SoaRdata, DnskeyRdata,
+                           RrsigRdata, DsRdata, NsecRdata, SvcbRdata,
+                           OpaqueRdata>;
+
+// Encodes `rdata` (without the RDLENGTH prefix).
+void encode_rdata(const Rdata& rdata, WireWriter& w);
+
+// Decodes an RDATA of `type` spanning `rdata_len` octets from `r`.
+// Unrecognised types yield OpaqueRdata.
+[[nodiscard]] util::Result<Rdata> decode_rdata(RrType type, WireReader& r,
+                                               std::size_t rdata_len);
+
+// Zone-file presentation of the RDATA.
+[[nodiscard]] std::string rdata_to_presentation(RrType type, const Rdata& rdata);
+
+// Parses zone-file RDATA text for `type`.
+[[nodiscard]] util::Result<Rdata> rdata_from_presentation(RrType type,
+                                                          std::string_view text);
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,82 @@
+#include "dns/rr.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+std::string Rr::to_string() const {
+  return util::format("%s %u IN %s %s", owner.to_string().c_str(), ttl,
+                      type_to_string(type).c_str(),
+                      rdata_to_presentation(type, rdata).c_str());
+}
+
+Rr make_a(const Name& owner, std::uint32_t ttl, net::Ipv4Addr addr) {
+  return Rr{owner, RrType::A, RrClass::IN, ttl, ARdata{addr}};
+}
+
+Rr make_aaaa(const Name& owner, std::uint32_t ttl, net::Ipv6Addr addr) {
+  return Rr{owner, RrType::AAAA, RrClass::IN, ttl, AaaaRdata{addr}};
+}
+
+Rr make_cname(const Name& owner, std::uint32_t ttl, Name target) {
+  return Rr{owner, RrType::CNAME, RrClass::IN, ttl, CnameRdata{std::move(target)}};
+}
+
+Rr make_ns(const Name& owner, std::uint32_t ttl, Name nsdname) {
+  return Rr{owner, RrType::NS, RrClass::IN, ttl, NsRdata{std::move(nsdname)}};
+}
+
+Rr make_soa(const Name& owner, std::uint32_t ttl, SoaRdata soa) {
+  return Rr{owner, RrType::SOA, RrClass::IN, ttl, std::move(soa)};
+}
+
+Rr make_https(const Name& owner, std::uint32_t ttl, SvcbRdata rdata) {
+  return Rr{owner, RrType::HTTPS, RrClass::IN, ttl, std::move(rdata)};
+}
+
+Rr make_svcb(const Name& owner, std::uint32_t ttl, SvcbRdata rdata) {
+  return Rr{owner, RrType::SVCB, RrClass::IN, ttl, std::move(rdata)};
+}
+
+void RrSet::add(Rr rr) {
+  if (records_.empty()) {
+    owner_ = rr.owner;
+    type_ = rr.type;
+    ttl_ = rr.ttl;
+  } else {
+    ttl_ = std::min(ttl_, rr.ttl);
+  }
+  records_.push_back(std::move(rr));
+}
+
+Bytes RrSet::canonical_form(std::uint32_t original_ttl) const {
+  // Encode each record's (owner | type | class | TTL | RDLENGTH | RDATA)
+  // with a case-folded owner, then sort the encodings bytewise.
+  std::vector<Bytes> encodings;
+  encodings.reserve(records_.size());
+
+  Name folded_owner =
+      name_of(util::to_lower(owner_.to_string()));  // labels case-folded
+
+  for (const auto& rr : records_) {
+    WireWriter w;
+    w.name(folded_owner);
+    w.u16(static_cast<std::uint16_t>(rr.type));
+    w.u16(static_cast<std::uint16_t>(rr.klass));
+    w.u32(original_ttl);
+    WireWriter rdata_writer;
+    encode_rdata(rr.rdata, rdata_writer);
+    w.u16(static_cast<std::uint16_t>(rdata_writer.size()));
+    w.bytes(rdata_writer.data());
+    encodings.push_back(std::move(w).take());
+  }
+  std::sort(encodings.begin(), encodings.end());
+
+  Bytes out;
+  for (const auto& e : encodings) out.insert(out.end(), e.begin(), e.end());
+  return out;
+}
+
+}  // namespace httpsrr::dns

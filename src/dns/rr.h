@@ -1,0 +1,64 @@
+#pragma once
+
+// Rr: one resource record. RrSet: all records sharing (owner, type, class).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/types.h"
+
+namespace httpsrr::dns {
+
+struct Rr {
+  Name owner;
+  RrType type = RrType::A;
+  RrClass klass = RrClass::IN;
+  std::uint32_t ttl = 0;
+  Rdata rdata;
+
+  // "owner. ttl IN TYPE rdata"
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Rr&, const Rr&) = default;
+};
+
+// Convenience constructors for the record shapes the study manipulates.
+[[nodiscard]] Rr make_a(const Name& owner, std::uint32_t ttl, net::Ipv4Addr addr);
+[[nodiscard]] Rr make_aaaa(const Name& owner, std::uint32_t ttl, net::Ipv6Addr addr);
+[[nodiscard]] Rr make_cname(const Name& owner, std::uint32_t ttl, Name target);
+[[nodiscard]] Rr make_ns(const Name& owner, std::uint32_t ttl, Name nsdname);
+[[nodiscard]] Rr make_soa(const Name& owner, std::uint32_t ttl, SoaRdata soa);
+[[nodiscard]] Rr make_https(const Name& owner, std::uint32_t ttl, SvcbRdata rdata);
+[[nodiscard]] Rr make_svcb(const Name& owner, std::uint32_t ttl, SvcbRdata rdata);
+
+// An RRset: records with identical owner/type/class. The TTL of the set is
+// the minimum member TTL (RFC 2181 §5.2 requires them equal; we normalise).
+class RrSet {
+ public:
+  RrSet() = default;
+  RrSet(Name owner, RrType type) : owner_(std::move(owner)), type_(type) {}
+
+  void add(Rr rr);
+
+  [[nodiscard]] const Name& owner() const { return owner_; }
+  [[nodiscard]] RrType type() const { return type_; }
+  [[nodiscard]] std::uint32_t ttl() const { return ttl_; }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] const std::vector<Rr>& records() const { return records_; }
+
+  // Canonical wire form of the whole set for signing (RFC 4034 §3.1.8.1):
+  // records sorted by RDATA, owner case-folded, TTL replaced by original.
+  [[nodiscard]] Bytes canonical_form(std::uint32_t original_ttl) const;
+
+ private:
+  Name owner_;
+  RrType type_ = RrType::A;
+  std::uint32_t ttl_ = 0;
+  std::vector<Rr> records_;
+};
+
+}  // namespace httpsrr::dns

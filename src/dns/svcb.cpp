@@ -1,0 +1,512 @@
+#include "dns/svcb.h"
+
+#include <algorithm>
+
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+std::string svc_param_key_to_string(std::uint16_t key) {
+  switch (static_cast<SvcParamKey>(key)) {
+    case SvcParamKey::mandatory: return "mandatory";
+    case SvcParamKey::alpn: return "alpn";
+    case SvcParamKey::no_default_alpn: return "no-default-alpn";
+    case SvcParamKey::port: return "port";
+    case SvcParamKey::ipv4hint: return "ipv4hint";
+    case SvcParamKey::ech: return "ech";
+    case SvcParamKey::ipv6hint: return "ipv6hint";
+  }
+  return util::format("key%u", key);
+}
+
+Result<std::uint16_t> svc_param_key_from_string(std::string_view s) {
+  static constexpr std::pair<std::string_view, SvcParamKey> kNames[] = {
+      {"mandatory", SvcParamKey::mandatory},
+      {"alpn", SvcParamKey::alpn},
+      {"no-default-alpn", SvcParamKey::no_default_alpn},
+      {"port", SvcParamKey::port},
+      {"ipv4hint", SvcParamKey::ipv4hint},
+      {"ech", SvcParamKey::ech},
+      {"ipv6hint", SvcParamKey::ipv6hint},
+  };
+  for (const auto& [name, key] : kNames) {
+    if (s == name) return static_cast<std::uint16_t>(key);
+  }
+  if (util::starts_with(s, "key")) {
+    std::uint64_t v = 0;
+    if (util::parse_u64(s.substr(3), v, 65535)) {
+      return static_cast<std::uint16_t>(v);
+    }
+  }
+  return Error{"unknown SvcParamKey: " + std::string(s)};
+}
+
+// ---------------------------------------------------------------- setters
+
+void SvcParams::set_mandatory(std::vector<std::uint16_t> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  WireWriter w;
+  for (auto k : keys) w.u16(k);
+  params_[static_cast<std::uint16_t>(SvcParamKey::mandatory)] = std::move(w).take();
+}
+
+void SvcParams::set_alpn(const std::vector<std::string>& protocols) {
+  WireWriter w;
+  for (const auto& p : protocols) {
+    w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(p.size(), 255)));
+    w.raw_string(std::string_view(p).substr(0, 255));
+  }
+  params_[static_cast<std::uint16_t>(SvcParamKey::alpn)] = std::move(w).take();
+}
+
+void SvcParams::set_no_default_alpn() {
+  params_[static_cast<std::uint16_t>(SvcParamKey::no_default_alpn)] = {};
+}
+
+void SvcParams::set_port(std::uint16_t port) {
+  WireWriter w;
+  w.u16(port);
+  params_[static_cast<std::uint16_t>(SvcParamKey::port)] = std::move(w).take();
+}
+
+void SvcParams::set_ipv4hint(const std::vector<net::Ipv4Addr>& addrs) {
+  WireWriter w;
+  for (const auto& a : addrs) w.u32(a.bits());
+  params_[static_cast<std::uint16_t>(SvcParamKey::ipv4hint)] = std::move(w).take();
+}
+
+void SvcParams::set_ipv6hint(const std::vector<net::Ipv6Addr>& addrs) {
+  WireWriter w;
+  for (const auto& a : addrs) {
+    w.bytes(std::span<const std::uint8_t>(a.bytes().data(), 16));
+  }
+  params_[static_cast<std::uint16_t>(SvcParamKey::ipv6hint)] = std::move(w).take();
+}
+
+void SvcParams::set_ech(Bytes config_list) {
+  params_[static_cast<std::uint16_t>(SvcParamKey::ech)] = std::move(config_list);
+}
+
+void SvcParams::set_raw(std::uint16_t key, Bytes value) {
+  params_[key] = std::move(value);
+}
+
+void SvcParams::remove(std::uint16_t key) { params_.erase(key); }
+
+// ---------------------------------------------------------------- getters
+
+bool SvcParams::has(std::uint16_t key) const { return params_.contains(key); }
+
+const Bytes* SvcParams::raw(std::uint16_t key) const {
+  auto it = params_.find(key);
+  return it == params_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::vector<std::uint16_t>> SvcParams::mandatory() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::mandatory));
+  if (!v) return std::nullopt;
+  std::vector<std::uint16_t> keys;
+  if (v->size() % 2 != 0) return keys;  // malformed: surfaced by validate()
+  for (std::size_t i = 0; i + 1 < v->size(); i += 2) {
+    keys.push_back(static_cast<std::uint16_t>(((*v)[i] << 8) | (*v)[i + 1]));
+  }
+  return keys;
+}
+
+std::optional<std::vector<std::string>> SvcParams::alpn() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::alpn));
+  if (!v) return std::nullopt;
+  std::vector<std::string> protocols;
+  std::size_t i = 0;
+  while (i < v->size()) {
+    std::size_t len = (*v)[i];
+    if (i + 1 + len > v->size()) break;  // malformed tail ignored here
+    protocols.emplace_back(reinterpret_cast<const char*>(v->data()) + i + 1, len);
+    i += 1 + len;
+  }
+  return protocols;
+}
+
+bool SvcParams::no_default_alpn() const {
+  return has(SvcParamKey::no_default_alpn);
+}
+
+std::optional<std::uint16_t> SvcParams::port() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::port));
+  if (!v || v->size() != 2) return std::nullopt;
+  return static_cast<std::uint16_t>(((*v)[0] << 8) | (*v)[1]);
+}
+
+std::optional<std::vector<net::Ipv4Addr>> SvcParams::ipv4hint() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::ipv4hint));
+  if (!v) return std::nullopt;
+  std::vector<net::Ipv4Addr> addrs;
+  for (std::size_t i = 0; i + 4 <= v->size(); i += 4) {
+    std::uint32_t bits = (static_cast<std::uint32_t>((*v)[i]) << 24) |
+                         (static_cast<std::uint32_t>((*v)[i + 1]) << 16) |
+                         (static_cast<std::uint32_t>((*v)[i + 2]) << 8) |
+                         static_cast<std::uint32_t>((*v)[i + 3]);
+    addrs.emplace_back(bits);
+  }
+  return addrs;
+}
+
+std::optional<std::vector<net::Ipv6Addr>> SvcParams::ipv6hint() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::ipv6hint));
+  if (!v) return std::nullopt;
+  std::vector<net::Ipv6Addr> addrs;
+  for (std::size_t i = 0; i + 16 <= v->size(); i += 16) {
+    std::array<std::uint8_t, 16> bytes;
+    std::copy_n(v->begin() + static_cast<std::ptrdiff_t>(i), 16, bytes.begin());
+    addrs.emplace_back(bytes);
+  }
+  return addrs;
+}
+
+std::optional<Bytes> SvcParams::ech() const {
+  const Bytes* v = raw(static_cast<std::uint16_t>(SvcParamKey::ech));
+  if (!v) return std::nullopt;
+  return *v;
+}
+
+// ------------------------------------------------------------------ wire
+
+void SvcParams::encode(WireWriter& w) const {
+  // std::map iteration is ascending by key — exactly the canonical order.
+  for (const auto& [key, value] : params_) {
+    w.u16(key);
+    w.u16(static_cast<std::uint16_t>(value.size()));
+    w.bytes(value);
+  }
+}
+
+Result<SvcParams> SvcParams::decode(WireReader& r, std::size_t end) {
+  SvcParams out;
+  int last_key = -1;
+  while (r.pos() < end) {
+    auto key = r.u16();
+    if (!key) return Error{key.error()};
+    if (static_cast<int>(*key) <= last_key) {
+      return Error{"SvcParams keys not in strictly ascending order"};
+    }
+    last_key = *key;
+    auto len = r.u16();
+    if (!len) return Error{len.error()};
+    if (r.pos() + *len > end) return Error{"SvcParam value overruns RDATA"};
+    auto value = r.bytes(*len);
+    if (!value) return Error{value.error()};
+    out.params_.emplace(*key, std::move(*value));
+  }
+  if (r.pos() != end) return Error{"SvcParams misaligned with RDATA end"};
+  return out;
+}
+
+// --------------------------------------------------------- presentation
+
+namespace {
+
+// Escapes a value for presentation output: wraps in quotes when it contains
+// whitespace; backslash-escapes commas inside list items.
+std::string escape_list_item(std::string_view item) {
+  std::string out;
+  for (char c : item) {
+    if (c == ',' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Splits a presentation value on unescaped commas, resolving escapes.
+std::vector<std::string> split_value_list(std::string_view value) {
+  std::vector<std::string> items;
+  std::string current;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    char c = value[i];
+    if (c == '\\' && i + 1 < value.size()) {
+      current.push_back(value[i + 1]);
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      items.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  items.push_back(std::move(current));
+  return items;
+}
+
+}  // namespace
+
+std::string SvcParams::to_presentation() const {
+  std::vector<std::string> tokens;
+  for (const auto& [key, value] : params_) {
+    std::string name = svc_param_key_to_string(key);
+    switch (static_cast<SvcParamKey>(key)) {
+      case SvcParamKey::mandatory: {
+        auto keys = mandatory().value_or(std::vector<std::uint16_t>{});
+        std::vector<std::string> names;
+        names.reserve(keys.size());
+        for (auto k : keys) names.push_back(svc_param_key_to_string(k));
+        tokens.push_back(name + "=" + util::join(names, ","));
+        break;
+      }
+      case SvcParamKey::alpn: {
+        auto protocols = alpn().value_or(std::vector<std::string>{});
+        std::vector<std::string> escaped;
+        escaped.reserve(protocols.size());
+        for (const auto& p : protocols) escaped.push_back(escape_list_item(p));
+        tokens.push_back(name + "=" + util::join(escaped, ","));
+        break;
+      }
+      case SvcParamKey::no_default_alpn:
+        tokens.push_back(name);
+        break;
+      case SvcParamKey::port:
+        tokens.push_back(name + "=" + util::format("%u", port().value_or(0)));
+        break;
+      case SvcParamKey::ipv4hint: {
+        auto addrs = ipv4hint().value_or(std::vector<net::Ipv4Addr>{});
+        std::vector<std::string> strs;
+        strs.reserve(addrs.size());
+        for (const auto& a : addrs) strs.push_back(a.to_string());
+        tokens.push_back(name + "=" + util::join(strs, ","));
+        break;
+      }
+      case SvcParamKey::ipv6hint: {
+        auto addrs = ipv6hint().value_or(std::vector<net::Ipv6Addr>{});
+        std::vector<std::string> strs;
+        strs.reserve(addrs.size());
+        for (const auto& a : addrs) strs.push_back(a.to_string());
+        tokens.push_back(name + "=" + util::join(strs, ","));
+        break;
+      }
+      case SvcParamKey::ech:
+        // RFC 9460 presents ech values in base64.
+        tokens.push_back(name + "=" + util::base64_encode(value));
+        break;
+      default:
+        // Unknown keys: hex-encoded opaque value.
+        if (value.empty()) {
+          tokens.push_back(name);
+        } else {
+          tokens.push_back(name + "=" + util::hex_encode(value));
+        }
+        break;
+    }
+  }
+  return util::join(tokens, " ");
+}
+
+// --------------------------------------------------------------- SvcbRdata
+
+Name SvcbRdata::effective_target(const Name& owner) const {
+  return target.is_root() ? owner : target;
+}
+
+void SvcbRdata::encode(WireWriter& w) const {
+  w.u16(priority);
+  w.name(target);  // never compressed in RDATA (RFC 9460 §2.2)
+  params.encode(w);
+}
+
+Result<SvcbRdata> SvcbRdata::decode(WireReader& r, std::size_t rdata_len) {
+  std::size_t end = r.pos() + rdata_len;
+  SvcbRdata out;
+  auto priority = r.u16();
+  if (!priority) return Error{priority.error()};
+  out.priority = *priority;
+  auto target = r.name_uncompressed();
+  if (!target) return Error{target.error()};
+  out.target = std::move(*target);
+  auto params = SvcParams::decode(r, end);
+  if (!params) return Error{params.error()};
+  out.params = std::move(*params);
+  return out;
+}
+
+std::string SvcbRdata::to_presentation() const {
+  std::string out = util::format("%u %s", priority, target.to_string().c_str());
+  std::string p = params.to_presentation();
+  if (!p.empty()) {
+    out.push_back(' ');
+    out += p;
+  }
+  return out;
+}
+
+Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
+  auto tokens = util::split_ws(text);
+  if (tokens.size() < 2) return Error{"SVCB rdata needs priority and target"};
+
+  SvcbRdata out;
+  std::uint64_t priority = 0;
+  if (!util::parse_u64(tokens[0], priority, 65535)) {
+    return Error{"bad SvcPriority"};
+  }
+  out.priority = static_cast<std::uint16_t>(priority);
+
+  auto target = Name::parse(tokens[1]);
+  if (!target) return Error{"bad TargetName: " + target.error()};
+  out.target = std::move(*target);
+
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    std::string key_str;
+    std::string value;
+    bool has_value = false;
+    std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      key_str = tok;
+    } else {
+      key_str = tok.substr(0, eq);
+      value = tok.substr(eq + 1);
+      has_value = true;
+      // Strip one level of quoting.
+      if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+        value = value.substr(1, value.size() - 2);
+      }
+    }
+
+    auto key = svc_param_key_from_string(key_str);
+    if (!key) return Error{key.error()};
+    if (out.params.has(*key)) {
+      return Error{"duplicate SvcParamKey: " + key_str};
+    }
+
+    switch (static_cast<SvcParamKey>(*key)) {
+      case SvcParamKey::mandatory: {
+        if (!has_value || value.empty()) return Error{"mandatory needs a value"};
+        std::vector<std::uint16_t> keys;
+        for (const auto& item : split_value_list(value)) {
+          auto k = svc_param_key_from_string(item);
+          if (!k) return Error{k.error()};
+          keys.push_back(*k);
+        }
+        out.params.set_mandatory(std::move(keys));
+        break;
+      }
+      case SvcParamKey::alpn: {
+        if (!has_value || value.empty()) return Error{"alpn needs a value"};
+        out.params.set_alpn(split_value_list(value));
+        break;
+      }
+      case SvcParamKey::no_default_alpn: {
+        if (has_value) return Error{"no-default-alpn takes no value"};
+        out.params.set_no_default_alpn();
+        break;
+      }
+      case SvcParamKey::port: {
+        std::uint64_t port = 0;
+        if (!has_value || !util::parse_u64(value, port, 65535)) {
+          return Error{"bad port value"};
+        }
+        out.params.set_port(static_cast<std::uint16_t>(port));
+        break;
+      }
+      case SvcParamKey::ipv4hint: {
+        if (!has_value || value.empty()) return Error{"ipv4hint needs a value"};
+        std::vector<net::Ipv4Addr> addrs;
+        for (const auto& item : split_value_list(value)) {
+          auto a = net::Ipv4Addr::parse(item);
+          if (!a) return Error{"bad ipv4hint: " + a.error()};
+          addrs.push_back(*a);
+        }
+        out.params.set_ipv4hint(addrs);
+        break;
+      }
+      case SvcParamKey::ipv6hint: {
+        if (!has_value || value.empty()) return Error{"ipv6hint needs a value"};
+        std::vector<net::Ipv6Addr> addrs;
+        for (const auto& item : split_value_list(value)) {
+          auto a = net::Ipv6Addr::parse(item);
+          if (!a) return Error{"bad ipv6hint: " + a.error()};
+          addrs.push_back(*a);
+        }
+        out.params.set_ipv6hint(addrs);
+        break;
+      }
+      case SvcParamKey::ech: {
+        if (!has_value || value.empty()) return Error{"ech needs a value"};
+        // Zone files use base64 (RFC 9460); hex is accepted as a
+        // convenience for hand-written test fixtures.
+        Bytes blob;
+        if (!util::base64_decode(value, blob) &&
+            !util::hex_decode(value, blob)) {
+          return Error{"ech value must be base64 (or hex)"};
+        }
+        out.params.set_ech(std::move(blob));
+        break;
+      }
+      default: {
+        Bytes blob;
+        if (has_value && !value.empty()) {
+          if (!util::hex_decode(value, blob)) {
+            // Treat as raw ASCII when not hex.
+            blob.assign(value.begin(), value.end());
+          }
+        }
+        out.params.set_raw(*key, std::move(blob));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<void> SvcbRdata::validate() const {
+  if (is_alias_mode()) {
+    if (!params.empty()) {
+      return Error{"AliasMode record must not carry SvcParams"};
+    }
+    return {};
+  }
+  if (auto mandatory = params.mandatory()) {
+    int prev = -1;
+    for (auto key : *mandatory) {
+      if (key == static_cast<std::uint16_t>(SvcParamKey::mandatory)) {
+        return Error{"mandatory must not list itself"};
+      }
+      if (static_cast<int>(key) <= prev) {
+        return Error{"mandatory keys must be sorted and unique"};
+      }
+      prev = key;
+      if (!params.has(key)) {
+        return Error{"mandatory references absent key " +
+                     svc_param_key_to_string(key)};
+      }
+    }
+    const Bytes* raw = params.raw(static_cast<std::uint16_t>(SvcParamKey::mandatory));
+    if (raw->empty() || raw->size() % 2 != 0) {
+      return Error{"malformed mandatory value"};
+    }
+  }
+  if (params.no_default_alpn() && !params.has(SvcParamKey::alpn)) {
+    return Error{"no-default-alpn requires alpn"};
+  }
+  if (const Bytes* v = params.raw(static_cast<std::uint16_t>(SvcParamKey::port));
+      v && v->size() != 2) {
+    return Error{"port value must be 2 octets"};
+  }
+  if (const Bytes* v = params.raw(static_cast<std::uint16_t>(SvcParamKey::ipv4hint));
+      v && (v->empty() || v->size() % 4 != 0)) {
+    return Error{"ipv4hint length must be a positive multiple of 4"};
+  }
+  if (const Bytes* v = params.raw(static_cast<std::uint16_t>(SvcParamKey::ipv6hint));
+      v && (v->empty() || v->size() % 16 != 0)) {
+    return Error{"ipv6hint length must be a positive multiple of 16"};
+  }
+  if (auto protocols = params.alpn(); protocols && protocols->empty()) {
+    return Error{"alpn must list at least one protocol"};
+  }
+  return {};
+}
+
+}  // namespace httpsrr::dns

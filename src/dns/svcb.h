@@ -1,0 +1,138 @@
+#pragma once
+
+// RFC 9460 — Service Binding records (SVCB / HTTPS).
+//
+// This module implements the complete SvcParams model:
+//   * the seven IANA-defined keys (mandatory, alpn, no-default-alpn, port,
+//     ipv4hint, ech, ipv6hint) with typed accessors;
+//   * unknown keys via the "keyNNNNN" generic form (values kept opaque);
+//   * wire format: strictly ascending key order, no duplicates (§2.2);
+//   * presentation format incl. quoted values, escaped commas in value
+//     lists, and the error cases of Appendix A;
+//   * semantic validation: AliasMode carries no parameters, "mandatory"
+//     must not list itself, must be sorted/unique, and every listed key
+//     must be present (§8).
+//
+// AliasMode (SvcPriority == 0) vs ServiceMode (> 0) semantics live in
+// SvcbRdata; the HTTPS record is the same structure with RrType::HTTPS.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/wire.h"
+#include "net/ip.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+enum class SvcParamKey : std::uint16_t {
+  mandatory = 0,
+  alpn = 1,
+  no_default_alpn = 2,
+  port = 3,
+  ipv4hint = 4,
+  ech = 5,
+  ipv6hint = 6,
+};
+
+[[nodiscard]] std::string svc_param_key_to_string(std::uint16_t key);
+[[nodiscard]] util::Result<std::uint16_t> svc_param_key_from_string(
+    std::string_view s);
+
+// Well-known ALPN protocol ids used throughout the study.
+namespace alpn_id {
+inline constexpr std::string_view kHttp11 = "http/1.1";
+inline constexpr std::string_view kH2 = "h2";
+inline constexpr std::string_view kH3 = "h3";
+inline constexpr std::string_view kH3Draft29 = "h3-29";
+inline constexpr std::string_view kH3Draft27 = "h3-27";
+}  // namespace alpn_id
+
+// An ordered set of SvcParams (key -> wire value).
+class SvcParams {
+ public:
+  SvcParams() = default;
+
+  // ---- typed setters (overwrite existing value for the key) ----
+  void set_mandatory(std::vector<std::uint16_t> keys);
+  void set_alpn(const std::vector<std::string>& protocols);
+  void set_no_default_alpn();
+  void set_port(std::uint16_t port);
+  void set_ipv4hint(const std::vector<net::Ipv4Addr>& addrs);
+  void set_ipv6hint(const std::vector<net::Ipv6Addr>& addrs);
+  void set_ech(Bytes config_list);
+  void set_raw(std::uint16_t key, Bytes value);
+  void remove(std::uint16_t key);
+
+  // ---- typed getters (nullopt when key absent; Result when the stored
+  //      wire value itself may be malformed) ----
+  [[nodiscard]] bool has(std::uint16_t key) const;
+  [[nodiscard]] bool has(SvcParamKey key) const {
+    return has(static_cast<std::uint16_t>(key));
+  }
+  [[nodiscard]] std::optional<std::vector<std::uint16_t>> mandatory() const;
+  [[nodiscard]] std::optional<std::vector<std::string>> alpn() const;
+  [[nodiscard]] bool no_default_alpn() const;
+  [[nodiscard]] std::optional<std::uint16_t> port() const;
+  [[nodiscard]] std::optional<std::vector<net::Ipv4Addr>> ipv4hint() const;
+  [[nodiscard]] std::optional<std::vector<net::Ipv6Addr>> ipv6hint() const;
+  [[nodiscard]] std::optional<Bytes> ech() const;
+  [[nodiscard]] const Bytes* raw(std::uint16_t key) const;
+
+  [[nodiscard]] bool empty() const { return params_.empty(); }
+  [[nodiscard]] std::size_t size() const { return params_.size(); }
+  [[nodiscard]] const std::map<std::uint16_t, Bytes>& entries() const {
+    return params_;
+  }
+
+  // Wire format.
+  void encode(WireWriter& w) const;
+  // Decodes params until `end` (absolute reader offset). Enforces strictly
+  // ascending keys and value-length bounds.
+  static util::Result<SvcParams> decode(WireReader& r, std::size_t end);
+
+  // Presentation format: returns the params as zone-file tokens
+  // ("alpn=h2,h3 port=8443"). Empty string when no params.
+  [[nodiscard]] std::string to_presentation() const;
+
+  friend bool operator==(const SvcParams&, const SvcParams&) = default;
+
+ private:
+  std::map<std::uint16_t, Bytes> params_;  // ordered => canonical wire order
+};
+
+// SVCB/HTTPS RDATA.
+struct SvcbRdata {
+  std::uint16_t priority = 0;  // 0 = AliasMode, >0 = ServiceMode
+  Name target;                 // "." (root) = owner name itself in ServiceMode
+  SvcParams params;
+
+  [[nodiscard]] bool is_alias_mode() const { return priority == 0; }
+  [[nodiscard]] bool is_service_mode() const { return priority != 0; }
+
+  // Effective endpoint name for a record owned by `owner`: TargetName, or
+  // the owner itself when TargetName is "." (§2.5).
+  [[nodiscard]] Name effective_target(const Name& owner) const;
+
+  void encode(WireWriter& w) const;
+  static util::Result<SvcbRdata> decode(WireReader& r, std::size_t rdata_len);
+
+  // "1 . alpn=h2,h3 ipv4hint=1.2.3.4"
+  [[nodiscard]] std::string to_presentation() const;
+  // Parses whitespace-separated presentation tokens.
+  static util::Result<SvcbRdata> parse_presentation(std::string_view text);
+
+  // Semantic validation per RFC 9460 §2.4.3/§8:
+  //   * AliasMode SHOULD NOT carry params — we treat it as an error;
+  //   * mandatory must not contain key 0, must reference present keys;
+  //   * no-default-alpn requires alpn.
+  [[nodiscard]] util::Result<void> validate() const;
+
+  friend bool operator==(const SvcbRdata&, const SvcbRdata&) = default;
+};
+
+}  // namespace httpsrr::dns

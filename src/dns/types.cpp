@@ -1,0 +1,60 @@
+#include "dns/types.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+namespace {
+struct TypeEntry {
+  RrType type;
+  std::string_view mnemonic;
+};
+
+constexpr TypeEntry kTypes[] = {
+    {RrType::A, "A"},         {RrType::NS, "NS"},
+    {RrType::CNAME, "CNAME"}, {RrType::SOA, "SOA"},
+    {RrType::PTR, "PTR"},     {RrType::MX, "MX"},
+    {RrType::TXT, "TXT"},     {RrType::AAAA, "AAAA"},
+    {RrType::SRV, "SRV"},     {RrType::DS, "DS"},     {RrType::NSEC, "NSEC"},
+    {RrType::RRSIG, "RRSIG"}, {RrType::DNSKEY, "DNSKEY"},
+    {RrType::DNAME, "DNAME"}, {RrType::OPT, "OPT"},
+    {RrType::SVCB, "SVCB"},   {RrType::HTTPS, "HTTPS"},
+};
+}  // namespace
+
+std::string type_to_string(RrType t) {
+  for (const auto& e : kTypes) {
+    if (e.type == t) return std::string(e.mnemonic);
+  }
+  return util::format("TYPE%u", static_cast<unsigned>(t));
+}
+
+Result<RrType> type_from_string(std::string_view s) {
+  for (const auto& e : kTypes) {
+    if (util::iequals(s, e.mnemonic)) return e.type;
+  }
+  if (util::starts_with(s, "TYPE") || util::starts_with(s, "type")) {
+    std::uint64_t v = 0;
+    if (util::parse_u64(s.substr(4), v, 65535)) {
+      return static_cast<RrType>(v);
+    }
+  }
+  return Error{"unknown RR type mnemonic: " + std::string(s)};
+}
+
+std::string_view rcode_to_string(Rcode r) {
+  switch (r) {
+    case Rcode::NOERROR: return "NOERROR";
+    case Rcode::FORMERR: return "FORMERR";
+    case Rcode::SERVFAIL: return "SERVFAIL";
+    case Rcode::NXDOMAIN: return "NXDOMAIN";
+    case Rcode::NOTIMP: return "NOTIMP";
+    case Rcode::REFUSED: return "REFUSED";
+  }
+  return "?";
+}
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,58 @@
+#pragma once
+
+// DNS enumerations: record types, classes, response codes, opcode.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+enum class RrType : std::uint16_t {
+  A = 1,
+  NS = 2,
+  CNAME = 5,
+  SOA = 6,
+  PTR = 12,
+  MX = 15,
+  TXT = 16,
+  AAAA = 28,
+  SRV = 33,
+  DS = 43,
+  NSEC = 47,
+  RRSIG = 46,
+  DNSKEY = 48,
+  DNAME = 39,
+  OPT = 41,
+  SVCB = 64,
+  HTTPS = 65,
+};
+
+enum class RrClass : std::uint16_t {
+  IN = 1,
+  CH = 3,
+  ANY = 255,
+};
+
+enum class Rcode : std::uint8_t {
+  NOERROR = 0,
+  FORMERR = 1,
+  SERVFAIL = 2,
+  NXDOMAIN = 3,
+  NOTIMP = 4,
+  REFUSED = 5,
+};
+
+enum class Opcode : std::uint8_t {
+  QUERY = 0,
+};
+
+// Mnemonic <-> value conversions. Unknown types round-trip via the RFC 3597
+// "TYPE####" form.
+[[nodiscard]] std::string type_to_string(RrType t);
+[[nodiscard]] util::Result<RrType> type_from_string(std::string_view s);
+[[nodiscard]] std::string_view rcode_to_string(Rcode r);
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,135 @@
+#include "dns/wire.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+void WireWriter::name(const Name& n) {
+  for (const auto& label : n.labels()) {
+    u8(static_cast<std::uint8_t>(label.size()));
+    raw_string(label);
+  }
+  u8(0);
+}
+
+void WireWriter::name_compressed(const Name& n,
+                                 std::map<std::string, std::uint16_t>& offsets) {
+  // Walk suffixes left to right; when a suffix has been emitted before (and
+  // its offset fits in 14 bits) emit a pointer and stop.
+  const auto& labels = n.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Key: case-folded presentation of the suffix starting at label i.
+    std::string key;
+    for (std::size_t j = i; j < labels.size(); ++j) {
+      key += util::to_lower(labels[j]);
+      key += '.';
+    }
+    auto it = offsets.find(key);
+    if (it != offsets.end()) {
+      u16(static_cast<std::uint16_t>(0xc000 | it->second));
+      return;
+    }
+    if (buf_.size() <= 0x3fff) {
+      offsets.emplace(std::move(key), static_cast<std::uint16_t>(buf_.size()));
+    }
+    u8(static_cast<std::uint8_t>(labels[i].size()));
+    raw_string(labels[i]);
+  }
+  u8(0);
+}
+
+void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  buf_.at(offset) = static_cast<std::uint8_t>(v >> 8);
+  buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
+}
+
+Result<std::uint8_t> WireReader::u8() {
+  if (remaining() < 1) return Error{"truncated: u8"};
+  return data_[pos_++];
+}
+
+Result<std::uint16_t> WireReader::u16() {
+  if (remaining() < 2) return Error{"truncated: u16"};
+  auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+Result<std::uint32_t> WireReader::u32() {
+  if (remaining() < 4) return Error{"truncated: u32"};
+  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                    static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+Result<Bytes> WireReader::bytes(std::size_t count) {
+  if (remaining() < count) return Error{"truncated: bytes"};
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += count;
+  return out;
+}
+
+namespace {
+
+// Shared name-decoding core. When `allow_pointers` is false, any pointer
+// label is rejected.
+Result<Name> read_name(std::span<const std::uint8_t> data, std::size_t& pos,
+                       bool allow_pointers) {
+  std::vector<std::string> labels;
+  std::size_t cursor = pos;
+  bool jumped = false;
+  std::size_t end_pos = pos;  // cursor position after the first encoding
+  int hops = 0;
+  constexpr int kMaxHops = 128;  // generous loop guard
+
+  while (true) {
+    if (cursor >= data.size()) return Error{"truncated name"};
+    std::uint8_t len = data[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (!allow_pointers) return Error{"compression pointer not allowed"};
+      if (cursor + 1 >= data.size()) return Error{"truncated pointer"};
+      std::size_t target =
+          (static_cast<std::size_t>(len & 0x3f) << 8) | data[cursor + 1];
+      if (!jumped) end_pos = cursor + 2;
+      jumped = true;
+      if (++hops > kMaxHops) return Error{"compression pointer loop"};
+      if (target >= cursor) {
+        // Forward pointers are invalid and a common loop vector.
+        return Error{"forward compression pointer"};
+      }
+      cursor = target;
+      continue;
+    }
+    if ((len & 0xc0) != 0) return Error{"reserved label type"};
+    if (len == 0) {
+      if (!jumped) end_pos = cursor + 1;
+      break;
+    }
+    if (cursor + 1 + len > data.size()) return Error{"truncated label"};
+    labels.emplace_back(reinterpret_cast<const char*>(data.data()) + cursor + 1,
+                        len);
+    cursor += 1 + len;
+  }
+
+  auto name = Name::from_labels(std::move(labels));
+  if (!name) return Error{name.error()};
+  pos = end_pos;
+  return std::move(name).take();
+}
+
+}  // namespace
+
+Result<Name> WireReader::name() { return read_name(data_, pos_, true); }
+
+Result<Name> WireReader::name_uncompressed() {
+  return read_name(data_, pos_, false);
+}
+
+}  // namespace httpsrr::dns

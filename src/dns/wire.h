@@ -1,0 +1,93 @@
+#pragma once
+
+// Bounds-checked big-endian wire codec for DNS messages and record data.
+//
+// WireWriter appends network-byte-order integers, length-prefixed blobs and
+// (optionally compressed) names into a growing buffer.  WireReader walks an
+// immutable span and returns Result<> on any out-of-bounds read — truncated
+// and hostile inputs must never crash the scanner.
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void bytes(const Bytes& data) { bytes(std::span<const std::uint8_t>(data)); }
+  void raw_string(std::string_view s) {
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  // Uncompressed name encoding (used inside RDATA, where RFC 3597 forbids
+  // compression for unknown types and RFC 9460 forbids it for SVCB).
+  void name(const Name& n);
+
+  // Compressed name encoding for message sections. Remembers suffix offsets
+  // in `offsets` so later occurrences emit 2-byte pointers.
+  void name_compressed(const Name& n, std::map<std::string, std::uint16_t>& offsets);
+
+  // Patches a previously written 16-bit field (e.g. RDLENGTH back-fill).
+  void patch_u16(std::size_t offset, std::uint16_t v);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const Bytes& data() const& { return buf_; }
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  void seek(std::size_t pos) { pos_ = pos; }
+
+  util::Result<std::uint8_t> u8();
+  util::Result<std::uint16_t> u16();
+  util::Result<std::uint32_t> u32();
+  util::Result<Bytes> bytes(std::size_t count);
+
+  // Reads a possibly-compressed name starting at the current position;
+  // follows pointers with loop protection; leaves the cursor just past the
+  // name's first encoding (not past pointer targets).
+  util::Result<Name> name();
+
+  // Reads an uncompressed name; any compression pointer is an error
+  // (RDATA of SVCB/HTTPS and unknown types must not be compressed).
+  util::Result<Name> name_uncompressed();
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace httpsrr::dns

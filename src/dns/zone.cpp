@@ -1,0 +1,386 @@
+#include "dns/zone.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+Result<void> Zone::add(Rr rr, bool allow_cname_conflicts) {
+  if (!rr.owner.is_subdomain_of(origin_)) {
+    return Error{"owner " + rr.owner.to_string() + " not within zone " +
+                 origin_.to_string()};
+  }
+  auto& types = nodes_[rr.owner];
+  if (!allow_cname_conflicts) {
+    bool adding_cname = rr.type == RrType::CNAME;
+    bool has_cname = types.contains(RrType::CNAME);
+    bool has_other = std::any_of(types.begin(), types.end(), [](const auto& kv) {
+      return kv.first != RrType::CNAME && kv.first != RrType::RRSIG;
+    });
+    if ((adding_cname && has_other) || (!adding_cname && has_cname &&
+                                        rr.type != RrType::RRSIG)) {
+      return Error{"CNAME cannot coexist with other data at " +
+                   rr.owner.to_string()};
+    }
+  }
+  types[rr.type].push_back(std::move(rr));
+  return {};
+}
+
+std::size_t Zone::remove(const Name& owner, RrType type) {
+  auto it = nodes_.find(owner);
+  if (it == nodes_.end()) return 0;
+  auto tit = it->second.find(type);
+  if (tit == it->second.end()) return 0;
+  std::size_t n = tit->second.size();
+  it->second.erase(tit);
+  if (it->second.empty()) nodes_.erase(it);
+  return n;
+}
+
+void Zone::clear() { nodes_.clear(); }
+
+LookupResult Zone::lookup(const Name& qname, RrType qtype) const {
+  LookupResult result;
+  if (!qname.is_subdomain_of(origin_)) {
+    result.status = LookupStatus::not_in_zone;
+    return result;
+  }
+
+  auto it = nodes_.find(qname);
+  if (it != nodes_.end()) {
+    const auto& types = it->second;
+    if (auto tit = types.find(qtype); tit != types.end()) {
+      result.status = LookupStatus::success;
+      result.records = tit->second;
+      // Attach covering RRSIGs (the scanner collects them with the answer).
+      if (auto sit = types.find(RrType::RRSIG); sit != types.end()) {
+        for (const auto& sig : sit->second) {
+          const auto* rrsig = std::get_if<RrsigRdata>(&sig.rdata);
+          if (rrsig && rrsig->type_covered == qtype) {
+            result.records.push_back(sig);
+          }
+        }
+      }
+      return result;
+    }
+    if (qtype != RrType::CNAME) {
+      if (auto cit = types.find(RrType::CNAME); cit != types.end()) {
+        result.status = LookupStatus::cname;
+        result.records = cit->second;
+        return result;
+      }
+    }
+    result.status = LookupStatus::nodata;
+    return result;
+  }
+
+  // DNAME: look for a DNAME at any ancestor between qname and origin.
+  for (Name ancestor = qname.parent();; ancestor = ancestor.parent()) {
+    if (auto ait = nodes_.find(ancestor); ait != nodes_.end()) {
+      if (auto dit = ait->second.find(RrType::DNAME); dit != ait->second.end()) {
+        const auto& dname_rr = dit->second.front();
+        const auto& dname = std::get<DnameRdata>(dname_rr.rdata);
+        // Synthesize qname -> (qname - ancestor) + dname.target.
+        std::vector<std::string> labels = qname.labels();
+        std::size_t strip = ancestor.label_count();
+        labels.resize(labels.size() - strip);
+        std::vector<std::string> target_labels = labels;
+        for (const auto& l : dname.target.labels()) target_labels.push_back(l);
+        if (auto synth_name = Name::from_labels(std::move(target_labels))) {
+          result.status = LookupStatus::dname;
+          result.records = dit->second;
+          result.synthesized.push_back(
+              make_cname(qname, dname_rr.ttl, std::move(*synth_name)));
+          return result;
+        }
+      }
+    }
+    if (ancestor == origin_ || ancestor.is_root()) break;
+  }
+
+  // Empty non-terminal check: qname exists implicitly if any stored owner
+  // is beneath it.  Canonical ordering places subdomains of qname directly
+  // after qname, so a single lower_bound suffices.
+  auto next = nodes_.lower_bound(qname);
+  if (next != nodes_.end() && next->first.is_subdomain_of(qname)) {
+    result.status = LookupStatus::nodata;
+    return result;
+  }
+  result.status = LookupStatus::nxdomain;
+  return result;
+}
+
+std::optional<Rr> Zone::nsec_for(const Name& qname, std::uint32_t ttl) const {
+  if (nodes_.empty() || !qname.is_subdomain_of(origin_)) return std::nullopt;
+
+  auto successor_of = [this](std::map<Name, std::map<RrType, std::vector<Rr>>>::
+                                 const_iterator it) -> const Name& {
+    auto next = std::next(it);
+    // The chain wraps from the last owner back to the first (the apex in a
+    // well-formed zone).
+    return next == nodes_.end() ? nodes_.begin()->first : next->first;
+  };
+
+  auto exact = nodes_.find(qname);
+  if (exact != nodes_.end()) {
+    // NODATA proof: NSEC at qname enumerating the types that do exist.
+    NsecRdata nsec;
+    nsec.next = successor_of(exact);
+    for (const auto& [type, records] : exact->second) {
+      (void)records;
+      nsec.types.push_back(type);
+    }
+    nsec.types.push_back(RrType::NSEC);
+    nsec.types.push_back(RrType::RRSIG);
+    std::sort(nsec.types.begin(), nsec.types.end());
+    nsec.types.erase(std::unique(nsec.types.begin(), nsec.types.end()),
+                     nsec.types.end());
+    return Rr{qname, RrType::NSEC, RrClass::IN, ttl, std::move(nsec)};
+  }
+
+  // NXDOMAIN proof: the gap (predecessor, successor) covering qname.
+  auto after = nodes_.lower_bound(qname);
+  auto owner_it = after == nodes_.begin() ? std::prev(nodes_.end())
+                                          : std::prev(after);
+  NsecRdata nsec;
+  nsec.next = after == nodes_.end() ? nodes_.begin()->first : after->first;
+  for (const auto& [type, records] : owner_it->second) {
+    (void)records;
+    nsec.types.push_back(type);
+  }
+  nsec.types.push_back(RrType::NSEC);
+  nsec.types.push_back(RrType::RRSIG);
+  std::sort(nsec.types.begin(), nsec.types.end());
+  nsec.types.erase(std::unique(nsec.types.begin(), nsec.types.end()),
+                   nsec.types.end());
+  return Rr{owner_it->first, RrType::NSEC, RrClass::IN, ttl, std::move(nsec)};
+}
+
+std::vector<Rr> Zone::records_at(const Name& owner) const {
+  std::vector<Rr> out;
+  auto it = nodes_.find(owner);
+  if (it == nodes_.end()) return out;
+  for (const auto& [type, records] : it->second) {
+    (void)type;
+    out.insert(out.end(), records.begin(), records.end());
+  }
+  return out;
+}
+
+std::vector<Rr> Zone::records_at(const Name& owner, RrType type) const {
+  auto it = nodes_.find(owner);
+  if (it == nodes_.end()) return {};
+  auto tit = it->second.find(type);
+  if (tit == it->second.end()) return {};
+  return tit->second;
+}
+
+std::vector<RrSet> Zone::all_rrsets() const {
+  std::vector<RrSet> out;
+  for (const auto& [owner, types] : nodes_) {
+    (void)owner;
+    for (const auto& [type, records] : types) {
+      (void)type;
+      RrSet set;
+      for (const auto& rr : records) set.add(rr);
+      out.push_back(std::move(set));
+    }
+  }
+  return out;
+}
+
+std::size_t Zone::record_count() const {
+  std::size_t n = 0;
+  for (const auto& [owner, types] : nodes_) {
+    (void)owner;
+    for (const auto& [type, records] : types) {
+      (void)type;
+      n += records.size();
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// Parses a TTL field: plain seconds or BIND-style unit suffixes
+// (e.g. "1h30m", "2d", "1w"). Returns false when `s` is not a TTL.
+bool parse_ttl(std::string_view s, std::uint32_t& out) {
+  if (s.empty()) return false;
+  std::uint64_t total = 0;
+  std::uint64_t current = 0;
+  bool any_digit = false;
+  for (char c : s) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint64_t>(c - '0');
+      if (current > UINT32_MAX) return false;
+      any_digit = true;
+      continue;
+    }
+    std::uint64_t unit;
+    switch (util::ascii_lower(c)) {
+      case 's': unit = 1; break;
+      case 'm': unit = 60; break;
+      case 'h': unit = 3600; break;
+      case 'd': unit = 86400; break;
+      case 'w': unit = 604800; break;
+      default: return false;
+    }
+    if (!any_digit) return false;
+    total += current * unit;
+    current = 0;
+    any_digit = false;
+    if (total > UINT32_MAX) return false;
+  }
+  total += current;  // trailing bare number is seconds
+  if (total > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(total);
+  return true;
+}
+
+// Master-file preprocessing: strips comments (respecting quoted strings)
+// and joins lines grouped by parentheses (RFC 1035 §5.1), so multi-line
+// SOA records parse as one logical line.
+std::vector<std::string> logical_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::string current;
+  int paren_depth = 0;
+  bool in_quotes = false;
+
+  auto flush = [&]() {
+    lines.push_back(current);
+    current.clear();
+  };
+
+  std::size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      current.push_back(c);
+    } else if (!in_quotes && c == ';') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    } else if (!in_quotes && c == '(') {
+      ++paren_depth;
+      current.push_back(' ');
+    } else if (!in_quotes && c == ')') {
+      if (paren_depth > 0) --paren_depth;
+      current.push_back(' ');
+    } else if (c == '\n') {
+      if (paren_depth > 0) {
+        current.push_back(' ');  // continuation inside parentheses
+      } else {
+        flush();
+      }
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  flush();
+  return lines;
+}
+
+}  // namespace
+
+Result<Zone> Zone::parse(const Name& origin, std::string_view text,
+                         std::uint32_t default_ttl) {
+  Zone zone(origin);
+  Name current_origin = origin;
+  std::uint32_t ttl = default_ttl;
+
+  std::size_t line_no = 0;
+  for (const auto& raw_line : logical_lines(text)) {
+    ++line_no;
+    std::string_view line = util::trim(raw_line);
+    if (line.empty()) continue;
+
+    auto tokens = util::split_ws(line);
+    if (tokens[0] == "$ORIGIN") {
+      if (tokens.size() != 2) return Error{"bad $ORIGIN"};
+      auto n = Name::parse(tokens[1]);
+      if (!n) return Error{"bad $ORIGIN name: " + n.error()};
+      current_origin = std::move(*n);
+      continue;
+    }
+    if (tokens[0] == "$TTL") {
+      std::uint32_t v = 0;
+      if (tokens.size() != 2 || !parse_ttl(tokens[1], v)) {
+        return Error{"bad $TTL"};
+      }
+      ttl = v;
+      continue;
+    }
+
+    // owner [ttl] [IN] TYPE rdata...
+    std::size_t idx = 0;
+    std::string owner_text = tokens[idx++];
+    Name owner;
+    if (owner_text == "@") {
+      owner = current_origin;
+    } else {
+      auto n = Name::parse(owner_text);
+      if (!n) return Error{util::format("line %zu: bad owner: ", line_no) + n.error()};
+      owner = std::move(*n);
+      if (!util::ends_with(owner_text, ".")) {
+        // Relative name: append the origin.
+        std::vector<std::string> labels = owner.labels();
+        for (const auto& l : current_origin.labels()) labels.push_back(l);
+        auto abs = Name::from_labels(std::move(labels));
+        if (!abs) return Error{util::format("line %zu: name too long", line_no)};
+        owner = std::move(*abs);
+      }
+    }
+
+    std::uint32_t rr_ttl = ttl;
+    if (idx < tokens.size()) {
+      // A TTL token is numeric or unit-suffixed; but a record-type mnemonic
+      // like "A" must not be mistaken for a TTL, so require a digit first.
+      std::uint32_t v = 0;
+      if (!tokens[idx].empty() && tokens[idx][0] >= '0' &&
+          tokens[idx][0] <= '9' && parse_ttl(tokens[idx], v)) {
+        rr_ttl = v;
+        ++idx;
+      }
+    }
+    if (idx < tokens.size() && util::iequals(tokens[idx], "IN")) ++idx;
+    if (idx >= tokens.size()) {
+      return Error{util::format("line %zu: missing RR type", line_no)};
+    }
+    auto type = type_from_string(tokens[idx++]);
+    if (!type) return Error{util::format("line %zu: ", line_no) + type.error()};
+
+    std::vector<std::string> rest(tokens.begin() + static_cast<std::ptrdiff_t>(idx),
+                                  tokens.end());
+    auto rdata = rdata_from_presentation(*type, util::join(rest, " "));
+    if (!rdata) return Error{util::format("line %zu: ", line_no) + rdata.error()};
+
+    Rr rr{std::move(owner), *type, RrClass::IN, rr_ttl, std::move(*rdata)};
+    // Master files may deliberately model broken setups (apex CNAME);
+    // surface genuine placement errors but allow CNAME conflicts.
+    if (auto a = zone.add(std::move(rr), /*allow_cname_conflicts=*/true); !a) {
+      return Error{util::format("line %zu: ", line_no) + a.error()};
+    }
+  }
+  return zone;
+}
+
+std::string Zone::to_text() const {
+  std::string out;
+  for (const auto& [owner, types] : nodes_) {
+    (void)owner;
+    for (const auto& [type, records] : types) {
+      (void)type;
+      for (const auto& rr : records) out += rr.to_string() + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,93 @@
+#pragma once
+
+// Zone: the authoritative data for one DNS zone, with the lookup semantics
+// an authoritative server needs (exact RRset match, CNAME at the owner,
+// DNAME subtree redirection, NXDOMAIN vs NODATA distinction, wildcard-free
+// — the study never needs wildcards).
+//
+// Zones also parse from a simple master-file dialect: one record per line,
+//   owner [ttl] [IN] TYPE rdata
+// with $ORIGIN and relative owner names, '@' for the origin, and ';'
+// comments.  This powers the client-side Lab (§5) where experiments are
+// written as literal zone snippets exactly like the paper's figures.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+// Outcome kinds of a zone lookup.
+enum class LookupStatus : std::uint8_t {
+  success,   // RRset present in `records`
+  cname,     // owner exists with a CNAME; `records` holds the CNAME RRset
+  dname,     // covered by a DNAME; `records` holds the DNAME, `synthesized`
+             // holds the synthesized CNAME for the query name
+  nodata,    // owner exists but not this type
+  nxdomain,  // owner does not exist
+  not_in_zone,
+};
+
+struct LookupResult {
+  LookupStatus status = LookupStatus::nxdomain;
+  std::vector<Rr> records;
+  std::vector<Rr> synthesized;  // DNAME-synthesized CNAME
+};
+
+class Zone {
+ public:
+  explicit Zone(Name origin) : origin_(std::move(origin)) {}
+
+  [[nodiscard]] const Name& origin() const { return origin_; }
+
+  // Adds a record. Fails if the owner is outside the zone, or on a
+  // CNAME-and-other-data conflict at the same owner (RFC 1034 §3.6.2) —
+  // except that the conflict can be deliberately allowed to model the
+  // misconfigured apex-CNAME servers the paper scans through (§4.1 fn. 3).
+  util::Result<void> add(Rr rr, bool allow_cname_conflicts = false);
+
+  // Removes all records of `type` at `owner`. Returns count removed.
+  std::size_t remove(const Name& owner, RrType type);
+  void clear();
+
+  // Authoritative lookup per RFC 1034 §4.3.2 (restricted to in-zone data).
+  [[nodiscard]] LookupResult lookup(const Name& qname, RrType qtype) const;
+
+  // Builds the NSEC record proving the denial of `qname` (RFC 4034 §4):
+  // for an existing owner it lists the types present (NODATA proof); for a
+  // missing one it spans the canonical-order gap covering qname (NXDOMAIN
+  // proof, wrapping through the apex). nullopt for an empty zone or a
+  // qname outside it.
+  [[nodiscard]] std::optional<Rr> nsec_for(const Name& qname,
+                                           std::uint32_t ttl) const;
+
+  // All RRsets at an owner (empty when the name does not exist).
+  [[nodiscard]] std::vector<Rr> records_at(const Name& owner) const;
+  [[nodiscard]] std::vector<Rr> records_at(const Name& owner, RrType type) const;
+
+  // Iteration for the signer: every (owner, type) RRset in canonical order.
+  [[nodiscard]] std::vector<RrSet> all_rrsets() const;
+
+  [[nodiscard]] std::size_t record_count() const;
+
+  // Parses master-file text into a new zone rooted at `origin`.
+  static util::Result<Zone> parse(const Name& origin, std::string_view text,
+                                  std::uint32_t default_ttl = 300);
+
+  // Serialises the zone back to master-file text (absolute names).
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  Name origin_;
+  // owner -> type -> records. std::map of Name uses canonical DNS ordering.
+  std::map<Name, std::map<RrType, std::vector<Rr>>> nodes_;
+};
+
+}  // namespace httpsrr::dns

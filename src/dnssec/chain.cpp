@@ -1,0 +1,225 @@
+#include "dnssec/chain.h"
+
+#include <algorithm>
+
+namespace httpsrr::dnssec {
+
+std::string_view to_string(Validation v) {
+  switch (v) {
+    case Validation::secure: return "secure";
+    case Validation::insecure: return "insecure";
+    case Validation::bogus: return "bogus";
+  }
+  return "?";
+}
+
+SplitRrset split_rrset(const std::vector<dns::Rr>& records, dns::RrType type) {
+  SplitRrset out;
+  for (const auto& rr : records) {
+    if (rr.type == type) {
+      out.data.add(rr);
+    } else if (rr.type == dns::RrType::RRSIG) {
+      const auto* sig = std::get_if<dns::RrsigRdata>(&rr.rdata);
+      if (sig && sig->type_covered == type) out.sigs.push_back(*sig);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Tries every (sig, key) pair; true when any combination verifies.
+bool any_sig_verifies(const std::vector<dns::RrsigRdata>& sigs,
+                      const std::vector<dns::DnskeyRdata>& keys,
+                      const dns::RrSet& rrset, net::SimTime now) {
+  for (const auto& sig : sigs) {
+    for (const auto& key : keys) {
+      if (verify_rrsig(sig, key, rrset, now) == SigCheck::valid) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<dns::DnskeyRdata> extract_keys(const std::vector<dns::Rr>& records) {
+  std::vector<dns::DnskeyRdata> keys;
+  for (const auto& rr : records) {
+    if (const auto* key = std::get_if<dns::DnskeyRdata>(&rr.rdata)) {
+      keys.push_back(*key);
+    }
+  }
+  return keys;
+}
+
+std::vector<dns::DsRdata> extract_ds(const std::vector<dns::Rr>& records) {
+  std::vector<dns::DsRdata> out;
+  for (const auto& rr : records) {
+    if (const auto* ds = std::get_if<dns::DsRdata>(&rr.rdata)) out.push_back(*ds);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<Validation> ChainStatusCache::get(const dns::Name& zone,
+                                                net::SimTime now) const {
+  auto it = entries_.find(zone);
+  if (it == entries_.end() || it->second.expires <= now) return std::nullopt;
+  return it->second.status;
+}
+
+void ChainStatusCache::put(const dns::Name& zone, Validation status,
+                           net::SimTime now) {
+  entries_[zone] = Entry{status, now + ttl_};
+}
+
+Validation ChainValidator::zone_status(const dns::Name& zone, net::SimTime now,
+                                       ChainStatusCache* cache) const {
+  return zone_status_impl(zone, now, 0, cache);
+}
+
+Validation ChainValidator::zone_status_impl(const dns::Name& zone,
+                                            net::SimTime now, int depth,
+                                            ChainStatusCache* cache) const {
+  if (depth > 32) return Validation::bogus;  // malformed zone graph
+  if (cache != nullptr) {
+    if (auto cached = cache->get(zone, now)) return *cached;
+  }
+
+  auto finish = [&](Validation v) {
+    if (cache != nullptr) cache->put(zone, v, now);
+    return v;
+  };
+
+  auto dnskey_records = source_.dnskey_with_sigs(zone);
+  auto keys = extract_keys(dnskey_records);
+
+  if (zone.is_root()) {
+    // Root: the anchor key must appear in the DNSKEY set and self-sign it.
+    if (keys.empty()) return finish(Validation::insecure);
+    bool anchor_present = false;
+    for (const auto& key : keys) {
+      if (key == root_anchor_) anchor_present = true;
+    }
+    if (!anchor_present) return finish(Validation::bogus);
+    auto split = split_rrset(dnskey_records, dns::RrType::DNSKEY);
+    if (!any_sig_verifies(split.sigs, {root_anchor_}, split.data, now)) {
+      return finish(Validation::bogus);
+    }
+    return finish(Validation::secure);
+  }
+
+  // Parent chain first.
+  auto parent_apex = source_.zone_apex(zone.parent());
+  if (!parent_apex) return finish(Validation::insecure);
+  Validation parent = zone_status_impl(*parent_apex, now, depth + 1, cache);
+  if (parent != Validation::secure) return finish(parent);
+
+  // DS at the (secure) parent.
+  auto ds_records = source_.ds_with_sigs(zone);
+  auto ds_set = extract_ds(ds_records);
+  if (ds_set.empty()) {
+    // Provably unsigned delegation: the Insecure state of Table 9.
+    return finish(Validation::insecure);
+  }
+  // The DS RRset itself must be signed by the parent.
+  auto parent_keys = extract_keys(source_.dnskey_with_sigs(*parent_apex));
+  auto ds_split = split_rrset(ds_records, dns::RrType::DS);
+  if (!any_sig_verifies(ds_split.sigs, parent_keys, ds_split.data, now)) {
+    return finish(Validation::bogus);
+  }
+
+  // A DS must authenticate one of the zone's keys, and that key (or a peer)
+  // must sign the DNSKEY RRset.
+  if (keys.empty()) return finish(Validation::bogus);
+  bool ds_ok = false;
+  for (const auto& ds : ds_set) {
+    for (const auto& key : keys) {
+      if (ds_matches(ds, zone, key)) ds_ok = true;
+    }
+  }
+  if (!ds_ok) return finish(Validation::bogus);
+
+  auto key_split = split_rrset(dnskey_records, dns::RrType::DNSKEY);
+  if (!any_sig_verifies(key_split.sigs, keys, key_split.data, now)) {
+    return finish(Validation::bogus);
+  }
+  return finish(Validation::secure);
+}
+
+Validation ChainValidator::validate(const dns::Name& owner,
+                                    const std::vector<dns::Rr>& records,
+                                    net::SimTime now,
+                                    ChainStatusCache* cache) const {
+  if (records.empty()) return Validation::insecure;
+
+  auto zone = source_.zone_apex(owner);
+  if (!zone) return Validation::insecure;
+
+  Validation chain = zone_status(*zone, now, cache);
+  if (chain != Validation::secure) return chain;
+
+  // The zone is secure: the RRset must carry a verifying signature.
+  dns::RrType type = records.front().type;
+  if (type == dns::RrType::RRSIG && records.size() > 1) {
+    type = records[1].type;
+  }
+  auto split = split_rrset(records, type);
+  if (split.sigs.empty()) return Validation::bogus;
+  auto keys = extract_keys(source_.dnskey_with_sigs(*zone));
+  if (!any_sig_verifies(split.sigs, keys, split.data, now)) {
+    return Validation::bogus;
+  }
+  return Validation::secure;
+}
+
+Validation ChainValidator::validate_denial(const dns::Name& qname,
+                                           dns::RrType qtype,
+                                           const std::vector<dns::Rr>& authorities,
+                                           net::SimTime now,
+                                           ChainStatusCache* cache) const {
+  auto zone = source_.zone_apex(qname);
+  if (!zone) return Validation::insecure;
+  Validation chain = zone_status(*zone, now, cache);
+  if (chain != Validation::secure) return chain;
+
+  // A secure zone must prove its denials.
+  auto keys = extract_keys(source_.dnskey_with_sigs(*zone));
+  for (const auto& rr : authorities) {
+    if (rr.type != dns::RrType::NSEC) continue;
+    const auto* nsec = std::get_if<dns::NsecRdata>(&rr.rdata);
+    if (nsec == nullptr) continue;
+
+    // The NSEC RRset must verify against the zone keys.
+    std::vector<dns::Rr> subset;
+    for (const auto& candidate : authorities) {
+      bool covers = false;
+      if (candidate.type == dns::RrType::RRSIG) {
+        const auto* sig = std::get_if<dns::RrsigRdata>(&candidate.rdata);
+        covers = sig != nullptr && sig->type_covered == dns::RrType::NSEC;
+      }
+      if (candidate.owner == rr.owner &&
+          (candidate.type == dns::RrType::NSEC || covers)) {
+        subset.push_back(candidate);
+      }
+    }
+    auto split = split_rrset(subset, dns::RrType::NSEC);
+    if (!any_sig_verifies(split.sigs, keys, split.data, now)) continue;
+
+    if (rr.owner == qname) {
+      // NODATA proof: qtype must be absent from the bitmap.
+      bool has_type = std::find(nsec->types.begin(), nsec->types.end(),
+                                qtype) != nsec->types.end();
+      if (!has_type) return Validation::secure;
+      continue;
+    }
+    // NXDOMAIN proof: owner < qname < next in canonical order, where a
+    // next <= owner means the chain wraps past the end of the zone.
+    bool after_owner = rr.owner < qname;
+    bool wraps = !(rr.owner < nsec->next);
+    bool before_next = qname < nsec->next;
+    if (after_owner && (before_next || wraps)) return Validation::secure;
+  }
+  return Validation::bogus;
+}
+
+}  // namespace httpsrr::dnssec

@@ -1,0 +1,122 @@
+#pragma once
+
+// DNSSEC chain-of-trust evaluation (RFC 4035 semantics).
+//
+// A validating resolver classifies an RRset as:
+//   * Secure   — an unbroken DS/DNSKEY chain from the trust anchor signs it;
+//   * Insecure — a delegation on the path provably lacks a DS record (the
+//                dominant state the paper measures: domains signing their
+//                zone but never uploading DS to the registrar, §4.5/Table 9);
+//   * Bogus    — a chain exists but a signature or digest fails.
+//
+// The validator pulls DNSKEY/DS sets through the ChainSource interface so
+// it can run against the simulated Internet or against hand-built fixtures.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/rr.h"
+#include "dnssec/signer.h"
+#include "net/time.h"
+
+namespace httpsrr::dnssec {
+
+enum class Validation : std::uint8_t {
+  secure,
+  insecure,
+  bogus,
+};
+
+[[nodiscard]] std::string_view to_string(Validation v);
+
+// Supplies authoritative DNSSEC material per zone.
+class ChainSource {
+ public:
+  virtual ~ChainSource() = default;
+
+  // Closest enclosing zone apex for a name; nullopt when unknown.
+  [[nodiscard]] virtual std::optional<dns::Name> zone_apex(
+      const dns::Name& name) const = 0;
+
+  // DNSKEY RRset of `zone` plus covering RRSIGs; empty when unsigned.
+  [[nodiscard]] virtual std::vector<dns::Rr> dnskey_with_sigs(
+      const dns::Name& zone) const = 0;
+
+  // DS RRset for `zone` as served by its parent, plus covering RRSIGs;
+  // empty when the parent holds no DS for this delegation.
+  [[nodiscard]] virtual std::vector<dns::Rr> ds_with_sigs(
+      const dns::Name& zone) const = 0;
+};
+
+// Memoises zone chain status the way a real validating resolver caches
+// DNSKEY/DS material: entries live until `expires` on the virtual clock.
+class ChainStatusCache {
+ public:
+  explicit ChainStatusCache(net::Duration ttl = net::Duration::hours(1))
+      : ttl_(ttl) {}
+
+  [[nodiscard]] std::optional<Validation> get(const dns::Name& zone,
+                                              net::SimTime now) const;
+  void put(const dns::Name& zone, Validation status, net::SimTime now);
+  void clear() { entries_.clear(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Validation status;
+    net::SimTime expires;
+  };
+  net::Duration ttl_;
+  std::map<dns::Name, Entry> entries_;
+};
+
+class ChainValidator {
+ public:
+  // `root_anchor`: the trust-anchor DNSKEY for the root zone.
+  ChainValidator(const ChainSource& source, dns::DnskeyRdata root_anchor)
+      : source_(source), root_anchor_(std::move(root_anchor)) {}
+
+  // Validates a queried RRset: `records` holds the data records and any
+  // covering RRSIGs exactly as they appear in a response answer section.
+  // `cache` (optional) memoises per-zone chain walks.
+  [[nodiscard]] Validation validate(const dns::Name& owner,
+                                    const std::vector<dns::Rr>& records,
+                                    net::SimTime now,
+                                    ChainStatusCache* cache = nullptr) const;
+
+  // Evaluates the chain state of a zone itself (used by Table-9 audits).
+  [[nodiscard]] Validation zone_status(const dns::Name& zone, net::SimTime now,
+                                       ChainStatusCache* cache = nullptr) const;
+
+  // Validates a *negative* answer: `authorities` holds the SOA and NSEC
+  // records (with RRSIGs) from the authority section. Secure when a
+  // verified NSEC proves qname's nonexistence (NXDOMAIN) or the absence of
+  // qtype at qname (NODATA); bogus when the zone is secure but the proof
+  // is missing, unverifiable, or does not cover the question.
+  [[nodiscard]] Validation validate_denial(const dns::Name& qname,
+                                           dns::RrType qtype,
+                                           const std::vector<dns::Rr>& authorities,
+                                           net::SimTime now,
+                                           ChainStatusCache* cache = nullptr) const;
+
+ private:
+  [[nodiscard]] Validation zone_status_impl(const dns::Name& zone,
+                                            net::SimTime now, int depth,
+                                            ChainStatusCache* cache) const;
+
+  const ChainSource& source_;
+  dns::DnskeyRdata root_anchor_;
+};
+
+// Utility shared with the resolver: splits a record list into the data
+// RRset (of `type`) and the RRSIGs covering it.
+struct SplitRrset {
+  dns::RrSet data;
+  std::vector<dns::RrsigRdata> sigs;
+};
+[[nodiscard]] SplitRrset split_rrset(const std::vector<dns::Rr>& records,
+                                     dns::RrType type);
+
+}  // namespace httpsrr::dnssec

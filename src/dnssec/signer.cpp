@@ -1,0 +1,124 @@
+#include "dnssec/signer.h"
+
+#include "util/rng.h"
+#include "util/sha256.h"
+
+namespace httpsrr::dnssec {
+
+namespace {
+
+// Builds the signed data: RRSIG RDATA with the Signature field omitted,
+// followed by the canonical form of the RRset (RFC 4034 §3.1.8.1).
+dns::Bytes signed_data(const dns::RrsigRdata& sig, const dns::RrSet& rrset) {
+  dns::WireWriter w;
+  w.u16(static_cast<std::uint16_t>(sig.type_covered));
+  w.u8(sig.algorithm);
+  w.u8(sig.labels);
+  w.u32(sig.original_ttl);
+  w.u32(sig.expiration);
+  w.u32(sig.inception);
+  w.u16(sig.key_tag);
+  w.name(sig.signer);
+  dns::Bytes out = std::move(w).take();
+  dns::Bytes canonical = rrset.canonical_form(sig.original_ttl);
+  out.insert(out.end(), canonical.begin(), canonical.end());
+  return out;
+}
+
+dns::Bytes compute_signature(const dns::DnskeyRdata& dnskey,
+                             const dns::Bytes& data) {
+  util::Sha256 h;
+  h.update(dnskey.public_key);
+  h.update(data);
+  auto digest = h.finish();
+  return dns::Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+KeyPair KeyPair::generate(std::uint64_t seed, std::uint16_t flags) {
+  KeyPair kp;
+  util::SplitMix64 rng(seed);
+  kp.secret.resize(32);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t word = rng.next();
+    for (int b = 0; b < 8; ++b) {
+      kp.secret[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(word >> (b * 8));
+    }
+  }
+  auto pub = util::sha256(kp.secret);
+  kp.dnskey.flags = flags;
+  kp.dnskey.protocol = 3;
+  kp.dnskey.algorithm = 253;
+  kp.dnskey.public_key.assign(pub.begin(), pub.end());
+  return kp;
+}
+
+dns::RrsigRdata sign_rrset(const dns::Name& signer_zone, const KeyPair& key,
+                           const dns::RrSet& rrset, net::SimTime inception,
+                           net::SimTime expiration) {
+  dns::RrsigRdata sig;
+  sig.type_covered = rrset.type();
+  sig.algorithm = key.dnskey.algorithm;
+  sig.labels = static_cast<std::uint8_t>(rrset.owner().label_count());
+  sig.original_ttl = rrset.ttl();
+  sig.inception = static_cast<std::uint32_t>(inception.unix_seconds);
+  sig.expiration = static_cast<std::uint32_t>(expiration.unix_seconds);
+  sig.key_tag = key.key_tag();
+  sig.signer = signer_zone;
+  sig.signature = compute_signature(key.dnskey, signed_data(sig, rrset));
+  return sig;
+}
+
+std::string_view to_string(SigCheck c) {
+  switch (c) {
+    case SigCheck::valid: return "valid";
+    case SigCheck::expired: return "expired";
+    case SigCheck::not_yet_valid: return "not-yet-valid";
+    case SigCheck::key_mismatch: return "key-mismatch";
+    case SigCheck::bad_signature: return "bad-signature";
+  }
+  return "?";
+}
+
+SigCheck verify_rrsig(const dns::RrsigRdata& sig, const dns::DnskeyRdata& dnskey,
+                      const dns::RrSet& rrset, net::SimTime now) {
+  if (sig.key_tag != dnskey.key_tag() || sig.algorithm != dnskey.algorithm) {
+    return SigCheck::key_mismatch;
+  }
+  auto t = static_cast<std::uint32_t>(now.unix_seconds);
+  if (t > sig.expiration) return SigCheck::expired;
+  if (t < sig.inception) return SigCheck::not_yet_valid;
+  if (sig.signature != compute_signature(dnskey, signed_data(sig, rrset))) {
+    return SigCheck::bad_signature;
+  }
+  return SigCheck::valid;
+}
+
+dns::DsRdata make_ds(const dns::Name& child_zone, const dns::DnskeyRdata& dnskey) {
+  dns::WireWriter w;
+  w.name(child_zone);
+  w.u16(dnskey.flags);
+  w.u8(dnskey.protocol);
+  w.u8(dnskey.algorithm);
+  w.bytes(dnskey.public_key);
+  auto digest = util::sha256(w.data());
+
+  dns::DsRdata ds;
+  ds.key_tag = dnskey.key_tag();
+  ds.algorithm = dnskey.algorithm;
+  ds.digest_type = 2;
+  ds.digest.assign(digest.begin(), digest.end());
+  return ds;
+}
+
+bool ds_matches(const dns::DsRdata& ds, const dns::Name& child_zone,
+                const dns::DnskeyRdata& dnskey) {
+  if (ds.key_tag != dnskey.key_tag() || ds.algorithm != dnskey.algorithm) {
+    return false;
+  }
+  return ds == make_ds(child_zone, dnskey);
+}
+
+}  // namespace httpsrr::dnssec

@@ -1,0 +1,65 @@
+#pragma once
+
+// DNSSEC substrate: key generation, RRset signing/verification, DS records.
+//
+// Substitution note (see DESIGN.md): signatures use a *simulated* algorithm
+// (number 253, PRIVATEDNS): sig = SHA-256(public_key || signed_data).  This
+// keeps every structural property the study measures — key tags, DS
+// digests, signature/data binding (any bit flip breaks verification),
+// inception/expiration windows, missing-DS "insecure" states — while
+// avoiding a from-scratch RSA/ECDSA implementation.  The measurement never
+// relies on unforgeability, only on match/mismatch.
+
+#include <cstdint>
+
+#include "dns/name.h"
+#include "dns/rdata.h"
+#include "dns/rr.h"
+#include "net/time.h"
+
+namespace httpsrr::dnssec {
+
+// A zone's signing key: public half is a DNSKEY RDATA; the private half
+// stays inside the authoritative server.
+struct KeyPair {
+  dns::DnskeyRdata dnskey;
+  dns::Bytes secret;
+
+  // Deterministic generation from a seed (flags 257 = KSK, 256 = ZSK).
+  static KeyPair generate(std::uint64_t seed, std::uint16_t flags = 256);
+
+  [[nodiscard]] std::uint16_t key_tag() const { return dnskey.key_tag(); }
+};
+
+// Signs `rrset` with `key` on behalf of `signer_zone`.
+[[nodiscard]] dns::RrsigRdata sign_rrset(const dns::Name& signer_zone,
+                                         const KeyPair& key,
+                                         const dns::RrSet& rrset,
+                                         net::SimTime inception,
+                                         net::SimTime expiration);
+
+enum class SigCheck : std::uint8_t {
+  valid,
+  expired,
+  not_yet_valid,
+  key_mismatch,    // key tag / signer / algorithm does not match the DNSKEY
+  bad_signature,   // data or key changed since signing
+};
+
+[[nodiscard]] std::string_view to_string(SigCheck c);
+
+// Verifies `sig` over `rrset` with the public `dnskey` at virtual time `now`.
+[[nodiscard]] SigCheck verify_rrsig(const dns::RrsigRdata& sig,
+                                    const dns::DnskeyRdata& dnskey,
+                                    const dns::RrSet& rrset, net::SimTime now);
+
+// DS record for a child zone's DNSKEY (digest type 2 = SHA-256 over
+// owner-wire || DNSKEY RDATA, per RFC 4034 §5.1.4).
+[[nodiscard]] dns::DsRdata make_ds(const dns::Name& child_zone,
+                                   const dns::DnskeyRdata& dnskey);
+
+// True if `ds` authenticates `dnskey` at `child_zone`.
+[[nodiscard]] bool ds_matches(const dns::DsRdata& ds, const dns::Name& child_zone,
+                              const dns::DnskeyRdata& dnskey);
+
+}  // namespace httpsrr::dnssec

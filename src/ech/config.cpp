@@ -1,0 +1,121 @@
+#include "ech/config.h"
+
+namespace httpsrr::ech {
+
+using util::Error;
+using util::Result;
+
+void EchConfig::encode(dns::WireWriter& w) const {
+  w.u16(version);
+  // Contents in a scratch writer so the length prefix is exact.
+  dns::WireWriter contents;
+  contents.u8(config_id);
+  contents.u16(kem_id);
+  contents.u16(static_cast<std::uint16_t>(public_key.size()));
+  contents.bytes(public_key);
+  contents.u16(static_cast<std::uint16_t>(cipher_suites.size() * 4));
+  for (const auto& suite : cipher_suites) {
+    contents.u16(suite.kdf_id);
+    contents.u16(suite.aead_id);
+  }
+  contents.u8(maximum_name_length);
+  contents.u8(static_cast<std::uint8_t>(public_name.size()));
+  contents.raw_string(public_name);
+  contents.u16(static_cast<std::uint16_t>(extensions.size()));
+  contents.bytes(extensions);
+
+  w.u16(static_cast<std::uint16_t>(contents.size()));
+  w.bytes(contents.data());
+}
+
+Result<EchConfig> EchConfig::decode(dns::WireReader& r) {
+  EchConfig out;
+  auto version = r.u16();
+  if (!version) return Error{version.error()};
+  out.version = *version;
+  auto length = r.u16();
+  if (!length) return Error{length.error()};
+  std::size_t end = r.pos() + *length;
+  if (end > r.pos() + r.remaining()) return Error{"ECHConfig overruns buffer"};
+
+  if (out.version != kEchVersionDraft13) {
+    // Unknown versions are skipped by clients; we surface them as parse
+    // errors here and let callers decide (browsers ignore such entries).
+    auto skipped = r.bytes(*length);
+    if (!skipped) return Error{skipped.error()};
+    return Error{"unsupported ECHConfig version"};
+  }
+
+  auto config_id = r.u8();
+  auto kem_id = r.u16();
+  if (!config_id || !kem_id) return Error{"truncated HpkeKeyConfig"};
+  out.config_id = *config_id;
+  out.kem_id = *kem_id;
+
+  auto pk_len = r.u16();
+  if (!pk_len) return Error{pk_len.error()};
+  if (*pk_len == 0) return Error{"empty ECH public key"};
+  auto pk = r.bytes(*pk_len);
+  if (!pk) return Error{pk.error()};
+  out.public_key = std::move(*pk);
+
+  auto suites_len = r.u16();
+  if (!suites_len) return Error{suites_len.error()};
+  if (*suites_len % 4 != 0 || *suites_len == 0) {
+    return Error{"bad cipher_suites length"};
+  }
+  out.cipher_suites.clear();
+  for (unsigned i = 0; i < *suites_len / 4; ++i) {
+    auto kdf = r.u16();
+    auto aead = r.u16();
+    if (!kdf || !aead) return Error{"truncated cipher suite"};
+    out.cipher_suites.push_back(HpkeSuite{*kdf, *aead});
+  }
+
+  auto max_name_len = r.u8();
+  if (!max_name_len) return Error{max_name_len.error()};
+  out.maximum_name_length = *max_name_len;
+
+  auto name_len = r.u8();
+  if (!name_len) return Error{name_len.error()};
+  if (*name_len == 0) return Error{"empty ECH public_name"};
+  auto name = r.bytes(*name_len);
+  if (!name) return Error{name.error()};
+  out.public_name.assign(name->begin(), name->end());
+
+  auto ext_len = r.u16();
+  if (!ext_len) return Error{ext_len.error()};
+  auto ext = r.bytes(*ext_len);
+  if (!ext) return Error{ext.error()};
+  out.extensions = std::move(*ext);
+
+  if (r.pos() != end) return Error{"ECHConfig length mismatch"};
+  return out;
+}
+
+Bytes EchConfigList::encode() const {
+  dns::WireWriter inner;
+  for (const auto& config : configs) config.encode(inner);
+  dns::WireWriter w;
+  w.u16(static_cast<std::uint16_t>(inner.size()));
+  w.bytes(inner.data());
+  return std::move(w).take();
+}
+
+Result<EchConfigList> EchConfigList::decode(const Bytes& wire) {
+  dns::WireReader r(wire);
+  auto total = r.u16();
+  if (!total) return Error{total.error()};
+  if (*total != r.remaining()) return Error{"ECHConfigList length mismatch"};
+  if (*total == 0) return Error{"empty ECHConfigList"};
+
+  EchConfigList out;
+  while (!r.at_end()) {
+    auto config = EchConfig::decode(r);
+    if (!config) return Error{config.error()};
+    out.configs.push_back(std::move(*config));
+  }
+  return out;
+}
+
+}  // namespace httpsrr::ech

@@ -1,0 +1,65 @@
+#pragma once
+
+// TLS Encrypted Client Hello configuration (draft-ietf-tls-esni-13 wire
+// format — the version the paper's testbed deploys via the DEfO OpenSSL /
+// Nginx branches).
+//
+//   ECHConfigList: u16 total length, then ECHConfig*
+//   ECHConfig:     u16 version (0xfe0d), u16 length, ECHConfigContents
+//   Contents:      HpkeKeyConfig, u8 maximum_name_length,
+//                  opaque public_name<1..255>, extensions<0..2^16-1>
+//   HpkeKeyConfig: u8 config_id, u16 kem_id, opaque public_key<1..2^16-1>,
+//                  cipher_suites<4..2^16-4> of (u16 kdf_id, u16 aead_id)
+//
+// The structure is bit-exact to the draft; only the key material inside
+// public_key is produced by the simulated HPKE (see ech/hpke.h).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/wire.h"
+#include "util/result.h"
+
+namespace httpsrr::ech {
+
+using dns::Bytes;
+
+inline constexpr std::uint16_t kEchVersionDraft13 = 0xfe0d;
+// X25519 / HKDF-SHA256 / AES-128-GCM ids, as Cloudflare publishes.
+inline constexpr std::uint16_t kKemX25519Sha256 = 0x0020;
+inline constexpr std::uint16_t kKdfHkdfSha256 = 0x0001;
+inline constexpr std::uint16_t kAeadAes128Gcm = 0x0001;
+
+struct HpkeSuite {
+  std::uint16_t kdf_id = kKdfHkdfSha256;
+  std::uint16_t aead_id = kAeadAes128Gcm;
+  friend bool operator==(const HpkeSuite&, const HpkeSuite&) = default;
+};
+
+struct EchConfig {
+  std::uint16_t version = kEchVersionDraft13;
+  std::uint8_t config_id = 0;
+  std::uint16_t kem_id = kKemX25519Sha256;
+  Bytes public_key;
+  std::vector<HpkeSuite> cipher_suites{HpkeSuite{}};
+  std::uint8_t maximum_name_length = 0;
+  std::string public_name;  // client-facing server, e.g. cloudflare-ech.com
+  Bytes extensions;
+
+  void encode(dns::WireWriter& w) const;
+  static util::Result<EchConfig> decode(dns::WireReader& r);
+
+  friend bool operator==(const EchConfig&, const EchConfig&) = default;
+};
+
+struct EchConfigList {
+  std::vector<EchConfig> configs;
+
+  [[nodiscard]] Bytes encode() const;
+  static util::Result<EchConfigList> decode(const Bytes& wire);
+
+  friend bool operator==(const EchConfigList&, const EchConfigList&) = default;
+};
+
+}  // namespace httpsrr::ech

@@ -1,0 +1,98 @@
+#include "ech/hpke.h"
+
+#include "util/rng.h"
+#include "util/sha256.h"
+
+namespace httpsrr::ech {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+constexpr std::size_t kTagLen = 16;
+
+// Counter-mode keystream from SHA-256(context || counter).
+void xor_keystream(const Bytes& context, Bytes& data) {
+  for (std::size_t block = 0; block * 32 < data.size(); ++block) {
+    util::Sha256 h;
+    h.update(context);
+    std::uint8_t counter[4] = {
+        static_cast<std::uint8_t>(block >> 24), static_cast<std::uint8_t>(block >> 16),
+        static_cast<std::uint8_t>(block >> 8), static_cast<std::uint8_t>(block)};
+    h.update(counter, 4);
+    auto stream = h.finish();
+    for (std::size_t i = 0; i < 32 && block * 32 + i < data.size(); ++i) {
+      data[block * 32 + i] ^= stream[i];
+    }
+  }
+}
+
+Bytes make_tag(const Bytes& public_key, const Bytes& aad, const Bytes& plaintext) {
+  util::Sha256 h;
+  h.update("ech-sim-tag");
+  h.update(public_key);
+  h.update(aad);
+  h.update(plaintext);
+  auto digest = h.finish();
+  return Bytes(digest.begin(), digest.begin() + kTagLen);
+}
+
+Bytes stream_context(const Bytes& public_key, const Bytes& aad) {
+  util::Sha256 h;
+  h.update("ech-sim-stream");
+  h.update(public_key);
+  h.update(aad);
+  auto digest = h.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+HpkeKeyPair HpkeKeyPair::generate(std::uint64_t seed) {
+  HpkeKeyPair kp;
+  util::SplitMix64 rng(seed ^ 0xec11ec11ec11ec11ULL);
+  kp.secret.resize(32);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t word = rng.next();
+    for (int b = 0; b < 8; ++b) {
+      kp.secret[i * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::uint8_t>(word >> (b * 8));
+    }
+  }
+  kp.public_key = hpke_public_of(kp.secret);
+  return kp;
+}
+
+Bytes hpke_public_of(const Bytes& secret) {
+  util::Sha256 h;
+  h.update("ech-sim-pub");
+  h.update(secret);
+  auto digest = h.finish();
+  return Bytes(digest.begin(), digest.end());
+}
+
+Bytes hpke_seal(const Bytes& public_key, const Bytes& aad, const Bytes& plaintext) {
+  Bytes ct = plaintext;
+  xor_keystream(stream_context(public_key, aad), ct);
+  Bytes tag = make_tag(public_key, aad, plaintext);
+  ct.insert(ct.end(), tag.begin(), tag.end());
+  return ct;
+}
+
+Result<Bytes> hpke_open(const Bytes& secret, const Bytes& aad,
+                        const Bytes& ciphertext) {
+  if (ciphertext.size() < kTagLen) return Error{"ciphertext shorter than tag"};
+  Bytes public_key = hpke_public_of(secret);
+  Bytes body(ciphertext.begin(),
+             ciphertext.end() - static_cast<std::ptrdiff_t>(kTagLen));
+  Bytes tag(ciphertext.end() - static_cast<std::ptrdiff_t>(kTagLen),
+            ciphertext.end());
+  xor_keystream(stream_context(public_key, aad), body);
+  if (tag != make_tag(public_key, aad, body)) {
+    return Error{"ECH decryption failure (key mismatch or corruption)"};
+  }
+  return body;
+}
+
+}  // namespace httpsrr::ech

@@ -1,0 +1,46 @@
+#pragma once
+
+// SimHpke — simulated HPKE sealed box for the ECH substrate.
+//
+// Substitution note (DESIGN.md): real ECH uses X25519 + HKDF + AEAD.  The
+// study's client/server interactions only depend on *key identity*: a
+// ClientHelloInner sealed under configuration K opens iff the server still
+// holds K's private key; otherwise the server answers with retry configs.
+// SimHpke reproduces exactly that contract:
+//   * keygen(seed): secret = 32 seeded bytes, public = SHA-256(secret);
+//   * seal(pk, aad, pt): XOR keystream derived from (pk, aad) plus a
+//     16-byte integrity tag binding (pk, aad, pt);
+//   * open(sk, aad, ct): derives pk from sk, reverses the stream, verifies
+//     the tag — any pk/sk mismatch or bit flip fails.
+// It is NOT confidential against an observer who knows pk; no experiment
+// in the paper depends on that property.
+
+#include <cstdint>
+
+#include "dns/wire.h"
+#include "util/result.h"
+
+namespace httpsrr::ech {
+
+using dns::Bytes;
+
+struct HpkeKeyPair {
+  Bytes secret;      // 32 octets
+  Bytes public_key;  // 32 octets, derived from secret
+
+  static HpkeKeyPair generate(std::uint64_t seed);
+};
+
+// Seals `plaintext` to `public_key`, binding `aad`.
+[[nodiscard]] Bytes hpke_seal(const Bytes& public_key, const Bytes& aad,
+                              const Bytes& plaintext);
+
+// Opens `ciphertext` with `secret`; fails on key mismatch or corruption.
+[[nodiscard]] util::Result<Bytes> hpke_open(const Bytes& secret,
+                                            const Bytes& aad,
+                                            const Bytes& ciphertext);
+
+// Derives the public key for a secret (used to match config ids to keys).
+[[nodiscard]] Bytes hpke_public_of(const Bytes& secret);
+
+}  // namespace httpsrr::ech

@@ -1,0 +1,81 @@
+#include "ech/key_manager.h"
+
+#include "util/rng.h"
+
+namespace httpsrr::ech {
+
+EchKeyManager::EchKeyManager(Options options, net::SimTime now)
+    : options_(std::move(options)) {
+  install_new_key(now);
+  next_rotation_ = now + next_period();
+}
+
+net::Duration EchKeyManager::next_period() {
+  // Deterministic jitter: hash (seed, counter) into [0, jitter).
+  net::Duration period = options_.rotation_period;
+  if (options_.rotation_jitter.seconds > 0) {
+    std::uint64_t h = util::mix64(options_.seed * 0x9e37u + counter_);
+    period.seconds += static_cast<std::int64_t>(
+        h % static_cast<std::uint64_t>(options_.rotation_jitter.seconds));
+  }
+  return period;
+}
+
+void EchKeyManager::install_new_key(net::SimTime now) {
+  (void)now;
+  ++counter_;
+  current_keys_ = HpkeKeyPair::generate(options_.seed * 1000003 + counter_);
+  current_id_ = static_cast<std::uint8_t>(util::mix64(options_.seed + counter_));
+
+  EchConfig config;
+  config.config_id = current_id_;
+  config.public_key = current_keys_.public_key;
+  config.public_name = options_.public_name;
+  current_list_ = EchConfigList{{config}};
+}
+
+void EchKeyManager::rotate(net::SimTime now) {
+  if (options_.retain_previous_keys) {
+    retained_.push_back(KeySlot{current_id_, current_keys_, now});
+  }
+  install_new_key(now);
+  ++rotations_;
+
+  // Drop keys past the retention window.
+  while (!retained_.empty() &&
+         now - retained_.front().retired_at > options_.retention) {
+    retained_.pop_front();
+  }
+}
+
+void EchKeyManager::tick(net::SimTime now) {
+  while (now >= next_rotation_) {
+    rotate(next_rotation_);
+    next_rotation_ = next_rotation_ + next_period();
+  }
+  while (!retained_.empty() &&
+         now - retained_.front().retired_at > options_.retention) {
+    retained_.pop_front();
+  }
+}
+
+std::optional<Bytes> EchKeyManager::open(std::uint8_t config_id, const Bytes& aad,
+                                         const Bytes& ciphertext) const {
+  if (config_id == current_id_) {
+    if (auto pt = hpke_open(current_keys_.secret, aad, ciphertext)) {
+      return std::move(pt).take();
+    }
+    return std::nullopt;
+  }
+  for (const auto& slot : retained_) {
+    if (slot.config_id == config_id) {
+      if (auto pt = hpke_open(slot.keys.secret, aad, ciphertext)) {
+        return std::move(pt).take();
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace httpsrr::ech

@@ -1,0 +1,85 @@
+#pragma once
+
+// EchKeyManager — the server-side key lifecycle the paper measures (§4.4.2).
+//
+// Cloudflare rotates the ECH key roughly every 1–2 hours (Fig. 4 measures a
+// mean configuration lifetime of 1.26 h).  Because HTTPS records are cached
+// by resolvers for their TTL, a correct deployment must keep *previous*
+// keys usable for at least one TTL after rotation, and must answer clients
+// holding stale configurations with retry configs.  The manager models:
+//   * a rotation schedule (deterministic jitter per domain);
+//   * a retention window of old keys ("dual-key window");
+//   * retry-config emission for stale/unknown configurations.
+// The ablation bench (ablate_ech_keys) disables the retention window to
+// quantify the hard-failure rate the paper warns about.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "ech/config.h"
+#include "ech/hpke.h"
+#include "net/time.h"
+
+namespace httpsrr::ech {
+
+class EchKeyManager {
+ public:
+  struct Options {
+    std::string public_name;          // client-facing server name
+    net::Duration rotation_period = net::Duration::hours(1);
+    net::Duration rotation_jitter = net::Duration::minutes(30);  // 0..jitter added per cycle
+    net::Duration retention = net::Duration::minutes(10);  // keep old keys >= record TTL
+    bool retain_previous_keys = true;  // ablation switch
+    std::uint64_t seed = 1;
+  };
+
+  EchKeyManager(Options options, net::SimTime now);
+
+  // Advances the lifecycle; rotates when the schedule fires.
+  void tick(net::SimTime now);
+
+  // Forces an immediate rotation (used by tests).
+  void rotate(net::SimTime now);
+
+  // The ECHConfigList to publish in the HTTPS record right now.
+  [[nodiscard]] const EchConfigList& current_config_list() const {
+    return current_list_;
+  }
+  [[nodiscard]] Bytes current_config_wire() const { return current_list_.encode(); }
+  [[nodiscard]] std::uint8_t current_config_id() const { return current_id_; }
+  [[nodiscard]] const std::string& public_name() const { return options_.public_name; }
+
+  // Server side: attempts to open a sealed inner hello produced under
+  // `config_id`. Returns the plaintext on success; nullopt when the key is
+  // unknown/retired (the caller then serves retry configs).
+  [[nodiscard]] std::optional<Bytes> open(std::uint8_t config_id,
+                                          const Bytes& aad,
+                                          const Bytes& ciphertext) const;
+
+  // Number of keys currently accepted (current + retained).
+  [[nodiscard]] std::size_t live_key_count() const { return 1 + retained_.size(); }
+  [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  struct KeySlot {
+    std::uint8_t config_id;
+    HpkeKeyPair keys;
+    net::SimTime retired_at;
+  };
+
+  void install_new_key(net::SimTime now);
+  [[nodiscard]] net::Duration next_period();
+
+  Options options_;
+  HpkeKeyPair current_keys_;
+  std::uint8_t current_id_ = 0;
+  EchConfigList current_list_;
+  std::deque<KeySlot> retained_;
+  net::SimTime next_rotation_;
+  std::uint64_t counter_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace httpsrr::ech

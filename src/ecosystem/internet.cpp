@@ -1,0 +1,851 @@
+#include "ecosystem/internet.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace httpsrr::ecosystem {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rr;
+using dns::RrType;
+using resolver::AuthoritativeServer;
+
+namespace {
+
+constexpr std::uint32_t kApexTtl = 300;
+constexpr std::uint32_t kNsTtl = 86400;
+
+// Deterministic per-(domain, stream) random draw in [0,1).
+double draw(std::uint64_t seed, DomainId id, std::uint64_t stream) {
+  std::uint64_t h = util::mix64(seed ^ (static_cast<std::uint64_t>(id) * 0x9e3779b1ULL) ^
+                                (stream << 40));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t draw_u64(std::uint64_t seed, DomainId id, std::uint64_t stream) {
+  return util::mix64(seed ^ (static_cast<std::uint64_t>(id) * 0xc2b2ae35ULL) ^
+                     (stream << 40));
+}
+
+// Generation-aware web address for a domain.
+net::Ipv4Addr web_address(DomainId id, std::uint64_t generation) {
+  auto g = static_cast<std::uint8_t>(generation % 8);
+  return net::Ipv4Addr(static_cast<std::uint8_t>(104),
+                       static_cast<std::uint8_t>(16 + g),
+                       static_cast<std::uint8_t>((id >> 8) & 0xff),
+                       static_cast<std::uint8_t>(id & 0xff));
+}
+
+net::Ipv6Addr web_address6(DomainId id) {
+  std::array<std::uint16_t, 8> groups{0x2606, 0x4700, 0, 0, 0, 0,
+                                      static_cast<std::uint16_t>(id >> 16),
+                                      static_cast<std::uint16_t>(id & 0xffff)};
+  return net::Ipv6Addr::from_groups(groups);
+}
+
+}  // namespace
+
+Internet::Internet(EcosystemConfig config)
+    : config_(config),
+      clock_(config.start),
+      catalog_(ProviderCatalog::make(config.seed)),
+      root_key_(dnssec::KeyPair::generate(config.seed ^ 0x1007, 257)) {
+  TrancoFeed::Options feed_options;
+  feed_options.universe_size = config_.universe_size;
+  feed_options.list_size = config_.list_size;
+  feed_options.source_change = config_.source_change;
+  feed_options.seed = config_.seed;
+  feed_ = std::make_unique<TrancoFeed>(feed_options);
+
+  ech::EchKeyManager::Options ech_options;
+  ech_options.public_name = "cloudflare-ech.com";
+  ech_options.rotation_period = config_.ech_rotation_period;
+  ech_options.rotation_jitter = config_.ech_rotation_jitter;
+  ech_options.retention = net::Duration::minutes(10);
+  ech_options.seed = config_.seed ^ 0xec;
+  cf_ech_ = std::make_shared<ech::EchKeyManager>(ech_options, config_.start);
+
+  build_population();
+  build_infrastructure();
+  for (const auto& d : domains_) build_zone(d);
+  schedule_events();
+}
+
+dns::Name Internet::tld_of(const DomainState& d) const {
+  return *Name::from_labels({d.apex.labels().back()});
+}
+
+AuthoritativeServer* Internet::provider_server(std::size_t index) const {
+  return provider_servers_[index];
+}
+
+const DomainState* Internet::domain_by_name(const Name& apex) const {
+  auto it = by_name_.find(apex);
+  return it == by_name_.end() ? nullptr : &domains_[it->second];
+}
+
+// --------------------------------------------------------------- population
+
+void Internet::build_population() {
+  const std::uint64_t seed = config_.seed;
+  const std::size_t universe = config_.universe_size;
+  domains_.resize(universe);
+
+  // Providers with explicit HTTPS customer targets get them assigned first.
+  // We walk the universe in a deterministic shuffled order.
+  std::vector<DomainId> order(universe);
+  for (std::size_t i = 0; i < universe; ++i) order[i] = static_cast<DomainId>(i);
+  util::Pcg32 shuffle_rng(seed ^ 0xa110c);
+  for (std::size_t i = universe - 1; i > 0; --i) {
+    std::size_t j = shuffle_rng.uniform(static_cast<std::uint32_t>(i + 1));
+    std::swap(order[i], order[j]);
+  }
+
+  const char* tld_choices[] = {"com", "com", "com", "com", "com", "com", "com",
+                               "net", "net", "org"};
+
+  for (DomainId id = 0; id < universe; ++id) {
+    DomainState& d = domains_[id];
+    d.id = id;
+    const char* tld = tld_choices[draw_u64(seed, id, 1) % 10];
+    d.apex = name_of(util::format("d%05u.%s", id, tld));
+    d.www = *d.apex.prepend("www");
+    d.address = web_address(id, 0);
+    d.hint_address = d.address;
+    d.address6 = web_address6(id);
+    by_name_[d.apex] = id;
+    by_name_[d.www] = id;
+  }
+
+  // --- named/tail providers: place their HTTPS customers ------------------
+  std::size_t cursor = 0;
+  auto take_domains = [&](std::size_t count, double overlap_fraction,
+                          std::size_t provider_index) {
+    std::size_t placed = 0;
+    std::size_t scan = 0;
+    while (placed < count && scan < order.size()) {
+      DomainId id = order[(cursor + scan) % order.size()];
+      ++scan;
+      DomainState& d = domains_[id];
+      if (d.provider != 0 || d.on_cloudflare) continue;  // already claimed
+      bool stable = feed_->stability(id) == Stability::core_both;
+      bool want_stable = draw(seed, id, 2) < overlap_fraction;
+      if (stable != want_stable) continue;
+      d.provider = provider_index;
+      d.publishes_https = true;
+      d.https_since = config_.start - net::Duration::days(30);
+      ++placed;
+    }
+    cursor += scan;
+  };
+
+  // Provider customer counts scale *stochastically* (floor + fractional
+  // Bernoulli) rather than with a min-1 clamp: at small scales most tail
+  // providers must end up with zero customers, matching the paper's ~2,900
+  // non-Cloudflare HTTPS apexes spread over 244 operators.
+  for (std::size_t p = 1; p < catalog_.providers.size(); ++p) {
+    const auto& spec = catalog_.providers[p];
+    if (spec.https_domains_full_scale == 0) continue;
+    double expected = static_cast<double>(spec.https_domains_full_scale) *
+                      config_.scale() * config_.noncf_oversample;
+    auto count = static_cast<std::size_t>(expected);
+    double frac = expected - static_cast<double>(count);
+    if (draw(seed, static_cast<DomainId>(p), 60) < frac) ++count;
+    if (count == 0) continue;
+    take_domains(count, spec.overlap_fraction, p);
+  }
+
+  // --- Cloudflare cohort & the bulk remainder -----------------------------
+  std::size_t bulk_start = catalog_.providers.size() - 4;
+  for (DomainId id = 0; id < universe; ++id) {
+    DomainState& d = domains_[id];
+    if (d.provider != 0) continue;  // claimed by a named/tail provider
+
+    bool core = feed_->stability(id) == Stability::core_both;
+    double cf_share = core ? config_.cf_share_core : config_.cf_share_churn;
+    if (draw(seed, id, 3) < cf_share) {
+      d.on_cloudflare = true;
+      d.provider = 0;
+      if (draw(seed, id, 4) < config_.cf_proxied) {
+        d.cf_proxied = true;
+        d.publishes_https = true;
+        double customized =
+            core ? config_.cf_customized_core : config_.cf_customized_churn;
+        d.cf_customized = draw(seed, id, 5) < customized;
+        d.cf_free_plan = draw(seed, id, 6) < config_.cf_free_plan;
+        d.www_has_https = draw(seed, id, 7) < config_.www_mirror;
+
+        // Activation date: stable domains were proxied before the window;
+        // churners activate progressively (the rising Fig. 2a trend).
+        bool churner = feed_->stability(id) == Stability::churn;
+        if (churner && draw(seed, id, 8) < config_.churn_late_activation) {
+          auto window_days = (config_.end - config_.start).seconds / 86400;
+          auto offset = static_cast<std::int64_t>(draw_u64(seed, id, 9) %
+                                                  static_cast<std::uint64_t>(window_days));
+          d.https_since = config_.start + net::Duration::days(offset);
+        } else {
+          d.https_since = config_.start - net::Duration::days(60);
+        }
+      }
+    } else {
+      // Bulk provider without HTTPS support.
+      d.provider = bulk_start + draw_u64(seed, id, 10) % 4;
+    }
+  }
+
+  // --- DNSSEC flags --------------------------------------------------------
+  for (DomainId id = 0; id < universe; ++id) {
+    DomainState& d = domains_[id];
+    bool core = feed_->stability(id) == Stability::core_both;
+    double p_signed;
+    double p_ds_ok;
+    if (d.publishes_https) {
+      p_signed = config_.signed_with_https;
+      p_ds_ok = d.on_cloudflare ? config_.ds_ok_with_https_cf
+                                : config_.ds_ok_with_https_noncf;
+      // Dynamic Fig. 5a decline: late-activating churners sign less.
+      if (!core && d.https_since > config_.start) p_signed *= 0.25;
+    } else {
+      p_signed = config_.signed_without_https;
+      p_ds_ok = config_.ds_ok_without_https;
+    }
+    if (draw(seed, id, 11) < p_signed) {
+      d.dnssec_signed = true;
+      d.ds_uploaded = draw(seed, id, 12) < p_ds_ok;
+      // Overlapping Fig. 5b rise: a share of core signers adopt mid-window.
+      if (core && draw(seed, id, 13) < config_.core_signing_adoption) {
+        auto window_days = (config_.end - config_.start).seconds / 86400;
+        auto offset = static_cast<std::int64_t>(draw_u64(seed, id, 14) %
+                                                static_cast<std::uint64_t>(window_days));
+        d.signs_from = config_.start + net::Duration::days(offset);
+      } else {
+        d.signs_from = config_.start - net::Duration::days(90);
+      }
+    }
+  }
+
+  // --- quirk cohorts -------------------------------------------------------
+  auto assign_quirk = [&](std::size_t count, DomainState::Quirk quirk,
+                          auto&& predicate) -> std::size_t {
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < order.size() && assigned < count; ++i) {
+      DomainState& d = domains_[order[i]];
+      if (d.quirk != DomainState::Quirk::none) continue;
+      if (!predicate(d)) continue;
+      d.quirk = quirk;
+      ++assigned;
+    }
+    return assigned;
+  };
+  auto is_cf_default = [](const DomainState& d) {
+    return d.on_cloudflare && d.cf_proxied && !d.cf_customized;
+  };
+
+  assign_quirk(config_.scaled(config_.intermittent_cf_toggle_full),
+               DomainState::Quirk::proxied_toggler, is_cf_default);
+  assign_quirk(config_.scaled(config_.intermittent_multi_ns_full),
+               DomainState::Quirk::multi_ns_deactivation, is_cf_default);
+  assign_quirk(config_.scaled(config_.ns_change_lose_https_full),
+               DomainState::Quirk::ns_change_lose_https, is_cf_default);
+  {
+    // Prefer non-Cloudflare publishers for the mixed-provider cohort; at
+    // small scales fall back to Cloudflare ones (the paper saw both mixes).
+    std::size_t want = config_.scaled(config_.mixed_provider_full);
+    std::size_t got = assign_quirk(want, DomainState::Quirk::mixed_provider,
+                                   [](const DomainState& d) {
+                                     return !d.on_cloudflare && d.publishes_https;
+                                   });
+    if (got < want) {
+      (void)assign_quirk(want - got, DomainState::Quirk::mixed_provider,
+                         [&](const DomainState& d) {
+                           return is_cf_default(d) &&
+                                  d.https_since <= config_.start;
+                         });
+    }
+  }
+  assign_quirk(config_.scaled(config_.ns_vanish_full),
+               DomainState::Quirk::ns_vanish, is_cf_default);
+  assign_quirk(config_.scaled(config_.chronic_mismatch_full),
+               DomainState::Quirk::chronic_mismatch, is_cf_default);
+
+  for (DomainId id = 0; id < universe; ++id) {
+    DomainState& d = domains_[id];
+    if (d.quirk == DomainState::Quirk::mixed_provider) {
+      d.provider2 = bulk_start + draw_u64(seed, id, 15) % 4;
+    }
+    if (d.quirk == DomainState::Quirk::chronic_mismatch) {
+      d.hint_address = web_address(id, 7);  // permanently different
+    }
+  }
+}
+
+// ----------------------------------------------------------- infrastructure
+
+void Internet::build_infrastructure() {
+  const std::uint64_t seed = config_.seed;
+
+  root_server_ = &infra_.add_server("root-ops", *net::IpAddr::parse("198.41.0.4"));
+  root_server_->add_zone(dns::Zone(Name{}));
+  root_server_->enable_dnssec(Name{}, root_key_);
+  infra_.register_zone(Name{}, {root_server_});
+  infra_.set_root_servers({*net::IpAddr::parse("198.41.0.4")});
+
+  tld_server_ = &infra_.add_server("gtld-ops", *net::IpAddr::parse("192.5.6.30"));
+  const char* tld_names[] = {"com", "net", "org", "no"};
+  auto* root_zone = root_server_->find_zone(Name{});
+  for (std::size_t i = 0; i < 4; ++i) {
+    Name tld = name_of(tld_names[i]);
+    tlds_.push_back(tld);
+    tld_keys_.push_back(dnssec::KeyPair::generate(seed ^ (0x71d + i), 257));
+    tld_server_->add_zone(dns::Zone(tld));
+    tld_server_->enable_dnssec(tld, tld_keys_.back());
+    infra_.register_zone(tld, {tld_server_});
+
+    (void)root_zone->add(dns::make_ns(tld, kNsTtl, name_of("ns.gtld-servers.net")));
+    (void)root_zone->add(Rr{tld, RrType::DS, dns::RrClass::IN, kNsTtl,
+                            dnssec::make_ds(tld, tld_keys_.back().dnskey)});
+  }
+  (void)root_zone->add(dns::make_a(name_of("ns.gtld-servers.net"), kNsTtl,
+                                   net::Ipv4Addr(192, 5, 6, 30)));
+
+  // One server per provider; its two NS host names share the address.
+  auto hook = [this](const Name& owner, dns::SvcbRdata& svcb, net::SimTime now) {
+    svcb_hook(owner, svcb, now);
+  };
+  for (std::size_t p = 0; p < catalog_.providers.size(); ++p) {
+    const auto& spec = catalog_.providers[p];
+    auto address = net::IpAddr(net::Ipv4Addr(
+        10, static_cast<std::uint8_t>(1 + p / 200),
+        static_cast<std::uint8_t>(p % 200), 53));
+    auto& server = infra_.add_server(spec.name, address);
+    server.set_supports_https_rr(spec.supports_https_rr);
+    server.set_svcb_hook(hook);
+    provider_servers_.push_back(&server);
+
+    // Glue for ns1/ns2.<ns_domain> in the matching TLD zone.
+    Name ns_parent = name_of(spec.ns_domain);
+    Name tld = *Name::from_labels({ns_parent.labels().back()});
+    auto* tld_zone = tld_server_->find_zone(tld);
+    assert(tld_zone != nullptr && "provider NS domain must be under a known TLD");
+    for (int n = 1; n <= spec.ns_count; ++n) {
+      Name host = *ns_parent.prepend(util::format("ns%d", n));
+      (void)tld_zone->add(dns::make_a(host, kNsTtl, address.v4()));
+    }
+
+    // WHOIS ground truth + noise for a slice of the tail.
+    whois_.register_ip(address, spec.name);
+    if (util::starts_with(spec.name, "provider-") &&
+        draw_u64(seed, static_cast<DomainId>(p), 16) % 10 == 0) {
+      whois_.set_visible_org(address, "mega-cloud-hosting");
+      whois_.add_manual_override("mega-cloud-hosting", spec.name);
+    }
+  }
+}
+
+// ------------------------------------------------------------ zone building
+
+void Internet::sync_delegation(const DomainState& d, bool include_ns) {
+  // The NS set lives in two places: the TLD delegation and the zone's own
+  // apex NS RRset (what an NS query through the resolver returns). Both
+  // must reflect provider changes for the scanner to observe them.
+  Name tld = tld_of(d);
+  auto* tld_zone = tld_server_->find_zone(tld);
+  tld_zone->remove(d.apex, RrType::NS);
+
+  std::vector<dns::Zone*> hosted;
+  if (auto* zone = provider_server(d.provider)->find_zone(d.apex)) {
+    hosted.push_back(zone);
+  }
+  if (d.provider2 != SIZE_MAX) {
+    if (auto* zone = provider_server(d.provider2)->find_zone(d.apex)) {
+      hosted.push_back(zone);
+    }
+  }
+  for (auto* zone : hosted) zone->remove(d.apex, RrType::NS);
+  if (!include_ns) return;
+
+  auto add_ns_for = [&](std::size_t provider_index) {
+    const auto& spec = catalog_.providers[provider_index];
+    Name ns_parent = name_of(spec.ns_domain);
+    for (int n = 1; n <= spec.ns_count; ++n) {
+      Name host = *ns_parent.prepend(util::format("ns%d", n));
+      (void)tld_zone->add(dns::make_ns(d.apex, kNsTtl, host));
+      for (auto* zone : hosted) {
+        (void)zone->add(dns::make_ns(d.apex, kNsTtl, host));
+      }
+    }
+  };
+  add_ns_for(d.provider);
+  if (d.provider2 != SIZE_MAX) add_ns_for(d.provider2);
+}
+
+void Internet::update_address_records(const DomainState& d) {
+  auto update_in = [&](AuthoritativeServer* server) {
+    auto* zone = server->find_zone(d.apex);
+    if (zone == nullptr) return;
+    zone->remove(d.apex, RrType::A);
+    (void)zone->add(dns::make_a(d.apex, kApexTtl, d.address));
+    if (zone->records_at(d.www, RrType::CNAME).empty()) {
+      zone->remove(d.www, RrType::A);
+      (void)zone->add(dns::make_a(d.www, kApexTtl, d.address));
+    }
+  };
+  update_in(provider_server(d.provider));
+  if (d.provider2 != SIZE_MAX) update_in(provider_server(d.provider2));
+}
+
+void Internet::write_https_records(const DomainState& d) {
+  const std::uint64_t seed = config_.seed;
+  const auto& spec = catalog_.providers[d.provider];
+
+  auto make_record = [&]() -> dns::SvcbRdata {
+    dns::SvcbRdata svcb;
+    svcb.priority = 1;  // ServiceMode, TargetName "."
+    if (d.on_cloudflare) {
+      if (!d.cf_customized) return svcb;  // placeholder: hook fills params
+
+      // Customised Cloudflare configurations (§4.3.3 / Appendix E.1).
+      // Nearly all still carry hints (97% hint utilisation, Fig. 11).
+      double shape = draw(seed, d.id, 20);
+      if (shape < 0.62) {
+        svcb.params.set_alpn({"h2"});
+        svcb.params.set_ipv4hint({d.hint_address});
+        svcb.params.set_ipv6hint({d.address6});
+      } else if (shape < 0.88) {
+        // Customised with h3 but only a v4 hint (distinguishable from the
+        // default, which always carries both hint families).
+        svcb.params.set_alpn({"h2", "h3"});
+        svcb.params.set_ipv4hint({d.hint_address});
+      } else if (shape < 0.93) {
+        // ServiceMode without any SvcParams (the 202-domain cohort).
+      } else if (shape < 0.98) {
+        svcb.priority = 0;  // AliasMode
+        svcb.target = d.www;
+      } else {
+        svcb.priority = 0;  // broken: AliasMode pointing at itself
+      }
+      return svcb;
+    }
+
+    switch (spec.style) {
+      case HttpsRecordStyle::service_no_params: {
+        double shape = draw(seed, d.id, 21);
+        if (shape < 0.05) {
+          svcb.params.set_alpn({"h2"});
+        } else if (shape < 0.07) {
+          svcb.params.set_ipv4hint({d.address});
+        }
+        return svcb;
+      }
+      case HttpsRecordStyle::alias_to_endpoint: {
+        double shape = draw(seed, d.id, 22);
+        if (shape < 0.99) {
+          svcb.priority = 0;
+          svcb.target = name_of(
+              util::format("site%u.hosting.%s", d.id, spec.ns_domain.c_str()));
+        } else {
+          svcb.params.set_alpn({"h3", "h2"});
+          svcb.params.set_ipv4hint({d.address});
+          svcb.params.set_ipv6hint({d.address6});
+        }
+        return svcb;
+      }
+      case HttpsRecordStyle::service_full:
+      default: {
+        double shape = draw(seed, d.id, 23);
+        if (shape < 0.084) {
+          // no alpn at all (8.44%, §4.3.4)
+        } else if (shape < 0.084 + 0.268) {
+          svcb.params.set_alpn({"h2", "h3"});
+        } else if (shape < 0.98) {
+          svcb.params.set_alpn({"h2"});
+        } else if (shape < 0.99) {
+          svcb.params.set_alpn({"http/1.1"});  // the 6-domain oddity
+        } else {
+          svcb.params.set_alpn({"h3-27", "h3-29"});  // the gentoo.org oddity
+        }
+        if (draw(seed, d.id, 24) < 0.5) {
+          svcb.params.set_ipv4hint({d.hint_address});
+        }
+        return svcb;
+      }
+      case HttpsRecordStyle::none:
+      case HttpsRecordStyle::cloudflare_default:
+        return svcb;
+    }
+  };
+
+  auto write_in = [&](AuthoritativeServer* server) {
+    auto* zone = server->find_zone(d.apex);
+    if (zone == nullptr) return;
+    zone->remove(d.apex, RrType::HTTPS);
+    zone->remove(d.www, RrType::HTTPS);
+    dns::SvcbRdata record = make_record();
+    (void)zone->add(dns::make_https(d.apex, kApexTtl, record));
+    bool www_is_cname = !zone->records_at(d.www, dns::RrType::CNAME).empty();
+    if (d.www_has_https && !www_is_cname) {
+      (void)zone->add(dns::make_https(d.www, kApexTtl, record));
+    }
+  };
+  write_in(provider_server(d.provider));
+  if (d.provider2 != SIZE_MAX) write_in(provider_server(d.provider2));
+}
+
+void Internet::remove_https_records(const DomainState& d) {
+  auto remove_in = [&](AuthoritativeServer* server) {
+    auto* zone = server->find_zone(d.apex);
+    if (zone == nullptr) return;
+    zone->remove(d.apex, RrType::HTTPS);
+    zone->remove(d.www, RrType::HTTPS);
+  };
+  remove_in(provider_server(d.provider));
+  if (d.provider2 != SIZE_MAX) remove_in(provider_server(d.provider2));
+}
+
+void Internet::build_zone(const DomainState& d) {
+  auto build_on = [&](std::size_t provider_index) {
+    const auto& spec = catalog_.providers[provider_index];
+    AuthoritativeServer* server = provider_server(provider_index);
+
+    dns::Zone zone(d.apex);
+    dns::SoaRdata soa;
+    soa.mname = *name_of(spec.ns_domain).prepend("ns1");
+    soa.rname = *d.apex.prepend("hostmaster");
+    soa.serial = 2023050801;
+    soa.refresh = 7200;
+    soa.retry = 3600;
+    soa.expire = 1209600;
+    soa.minimum = 300;
+    (void)zone.add(dns::make_soa(d.apex, kNsTtl, std::move(soa)));
+
+    Name ns_parent = name_of(spec.ns_domain);
+    for (int n = 1; n <= spec.ns_count; ++n) {
+      (void)zone.add(dns::make_ns(d.apex, kNsTtl,
+                                  *ns_parent.prepend(util::format("ns%d", n))));
+    }
+    (void)zone.add(dns::make_a(d.apex, kApexTtl, d.address));
+    (void)zone.add(dns::make_aaaa(d.apex, kApexTtl, d.address6));
+    // A share of zones publish www as a CNAME to the apex (the shape the
+    // paper's scanner chases, §4.1); the rest give www its own A record.
+    if (draw(config_.seed, d.id, 70) < 0.25) {
+      (void)zone.add(dns::make_cname(d.www, kApexTtl, d.apex));
+    } else {
+      (void)zone.add(dns::make_a(d.www, kApexTtl, d.address));
+    }
+
+    server->add_zone(std::move(zone));
+
+    if (d.dnssec_signed && d.signs_from <= clock_.now()) {
+      server->enable_dnssec(d.apex,
+                            dnssec::KeyPair::generate(config_.seed ^ d.id, 257));
+      if (d.ds_uploaded) {
+        auto* tld_zone = tld_server_->find_zone(tld_of(d));
+        const auto* key = server->zone_key(d.apex);
+        (void)tld_zone->add(Rr{d.apex, RrType::DS, dns::RrClass::IN, kNsTtl,
+                               dnssec::make_ds(d.apex, key->dnskey)});
+      }
+    }
+  };
+
+  build_on(d.provider);
+  std::vector<AuthoritativeServer*> hosts = {provider_server(d.provider)};
+  if (d.provider2 != SIZE_MAX) {
+    build_on(d.provider2);
+    hosts.push_back(provider_server(d.provider2));
+  }
+  infra_.register_zone(d.apex, std::move(hosts));
+
+  sync_delegation(d, /*include_ns=*/true);
+  if (d.publishes_https && d.https_since <= clock_.now()) {
+    write_https_records(d);
+  }
+
+  // Web reachability: the apex answers on 443 at its address; chronic
+  // mismatchers also listen on the stale hint address.
+  (void)network_.listen(net::Endpoint{net::IpAddr(d.address), 443});
+  if (!(d.hint_address == d.address)) {
+    (void)network_.listen(net::Endpoint{net::IpAddr(d.hint_address), 443});
+  }
+}
+
+// -------------------------------------------------------------- the hook
+
+void Internet::svcb_hook(const Name& owner, dns::SvcbRdata& svcb,
+                         net::SimTime now) const {
+  auto it = by_name_.find(owner);
+  if (it == by_name_.end()) return;
+  const DomainState& d = domains_[it->second];
+
+  if (d.on_cloudflare && d.cf_proxied && !d.cf_customized) {
+    // Cloudflare default record: "1 . alpn=… ipv4hint=… ipv6hint=… [ech=…]".
+    std::vector<std::string> alpn = {"h2", "h3"};
+    if (now < config_.h3_29_retirement) alpn.emplace_back("h3-29");
+    for (DomainId g : google_quic_domains_) {
+      if (g == d.id) {
+        alpn.insert(alpn.end(), {"Q043", "Q046", "Q050"});
+      }
+    }
+    svcb.params.set_alpn(alpn);
+    svcb.params.set_ipv4hint({d.hint_address});
+    svcb.params.set_ipv6hint({d.address6});
+    if (ech_active_ && d.cf_free_plan && now < config_.ech_shutdown) {
+      // ECH rides on apex and (slightly less often) www records: the paper
+      // measures ~70% apex vs ~63% www ECH share (§4.4.1).
+      bool is_www = owner == d.www;
+      if (!is_www || draw(config_.seed, d.id, 31) < 0.90) {
+        svcb.params.set_ech(cf_ech_->current_config_wire());
+      }
+    }
+    return;
+  }
+
+  // Non-Cloudflare ECH cohort (§4.4.1): their static records gain the very
+  // same cloudflare-ech.com configuration.
+  if (!d.on_cloudflare && d.quirk == DomainState::Quirk::mixed_provider) {
+    return;  // unrelated cohort
+  }
+  if (!d.on_cloudflare && d.publishes_https && svcb.is_service_mode() &&
+      ech_active_ && now < config_.ech_shutdown &&
+      draw(config_.seed, d.id, 30) < 0.037) {  // 106 of 2,884 at full scale
+    svcb.params.set_ech(cf_ech_->current_config_wire());
+  }
+}
+
+// ----------------------------------------------------------------- events
+
+void Internet::schedule_events() {
+  const std::uint64_t seed = config_.seed;
+  util::Pcg32 rng(seed ^ 0xe7e27);
+  auto window_days = (config_.end - config_.start).seconds / 86400;
+  auto ns_window_days = (config_.end - config_.ns_window_start).seconds / 86400;
+
+  auto random_time_in = [&rng](net::SimTime from, std::int64_t days) {
+    auto day = static_cast<std::int64_t>(rng.uniform(static_cast<std::uint32_t>(
+        std::max<std::int64_t>(1, days))));
+    auto secs = static_cast<std::int64_t>(rng.uniform(86400));
+    return from + net::Duration::days(day) + net::Duration::secs(secs);
+  };
+
+  std::vector<DomainId> cf_https;
+  for (const auto& d : domains_) {
+    if (d.on_cloudflare && d.cf_proxied && !d.cf_customized) cf_https.push_back(d.id);
+  }
+
+  for (const auto& d : domains_) {
+    switch (d.quirk) {
+      case DomainState::Quirk::proxied_toggler:
+      case DomainState::Quirk::multi_ns_deactivation: {
+        // One off/on cycle inside the NS measurement window.
+        auto off_at = random_time_in(config_.ns_window_start, ns_window_days - 15);
+        auto gap = net::Duration::days(1 + rng.uniform(10));
+        bool multi = d.quirk == DomainState::Quirk::multi_ns_deactivation;
+        events_.push_back({off_at, EventType::proxied_off, d.id, multi ? 1u : 0u});
+        events_.push_back({off_at + gap, EventType::proxied_on, d.id, 0});
+        break;
+      }
+      case DomainState::Quirk::ns_change_lose_https: {
+        auto at = random_time_in(config_.ns_window_start, ns_window_days - 2);
+        std::size_t bulk = catalog_.providers.size() - 4 + rng.uniform(4);
+        events_.push_back({at, EventType::ns_migrate, d.id, bulk});
+        break;
+      }
+      case DomainState::Quirk::ns_vanish: {
+        auto at = random_time_in(config_.ns_window_start, ns_window_days - 10);
+        events_.push_back({at, EventType::ns_vanish, d.id, 0});
+        events_.push_back({at + net::Duration::days(2 + rng.uniform(5)),
+                           EventType::ns_restore, d.id, 0});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Renumber events. Before the Jun 19 pipeline fix the whole Cloudflare
+  // population renumbers with long hint lags (the ~2% mismatch plateau of
+  // Fig. 11); afterwards, mismatches concentrate on a small renumber-prone
+  // pool with short lags (the paper's 317 distinct domains, §4.3.5).
+  if (!cf_https.empty()) {
+    std::vector<DomainId> pool;
+    for (DomainId id : cf_https) {
+      if (domains_[id].quirk != DomainState::Quirk::none) continue;
+      pool.push_back(id);
+      if (pool.size() >= std::max<std::size_t>(
+              2, config_.scaled(config_.renumber_pool_full))) {
+        break;
+      }
+    }
+    std::map<DomainId, std::uint64_t> generation_of;
+    double carry = 0.0;
+    for (std::int64_t day = 0; day < window_days; ++day) {
+      net::SimTime date = config_.start + net::Duration::days(day);
+      bool prefix = date < config_.hint_pipeline_fix;
+      const auto& population = prefix ? cf_https : pool;
+      double rate = prefix ? config_.renumber_rate_prefix
+                           : config_.pool_renumber_rate;
+      carry += rate * static_cast<double>(population.size());
+      while (carry >= 1.0) {
+        carry -= 1.0;
+        DomainId id = population[rng.uniform(
+            static_cast<std::uint32_t>(population.size()))];
+        auto at = date + net::Duration::secs(rng.uniform(43200));
+        // Payload: generation in the low byte, post-fix flag in bit 8 (the
+        // pool is flakier: higher dead-address probabilities).
+        std::uint64_t generation = ++generation_of[id];
+        std::uint64_t payload = (generation & 0xff) | (prefix ? 0 : 0x100);
+        events_.push_back({at, EventType::renumber, id, payload});
+
+        double lag_days = prefix ? config_.hint_lag_days_prefix
+                                 : config_.hint_lag_days_postfix;
+        auto lag_secs = static_cast<std::int64_t>(
+            86400.0 * lag_days * (0.4 + 1.2 * rng.uniform01()));
+        events_.push_back({at + net::Duration::secs(std::max<std::int64_t>(
+                                    3600, lag_secs)),
+                           EventType::hint_sync, id, payload});
+      }
+    }
+  }
+
+  // Churn-pool HTTPS activations that fall inside the window.
+  for (const auto& d : domains_) {
+    if (d.publishes_https && d.https_since > config_.start) {
+      events_.push_back({d.https_since, EventType::https_activate, d.id, 0});
+    }
+  }
+
+  // Mid-window DNSSEC signing activations.
+  for (const auto& d : domains_) {
+    if (d.dnssec_signed && d.signs_from > config_.start) {
+      events_.push_back({d.signs_from, EventType::sign_on, d.id, 0});
+    }
+  }
+
+  // Global events.
+  events_.push_back({config_.ech_shutdown, EventType::ech_shutdown, 0, 0});
+  if (!cf_https.empty()) {
+    events_.push_back({net::SimTime::from_date(2024, 2, 11),
+                       EventType::alpn_google_quic, cf_https[0], 0});
+  }
+
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.at < b.at; });
+}
+
+void Internet::apply(const Event& event) {
+  DomainState& d = domains_[event.domain];
+  switch (event.type) {
+    case EventType::https_activate:
+      if (d.publishes_https && (!d.on_cloudflare || d.cf_proxied)) {
+        write_https_records(d);
+      }
+      break;
+    case EventType::proxied_off: {
+      d.cf_proxied = false;
+      remove_https_records(d);
+      if (event.payload == 1) {
+        // Temporarily mix in a second provider's NS (§4.2.3).
+        d.provider2 = catalog_.providers.size() - 4;
+        sync_delegation(d, true);
+      }
+      break;
+    }
+    case EventType::proxied_on: {
+      d.cf_proxied = true;
+      if (d.quirk == DomainState::Quirk::multi_ns_deactivation &&
+          d.provider2 != SIZE_MAX) {
+        d.provider2 = SIZE_MAX;
+        sync_delegation(d, true);
+      }
+      if (d.publishes_https) write_https_records(d);
+      break;
+    }
+    case EventType::ns_migrate: {
+      remove_https_records(d);
+      provider_server(d.provider)->remove_zone(d.apex);
+      d.on_cloudflare = false;
+      d.cf_proxied = false;
+      d.publishes_https = false;
+      d.provider = event.payload;
+      build_zone(d);
+      break;
+    }
+    case EventType::ns_vanish:
+      sync_delegation(d, false);
+      break;
+    case EventType::ns_restore:
+      sync_delegation(d, true);
+      break;
+    case EventType::renumber: {
+      net::Ipv4Addr old_address = d.address;
+      std::uint64_t generation = event.payload & 0xff;
+      bool pool_event = (event.payload & 0x100) != 0;
+      d.address = web_address(d.id, generation);
+      update_address_records(d);
+
+      // Reachability consequences (§4.3.5 connectivity experiment).
+      double p_dead_a =
+          pool_event ? config_.pool_dead_a : config_.renumber_dead_a;
+      double p_dead_hint =
+          pool_event ? config_.pool_dead_hint : config_.renumber_dead_hint;
+      double dead_a = draw(config_.seed, d.id, 400 + event.payload);
+      if (dead_a < p_dead_a) {
+        network_.set_host_unreachable(net::IpAddr(d.address), true);
+      } else {
+        network_.set_host_unreachable(net::IpAddr(d.address), false);
+        (void)network_.listen(net::Endpoint{net::IpAddr(d.address), 443});
+      }
+      double dead_hint = draw(config_.seed, d.id, 900 + event.payload);
+      if (dead_hint < p_dead_hint) {
+        network_.close(net::Endpoint{net::IpAddr(old_address), 443});
+        network_.set_host_unreachable(net::IpAddr(old_address), true);
+      }
+      break;
+    }
+    case EventType::hint_sync:
+      if (d.quirk != DomainState::Quirk::chronic_mismatch) {
+        d.hint_address = d.address;
+      }
+      break;
+    case EventType::sign_on: {
+      auto* server = provider_server(d.provider);
+      server->enable_dnssec(d.apex,
+                            dnssec::KeyPair::generate(config_.seed ^ d.id, 257));
+      if (d.ds_uploaded) {
+        auto* tld_zone = tld_server_->find_zone(tld_of(d));
+        const auto* key = server->zone_key(d.apex);
+        tld_zone->remove(d.apex, RrType::DS);
+        (void)tld_zone->add(Rr{d.apex, RrType::DS, dns::RrClass::IN, kNsTtl,
+                               dnssec::make_ds(d.apex, key->dnskey)});
+      }
+      break;
+    }
+    case EventType::ech_shutdown:
+      ech_active_ = false;
+      break;
+    case EventType::alpn_google_quic:
+      google_quic_domains_.push_back(event.domain);
+      break;
+  }
+}
+
+void Internet::advance_to(net::SimTime t) {
+  while (next_event_ < events_.size() && events_[next_event_].at <= t) {
+    clock_.advance_to(events_[next_event_].at);
+    apply(events_[next_event_]);
+    ++next_event_;
+  }
+  clock_.advance_to(t);
+  cf_ech_->tick(t);
+}
+
+std::unique_ptr<resolver::RecursiveResolver> Internet::make_resolver(
+    resolver::ResolverOptions options) const {
+  return std::make_unique<resolver::RecursiveResolver>(infra_, clock_,
+                                                       root_key_.dnskey, options);
+}
+
+}  // namespace httpsrr::ecosystem

@@ -1,0 +1,247 @@
+#pragma once
+
+// Internet — the deterministic simulated Internet the scanner measures.
+//
+// Substitution (DESIGN.md): the paper scans the real Tranco top-1M over
+// eleven months; we scan a scaled synthetic population whose *behavioural*
+// composition follows the paper's findings — Cloudflare's proxied default
+// machinery, provider capability differences, misconfiguration cohorts,
+// the DNSSEC-without-DS epidemic, ECH key rotation, and the global event
+// timeline (h3-29 retirement May 31, hint-pipeline fix Jun 19, Tranco
+// source change Aug 1, Cloudflare ECH shutdown Oct 5).
+//
+// Everything is derived from a single seed; advancing time replays a
+// precomputed event schedule, so two runs over the same window observe the
+// same Internet.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ech/key_manager.h"
+#include "ecosystem/providers.h"
+#include "ecosystem/tranco.h"
+#include "ecosystem/whois.h"
+#include "net/network.h"
+#include "resolver/infra.h"
+#include "resolver/recursive.h"
+
+namespace httpsrr::ecosystem {
+
+struct EcosystemConfig {
+  std::size_t list_size = 20000;       // daily Tranco list (1:50 scale)
+  std::size_t universe_size = 30000;   // all domains ever observed
+  std::uint64_t seed = 2023;
+  net::SimTime start = net::SimTime::from_date(2023, 5, 8);
+  net::SimTime end = net::SimTime::from_date(2024, 3, 31);
+
+  // Global event timeline (paper dates).
+  net::SimTime h3_29_retirement = net::SimTime::from_date(2023, 5, 31);
+  net::SimTime hint_pipeline_fix = net::SimTime::from_date(2023, 6, 19);
+  net::SimTime source_change = net::SimTime::from_date(2023, 8, 1);
+  net::SimTime ech_shutdown = net::SimTime::from_date(2023, 10, 5);
+  net::SimTime ns_window_start = net::SimTime::from_date(2023, 10, 11);
+
+  // --- adoption composition (calibrated to §4.2/§4.3) ---------------------
+  double cf_share_core = 0.285;     // core-universe domains on Cloudflare NS
+  double cf_share_churn = 0.30;    // churn pool leans more recent => more CF
+  double cf_proxied = 0.92;         // of CF customers: proxied on (=> HTTPS RR)
+  double cf_customized_core = 0.28; // customized config share, stable domains
+  double cf_customized_churn = 0.05;
+  double cf_free_plan = 0.95;       // free zones got ECH before Oct 5
+  double www_mirror = 0.97;         // www carries the HTTPS record too
+  // Churn-pool staggered adoption: fraction of churn CF domains whose
+  // HTTPS activation date falls inside the window (rising dynamic trend).
+  double churn_late_activation = 0.55;
+  // Stratified oversampling of the (tiny) non-Cloudflare HTTPS sector:
+  // multiplies every non-CF provider's customer count so provider-level
+  // analyses (Tables 3/5, Fig. 3, the §4.3.4 ALPN split) have statistical
+  // resolution at small scales. Benches that use it divide the factor back
+  // out when rescaling to 1M; it skews the Table 2 non-CF share by the
+  // same factor, so Table 2 runs without it.
+  double noncf_oversample = 1.0;
+
+  // --- DNSSEC (Table 9 / Fig. 5) ------------------------------------------
+  double signed_with_https = 0.077;
+  double ds_ok_with_https_cf = 0.505;
+  double ds_ok_with_https_noncf = 0.859;
+  double signed_without_https = 0.048;
+  double ds_ok_without_https = 0.762;
+  // Fraction of *core* signed-domain cohort that turns DNSSEC on inside the
+  // window (drives the rising overlapping curve of Fig. 5b).
+  double core_signing_adoption = 0.25;
+
+  // --- misconfiguration cohorts (absolute counts at 1M scale; scaled by
+  //     list_size/1e6 with a minimum of 1 when nonzero) --------------------
+  std::size_t intermittent_cf_toggle_full = 2673;   // proxied on/off (§4.2.3)
+  std::size_t intermittent_multi_ns_full = 1593;    // mixed NS while off
+  std::size_t ns_change_lose_https_full = 236;      // CF -> non-CF migration
+  std::size_t mixed_provider_full = 6;              // one NS lacks HTTPS support
+  std::size_t ns_vanish_full = 20;                  // NS records disappear
+  std::size_t chronic_mismatch_full = 5;            // always-mismatched hints
+
+  // --- IP-hint dynamics (§4.3.5) ------------------------------------------
+  double renumber_rate_prefix = 0.0033;  // per CF-HTTPS domain per day, pre-fix
+  // After the Jun 19 pipeline fix, mismatches concentrate on a small pool
+  // of renumber-prone domains (the paper's 317 distinct over 67 days, with
+  // 30-80 daily) instead of the whole population.
+  std::size_t renumber_pool_full = 450;   // pool size at 1M scale
+  double pool_renumber_rate = 0.05;       // per pool domain per day, post-fix
+  double hint_lag_days_prefix = 6.0;     // mean hint pipeline lag before fix
+  double hint_lag_days_postfix = 1.4;
+  double renumber_dead_a = 0.08;         // new A address unreachable
+  double renumber_dead_hint = 0.04;      // stale hint address unreachable
+  // The renumber-prone pool is flakier (the paper's 193-of-317 domains
+  // with at least one dead address, split ~2:1 hint-only : A-only).
+  double pool_dead_a = 0.30;
+  double pool_dead_hint = 0.15;
+
+  // ECH rotation (Fig. 4): ~1h period + <1h jitter => mean lifetime 1.26 h.
+  net::Duration ech_rotation_period = net::Duration::hours(1);
+  net::Duration ech_rotation_jitter = net::Duration::minutes(31);
+
+  [[nodiscard]] double scale() const {
+    return static_cast<double>(list_size) / 1e6;
+  }
+  [[nodiscard]] std::size_t scaled(std::size_t full_scale_count) const {
+    if (full_scale_count == 0) return 0;
+    auto s = static_cast<std::size_t>(static_cast<double>(full_scale_count) * scale());
+    return s == 0 ? 1 : s;
+  }
+};
+
+// Ground-truth per-domain state (the analysis layer must *not* read this —
+// it exists for construction, event application, and test oracles).
+struct DomainState {
+  DomainId id = 0;
+  dns::Name apex;
+  dns::Name www;
+  std::size_t provider = 0;            // catalog index
+  std::size_t provider2 = SIZE_MAX;    // mixed-provider cohort only
+
+  bool on_cloudflare = false;
+  bool cf_proxied = false;      // proxied toggle state (=> default HTTPS RR)
+  bool cf_customized = false;   // customised HTTPS record instead of default
+  bool cf_free_plan = false;    // ECH cohort before the shutdown
+  bool publishes_https = false; // current truth (any provider)
+  net::SimTime https_since;     // activation date
+
+  bool dnssec_signed = false;
+  bool ds_uploaded = false;
+  net::SimTime signs_from;      // when signing turns on (may be mid-window)
+
+  net::Ipv4Addr address;        // current A record
+  net::Ipv6Addr address6;
+  net::Ipv4Addr hint_address;   // current ipv4hint (lags address on renumber)
+  bool www_has_https = false;
+
+  enum class Quirk : std::uint8_t {
+    none,
+    proxied_toggler,
+    multi_ns_deactivation,
+    ns_change_lose_https,
+    mixed_provider,
+    ns_vanish,
+    chronic_mismatch,
+  };
+  Quirk quirk = Quirk::none;
+};
+
+class Internet {
+ public:
+  explicit Internet(EcosystemConfig config);
+
+  // Advances virtual time, applying every scheduled event in between and
+  // ticking the shared ECH key manager.
+  void advance_to(net::SimTime t);
+
+  [[nodiscard]] net::SimTime now() const { return clock_.now(); }
+  [[nodiscard]] const EcosystemConfig& config() const { return config_; }
+  [[nodiscard]] const net::SimClock& clock() const { return clock_; }
+  [[nodiscard]] const resolver::DnsInfra& infra() const { return infra_; }
+  [[nodiscard]] const net::SimNetwork& network() const { return network_; }
+  [[nodiscard]] const TrancoFeed& tranco() const { return *feed_; }
+  [[nodiscard]] const WhoisDb& whois() const { return whois_; }
+  [[nodiscard]] const ProviderCatalog& catalog() const { return catalog_; }
+  [[nodiscard]] const dns::DnskeyRdata& root_anchor() const {
+    return root_key_.dnskey;
+  }
+  [[nodiscard]] const ech::EchKeyManager& cloudflare_ech() const { return *cf_ech_; }
+
+  // Ground truth access (tests and oracles only).
+  [[nodiscard]] const DomainState& domain(DomainId id) const { return domains_[id]; }
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+  [[nodiscard]] const DomainState* domain_by_name(const dns::Name& apex) const;
+
+  // Builds a fresh public recursive resolver over this Internet.
+  [[nodiscard]] std::unique_ptr<resolver::RecursiveResolver> make_resolver(
+      resolver::ResolverOptions options = resolver::ResolverOptions()) const;
+
+ private:
+  enum class EventType : std::uint8_t {
+    https_activate,    // churn-pool adoption date arrives
+    proxied_off,
+    proxied_on,
+    ns_migrate,        // move to a non-CF provider (loses HTTPS)
+    ns_vanish,
+    ns_restore,
+    renumber,          // new A address now; hint catches up later
+    hint_sync,         // hint pipeline writes the new address
+    sign_on,           // DNSSEC signing activates
+    ech_shutdown,      // global: strip ECH everywhere (Oct 5)
+    alpn_google_quic,  // one domain starts advertising Q043/Q046/Q050
+  };
+  struct Event {
+    net::SimTime at;
+    EventType type;
+    DomainId domain = 0;
+    std::uint64_t payload = 0;
+  };
+
+  void build_population();
+  void build_infrastructure();
+  void build_zone(const DomainState& d);
+  void schedule_events();
+  void apply(const Event& event);
+
+  // Zone-content helpers used at build time and by events.
+  void write_https_records(const DomainState& d);
+  void remove_https_records(const DomainState& d);
+  void sync_delegation(const DomainState& d, bool include_ns);
+  void update_address_records(const DomainState& d);
+
+  // The dynamic-parameter hook for Cloudflare-default records.
+  void svcb_hook(const dns::Name& owner, dns::SvcbRdata& svcb,
+                 net::SimTime now) const;
+
+  [[nodiscard]] resolver::AuthoritativeServer* provider_server(std::size_t index) const;
+  [[nodiscard]] dns::Name tld_of(const DomainState& d) const;
+
+  EcosystemConfig config_;
+  net::SimClock clock_;
+  net::SimNetwork network_;
+  resolver::DnsInfra infra_;
+  ProviderCatalog catalog_;
+  std::unique_ptr<TrancoFeed> feed_;
+  WhoisDb whois_;
+
+  dnssec::KeyPair root_key_;
+  std::vector<dnssec::KeyPair> tld_keys_;
+  std::vector<dns::Name> tlds_;
+  resolver::AuthoritativeServer* root_server_ = nullptr;
+  resolver::AuthoritativeServer* tld_server_ = nullptr;
+  std::vector<resolver::AuthoritativeServer*> provider_servers_;
+
+  std::vector<DomainState> domains_;
+  std::unordered_map<dns::Name, DomainId, dns::NameHash> by_name_;
+  std::vector<Event> events_;
+  std::size_t next_event_ = 0;
+
+  std::shared_ptr<ech::EchKeyManager> cf_ech_;
+  bool ech_active_ = true;        // false after the Oct 5 shutdown
+  bool h3_29_active_ = true;      // false after May 31
+  std::vector<DomainId> google_quic_domains_;
+};
+
+}  // namespace httpsrr::ecosystem

@@ -1,0 +1,61 @@
+#pragma once
+
+// DNS provider models for the synthetic Internet.
+//
+// The paper's server-side story is dominated by provider behaviour:
+// Cloudflare's proxied default accounts for >70% of all HTTPS records
+// (§4.3.1), Google/GoDaddy exhibit characteristic parameter shapes
+// (Table 5), and a long tail of 244 smaller operators hosts the rest
+// (Table 3, Fig. 3).  A ProviderSpec captures the knobs that drive all of
+// those observations; ProviderCatalog instantiates the paper's population
+// (scaled) with deterministic per-provider RNG streams.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/time.h"
+
+namespace httpsrr::ecosystem {
+
+// How a provider shapes the HTTPS records of its customers.
+enum class HttpsRecordStyle : std::uint8_t {
+  none,              // provider cannot serve type 65 at all
+  cloudflare_default,  // "1 . alpn=h2,h3 ipv4hint=… ipv6hint=…" (+ech)
+  service_no_params,   // "1 ." and nothing else (Google's dominant shape)
+  alias_to_endpoint,   // "0 <endpoint>." (GoDaddy's dominant shape)
+  service_full,        // generic ServiceMode with alpn and hints
+};
+
+struct ProviderSpec {
+  std::string name;             // "cloudflare", "ename", "provider-17", …
+  std::string ns_domain;        // NS host names live under this ("cloudflare.com")
+  int ns_count = 2;             // NS records per customer zone
+  bool supports_https_rr = true;
+  HttpsRecordStyle style = HttpsRecordStyle::none;
+  // Date this provider's HTTPS support went live (drives the Fig. 3 upward
+  // trend of active non-Cloudflare providers).
+  net::SimTime https_support_since = net::SimTime::from_date(2020, 1, 1);
+  // Fraction of this provider's HTTPS-publishing customers that are stable
+  // ("overlapping") Tranco residents — splits Table 3's two columns.
+  double overlap_fraction = 0.5;
+  // Target number of HTTPS-publishing customer domains at full (1M) scale.
+  std::size_t https_domains_full_scale = 0;
+  bool supports_ech = false;    // only Cloudflare (pre-Oct-5) in the study
+  bool online_dnssec = false;   // signs answers on the fly when zone enrolled
+};
+
+// The provider population of the study.
+struct ProviderCatalog {
+  // [0] is always Cloudflare; then the named providers of Table 3; then the
+  // numbered tail. `tail_count` controls how many tail operators exist
+  // (244 distinct non-Cloudflare providers appear over the full period).
+  std::vector<ProviderSpec> providers;
+
+  static ProviderCatalog make(std::uint64_t seed, std::size_t tail_count = 238);
+
+  [[nodiscard]] const ProviderSpec& cloudflare() const { return providers[0]; }
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+};
+
+}  // namespace httpsrr::ecosystem

@@ -1,0 +1,145 @@
+#include "ecosystem/tranco.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace httpsrr::ecosystem {
+
+TrancoFeed::TrancoFeed(Options options) : options_(options) {
+  const std::size_t universe = options_.universe_size;
+  const std::size_t list = options_.list_size;
+  assert(universe > list && "universe must exceed the list size");
+
+  auto count_both = static_cast<std::size_t>(options_.core_both_fraction * list);
+  auto count_p1 = static_cast<std::size_t>(options_.core_phase1_only * list);
+  auto count_p2 = static_cast<std::size_t>(options_.core_phase2_only * list);
+  assert(count_both + count_p1 + count_p2 < universe);
+
+  stability_.resize(universe, Stability::churn);
+  // Deterministic partition: shuffle ids with the seed, take prefixes.
+  std::vector<DomainId> ids(universe);
+  for (std::size_t i = 0; i < universe; ++i) ids[i] = static_cast<DomainId>(i);
+  util::Pcg32 rng(options_.seed ^ 0x7a4c0ULL);
+  for (std::size_t i = universe - 1; i > 0; --i) {
+    std::size_t j = rng.uniform(static_cast<std::uint32_t>(i + 1));
+    std::swap(ids[i], ids[j]);
+  }
+
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < count_both; ++i) {
+    stability_[ids[cursor]] = Stability::core_both;
+    core_both_.push_back(ids[cursor++]);
+  }
+  for (std::size_t i = 0; i < count_p1; ++i) {
+    stability_[ids[cursor]] = Stability::core_phase1;
+    core_phase1_.push_back(ids[cursor++]);
+  }
+  for (std::size_t i = 0; i < count_p2; ++i) {
+    stability_[ids[cursor]] = Stability::core_phase2;
+    core_phase2_.push_back(ids[cursor++]);
+  }
+  while (cursor < universe) {
+    churners_.push_back(ids[cursor++]);
+  }
+
+  // Churn probability that roughly fills the list each day.
+  std::size_t core_phase1_total = count_both + count_p1;
+  std::size_t core_phase2_total = count_both + count_p2;
+  std::size_t churn_pool = churners_.size() + count_p2;  // p2 cores churn in p1
+  std::size_t needed =
+      list - std::min(list, std::min(core_phase1_total, core_phase2_total));
+  churn_keep_probability_ =
+      churn_pool == 0 ? 0.0
+                      : std::min(1.0, static_cast<double>(needed) /
+                                          static_cast<double>(churn_pool));
+}
+
+bool TrancoFeed::churner_in_list(DomainId id, std::int64_t day_index) const {
+  std::uint64_t h = util::mix64(options_.seed ^ (static_cast<std::uint64_t>(id) << 20) ^
+                                static_cast<std::uint64_t>(day_index));
+  return (static_cast<double>(h >> 11) * 0x1.0p-53) < churn_keep_probability_;
+}
+
+bool TrancoFeed::contains(DomainId id, net::SimTime day) const {
+  std::int64_t day_index = day.unix_seconds / 86400;
+  bool phase2 = in_phase2(day);
+  switch (stability_[id]) {
+    case Stability::core_both:
+      return true;
+    case Stability::core_phase1:
+      return !phase2 || churner_in_list(id, day_index);
+    case Stability::core_phase2:
+      return phase2 || churner_in_list(id, day_index);
+    case Stability::churn:
+      return churner_in_list(id, day_index);
+  }
+  return false;
+}
+
+std::vector<DomainId> TrancoFeed::list_for(net::SimTime day) const {
+  std::int64_t day_index = day.unix_seconds / 86400;
+  std::vector<DomainId> members;
+  members.reserve(options_.list_size + options_.list_size / 8);
+
+  for (DomainId id = 0; id < stability_.size(); ++id) {
+    if (contains(id, day)) members.push_back(id);
+  }
+
+  // Rank ordering: a stable per-domain quality score plus daily jitter;
+  // core domains score better (Fig. 8's separation).
+  auto score = [this, day_index](DomainId id) -> std::uint64_t {
+    std::uint64_t base = util::mix64(options_.seed ^ 0xbadc0de ^ id) >> 3;
+    std::uint64_t jitter =
+        util::mix64(options_.seed ^ id ^ (static_cast<std::uint64_t>(day_index) << 32)) >> 8;
+    std::uint64_t bonus = 0;
+    switch (stability_[id]) {
+      case Stability::core_both: bonus = 0; break;
+      case Stability::core_phase1:
+      case Stability::core_phase2: bonus = 1ULL << 60; break;
+      case Stability::churn: bonus = 3ULL << 60; break;
+    }
+    return bonus + base / 2 + jitter / 4;
+  };
+  std::sort(members.begin(), members.end(),
+            [&score](DomainId a, DomainId b) { return score(a) < score(b); });
+  return members;
+}
+
+std::size_t TrancoFeed::rank_of(DomainId id, net::SimTime day) const {
+  if (!contains(id, day)) return 0;
+  auto list = list_for(day);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (list[i] == id) return i + 1;
+  }
+  return 0;
+}
+
+std::vector<DomainId> TrancoFeed::overlapping(net::SimTime start,
+                                              net::SimTime end) const {
+  // Core domains cover the phases in the window by construction; churners
+  // (probability ~0.5/day) cannot realistically survive a multi-day window,
+  // but short windows are handled exactly.
+  bool spans_phase1 = start < options_.source_change;
+  bool spans_phase2 = end >= options_.source_change;
+  std::int64_t days = (end - start).seconds / 86400 + 1;
+
+  std::vector<DomainId> out = core_both_;
+  auto add_if_all_days = [&](const std::vector<DomainId>& ids) {
+    for (DomainId id : ids) {
+      bool all = true;
+      for (std::int64_t d = 0; d < days && all; ++d) {
+        all = contains(id, start + net::Duration::days(d));
+      }
+      if (all) out.push_back(id);
+    }
+  };
+  if (spans_phase1 && !spans_phase2) add_if_all_days(core_phase1_);
+  if (spans_phase2 && !spans_phase1) add_if_all_days(core_phase2_);
+  if (days <= 3) add_if_all_days(churners_);  // exactness for short windows
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace httpsrr::ecosystem

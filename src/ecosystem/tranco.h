@@ -1,0 +1,82 @@
+#pragma once
+
+// TrancoFeed — the synthetic top-list the scanner downloads each day.
+//
+// Reproduces the structural properties the paper's analysis depends on
+// (§4.1, Appendix C):
+//   * a *stable core* of domains present every day (the "overlapping" set:
+//     ~63.5% of the list before the source change, ~68.4% after);
+//   * a churn tail re-sampled daily;
+//   * the Aug 1 2023 source change, which swaps part of the core and
+//     shifts the list's composition;
+//   * ranks: core domains rank higher on average than churners (Fig. 8).
+//
+// Determinism: the list for a given (seed, day) is a pure function, so a
+// bench can re-derive any day's list without storing snapshots.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/time.h"
+
+namespace httpsrr::ecosystem {
+
+using DomainId = std::uint32_t;
+
+// Membership class of a domain in the feed.
+enum class Stability : std::uint8_t {
+  core_both,    // in the list every day, both phases (overlapping overall)
+  core_phase1,  // stable before Aug 1 only
+  core_phase2,  // stable after Aug 1 only
+  churn,        // appears intermittently
+};
+
+class TrancoFeed {
+ public:
+  struct Options {
+    std::size_t universe_size = 30000;
+    std::size_t list_size = 20000;
+    double core_both_fraction = 0.555;   // of list size
+    double core_phase1_only = 0.080;     // + both = 63.5% stable in phase 1
+    double core_phase2_only = 0.129;     // + both = 68.4% stable in phase 2
+    net::SimTime source_change = net::SimTime::from_date(2023, 8, 1);
+    std::uint64_t seed = 1;
+  };
+
+  explicit TrancoFeed(Options options);
+
+  [[nodiscard]] std::size_t universe_size() const { return options_.universe_size; }
+  [[nodiscard]] std::size_t list_size() const { return options_.list_size; }
+  [[nodiscard]] Stability stability(DomainId id) const { return stability_[id]; }
+
+  // The ranked list for a given day (index = rank - 1).
+  [[nodiscard]] std::vector<DomainId> list_for(net::SimTime day) const;
+
+  // True if `id` is in the list on `day` (consistent with list_for).
+  [[nodiscard]] bool contains(DomainId id, net::SimTime day) const;
+
+  // Rank of a domain on a day (1-based); 0 when absent.
+  [[nodiscard]] std::size_t rank_of(DomainId id, net::SimTime day) const;
+
+  // Domains present every day of [start, end] (the paper's "overlapping"
+  // set for that window).
+  [[nodiscard]] std::vector<DomainId> overlapping(net::SimTime start,
+                                                  net::SimTime end) const;
+
+ private:
+  [[nodiscard]] bool in_phase2(net::SimTime day) const {
+    return day >= options_.source_change;
+  }
+  // Deterministic churn-membership decision for (id, day).
+  [[nodiscard]] bool churner_in_list(DomainId id, std::int64_t day_index) const;
+
+  Options options_;
+  std::vector<Stability> stability_;   // indexed by DomainId
+  std::vector<DomainId> core_both_;
+  std::vector<DomainId> core_phase1_;
+  std::vector<DomainId> core_phase2_;
+  std::vector<DomainId> churners_;
+  double churn_keep_probability_ = 0.5;
+};
+
+}  // namespace httpsrr::ecosystem

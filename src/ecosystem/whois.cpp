@@ -1,0 +1,30 @@
+#include "ecosystem/whois.h"
+
+namespace httpsrr::ecosystem {
+
+void WhoisDb::register_ip(const net::IpAddr& ip, std::string organisation) {
+  truth_[ip] = std::move(organisation);
+}
+
+void WhoisDb::set_visible_org(const net::IpAddr& ip, std::string visible_org) {
+  visible_[ip] = std::move(visible_org);
+}
+
+void WhoisDb::add_manual_override(std::string whois_org, std::string real_operator) {
+  overrides_[std::move(whois_org)] = std::move(real_operator);
+}
+
+std::optional<std::string> WhoisDb::lookup(const net::IpAddr& ip) const {
+  if (auto it = visible_.find(ip); it != visible_.end()) return it->second;
+  if (auto it = truth_.find(ip); it != truth_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::optional<std::string> WhoisDb::attribute(const net::IpAddr& ip) const {
+  auto raw = lookup(ip);
+  if (!raw) return std::nullopt;
+  if (auto it = overrides_.find(*raw); it != overrides_.end()) return it->second;
+  return raw;
+}
+
+}  // namespace httpsrr::ecosystem

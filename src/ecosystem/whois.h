@@ -1,0 +1,49 @@
+#pragma once
+
+// WhoisDb — the IP-ownership registry the NS scanner consults (§4.2.2).
+//
+// The paper attributes name-server IPs to operators via ipwhois plus a
+// manual review that corrects two classes of noise:
+//   * cloud-hosted name servers whose WHOIS shows the cloud provider, not
+//     the DNS operator;
+//   * BYOIP, where a customer's own registration masks the operator.
+// The db models both: register() records the ground-truth operator,
+// set_cloud_front()/set_byoip_owner() inject the noisy WHOIS answer, and
+// the manual_override table resolves noise back — exactly the pipeline the
+// scanner's attribution code exercises.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "net/ip.h"
+
+namespace httpsrr::ecosystem {
+
+class WhoisDb {
+ public:
+  // Ground-truth registration for an address.
+  void register_ip(const net::IpAddr& ip, std::string organisation);
+
+  // Noise injection: WHOIS answers `visible_org` although the operator is
+  // the registered one.
+  void set_visible_org(const net::IpAddr& ip, std::string visible_org);
+
+  // Manual-review table: maps a noisy WHOIS org to the real operator.
+  void add_manual_override(std::string whois_org, std::string real_operator);
+
+  // Raw WHOIS answer (what ipwhois would print).
+  [[nodiscard]] std::optional<std::string> lookup(const net::IpAddr& ip) const;
+
+  // WHOIS + manual review: the attribution used by the analysis.
+  [[nodiscard]] std::optional<std::string> attribute(const net::IpAddr& ip) const;
+
+  [[nodiscard]] std::size_t size() const { return truth_.size(); }
+
+ private:
+  std::map<net::IpAddr, std::string> truth_;
+  std::map<net::IpAddr, std::string> visible_;
+  std::map<std::string, std::string> overrides_;
+};
+
+}  // namespace httpsrr::ecosystem

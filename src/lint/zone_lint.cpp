@@ -1,0 +1,269 @@
+#include "lint/zone_lint.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ech/config.h"
+#include "util/strings.h"
+
+namespace httpsrr::lint {
+
+using dns::Name;
+using dns::Rr;
+using dns::RrType;
+using dns::SvcbRdata;
+
+std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::error: return "error";
+    case Severity::warning: return "warning";
+    case Severity::info: return "info";
+  }
+  return "?";
+}
+
+namespace {
+
+class Linter {
+ public:
+  Linter(const dns::Zone& zone, const LintOptions& options)
+      : zone_(zone), options_(options) {}
+
+  std::vector<Finding> run() {
+    zone_signed_ = !zone_.records_at(zone_.origin(), RrType::DNSKEY).empty();
+    for (const auto& rrset : zone_.all_rrsets()) {
+      if (rrset.type() == RrType::HTTPS || rrset.type() == RrType::SVCB) {
+        lint_owner(rrset.owner(), rrset.records());
+      }
+    }
+    std::stable_sort(findings_.begin(), findings_.end(),
+                     [](const Finding& a, const Finding& b) {
+                       if (!(a.owner == b.owner)) return a.owner < b.owner;
+                       return a.severity < b.severity;
+                     });
+    return std::move(findings_);
+  }
+
+ private:
+  void add(Severity severity, std::string code, const Name& owner,
+           std::string message) {
+    findings_.push_back(
+        Finding{severity, std::move(code), owner, std::move(message)});
+  }
+
+  void lint_owner(const Name& owner, const std::vector<Rr>& records) {
+    // CNAME coexistence: a CNAME excludes all other data, so an HTTPS
+    // record next to one can never be served correctly (RFC 1034 §3.6.2).
+    if (!zone_.records_at(owner, RrType::CNAME).empty()) {
+      add(Severity::error, "https-beside-cname", owner,
+          "HTTPS record coexists with a CNAME; resolvers will never serve it");
+    }
+
+    std::set<std::uint16_t> priorities;
+    bool any_alias = false;
+    bool any_service = false;
+
+    for (const auto& rr : records) {
+      const auto* svcb = std::get_if<SvcbRdata>(&rr.rdata);
+      if (svcb == nullptr) continue;
+
+      if (auto v = svcb->validate(); !v.ok()) {
+        add(Severity::error, "invalid-record", owner, v.error());
+      }
+
+      if (svcb->is_alias_mode()) {
+        any_alias = true;
+        lint_alias(owner, *svcb);
+      } else {
+        any_service = true;
+        if (!priorities.insert(svcb->priority).second) {
+          add(Severity::warning, "duplicate-priority", owner,
+              util::format("two ServiceMode records share SvcPriority %u",
+                           svcb->priority));
+        }
+        lint_service(owner, rr, *svcb);
+      }
+    }
+
+    if (any_alias && any_service) {
+      // RFC 9460 §2.4.2: AliasMode excludes ServiceMode at the same owner.
+      add(Severity::error, "alias-and-service", owner,
+          "AliasMode and ServiceMode records cannot coexist at one owner");
+    }
+
+    if (options_.check_consistency) lint_www_parity(owner);
+  }
+
+  void lint_alias(const Name& owner, const SvcbRdata& svcb) {
+    if (svcb.target.is_root() || svcb.target == owner) {
+      // The paper's 19-domain misconfiguration (§4.3.3): an alias to
+      // oneself provides no redirection and can loop resolvers.
+      add(Severity::error, "alias-self", owner,
+          "AliasMode TargetName points at the owner itself");
+      return;
+    }
+    if (svcb.target.is_subdomain_of(zone_.origin())) {
+      bool has_address =
+          !zone_.records_at(svcb.target, RrType::A).empty() ||
+          !zone_.records_at(svcb.target, RrType::AAAA).empty() ||
+          !zone_.records_at(svcb.target, RrType::HTTPS).empty();
+      if (!has_address) {
+        add(Severity::warning, "alias-target-dangling", owner,
+            "AliasMode target " + svcb.target.to_string() +
+                " has no A/AAAA/HTTPS records in this zone");
+      }
+    } else {
+      add(Severity::info, "alias-target-external", owner,
+          "AliasMode target " + svcb.target.to_string() +
+              " is outside the zone; verify it resolves");
+    }
+  }
+
+  void lint_service(const Name& owner, const Rr& rr, const SvcbRdata& svcb) {
+    if (svcb.params.empty()) {
+      // Works, but conveys nothing beyond "HTTPS supported" (§4.3.3's
+      // 202-domain cohort) — usually a half-finished configuration.
+      add(Severity::warning, "service-no-params", owner,
+          "ServiceMode record carries no SvcParams");
+    }
+
+    if (auto protocols = svcb.params.alpn()) {
+      for (const auto& protocol : *protocols) {
+        if (protocol == "h3-29" || protocol == "h3-27") {
+          add(Severity::warning, "deprecated-alpn", owner,
+              "alpn advertises retired HTTP/3 draft " + protocol);
+        }
+      }
+    }
+
+    if (auto port = svcb.params.port()) {
+      if (*port == 443) {
+        add(Severity::info, "port-default", owner,
+            "port=443 is the default and can be dropped");
+      }
+      // Chrome/Edge ignore the port parameter entirely (§5.2.2) — warn
+      // that a non-443 port cuts off those clients unless 443 also works.
+      if (*port != 443) {
+        add(Severity::warning, "port-chromium-unsupported", owner,
+            util::format("port=%u is ignored by Chromium-based browsers; "
+                         "keep the service reachable on 443 too",
+                         *port));
+      }
+    }
+
+    if (options_.check_ech) {
+      if (auto blob = svcb.params.ech()) {
+        auto list = ech::EchConfigList::decode(*blob);
+        if (!list.ok()) {
+          // The §5.3.1 hard-failure source: Chrome/Edge abort on this.
+          add(Severity::error, "ech-malformed", owner,
+              "ech value is not a valid ECHConfigList: " + list.error());
+        } else if (options_.check_dnssec && !zone_signed_) {
+          add(Severity::warning, "ech-without-dnssec", owner,
+              "ECH keys are served from an unsigned zone; they can be "
+              "stripped or forged in transit (§4.5.2)");
+        }
+      }
+    }
+
+    if (options_.check_consistency) {
+      lint_hints(owner, rr, svcb);
+    }
+  }
+
+  void lint_hints(const Name& owner, const Rr& rr, const SvcbRdata& svcb) {
+    Name target = svcb.effective_target(owner);
+    if (!target.is_subdomain_of(zone_.origin())) return;
+
+    auto compare = [&](auto hints_opt, RrType addr_type, const char* kind) {
+      if (!hints_opt) return;
+      auto address_records = zone_.records_at(target, addr_type);
+      if (address_records.empty()) {
+        add(Severity::warning, std::string(kind) + "-without-address", owner,
+            util::format("%s present but %s has no %s records", kind,
+                         target.to_string().c_str(),
+                         addr_type == RrType::A ? "A" : "AAAA"));
+        return;
+      }
+      std::set<std::string> hint_set;
+      for (const auto& a : *hints_opt) hint_set.insert(a.to_string());
+      std::set<std::string> addr_set;
+      std::uint32_t addr_ttl = 0;
+      for (const auto& record : address_records) {
+        addr_ttl = record.ttl;
+        if (const auto* a = std::get_if<dns::ARdata>(&record.rdata)) {
+          addr_set.insert(a->address.to_string());
+        } else if (const auto* aaaa = std::get_if<dns::AaaaRdata>(&record.rdata)) {
+          addr_set.insert(aaaa->address.to_string());
+        }
+      }
+      if (hint_set != addr_set) {
+        // The §4.3.5 outage class: divergent hints strand hint-preferring
+        // and hint-ignoring clients on different addresses.
+        add(Severity::error, std::string(kind) + "-mismatch", owner,
+            util::format("%s {%s} disagrees with %s records {%s}", kind,
+                         util::join({hint_set.begin(), hint_set.end()}, ",")
+                             .c_str(),
+                         addr_type == RrType::A ? "A" : "AAAA",
+                         util::join({addr_set.begin(), addr_set.end()}, ",")
+                             .c_str()));
+      }
+      if (rr.ttl != addr_ttl) {
+        // Different TTLs expire at different times in resolver caches,
+        // opening transient mismatch windows (§4.3.5 caching discussion).
+        add(Severity::warning, "ttl-skew", owner,
+            util::format("HTTPS TTL %u differs from %s TTL %u; caches will "
+                         "expire them at different times",
+                         rr.ttl, addr_type == RrType::A ? "A" : "AAAA",
+                         addr_ttl));
+      }
+    };
+    compare(svcb.params.ipv4hint(), RrType::A, "ipv4hint");
+    compare(svcb.params.ipv6hint(), RrType::AAAA, "ipv6hint");
+  }
+
+  void lint_www_parity(const Name& owner) {
+    if (!(owner == zone_.origin())) return;
+    auto www = owner.prepend("www");
+    if (!www.ok()) return;
+    bool www_exists = !zone_.records_at(*www, RrType::A).empty() ||
+                      !zone_.records_at(*www, RrType::CNAME).empty();
+    bool www_https = !zone_.records_at(*www, RrType::HTTPS).empty();
+    bool www_cname = !zone_.records_at(*www, RrType::CNAME).empty();
+    if (www_exists && !www_https && !www_cname) {
+      add(Severity::info, "www-without-https", owner,
+          "the apex publishes an HTTPS record but www does not");
+    }
+  }
+
+  const dns::Zone& zone_;
+  const LintOptions& options_;
+  bool zone_signed_ = false;
+  std::vector<Finding> findings_;
+};
+
+}  // namespace
+
+std::vector<Finding> lint_zone(const dns::Zone& zone, const LintOptions& options) {
+  return Linter(zone, options).run();
+}
+
+std::string render_findings(const std::vector<Finding>& findings) {
+  if (findings.empty()) return "no findings\n";
+  std::string out;
+  for (const auto& f : findings) {
+    out += util::format("%-7s %-26s %s %s\n",
+                        std::string(to_string(f.severity)).c_str(),
+                        f.code.c_str(), f.owner.to_string().c_str(),
+                        f.message.c_str());
+  }
+  return out;
+}
+
+bool has_errors(const std::vector<Finding>& findings) {
+  return std::any_of(findings.begin(), findings.end(), [](const Finding& f) {
+    return f.severity == Severity::error;
+  });
+}
+
+}  // namespace httpsrr::lint

@@ -1,0 +1,49 @@
+#pragma once
+
+// zone_lint — a configuration checker for HTTPS/SVCB records in a zone.
+//
+// The paper's discussion (§7) argues the HTTPS ecosystem needs ACME/Certbot
+// style automation because every failure class it measured was a quiet
+// server-side misconfiguration: AliasMode records that alias to themselves
+// (§4.3.3), IP hints diverging from A records (§4.3.5), malformed ech blobs
+// that hard-fail Chrome (§5.3.1), ECH published without DNSSEC (§4.5.2),
+// and more.  This linter detects every one of those classes statically
+// from zone data, so an operator (or a CI pipeline) can catch them before
+// a resolver ever serves the record.
+
+#include <string>
+#include <vector>
+
+#include "dns/zone.h"
+
+namespace httpsrr::lint {
+
+enum class Severity : std::uint8_t { error, warning, info };
+
+[[nodiscard]] std::string_view to_string(Severity s);
+
+struct Finding {
+  Severity severity = Severity::warning;
+  std::string code;    // stable machine-readable id, e.g. "alias-self"
+  dns::Name owner;     // record owner the finding is anchored to
+  std::string message;
+};
+
+struct LintOptions {
+  bool check_ech = true;        // parse ech SvcParams as ECHConfigLists
+  bool check_consistency = true;  // hints vs A/AAAA, TTL skew, www parity
+  bool check_dnssec = true;     // ECH-without-DNSSEC warning
+};
+
+// Lints every SVCB/HTTPS record in `zone` (plus the cross-record
+// consistency checks). Findings are ordered by owner, then severity.
+[[nodiscard]] std::vector<Finding> lint_zone(const dns::Zone& zone,
+                                             const LintOptions& options = {});
+
+// Renders findings as "severity code owner: message" lines.
+[[nodiscard]] std::string render_findings(const std::vector<Finding>& findings);
+
+// True when any finding is an error.
+[[nodiscard]] bool has_errors(const std::vector<Finding>& findings);
+
+}  // namespace httpsrr::lint

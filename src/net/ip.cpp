@@ -1,0 +1,178 @@
+#include "net/ip.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::net {
+
+using util::Error;
+using util::Result;
+
+Result<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  auto parts = util::split(text, '.');
+  if (parts.size() != 4) return Error{"IPv4 address must have four octets"};
+  std::uint32_t bits = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3) return Error{"bad IPv4 octet"};
+    if (part.size() > 1 && part[0] == '0') return Error{"IPv4 octet has leading zero"};
+    std::uint64_t v = 0;
+    if (!util::parse_u64(part, v, 255)) return Error{"IPv4 octet out of range"};
+    bits = (bits << 8) | static_cast<std::uint32_t>(v);
+  }
+  return Ipv4Addr(bits);
+}
+
+std::array<std::uint8_t, 4> Ipv4Addr::octets() const {
+  return {static_cast<std::uint8_t>(bits_ >> 24),
+          static_cast<std::uint8_t>(bits_ >> 16),
+          static_cast<std::uint8_t>(bits_ >> 8),
+          static_cast<std::uint8_t>(bits_)};
+}
+
+std::string Ipv4Addr::to_string() const {
+  auto o = octets();
+  return util::format("%u.%u.%u.%u", o[0], o[1], o[2], o[3]);
+}
+
+Ipv6Addr Ipv6Addr::from_groups(const std::array<std::uint16_t, 8>& groups) {
+  std::array<std::uint8_t, 16> bytes;
+  for (int i = 0; i < 8; ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return Ipv6Addr(bytes);
+}
+
+std::array<std::uint16_t, 8> Ipv6Addr::groups() const {
+  std::array<std::uint16_t, 8> groups;
+  for (int i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(bytes_[i * 2]) << 8) | bytes_[i * 2 + 1]);
+  }
+  return groups;
+}
+
+namespace {
+
+// Parses one hex group (1..4 hex digits). Returns -1 on failure.
+int parse_hex_group(std::string_view s) {
+  if (s.empty() || s.size() > 4) return -1;
+  int v = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return -1;
+    v = (v << 4) | digit;
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
+  if (text.empty()) return Error{"empty IPv6 address"};
+
+  // Split on "::" (at most one occurrence allowed).
+  std::size_t dcolon = text.find("::");
+  std::string_view head = text;
+  std::string_view tail;
+  bool has_compression = dcolon != std::string_view::npos;
+  if (has_compression) {
+    head = text.substr(0, dcolon);
+    tail = text.substr(dcolon + 2);
+    if (tail.find("::") != std::string_view::npos) {
+      return Error{"multiple '::' in IPv6 address"};
+    }
+  }
+
+  auto parse_side = [](std::string_view side,
+                       std::vector<std::uint16_t>& groups) -> Result<void> {
+    if (side.empty()) return {};
+    auto parts = util::split(side, ':');
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      const std::string& p = parts[i];
+      if (p.find('.') != std::string::npos) {
+        // Embedded IPv4 — only valid as the final two groups.
+        if (i + 1 != parts.size()) return Error{"embedded IPv4 must be last"};
+        auto v4 = Ipv4Addr::parse(p);
+        if (!v4) return Error{v4.error()};
+        std::uint32_t bits = v4->bits();
+        groups.push_back(static_cast<std::uint16_t>(bits >> 16));
+        groups.push_back(static_cast<std::uint16_t>(bits & 0xffff));
+        continue;
+      }
+      int g = parse_hex_group(p);
+      if (g < 0) return Error{"bad IPv6 group"};
+      groups.push_back(static_cast<std::uint16_t>(g));
+    }
+    return {};
+  };
+
+  std::vector<std::uint16_t> head_groups;
+  std::vector<std::uint16_t> tail_groups;
+  if (auto r = parse_side(head, head_groups); !r) return Error{r.error()};
+  if (auto r = parse_side(tail, tail_groups); !r) return Error{r.error()};
+
+  std::array<std::uint16_t, 8> groups{};
+  std::size_t total = head_groups.size() + tail_groups.size();
+  if (has_compression) {
+    if (total >= 8) return Error{"'::' must compress at least one group"};
+    for (std::size_t i = 0; i < head_groups.size(); ++i) groups[i] = head_groups[i];
+    for (std::size_t i = 0; i < tail_groups.size(); ++i) {
+      groups[8 - tail_groups.size() + i] = tail_groups[i];
+    }
+  } else {
+    if (total != 8) return Error{"IPv6 address must have eight groups"};
+    for (std::size_t i = 0; i < 8; ++i) groups[i] = head_groups[i];
+  }
+  return from_groups(groups);
+}
+
+std::string Ipv6Addr::to_string() const {
+  auto groups = this->groups();
+
+  // RFC 5952: find the longest run of zero groups (length >= 2) to compress;
+  // ties go to the first run.
+  int best_start = -1;
+  int best_len = 0;
+  int run_start = -1;
+  int run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (groups[i] == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    out += util::format("%x", groups[i]);
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+Result<IpAddr> IpAddr::parse(std::string_view text) {
+  if (auto v4 = Ipv4Addr::parse(text)) return IpAddr(*v4);
+  if (auto v6 = Ipv6Addr::parse(text)) return IpAddr(*v6);
+  return Error{"unparseable IP address"};
+}
+
+}  // namespace httpsrr::net

@@ -1,0 +1,103 @@
+#pragma once
+
+// IP address value types.
+//
+// The library never opens sockets: addresses are identities inside the
+// simulated network (src/net/network.h) and payloads of A/AAAA records and
+// SVCB ip hints.  Both types parse and format the standard textual forms;
+// Ipv6Addr implements RFC 5952 canonical formatting (longest zero run
+// compressed, lowercase hex).
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace httpsrr::net {
+
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : bits_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : bits_((static_cast<std::uint32_t>(a) << 24) |
+              (static_cast<std::uint32_t>(b) << 16) |
+              (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  // Parse dotted-quad notation ("192.0.2.1"). Rejects leading zeros in
+  // octets ("01.2.3.4") to match inet_pton behaviour.
+  static util::Result<Ipv4Addr> parse(std::string_view text);
+
+  [[nodiscard]] std::uint32_t bits() const { return bits_; }
+  [[nodiscard]] std::array<std::uint8_t, 4> octets() const;
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+class Ipv6Addr {
+ public:
+  constexpr Ipv6Addr() : bytes_{} {}
+  explicit Ipv6Addr(const std::array<std::uint8_t, 16>& bytes) : bytes_(bytes) {}
+
+  // Construct from eight 16-bit groups, e.g. Ipv6Addr::from_groups({0x2001,
+  // 0xdb8, 0, 0, 0, 0, 0, 1}) == 2001:db8::1.
+  static Ipv6Addr from_groups(const std::array<std::uint16_t, 8>& groups);
+
+  // Parse textual IPv6, including "::" compression and embedded IPv4 tail
+  // ("::ffff:192.0.2.1"). Zone indices are not supported.
+  static util::Result<Ipv6Addr> parse(std::string_view text);
+
+  [[nodiscard]] const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+  [[nodiscard]] std::array<std::uint16_t, 8> groups() const;
+
+  // RFC 5952 canonical text form.
+  [[nodiscard]] std::string to_string() const;
+
+  auto operator<=>(const Ipv6Addr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+};
+
+// A v4-or-v6 address.
+class IpAddr {
+ public:
+  IpAddr() : is_v6_(false), v4_{}, v6_{} {}
+  IpAddr(Ipv4Addr v4) : is_v6_(false), v4_(v4), v6_{} {}  // NOLINT(google-explicit-constructor)
+  IpAddr(Ipv6Addr v6) : is_v6_(true), v4_{}, v6_(v6) {}   // NOLINT(google-explicit-constructor)
+
+  // Parses either family (tries IPv4 first, then IPv6).
+  static util::Result<IpAddr> parse(std::string_view text);
+
+  [[nodiscard]] bool is_v4() const { return !is_v6_; }
+  [[nodiscard]] bool is_v6() const { return is_v6_; }
+  [[nodiscard]] const Ipv4Addr& v4() const { return v4_; }
+  [[nodiscard]] const Ipv6Addr& v6() const { return v6_; }
+  [[nodiscard]] std::string to_string() const {
+    return is_v6_ ? v6_.to_string() : v4_.to_string();
+  }
+
+  friend bool operator==(const IpAddr& a, const IpAddr& b) {
+    if (a.is_v6_ != b.is_v6_) return false;
+    return a.is_v6_ ? a.v6_ == b.v6_ : a.v4_ == b.v4_;
+  }
+  friend auto operator<=>(const IpAddr& a, const IpAddr& b) {
+    if (a.is_v6_ != b.is_v6_) return a.is_v6_ <=> b.is_v6_;
+    if (a.is_v6_) return a.v6_ <=> b.v6_;
+    return a.v4_ <=> b.v4_;
+  }
+
+ private:
+  bool is_v6_;
+  Ipv4Addr v4_;
+  Ipv6Addr v6_;
+};
+
+}  // namespace httpsrr::net

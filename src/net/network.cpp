@@ -1,0 +1,83 @@
+#include "net/network.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::net {
+
+std::string Endpoint::to_string() const {
+  if (ip.is_v6()) return util::format("[%s]:%u", ip.to_string().c_str(), port);
+  return util::format("%s:%u", ip.to_string().c_str(), port);
+}
+
+std::string_view to_string(ConnectError e) {
+  switch (e) {
+    case ConnectError::none: return "ok";
+    case ConnectError::unreachable: return "unreachable";
+    case ConnectError::refused: return "refused";
+    case ConnectError::timeout: return "timeout";
+  }
+  return "?";
+}
+
+std::uint64_t SimNetwork::listen(Endpoint ep) {
+  std::uint64_t id = next_service_id_++;
+  listeners_[ep] = id;
+  return id;
+}
+
+void SimNetwork::listen_as(Endpoint ep, std::uint64_t service_id) {
+  listeners_[ep] = service_id;
+}
+
+void SimNetwork::close(Endpoint ep) { listeners_.erase(ep); }
+
+void SimNetwork::set_host_unreachable(const IpAddr& ip, bool unreachable) {
+  if (unreachable) {
+    unreachable_hosts_.insert(ip);
+  } else {
+    unreachable_hosts_.erase(ip);
+  }
+}
+
+void SimNetwork::set_endpoint_timeout(const Endpoint& ep, bool timeout) {
+  if (timeout) {
+    timeout_endpoints_.insert(ep);
+  } else {
+    timeout_endpoints_.erase(ep);
+  }
+}
+
+bool SimNetwork::host_unreachable(const IpAddr& ip) const {
+  return unreachable_hosts_.contains(ip);
+}
+
+ConnectResult SimNetwork::connect(const Endpoint& ep) const {
+  ConnectResult result;
+  if (unreachable_hosts_.contains(ep.ip)) {
+    result.error = ConnectError::unreachable;
+    result.rtt = base_rtt_;
+    return result;
+  }
+  if (timeout_endpoints_.contains(ep)) {
+    result.error = ConnectError::timeout;
+    result.rtt = timeout_budget_;
+    return result;
+  }
+  auto it = listeners_.find(ep);
+  if (it == listeners_.end()) {
+    result.error = ConnectError::refused;
+    result.rtt = base_rtt_;
+    return result;
+  }
+  result.error = ConnectError::none;
+  result.service_id = it->second;
+  result.rtt = base_rtt_;
+  return result;
+}
+
+std::uint64_t SimNetwork::service_at(const Endpoint& ep) const {
+  auto it = listeners_.find(ep);
+  return it == listeners_.end() ? 0 : it->second;
+}
+
+}  // namespace httpsrr::net

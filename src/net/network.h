@@ -1,0 +1,92 @@
+#pragma once
+
+// SimNetwork: the transport substrate of the simulated Internet.
+//
+// The network models exactly what the paper's experiments observe at the
+// transport layer: whether a TCP connection to ip:port succeeds, and with
+// which failure mode when it does not ("unreachable network error" is the
+// most common failure in the paper's §4.3.5 connectivity experiment).
+//
+// Design: the network knows *who is listening* ((ip, port) -> opaque
+// service id) and *what is reachable* (per-IP block list, per-endpoint
+// refusal).  Protocol state lives above: the TLS layer maps service ids to
+// TlsServer objects, the DNS layer maps them to authoritative servers.
+// This keeps the transport free of protocol dependencies.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "net/ip.h"
+#include "net/time.h"
+
+namespace httpsrr::net {
+
+// A transport endpoint.
+struct Endpoint {
+  IpAddr ip;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class ConnectError : std::uint8_t {
+  none,
+  unreachable,  // no route to host / network unreachable
+  refused,      // host up, nothing listening on the port
+  timeout,      // packets silently dropped
+};
+
+[[nodiscard]] std::string_view to_string(ConnectError e);
+
+// Result of a simulated TCP connect.
+struct ConnectResult {
+  ConnectError error = ConnectError::unreachable;
+  std::uint64_t service_id = 0;  // valid only when error == none
+  Duration rtt;                  // round-trip estimate for the attempt
+
+  [[nodiscard]] bool ok() const { return error == ConnectError::none; }
+};
+
+class SimNetwork {
+ public:
+  SimNetwork() = default;
+
+  // Registers a listener. Returns the service id to be resolved by the
+  // protocol layer. Re-binding an endpoint replaces the previous listener.
+  std::uint64_t listen(Endpoint ep);
+  // Registers a listener with a caller-chosen id (ids must stay unique).
+  void listen_as(Endpoint ep, std::uint64_t service_id);
+  void close(Endpoint ep);
+
+  // Reachability control (failure injection).
+  void set_host_unreachable(const IpAddr& ip, bool unreachable);
+  void set_endpoint_timeout(const Endpoint& ep, bool timeout);
+  [[nodiscard]] bool host_unreachable(const IpAddr& ip) const;
+
+  // Base RTT applied to every successful or refused connection attempt.
+  void set_base_rtt(Duration rtt) { base_rtt_ = rtt; }
+  [[nodiscard]] Duration base_rtt() const { return base_rtt_; }
+  // Timeout budget a client burns waiting on a silent endpoint.
+  void set_timeout_budget(Duration d) { timeout_budget_ = d; }
+
+  // Attempt a TCP connection.
+  [[nodiscard]] ConnectResult connect(const Endpoint& ep) const;
+
+  // Looks up the service listening on `ep`; 0 when nothing is bound.
+  [[nodiscard]] std::uint64_t service_at(const Endpoint& ep) const;
+
+  [[nodiscard]] std::size_t listener_count() const { return listeners_.size(); }
+
+ private:
+  std::map<Endpoint, std::uint64_t> listeners_;
+  std::set<IpAddr> unreachable_hosts_;
+  std::set<Endpoint> timeout_endpoints_;
+  std::uint64_t next_service_id_ = 1;
+  Duration base_rtt_ = Duration::secs(0);
+  Duration timeout_budget_ = Duration::secs(30);
+};
+
+}  // namespace httpsrr::net

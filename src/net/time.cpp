@@ -1,0 +1,83 @@
+#include "net/time.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace httpsrr::net {
+
+std::int64_t days_from_civil(CivilDate d) {
+  // Howard Hinnant's days_from_civil, valid for all representable dates.
+  std::int64_t y = d.year;
+  unsigned m = d.month;
+  unsigned day = d.day;
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);            // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + day - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;           // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                     // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                            // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), m, day};
+}
+
+std::string CivilDate::to_string() const {
+  return util::format("%04d-%02u-%02u", year, month, day);
+}
+
+SimTime SimTime::from_date(CivilDate d) {
+  return SimTime{days_from_civil(d) * 86400};
+}
+
+SimTime SimTime::from_string(const std::string& iso_date) {
+  auto parts = util::split(iso_date, '-');
+  std::uint64_t y = 0, m = 0, d = 0;
+  bool ok = parts.size() == 3 && util::parse_u64(parts[0], y, 9999) &&
+            util::parse_u64(parts[1], m, 12) && util::parse_u64(parts[2], d, 31) &&
+            m >= 1 && d >= 1;
+  if (!ok) {
+    assert(false && "malformed ISO date literal");
+    std::abort();
+  }
+  return from_date(CivilDate{static_cast<int>(y), static_cast<unsigned>(m),
+                             static_cast<unsigned>(d)});
+}
+
+CivilDate SimTime::date() const {
+  std::int64_t days = unix_seconds / 86400;
+  if (unix_seconds < 0 && unix_seconds % 86400 != 0) --days;
+  return civil_from_days(days);
+}
+
+std::int64_t SimTime::seconds_of_day() const {
+  std::int64_t rem = unix_seconds % 86400;
+  if (rem < 0) rem += 86400;
+  return rem;
+}
+
+std::string SimTime::to_string() const {
+  std::int64_t sod = seconds_of_day();
+  return util::format("%s %02lld:%02lld:%02lld", date().to_string().c_str(),
+                      static_cast<long long>(sod / 3600),
+                      static_cast<long long>((sod / 60) % 60),
+                      static_cast<long long>(sod % 60));
+}
+
+void SimClock::advance_to(SimTime t) {
+  assert(t >= now_ && "SimClock must not move backwards");
+  if (t > now_) now_ = t;
+}
+
+}  // namespace httpsrr::net

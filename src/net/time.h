@@ -1,0 +1,82 @@
+#pragma once
+
+// Virtual time for the simulation.
+//
+// The entire longitudinal study (May 2023 – March 2024) runs on a virtual
+// clock: the scanner ticks days, the ECH key manager ticks hours, DNS caches
+// expire on TTL boundaries.  SimTime is seconds since the Unix epoch stored
+// as int64; CivilDate converts to/from calendar dates (Howard Hinnant's
+// algorithms) so event timelines can be written as "2023-10-05".
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace httpsrr::net {
+
+// A span of virtual time in seconds.
+struct Duration {
+  std::int64_t seconds = 0;
+
+  static constexpr Duration secs(std::int64_t s) { return Duration{s}; }
+  static constexpr Duration minutes(std::int64_t m) { return Duration{m * 60}; }
+  static constexpr Duration hours(std::int64_t h) { return Duration{h * 3600}; }
+  static constexpr Duration days(std::int64_t d) { return Duration{d * 86400}; }
+
+  auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return Duration{seconds + o.seconds}; }
+  constexpr Duration operator-(Duration o) const { return Duration{seconds - o.seconds}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{seconds * k}; }
+};
+
+// Calendar date (proleptic Gregorian).
+struct CivilDate {
+  int year = 1970;
+  unsigned month = 1;  // 1..12
+  unsigned day = 1;    // 1..31
+
+  auto operator<=>(const CivilDate&) const = default;
+  [[nodiscard]] std::string to_string() const;  // "YYYY-MM-DD"
+};
+
+// An instant of virtual time, seconds since 1970-01-01T00:00:00Z.
+struct SimTime {
+  std::int64_t unix_seconds = 0;
+
+  static SimTime from_date(CivilDate d);
+  static SimTime from_date(int year, unsigned month, unsigned day) {
+    return from_date(CivilDate{year, month, day});
+  }
+  // Parses "YYYY-MM-DD"; terminates on malformed input (programmer dates).
+  static SimTime from_string(const std::string& iso_date);
+
+  [[nodiscard]] CivilDate date() const;
+  // Seconds since midnight of the current day.
+  [[nodiscard]] std::int64_t seconds_of_day() const;
+  [[nodiscard]] std::string to_string() const;  // "YYYY-MM-DD HH:MM:SS"
+
+  auto operator<=>(const SimTime&) const = default;
+  SimTime operator+(Duration d) const { return SimTime{unix_seconds + d.seconds}; }
+  SimTime operator-(Duration d) const { return SimTime{unix_seconds - d.seconds}; }
+  Duration operator-(SimTime o) const { return Duration{unix_seconds - o.unix_seconds}; }
+};
+
+// days_from_civil / civil_from_days (public-domain algorithms).
+[[nodiscard]] std::int64_t days_from_civil(CivilDate d);
+[[nodiscard]] CivilDate civil_from_days(std::int64_t days);
+
+// The simulation clock. Monotonic: advance() only moves forward.
+class SimClock {
+ public:
+  explicit SimClock(SimTime start) : now_(start) {}
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  void advance(Duration d) { now_ = now_ + d; }
+  // Jump to an absolute instant (must not move backwards).
+  void advance_to(SimTime t);
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace httpsrr::net

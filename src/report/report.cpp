@@ -1,0 +1,107 @@
+#include "report/report.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::report {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string sep = "+";
+  for (std::size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(headers_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string render_series(const std::string& title,
+                          const analysis::TimeSeries& series, int stride_days,
+                          int width) {
+  return render_multi_series(title, {{"", &series}}, stride_days, width);
+}
+
+std::string render_multi_series(const std::string& title,
+                                const std::vector<NamedSeries>& all,
+                                int stride_days, int width) {
+  std::string out = title + "\n";
+  if (all.empty() || all.front().series->empty()) return out + "  (no data)\n";
+
+  double lo = 1e300, hi = -1e300;
+  for (const auto& ns : all) {
+    for (const auto& [day, v] : ns.series->points()) {
+      (void)day;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  // Legend.
+  if (all.size() > 1 || !all.front().name.empty()) {
+    out += "  legend:";
+    const char* marks = "*o+x#@";
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      out += util::format(" %c=%s", marks[i % 6], all[i].name.c_str());
+    }
+    out += util::format("   range [%.2f, %.2f]\n", lo, hi);
+  }
+
+  const auto& axis = all.front().series->points();
+  std::int64_t next_shown = axis.begin()->first;
+  for (const auto& [day_secs, v0] : axis) {
+    (void)v0;
+    if (day_secs < next_shown) continue;
+    next_shown = day_secs + static_cast<std::int64_t>(stride_days) * 86400;
+    net::SimTime day{day_secs};
+    std::string line(static_cast<std::size_t>(width) + 1, ' ');
+    const char* marks = "*o+x#@";
+    std::string values;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      auto v = all[i].series->at(day);
+      if (!v) continue;
+      auto pos = static_cast<std::size_t>((*v - lo) / (hi - lo) * width);
+      line[std::min(pos, static_cast<std::size_t>(width))] = marks[i % 6];
+      values += util::format(" %6.2f", *v);
+    }
+    out += "  " + day.date().to_string() + " |" + line + "|" + values + "\n";
+  }
+  return out;
+}
+
+std::string fmt(double value, int decimals) {
+  return util::format("%.*f", decimals, value);
+}
+
+std::string fmt_pct(double value, int decimals) {
+  return util::format("%.*f%%", decimals, value);
+}
+
+std::string heading(const std::string& text) {
+  return "\n=== " + text + " ===\n";
+}
+
+}  // namespace httpsrr::report

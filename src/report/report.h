@@ -1,0 +1,49 @@
+#pragma once
+
+// Rendering helpers for the bench binaries: fixed-width tables and ASCII
+// time-series charts, so each bench prints rows shaped like the paper's
+// tables and figures, with a "paper" column next to the measured one.
+
+#include <string>
+#include <vector>
+
+#include "analysis/common.h"
+
+namespace httpsrr::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Renders a time series as a compact ASCII chart: one row per `stride`
+// days, a bar scaled to [min,max], and the numeric value.
+[[nodiscard]] std::string render_series(const std::string& title,
+                                        const analysis::TimeSeries& series,
+                                        int stride_days = 14, int width = 50);
+
+// Renders several series side by side (same date axis).
+struct NamedSeries {
+  std::string name;
+  const analysis::TimeSeries* series;
+};
+[[nodiscard]] std::string render_multi_series(const std::string& title,
+                                              const std::vector<NamedSeries>& all,
+                                              int stride_days = 14,
+                                              int width = 40);
+
+// Formats a double with fixed precision.
+[[nodiscard]] std::string fmt(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_pct(double value, int decimals = 2);
+
+// Section header for bench output.
+[[nodiscard]] std::string heading(const std::string& text);
+
+}  // namespace httpsrr::report

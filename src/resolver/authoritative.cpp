@@ -1,0 +1,256 @@
+#include "resolver/authoritative.h"
+
+#include <algorithm>
+
+namespace httpsrr::resolver {
+
+using dns::LookupStatus;
+using dns::Message;
+using dns::Name;
+using dns::Rr;
+using dns::RrType;
+
+dns::Zone& AuthoritativeServer::add_zone(dns::Zone zone) {
+  Name apex = zone.origin();
+  auto [it, inserted] = zones_.insert_or_assign(apex, HostedZone{std::move(zone), {}, {}});
+  (void)inserted;
+  return it->second.zone;
+}
+
+dns::Zone* AuthoritativeServer::find_zone(const Name& apex) {
+  auto it = zones_.find(apex);
+  return it == zones_.end() ? nullptr : &it->second.zone;
+}
+
+const dns::Zone* AuthoritativeServer::find_zone(const Name& apex) const {
+  auto it = zones_.find(apex);
+  return it == zones_.end() ? nullptr : &it->second.zone;
+}
+
+void AuthoritativeServer::remove_zone(const Name& apex) { zones_.erase(apex); }
+
+void AuthoritativeServer::enable_dnssec(const Name& apex, dnssec::KeyPair key,
+                                        net::Duration validity) {
+  auto it = zones_.find(apex);
+  if (it == zones_.end()) return;
+  it->second.key = std::move(key);
+  it->second.sig_validity = validity;
+}
+
+void AuthoritativeServer::disable_dnssec(const Name& apex) {
+  auto it = zones_.find(apex);
+  if (it != zones_.end()) it->second.key.reset();
+}
+
+const dnssec::KeyPair* AuthoritativeServer::zone_key(const Name& apex) const {
+  auto it = zones_.find(apex);
+  if (it == zones_.end() || !it->second.key) return nullptr;
+  return &*it->second.key;
+}
+
+const AuthoritativeServer::HostedZone* AuthoritativeServer::best_zone_for(
+    const Name& qname) const {
+  // Longest-suffix match among hosted zones: walk qname towards the root,
+  // probing the zone map at each ancestor (O(labels · log zones)).
+  Name candidate = qname;
+  while (true) {
+    auto it = zones_.find(candidate);
+    if (it != zones_.end()) return &it->second;
+    if (candidate.is_root()) return nullptr;
+    candidate = candidate.parent();
+  }
+}
+
+void AuthoritativeServer::append_signed(const HostedZone& hz,
+                                        std::vector<Rr> rrset,
+                                        std::vector<Rr>& out, net::SimTime now,
+                                        bool want_dnssec) const {
+  if (rrset.empty()) return;
+  // Separate pre-existing RRSIGs (zone-stored signatures) from data.
+  std::vector<Rr> data;
+  for (auto& rr : rrset) {
+    if (rr.type == RrType::RRSIG) {
+      if (want_dnssec) out.push_back(std::move(rr));
+    } else {
+      data.push_back(std::move(rr));
+    }
+  }
+  if (data.empty()) return;
+  if (svcb_hook_) {
+    for (auto& rr : data) {
+      if (rr.type == RrType::HTTPS || rr.type == RrType::SVCB) {
+        svcb_hook_(rr.owner, std::get<dns::SvcbRdata>(rr.rdata), now);
+      }
+    }
+  }
+  for (const auto& rr : data) out.push_back(rr);
+
+  if (hz.key && want_dnssec) {
+    dns::RrSet set;
+    for (const auto& rr : data) set.add(rr);
+    auto sig = dnssec::sign_rrset(hz.zone.origin(), *hz.key, set,
+                                  now - net::Duration::hours(1),
+                                  now + hz.sig_validity);
+    out.push_back(Rr{set.owner(), RrType::RRSIG, dns::RrClass::IN, set.ttl(),
+                     std::move(sig)});
+  }
+}
+
+Message AuthoritativeServer::handle(const Name& qname, RrType qtype,
+                                    net::SimTime now) const {
+  return handle(Message::make_query(0, qname, qtype), now);
+}
+
+Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
+  Message resp = Message::make_response(query);
+  resp.header.ra = false;  // authoritative, not recursive
+  const bool want_dnssec = query.edns.has_value() && query.edns->dnssec_ok;
+
+  if (query.questions.size() != 1) {
+    resp.header.rcode = dns::Rcode::FORMERR;
+    return resp;
+  }
+  const auto& q = query.questions.front();
+  const HostedZone* hz = best_zone_for(q.qname);
+  if (hz == nullptr) {
+    resp.header.rcode = dns::Rcode::REFUSED;
+    return resp;
+  }
+
+  const dns::Zone& zone = hz->zone;
+  resp.header.aa = true;
+
+  // Provider capability gate (§4.2.3): HTTPS/SVCB answered as NODATA.
+  if (!supports_https_rr_ &&
+      (q.qtype == RrType::HTTPS || q.qtype == RrType::SVCB)) {
+    return resp;  // NOERROR, empty answer
+  }
+
+  // Delegation check: walk from the apex towards qname looking for a zone
+  // cut (NS records owned below the apex).  DS queries are answered from
+  // the parent side of the cut instead of being referred.
+  {
+    const auto& apex_labels = zone.origin().label_count();
+    const auto& labels = q.qname.labels();
+    for (std::size_t take = apex_labels + 1; take <= labels.size(); ++take) {
+      std::vector<std::string> suffix(labels.end() - static_cast<std::ptrdiff_t>(take),
+                                      labels.end());
+      auto cut_result = Name::from_labels(std::move(suffix));
+      if (!cut_result) break;
+      Name cut = std::move(cut_result).take();
+      auto ns = zone.records_at(cut, RrType::NS);
+      if (ns.empty()) continue;
+
+      bool ds_at_cut = q.qname == cut && q.qtype == RrType::DS;
+      if (ds_at_cut) break;  // answer DS from this (parent) zone below
+
+      // Referral: NS in authority, glue A/AAAA in additional when hosted.
+      for (const auto& rr : ns) {
+        resp.authorities.push_back(rr);
+        const auto& nsdname = std::get<dns::NsRdata>(rr.rdata).nsdname;
+        for (const auto& glue : zone.records_at(nsdname, RrType::A)) {
+          resp.additionals.push_back(glue);
+        }
+        for (const auto& glue : zone.records_at(nsdname, RrType::AAAA)) {
+          resp.additionals.push_back(glue);
+        }
+      }
+      resp.header.aa = false;
+      return resp;
+    }
+  }
+
+  auto result = zone.lookup(q.qname, q.qtype);
+  switch (result.status) {
+    case LookupStatus::success:
+      append_signed(*hz, std::move(result.records), resp.answers, now,
+                    want_dnssec);
+      break;
+    case LookupStatus::cname:
+      append_signed(*hz, std::move(result.records), resp.answers, now,
+                    want_dnssec);
+      // If the CNAME target is in-bailiwick, chase it locally.
+      if (!resp.answers.empty()) {
+        const auto* cname = std::get_if<dns::CnameRdata>(&resp.answers.front().rdata);
+        if (cname != nullptr && cname->target.is_subdomain_of(zone.origin())) {
+          auto chased = zone.lookup(cname->target, q.qtype);
+          if (chased.status == LookupStatus::success) {
+            append_signed(*hz, std::move(chased.records), resp.answers, now,
+                          want_dnssec);
+          }
+        }
+      }
+      break;
+    case LookupStatus::dname:
+      append_signed(*hz, std::move(result.records), resp.answers, now,
+                    want_dnssec);
+      for (auto& rr : result.synthesized) resp.answers.push_back(std::move(rr));
+      break;
+    case LookupStatus::nodata:
+      // NOERROR with empty answer; signed zones prove the denial.
+      if (hz->key && want_dnssec) {
+        attach_denial(*hz, q.qname, resp, now);
+      }
+      break;
+    case LookupStatus::nxdomain:
+      resp.header.rcode = dns::Rcode::NXDOMAIN;
+      if (hz->key && want_dnssec) {
+        attach_denial(*hz, q.qname, resp, now);
+      }
+      break;
+    case LookupStatus::not_in_zone:
+      resp.header.rcode = dns::Rcode::REFUSED;
+      resp.header.aa = false;
+      break;
+  }
+
+  // DNSKEY queries synthesize the RRset from the provisioned key.
+  if (q.qtype == RrType::DNSKEY && hz->key && q.qname == zone.origin() &&
+      resp.answers.empty() && resp.header.rcode == dns::Rcode::NOERROR) {
+    dns::RrSet set;
+    set.add(Rr{zone.origin(), RrType::DNSKEY, dns::RrClass::IN, 3600,
+               hz->key->dnskey});
+    auto sig = dnssec::sign_rrset(zone.origin(), *hz->key, set,
+                                  now - net::Duration::hours(1),
+                                  now + hz->sig_validity);
+    resp.answers = set.records();
+    if (want_dnssec) {
+      resp.answers.push_back(Rr{zone.origin(), RrType::RRSIG, dns::RrClass::IN,
+                                3600, std::move(sig)});
+    }
+    resp.header.rcode = dns::Rcode::NOERROR;
+  }
+  return resp;
+}
+
+void AuthoritativeServer::attach_denial(const HostedZone& hz,
+                                        const Name& qname, Message& resp,
+                                        net::SimTime now) const {
+  const dns::Zone& zone = hz.zone;
+  std::uint32_t negative_ttl = 300;
+  auto soa_records = zone.records_at(zone.origin(), RrType::SOA);
+  if (!soa_records.empty()) {
+    negative_ttl = std::min(
+        soa_records.front().ttl,
+        std::get<dns::SoaRdata>(soa_records.front().rdata).minimum);
+    append_signed(hz, soa_records, resp.authorities, now, true);
+  }
+  if (auto nsec = zone.nsec_for(qname, negative_ttl)) {
+    append_signed(hz, {*nsec}, resp.authorities, now, true);
+  }
+}
+
+Message AuthoritativeServer::handle_udp(const Message& query,
+                                        net::SimTime now) const {
+  Message resp = handle(query, now);
+  std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
+  if (resp.encode().size() > limit) {
+    resp.answers.clear();
+    resp.authorities.clear();
+    resp.additionals.clear();
+    resp.header.tc = true;
+  }
+  return resp;
+}
+
+}  // namespace httpsrr::resolver

@@ -1,0 +1,115 @@
+#pragma once
+
+// AuthoritativeServer — an authoritative DNS name server instance.
+//
+// Each server is run by an operator (e.g. "cloudflare", "godaddy"), owns
+// copies of the zones it serves, and answers queries per RFC 1034 §4.3.2:
+// answers from zone data, referrals at delegation points (NS + glue), DS
+// answers from the parent side of a cut, NXDOMAIN/NODATA otherwise.
+//
+// Two study-relevant switches:
+//   * supports_https_rr — providers that have not implemented SVCB/HTTPS
+//     answer NODATA for type 64/65 even when the registrant configured the
+//     records elsewhere (drives the intermittent-activation findings §4.2.3);
+//   * DNSSEC online signing — when a zone is provisioned with a key, every
+//     positive answer is signed on the fly (Cloudflare-style live signing),
+//     and the DNSKEY RRset is synthesised and self-signed on demand.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/zone.h"
+#include "dnssec/signer.h"
+#include "net/ip.h"
+#include "net/time.h"
+
+namespace httpsrr::resolver {
+
+class AuthoritativeServer {
+ public:
+  AuthoritativeServer(std::string operator_name, net::IpAddr address)
+      : operator_name_(std::move(operator_name)), address_(address) {}
+
+  [[nodiscard]] const std::string& operator_name() const { return operator_name_; }
+  [[nodiscard]] const net::IpAddr& address() const { return address_; }
+
+  // Zone management. The server keeps its own copy (distinct providers can
+  // serve different content for the same apex — the §4.2.3 scenario).
+  dns::Zone& add_zone(dns::Zone zone);
+  [[nodiscard]] dns::Zone* find_zone(const dns::Name& apex);
+  [[nodiscard]] const dns::Zone* find_zone(const dns::Name& apex) const;
+  void remove_zone(const dns::Name& apex);
+  [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
+
+  // Provider capability: answer SVCB/HTTPS queries with NODATA when false.
+  void set_supports_https_rr(bool supported) { supports_https_rr_ = supported; }
+  [[nodiscard]] bool supports_https_rr() const { return supports_https_rr_; }
+
+  // Failure injection: an offline server never answers (resolver treats it
+  // as timeout and tries the next NS).
+  void set_offline(bool offline) { offline_ = offline; }
+  [[nodiscard]] bool offline() const { return offline_; }
+
+  // DNSSEC provisioning: serve `zone` signed with `key`. Signatures are
+  // produced per answer with the given validity window around query time.
+  void enable_dnssec(const dns::Name& apex, dnssec::KeyPair key,
+                     net::Duration validity = net::Duration::days(14));
+  void disable_dnssec(const dns::Name& apex);
+  [[nodiscard]] const dnssec::KeyPair* zone_key(const dns::Name& apex) const;
+
+  // Answer-time SVCB/HTTPS rewrite hook. Called for every HTTPS/SVCB
+  // record about to be served (before online signing).  The ecosystem uses
+  // this for Cloudflare-style dynamic ECH configuration: zones carry an
+  // `ech` placeholder and the hook injects the key manager's current
+  // ECHConfigList, so hourly key rotation is visible to scanners without
+  // rewriting tens of thousands of zones.
+  using SvcbHook =
+      std::function<void(const dns::Name& owner, dns::SvcbRdata&, net::SimTime)>;
+  void set_svcb_hook(SvcbHook hook) { svcb_hook_ = std::move(hook); }
+
+  // Handles one query at virtual time `now`. Never fails: malformed or
+  // out-of-bailiwick questions yield REFUSED. Signatures are attached only
+  // when the query sets the EDNS DO bit (RFC 4035 §3.1).
+  [[nodiscard]] dns::Message handle(const dns::Message& query,
+                                    net::SimTime now) const;
+
+  // UDP-transport variant: when the encoded response exceeds the client's
+  // advertised EDNS payload size (512 without EDNS), the answer sections
+  // are emptied and TC is set so the client retries over TCP (RFC 6891).
+  [[nodiscard]] dns::Message handle_udp(const dns::Message& query,
+                                        net::SimTime now) const;
+
+  // Convenience single-question wrapper (TCP semantics, DO set).
+  [[nodiscard]] dns::Message handle(const dns::Name& qname, dns::RrType qtype,
+                                    net::SimTime now) const;
+
+ private:
+  struct HostedZone {
+    dns::Zone zone;
+    std::optional<dnssec::KeyPair> key;
+    net::Duration sig_validity = net::Duration::days(14);
+  };
+
+  [[nodiscard]] const HostedZone* best_zone_for(const dns::Name& qname) const;
+  void append_signed(const HostedZone& hz, std::vector<dns::Rr> rrset,
+                     std::vector<dns::Rr>& out, net::SimTime now,
+                     bool want_dnssec) const;
+  // Adds SOA + covering NSEC (with RRSIGs) to the authority section of a
+  // negative answer from a signed zone (RFC 4035 §3.1.3).
+  void attach_denial(const HostedZone& hz, const dns::Name& qname,
+                     dns::Message& resp, net::SimTime now) const;
+
+  std::string operator_name_;
+  net::IpAddr address_;
+  bool supports_https_rr_ = true;
+  bool offline_ = false;
+  SvcbHook svcb_hook_;
+  std::map<dns::Name, HostedZone> zones_;
+};
+
+}  // namespace httpsrr::resolver

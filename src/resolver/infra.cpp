@@ -1,0 +1,78 @@
+#include "resolver/infra.h"
+
+namespace httpsrr::resolver {
+
+AuthoritativeServer& DnsInfra::add_server(std::string operator_name,
+                                          net::IpAddr address) {
+  auto server =
+      std::make_unique<AuthoritativeServer>(std::move(operator_name), address);
+  AuthoritativeServer* raw = server.get();
+  servers_.push_back(std::move(server));
+  by_address_[address] = raw;
+  return *raw;
+}
+
+void DnsInfra::adopt_server(AuthoritativeServer* server) {
+  by_address_[server->address()] = server;
+}
+
+AuthoritativeServer* DnsInfra::server_at(const net::IpAddr& address) const {
+  auto it = by_address_.find(address);
+  return it == by_address_.end() ? nullptr : it->second;
+}
+
+void DnsInfra::register_zone(const dns::Name& apex,
+                             std::vector<AuthoritativeServer*> servers) {
+  zones_[apex] = std::move(servers);
+}
+
+void DnsInfra::unregister_zone(const dns::Name& apex) { zones_.erase(apex); }
+
+const std::vector<AuthoritativeServer*>* DnsInfra::zone_servers(
+    const dns::Name& apex) const {
+  auto it = zones_.find(apex);
+  return it == zones_.end() ? nullptr : &it->second;
+}
+
+std::optional<dns::Name> DnsInfra::zone_apex(const dns::Name& name) const {
+  // Walk from the name towards the root; the first registered apex wins.
+  dns::Name candidate = name;
+  while (true) {
+    if (zones_.contains(candidate)) return candidate;
+    if (candidate.is_root()) return std::nullopt;
+    candidate = candidate.parent();
+  }
+}
+
+AuthoritativeServer* InfraChainSource::first_online(const dns::Name& apex) const {
+  const auto* servers = infra_.zone_servers(apex);
+  if (servers == nullptr) return nullptr;
+  for (auto* server : *servers) {
+    if (!server->offline()) return server;
+  }
+  return nullptr;
+}
+
+std::optional<dns::Name> InfraChainSource::zone_apex(const dns::Name& name) const {
+  return infra_.zone_apex(name);
+}
+
+std::vector<dns::Rr> InfraChainSource::dnskey_with_sigs(
+    const dns::Name& zone) const {
+  auto* server = first_online(zone);
+  if (server == nullptr) return {};
+  auto resp = server->handle(zone, dns::RrType::DNSKEY, clock_.now());
+  return resp.answers;
+}
+
+std::vector<dns::Rr> InfraChainSource::ds_with_sigs(const dns::Name& zone) const {
+  if (zone.is_root()) return {};
+  auto parent_apex = infra_.zone_apex(zone.parent());
+  if (!parent_apex) return {};
+  auto* server = first_online(*parent_apex);
+  if (server == nullptr) return {};
+  auto resp = server->handle(zone, dns::RrType::DS, clock_.now());
+  return resp.answers;
+}
+
+}  // namespace httpsrr::resolver

@@ -1,0 +1,79 @@
+#pragma once
+
+// DnsInfra — the directory of the simulated DNS infrastructure.
+//
+// Maps server IPs to AuthoritativeServer instances, tracks which zone
+// apexes exist (for zone-cut discovery), and exposes the root server set
+// that iterative resolution starts from.  Also provides the ChainSource
+// adapter the DNSSEC validator uses to pull DNSKEY/DS material.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "dnssec/chain.h"
+#include "net/ip.h"
+#include "resolver/authoritative.h"
+
+namespace httpsrr::resolver {
+
+class DnsInfra {
+ public:
+  DnsInfra() = default;
+
+  // Creates a server run by `operator_name` at `address`.
+  AuthoritativeServer& add_server(std::string operator_name, net::IpAddr address);
+
+  // Registers an externally-owned server so queries to its address reach
+  // it. The caller keeps ownership and must outlive the infra.
+  void adopt_server(AuthoritativeServer* server);
+
+  [[nodiscard]] AuthoritativeServer* server_at(const net::IpAddr& address) const;
+
+  // Registers a zone apex (for apex discovery) and the servers that host it.
+  void register_zone(const dns::Name& apex,
+                     std::vector<AuthoritativeServer*> servers);
+  void unregister_zone(const dns::Name& apex);
+  [[nodiscard]] const std::vector<AuthoritativeServer*>* zone_servers(
+      const dns::Name& apex) const;
+
+  // Closest enclosing registered zone apex for a name.
+  [[nodiscard]] std::optional<dns::Name> zone_apex(const dns::Name& name) const;
+
+  void set_root_servers(std::vector<net::IpAddr> addrs) { roots_ = std::move(addrs); }
+  [[nodiscard]] const std::vector<net::IpAddr>& root_servers() const { return roots_; }
+
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<AuthoritativeServer>> servers_;
+  std::map<net::IpAddr, AuthoritativeServer*> by_address_;
+  std::map<dns::Name, std::vector<AuthoritativeServer*>> zones_;
+  std::vector<net::IpAddr> roots_;
+};
+
+// ChainSource backed by the infra: pulls DNSKEY from a zone's own servers
+// and DS from the parent zone's servers, exactly like a validating
+// resolver would (but without caching — the resolver caches above this).
+class InfraChainSource final : public dnssec::ChainSource {
+ public:
+  InfraChainSource(const DnsInfra& infra, const net::SimClock& clock)
+      : infra_(infra), clock_(clock) {}
+
+  [[nodiscard]] std::optional<dns::Name> zone_apex(
+      const dns::Name& name) const override;
+  [[nodiscard]] std::vector<dns::Rr> dnskey_with_sigs(
+      const dns::Name& zone) const override;
+  [[nodiscard]] std::vector<dns::Rr> ds_with_sigs(
+      const dns::Name& zone) const override;
+
+ private:
+  [[nodiscard]] AuthoritativeServer* first_online(const dns::Name& apex) const;
+
+  const DnsInfra& infra_;
+  const net::SimClock& clock_;
+};
+
+}  // namespace httpsrr::resolver

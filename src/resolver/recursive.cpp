@@ -1,0 +1,283 @@
+#include "resolver/recursive.h"
+
+#include <algorithm>
+
+namespace httpsrr::resolver {
+
+using dns::Message;
+using dns::Name;
+using dns::Rcode;
+using dns::Rr;
+using dns::RrType;
+
+RecursiveResolver::RecursiveResolver(const DnsInfra& infra,
+                                     const net::SimClock& clock,
+                                     dns::DnskeyRdata root_anchor,
+                                     Options options)
+    : infra_(infra),
+      clock_(clock),
+      chain_source_(infra, clock),
+      validator_(chain_source_, std::move(root_anchor)),
+      options_(options),
+      rng_(options.seed) {}
+
+dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
+  ++stats_.queries;
+  Message query = Message::make_query(
+      static_cast<std::uint16_t>(rng_.next_u32()), qname, qtype);
+  Message resp = Message::make_response(query);
+
+  bool all_validated = true;
+  Name current = qname;
+  Rcode rcode = Rcode::NOERROR;
+
+  for (int hop = 0; hop <= options_.max_cname_chain; ++hop) {
+    auto result = lookup_rrset(current, qtype, 0);
+    rcode = result.rcode;
+    if (rcode != Rcode::NOERROR || result.records.empty()) {
+      // Negative terminal (NXDOMAIN or NODATA): the denial proof decides AD.
+      resp.authorities = std::move(result.authorities);
+      all_validated = all_validated && result.validated;
+      break;
+    }
+    for (const auto& rr : result.records) resp.answers.push_back(rr);
+    all_validated = all_validated && result.validated;
+
+    // CNAME chasing: if we asked for something else and only got a CNAME,
+    // continue with the target.
+    if (qtype == RrType::CNAME) break;
+    bool has_final = false;
+    const dns::CnameRdata* cname = nullptr;
+    for (const auto& rr : result.records) {
+      if (rr.type == qtype) has_final = true;
+      if (rr.type == RrType::CNAME && rr.owner == current) {
+        cname = std::get_if<dns::CnameRdata>(&rr.rdata);
+      }
+    }
+    if (has_final || cname == nullptr) break;
+    current = cname->target;
+  }
+
+  resp.header.rcode = rcode;
+  resp.header.ad = options_.validate_dnssec && all_validated &&
+                   (!resp.answers.empty() || !resp.authorities.empty());
+  if (rcode == Rcode::SERVFAIL) ++stats_.servfails;
+  return resp;
+}
+
+RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
+    const Name& qname, RrType qtype, int depth) {
+  CacheKey key{qname, qtype};
+  if (options_.cache_enabled) {
+    auto it = cache_.find(key);
+    if (it != cache_.end() && it->second.expires > clock_.now()) {
+      ++stats_.cache_hits;
+      IterativeResult out;
+      out.records = it->second.records;
+      out.authorities = it->second.authorities;
+      out.rcode = it->second.rcode;
+      out.validated = it->second.validated;
+      return out;
+    }
+    ++stats_.cache_misses;
+  }
+
+  IterativeResult result = iterate(qname, qtype, depth);
+
+  // DNSSEC validation of positive answers. Answers may contain several
+  // RRsets (a CNAME plus the chased target); each one is validated on its
+  // own, and AD requires every RRset to be secure (RFC 4035 §4.9.3).
+  if (options_.validate_dnssec && result.rcode == Rcode::NOERROR &&
+      !result.records.empty()) {
+    ++stats_.validations;
+    std::vector<std::pair<Name, RrType>> groups;
+    for (const auto& rr : result.records) {
+      if (rr.type == RrType::RRSIG) continue;
+      std::pair<Name, RrType> key_pair{rr.owner, rr.type};
+      if (std::find(groups.begin(), groups.end(), key_pair) == groups.end()) {
+        groups.push_back(std::move(key_pair));
+      }
+    }
+    bool all_secure = !groups.empty();
+    bool bogus = false;
+    for (const auto& [owner, type] : groups) {
+      std::vector<Rr> subset;
+      for (const auto& rr : result.records) {
+        bool covers = false;
+        if (rr.type == RrType::RRSIG) {
+          const auto* sig = std::get_if<dns::RrsigRdata>(&rr.rdata);
+          covers = sig != nullptr && sig->type_covered == type;
+        }
+        if ((rr.owner == owner && rr.type == type) ||
+            (rr.owner == owner && covers)) {
+          subset.push_back(rr);
+        }
+      }
+      switch (validator_.validate(owner, subset, clock_.now(), &chain_cache_)) {
+        case dnssec::Validation::secure:
+          break;
+        case dnssec::Validation::insecure:
+          all_secure = false;
+          break;
+        case dnssec::Validation::bogus:
+          bogus = true;
+          break;
+      }
+    }
+    if (bogus) {
+      result.records.clear();
+      result.rcode = Rcode::SERVFAIL;
+      result.validated = false;
+    } else {
+      result.validated = all_secure;
+    }
+  } else if (options_.validate_dnssec &&
+             std::any_of(result.authorities.begin(), result.authorities.end(),
+                         [](const Rr& rr) { return rr.type == RrType::NSEC; }) &&
+             (result.rcode == Rcode::NXDOMAIN ||
+              (result.rcode == Rcode::NOERROR && result.records.empty()))) {
+    // Negative answers carrying an NSEC proof: authenticate the denial
+    // (RFC 4035 §5.4). Without a proof the answer simply stays
+    // unvalidated — in this simulation signed zones always attach their
+    // denials, so walking the chain for proof-less negatives would only
+    // reclassify unsigned zones as insecure at real cost (the daily scan
+    // issues tens of thousands of such negatives).
+    ++stats_.validations;
+    switch (validator_.validate_denial(qname, qtype, result.authorities,
+                                       clock_.now(), &chain_cache_)) {
+      case dnssec::Validation::secure:
+        result.validated = true;
+        break;
+      case dnssec::Validation::insecure:
+        result.validated = false;
+        break;
+      case dnssec::Validation::bogus:
+        // A secure zone that cannot prove its denial is lying somewhere.
+        result.records.clear();
+        result.authorities.clear();
+        result.rcode = Rcode::SERVFAIL;
+        result.validated = false;
+        break;
+    }
+  }
+
+  if (options_.cache_enabled && result.rcode != Rcode::SERVFAIL) {
+    std::uint32_t ttl = options_.negative_ttl;
+    if (!result.records.empty()) {
+      ttl = options_.max_ttl;
+      for (const auto& rr : result.records) ttl = std::min(ttl, rr.ttl);
+    }
+    CacheEntry entry;
+    entry.records = result.records;
+    entry.authorities = result.authorities;
+    entry.rcode = result.rcode;
+    entry.validated = result.validated;
+    entry.expires = clock_.now() + net::Duration::secs(ttl);
+    cache_[key] = std::move(entry);
+  }
+  return result;
+}
+
+RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
+                                                              RrType qtype,
+                                                              int depth) {
+  IterativeResult out;
+  if (depth > 4) {  // NS-address resolution recursion guard
+    out.rcode = Rcode::SERVFAIL;
+    return out;
+  }
+
+  std::vector<net::IpAddr> candidates = infra_.root_servers();
+  for (int hop = 0; hop < options_.max_referrals; ++hop) {
+    if (candidates.empty()) {
+      out.rcode = Rcode::SERVFAIL;
+      return out;
+    }
+    // Random NS selection — the resolver behaviour §4.2.3 attributes
+    // inconsistent HTTPS activation to.
+    net::IpAddr target =
+        candidates[rng_.uniform(static_cast<std::uint32_t>(candidates.size()))];
+    AuthoritativeServer* server = infra_.server_at(target);
+    if (server == nullptr || server->offline()) {
+      // Drop this candidate and retry with the rest.
+      std::erase(candidates, target);
+      continue;
+    }
+    ++stats_.upstream_queries;
+    // UDP first with our EDNS payload size; retry over TCP on truncation.
+    Message upstream_query = Message::make_query(
+        static_cast<std::uint16_t>(rng_.next_u32()), qname, qtype,
+        options_.validate_dnssec);
+    Message resp = server->handle_udp(upstream_query, clock_.now());
+    if (resp.header.tc) {
+      ++stats_.tcp_fallbacks;
+      resp = server->handle(upstream_query, clock_.now());
+    }
+
+    if (resp.header.rcode == Rcode::REFUSED) {
+      std::erase(candidates, target);
+      continue;
+    }
+    if (resp.header.rcode != Rcode::NOERROR) {
+      out.rcode = resp.header.rcode;
+      out.authorities = std::move(resp.authorities);
+      return out;
+    }
+    if (!resp.answers.empty() || resp.header.aa) {
+      // Authoritative answer (possibly NODATA, with its denial proof).
+      out.records = std::move(resp.answers);
+      out.authorities = std::move(resp.authorities);
+      out.rcode = Rcode::NOERROR;
+      return out;
+    }
+
+    // Referral: gather NS targets, prefer glue.
+    std::vector<net::IpAddr> next;
+    std::vector<Name> ns_hosts;
+    for (const auto& rr : resp.authorities) {
+      if (rr.type == RrType::NS) {
+        ns_hosts.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
+      }
+    }
+    if (ns_hosts.empty()) {
+      out.rcode = Rcode::SERVFAIL;
+      return out;
+    }
+    std::vector<Name> glued;
+    for (const auto& rr : resp.additionals) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        next.push_back(net::IpAddr(a->address));
+        glued.push_back(rr.owner);
+      } else if (const auto* aaaa = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+        next.push_back(net::IpAddr(aaaa->address));
+        glued.push_back(rr.owner);
+      }
+    }
+    // Resolve any NS host the referral did not glue (out-of-bailiwick NS):
+    // with partial glue a resolver must still consider every listed server,
+    // or it would systematically miss providers — and the §4.2.3 mixed-
+    // provider inconsistencies with them.
+    for (const auto& host : ns_hosts) {
+      if (std::find(glued.begin(), glued.end(), host) != glued.end()) continue;
+      auto addrs = resolve_ns_addr(host, depth + 1);
+      next.insert(next.end(), addrs.begin(), addrs.end());
+    }
+    candidates = std::move(next);
+  }
+  out.rcode = Rcode::SERVFAIL;
+  return out;
+}
+
+std::vector<net::IpAddr> RecursiveResolver::resolve_ns_addr(const Name& host,
+                                                            int depth) {
+  std::vector<net::IpAddr> out;
+  auto result = lookup_rrset(host, RrType::A, depth);
+  for (const auto& rr : result.records) {
+    if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+      out.push_back(net::IpAddr(a->address));
+    }
+  }
+  return out;
+}
+
+}  // namespace httpsrr::resolver

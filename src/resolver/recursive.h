@@ -1,0 +1,107 @@
+#pragma once
+
+// RecursiveResolver — a caching, validating recursive resolver on the
+// virtual clock, standing in for the Google (8.8.8.8) / Cloudflare
+// (1.1.1.1) public resolvers the paper queries.
+//
+// Behaviour modelled:
+//   * iterative resolution from the root, following referrals with glue;
+//   * per-query random NS selection at each zone cut — the "resolver
+//     selection mechanisms" that surface inconsistent HTTPS answers when a
+//     domain mixes providers with and without HTTPS support (§4.2.3);
+//   * RRset caching with TTL expiry on the virtual clock — the mechanism
+//     behind IP-hint/A mismatches and stale ECH keys (§4.3.5, §4.4.2);
+//   * CNAME chasing with the full chain in the answer section;
+//   * DNSSEC validation via ChainValidator, surfacing the AD bit, and
+//     SERVFAIL on bogus data.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dns/message.h"
+#include "dnssec/chain.h"
+#include "net/time.h"
+#include "resolver/infra.h"
+#include "util/rng.h"
+
+namespace httpsrr::resolver {
+
+struct ResolverStats {
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t upstream_queries = 0;
+  std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
+  std::uint64_t servfails = 0;
+  std::uint64_t validations = 0;
+};
+
+struct ResolverOptions {
+  bool validate_dnssec = true;
+  bool cache_enabled = true;          // ablation: disable caching entirely
+  std::uint32_t max_ttl = 86400;      // TTL clamp (ablation knob)
+  std::uint32_t negative_ttl = 300;
+  std::uint64_t seed = 0x5eed;
+  int max_referrals = 32;
+  int max_cname_chain = 8;
+};
+
+class RecursiveResolver {
+ public:
+  using Options = ResolverOptions;
+
+  RecursiveResolver(const DnsInfra& infra, const net::SimClock& clock,
+                    dns::DnskeyRdata root_anchor,
+                    Options options = ResolverOptions());
+
+  // Resolves (qname, qtype) and returns a full response message: answers
+  // include any CNAME chain; header.ad reflects DNSSEC validation.
+  [[nodiscard]] dns::Message resolve(const dns::Name& qname, dns::RrType qtype);
+
+  void flush_cache() {
+    cache_.clear();
+    chain_cache_.clear();
+  }
+  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CacheEntry {
+    std::vector<dns::Rr> records;      // data + covering RRSIGs
+    std::vector<dns::Rr> authorities;  // SOA/NSEC proof for negatives
+    dns::Rcode rcode = dns::Rcode::NOERROR;
+    net::SimTime expires;
+    bool validated = false;  // AD state at insertion time
+  };
+  using CacheKey = std::pair<dns::Name, dns::RrType>;
+
+  // One iterative lookup (no CNAME chasing); returns records + rcode.
+  struct IterativeResult {
+    std::vector<dns::Rr> records;
+    std::vector<dns::Rr> authorities;  // negative-answer proof material
+    dns::Rcode rcode = dns::Rcode::NOERROR;
+    bool validated = false;
+  };
+  [[nodiscard]] IterativeResult lookup_rrset(const dns::Name& qname,
+                                             dns::RrType qtype, int depth);
+  [[nodiscard]] IterativeResult iterate(const dns::Name& qname,
+                                        dns::RrType qtype, int depth);
+
+  // Resolves an NS host to candidate addresses (glue-free path).
+  [[nodiscard]] std::vector<net::IpAddr> resolve_ns_addr(const dns::Name& host,
+                                                         int depth);
+
+  const DnsInfra& infra_;
+  const net::SimClock& clock_;
+  InfraChainSource chain_source_;
+  dnssec::ChainValidator validator_;
+  Options options_;
+  util::Pcg32 rng_;
+  mutable dnssec::ChainStatusCache chain_cache_;
+  std::map<CacheKey, CacheEntry> cache_;
+  ResolverStats stats_;
+};
+
+}  // namespace httpsrr::resolver

@@ -1,0 +1,35 @@
+#pragma once
+
+// StubResolver — the client-side stub used by the scanner and the browser
+// models: queries a primary public resolver and falls back to a backup on
+// failure, mirroring the paper's Google-primary / Cloudflare-backup setup.
+
+#include "dns/message.h"
+#include "resolver/recursive.h"
+
+namespace httpsrr::resolver {
+
+class StubResolver {
+ public:
+  explicit StubResolver(RecursiveResolver& primary,
+                        RecursiveResolver* backup = nullptr)
+      : primary_(primary), backup_(backup) {}
+
+  [[nodiscard]] dns::Message query(const dns::Name& qname, dns::RrType qtype) {
+    dns::Message resp = primary_.resolve(qname, qtype);
+    if (resp.header.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
+      ++fallbacks_;
+      return backup_->resolve(qname, qtype);
+    }
+    return resp;
+  }
+
+  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+
+ private:
+  RecursiveResolver& primary_;
+  RecursiveResolver* backup_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace httpsrr::resolver

@@ -1,0 +1,60 @@
+#include "scanner/connectivity.h"
+
+#include <algorithm>
+
+namespace httpsrr::scanner {
+
+void ConnectivityAudit::on_day(const DailySnapshot& snapshot,
+                               const ecosystem::Internet& net) {
+  if (snapshot.day < from_ || snapshot.day > to_) return;
+
+  for (std::size_t i = 0; i < snapshot.list.size(); ++i) {
+    const HttpsObservation& obs = snapshot.apex[i];
+    if (!obs.has_https()) continue;
+    auto hints = obs.ipv4_hints();
+    if (hints.empty() || obs.a_records.empty()) continue;
+
+    auto& record = domains_[snapshot.list[i]];
+    ++record.observed_days;
+    if (obs.hints_match_a()) continue;
+
+    ++occurrences_;
+    ++record.mismatch_days;
+
+    // Probe every address in hint ∪ A on port 443 (the OpenSSL client step).
+    auto reachable = [&net](net::Ipv4Addr ip) {
+      return net.network()
+          .connect(net::Endpoint{net::IpAddr(ip), 443})
+          .ok();
+    };
+    bool any_hint_ok = std::any_of(hints.begin(), hints.end(), reachable);
+    bool all_hint_ok = std::all_of(hints.begin(), hints.end(), reachable);
+    bool any_a_ok =
+        std::any_of(obs.a_records.begin(), obs.a_records.end(), reachable);
+    bool all_a_ok =
+        std::all_of(obs.a_records.begin(), obs.a_records.end(), reachable);
+
+    if (!all_hint_ok || !all_a_ok) record.any_unreachable = true;
+    if (any_hint_ok && !any_a_ok) record.hint_only = true;
+    if (any_a_ok && !any_hint_ok) record.a_only = true;
+  }
+}
+
+ConnectivityAudit::Result ConnectivityAudit::result() const {
+  Result out;
+  out.occurrences = occurrences_;
+  for (const auto& [id, record] : domains_) {
+    (void)id;
+    if (record.mismatch_days == 0) continue;
+    ++out.distinct_domains;
+    if (record.any_unreachable) ++out.domains_with_unreachable;
+    if (record.hint_only && !record.a_only) ++out.hint_only_reachable;
+    if (record.a_only && !record.hint_only) ++out.a_only_reachable;
+    if (record.mismatch_days == record.observed_days && record.observed_days > 1) {
+      ++out.always_mismatched;
+    }
+  }
+  return out;
+}
+
+}  // namespace httpsrr::scanner

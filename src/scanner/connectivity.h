@@ -1,0 +1,53 @@
+#pragma once
+
+// ConnectivityAudit — the §4.3.5 connectivity experiment: whenever a daily
+// scan observes a domain whose ipv4hint set disagrees with its A RRset, it
+// immediately attempts TLS connections (port 443) to *every* address in
+// both sets and classifies reachability:
+//   * occurrences: domain-days with a mismatch;
+//   * distinct mismatching domains;
+//   * domains with at least one unreachable address;
+//   * domains reachable only via the hint, or only via the A record.
+
+#include <map>
+#include <set>
+
+#include "ecosystem/internet.h"
+#include "scanner/study.h"
+
+namespace httpsrr::scanner {
+
+class ConnectivityAudit final : public DailyObserver {
+ public:
+  struct Result {
+    std::size_t occurrences = 0;
+    std::size_t distinct_domains = 0;
+    std::size_t domains_with_unreachable = 0;
+    std::size_t hint_only_reachable = 0;
+    std::size_t a_only_reachable = 0;
+    std::size_t always_mismatched = 0;  // mismatched on every observed day
+  };
+
+  ConnectivityAudit(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+
+  void on_day(const DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  [[nodiscard]] Result result() const;
+
+ private:
+  struct DomainRecord {
+    std::size_t mismatch_days = 0;
+    std::size_t observed_days = 0;
+    bool any_unreachable = false;
+    bool hint_only = false;
+    bool a_only = false;
+  };
+
+  net::SimTime from_;
+  net::SimTime to_;
+  std::size_t occurrences_ = 0;
+  std::map<ecosystem::DomainId, DomainRecord> domains_;
+};
+
+}  // namespace httpsrr::scanner

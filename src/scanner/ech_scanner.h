@@ -1,0 +1,40 @@
+#pragma once
+
+// HourlyEchScanner — the §4.4.2 experiment: hourly HTTPS scans over a
+// multi-day window, tracking every distinct ECH configuration observed,
+// how many consecutive hourly scans each appears in, and the average
+// configuration lifetime per domain (Fig. 4).
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecosystem/internet.h"
+#include "scanner/https_scanner.h"
+
+namespace httpsrr::scanner {
+
+class HourlyEchScanner {
+ public:
+  struct Result {
+    std::size_t scans = 0;
+    std::size_t domains_tracked = 0;
+    std::size_t unique_configs = 0;
+    // consecutive-scan count -> number of configs observed for that long.
+    std::map<int, int> consecutive_scan_histogram;
+    // Average observed config duration per domain, in hours.
+    std::vector<double> per_domain_avg_hours;
+    double overall_avg_hours = 0.0;
+    // Client-facing public names seen inside the ECH configurations.
+    std::set<std::string> public_names;
+  };
+
+  // Scans every HTTPS-publishing apex in the current list each hour for
+  // `hours` hours starting at `from`. `sample_limit` caps the tracked
+  // domain count (0 = no cap).
+  [[nodiscard]] Result run(ecosystem::Internet& net, net::SimTime from,
+                           int hours, std::size_t sample_limit = 0);
+};
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,77 @@
+#include "scanner/https_scanner.h"
+
+namespace httpsrr::scanner {
+
+using dns::RrType;
+
+HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
+  HttpsObservation obs;
+
+  ++queries_;
+  auto resp = stub_.query(host, RrType::HTTPS);
+  switch (resp.header.rcode) {
+    case dns::Rcode::NOERROR:
+      obs.answered = true;
+      break;
+    case dns::Rcode::NXDOMAIN:
+      obs.nxdomain = true;
+      return obs;
+    default:
+      obs.servfail = true;
+      return obs;
+  }
+
+  obs.ad = resp.header.ad;
+  for (const auto& rr : resp.answers) {
+    switch (rr.type) {
+      case RrType::HTTPS:
+        obs.https_records.push_back(std::get<dns::SvcbRdata>(rr.rdata));
+        break;
+      case RrType::CNAME:
+        // The resolver chased the alias for us; record that it happened.
+        obs.followed_cname = true;
+        break;
+      case RrType::RRSIG: {
+        const auto& sig = std::get<dns::RrsigRdata>(rr.rdata);
+        if (sig.type_covered == RrType::HTTPS) obs.rrsig_present = true;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  if (!obs.has_https() || !follow_up) return obs;
+  fill_follow_ups(host, obs);
+  return obs;
+}
+
+void HttpsScanner::fill_follow_ups(const dns::Name& host, HttpsObservation& obs) {
+  ++queries_;
+  auto a = stub_.query(host, RrType::A);
+  for (const auto& rr : a.answers) {
+    if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
+      obs.a_records.push_back(rec->address);
+    }
+  }
+  ++queries_;
+  auto aaaa = stub_.query(host, RrType::AAAA);
+  for (const auto& rr : aaaa.answers) {
+    if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+      obs.aaaa_records.push_back(rec->address);
+    }
+  }
+  ++queries_;
+  auto soa = stub_.query(host, RrType::SOA);
+  obs.soa_present = !soa.answers_of_type(RrType::SOA).empty();
+
+  ++queries_;
+  auto ns = stub_.query(host, RrType::NS);
+  for (const auto& rr : ns.answers) {
+    if (const auto* rec = std::get_if<dns::NsRdata>(&rr.rdata)) {
+      obs.ns_records.push_back(rec->nsdname);
+    }
+  }
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,38 @@
+#pragma once
+
+// HttpsScanner — the paper's scanning framework (§4.1), one host at a time:
+//   1. HTTPS query via the primary resolver (Cloudflare backup on failure);
+//   2. CNAME chase when the answer aliases elsewhere;
+//   3. RRSIG / AD-bit capture from the HTTPS response;
+//   4. follow-up A / AAAA / SOA / NS lookups when an HTTPS record exists.
+
+#include "dns/message.h"
+#include "resolver/stub.h"
+#include "scanner/observation.h"
+
+namespace httpsrr::scanner {
+
+class HttpsScanner {
+ public:
+  explicit HttpsScanner(resolver::StubResolver& stub) : stub_(stub) {}
+
+  // Scans one host. `follow_up` controls whether the A/AAAA/SOA/NS queries
+  // are issued when an HTTPS record is present (the daily pipeline does;
+  // the hourly ECH scan does not).
+  [[nodiscard]] HttpsObservation scan(const dns::Name& host,
+                                      bool follow_up = true);
+
+  // Issues the A/AAAA/SOA/NS follow-up lookups into an existing
+  // observation.  The Study uses this to keep tracking the NS records of
+  // domains that *used to* publish HTTPS (the paper cross-references its
+  // NS dataset when analysing intermittent records, §4.2.3).
+  void fill_follow_ups(const dns::Name& host, HttpsObservation& obs);
+
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_; }
+
+ private:
+  resolver::StubResolver& stub_;
+  std::uint64_t queries_ = 0;
+};
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,72 @@
+#include "scanner/observation.h"
+
+#include <algorithm>
+
+namespace httpsrr::scanner {
+
+bool HttpsObservation::has_ech() const {
+  for (const auto& r : https_records) {
+    if (r.params.has(dns::SvcParamKey::ech)) return true;
+  }
+  return false;
+}
+
+std::optional<dns::Bytes> HttpsObservation::ech_config() const {
+  for (const auto& r : https_records) {
+    if (auto blob = r.params.ech()) return blob;
+  }
+  return std::nullopt;
+}
+
+bool HttpsObservation::alias_mode() const {
+  return !https_records.empty() &&
+         std::all_of(https_records.begin(), https_records.end(),
+                     [](const dns::SvcbRdata& r) { return r.is_alias_mode(); });
+}
+
+std::vector<net::Ipv4Addr> HttpsObservation::ipv4_hints() const {
+  std::vector<net::Ipv4Addr> out;
+  for (const auto& r : https_records) {
+    if (auto hints = r.params.ipv4hint()) {
+      out.insert(out.end(), hints->begin(), hints->end());
+    }
+  }
+  return out;
+}
+
+std::vector<net::Ipv6Addr> HttpsObservation::ipv6_hints() const {
+  std::vector<net::Ipv6Addr> out;
+  for (const auto& r : https_records) {
+    if (auto hints = r.params.ipv6hint()) {
+      out.insert(out.end(), hints->begin(), hints->end());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> HttpsObservation::alpn_protocols() const {
+  std::vector<std::string> out;
+  for (const auto& r : https_records) {
+    if (auto protocols = r.params.alpn()) {
+      for (auto& p : *protocols) {
+        if (std::find(out.begin(), out.end(), p) == out.end()) {
+          out.push_back(std::move(p));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool HttpsObservation::hints_match_a() const {
+  auto hints = ipv4_hints();
+  if (hints.empty()) return false;
+  std::vector<net::Ipv4Addr> a = a_records;
+  std::sort(hints.begin(), hints.end());
+  hints.erase(std::unique(hints.begin(), hints.end()), hints.end());
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  return hints == a;
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,67 @@
+#pragma once
+
+// Observation records produced by the scanning framework — the in-memory
+// equivalent of the paper's daily dataset rows (Table 1).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/svcb.h"
+#include "ecosystem/tranco.h"
+#include "net/ip.h"
+#include "net/time.h"
+
+namespace httpsrr::scanner {
+
+// One host (apex or www) scanned on one day.
+struct HttpsObservation {
+  bool answered = false;   // NOERROR response received
+  bool servfail = false;
+  bool nxdomain = false;
+  bool followed_cname = false;
+
+  std::vector<dns::SvcbRdata> https_records;
+  bool rrsig_present = false;  // RRSIG covering the HTTPS RRset was returned
+  bool ad = false;             // Authenticated Data bit in the response
+
+  // Follow-up lookups (issued only when an HTTPS record was seen, §4.1).
+  std::vector<net::Ipv4Addr> a_records;
+  std::vector<net::Ipv6Addr> aaaa_records;
+  std::vector<dns::Name> ns_records;
+  bool soa_present = false;
+
+  [[nodiscard]] bool has_https() const { return !https_records.empty(); }
+  [[nodiscard]] bool has_ech() const;
+  [[nodiscard]] std::optional<dns::Bytes> ech_config() const;
+  [[nodiscard]] bool alias_mode() const;
+  // All ipv4 hints across records.
+  [[nodiscard]] std::vector<net::Ipv4Addr> ipv4_hints() const;
+  [[nodiscard]] std::vector<net::Ipv6Addr> ipv6_hints() const;
+  // Union of advertised ALPN protocol ids.
+  [[nodiscard]] std::vector<std::string> alpn_protocols() const;
+  // True when ipv4 hints are present and equal the A RRset as a set.
+  [[nodiscard]] bool hints_match_a() const;
+};
+
+// Name-server side data for one NS host name.
+struct NsInfo {
+  std::vector<net::IpAddr> addresses;
+  std::optional<std::string> whois_org;   // raw WHOIS answer
+  std::optional<std::string> operator_name;  // after manual review
+};
+
+// Everything collected on one day.
+struct DailySnapshot {
+  net::SimTime day;
+  std::vector<ecosystem::DomainId> list;  // today's Tranco list (rank order)
+  std::vector<HttpsObservation> apex;     // parallel to `list`
+  std::vector<HttpsObservation> www;      // parallel to `list`
+  std::map<dns::Name, NsInfo> ns_info;    // NS hosts of HTTPS publishers
+
+  [[nodiscard]] std::size_t size() const { return list.size(); }
+};
+
+}  // namespace httpsrr::scanner

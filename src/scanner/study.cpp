@@ -1,0 +1,91 @@
+#include "scanner/study.h"
+
+namespace httpsrr::scanner {
+
+using dns::Name;
+using dns::RrType;
+
+Study::Study(ecosystem::Internet& net, Options options)
+    : net_(net), options_(options) {
+  auto primary_options = options_.resolver_options;
+  primary_options.seed ^= 0x900913;  // the "Google" resolver
+  primary_ = net_.make_resolver(primary_options);
+  auto backup_options = options_.resolver_options;
+  backup_options.seed ^= 0x1111;  // the "Cloudflare" backup resolver
+  backup_ = net_.make_resolver(backup_options);
+}
+
+DailySnapshot Study::run_day(net::SimTime day) {
+  // Midnight-align, then advance to the scan time.
+  net::SimTime at{day.unix_seconds - day.seconds_of_day()};
+  net_.advance_to(at + options_.scan_time);
+
+  DailySnapshot snapshot;
+  snapshot.day = at;
+  snapshot.list = net_.tranco().list_for(at);
+
+  resolver::StubResolver stub(*primary_, backup_.get());
+  HttpsScanner scanner(stub);
+
+  snapshot.apex.reserve(snapshot.list.size());
+  snapshot.www.reserve(snapshot.list.size());
+  for (ecosystem::DomainId id : snapshot.list) {
+    const auto& domain = net_.domain(id);
+    auto apex_obs = scanner.scan(domain.apex);
+    // Domains that ever published HTTPS stay in the NS-tracking cohort
+    // even while their record is deactivated (§4.2.3 cross-references the
+    // NS dataset to attribute intermittent records).
+    if (apex_obs.has_https()) {
+      https_cohort_.insert(id);
+    } else if (options_.scan_ns && https_cohort_.contains(id) &&
+               apex_obs.answered) {
+      scanner.fill_follow_ups(domain.apex, apex_obs);
+    }
+    snapshot.apex.push_back(std::move(apex_obs));
+    snapshot.www.push_back(scanner.scan(domain.www));
+  }
+  total_queries_ += scanner.queries_sent();
+
+  if (options_.scan_ns) scan_name_servers(snapshot);
+
+  for (auto* observer : observers_) observer->on_day(snapshot, net_);
+  return snapshot;
+}
+
+void Study::scan_name_servers(DailySnapshot& snapshot) {
+  resolver::StubResolver stub(*primary_, backup_.get());
+  for (std::size_t i = 0; i < snapshot.list.size(); ++i) {
+    if (snapshot.apex[i].ns_records.empty()) continue;
+    for (const Name& host : snapshot.apex[i].ns_records) {
+      if (snapshot.ns_info.contains(host)) continue;
+      NsInfo info;
+      auto a = stub.query(host, RrType::A);
+      total_queries_ += 1;
+      for (const auto& rr : a.answers) {
+        if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
+          info.addresses.push_back(net::IpAddr(rec->address));
+        }
+      }
+      auto aaaa = stub.query(host, RrType::AAAA);
+      total_queries_ += 1;
+      for (const auto& rr : aaaa.answers) {
+        if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+          info.addresses.push_back(net::IpAddr(rec->address));
+        }
+      }
+      if (!info.addresses.empty()) {
+        info.whois_org = net_.whois().lookup(info.addresses.front());
+        info.operator_name = net_.whois().attribute(info.addresses.front());
+      }
+      snapshot.ns_info.emplace(host, std::move(info));
+    }
+  }
+}
+
+void Study::run(net::SimTime from, net::SimTime to) {
+  for (net::SimTime day = from; day <= to; day = day + net::Duration::days(1)) {
+    (void)run_day(day);
+  }
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,69 @@
+#pragma once
+
+// Study — the longitudinal measurement harness: one virtual day at a time,
+// it pulls the Tranco list, scans apex + www for every listed domain,
+// resolves and attributes the name servers of HTTPS publishers, and hands
+// the day's snapshot to registered observers (the analysis layer).
+//
+// This mirrors the paper's §4.1 pipeline: Google resolver primary,
+// Cloudflare backup, daily cadence, NS/WHOIS side-channel, and optional
+// extra experiments (hourly ECH scans, connectivity probes) layered on top.
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "ecosystem/internet.h"
+#include "resolver/stub.h"
+#include "scanner/https_scanner.h"
+#include "scanner/observation.h"
+
+namespace httpsrr::scanner {
+
+// Observer interface: receives each day's snapshot (and may inspect the
+// Internet for *measurement-accessible* state such as the network for
+// connectivity probes — not ground-truth domain flags).
+class DailyObserver {
+ public:
+  virtual ~DailyObserver() = default;
+  virtual void on_day(const DailySnapshot& snapshot,
+                      const ecosystem::Internet& net) = 0;
+};
+
+struct StudyOptions {
+  // Scan kicks off at this offset into each day.
+  net::Duration scan_time = net::Duration::hours(3);
+  bool scan_ns = true;   // resolve + WHOIS-attribute NS hosts
+  resolver::ResolverOptions resolver_options;
+};
+
+class Study {
+ public:
+  using Options = StudyOptions;
+
+  Study(ecosystem::Internet& net, Options options = StudyOptions());
+
+  void add_observer(DailyObserver* observer) { observers_.push_back(observer); }
+
+  // Runs daily scans for every day in [from, to] (dates inclusive).
+  void run(net::SimTime from, net::SimTime to);
+
+  // Runs a single day and returns the snapshot (used by tests).
+  [[nodiscard]] DailySnapshot run_day(net::SimTime day);
+
+  [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
+
+ private:
+  void scan_name_servers(DailySnapshot& snapshot);
+
+  ecosystem::Internet& net_;
+  Options options_;
+  std::set<ecosystem::DomainId> https_cohort_;  // ever published HTTPS
+  std::unique_ptr<resolver::RecursiveResolver> primary_;
+  std::unique_ptr<resolver::RecursiveResolver> backup_;
+  std::vector<DailyObserver*> observers_;
+  std::uint64_t total_queries_ = 0;
+};
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,38 @@
+#include "tls/cert.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::tls {
+
+namespace {
+
+// Strips one trailing dot so zone-file spellings compare equal to URLs.
+std::string_view strip_dot(std::string_view s) {
+  if (!s.empty() && s.back() == '.') s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+bool Certificate::matches(std::string_view host) const {
+  std::string_view target = strip_dot(host);
+  for (const auto& raw : names_) {
+    std::string_view name = strip_dot(raw);
+    if (util::iequals(name, target)) return true;
+    if (util::starts_with(name, "*.")) {
+      std::string_view suffix = name.substr(1);  // ".example.com"
+      auto first_dot = target.find('.');
+      if (first_dot != std::string_view::npos &&
+          util::iequals(target.substr(first_dot), suffix)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Certificate::to_string() const {
+  return "CN={" + util::join(names_, ",") + "}";
+}
+
+}  // namespace httpsrr::tls

@@ -1,0 +1,38 @@
+#pragma once
+
+// Certificate — the slice of X.509 the study's experiments observe: the
+// set of DNS names a server certificate covers, with wildcard matching.
+// Browsers in the testbed fail connections on name mismatch (e.g. the
+// "ERR_ECH_FALLBACK_CERTIFICATE_INVALID" outcome of §5.3.2).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace httpsrr::tls {
+
+class Certificate {
+ public:
+  Certificate() = default;
+  explicit Certificate(std::vector<std::string> names)
+      : names_(std::move(names)) {}
+
+  // Single-name convenience.
+  static Certificate for_name(std::string_view name) {
+    return Certificate({std::string(name)});
+  }
+
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+  [[nodiscard]] bool empty() const { return names_.empty(); }
+
+  // RFC 6125-style match: exact (case-insensitive) or a "*.example.com"
+  // wildcard covering exactly one left-most label.
+  [[nodiscard]] bool matches(std::string_view host) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace httpsrr::tls

@@ -1,0 +1,253 @@
+#include "tls/handshake.h"
+
+#include <cstdint>
+
+#include "dns/wire.h"
+#include "util/strings.h"
+
+namespace httpsrr::tls {
+
+using util::Error;
+using util::Result;
+
+ech::Bytes InnerHello::serialize() const {
+  dns::WireWriter w;
+  w.u8(static_cast<std::uint8_t>(sni.size()));
+  w.raw_string(sni);
+  w.u8(static_cast<std::uint8_t>(alpn.size()));
+  for (const auto& protocol : alpn) {
+    w.u8(static_cast<std::uint8_t>(protocol.size()));
+    w.raw_string(protocol);
+  }
+  return std::move(w).take();
+}
+
+Result<InnerHello> InnerHello::parse(const ech::Bytes& wire) {
+  dns::WireReader r(wire);
+  InnerHello out;
+  auto sni_len = r.u8();
+  if (!sni_len) return Error{sni_len.error()};
+  auto sni = r.bytes(*sni_len);
+  if (!sni) return Error{sni.error()};
+  out.sni.assign(sni->begin(), sni->end());
+  auto count = r.u8();
+  if (!count) return Error{count.error()};
+  for (unsigned i = 0; i < *count; ++i) {
+    auto len = r.u8();
+    if (!len) return Error{len.error()};
+    auto protocol = r.bytes(*len);
+    if (!protocol) return Error{protocol.error()};
+    out.alpn.emplace_back(protocol->begin(), protocol->end());
+  }
+  if (!r.at_end()) return Error{"trailing bytes in inner hello"};
+  return out;
+}
+
+ClientHello ClientHello::plain(std::string sni, std::vector<std::string> alpn) {
+  ClientHello hello;
+  hello.sni = std::move(sni);
+  hello.alpn = std::move(alpn);
+  return hello;
+}
+
+ClientHello ClientHello::with_ech(const ech::EchConfig& config,
+                                  std::string inner_sni,
+                                  std::vector<std::string> alpn) {
+  ClientHello hello;
+  hello.sni = config.public_name;  // outer SNI hides the real target
+  hello.alpn = alpn;
+
+  InnerHello inner;
+  inner.sni = std::move(inner_sni);
+  inner.alpn = std::move(alpn);
+
+  EchExtension ext;
+  ext.config_id = config.config_id;
+  ech::Bytes aad = {config.config_id};
+  ext.payload = ech::hpke_seal(config.public_key, aad, inner.serialize());
+  hello.ech = std::move(ext);
+  return hello;
+}
+
+ClientHello ClientHello::with_grease_ech(std::string sni,
+                                         std::vector<std::string> alpn,
+                                         std::uint64_t entropy) {
+  ClientHello hello;
+  hello.sni = std::move(sni);
+  hello.alpn = std::move(alpn);
+
+  EchExtension ext;
+  ext.config_id = static_cast<std::uint8_t>(entropy);
+  ext.payload.resize(32 + (entropy % 32));
+  std::uint64_t state = entropy ^ 0x9e3779b97f4a7c15ULL;
+  for (auto& b : ext.payload) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    b = static_cast<std::uint8_t>(state >> 56);
+  }
+  hello.ech = std::move(ext);
+  return hello;
+}
+
+std::string_view to_string(TlsAlert a) {
+  switch (a) {
+    case TlsAlert::none: return "none";
+    case TlsAlert::unrecognized_name: return "unrecognized_name";
+    case TlsAlert::no_application_protocol: return "no_application_protocol";
+  }
+  return "?";
+}
+
+std::string TlsServer::normalize(std::string_view host) {
+  std::string folded = util::to_lower(host);
+  if (!folded.empty() && folded.back() == '.') folded.pop_back();
+  return folded;
+}
+
+void TlsServer::add_site(std::string_view hostname, Site site) {
+  std::string key = normalize(hostname);
+  if (sites_.empty() && default_site_.empty()) default_site_ = key;
+  sites_[std::move(key)] = std::move(site);
+}
+
+void TlsServer::remove_site(std::string_view hostname) {
+  sites_.erase(normalize(hostname));
+}
+
+const TlsServer::Site* TlsServer::find_site(std::string_view hostname) const {
+  auto it = sites_.find(normalize(hostname));
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+void TlsServer::set_backend_route(std::string_view inner_host, TlsServer* backend) {
+  backend_routes_[normalize(inner_host)] = backend;
+}
+
+HandshakeResult TlsServer::serve_plain(const std::string& sni,
+                                       const std::vector<std::string>& alpn,
+                                       bool ech_attempted) const {
+  HandshakeResult result;
+  result.transport_ok = true;
+  result.transport_error = net::ConnectError::none;
+  result.ech_attempted = ech_attempted;
+
+  const Site* site = find_site(sni);
+  if (site == nullptr && !default_site_.empty()) {
+    auto it = sites_.find(default_site_);
+    if (it != sites_.end()) site = &it->second;
+  }
+  if (site == nullptr) {
+    result.alert = TlsAlert::unrecognized_name;
+    return result;
+  }
+  result.certificate = site->certificate;
+
+  // ALPN: first client preference the server supports. An empty client
+  // list negotiates nothing but is not fatal (HTTP/1.1 fallback).
+  if (!alpn.empty()) {
+    for (const auto& protocol : alpn) {
+      if (site->alpn.contains(protocol)) {
+        result.negotiated_alpn = protocol;
+        break;
+      }
+    }
+    if (!result.negotiated_alpn) {
+      result.alert = TlsAlert::no_application_protocol;
+      return result;
+    }
+  }
+
+  result.tls_ok = true;
+  result.served_site = sites_.count(normalize(sni)) != 0 ? normalize(sni)
+                                                         : default_site_;
+  return result;
+}
+
+HandshakeResult TlsServer::serve(const ClientHello& hello) const {
+  // No ECH in the hello, or a server that has never heard of ECH: plain
+  // handshake with the (outer) SNI.  A server without keys *ignores* the
+  // extension (the unilateral-ECH case of §5.3.1).
+  if (!hello.ech.has_value() || ech_keys_ == nullptr) {
+    return serve_plain(hello.sni, hello.alpn, hello.ech.has_value());
+  }
+
+  // ECH-terminating server: try to open the inner hello.
+  ech::Bytes aad = {hello.ech->config_id};
+  auto opened = ech_keys_->open(hello.ech->config_id, aad, hello.ech->payload);
+  if (!opened.has_value()) {
+    // Stale or unknown key: complete the handshake for the public name and
+    // (per draft §6.1.6) hand the client fresh retry configurations.
+    HandshakeResult result = serve_plain(hello.sni, hello.alpn, true);
+    if (send_retry_configs_) {
+      result.retry_configs = ech_keys_->current_config_wire();
+    }
+    return result;
+  }
+
+  auto inner = InnerHello::parse(*opened);
+  if (!inner.ok()) {
+    HandshakeResult result = serve_plain(hello.sni, hello.alpn, true);
+    if (send_retry_configs_) {
+      result.retry_configs = ech_keys_->current_config_wire();
+    }
+    return result;
+  }
+
+  // Inner hello decrypted: route to the named site, locally or via a
+  // split-mode backend.
+  if (find_site(inner->sni) == nullptr) {
+    auto route = backend_routes_.find(normalize(inner->sni));
+    if (route != backend_routes_.end() && route->second != nullptr) {
+      ClientHello forwarded = ClientHello::plain(inner->sni, inner->alpn);
+      HandshakeResult result = route->second->serve(forwarded);
+      result.ech_attempted = true;
+      result.ech_accepted = result.tls_ok;
+      return result;
+    }
+  }
+  HandshakeResult result = serve_plain(inner->sni, inner->alpn, true);
+  result.ech_accepted = result.tls_ok;
+  return result;
+}
+
+void TlsDirectory::bind(net::SimNetwork& network, const net::Endpoint& ep,
+                        TlsServer* server) {
+  std::uint64_t id = network.listen(ep);
+  by_service_[id] = server;
+  by_endpoint_[ep] = id;
+}
+
+void TlsDirectory::unbind(net::SimNetwork& network, const net::Endpoint& ep) {
+  auto it = by_endpoint_.find(ep);
+  if (it == by_endpoint_.end()) return;
+  by_service_.erase(it->second);
+  by_endpoint_.erase(it);
+  network.close(ep);
+}
+
+TlsServer* TlsDirectory::at(std::uint64_t service_id) const {
+  auto it = by_service_.find(service_id);
+  return it == by_service_.end() ? nullptr : it->second;
+}
+
+HandshakeResult tls_connect(const net::SimNetwork& network,
+                            const TlsDirectory& directory,
+                            const net::Endpoint& ep, const ClientHello& hello) {
+  HandshakeResult result;
+  auto connect = network.connect(ep);
+  if (!connect.ok()) {
+    result.transport_error = connect.error;
+    result.ech_attempted = hello.ech.has_value();
+    return result;
+  }
+  TlsServer* server = directory.at(connect.service_id);
+  if (server == nullptr) {
+    // Something non-TLS is listening (e.g. plain HTTP on port 80).
+    result.transport_ok = true;
+    result.transport_error = net::ConnectError::none;
+    result.ech_attempted = hello.ech.has_value();
+    return result;
+  }
+  return server->serve(hello);
+}
+
+}  // namespace httpsrr::tls

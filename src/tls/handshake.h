@@ -1,0 +1,165 @@
+#pragma once
+
+// TLS handshake model: ClientHello (SNI, ALPN, ECH extension), server
+// behaviour (certificate selection, ALPN negotiation, ECH accept / reject /
+// retry / ignore), and the handshake engine that drives a hello against a
+// server found through the simulated network.
+//
+// Abstraction level: exactly what the paper's packet captures distinguish —
+// which SNI went on the wire, whether the inner hello decrypted, which
+// certificate came back, which ALPN was negotiated, and whether the server
+// offered retry configurations.  Record-layer bytes and key schedules are
+// out of scope (DESIGN.md substitution table).
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ech/config.h"
+#include "ech/hpke.h"
+#include "ech/key_manager.h"
+#include "net/network.h"
+#include "tls/cert.h"
+#include "util/result.h"
+
+namespace httpsrr::tls {
+
+// The encrypted inner hello: what ECH actually protects.
+struct InnerHello {
+  std::string sni;
+  std::vector<std::string> alpn;
+
+  [[nodiscard]] ech::Bytes serialize() const;
+  static util::Result<InnerHello> parse(const ech::Bytes& wire);
+
+  friend bool operator==(const InnerHello&, const InnerHello&) = default;
+};
+
+// The ECH extension carried in the outer ClientHello.
+struct EchExtension {
+  std::uint8_t config_id = 0;
+  ech::Bytes payload;  // sealed InnerHello
+};
+
+struct ClientHello {
+  std::string sni;                    // outer SNI (public name when ECH used)
+  std::vector<std::string> alpn;      // offered protocols, most preferred first
+  std::optional<EchExtension> ech;    // present when the client attempts ECH
+
+  // Builds a plain hello.
+  static ClientHello plain(std::string sni, std::vector<std::string> alpn);
+
+  // Builds an ECH hello from a configuration: outer SNI = public_name,
+  // inner hello sealed to the config's public key.
+  static ClientHello with_ech(const ech::EchConfig& config,
+                              std::string inner_sni,
+                              std::vector<std::string> alpn);
+
+  // Builds a GREASE ECH hello (draft §6.2): a random, undecryptable ECH
+  // extension with the *real* SNI in the outer hello. Chromium sends this
+  // on every connection without a real config, so servers cannot ossify
+  // on the extension's absence.
+  static ClientHello with_grease_ech(std::string sni,
+                                     std::vector<std::string> alpn,
+                                     std::uint64_t entropy);
+};
+
+enum class TlsAlert : std::uint8_t {
+  none,
+  unrecognized_name,   // no site and no default certificate for the SNI
+  no_application_protocol,  // ALPN intersection empty
+};
+
+[[nodiscard]] std::string_view to_string(TlsAlert a);
+
+// What the client observes at the end of the handshake.
+struct HandshakeResult {
+  bool transport_ok = false;
+  net::ConnectError transport_error = net::ConnectError::unreachable;
+
+  bool tls_ok = false;
+  TlsAlert alert = TlsAlert::none;
+  Certificate certificate;                 // as presented by the server
+  std::optional<std::string> negotiated_alpn;
+
+  bool ech_attempted = false;
+  bool ech_accepted = false;               // inner hello decrypted and routed
+  ech::Bytes retry_configs;                // non-empty => server offered retry
+  std::string served_site;                 // hostname whose content was served
+};
+
+// A TLS endpoint: one or more named sites behind a set of listening ports.
+class TlsServer {
+ public:
+  struct Site {
+    Certificate certificate;
+    std::set<std::string> alpn{"http/1.1", "h2"};
+  };
+
+  explicit TlsServer(std::string description) : description_(std::move(description)) {}
+
+  [[nodiscard]] const std::string& description() const { return description_; }
+
+  // Site management (hostnames are case-insensitive, stored folded).
+  void add_site(std::string_view hostname, Site site);
+  void remove_site(std::string_view hostname);
+  [[nodiscard]] const Site* find_site(std::string_view hostname) const;
+  // Served when the SNI matches nothing (empty = alert unrecognized_name).
+  void set_default_site(std::string_view hostname) {
+    default_site_ = normalize(hostname);
+  }
+
+  // ECH (shared mode): this server terminates ECH with these keys.
+  void enable_ech(std::shared_ptr<ech::EchKeyManager> keys) {
+    ech_keys_ = std::move(keys);
+  }
+  void disable_ech() { ech_keys_.reset(); }
+  [[nodiscard]] bool ech_enabled() const { return ech_keys_ != nullptr; }
+  // ECH retry behaviour (spec-discouraged switch; kept for experiments).
+  void set_send_retry_configs(bool send) { send_retry_configs_ = send; }
+
+  // Split mode: route decrypted inner SNIs we do not host to a backend
+  // server (the client-facing role of Fig. 7).
+  void set_backend_route(std::string_view inner_host, TlsServer* backend);
+
+  // Server side of the handshake.
+  [[nodiscard]] HandshakeResult serve(const ClientHello& hello) const;
+
+ private:
+  static std::string normalize(std::string_view host);
+  [[nodiscard]] HandshakeResult serve_plain(const std::string& sni,
+                                            const std::vector<std::string>& alpn,
+                                            bool ech_attempted) const;
+
+  std::string description_;
+  std::map<std::string, Site> sites_;
+  std::string default_site_;
+  std::shared_ptr<ech::EchKeyManager> ech_keys_;
+  bool send_retry_configs_ = true;
+  std::map<std::string, TlsServer*> backend_routes_;
+};
+
+// Directory mapping SimNetwork service ids to TLS servers.
+class TlsDirectory {
+ public:
+  // Binds `server` at `ep` in `network`, recording the service id.
+  void bind(net::SimNetwork& network, const net::Endpoint& ep, TlsServer* server);
+  void unbind(net::SimNetwork& network, const net::Endpoint& ep);
+
+  [[nodiscard]] TlsServer* at(std::uint64_t service_id) const;
+
+ private:
+  std::map<std::uint64_t, TlsServer*> by_service_;
+  std::map<net::Endpoint, std::uint64_t> by_endpoint_;
+};
+
+// Drives a full connect + handshake against whatever listens at `ep`.
+[[nodiscard]] HandshakeResult tls_connect(const net::SimNetwork& network,
+                                          const TlsDirectory& directory,
+                                          const net::Endpoint& ep,
+                                          const ClientHello& hello);
+
+}  // namespace httpsrr::tls

@@ -1,0 +1,89 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace httpsrr::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> make_reverse_table() {
+  std::array<std::int8_t, 256> table{};
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    std::uint32_t triple = (static_cast<std::uint32_t>(data[i]) << 16) |
+                           (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                           data[i + 2];
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3f]);
+    out.push_back(kAlphabet[triple & 0x3f]);
+    i += 3;
+  }
+  std::size_t rest = data.size() - i;
+  if (rest == 1) {
+    std::uint32_t triple = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rest == 2) {
+    std::uint32_t triple = (static_cast<std::uint32_t>(data[i]) << 16) |
+                           (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(triple >> 18) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3f]);
+    out.push_back(kAlphabet[(triple >> 6) & 0x3f]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+bool base64_decode(std::string_view text, std::vector<std::uint8_t>& out) {
+  static const std::array<std::int8_t, 256> kReverse = make_reverse_table();
+  out.clear();
+  if (text.empty()) return true;
+  if (text.size() % 4 != 0) return false;
+
+  std::size_t padding = 0;
+  if (text.back() == '=') ++padding;
+  if (text.size() >= 2 && text[text.size() - 2] == '=') ++padding;
+
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    std::uint32_t triple = 0;
+    int valid = 0;
+    for (int j = 0; j < 4; ++j) {
+      char c = text[i + j];
+      if (c == '=') {
+        // Padding only allowed in the final two positions.
+        if (i + j + 2 < text.size()) return false;
+        triple <<= 6;
+        continue;
+      }
+      std::int8_t v = kReverse[static_cast<unsigned char>(c)];
+      if (v < 0) return false;
+      triple = (triple << 6) | static_cast<std::uint32_t>(v);
+      ++valid;
+    }
+    out.push_back(static_cast<std::uint8_t>(triple >> 16));
+    if (valid >= 3) out.push_back(static_cast<std::uint8_t>(triple >> 8));
+    if (valid == 4) out.push_back(static_cast<std::uint8_t>(triple));
+  }
+  return true;
+}
+
+}  // namespace httpsrr::util

@@ -1,0 +1,20 @@
+#pragma once
+
+// Base64 (RFC 4648, standard alphabet, padded) — the encoding zone files
+// use for the `ech` SvcParam value.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace httpsrr::util {
+
+[[nodiscard]] std::string base64_encode(const std::vector<std::uint8_t>& data);
+
+// Strict decode: requires correct padding, rejects non-alphabet bytes and
+// whitespace. Returns false on malformed input.
+[[nodiscard]] bool base64_decode(std::string_view text,
+                                 std::vector<std::uint8_t>& out);
+
+}  // namespace httpsrr::util

@@ -1,0 +1,89 @@
+#pragma once
+
+// Result<T>: a lightweight expected-style return type for parse paths.
+//
+// The library parses untrusted input (DNS wire data, zone files, ECH
+// configuration blobs).  Malformed input is an *expected* outcome there, so
+// those paths return Result<T> instead of throwing; exceptions are reserved
+// for broken invariants and constructor failure (see C++ Core Guidelines
+// E.2/E.3).  gcc 12 does not ship std::expected, hence this small stand-in.
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace httpsrr::util {
+
+// Error payload: a human-readable message describing why parsing failed.
+struct Error {
+  std::string message;
+};
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a value or an Error keeps call sites terse:
+  //   return my_value;            // success
+  //   return Error{"truncated"};  // failure
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  // Value access. Precondition: ok().
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Error access. Precondition: !ok().
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok());
+    return error_.message;
+  }
+
+  // value_or: fall back to a default on failure.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+// Result<void> specialisation: success carries no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : ok_(true) {}
+  Result(Error error) : ok_(false), error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  [[nodiscard]] const std::string& error() const {
+    assert(!ok_);
+    return error_.message;
+  }
+
+ private:
+  bool ok_;
+  Error error_;
+};
+
+}  // namespace httpsrr::util

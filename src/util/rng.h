@@ -1,0 +1,86 @@
+#pragma once
+
+// Deterministic pseudo-random generators for the ecosystem simulation.
+//
+// Everything in the synthetic Internet must be reproducible from a single
+// seed: domain/provider assignment, churn, misconfiguration events.  We use
+// SplitMix64 for seeding/hashing and PCG32 as the workhorse stream.
+// std::mt19937 is avoided because its state is bulky and its distributions
+// are not portable across standard library implementations.
+
+#include <cstdint>
+
+namespace httpsrr::util {
+
+// SplitMix64: tiny, high-quality mixer; also usable as a hash of a counter.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Stateless mix of a 64-bit value (one SplitMix64 step).
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) {
+  return SplitMix64(x).next();
+}
+
+// PCG32 (pcg_xsh_rr_64_32): small, fast, statistically solid.
+class Pcg32 {
+ public:
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0x2b1a5852f33f2b09ULL) {
+    state_ = 0;
+    inc_ = (stream << 1) | 1;
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  std::uint32_t next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  // Uniform in [0, bound). Precondition: bound > 0. Uses Lemire rejection.
+  std::uint32_t uniform(std::uint32_t bound) {
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto low = static_cast<std::uint32_t>(m);
+    if (low < bound) {
+      std::uint32_t threshold = (0u - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<std::uint64_t>(next_u32()) * bound;
+        low = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+  }
+
+  // Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace httpsrr::util

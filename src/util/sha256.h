@@ -1,0 +1,44 @@
+#pragma once
+
+// SHA-256 (FIPS 180-4), implemented from scratch for the DNSSEC and ECH
+// substrates: DS digests, key tags, and the simulated-HPKE keystream all
+// need a real cryptographic hash so that digests behave like the deployed
+// protocol (collision-free in practice, avalanche on any bit flip).
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace httpsrr::util {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s);
+  void update(const std::vector<std::uint8_t>& bytes);
+
+  // Finalises and returns the digest. The hasher must not be reused after.
+  [[nodiscard]] Sha256Digest finish();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+// One-shot helpers.
+[[nodiscard]] Sha256Digest sha256(const std::uint8_t* data, std::size_t len);
+[[nodiscard]] Sha256Digest sha256(std::string_view s);
+[[nodiscard]] Sha256Digest sha256(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace httpsrr::util

@@ -1,0 +1,52 @@
+#pragma once
+
+// Small string utilities shared across the library.  All functions are pure
+// and operate on std::string_view at the boundary (Core Guidelines F.15/SL).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace httpsrr::util {
+
+// ASCII-only case conversion (DNS names are ASCII; locale must not matter).
+[[nodiscard]] char ascii_lower(char c);
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+// True if the two views are equal ignoring ASCII case.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+// Split `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+// Split on runs of ASCII whitespace, dropping empty fields.
+[[nodiscard]] std::vector<std::string> split_ws(std::string_view s);
+
+// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+// Join `parts` with `sep` between elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+// Hex encoding of raw bytes (lowercase, two digits per byte).
+[[nodiscard]] std::string hex_encode(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] std::string hex_encode(const std::uint8_t* data, std::size_t len);
+
+// Hex decoding; returns false on odd length or non-hex characters.
+[[nodiscard]] bool hex_decode(std::string_view hex, std::vector<std::uint8_t>& out);
+
+// Parse an unsigned decimal integer with overflow/garbage detection.
+// Returns false on empty input, non-digits, or value > max.
+[[nodiscard]] bool parse_u64(std::string_view s, std::uint64_t& out,
+                             std::uint64_t max = UINT64_MAX);
+
+// printf-style formatting into a std::string.
+[[nodiscard]] std::string format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace httpsrr::util

@@ -1,0 +1,100 @@
+#include "web/browser.h"
+
+namespace httpsrr::web {
+
+BrowserProfile BrowserProfile::chrome() {
+  BrowserProfile p;
+  p.kind = BrowserKind::chrome;
+  p.name = "Chrome";
+  p.query_https_rr = true;
+  p.upgrade_scheme_on_https_rr = true;
+  p.follow_alias_mode = false;
+  p.follow_service_target = false;
+  p.use_port_param = false;
+  p.port_failover_to_443 = false;
+  p.use_alpn_param = true;
+  p.use_ip_hints = false;
+  p.ip_hint_failover = false;
+  p.support_ech = true;
+  p.grease_ech = true;
+  p.hard_fail_on_malformed_ech = true;
+  p.support_ech_retry = true;
+  p.support_ech_split_mode = false;
+  return p;
+}
+
+BrowserProfile BrowserProfile::edge() {
+  // Edge is Chromium-based; the paper measured identical behaviour but
+  // tested it separately (§5 footnote 12) — so do we.
+  BrowserProfile p = chrome();
+  p.kind = BrowserKind::edge;
+  p.name = "Edge";
+  return p;
+}
+
+BrowserProfile BrowserProfile::safari() {
+  BrowserProfile p;
+  p.kind = BrowserKind::safari;
+  p.name = "Safari";
+  p.query_https_rr = true;
+  p.upgrade_scheme_on_https_rr = false;  // fetches but does not upgrade
+  p.follow_alias_mode = true;
+  p.follow_service_target = true;
+  p.use_port_param = true;
+  p.port_failover_to_443 = true;
+  p.use_alpn_param = true;
+  p.use_ip_hints = true;
+  p.ip_hint_failover = true;  // immediate retry with the other record type
+  p.try_all_service_records = true;
+  p.support_ech = false;      // no ECH support at all
+  return p;
+}
+
+BrowserProfile BrowserProfile::firefox() {
+  BrowserProfile p;
+  p.kind = BrowserKind::firefox;
+  p.name = "Firefox";
+  p.query_https_rr = true;
+  p.https_rr_requires_doh = true;  // type-65 lookups only over DoH
+  p.doh_enabled = true;            // on by default
+  p.upgrade_scheme_on_https_rr = true;
+  p.follow_alias_mode = false;
+  p.follow_service_target = true;
+  p.use_port_param = true;
+  p.port_failover_to_443 = true;
+  p.use_alpn_param = true;
+  p.use_ip_hints = true;
+  p.ip_hint_failover = true;  // after a longer wait (same outcome)
+  p.try_all_service_records = true;
+  p.firefox_h2_compat_probe = true;
+  p.support_ech = true;
+  p.grease_ech = true;
+  p.hard_fail_on_malformed_ech = false;  // ignores the malformed blob
+  p.support_ech_retry = true;
+  p.support_ech_split_mode = false;
+  return p;
+}
+
+BrowserProfile BrowserProfile::spec_compliant() {
+  BrowserProfile p;
+  p.kind = BrowserKind::custom;
+  p.name = "SpecCompliant";
+  p.query_https_rr = true;
+  p.upgrade_scheme_on_https_rr = true;
+  p.follow_alias_mode = true;
+  p.follow_service_target = true;
+  p.use_port_param = true;
+  p.port_failover_to_443 = true;
+  p.use_alpn_param = true;
+  p.use_ip_hints = true;
+  p.ip_hint_failover = true;
+  p.try_all_service_records = true;
+  p.support_ech = true;
+  p.grease_ech = true;
+  p.hard_fail_on_malformed_ech = false;
+  p.support_ech_retry = true;
+  p.support_ech_split_mode = true;
+  return p;
+}
+
+}  // namespace httpsrr::web

@@ -1,0 +1,77 @@
+#pragma once
+
+// BrowserProfile — policy objects encoding how each of the four major
+// browsers consumes HTTPS records and ECH, as measured in the paper's §5
+// testbed (Tables 6 and 7).  The Navigator executes a profile; the profiles
+// themselves are data, so tests can also synthesise hypothetical browsers
+// (e.g. a fully spec-compliant client) for the ablation benches.
+//
+// Summary of the measured behaviours encoded here:
+//
+//                       Chrome   Edge   Safari  Firefox
+//   query HTTPS RR        yes     yes     yes     yes (DoH only)
+//   upgrade to https      yes     yes      no     yes
+//   AliasMode target       no      no     yes      no
+//   ServiceMode target     no      no     yes     yes
+//   port parameter         no      no     yes     yes
+//   port failover->443      -       -     yes     yes
+//   alpn parameter        yes     yes     yes     yes
+//   IP hints               no      no     yes     yes
+//   hint<->A failover       -       -   immediate delayed
+//   ECH (shared mode)     yes     yes      no     yes
+//   malformed ECH        hard    hard       -   ignore
+//   ECH retry configs     yes     yes       -     yes
+//   ECH split mode         no      no       -      no
+
+#include <string>
+
+namespace httpsrr::web {
+
+enum class BrowserKind { chrome, edge, safari, firefox, custom };
+
+struct BrowserProfile {
+  BrowserKind kind = BrowserKind::custom;
+  std::string name = "custom";
+
+  // --- DNS behaviour -----------------------------------------------------
+  // Issues type-65 queries at all. Firefox only does so over DoH.
+  bool query_https_rr = true;
+  bool https_rr_requires_doh = false;
+  bool doh_enabled = true;
+
+  // --- use of the record as an HTTPS signal ------------------------------
+  // Upgrade bare / http:// navigations to https when an HTTPS RR exists.
+  bool upgrade_scheme_on_https_rr = true;
+
+  // --- parameter handling -------------------------------------------------
+  bool follow_alias_mode = false;      // chase AliasMode TargetName
+  bool follow_service_target = false;  // connect to ServiceMode TargetName
+  bool use_port_param = false;
+  bool port_failover_to_443 = false;   // retry on the default port on failure
+  bool use_alpn_param = true;
+  bool use_ip_hints = false;           // prefer hints over A records
+  bool ip_hint_failover = false;       // cross over between hint and A lists
+  // Try lower-priority ServiceMode records after a connection failure
+  // (RFC 9460 §3 asks clients to; Chromium only ever uses the best record).
+  bool try_all_service_records = false;
+  bool firefox_h2_compat_probe = false;  // extra h2 attempt after h3-only
+
+  // --- ECH ----------------------------------------------------------------
+  bool support_ech = false;
+  // Send GREASE ECH on connections without a real configuration
+  // (Chromium and Firefox do; keeps middleboxes from ossifying).
+  bool grease_ech = false;
+  bool hard_fail_on_malformed_ech = false;  // vs. silently ignore the blob
+  bool support_ech_retry = false;
+  bool support_ech_split_mode = false;  // resolve public_name out of band
+
+  static BrowserProfile chrome();
+  static BrowserProfile edge();
+  static BrowserProfile safari();
+  static BrowserProfile firefox();
+  // A hypothetical client implementing the full RFC 9460 + ECH draft
+  // (used by the failover ablation to quantify what correctness buys).
+  static BrowserProfile spec_compliant();
+};
+
+}  // namespace httpsrr::web

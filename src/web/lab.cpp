@@ -1,0 +1,129 @@
+#include "web/lab.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace httpsrr::web {
+
+using dns::Name;
+using dns::name_of;
+using dns::RrType;
+
+namespace {
+
+net::IpAddr lab_ip(const std::string& text) {
+  auto ip = net::IpAddr::parse(text);
+  if (!ip.ok()) {
+    assert(false && "Lab: bad IP literal");
+    std::abort();
+  }
+  return *ip;
+}
+
+void must(const util::Result<void>& r) {
+  if (!r.ok()) {
+    assert(false && "Lab: zone setup failed");
+    std::abort();
+  }
+}
+
+constexpr const char* kRootIp = "10.53.0.1";
+constexpr const char* kTldIp = "10.53.0.2";
+constexpr const char* kLabNsIp = "10.53.0.53";
+
+}  // namespace
+
+Lab::Lab()
+    : clock_(net::SimTime::from_string("2024-01-15")),
+      root_key_(dnssec::KeyPair::generate(0xbeef, 257)) {
+  root_ns_ = &infra_.add_server("lab-root", lab_ip(kRootIp));
+  tld_ns_ = &infra_.add_server("lab-gtld", lab_ip(kTldIp));
+  lab_ns_ = &infra_.add_server("lab-auth", lab_ip(kLabNsIp));
+
+  root_ns_->add_zone(dns::Zone(Name{}));
+  infra_.register_zone(Name{}, {root_ns_});
+  infra_.set_root_servers({lab_ip(kRootIp)});
+
+  resolver::ResolverOptions options;
+  options.validate_dnssec = false;  // the §5 experiments run without DNSSEC
+  resolver_ = std::make_unique<resolver::RecursiveResolver>(
+      infra_, clock_, root_key_.dnskey, options);
+}
+
+void Lab::set_zone(const std::string& origin, std::string_view master_text) {
+  Name apex = name_of(origin);
+  if (apex.is_root() || apex.label_count() < 2) {
+    assert(false && "Lab zones must sit below a TLD");
+    std::abort();
+  }
+  std::vector<std::string> tld_labels = {apex.labels().back()};
+  Name tld = *Name::from_labels(tld_labels);
+
+  // Ensure the TLD zone and root delegation exist.
+  if (tld_ns_->find_zone(tld) == nullptr) {
+    tld_ns_->add_zone(dns::Zone(tld));
+    infra_.register_zone(tld, {tld_ns_});
+    auto* root_zone = root_ns_->find_zone(Name{});
+    must(root_zone->add(dns::make_ns(tld, 86400, name_of("ns.gtld.lab"))));
+    if (root_zone->records_at(name_of("ns.gtld.lab"), RrType::A).empty()) {
+      must(root_zone->add(dns::make_a(name_of("ns.gtld.lab"), 86400,
+                                      lab_ip(kTldIp).v4())));
+    }
+  }
+
+  // Ensure the delegation from the TLD to the lab server exists.
+  auto* tld_zone = tld_ns_->find_zone(tld);
+  Name ns_host = *name_of("ns1.lab-dns").prepend("x");  // placeholder, replaced
+  {
+    // ns1.lab-dns.<tld>
+    std::vector<std::string> labels = {"ns1", "lab-dns"};
+    for (const auto& l : tld.labels()) labels.push_back(l);
+    ns_host = *Name::from_labels(std::move(labels));
+  }
+  if (tld_zone->records_at(apex, RrType::NS).empty()) {
+    must(tld_zone->add(dns::make_ns(apex, 86400, ns_host)));
+    if (tld_zone->records_at(ns_host, RrType::A).empty()) {
+      must(tld_zone->add(dns::make_a(ns_host, 86400, lab_ip(kLabNsIp).v4())));
+    }
+  }
+
+  // Install (or replace) the experiment zone.
+  auto zone = dns::Zone::parse(apex, master_text, /*default_ttl=*/60);
+  if (!zone.ok()) {
+    // Experiment zones are source literals; fail loudly.
+    std::fprintf(stderr, "Lab zone parse error: %s\n", zone.error().c_str());
+    std::abort();
+  }
+  lab_ns_->remove_zone(apex);
+  lab_ns_->add_zone(std::move(*zone));
+  infra_.register_zone(apex, {lab_ns_});
+}
+
+tls::TlsServer& Lab::add_web_server(const std::string& ip,
+                                    const std::vector<std::uint16_t>& ports,
+                                    std::string description) {
+  auto server = std::make_unique<tls::TlsServer>(std::move(description));
+  tls::TlsServer* raw = server.get();
+  web_servers_.push_back(std::move(server));
+  for (std::uint16_t port : ports) {
+    tls_.bind(network_, net::Endpoint{lab_ip(ip), port}, raw);
+  }
+  return *raw;
+}
+
+void Lab::bind(tls::TlsServer& server, const std::string& ip, std::uint16_t port) {
+  tls_.bind(network_, net::Endpoint{lab_ip(ip), port}, &server);
+}
+
+void Lab::add_http_listener(const std::string& ip, std::uint16_t port) {
+  (void)network_.listen(net::Endpoint{lab_ip(ip), port});
+}
+
+NavigationResult Lab::visit(const BrowserProfile& profile, const std::string& url,
+                            bool fresh_session) {
+  if (fresh_session) resolver_->flush_cache();
+  Navigator navigator(*resolver_, network_, tls_, profile);
+  return navigator.navigate(url);
+}
+
+}  // namespace httpsrr::web

@@ -1,0 +1,77 @@
+#pragma once
+
+// Lab — the controlled client-side testbed of §5 (Figure 6): an
+// authoritative name server we configure per experiment, web servers we
+// place at chosen IPs/ports, a public recursive resolver in between, and
+// browser profiles visiting URLs.  Experiments are written exactly like
+// the paper's zone snippets:
+//
+//   Lab lab;
+//   lab.set_zone("a.com", R"(
+//     a.com. 60 IN HTTPS 1 . alpn=h2 port=8443
+//     a.com. 60 IN A 10.0.0.10
+//   )");
+//   auto& server = lab.add_web_server("10.0.0.10", {443, 8443});
+//   server.add_site("a.com", {...});
+//   auto result = lab.visit(BrowserProfile::chrome(), "https://a.com");
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+#include "resolver/infra.h"
+#include "resolver/recursive.h"
+#include "tls/handshake.h"
+#include "web/browser.h"
+#include "web/navigator.h"
+
+namespace httpsrr::web {
+
+class Lab {
+ public:
+  Lab();
+
+  // Installs (or replaces) the zone for `origin` on the lab's authoritative
+  // server and wires the delegation. Terminates on malformed master text —
+  // lab zones are experiment literals.
+  void set_zone(const std::string& origin, std::string_view master_text);
+
+  // Creates a TLS web server reachable at `ip` on each of `ports`.
+  tls::TlsServer& add_web_server(const std::string& ip,
+                                 const std::vector<std::uint16_t>& ports,
+                                 std::string description = "web");
+
+  // Binds an already-created server at an extra endpoint.
+  void bind(tls::TlsServer& server, const std::string& ip, std::uint16_t port);
+
+  // Opens a plain-HTTP listener (port 80 semantics: reachable, no TLS).
+  void add_http_listener(const std::string& ip, std::uint16_t port = 80);
+
+  // Runs one browser navigation. Each visit uses a fresh cache state if
+  // `fresh_session` (the paper clears DNS cache + history between rounds).
+  [[nodiscard]] NavigationResult visit(const BrowserProfile& profile,
+                                       const std::string& url,
+                                       bool fresh_session = true);
+
+  // Direct access for advanced experiments.
+  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] net::SimClock& clock() { return clock_; }
+  [[nodiscard]] resolver::RecursiveResolver& resolver() { return *resolver_; }
+  [[nodiscard]] resolver::AuthoritativeServer& lab_ns() { return *lab_ns_; }
+  [[nodiscard]] tls::TlsDirectory& tls_directory() { return tls_; }
+
+ private:
+  net::SimClock clock_;
+  net::SimNetwork network_;
+  resolver::DnsInfra infra_;
+  dnssec::KeyPair root_key_;
+  resolver::AuthoritativeServer* root_ns_ = nullptr;
+  resolver::AuthoritativeServer* tld_ns_ = nullptr;
+  resolver::AuthoritativeServer* lab_ns_ = nullptr;
+  std::unique_ptr<resolver::RecursiveResolver> resolver_;
+  tls::TlsDirectory tls_;
+  std::vector<std::unique_ptr<tls::TlsServer>> web_servers_;
+};
+
+}  // namespace httpsrr::web

@@ -1,0 +1,438 @@
+#include "web/navigator.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace httpsrr::web {
+
+using dns::Name;
+using dns::RrType;
+using util::Error;
+using util::Result;
+
+Result<ParsedUrl> ParsedUrl::parse(std::string_view url) {
+  ParsedUrl out;
+  std::string_view rest = url;
+  if (util::starts_with(rest, "https://")) {
+    out.scheme = Scheme::https;
+    rest.remove_prefix(8);
+  } else if (util::starts_with(rest, "http://")) {
+    out.scheme = Scheme::http;
+    rest.remove_prefix(7);
+  } else if (rest.find("://") != std::string_view::npos) {
+    return Error{"unsupported URL scheme"};
+  }
+  if (auto slash = rest.find('/'); slash != std::string_view::npos) {
+    rest = rest.substr(0, slash);
+  }
+  if (auto colon = rest.find(':'); colon != std::string_view::npos) {
+    std::uint64_t port = 0;
+    if (!util::parse_u64(rest.substr(colon + 1), port, 65535) || port == 0) {
+      return Error{"bad port in URL"};
+    }
+    out.port = static_cast<std::uint16_t>(port);
+    rest = rest.substr(0, colon);
+  }
+  if (rest.empty()) return Error{"empty host in URL"};
+  out.host = std::string(rest);
+  return out;
+}
+
+std::string_view to_string(NavError e) {
+  switch (e) {
+    case NavError::none: return "OK";
+    case NavError::bad_url: return "BAD_URL";
+    case NavError::dns_failure: return "ERR_NAME_NOT_RESOLVED";
+    case NavError::no_address: return "ERR_ADDRESS_UNREACHABLE";
+    case NavError::connect_failed: return "ERR_CONNECTION_FAILED";
+    case NavError::tls_alpn_failure: return "ERR_ALPN_NEGOTIATION_FAILED";
+    case NavError::tls_cert_invalid: return "ERR_CERT_AUTHORITY_INVALID";
+    case NavError::ech_parse_failure: return "ERR_ECH_CONFIG_INVALID";
+    case NavError::ech_fallback_cert_invalid:
+      return "ERR_ECH_FALLBACK_CERTIFICATE_INVALID";
+  }
+  return "?";
+}
+
+std::string NavigationResult::summary() const {
+  std::string out = success ? "OK" : std::string(to_string(error));
+  if (success) {
+    out += used_scheme == Scheme::https ? " https" : " http";
+    out += " via " + endpoint.to_string();
+    if (negotiated_alpn) out += " alpn=" + *negotiated_alpn;
+    if (ech_accepted) out += " ech";
+    if (used_retry_config) out += " (retry-config)";
+  }
+  return out;
+}
+
+std::vector<net::IpAddr> Navigator::resolve_addresses(const Name& host,
+                                                      NavigationResult& result) {
+  result.dns_queries.push_back(DnsQueryLog{host, RrType::A});
+  auto resp = resolver_.resolve(host, RrType::A);
+  std::vector<net::IpAddr> out;
+  for (const auto& rr : resp.answers) {
+    if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+      out.push_back(net::IpAddr(a->address));
+    }
+  }
+  return out;
+}
+
+std::vector<dns::SvcbRdata> Navigator::fetch_https_records(
+    const Name& host, NavigationResult& result) {
+  result.dns_queries.push_back(DnsQueryLog{host, RrType::HTTPS});
+  result.queried_https_rr = true;
+  auto resp = resolver_.resolve(host, RrType::HTTPS);
+  if (resp.header.rcode != dns::Rcode::NOERROR) return {};
+
+  std::vector<dns::SvcbRdata> records;
+  for (const auto& rr : resp.answers) {
+    if (rr.type != RrType::HTTPS) continue;
+    const auto& svcb = std::get<dns::SvcbRdata>(rr.rdata);
+    // RFC 9460 §8: a record whose mandatory list names a key the client
+    // does not implement MUST NOT be used. This client implements the
+    // seven IANA-defined keys (0..6).
+    bool usable = true;
+    if (auto mandatory = svcb.params.mandatory()) {
+      for (std::uint16_t key : *mandatory) {
+        if (key > static_cast<std::uint16_t>(dns::SvcParamKey::ipv6hint)) {
+          usable = false;
+        }
+      }
+    }
+    if (usable) records.push_back(svcb);
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const dns::SvcbRdata& a, const dns::SvcbRdata& b) {
+                     return a.priority < b.priority;
+                   });
+  return records;
+}
+
+void Navigator::run_https_plan(const Name& origin_host,
+                               const std::vector<Candidate>& candidates,
+                               std::uint16_t port,
+                               const std::vector<std::string>& alpn,
+                               const std::optional<ech::EchConfig>& ech_config,
+                               NavigationResult& result) {
+  std::string origin = origin_host.to_string();
+  origin.pop_back();  // strip trailing dot for SNI form
+
+  for (const auto& candidate : candidates) {
+    net::Endpoint ep{candidate.address, port};
+    tls::ClientHello hello;
+    if (ech_config.has_value()) {
+      hello = tls::ClientHello::with_ech(*ech_config, origin, alpn);
+    } else if (profile_.grease_ech) {
+      // No real configuration: Chromium-style GREASE keeps the extension
+      // on the wire (real SNI outer; servers must tolerate and ignore it).
+      std::uint64_t entropy = (static_cast<std::uint64_t>(port) << 32) ^
+                              std::hash<std::string>{}(origin);
+      hello = tls::ClientHello::with_grease_ech(origin, alpn, entropy);
+    } else {
+      hello = tls::ClientHello::plain(origin, alpn);
+    }
+    auto hr = tls::tls_connect(network_, tls_, ep, hello);
+
+    ConnectAttemptLog log{ep, ech_config.has_value(), false, {}};
+    if (!hr.transport_ok) {
+      log.detail = std::string(net::to_string(hr.transport_error));
+      result.attempts.push_back(std::move(log));
+      continue;  // transport failure: try the next candidate address
+    }
+
+    // Transport established: TLS outcomes are terminal for this navigation
+    // (browsers do not retry other IPs after a TLS-level failure).
+    result.endpoint = ep;
+
+    if (ech_config.has_value()) {
+      result.ech_attempted = true;
+      if (hr.ech_accepted) {
+        if (!hr.tls_ok) {
+          result.error = hr.alert == tls::TlsAlert::no_application_protocol
+                             ? NavError::tls_alpn_failure
+                             : NavError::tls_cert_invalid;
+          log.detail = std::string(tls::to_string(hr.alert));
+          result.attempts.push_back(std::move(log));
+          return;
+        }
+        if (!hr.certificate.matches(origin)) {
+          result.error = NavError::tls_cert_invalid;
+          result.attempts.push_back(std::move(log));
+          return;
+        }
+        result.success = true;
+        result.ech_accepted = true;
+        result.negotiated_alpn = hr.negotiated_alpn;
+        log.ok = true;
+        result.attempts.push_back(std::move(log));
+        return;
+      }
+
+      // ECH was not accepted. The fallback handshake is only trustworthy if
+      // the presented certificate authenticates the *public name* — the
+      // draft's requirement, and exactly what breaks Split Mode (§5.3.2).
+      if (!hr.certificate.matches(ech_config->public_name)) {
+        result.error = NavError::ech_fallback_cert_invalid;
+        log.detail = "fallback cert does not cover public_name";
+        result.attempts.push_back(std::move(log));
+        return;
+      }
+
+      if (!hr.retry_configs.empty() && profile_.support_ech_retry) {
+        auto retry_list = ech::EchConfigList::decode(hr.retry_configs);
+        if (retry_list.ok() && !retry_list->configs.empty()) {
+          auto retry_hello = tls::ClientHello::with_ech(
+              retry_list->configs.front(), origin, alpn);
+          auto hr2 = tls::tls_connect(network_, tls_, ep, retry_hello);
+          if (hr2.transport_ok && hr2.ech_accepted && hr2.tls_ok &&
+              hr2.certificate.matches(origin)) {
+            result.success = true;
+            result.ech_accepted = true;
+            result.used_retry_config = true;
+            result.negotiated_alpn = hr2.negotiated_alpn;
+            log.ok = true;
+            log.detail = "via retry config";
+            result.attempts.push_back(std::move(log));
+            return;
+          }
+        }
+        result.error = NavError::tls_cert_invalid;
+        result.attempts.push_back(std::move(log));
+        return;
+      }
+
+      // Unilateral deployment: the server ignored the extension. Fall back
+      // to a standard TLS handshake with the real SNI.
+      auto plain = tls::ClientHello::plain(origin, alpn);
+      auto hr3 = tls::tls_connect(network_, tls_, ep, plain);
+      if (hr3.transport_ok && hr3.tls_ok && hr3.certificate.matches(origin)) {
+        result.success = true;
+        result.negotiated_alpn = hr3.negotiated_alpn;
+        log.ok = true;
+        log.detail = "fallback to standard TLS";
+        result.attempts.push_back(std::move(log));
+        return;
+      }
+      result.error = NavError::tls_cert_invalid;
+      result.attempts.push_back(std::move(log));
+      return;
+    }
+
+    // Plain TLS path.
+    if (!hr.tls_ok) {
+      result.error = hr.alert == tls::TlsAlert::no_application_protocol
+                         ? NavError::tls_alpn_failure
+                         : NavError::tls_cert_invalid;
+      log.detail = std::string(tls::to_string(hr.alert));
+      result.attempts.push_back(std::move(log));
+      return;
+    }
+    if (!hr.certificate.matches(origin)) {
+      result.error = NavError::tls_cert_invalid;
+      result.attempts.push_back(std::move(log));
+      return;
+    }
+    result.success = true;
+    result.negotiated_alpn = hr.negotiated_alpn;
+    log.ok = true;
+    result.attempts.push_back(std::move(log));
+    return;
+  }
+
+  result.error =
+      candidates.empty() ? NavError::no_address : NavError::connect_failed;
+}
+
+NavigationResult Navigator::navigate(const std::string& url) {
+  NavigationResult result;
+
+  auto parsed = ParsedUrl::parse(url);
+  if (!parsed.ok()) {
+    result.error = NavError::bad_url;
+    return result;
+  }
+  auto host = Name::parse(parsed->host);
+  if (!host.ok()) {
+    result.error = NavError::bad_url;
+    return result;
+  }
+
+  // --- DNS phase ----------------------------------------------------------
+  bool can_query_https =
+      profile_.query_https_rr &&
+      (!profile_.https_rr_requires_doh || profile_.doh_enabled);
+  std::vector<dns::SvcbRdata> records;
+  if (can_query_https) records = fetch_https_records(*host, result);
+  auto origin_ips = resolve_addresses(*host, result);
+
+  bool go_https =
+      parsed->scheme == Scheme::https ||
+      (!records.empty() && profile_.upgrade_scheme_on_https_rr);
+
+  // --- Plain HTTP path ------------------------------------------------------
+  if (!go_https) {
+    result.used_scheme = Scheme::http;
+    std::uint16_t port = parsed->port.value_or(80);
+    if (origin_ips.empty()) {
+      result.error = NavError::no_address;
+      return result;
+    }
+    for (const auto& ip : origin_ips) {
+      net::Endpoint ep{ip, port};
+      auto connect = network_.connect(ep);
+      ConnectAttemptLog log{ep, false, connect.ok(),
+                            std::string(net::to_string(connect.error))};
+      result.attempts.push_back(std::move(log));
+      if (connect.ok()) {
+        result.success = true;
+        result.endpoint = ep;
+        return result;
+      }
+    }
+    result.error = NavError::connect_failed;
+    return result;
+  }
+
+  // --- HTTPS plan -----------------------------------------------------------
+  result.used_scheme = Scheme::https;
+
+  // AliasMode (always the lowest priority when present) redirects the whole
+  // plan; it cannot be mixed with ServiceMode records for the same owner.
+  std::optional<Name> alias_target;
+  if (!records.empty() && records.front().is_alias_mode()) {
+    if (profile_.follow_alias_mode && !records.front().target.is_root()) {
+      alias_target = records.front().target;
+      result.used_https_rr = true;
+    }
+    records.clear();  // AliasMode carries no SvcParams
+  }
+
+  // One connection plan per usable ServiceMode record, best priority first.
+  // A nullopt entry is the record-less fallback plan (plain A lookup).
+  std::vector<std::optional<dns::SvcbRdata>> plans;
+  if (records.empty()) {
+    plans.push_back(std::nullopt);
+  } else {
+    for (const auto& record : records) plans.emplace_back(record);
+    if (!profile_.try_all_service_records) plans.resize(1);
+  }
+
+  for (std::size_t plan_index = 0; plan_index < plans.size(); ++plan_index) {
+    const auto& record = plans[plan_index];
+    Name endpoint_host = alias_target.value_or(*host);
+    std::uint16_t port = parsed->port.value_or(443);
+    std::vector<std::string> alpn = {"h2", "http/1.1"};  // default offer
+    std::optional<ech::EchConfig> ech_config;
+
+    if (record.has_value()) {
+      result.used_https_rr = true;
+      if (profile_.follow_service_target) {
+        endpoint_host = record->effective_target(*host);
+      }
+      if (profile_.use_port_param) {
+        if (auto p = record->params.port()) port = *p;
+      }
+      if (profile_.use_alpn_param) {
+        if (auto protocols = record->params.alpn()) {
+          alpn = *protocols;
+          if (!record->params.no_default_alpn()) alpn.emplace_back("http/1.1");
+        }
+      }
+      if (profile_.support_ech) {
+        if (auto blob = record->params.ech()) {
+          auto list = ech::EchConfigList::decode(*blob);
+          if (!list.ok()) {
+            if (profile_.hard_fail_on_malformed_ech) {
+              // Chrome/Edge terminate after the initial SYN (§5.3.1 case 2).
+              result.error = NavError::ech_parse_failure;
+              return result;
+            }
+            // Firefox ignores the malformed blob and proceeds without ECH.
+          } else {
+            ech_config = list->configs.front();
+          }
+        }
+      }
+    }
+
+    // --- candidate addresses -----------------------------------------------
+    std::vector<net::IpAddr> endpoint_ips =
+        endpoint_host == *host ? origin_ips
+                               : resolve_addresses(endpoint_host, result);
+    std::vector<net::IpAddr> hint_ips;
+    if (record.has_value() && profile_.use_ip_hints) {
+      if (auto hints = record->params.ipv4hint()) {
+        for (const auto& a : *hints) hint_ips.push_back(net::IpAddr(a));
+      }
+      if (auto hints6 = record->params.ipv6hint()) {
+        for (const auto& a : *hints6) hint_ips.push_back(net::IpAddr(a));
+      }
+    }
+
+    std::vector<Candidate> candidates;
+    auto add_unique = [&candidates](const net::IpAddr& ip, bool from_hint) {
+      for (const auto& c : candidates) {
+        if (c.address == ip) return;
+      }
+      candidates.push_back(Candidate{ip, from_hint});
+    };
+    if (profile_.use_ip_hints && !hint_ips.empty()) {
+      for (const auto& ip : hint_ips) add_unique(ip, true);
+      if (profile_.ip_hint_failover) {
+        for (const auto& ip : endpoint_ips) add_unique(ip, false);
+      }
+    } else {
+      for (const auto& ip : endpoint_ips) add_unique(ip, false);
+      if (profile_.ip_hint_failover) {
+        for (const auto& ip : hint_ips) add_unique(ip, true);
+      }
+    }
+
+    // Split-mode-aware clients resolve the client-facing server instead.
+    if (ech_config.has_value() && profile_.support_ech_split_mode) {
+      if (auto public_host = Name::parse(ech_config->public_name)) {
+        auto public_ips = resolve_addresses(*public_host, result);
+        if (!public_ips.empty()) {
+          candidates.clear();
+          for (const auto& ip : public_ips) add_unique(ip, false);
+        }
+      }
+    }
+
+    if (candidates.empty()) {
+      result.error = NavError::no_address;
+      continue;  // a lower-priority record may still work
+    }
+
+    result.error = NavError::none;
+    run_https_plan(*host, candidates, port, alpn, ech_config, result);
+
+    // Port failover (Safari/Firefox): retry everything on 443.
+    if (!result.success && result.error == NavError::connect_failed &&
+        profile_.port_failover_to_443 && port != 443) {
+      result.error = NavError::none;
+      run_https_plan(*host, candidates, 443, alpn, ech_config, result);
+    }
+
+    if (result.success) break;
+    // Only connection-level failures justify moving to the next record;
+    // TLS/ECH hard failures are terminal (matching browser behaviour).
+    if (result.error != NavError::connect_failed &&
+        result.error != NavError::no_address) {
+      break;
+    }
+  }
+
+  // Firefox compatibility probe: after an h3-only connection it also opens
+  // an h2 connection shortly after (§5.2.2(3)).
+  if (result.success && profile_.firefox_h2_compat_probe &&
+      result.negotiated_alpn == "h3") {
+    result.h2_compat_probe = true;
+  }
+  return result;
+}
+
+}  // namespace httpsrr::web

@@ -1,0 +1,118 @@
+#pragma once
+
+// Navigator — executes a browser profile against the simulated network:
+// URL parsing, HTTPS/A lookups, HTTPS-RR interpretation, endpoint candidate
+// selection, TLS/ECH handshakes with per-profile failover.  This is the
+// client half of the paper's §5 testbed; web::Lab wires it to a zone.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "ech/config.h"
+#include "net/network.h"
+#include "resolver/recursive.h"
+#include "tls/handshake.h"
+#include "web/browser.h"
+
+namespace httpsrr::web {
+
+enum class Scheme : std::uint8_t { none, http, https };
+
+struct ParsedUrl {
+  Scheme scheme = Scheme::none;
+  std::string host;
+  std::optional<std::uint16_t> port;
+
+  static util::Result<ParsedUrl> parse(std::string_view url);
+};
+
+enum class NavError : std::uint8_t {
+  none,
+  bad_url,
+  dns_failure,          // resolution failed outright (SERVFAIL/NXDOMAIN)
+  no_address,           // no usable IP for the chosen endpoint
+  connect_failed,       // every candidate endpoint refused/unreachable
+  tls_alpn_failure,
+  tls_cert_invalid,
+  ech_parse_failure,            // hard fail on malformed ech blob
+  ech_fallback_cert_invalid,    // split-mode outcome (§5.3.2)
+};
+
+[[nodiscard]] std::string_view to_string(NavError e);
+
+struct DnsQueryLog {
+  dns::Name qname;
+  dns::RrType qtype;
+};
+
+struct ConnectAttemptLog {
+  net::Endpoint endpoint;
+  bool ech = false;
+  bool ok = false;
+  std::string detail;
+};
+
+struct NavigationResult {
+  bool success = false;
+  NavError error = NavError::none;
+  Scheme used_scheme = Scheme::none;
+  net::Endpoint endpoint;                   // where the winning attempt went
+  std::optional<std::string> negotiated_alpn;
+  bool used_https_rr = false;               // record influenced the plan
+  bool queried_https_rr = false;            // type-65 query was issued
+  bool ech_attempted = false;
+  bool ech_accepted = false;
+  bool used_retry_config = false;
+  bool h2_compat_probe = false;             // Firefox extra h2 attempt
+  std::vector<DnsQueryLog> dns_queries;
+  std::vector<ConnectAttemptLog> attempts;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+class Navigator {
+ public:
+  Navigator(resolver::RecursiveResolver& resolver, const net::SimNetwork& network,
+            const tls::TlsDirectory& tls, BrowserProfile profile)
+      : resolver_(resolver), network_(network), tls_(tls),
+        profile_(std::move(profile)) {}
+
+  [[nodiscard]] const BrowserProfile& profile() const { return profile_; }
+
+  // Navigates to `url` ("a.com", "http://a.com", "https://a.com:8443").
+  [[nodiscard]] NavigationResult navigate(const std::string& url);
+
+ private:
+  struct Candidate {
+    net::IpAddr address;
+    bool from_hint = false;
+  };
+
+  [[nodiscard]] std::vector<net::IpAddr> resolve_addresses(
+      const dns::Name& host, NavigationResult& result);
+  // Returns every usable record, lowest SvcPriority first. Records whose
+  // `mandatory` lists a key this client does not implement are discarded
+  // (RFC 9460 §8: such records MUST NOT be used).
+  [[nodiscard]] std::vector<dns::SvcbRdata> fetch_https_records(
+      const dns::Name& host, NavigationResult& result);
+
+  // Runs TLS (optionally with ECH) against candidates, applying the
+  // profile's failover rules. Returns true when the navigation concluded
+  // (success or hard failure recorded in `result`).
+  void run_https_plan(const dns::Name& origin_host,
+                      const std::vector<Candidate>& candidates,
+                      std::uint16_t port,
+                      const std::vector<std::string>& alpn,
+                      const std::optional<ech::EchConfig>& ech_config,
+                      NavigationResult& result);
+
+  resolver::RecursiveResolver& resolver_;
+  const net::SimNetwork& network_;
+  const tls::TlsDirectory& tls_;
+  BrowserProfile profile_;
+};
+
+}  // namespace httpsrr::web

@@ -1,0 +1,159 @@
+// Message encode/decode: headers, flags (incl. AD), sections, compression.
+
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+
+namespace httpsrr::dns {
+namespace {
+
+TEST(Message, QueryRoundTrip) {
+  auto q = Message::make_query(0x1234, name_of("a.com"), RrType::HTTPS);
+  auto wire = q.encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded->header.id, 0x1234);
+  EXPECT_FALSE(decoded->header.qr);
+  EXPECT_TRUE(decoded->header.rd);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].qname, name_of("a.com"));
+  EXPECT_EQ(decoded->questions[0].qtype, RrType::HTTPS);
+}
+
+TEST(Message, ResponseMirrorsQuery) {
+  auto q = Message::make_query(7, name_of("a.com"), RrType::A);
+  auto resp = Message::make_response(q);
+  EXPECT_TRUE(resp.header.qr);
+  EXPECT_TRUE(resp.header.ra);
+  EXPECT_EQ(resp.header.id, 7);
+  ASSERT_EQ(resp.questions.size(), 1u);
+  EXPECT_EQ(resp.questions[0], q.questions[0]);
+}
+
+TEST(Message, FullResponseRoundTrip) {
+  auto q = Message::make_query(42, name_of("www.a.com"), RrType::HTTPS);
+  auto resp = Message::make_response(q);
+  resp.header.ad = true;
+  resp.header.aa = false;
+  resp.header.rcode = Rcode::NOERROR;
+
+  auto svcb = SvcbRdata::parse_presentation("1 . alpn=h2,h3 ipv4hint=1.2.3.4");
+  ASSERT_TRUE(svcb.ok());
+  resp.answers.push_back(make_https(name_of("www.a.com"), 300, *svcb));
+  resp.answers.push_back(make_cname(name_of("www.a.com"), 300, name_of("a.com")));
+  resp.authorities.push_back(make_ns(name_of("a.com"), 86400,
+                                     name_of("ns1.cloudflare.com")));
+  resp.additionals.push_back(
+      make_a(name_of("ns1.cloudflare.com"), 86400, net::Ipv4Addr(9, 9, 9, 9)));
+
+  auto wire = resp.encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(decoded->header.ad);
+  ASSERT_EQ(decoded->answers.size(), 2u);
+  EXPECT_EQ(decoded->answers[0], resp.answers[0]);
+  EXPECT_EQ(decoded->answers[1], resp.answers[1]);
+  ASSERT_EQ(decoded->authorities.size(), 1u);
+  EXPECT_EQ(decoded->authorities[0], resp.authorities[0]);
+  ASSERT_EQ(decoded->additionals.size(), 1u);
+  EXPECT_EQ(decoded->additionals[0], resp.additionals[0]);
+}
+
+TEST(Message, CompressionShrinksRepeatedNames) {
+  auto q = Message::make_query(1, name_of("www.a.com"), RrType::A);
+  auto resp = Message::make_response(q);
+  for (int i = 0; i < 4; ++i) {
+    resp.answers.push_back(make_a(name_of("www.a.com"), 60,
+                                  net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i))));
+  }
+  auto wire = resp.encode();
+  // With compression each repeated owner costs 2 bytes instead of 11.
+  // Header(12) + question(11+4) + 4 * (2 + 10 + 4) < uncompressed size.
+  EXPECT_LT(wire.size(), 12u + 15u + 4u * 25u);
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->answers.size(), 4u);
+  EXPECT_EQ(decoded->answers[3].owner, name_of("www.a.com"));
+}
+
+TEST(Message, AnswersOfType) {
+  auto q = Message::make_query(1, name_of("a.com"), RrType::HTTPS);
+  auto resp = Message::make_response(q);
+  resp.answers.push_back(make_cname(name_of("a.com"), 60, name_of("b.com")));
+  auto svcb = SvcbRdata::parse_presentation("1 . alpn=h2");
+  ASSERT_TRUE(svcb.ok());
+  resp.answers.push_back(make_https(name_of("b.com"), 60, *svcb));
+  EXPECT_EQ(resp.answers_of_type(RrType::HTTPS).size(), 1u);
+  EXPECT_EQ(resp.answers_of_type(RrType::CNAME).size(), 1u);
+  EXPECT_EQ(resp.answers_of_type(RrType::A).size(), 0u);
+}
+
+TEST(Message, RcodeRoundTrip) {
+  auto q = Message::make_query(1, name_of("missing.example"), RrType::A);
+  auto resp = Message::make_response(q);
+  resp.header.rcode = Rcode::NXDOMAIN;
+  auto decoded = Message::decode(resp.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->header.rcode, Rcode::NXDOMAIN);
+}
+
+TEST(Message, EdnsRoundTrip) {
+  auto q = Message::make_query(5, name_of("a.com"), RrType::HTTPS,
+                               /*dnssec_ok=*/true);
+  ASSERT_TRUE(q.edns.has_value());
+  EXPECT_TRUE(q.edns->dnssec_ok);
+  q.edns->udp_payload_size = 4096;
+
+  auto decoded = Message::decode(q.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_TRUE(decoded->edns->dnssec_ok);
+  EXPECT_EQ(decoded->edns->udp_payload_size, 4096);
+  // The OPT pseudo-RR is lifted out of additionals, not left as a record.
+  EXPECT_TRUE(decoded->additionals.empty());
+}
+
+TEST(Message, EdnsAbsentWithoutOpt) {
+  Message m;
+  m.header.id = 3;
+  m.questions.push_back(Question{name_of("a.com"), RrType::A, RrClass::IN});
+  auto decoded = Message::decode(m.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->edns.has_value());
+}
+
+TEST(Message, DoBitOffRoundTrips) {
+  auto q = Message::make_query(5, name_of("a.com"), RrType::A,
+                               /*dnssec_ok=*/false);
+  auto decoded = Message::decode(q.encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded->edns.has_value());
+  EXPECT_FALSE(decoded->edns->dnssec_ok);
+}
+
+TEST(Message, DecodeRejectsGarbage) {
+  Bytes garbage = {0x01, 0x02, 0x03};
+  EXPECT_FALSE(Message::decode(garbage).ok());
+}
+
+TEST(Message, DecodeRejectsTruncatedSections) {
+  auto q = Message::make_query(1, name_of("a.com"), RrType::A);
+  auto wire = q.encode();
+  wire[5] = 2;  // claim 2 questions, only 1 present
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(Message, ToStringContainsSections) {
+  auto q = Message::make_query(1, name_of("a.com"), RrType::HTTPS);
+  auto resp = Message::make_response(q);
+  auto svcb = SvcbRdata::parse_presentation("1 . alpn=h2");
+  ASSERT_TRUE(svcb.ok());
+  resp.answers.push_back(make_https(name_of("a.com"), 300, *svcb));
+  auto text = resp.to_string();
+  EXPECT_NE(text.find("ANSWER"), std::string::npos);
+  EXPECT_NE(text.find("HTTPS"), std::string::npos);
+  EXPECT_NE(text.find("alpn=h2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

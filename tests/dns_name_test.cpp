@@ -1,0 +1,124 @@
+// dns::Name — parsing, formatting, ordering, subdomain logic, limits.
+
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+
+namespace httpsrr::dns {
+namespace {
+
+TEST(Name, ParseBasics) {
+  auto n = Name::parse("www.example.com");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->to_string(), "www.example.com.");
+}
+
+TEST(Name, TrailingDotOptional) {
+  EXPECT_EQ(name_of("a.com"), name_of("a.com."));
+}
+
+TEST(Name, Root) {
+  auto n = Name::parse(".");
+  ASSERT_TRUE(n.ok());
+  EXPECT_TRUE(n->is_root());
+  EXPECT_EQ(n->to_string(), ".");
+  EXPECT_EQ(n->wire_length(), 1u);
+}
+
+TEST(Name, RejectsEmptyAndEmptyLabels) {
+  EXPECT_FALSE(Name::parse("").ok());
+  EXPECT_FALSE(Name::parse("a..com").ok());
+  EXPECT_FALSE(Name::parse(".com").ok());
+}
+
+TEST(Name, LabelLengthLimit) {
+  std::string label63(63, 'a');
+  EXPECT_TRUE(Name::parse(label63 + ".com").ok());
+  std::string label64(64, 'a');
+  EXPECT_FALSE(Name::parse(label64 + ".com").ok());
+}
+
+TEST(Name, TotalLengthLimit) {
+  // Four 63-octet labels -> 4*64+1 = 257 > 255.
+  std::string l(63, 'a');
+  EXPECT_FALSE(Name::parse(l + "." + l + "." + l + "." + l).ok());
+  // 3 long + short enough fits.
+  EXPECT_TRUE(Name::parse(l + "." + l + "." + l + "." + std::string(61, 'b')).ok());
+}
+
+TEST(Name, EscapeDecimal) {
+  auto n = Name::parse("a\\046b.com");  // "a.b" label with literal dot
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->label_count(), 2u);
+  EXPECT_EQ(n->labels()[0], "a.b");
+  EXPECT_EQ(n->to_string(), "a\\.b.com.");
+}
+
+TEST(Name, EscapeChar) {
+  auto n = Name::parse("a\\.b.com");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->labels()[0], "a.b");
+}
+
+TEST(Name, RejectsDanglingEscape) {
+  EXPECT_FALSE(Name::parse("abc\\").ok());
+  EXPECT_FALSE(Name::parse("abc\\25").ok());
+}
+
+TEST(Name, CaseInsensitiveEquality) {
+  EXPECT_EQ(name_of("WWW.Example.COM"), name_of("www.example.com"));
+  EXPECT_EQ(name_of("WWW.Example.COM").hash(), name_of("www.example.com").hash());
+}
+
+TEST(Name, PreservesOriginalSpelling) {
+  EXPECT_EQ(name_of("WwW.ExAmple.CoM").to_string(), "WwW.ExAmple.CoM.");
+}
+
+TEST(Name, SubdomainOf) {
+  auto www = name_of("www.a.com");
+  EXPECT_TRUE(www.is_subdomain_of(name_of("a.com")));
+  EXPECT_TRUE(www.is_subdomain_of(name_of("com")));
+  EXPECT_TRUE(www.is_subdomain_of(Name()));  // root
+  EXPECT_TRUE(www.is_subdomain_of(www));
+  EXPECT_FALSE(www.is_subdomain_of(name_of("b.com")));
+  EXPECT_FALSE(name_of("a.com").is_subdomain_of(www));
+  // "aa.com" is not a subdomain of "a.com" (label, not string, comparison).
+  EXPECT_FALSE(name_of("x.aa.com").is_subdomain_of(name_of("a.com")));
+}
+
+TEST(Name, ParentChain) {
+  auto n = name_of("www.a.com");
+  EXPECT_EQ(n.parent(), name_of("a.com"));
+  EXPECT_EQ(n.parent().parent(), name_of("com"));
+  EXPECT_TRUE(n.parent().parent().parent().is_root());
+  EXPECT_TRUE(Name().parent().is_root());
+}
+
+TEST(Name, Prepend) {
+  auto r = name_of("a.com").prepend("www");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, name_of("www.a.com"));
+  EXPECT_FALSE(name_of("a.com").prepend(std::string(64, 'x')).ok());
+}
+
+TEST(Name, CanonicalOrdering) {
+  // RFC 4034 §6.1 example ordering.
+  std::vector<Name> sorted = {
+      name_of("example"),       name_of("a.example"),
+      name_of("yljkjljk.a.example"), name_of("Z.a.example"),
+      name_of("zABC.a.EXAMPLE"), name_of("z.example"),
+  };
+  for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+    EXPECT_LT(sorted[i], sorted[i + 1])
+        << sorted[i].to_string() << " !< " << sorted[i + 1].to_string();
+  }
+}
+
+TEST(Name, WireLength) {
+  // 1 length octet + "a", 1 length octet + "com", root octet.
+  EXPECT_EQ(name_of("a.com").wire_length(), 1u + 1u + 1u + 3u + 1u);
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

@@ -1,0 +1,232 @@
+// Typed RDATA: wire + presentation round-trips for every supported type,
+// including a parameterized sweep, plus IP address formatting (RFC 5952).
+
+#include <gtest/gtest.h>
+
+#include "dns/rdata.h"
+
+namespace httpsrr::dns {
+namespace {
+
+Rdata wire_round_trip(RrType type, const Rdata& rdata) {
+  WireWriter w;
+  encode_rdata(rdata, w);
+  WireReader r(w.data());
+  auto decoded = decode_rdata(type, r, w.size());
+  EXPECT_TRUE(decoded.ok()) << (decoded.ok() ? "" : decoded.error());
+  return decoded.ok() ? std::move(decoded).take() : Rdata{};
+}
+
+TEST(Ipv4, ParseAndFormat) {
+  auto a = net::Ipv4Addr::parse("192.0.2.1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+  EXPECT_FALSE(net::Ipv4Addr::parse("256.0.0.1").ok());
+  EXPECT_FALSE(net::Ipv4Addr::parse("1.2.3").ok());
+  EXPECT_FALSE(net::Ipv4Addr::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(net::Ipv4Addr::parse("01.2.3.4").ok());
+  EXPECT_FALSE(net::Ipv4Addr::parse("1.2.3.x").ok());
+}
+
+TEST(Ipv6, ParseAndCanonicalFormat) {
+  struct Case {
+    const char* input;
+    const char* canonical;
+  };
+  const Case cases[] = {
+      {"2001:db8::1", "2001:db8::1"},
+      {"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+      {"::", "::"},
+      {"::1", "::1"},
+      {"1::", "1::"},
+      {"2606:4700::6810:84e5", "2606:4700::6810:84e5"},
+      {"2001:DB8::A", "2001:db8::a"},
+      {"1:0:0:2:0:0:0:3", "1:0:0:2::3"},          // longest run compressed
+      {"1:0:0:0:2:0:0:3", "1::2:0:0:3"},          // tie -> first run
+      {"::ffff:192.0.2.1", "::ffff:c000:201"},    // embedded v4 accepted
+      {"1:2:3:4:5:6:7:8", "1:2:3:4:5:6:7:8"},
+  };
+  for (const auto& c : cases) {
+    auto a = net::Ipv6Addr::parse(c.input);
+    ASSERT_TRUE(a.ok()) << c.input;
+    EXPECT_EQ(a->to_string(), c.canonical) << c.input;
+  }
+}
+
+TEST(Ipv6, RejectsMalformed) {
+  for (const char* bad : {"", ":::", "1:2:3", "1:2:3:4:5:6:7:8:9", "g::1",
+                          "1::2::3", "12345::"}) {
+    EXPECT_FALSE(net::Ipv6Addr::parse(bad).ok()) << bad;
+  }
+}
+
+TEST(IpAddr, ParsesEitherFamily) {
+  auto v4 = net::IpAddr::parse("10.0.0.1");
+  ASSERT_TRUE(v4.ok());
+  EXPECT_TRUE(v4->is_v4());
+  auto v6 = net::IpAddr::parse("::1");
+  ASSERT_TRUE(v6.ok());
+  EXPECT_TRUE(v6->is_v6());
+  EXPECT_FALSE(net::IpAddr::parse("nonsense").ok());
+}
+
+TEST(Rdata, ARoundTrip) {
+  Rdata a = ARdata{net::Ipv4Addr(1, 2, 3, 4)};
+  EXPECT_EQ(wire_round_trip(RrType::A, a), a);
+  EXPECT_EQ(rdata_to_presentation(RrType::A, a), "1.2.3.4");
+}
+
+TEST(Rdata, AaaaRoundTrip) {
+  Rdata a = AaaaRdata{*net::Ipv6Addr::parse("2001:db8::1")};
+  EXPECT_EQ(wire_round_trip(RrType::AAAA, a), a);
+}
+
+TEST(Rdata, SoaRoundTrip) {
+  SoaRdata soa;
+  soa.mname = name_of("ns1.a.com");
+  soa.rname = name_of("hostmaster.a.com");
+  soa.serial = 2024010201;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  Rdata r = soa;
+  EXPECT_EQ(wire_round_trip(RrType::SOA, r), r);
+}
+
+TEST(Rdata, TxtMultiString) {
+  Rdata txt = TxtRdata{{"hello", "world"}};
+  EXPECT_EQ(wire_round_trip(RrType::TXT, txt), txt);
+}
+
+TEST(Rdata, DnskeyKeyTagDeterministic) {
+  DnskeyRdata key;
+  key.flags = 257;
+  key.public_key = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(key.key_tag(), key.key_tag());
+  DnskeyRdata other = key;
+  other.public_key[0] = 9;
+  EXPECT_NE(key.key_tag(), other.key_tag());
+  EXPECT_TRUE(key.is_ksk());
+  key.flags = 256;
+  EXPECT_FALSE(key.is_ksk());
+}
+
+TEST(Rdata, RrsigRoundTrip) {
+  RrsigRdata sig;
+  sig.type_covered = RrType::HTTPS;
+  sig.algorithm = 253;
+  sig.labels = 2;
+  sig.original_ttl = 300;
+  sig.expiration = 1700000000;
+  sig.inception = 1690000000;
+  sig.key_tag = 12345;
+  sig.signer = name_of("a.com");
+  sig.signature = {0xde, 0xad, 0xbe, 0xef};
+  Rdata r = sig;
+  EXPECT_EQ(wire_round_trip(RrType::RRSIG, r), r);
+}
+
+TEST(Rdata, DsRoundTrip) {
+  DsRdata ds;
+  ds.key_tag = 4711;
+  ds.digest = Bytes(32, 0xaa);
+  Rdata r = ds;
+  EXPECT_EQ(wire_round_trip(RrType::DS, r), r);
+}
+
+TEST(Rdata, NsecRoundTrip) {
+  NsecRdata nsec;
+  nsec.next = name_of("b.a.com");
+  nsec.types = {RrType::A, RrType::SOA, RrType::RRSIG, RrType::NSEC,
+                RrType::HTTPS};
+  std::sort(nsec.types.begin(), nsec.types.end());
+  Rdata r = nsec;
+  EXPECT_EQ(wire_round_trip(RrType::NSEC, r), r);
+  auto text = rdata_to_presentation(RrType::NSEC, r);
+  EXPECT_NE(text.find("HTTPS"), std::string::npos);
+  auto back = rdata_from_presentation(RrType::NSEC, text);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, r);
+}
+
+TEST(Rdata, NsecBitmapSpansWindows) {
+  // Types in window 0 (A=1) and window 1 (TYPE300) exercise multi-window
+  // bitmap encoding.
+  NsecRdata nsec;
+  nsec.next = name_of("z.a.com");
+  nsec.types = {RrType::A, static_cast<RrType>(300)};
+  Rdata r = nsec;
+  EXPECT_EQ(wire_round_trip(RrType::NSEC, r), r);
+}
+
+TEST(Rdata, OpaqueUnknownType) {
+  Bytes blob = {1, 2, 3};
+  WireReader r(blob);
+  auto decoded = decode_rdata(static_cast<RrType>(999), r, blob.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<OpaqueRdata>(*decoded).data, blob);
+}
+
+TEST(Rdata, TrailingBytesRejected) {
+  // An A record with 5 octets of rdata is malformed.
+  Bytes blob = {1, 2, 3, 4, 5};
+  WireReader r(blob);
+  EXPECT_FALSE(decode_rdata(RrType::A, r, blob.size()).ok());
+}
+
+TEST(Rdata, TruncatedRejected) {
+  Bytes blob = {1, 2};
+  WireReader r(blob);
+  EXPECT_FALSE(decode_rdata(RrType::A, r, blob.size()).ok());
+  WireReader r2(blob);
+  EXPECT_FALSE(decode_rdata(RrType::AAAA, r2, blob.size()).ok());
+}
+
+// Parameterized presentation round-trip sweep across record shapes.
+struct PresCase {
+  RrType type;
+  const char* text;
+};
+
+class PresentationRoundTrip : public ::testing::TestWithParam<PresCase> {};
+
+TEST_P(PresentationRoundTrip, Survives) {
+  const auto& c = GetParam();
+  auto rdata = rdata_from_presentation(c.type, c.text);
+  ASSERT_TRUE(rdata.ok()) << c.text << ": " << rdata.error();
+  std::string text = rdata_to_presentation(c.type, *rdata);
+  auto again = rdata_from_presentation(c.type, text);
+  ASSERT_TRUE(again.ok()) << text;
+  EXPECT_EQ(*rdata, *again) << c.text;
+
+  // And through the wire.
+  WireWriter w;
+  encode_rdata(*rdata, w);
+  WireReader r(w.data());
+  auto wire = decode_rdata(c.type, r, w.size());
+  ASSERT_TRUE(wire.ok()) << wire.error();
+  EXPECT_EQ(*rdata, *wire);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, PresentationRoundTrip,
+    ::testing::Values(
+        PresCase{RrType::A, "203.0.113.9"},
+        PresCase{RrType::AAAA, "2606:4700::6810:84e5"},
+        PresCase{RrType::CNAME, "alias.example.net."},
+        PresCase{RrType::DNAME, "newsub.example.org."},
+        PresCase{RrType::NS, "ns1.cloudflare.com."},
+        PresCase{RrType::PTR, "host.example.com."},
+        PresCase{RrType::MX, "10 mail.example.com."},
+        PresCase{RrType::TXT, "\"v=spf1\""},
+        PresCase{RrType::SOA,
+                 "ns.a.com. host.a.com. 1 7200 3600 1209600 300"},
+        PresCase{RrType::DS, "4711 253 2 aabbccdd"},
+        PresCase{RrType::DNSKEY, "257 3 253 0011223344"},
+        PresCase{RrType::HTTPS, "1 . alpn=h2,h3 ipv4hint=1.2.3.4"},
+        PresCase{RrType::HTTPS, "0 alias.example.com."},
+        PresCase{RrType::SVCB, "1 svc.example.com. port=8443"}));
+
+}  // namespace
+}  // namespace httpsrr::dns

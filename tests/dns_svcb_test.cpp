@@ -1,0 +1,275 @@
+// RFC 9460 SVCB/HTTPS: typed params, wire/presentation round-trips,
+// ordering and validation rules, Appendix A failure cases.
+
+#include <gtest/gtest.h>
+
+#include "dns/svcb.h"
+#include "util/base64.h"
+
+namespace httpsrr::dns {
+namespace {
+
+SvcbRdata parse_ok(std::string_view text) {
+  auto r = SvcbRdata::parse_presentation(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << (r.ok() ? "" : r.error());
+  return r.ok() ? std::move(r).take() : SvcbRdata{};
+}
+
+TEST(SvcParams, KeyNames) {
+  EXPECT_EQ(svc_param_key_to_string(0), "mandatory");
+  EXPECT_EQ(svc_param_key_to_string(1), "alpn");
+  EXPECT_EQ(svc_param_key_to_string(2), "no-default-alpn");
+  EXPECT_EQ(svc_param_key_to_string(3), "port");
+  EXPECT_EQ(svc_param_key_to_string(4), "ipv4hint");
+  EXPECT_EQ(svc_param_key_to_string(5), "ech");
+  EXPECT_EQ(svc_param_key_to_string(6), "ipv6hint");
+  EXPECT_EQ(svc_param_key_to_string(667), "key667");
+
+  EXPECT_EQ(*svc_param_key_from_string("alpn"), 1);
+  EXPECT_EQ(*svc_param_key_from_string("key667"), 667);
+  EXPECT_FALSE(svc_param_key_from_string("bogus").ok());
+}
+
+TEST(SvcParams, TypedAccessors) {
+  SvcParams p;
+  p.set_alpn({"h2", "h3"});
+  p.set_port(8443);
+  p.set_ipv4hint({net::Ipv4Addr(1, 2, 3, 4)});
+  p.set_ipv6hint({*net::Ipv6Addr::parse("2001:db8::1")});
+
+  EXPECT_EQ(p.alpn(), (std::vector<std::string>{"h2", "h3"}));
+  EXPECT_EQ(p.port(), 8443);
+  ASSERT_TRUE(p.ipv4hint().has_value());
+  EXPECT_EQ((*p.ipv4hint())[0].to_string(), "1.2.3.4");
+  ASSERT_TRUE(p.ipv6hint().has_value());
+  EXPECT_EQ((*p.ipv6hint())[0].to_string(), "2001:db8::1");
+  EXPECT_FALSE(p.mandatory().has_value());
+  EXPECT_FALSE(p.ech().has_value());
+}
+
+TEST(SvcParams, WireRoundTrip) {
+  SvcParams p;
+  p.set_mandatory({1, 3});
+  p.set_alpn({"h2"});
+  p.set_port(443);
+  p.set_ech({0xfe, 0x0d, 0x00});
+
+  WireWriter w;
+  p.encode(w);
+  WireReader r(w.data());
+  auto decoded = SvcParams::decode(r, w.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(*decoded, p);
+}
+
+TEST(SvcParams, DecodeRejectsUnorderedKeys) {
+  WireWriter w;
+  w.u16(3);  // port first
+  w.u16(2);
+  w.u16(443);
+  w.u16(1);  // then alpn: out of order
+  w.u16(3);
+  w.u8(2);
+  w.raw_string("h2");
+  WireReader r(w.data());
+  auto decoded = SvcParams::decode(r, w.size());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(SvcParams, DecodeRejectsDuplicateKeys) {
+  WireWriter w;
+  w.u16(3);
+  w.u16(2);
+  w.u16(443);
+  w.u16(3);
+  w.u16(2);
+  w.u16(8443);
+  WireReader r(w.data());
+  EXPECT_FALSE(SvcParams::decode(r, w.size()).ok());
+}
+
+TEST(SvcParams, DecodeRejectsValueOverrun) {
+  WireWriter w;
+  w.u16(3);
+  w.u16(200);  // claims 200 octets, only 2 present
+  w.u16(443);
+  WireReader r(w.data());
+  EXPECT_FALSE(SvcParams::decode(r, w.size()).ok());
+}
+
+TEST(SvcbRdata, CloudflareDefaultShape) {
+  // The exact record Cloudflare auto-publishes for proxied domains (§4.3.1).
+  auto rr = parse_ok("1 . alpn=h2,h3 ipv4hint=104.16.132.229 ipv6hint=2606:4700::6810:84e5");
+  EXPECT_TRUE(rr.is_service_mode());
+  EXPECT_TRUE(rr.target.is_root());
+  EXPECT_EQ(rr.params.alpn(), (std::vector<std::string>{"h2", "h3"}));
+  EXPECT_TRUE(rr.validate().ok());
+}
+
+TEST(SvcbRdata, AliasModeParse) {
+  auto rr = parse_ok("0 b.com.");
+  EXPECT_TRUE(rr.is_alias_mode());
+  EXPECT_EQ(rr.target, name_of("b.com"));
+  EXPECT_TRUE(rr.validate().ok());
+}
+
+TEST(SvcbRdata, AliasModeWithParamsInvalid) {
+  auto r = SvcbRdata::parse_presentation("0 b.com. alpn=h2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->validate().ok());
+}
+
+TEST(SvcbRdata, EffectiveTarget) {
+  auto self_target = parse_ok("1 . alpn=h2");
+  EXPECT_EQ(self_target.effective_target(name_of("a.com")), name_of("a.com"));
+  auto other = parse_ok("1 pool.a.com. alpn=h2");
+  EXPECT_EQ(other.effective_target(name_of("a.com")), name_of("pool.a.com"));
+}
+
+TEST(SvcbRdata, WireRoundTrip) {
+  auto rr = parse_ok("16 backend.example.com. mandatory=alpn alpn=h3,h2 port=8443 "
+                     "ipv4hint=192.0.2.1,192.0.2.2");
+  WireWriter w;
+  rr.encode(w);
+  WireReader r(w.data());
+  auto decoded = SvcbRdata::decode(r, w.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(*decoded, rr);
+}
+
+TEST(SvcbRdata, PresentationRoundTrip) {
+  const char* cases[] = {
+      "1 . alpn=h2,h3 ipv4hint=1.2.3.4 ipv6hint=2606:4700::6810:84e5",
+      "0 www.err.ee.",
+      "1 pool.a.com. mandatory=alpn,port alpn=h2 port=8443",
+      "1 . alpn=h2 ech=fe0d002c",
+  };
+  for (const char* text : cases) {
+    auto rr = parse_ok(text);
+    auto again = parse_ok(rr.to_presentation());
+    EXPECT_EQ(rr, again) << text << " vs " << rr.to_presentation();
+  }
+}
+
+TEST(SvcbRdata, AlpnCommaEscape) {
+  // RFC 9460 Appendix A.1: a protocol id containing a comma must be escaped.
+  SvcParams p;
+  p.set_alpn({"part1,part2", "h2"});
+  auto protocols = p.alpn();
+  ASSERT_TRUE(protocols.has_value());
+  EXPECT_EQ((*protocols)[0], "part1,part2");
+
+  SvcbRdata rr;
+  rr.priority = 1;
+  rr.params = p;
+  auto text = rr.to_presentation();
+  auto back = parse_ok(text);
+  EXPECT_EQ(back.params.alpn(), protocols);
+}
+
+TEST(SvcbRdata, MandatoryValidation) {
+  // mandatory listing a key that is absent -> invalid (§8).
+  auto r = SvcbRdata::parse_presentation("1 . mandatory=port alpn=h2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->validate().ok());
+
+  // mandatory must not include itself.
+  SvcbRdata self;
+  self.priority = 1;
+  self.params.set_mandatory({0});
+  self.params.set_alpn({"h2"});
+  EXPECT_FALSE(self.validate().ok());
+
+  // well-formed mandatory passes.
+  auto good = parse_ok("1 . mandatory=alpn alpn=h2");
+  EXPECT_TRUE(good.validate().ok());
+}
+
+TEST(SvcbRdata, NoDefaultAlpnRequiresAlpn) {
+  SvcbRdata rr;
+  rr.priority = 1;
+  rr.params.set_no_default_alpn();
+  EXPECT_FALSE(rr.validate().ok());
+  rr.params.set_alpn({"h3"});
+  EXPECT_TRUE(rr.validate().ok());
+}
+
+TEST(SvcbRdata, DuplicateKeyInPresentationRejected) {
+  EXPECT_FALSE(SvcbRdata::parse_presentation("1 . alpn=h2 alpn=h3").ok());
+}
+
+TEST(SvcbRdata, MissingFieldsRejected) {
+  EXPECT_FALSE(SvcbRdata::parse_presentation("1").ok());
+  EXPECT_FALSE(SvcbRdata::parse_presentation("").ok());
+  EXPECT_FALSE(SvcbRdata::parse_presentation("x .").ok());
+  EXPECT_FALSE(SvcbRdata::parse_presentation("65536 .").ok());
+}
+
+TEST(SvcbRdata, PortValueValidation) {
+  EXPECT_FALSE(SvcbRdata::parse_presentation("1 . port=65536").ok());
+  EXPECT_FALSE(SvcbRdata::parse_presentation("1 . port=x").ok());
+  EXPECT_FALSE(SvcbRdata::parse_presentation("1 . port").ok());
+}
+
+TEST(SvcbRdata, EchPresentedAsBase64) {
+  dns::Bytes blob = {0xfe, 0x0d, 0x00, 0x2c, 0x01};
+  SvcbRdata rr;
+  rr.priority = 1;
+  rr.params.set_ech(blob);
+  auto text = rr.to_presentation();
+  EXPECT_NE(text.find("ech=" + util::base64_encode(blob)), std::string::npos)
+      << text;
+  auto back = SvcbRdata::parse_presentation(text);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back->params.ech(), blob);
+}
+
+TEST(SvcbRdata, EchAcceptsBase64AndHex) {
+  auto b64 = SvcbRdata::parse_presentation("1 . ech=/g0AAQ==");
+  ASSERT_TRUE(b64.ok()) << b64.error();
+  EXPECT_EQ(*b64->params.ech(), (dns::Bytes{0xfe, 0x0d, 0x00, 0x01}));
+  // Hex fallback for odd-length-safe fixture values.
+  auto hex = SvcbRdata::parse_presentation("1 . ech=fe0d00012a");
+  ASSERT_TRUE(hex.ok()) << hex.error();
+  EXPECT_EQ(hex->params.ech()->size(), 5u);
+}
+
+TEST(SvcbRdata, UnknownKeyRoundTrip) {
+  auto rr = parse_ok("1 . key667=68656c6c6f");
+  const Bytes* v = rr.params.raw(667);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(std::string(v->begin(), v->end()), "hello");
+  auto again = parse_ok(rr.to_presentation());
+  EXPECT_EQ(rr, again);
+}
+
+TEST(SvcbRdata, ValidatorRejectsMalformedHintLengths) {
+  SvcbRdata rr;
+  rr.priority = 1;
+  rr.params.set_raw(4, {1, 2, 3});  // 3 octets: not a multiple of 4
+  EXPECT_FALSE(rr.validate().ok());
+  rr.params.set_raw(4, {});  // empty also invalid
+  EXPECT_FALSE(rr.validate().ok());
+  rr.params.set_raw(6, Bytes(15, 0));  // not a multiple of 16
+  EXPECT_FALSE(rr.validate().ok());
+}
+
+TEST(SvcbRdata, EmptyAlpnListInvalid) {
+  SvcbRdata rr;
+  rr.priority = 1;
+  rr.params.set_raw(1, {});  // alpn with no protocols
+  EXPECT_FALSE(rr.validate().ok());
+}
+
+TEST(SvcbRdata, DecodeRejectsCompressedTargetName) {
+  // Build rdata whose TargetName is a compression pointer: must fail.
+  WireWriter w;
+  w.u16(1);          // priority
+  w.u8(0xc0);        // pointer label
+  w.u8(0x00);
+  WireReader r(w.data());
+  EXPECT_FALSE(SvcbRdata::decode(r, w.size()).ok());
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

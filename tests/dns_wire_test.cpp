@@ -1,0 +1,134 @@
+// Wire codec: bounds checking, name compression, pointer-loop defence.
+
+#include <gtest/gtest.h>
+
+#include "dns/wire.h"
+#include "net/ip.h"
+
+namespace httpsrr::dns {
+namespace {
+
+TEST(WireWriter, Integers) {
+  WireWriter w;
+  w.u8(0xab);
+  w.u16(0x0102);
+  w.u32(0x0a0b0c0d);
+  const Bytes& b = w.data();
+  ASSERT_EQ(b.size(), 7u);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[2], 0x02);
+  EXPECT_EQ(b[3], 0x0a);
+  EXPECT_EQ(b[6], 0x0d);
+}
+
+TEST(WireReader, ReadsBackIntegers) {
+  WireWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(123456789);
+  WireReader r(w.data());
+  EXPECT_EQ(*r.u8(), 7);
+  EXPECT_EQ(*r.u16(), 65535);
+  EXPECT_EQ(*r.u32(), 123456789u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireReader, TruncationIsError) {
+  Bytes one = {0x01};
+  WireReader r(one);
+  EXPECT_FALSE(r.u16().ok());
+  WireReader r2(one);
+  EXPECT_FALSE(r2.u32().ok());
+  WireReader r3(one);
+  EXPECT_FALSE(r3.bytes(2).ok());
+}
+
+TEST(WireName, RoundTrip) {
+  WireWriter w;
+  w.name(name_of("www.example.com"));
+  WireReader r(w.data());
+  auto n = r.name();
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, name_of("www.example.com"));
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(WireName, RootRoundTrip) {
+  WireWriter w;
+  w.name(Name());
+  EXPECT_EQ(w.size(), 1u);
+  WireReader r(w.data());
+  EXPECT_TRUE(r.name()->is_root());
+}
+
+TEST(WireName, CompressionEmitsPointer) {
+  WireWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+  w.name_compressed(name_of("www.example.com"), offsets);
+  std::size_t first_len = w.size();
+  w.name_compressed(name_of("example.com"), offsets);
+  // Second name should be a bare 2-byte pointer.
+  EXPECT_EQ(w.size(), first_len + 2);
+
+  WireReader r(w.data());
+  EXPECT_EQ(*r.name(), name_of("www.example.com"));
+  EXPECT_EQ(*r.name(), name_of("example.com"));
+}
+
+TEST(WireName, CompressionIsCaseInsensitive) {
+  WireWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+  w.name_compressed(name_of("EXAMPLE.com"), offsets);
+  std::size_t first_len = w.size();
+  w.name_compressed(name_of("example.COM"), offsets);
+  EXPECT_EQ(w.size(), first_len + 2);
+}
+
+TEST(WireName, PointerLoopRejected) {
+  // A pointer to itself: 0xc000 at offset 0.
+  Bytes evil = {0xc0, 0x00};
+  WireReader r(evil);
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, ForwardPointerRejected) {
+  // Pointer to offset 4 from offset 0 (forward): invalid.
+  Bytes evil = {0xc0, 0x04, 0x00, 0x00, 0x01, 'a', 0x00};
+  WireReader r(evil);
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, UncompressedRejectsPointer) {
+  WireWriter w;
+  std::map<std::string, std::uint16_t> offsets;
+  w.name_compressed(name_of("a.com"), offsets);
+  w.name_compressed(name_of("a.com"), offsets);  // becomes pointer
+  WireReader r(w.data());
+  ASSERT_TRUE(r.name_uncompressed().ok());  // first copy is literal
+  EXPECT_FALSE(r.name_uncompressed().ok());
+}
+
+TEST(WireName, TruncatedLabelRejected) {
+  Bytes evil = {0x05, 'a', 'b'};  // label says 5 octets, only 2 present
+  WireReader r(evil);
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireName, ReservedLabelTypeRejected) {
+  Bytes evil = {0x80, 'a', 0x00};  // 0b10xxxxxx is reserved
+  WireReader r(evil);
+  EXPECT_FALSE(r.name().ok());
+}
+
+TEST(WireWriter, PatchU16) {
+  WireWriter w;
+  w.u16(0);
+  w.u8(9);
+  w.patch_u16(0, 0xbeef);
+  WireReader r(w.data());
+  EXPECT_EQ(*r.u16(), 0xbeef);
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

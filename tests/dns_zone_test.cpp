@@ -1,0 +1,249 @@
+// Zone storage, lookup semantics (CNAME/DNAME/NODATA/NXDOMAIN), master-file
+// parsing including the paper's literal zone snippets.
+
+#include <gtest/gtest.h>
+
+#include "dns/zone.h"
+
+namespace httpsrr::dns {
+namespace {
+
+Zone make_basic_zone() {
+  Zone zone(name_of("a.com"));
+  EXPECT_TRUE(zone.add(make_a(name_of("a.com"), 60, net::Ipv4Addr(1, 2, 3, 4))).ok());
+  EXPECT_TRUE(zone.add(make_ns(name_of("a.com"), 3600, name_of("ns1.a.com"))).ok());
+  auto svcb = SvcbRdata::parse_presentation("1 . alpn=h2");
+  EXPECT_TRUE(svcb.ok());
+  EXPECT_TRUE(zone.add(make_https(name_of("a.com"), 60, *svcb)).ok());
+  return zone;
+}
+
+TEST(Zone, ExactMatch) {
+  auto zone = make_basic_zone();
+  auto r = zone.lookup(name_of("a.com"), RrType::A);
+  EXPECT_EQ(r.status, LookupStatus::success);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(std::get<ARdata>(r.records[0].rdata).address.to_string(), "1.2.3.4");
+}
+
+TEST(Zone, HttpsCoexistsWithOtherTypesAtApex) {
+  // The HTTPS record's key property vs CNAME (§2): coexistence at the apex.
+  auto zone = make_basic_zone();
+  EXPECT_EQ(zone.lookup(name_of("a.com"), RrType::HTTPS).status,
+            LookupStatus::success);
+  EXPECT_EQ(zone.lookup(name_of("a.com"), RrType::NS).status,
+            LookupStatus::success);
+}
+
+TEST(Zone, NodataVsNxdomain) {
+  auto zone = make_basic_zone();
+  EXPECT_EQ(zone.lookup(name_of("a.com"), RrType::AAAA).status,
+            LookupStatus::nodata);
+  EXPECT_EQ(zone.lookup(name_of("nope.a.com"), RrType::A).status,
+            LookupStatus::nxdomain);
+}
+
+TEST(Zone, EmptyNonTerminalIsNodata) {
+  Zone zone(name_of("a.com"));
+  ASSERT_TRUE(zone.add(make_a(name_of("x.y.a.com"), 60, net::Ipv4Addr(1, 1, 1, 1))).ok());
+  EXPECT_EQ(zone.lookup(name_of("y.a.com"), RrType::A).status,
+            LookupStatus::nodata);
+}
+
+TEST(Zone, OutOfZoneRejected) {
+  Zone zone(name_of("a.com"));
+  EXPECT_FALSE(zone.add(make_a(name_of("b.com"), 60, net::Ipv4Addr(1, 1, 1, 1))).ok());
+  EXPECT_EQ(zone.lookup(name_of("b.com"), RrType::A).status,
+            LookupStatus::not_in_zone);
+}
+
+TEST(Zone, CnameReturnedForOtherTypes) {
+  Zone zone(name_of("a.com"));
+  ASSERT_TRUE(zone.add(make_cname(name_of("www.a.com"), 60, name_of("a.com"))).ok());
+  auto r = zone.lookup(name_of("www.a.com"), RrType::HTTPS);
+  EXPECT_EQ(r.status, LookupStatus::cname);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(std::get<CnameRdata>(r.records[0].rdata).target, name_of("a.com"));
+  // Direct CNAME query returns the record as success.
+  EXPECT_EQ(zone.lookup(name_of("www.a.com"), RrType::CNAME).status,
+            LookupStatus::success);
+}
+
+TEST(Zone, CnameConflictRejectedUnlessAllowed) {
+  Zone zone(name_of("a.com"));
+  ASSERT_TRUE(zone.add(make_cname(name_of("w.a.com"), 60, name_of("a.com"))).ok());
+  EXPECT_FALSE(zone.add(make_a(name_of("w.a.com"), 60, net::Ipv4Addr(1, 1, 1, 1))).ok());
+  // The paper scans misconfigured apex-CNAME zones; the model allows it
+  // only when explicitly requested.
+  EXPECT_TRUE(zone.add(make_a(name_of("w.a.com"), 60, net::Ipv4Addr(1, 1, 1, 1)),
+                       /*allow_cname_conflicts=*/true).ok());
+}
+
+TEST(Zone, DnameSynthesizesCname) {
+  Zone zone(name_of("a.com"));
+  Rr dname{name_of("sub.a.com"), RrType::DNAME, RrClass::IN, 300,
+           DnameRdata{name_of("other.net")}};
+  ASSERT_TRUE(zone.add(dname).ok());
+  auto r = zone.lookup(name_of("host.sub.a.com"), RrType::A);
+  EXPECT_EQ(r.status, LookupStatus::dname);
+  ASSERT_EQ(r.synthesized.size(), 1u);
+  EXPECT_EQ(std::get<CnameRdata>(r.synthesized[0].rdata).target,
+            name_of("host.other.net"));
+}
+
+TEST(Zone, RemoveAndCount) {
+  auto zone = make_basic_zone();
+  std::size_t before = zone.record_count();
+  EXPECT_EQ(zone.remove(name_of("a.com"), RrType::HTTPS), 1u);
+  EXPECT_EQ(zone.record_count(), before - 1);
+  EXPECT_EQ(zone.remove(name_of("a.com"), RrType::HTTPS), 0u);
+}
+
+TEST(Zone, RrsigAttachedToCoveredAnswer) {
+  Zone zone(name_of("a.com"));
+  auto svcb = SvcbRdata::parse_presentation("1 . alpn=h2");
+  ASSERT_TRUE(svcb.ok());
+  ASSERT_TRUE(zone.add(make_https(name_of("a.com"), 300, *svcb)).ok());
+  RrsigRdata sig;
+  sig.type_covered = RrType::HTTPS;
+  sig.signer = name_of("a.com");
+  sig.signature = {1, 2, 3};
+  ASSERT_TRUE(zone.add(Rr{name_of("a.com"), RrType::RRSIG, RrClass::IN, 300, sig}).ok());
+
+  auto r = zone.lookup(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(r.status, LookupStatus::success);
+  // HTTPS record + covering RRSIG.
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[1].type, RrType::RRSIG);
+}
+
+TEST(ZoneParse, PaperFigure1) {
+  // Figure 1 of the paper, almost verbatim (ech elided).
+  auto zone = Zone::parse(name_of("com"), R"(
+a.com. 300 IN HTTPS 0 b.com.
+c.com. 300 IN HTTPS 1 . alpn=h3 ipv4hint=1.2.3.4
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  auto alias = zone->lookup(name_of("a.com"), RrType::HTTPS);
+  ASSERT_EQ(alias.records.size(), 1u);
+  EXPECT_TRUE(std::get<SvcbRdata>(alias.records[0].rdata).is_alias_mode());
+  auto service = zone->lookup(name_of("c.com"), RrType::HTTPS);
+  ASSERT_EQ(service.records.size(), 1u);
+  const auto& svcb = std::get<SvcbRdata>(service.records[0].rdata);
+  EXPECT_EQ(svcb.params.alpn(), (std::vector<std::string>{"h3"}));
+}
+
+TEST(ZoneParse, OriginAndRelativeNames) {
+  auto zone = Zone::parse(name_of("a.com"), R"(
+$ORIGIN a.com.
+$TTL 120
+@ IN A 1.2.3.4
+www IN CNAME @
+pool 60 IN A 2.2.3.4
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  auto apex = zone->lookup(name_of("a.com"), RrType::A);
+  ASSERT_EQ(apex.records.size(), 1u);
+  EXPECT_EQ(apex.records[0].ttl, 120u);
+  auto pool = zone->lookup(name_of("pool.a.com"), RrType::A);
+  ASSERT_EQ(pool.records.size(), 1u);
+  EXPECT_EQ(pool.records[0].ttl, 60u);
+  auto www = zone->lookup(name_of("www.a.com"), RrType::A);
+  EXPECT_EQ(www.status, LookupStatus::cname);
+}
+
+TEST(ZoneParse, CommentsAndBlanksIgnored) {
+  auto zone = Zone::parse(name_of("a.com"), R"(
+; leading comment
+a.com. 60 IN A 1.2.3.4  ; trailing comment
+
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  EXPECT_EQ(zone->record_count(), 1u);
+}
+
+TEST(ZoneParse, ParenthesesJoinLogicalLines) {
+  // RFC 1035 §5.1 multi-line SOA, as every real master file writes it.
+  auto zone = Zone::parse(name_of("a.com"), R"(
+a.com. 3600 IN SOA ns1.a.com. hostmaster.a.com. (
+    2024010201 ; serial
+    7200       ; refresh
+    3600       ; retry
+    1209600    ; expire
+    300 )      ; minimum
+a.com. 300 IN A 1.2.3.4
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  auto soa = zone->lookup(name_of("a.com"), RrType::SOA);
+  ASSERT_EQ(soa.records.size(), 1u);
+  const auto& rdata = std::get<SoaRdata>(soa.records[0].rdata);
+  EXPECT_EQ(rdata.serial, 2024010201u);
+  EXPECT_EQ(rdata.minimum, 300u);
+}
+
+TEST(ZoneParse, TtlUnitSuffixes) {
+  auto zone = Zone::parse(name_of("a.com"), R"(
+$TTL 1h
+a.com. IN A 1.2.3.4
+www.a.com. 2d IN A 1.2.3.4
+short.a.com. 90s IN A 1.2.3.4
+mixed.a.com. 1h30m IN A 1.2.3.4
+)");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  EXPECT_EQ(zone->lookup(name_of("a.com"), RrType::A).records[0].ttl, 3600u);
+  EXPECT_EQ(zone->lookup(name_of("www.a.com"), RrType::A).records[0].ttl,
+            172800u);
+  EXPECT_EQ(zone->lookup(name_of("short.a.com"), RrType::A).records[0].ttl, 90u);
+  EXPECT_EQ(zone->lookup(name_of("mixed.a.com"), RrType::A).records[0].ttl,
+            5400u);
+}
+
+TEST(ZoneParse, SemicolonInsideQuotedTxtKept) {
+  auto zone = Zone::parse(name_of("a.com"),
+                          "a.com. 300 IN TXT \"v=spf1;all\"\n");
+  ASSERT_TRUE(zone.ok()) << zone.error();
+  auto txt = zone->lookup(name_of("a.com"), RrType::TXT);
+  ASSERT_EQ(txt.records.size(), 1u);
+  EXPECT_EQ(std::get<TxtRdata>(txt.records[0].rdata).strings[0], "v=spf1;all");
+}
+
+TEST(ZoneParse, ErrorsCarryLineNumbers) {
+  auto zone = Zone::parse(name_of("a.com"), "a.com. 60 IN A not-an-ip\n");
+  ASSERT_FALSE(zone.ok());
+  EXPECT_NE(zone.error().find("line 1"), std::string::npos);
+}
+
+TEST(ZoneParse, RoundTripThroughText) {
+  auto zone = make_basic_zone();
+  auto text = zone.to_text();
+  auto again = Zone::parse(name_of("a.com"), text);
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_EQ(again->record_count(), zone.record_count());
+}
+
+TEST(Zone, AllRrsetsGroupsByType) {
+  auto zone = make_basic_zone();
+  auto sets = zone.all_rrsets();
+  EXPECT_EQ(sets.size(), 3u);  // A, NS, HTTPS at the apex
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.empty());
+    EXPECT_EQ(set.owner(), name_of("a.com"));
+  }
+}
+
+TEST(RrSet, CanonicalFormSortsAndIsStable) {
+  RrSet set;
+  set.add(make_a(name_of("A.com"), 60, net::Ipv4Addr(2, 2, 2, 2)));
+  set.add(make_a(name_of("a.com"), 60, net::Ipv4Addr(1, 1, 1, 1)));
+  auto form1 = set.canonical_form(60);
+
+  RrSet reversed;
+  reversed.add(make_a(name_of("a.com"), 60, net::Ipv4Addr(1, 1, 1, 1)));
+  reversed.add(make_a(name_of("A.com"), 60, net::Ipv4Addr(2, 2, 2, 2)));
+  auto form2 = reversed.canonical_form(60);
+
+  EXPECT_EQ(form1, form2);  // order-independent and case-folded
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

@@ -1,0 +1,308 @@
+// DNSSEC substrate: signing/verification, DS matching, chain validation
+// (secure / insecure / bogus states of Table 9).
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dns/zone.h"
+#include "dnssec/chain.h"
+#include "dnssec/signer.h"
+
+namespace httpsrr::dnssec {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rr;
+using dns::RrSet;
+using dns::RrType;
+
+net::SimTime kNow = net::SimTime::from_string("2024-01-02");
+net::SimTime kBefore = kNow - net::Duration::days(1);
+net::SimTime kAfter = kNow + net::Duration::days(14);
+
+RrSet https_rrset(const Name& owner) {
+  auto svcb = dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3");
+  RrSet set;
+  set.add(dns::make_https(owner, 300, *svcb));
+  return set;
+}
+
+TEST(Signer, KeyGenerationDeterministic) {
+  auto k1 = KeyPair::generate(42);
+  auto k2 = KeyPair::generate(42);
+  EXPECT_EQ(k1.dnskey, k2.dnskey);
+  EXPECT_EQ(k1.secret, k2.secret);
+  auto k3 = KeyPair::generate(43);
+  EXPECT_NE(k1.dnskey.public_key, k3.dnskey.public_key);
+}
+
+TEST(Signer, KskFlag) {
+  EXPECT_TRUE(KeyPair::generate(1, 257).dnskey.is_ksk());
+  EXPECT_FALSE(KeyPair::generate(1, 256).dnskey.is_ksk());
+}
+
+TEST(Signer, SignVerifyRoundTrip) {
+  auto key = KeyPair::generate(7);
+  auto set = https_rrset(name_of("a.com"));
+  auto sig = sign_rrset(name_of("a.com"), key, set, kBefore, kAfter);
+  EXPECT_EQ(sig.type_covered, RrType::HTTPS);
+  EXPECT_EQ(sig.key_tag, key.key_tag());
+  EXPECT_EQ(verify_rrsig(sig, key.dnskey, set, kNow), SigCheck::valid);
+}
+
+TEST(Signer, TamperedDataFailsVerification) {
+  auto key = KeyPair::generate(7);
+  auto set = https_rrset(name_of("a.com"));
+  auto sig = sign_rrset(name_of("a.com"), key, set, kBefore, kAfter);
+
+  auto tampered = https_rrset(name_of("a.com"));
+  auto svcb = dns::SvcbRdata::parse_presentation("1 . alpn=h2");  // h3 dropped
+  RrSet other;
+  other.add(dns::make_https(name_of("a.com"), 300, *svcb));
+  EXPECT_EQ(verify_rrsig(sig, key.dnskey, other, kNow), SigCheck::bad_signature);
+}
+
+TEST(Signer, WrongKeyIsMismatch) {
+  auto key = KeyPair::generate(7);
+  auto impostor = KeyPair::generate(8);
+  auto set = https_rrset(name_of("a.com"));
+  auto sig = sign_rrset(name_of("a.com"), key, set, kBefore, kAfter);
+  EXPECT_EQ(verify_rrsig(sig, impostor.dnskey, set, kNow), SigCheck::key_mismatch);
+}
+
+TEST(Signer, TimeWindowEnforced) {
+  auto key = KeyPair::generate(7);
+  auto set = https_rrset(name_of("a.com"));
+  auto sig = sign_rrset(name_of("a.com"), key, set, kBefore, kAfter);
+  EXPECT_EQ(verify_rrsig(sig, key.dnskey, set, kAfter + net::Duration::secs(1)),
+            SigCheck::expired);
+  EXPECT_EQ(verify_rrsig(sig, key.dnskey, set, kBefore - net::Duration::secs(1)),
+            SigCheck::not_yet_valid);
+}
+
+TEST(Signer, DsMatchesOnlyRightKeyAndZone) {
+  auto key = KeyPair::generate(9);
+  auto ds = make_ds(name_of("a.com"), key.dnskey);
+  EXPECT_TRUE(ds_matches(ds, name_of("a.com"), key.dnskey));
+  EXPECT_FALSE(ds_matches(ds, name_of("b.com"), key.dnskey));
+  auto other = KeyPair::generate(10);
+  EXPECT_FALSE(ds_matches(ds, name_of("a.com"), other.dnskey));
+}
+
+TEST(SplitRrsetFn, SeparatesDataAndSigs) {
+  auto key = KeyPair::generate(7);
+  auto set = https_rrset(name_of("a.com"));
+  auto sig = sign_rrset(name_of("a.com"), key, set, kBefore, kAfter);
+
+  std::vector<Rr> mixed = set.records();
+  mixed.push_back(Rr{name_of("a.com"), RrType::RRSIG, dns::RrClass::IN, 300, sig});
+  auto split = split_rrset(mixed, RrType::HTTPS);
+  EXPECT_EQ(split.data.size(), 1u);
+  ASSERT_EQ(split.sigs.size(), 1u);
+  EXPECT_EQ(split.sigs[0].key_tag, key.key_tag());
+}
+
+// ---- Chain validation against a fixture source -------------------------
+
+// A hand-built three-level hierarchy: . -> com -> a.com.
+class FixtureSource final : public ChainSource {
+ public:
+  struct ZoneFixture {
+    std::optional<KeyPair> key;
+    bool publish_ds = true;    // parent holds DS
+    bool ds_correct = true;    // DS digest matches the DNSKEY
+    Name parent;
+  };
+
+  std::map<Name, ZoneFixture> zones;
+
+  [[nodiscard]] std::optional<Name> zone_apex(const Name& name) const override {
+    Name candidate = name;
+    while (true) {
+      if (zones.contains(candidate)) return candidate;
+      if (candidate.is_root()) return std::nullopt;
+      candidate = candidate.parent();
+    }
+  }
+
+  [[nodiscard]] std::vector<Rr> dnskey_with_sigs(const Name& zone) const override {
+    auto it = zones.find(zone);
+    if (it == zones.end() || !it->second.key) return {};
+    const auto& key = *it->second.key;
+    RrSet set;
+    set.add(Rr{zone, RrType::DNSKEY, dns::RrClass::IN, 3600, key.dnskey});
+    auto sig = sign_rrset(zone, key, set, kBefore, kAfter);
+    auto out = set.records();
+    out.push_back(Rr{zone, RrType::RRSIG, dns::RrClass::IN, 3600, sig});
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Rr> ds_with_sigs(const Name& zone) const override {
+    auto it = zones.find(zone);
+    if (it == zones.end() || !it->second.key || !it->second.publish_ds) return {};
+    auto parent_it = zones.find(it->second.parent);
+    if (parent_it == zones.end() || !parent_it->second.key) return {};
+
+    auto ds = make_ds(zone, it->second.key->dnskey);
+    if (!it->second.ds_correct) ds.digest[0] ^= 0xff;
+
+    RrSet set;
+    set.add(Rr{zone, RrType::DS, dns::RrClass::IN, 3600, ds});
+    auto sig = sign_rrset(it->second.parent, *parent_it->second.key, set,
+                          kBefore, kAfter);
+    auto out = set.records();
+    out.push_back(Rr{zone, RrType::RRSIG, dns::RrClass::IN, 3600, sig});
+    return out;
+  }
+};
+
+struct ChainFixture {
+  FixtureSource source;
+  KeyPair root_key = KeyPair::generate(1, 257);
+  KeyPair com_key = KeyPair::generate(2, 257);
+  KeyPair a_key = KeyPair::generate(3, 257);
+
+  ChainFixture() {
+    source.zones[Name()] = {root_key, false, true, Name()};
+    source.zones[name_of("com")] = {com_key, true, true, Name()};
+    source.zones[name_of("a.com")] = {a_key, true, true, name_of("com")};
+  }
+
+  [[nodiscard]] std::vector<Rr> signed_https() const {
+    auto set = https_rrset(name_of("a.com"));
+    auto sig = sign_rrset(name_of("a.com"), a_key, set, kBefore, kAfter);
+    auto out = set.records();
+    out.push_back(Rr{name_of("a.com"), RrType::RRSIG, dns::RrClass::IN, 300, sig});
+    return out;
+  }
+};
+
+TEST(Chain, FullChainSecure) {
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::secure);
+  EXPECT_EQ(v.validate(name_of("a.com"), fx.signed_https(), kNow),
+            Validation::secure);
+}
+
+TEST(Chain, MissingDsIsInsecure) {
+  // The dominant misconfiguration of Table 9: signed zone, no DS uploaded.
+  ChainFixture fx;
+  fx.source.zones[name_of("a.com")].publish_ds = false;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::insecure);
+  EXPECT_EQ(v.validate(name_of("a.com"), fx.signed_https(), kNow),
+            Validation::insecure);
+}
+
+TEST(Chain, WrongDsDigestIsBogus) {
+  ChainFixture fx;
+  fx.source.zones[name_of("a.com")].ds_correct = false;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::bogus);
+}
+
+TEST(Chain, UnsignedZoneIsInsecure) {
+  ChainFixture fx;
+  fx.source.zones[name_of("a.com")].key.reset();
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::insecure);
+
+  // Unsigned records in an unsigned zone: insecure, not bogus.
+  auto set = https_rrset(name_of("a.com"));
+  EXPECT_EQ(v.validate(name_of("a.com"), set.records(), kNow),
+            Validation::insecure);
+}
+
+TEST(Chain, MissingSignatureInSecureZoneIsBogus) {
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  auto set = https_rrset(name_of("a.com"));
+  EXPECT_EQ(v.validate(name_of("a.com"), set.records(), kNow), Validation::bogus);
+}
+
+TEST(Chain, TamperedRecordIsBogus) {
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  auto records = fx.signed_https();
+  // Flip the priority of the HTTPS record after signing.
+  auto& svcb = std::get<dns::SvcbRdata>(records[0].rdata);
+  svcb.priority = 2;
+  EXPECT_EQ(v.validate(name_of("a.com"), records, kNow), Validation::bogus);
+}
+
+TEST(Chain, WrongRootAnchorIsBogus) {
+  ChainFixture fx;
+  auto rogue = KeyPair::generate(99, 257);
+  ChainValidator v(fx.source, rogue.dnskey);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::bogus);
+}
+
+TEST(Chain, ExpiredSignaturesAreBogus) {
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  auto far_future = kAfter + net::Duration::days(1);
+  EXPECT_EQ(v.zone_status(name_of("a.com"), far_future), Validation::bogus);
+}
+
+TEST(Chain, InsecureParentMakesChildInsecure) {
+  ChainFixture fx;
+  fx.source.zones[name_of("com")].publish_ds = false;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  // com has no DS in the root -> com is insecure -> a.com is insecure even
+  // though a.com's own DS/DNSKEY are fine.
+  EXPECT_EQ(v.zone_status(name_of("a.com"), kNow), Validation::insecure);
+}
+
+// ---- NSEC denial validation ---------------------------------------------
+
+TEST(Chain, DenialValidation) {
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+
+  // Build a zone-backed NSEC proof for a missing name in a.com.
+  dns::Zone zone(name_of("a.com"));
+  auto svcb = dns::SvcbRdata::parse_presentation("1 . alpn=h2");
+  ASSERT_TRUE(zone.add(dns::make_https(name_of("a.com"), 300, *svcb)).ok());
+  ASSERT_TRUE(zone.add(dns::make_a(name_of("zzz.a.com"), 300,
+                                   net::Ipv4Addr(1, 1, 1, 1))).ok());
+  auto nsec = zone.nsec_for(name_of("missing.a.com"), 300);
+  ASSERT_TRUE(nsec.has_value());
+
+  dns::RrSet set;
+  set.add(*nsec);
+  auto sig = sign_rrset(name_of("a.com"), fx.a_key, set, kBefore, kAfter);
+  std::vector<Rr> authorities = set.records();
+  authorities.push_back(
+      Rr{nsec->owner, RrType::RRSIG, dns::RrClass::IN, 300, sig});
+
+  EXPECT_EQ(v.validate_denial(name_of("missing.a.com"), RrType::A, authorities,
+                              kNow),
+            Validation::secure);
+  // A name outside the NSEC gap is NOT proven by this record.
+  EXPECT_EQ(v.validate_denial(name_of("zzz.a.com"), RrType::A, authorities,
+                              kNow),
+            Validation::bogus);
+  // Missing proof entirely: bogus in a secure zone.
+  EXPECT_EQ(v.validate_denial(name_of("missing.a.com"), RrType::A, {}, kNow),
+            Validation::bogus);
+  // Tampered signature: bogus.
+  auto tampered = authorities;
+  std::get<dns::RrsigRdata>(tampered.back().rdata).signature[0] ^= 0xff;
+  EXPECT_EQ(v.validate_denial(name_of("missing.a.com"), RrType::A, tampered,
+                              kNow),
+            Validation::bogus);
+}
+
+TEST(Chain, DenialInInsecureZoneIsInsecure) {
+  ChainFixture fx;
+  fx.source.zones[name_of("a.com")].publish_ds = false;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+  EXPECT_EQ(v.validate_denial(name_of("missing.a.com"), RrType::A, {}, kNow),
+            Validation::insecure);
+}
+
+}  // namespace
+}  // namespace httpsrr::dnssec

@@ -1,0 +1,231 @@
+// ECH substrate: ECHConfigList wire format, simulated HPKE sealed box,
+// key-manager rotation/retention semantics (§4.4.2 and Fig. 4).
+
+#include <gtest/gtest.h>
+
+#include "ech/config.h"
+#include "ech/hpke.h"
+#include "ech/key_manager.h"
+
+namespace httpsrr::ech {
+namespace {
+
+EchConfig sample_config(std::uint8_t id = 7) {
+  EchConfig c;
+  c.config_id = id;
+  c.public_key = Bytes(32, 0xab);
+  c.public_name = "cloudflare-ech.com";
+  c.maximum_name_length = 64;
+  return c;
+}
+
+TEST(EchConfig, WireRoundTrip) {
+  auto list = EchConfigList{{sample_config(1), sample_config(2)}};
+  auto wire = list.encode();
+  auto back = EchConfigList::decode(wire);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, list);
+}
+
+TEST(EchConfig, DecodeRejectsEmptyList) {
+  dns::WireWriter w;
+  w.u16(0);
+  EXPECT_FALSE(EchConfigList::decode(w.data()).ok());
+}
+
+TEST(EchConfig, DecodeRejectsLengthMismatch) {
+  auto wire = EchConfigList{{sample_config()}}.encode();
+  wire[1] = static_cast<std::uint8_t>(wire[1] + 4);  // lie about total length
+  EXPECT_FALSE(EchConfigList::decode(wire).ok());
+}
+
+TEST(EchConfig, DecodeRejectsTruncation) {
+  auto wire = EchConfigList{{sample_config()}}.encode();
+  for (std::size_t cut = 1; cut < wire.size(); cut += 7) {
+    Bytes truncated(wire.begin(), wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(EchConfigList::decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(EchConfig, DecodeRejectsUnknownVersion) {
+  auto config = sample_config();
+  config.version = 0xfe0a;  // draft-10: unsupported
+  auto wire = EchConfigList{{config}}.encode();
+  EXPECT_FALSE(EchConfigList::decode(wire).ok());
+}
+
+TEST(EchConfig, DecodeRejectsEmptyPublicName) {
+  auto config = sample_config();
+  config.public_name.clear();
+  auto wire = EchConfigList{{config}}.encode();
+  EXPECT_FALSE(EchConfigList::decode(wire).ok());
+}
+
+TEST(EchConfig, MalformedBlobRejected) {
+  // The §5.3.1 "malformed ECH" experiment: a corrupted copy-paste blob.
+  Bytes garbage = {0x13, 0x37, 0xde, 0xad};
+  EXPECT_FALSE(EchConfigList::decode(garbage).ok());
+}
+
+TEST(Hpke, KeygenDeterministic) {
+  auto a = HpkeKeyPair::generate(5);
+  auto b = HpkeKeyPair::generate(5);
+  EXPECT_EQ(a.secret, b.secret);
+  EXPECT_EQ(a.public_key, b.public_key);
+  EXPECT_EQ(a.public_key, hpke_public_of(a.secret));
+  EXPECT_NE(a.public_key, HpkeKeyPair::generate(6).public_key);
+}
+
+TEST(Hpke, SealOpenRoundTrip) {
+  auto kp = HpkeKeyPair::generate(1);
+  Bytes aad = {1, 2, 3};
+  Bytes pt = {'i', 'n', 'n', 'e', 'r'};
+  auto ct = hpke_seal(kp.public_key, aad, pt);
+  EXPECT_NE(ct, pt);
+  auto back = hpke_open(kp.secret, aad, ct);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, pt);
+}
+
+TEST(Hpke, WrongKeyFailsToOpen) {
+  auto kp = HpkeKeyPair::generate(1);
+  auto other = HpkeKeyPair::generate(2);
+  auto ct = hpke_seal(kp.public_key, {}, {'x'});
+  EXPECT_FALSE(hpke_open(other.secret, {}, ct).ok());
+}
+
+TEST(Hpke, CorruptionDetected) {
+  auto kp = HpkeKeyPair::generate(1);
+  auto ct = hpke_seal(kp.public_key, {}, {'x', 'y', 'z'});
+  for (std::size_t i = 0; i < ct.size(); ++i) {
+    Bytes bad = ct;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(hpke_open(kp.secret, {}, bad).ok()) << "byte " << i;
+  }
+}
+
+TEST(Hpke, AadMismatchDetected) {
+  auto kp = HpkeKeyPair::generate(1);
+  auto ct = hpke_seal(kp.public_key, {1}, {'x'});
+  EXPECT_FALSE(hpke_open(kp.secret, {2}, ct).ok());
+}
+
+TEST(Hpke, EmptyPlaintextOk) {
+  auto kp = HpkeKeyPair::generate(1);
+  auto ct = hpke_seal(kp.public_key, {}, {});
+  auto back = hpke_open(kp.secret, {}, ct);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+EchKeyManager::Options manager_options() {
+  EchKeyManager::Options o;
+  o.public_name = "cloudflare-ech.com";
+  o.rotation_period = net::Duration::hours(1);
+  o.rotation_jitter = net::Duration::minutes(30);
+  o.retention = net::Duration::minutes(10);
+  o.seed = 42;
+  return o;
+}
+
+TEST(KeyManager, PublishesParsableConfig) {
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(manager_options(), now);
+  auto wire = mgr.current_config_wire();
+  auto list = EchConfigList::decode(wire);
+  ASSERT_TRUE(list.ok()) << list.error();
+  ASSERT_EQ(list->configs.size(), 1u);
+  EXPECT_EQ(list->configs[0].public_name, "cloudflare-ech.com");
+  EXPECT_EQ(list->configs[0].config_id, mgr.current_config_id());
+}
+
+TEST(KeyManager, RotatesWithinOneToTwoHours) {
+  // Fig. 4: every configuration lives between 1 and 2 hours (period 1 h +
+  // jitter < 1 h).
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(manager_options(), now);
+  auto first_id = mgr.current_config_id();
+
+  mgr.tick(now + net::Duration::minutes(59));
+  EXPECT_EQ(mgr.current_config_id(), first_id) << "rotated before 1h";
+
+  mgr.tick(now + net::Duration::hours(2));
+  EXPECT_NE(mgr.current_config_id(), first_id) << "no rotation by 2h";
+}
+
+TEST(KeyManager, ManyRotationsStayInWindow) {
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(manager_options(), now);
+  std::uint64_t rotations_before = mgr.rotations();
+  // Tick hour by hour for 7 days (the paper's hourly scan window).
+  for (int h = 1; h <= 7 * 24; ++h) {
+    mgr.tick(now + net::Duration::hours(h));
+  }
+  std::uint64_t rotations = mgr.rotations() - rotations_before;
+  // 168 hours at 1.0-1.5h per rotation -> between 112 and 168 rotations.
+  EXPECT_GE(rotations, 100u);
+  EXPECT_LE(rotations, 170u);
+}
+
+TEST(KeyManager, StaleKeyOpensWithinRetention) {
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(manager_options(), now);
+  auto stale_id = mgr.current_config_id();
+  auto list = EchConfigList::decode(mgr.current_config_wire());
+  ASSERT_TRUE(list.ok());
+  auto stale_pk = list->configs[0].public_key;
+
+  // Client seals with the (soon-stale) key; server rotates.
+  Bytes sealed = hpke_seal(stale_pk, {}, {'h', 'i'});
+  mgr.rotate(now);
+  EXPECT_NE(mgr.current_config_id(), stale_id);
+
+  // Within the retention window the old key still opens.
+  auto opened = mgr.open(stale_id, {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, (Bytes{'h', 'i'}));
+}
+
+TEST(KeyManager, StaleKeyRejectedAfterRetention) {
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(manager_options(), now);
+  auto stale_id = mgr.current_config_id();
+  auto list = EchConfigList::decode(mgr.current_config_wire());
+  ASSERT_TRUE(list.ok());
+  Bytes sealed = hpke_seal(list->configs[0].public_key, {}, {'h', 'i'});
+
+  mgr.rotate(now);
+  // Advance past retention: the retained key is dropped.
+  mgr.tick(now + net::Duration::hours(3));
+  EXPECT_FALSE(mgr.open(stale_id, {}, sealed).has_value());
+}
+
+TEST(KeyManager, NoRetentionAblation) {
+  // The ablation switch: without a dual-key window, rotation instantly
+  // strands clients holding cached configs.
+  auto options = manager_options();
+  options.retain_previous_keys = false;
+  auto now = net::SimTime::from_string("2023-07-21");
+  EchKeyManager mgr(options, now);
+  auto stale_id = mgr.current_config_id();
+  auto list = EchConfigList::decode(mgr.current_config_wire());
+  ASSERT_TRUE(list.ok());
+  Bytes sealed = hpke_seal(list->configs[0].public_key, {}, {'h', 'i'});
+
+  mgr.rotate(now);
+  EXPECT_FALSE(mgr.open(stale_id, {}, sealed).has_value());
+  EXPECT_EQ(mgr.live_key_count(), 1u);
+}
+
+TEST(KeyManager, DistinctDomainsGetDistinctSchedules) {
+  auto now = net::SimTime::from_string("2023-07-21");
+  auto o1 = manager_options();
+  o1.seed = 1;
+  auto o2 = manager_options();
+  o2.seed = 2;
+  EchKeyManager m1(o1, now), m2(o2, now);
+  EXPECT_NE(m1.current_config_id(), m2.current_config_id());
+}
+
+}  // namespace
+}  // namespace httpsrr::ech

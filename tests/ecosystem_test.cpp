@@ -1,0 +1,459 @@
+// Ecosystem: provider catalog, Tranco feed properties, WHOIS attribution,
+// and the simulated Internet's ground-truth invariants + end-to-end
+// resolvability + event timeline effects.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ecosystem/internet.h"
+
+namespace httpsrr::ecosystem {
+namespace {
+
+EcosystemConfig small_config() {
+  EcosystemConfig config;
+  config.list_size = 800;
+  config.universe_size = 1200;
+  config.seed = 7;
+  return config;
+}
+
+TEST(ProviderCatalog, ShapeAndCloudflareFirst) {
+  auto catalog = ProviderCatalog::make(1);
+  ASSERT_GT(catalog.providers.size(), 240u);
+  EXPECT_EQ(catalog.providers[0].name, "cloudflare");
+  EXPECT_TRUE(catalog.providers[0].supports_ech);
+  EXPECT_EQ(catalog.providers[0].style, HttpsRecordStyle::cloudflare_default);
+  EXPECT_EQ(catalog.index_of("godaddy"),
+            catalog.index_of("godaddy"));  // deterministic
+  EXPECT_EQ(catalog.providers[catalog.index_of("google")].style,
+            HttpsRecordStyle::service_no_params);
+  EXPECT_EQ(catalog.providers[catalog.index_of("godaddy")].style,
+            HttpsRecordStyle::alias_to_endpoint);
+}
+
+TEST(ProviderCatalog, Deterministic) {
+  auto a = ProviderCatalog::make(42);
+  auto b = ProviderCatalog::make(42);
+  ASSERT_EQ(a.providers.size(), b.providers.size());
+  for (std::size_t i = 0; i < a.providers.size(); ++i) {
+    EXPECT_EQ(a.providers[i].name, b.providers[i].name);
+    EXPECT_EQ(a.providers[i].https_support_since, b.providers[i].https_support_since);
+  }
+}
+
+TEST(ProviderCatalog, BulkProvidersLackHttpsSupport) {
+  auto catalog = ProviderCatalog::make(1);
+  std::size_t unsupported = 0;
+  for (const auto& p : catalog.providers) {
+    if (!p.supports_https_rr) ++unsupported;
+  }
+  EXPECT_EQ(unsupported, 4u);
+}
+
+// --- TrancoFeed ------------------------------------------------------------
+
+class TrancoFeedTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrancoFeedTest, ListSizeNearTarget) {
+  TrancoFeed::Options options;
+  options.universe_size = 3000;
+  options.list_size = 2000;
+  options.seed = GetParam();
+  TrancoFeed feed(options);
+  auto list = feed.list_for(net::SimTime::from_date(2023, 6, 1));
+  EXPECT_GT(list.size(), 1800u);
+  EXPECT_LT(list.size(), 2200u);
+}
+
+TEST_P(TrancoFeedTest, ContainsConsistentWithList) {
+  TrancoFeed::Options options;
+  options.universe_size = 1500;
+  options.list_size = 1000;
+  options.seed = GetParam();
+  TrancoFeed feed(options);
+  auto day = net::SimTime::from_date(2023, 9, 10);
+  auto list = feed.list_for(day);
+  std::set<DomainId> members(list.begin(), list.end());
+  for (DomainId id = 0; id < options.universe_size; ++id) {
+    EXPECT_EQ(feed.contains(id, day), members.contains(id)) << id;
+  }
+}
+
+TEST_P(TrancoFeedTest, CoreDomainsAlwaysPresent) {
+  TrancoFeed::Options options;
+  options.universe_size = 1500;
+  options.list_size = 1000;
+  options.seed = GetParam();
+  TrancoFeed feed(options);
+  for (DomainId id = 0; id < options.universe_size; ++id) {
+    if (feed.stability(id) != Stability::core_both) continue;
+    for (int d = 0; d < 400; d += 37) {
+      EXPECT_TRUE(feed.contains(id, net::SimTime::from_date(2023, 5, 8) +
+                                        net::Duration::days(d)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrancoFeedTest, ::testing::Values(1, 99, 12345));
+
+TEST(TrancoFeed, SourceChangeShiftsComposition) {
+  TrancoFeed::Options options;
+  options.universe_size = 3000;
+  options.list_size = 2000;
+  TrancoFeed feed(options);
+  auto before = feed.list_for(options.source_change - net::Duration::days(1));
+  auto after = feed.list_for(options.source_change);
+  std::set<DomainId> b(before.begin(), before.end());
+  std::size_t gone = 0;
+  for (DomainId id : b) {
+    if (!feed.contains(id, options.source_change)) ++gone;
+  }
+  EXPECT_GT(gone, 50u) << "source change must churn part of the list";
+  (void)after;
+}
+
+TEST(TrancoFeed, OverlappingSetsMatchPhases) {
+  TrancoFeed::Options options;
+  options.universe_size = 3000;
+  options.list_size = 2000;
+  TrancoFeed feed(options);
+  auto phase1 = feed.overlapping(net::SimTime::from_date(2023, 5, 8),
+                                 net::SimTime::from_date(2023, 7, 31));
+  auto phase2 = feed.overlapping(net::SimTime::from_date(2023, 8, 1),
+                                 net::SimTime::from_date(2024, 3, 31));
+  // Paper: 634,810 / 684,292 of 1M => ~63% and ~68% of the list.
+  EXPECT_GT(phase1.size(), options.list_size * 55 / 100);
+  EXPECT_LT(phase1.size(), options.list_size * 72 / 100);
+  EXPECT_GT(phase2.size(), phase1.size()) << "phase 2 overlap is larger";
+}
+
+TEST(TrancoFeed, RankOfConsistentWithList) {
+  TrancoFeed::Options options;
+  options.universe_size = 1500;
+  options.list_size = 1000;
+  TrancoFeed feed(options);
+  auto day = net::SimTime::from_date(2023, 6, 15);
+  auto list = feed.list_for(day);
+  // Spot-check a few positions.
+  for (std::size_t i : {std::size_t{0}, list.size() / 2, list.size() - 1}) {
+    EXPECT_EQ(feed.rank_of(list[i], day), i + 1);
+  }
+  // A domain absent that day ranks 0.
+  for (DomainId id = 0; id < options.universe_size; ++id) {
+    if (!feed.contains(id, day)) {
+      EXPECT_EQ(feed.rank_of(id, day), 0u);
+      break;
+    }
+  }
+}
+
+TEST(TrancoFeed, CoreRanksBetterThanChurn) {
+  TrancoFeed::Options options;
+  options.universe_size = 3000;
+  options.list_size = 2000;
+  TrancoFeed feed(options);
+  auto list = feed.list_for(net::SimTime::from_date(2023, 6, 1));
+  double core_rank_sum = 0, churn_rank_sum = 0;
+  std::size_t core_n = 0, churn_n = 0;
+  for (std::size_t rank = 0; rank < list.size(); ++rank) {
+    if (feed.stability(list[rank]) == Stability::core_both) {
+      core_rank_sum += static_cast<double>(rank);
+      ++core_n;
+    } else if (feed.stability(list[rank]) == Stability::churn) {
+      churn_rank_sum += static_cast<double>(rank);
+      ++churn_n;
+    }
+  }
+  ASSERT_GT(core_n, 0u);
+  ASSERT_GT(churn_n, 0u);
+  EXPECT_LT(core_rank_sum / core_n, churn_rank_sum / churn_n)
+      << "core domains must rank higher on average (Fig. 8)";
+}
+
+// --- WhoisDb ----------------------------------------------------------------
+
+TEST(WhoisDb, LookupAndAttribution) {
+  WhoisDb db;
+  auto ip = *net::IpAddr::parse("10.1.2.53");
+  db.register_ip(ip, "nsone");
+  EXPECT_EQ(db.lookup(ip), "nsone");
+  EXPECT_EQ(db.attribute(ip), "nsone");
+  EXPECT_FALSE(db.lookup(*net::IpAddr::parse("10.9.9.9")).has_value());
+}
+
+TEST(WhoisDb, CloudNoiseResolvedByManualReview) {
+  WhoisDb db;
+  auto ip = *net::IpAddr::parse("10.1.2.53");
+  db.register_ip(ip, "smalldns");
+  db.set_visible_org(ip, "mega-cloud-hosting");  // BYOIP / cloud front
+  EXPECT_EQ(db.lookup(ip), "mega-cloud-hosting");
+  EXPECT_EQ(db.attribute(ip), "mega-cloud-hosting") << "no override yet";
+  db.add_manual_override("mega-cloud-hosting", "smalldns");
+  EXPECT_EQ(db.attribute(ip), "smalldns");
+}
+
+// --- Internet ---------------------------------------------------------------
+
+TEST(Internet, DeterministicGroundTruth) {
+  Internet a(small_config());
+  Internet b(small_config());
+  ASSERT_EQ(a.domain_count(), b.domain_count());
+  for (DomainId id = 0; id < a.domain_count(); id += 97) {
+    EXPECT_EQ(a.domain(id).apex, b.domain(id).apex);
+    EXPECT_EQ(a.domain(id).publishes_https, b.domain(id).publishes_https);
+    EXPECT_EQ(a.domain(id).provider, b.domain(id).provider);
+  }
+}
+
+TEST(Internet, AdoptionShareInPaperBand) {
+  Internet net(small_config());
+  auto list = net.tranco().list_for(net.config().start);
+  std::size_t https = 0;
+  for (DomainId id : list) {
+    const auto& d = net.domain(id);
+    if (d.publishes_https && d.https_since <= net.config().start) ++https;
+  }
+  double pct = 100.0 * static_cast<double>(https) / static_cast<double>(list.size());
+  EXPECT_GT(pct, 15.0);
+  EXPECT_LT(pct, 30.0);
+}
+
+TEST(Internet, CloudflareDominatesHttpsPublishers) {
+  Internet net(small_config());
+  std::size_t https = 0, cf = 0;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (!d.publishes_https) continue;
+    ++https;
+    if (d.on_cloudflare) ++cf;
+  }
+  ASSERT_GT(https, 0u);
+  EXPECT_GT(static_cast<double>(cf) / static_cast<double>(https), 0.95);
+}
+
+TEST(Internet, EndToEndHttpsResolution) {
+  Internet net(small_config());
+  auto resolver = net.make_resolver();
+
+  // Find a Cloudflare default domain active from day one.
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (d.on_cloudflare && d.cf_proxied && !d.cf_customized &&
+        d.https_since <= net.config().start) {
+      target = &d;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  auto resp = resolver->resolve(target->apex, dns::RrType::HTTPS);
+  ASSERT_EQ(resp.header.rcode, dns::Rcode::NOERROR);
+  auto https = resp.answers_of_type(dns::RrType::HTTPS);
+  ASSERT_EQ(https.size(), 1u);
+  const auto& svcb = std::get<dns::SvcbRdata>(https[0].rdata);
+  // The hook must have filled in the Cloudflare default parameters.
+  EXPECT_TRUE(svcb.is_service_mode());
+  auto alpn = svcb.params.alpn();
+  ASSERT_TRUE(alpn.has_value());
+  EXPECT_NE(std::find(alpn->begin(), alpn->end(), "h2"), alpn->end());
+  EXPECT_TRUE(svcb.params.has(dns::SvcParamKey::ipv4hint));
+  EXPECT_TRUE(svcb.params.has(dns::SvcParamKey::ipv6hint));
+  // h3-29 advertised before the retirement date (start is May 8).
+  EXPECT_NE(std::find(alpn->begin(), alpn->end(), "h3-29"), alpn->end());
+
+  // A record resolves to the ground-truth address.
+  auto a = resolver->resolve(target->apex, dns::RrType::A);
+  auto a_records = a.answers_of_type(dns::RrType::A);
+  ASSERT_EQ(a_records.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(a_records[0].rdata).address, target->address);
+}
+
+TEST(Internet, H329RetiredAfterMay31) {
+  Internet net(small_config());
+  net.advance_to(net::SimTime::from_date(2023, 6, 15));
+  auto resolver = net.make_resolver();
+
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (!(d.on_cloudflare && d.cf_proxied && !d.cf_customized &&
+          d.https_since <= net.config().start)) {
+      continue;
+    }
+    auto resp = resolver->resolve(d.apex, dns::RrType::HTTPS);
+    auto https = resp.answers_of_type(dns::RrType::HTTPS);
+    ASSERT_FALSE(https.empty());
+    auto alpn = std::get<dns::SvcbRdata>(https[0].rdata).params.alpn();
+    ASSERT_TRUE(alpn.has_value());
+    EXPECT_EQ(std::find(alpn->begin(), alpn->end(), "h3-29"), alpn->end());
+    break;
+  }
+}
+
+TEST(Internet, EchPresentThenShutDown) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (d.on_cloudflare && d.cf_proxied && !d.cf_customized && d.cf_free_plan &&
+        d.https_since <= net.config().start &&
+        d.quirk == DomainState::Quirk::none) {
+      target = &d;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  auto resolver = net.make_resolver();
+  auto resp = resolver->resolve(target->apex, dns::RrType::HTTPS);
+  auto https = resp.answers_of_type(dns::RrType::HTTPS);
+  ASSERT_FALSE(https.empty());
+  auto ech = std::get<dns::SvcbRdata>(https[0].rdata).params.ech();
+  ASSERT_TRUE(ech.has_value()) << "ECH expected before the shutdown";
+  // The blob is a parseable ECHConfigList naming cloudflare-ech.com.
+  auto list = ech::EchConfigList::decode(*ech);
+  ASSERT_TRUE(list.ok()) << list.error();
+  EXPECT_EQ(list->configs.front().public_name, "cloudflare-ech.com");
+
+  // After Oct 5 the parameter disappears.
+  net.advance_to(net::SimTime::from_date(2023, 10, 6));
+  resolver->flush_cache();
+  resp = resolver->resolve(target->apex, dns::RrType::HTTPS);
+  https = resp.answers_of_type(dns::RrType::HTTPS);
+  ASSERT_FALSE(https.empty());
+  EXPECT_FALSE(std::get<dns::SvcbRdata>(https[0].rdata).params.ech().has_value());
+}
+
+TEST(Internet, EchKeyRotatesHourly) {
+  Internet net(small_config());
+  auto t = net.config().start;
+  auto id0 = net.cloudflare_ech().current_config_id();
+  net.advance_to(t + net::Duration::hours(3));
+  EXPECT_NE(net.cloudflare_ech().current_config_id(), id0)
+      << "at least one rotation within 3 hours";
+}
+
+TEST(Internet, NsMigrationLosesHttps) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    if (net.domain(id).quirk == DomainState::Quirk::ns_change_lose_https) {
+      target = &net.domain(id);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  net.advance_to(net.config().end);  // after the migration event
+  EXPECT_FALSE(target->on_cloudflare);
+  EXPECT_FALSE(target->publishes_https);
+
+  auto resolver = net.make_resolver();
+  auto resp = resolver->resolve(target->apex, dns::RrType::HTTPS);
+  EXPECT_EQ(resp.header.rcode, dns::Rcode::NOERROR);
+  EXPECT_TRUE(resp.answers_of_type(dns::RrType::HTTPS).empty());
+  // The domain still resolves A records at its new home.
+  auto a = resolver->resolve(target->apex, dns::RrType::A);
+  EXPECT_FALSE(a.answers_of_type(dns::RrType::A).empty());
+}
+
+TEST(Internet, ProxiedTogglerGoesOffAndOn) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    if (net.domain(id).quirk == DomainState::Quirk::proxied_toggler) {
+      target = &net.domain(id);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  auto resolver = net.make_resolver();
+  resolver::ResolverOptions no_cache;
+  no_cache.cache_enabled = false;
+  auto fresh = net.make_resolver(no_cache);
+
+  bool saw_on = false, saw_off = false, saw_on_again = false;
+  for (auto day = net.config().ns_window_start; day <= net.config().end;
+       day = day + net::Duration::days(1)) {
+    net.advance_to(day);
+    auto resp = fresh->resolve(target->apex, dns::RrType::HTTPS);
+    bool on = !resp.answers_of_type(dns::RrType::HTTPS).empty();
+    if (on && !saw_off) saw_on = true;
+    if (!on && saw_on) saw_off = true;
+    if (on && saw_off) {
+      saw_on_again = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_on && saw_off && saw_on_again)
+      << "toggler must deactivate and reactivate within the NS window";
+  (void)resolver;
+}
+
+TEST(Internet, ChronicMismatchNeverSyncs) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    if (net.domain(id).quirk == DomainState::Quirk::chronic_mismatch) {
+      target = &net.domain(id);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  EXPECT_NE(target->hint_address, target->address);
+  net.advance_to(net.config().end);
+  EXPECT_NE(target->hint_address, target->address);
+}
+
+TEST(Internet, MixedProviderYieldsInconsistentAnswers) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    if (net.domain(id).quirk == DomainState::Quirk::mixed_provider) {
+      target = &net.domain(id);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  ASSERT_NE(target->provider2, SIZE_MAX);
+
+  resolver::ResolverOptions options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+  int with = 0, without = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto resp = resolver->resolve(target->apex, dns::RrType::HTTPS);
+    if (resp.answers_of_type(dns::RrType::HTTPS).empty()) ++without;
+    else ++with;
+  }
+  EXPECT_GT(with, 0);
+  EXPECT_GT(without, 0);
+}
+
+TEST(Internet, WebEndpointsReachable) {
+  Internet net(small_config());
+  int checked = 0;
+  for (DomainId id = 0; id < net.domain_count() && checked < 50; ++id) {
+    const auto& d = net.domain(id);
+    auto result = net.network().connect(net::Endpoint{net::IpAddr(d.address), 443});
+    EXPECT_TRUE(result.ok()) << d.apex.to_string();
+    ++checked;
+  }
+}
+
+TEST(Internet, ScaledCountsRespectMinimumOne) {
+  EcosystemConfig config;
+  config.list_size = 1000;
+  EXPECT_EQ(config.scaled(0), 0u);
+  EXPECT_EQ(config.scaled(5), 1u);      // 0.005 -> min 1
+  EXPECT_EQ(config.scaled(2673), 2u);   // 2.673 -> 2
+  config.list_size = 1000000;
+  EXPECT_EQ(config.scaled(2673), 2673u);
+}
+
+}  // namespace
+}  // namespace httpsrr::ecosystem

@@ -1,0 +1,208 @@
+// zone_lint — every §4/§5 misconfiguration class must be caught statically.
+
+#include <gtest/gtest.h>
+
+#include "ech/key_manager.h"
+#include "lint/zone_lint.h"
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace httpsrr::lint {
+namespace {
+
+using dns::name_of;
+
+std::vector<Finding> lint_text(const char* text,
+                               const LintOptions& options = {}) {
+  auto zone = dns::Zone::parse(name_of("a.com"), text);
+  EXPECT_TRUE(zone.ok()) << zone.error();
+  return lint_zone(*zone, options);
+}
+
+bool has_code(const std::vector<Finding>& findings, std::string_view code) {
+  for (const auto& f : findings) {
+    if (f.code == code) return true;
+  }
+  return false;
+}
+
+TEST(ZoneLint, CleanZoneHasNoFindings) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2,h3 ipv4hint=104.16.132.229
+a.com. 300 IN A 104.16.132.229
+www.a.com. 300 IN CNAME a.com.
+)");
+  EXPECT_TRUE(findings.empty()) << render_findings(findings);
+}
+
+TEST(ZoneLint, AliasSelfIsError) {
+  // The paper's 19-domain "alias to ." misconfiguration (§4.3.3).
+  auto findings = lint_text("a.com. 300 IN HTTPS 0 .\n");
+  EXPECT_TRUE(has_code(findings, "alias-self")) << render_findings(findings);
+  EXPECT_TRUE(has_errors(findings));
+}
+
+TEST(ZoneLint, AliasWithParamsIsError) {
+  auto findings = lint_text("a.com. 300 IN HTTPS 0 b.a.com. alpn=h2\n");
+  EXPECT_TRUE(has_code(findings, "invalid-record"));
+}
+
+TEST(ZoneLint, AliasDanglingTargetWarns) {
+  auto findings = lint_text("a.com. 300 IN HTTPS 0 pool.a.com.\n");
+  EXPECT_TRUE(has_code(findings, "alias-target-dangling"));
+  EXPECT_FALSE(has_errors(findings));
+}
+
+TEST(ZoneLint, AliasExternalTargetIsInfo) {
+  auto zone = dns::Zone::parse(name_of("a.com"),
+                               "a.com. 300 IN HTTPS 0 cdn.example.net.\n");
+  ASSERT_TRUE(zone.ok());
+  auto findings = lint_zone(*zone);
+  EXPECT_TRUE(has_code(findings, "alias-target-external"));
+}
+
+TEST(ZoneLint, ServiceWithoutParamsWarns) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 .
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "service-no-params"));
+}
+
+TEST(ZoneLint, MandatoryViolationIsError) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . mandatory=port alpn=h2
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "invalid-record"));
+  EXPECT_TRUE(has_errors(findings));
+}
+
+TEST(ZoneLint, MalformedEchIsError) {
+  // The §5.3.1 Chrome/Edge hard-failure class.
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 ech=deadbeef
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "ech-malformed")) << render_findings(findings);
+  EXPECT_TRUE(has_errors(findings));
+}
+
+TEST(ZoneLint, EchWithoutDnssecWarns) {
+  // Build a valid config list so only the DNSSEC warning fires.
+  ech::EchKeyManager::Options options;
+  options.public_name = "cover.a.com";
+  ech::EchKeyManager keys(options, net::SimTime::from_date(2024, 1, 1));
+  auto blob = util::base64_encode(keys.current_config_wire());
+
+  auto findings = lint_text(
+      util::format("a.com. 300 IN HTTPS 1 . alpn=h2 ech=%s\n"
+                   "a.com. 300 IN A 1.2.3.4\n",
+                   blob.c_str())
+          .c_str());
+  EXPECT_TRUE(has_code(findings, "ech-without-dnssec"))
+      << render_findings(findings);
+  EXPECT_FALSE(has_code(findings, "ech-malformed"));
+}
+
+TEST(ZoneLint, HintMismatchIsError) {
+  // The §4.3.5 outage class.
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 ipv4hint=9.9.9.9
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "ipv4hint-mismatch")) << render_findings(findings);
+  EXPECT_TRUE(has_errors(findings));
+}
+
+TEST(ZoneLint, HintWithoutAddressWarns) {
+  auto findings = lint_text("a.com. 300 IN HTTPS 1 . alpn=h2 ipv4hint=9.9.9.9\n");
+  EXPECT_TRUE(has_code(findings, "ipv4hint-without-address"));
+}
+
+TEST(ZoneLint, TtlSkewWarns) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 ipv4hint=1.2.3.4
+a.com. 60 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "ttl-skew")) << render_findings(findings);
+}
+
+TEST(ZoneLint, DeprecatedAlpnWarns) {
+  // The gentoo.org case (§4.3.4 / Appendix E.2).
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h3-27,h3-29
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "deprecated-alpn"));
+}
+
+TEST(ZoneLint, NonDefaultPortWarnsAboutChromium) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 port=8443
+a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "port-chromium-unsupported"));
+}
+
+TEST(ZoneLint, HttpsBesideCnameIsError) {
+  auto zone = dns::Zone::parse(name_of("a.com"), R"(
+w.a.com. 300 IN CNAME a.com.
+w.a.com. 300 IN HTTPS 1 . alpn=h2
+)");
+  ASSERT_TRUE(zone.ok());
+  auto findings = lint_zone(*zone);
+  EXPECT_TRUE(has_code(findings, "https-beside-cname"));
+}
+
+TEST(ZoneLint, AliasAndServiceMixIsError) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 0 pool.a.com.
+a.com. 300 IN HTTPS 1 . alpn=h2
+a.com. 300 IN A 1.2.3.4
+pool.a.com. 300 IN A 2.2.2.2
+)");
+  EXPECT_TRUE(has_code(findings, "alias-and-service"));
+}
+
+TEST(ZoneLint, DuplicatePriorityWarns) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 x.a.com. alpn=h2
+a.com. 300 IN HTTPS 1 y.a.com. alpn=h2
+a.com. 300 IN A 1.2.3.4
+x.a.com. 300 IN A 2.2.2.2
+y.a.com. 300 IN A 3.3.3.3
+)");
+  EXPECT_TRUE(has_code(findings, "duplicate-priority"));
+}
+
+TEST(ZoneLint, WwwParityIsInfo) {
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 ipv4hint=1.2.3.4
+a.com. 300 IN A 1.2.3.4
+www.a.com. 300 IN A 1.2.3.4
+)");
+  EXPECT_TRUE(has_code(findings, "www-without-https"));
+}
+
+TEST(ZoneLint, OptionsDisableChecks) {
+  LintOptions options;
+  options.check_consistency = false;
+  auto findings = lint_text(R"(
+a.com. 300 IN HTTPS 1 . alpn=h2 ipv4hint=9.9.9.9
+a.com. 60 IN A 1.2.3.4
+)", options);
+  EXPECT_FALSE(has_code(findings, "ipv4hint-mismatch"));
+  EXPECT_FALSE(has_code(findings, "ttl-skew"));
+}
+
+TEST(ZoneLint, RenderingIncludesSeverityAndCode) {
+  auto findings = lint_text("a.com. 300 IN HTTPS 0 .\n");
+  auto text = render_findings(findings);
+  EXPECT_NE(text.find("error"), std::string::npos);
+  EXPECT_NE(text.find("alias-self"), std::string::npos);
+  EXPECT_NE(text.find("a.com."), std::string::npos);
+}
+
+}  // namespace
+}  // namespace httpsrr::lint

@@ -1,0 +1,103 @@
+// net substrate: SimNetwork listeners, failure injection, endpoints.
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace httpsrr::net {
+namespace {
+
+IpAddr ip(const char* text) { return *IpAddr::parse(text); }
+
+TEST(Endpoint, FormattingAndOrdering) {
+  Endpoint v4{ip("10.0.0.1"), 443};
+  EXPECT_EQ(v4.to_string(), "10.0.0.1:443");
+  Endpoint v6{ip("2001:db8::1"), 8443};
+  EXPECT_EQ(v6.to_string(), "[2001:db8::1]:8443");
+  Endpoint low{ip("10.0.0.1"), 80};
+  Endpoint high{ip("10.0.0.1"), 443};
+  EXPECT_LT(low, high);
+}
+
+TEST(SimNetwork, ListenConnectClose) {
+  SimNetwork network;
+  Endpoint ep{ip("10.0.0.1"), 443};
+
+  auto refused = network.connect(ep);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error, ConnectError::refused);
+
+  std::uint64_t id = network.listen(ep);
+  auto ok = network.connect(ep);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.service_id, id);
+  EXPECT_EQ(network.service_at(ep), id);
+
+  network.close(ep);
+  EXPECT_FALSE(network.connect(ep).ok());
+  EXPECT_EQ(network.service_at(ep), 0u);
+}
+
+TEST(SimNetwork, RebindReplacesListener) {
+  SimNetwork network;
+  Endpoint ep{ip("10.0.0.1"), 443};
+  std::uint64_t first = network.listen(ep);
+  std::uint64_t second = network.listen(ep);
+  EXPECT_NE(first, second);
+  EXPECT_EQ(network.connect(ep).service_id, second);
+}
+
+TEST(SimNetwork, HostUnreachableBeatsListener) {
+  SimNetwork network;
+  Endpoint ep{ip("10.0.0.1"), 443};
+  (void)network.listen(ep);
+  network.set_host_unreachable(ep.ip, true);
+  auto result = network.connect(ep);
+  EXPECT_EQ(result.error, ConnectError::unreachable);
+  EXPECT_TRUE(network.host_unreachable(ep.ip));
+
+  network.set_host_unreachable(ep.ip, false);
+  EXPECT_TRUE(network.connect(ep).ok());
+}
+
+TEST(SimNetwork, UnreachableIsPerHostNotPerPort) {
+  SimNetwork network;
+  (void)network.listen(Endpoint{ip("10.0.0.1"), 443});
+  (void)network.listen(Endpoint{ip("10.0.0.1"), 8443});
+  network.set_host_unreachable(ip("10.0.0.1"), true);
+  EXPECT_FALSE(network.connect(Endpoint{ip("10.0.0.1"), 443}).ok());
+  EXPECT_FALSE(network.connect(Endpoint{ip("10.0.0.1"), 8443}).ok());
+}
+
+TEST(SimNetwork, TimeoutInjection) {
+  SimNetwork network;
+  Endpoint ep{ip("10.0.0.1"), 443};
+  (void)network.listen(ep);
+  network.set_timeout_budget(Duration::secs(21));
+  network.set_endpoint_timeout(ep, true);
+  auto result = network.connect(ep);
+  EXPECT_EQ(result.error, ConnectError::timeout);
+  EXPECT_EQ(result.rtt.seconds, 21);
+
+  network.set_endpoint_timeout(ep, false);
+  EXPECT_TRUE(network.connect(ep).ok());
+}
+
+TEST(SimNetwork, RttAppliesToOutcomes) {
+  SimNetwork network;
+  network.set_base_rtt(Duration::secs(1));
+  Endpoint ep{ip("10.0.0.1"), 443};
+  EXPECT_EQ(network.connect(ep).rtt.seconds, 1);  // refused still costs rtt
+  (void)network.listen(ep);
+  EXPECT_EQ(network.connect(ep).rtt.seconds, 1);
+}
+
+TEST(SimNetwork, ErrorNames) {
+  EXPECT_EQ(to_string(ConnectError::none), "ok");
+  EXPECT_EQ(to_string(ConnectError::unreachable), "unreachable");
+  EXPECT_EQ(to_string(ConnectError::refused), "refused");
+  EXPECT_EQ(to_string(ConnectError::timeout), "timeout");
+}
+
+}  // namespace
+}  // namespace httpsrr::net

@@ -1,0 +1,502 @@
+// Resolver stack: authoritative answering, referrals, recursion, caching
+// on the virtual clock, DNSSEC AD bit, NS selection over mixed providers.
+
+#include <gtest/gtest.h>
+
+#include "resolver/authoritative.h"
+#include "resolver/infra.h"
+#include "resolver/recursive.h"
+#include "resolver/stub.h"
+
+namespace httpsrr::resolver {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rcode;
+using dns::RrType;
+
+net::IpAddr ip(const char* text) { return *net::IpAddr::parse(text); }
+
+// A miniature Internet: root -> com -> {a.com (Cloudflare, signed),
+// b.com (unsigned)}.  Mirrors the paper's scanning target shape.
+struct MiniInternet {
+  net::SimClock clock{net::SimTime::from_string("2023-05-08")};
+  DnsInfra infra;
+  dnssec::KeyPair root_key = dnssec::KeyPair::generate(1, 257);
+  dnssec::KeyPair com_key = dnssec::KeyPair::generate(2, 257);
+  dnssec::KeyPair a_key = dnssec::KeyPair::generate(3, 257);
+  AuthoritativeServer* root_server = nullptr;
+  AuthoritativeServer* com_server = nullptr;
+  AuthoritativeServer* cf_server = nullptr;
+
+  MiniInternet() {
+    root_server = &infra.add_server("root-ops", ip("198.41.0.4"));
+    com_server = &infra.add_server("verisign", ip("192.5.6.30"));
+    cf_server = &infra.add_server("cloudflare", ip("173.245.58.1"));
+
+    // Root zone: delegation to com with glue.
+    dns::Zone root(Name{});
+    ASSERT_OK(root.add(dns::make_ns(name_of("com"), 86400, name_of("a.gtld-servers.net"))));
+    ASSERT_OK(root.add(dns::make_a(name_of("a.gtld-servers.net"), 86400,
+                                   net::Ipv4Addr(192, 5, 6, 30))));
+    ASSERT_OK(root.add(dns::Rr{name_of("com"), RrType::DS, dns::RrClass::IN,
+                               86400,
+                               dnssec::make_ds(name_of("com"), com_key.dnskey)}));
+    root_server->add_zone(std::move(root));
+    root_server->enable_dnssec(Name{}, root_key);
+
+    // com zone: delegations to a.com / b.com with glue, DS for a.com.
+    dns::Zone com(name_of("com"));
+    ASSERT_OK(com.add(dns::make_ns(name_of("a.com"), 86400,
+                                   name_of("ns1.cloudflare.com"))));
+    ASSERT_OK(com.add(dns::make_a(name_of("ns1.cloudflare.com"), 86400,
+                                  net::Ipv4Addr(173, 245, 58, 1))));
+    ASSERT_OK(com.add(dns::make_ns(name_of("b.com"), 86400,
+                                   name_of("ns1.cloudflare.com"))));
+    ASSERT_OK(com.add(dns::Rr{name_of("a.com"), RrType::DS, dns::RrClass::IN,
+                              86400, dnssec::make_ds(name_of("a.com"), a_key.dnskey)}));
+    com_server->add_zone(std::move(com));
+    com_server->enable_dnssec(name_of("com"), com_key);
+
+    // a.com: Cloudflare-style zone, signed, HTTPS at apex and www.
+    dns::Zone a(name_of("a.com"));
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.cloudflare.com");
+    soa.rname = name_of("dns.cloudflare.com");
+    soa.serial = 2023050801;
+    soa.minimum = 300;
+    ASSERT_OK(a.add(dns::make_soa(name_of("a.com"), 3600, std::move(soa))));
+    auto svcb = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=104.16.132.229");
+    ASSERT_OK(a.add(dns::make_https(name_of("a.com"), 300, *svcb)));
+    ASSERT_OK(a.add(dns::make_a(name_of("a.com"), 300, net::Ipv4Addr(104, 16, 132, 229))));
+    ASSERT_OK(a.add(dns::make_ns(name_of("a.com"), 86400, name_of("ns1.cloudflare.com"))));
+    ASSERT_OK(a.add(dns::make_cname(name_of("www.a.com"), 300, name_of("a.com"))));
+    cf_server->add_zone(std::move(a));
+    cf_server->enable_dnssec(name_of("a.com"), a_key);
+
+    // b.com: unsigned, no HTTPS.
+    dns::Zone b(name_of("b.com"));
+    ASSERT_OK(b.add(dns::make_a(name_of("b.com"), 300, net::Ipv4Addr(9, 9, 9, 9))));
+    cf_server->add_zone(std::move(b));
+
+    infra.register_zone(Name{}, {root_server});
+    infra.register_zone(name_of("com"), {com_server});
+    infra.register_zone(name_of("a.com"), {cf_server});
+    infra.register_zone(name_of("b.com"), {cf_server});
+    infra.set_root_servers({ip("198.41.0.4")});
+  }
+
+  static void ASSERT_OK(const util::Result<void>& r) {
+    ASSERT_TRUE(r.ok()) << r.error();
+  }
+
+  [[nodiscard]] RecursiveResolver make_resolver(
+      RecursiveResolver::Options options = {}) const {
+    return RecursiveResolver(infra, clock, root_key.dnskey, options);
+  }
+};
+
+TEST(Authoritative, AnswersFromZone) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::HTTPS,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_TRUE(resp.header.aa);
+  // HTTPS record + online RRSIG.
+  ASSERT_EQ(resp.answers.size(), 2u);
+  EXPECT_EQ(resp.answers[0].type, RrType::HTTPS);
+  EXPECT_EQ(resp.answers[1].type, RrType::RRSIG);
+}
+
+TEST(Authoritative, RefusesOutOfBailiwick) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("other.net"), RrType::A,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::REFUSED);
+}
+
+TEST(Authoritative, ReferralWithGlue) {
+  MiniInternet net;
+  auto resp = net.root_server->handle(name_of("a.com"), RrType::HTTPS,
+                                      net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(resp.header.aa);
+  EXPECT_TRUE(resp.answers.empty());
+  ASSERT_FALSE(resp.authorities.empty());
+  EXPECT_EQ(resp.authorities[0].type, RrType::NS);
+  ASSERT_FALSE(resp.additionals.empty());
+  EXPECT_EQ(resp.additionals[0].type, RrType::A);
+}
+
+TEST(Authoritative, DsAnsweredFromParentSide) {
+  MiniInternet net;
+  auto resp = net.com_server->handle(name_of("a.com"), RrType::DS,
+                                     net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  ASSERT_GE(resp.answers.size(), 1u);
+  EXPECT_EQ(resp.answers[0].type, RrType::DS);
+}
+
+TEST(Authoritative, DnskeySynthesised) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::DNSKEY,
+                                    net.clock.now());
+  ASSERT_EQ(resp.answers.size(), 2u);
+  EXPECT_EQ(resp.answers[0].type, RrType::DNSKEY);
+  EXPECT_EQ(resp.answers[1].type, RrType::RRSIG);
+}
+
+TEST(Authoritative, HttpsCapabilityGate) {
+  MiniInternet net;
+  net.cf_server->set_supports_https_rr(false);
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::HTTPS,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_TRUE(resp.answers.empty());  // NODATA
+  // Other types unaffected.
+  auto a = net.cf_server->handle(name_of("a.com"), RrType::A, net.clock.now());
+  EXPECT_FALSE(a.answers.empty());
+}
+
+TEST(Authoritative, NxdomainForMissingName) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("missing.a.com"), RrType::A,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+}
+
+TEST(Authoritative, DoBitGatesSignatures) {
+  MiniInternet net;
+  // DO set (default in make_query): signatures attached.
+  auto with_do = net.cf_server->handle(
+      dns::Message::make_query(1, name_of("a.com"), RrType::HTTPS, true),
+      net.clock.now());
+  EXPECT_FALSE(with_do.answers_of_type(RrType::RRSIG).empty());
+
+  // DO clear: same data, no signatures (RFC 4035 §3.1).
+  auto without_do = net.cf_server->handle(
+      dns::Message::make_query(1, name_of("a.com"), RrType::HTTPS, false),
+      net.clock.now());
+  EXPECT_FALSE(without_do.answers_of_type(RrType::HTTPS).empty());
+  EXPECT_TRUE(without_do.answers_of_type(RrType::RRSIG).empty());
+}
+
+TEST(Authoritative, UdpTruncationAndTcpRetry) {
+  MiniInternet net;
+  // A record set big enough to overflow a tiny advertised payload.
+  auto* zone = net.cf_server->find_zone(name_of("a.com"));
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(zone->add(dns::make_a(name_of("big.a.com"), 300,
+                                      net::Ipv4Addr(10, 0, 0,
+                                                    static_cast<std::uint8_t>(i))))
+                    .ok());
+  }
+  auto query = dns::Message::make_query(1, name_of("big.a.com"), RrType::A);
+  query.edns->udp_payload_size = 128;
+
+  auto udp = net.cf_server->handle_udp(query, net.clock.now());
+  EXPECT_TRUE(udp.header.tc);
+  EXPECT_TRUE(udp.answers.empty());
+
+  auto tcp = net.cf_server->handle(query, net.clock.now());
+  EXPECT_FALSE(tcp.header.tc);
+  EXPECT_EQ(tcp.answers_of_type(RrType::A).size(), 30u);
+
+  // The recursive resolver performs that retry transparently.
+  RecursiveResolver::Options options;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+  auto resp = resolver.resolve(name_of("big.a.com"), RrType::A);
+  EXPECT_EQ(resp.answers_of_type(RrType::A).size(), 30u);
+}
+
+TEST(Recursive, FullResolution) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  auto https = resp.answers_of_type(RrType::HTTPS);
+  ASSERT_EQ(https.size(), 1u);
+  const auto& svcb = std::get<dns::SvcbRdata>(https[0].rdata);
+  EXPECT_EQ(svcb.params.alpn(), (std::vector<std::string>{"h2", "h3"}));
+}
+
+TEST(Recursive, AdBitSetForSecureChain) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_TRUE(resp.header.ad);
+}
+
+TEST(Recursive, AdBitClearForUnsignedZone) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("b.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(resp.header.ad);
+}
+
+TEST(Recursive, AdBitClearWhenDsMissing) {
+  MiniInternet net;
+  // Remove the DS for a.com from com: signed zone, broken chain -> insecure.
+  net.com_server->find_zone(name_of("com"))->remove(name_of("a.com"), RrType::DS);
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(resp.header.ad);
+  // RRSIG still present in the answer (signed but not validated).
+  EXPECT_FALSE(resp.answers_of_type(RrType::RRSIG).empty());
+}
+
+TEST(Recursive, ServfailOnBogusDs) {
+  MiniInternet net;
+  // Replace the DS with one for the wrong key: bogus chain.
+  auto* com = net.com_server->find_zone(name_of("com"));
+  com->remove(name_of("a.com"), RrType::DS);
+  auto rogue = dnssec::KeyPair::generate(77, 257);
+  ASSERT_TRUE(com->add(dns::Rr{name_of("a.com"), RrType::DS, dns::RrClass::IN,
+                               86400,
+                               dnssec::make_ds(name_of("a.com"), rogue.dnskey)})
+                  .ok());
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL);
+}
+
+TEST(Recursive, CnameChased) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("www.a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_EQ(resp.answers_of_type(RrType::CNAME).size(), 1u);
+  auto a = resp.answers_of_type(RrType::A);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].owner, name_of("a.com"));
+}
+
+TEST(Recursive, CacheHitsOnRepeat) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  auto upstream_before = resolver.stats().upstream_queries;
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(resolver.stats().upstream_queries, upstream_before);
+  EXPECT_GT(resolver.stats().cache_hits, 0u);
+}
+
+TEST(Recursive, CacheExpiresWithTtl) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  auto upstream_before = resolver.stats().upstream_queries;
+
+  net.clock.advance(net::Duration::secs(301));  // HTTPS TTL is 300
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_GT(resolver.stats().upstream_queries, upstream_before);
+}
+
+TEST(Recursive, CacheServesStaleUntilTtl) {
+  // The §4.3.5 mechanism: the zone changes but the cache answers until
+  // expiry, producing the HTTPS/A mismatch window.
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+
+  // Operator renumbers: new hint.
+  auto* zone = net.cf_server->find_zone(name_of("a.com"));
+  zone->remove(name_of("a.com"), RrType::HTTPS);
+  auto fresh = dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3 ipv4hint=9.9.9.9");
+  ASSERT_TRUE(zone->add(dns::make_https(name_of("a.com"), 300, *fresh)).ok());
+
+  net.clock.advance(net::Duration::secs(100));  // still cached
+  auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  auto https = resp.answers_of_type(RrType::HTTPS);
+  ASSERT_EQ(https.size(), 1u);
+  auto hints = std::get<dns::SvcbRdata>(https[0].rdata).params.ipv4hint();
+  ASSERT_TRUE(hints.has_value());
+  EXPECT_EQ((*hints)[0].to_string(), "104.16.132.229") << "should be stale";
+
+  net.clock.advance(net::Duration::secs(201));  // past TTL
+  resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  https = resp.answers_of_type(RrType::HTTPS);
+  ASSERT_EQ(https.size(), 1u);
+  hints = std::get<dns::SvcbRdata>(https[0].rdata).params.ipv4hint();
+  EXPECT_EQ((*hints)[0].to_string(), "9.9.9.9") << "should be fresh";
+}
+
+TEST(Recursive, CacheDisabledAblation) {
+  MiniInternet net;
+  RecursiveResolver::Options options;
+  options.cache_enabled = false;
+  auto resolver = net.make_resolver(options);
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  auto upstream_before = resolver.stats().upstream_queries;
+  (void)resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_GT(resolver.stats().upstream_queries, upstream_before);
+  EXPECT_EQ(resolver.cache_size(), 0u);
+}
+
+TEST(Recursive, MixedProviderInconsistency) {
+  // §4.2.3: one NS supports HTTPS RRs, the other does not.  Repeated
+  // queries through a caching-disabled resolver must yield both full and
+  // empty answers depending on NS selection.
+  MiniInternet net;
+  auto& legacy = net.infra.add_server("legacy-dns", ip("10.0.0.53"));
+  // The legacy operator hosts a copy of a.com without HTTPS support.
+  dns::Zone copy(name_of("a.com"));
+  ASSERT_TRUE(copy.add(dns::make_a(name_of("a.com"), 300,
+                                   net::Ipv4Addr(104, 16, 132, 229))).ok());
+  auto svcb = dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3");
+  ASSERT_TRUE(copy.add(dns::make_https(name_of("a.com"), 300, *svcb)).ok());
+  legacy.add_zone(std::move(copy));
+  legacy.set_supports_https_rr(false);
+
+  // Add the second NS to the com delegation.
+  auto* com = net.com_server->find_zone(name_of("com"));
+  ASSERT_TRUE(com->add(dns::make_ns(name_of("a.com"), 86400,
+                                    name_of("ns1.legacy-dns.com"))).ok());
+  ASSERT_TRUE(com->add(dns::make_a(name_of("ns1.legacy-dns.com"), 86400,
+                                   net::Ipv4Addr(10, 0, 0, 53))).ok());
+
+  RecursiveResolver::Options options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+
+  int with_https = 0, without = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto resp = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+    if (resp.answers_of_type(RrType::HTTPS).empty()) {
+      ++without;
+    } else {
+      ++with_https;
+    }
+  }
+  EXPECT_GT(with_https, 0);
+  EXPECT_GT(without, 0) << "NS selection never hit the legacy provider";
+}
+
+TEST(Recursive, OfflineServerFailsOver) {
+  MiniInternet net;
+  auto& second = net.infra.add_server("cloudflare", ip("173.245.59.1"));
+  dns::Zone copy(name_of("a.com"));
+  ASSERT_TRUE(copy.add(dns::make_a(name_of("a.com"), 300,
+                                   net::Ipv4Addr(104, 16, 132, 229))).ok());
+  second.add_zone(std::move(copy));
+  auto* com = net.com_server->find_zone(name_of("com"));
+  ASSERT_TRUE(com->add(dns::make_ns(name_of("a.com"), 86400,
+                                    name_of("ns2.cloudflare.com"))).ok());
+  ASSERT_TRUE(com->add(dns::make_a(name_of("ns2.cloudflare.com"), 86400,
+                                   net::Ipv4Addr(173, 245, 59, 1))).ok());
+  net.cf_server->set_offline(true);
+
+  RecursiveResolver::Options options;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+  auto resp = resolver.resolve(name_of("a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_EQ(resp.answers_of_type(RrType::A).size(), 1u);
+}
+
+TEST(Recursive, NxdomainPropagates) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+}
+
+TEST(Authoritative, SignedZoneProvesNxdomain) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("missing.a.com"), RrType::A,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+  bool has_nsec = false, has_soa = false, has_sig = false;
+  for (const auto& rr : resp.authorities) {
+    if (rr.type == RrType::NSEC) {
+      has_nsec = true;
+      const auto& nsec = std::get<dns::NsecRdata>(rr.rdata);
+      // The gap must actually cover the query name.
+      EXPECT_LT(rr.owner, name_of("missing.a.com"));
+      EXPECT_TRUE(name_of("missing.a.com") < nsec.next ||
+                  !(rr.owner < nsec.next));
+    }
+    if (rr.type == RrType::SOA) has_soa = true;
+    if (rr.type == RrType::RRSIG) has_sig = true;
+  }
+  EXPECT_TRUE(has_nsec);
+  EXPECT_TRUE(has_soa);
+  EXPECT_TRUE(has_sig);
+}
+
+TEST(Authoritative, SignedZoneProvesNodata) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::TXT,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_TRUE(resp.answers.empty());
+  bool nodata_proof = false;
+  for (const auto& rr : resp.authorities) {
+    if (rr.type != RrType::NSEC) continue;
+    const auto& nsec = std::get<dns::NsecRdata>(rr.rdata);
+    EXPECT_EQ(rr.owner, name_of("a.com"));
+    // TXT absent from the bitmap; the existing types present.
+    EXPECT_EQ(std::find(nsec.types.begin(), nsec.types.end(), RrType::TXT),
+              nsec.types.end());
+    EXPECT_NE(std::find(nsec.types.begin(), nsec.types.end(), RrType::HTTPS),
+              nsec.types.end());
+    nodata_proof = true;
+  }
+  EXPECT_TRUE(nodata_proof);
+}
+
+TEST(Authoritative, UnsignedZoneHasNoDenialProof) {
+  MiniInternet net;
+  auto resp = net.cf_server->handle(name_of("missing.b.com"), RrType::A,
+                                    net.clock.now());
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+  EXPECT_TRUE(resp.authorities.empty());
+}
+
+TEST(Recursive, AdBitOnAuthenticatedNxdomain) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+  EXPECT_TRUE(resp.header.ad) << "NSEC-proven denial in a secure zone";
+  EXPECT_FALSE(resp.authorities.empty());
+}
+
+TEST(Recursive, AdBitOnAuthenticatedNodata) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::TXT);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_TRUE(resp.answers.empty());
+  EXPECT_TRUE(resp.header.ad);
+}
+
+TEST(Recursive, NoAdOnUnsignedZoneNegative) {
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto resp = resolver.resolve(name_of("missing.b.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+  EXPECT_FALSE(resp.header.ad);
+}
+
+TEST(Stub, FallsBackOnServfail) {
+  MiniInternet net;
+  // Primary resolver with a bogus trust anchor SERVFAILs on signed zones.
+  auto rogue = dnssec::KeyPair::generate(1234, 257);
+  RecursiveResolver broken(net.infra, net.clock, rogue.dnskey, {});
+  auto healthy = net.make_resolver();
+
+  StubResolver stub(broken, &healthy);
+  auto resp = stub.query(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_EQ(stub.fallbacks(), 1u);
+}
+
+}  // namespace
+}  // namespace httpsrr::resolver

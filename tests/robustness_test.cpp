@@ -1,0 +1,197 @@
+// Failure injection and loop-guard robustness for the resolution stack:
+// CNAME loops, dead infrastructure, negative caching, referral limits.
+
+#include <gtest/gtest.h>
+
+#include "ecosystem/internet.h"
+#include "resolver/stub.h"
+#include "scanner/study.h"
+
+namespace httpsrr {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rcode;
+using dns::RrType;
+using resolver::AuthoritativeServer;
+using resolver::DnsInfra;
+
+net::IpAddr ip(const char* text) { return *net::IpAddr::parse(text); }
+
+// Minimal root -> com -> a.com tree with hooks for breakage.
+struct Rig {
+  net::SimClock clock{net::SimTime::from_date(2024, 1, 1)};
+  DnsInfra infra;
+  dnssec::KeyPair root_key = dnssec::KeyPair::generate(5, 257);
+  AuthoritativeServer* root = nullptr;
+  AuthoritativeServer* tld = nullptr;
+  AuthoritativeServer* leaf = nullptr;
+
+  Rig() {
+    root = &infra.add_server("root", ip("198.41.0.4"));
+    dns::Zone root_zone{Name()};
+    (void)root_zone.add(dns::make_ns(name_of("com"), 86400, name_of("gtld.net")));
+    (void)root_zone.add(dns::make_a(name_of("gtld.net"), 86400,
+                                    net::Ipv4Addr(192, 5, 6, 30)));
+    root->add_zone(std::move(root_zone));
+    infra.register_zone(Name(), {root});
+    infra.set_root_servers({ip("198.41.0.4")});
+
+    tld = &infra.add_server("gtld", ip("192.5.6.30"));
+    dns::Zone com{name_of("com")};
+    (void)com.add(dns::make_ns(name_of("a.com"), 86400, name_of("ns1.a.com")));
+    (void)com.add(dns::make_a(name_of("ns1.a.com"), 86400,
+                              net::Ipv4Addr(10, 0, 0, 53)));
+    tld->add_zone(std::move(com));
+    infra.register_zone(name_of("com"), {tld});
+
+    leaf = &infra.add_server("leaf", ip("10.0.0.53"));
+    dns::Zone a{name_of("a.com")};
+    (void)a.add(dns::make_a(name_of("a.com"), 300, net::Ipv4Addr(1, 2, 3, 4)));
+    leaf->add_zone(std::move(a));
+    infra.register_zone(name_of("a.com"), {leaf});
+  }
+
+  resolver::RecursiveResolver make_resolver() {
+    resolver::ResolverOptions options;
+    options.validate_dnssec = false;
+    return resolver::RecursiveResolver(infra, clock, root_key.dnskey, options);
+  }
+};
+
+TEST(Robustness, CnameLoopTerminates) {
+  Rig rig;
+  auto* zone = rig.leaf->find_zone(name_of("a.com"));
+  ASSERT_TRUE(zone->add(dns::make_cname(name_of("x.a.com"), 60,
+                                        name_of("y.a.com"))).ok());
+  ASSERT_TRUE(zone->add(dns::make_cname(name_of("y.a.com"), 60,
+                                        name_of("x.a.com"))).ok());
+  auto resolver = rig.make_resolver();
+  auto resp = resolver.resolve(name_of("x.a.com"), RrType::A);
+  // The chase gives up after the chain limit; the answer holds the CNAMEs
+  // seen so far but no address, and the resolver did not spin forever.
+  EXPECT_TRUE(resp.answers_of_type(RrType::A).empty());
+}
+
+TEST(Robustness, SelfCnameTerminates) {
+  Rig rig;
+  auto* zone = rig.leaf->find_zone(name_of("a.com"));
+  ASSERT_TRUE(zone->add(dns::make_cname(name_of("self.a.com"), 60,
+                                        name_of("self.a.com"))).ok());
+  auto resolver = rig.make_resolver();
+  auto resp = resolver.resolve(name_of("self.a.com"), RrType::A);
+  EXPECT_TRUE(resp.answers_of_type(RrType::A).empty());
+}
+
+TEST(Robustness, AllInfrastructureOfflineIsServfail) {
+  Rig rig;
+  rig.root->set_offline(true);
+  auto resolver = rig.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL);
+}
+
+TEST(Robustness, DeadLeafServerIsServfail) {
+  Rig rig;
+  rig.leaf->set_offline(true);
+  auto resolver = rig.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL);
+}
+
+TEST(Robustness, ServfailIsNotCached) {
+  Rig rig;
+  rig.leaf->set_offline(true);
+  auto resolver = rig.make_resolver();
+  EXPECT_EQ(resolver.resolve(name_of("a.com"), RrType::A).header.rcode,
+            Rcode::SERVFAIL);
+  // Recovery must be visible immediately (SERVFAIL is never cached).
+  rig.leaf->set_offline(false);
+  EXPECT_EQ(resolver.resolve(name_of("a.com"), RrType::A).header.rcode,
+            Rcode::NOERROR);
+}
+
+TEST(Robustness, NegativeAnswersAreCached) {
+  Rig rig;
+  auto resolver = rig.make_resolver();
+  auto first = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(first.header.rcode, Rcode::NXDOMAIN);
+  auto upstream = resolver.stats().upstream_queries;
+  auto second = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(second.header.rcode, Rcode::NXDOMAIN);
+  EXPECT_EQ(resolver.stats().upstream_queries, upstream)
+      << "negative answer must come from the cache";
+}
+
+TEST(Robustness, LameDelegationFailsCleanly) {
+  // The TLD delegates to a host with no address records anywhere: the
+  // resolver must give up with SERVFAIL instead of recursing forever.
+  Rig rig;
+  auto* com = rig.tld->find_zone(name_of("com"));
+  com->remove(name_of("a.com"), RrType::NS);
+  ASSERT_TRUE(com->add(dns::make_ns(name_of("a.com"), 86400,
+                                    name_of("ns.phantom.com"))).ok());
+  auto resolver = rig.make_resolver();
+  auto resp = resolver.resolve(name_of("a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL);
+}
+
+TEST(Robustness, ScannerSurvivesServfail) {
+  Rig rig;
+  rig.leaf->set_offline(true);
+  auto resolver = rig.make_resolver();
+  resolver::StubResolver stub(resolver);
+  scanner::HttpsScanner scanner(stub);
+  auto obs = scanner.scan(name_of("a.com"));
+  EXPECT_TRUE(obs.servfail);
+  EXPECT_FALSE(obs.answered);
+  EXPECT_FALSE(obs.has_https());
+}
+
+TEST(Robustness, StudySurvivesDeadTld) {
+  // Knock out the shared TLD server mid-study: every scan fails but the
+  // pipeline keeps producing (empty) observations.
+  ecosystem::EcosystemConfig config;
+  config.list_size = 300;
+  config.universe_size = 450;
+  ecosystem::Internet net(config);
+  scanner::Study study(net);
+
+  auto healthy = study.run_day(config.start);
+  std::size_t healthy_https = 0;
+  for (const auto& obs : healthy.apex) healthy_https += obs.has_https();
+  EXPECT_GT(healthy_https, 0u);
+
+  // All TLD zones live on one server in the simulation; take it down.
+  const auto* servers = net.infra().zone_servers(name_of("com"));
+  ASSERT_NE(servers, nullptr);
+  servers->front()->set_offline(true);
+
+  auto dead = study.run_day(config.start + net::Duration::days(1));
+  std::size_t dead_https = 0, servfails = 0;
+  for (const auto& obs : dead.apex) {
+    dead_https += obs.has_https();
+    servfails += obs.servfail;
+  }
+  EXPECT_EQ(dead_https, 0u);
+  EXPECT_GT(servfails, dead.size() / 2);
+}
+
+TEST(Robustness, ZoneParserRejectsHostileInput) {
+  const char* bad[] = {
+      "a.com. 60 IN HTTPS\n",                    // missing rdata
+      "a.com. 60 IN HTTPS 99999999 .\n",         // priority overflow
+      "a.com. 60 IN A 999.1.1.1\n",              // bad address
+      "$TTL banana\n",                           // bad directive
+      "a.com. 60 IN WAT 1.2.3.4\n",              // unknown type
+      ".. 60 IN A 1.2.3.4\n",                    // empty labels
+  };
+  for (const char* text : bad) {
+    auto zone = dns::Zone::parse(name_of("a.com"), text);
+    EXPECT_FALSE(zone.ok()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace httpsrr

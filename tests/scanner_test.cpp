@@ -1,0 +1,368 @@
+// Scanner framework + analysis observers: daily snapshots, NS attribution,
+// hourly ECH scans, connectivity audit, chain audit, report rendering.
+
+#include <gtest/gtest.h>
+
+#include "analysis/chain_audit.h"
+#include "analysis/iphints_analysis.h"
+#include "analysis/ns_analysis.h"
+#include "analysis/params_analysis.h"
+#include "analysis/rank_stats.h"
+#include "analysis/series_observers.h"
+#include "report/report.h"
+#include "scanner/connectivity.h"
+#include "scanner/ech_scanner.h"
+#include "scanner/study.h"
+
+namespace httpsrr {
+namespace {
+
+using ecosystem::DomainId;
+using ecosystem::EcosystemConfig;
+using ecosystem::Internet;
+
+EcosystemConfig small_config() {
+  EcosystemConfig config;
+  config.list_size = 800;
+  config.universe_size = 1200;
+  config.seed = 11;
+  return config;
+}
+
+TEST(HttpsScanner, ObservationFieldsPopulated) {
+  Internet net(small_config());
+  auto resolver = net.make_resolver();
+  resolver::StubResolver stub(*resolver);
+  scanner::HttpsScanner scanner(stub);
+
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (!(d.on_cloudflare && d.cf_proxied && !d.cf_customized &&
+          d.https_since <= net.config().start)) {
+      continue;
+    }
+    auto obs = scanner.scan(d.apex);
+    EXPECT_TRUE(obs.answered);
+    ASSERT_TRUE(obs.has_https());
+    EXPECT_FALSE(obs.a_records.empty()) << "follow-up A lookup";
+    EXPECT_FALSE(obs.aaaa_records.empty()) << "follow-up AAAA lookup";
+    EXPECT_FALSE(obs.ns_records.empty()) << "follow-up NS lookup";
+    EXPECT_TRUE(obs.soa_present) << "follow-up SOA lookup";
+    EXPECT_FALSE(obs.ipv4_hints().empty());
+    EXPECT_FALSE(obs.alpn_protocols().empty());
+    return;
+  }
+  FAIL() << "no Cloudflare default domain found";
+}
+
+TEST(HttpsScanner, NoFollowUpWithoutHttps) {
+  Internet net(small_config());
+  auto resolver = net.make_resolver();
+  resolver::StubResolver stub(*resolver);
+  scanner::HttpsScanner scanner(stub);
+
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (d.publishes_https) continue;
+    auto obs = scanner.scan(d.apex);
+    EXPECT_TRUE(obs.answered);
+    EXPECT_FALSE(obs.has_https());
+    EXPECT_TRUE(obs.a_records.empty());
+    EXPECT_TRUE(obs.ns_records.empty());
+    return;
+  }
+  FAIL() << "no HTTPS-free domain found";
+}
+
+TEST(Study, SnapshotShapeAndNsAttribution) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  auto snapshot = study.run_day(net.config().start);
+
+  EXPECT_EQ(snapshot.apex.size(), snapshot.list.size());
+  EXPECT_EQ(snapshot.www.size(), snapshot.list.size());
+  EXPECT_FALSE(snapshot.ns_info.empty());
+
+  // Every HTTPS publisher's NS hosts must be resolvable and attributable.
+  std::size_t attributed = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (!snapshot.apex[i].has_https()) continue;
+    for (const auto& host : snapshot.apex[i].ns_records) {
+      auto it = snapshot.ns_info.find(host);
+      ASSERT_NE(it, snapshot.ns_info.end()) << host.to_string();
+      EXPECT_FALSE(it->second.addresses.empty());
+      if (it->second.operator_name) ++attributed;
+    }
+  }
+  EXPECT_GT(attributed, 0u);
+}
+
+TEST(Study, WwwCnameChaseObserved) {
+  // A share of zones publish www as a CNAME to the apex; the scanner must
+  // follow the alias (via the resolver) and still observe the HTTPS record,
+  // flagging that a chase happened (§4.1).
+  Internet net(small_config());
+  scanner::Study study(net);
+  auto snapshot = study.run_day(net.config().start);
+  std::size_t chased = 0, chased_with_https = 0;
+  for (const auto& obs : snapshot.www) {
+    if (!obs.followed_cname) continue;
+    ++chased;
+    if (obs.has_https()) ++chased_with_https;
+  }
+  EXPECT_GT(chased, 0u);
+  EXPECT_GT(chased_with_https, 0u);
+}
+
+TEST(Study, WwwMirrorsApexMostly) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  auto snapshot = study.run_day(net.config().start);
+  std::size_t apex_https = 0, www_https = 0;
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot.apex[i].has_https()) ++apex_https;
+    if (snapshot.www[i].has_https()) ++www_https;
+  }
+  ASSERT_GT(apex_https, 0u);
+  EXPECT_GT(www_https, apex_https * 7 / 10);
+  EXPECT_LE(www_https, apex_https);
+}
+
+TEST(Analysis, AdoptionSeriesInPaperBand) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  analysis::AdoptionSeries adoption;
+  study.add_observer(&adoption);
+  (void)study.run_day(net.config().start);
+  (void)study.run_day(net.config().start + net::Duration::days(1));
+
+  EXPECT_GT(adoption.dynamic_apex().back(), 15.0);
+  EXPECT_LT(adoption.dynamic_apex().back(), 32.0);
+  EXPECT_GT(adoption.overlapping_apex().back(), 15.0);
+}
+
+TEST(Analysis, NsCategoryIsAlmostAllCloudflare) {
+  auto config = small_config();
+  Internet net(config);
+  scanner::Study study(net);
+  analysis::NsCategoryAnalysis categories(config.start, config.end);
+  study.add_observer(&categories);
+  (void)study.run_day(config.start);
+
+  auto shares = categories.dynamic_shares();
+  EXPECT_GT(shares.full_mean, 97.0);  // paper: 99.89%
+  EXPECT_LT(shares.none_mean, 3.0);
+}
+
+TEST(Analysis, CfClassifierSeparatesDefaultFromCustom) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  analysis::CfConfigClassifier classifier;
+  study.add_observer(&classifier);
+  (void)study.run_day(net.config().start);
+
+  EXPECT_GT(classifier.default_pct_dynamic(), 65.0);
+  EXPECT_LT(classifier.default_pct_dynamic(), 95.0);
+}
+
+TEST(Analysis, EchSeriesDropsToZeroAtShutdown) {
+  auto config = small_config();
+  Internet net(config);
+  scanner::Study study(net);
+  analysis::EchSeries ech;
+  study.add_observer(&ech);
+  (void)study.run_day(net::SimTime::from_date(2023, 10, 3));
+  (void)study.run_day(net::SimTime::from_date(2023, 10, 4));
+  (void)study.run_day(net::SimTime::from_date(2023, 10, 6));
+
+  EXPECT_GT(ech.apex().front(), 50.0) << "pre-shutdown ECH share";
+  EXPECT_EQ(ech.apex().back(), 0.0);
+  ASSERT_TRUE(ech.shutdown_detected().has_value());
+  EXPECT_EQ(ech.shutdown_detected()->date().to_string(), "2023-10-06");
+}
+
+TEST(Analysis, ParamAuditFindsServiceModeDominance) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  analysis::ParamAudit audit;
+  study.add_observer(&audit);
+  (void)study.run_day(net.config().start);
+
+  auto result = audit.result();
+  ASSERT_GT(result.service_mode_domains, 0u);
+  EXPECT_GT(result.priority_one, result.service_mode_domains * 9 / 10);
+  EXPECT_LT(result.alias_mode_domains, result.service_mode_domains / 10);
+}
+
+TEST(Analysis, AlpnDistributionTracksDefaults) {
+  auto config = small_config();
+  Internet net(config);
+  scanner::Study study(net);
+  analysis::AlpnDistribution alpn;
+  study.add_observer(&alpn);
+  (void)study.run_day(config.start);                          // pre May 31
+  (void)study.run_day(net::SimTime::from_date(2023, 6, 10));  // post May 31
+
+  auto h2 = alpn.protocol_pct("h2", config.start, config.end);
+  auto h3_29_before = alpn.protocol_pct("h3-29", config.start,
+                                        config.h3_29_retirement);
+  auto h3_29_after = alpn.protocol_pct("h3-29", config.h3_29_retirement,
+                                       config.end);
+  EXPECT_GT(h2, 90.0);
+  EXPECT_GT(h3_29_before, 60.0) << "draft-29 advertised before retirement";
+  EXPECT_LT(h3_29_after, 1.0);
+}
+
+TEST(Analysis, ChainAuditMatchesPaperShape) {
+  auto config = small_config();
+  Internet net(config);
+  auto result = analysis::run_chain_audit(net, net::SimTime::from_date(2024, 1, 2));
+
+  ASSERT_GT(result.with_https.signed_, 0u);
+  ASSERT_GT(result.without_https.signed_, 0u);
+  // Table 9 shape: HTTPS-publishing zones are insecure far more often.
+  EXPECT_GT(result.with_https.insecure_pct(), 30.0);
+  EXPECT_LT(result.without_https.insecure_pct(),
+            result.with_https.insecure_pct());
+  // No bogus records (paper observed none).
+  EXPECT_EQ(result.with_https.bogus, 0u);
+}
+
+TEST(Analysis, RankDistributionSeparates) {
+  auto config = small_config();
+  Internet net(config);
+  auto dist = analysis::rank_distribution(net, config.start,
+                                          net::SimTime::from_date(2023, 7, 31), 4);
+  ASSERT_FALSE(dist.overlapping.empty());
+  ASSERT_FALSE(dist.non_overlapping.empty());
+  double ovl_median = analysis::RankDistribution::percentile(dist.overlapping, 50);
+  double churn_median =
+      analysis::RankDistribution::percentile(dist.non_overlapping, 50);
+  EXPECT_LT(ovl_median, churn_median);
+}
+
+TEST(EchScanner, RotationMatchesFig4) {
+  auto config = small_config();
+  Internet net(config);
+  scanner::HourlyEchScanner scanner;
+  // 24 hourly scans over a sample of domains (the paper used 7 days).
+  auto result = scanner.run(net, net::SimTime::from_date(2023, 7, 21), 24, 10);
+
+  ASSERT_GT(result.domains_tracked, 0u);
+  ASSERT_GT(result.unique_configs, 10u);  // ~1 rotation/h for a day
+  EXPECT_LE(result.unique_configs, 30u);
+  EXPECT_GT(result.overall_avg_hours, 1.0);
+  EXPECT_LT(result.overall_avg_hours, 2.0);  // Fig. 4: 1.1–1.4 h mean 1.26
+  ASSERT_EQ(result.public_names.size(), 1u);
+  EXPECT_EQ(*result.public_names.begin(), "cloudflare-ech.com");
+}
+
+TEST(Connectivity, AuditFindsMismatchClasses) {
+  auto config = small_config();
+  // Crank up renumbering so the short test window sees events.
+  config.renumber_rate_prefix = 0.02;
+  config.hint_lag_days_prefix = 4.0;
+  config.renumber_dead_a = 0.3;
+  config.renumber_dead_hint = 0.2;
+  Internet net(config);
+
+  scanner::Study study(net);
+  scanner::ConnectivityAudit audit(config.start, config.end);
+  study.add_observer(&audit);
+  for (int d = 0; d < 14; ++d) {
+    (void)study.run_day(config.start + net::Duration::days(d));
+  }
+
+  auto result = audit.result();
+  EXPECT_GT(result.occurrences, 0u);
+  EXPECT_GT(result.distinct_domains, 0u);
+  EXPECT_GE(result.occurrences, result.distinct_domains);
+}
+
+TEST(Analysis, IpHintEpisodesTracked) {
+  auto config = small_config();
+  config.renumber_rate_prefix = 0.02;
+  config.hint_lag_days_prefix = 3.0;
+  config.renumber_dead_a = 0.0;
+  config.renumber_dead_hint = 0.0;
+  Internet net(config);
+
+  scanner::Study study(net);
+  analysis::IpHintConsistency hints;
+  study.add_observer(&hints);
+  for (int d = 0; d < 14; ++d) {
+    (void)study.run_day(config.start + net::Duration::days(d));
+  }
+
+  EXPECT_GT(hints.hint_utilisation_apex().mean(), 80.0);
+  EXPECT_LT(hints.match_ratio_apex().mean(), 100.0) << "mismatches must appear";
+  auto histogram = hints.mismatch_duration_histogram();
+  EXPECT_FALSE(histogram.empty());
+  EXPECT_GT(hints.mean_mismatch_days(), 0.5);
+}
+
+TEST(Analysis, TimeSeriesStatistics) {
+  analysis::TimeSeries series;
+  auto day0 = net::SimTime::from_date(2023, 6, 1);
+  for (int d = 0; d < 10; ++d) {
+    series.add(day0 + net::Duration::days(d), static_cast<double>(d));
+  }
+  EXPECT_DOUBLE_EQ(series.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(series.front(), 0.0);
+  EXPECT_DOUBLE_EQ(series.back(), 9.0);
+  EXPECT_NEAR(series.stddev(), 3.0277, 1e-3);
+  EXPECT_DOUBLE_EQ(
+      series.mean_between(day0 + net::Duration::days(2),
+                          day0 + net::Duration::days(4)),
+      3.0);
+  EXPECT_EQ(series.at(day0 + net::Duration::days(3)), 3.0);
+  EXPECT_FALSE(series.at(day0 - net::Duration::days(1)).has_value());
+  // Overwriting a day replaces the point.
+  series.add(day0, 100.0);
+  EXPECT_DOUBLE_EQ(series.front(), 100.0);
+  EXPECT_EQ(series.size(), 10u);
+}
+
+TEST(Analysis, ProviderProfileCountsDistinctDomains) {
+  auto config = small_config();
+  config.noncf_oversample = 20.0;  // make the providers visible at test scale
+  Internet net(config);
+  scanner::Study study(net);
+  analysis::ProviderParamProfile google("google");
+  study.add_observer(&google);
+  (void)study.run_day(config.start);
+  (void)study.run_day(config.start + net::Duration::days(1));  // same domains
+
+  auto profile = google.profile();
+  ASSERT_GT(profile.domains, 0u);
+  // Re-observing the same domains on day 2 must not double-count.
+  EXPECT_EQ(profile.service_mode + profile.alias_mode, profile.domains);
+  // Google-style customers sit in bare ServiceMode (Table 5).
+  EXPECT_GT(profile.pct(profile.service_mode), 90.0);
+  EXPECT_GT(profile.pct(profile.target_self), 90.0);
+  EXPECT_LT(profile.pct(profile.with_alpn), 30.0);
+}
+
+TEST(Report, TableRenders) {
+  report::Table table({"metric", "paper", "measured"});
+  table.add_row({"adoption", "20-27%", "21.3%"});
+  table.add_row({"ech", "70%", "70.5%"});
+  auto text = table.render();
+  EXPECT_NE(text.find("metric"), std::string::npos);
+  EXPECT_NE(text.find("70.5%"), std::string::npos);
+  EXPECT_NE(text.find("+"), std::string::npos);
+}
+
+TEST(Report, SeriesRenders) {
+  analysis::TimeSeries series;
+  for (int d = 0; d < 60; ++d) {
+    series.add(net::SimTime::from_date(2023, 5, 8) + net::Duration::days(d),
+               20.0 + d * 0.1);
+  }
+  auto text = report::render_series("adoption", series, 14, 30);
+  EXPECT_NE(text.find("2023-05-08"), std::string::npos);
+  EXPECT_NE(text.find("|"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace httpsrr

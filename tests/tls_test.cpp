@@ -1,0 +1,288 @@
+// TLS layer: certificates, ALPN negotiation, SNI routing, ECH accept /
+// reject / retry / ignore, split-mode forwarding.
+
+#include <gtest/gtest.h>
+
+#include "tls/handshake.h"
+
+namespace httpsrr::tls {
+namespace {
+
+net::Endpoint ep(const char* ip, std::uint16_t port) {
+  return net::Endpoint{*net::IpAddr::parse(ip), port};
+}
+
+TEST(Certificate, ExactAndCaseInsensitive) {
+  auto cert = Certificate::for_name("a.com");
+  EXPECT_TRUE(cert.matches("a.com"));
+  EXPECT_TRUE(cert.matches("A.COM"));
+  EXPECT_TRUE(cert.matches("a.com."));
+  EXPECT_FALSE(cert.matches("b.com"));
+  EXPECT_FALSE(cert.matches("www.a.com"));
+}
+
+TEST(Certificate, Wildcard) {
+  Certificate cert({"*.a.com"});
+  EXPECT_TRUE(cert.matches("www.a.com"));
+  EXPECT_TRUE(cert.matches("pool.a.com"));
+  EXPECT_FALSE(cert.matches("a.com"));
+  EXPECT_FALSE(cert.matches("x.y.a.com"));  // one label only
+}
+
+TEST(Certificate, MultiSan) {
+  Certificate cert({"a.com", "www.a.com", "*.cdn.a.com"});
+  EXPECT_TRUE(cert.matches("a.com"));
+  EXPECT_TRUE(cert.matches("www.a.com"));
+  EXPECT_TRUE(cert.matches("x.cdn.a.com"));
+  EXPECT_FALSE(cert.matches("cdn.a.com"));
+}
+
+TEST(InnerHello, SerializeParseRoundTrip) {
+  InnerHello inner{"private.example.com", {"h2", "http/1.1"}};
+  auto back = InnerHello::parse(inner.serialize());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(*back, inner);
+}
+
+TEST(InnerHello, RejectsTrailingGarbage) {
+  auto wire = InnerHello{"a.com", {}}.serialize();
+  wire.push_back(0xff);
+  EXPECT_FALSE(InnerHello::parse(wire).ok());
+}
+
+struct ServerFixture {
+  net::SimNetwork network;
+  TlsDirectory directory;
+  TlsServer server{"origin"};
+
+  ServerFixture() {
+    TlsServer::Site site;
+    site.certificate = Certificate::for_name("a.com");
+    site.alpn = {"h2", "http/1.1"};
+    server.add_site("a.com", site);
+    directory.bind(network, ep("10.0.0.10", 443), &server);
+  }
+};
+
+TEST(Handshake, PlainSuccess) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("a.com", {"h2", "http/1.1"}));
+  EXPECT_TRUE(result.transport_ok);
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_EQ(result.negotiated_alpn, "h2");
+  EXPECT_TRUE(result.certificate.matches("a.com"));
+}
+
+TEST(Handshake, AlpnPreferenceOrderRespected) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("a.com", {"http/1.1", "h2"}));
+  EXPECT_EQ(result.negotiated_alpn, "http/1.1");
+}
+
+TEST(Handshake, NoSharedAlpnFails) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("a.com", {"h3"}));
+  EXPECT_TRUE(result.transport_ok);
+  EXPECT_FALSE(result.tls_ok);
+  EXPECT_EQ(result.alert, TlsAlert::no_application_protocol);
+}
+
+TEST(Handshake, EmptyClientAlpnNegotiatesNothingButSucceeds) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("a.com", {}));
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_FALSE(result.negotiated_alpn.has_value());
+}
+
+TEST(Handshake, UnknownSniServesDefaultSiteCert) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("other.com", {"h2"}));
+  EXPECT_TRUE(result.tls_ok);  // server answers with the default cert...
+  EXPECT_FALSE(result.certificate.matches("other.com"));  // ...client must reject
+}
+
+TEST(Handshake, NothingListeningIsRefused) {
+  ServerFixture fx;
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 8443),
+                            ClientHello::plain("a.com", {"h2"}));
+  EXPECT_FALSE(result.transport_ok);
+  EXPECT_EQ(result.transport_error, net::ConnectError::refused);
+}
+
+TEST(Handshake, UnreachableHost) {
+  ServerFixture fx;
+  fx.network.set_host_unreachable(*net::IpAddr::parse("10.0.0.10"), true);
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443),
+                            ClientHello::plain("a.com", {"h2"}));
+  EXPECT_FALSE(result.transport_ok);
+  EXPECT_EQ(result.transport_error, net::ConnectError::unreachable);
+}
+
+// ---- ECH ----------------------------------------------------------------
+
+struct EchFixture : ServerFixture {
+  std::shared_ptr<ech::EchKeyManager> keys;
+  ech::EchConfig config;
+
+  EchFixture() {
+    ech::EchKeyManager::Options options;
+    options.public_name = "cover.a.com";
+    options.seed = 7;
+    keys = std::make_shared<ech::EchKeyManager>(
+        options, net::SimTime::from_string("2024-01-15"));
+    server.enable_ech(keys);
+
+    TlsServer::Site cover;
+    cover.certificate = Certificate::for_name("cover.a.com");
+    server.add_site("cover.a.com", cover);
+
+    auto list = ech::EchConfigList::decode(keys->current_config_wire());
+    config = list->configs.front();
+  }
+};
+
+TEST(Ech, SharedModeAccepted) {
+  EchFixture fx;
+  auto hello = ClientHello::with_ech(fx.config, "a.com", {"h2"});
+  EXPECT_EQ(hello.sni, "cover.a.com") << "outer SNI must be the public name";
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_TRUE(result.ech_accepted);
+  EXPECT_TRUE(result.certificate.matches("a.com"));
+  EXPECT_EQ(result.served_site, "a.com");
+}
+
+TEST(Ech, StaleKeyGetsRetryConfigs) {
+  EchFixture fx;
+  auto stale = fx.config;
+  fx.keys->rotate(net::SimTime::from_string("2024-01-15"));
+  fx.keys->tick(net::SimTime::from_string("2024-01-16"));  // drop retained key
+
+  auto hello = ClientHello::with_ech(stale, "a.com", {"h2"});
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_FALSE(result.ech_accepted);
+  EXPECT_FALSE(result.retry_configs.empty());
+  // The fallback handshake authenticates the public name.
+  EXPECT_TRUE(result.certificate.matches("cover.a.com"));
+
+  // Using the retry configs succeeds.
+  auto retry_list = ech::EchConfigList::decode(result.retry_configs);
+  ASSERT_TRUE(retry_list.ok());
+  auto retry = ClientHello::with_ech(retry_list->configs.front(), "a.com", {"h2"});
+  auto second = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), retry);
+  EXPECT_TRUE(second.ech_accepted);
+}
+
+TEST(Ech, RetainedKeyStillOpensAfterRotation) {
+  EchFixture fx;
+  auto stale = fx.config;
+  fx.keys->rotate(net::SimTime::from_string("2024-01-15"));  // within retention
+
+  auto hello = ClientHello::with_ech(stale, "a.com", {"h2"});
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_TRUE(result.ech_accepted) << "dual-key window must keep stale keys live";
+}
+
+TEST(Ech, ServerWithoutEchIgnoresExtension) {
+  // Unilateral deployment: the extension is ignored; the server handshakes
+  // for the outer SNI.
+  ServerFixture fx;  // no ECH keys
+  TlsServer::Site cover;
+  cover.certificate = Certificate::for_name("cover.a.com");
+  fx.server.add_site("cover.a.com", cover);
+
+  ech::EchConfig config;
+  config.config_id = 9;
+  config.public_key = ech::HpkeKeyPair::generate(1).public_key;
+  config.public_name = "cover.a.com";
+
+  auto hello = ClientHello::with_ech(config, "a.com", {"h2"});
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_FALSE(result.ech_accepted);
+  EXPECT_TRUE(result.retry_configs.empty());
+  EXPECT_TRUE(result.certificate.matches("cover.a.com"));
+}
+
+TEST(Ech, RetryConfigsCanBeDisabled) {
+  EchFixture fx;
+  fx.server.set_send_retry_configs(false);
+  auto stale = fx.config;
+  fx.keys->rotate(net::SimTime::from_string("2024-01-15"));
+  fx.keys->tick(net::SimTime::from_string("2024-01-16"));
+
+  auto hello = ClientHello::with_ech(stale, "a.com", {"h2"});
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_FALSE(result.ech_accepted);
+  EXPECT_TRUE(result.retry_configs.empty());
+}
+
+TEST(Ech, GreaseIgnoredByEchFreeServer) {
+  ServerFixture fx;  // no ECH keys
+  auto hello = ClientHello::with_grease_ech("a.com", {"h2"}, 12345);
+  EXPECT_EQ(hello.sni, "a.com") << "GREASE keeps the real SNI outer";
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_FALSE(result.ech_accepted);
+  EXPECT_TRUE(result.retry_configs.empty());
+  EXPECT_TRUE(result.certificate.matches("a.com"));
+}
+
+TEST(Ech, GreaseTriggersRetryConfigsOnEchServer) {
+  // A server holding real keys cannot decrypt GREASE: it completes the
+  // outer handshake and offers retry configs (which a greasing client
+  // simply ignores).
+  EchFixture fx;
+  auto hello = ClientHello::with_grease_ech("a.com", {"h2"}, 999);
+  auto result = tls_connect(fx.network, fx.directory, ep("10.0.0.10", 443), hello);
+  EXPECT_TRUE(result.tls_ok);
+  EXPECT_FALSE(result.ech_accepted);
+  EXPECT_FALSE(result.retry_configs.empty());
+  EXPECT_TRUE(result.certificate.matches("a.com"));
+}
+
+TEST(Ech, SplitModeForwardsToBackend) {
+  // Client-facing server at one IP, backend at another (Fig. 7 right).
+  net::SimNetwork network;
+  TlsDirectory directory;
+
+  TlsServer backend{"backend"};
+  TlsServer::Site site;
+  site.certificate = Certificate::for_name("a.com");
+  backend.add_site("a.com", site);
+  directory.bind(network, ep("10.0.0.20", 443), &backend);
+
+  TlsServer facing{"client-facing"};
+  TlsServer::Site cover;
+  cover.certificate = Certificate::for_name("b.com");
+  facing.add_site("b.com", cover);
+  ech::EchKeyManager::Options options;
+  options.public_name = "b.com";
+  auto keys = std::make_shared<ech::EchKeyManager>(
+      options, net::SimTime::from_string("2024-01-15"));
+  facing.enable_ech(keys);
+  facing.set_backend_route("a.com", &backend);
+  directory.bind(network, ep("10.0.0.30", 443), &facing);
+
+  auto list = ech::EchConfigList::decode(keys->current_config_wire());
+  auto hello = ClientHello::with_ech(list->configs.front(), "a.com", {"h2"});
+
+  // Correct client: connects to the client-facing server.
+  auto good = tls_connect(network, directory, ep("10.0.0.30", 443), hello);
+  EXPECT_TRUE(good.ech_accepted);
+  EXPECT_TRUE(good.certificate.matches("a.com"));
+
+  // Buggy browser: connects to the backend IP with the outer SNI b.com.
+  auto bad = tls_connect(network, directory, ep("10.0.0.20", 443), hello);
+  EXPECT_FALSE(bad.ech_accepted);
+  EXPECT_FALSE(bad.certificate.matches("b.com"))
+      << "backend serves a.com cert; fallback authentication must fail";
+}
+
+}  // namespace
+}  // namespace httpsrr::tls

@@ -1,0 +1,273 @@
+// Tests for util: strings, SHA-256 (FIPS vectors), Result, RNG determinism,
+// and virtual time / civil-date conversion.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/time.h"
+#include "util/base64.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/sha256.h"
+#include "util/strings.h"
+
+namespace httpsrr {
+namespace {
+
+using util::Result;
+
+TEST(Strings, ToLowerAsciiOnly) {
+  EXPECT_EQ(util::to_lower("AbC.Z09"), "abc.z09");
+  EXPECT_EQ(util::to_lower(""), "");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(util::iequals("Example.COM", "example.com"));
+  EXPECT_FALSE(util::iequals("example.com", "example.org"));
+  EXPECT_FALSE(util::iequals("a", "ab"));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto parts = util::split("a..b.", '.');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  auto parts = util::split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(util::trim("  x  "), "x");
+  EXPECT_EQ(util::trim("\t\n"), "");
+  EXPECT_EQ(util::trim("abc"), "abc");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(util::join({}, ","), "");
+  EXPECT_EQ(util::join({"x"}, ","), "x");
+}
+
+TEST(Strings, HexRoundTrip) {
+  std::vector<std::uint8_t> bytes = {0x00, 0xff, 0x10, 0xab};
+  std::string hex = util::hex_encode(bytes);
+  EXPECT_EQ(hex, "00ff10ab");
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(util::hex_decode(hex, back));
+  EXPECT_EQ(back, bytes);
+}
+
+TEST(Strings, HexDecodeRejectsBadInput) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(util::hex_decode("abc", out));   // odd length
+  EXPECT_FALSE(util::hex_decode("zz", out));    // non-hex
+  EXPECT_TRUE(util::hex_decode("", out));       // empty is valid
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(util::parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(util::parse_u64("65535", v, 65535));
+  EXPECT_EQ(v, 65535u);
+  EXPECT_FALSE(util::parse_u64("65536", v, 65535));
+  EXPECT_FALSE(util::parse_u64("", v));
+  EXPECT_FALSE(util::parse_u64("12x", v));
+  EXPECT_FALSE(util::parse_u64("-1", v));
+  EXPECT_TRUE(util::parse_u64("18446744073709551615", v));
+  EXPECT_FALSE(util::parse_u64("18446744073709551616", v));
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(util::format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(util::format("%s", ""), "");
+}
+
+// FIPS 180-4 test vectors.
+TEST(Sha256, EmptyString) {
+  auto d = util::sha256("");
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  auto d = util::sha256("abc");
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  auto d = util::sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  util::Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  auto d = h.finish();
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  util::Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finish(), util::sha256(msg));
+}
+
+TEST(Base64, Rfc4648Vectors) {
+  struct Case {
+    const char* text;
+    const char* encoded;
+  };
+  const Case cases[] = {
+      {"", ""},           {"f", "Zg=="},     {"fo", "Zm8="},
+      {"foo", "Zm9v"},    {"foob", "Zm9vYg=="},
+      {"fooba", "Zm9vYmE="}, {"foobar", "Zm9vYmFy"},
+  };
+  for (const auto& c : cases) {
+    std::vector<std::uint8_t> bytes(c.text, c.text + std::strlen(c.text));
+    EXPECT_EQ(util::base64_encode(bytes), c.encoded) << c.text;
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(util::base64_decode(c.encoded, back)) << c.encoded;
+    EXPECT_EQ(back, bytes) << c.encoded;
+  }
+}
+
+TEST(Base64, RejectsMalformed) {
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(util::base64_decode("Zg", out));      // bad length
+  EXPECT_FALSE(util::base64_decode("Zg=!", out));    // bad char
+  EXPECT_FALSE(util::base64_decode("Z===", out));    // over-padded
+  EXPECT_FALSE(util::base64_decode("Zm9v Zg==", out));  // whitespace
+  EXPECT_FALSE(util::base64_decode("=m9v", out));    // padding not at end
+}
+
+TEST(Base64, BinaryRoundTrip) {
+  util::Pcg32 rng(3);
+  for (int len = 0; len < 70; ++len) {
+    std::vector<std::uint8_t> bytes;
+    for (int i = 0; i < len; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.next_u32()));
+    }
+    std::vector<std::uint8_t> back;
+    ASSERT_TRUE(util::base64_decode(util::base64_encode(bytes), back));
+    EXPECT_EQ(back, bytes) << "len " << len;
+  }
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  EXPECT_EQ(good.value_or(0), 42);
+
+  Result<int> bad = util::Error{"boom"};
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "boom");
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Result, VoidSpecialisation) {
+  Result<void> good;
+  EXPECT_TRUE(good.ok());
+  Result<void> bad = util::Error{"nope"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformBounds) {
+  util::Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, Uniform01Range) {
+  util::Pcg32 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  util::Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Time, CivilRoundTrip) {
+  // Key dates of the measurement timeline.
+  for (const char* s : {"2023-05-08", "2023-08-01", "2023-10-05", "2024-03-31",
+                        "1970-01-01", "2000-02-29", "2024-02-29"}) {
+    auto t = net::SimTime::from_string(s);
+    EXPECT_EQ(t.date().to_string(), s);
+  }
+}
+
+TEST(Time, KnownEpochOffsets) {
+  EXPECT_EQ(net::SimTime::from_string("1970-01-01").unix_seconds, 0);
+  EXPECT_EQ(net::SimTime::from_string("1970-01-02").unix_seconds, 86400);
+  // 2023-05-08 00:00:00 UTC == 1683504000.
+  EXPECT_EQ(net::SimTime::from_string("2023-05-08").unix_seconds, 1683504000);
+}
+
+TEST(Time, Arithmetic) {
+  auto t = net::SimTime::from_string("2023-07-31") + net::Duration::days(1);
+  EXPECT_EQ(t.date().to_string(), "2023-08-01");
+  EXPECT_EQ((t - net::SimTime::from_string("2023-07-31")).seconds, 86400);
+}
+
+TEST(Time, SecondsOfDayAndFormat) {
+  auto t = net::SimTime::from_string("2023-05-08") + net::Duration::hours(13) +
+           net::Duration::minutes(5) + net::Duration::secs(9);
+  EXPECT_EQ(t.seconds_of_day(), 13 * 3600 + 5 * 60 + 9);
+  EXPECT_EQ(t.to_string(), "2023-05-08 13:05:09");
+}
+
+TEST(Time, ClockMonotonic) {
+  net::SimClock clock(net::SimTime::from_string("2023-05-08"));
+  clock.advance(net::Duration::hours(2));
+  EXPECT_EQ(clock.now().seconds_of_day(), 7200);
+  clock.advance_to(net::SimTime::from_string("2023-05-09"));
+  EXPECT_EQ(clock.now().date().to_string(), "2023-05-09");
+}
+
+TEST(Time, MeasurementPeriodDayCount) {
+  auto start = net::SimTime::from_string("2023-05-08");
+  auto end = net::SimTime::from_string("2024-03-31");
+  EXPECT_EQ((end - start).seconds / 86400, 328);
+}
+
+}  // namespace
+}  // namespace httpsrr

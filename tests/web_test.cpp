@@ -1,0 +1,637 @@
+// Browser-model tests — the complete §5 experiment matrix (Tables 6 & 7):
+// HTTPS RR utilization per URL form, AliasMode, ServiceMode TargetName,
+// port + failover, ALPN, IP hints + failover, ECH shared mode with three
+// misconfigurations, and ECH Split Mode.
+
+#include <gtest/gtest.h>
+
+#include "util/base64.h"
+#include "util/strings.h"
+#include "web/lab.h"
+
+namespace httpsrr::web {
+namespace {
+
+using tls::Certificate;
+using tls::TlsServer;
+
+TlsServer::Site site_for(const char* host,
+                         std::set<std::string> alpn = {"h2", "http/1.1"}) {
+  TlsServer::Site site;
+  site.certificate = Certificate::for_name(host);
+  site.alpn = std::move(alpn);
+  return site;
+}
+
+// ---------------------------------------------------------------------------
+// 5.1 HTTPS RR utilization across URL forms.
+// ---------------------------------------------------------------------------
+
+struct UtilizationCase {
+  BrowserProfile profile;
+  const char* url;
+  Scheme expected_scheme;
+};
+
+class HttpsRrUtilization : public ::testing::TestWithParam<UtilizationCase> {};
+
+TEST_P(HttpsRrUtilization, MatchesPaperTable6) {
+  const auto& c = GetParam();
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com"));
+  lab.add_http_listener("10.0.0.10", 80);
+
+  auto result = lab.visit(c.profile, c.url);
+  EXPECT_TRUE(result.success) << c.profile.name << " " << c.url << ": "
+                              << result.summary();
+  EXPECT_TRUE(result.queried_https_rr)
+      << c.profile.name << " must issue the type-65 query";
+  EXPECT_EQ(result.used_scheme, c.expected_scheme)
+      << c.profile.name << " " << c.url;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table6Row1, HttpsRrUtilization,
+    ::testing::Values(
+        // Chrome/Edge/Firefox upgrade every URL form.
+        UtilizationCase{BrowserProfile::chrome(), "a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::chrome(), "http://a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::chrome(), "https://a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::edge(), "a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::edge(), "http://a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::edge(), "https://a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::firefox(), "a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::firefox(), "http://a.com", Scheme::https},
+        UtilizationCase{BrowserProfile::firefox(), "https://a.com", Scheme::https},
+        // Safari fetches the record but keeps plain HTTP for bare/http URLs.
+        UtilizationCase{BrowserProfile::safari(), "a.com", Scheme::http},
+        UtilizationCase{BrowserProfile::safari(), "http://a.com", Scheme::http},
+        UtilizationCase{BrowserProfile::safari(), "https://a.com", Scheme::https}),
+    [](const auto& info) {
+      std::string url = info.param.url;
+      for (char& ch : url) {
+        if (ch == ':' || ch == '/' || ch == '.') ch = '_';
+      }
+      return info.param.profile.name + "_" + url;
+    });
+
+TEST(HttpsRrQueries, FirefoxWithoutDohSkipsType65) {
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com"));
+
+  auto profile = BrowserProfile::firefox();
+  profile.doh_enabled = false;  // native DNS: no HTTPS RR lookups (§5 fn. 13)
+  auto result = lab.visit(profile, "https://a.com");
+  EXPECT_TRUE(result.success);
+  EXPECT_FALSE(result.queried_https_rr);
+  EXPECT_FALSE(result.used_https_rr);
+}
+
+TEST(HttpsRrQueries, QueryIssuedEvenWithoutRecord) {
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com"));
+
+  auto result = lab.visit(BrowserProfile::chrome(), "https://a.com");
+  EXPECT_TRUE(result.success);
+  EXPECT_TRUE(result.queried_https_rr) << "browser cannot know in advance";
+  EXPECT_FALSE(result.used_https_rr);
+}
+
+// ---------------------------------------------------------------------------
+// 5.2.1 AliasMode.
+// ---------------------------------------------------------------------------
+
+void setup_alias_lab(Lab& lab) {
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 0 pool.a.com.
+pool.a.com. 60 IN A 10.0.0.11
+)");
+  auto& server = lab.add_web_server("10.0.0.11", {443});
+  server.add_site("a.com", site_for("a.com"));
+}
+
+TEST(AliasMode, SafariFollowsTarget) {
+  Lab lab;
+  setup_alias_lab(lab);
+  auto result = lab.visit(BrowserProfile::safari(), "https://a.com");
+  EXPECT_TRUE(result.success) << result.summary();
+  EXPECT_EQ(result.endpoint.ip.to_string(), "10.0.0.11");
+}
+
+TEST(AliasMode, OthersFailWithoutAddress) {
+  for (const auto& profile : {BrowserProfile::chrome(), BrowserProfile::edge(),
+                              BrowserProfile::firefox()}) {
+    Lab lab;
+    setup_alias_lab(lab);
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name;
+    EXPECT_EQ(result.error, NavError::no_address) << profile.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5.2.2 ServiceMode TargetName.
+// ---------------------------------------------------------------------------
+
+void setup_target_lab(Lab& lab) {
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 pool.a.com. alpn=h2
+a.com. 60 IN A 10.0.0.10
+pool.a.com. 60 IN A 10.0.0.12
+)");
+  // The right service lives only at the TargetName's address.
+  auto& server = lab.add_web_server("10.0.0.12", {443});
+  server.add_site("a.com", site_for("a.com"));
+}
+
+TEST(ServiceTarget, SafariAndFirefoxFollowTargetName) {
+  for (const auto& profile :
+       {BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    Lab lab;
+    setup_target_lab(lab);
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_EQ(result.endpoint.ip.to_string(), "10.0.0.12") << profile.name;
+  }
+}
+
+TEST(ServiceTarget, ChromeAndEdgeConnectToOriginAndFail) {
+  for (const auto& profile : {BrowserProfile::chrome(), BrowserProfile::edge()}) {
+    Lab lab;
+    setup_target_lab(lab);
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name;
+    ASSERT_FALSE(result.attempts.empty());
+    EXPECT_EQ(result.attempts[0].endpoint.ip.to_string(), "10.0.0.10")
+        << profile.name << " must try the origin A record";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5.2.2 (1) port parameter and port failover.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kPortZone = R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 port=8443
+a.com. 60 IN A 10.0.0.10
+)";
+
+TEST(PortParam, SafariAndFirefoxUseDesignatedPort) {
+  for (const auto& profile :
+       {BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    Lab lab;
+    lab.set_zone("a.com", kPortZone);
+    auto& server = lab.add_web_server("10.0.0.10", {8443});  // 8443 only
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_EQ(result.endpoint.port, 8443) << profile.name;
+  }
+}
+
+TEST(PortParam, ChromeAndEdgeIgnorePortAndHardFail) {
+  for (const auto& profile : {BrowserProfile::chrome(), BrowserProfile::edge()}) {
+    Lab lab;
+    lab.set_zone("a.com", kPortZone);
+    auto& server = lab.add_web_server("10.0.0.10", {8443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name;
+    EXPECT_EQ(result.error, NavError::connect_failed) << profile.name;
+    ASSERT_FALSE(result.attempts.empty());
+    EXPECT_EQ(result.attempts[0].endpoint.port, 443) << profile.name;
+  }
+}
+
+TEST(PortFailover, SafariAndFirefoxFallBackTo443) {
+  for (const auto& profile :
+       {BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    Lab lab;
+    lab.set_zone("a.com", kPortZone);
+    auto& server = lab.add_web_server("10.0.0.10", {443});  // 443 only
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_EQ(result.endpoint.port, 443) << profile.name;
+  }
+}
+
+TEST(PortFailover, EveryoneSucceedsWhenBothPortsOpen) {
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    Lab lab;
+    lab.set_zone("a.com", kPortZone);
+    auto& server = lab.add_web_server("10.0.0.10", {443, 8443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5.2.2 (2) IP hints and hint/A failover.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kHintZone = R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ipv4hint=10.0.0.21
+a.com. 60 IN A 10.0.0.22
+)";
+
+TEST(IpHints, PreferenceSplitsByBrowser) {
+  struct Case {
+    BrowserProfile profile;
+    const char* expected_ip;
+  };
+  for (const auto& c : std::initializer_list<Case>{
+           {BrowserProfile::safari(), "10.0.0.21"},
+           {BrowserProfile::firefox(), "10.0.0.21"},
+           {BrowserProfile::chrome(), "10.0.0.22"},
+           {BrowserProfile::edge(), "10.0.0.22"}}) {
+    Lab lab;
+    lab.set_zone("a.com", kHintZone);
+    auto& hint_server = lab.add_web_server("10.0.0.21", {443});
+    hint_server.add_site("a.com", site_for("a.com"));
+    auto& a_server = lab.add_web_server("10.0.0.22", {443});
+    a_server.add_site("a.com", site_for("a.com"));
+
+    auto result = lab.visit(c.profile, "https://a.com");
+    EXPECT_TRUE(result.success) << c.profile.name;
+    EXPECT_EQ(result.endpoint.ip.to_string(), c.expected_ip) << c.profile.name;
+  }
+}
+
+TEST(IpHints, FailoverWhenOnlyHintIpServes) {
+  // Server reachable only at the hint address.
+  for (const auto& profile :
+       {BrowserProfile::safari(), BrowserProfile::firefox()}) {
+    Lab lab;
+    lab.set_zone("a.com", kHintZone);
+    auto& server = lab.add_web_server("10.0.0.21", {443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name;
+  }
+  for (const auto& profile : {BrowserProfile::chrome(), BrowserProfile::edge()}) {
+    Lab lab;
+    lab.set_zone("a.com", kHintZone);
+    auto& server = lab.add_web_server("10.0.0.21", {443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name << " hard-fails on A-only path";
+    EXPECT_EQ(result.error, NavError::connect_failed);
+  }
+}
+
+TEST(IpHints, FailoverWhenOnlyARecordServes) {
+  // Server reachable only at the A-record address: Safari/Firefox cross
+  // over from the hint; Chrome/Edge connect directly.
+  for (const auto& profile :
+       {BrowserProfile::safari(), BrowserProfile::firefox(),
+        BrowserProfile::chrome(), BrowserProfile::edge()}) {
+    Lab lab;
+    lab.set_zone("a.com", kHintZone);
+    auto& server = lab.add_web_server("10.0.0.22", {443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_EQ(result.endpoint.ip.to_string(), "10.0.0.22") << profile.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 5.2.2 (3) ALPN.
+// ---------------------------------------------------------------------------
+
+TEST(Alpn, AllBrowsersHonourAdvertisedProtocol) {
+  for (const char* protocol : {"h2", "h3"}) {
+    for (const auto& profile :
+         {BrowserProfile::chrome(), BrowserProfile::edge(),
+          BrowserProfile::safari(), BrowserProfile::firefox()}) {
+      Lab lab;
+      lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=%s
+a.com. 60 IN A 10.0.0.10
+)", protocol));
+      auto& server = lab.add_web_server("10.0.0.10", {443});
+      server.add_site("a.com", site_for("a.com", {protocol}));
+      auto result = lab.visit(profile, "https://a.com");
+      EXPECT_TRUE(result.success) << profile.name << " alpn=" << protocol
+                                  << ": " << result.summary();
+      EXPECT_EQ(result.negotiated_alpn, protocol) << profile.name;
+    }
+  }
+}
+
+TEST(Alpn, FirefoxProbesH2AfterH3Only) {
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h3
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com", {"h3"}));
+
+  auto firefox = lab.visit(BrowserProfile::firefox(), "https://a.com");
+  EXPECT_TRUE(firefox.success);
+  EXPECT_TRUE(firefox.h2_compat_probe);
+
+  // With h2 negotiated there is no probe (§5.2.2(3) last sentence).
+  Lab lab2;
+  lab2.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server2 = lab2.add_web_server("10.0.0.10", {443});
+  server2.add_site("a.com", site_for("a.com"));
+  auto again = lab2.visit(BrowserProfile::firefox(), "https://a.com");
+  EXPECT_TRUE(again.success);
+  EXPECT_FALSE(again.h2_compat_probe);
+}
+
+// ---------------------------------------------------------------------------
+// RFC 9460 client rules: mandatory filtering, multi-record failover.
+// ---------------------------------------------------------------------------
+
+TEST(MandatoryKeys, UnknownMandatoryKeyMakesRecordUnusable) {
+  // The record lists key700 as mandatory; no client implements it, so the
+  // record MUST be ignored (RFC 9460 §8) and the plain A path used.
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . mandatory=alpn,key700 alpn=h2 port=9999 key700=00
+a.com. 60 IN A 10.0.0.10
+)");
+  auto& server = lab.add_web_server("10.0.0.10", {443});
+  server.add_site("a.com", site_for("a.com"));
+
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::firefox()}) {
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_FALSE(result.used_https_rr) << profile.name;
+    EXPECT_EQ(result.endpoint.port, 443) << profile.name;
+  }
+}
+
+TEST(MultiRecord, LowestPriorityWins) {
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 2 backup.a.com. alpn=h2
+a.com. 60 IN HTTPS 1 primary.a.com. alpn=h2
+a.com. 60 IN A 10.0.0.10
+primary.a.com. 60 IN A 10.0.0.31
+backup.a.com. 60 IN A 10.0.0.32
+)");
+  auto& primary = lab.add_web_server("10.0.0.31", {443});
+  primary.add_site("a.com", site_for("a.com"));
+  auto& backup = lab.add_web_server("10.0.0.32", {443});
+  backup.add_site("a.com", site_for("a.com"));
+
+  auto result = lab.visit(BrowserProfile::firefox(), "https://a.com");
+  EXPECT_TRUE(result.success) << result.summary();
+  EXPECT_EQ(result.endpoint.ip.to_string(), "10.0.0.31");
+}
+
+TEST(MultiRecord, FailoverToNextPriorityRecord) {
+  Lab lab;
+  lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 primary.a.com. alpn=h2
+a.com. 60 IN HTTPS 2 backup.a.com. alpn=h2
+a.com. 60 IN A 10.0.0.10
+primary.a.com. 60 IN A 10.0.0.31
+backup.a.com. 60 IN A 10.0.0.32
+)");
+  // Only the priority-2 endpoint is alive.
+  auto& backup = lab.add_web_server("10.0.0.32", {443});
+  backup.add_site("a.com", site_for("a.com"));
+
+  // Firefox (try_all_service_records) recovers via the backup record.
+  auto firefox = lab.visit(BrowserProfile::firefox(), "https://a.com");
+  EXPECT_TRUE(firefox.success) << firefox.summary();
+  EXPECT_EQ(firefox.endpoint.ip.to_string(), "10.0.0.32");
+
+  // Chrome only ever considers the best-priority record -> hard failure.
+  auto chrome = lab.visit(BrowserProfile::chrome(), "https://a.com");
+  EXPECT_FALSE(chrome.success);
+}
+
+// ---------------------------------------------------------------------------
+// 5.3 ECH (Table 7).
+// ---------------------------------------------------------------------------
+
+struct EchLab {
+  Lab lab;
+  std::shared_ptr<ech::EchKeyManager> keys;
+
+  // Shared-mode setup: cover.a.com and a.com on the same IP (§5.3.1).
+  explicit EchLab(bool server_supports_ech = true) {
+    ech::EchKeyManager::Options options;
+    options.public_name = "cover.a.com";
+    options.seed = 99;
+    keys = std::make_shared<ech::EchKeyManager>(options, lab.clock().now());
+
+    lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=%s
+a.com. 60 IN A 10.0.0.40
+cover.a.com. 60 IN A 10.0.0.40
+)", util::base64_encode(keys->current_config_wire()).c_str()));
+
+    auto& server = lab.add_web_server("10.0.0.40", {443});
+    server.add_site("a.com", site_for("a.com"));
+    server.add_site("cover.a.com", site_for("cover.a.com"));
+    if (server_supports_ech) server.enable_ech(keys);
+  }
+};
+
+TEST(EchSharedMode, SupportedByAllButSafari) {
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::firefox()}) {
+    EchLab fx;
+    auto result = fx.lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_TRUE(result.ech_accepted) << profile.name;
+  }
+  EchLab fx;
+  auto safari = fx.lab.visit(BrowserProfile::safari(), "https://a.com");
+  EXPECT_TRUE(safari.success);
+  EXPECT_FALSE(safari.ech_attempted) << "Safari has no ECH support";
+}
+
+TEST(EchFailover, UnilateralDeploymentFallsBack) {
+  // Server dropped ECH; the record still advertises it (§5.3.1 case 1).
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::firefox()}) {
+    EchLab fx(/*server_supports_ech=*/false);
+    auto result = fx.lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_TRUE(result.ech_attempted) << profile.name;
+    EXPECT_FALSE(result.ech_accepted) << profile.name;
+  }
+}
+
+TEST(EchFailover, MalformedConfigSplitsBrowsers) {
+  auto make_lab = [] {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=deadbeef
+a.com. 60 IN A 10.0.0.40
+)");
+    return lab;
+  };
+  // Chrome/Edge: hard failure terminating the connection (§5.3.1 case 2).
+  for (const auto& profile : {BrowserProfile::chrome(), BrowserProfile::edge()}) {
+    Lab lab = make_lab();
+    auto& server = lab.add_web_server("10.0.0.40", {443});
+    server.add_site("a.com", site_for("a.com"));
+    auto result = lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name;
+    EXPECT_EQ(result.error, NavError::ech_parse_failure) << profile.name;
+  }
+  // Firefox ignores the blob and completes a standard handshake.
+  Lab lab = make_lab();
+  auto& server = lab.add_web_server("10.0.0.40", {443});
+  server.add_site("a.com", site_for("a.com"));
+  auto firefox = lab.visit(BrowserProfile::firefox(), "https://a.com");
+  EXPECT_TRUE(firefox.success) << firefox.summary();
+  EXPECT_FALSE(firefox.ech_attempted);
+}
+
+TEST(EchFailover, KeyMismatchRecoversViaRetryConfigs) {
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::firefox()}) {
+    EchLab fx;
+    // Rotate past the retention window: the advertised key is now stale.
+    fx.keys->rotate(fx.lab.clock().now());
+    fx.keys->tick(fx.lab.clock().now() + net::Duration::hours(3));
+
+    auto result = fx.lab.visit(profile, "https://a.com");
+    EXPECT_TRUE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_TRUE(result.ech_accepted) << profile.name;
+    EXPECT_TRUE(result.used_retry_config) << profile.name;
+  }
+}
+
+// Split mode (§5.3.2): client-facing b.com at 10.0.0.52, backend a.com at
+// 10.0.0.51.
+struct SplitModeLab {
+  Lab lab;
+  std::shared_ptr<ech::EchKeyManager> keys;
+
+  SplitModeLab() {
+    ech::EchKeyManager::Options options;
+    options.public_name = "b.com";
+    options.seed = 17;
+    keys = std::make_shared<ech::EchKeyManager>(options, lab.clock().now());
+
+    lab.set_zone("a.com", util::format(R"(
+a.com. 60 IN HTTPS 1 . alpn=h2 ech=%s
+a.com. 60 IN A 10.0.0.51
+)", util::base64_encode(keys->current_config_wire()).c_str()));
+    lab.set_zone("b.com", R"(
+b.com. 60 IN A 10.0.0.52
+)");
+
+    auto& backend = lab.add_web_server("10.0.0.51", {443}, "backend");
+    backend.add_site("a.com", site_for("a.com"));
+
+    auto& facing = lab.add_web_server("10.0.0.52", {443}, "client-facing");
+    facing.add_site("b.com", site_for("b.com"));
+    facing.enable_ech(keys);
+    facing.set_backend_route("a.com", &backend);
+  }
+};
+
+TEST(EchSplitMode, AllBrowsersHardFail) {
+  for (const auto& profile :
+       {BrowserProfile::chrome(), BrowserProfile::edge(),
+        BrowserProfile::firefox()}) {
+    SplitModeLab fx;
+    auto result = fx.lab.visit(profile, "https://a.com");
+    EXPECT_FALSE(result.success) << profile.name << ": " << result.summary();
+    EXPECT_EQ(result.error, NavError::ech_fallback_cert_invalid) << profile.name;
+    // The buggy connection went to the backend, not the client-facing server.
+    ASSERT_FALSE(result.attempts.empty());
+    EXPECT_EQ(result.attempts[0].endpoint.ip.to_string(), "10.0.0.51");
+  }
+}
+
+TEST(EchSplitMode, SpecCompliantClientSucceeds) {
+  SplitModeLab fx;
+  auto result = fx.lab.visit(BrowserProfile::spec_compliant(), "https://a.com");
+  EXPECT_TRUE(result.success) << result.summary();
+  EXPECT_TRUE(result.ech_accepted);
+  EXPECT_EQ(result.endpoint.ip.to_string(), "10.0.0.52")
+      << "must connect to the client-facing server";
+}
+
+TEST(EchGrease, NavigationsWithoutConfigStillSucceed) {
+  // Record without ech: Chromium sends GREASE; both plain and
+  // ECH-terminating servers must serve it transparently.
+  for (bool server_has_ech : {false, true}) {
+    Lab lab;
+    lab.set_zone("a.com", R"(
+a.com. 60 IN HTTPS 1 . alpn=h2
+a.com. 60 IN A 10.0.0.10
+)");
+    auto& server = lab.add_web_server("10.0.0.10", {443});
+    server.add_site("a.com", site_for("a.com"));
+    if (server_has_ech) {
+      ech::EchKeyManager::Options options;
+      options.public_name = "cover.a.com";
+      server.enable_ech(std::make_shared<ech::EchKeyManager>(
+          options, lab.clock().now()));
+    }
+    auto result = lab.visit(BrowserProfile::chrome(), "https://a.com");
+    EXPECT_TRUE(result.success) << "server_has_ech=" << server_has_ech << ": "
+                                << result.summary();
+    EXPECT_FALSE(result.ech_accepted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// URL parsing.
+// ---------------------------------------------------------------------------
+
+TEST(ParsedUrl, Forms) {
+  auto bare = ParsedUrl::parse("a.com");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->scheme, Scheme::none);
+  EXPECT_EQ(bare->host, "a.com");
+  EXPECT_FALSE(bare->port.has_value());
+
+  auto https = ParsedUrl::parse("https://a.com:8443/path?q=1");
+  ASSERT_TRUE(https.ok());
+  EXPECT_EQ(https->scheme, Scheme::https);
+  EXPECT_EQ(https->host, "a.com");
+  EXPECT_EQ(https->port, 8443);
+
+  auto http = ParsedUrl::parse("http://x.org/");
+  ASSERT_TRUE(http.ok());
+  EXPECT_EQ(http->scheme, Scheme::http);
+  EXPECT_EQ(http->host, "x.org");
+
+  EXPECT_FALSE(ParsedUrl::parse("ftp://a.com").ok());
+  EXPECT_FALSE(ParsedUrl::parse("https://").ok());
+  EXPECT_FALSE(ParsedUrl::parse("https://a.com:0").ok());
+  EXPECT_FALSE(ParsedUrl::parse("https://a.com:99999").ok());
+}
+
+}  // namespace
+}  // namespace httpsrr::web

@@ -1,0 +1,61 @@
+// httpsrr-lint — check a zone file's HTTPS/SVCB records for every
+// misconfiguration class the paper measured in the wild (§4.3, §4.5, §5.3).
+//
+// Usage:
+//   httpsrr-lint <origin> <zonefile>     lint a master file from disk
+//   httpsrr-lint <origin> -              read the zone from stdin
+//
+// Exit status: 0 clean, 1 findings with errors, 2 usage/parse problems.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint/zone_lint.h"
+
+using namespace httpsrr;
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr,
+                 "usage: %s <origin> <zonefile|->\n"
+                 "example: %s example.com zones/example.com.zone\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+
+  auto origin = dns::Name::parse(argv[1]);
+  if (!origin.ok()) {
+    std::fprintf(stderr, "bad origin %s: %s\n", argv[1], origin.error().c_str());
+    return 2;
+  }
+
+  std::string text;
+  if (std::string_view(argv[2]) == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream file(argv[2]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[2]);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  }
+
+  auto zone = dns::Zone::parse(*origin, text);
+  if (!zone.ok()) {
+    std::fprintf(stderr, "zone parse error: %s\n", zone.error().c_str());
+    return 2;
+  }
+
+  auto findings = lint::lint_zone(*zone);
+  std::fputs(lint::render_findings(findings).c_str(), stdout);
+  std::printf("%zu record(s) scanned, %zu finding(s)\n", zone->record_count(),
+              findings.size());
+  return lint::has_errors(findings) ? 1 : 0;
+}
