@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_ech_keys.dir/ablate_ech_keys.cpp.o"
+  "CMakeFiles/ablate_ech_keys.dir/ablate_ech_keys.cpp.o.d"
+  "ablate_ech_keys"
+  "ablate_ech_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_ech_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

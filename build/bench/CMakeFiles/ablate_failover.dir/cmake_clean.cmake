@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_failover.dir/ablate_failover.cpp.o"
+  "CMakeFiles/ablate_failover.dir/ablate_failover.cpp.o.d"
+  "ablate_failover"
+  "ablate_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

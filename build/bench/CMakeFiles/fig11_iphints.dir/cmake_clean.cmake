@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_iphints.dir/fig11_iphints.cpp.o"
+  "CMakeFiles/fig11_iphints.dir/fig11_iphints.cpp.o.d"
+  "fig11_iphints"
+  "fig11_iphints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_iphints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

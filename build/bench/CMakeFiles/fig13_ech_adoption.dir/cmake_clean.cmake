@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ech_adoption.dir/fig13_ech_adoption.cpp.o"
+  "CMakeFiles/fig13_ech_adoption.dir/fig13_ech_adoption.cpp.o.d"
+  "fig13_ech_adoption"
+  "fig13_ech_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ech_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_adoption.dir/fig2_adoption.cpp.o"
+  "CMakeFiles/fig2_adoption.dir/fig2_adoption.cpp.o.d"
+  "fig2_adoption"
+  "fig2_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

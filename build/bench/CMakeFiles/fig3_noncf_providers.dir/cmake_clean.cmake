@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_noncf_providers.dir/fig3_noncf_providers.cpp.o"
+  "CMakeFiles/fig3_noncf_providers.dir/fig3_noncf_providers.cpp.o.d"
+  "fig3_noncf_providers"
+  "fig3_noncf_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_noncf_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

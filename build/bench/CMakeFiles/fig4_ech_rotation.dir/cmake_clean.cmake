@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ech_rotation.dir/fig4_ech_rotation.cpp.o"
+  "CMakeFiles/fig4_ech_rotation.dir/fig4_ech_rotation.cpp.o.d"
+  "fig4_ech_rotation"
+  "fig4_ech_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ech_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dnssec.dir/fig5_dnssec.cpp.o"
+  "CMakeFiles/fig5_dnssec.dir/fig5_dnssec.cpp.o.d"
+  "fig5_dnssec"
+  "fig5_dnssec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dnssec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

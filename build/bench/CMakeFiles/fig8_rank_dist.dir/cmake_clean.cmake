@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rank_dist.dir/fig8_rank_dist.cpp.o"
+  "CMakeFiles/fig8_rank_dist.dir/fig8_rank_dist.cpp.o.d"
+  "fig8_rank_dist"
+  "fig8_rank_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rank_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_resolver.dir/micro_resolver.cpp.o"
+  "CMakeFiles/micro_resolver.dir/micro_resolver.cpp.o.d"
+  "micro_resolver"
+  "micro_resolver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_resolver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

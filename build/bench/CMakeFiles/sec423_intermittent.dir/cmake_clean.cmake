@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec423_intermittent.dir/sec423_intermittent.cpp.o"
+  "CMakeFiles/sec423_intermittent.dir/sec423_intermittent.cpp.o.d"
+  "sec423_intermittent"
+  "sec423_intermittent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec423_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec433_priority_target.dir/sec433_priority_target.cpp.o"
+  "CMakeFiles/sec433_priority_target.dir/sec433_priority_target.cpp.o.d"
+  "sec433_priority_target"
+  "sec433_priority_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec433_priority_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec435_connectivity.dir/sec435_connectivity.cpp.o"
+  "CMakeFiles/sec435_connectivity.dir/sec435_connectivity.cpp.o.d"
+  "sec435_connectivity"
+  "sec435_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec435_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

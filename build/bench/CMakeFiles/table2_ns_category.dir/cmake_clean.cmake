@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ns_category.dir/table2_ns_category.cpp.o"
+  "CMakeFiles/table2_ns_category.dir/table2_ns_category.cpp.o.d"
+  "table2_ns_category"
+  "table2_ns_category.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ns_category.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

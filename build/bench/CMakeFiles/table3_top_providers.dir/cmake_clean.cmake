@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_top_providers.dir/table3_top_providers.cpp.o"
+  "CMakeFiles/table3_top_providers.dir/table3_top_providers.cpp.o.d"
+  "table3_top_providers"
+  "table3_top_providers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_top_providers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_default_vs_custom.dir/table4_default_vs_custom.cpp.o"
+  "CMakeFiles/table4_default_vs_custom.dir/table4_default_vs_custom.cpp.o.d"
+  "table4_default_vs_custom"
+  "table4_default_vs_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_default_vs_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

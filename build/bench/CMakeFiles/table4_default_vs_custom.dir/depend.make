@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_default_vs_custom.
+# This may be replaced when dependencies are built.

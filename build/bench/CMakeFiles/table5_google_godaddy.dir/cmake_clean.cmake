@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_google_godaddy.dir/table5_google_godaddy.cpp.o"
+  "CMakeFiles/table5_google_godaddy.dir/table5_google_godaddy.cpp.o.d"
+  "table5_google_godaddy"
+  "table5_google_godaddy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_google_godaddy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_browser_matrix.dir/table6_browser_matrix.cpp.o"
+  "CMakeFiles/table6_browser_matrix.dir/table6_browser_matrix.cpp.o.d"
+  "table6_browser_matrix"
+  "table6_browser_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_browser_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_ech_matrix.dir/table7_ech_matrix.cpp.o"
+  "CMakeFiles/table7_ech_matrix.dir/table7_ech_matrix.cpp.o.d"
+  "table7_ech_matrix"
+  "table7_ech_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_ech_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_alpn.dir/table8_alpn.cpp.o"
+  "CMakeFiles/table8_alpn.dir/table8_alpn.cpp.o.d"
+  "table8_alpn"
+  "table8_alpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_alpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_dnssec_audit.dir/table9_dnssec_audit.cpp.o"
+  "CMakeFiles/table9_dnssec_audit.dir/table9_dnssec_audit.cpp.o.d"
+  "table9_dnssec_audit"
+  "table9_dnssec_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_dnssec_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_lab.dir/browser_lab.cpp.o"
+  "CMakeFiles/browser_lab.dir/browser_lab.cpp.o.d"
+  "browser_lab"
+  "browser_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

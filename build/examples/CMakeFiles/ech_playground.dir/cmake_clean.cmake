@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ech_playground.dir/ech_playground.cpp.o"
+  "CMakeFiles/ech_playground.dir/ech_playground.cpp.o.d"
+  "ech_playground"
+  "ech_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ech_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/longitudinal_study.dir/longitudinal_study.cpp.o"
+  "CMakeFiles/longitudinal_study.dir/longitudinal_study.cpp.o.d"
+  "longitudinal_study"
+  "longitudinal_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/longitudinal_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_paths.dir/upgrade_paths.cpp.o"
+  "CMakeFiles/upgrade_paths.dir/upgrade_paths.cpp.o.d"
+  "upgrade_paths"
+  "upgrade_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

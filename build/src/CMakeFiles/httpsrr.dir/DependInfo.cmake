@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/chain_audit.cpp" "src/CMakeFiles/httpsrr.dir/analysis/chain_audit.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/chain_audit.cpp.o.d"
+  "/root/repo/src/analysis/common.cpp" "src/CMakeFiles/httpsrr.dir/analysis/common.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/common.cpp.o.d"
+  "/root/repo/src/analysis/iphints_analysis.cpp" "src/CMakeFiles/httpsrr.dir/analysis/iphints_analysis.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/iphints_analysis.cpp.o.d"
+  "/root/repo/src/analysis/ns_analysis.cpp" "src/CMakeFiles/httpsrr.dir/analysis/ns_analysis.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/ns_analysis.cpp.o.d"
+  "/root/repo/src/analysis/params_analysis.cpp" "src/CMakeFiles/httpsrr.dir/analysis/params_analysis.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/params_analysis.cpp.o.d"
+  "/root/repo/src/analysis/rank_stats.cpp" "src/CMakeFiles/httpsrr.dir/analysis/rank_stats.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/rank_stats.cpp.o.d"
+  "/root/repo/src/analysis/series_observers.cpp" "src/CMakeFiles/httpsrr.dir/analysis/series_observers.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/analysis/series_observers.cpp.o.d"
+  "/root/repo/src/dns/message.cpp" "src/CMakeFiles/httpsrr.dir/dns/message.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/CMakeFiles/httpsrr.dir/dns/name.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/name.cpp.o.d"
+  "/root/repo/src/dns/rdata.cpp" "src/CMakeFiles/httpsrr.dir/dns/rdata.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/rdata.cpp.o.d"
+  "/root/repo/src/dns/rr.cpp" "src/CMakeFiles/httpsrr.dir/dns/rr.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/rr.cpp.o.d"
+  "/root/repo/src/dns/svcb.cpp" "src/CMakeFiles/httpsrr.dir/dns/svcb.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/svcb.cpp.o.d"
+  "/root/repo/src/dns/types.cpp" "src/CMakeFiles/httpsrr.dir/dns/types.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/types.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/CMakeFiles/httpsrr.dir/dns/wire.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/wire.cpp.o.d"
+  "/root/repo/src/dns/zone.cpp" "src/CMakeFiles/httpsrr.dir/dns/zone.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dns/zone.cpp.o.d"
+  "/root/repo/src/dnssec/chain.cpp" "src/CMakeFiles/httpsrr.dir/dnssec/chain.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dnssec/chain.cpp.o.d"
+  "/root/repo/src/dnssec/signer.cpp" "src/CMakeFiles/httpsrr.dir/dnssec/signer.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/dnssec/signer.cpp.o.d"
+  "/root/repo/src/ech/config.cpp" "src/CMakeFiles/httpsrr.dir/ech/config.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ech/config.cpp.o.d"
+  "/root/repo/src/ech/hpke.cpp" "src/CMakeFiles/httpsrr.dir/ech/hpke.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ech/hpke.cpp.o.d"
+  "/root/repo/src/ech/key_manager.cpp" "src/CMakeFiles/httpsrr.dir/ech/key_manager.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ech/key_manager.cpp.o.d"
+  "/root/repo/src/ecosystem/internet.cpp" "src/CMakeFiles/httpsrr.dir/ecosystem/internet.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ecosystem/internet.cpp.o.d"
+  "/root/repo/src/ecosystem/providers.cpp" "src/CMakeFiles/httpsrr.dir/ecosystem/providers.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ecosystem/providers.cpp.o.d"
+  "/root/repo/src/ecosystem/tranco.cpp" "src/CMakeFiles/httpsrr.dir/ecosystem/tranco.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ecosystem/tranco.cpp.o.d"
+  "/root/repo/src/ecosystem/whois.cpp" "src/CMakeFiles/httpsrr.dir/ecosystem/whois.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/ecosystem/whois.cpp.o.d"
+  "/root/repo/src/lint/zone_lint.cpp" "src/CMakeFiles/httpsrr.dir/lint/zone_lint.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/lint/zone_lint.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/CMakeFiles/httpsrr.dir/net/ip.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/net/ip.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/httpsrr.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/time.cpp" "src/CMakeFiles/httpsrr.dir/net/time.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/net/time.cpp.o.d"
+  "/root/repo/src/report/report.cpp" "src/CMakeFiles/httpsrr.dir/report/report.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/report/report.cpp.o.d"
+  "/root/repo/src/resolver/authoritative.cpp" "src/CMakeFiles/httpsrr.dir/resolver/authoritative.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/resolver/authoritative.cpp.o.d"
+  "/root/repo/src/resolver/infra.cpp" "src/CMakeFiles/httpsrr.dir/resolver/infra.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/resolver/infra.cpp.o.d"
+  "/root/repo/src/resolver/recursive.cpp" "src/CMakeFiles/httpsrr.dir/resolver/recursive.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/resolver/recursive.cpp.o.d"
+  "/root/repo/src/scanner/connectivity.cpp" "src/CMakeFiles/httpsrr.dir/scanner/connectivity.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/scanner/connectivity.cpp.o.d"
+  "/root/repo/src/scanner/ech_scanner.cpp" "src/CMakeFiles/httpsrr.dir/scanner/ech_scanner.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/scanner/ech_scanner.cpp.o.d"
+  "/root/repo/src/scanner/https_scanner.cpp" "src/CMakeFiles/httpsrr.dir/scanner/https_scanner.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/scanner/https_scanner.cpp.o.d"
+  "/root/repo/src/scanner/observation.cpp" "src/CMakeFiles/httpsrr.dir/scanner/observation.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/scanner/observation.cpp.o.d"
+  "/root/repo/src/scanner/study.cpp" "src/CMakeFiles/httpsrr.dir/scanner/study.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/scanner/study.cpp.o.d"
+  "/root/repo/src/tls/cert.cpp" "src/CMakeFiles/httpsrr.dir/tls/cert.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/tls/cert.cpp.o.d"
+  "/root/repo/src/tls/handshake.cpp" "src/CMakeFiles/httpsrr.dir/tls/handshake.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/tls/handshake.cpp.o.d"
+  "/root/repo/src/util/base64.cpp" "src/CMakeFiles/httpsrr.dir/util/base64.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/util/base64.cpp.o.d"
+  "/root/repo/src/util/sha256.cpp" "src/CMakeFiles/httpsrr.dir/util/sha256.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/util/sha256.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/httpsrr.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/util/strings.cpp.o.d"
+  "/root/repo/src/web/browser.cpp" "src/CMakeFiles/httpsrr.dir/web/browser.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/web/browser.cpp.o.d"
+  "/root/repo/src/web/lab.cpp" "src/CMakeFiles/httpsrr.dir/web/lab.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/web/lab.cpp.o.d"
+  "/root/repo/src/web/navigator.cpp" "src/CMakeFiles/httpsrr.dir/web/navigator.cpp.o" "gcc" "src/CMakeFiles/httpsrr.dir/web/navigator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

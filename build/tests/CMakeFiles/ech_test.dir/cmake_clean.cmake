@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ech_test.dir/ech_test.cpp.o"
+  "CMakeFiles/ech_test.dir/ech_test.cpp.o.d"
+  "ech_test"
+  "ech_test.pdb"
+  "ech_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ech_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecosystem_test.dir/ecosystem_test.cpp.o"
+  "CMakeFiles/ecosystem_test.dir/ecosystem_test.cpp.o.d"
+  "ecosystem_test"
+  "ecosystem_test.pdb"
+  "ecosystem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecosystem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

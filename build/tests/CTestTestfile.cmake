@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_test[1]_include.cmake")
+include("/root/repo/build/tests/dnssec_test[1]_include.cmake")
+include("/root/repo/build/tests/ech_test[1]_include.cmake")
+include("/root/repo/build/tests/resolver_test[1]_include.cmake")
+include("/root/repo/build/tests/tls_test[1]_include.cmake")
+include("/root/repo/build/tests/web_test[1]_include.cmake")
+include("/root/repo/build/tests/ecosystem_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/lint_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpsrr_dig.dir/httpsrr_dig.cpp.o"
+  "CMakeFiles/httpsrr_dig.dir/httpsrr_dig.cpp.o.d"
+  "httpsrr_dig"
+  "httpsrr_dig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpsrr_dig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

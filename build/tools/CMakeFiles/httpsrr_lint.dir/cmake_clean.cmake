@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpsrr_lint.dir/httpsrr_lint.cpp.o"
+  "CMakeFiles/httpsrr_lint.dir/httpsrr_lint.cpp.o.d"
+  "httpsrr_lint"
+  "httpsrr_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpsrr_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/httpsrr_scan.dir/httpsrr_scan.cpp.o"
+  "CMakeFiles/httpsrr_scan.dir/httpsrr_scan.cpp.o.d"
+  "httpsrr_scan"
+  "httpsrr_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/httpsrr_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
