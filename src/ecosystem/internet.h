@@ -13,6 +13,15 @@
 // Everything is derived from a single seed; advancing time replays a
 // precomputed event schedule, so two runs over the same window observe the
 // same Internet.
+//
+// Thread-safety contract (the sharded Study relies on this): advance_to()
+// mutates zones, the network, and the ECH key manager and must run alone,
+// from a single thread.  Between advances the Internet is frozen, and
+// every const accessor — infra(), domain(), tranco(), whois(), clock(),
+// the authoritative servers' handle()/handle_udp() paths, and the SVCB
+// hook they invoke — is a pure read with no hidden caches or lazy state,
+// so any number of scanner threads may query it concurrently.  Resolvers
+// built by make_resolver() are themselves stateful: one per thread.
 
 #include <cstdint>
 #include <memory>

@@ -66,6 +66,13 @@ struct SimTime {
 [[nodiscard]] CivilDate civil_from_days(std::int64_t days);
 
 // The simulation clock. Monotonic: advance() only moves forward.
+//
+// Concurrency contract (the sharded scan relies on this): the clock is
+// advanced exactly once per virtual day — by Internet::advance_to, before
+// the scan fan-out — and is then read-only while worker threads resolve.
+// now() is a plain load of an int64; concurrent readers are safe as long
+// as no advance happens during the fan-out.  Callers that advance time
+// must do so from a single thread with no concurrent readers.
 class SimClock {
  public:
   explicit SimClock(SimTime start) : now_(start) {}

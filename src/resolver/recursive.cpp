@@ -19,7 +19,26 @@ RecursiveResolver::RecursiveResolver(const DnsInfra& infra,
       chain_source_(infra, clock),
       validator_(chain_source_, std::move(root_anchor)),
       options_(options),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      selection_seed_(options.selection_seed != 0 ? options.selection_seed
+                                                  : options.seed) {}
+
+std::uint64_t RecursiveResolver::selection_stream(const Name& qname,
+                                                  RrType qtype) {
+  IterateSeq& seq = iterate_seq_[CacheKey{qname, qtype}];
+  if (seq.at != clock_.now()) {
+    seq.at = clock_.now();
+    seq.count = 0;
+  }
+  std::uint64_t stream = util::mix64(
+      selection_seed_ ^ util::mix64(dns::NameHash{}(qname)) ^
+      (static_cast<std::uint64_t>(qtype) << 48) ^
+      (static_cast<std::uint64_t>(clock_.now().unix_seconds) *
+       0x9e3779b97f4a7c15ULL) ^
+      (static_cast<std::uint64_t>(seq.count) << 32));
+  ++seq.count;
+  return stream;
+}
 
 dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
   ++stats_.queries;
@@ -72,11 +91,26 @@ RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
     auto it = cache_.find(key);
     if (it != cache_.end() && it->second.expires > clock_.now()) {
       ++stats_.cache_hits;
+      const CacheEntry& entry = it->second;
       IterativeResult out;
-      out.records = it->second.records;
-      out.authorities = it->second.authorities;
-      out.rcode = it->second.rcode;
-      out.validated = it->second.validated;
+      out.records = entry.records;
+      out.authorities = entry.authorities;
+      out.rcode = entry.rcode;
+      out.validated = entry.validated;
+      // Serve the decayed TTL remainder, not the stored original: a client
+      // caching our answer must expire it no later than we do (RFC 1035
+      // §3.2.1 — the mechanism behind the §4.3.5 staleness windows).
+      auto elapsed = static_cast<std::uint64_t>(
+          (clock_.now() - entry.inserted).seconds);
+      if (elapsed > 0) {
+        for (auto* section : {&out.records, &out.authorities}) {
+          for (Rr& rr : *section) {
+            rr.ttl = rr.ttl > elapsed
+                         ? static_cast<std::uint32_t>(rr.ttl - elapsed)
+                         : 0;
+          }
+        }
+      }
       return out;
     }
     ++stats_.cache_misses;
@@ -162,16 +196,32 @@ RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
   }
 
   if (options_.cache_enabled && result.rcode != Rcode::SERVFAIL) {
-    std::uint32_t ttl = options_.negative_ttl;
+    std::uint32_t ttl;
     if (!result.records.empty()) {
       ttl = options_.max_ttl;
       for (const auto& rr : result.records) ttl = std::min(ttl, rr.ttl);
+    } else {
+      // RFC 2308 §5: negative answers live for min(SOA TTL, SOA minimum)
+      // as carried in the authority section, capped by our own ceiling.
+      // Without a SOA (unsigned zones here omit the denial material) the
+      // flat ceiling applies.
+      ttl = options_.negative_ttl;
+      for (const auto& rr : result.authorities) {
+        if (rr.type != RrType::SOA) continue;
+        if (const auto* soa = std::get_if<dns::SoaRdata>(&rr.rdata)) {
+          ttl = std::min({ttl, rr.ttl, soa->minimum});
+        }
+      }
     }
     CacheEntry entry;
     entry.records = result.records;
     entry.authorities = result.authorities;
+    // Honour the max_ttl clamp in what we store: hits must never serve a
+    // TTL larger than the ablation knob allows.
+    for (Rr& rr : entry.records) rr.ttl = std::min(rr.ttl, options_.max_ttl);
     entry.rcode = result.rcode;
     entry.validated = result.validated;
+    entry.inserted = clock_.now();
     entry.expires = clock_.now() + net::Duration::secs(ttl);
     cache_[key] = std::move(entry);
   }
@@ -187,17 +237,22 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
     return out;
   }
 
+  // Random NS selection — the resolver behaviour §4.2.3 attributes
+  // inconsistent HTTPS activation to.  The stream is keyed on the question
+  // and the virtual instant (not on a shared sequential RNG), so the pick
+  // is independent of whatever else this resolver has resolved — the
+  // shard-count-invariance property documented in the header.
+  util::Pcg32 selection(selection_stream(qname, qtype));
+
   std::vector<net::IpAddr> candidates = infra_.root_servers();
   for (int hop = 0; hop < options_.max_referrals; ++hop) {
     if (candidates.empty()) {
       out.rcode = Rcode::SERVFAIL;
       return out;
     }
-    // Random NS selection — the resolver behaviour §4.2.3 attributes
-    // inconsistent HTTPS activation to.
     net::IpAddr target =
-        candidates[rng_.uniform(static_cast<std::uint32_t>(candidates.size()))];
-    AuthoritativeServer* server = infra_.server_at(target);
+        candidates[selection.uniform(static_cast<std::uint32_t>(candidates.size()))];
+    const AuthoritativeServer* server = infra_.server_at(target);
     if (server == nullptr || server->offline()) {
       // Drop this candidate and retry with the rest.
       std::erase(candidates, target);

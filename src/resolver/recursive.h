@@ -14,6 +14,21 @@
 //   * CNAME chasing with the full chain in the answer section;
 //   * DNSSEC validation via ChainValidator, surfacing the AD bit, and
 //     SERVFAIL on bogus data.
+//
+// Thread-safety contract: a RecursiveResolver instance is NOT safe for
+// concurrent use — resolve() mutates the cache, stats, and RNG streams.
+// The sharded Study gives every worker thread its own resolver pair; the
+// shared substrate underneath (DnsInfra, AuthoritativeServer::handle,
+// SimClock reads) is const and safe for concurrent readers as long as
+// nothing mutates the simulated Internet during the fan-out.
+//
+// Determinism contract: the observable answer stream (which NS a query
+// lands on, and therefore which of several inconsistent zone copies it
+// sees) is a pure function of (selection_seed, qname, qtype, virtual
+// time, same-instant repeat count).  It does NOT depend on the order in
+// which *other* names were resolved, so scans partitioned across K
+// resolvers produce exactly the answers a single resolver would — the
+// property the Study's shard-count-invariance test pins.
 
 #include <cstdint>
 #include <map>
@@ -36,14 +51,31 @@ struct ResolverStats {
   std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
   std::uint64_t servfails = 0;
   std::uint64_t validations = 0;
+
+  // Merge helper: the sharded Study aggregates per-shard resolver stats.
+  ResolverStats& operator+=(const ResolverStats& other) {
+    queries += other.queries;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    upstream_queries += other.upstream_queries;
+    tcp_fallbacks += other.tcp_fallbacks;
+    servfails += other.servfails;
+    validations += other.validations;
+    return *this;
+  }
 };
 
 struct ResolverOptions {
   bool validate_dnssec = true;
   bool cache_enabled = true;          // ablation: disable caching entirely
   std::uint32_t max_ttl = 86400;      // TTL clamp (ablation knob)
-  std::uint32_t negative_ttl = 300;
+  std::uint32_t negative_ttl = 300;   // ceiling on RFC 2308 negative caching
   std::uint64_t seed = 0x5eed;
+  // Seed for the observable NS-selection stream (see the determinism
+  // contract above).  0 means "use `seed`".  A sharded Study gives every
+  // shard the same selection_seed but a distinct seed, so shard count
+  // never changes which authoritative server answers a given question.
+  std::uint64_t selection_seed = 0;
   int max_referrals = 32;
   int max_cname_chain = 8;
 };
@@ -72,10 +104,19 @@ class RecursiveResolver {
     std::vector<dns::Rr> records;      // data + covering RRSIGs
     std::vector<dns::Rr> authorities;  // SOA/NSEC proof for negatives
     dns::Rcode rcode = dns::Rcode::NOERROR;
+    net::SimTime inserted;  // cache hits serve the decayed TTL remainder
     net::SimTime expires;
     bool validated = false;  // AD state at insertion time
   };
   using CacheKey = std::pair<dns::Name, dns::RrType>;
+
+  // Same-instant repeat counter per question, so back-to-back uncached
+  // queries at one virtual instant still spread over the NS set (§4.2.3)
+  // while the per-day scan keeps a pure, order-independent selection.
+  struct IterateSeq {
+    net::SimTime at;
+    std::uint32_t count = 0;
+  };
 
   // One iterative lookup (no CNAME chasing); returns records + rcode.
   struct IterativeResult {
@@ -93,14 +134,20 @@ class RecursiveResolver {
   [[nodiscard]] std::vector<net::IpAddr> resolve_ns_addr(const dns::Name& host,
                                                          int depth);
 
+  // Seeds the per-iterate selection stream for one question.
+  [[nodiscard]] std::uint64_t selection_stream(const dns::Name& qname,
+                                               dns::RrType qtype);
+
   const DnsInfra& infra_;
   const net::SimClock& clock_;
   InfraChainSource chain_source_;
   dnssec::ChainValidator validator_;
   Options options_;
-  util::Pcg32 rng_;
+  util::Pcg32 rng_;            // unobservable state only (message ids)
+  std::uint64_t selection_seed_;
   mutable dnssec::ChainStatusCache chain_cache_;
   std::map<CacheKey, CacheEntry> cache_;
+  std::map<CacheKey, IterateSeq> iterate_seq_;
   ResolverStats stats_;
 };
 

@@ -44,6 +44,10 @@ struct HttpsObservation {
   [[nodiscard]] std::vector<std::string> alpn_protocols() const;
   // True when ipv4 hints are present and equal the A RRset as a set.
   [[nodiscard]] bool hints_match_a() const;
+
+  // Field-wise equality, used by the shard-count-invariance tests.
+  friend bool operator==(const HttpsObservation&,
+                         const HttpsObservation&) = default;
 };
 
 // Name-server side data for one NS host name.
@@ -51,6 +55,8 @@ struct NsInfo {
   std::vector<net::IpAddr> addresses;
   std::optional<std::string> whois_org;   // raw WHOIS answer
   std::optional<std::string> operator_name;  // after manual review
+
+  friend bool operator==(const NsInfo&, const NsInfo&) = default;
 };
 
 // Everything collected on one day.
@@ -62,6 +68,8 @@ struct DailySnapshot {
   std::map<dns::Name, NsInfo> ns_info;    // NS hosts of HTTPS publishers
 
   [[nodiscard]] std::size_t size() const { return list.size(); }
+
+  friend bool operator==(const DailySnapshot&, const DailySnapshot&) = default;
 };
 
 }  // namespace httpsrr::scanner

@@ -1,22 +1,98 @@
 #include "scanner/study.h"
 
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "util/rng.h"
+
 namespace httpsrr::scanner {
 
 using dns::Name;
 using dns::RrType;
 
 Study::Study(ecosystem::Internet& net, Options options)
-    : net_(net), options_(options) {
-  auto primary_options = options_.resolver_options;
-  primary_options.seed ^= 0x900913;  // the "Google" resolver
-  primary_ = net_.make_resolver(primary_options);
-  auto backup_options = options_.resolver_options;
-  backup_options.seed ^= 0x1111;  // the "Cloudflare" backup resolver
-  backup_ = net_.make_resolver(backup_options);
+    : net_(net), options_(std::move(options)) {
+  std::size_t shard_count = options_.shards;
+  if (shard_count == 0) {
+    shard_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Every shard shares the *selection* seeds — which authoritative server a
+  // question lands on never depends on the shard that asked it — while the
+  // per-shard `seed` (message-id RNG, unobservable) is perturbed so shards
+  // are distinct resolver instances.
+  auto primary_base = options_.resolver_options;
+  primary_base.seed ^= 0x900913;  // the "Google" resolver
+  if (primary_base.selection_seed == 0) {
+    primary_base.selection_seed = primary_base.seed;
+  }
+  auto backup_base = options_.resolver_options;
+  backup_base.seed ^= 0x1111;  // the "Cloudflare" backup resolver
+  if (backup_base.selection_seed == 0) {
+    backup_base.selection_seed = backup_base.seed;
+  }
+  shards_.reserve(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    auto primary_options = primary_base;
+    primary_options.seed = util::mix64(primary_base.seed + k);
+    auto backup_options = backup_base;
+    backup_options.seed = util::mix64(backup_base.seed + k);
+    shards_.push_back(Shard{net_.make_resolver(primary_options),
+                            net_.make_resolver(backup_options)});
+  }
+}
+
+void Study::for_each_shard(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (total == 0) return;
+  const std::size_t shard_count = shards_.size();
+  if (shard_count == 1) {
+    fn(0, 0, total);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(shard_count);
+  for (std::size_t k = 0; k < shard_count; ++k) {
+    const std::size_t begin = total * k / shard_count;
+    const std::size_t end = total * (k + 1) / shard_count;
+    if (begin == end) continue;
+    workers.emplace_back([&fn, k, begin, end] { fn(k, begin, end); });
+  }
+  for (auto& worker : workers) worker.join();
+}
+
+void Study::scan_range(Shard& shard, const DailySnapshot& snapshot,
+                       std::size_t begin, std::size_t end, ShardScan& out) {
+  resolver::StubResolver stub(*shard.primary, shard.backup.get());
+  HttpsScanner scanner(stub);
+  out.apex.reserve(end - begin);
+  out.www.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    const ecosystem::DomainId id = snapshot.list[i];
+    const auto& domain = net_.domain(id);
+    auto apex_obs = scanner.scan(domain.apex);
+    // Domains that ever published HTTPS stay in the NS-tracking cohort
+    // even while their record is deactivated (§4.2.3 cross-references the
+    // NS dataset to attribute intermittent records).  The cohort set is
+    // frozen during the fan-out; today's entrants land in `joined` and are
+    // merged on the coordinating thread after the workers finish.
+    if (apex_obs.has_https()) {
+      out.joined.push_back(id);
+    } else if (options_.scan_ns && https_cohort_.contains(id) &&
+               apex_obs.answered) {
+      scanner.fill_follow_ups(domain.apex, apex_obs);
+    }
+    out.apex.push_back(std::move(apex_obs));
+    out.www.push_back(scanner.scan(domain.www));
+  }
+  out.queries = scanner.queries_sent();
 }
 
 DailySnapshot Study::run_day(net::SimTime day) {
-  // Midnight-align, then advance to the scan time.
+  // Midnight-align, then advance to the scan time.  The virtual clock does
+  // not move again until the next run_day call: the whole day's scan sees
+  // one frozen Internet, which is what makes the shard split invisible.
   net::SimTime at{day.unix_seconds - day.seconds_of_day()};
   net_.advance_to(at + options_.scan_time);
 
@@ -24,27 +100,21 @@ DailySnapshot Study::run_day(net::SimTime day) {
   snapshot.day = at;
   snapshot.list = net_.tranco().list_for(at);
 
-  resolver::StubResolver stub(*primary_, backup_.get());
-  HttpsScanner scanner(stub);
+  std::vector<ShardScan> fragments(shards_.size());
+  for_each_shard(snapshot.list.size(),
+                 [&](std::size_t k, std::size_t begin, std::size_t end) {
+                   scan_range(shards_[k], snapshot, begin, end, fragments[k]);
+                 });
 
+  // Merge fragments in list order; shard boundaries vanish here.
   snapshot.apex.reserve(snapshot.list.size());
   snapshot.www.reserve(snapshot.list.size());
-  for (ecosystem::DomainId id : snapshot.list) {
-    const auto& domain = net_.domain(id);
-    auto apex_obs = scanner.scan(domain.apex);
-    // Domains that ever published HTTPS stay in the NS-tracking cohort
-    // even while their record is deactivated (§4.2.3 cross-references the
-    // NS dataset to attribute intermittent records).
-    if (apex_obs.has_https()) {
-      https_cohort_.insert(id);
-    } else if (options_.scan_ns && https_cohort_.contains(id) &&
-               apex_obs.answered) {
-      scanner.fill_follow_ups(domain.apex, apex_obs);
-    }
-    snapshot.apex.push_back(std::move(apex_obs));
-    snapshot.www.push_back(scanner.scan(domain.www));
+  for (auto& fragment : fragments) {
+    for (auto& obs : fragment.apex) snapshot.apex.push_back(std::move(obs));
+    for (auto& obs : fragment.www) snapshot.www.push_back(std::move(obs));
+    for (ecosystem::DomainId id : fragment.joined) https_cohort_.insert(id);
+    total_queries_ += fragment.queries;
   }
-  total_queries_ += scanner.queries_sent();
 
   if (options_.scan_ns) scan_name_servers(snapshot);
 
@@ -53,33 +123,75 @@ DailySnapshot Study::run_day(net::SimTime day) {
 }
 
 void Study::scan_name_servers(DailySnapshot& snapshot) {
-  resolver::StubResolver stub(*primary_, backup_.get());
+  // Pass 1 (coordinating thread): walk the day's NS hosts in list order.
+  // Hosts probed on an earlier day with usable addresses are served from
+  // the cross-day cache; hosts never seen — or whose earlier probe came
+  // back empty-handed — are queued for a fresh probe.  The queue is built
+  // serially so its order (and therefore the day's query accounting) is
+  // identical at every shard count.
+  std::vector<Name> to_probe;
   for (std::size_t i = 0; i < snapshot.list.size(); ++i) {
-    if (snapshot.apex[i].ns_records.empty()) continue;
     for (const Name& host : snapshot.apex[i].ns_records) {
       if (snapshot.ns_info.contains(host)) continue;
-      NsInfo info;
-      auto a = stub.query(host, RrType::A);
-      total_queries_ += 1;
-      for (const auto& rr : a.answers) {
-        if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
-          info.addresses.push_back(net::IpAddr(rec->address));
-        }
+      auto cached = ns_cache_.find(host);
+      if (cached != ns_cache_.end() && !cached->second.addresses.empty()) {
+        snapshot.ns_info.emplace(host, cached->second);
+        continue;
       }
-      auto aaaa = stub.query(host, RrType::AAAA);
-      total_queries_ += 1;
-      for (const auto& rr : aaaa.answers) {
-        if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
-          info.addresses.push_back(net::IpAddr(rec->address));
-        }
-      }
-      if (!info.addresses.empty()) {
-        info.whois_org = net_.whois().lookup(info.addresses.front());
-        info.operator_name = net_.whois().attribute(info.addresses.front());
-      }
-      snapshot.ns_info.emplace(host, std::move(info));
+      // Placeholder so a host shared by several domains is queued once.
+      snapshot.ns_info.emplace(host, NsInfo{});
+      to_probe.push_back(host);
     }
   }
+
+  // Pass 2: probe the queue across the shards.  Each host costs one A and
+  // one AAAA stub query regardless of which shard runs it.
+  std::vector<NsInfo> probed(to_probe.size());
+  for_each_shard(to_probe.size(),
+                 [&](std::size_t k, std::size_t begin, std::size_t end) {
+                   Shard& shard = shards_[k];
+                   resolver::StubResolver stub(*shard.primary,
+                                               shard.backup.get());
+                   for (std::size_t i = begin; i < end; ++i) {
+                     probed[i] = probe_ns_host(stub, to_probe[i]);
+                   }
+                 });
+  total_queries_ += 2 * to_probe.size();
+
+  for (std::size_t i = 0; i < to_probe.size(); ++i) {
+    ns_cache_[to_probe[i]] = probed[i];
+    snapshot.ns_info[to_probe[i]] = std::move(probed[i]);
+  }
+}
+
+NsInfo Study::probe_ns_host(resolver::StubResolver& stub, const Name& host) {
+  NsInfo info;
+  auto a = stub.query(host, RrType::A);
+  for (const auto& rr : a.answers) {
+    if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
+      info.addresses.push_back(net::IpAddr(rec->address));
+    }
+  }
+  auto aaaa = stub.query(host, RrType::AAAA);
+  for (const auto& rr : aaaa.answers) {
+    if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+      info.addresses.push_back(net::IpAddr(rec->address));
+    }
+  }
+  if (!info.addresses.empty()) {
+    info.whois_org = net_.whois().lookup(info.addresses.front());
+    info.operator_name = net_.whois().attribute(info.addresses.front());
+  }
+  return info;
+}
+
+resolver::ResolverStats Study::resolver_stats() const {
+  resolver::ResolverStats total;
+  for (const auto& shard : shards_) {
+    total += shard.primary->stats();
+    total += shard.backup->stats();
+  }
+  return total;
 }
 
 void Study::run(net::SimTime from, net::SimTime to) {

@@ -8,8 +8,21 @@
 // This mirrors the paper's §4.1 pipeline: Google resolver primary,
 // Cloudflare backup, daily cadence, NS/WHOIS side-channel, and optional
 // extra experiments (hourly ECH scans, connectivity probes) layered on top.
+//
+// Sharded scan engine: each day's list is partitioned into K contiguous
+// shards scanned by a std::thread worker pool.  Every shard owns its own
+// primary/backup resolver pair (stateful: caches, stats, RNG); the
+// simulated Internet underneath is advanced once before the fan-out and
+// then shared read-only (see the contracts in ecosystem/internet.h and
+// net/time.h).  Per-shard snapshot fragments and the NS side-channel are
+// merged back in list order, and because NS selection inside the resolver
+// is a pure function of the question (resolver/recursive.h), the merged
+// snapshot and the query accounting are byte-identical for every K —
+// K=1 reproduces the historical serial output.
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -23,7 +36,8 @@ namespace httpsrr::scanner {
 
 // Observer interface: receives each day's snapshot (and may inspect the
 // Internet for *measurement-accessible* state such as the network for
-// connectivity probes — not ground-truth domain flags).
+// connectivity probes — not ground-truth domain flags).  Observers run on
+// the coordinating thread, after the workers have joined.
 class DailyObserver {
  public:
   virtual ~DailyObserver() = default;
@@ -35,6 +49,9 @@ struct StudyOptions {
   // Scan kicks off at this offset into each day.
   net::Duration scan_time = net::Duration::hours(3);
   bool scan_ns = true;   // resolve + WHOIS-attribute NS hosts
+  // Number of parallel scan shards; 0 = one per hardware thread.  Snapshot
+  // contents and total_queries() are invariant across shard counts.
+  std::size_t shards = 1;
   resolver::ResolverOptions resolver_options;
 };
 
@@ -53,15 +70,51 @@ class Study {
   [[nodiscard]] DailySnapshot run_day(net::SimTime day);
 
   [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  // Aggregated resolver stats across every shard's primary + backup.
+  [[nodiscard]] resolver::ResolverStats resolver_stats() const;
 
  private:
+  // One worker's scanning context: a dedicated resolver pair whose caches
+  // and stats persist across days, like the paper's long-running vantage.
+  struct Shard {
+    std::unique_ptr<resolver::RecursiveResolver> primary;
+    std::unique_ptr<resolver::RecursiveResolver> backup;
+  };
+
+  // Per-shard fragment of one day, merged in list order after the join.
+  struct ShardScan {
+    std::vector<HttpsObservation> apex;
+    std::vector<HttpsObservation> www;
+    std::vector<ecosystem::DomainId> joined;  // new HTTPS-cohort entrants
+    std::uint64_t queries = 0;
+  };
+
+  // Scans list positions [begin, end) with `shard`'s resolvers.
+  void scan_range(Shard& shard, const DailySnapshot& snapshot,
+                  std::size_t begin, std::size_t end, ShardScan& out);
   void scan_name_servers(DailySnapshot& snapshot);
+  // One A + one AAAA stub query plus WHOIS attribution for one NS host.
+  [[nodiscard]] NsInfo probe_ns_host(resolver::StubResolver& stub,
+                                     const dns::Name& host);
+
+  // Invokes fn(shard_index, begin, end) over `total` items split into
+  // contiguous per-shard ranges — on worker threads when more than one
+  // shard is configured, inline otherwise.
+  void for_each_shard(
+      std::size_t total,
+      const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
 
   ecosystem::Internet& net_;
   Options options_;
   std::set<ecosystem::DomainId> https_cohort_;  // ever published HTTPS
-  std::unique_ptr<resolver::RecursiveResolver> primary_;
-  std::unique_ptr<resolver::RecursiveResolver> backup_;
+  std::vector<Shard> shards_;
+  // NS side-channel cache, persisted across days: a host probed once with
+  // usable addresses is not re-queried; a host whose probe came back
+  // empty (all address lookups failed) is re-probed on a later day so a
+  // transient outage cannot poison the attribution dataset for good.
+  std::map<dns::Name, NsInfo> ns_cache_;
   std::vector<DailyObserver*> observers_;
   std::uint64_t total_queries_ = 0;
 };

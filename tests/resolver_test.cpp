@@ -326,6 +326,135 @@ TEST(Recursive, CacheServesStaleUntilTtl) {
   EXPECT_EQ((*hints)[0].to_string(), "9.9.9.9") << "should be fresh";
 }
 
+TEST(Recursive, CacheHitDecaysTtl) {
+  // RFC 1035 §3.2.1 regression: a cache hit must serve the *remaining*
+  // TTL, not the original one.  The old behaviour (stored TTL echoed back
+  // forever) made downstream caches hold records past authoritative expiry.
+  MiniInternet net;
+  auto resolver = net.make_resolver();
+  auto first = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  ASSERT_EQ(first.answers_of_type(RrType::HTTPS)[0].ttl, 300u);
+
+  net.clock.advance(net::Duration::secs(100));
+  auto second = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_GT(resolver.stats().cache_hits, 0u);
+  for (const auto& rr : second.answers) {
+    EXPECT_EQ(rr.ttl, 200u) << "answer TTL must decay with the clock";
+  }
+
+  net.clock.advance(net::Duration::secs(199));
+  auto third = resolver.resolve(name_of("a.com"), RrType::HTTPS);
+  EXPECT_EQ(third.answers_of_type(RrType::HTTPS)[0].ttl, 1u);
+}
+
+TEST(Recursive, NegativeAnswerCachedPerSoaMinimum) {
+  // RFC 2308: the negative-cache lifetime is the minimum of the SOA TTL,
+  // the SOA `minimum` field, and the resolver's own ceiling.  a.com's SOA
+  // has TTL 3600 and minimum 300; with a 3600 s ceiling the NODATA entry
+  // must live exactly 300 s.
+  MiniInternet net;
+  RecursiveResolver::Options options;
+  options.negative_ttl = 3600;
+  auto resolver = net.make_resolver(options);
+
+  auto resp = resolver.resolve(name_of("a.com"), RrType::TXT);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_TRUE(resp.answers.empty());
+  auto upstream_before = resolver.stats().upstream_queries;
+
+  net.clock.advance(net::Duration::secs(299));  // within SOA minimum
+  (void)resolver.resolve(name_of("a.com"), RrType::TXT);
+  EXPECT_EQ(resolver.stats().upstream_queries, upstream_before)
+      << "NODATA must be answered from the negative cache";
+
+  net.clock.advance(net::Duration::secs(2));  // past SOA minimum, << 3600
+  (void)resolver.resolve(name_of("a.com"), RrType::TXT);
+  EXPECT_GT(resolver.stats().upstream_queries, upstream_before)
+      << "SOA minimum, not the resolver ceiling, bounds the entry";
+}
+
+TEST(Recursive, NxdomainCachedPerSoaMinimum) {
+  MiniInternet net;
+  RecursiveResolver::Options options;
+  options.negative_ttl = 3600;
+  auto resolver = net.make_resolver(options);
+
+  auto resp = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NXDOMAIN);
+  auto upstream_before = resolver.stats().upstream_queries;
+
+  net.clock.advance(net::Duration::secs(200));
+  auto cached = resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_EQ(cached.header.rcode, Rcode::NXDOMAIN);
+  EXPECT_EQ(resolver.stats().upstream_queries, upstream_before);
+
+  net.clock.advance(net::Duration::secs(101));
+  (void)resolver.resolve(name_of("missing.a.com"), RrType::A);
+  EXPECT_GT(resolver.stats().upstream_queries, upstream_before);
+}
+
+TEST(Recursive, NegativeTtlCeilingAppliesWithoutSoa) {
+  // Unsigned b.com returns NXDOMAIN with an empty authority section, so
+  // the resolver's own negative_ttl ceiling is the only bound.
+  MiniInternet net;
+  RecursiveResolver::Options options;
+  options.negative_ttl = 120;
+  options.validate_dnssec = false;
+  auto resolver = net.make_resolver(options);
+
+  (void)resolver.resolve(name_of("missing.b.com"), RrType::A);
+  auto upstream_before = resolver.stats().upstream_queries;
+
+  net.clock.advance(net::Duration::secs(119));
+  (void)resolver.resolve(name_of("missing.b.com"), RrType::A);
+  EXPECT_EQ(resolver.stats().upstream_queries, upstream_before);
+
+  net.clock.advance(net::Duration::secs(2));
+  (void)resolver.resolve(name_of("missing.b.com"), RrType::A);
+  EXPECT_GT(resolver.stats().upstream_queries, upstream_before);
+}
+
+TEST(Recursive, NsSelectionIndependentOfQueryHistory) {
+  // The sharded Study splits one query stream over several resolvers, so
+  // the NS a question lands on must not depend on what *other* questions a
+  // resolver handled before it.  Two resolvers sharing a selection_seed —
+  // one warmed up with unrelated lookups — must see identical answer
+  // streams for the mixed-provider zone.
+  MiniInternet net;
+  auto& legacy = net.infra.add_server("legacy-dns", ip("10.0.0.53"));
+  dns::Zone copy(name_of("a.com"));
+  ASSERT_TRUE(copy.add(dns::make_a(name_of("a.com"), 300,
+                                   net::Ipv4Addr(104, 16, 132, 229))).ok());
+  legacy.add_zone(std::move(copy));
+  legacy.set_supports_https_rr(false);
+  auto* com = net.com_server->find_zone(name_of("com"));
+  ASSERT_TRUE(com->add(dns::make_ns(name_of("a.com"), 86400,
+                                    name_of("ns1.legacy-dns.com"))).ok());
+  ASSERT_TRUE(com->add(dns::make_a(name_of("ns1.legacy-dns.com"), 86400,
+                                   net::Ipv4Addr(10, 0, 0, 53))).ok());
+
+  RecursiveResolver::Options options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  options.selection_seed = 0xfeedface;
+
+  options.seed = 1;
+  auto fresh = net.make_resolver(options);
+  options.seed = 2;
+  auto warmed = net.make_resolver(options);
+  for (int i = 0; i < 7; ++i) {  // unrelated history
+    (void)warmed.resolve(name_of("b.com"), RrType::A);
+  }
+
+  for (int i = 0; i < 20; ++i) {
+    auto a = fresh.resolve(name_of("a.com"), RrType::HTTPS);
+    auto b = warmed.resolve(name_of("a.com"), RrType::HTTPS);
+    EXPECT_EQ(a.answers_of_type(RrType::HTTPS).size(),
+              b.answers_of_type(RrType::HTTPS).size())
+        << "selection diverged at repeat " << i;
+  }
+}
+
 TEST(Recursive, CacheDisabledAblation) {
   MiniInternet net;
   RecursiveResolver::Options options;

@@ -1,0 +1,177 @@
+// Sharded scan engine: shard-count invariance of the daily snapshots and
+// query accounting, worker-pool plumbing, and the NS re-probe path.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ecosystem/internet.h"
+#include "scanner/study.h"
+
+namespace httpsrr {
+namespace {
+
+using ecosystem::EcosystemConfig;
+using ecosystem::Internet;
+
+EcosystemConfig parallel_config() {
+  EcosystemConfig config;
+  config.list_size = 200;
+  config.universe_size = 300;
+  config.seed = 7;
+  return config;
+}
+
+// Runs `days` daily scans at the given shard count over a fresh Internet.
+std::pair<std::vector<scanner::DailySnapshot>, std::uint64_t> run_study(
+    std::size_t shards, int days) {
+  Internet net(parallel_config());
+  scanner::StudyOptions options;
+  options.shards = shards;
+  scanner::Study study(net, options);
+  std::vector<scanner::DailySnapshot> snapshots;
+  snapshots.reserve(static_cast<std::size_t>(days));
+  for (int d = 0; d < days; ++d) {
+    snapshots.push_back(
+        study.run_day(net.config().start + net::Duration::days(d)));
+  }
+  return {std::move(snapshots), study.total_queries()};
+}
+
+TEST(StudyParallel, SnapshotsInvariantAcrossShardCounts) {
+  // The tentpole contract: partitioning the scan across K workers must be
+  // invisible in the dataset.  Snapshot contents (observations, NS info)
+  // and the query accounting have to be identical at K = 1, 2, 8.
+  auto [serial, serial_queries] = run_study(1, 3);
+  auto [two, two_queries] = run_study(2, 3);
+  auto [eight, eight_queries] = run_study(8, 3);
+
+  EXPECT_EQ(serial_queries, two_queries);
+  EXPECT_EQ(serial_queries, eight_queries);
+
+  ASSERT_EQ(serial.size(), two.size());
+  ASSERT_EQ(serial.size(), eight.size());
+  for (std::size_t d = 0; d < serial.size(); ++d) {
+    EXPECT_EQ(serial[d], two[d]) << "day " << d << " diverged at K=2";
+    EXPECT_EQ(serial[d], eight[d]) << "day " << d << " diverged at K=8";
+  }
+}
+
+TEST(StudyParallel, MoreShardsThanDomainsStillExact) {
+  // Degenerate split: more workers than work.  Some shards get empty
+  // ranges; output must still match the serial scan.
+  auto [serial, serial_queries] = run_study(1, 1);
+  Internet net(parallel_config());
+  scanner::StudyOptions options;
+  options.shards = 512;
+  scanner::Study study(net, options);
+  auto snapshot = study.run_day(net.config().start);
+  EXPECT_EQ(study.shard_count(), 512u);
+  EXPECT_EQ(snapshot, serial.front());
+  EXPECT_EQ(study.total_queries(), serial_queries);
+}
+
+TEST(StudyParallel, AutoShardCountUsesHardware) {
+  Internet net(parallel_config());
+  scanner::StudyOptions options;
+  options.shards = 0;  // one per hardware thread
+  scanner::Study study(net, options);
+  EXPECT_GE(study.shard_count(), 1u);
+}
+
+TEST(StudyParallel, ResolverStatsAggregateAcrossShards) {
+  Internet net(parallel_config());
+  scanner::StudyOptions options;
+  options.shards = 4;
+  scanner::Study study(net, options);
+  (void)study.run_day(net.config().start);
+  auto stats = study.resolver_stats();
+  EXPECT_GT(stats.queries, 0u);
+  EXPECT_GT(stats.upstream_queries, 0u);
+  // The shards split one workload; together they answered everything.
+  EXPECT_GE(stats.queries, study.total_queries());
+}
+
+TEST(StudyParallel, EmptyNsProbeRetriedNextDay) {
+  // Satellite bugfix: an NS host whose address probe came back empty must
+  // be re-probed on a later day instead of being cached as dead forever.
+  //
+  // First discover, on a throwaway replica, a widely-used NS host of an
+  // HTTPS publisher (the ecosystem is a pure function of the config).
+  dns::Name victim;
+  {
+    Internet net(parallel_config());
+    scanner::Study study(net);
+    auto snapshot = study.run_day(net.config().start);
+    std::map<dns::Name, int> uses;
+    for (const auto& obs : snapshot.apex) {
+      for (const auto& host : obs.ns_records) ++uses[host];
+    }
+    ASSERT_FALSE(uses.empty());
+    int best = 0;
+    for (const auto& [host, count] : uses) {
+      if (count > best) {
+        best = count;
+        victim = host;
+      }
+    }
+  }
+
+  // Fresh replica: knock the victim's glue A record out of its TLD zone
+  // before the first scan, emulating a transient authoritative outage.
+  Internet net(parallel_config());
+  scanner::StudyOptions options;
+  options.shards = 2;
+  scanner::Study study(net, options);
+
+  auto* tld_server = net.infra().server_at(*net::IpAddr::parse("192.5.6.30"));
+  ASSERT_NE(tld_server, nullptr);
+  auto tld = *dns::Name::from_labels({victim.labels().back()});
+  auto* tld_zone = tld_server->find_zone(tld);
+  ASSERT_NE(tld_zone, nullptr);
+  auto glue = tld_zone->records_at(victim, dns::RrType::A);
+  ASSERT_FALSE(glue.empty()) << victim.to_string();
+  dns::Rr saved = glue.front();
+  tld_zone->remove(victim, dns::RrType::A);
+
+  auto day1 = study.run_day(net.config().start);
+  auto it = day1.ns_info.find(victim);
+  ASSERT_NE(it, day1.ns_info.end()) << victim.to_string();
+  EXPECT_TRUE(it->second.addresses.empty()) << "probe must fail while down";
+
+  // Outage over: the record returns, and the next day's scan must notice.
+  ASSERT_TRUE(tld_zone->add(saved).ok());
+  auto day2 = study.run_day(net.config().start + net::Duration::days(1));
+  it = day2.ns_info.find(victim);
+  ASSERT_NE(it, day2.ns_info.end());
+  EXPECT_FALSE(it->second.addresses.empty()) << "empty probe was not retried";
+  EXPECT_TRUE(it->second.operator_name.has_value());
+}
+
+TEST(StudyParallel, HealthyNsProbeCachedAcrossDays) {
+  // The flip side: a host probed successfully is served from the cross-day
+  // cache, so a two-day run costs exactly one probe (2 queries) per host.
+  Internet net(parallel_config());
+  scanner::Study study(net);
+  auto day1 = study.run_day(net.config().start);
+  auto after_day1 = study.total_queries();
+  auto day2 = study.run_day(net.config().start + net::Duration::days(1));
+
+  std::size_t new_hosts = 0;
+  for (const auto& [host, info] : day2.ns_info) {
+    auto it = day1.ns_info.find(host);
+    if (it == day1.ns_info.end() || it->second.addresses.empty()) {
+      ++new_hosts;
+      continue;
+    }
+    EXPECT_EQ(info, it->second) << host.to_string();
+  }
+  // Day 2's NS-channel cost is bounded by the genuinely new/empty hosts.
+  auto day2_queries = study.total_queries() - after_day1;
+  EXPECT_GE(day2_queries, 2 * new_hosts);
+}
+
+}  // namespace
+}  // namespace httpsrr

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tier-1 CI for the httpsrr repo.
+#
+#   tools/ci.sh            # verify: Release build + full ctest
+#   tools/ci.sh sanitize   # verify + ASan/UBSan test suite
+#   tools/ci.sh threads    # verify + TSan run of the threaded scan tests
+#   tools/ci.sh all        # everything above
+#
+# Each mode uses its own build tree (build/, build-asan/, build-tsan/) so
+# the sanitizer builds never pollute the release objects.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-verify}"
+JOBS="${JOBS:-$(nproc)}"
+
+verify() {
+  echo "== tier-1 verify: Release build + ctest =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j "${JOBS}"
+  ctest --test-dir build --output-on-failure -j "${JOBS}"
+}
+
+sanitize() {
+  echo "== ASan/UBSan test suite =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan -j "${JOBS}" --target \
+    util_test dns_test dnssec_test resolver_test scanner_test \
+    study_parallel_test property_test
+  for t in util_test dns_test dnssec_test resolver_test scanner_test \
+           study_parallel_test property_test; do
+    "./build-asan/tests/${t}"
+  done
+}
+
+threads() {
+  echo "== TSan: sharded scan + resolver tests =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j "${JOBS}" --target \
+    resolver_test scanner_test study_parallel_test
+  for t in resolver_test scanner_test study_parallel_test; do
+    "./build-tsan/tests/${t}"
+  done
+}
+
+case "${MODE}" in
+  verify)   verify ;;
+  sanitize) verify; sanitize ;;
+  threads)  verify; threads ;;
+  all)      verify; sanitize; threads ;;
+  *) echo "usage: tools/ci.sh [verify|sanitize|threads|all]" >&2; exit 2 ;;
+esac
+
+echo "== ci.sh ${MODE}: OK =="
