@@ -1,0 +1,67 @@
+#pragma once
+
+// Heap-allocation counter for the micro-benchmarks: replaces the global
+// operator new/delete with counting wrappers so a bench can report
+// allocations per operation alongside wall-clock time.
+//
+// Include this from exactly ONE translation unit per binary (each bench
+// .cpp is its own binary, so including it at the top is fine).  The
+// replacement operators are deliberately NOT inline: they must be the
+// single program-wide definition for the counts to mean anything.
+//
+// Counting is a relaxed atomic increment — safe under the threaded
+// benches, cheap enough (~1ns) not to distort the timings we care about.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace benchalloc {
+
+inline std::atomic<std::uint64_t> g_allocations{0};
+
+inline std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+inline void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment < sizeof(void*) ? sizeof(void*) : alignment,
+                     size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace benchalloc
+
+void* operator new(std::size_t size) { return benchalloc::counted_alloc(size); }
+void* operator new[](std::size_t size) { return benchalloc::counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return benchalloc::counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return benchalloc::counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}

@@ -1,8 +1,11 @@
 // Micro-benchmarks: DNS wire codec, SVCB parsing, names, SHA-256 — the
-// inner loops of the scanning framework.
+// inner loops of the scanning framework.  Codec benches also report heap
+// allocations per operation (allocs_per_op) via the counting operator new
+// in alloc_counter.h.
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "dns/message.h"
 #include "dns/svcb.h"
 #include "dns/zone.h"
@@ -13,11 +16,24 @@ using namespace httpsrr;
 
 namespace {
 
+// Samples the global allocation counter around the timed loop and attaches
+// an allocs-per-iteration counter to the bench's report.
+struct AllocScope {
+  std::uint64_t start = benchalloc::allocations();
+  void report(benchmark::State& state) const {
+    state.counters["allocs_per_op"] =
+        benchmark::Counter(static_cast<double>(benchalloc::allocations() - start),
+                           benchmark::Counter::kAvgIterations);
+  }
+};
+
 void BM_NameParse(benchmark::State& state) {
+  AllocScope allocs;
   for (auto _ : state) {
     auto name = dns::Name::parse("www.some-longish-domain.example.com");
     benchmark::DoNotOptimize(name);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_NameParse);
 
@@ -67,19 +83,66 @@ dns::Message sample_response() {
 
 void BM_MessageEncode(benchmark::State& state) {
   auto resp = sample_response();
+  AllocScope allocs;
   for (auto _ : state) {
     auto wire = resp.encode();
     benchmark::DoNotOptimize(wire);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_MessageEncode);
 
+// Same message through encode_into with a reused scratch writer — the
+// authoritative hot path.  Steady state allocates nothing.
+void BM_MessageEncodeReuse(benchmark::State& state) {
+  auto resp = sample_response();
+  dns::WireWriter w;
+  resp.encode_into(w);  // warm the scratch buffer
+  AllocScope allocs;
+  for (auto _ : state) {
+    resp.encode_into(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_MessageEncodeReuse);
+
+// A plain question-only query message — the unit the ISSUE's "allocations
+// per encoded query message" acceptance criterion counts.
+void BM_QueryEncode(benchmark::State& state) {
+  auto query = dns::Message::make_query(1, dns::name_of("www.d00042.com"),
+                                        dns::RrType::HTTPS);
+  AllocScope allocs;
+  for (auto _ : state) {
+    auto wire = query.encode();
+    benchmark::DoNotOptimize(wire);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_QueryEncode);
+
+void BM_QueryEncodeReuse(benchmark::State& state) {
+  auto query = dns::Message::make_query(1, dns::name_of("www.d00042.com"),
+                                        dns::RrType::HTTPS);
+  dns::WireWriter w;
+  query.encode_into(w);
+  AllocScope allocs;
+  for (auto _ : state) {
+    query.encode_into(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_QueryEncodeReuse);
+
 void BM_MessageDecode(benchmark::State& state) {
   auto wire = sample_response().encode();
+  AllocScope allocs;
   for (auto _ : state) {
     auto message = dns::Message::decode(wire);
     benchmark::DoNotOptimize(message);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_MessageDecode);
 

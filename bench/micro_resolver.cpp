@@ -1,8 +1,11 @@
 // Micro-benchmarks: the resolution and handshake paths the longitudinal
-// study executes millions of times.
+// study executes millions of times.  Resolution benches also report heap
+// allocations per operation via the counting operator new in
+// alloc_counter.h.
 
 #include <benchmark/benchmark.h>
 
+#include "alloc_counter.h"
 #include "ecosystem/internet.h"
 #include "scanner/https_scanner.h"
 #include "tls/handshake.h"
@@ -11,6 +14,15 @@
 using namespace httpsrr;
 
 namespace {
+
+struct AllocScope {
+  std::uint64_t start = benchalloc::allocations();
+  void report(benchmark::State& state) const {
+    state.counters["allocs_per_op"] =
+        benchmark::Counter(static_cast<double>(benchalloc::allocations() - start),
+                           benchmark::Counter::kAvgIterations);
+  }
+};
 
 ecosystem::EcosystemConfig micro_config() {
   ecosystem::EcosystemConfig config;
@@ -23,10 +35,12 @@ void BM_AuthoritativeHandle(benchmark::State& state) {
   ecosystem::Internet net(micro_config());
   const auto& domain = net.domain(0);
   auto* server = net.infra().zone_servers(domain.apex)->front();
+  AllocScope allocs;
   for (auto _ : state) {
     auto resp = server->handle(domain.apex, dns::RrType::HTTPS, net.now());
     benchmark::DoNotOptimize(resp);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_AuthoritativeHandle);
 
@@ -50,10 +64,12 @@ void BM_RecursiveResolveWarm(benchmark::State& state) {
   ecosystem::Internet net(micro_config());
   auto resolver = net.make_resolver();
   (void)resolver->resolve(net.domain(0).apex, dns::RrType::HTTPS);
+  AllocScope allocs;
   for (auto _ : state) {
     auto resp = resolver->resolve(net.domain(0).apex, dns::RrType::HTTPS);
     benchmark::DoNotOptimize(resp);
   }
+  allocs.report(state);
 }
 BENCHMARK(BM_RecursiveResolveWarm);
 

@@ -58,7 +58,7 @@ struct RunResult {
   std::string digest;
 };
 
-RunResult run_at(std::size_t shards) {
+RunResult run_once(std::size_t shards) {
   ecosystem::Internet net(bench_config());
   scanner::StudyOptions options;
   options.shards = shards;
@@ -74,9 +74,37 @@ RunResult run_at(std::size_t shards) {
   return result;
 }
 
+// Best of three: each repetition rebuilds the simulated Internet from the
+// same seed, so the digest must agree across repetitions too — a free extra
+// determinism check.  Taking the minimum makes the number robust against
+// scheduler noise on a loaded box (the regression gate in tools/ci.sh
+// compares single JSON values, so one inflated sample would false-alarm).
+RunResult run_at(std::size_t shards) {
+  RunResult best = run_once(shards);
+  for (int rep = 1; rep < 3; ++rep) {
+    auto result = run_once(shards);
+    if (result.digest != best.digest) {
+      std::fprintf(stderr,
+                   "micro_study: digest changed between repetitions at K=%zu\n",
+                   shards);
+      std::exit(1);
+    }
+    if (result.seconds < best.seconds) best.seconds = result.seconds;
+  }
+  return best;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --json PATH: also emit a machine-readable record for tools/bench.sh.
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
   const auto config = bench_config();
   std::printf("micro_study: one scan day, %zu-domain list\n", config.list_size);
   std::printf("%-8s %12s %14s %10s  %s\n", "shards", "seconds", "domains/s",
@@ -84,6 +112,7 @@ int main() {
 
   RunResult serial;
   bool all_equal = true;
+  std::string json = "{\n";
   for (std::size_t shards : {1u, 2u, 4u, 8u}) {
     auto result = run_at(shards);
     if (shards == 1) serial = result;
@@ -91,6 +120,20 @@ int main() {
     std::printf("%-8zu %12.3f %14.0f %9.2fx  %.16s\n", shards, result.seconds,
                 static_cast<double>(config.list_size) / result.seconds,
                 serial.seconds / result.seconds, result.digest.c_str());
+    json += util::format("  \"k%zu_seconds\": %.4f,\n", shards, result.seconds);
+  }
+  json += util::format("  \"list_size\": %zu,\n", config.list_size);
+  json += util::format("  \"digest\": \"%s\",\n", serial.digest.c_str());
+  json += util::format("  \"invariant\": %s\n}\n", all_equal ? "true" : "false");
+
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "micro_study: cannot write %s\n", json_path);
+      return 2;
+    }
   }
 
   std::printf("invariance: %s\n",

@@ -60,9 +60,8 @@ Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
   return h;
 }
 
-void encode_rr(const Rr& rr, WireWriter& w,
-               std::map<std::string, std::uint16_t>& offsets) {
-  w.name_compressed(rr.owner, offsets);
+void encode_rr(const Rr& rr, WireWriter& w) {
+  w.name_compressed(rr.owner);
   w.u16(static_cast<std::uint16_t>(rr.type));
   w.u16(static_cast<std::uint16_t>(rr.klass));
   w.u32(rr.ttl);
@@ -96,7 +95,20 @@ Result<Rr> decode_rr(WireReader& r) {
 
 Bytes Message::encode() const {
   WireWriter w;
-  std::map<std::string, std::uint16_t> offsets;
+  encode_into(w);
+  return std::move(w).take();
+}
+
+void Message::encode_into(WireWriter& w) const {
+  w.clear();
+  // Pre-reserve: header + questions + OPT, plus a per-RR estimate (owner
+  // uncompressed + 10 fixed octets + typical rdata) so the buffer doesn't
+  // grow from empty on every message.
+  std::size_t estimate = 12 + (edns ? 11 : 0);
+  for (const auto& q : questions) estimate += q.qname.wire_length() + 4;
+  estimate +=
+      48 * (answers.size() + authorities.size() + additionals.size());
+  w.reserve(estimate);
 
   w.u16(header.id);
   w.u16(pack_flags(header));
@@ -106,13 +118,13 @@ Bytes Message::encode() const {
   w.u16(static_cast<std::uint16_t>(additionals.size() + (edns ? 1 : 0)));
 
   for (const auto& q : questions) {
-    w.name_compressed(q.qname, offsets);
+    w.name_compressed(q.qname);
     w.u16(static_cast<std::uint16_t>(q.qtype));
     w.u16(static_cast<std::uint16_t>(q.qclass));
   }
-  for (const auto& rr : answers) encode_rr(rr, w, offsets);
-  for (const auto& rr : authorities) encode_rr(rr, w, offsets);
-  for (const auto& rr : additionals) encode_rr(rr, w, offsets);
+  for (const auto& rr : answers) encode_rr(rr, w);
+  for (const auto& rr : authorities) encode_rr(rr, w);
+  for (const auto& rr : additionals) encode_rr(rr, w);
   if (edns) {
     // OPT pseudo-RR (RFC 6891 §6.1): root owner, CLASS = payload size,
     // TTL = extended flags (DO is bit 15 of the high 16 TTL bits).
@@ -122,7 +134,6 @@ Bytes Message::encode() const {
     w.u32(edns->dnssec_ok ? 0x00008000u : 0u);
     w.u16(0);  // empty RDATA
   }
-  return std::move(w).take();
 }
 
 Result<Message> Message::decode(std::span<const std::uint8_t> wire) {

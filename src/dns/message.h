@@ -66,6 +66,12 @@ struct Message {
   static Message make_response(const Message& query);
 
   [[nodiscard]] Bytes encode() const;
+
+  // Encodes into a caller-owned writer (cleared first, capacity kept and
+  // pre-reserved from a section-size estimate). Reusing one writer across
+  // messages makes steady-state encoding allocation-free.
+  void encode_into(WireWriter& w) const;
+
   static util::Result<Message> decode(std::span<const std::uint8_t> wire);
 
   // All answer records of the given type (e.g. pull HTTPS out of a mixed

@@ -14,16 +14,29 @@ namespace {
 
 constexpr std::size_t kMaxLabelLen = 63;
 constexpr std::size_t kMaxWireLen = 255;
+// Flat buffer excludes the root octet, so its cap is one below the wire cap.
+constexpr std::size_t kMaxFlatLen = kMaxWireLen - 1;
+// 254 flat octets / 2 octets per minimal label = 127 labels, so any valid
+// name's label-offset array fits in uint8_t[128].
+constexpr std::size_t kMaxLabels = 127;
 
-Result<void> validate_labels(const std::vector<std::string>& labels) {
-  std::size_t wire = 1;  // root octet
-  for (const auto& label : labels) {
-    if (label.empty()) return Error{"empty label"};
-    if (label.size() > kMaxLabelLen) return Error{"label exceeds 63 octets"};
-    wire += 1 + label.size();
+inline std::uint8_t len_at(std::string_view flat, std::size_t pos) {
+  return static_cast<std::uint8_t>(flat[pos]);
+}
+
+// Fills offsets[0..count] with the start position of each label in `flat`
+// (offsets[count] == flat.size() as a sentinel) and returns the label count.
+// Offsets fit in uint8_t because flat <= 254 octets.
+inline std::size_t collect_offsets(std::string_view flat,
+                                   std::uint8_t offsets[kMaxLabels + 1]) {
+  std::size_t n = 0;
+  std::size_t pos = 0;
+  while (pos < flat.size()) {
+    offsets[n++] = static_cast<std::uint8_t>(pos);
+    pos += 1 + len_at(flat, pos);
   }
-  if (wire > kMaxWireLen) return Error{"name exceeds 255 octets"};
-  return {};
+  offsets[n] = static_cast<std::uint8_t>(flat.size());
+  return n;
 }
 
 bool needs_escape(char c) {
@@ -39,61 +52,120 @@ Result<Name> Name::parse(std::string_view text) {
   if (text.empty()) return Error{"empty name"};
   if (text == ".") return Name();
 
-  std::vector<std::string> labels;
-  std::string current;
-  bool saw_char_in_label = false;
+  std::string flat;
+  flat.reserve(text.size() + 1);
+  std::size_t count = 0;
+  // Index of the current label's length octet; npos between labels.
+  std::size_t len_pos = std::string::npos;
+
+  auto begin_label = [&] {
+    if (len_pos == std::string::npos) {
+      len_pos = flat.size();
+      flat.push_back('\0');
+    }
+  };
+  auto end_label = [&]() -> Result<void> {
+    if (len_pos == std::string::npos) return Error{"empty label"};
+    std::size_t len = flat.size() - len_pos - 1;
+    if (len > kMaxLabelLen) return Error{"label exceeds 63 octets"};
+    flat[len_pos] = static_cast<char>(len);
+    len_pos = std::string::npos;
+    ++count;
+    return {};
+  };
+
   for (std::size_t i = 0; i < text.size(); ++i) {
     char c = text[i];
     if (c == '\\') {
       if (i + 1 >= text.size()) return Error{"dangling escape"};
       char next = text[i + 1];
+      begin_label();
       if (next >= '0' && next <= '9') {
         if (i + 3 >= text.size()) return Error{"truncated \\DDD escape"};
         std::uint64_t code = 0;
         if (!util::parse_u64(text.substr(i + 1, 3), code, 255)) {
           return Error{"bad \\DDD escape"};
         }
-        current.push_back(static_cast<char>(code));
+        flat.push_back(static_cast<char>(code));
         i += 3;
       } else {
-        current.push_back(next);
+        flat.push_back(next);
         i += 1;
       }
-      saw_char_in_label = true;
       continue;
     }
     if (c == '.') {
-      if (!saw_char_in_label) return Error{"empty label"};
-      labels.push_back(std::move(current));
-      current.clear();
-      saw_char_in_label = false;
+      if (auto r = end_label(); !r) return Error{r.error()};
       continue;
     }
-    current.push_back(c);
-    saw_char_in_label = true;
+    begin_label();
+    flat.push_back(c);
   }
-  if (saw_char_in_label) labels.push_back(std::move(current));
+  if (len_pos != std::string::npos) {
+    if (auto r = end_label(); !r) return Error{r.error()};
+  }
 
-  if (auto r = validate_labels(labels); !r) return Error{r.error()};
-  return Name(std::move(labels));
+  if (flat.size() > kMaxFlatLen) return Error{"name exceeds 255 octets"};
+  return Name(std::move(flat), static_cast<std::uint8_t>(count));
 }
 
-Result<Name> Name::from_labels(std::vector<std::string> labels) {
-  if (auto r = validate_labels(labels); !r) return Error{r.error()};
-  return Name(std::move(labels));
+Result<Name> Name::from_labels(const std::vector<std::string>& labels) {
+  std::string flat;
+  std::size_t total = 0;
+  for (const auto& label : labels) total += 1 + label.size();
+  flat.reserve(total);
+  for (const auto& label : labels) {
+    if (label.empty()) return Error{"empty label"};
+    if (label.size() > kMaxLabelLen) return Error{"label exceeds 63 octets"};
+    flat.push_back(static_cast<char>(label.size()));
+    flat.append(label);
+  }
+  if (flat.size() > kMaxFlatLen) return Error{"name exceeds 255 octets"};
+  return Name(std::move(flat), static_cast<std::uint8_t>(labels.size()));
 }
 
-std::size_t Name::wire_length() const {
-  std::size_t len = 1;
-  for (const auto& label : labels_) len += 1 + label.size();
-  return len;
+Result<Name> Name::from_flat(std::string flat) {
+  if (flat.size() > kMaxFlatLen) return Error{"name exceeds 255 octets"};
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (pos < flat.size()) {
+    std::size_t len = len_at(flat, pos);
+    if (len == 0 || len > kMaxLabelLen) return Error{"bad label length"};
+    if (pos + 1 + len > flat.size()) return Error{"truncated flat name"};
+    pos += 1 + len;
+    ++count;
+  }
+  return Name(std::move(flat), static_cast<std::uint8_t>(count));
+}
+
+std::string_view Name::label(std::size_t i) const {
+  assert(i < count_);
+  std::size_t pos = 0;
+  for (std::size_t k = 0; k < i; ++k) pos += 1 + len_at(flat_, pos);
+  return std::string_view(flat_).substr(pos + 1, len_at(flat_, pos));
+}
+
+std::vector<std::string> Name::labels() const {
+  std::vector<std::string> out;
+  out.reserve(count_);
+  std::size_t pos = 0;
+  while (pos < flat_.size()) {
+    std::size_t len = len_at(flat_, pos);
+    out.emplace_back(flat_, pos + 1, len);
+    pos += 1 + len;
+  }
+  return out;
 }
 
 std::string Name::to_string() const {
-  if (labels_.empty()) return ".";
+  if (flat_.empty()) return ".";
   std::string out;
-  for (const auto& label : labels_) {
-    for (char c : label) {
+  out.reserve(flat_.size() + 1);
+  std::size_t pos = 0;
+  while (pos < flat_.size()) {
+    std::size_t len = len_at(flat_, pos);
+    for (std::size_t i = pos + 1; i <= pos + len; ++i) {
+      char c = flat_[i];
       if (needs_escape(c)) {
         if (c == '.' || c == '\\' || c == '"' || c == ';' || c == '(' ||
             c == ')' || c == '@' || c == '$') {
@@ -107,70 +179,89 @@ std::string Name::to_string() const {
       }
     }
     out.push_back('.');
+    pos += 1 + len;
   }
   return out;
 }
 
 bool Name::is_subdomain_of(const Name& other) const {
-  if (other.labels_.size() > labels_.size()) return false;
-  std::size_t offset = labels_.size() - other.labels_.size();
-  for (std::size_t i = 0; i < other.labels_.size(); ++i) {
-    if (!util::iequals(labels_[offset + i], other.labels_[i])) return false;
-  }
-  return true;
+  if (other.flat_.size() > flat_.size()) return false;
+  std::size_t off = flat_.size() - other.flat_.size();
+  // `off` must land on a label boundary of this name.
+  std::size_t pos = 0;
+  while (pos < off) pos += 1 + len_at(flat_, pos);
+  if (pos != off) return false;
+  return util::iequals(std::string_view(flat_).substr(off), other.flat_);
 }
 
 Name Name::parent() const {
-  if (labels_.empty()) return Name();
-  return Name(std::vector<std::string>(labels_.begin() + 1, labels_.end()));
+  if (flat_.empty()) return Name();
+  std::size_t skip = 1 + len_at(flat_, 0);
+  return Name(flat_.substr(skip), static_cast<std::uint8_t>(count_ - 1));
+}
+
+Name Name::suffix(std::size_t count) const {
+  if (count >= count_) return *this;
+  std::size_t pos = 0;
+  for (std::size_t drop = count_ - count; drop > 0; --drop) {
+    pos += 1 + len_at(flat_, pos);
+  }
+  return Name(flat_.substr(pos), static_cast<std::uint8_t>(count));
 }
 
 Result<Name> Name::prepend(std::string_view label) const {
-  std::vector<std::string> labels;
-  labels.reserve(labels_.size() + 1);
-  labels.emplace_back(label);
-  labels.insert(labels.end(), labels_.begin(), labels_.end());
-  return from_labels(std::move(labels));
+  if (label.empty()) return Error{"empty label"};
+  if (label.size() > kMaxLabelLen) return Error{"label exceeds 63 octets"};
+  if (1 + label.size() + flat_.size() > kMaxFlatLen) {
+    return Error{"name exceeds 255 octets"};
+  }
+  std::string flat;
+  flat.reserve(1 + label.size() + flat_.size());
+  flat.push_back(static_cast<char>(label.size()));
+  flat.append(label);
+  flat.append(flat_);
+  return Name(std::move(flat), static_cast<std::uint8_t>(count_ + 1));
 }
 
 bool operator==(const Name& a, const Name& b) {
-  if (a.labels_.size() != b.labels_.size()) return false;
-  for (std::size_t i = 0; i < a.labels_.size(); ++i) {
-    if (!util::iequals(a.labels_[i], b.labels_[i])) return false;
-  }
-  return true;
+  // Length octets are 1..63 — never ASCII letters — so a case-folded
+  // bytewise comparison of the flat buffers compares structure and label
+  // bytes in one pass.
+  return util::iequals(a.flat_, b.flat_);
 }
 
 std::strong_ordering operator<=>(const Name& a, const Name& b) {
   // Canonical DNS ordering (RFC 4034 §6.1): compare label sequences
   // right-to-left, case-folded, shorter sequence first on prefix match.
-  std::size_t na = a.labels_.size();
-  std::size_t nb = b.labels_.size();
-  std::size_t common = std::min(na, nb);
+  std::uint8_t offs_a[kMaxLabels + 1];
+  std::uint8_t offs_b[kMaxLabels + 1];
+  std::size_t na = collect_offsets(a.flat_, offs_a);
+  std::size_t nb = collect_offsets(b.flat_, offs_b);
+  std::size_t common = na < nb ? na : nb;
   for (std::size_t i = 1; i <= common; ++i) {
-    const std::string& la = a.labels_[na - i];
-    const std::string& lb = b.labels_[nb - i];
-    std::size_t len = std::min(la.size(), lb.size());
-    for (std::size_t j = 0; j < len; ++j) {
-      auto ca = static_cast<unsigned char>(util::ascii_lower(la[j]));
-      auto cb = static_cast<unsigned char>(util::ascii_lower(lb[j]));
+    std::size_t pa = offs_a[na - i];
+    std::size_t pb = offs_b[nb - i];
+    std::size_t la = len_at(a.flat_, pa);
+    std::size_t lb = len_at(b.flat_, pb);
+    std::size_t len = la < lb ? la : lb;
+    for (std::size_t j = 1; j <= len; ++j) {
+      auto ca = static_cast<unsigned char>(util::ascii_lower(a.flat_[pa + j]));
+      auto cb = static_cast<unsigned char>(util::ascii_lower(b.flat_[pb + j]));
       if (ca != cb) return ca <=> cb;
     }
-    if (la.size() != lb.size()) return la.size() <=> lb.size();
+    if (la != lb) return la <=> lb;
   }
   return na <=> nb;
 }
 
 std::size_t Name::hash() const {
-  // FNV-1a over case-folded labels with separators.
+  // FNV-1a over the case-folded flat buffer. Length octets are included:
+  // they can't collide with letters, and they delimit labels exactly the
+  // way the old per-label separator did.
   std::size_t h = 1469598103934665603ULL;
-  auto mix = [&h](unsigned char c) {
-    h ^= c;
+  for (char c : flat_) {
+    h ^= static_cast<unsigned char>(util::ascii_lower(c));
     h *= 1099511628211ULL;
-  };
-  for (const auto& label : labels_) {
-    for (char c : label) mix(static_cast<unsigned char>(util::ascii_lower(c)));
-    mix(0);
   }
   return h;
 }

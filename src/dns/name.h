@@ -8,6 +8,16 @@
 //   * comparisons and hashing are ASCII case-insensitive (RFC 1035 §2.3.3)
 //     while the original spelling is preserved for display.
 //
+// Representation: one contiguous case-preserved buffer in uncompressed wire
+// format without the terminating root octet ("\3www\7example\3com"), plus a
+// label count.  A name is therefore a single std::string — short names
+// (flat form <= 15 octets, e.g. "www.d00042.com") live entirely in the SSO
+// buffer with zero heap allocations — and equality/hash/ordering are
+// allocation-free scans.  The key trick: length octets are 1..63, which can
+// never be an ASCII uppercase letter (65..90), so a bytewise case-folded
+// comparison of two flat buffers is exactly a case-insensitive comparison of
+// the label sequences, length octets included.
+//
 // Presentation format supports \DDD and \X escapes; wire format supports
 // RFC 1035 compression pointers on decode (with loop protection) and plain
 // encoding on write (message-level compression lives in dns::WireWriter).
@@ -32,14 +42,27 @@ class Name {
   static util::Result<Name> parse(std::string_view text);
 
   // Builds from raw labels (no escape processing). Validates lengths.
-  static util::Result<Name> from_labels(std::vector<std::string> labels);
+  static util::Result<Name> from_labels(const std::vector<std::string>& labels);
 
-  [[nodiscard]] bool is_root() const { return labels_.empty(); }
-  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
-  [[nodiscard]] const std::vector<std::string>& labels() const { return labels_; }
+  // Builds from a flat buffer in the internal format: length-prefixed labels,
+  // no root octet ("\3www\3com"). Validates structure and lengths.
+  static util::Result<Name> from_flat(std::string flat);
+
+  [[nodiscard]] bool is_root() const { return flat_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return count_; }
+
+  // Label `i` (leftmost = 0) as a view into the flat buffer.
+  [[nodiscard]] std::string_view label(std::size_t i) const;
+
+  // Materializes the labels (cold paths only — this allocates).
+  [[nodiscard]] std::vector<std::string> labels() const;
+
+  // The flat buffer: length-prefixed labels, no root octet. This is the
+  // uncompressed wire encoding minus its final 0x00.
+  [[nodiscard]] std::string_view flat() const { return flat_; }
 
   // Wire-format length including the terminating root octet.
-  [[nodiscard]] std::size_t wire_length() const;
+  [[nodiscard]] std::size_t wire_length() const { return flat_.size() + 1; }
 
   // Presentation format with a trailing dot ("www.example.com.", "." for
   // root). Special characters are escaped.
@@ -51,6 +74,11 @@ class Name {
 
   // The name with the leftmost label removed; root stays root.
   [[nodiscard]] Name parent() const;
+
+  // The rightmost `count` labels ("www.a.com".suffix(2) -> "a.com");
+  // count >= label_count() returns the whole name. Never allocates beyond
+  // one (usually SSO) string copy.
+  [[nodiscard]] Name suffix(std::size_t count) const;
 
   // Prepends a label ("www" + "a.com" -> "www.a.com"). Fails on length
   // overflow or a bad label.
@@ -65,9 +93,11 @@ class Name {
   [[nodiscard]] std::size_t hash() const;
 
  private:
-  explicit Name(std::vector<std::string> labels) : labels_(std::move(labels)) {}
+  Name(std::string flat, std::uint8_t count)
+      : flat_(std::move(flat)), count_(count) {}
 
-  std::vector<std::string> labels_;  // leftmost label first, no root entry
+  std::string flat_;          // [len][label bytes]... , no root octet
+  std::uint8_t count_ = 0;    // number of labels (<= 127)
 };
 
 // Convenience for literal names in tests and internal tables: terminates on

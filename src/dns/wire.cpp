@@ -1,5 +1,7 @@
 #include "dns/wire.h"
 
+#include <cstring>
+
 #include "util/strings.h"
 
 namespace httpsrr::dns {
@@ -7,36 +9,101 @@ namespace httpsrr::dns {
 using util::Error;
 using util::Result;
 
-void WireWriter::name(const Name& n) {
-  for (const auto& label : n.labels()) {
-    u8(static_cast<std::uint8_t>(label.size()));
-    raw_string(label);
+namespace {
+
+// FNV-1a over case-folded bytes. Length octets pass through the fold
+// unchanged (1..63 is never an ASCII letter), so two suffixes hash equal
+// exactly when their label sequences match ignoring case.
+std::uint64_t fold_hash(std::string_view flat) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : flat) {
+    h ^= static_cast<unsigned char>(util::ascii_lower(c));
+    h *= 1099511628211ULL;
   }
+  return h;
+}
+
+}  // namespace
+
+void WireWriter::clear() {
+  buf_.clear();
+  entries_ = 0;
+  if (++generation_ == 0) {
+    // Generation counter wrapped (after ~4 billion clears): stale stamps
+    // could alias, so wipe the table once and restart at 1.
+    std::memset(slots_, 0, sizeof(slots_));
+    generation_ = 1;
+  }
+}
+
+void WireWriter::name(const Name& n) {
+  raw_string(n.flat());
   u8(0);
 }
 
-void WireWriter::name_compressed(const Name& n,
-                                 std::map<std::string, std::uint16_t>& offsets) {
-  // Walk suffixes left to right; when a suffix has been emitted before (and
-  // its offset fits in 14 bits) emit a pointer and stop.
-  const auto& labels = n.labels();
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    // Key: case-folded presentation of the suffix starting at label i.
-    std::string key;
-    for (std::size_t j = i; j < labels.size(); ++j) {
-      key += util::to_lower(labels[j]);
-      key += '.';
+bool WireWriter::suffix_matches(std::size_t offset,
+                                std::string_view flat) const {
+  std::size_t cursor = offset;
+  std::size_t fpos = 0;
+  std::size_t hops = 0;
+  while (true) {
+    if (cursor >= buf_.size()) return false;
+    std::uint8_t len = buf_[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= buf_.size()) return false;
+      if (++hops > buf_.size()) return false;
+      cursor = (static_cast<std::size_t>(len & 0x3f) << 8) | buf_[cursor + 1];
+      continue;
     }
-    auto it = offsets.find(key);
-    if (it != offsets.end()) {
-      u16(static_cast<std::uint16_t>(0xc000 | it->second));
-      return;
+    if (len == 0) return fpos == flat.size();
+    if (fpos >= flat.size()) return false;
+    if (static_cast<std::uint8_t>(flat[fpos]) != len) return false;
+    if (cursor + 1 + len > buf_.size()) return false;
+    for (std::size_t j = 1; j <= len; ++j) {
+      if (util::ascii_lower(static_cast<char>(buf_[cursor + j])) !=
+          util::ascii_lower(flat[fpos + j])) {
+        return false;
+      }
     }
-    if (buf_.size() <= 0x3fff) {
-      offsets.emplace(std::move(key), static_cast<std::uint16_t>(buf_.size()));
+    cursor += 1 + len;
+    fpos += 1 + len;
+  }
+}
+
+void WireWriter::name_compressed(const Name& n) {
+  // Walk suffixes left to right; when a suffix was emitted before (and its
+  // offset fits in 14 bits) emit a pointer and stop.  Candidates are found
+  // through the open-addressed table; a 16-bit hash tag prunes collisions
+  // and an exact case-folded comparison against the already-written wire
+  // bytes confirms the match, so output never depends on hash luck.
+  std::string_view flat = n.flat();
+  std::size_t pos = 0;
+  while (pos < flat.size()) {
+    std::string_view suffix = flat.substr(pos);
+    std::uint64_t h = fold_hash(suffix);
+    auto tag = static_cast<std::uint16_t>(h);
+    std::size_t idx = h & (kSlots - 1);
+    bool matched = false;
+    while (slots_[idx].generation == generation_) {
+      if (slots_[idx].tag == tag && suffix_matches(slots_[idx].offset, suffix)) {
+        u16(static_cast<std::uint16_t>(0xc000 | slots_[idx].offset));
+        matched = true;
+        break;
+      }
+      idx = (idx + 1) & (kSlots - 1);
     }
-    u8(static_cast<std::uint8_t>(labels[i].size()));
-    raw_string(labels[i]);
+    if (matched) return;
+    // First occurrence: remember it as a pointer target when representable
+    // (14-bit offset) and the table still has room — entries_ < kMaxEntries
+    // keeps at least half the slots dead so probes always terminate.
+    if (buf_.size() <= 0x3fff && entries_ < kMaxEntries) {
+      slots_[idx] = Slot{generation_, static_cast<std::uint16_t>(buf_.size()),
+                         tag};
+      ++entries_;
+    }
+    std::size_t len = static_cast<std::uint8_t>(flat[pos]);
+    raw_string(flat.substr(pos, 1 + len));
+    pos += 1 + len;
   }
   u8(0);
 }
@@ -79,15 +146,20 @@ Result<Bytes> WireReader::bytes(std::size_t count) {
 namespace {
 
 // Shared name-decoding core. When `allow_pointers` is false, any pointer
-// label is rejected.
+// label is rejected. Builds the flat label buffer directly; two caps bound
+// hostile inputs: the accumulated name may not exceed 254 flat octets
+// (RFC 1035 §3.1), and the pointer chase may not exceed the message length
+// — with the strictly-backward rule each hop lands on a fresh earlier
+// offset, so a longer chain is provably a loop.
 Result<Name> read_name(std::span<const std::uint8_t> data, std::size_t& pos,
                        bool allow_pointers) {
-  std::vector<std::string> labels;
+  constexpr std::size_t kMaxFlatLen = 254;
+  std::string flat;
   std::size_t cursor = pos;
   bool jumped = false;
   std::size_t end_pos = pos;  // cursor position after the first encoding
-  int hops = 0;
-  constexpr int kMaxHops = 128;  // generous loop guard
+  std::size_t hops = 0;
+  const std::size_t max_hops = data.size();
 
   while (true) {
     if (cursor >= data.size()) return Error{"truncated name"};
@@ -99,7 +171,7 @@ Result<Name> read_name(std::span<const std::uint8_t> data, std::size_t& pos,
           (static_cast<std::size_t>(len & 0x3f) << 8) | data[cursor + 1];
       if (!jumped) end_pos = cursor + 2;
       jumped = true;
-      if (++hops > kMaxHops) return Error{"compression pointer loop"};
+      if (++hops > max_hops) return Error{"compression pointer loop"};
       if (target >= cursor) {
         // Forward pointers are invalid and a common loop vector.
         return Error{"forward compression pointer"};
@@ -113,12 +185,14 @@ Result<Name> read_name(std::span<const std::uint8_t> data, std::size_t& pos,
       break;
     }
     if (cursor + 1 + len > data.size()) return Error{"truncated label"};
-    labels.emplace_back(reinterpret_cast<const char*>(data.data()) + cursor + 1,
-                        len);
+    if (flat.size() + 1 + len > kMaxFlatLen) {
+      return Error{"name exceeds 255 octets"};
+    }
+    flat.append(reinterpret_cast<const char*>(data.data()) + cursor, 1 + len);
     cursor += 1 + len;
   }
 
-  auto name = Name::from_labels(std::move(labels));
+  auto name = Name::from_flat(std::move(flat));
   if (!name) return Error{name.error()};
   pos = end_pos;
   return std::move(name).take();

@@ -3,12 +3,17 @@
 // Bounds-checked big-endian wire codec for DNS messages and record data.
 //
 // WireWriter appends network-byte-order integers, length-prefixed blobs and
-// (optionally compressed) names into a growing buffer.  WireReader walks an
-// immutable span and returns Result<> on any out-of-bounds read — truncated
-// and hostile inputs must never crash the scanner.
+// (optionally compressed) names into a growing buffer.  The compression
+// state lives inside the writer as a small generation-stamped open-addressed
+// table keyed by case-folded suffix hash — clear() resets both buffer and
+// table without touching their capacity, so one writer can encode a stream
+// of messages with zero steady-state allocations (Message::encode_into).
+//
+// WireReader walks an immutable span and returns Result<> on any
+// out-of-bounds read — truncated and hostile inputs must never crash the
+// scanner.
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -23,6 +28,12 @@ using Bytes = std::vector<std::uint8_t>;
 class WireWriter {
  public:
   WireWriter() = default;
+
+  // Resets buffer and compression table for a fresh message; allocated
+  // buffer capacity is kept (the reuse hook behind Message::encode_into).
+  void clear();
+
+  void reserve(std::size_t n) { buf_.reserve(n); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v) {
@@ -47,9 +58,11 @@ class WireWriter {
   // compression for unknown types and RFC 9460 forbids it for SVCB).
   void name(const Name& n);
 
-  // Compressed name encoding for message sections. Remembers suffix offsets
-  // in `offsets` so later occurrences emit 2-byte pointers.
-  void name_compressed(const Name& n, std::map<std::string, std::uint16_t>& offsets);
+  // Compressed name encoding for message sections. Suffixes already emitted
+  // through this method become 2-byte pointers; matching is ASCII
+  // case-insensitive on the wire labels (RFC 1035 §4.1.4) and emitted bytes
+  // are deterministic.
+  void name_compressed(const Name& n);
 
   // Patches a previously written 16-bit field (e.g. RDLENGTH back-fill).
   void patch_u16(std::size_t offset, std::uint16_t v);
@@ -59,7 +72,26 @@ class WireWriter {
   [[nodiscard]] Bytes take() && { return std::move(buf_); }
 
  private:
+  // One compression-table slot. A slot is live only when its generation
+  // stamp matches the writer's — clear() just bumps the generation instead
+  // of wiping the table.
+  struct Slot {
+    std::uint32_t generation = 0;
+    std::uint16_t offset = 0;  // buffer offset of the stored suffix
+    std::uint16_t tag = 0;     // low 16 hash bits, cuts false verifications
+  };
+  static constexpr std::size_t kSlots = 256;              // power of two
+  static constexpr std::size_t kMaxEntries = kSlots / 2;  // probe-length cap
+
+  // True if the name encoded at buf_[offset] (possibly ending in another
+  // pointer) equals `flat` (a Name suffix in flat form), ignoring case.
+  [[nodiscard]] bool suffix_matches(std::size_t offset,
+                                    std::string_view flat) const;
+
   Bytes buf_;
+  Slot slots_[kSlots] = {};
+  std::uint32_t generation_ = 1;
+  std::size_t entries_ = 0;  // live slots in the current generation
 };
 
 class WireReader {
@@ -77,8 +109,9 @@ class WireReader {
   util::Result<Bytes> bytes(std::size_t count);
 
   // Reads a possibly-compressed name starting at the current position;
-  // follows pointers with loop protection; leaves the cursor just past the
-  // name's first encoding (not past pointer targets).
+  // follows pointers with loop protection (the chase is capped by the
+  // message length — every hop must land strictly earlier); leaves the
+  // cursor just past the name's first encoding (not past pointer targets).
   util::Result<Name> name();
 
   // Reads an uncompressed name; any compression pointer is an error

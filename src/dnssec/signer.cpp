@@ -34,7 +34,55 @@ dns::Bytes compute_signature(const dns::DnskeyRdata& dnskey,
   return dns::Bytes(digest.begin(), digest.end());
 }
 
+// FNV-1a over the two memo inputs; used only to bucket entries — hits are
+// confirmed by exact comparison in SignatureCache::sign.
+std::uint64_t memo_hash(const dns::Bytes& public_key, const dns::Bytes& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](const dns::Bytes& bytes) {
+    for (std::uint8_t b : bytes) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ULL;
+  };
+  mix(public_key);
+  mix(data);
+  return h;
+}
+
 }  // namespace
+
+dns::Bytes SignatureCache::sign(const dns::DnskeyRdata& dnskey,
+                                const dns::Bytes& data) {
+  const std::uint64_t h = memo_hash(dnskey.public_key, data);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(h);
+    if (it != entries_.end() && it->second.public_key == dnskey.public_key &&
+        it->second.data == data) {
+      ++stats_.hits;
+      return it->second.signature;
+    }
+  }
+  dns::Bytes sig = compute_signature(dnskey, data);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    entries_[h] = Entry{dnskey.public_key, data, sig};
+  }
+  return sig;
+}
+
+void SignatureCache::invalidate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+SignatureCache::Stats SignatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
 
 KeyPair KeyPair::generate(std::uint64_t seed, std::uint16_t flags) {
   KeyPair kp;
@@ -57,7 +105,7 @@ KeyPair KeyPair::generate(std::uint64_t seed, std::uint16_t flags) {
 
 dns::RrsigRdata sign_rrset(const dns::Name& signer_zone, const KeyPair& key,
                            const dns::RrSet& rrset, net::SimTime inception,
-                           net::SimTime expiration) {
+                           net::SimTime expiration, SignatureCache* cache) {
   dns::RrsigRdata sig;
   sig.type_covered = rrset.type();
   sig.algorithm = key.dnskey.algorithm;
@@ -67,7 +115,9 @@ dns::RrsigRdata sign_rrset(const dns::Name& signer_zone, const KeyPair& key,
   sig.expiration = static_cast<std::uint32_t>(expiration.unix_seconds);
   sig.key_tag = key.key_tag();
   sig.signer = signer_zone;
-  sig.signature = compute_signature(key.dnskey, signed_data(sig, rrset));
+  dns::Bytes data = signed_data(sig, rrset);
+  sig.signature = cache != nullptr ? cache->sign(key.dnskey, data)
+                                   : compute_signature(key.dnskey, data);
   return sig;
 }
 

@@ -11,6 +11,8 @@
 // relies on unforgeability, only on match/mismatch.
 
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
 
 #include "dns/name.h"
 #include "dns/rdata.h"
@@ -31,12 +33,47 @@ struct KeyPair {
   [[nodiscard]] std::uint16_t key_tag() const { return dnskey.key_tag(); }
 };
 
-// Signs `rrset` with `key` on behalf of `signer_zone`.
+// Memo for computed signatures.  Signing is a pure function of (public
+// key, signed data) — the signed data already encodes the rrset's canonical
+// form, owner, type, TTL and the inception/expiration window — so entries
+// can never go stale; hits are confirmed by exact byte comparison of both
+// inputs, never by hash alone.  The epoch bump in Internet::advance_to
+// calls invalidate() purely to bound memory: entries keyed on yesterday's
+// validity window can no longer hit.  Thread-safe (authoritative servers
+// are queried concurrently by the sharded scan).
+class SignatureCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  // Returns SHA-256(public_key || data), memoized.
+  [[nodiscard]] dns::Bytes sign(const dns::DnskeyRdata& dnskey,
+                                const dns::Bytes& data);
+
+  void invalidate();
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    dns::Bytes public_key;
+    dns::Bytes data;
+    dns::Bytes signature;
+  };
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+// Signs `rrset` with `key` on behalf of `signer_zone`. With a non-null
+// `cache`, the signature computation is memoized (see SignatureCache).
 [[nodiscard]] dns::RrsigRdata sign_rrset(const dns::Name& signer_zone,
                                          const KeyPair& key,
                                          const dns::RrSet& rrset,
                                          net::SimTime inception,
-                                         net::SimTime expiration);
+                                         net::SimTime expiration,
+                                         SignatureCache* cache = nullptr);
 
 enum class SigCheck : std::uint8_t {
   valid,

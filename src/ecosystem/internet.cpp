@@ -73,10 +73,16 @@ Internet::Internet(EcosystemConfig config)
   build_infrastructure();
   for (const auto& d : domains_) build_zone(d);
   schedule_events();
+
+  // Construction is done mutating: from here on the frozen-epoch contract
+  // holds (nothing changes outside advance_to), so the authoritative
+  // servers may memoize rendered responses and signatures.  advance_to
+  // opens every epoch edge by dropping those memos before events apply.
+  infra_.enable_response_caching();
 }
 
 dns::Name Internet::tld_of(const DomainState& d) const {
-  return *Name::from_labels({d.apex.labels().back()});
+  return d.apex.suffix(1);
 }
 
 AuthoritativeServer* Internet::provider_server(std::size_t index) const {
@@ -328,7 +334,7 @@ void Internet::build_infrastructure() {
 
     // Glue for ns1/ns2.<ns_domain> in the matching TLD zone.
     Name ns_parent = name_of(spec.ns_domain);
-    Name tld = *Name::from_labels({ns_parent.labels().back()});
+    Name tld = ns_parent.suffix(1);
     auto* tld_zone = tld_server_->find_zone(tld);
     assert(tld_zone != nullptr && "provider NS domain must be under a known TLD");
     for (int n = 1; n <= spec.ns_count; ++n) {
@@ -833,6 +839,13 @@ void Internet::apply(const Event& event) {
 }
 
 void Internet::advance_to(net::SimTime t) {
+  // Epoch edge: everything below may mutate zones, provider capabilities,
+  // the network, or the ECH keys, so every memoized response/signature in
+  // the server directory is invalidated first.  (Zone edits reach zones
+  // through retained Zone* pointers too — apply() bypasses the servers'
+  // own invalidating mutators, so this directory-wide bump is what makes
+  // the memo layers safe, not the per-mutator hooks.)
+  infra_.bump_epoch();
   while (next_event_ < events_.size() && events_[next_event_].at <= t) {
     clock_.advance_to(events_[next_event_].at);
     apply(events_[next_event_]);

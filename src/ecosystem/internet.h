@@ -19,8 +19,12 @@
 // from a single thread.  Between advances the Internet is frozen, and
 // every const accessor — infra(), domain(), tranco(), whois(), clock(),
 // the authoritative servers' handle()/handle_udp() paths, and the SVCB
-// hook they invoke — is a pure read with no hidden caches or lazy state,
-// so any number of scanner threads may query it concurrently.  Resolvers
+// hook they invoke — is a pure read safe for any number of concurrent
+// scanner threads.  The frozen epoch is also what lets the authoritative
+// servers memoize rendered responses and RRSIGs (mutex-guarded,
+// enabled at construction): advance_to() invalidates every memo across
+// the server directory before applying events, so zone edits, provider
+// toggles and ECH key rotation always produce fresh answers.  Resolvers
 // built by make_resolver() are themselves stateful: one per thread.
 
 #include <cstdint>

@@ -11,6 +11,7 @@ using dns::Rr;
 using dns::RrType;
 
 dns::Zone& AuthoritativeServer::add_zone(dns::Zone zone) {
+  invalidate_caches();
   Name apex = zone.origin();
   auto [it, inserted] = zones_.insert_or_assign(apex, HostedZone{std::move(zone), {}, {}});
   (void)inserted;
@@ -18,6 +19,8 @@ dns::Zone& AuthoritativeServer::add_zone(dns::Zone zone) {
 }
 
 dns::Zone* AuthoritativeServer::find_zone(const Name& apex) {
+  // Non-const access hands out a mutable Zone*; assume the caller edits it.
+  invalidate_caches();
   auto it = zones_.find(apex);
   return it == zones_.end() ? nullptr : &it->second.zone;
 }
@@ -27,10 +30,14 @@ const dns::Zone* AuthoritativeServer::find_zone(const Name& apex) const {
   return it == zones_.end() ? nullptr : &it->second.zone;
 }
 
-void AuthoritativeServer::remove_zone(const Name& apex) { zones_.erase(apex); }
+void AuthoritativeServer::remove_zone(const Name& apex) {
+  invalidate_caches();
+  zones_.erase(apex);
+}
 
 void AuthoritativeServer::enable_dnssec(const Name& apex, dnssec::KeyPair key,
                                         net::Duration validity) {
+  invalidate_caches();
   auto it = zones_.find(apex);
   if (it == zones_.end()) return;
   it->second.key = std::move(key);
@@ -38,8 +45,49 @@ void AuthoritativeServer::enable_dnssec(const Name& apex, dnssec::KeyPair key,
 }
 
 void AuthoritativeServer::disable_dnssec(const Name& apex) {
+  invalidate_caches();
   auto it = zones_.find(apex);
   if (it != zones_.end()) it->second.key.reset();
+}
+
+void AuthoritativeServer::set_supports_https_rr(bool supported) {
+  invalidate_caches();
+  supports_https_rr_ = supported;
+}
+
+void AuthoritativeServer::set_offline(bool offline) {
+  invalidate_caches();
+  offline_ = offline;
+}
+
+void AuthoritativeServer::set_svcb_hook(SvcbHook hook) {
+  invalidate_caches();
+  svcb_hook_ = std::move(hook);
+}
+
+void AuthoritativeServer::set_response_caching(bool enabled) {
+  invalidate_caches();
+  caching_enabled_ = enabled;
+}
+
+void AuthoritativeServer::invalidate_caches() {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    response_cache_.clear();
+  }
+  sig_cache_.invalidate();
+}
+
+HotPathStats AuthoritativeServer::hot_path_stats() const {
+  HotPathStats out;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    out = stats_;
+  }
+  auto sig = sig_cache_.stats();
+  out.signature_hits = sig.hits;
+  out.signature_misses = sig.misses;
+  return out;
 }
 
 const dnssec::KeyPair* AuthoritativeServer::zone_key(const Name& apex) const {
@@ -90,7 +138,7 @@ void AuthoritativeServer::append_signed(const HostedZone& hz,
     for (const auto& rr : data) set.add(rr);
     auto sig = dnssec::sign_rrset(hz.zone.origin(), *hz.key, set,
                                   now - net::Duration::hours(1),
-                                  now + hz.sig_validity);
+                                  now + hz.sig_validity, &sig_cache_);
     out.push_back(Rr{set.owner(), RrType::RRSIG, dns::RrClass::IN, set.ttl(),
                      std::move(sig)});
   }
@@ -101,7 +149,8 @@ Message AuthoritativeServer::handle(const Name& qname, RrType qtype,
   return handle(Message::make_query(0, qname, qtype), now);
 }
 
-Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
+Message AuthoritativeServer::compute_response(const Message& query,
+                                              net::SimTime now) const {
   Message resp = Message::make_response(query);
   resp.header.ra = false;  // authoritative, not recursive
   const bool want_dnssec = query.edns.has_value() && query.edns->dnssec_ok;
@@ -130,14 +179,10 @@ Message AuthoritativeServer::handle(const Message& query, net::SimTime now) cons
   // cut (NS records owned below the apex).  DS queries are answered from
   // the parent side of the cut instead of being referred.
   {
-    const auto& apex_labels = zone.origin().label_count();
-    const auto& labels = q.qname.labels();
-    for (std::size_t take = apex_labels + 1; take <= labels.size(); ++take) {
-      std::vector<std::string> suffix(labels.end() - static_cast<std::ptrdiff_t>(take),
-                                      labels.end());
-      auto cut_result = Name::from_labels(std::move(suffix));
-      if (!cut_result) break;
-      Name cut = std::move(cut_result).take();
+    const std::size_t apex_labels = zone.origin().label_count();
+    for (std::size_t take = apex_labels + 1; take <= q.qname.label_count();
+         ++take) {
+      Name cut = q.qname.suffix(take);
       auto ns = zone.records_at(cut, RrType::NS);
       if (ns.empty()) continue;
 
@@ -212,7 +257,7 @@ Message AuthoritativeServer::handle(const Message& query, net::SimTime now) cons
                hz->key->dnskey});
     auto sig = dnssec::sign_rrset(zone.origin(), *hz->key, set,
                                   now - net::Duration::hours(1),
-                                  now + hz->sig_validity);
+                                  now + hz->sig_validity, &sig_cache_);
     resp.answers = set.records();
     if (want_dnssec) {
       resp.answers.push_back(Rr{zone.origin(), RrType::RRSIG, dns::RrClass::IN,
@@ -240,11 +285,93 @@ void AuthoritativeServer::attach_denial(const HostedZone& hz,
   }
 }
 
+std::size_t AuthoritativeServer::encoded_size(const Message& resp) const {
+  // One scratch writer per thread: steady-state encoding reuses its buffer
+  // and compression table, so measuring a response allocates nothing.
+  static thread_local dns::WireWriter scratch;
+  resp.encode_into(scratch);
+  return scratch.size();
+}
+
+Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
+  return handle_internal(query, now, nullptr);
+}
+
+Message AuthoritativeServer::handle_internal(const Message& query,
+                                             net::SimTime now,
+                                             std::size_t* wire_size_out) const {
+  if (!caching_enabled_ || query.questions.size() != 1) {
+    Message resp = compute_response(query, now);
+    if (wire_size_out != nullptr) {
+      std::size_t size = encoded_size(resp);
+      *wire_size_out = size;
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      stats_.bytes_encoded += size;
+    }
+    return resp;
+  }
+
+  const auto& q = query.questions.front();
+  ResponseKey key{q.qname, q.qtype,
+                  static_cast<std::uint8_t>(
+                      query.edns ? (query.edns->dnssec_ok ? 2 : 1) : 0),
+                  now.unix_seconds};
+
+  // Hit path: rebuild the response around the cached sections; everything
+  // else (id, RD/CD, EDNS echo, question spelling) comes from this query.
+  bool repeat = false;       // key seen before, sections not yet rendered
+  std::size_t known_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = response_cache_.find(key);
+    if (it != response_cache_.end()) {
+      if (it->second.rendered) {
+        ++stats_.response_hits;
+        Message resp = Message::make_response(query);
+        resp.header.ra = false;
+        resp.header.aa = it->second.aa;
+        resp.header.rcode = it->second.rcode;
+        resp.answers = it->second.answers;
+        resp.authorities = it->second.authorities;
+        resp.additionals = it->second.additionals;
+        if (wire_size_out != nullptr) *wire_size_out = it->second.wire_size;
+        return resp;
+      }
+      repeat = true;
+      known_size = it->second.wire_size;
+    }
+  }
+
+  Message resp = compute_response(query, now);
+  std::size_t size = known_size;
+  if (size == 0 && wire_size_out != nullptr) size = encoded_size(resp);
+  if (wire_size_out != nullptr) *wire_size_out = size;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    ++stats_.response_misses;
+    if (size != 0 && known_size == 0) stats_.bytes_encoded += size;
+    auto& entry = response_cache_[std::move(key)];
+    entry.wire_size = size != 0 ? size : entry.wire_size;
+    if (repeat && !entry.rendered) {
+      // Second ask for the same question this epoch: materialize the
+      // sections so the third and later asks are pure copies.
+      entry.rendered = true;
+      entry.aa = resp.header.aa;
+      entry.rcode = resp.header.rcode;
+      entry.answers = resp.answers;
+      entry.authorities = resp.authorities;
+      entry.additionals = resp.additionals;
+    }
+  }
+  return resp;
+}
+
 Message AuthoritativeServer::handle_udp(const Message& query,
                                         net::SimTime now) const {
-  Message resp = handle(query, now);
+  std::size_t wire_size = 0;
+  Message resp = handle_internal(query, now, &wire_size);
   std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
-  if (resp.encode().size() > limit) {
+  if (wire_size > limit) {
     resp.answers.clear();
     resp.authorities.clear();
     resp.additionals.clear();

@@ -18,8 +18,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/message.h"
@@ -29,6 +31,26 @@
 #include "net/time.h"
 
 namespace httpsrr::resolver {
+
+// Hot-path counters for the read-side memo layers (response cache,
+// signature cache) and the server-side encoder. Aggregated across servers
+// by DnsInfra::hot_path_stats() and surfaced through ResolverStats.
+struct HotPathStats {
+  std::uint64_t response_hits = 0;
+  std::uint64_t response_misses = 0;
+  std::uint64_t signature_hits = 0;
+  std::uint64_t signature_misses = 0;
+  std::uint64_t bytes_encoded = 0;
+
+  HotPathStats& operator+=(const HotPathStats& other) {
+    response_hits += other.response_hits;
+    response_misses += other.response_misses;
+    signature_hits += other.signature_hits;
+    signature_misses += other.signature_misses;
+    bytes_encoded += other.bytes_encoded;
+    return *this;
+  }
+};
 
 class AuthoritativeServer {
  public:
@@ -47,12 +69,12 @@ class AuthoritativeServer {
   [[nodiscard]] std::size_t zone_count() const { return zones_.size(); }
 
   // Provider capability: answer SVCB/HTTPS queries with NODATA when false.
-  void set_supports_https_rr(bool supported) { supports_https_rr_ = supported; }
+  void set_supports_https_rr(bool supported);
   [[nodiscard]] bool supports_https_rr() const { return supports_https_rr_; }
 
   // Failure injection: an offline server never answers (resolver treats it
   // as timeout and tries the next NS).
-  void set_offline(bool offline) { offline_ = offline; }
+  void set_offline(bool offline);
   [[nodiscard]] bool offline() const { return offline_; }
 
   // DNSSEC provisioning: serve `zone` signed with `key`. Signatures are
@@ -70,7 +92,7 @@ class AuthoritativeServer {
   // rewriting tens of thousands of zones.
   using SvcbHook =
       std::function<void(const dns::Name& owner, dns::SvcbRdata&, net::SimTime)>;
-  void set_svcb_hook(SvcbHook hook) { svcb_hook_ = std::move(hook); }
+  void set_svcb_hook(SvcbHook hook);
 
   // Handles one query at virtual time `now`. Never fails: malformed or
   // out-of-bailiwick questions yield REFUSED. Signatures are attached only
@@ -88,6 +110,19 @@ class AuthoritativeServer {
   [[nodiscard]] dns::Message handle(const dns::Name& qname, dns::RrType qtype,
                                     net::SimTime now) const;
 
+  // Pre-rendered response memoization.  Off by default: standalone fixtures
+  // mutate zones directly between queries.  The ecosystem turns it on (via
+  // DnsInfra::enable_response_caching) because there the "Internet frozen
+  // between advance_to calls" contract holds, and Internet::advance_to
+  // invalidates every cache before anything changes.  Entries are keyed on
+  // (qname, qtype, EDNS/DO state, virtual second), so even without an
+  // explicit invalidation a cached answer can never leak across a clock
+  // move.  Every zone/key/capability mutator below also invalidates, which
+  // keeps direct-mutation call sites safe when caching is on.
+  void set_response_caching(bool enabled);
+  void invalidate_caches();
+  [[nodiscard]] HotPathStats hot_path_stats() const;
+
  private:
   struct HostedZone {
     dns::Zone zone;
@@ -95,7 +130,51 @@ class AuthoritativeServer {
     net::Duration sig_validity = net::Duration::days(14);
   };
 
+  // Response-cache key: EDNS state folds presence and the DO bit into one
+  // discriminant (content depends on DO; wire size also on OPT presence).
+  struct ResponseKey {
+    dns::Name qname;
+    dns::RrType qtype = dns::RrType::A;
+    std::uint8_t edns_state = 0;  // 0 = no EDNS, 1 = EDNS, 2 = EDNS + DO
+    std::int64_t at = 0;          // virtual second of the query
+
+    friend bool operator==(const ResponseKey&, const ResponseKey&) = default;
+  };
+  struct ResponseKeyHash {
+    std::size_t operator()(const ResponseKey& k) const {
+      std::size_t h = k.qname.hash();
+      h ^= (static_cast<std::size_t>(k.qtype) << 2) ^
+           (static_cast<std::size_t>(k.edns_state) << 18) ^
+           (static_cast<std::size_t>(k.at) * 0x9e3779b97f4a7c15ULL);
+      return h;
+    }
+  };
+  // The parts of a response that don't just echo the query.  Entries are
+  // materialized on the *second* occurrence of a key (cache-on-reference):
+  // the daily scan's questions are mostly unique, and copying sections for
+  // answers nobody asks for again costs more than the hits give back.  A
+  // first occurrence leaves only the key and the encoded size (which
+  // handle_udp needs every time, so memoizing it is pure profit).
+  struct ResponseEntry {
+    bool rendered = false;  // sections below are populated
+    bool aa = false;
+    dns::Rcode rcode = dns::Rcode::NOERROR;
+    std::vector<dns::Rr> answers;
+    std::vector<dns::Rr> authorities;
+    std::vector<dns::Rr> additionals;
+    std::size_t wire_size = 0;  // full encoded size; 0 = not yet measured
+  };
+
   [[nodiscard]] const HostedZone* best_zone_for(const dns::Name& qname) const;
+  // The uncached RFC 1034 §4.3.2 answer path.
+  [[nodiscard]] dns::Message compute_response(const dns::Message& query,
+                                              net::SimTime now) const;
+  // Shared core of handle/handle_udp: memoizes when enabled; reports the
+  // encoded response size through `wire_size_out` when non-null.
+  [[nodiscard]] dns::Message handle_internal(const dns::Message& query,
+                                             net::SimTime now,
+                                             std::size_t* wire_size_out) const;
+  [[nodiscard]] std::size_t encoded_size(const dns::Message& resp) const;
   void append_signed(const HostedZone& hz, std::vector<dns::Rr> rrset,
                      std::vector<dns::Rr>& out, net::SimTime now,
                      bool want_dnssec) const;
@@ -110,6 +189,16 @@ class AuthoritativeServer {
   bool offline_ = false;
   SvcbHook svcb_hook_;
   std::map<dns::Name, HostedZone> zones_;
+
+  // Read-side memo state: logically const (handle() is a pure read of the
+  // frozen Internet), hence mutable; mutex-guarded because the sharded scan
+  // queries one server from many threads.
+  bool caching_enabled_ = false;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<ResponseKey, ResponseEntry, ResponseKeyHash>
+      response_cache_;
+  mutable HotPathStats stats_;  // response hits/misses + bytes (cache_mutex_)
+  mutable dnssec::SignatureCache sig_cache_;  // own lock; pure memo
 };
 
 }  // namespace httpsrr::resolver

@@ -44,6 +44,29 @@ std::optional<dns::Name> DnsInfra::zone_apex(const dns::Name& name) const {
   }
 }
 
+void DnsInfra::enable_response_caching() {
+  for (auto& [addr, server] : by_address_) {
+    (void)addr;
+    server->set_response_caching(true);
+  }
+}
+
+void DnsInfra::bump_epoch() {
+  for (auto& [addr, server] : by_address_) {
+    (void)addr;
+    server->invalidate_caches();
+  }
+}
+
+HotPathStats DnsInfra::hot_path_stats() const {
+  HotPathStats total;
+  for (const auto& [addr, server] : by_address_) {
+    (void)addr;
+    total += server->hot_path_stats();
+  }
+  return total;
+}
+
 AuthoritativeServer* InfraChainSource::first_online(const dns::Name& apex) const {
   const auto* servers = infra_.zone_servers(apex);
   if (servers == nullptr) return nullptr;

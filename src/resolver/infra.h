@@ -47,6 +47,19 @@ class DnsInfra {
 
   [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
 
+  // Turns on response memoization for every registered server (owned and
+  // adopted). Only safe under the frozen-epoch contract: the owner must
+  // call bump_epoch() before any state change — ecosystem::Internet does
+  // both (enable at construction, bump inside advance_to).
+  void enable_response_caching();
+
+  // Epoch edge: drops every memoized response and signature across the
+  // directory. Cheap when nothing is cached.
+  void bump_epoch();
+
+  // Aggregated memo/encoder counters across all registered servers.
+  [[nodiscard]] HotPathStats hot_path_stats() const;
+
  private:
   std::vector<std::unique_ptr<AuthoritativeServer>> servers_;
   std::map<net::IpAddr, AuthoritativeServer*> by_address_;

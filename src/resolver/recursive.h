@@ -31,8 +31,9 @@
 // property the Study's shard-count-invariance test pins.
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "dns/message.h"
@@ -51,6 +52,13 @@ struct ResolverStats {
   std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
   std::uint64_t servfails = 0;
   std::uint64_t validations = 0;
+  // Server-side hot-path counters (filled in by aggregators with access to
+  // the DnsInfra, e.g. Study::resolver_stats — a resolver instance can't
+  // see them): pre-rendered response-cache hits, RRSIG memo hits, and the
+  // bytes the authoritative encoders produced.
+  std::uint64_t auth_cache_hits = 0;
+  std::uint64_t sig_cache_hits = 0;
+  std::uint64_t bytes_encoded = 0;
 
   // Merge helper: the sharded Study aggregates per-shard resolver stats.
   ResolverStats& operator+=(const ResolverStats& other) {
@@ -61,6 +69,9 @@ struct ResolverStats {
     tcp_fallbacks += other.tcp_fallbacks;
     servfails += other.servfails;
     validations += other.validations;
+    auth_cache_hits += other.auth_cache_hits;
+    sig_cache_hits += other.sig_cache_hits;
+    bytes_encoded += other.bytes_encoded;
     return *this;
   }
 };
@@ -109,6 +120,12 @@ class RecursiveResolver {
     bool validated = false;  // AD state at insertion time
   };
   using CacheKey = std::pair<dns::Name, dns::RrType>;
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return k.first.hash() ^
+             (static_cast<std::size_t>(k.second) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
 
   // Same-instant repeat counter per question, so back-to-back uncached
   // queries at one virtual instant still spread over the NS set (§4.2.3)
@@ -146,8 +163,10 @@ class RecursiveResolver {
   util::Pcg32 rng_;            // unobservable state only (message ids)
   std::uint64_t selection_seed_;
   mutable dnssec::ChainStatusCache chain_cache_;
-  std::map<CacheKey, CacheEntry> cache_;
-  std::map<CacheKey, IterateSeq> iterate_seq_;
+  // Hash maps, not ordered maps: nothing iterates these, so only lookup
+  // speed matters, and NameHash is already case-folded.
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::unordered_map<CacheKey, IterateSeq, CacheKeyHash> iterate_seq_;
   ResolverStats stats_;
 };
 

@@ -191,6 +191,12 @@ resolver::ResolverStats Study::resolver_stats() const {
     total += shard.primary->stats();
     total += shard.backup->stats();
   }
+  // Server-side hot-path counters live in the shared infra, not in any
+  // single resolver; fold them in once.
+  auto hot = net_.infra().hot_path_stats();
+  total.auth_cache_hits = hot.response_hits;
+  total.sig_cache_hits = hot.signature_hits;
+  total.bytes_encoded = hot.bytes_encoded;
   return total;
 }
 

@@ -6,23 +6,11 @@
 
 namespace httpsrr::util {
 
-char ascii_lower(char c) {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-
 std::string to_lower(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) out.push_back(ascii_lower(c));
   return out;
-}
-
-bool iequals(std::string_view a, std::string_view b) {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
-  }
-  return true;
 }
 
 std::vector<std::string> split(std::string_view s, char sep) {

@@ -11,11 +11,21 @@
 namespace httpsrr::util {
 
 // ASCII-only case conversion (DNS names are ASCII; locale must not matter).
-[[nodiscard]] char ascii_lower(char c);
+// Defined inline: both sit on the name-comparison hot path, called hundreds
+// of millions of times per scan day.
+[[nodiscard]] constexpr char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
 [[nodiscard]] std::string to_lower(std::string_view s);
 
 // True if the two views are equal ignoring ASCII case.
-[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] constexpr bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
+}
 
 // Split `s` on `sep`, keeping empty fields.
 [[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);

@@ -56,8 +56,7 @@ void Lab::set_zone(const std::string& origin, std::string_view master_text) {
     assert(false && "Lab zones must sit below a TLD");
     std::abort();
   }
-  std::vector<std::string> tld_labels = {apex.labels().back()};
-  Name tld = *Name::from_labels(tld_labels);
+  Name tld = apex.suffix(1);
 
   // Ensure the TLD zone and root delegation exist.
   if (tld_ns_->find_zone(tld) == nullptr) {

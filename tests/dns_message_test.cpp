@@ -155,5 +155,59 @@ TEST(Message, ToStringContainsSections) {
   EXPECT_NE(text.find("alpn=h2"), std::string::npos);
 }
 
+// Regression: a CNAME chain whose spellings disagree in case must still
+// compress (suffix matching is ASCII case-insensitive), the bytes must be
+// deterministic across writers, and the reused-writer path must produce
+// exactly the bytes of a fresh encode.
+TEST(Message, MixedCaseCnameChainCompressesDeterministically) {
+  auto q = Message::make_query(9, name_of("WWW.Example.COM"), RrType::A);
+  auto resp = Message::make_response(q);
+  resp.answers.push_back(
+      make_cname(name_of("www.EXAMPLE.com"), 300, name_of("cdn.Example.Com")));
+  resp.answers.push_back(
+      make_cname(name_of("CDN.example.COM"), 300, name_of("origin.EXAMPLE.COM")));
+  resp.answers.push_back(
+      make_a(name_of("ORIGIN.example.com"), 300, net::Ipv4Addr(1, 2, 3, 4)));
+
+  auto wire = resp.encode();
+  auto wire_again = resp.encode();
+  EXPECT_EQ(wire, wire_again) << "encoding must be deterministic";
+
+  WireWriter reused;
+  resp.encode_into(reused);
+  resp.encode_into(reused);  // steady-state reuse
+  EXPECT_EQ(reused.data(), wire)
+      << "reused-writer encode differs from fresh encode";
+
+  // Every owner/target is a case variant of names already on the wire, so
+  // compression must collapse them; an uncompressed encoding of the same
+  // sections would be far larger.
+  std::size_t uncompressed = 12 + (resp.edns ? 11 : 0);
+  auto add_name = [&](const Name& n) { uncompressed += n.wire_length(); };
+  add_name(resp.questions[0].qname);
+  uncompressed += 4;
+  for (const auto& rr : resp.answers) {
+    add_name(rr.owner);
+    uncompressed += 10;  // type, class, ttl, rdlength
+    if (const auto* cname = std::get_if<CnameRdata>(&rr.rdata)) {
+      add_name(cname->target);
+    } else {
+      uncompressed += 4;  // A rdata
+    }
+  }
+  EXPECT_LT(wire.size(), uncompressed - 30)
+      << "mixed-case suffixes were not compressed";
+
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  ASSERT_EQ(decoded->answers.size(), 3u);
+  EXPECT_EQ(decoded->answers[0].owner, name_of("www.example.com"));
+  EXPECT_EQ(std::get<CnameRdata>(decoded->answers[0].rdata).target,
+            name_of("cdn.example.com"));
+  EXPECT_EQ(std::get<CnameRdata>(decoded->answers[1].rdata).target,
+            name_of("origin.example.com"));
+  EXPECT_EQ(decoded->answers[2].owner, name_of("origin.example.com"));
+}
+
 }  // namespace
 }  // namespace httpsrr::dns

@@ -64,10 +64,9 @@ TEST(WireName, RootRoundTrip) {
 
 TEST(WireName, CompressionEmitsPointer) {
   WireWriter w;
-  std::map<std::string, std::uint16_t> offsets;
-  w.name_compressed(name_of("www.example.com"), offsets);
+  w.name_compressed(name_of("www.example.com"));
   std::size_t first_len = w.size();
-  w.name_compressed(name_of("example.com"), offsets);
+  w.name_compressed(name_of("example.com"));
   // Second name should be a bare 2-byte pointer.
   EXPECT_EQ(w.size(), first_len + 2);
 
@@ -78,10 +77,9 @@ TEST(WireName, CompressionEmitsPointer) {
 
 TEST(WireName, CompressionIsCaseInsensitive) {
   WireWriter w;
-  std::map<std::string, std::uint16_t> offsets;
-  w.name_compressed(name_of("EXAMPLE.com"), offsets);
+  w.name_compressed(name_of("EXAMPLE.com"));
   std::size_t first_len = w.size();
-  w.name_compressed(name_of("example.COM"), offsets);
+  w.name_compressed(name_of("example.COM"));
   EXPECT_EQ(w.size(), first_len + 2);
 }
 
@@ -101,9 +99,8 @@ TEST(WireName, ForwardPointerRejected) {
 
 TEST(WireName, UncompressedRejectsPointer) {
   WireWriter w;
-  std::map<std::string, std::uint16_t> offsets;
-  w.name_compressed(name_of("a.com"), offsets);
-  w.name_compressed(name_of("a.com"), offsets);  // becomes pointer
+  w.name_compressed(name_of("a.com"));
+  w.name_compressed(name_of("a.com"));  // becomes pointer
   WireReader r(w.data());
   ASSERT_TRUE(r.name_uncompressed().ok());  // first copy is literal
   EXPECT_FALSE(r.name_uncompressed().ok());
@@ -118,6 +115,60 @@ TEST(WireName, TruncatedLabelRejected) {
 TEST(WireName, ReservedLabelTypeRejected) {
   Bytes evil = {0x80, 'a', 0x00};  // 0b10xxxxxx is reserved
   WireReader r(evil);
+  EXPECT_FALSE(r.name().ok());
+}
+
+// Hostile input: pointers may only chase backwards, so the longest legal
+// chain is bounded by the message length.  A deep (but legal) chain must
+// decode; a chain that assembles a name longer than 255 wire octets must
+// be rejected even though every individual label is valid.
+TEST(WireName, DeepBackwardPointerChainDecodes) {
+  // [1,'a',0x00] then 60 names, each a 1-octet label + pointer to the
+  // previous name: a 60-hop chase, all backwards.
+  Bytes wire = {0x01, 'a', 0x00};
+  std::size_t prev = 0;
+  for (int i = 0; i < 60; ++i) {
+    std::size_t here = wire.size();
+    wire.push_back(0x01);
+    wire.push_back(static_cast<std::uint8_t>('b' + (i % 20)));
+    wire.push_back(static_cast<std::uint8_t>(0xc0 | (prev >> 8)));
+    wire.push_back(static_cast<std::uint8_t>(prev & 0xff));
+    prev = here;
+  }
+  WireReader r(wire);
+  ASSERT_TRUE(r.bytes(prev).ok());  // seek to the deepest name
+  auto n = r.name();
+  ASSERT_TRUE(n.ok()) << n.error();
+  EXPECT_EQ(n->label_count(), 61u);
+}
+
+TEST(WireName, PointerAssembledNameOver255OctetsRejected) {
+  // Four 63-octet labels chained by pointers: 4*64 + root = 257 > 255.
+  Bytes wire;
+  std::size_t prev = 0;
+  for (int i = 0; i < 4; ++i) {
+    std::size_t here = wire.size();
+    wire.push_back(63);
+    for (int j = 0; j < 63; ++j) {
+      wire.push_back(static_cast<std::uint8_t>('a' + i));
+    }
+    if (i == 0) {
+      wire.push_back(0x00);
+    } else {
+      wire.push_back(static_cast<std::uint8_t>(0xc0 | (prev >> 8)));
+      wire.push_back(static_cast<std::uint8_t>(prev & 0xff));
+    }
+    prev = here;
+  }
+  // The first three names (<= 255 octets assembled) are fine...
+  {
+    WireReader ok_reader(wire);
+    ASSERT_TRUE(ok_reader.bytes(65 + 66).ok());
+    EXPECT_TRUE(ok_reader.name().ok());
+  }
+  // ...the fourth assembles 256 label octets and must fail cleanly.
+  WireReader r(wire);
+  ASSERT_TRUE(r.bytes(prev).ok());
   EXPECT_FALSE(r.name().ok());
 }
 

@@ -335,6 +335,84 @@ TEST(Internet, EchKeyRotatesHourly) {
       << "at least one rotation within 3 hours";
 }
 
+// The authoritative servers memoize rendered responses (enabled by the
+// Internet constructor). advance_to must invalidate those memos before the
+// ECH key manager ticks, so a rotation is never masked by a stale cached
+// answer — even when the exact same server answered the exact same
+// question (twice, so the entry materialized) just before the advance.
+TEST(Internet, EchRotationNotMaskedByResponseMemo) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& d = net.domain(id);
+    if (d.on_cloudflare && d.cf_proxied && !d.cf_customized && d.cf_free_plan &&
+        d.https_since <= net.config().start &&
+        d.quirk == DomainState::Quirk::none) {
+      target = &d;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  auto ech_now = [&]() -> dns::Bytes {
+    auto* server = net.infra().zone_servers(target->apex)->front();
+    dns::Bytes last;
+    for (int i = 0; i < 3; ++i) {  // repeat so the memo layer engages
+      auto resp = server->handle(target->apex, dns::RrType::HTTPS, net.now());
+      auto https = resp.answers_of_type(dns::RrType::HTTPS);
+      EXPECT_FALSE(https.empty());
+      auto ech = std::get<dns::SvcbRdata>(https[0].rdata).params.ech();
+      EXPECT_TRUE(ech.has_value());
+      last = ech.value_or(dns::Bytes{});
+    }
+    return last;
+  };
+
+  auto before = ech_now();
+  // 3 hours guarantees at least one rotation (1h period + <=31min jitter).
+  net.advance_to(net.config().start + net::Duration::hours(3));
+  auto after = ech_now();
+  EXPECT_NE(before, after) << "stale ECH config served after rotation";
+}
+
+// Same property for event-driven zone edits: the proxied toggler's HTTPS
+// record is removed and restored by advance_to via retained Zone pointers
+// (bypassing the per-mutator invalidation hooks), so this pins the epoch
+// bump in advance_to itself.  Queries go straight to the authoritative
+// server — no resolver cache in between — and repeat per day so the memo
+// entries are materialized right before each advance.
+TEST(Internet, ProxiedToggleNotMaskedByResponseMemo) {
+  Internet net(small_config());
+  const DomainState* target = nullptr;
+  for (DomainId id = 0; id < net.domain_count(); ++id) {
+    if (net.domain(id).quirk == DomainState::Quirk::proxied_toggler) {
+      target = &net.domain(id);
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+
+  bool saw_on = false, saw_off = false, saw_on_again = false;
+  for (auto day = net.config().ns_window_start; day <= net.config().end;
+       day = day + net::Duration::days(1)) {
+    net.advance_to(day);
+    auto* server = net.infra().zone_servers(target->apex)->front();
+    bool on = false;
+    for (int i = 0; i < 3; ++i) {
+      auto resp = server->handle(target->apex, dns::RrType::HTTPS, net.now());
+      on = !resp.answers_of_type(dns::RrType::HTTPS).empty();
+    }
+    if (on && !saw_off) saw_on = true;
+    if (!on && saw_on) saw_off = true;
+    if (on && saw_off) {
+      saw_on_again = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_on && saw_off && saw_on_again)
+      << "memoized answers hid the proxied toggle from direct queries";
+}
+
 TEST(Internet, NsMigrationLosesHttps) {
   Internet net(small_config());
   const DomainState* target = nullptr;

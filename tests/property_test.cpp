@@ -180,6 +180,54 @@ TEST_P(RoundTripProperty, NameWireAndPresentation) {
   }
 }
 
+// Flattened-name round trip over hand-picked escaped and edge-case labels:
+// parse -> wire encode -> wire decode -> to_string must reproduce the
+// canonical presentation exactly (case preserved, escapes re-emitted), and
+// the decoded name must compare equal to the original.
+TEST(NameRoundTrip, EscapedAndEdgeCaseLabels) {
+  // 63-char label (the wire maximum) and a 127-label name (254 flat octets).
+  std::string max_label(63, 'x');
+  std::string many_labels = "a";
+  for (int i = 0; i < 126; ++i) many_labels += ".a";
+
+  const std::string cases[] = {
+      ".",
+      "com",
+      "WwW.ExAmPlE.CoM",
+      "*.example.com",
+      "_443._tcp.example.com",
+      "xn--nxasmq6b.example",
+      "a\\.b.example.com",          // escaped dot inside a label
+      "back\\\\slash.example.com",  // escaped backslash
+      "ex\\097mple.com",            // \DDD decimal escape for 'a'
+      "sp\\032ace.example",         // \DDD escape for space
+      "\\000\\255.example",         // NUL and 0xff octets in a label
+      "semi\\;colon.example",
+      max_label + ".example.com",
+      many_labels,
+  };
+
+  for (const auto& text : cases) {
+    auto parsed = dns::Name::parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.error();
+
+    dns::WireWriter w;
+    w.name(*parsed);
+    dns::WireReader r(w.data());
+    auto decoded = r.name();
+    ASSERT_TRUE(decoded.ok()) << text << ": " << decoded.error();
+    EXPECT_EQ(*decoded, *parsed) << text;
+
+    // Exact presentation stability: the decoded copy prints byte-for-byte
+    // what the original prints, and reparsing that text is a fixpoint.
+    EXPECT_EQ(decoded->to_string(), parsed->to_string()) << text;
+    auto reparsed = dns::Name::parse(parsed->to_string());
+    ASSERT_TRUE(reparsed.ok()) << parsed->to_string();
+    EXPECT_EQ(reparsed->to_string(), parsed->to_string()) << text;
+    EXPECT_EQ(*reparsed, *parsed) << text;
+  }
+}
+
 TEST_P(RoundTripProperty, MessageWithRandomRecords) {
   util::Pcg32 rng(GetParam() ^ 0xabcd);
   for (int iteration = 0; iteration < 100; ++iteration) {

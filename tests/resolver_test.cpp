@@ -627,5 +627,106 @@ TEST(Stub, FallsBackOnServfail) {
   EXPECT_EQ(stub.fallbacks(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Response/signature memoization: identical answers, and invalidation on
+// every server mutator so cached data can never go stale.
+// ---------------------------------------------------------------------------
+
+TEST(ResponseCache, RepeatQueryServedFromCacheBitIdentically) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  // Cache-on-second-reference: first query plants the key, second
+  // materializes the entry, third is a pure cache hit.
+  auto first = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+  auto second = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+  auto third = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+  EXPECT_EQ(first.encode(), second.encode());
+  EXPECT_EQ(first.encode(), third.encode());
+  EXPECT_GE(net.cf_server->hot_path_stats().response_hits, 1u);
+}
+
+TEST(ResponseCache, ZoneEditThroughFindZoneInvalidates) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  for (int i = 0; i < 3; ++i) {
+    auto resp = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+    EXPECT_EQ(resp.answers_of_type(RrType::A).size(), 1u);
+  }
+  // Mutating the zone through the non-const accessor must flush the memo.
+  auto* zone = net.cf_server->find_zone(name_of("a.com"));
+  ASSERT_NE(zone, nullptr);
+  ASSERT_TRUE(zone->add(dns::make_a(name_of("a.com"), 300,
+                                    net::Ipv4Addr(9, 9, 9, 9)))
+                  .ok());
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  EXPECT_EQ(resp.answers_of_type(RrType::A).size(), 2u)
+      << "stale cached answer served after a zone edit";
+}
+
+TEST(ResponseCache, CapabilityToggleInvalidates) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  for (int i = 0; i < 3; ++i) {
+    auto resp = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+    EXPECT_FALSE(resp.answers_of_type(RrType::HTTPS).empty());
+  }
+  net.cf_server->set_supports_https_rr(false);
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+  EXPECT_TRUE(resp.answers_of_type(RrType::HTTPS).empty())
+      << "stale cached HTTPS answer served after the capability toggle";
+}
+
+TEST(ResponseCache, OfflineToggleDropsMemo) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  for (int i = 0; i < 3; ++i) {
+    (void)net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  }
+  auto hits_before = net.cf_server->hot_path_stats().response_hits;
+  EXPECT_GE(hits_before, 1u);
+  net.cf_server->set_offline(true);
+  net.cf_server->set_offline(false);
+  // The toggle emptied the cache, so the same question misses again.
+  (void)net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  EXPECT_EQ(net.cf_server->hot_path_stats().response_hits, hits_before)
+      << "memo entries survived set_offline";
+}
+
+TEST(SignatureCache, MemoizedSignaturesMatchComputedOnes) {
+  MiniInternet net;
+  auto now = net.clock.now();
+  auto first = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  auto second = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  auto sigs1 = first.answers_of_type(RrType::RRSIG);
+  auto sigs2 = second.answers_of_type(RrType::RRSIG);
+  ASSERT_FALSE(sigs1.empty());
+  ASSERT_EQ(sigs1.size(), sigs2.size());
+  for (std::size_t i = 0; i < sigs1.size(); ++i) {
+    EXPECT_EQ(std::get<dns::RrsigRdata>(sigs1[i].rdata).signature,
+              std::get<dns::RrsigRdata>(sigs2[i].rdata).signature);
+  }
+  // Same rrset, same validity window: the second signing is a memo hit
+  // (the signature cache runs even with response caching off).
+  EXPECT_GE(net.cf_server->hot_path_stats().signature_hits, 1u);
+}
+
+TEST(SignatureCache, DnssecDisableInvalidates) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  for (int i = 0; i < 3; ++i) {
+    auto resp = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+    EXPECT_FALSE(resp.answers_of_type(RrType::RRSIG).empty());
+  }
+  net.cf_server->disable_dnssec(name_of("a.com"));
+  auto resp = net.cf_server->handle(name_of("a.com"), RrType::A, now);
+  EXPECT_TRUE(resp.answers_of_type(RrType::RRSIG).empty())
+      << "stale signed answer served after disable_dnssec";
+}
+
 }  // namespace
 }  // namespace httpsrr::resolver

@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness.
+#
+#   tools/bench.sh [OUT_JSON]
+#
+# Builds the Release micro-benchmarks, runs all three suites, and writes a
+# machine-readable summary (default: BENCH_PR2.json in the repo root):
+#
+#   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
+#     (allocation counts come from the counting operator new in
+#     bench/alloc_counter.h);
+#   * micro_study — wall-clock seconds for one 5k-domain scan day at
+#     K = 1/2/4/8 shards plus the cross-K snapshot digest;
+#   * allocs_per_encoded_query — the fresh-encode vs reused-writer numbers
+#     the PR's allocation acceptance criterion tracks.  A `pre_pr_baseline`
+#     block, if present in an existing OUT_JSON, is carried over verbatim so
+#     re-runs don't lose the one-off historical measurement.
+#
+# tools/ci.sh bench wraps this and gates on micro_study K=1 regressions.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_PR2.json}"
+BUILD="${BUILD_DIR:-build}"
+MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+
+cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD}" -j "${JOBS:-$(nproc)}" \
+  --target micro_dns micro_resolver micro_study
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "== micro_dns =="
+"./${BUILD}/bench/micro_dns" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  >"${TMP}/micro_dns.json"
+echo "== micro_resolver =="
+"./${BUILD}/bench/micro_resolver" \
+  --benchmark_format=json --benchmark_min_time="${MIN_TIME}" \
+  >"${TMP}/micro_resolver.json"
+# micro_study's wall-clock varies up to ~25% BETWEEN process invocations
+# (per-process memory layout; within a process its best-of-3 repetitions are
+# tight), so sample several processes and let the assembler keep the fastest
+# run — layout noise only ever adds time, making min the stable estimator.
+echo "== micro_study (min over 5 process runs) =="
+for i in 1 2 3 4 5; do
+  "./${BUILD}/bench/micro_study" --json "${TMP}/micro_study_${i}.json" \
+    >/dev/null
+  python3 - "${TMP}/micro_study_${i}.json" "${i}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+print(f"  run {sys.argv[2]}: K=1 {d['k1_seconds']:.3f}s "
+      f"(invariant={d['invariant']})")
+PY
+done
+
+# Fixed CPU-bound calibration workload (best of 3).  Wall-clock on this kind
+# of box swings with host contention; recording how long a *constant* amount
+# of work took in the same run lets the regression gate in tools/ci.sh
+# compare host-speed-normalized ratios instead of raw seconds.
+CALIB="$(python3 - <<'PY'
+import hashlib, time
+best = None
+for _ in range(3):
+    blob = b"x" * 4096
+    t0 = time.perf_counter()
+    for _ in range(200000):
+        hashlib.sha256(blob).digest()
+    dt = time.perf_counter() - t0
+    best = dt if best is None else min(best, dt)
+print(f"{best:.4f}")
+PY
+)"
+echo "== calibration: ${CALIB}s =="
+
+python3 - "${TMP}" "${OUT}" "${CALIB}" <<'PY'
+import json, os, sys
+
+tmp, out, calib = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def suite(path):
+    with open(path) as f:
+        raw = json.load(f)
+    result = {}
+    for b in raw.get("benchmarks", []):
+        entry = {"ns_per_op": round(b["real_time"], 1)}
+        if "allocs_per_op" in b:
+            entry["allocs_per_op"] = round(b["allocs_per_op"], 2)
+        result[b["name"]] = entry
+    return result
+
+micro_dns = suite(os.path.join(tmp, "micro_dns.json"))
+micro_resolver = suite(os.path.join(tmp, "micro_resolver.json"))
+
+# Keep the fastest process run; record every K=1 sample for transparency and
+# require the snapshot digest to agree across runs (cross-process
+# determinism — same seed must mean same dataset).
+runs = []
+for name in sorted(os.listdir(tmp)):
+    if name.startswith("micro_study_"):
+        with open(os.path.join(tmp, name)) as f:
+            runs.append(json.load(f))
+digests = {r["digest"] for r in runs}
+if len(digests) != 1:
+    print(f"micro_study digest differs across process runs: {digests}")
+    sys.exit(1)
+micro_study = min(runs, key=lambda r: r["k1_seconds"])
+micro_study["k1_samples"] = [r["k1_seconds"] for r in runs]
+
+fresh = micro_dns.get("BM_QueryEncode", {}).get("allocs_per_op")
+reused = micro_dns.get("BM_QueryEncodeReuse", {}).get("allocs_per_op")
+allocs = {"fresh_writer": fresh, "reused_writer": reused}
+
+# Keep the one-off pre-PR measurement (taken against the parent commit with
+# the same counting allocator) across regenerations.
+if os.path.exists(out):
+    try:
+        with open(out) as f:
+            prev = json.load(f)
+        prev_allocs = prev.get("allocs_per_encoded_query", {})
+        for key, value in prev_allocs.items():
+            if key.startswith("pre_pr"):
+                allocs[key] = value
+        baseline = prev_allocs.get("pre_pr_baseline")
+        if baseline is not None:
+            ref = reused if reused and reused > 0 else fresh
+            if ref:
+                allocs["improvement_vs_pre_pr"] = round(baseline / ref, 1)
+            elif reused == 0:
+                allocs["improvement_vs_pre_pr"] = "inf (steady state allocation-free)"
+    except (json.JSONDecodeError, OSError):
+        pass
+
+summary = {
+    "schema": "httpsrr-bench-v1",
+    "calib_seconds": calib,
+    "micro_dns": micro_dns,
+    "micro_resolver": micro_resolver,
+    "micro_study": micro_study,
+    "allocs_per_encoded_query": allocs,
+}
+with open(out, "w") as f:
+    json.dump(summary, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+PY
