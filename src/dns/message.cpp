@@ -1,5 +1,6 @@
 #include "dns/message.h"
 
+#include "dns/view.h"
 #include "util/strings.h"
 
 namespace httpsrr::dns {
@@ -45,21 +46,6 @@ std::uint16_t pack_flags(const Header& h) {
   return flags;
 }
 
-Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
-  Header h;
-  h.id = id;
-  h.qr = flags & 0x8000;
-  h.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
-  h.aa = flags & 0x0400;
-  h.tc = flags & 0x0200;
-  h.rd = flags & 0x0100;
-  h.ra = flags & 0x0080;
-  h.ad = flags & 0x0020;
-  h.cd = flags & 0x0010;
-  h.rcode = static_cast<Rcode>(flags & 0x0f);
-  return h;
-}
-
 void encode_rr(const Rr& rr, WireWriter& w) {
   w.name_compressed(rr.owner);
   w.u16(static_cast<std::uint16_t>(rr.type));
@@ -70,25 +56,6 @@ void encode_rr(const Rr& rr, WireWriter& w) {
   std::size_t rdata_start = w.size();
   encode_rdata(rr.rdata, w);
   w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - rdata_start));
-}
-
-Result<Rr> decode_rr(WireReader& r) {
-  Rr rr;
-  auto owner = r.name();
-  if (!owner) return Error{owner.error()};
-  rr.owner = std::move(*owner);
-  auto type = r.u16();
-  auto klass = r.u16();
-  auto ttl = r.u32();
-  auto rdlen = r.u16();
-  if (!type || !klass || !ttl || !rdlen) return Error{"truncated RR header"};
-  rr.type = static_cast<RrType>(*type);
-  rr.klass = static_cast<RrClass>(*klass);
-  rr.ttl = *ttl;
-  auto rdata = decode_rdata(rr.type, r, *rdlen);
-  if (!rdata) return Error{rdata.error()};
-  rr.rdata = std::move(*rdata);
-  return rr;
 }
 
 }  // namespace
@@ -137,54 +104,12 @@ void Message::encode_into(WireWriter& w) const {
 }
 
 Result<Message> Message::decode(std::span<const std::uint8_t> wire) {
-  WireReader r(wire);
-  auto id = r.u16();
-  auto flags = r.u16();
-  auto qdcount = r.u16();
-  auto ancount = r.u16();
-  auto nscount = r.u16();
-  auto arcount = r.u16();
-  if (!id || !flags || !qdcount || !ancount || !nscount || !arcount) {
-    return Error{"truncated header"};
-  }
-
-  Message m;
-  m.header = unpack_flags(*id, *flags);
-
-  for (unsigned i = 0; i < *qdcount; ++i) {
-    auto qname = r.name();
-    if (!qname) return Error{qname.error()};
-    auto qtype = r.u16();
-    auto qclass = r.u16();
-    if (!qtype || !qclass) return Error{"truncated question"};
-    m.questions.push_back(Question{std::move(*qname),
-                                   static_cast<RrType>(*qtype),
-                                   static_cast<RrClass>(*qclass)});
-  }
-  auto read_section = [&r](unsigned count,
-                           std::vector<Rr>& out) -> Result<void> {
-    for (unsigned i = 0; i < count; ++i) {
-      auto rr = decode_rr(r);
-      if (!rr) return Error{rr.error()};
-      out.push_back(std::move(*rr));
-    }
-    return {};
-  };
-  if (auto s = read_section(*ancount, m.answers); !s) return Error{s.error()};
-  if (auto s = read_section(*nscount, m.authorities); !s) return Error{s.error()};
-  if (auto s = read_section(*arcount, m.additionals); !s) return Error{s.error()};
-
-  // Lift an OPT pseudo-RR out of the additional section into `edns`.
-  for (auto it = m.additionals.begin(); it != m.additionals.end(); ++it) {
-    if (it->type != RrType::OPT) continue;
-    Edns edns;
-    edns.udp_payload_size = static_cast<std::uint16_t>(it->klass);
-    edns.dnssec_ok = (it->ttl & 0x00008000u) != 0;
-    m.edns = edns;
-    m.additionals.erase(it);
-    break;
-  }
-  return m;
+  // Decoding is a structural index pass (MessageView::parse) plus full
+  // materialization — callers that only need a few fields use the view
+  // directly and skip the materialization cost entirely.
+  auto view = MessageView::parse(wire);
+  if (!view) return Error{view.error()};
+  return view->to_message();
 }
 
 std::vector<Rr> Message::answers_of_type(RrType t) const {

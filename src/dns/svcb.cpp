@@ -1,6 +1,8 @@
 #include "dns/svcb.h"
 
 #include <algorithm>
+#include <cctype>
+#include <span>
 
 #include "util/base64.h"
 #include "util/strings.h"
@@ -221,26 +223,54 @@ std::string escape_list_item(std::string_view item) {
   return out;
 }
 
-// Splits a presentation value on unescaped commas, resolving escapes.
-std::vector<std::string> split_value_list(std::string_view value) {
-  std::vector<std::string> items;
-  std::string current;
-  for (std::size_t i = 0; i < value.size(); ++i) {
-    char c = value[i];
-    if (c == '\\' && i + 1 < value.size()) {
-      current.push_back(value[i + 1]);
-      ++i;
-      continue;
-    }
-    if (c == ',') {
-      items.push_back(std::move(current));
-      current.clear();
-      continue;
-    }
-    current.push_back(c);
+// Extracts the next whitespace-delimited token of `text` starting at `pos`
+// as a view into it; false once the input is exhausted.
+bool next_token(std::string_view text, std::size_t& pos, std::string_view& tok) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
   }
-  items.push_back(std::move(current));
-  return items;
+  if (pos >= text.size()) return false;
+  std::size_t start = pos;
+  while (pos < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  tok = text.substr(start, pos - start);
+  return true;
+}
+
+// Walks the items of a comma-separated presentation value, splitting on
+// unescaped commas.  Escape-free items (the overwhelmingly common case) are
+// handed to `fn` as views into `value`; an item containing backslash
+// escapes is resolved into `scratch` first.  `fn` returns false to abort,
+// and the abort is propagated.
+template <typename Fn>
+bool for_each_list_item(std::string_view value, std::string& scratch, Fn&& fn) {
+  std::size_t start = 0;
+  while (true) {
+    bool has_escape = false;
+    std::size_t i = start;
+    while (i < value.size() && value[i] != ',') {
+      if (value[i] == '\\' && i + 1 < value.size()) {
+        has_escape = true;
+        ++i;
+      }
+      ++i;
+    }
+    std::string_view item = value.substr(start, i - start);
+    if (has_escape) {
+      scratch.clear();
+      for (std::size_t j = 0; j < item.size(); ++j) {
+        if (item[j] == '\\' && j + 1 < item.size()) ++j;
+        scratch.push_back(item[j]);
+      }
+      item = scratch;
+    }
+    if (!fn(item)) return false;
+    if (i >= value.size()) return true;
+    start = i + 1;
+  }
 }
 
 }  // namespace
@@ -343,29 +373,36 @@ std::string SvcbRdata::to_presentation() const {
 }
 
 Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
-  auto tokens = util::split_ws(text);
-  if (tokens.size() < 2) return Error{"SVCB rdata needs priority and target"};
+  // A single pass over the text: every token and list item is scanned as a
+  // view into the input, so a typical record parses without intermediate
+  // string vectors.  Only escape resolution (rare) and the final wire
+  // values allocate.
+  std::size_t pos = 0;
+  std::string_view tok;
 
+  if (!next_token(text, pos, tok)) {
+    return Error{"SVCB rdata needs priority and target"};
+  }
   SvcbRdata out;
   std::uint64_t priority = 0;
-  if (!util::parse_u64(tokens[0], priority, 65535)) {
+  if (!util::parse_u64(tok, priority, 65535)) {
     return Error{"bad SvcPriority"};
   }
   out.priority = static_cast<std::uint16_t>(priority);
 
-  auto target = Name::parse(tokens[1]);
+  if (!next_token(text, pos, tok)) {
+    return Error{"SVCB rdata needs priority and target"};
+  }
+  auto target = Name::parse(tok);
   if (!target) return Error{"bad TargetName: " + target.error()};
   out.target = std::move(*target);
 
-  for (std::size_t i = 2; i < tokens.size(); ++i) {
-    const std::string& tok = tokens[i];
-    std::string key_str;
-    std::string value;
+  std::string scratch;  // escape-resolution buffer, reused across items
+  while (next_token(text, pos, tok)) {
+    std::string_view key_str = tok;
+    std::string_view value;
     bool has_value = false;
-    std::size_t eq = tok.find('=');
-    if (eq == std::string::npos) {
-      key_str = tok;
-    } else {
+    if (std::size_t eq = tok.find('='); eq != std::string_view::npos) {
       key_str = tok.substr(0, eq);
       value = tok.substr(eq + 1);
       has_value = true;
@@ -378,24 +415,40 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
     auto key = svc_param_key_from_string(key_str);
     if (!key) return Error{key.error()};
     if (out.params.has(*key)) {
-      return Error{"duplicate SvcParamKey: " + key_str};
+      return Error{"duplicate SvcParamKey: " + std::string(key_str)};
     }
 
     switch (static_cast<SvcParamKey>(*key)) {
       case SvcParamKey::mandatory: {
         if (!has_value || value.empty()) return Error{"mandatory needs a value"};
         std::vector<std::uint16_t> keys;
-        for (const auto& item : split_value_list(value)) {
+        Error err;
+        bool ok = for_each_list_item(value, scratch, [&](std::string_view item) {
           auto k = svc_param_key_from_string(item);
-          if (!k) return Error{k.error()};
+          if (!k) {
+            err = Error{k.error()};
+            return false;
+          }
           keys.push_back(*k);
-        }
+          return true;
+        });
+        if (!ok) return err;
         out.params.set_mandatory(std::move(keys));
         break;
       }
       case SvcParamKey::alpn: {
         if (!has_value || value.empty()) return Error{"alpn needs a value"};
-        out.params.set_alpn(split_value_list(value));
+        // Build the wire image directly: length-prefixed protocol ids
+        // (what set_alpn would produce from a string vector).
+        WireWriter w;
+        (void)for_each_list_item(value, scratch, [&](std::string_view item) {
+          item = item.substr(0, 255);
+          w.u8(static_cast<std::uint8_t>(item.size()));
+          w.raw_string(item);
+          return true;
+        });
+        out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::alpn),
+                           std::move(w).take());
         break;
       }
       case SvcParamKey::no_default_alpn: {
@@ -413,24 +466,38 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
       }
       case SvcParamKey::ipv4hint: {
         if (!has_value || value.empty()) return Error{"ipv4hint needs a value"};
-        std::vector<net::Ipv4Addr> addrs;
-        for (const auto& item : split_value_list(value)) {
+        WireWriter w;
+        Error err;
+        bool ok = for_each_list_item(value, scratch, [&](std::string_view item) {
           auto a = net::Ipv4Addr::parse(item);
-          if (!a) return Error{"bad ipv4hint: " + a.error()};
-          addrs.push_back(*a);
-        }
-        out.params.set_ipv4hint(addrs);
+          if (!a) {
+            err = Error{"bad ipv4hint: " + a.error()};
+            return false;
+          }
+          w.u32(a->bits());
+          return true;
+        });
+        if (!ok) return err;
+        out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::ipv4hint),
+                           std::move(w).take());
         break;
       }
       case SvcParamKey::ipv6hint: {
         if (!has_value || value.empty()) return Error{"ipv6hint needs a value"};
-        std::vector<net::Ipv6Addr> addrs;
-        for (const auto& item : split_value_list(value)) {
+        WireWriter w;
+        Error err;
+        bool ok = for_each_list_item(value, scratch, [&](std::string_view item) {
           auto a = net::Ipv6Addr::parse(item);
-          if (!a) return Error{"bad ipv6hint: " + a.error()};
-          addrs.push_back(*a);
-        }
-        out.params.set_ipv6hint(addrs);
+          if (!a) {
+            err = Error{"bad ipv6hint: " + a.error()};
+            return false;
+          }
+          w.bytes(std::span<const std::uint8_t>(a->bytes().data(), 16));
+          return true;
+        });
+        if (!ok) return err;
+        out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::ipv6hint),
+                           std::move(w).take());
         break;
       }
       case SvcParamKey::ech: {

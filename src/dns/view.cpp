@@ -1,0 +1,231 @@
+#include "dns/view.h"
+
+#include "dns/wire.h"
+
+namespace httpsrr::dns {
+
+using util::Error;
+using util::Result;
+
+namespace {
+
+Header unpack_flags(std::uint16_t id, std::uint16_t flags) {
+  Header h;
+  h.id = id;
+  h.qr = flags & 0x8000;
+  h.opcode = static_cast<Opcode>((flags >> 11) & 0x0f);
+  h.aa = flags & 0x0400;
+  h.tc = flags & 0x0200;
+  h.rd = flags & 0x0100;
+  h.ra = flags & 0x0080;
+  h.ad = flags & 0x0020;
+  h.cd = flags & 0x0010;
+  h.rcode = static_cast<Rcode>(flags & 0x0f);
+  return h;
+}
+
+// Advances `pos` past one (possibly compressed) name without following
+// pointers or materializing labels.  Structural checks only — label-type
+// and truncation errors match the eager decoder's; pointer-target validity
+// and the 255-octet cap are enforced when the name is materialized.
+Result<void> skip_name(std::span<const std::uint8_t> data, std::size_t& pos) {
+  std::size_t cursor = pos;
+  while (true) {
+    if (cursor >= data.size()) return Error{"truncated name"};
+    std::uint8_t len = data[cursor];
+    if ((len & 0xc0) == 0xc0) {
+      if (cursor + 1 >= data.size()) return Error{"truncated pointer"};
+      pos = cursor + 2;
+      return {};
+    }
+    if ((len & 0xc0) != 0) return Error{"reserved label type"};
+    if (len == 0) {
+      pos = cursor + 1;
+      return {};
+    }
+    if (cursor + 1 + len > data.size()) return Error{"truncated label"};
+    cursor += 1 + len;
+  }
+}
+
+Result<Name> name_at(std::span<const std::uint8_t> wire, std::size_t offset) {
+  WireReader r(wire);
+  r.seek(offset);
+  return r.name();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- RecordView
+
+RrType RecordView::type() const { return static_cast<RrType>(ref_->type); }
+RrClass RecordView::klass() const { return static_cast<RrClass>(ref_->klass); }
+std::uint32_t RecordView::ttl() const { return ref_->ttl; }
+
+Result<Name> RecordView::owner() const {
+  return name_at(msg_->wire_, ref_->owner_off);
+}
+
+std::span<const std::uint8_t> RecordView::rdata_wire() const {
+  return msg_->wire_.subspan(ref_->rdata_off, ref_->rdata_len);
+}
+
+Result<Rdata> RecordView::rdata() const {
+  WireReader r(msg_->wire_);
+  r.seek(ref_->rdata_off);
+  return decode_rdata(type(), r, ref_->rdata_len);
+}
+
+Result<Rr> RecordView::materialize() const {
+  Rr rr;
+  auto name = owner();
+  if (!name) return Error{name.error()};
+  rr.owner = std::move(*name);
+  rr.type = type();
+  rr.klass = klass();
+  rr.ttl = ref_->ttl;
+  auto rd = rdata();
+  if (!rd) return Error{rd.error()};
+  rr.rdata = std::move(*rd);
+  return rr;
+}
+
+std::optional<net::Ipv4Addr> RecordView::a_addr() const {
+  if (type() != RrType::A || ref_->rdata_len != 4) return std::nullopt;
+  auto d = rdata_wire();
+  std::uint32_t bits = (static_cast<std::uint32_t>(d[0]) << 24) |
+                       (static_cast<std::uint32_t>(d[1]) << 16) |
+                       (static_cast<std::uint32_t>(d[2]) << 8) |
+                       static_cast<std::uint32_t>(d[3]);
+  return net::Ipv4Addr(bits);
+}
+
+std::optional<net::Ipv6Addr> RecordView::aaaa_addr() const {
+  if (type() != RrType::AAAA || ref_->rdata_len != 16) return std::nullopt;
+  auto d = rdata_wire();
+  std::array<std::uint8_t, 16> bytes;
+  std::copy(d.begin(), d.end(), bytes.begin());
+  return net::Ipv6Addr(bytes);
+}
+
+Result<Name> RecordView::name_target() const {
+  switch (type()) {
+    case RrType::CNAME:
+    case RrType::DNAME:
+    case RrType::NS:
+    case RrType::PTR:
+      return name_at(msg_->wire_, ref_->rdata_off);
+    default:
+      return Error{"record type carries no target name"};
+  }
+}
+
+// ----------------------------------------------------------- QuestionView
+
+Result<Name> QuestionView::qname() const {
+  return name_at(msg_->wire_, ref_->off);
+}
+
+// ------------------------------------------------------------ MessageView
+
+Result<MessageView> MessageView::parse(std::span<const std::uint8_t> wire) {
+  MessageView v;
+  v.wire_ = wire;
+
+  WireReader r(wire);
+  auto id = r.u16();
+  auto flags = r.u16();
+  auto qdcount = r.u16();
+  auto ancount = r.u16();
+  auto nscount = r.u16();
+  auto arcount = r.u16();
+  if (!id || !flags || !qdcount || !ancount || !nscount || !arcount) {
+    return Error{"truncated header"};
+  }
+  v.header_ = unpack_flags(*id, *flags);
+
+  std::size_t pos = r.pos();
+  for (unsigned i = 0; i < *qdcount; ++i) {
+    QuestionView::Ref q;
+    q.off = static_cast<std::uint32_t>(pos);
+    if (auto s = skip_name(wire, pos); !s) return Error{s.error()};
+    if (pos + 4 > wire.size()) return Error{"truncated question"};
+    q.qtype = static_cast<std::uint16_t>((wire[pos] << 8) | wire[pos + 1]);
+    q.qclass = static_cast<std::uint16_t>((wire[pos + 2] << 8) | wire[pos + 3]);
+    pos += 4;
+    v.questions_.push_back(q);
+  }
+
+  // Walk the three record sections.  The first OPT pseudo-RR in the
+  // additional section is lifted into `edns_` instead of being indexed
+  // (mirroring the eager decoder); any further OPT stays a plain record.
+  const unsigned counts[3] = {*ancount, *nscount, *arcount};
+  for (int section = 0; section < 3; ++section) {
+    for (unsigned i = 0; i < counts[section]; ++i) {
+      RecordView::Ref ref;
+      ref.owner_off = static_cast<std::uint32_t>(pos);
+      if (auto s = skip_name(wire, pos); !s) return Error{s.error()};
+      if (pos + 10 > wire.size()) return Error{"truncated RR header"};
+      ref.type = static_cast<std::uint16_t>((wire[pos] << 8) | wire[pos + 1]);
+      ref.klass =
+          static_cast<std::uint16_t>((wire[pos + 2] << 8) | wire[pos + 3]);
+      ref.ttl = (static_cast<std::uint32_t>(wire[pos + 4]) << 24) |
+                (static_cast<std::uint32_t>(wire[pos + 5]) << 16) |
+                (static_cast<std::uint32_t>(wire[pos + 6]) << 8) |
+                static_cast<std::uint32_t>(wire[pos + 7]);
+      ref.rdata_len =
+          static_cast<std::uint16_t>((wire[pos + 8] << 8) | wire[pos + 9]);
+      pos += 10;
+      if (pos + ref.rdata_len > wire.size()) return Error{"truncated RDATA"};
+      ref.rdata_off = static_cast<std::uint32_t>(pos);
+      pos += ref.rdata_len;
+
+      if (section == 2 && static_cast<RrType>(ref.type) == RrType::OPT &&
+          !v.edns_) {
+        Edns edns;
+        edns.udp_payload_size = ref.klass;
+        edns.dnssec_ok = (ref.ttl & 0x00008000u) != 0;
+        v.edns_ = edns;
+        continue;
+      }
+      v.records_.push_back(ref);
+      if (section == 0) ++v.an_;
+      if (section == 1) ++v.ns_;
+    }
+  }
+  return v;
+}
+
+Result<Message> MessageView::to_message() const {
+  Message m;
+  m.header = header_;
+  m.edns = edns_;
+
+  m.questions.reserve(questions_.size());
+  for (std::size_t i = 0; i < questions_.size(); ++i) {
+    QuestionView q = question(i);
+    auto qname = q.qname();
+    if (!qname) return Error{qname.error()};
+    m.questions.push_back(
+        Question{std::move(*qname), q.qtype(), q.qclass()});
+  }
+
+  auto fill = [this](std::size_t begin, std::size_t count,
+                     std::vector<Rr>& out) -> Result<void> {
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto rr = RecordView(this, &records_[begin + i]).materialize();
+      if (!rr) return Error{rr.error()};
+      out.push_back(std::move(*rr));
+    }
+    return {};
+  };
+  if (auto s = fill(0, an_, m.answers); !s) return Error{s.error()};
+  if (auto s = fill(an_, ns_, m.authorities); !s) return Error{s.error()};
+  if (auto s = fill(an_ + ns_, records_.size() - an_ - ns_, m.additionals); !s) {
+    return Error{s.error()};
+  }
+  return m;
+}
+
+}  // namespace httpsrr::dns

@@ -1,0 +1,194 @@
+#pragma once
+
+// MessageView / RecordView — a non-owning lazy decoder over one DNS
+// message's wire bytes.
+//
+// MessageView::parse reads the header and walks the sections once, indexing
+// each question and record (owner offset, type, class, TTL, RDATA span)
+// without materializing names or RDATA.  Callers then pull out exactly what
+// they need: the zero-alloc typed accessors (a_addr, aaaa_addr,
+// name_target) cover the response hot path, rdata()/materialize() decode a
+// single record on demand, and to_message() produces the fully owned
+// dns::Message (Message::decode delegates here).
+//
+// The record index lives inline in the view for typical response sizes, so
+// steady-state parsing never touches the heap; only messages with many
+// records spill to an overflow vector.
+//
+// Lifetime rule: a MessageView and every RecordView/QuestionView obtained
+// from it borrow the wire buffer passed to parse().  None of them may
+// outlive that buffer, and RecordView/QuestionView must not outlive (or be
+// used across a move of) the MessageView they came from.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rdata.h"
+#include "dns/rr.h"
+#include "dns/types.h"
+#include "net/ip.h"
+#include "util/result.h"
+
+namespace httpsrr::dns {
+
+namespace detail {
+
+// Inline-first index storage: elements live in the fixed array until it
+// fills, then everything moves to a heap vector.  No iterator or reference
+// stability is promised across push_back; reads after parsing are stable.
+template <typename T, std::size_t N>
+class SmallIndex {
+ public:
+  void push_back(const T& v) {
+    if (overflow_.empty()) {
+      if (size_ < N) {
+        inline_[size_++] = v;
+        return;
+      }
+      overflow_.reserve(2 * N);
+      overflow_.assign(inline_.begin(), inline_.end());
+    }
+    overflow_.push_back(v);
+    ++size_;
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return overflow_.empty() ? inline_[i] : overflow_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+  std::array<T, N> inline_{};
+  std::vector<T> overflow_;
+};
+
+}  // namespace detail
+
+class MessageView;
+
+// One indexed resource record.  All accessors re-read the wire lazily;
+// names inside RDATA may be compression pointers into the whole message,
+// which is why every accessor keeps the full buffer in scope.
+class RecordView {
+ public:
+  [[nodiscard]] RrType type() const;
+  [[nodiscard]] RrClass klass() const;
+  [[nodiscard]] std::uint32_t ttl() const;
+
+  // Owner name, materialized (SSO keeps short names heap-free).
+  [[nodiscard]] util::Result<Name> owner() const;
+
+  // The raw RDATA octets.  Beware: name fields inside may contain
+  // compression pointers that only resolve against the full message.
+  [[nodiscard]] std::span<const std::uint8_t> rdata_wire() const;
+
+  // Decodes the RDATA into its typed variant (allocates as the type needs).
+  [[nodiscard]] util::Result<Rdata> rdata() const;
+
+  // Full owned record: owner + typed RDATA.
+  [[nodiscard]] util::Result<Rr> materialize() const;
+
+  // Zero-alloc typed accessors for the response hot path.  Each returns
+  // nullopt/error unless the record is of the matching type and well-formed.
+  [[nodiscard]] std::optional<net::Ipv4Addr> a_addr() const;
+  [[nodiscard]] std::optional<net::Ipv6Addr> aaaa_addr() const;
+  // Target name of a CNAME/DNAME/NS/PTR record.
+  [[nodiscard]] util::Result<Name> name_target() const;
+
+ private:
+  friend class MessageView;
+  struct Ref {
+    std::uint32_t owner_off = 0;
+    std::uint32_t rdata_off = 0;
+    std::uint32_t ttl = 0;
+    std::uint16_t rdata_len = 0;
+    std::uint16_t type = 0;
+    std::uint16_t klass = 0;
+  };
+  RecordView(const MessageView* msg, const Ref* ref) : msg_(msg), ref_(ref) {}
+
+  const MessageView* msg_;
+  const Ref* ref_;
+};
+
+class QuestionView {
+ public:
+  [[nodiscard]] util::Result<Name> qname() const;
+  [[nodiscard]] RrType qtype() const { return static_cast<RrType>(ref_->qtype); }
+  [[nodiscard]] RrClass qclass() const {
+    return static_cast<RrClass>(ref_->qclass);
+  }
+
+ private:
+  friend class MessageView;
+  struct Ref {
+    std::uint32_t off = 0;
+    std::uint16_t qtype = 0;
+    std::uint16_t qclass = 0;
+  };
+  QuestionView(const MessageView* msg, const Ref* ref) : msg_(msg), ref_(ref) {}
+
+  const MessageView* msg_;
+  const Ref* ref_;
+};
+
+class MessageView {
+ public:
+  // Indexes the message structure (header, section cursors, RDATA bounds).
+  // Name *content* is validated lazily by the accessors — a structurally
+  // sound message with a hostile compression chain parses here and fails
+  // when the poisoned name is materialized (to_message rejects it, exactly
+  // like the eager decoder did).
+  static util::Result<MessageView> parse(std::span<const std::uint8_t> wire);
+
+  [[nodiscard]] const Header& header() const { return header_; }
+  [[nodiscard]] const std::optional<Edns>& edns() const { return edns_; }
+  [[nodiscard]] std::span<const std::uint8_t> wire() const { return wire_; }
+
+  [[nodiscard]] std::size_t question_count() const { return questions_.size(); }
+  [[nodiscard]] std::size_t answer_count() const { return an_; }
+  [[nodiscard]] std::size_t authority_count() const { return ns_; }
+  [[nodiscard]] std::size_t additional_count() const {
+    return records_.size() - an_ - ns_;
+  }
+
+  [[nodiscard]] QuestionView question(std::size_t i) const {
+    return QuestionView(this, &questions_[i]);
+  }
+  [[nodiscard]] RecordView answer(std::size_t i) const {
+    return RecordView(this, &records_[i]);
+  }
+  [[nodiscard]] RecordView authority(std::size_t i) const {
+    return RecordView(this, &records_[an_ + i]);
+  }
+  [[nodiscard]] RecordView additional(std::size_t i) const {
+    return RecordView(this, &records_[an_ + ns_ + i]);
+  }
+
+  // Materializes the whole message (every name and RDATA validated).
+  [[nodiscard]] util::Result<Message> to_message() const;
+
+ private:
+  friend class RecordView;
+  friend class QuestionView;
+
+  // Typical responses: one question, a handful of records per message
+  // (answer + RRSIG + referral NS/glue + OPT).  Sized so the daily scan's
+  // entire decode path stays inside the view object.
+  static constexpr std::size_t kInlineQuestions = 2;
+  static constexpr std::size_t kInlineRecords = 16;
+
+  std::span<const std::uint8_t> wire_;
+  Header header_;
+  std::optional<Edns> edns_;
+  std::size_t an_ = 0;  // indexed answer count
+  std::size_t ns_ = 0;  // indexed authority count
+  detail::SmallIndex<QuestionView::Ref, kInlineQuestions> questions_;
+  detail::SmallIndex<RecordView::Ref, kInlineRecords> records_;
+};
+
+}  // namespace httpsrr::dns

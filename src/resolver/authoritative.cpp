@@ -285,30 +285,25 @@ void AuthoritativeServer::attach_denial(const HostedZone& hz,
   }
 }
 
-std::size_t AuthoritativeServer::encoded_size(const Message& resp) const {
-  // One scratch writer per thread: steady-state encoding reuses its buffer
-  // and compression table, so measuring a response allocates nothing.
+SharedResponse AuthoritativeServer::render_response(const Message& query,
+                                                    net::SimTime now) const {
+  auto served = std::make_shared<ServedResponse>();
+  served->message = compute_response(query, now);
+  // One scratch writer per thread: its buffer and compression table are
+  // reused across renders, so encoding only allocates the wire copy below.
   static thread_local dns::WireWriter scratch;
-  resp.encode_into(scratch);
-  return scratch.size();
+  served->message.encode_into(scratch);
+  served->wire = scratch.data();
+  return served;
 }
 
-Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
-  return handle_internal(query, now, nullptr);
-}
-
-Message AuthoritativeServer::handle_internal(const Message& query,
-                                             net::SimTime now,
-                                             std::size_t* wire_size_out) const {
+SharedResponse AuthoritativeServer::handle_shared(const Message& query,
+                                                  net::SimTime now) const {
   if (!caching_enabled_ || query.questions.size() != 1) {
-    Message resp = compute_response(query, now);
-    if (wire_size_out != nullptr) {
-      std::size_t size = encoded_size(resp);
-      *wire_size_out = size;
-      std::lock_guard<std::mutex> lock(cache_mutex_);
-      stats_.bytes_encoded += size;
-    }
-    return resp;
+    SharedResponse served = render_response(query, now);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    stats_.bytes_encoded += served->wire.size();
+    return served;
   }
 
   const auto& q = query.questions.front();
@@ -316,62 +311,69 @@ Message AuthoritativeServer::handle_internal(const Message& query,
                   static_cast<std::uint8_t>(
                       query.edns ? (query.edns->dnssec_ok ? 2 : 1) : 0),
                   now.unix_seconds};
-
-  // Hit path: rebuild the response around the cached sections; everything
-  // else (id, RD/CD, EDNS echo, question spelling) comes from this query.
-  bool repeat = false;       // key seen before, sections not yet rendered
-  std::size_t known_size = 0;
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     auto it = response_cache_.find(key);
     if (it != response_cache_.end()) {
-      if (it->second.rendered) {
-        ++stats_.response_hits;
-        Message resp = Message::make_response(query);
-        resp.header.ra = false;
-        resp.header.aa = it->second.aa;
-        resp.header.rcode = it->second.rcode;
-        resp.answers = it->second.answers;
-        resp.authorities = it->second.authorities;
-        resp.additionals = it->second.additionals;
-        if (wire_size_out != nullptr) *wire_size_out = it->second.wire_size;
-        return resp;
-      }
-      repeat = true;
-      known_size = it->second.wire_size;
+      ++stats_.response_hits;
+      return it->second;
     }
   }
 
-  Message resp = compute_response(query, now);
-  std::size_t size = known_size;
-  if (size == 0 && wire_size_out != nullptr) size = encoded_size(resp);
-  if (wire_size_out != nullptr) *wire_size_out = size;
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    ++stats_.response_misses;
-    if (size != 0 && known_size == 0) stats_.bytes_encoded += size;
-    auto& entry = response_cache_[std::move(key)];
-    entry.wire_size = size != 0 ? size : entry.wire_size;
-    if (repeat && !entry.rendered) {
-      // Second ask for the same question this epoch: materialize the
-      // sections so the third and later asks are pure copies.
-      entry.rendered = true;
-      entry.aa = resp.header.aa;
-      entry.rcode = resp.header.rcode;
-      entry.answers = resp.answers;
-      entry.authorities = resp.authorities;
-      entry.additionals = resp.additionals;
-    }
+  // Render outside the lock (signing can be expensive) and publish.  With
+  // shared entries the render is cached eagerly on first occurrence: the
+  // sections are moved, not copied, so unlike the earlier section-copying
+  // design there is no reason to wait for a second reference.
+  SharedResponse served = render_response(query, now);
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++stats_.response_misses;
+  auto [it, inserted] = response_cache_.try_emplace(std::move(key), served);
+  if (!inserted) {
+    // Lost a render race with another shard; adopt the published entry so
+    // every caller shares one object (and the encode stays counted once).
+    return it->second;
   }
-  return resp;
+  stats_.bytes_encoded += served->wire.size();
+  return served;
+}
+
+SharedResponse AuthoritativeServer::handle_shared(const Name& qname,
+                                                  RrType qtype,
+                                                  net::SimTime now) const {
+  return handle_shared(Message::make_query(0, qname, qtype), now);
+}
+
+namespace {
+
+// Rebuilds the per-query Message a legacy caller expects from a shared
+// response: sections and answer headers from the rendered entry, query-echo
+// fields (id, opcode, RD/CD/AD/TC bits, EDNS, question spelling) from this
+// query — exactly what compute_response's make_response would have echoed.
+Message personalize(const ServedResponse& served, const Message& query) {
+  Message out = served.message;
+  out.header.id = query.header.id;
+  out.header.opcode = query.header.opcode;
+  out.header.rd = query.header.rd;
+  out.header.cd = query.header.cd;
+  out.header.ad = query.header.ad;
+  out.header.tc = query.header.tc;
+  out.edns = query.edns;
+  out.questions = query.questions;
+  return out;
+}
+
+}  // namespace
+
+Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
+  return personalize(*handle_shared(query, now), query);
 }
 
 Message AuthoritativeServer::handle_udp(const Message& query,
                                         net::SimTime now) const {
-  std::size_t wire_size = 0;
-  Message resp = handle_internal(query, now, &wire_size);
+  SharedResponse served = handle_shared(query, now);
+  Message resp = personalize(*served, query);
   std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
-  if (wire_size > limit) {
+  if (served->wire.size() > limit) {
     resp.answers.clear();
     resp.authorities.clear();
     resp.additionals.clear();

@@ -52,6 +52,23 @@ struct HotPathStats {
   }
 };
 
+// A fully rendered response plus its encoded wire image, produced once and
+// then shared: the server's response cache, every resolver shard hitting
+// that cache, and any observer that kept the pointer all reference the same
+// immutable object.  Invalidation (Internet::advance_to, server mutators)
+// only drops the cache's reference — a SharedResponse held across an epoch
+// stays valid until its last holder lets go.
+//
+// The message's query-echo fields (id, RD/CD, EDNS payload, question
+// spelling) are those of the query that first rendered the entry; callers
+// on the shared path never read them.  The legacy Message-returning
+// handle()/handle_udp() wrappers rewrite them per query.
+struct ServedResponse {
+  dns::Message message;
+  dns::Bytes wire;  // full TCP-size encoding (handle_udp derives TC from it)
+};
+using SharedResponse = std::shared_ptr<const ServedResponse>;
+
 class AuthoritativeServer {
  public:
   AuthoritativeServer(std::string operator_name, net::IpAddr address)
@@ -110,6 +127,16 @@ class AuthoritativeServer {
   [[nodiscard]] dns::Message handle(const dns::Name& qname, dns::RrType qtype,
                                     net::SimTime now) const;
 
+  // Shared-response path: returns the immutable rendered response without
+  // copying any section — a cache hit is one shared_ptr bump.  The wire is
+  // encoded exactly once per rendered entry; clients decide UDP truncation
+  // themselves by comparing wire.size() against their payload limit.
+  [[nodiscard]] SharedResponse handle_shared(const dns::Message& query,
+                                             net::SimTime now) const;
+  [[nodiscard]] SharedResponse handle_shared(const dns::Name& qname,
+                                             dns::RrType qtype,
+                                             net::SimTime now) const;
+
   // Pre-rendered response memoization.  Off by default: standalone fixtures
   // mutate zones directly between queries.  The ecosystem turns it on (via
   // DnsInfra::enable_response_caching) because there the "Internet frozen
@@ -149,32 +176,13 @@ class AuthoritativeServer {
       return h;
     }
   };
-  // The parts of a response that don't just echo the query.  Entries are
-  // materialized on the *second* occurrence of a key (cache-on-reference):
-  // the daily scan's questions are mostly unique, and copying sections for
-  // answers nobody asks for again costs more than the hits give back.  A
-  // first occurrence leaves only the key and the encoded size (which
-  // handle_udp needs every time, so memoizing it is pure profit).
-  struct ResponseEntry {
-    bool rendered = false;  // sections below are populated
-    bool aa = false;
-    dns::Rcode rcode = dns::Rcode::NOERROR;
-    std::vector<dns::Rr> answers;
-    std::vector<dns::Rr> authorities;
-    std::vector<dns::Rr> additionals;
-    std::size_t wire_size = 0;  // full encoded size; 0 = not yet measured
-  };
-
   [[nodiscard]] const HostedZone* best_zone_for(const dns::Name& qname) const;
   // The uncached RFC 1034 §4.3.2 answer path.
   [[nodiscard]] dns::Message compute_response(const dns::Message& query,
                                               net::SimTime now) const;
-  // Shared core of handle/handle_udp: memoizes when enabled; reports the
-  // encoded response size through `wire_size_out` when non-null.
-  [[nodiscard]] dns::Message handle_internal(const dns::Message& query,
-                                             net::SimTime now,
-                                             std::size_t* wire_size_out) const;
-  [[nodiscard]] std::size_t encoded_size(const dns::Message& resp) const;
+  // Computes and encodes one response (the only place the encoder runs).
+  [[nodiscard]] SharedResponse render_response(const dns::Message& query,
+                                               net::SimTime now) const;
   void append_signed(const HostedZone& hz, std::vector<dns::Rr> rrset,
                      std::vector<dns::Rr>& out, net::SimTime now,
                      bool want_dnssec) const;
@@ -195,7 +203,7 @@ class AuthoritativeServer {
   // queries one server from many threads.
   bool caching_enabled_ = false;
   mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<ResponseKey, ResponseEntry, ResponseKeyHash>
+  mutable std::unordered_map<ResponseKey, SharedResponse, ResponseKeyHash>
       response_cache_;
   mutable HotPathStats stats_;  // response hits/misses + bytes (cache_mutex_)
   mutable dnssec::SignatureCache sig_cache_;  // own lock; pure memo

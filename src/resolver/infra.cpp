@@ -84,8 +84,8 @@ std::vector<dns::Rr> InfraChainSource::dnskey_with_sigs(
     const dns::Name& zone) const {
   auto* server = first_online(zone);
   if (server == nullptr) return {};
-  auto resp = server->handle(zone, dns::RrType::DNSKEY, clock_.now());
-  return resp.answers;
+  auto resp = server->handle_shared(zone, dns::RrType::DNSKEY, clock_.now());
+  return resp->message.answers;
 }
 
 std::vector<dns::Rr> InfraChainSource::ds_with_sigs(const dns::Name& zone) const {
@@ -94,8 +94,8 @@ std::vector<dns::Rr> InfraChainSource::ds_with_sigs(const dns::Name& zone) const
   if (!parent_apex) return {};
   auto* server = first_online(*parent_apex);
   if (server == nullptr) return {};
-  auto resp = server->handle(zone, dns::RrType::DS, clock_.now());
-  return resp.answers;
+  auto resp = server->handle_shared(zone, dns::RrType::DS, clock_.now());
+  return resp->message.answers;
 }
 
 }  // namespace httpsrr::resolver

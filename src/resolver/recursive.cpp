@@ -41,10 +41,27 @@ std::uint64_t RecursiveResolver::selection_stream(const Name& qname,
 }
 
 dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
-  ++stats_.queries;
+  // Query/response skeletons exist for API parity (id draw included — the
+  // rng_ stream is unobservable state, but tests may rely on the echoed
+  // question); the resolution itself runs on the shared path.
   Message query = Message::make_query(
       static_cast<std::uint16_t>(rng_.next_u32()), qname, qtype);
   Message resp = Message::make_response(query);
+
+  ResolvedAnswer shared = resolve_shared(qname, qtype);
+  auto answers = shared.answers();
+  resp.answers.assign(answers.begin(), answers.end());
+  auto authorities = shared.authorities();
+  resp.authorities.assign(authorities.begin(), authorities.end());
+  resp.header.rcode = shared.rcode;
+  resp.header.ad = shared.ad;
+  return resp;
+}
+
+ResolvedAnswer RecursiveResolver::resolve_shared(const Name& qname,
+                                                 RrType qtype) {
+  ++stats_.queries;
+  ResolvedAnswer out;
 
   bool all_validated = true;
   Name current = qname;
@@ -53,13 +70,26 @@ dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
   for (int hop = 0; hop <= options_.max_cname_chain; ++hop) {
     auto result = lookup_rrset(current, qtype, 0);
     rcode = result.rcode;
-    if (rcode != Rcode::NOERROR || result.records.empty()) {
+    if (rcode != Rcode::NOERROR || result.records->empty()) {
       // Negative terminal (NXDOMAIN or NODATA): the denial proof decides AD.
-      resp.authorities = std::move(result.authorities);
+      out.shared_authorities_ = std::move(result.authorities);
       all_validated = all_validated && result.validated;
       break;
     }
-    for (const auto& rr : result.records) resp.answers.push_back(rr);
+    if (out.owned_answers_.empty() && !out.shared_answers_) {
+      // First positive RRset: keep it shared — a chain that ends here (the
+      // common case) never copies a record.
+      out.shared_answers_ = result.records;
+    } else {
+      if (out.shared_answers_) {
+        // Chain grew past one hop: degrade to an owned accumulation.
+        out.owned_answers_ = *out.shared_answers_;
+        out.shared_answers_.reset();
+      }
+      out.owned_answers_.insert(out.owned_answers_.end(),
+                                result.records->begin(),
+                                result.records->end());
+    }
     all_validated = all_validated && result.validated;
 
     // CNAME chasing: if we asked for something else and only got a CNAME,
@@ -67,7 +97,7 @@ dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
     if (qtype == RrType::CNAME) break;
     bool has_final = false;
     const dns::CnameRdata* cname = nullptr;
-    for (const auto& rr : result.records) {
+    for (const auto& rr : *result.records) {
       if (rr.type == qtype) has_final = true;
       if (rr.type == RrType::CNAME && rr.owner == current) {
         cname = std::get_if<dns::CnameRdata>(&rr.rdata);
@@ -77,14 +107,14 @@ dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
     current = cname->target;
   }
 
-  resp.header.rcode = rcode;
-  resp.header.ad = options_.validate_dnssec && all_validated &&
-                   (!resp.answers.empty() || !resp.authorities.empty());
+  out.rcode = rcode;
+  out.ad = options_.validate_dnssec && all_validated &&
+           (!out.answers().empty() || !out.authorities().empty());
   if (rcode == Rcode::SERVFAIL) ++stats_.servfails;
-  return resp;
+  return out;
 }
 
-RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
+RecursiveResolver::RrsetResult RecursiveResolver::lookup_rrset(
     const Name& qname, RrType qtype, int depth) {
   CacheKey key{qname, qtype};
   if (options_.cache_enabled) {
@@ -92,23 +122,25 @@ RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
     if (it != cache_.end() && it->second.expires > clock_.now()) {
       ++stats_.cache_hits;
       const CacheEntry& entry = it->second;
-      IterativeResult out;
-      out.records = entry.records;
-      out.authorities = entry.authorities;
-      out.rcode = entry.rcode;
-      out.validated = entry.validated;
+      RrsetResult out{entry.records, entry.authorities, entry.rcode,
+                      entry.validated};
       // Serve the decayed TTL remainder, not the stored original: a client
       // caching our answer must expire it no later than we do (RFC 1035
-      // §3.2.1 — the mechanism behind the §4.3.5 staleness windows).
+      // §3.2.1 — the mechanism behind the §4.3.5 staleness windows).  The
+      // scan's steady state queries within the insertion second, so the
+      // zero-elapsed branch (no copy at all) dominates.
       auto elapsed = static_cast<std::uint64_t>(
           (clock_.now() - entry.inserted).seconds);
       if (elapsed > 0) {
         for (auto* section : {&out.records, &out.authorities}) {
-          for (Rr& rr : *section) {
+          if ((*section)->empty()) continue;
+          auto decayed = std::make_shared<std::vector<Rr>>(**section);
+          for (Rr& rr : *decayed) {
             rr.ttl = rr.ttl > elapsed
                          ? static_cast<std::uint32_t>(rr.ttl - elapsed)
                          : 0;
           }
+          *section = std::move(decayed);
         }
       }
       return out;
@@ -195,18 +227,28 @@ RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
     }
   }
 
-  if (options_.cache_enabled && result.rcode != Rcode::SERVFAIL) {
+  // Freeze the iterated sections into shared immutable vectors: the cache
+  // entry and the caller reference the same snapshots from here on.
+  RrsetResult shared;
+  shared.records =
+      std::make_shared<std::vector<Rr>>(std::move(result.records));
+  shared.authorities =
+      std::make_shared<std::vector<Rr>>(std::move(result.authorities));
+  shared.rcode = result.rcode;
+  shared.validated = result.validated;
+
+  if (options_.cache_enabled && shared.rcode != Rcode::SERVFAIL) {
     std::uint32_t ttl;
-    if (!result.records.empty()) {
+    if (!shared.records->empty()) {
       ttl = options_.max_ttl;
-      for (const auto& rr : result.records) ttl = std::min(ttl, rr.ttl);
+      for (const auto& rr : *shared.records) ttl = std::min(ttl, rr.ttl);
     } else {
       // RFC 2308 §5: negative answers live for min(SOA TTL, SOA minimum)
       // as carried in the authority section, capped by our own ceiling.
       // Without a SOA (unsigned zones here omit the denial material) the
       // flat ceiling applies.
       ttl = options_.negative_ttl;
-      for (const auto& rr : result.authorities) {
+      for (const auto& rr : *shared.authorities) {
         if (rr.type != RrType::SOA) continue;
         if (const auto* soa = std::get_if<dns::SoaRdata>(&rr.rdata)) {
           ttl = std::min({ttl, rr.ttl, soa->minimum});
@@ -214,18 +256,25 @@ RecursiveResolver::IterativeResult RecursiveResolver::lookup_rrset(
       }
     }
     CacheEntry entry;
-    entry.records = result.records;
-    entry.authorities = result.authorities;
+    entry.records = shared.records;
     // Honour the max_ttl clamp in what we store: hits must never serve a
-    // TTL larger than the ablation knob allows.
-    for (Rr& rr : entry.records) rr.ttl = std::min(rr.ttl, options_.max_ttl);
-    entry.rcode = result.rcode;
-    entry.validated = result.validated;
+    // TTL larger than the ablation knob allows.  The miss reply keeps the
+    // authoritative TTLs, as before — only clamping forces a copy.
+    if (std::any_of(
+            shared.records->begin(), shared.records->end(),
+            [&](const Rr& rr) { return rr.ttl > options_.max_ttl; })) {
+      auto clamped = std::make_shared<std::vector<Rr>>(*shared.records);
+      for (Rr& rr : *clamped) rr.ttl = std::min(rr.ttl, options_.max_ttl);
+      entry.records = std::move(clamped);
+    }
+    entry.authorities = shared.authorities;
+    entry.rcode = shared.rcode;
+    entry.validated = shared.validated;
     entry.inserted = clock_.now();
     entry.expires = clock_.now() + net::Duration::secs(ttl);
     cache_[key] = std::move(entry);
   }
-  return result;
+  return shared;
 }
 
 RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
@@ -244,6 +293,14 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
   // shard-count-invariance property documented in the header.
   util::Pcg32 selection(selection_stream(qname, qtype));
 
+  // One reusable upstream query; only the id changes per attempt (ids are
+  // unobservable — the shared-response cache keys on the question, not the
+  // envelope).
+  Message upstream_query =
+      Message::make_query(0, qname, qtype, options_.validate_dnssec);
+  const std::size_t udp_limit =
+      upstream_query.edns ? upstream_query.edns->udp_payload_size : 512;
+
   std::vector<net::IpAddr> candidates = infra_.root_servers();
   for (int hop = 0; hop < options_.max_referrals; ++hop) {
     if (candidates.empty()) {
@@ -259,15 +316,13 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
       continue;
     }
     ++stats_.upstream_queries;
-    // UDP first with our EDNS payload size; retry over TCP on truncation.
-    Message upstream_query = Message::make_query(
-        static_cast<std::uint16_t>(rng_.next_u32()), qname, qtype,
-        options_.validate_dnssec);
-    Message resp = server->handle_udp(upstream_query, clock_.now());
-    if (resp.header.tc) {
-      ++stats_.tcp_fallbacks;
-      resp = server->handle(upstream_query, clock_.now());
-    }
+    upstream_query.header.id = static_cast<std::uint16_t>(rng_.next_u32());
+    SharedResponse served = server->handle_shared(upstream_query, clock_.now());
+    const Message& resp = served->message;
+    // The shared wire image is the full TCP-size encoding, so UDP
+    // truncation is a size check, not a second query: over the limit means
+    // the UDP attempt would have come back TC and forced a TCP retry.
+    if (served->wire.size() > udp_limit) ++stats_.tcp_fallbacks;
 
     if (resp.header.rcode == Rcode::REFUSED) {
       std::erase(candidates, target);
@@ -275,13 +330,13 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
     }
     if (resp.header.rcode != Rcode::NOERROR) {
       out.rcode = resp.header.rcode;
-      out.authorities = std::move(resp.authorities);
+      out.authorities = resp.authorities;
       return out;
     }
     if (!resp.answers.empty() || resp.header.aa) {
       // Authoritative answer (possibly NODATA, with its denial proof).
-      out.records = std::move(resp.answers);
-      out.authorities = std::move(resp.authorities);
+      out.records = resp.answers;
+      out.authorities = resp.authorities;
       out.rcode = Rcode::NOERROR;
       return out;
     }
@@ -327,7 +382,7 @@ std::vector<net::IpAddr> RecursiveResolver::resolve_ns_addr(const Name& host,
                                                             int depth) {
   std::vector<net::IpAddr> out;
   auto result = lookup_rrset(host, RrType::A, depth);
-  for (const auto& rr : result.records) {
+  for (const auto& rr : *result.records) {
     if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
       out.push_back(net::IpAddr(a->address));
     }

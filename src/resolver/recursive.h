@@ -31,7 +31,9 @@
 // property the Study's shard-count-invariance test pins.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -91,6 +93,41 @@ struct ResolverOptions {
   int max_cname_chain = 8;
 };
 
+// Allocation-lean resolve result for the scan hot path.  Sections are
+// either *shared* with the resolver's cache (the steady-state case: a warm
+// single-RRset answer is handed out without copying a record) or *owned*
+// (assembled CNAME chains, TTL-decayed hits).  The shared vectors are
+// immutable snapshots guarded by shared_ptr — safe to hold across further
+// resolves and across cache expiry, but never mutate them through the
+// spans.
+class ResolvedAnswer {
+ public:
+  dns::Rcode rcode = dns::Rcode::NOERROR;
+  bool ad = false;  // DNSSEC-validated (the AD bit of the Message API)
+
+  [[nodiscard]] std::span<const dns::Rr> answers() const {
+    return shared_answers_ ? std::span<const dns::Rr>(*shared_answers_)
+                           : std::span<const dns::Rr>(owned_answers_);
+  }
+  [[nodiscard]] std::span<const dns::Rr> authorities() const {
+    return shared_authorities_ ? std::span<const dns::Rr>(*shared_authorities_)
+                               : std::span<const dns::Rr>(owned_authorities_);
+  }
+  [[nodiscard]] bool has_answer_of_type(dns::RrType t) const {
+    for (const auto& rr : answers()) {
+      if (rr.type == t) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class RecursiveResolver;
+  std::shared_ptr<const std::vector<dns::Rr>> shared_answers_;
+  std::shared_ptr<const std::vector<dns::Rr>> shared_authorities_;
+  std::vector<dns::Rr> owned_answers_;
+  std::vector<dns::Rr> owned_authorities_;
+};
+
 class RecursiveResolver {
  public:
   using Options = ResolverOptions;
@@ -103,6 +140,13 @@ class RecursiveResolver {
   // include any CNAME chain; header.ad reflects DNSSEC validation.
   [[nodiscard]] dns::Message resolve(const dns::Name& qname, dns::RrType qtype);
 
+  // Same resolution, without building a Message: the scanner's hot path.
+  // Warm single-RRset answers are returned as cache-shared sections with
+  // zero record copies; answer content, rcode and AD state are identical
+  // to resolve()'s.
+  [[nodiscard]] ResolvedAnswer resolve_shared(const dns::Name& qname,
+                                              dns::RrType qtype);
+
   void flush_cache() {
     cache_.clear();
     chain_cache_.clear();
@@ -111,9 +155,12 @@ class RecursiveResolver {
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
 
  private:
+  // Cached RRsets are immutable shared vectors: a zero-elapsed hit (every
+  // query of a scan day — the clock only moves between days) hands the
+  // stored vector out by reference.  Decay and clamping paths copy.
   struct CacheEntry {
-    std::vector<dns::Rr> records;      // data + covering RRSIGs
-    std::vector<dns::Rr> authorities;  // SOA/NSEC proof for negatives
+    std::shared_ptr<const std::vector<dns::Rr>> records;  // data + RRSIGs
+    std::shared_ptr<const std::vector<dns::Rr>> authorities;  // negatives
     dns::Rcode rcode = dns::Rcode::NOERROR;
     net::SimTime inserted;  // cache hits serve the decayed TTL remainder
     net::SimTime expires;
@@ -135,15 +182,22 @@ class RecursiveResolver {
     std::uint32_t count = 0;
   };
 
-  // One iterative lookup (no CNAME chasing); returns records + rcode.
+  // One iterative lookup (no CNAME chasing); owned sections, pre-caching.
   struct IterativeResult {
     std::vector<dns::Rr> records;
     std::vector<dns::Rr> authorities;  // negative-answer proof material
     dns::Rcode rcode = dns::Rcode::NOERROR;
     bool validated = false;
   };
-  [[nodiscard]] IterativeResult lookup_rrset(const dns::Name& qname,
-                                             dns::RrType qtype, int depth);
+  // Cache-aware RRset lookup: shares the cached vectors on a hit.
+  struct RrsetResult {
+    std::shared_ptr<const std::vector<dns::Rr>> records;
+    std::shared_ptr<const std::vector<dns::Rr>> authorities;
+    dns::Rcode rcode = dns::Rcode::NOERROR;
+    bool validated = false;
+  };
+  [[nodiscard]] RrsetResult lookup_rrset(const dns::Name& qname,
+                                         dns::RrType qtype, int depth);
   [[nodiscard]] IterativeResult iterate(const dns::Name& qname,
                                         dns::RrType qtype, int depth);
 

@@ -24,6 +24,19 @@ class StubResolver {
     return resp;
   }
 
+  // Allocation-lean variant for the scan hot path: same primary/backup
+  // policy, but the answer sections stay shared with the resolver cache
+  // instead of being copied into a Message.
+  [[nodiscard]] ResolvedAnswer query_shared(const dns::Name& qname,
+                                            dns::RrType qtype) {
+    ResolvedAnswer resp = primary_.resolve_shared(qname, qtype);
+    if (resp.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
+      ++fallbacks_;
+      return backup_->resolve_shared(qname, qtype);
+    }
+    return resp;
+  }
+
   [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
 
  private:

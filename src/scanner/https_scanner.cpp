@@ -8,8 +8,8 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
   HttpsObservation obs;
 
   ++queries_;
-  auto resp = stub_.query(host, RrType::HTTPS);
-  switch (resp.header.rcode) {
+  auto resp = stub_.query_shared(host, RrType::HTTPS);
+  switch (resp.rcode) {
     case dns::Rcode::NOERROR:
       obs.answered = true;
       break;
@@ -21,8 +21,8 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
       return obs;
   }
 
-  obs.ad = resp.header.ad;
-  for (const auto& rr : resp.answers) {
+  obs.ad = resp.ad;
+  for (const auto& rr : resp.answers()) {
     switch (rr.type) {
       case RrType::HTTPS:
         obs.https_records.push_back(std::get<dns::SvcbRdata>(rr.rdata));
@@ -48,26 +48,26 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
 
 void HttpsScanner::fill_follow_ups(const dns::Name& host, HttpsObservation& obs) {
   ++queries_;
-  auto a = stub_.query(host, RrType::A);
-  for (const auto& rr : a.answers) {
+  auto a = stub_.query_shared(host, RrType::A);
+  for (const auto& rr : a.answers()) {
     if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
       obs.a_records.push_back(rec->address);
     }
   }
   ++queries_;
-  auto aaaa = stub_.query(host, RrType::AAAA);
-  for (const auto& rr : aaaa.answers) {
+  auto aaaa = stub_.query_shared(host, RrType::AAAA);
+  for (const auto& rr : aaaa.answers()) {
     if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
       obs.aaaa_records.push_back(rec->address);
     }
   }
   ++queries_;
-  auto soa = stub_.query(host, RrType::SOA);
-  obs.soa_present = !soa.answers_of_type(RrType::SOA).empty();
+  auto soa = stub_.query_shared(host, RrType::SOA);
+  obs.soa_present = soa.has_answer_of_type(RrType::SOA);
 
   ++queries_;
-  auto ns = stub_.query(host, RrType::NS);
-  for (const auto& rr : ns.answers) {
+  auto ns = stub_.query_shared(host, RrType::NS);
+  for (const auto& rr : ns.answers()) {
     if (const auto* rec = std::get_if<dns::NsRdata>(&rr.rdata)) {
       obs.ns_records.push_back(rec->nsdname);
     }

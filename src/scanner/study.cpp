@@ -166,14 +166,14 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
 
 NsInfo Study::probe_ns_host(resolver::StubResolver& stub, const Name& host) {
   NsInfo info;
-  auto a = stub.query(host, RrType::A);
-  for (const auto& rr : a.answers) {
+  auto a = stub.query_shared(host, RrType::A);
+  for (const auto& rr : a.answers()) {
     if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
       info.addresses.push_back(net::IpAddr(rec->address));
     }
   }
-  auto aaaa = stub.query(host, RrType::AAAA);
-  for (const auto& rr : aaaa.answers) {
+  auto aaaa = stub.query_shared(host, RrType::AAAA);
+  for (const auto& rr : aaaa.answers()) {
     if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
       info.addresses.push_back(net::IpAddr(rec->address));
     }

@@ -1,0 +1,272 @@
+// MessageView: the lazy wire-format decoder.  Pins that view-based decoding
+// agrees with full materialization on every RR type, that the typed
+// accessors read the hot-path fields without a Message, and that hostile or
+// truncated wire input is rejected exactly like the eager decoder rejected
+// it (Message::decode delegates to the view, so the view IS the decoder).
+
+#include <gtest/gtest.h>
+
+#include "dns/message.h"
+#include "dns/view.h"
+
+namespace httpsrr::dns {
+namespace {
+
+// One record of every typed RDATA alternative plus an opaque (SRV) record,
+// spread over all three sections so the section cursors are exercised.
+Message corpus_message() {
+  auto q = Message::make_query(0x77, name_of("www.a.com"), RrType::HTTPS,
+                               /*dnssec_ok=*/true);
+  auto m = Message::make_response(q);
+  m.header.aa = true;
+
+  auto owner = name_of("www.a.com");
+  auto svcb = *SvcbRdata::parse_presentation(
+      "1 . alpn=h2,h3 ipv4hint=1.2.3.4 ipv6hint=2606:4700::1");
+  m.answers.push_back(make_https(owner, 300, svcb));
+  m.answers.push_back(make_svcb(name_of("_dns.a.com"), 300, svcb));
+  m.answers.push_back(make_cname(owner, 300, name_of("cdn.a.com")));
+  m.answers.push_back(
+      make_a(name_of("cdn.a.com"), 60, net::Ipv4Addr(10, 0, 0, 1)));
+  m.answers.push_back(make_aaaa(name_of("cdn.a.com"), 60,
+                                *net::Ipv6Addr::parse("2606:4700::1")));
+  m.answers.push_back(Rr{owner, RrType::DNAME, RrClass::IN, 300,
+                         DnameRdata{name_of("alias.a.com")}});
+  m.answers.push_back(Rr{owner, RrType::PTR, RrClass::IN, 300,
+                         PtrRdata{name_of("host.a.com")}});
+  m.answers.push_back(Rr{owner, RrType::MX, RrClass::IN, 300,
+                         MxRdata{10, name_of("mail.a.com")}});
+  m.answers.push_back(Rr{owner, RrType::TXT, RrClass::IN, 300,
+                         TxtRdata{{"v=spf1 -all", "second string"}}});
+  m.answers.push_back(Rr{owner, RrType::RRSIG, RrClass::IN, 300,
+                         RrsigRdata{RrType::HTTPS, 253, 3, 300, 1704153600,
+                                    1703548800, 4242, name_of("a.com"),
+                                    Bytes{0xde, 0xad, 0xbe, 0xef}}});
+  m.answers.push_back(Rr{owner, RrType::SRV, RrClass::IN, 300,
+                         OpaqueRdata{Bytes{0x00, 0x01, 0x00, 0x02}}});
+
+  m.authorities.push_back(
+      make_ns(name_of("a.com"), 86400, name_of("ns1.prov.net")));
+  m.authorities.push_back(make_soa(
+      name_of("a.com"), 3600,
+      SoaRdata{name_of("ns1.prov.net"), name_of("hostmaster.a.com"), 2024,
+               7200, 3600, 1209600, 300}));
+  m.authorities.push_back(Rr{name_of("a.com"), RrType::NSEC, RrClass::IN, 300,
+                             NsecRdata{name_of("b.a.com"),
+                                       {RrType::NS, RrType::SOA, RrType::NSEC}}});
+  m.authorities.push_back(Rr{name_of("a.com"), RrType::DNSKEY, RrClass::IN,
+                             3600, DnskeyRdata{257, 3, 253, Bytes{1, 2, 3}}});
+  m.authorities.push_back(Rr{name_of("a.com"), RrType::DS, RrClass::IN, 3600,
+                             DsRdata{4242, 253, 2, Bytes{9, 8, 7}}});
+
+  m.additionals.push_back(
+      make_a(name_of("ns1.prov.net"), 86400, net::Ipv4Addr(9, 9, 9, 9)));
+  return m;
+}
+
+TEST(MessageView, MaterializesEveryRrTypeIdentically) {
+  auto original = corpus_message();
+  auto wire = original.encode();
+
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok()) << view.error();
+  auto materialized = view->to_message();
+  ASSERT_TRUE(materialized.ok()) << materialized.error();
+
+  EXPECT_EQ(materialized->header.id, original.header.id);
+  EXPECT_TRUE(materialized->header.aa);
+  ASSERT_TRUE(materialized->edns.has_value());
+  EXPECT_TRUE(materialized->edns->dnssec_ok);
+  ASSERT_EQ(materialized->questions.size(), original.questions.size());
+  EXPECT_EQ(materialized->questions[0], original.questions[0]);
+  ASSERT_EQ(materialized->answers.size(), original.answers.size());
+  for (std::size_t i = 0; i < original.answers.size(); ++i) {
+    EXPECT_EQ(materialized->answers[i], original.answers[i]) << "answer " << i;
+  }
+  ASSERT_EQ(materialized->authorities.size(), original.authorities.size());
+  for (std::size_t i = 0; i < original.authorities.size(); ++i) {
+    EXPECT_EQ(materialized->authorities[i], original.authorities[i])
+        << "authority " << i;
+  }
+  ASSERT_EQ(materialized->additionals.size(), original.additionals.size());
+  EXPECT_EQ(materialized->additionals[0], original.additionals[0]);
+
+  // Per-record materialization agrees with the batch path.
+  for (std::size_t i = 0; i < view->answer_count(); ++i) {
+    auto rr = view->answer(i).materialize();
+    ASSERT_TRUE(rr.ok()) << rr.error();
+    EXPECT_EQ(*rr, original.answers[i]);
+  }
+  for (std::size_t i = 0; i < view->authority_count(); ++i) {
+    auto rr = view->authority(i).materialize();
+    ASSERT_TRUE(rr.ok()) << rr.error();
+    EXPECT_EQ(*rr, original.authorities[i]);
+  }
+}
+
+TEST(MessageView, ViewDecodeAgreesWithMessageDecode) {
+  auto wire = corpus_message().encode();
+  auto decoded = Message::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok());
+  auto materialized = view->to_message();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized->answers, decoded->answers);
+  EXPECT_EQ(materialized->authorities, decoded->authorities);
+  EXPECT_EQ(materialized->additionals, decoded->additionals);
+  EXPECT_EQ(materialized->edns, decoded->edns);
+}
+
+TEST(MessageView, TypedAccessorsReadHotPathFields) {
+  auto original = corpus_message();
+  auto wire = original.encode();
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok());
+
+  EXPECT_EQ(view->question_count(), 1u);
+  EXPECT_EQ(view->question(0).qtype(), RrType::HTTPS);
+  auto qname = view->question(0).qname();
+  ASSERT_TRUE(qname.ok());
+  EXPECT_EQ(*qname, name_of("www.a.com"));
+
+  // answers[2] is the CNAME, [3] the A, [4] the AAAA.
+  auto cname = view->answer(2);
+  EXPECT_EQ(cname.type(), RrType::CNAME);
+  EXPECT_EQ(cname.ttl(), 300u);
+  auto target = cname.name_target();
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, name_of("cdn.a.com"));
+  EXPECT_FALSE(cname.a_addr().has_value());
+
+  auto a = view->answer(3);
+  ASSERT_TRUE(a.a_addr().has_value());
+  EXPECT_EQ(*a.a_addr(), net::Ipv4Addr(10, 0, 0, 1));
+  EXPECT_FALSE(a.aaaa_addr().has_value());
+  EXPECT_FALSE(a.name_target().ok());
+
+  auto aaaa = view->answer(4);
+  ASSERT_TRUE(aaaa.aaaa_addr().has_value());
+  EXPECT_EQ(*aaaa.aaaa_addr(), *net::Ipv6Addr::parse("2606:4700::1"));
+
+  // The NS authority's target resolves through its compression pointer.
+  auto ns_target = view->authority(0).name_target();
+  ASSERT_TRUE(ns_target.ok());
+  EXPECT_EQ(*ns_target, name_of("ns1.prov.net"));
+
+  // The raw RDATA span of the A record is exactly the 4 address octets.
+  EXPECT_EQ(a.rdata_wire().size(), 4u);
+}
+
+TEST(MessageView, RecordIndexSpillsBeyondInlineCapacity) {
+  auto q = Message::make_query(5, name_of("big.a.com"), RrType::A);
+  auto m = Message::make_response(q);
+  for (int i = 0; i < 40; ++i) {
+    m.answers.push_back(make_a(name_of("big.a.com"), 60,
+                               net::Ipv4Addr(10, 0, 0, static_cast<std::uint8_t>(i))));
+  }
+  auto wire = m.encode();
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok());
+  ASSERT_EQ(view->answer_count(), 40u);
+  for (std::size_t i = 0; i < 40; ++i) {
+    auto addr = view->answer(i).a_addr();
+    ASSERT_TRUE(addr.has_value());
+    EXPECT_EQ(addr->bits() & 0xffu, i);
+  }
+  auto materialized = view->to_message();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(materialized->answers, m.answers);
+}
+
+// A structurally indexable message whose owner name is a compression
+// pointer chasing itself: the structural pass accepts it (pointers end the
+// skip), materialization must reject it, and Message::decode — which is the
+// view — must reject the whole message.
+TEST(MessageView, SelfPointingOwnerFailsOnMaterializeOnly) {
+  Bytes wire = {
+      0x00, 0x01, 0x00, 0x00,  // id, flags
+      0x00, 0x00, 0x00, 0x01,  // qd=0, an=1
+      0x00, 0x00, 0x00, 0x00,  // ns=0, ar=0
+      0xc0, 0x0c,              // owner: pointer to offset 12 (itself)
+      0x00, 0x01, 0x00, 0x01,  // TYPE A, CLASS IN
+      0x00, 0x00, 0x00, 0x3c,  // TTL 60
+      0x00, 0x04,              // RDLENGTH 4
+      0x0a, 0x00, 0x00, 0x01,  // RDATA 10.0.0.1
+  };
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok()) << view.error();
+  ASSERT_EQ(view->answer_count(), 1u);
+  // The non-name fields are still readable...
+  EXPECT_EQ(view->answer(0).type(), RrType::A);
+  EXPECT_EQ(view->answer(0).ttl(), 60u);
+  ASSERT_TRUE(view->answer(0).a_addr().has_value());
+  // ...but the poisoned name fails, and with it full materialization.
+  EXPECT_FALSE(view->answer(0).owner().ok());
+  EXPECT_FALSE(view->to_message().ok());
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(MessageView, ForwardPointerIsRejected) {
+  Bytes wire = {
+      0x00, 0x01, 0x00, 0x00,  //
+      0x00, 0x00, 0x00, 0x01,  //
+      0x00, 0x00, 0x00, 0x00,  //
+      0xc0, 0x10,              // owner: pointer FORWARD to offset 16
+      0x00, 0x01, 0x00, 0x01,  //
+      0x00, 0x00, 0x00, 0x3c,  //
+      0x00, 0x04,              //
+      0x0a, 0x00, 0x00, 0x02,  //
+  };
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_FALSE(view->answer(0).owner().ok());
+  EXPECT_FALSE(view->to_message().ok());
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+TEST(MessageView, ReservedLabelTypeRejectedStructurally) {
+  Bytes wire = {
+      0x00, 0x01, 0x00, 0x00,  //
+      0x00, 0x00, 0x00, 0x01,  //
+      0x00, 0x00, 0x00, 0x00,  //
+      0x80, 0x00,              // 0b10xxxxxx: reserved label type
+      0x00, 0x01, 0x00, 0x01,  //
+      0x00, 0x00, 0x00, 0x3c,  //
+      0x00, 0x00,              //
+  };
+  EXPECT_FALSE(MessageView::parse(wire).ok());
+  EXPECT_FALSE(Message::decode(wire).ok());
+}
+
+// Every strict prefix of a valid message must be rejected somewhere on the
+// view path (structural parse or materialization) — the section counts and
+// RDATA lengths embedded in the truncated bytes can no longer be satisfied.
+TEST(MessageView, EveryTruncationIsRejected) {
+  auto wire = corpus_message().encode();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    std::span<const std::uint8_t> prefix(wire.data(), len);
+    auto view = MessageView::parse(prefix);
+    if (view.ok()) {
+      EXPECT_FALSE(view->to_message().ok()) << "prefix length " << len;
+    }
+    EXPECT_FALSE(Message::decode(prefix).ok()) << "prefix length " << len;
+  }
+}
+
+TEST(MessageView, EdnsIsLiftedFromAdditionals) {
+  auto q = Message::make_query(9, name_of("a.com"), RrType::HTTPS,
+                               /*dnssec_ok=*/true);
+  q.edns->udp_payload_size = 4096;
+  auto wire = q.encode();
+  auto view = MessageView::parse(wire);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(view->edns().has_value());
+  EXPECT_TRUE(view->edns()->dnssec_ok);
+  EXPECT_EQ(view->edns()->udp_payload_size, 4096);
+  // The OPT pseudo-RR is not left behind as an indexed record.
+  EXPECT_EQ(view->additional_count(), 0u);
+}
+
+}  // namespace
+}  // namespace httpsrr::dns

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "resolver/authoritative.h"
 #include "resolver/infra.h"
 #include "resolver/recursive.h"
@@ -636,8 +639,8 @@ TEST(ResponseCache, RepeatQueryServedFromCacheBitIdentically) {
   MiniInternet net;
   net.cf_server->set_response_caching(true);
   auto now = net.clock.now();
-  // Cache-on-second-reference: first query plants the key, second
-  // materializes the entry, third is a pure cache hit.
+  // The first query renders and caches the shared entry; the repeats are
+  // pure cache hits personalized per query.
   auto first = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
   auto second = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
   auto third = net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
@@ -694,6 +697,106 @@ TEST(ResponseCache, OfflineToggleDropsMemo) {
   (void)net.cf_server->handle(name_of("a.com"), RrType::A, now);
   EXPECT_EQ(net.cf_server->hot_path_stats().response_hits, hits_before)
       << "memo entries survived set_offline";
+}
+
+// The wire is rendered exactly once per cached entry: repeat queries — on
+// either the shared or the legacy Message path — must not re-run the
+// encoder, so bytes_encoded advances by each response's wire size exactly
+// once.
+TEST(ResponseCache, BytesEncodedCountsEachResponseOnce) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+
+  auto first = net.cf_server->handle_shared(name_of("a.com"), RrType::HTTPS, now);
+  EXPECT_EQ(net.cf_server->hot_path_stats().bytes_encoded, first->wire.size());
+
+  for (int i = 0; i < 5; ++i) {
+    auto repeat =
+        net.cf_server->handle_shared(name_of("a.com"), RrType::HTTPS, now);
+    EXPECT_EQ(repeat.get(), first.get()) << "cache hit must share the entry";
+    (void)net.cf_server->handle(name_of("a.com"), RrType::HTTPS, now);
+  }
+  EXPECT_EQ(net.cf_server->hot_path_stats().bytes_encoded, first->wire.size())
+      << "a repeat query re-ran the encoder";
+
+  auto second = net.cf_server->handle_shared(name_of("a.com"), RrType::A, now);
+  EXPECT_EQ(net.cf_server->hot_path_stats().bytes_encoded,
+            first->wire.size() + second->wire.size());
+}
+
+// A holder of a SharedResponse keeps a valid immutable snapshot across
+// cache invalidation and zone mutation — the epoch-survival half of the
+// shared-response ownership contract (see ROADMAP architecture notes).
+TEST(SharedResponse, SurvivesCacheInvalidationEpoch) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+
+  auto held = net.cf_server->handle_shared(name_of("a.com"), RrType::A, now);
+  auto held_wire = held->wire;
+  ASSERT_EQ(held->message.answers_of_type(RrType::A).size(), 1u);
+
+  // New epoch: invalidate and change the zone underneath.
+  net.cf_server->invalidate_caches();
+  auto* zone = net.cf_server->find_zone(name_of("a.com"));
+  ASSERT_NE(zone, nullptr);
+  ASSERT_TRUE(
+      zone->add(dns::make_a(name_of("a.com"), 300, net::Ipv4Addr(8, 8, 8, 8)))
+          .ok());
+
+  // The held snapshot is untouched...
+  EXPECT_EQ(held->wire, held_wire);
+  EXPECT_EQ(held->message.answers_of_type(RrType::A).size(), 1u);
+  // ...while a fresh query sees the new epoch through a new entry.
+  auto fresh = net.cf_server->handle_shared(name_of("a.com"), RrType::A, now);
+  EXPECT_NE(fresh.get(), held.get());
+  EXPECT_EQ(fresh->message.answers_of_type(RrType::A).size(), 2u);
+}
+
+// All shards of a sharded scan hammer one memoized response concurrently:
+// every call must come back with the same shared entry and the encoder must
+// run exactly once even when the first queries race to render it.  Run
+// under TSan by tools/ci.sh threads.
+TEST(SharedResponse, ConcurrentShardsShareOneRendering) {
+  MiniInternet net;
+  net.cf_server->set_response_caching(true);
+  auto now = net.clock.now();
+  auto query = dns::Message::make_query(7, name_of("a.com"), RrType::HTTPS,
+                                        /*dnssec_ok=*/true);
+
+  constexpr int kShards = 8;
+  constexpr int kQueriesPerShard = 50;
+  std::vector<SharedResponse> firsts(kShards);
+  std::vector<std::thread> shards;
+  shards.reserve(kShards);
+  for (int s = 0; s < kShards; ++s) {
+    shards.emplace_back([&, s] {
+      for (int i = 0; i < kQueriesPerShard; ++i) {
+        auto resp = net.cf_server->handle_shared(query, now);
+        if (i == 0) firsts[s] = resp;
+        ASSERT_NE(resp, nullptr);
+      }
+    });
+  }
+  for (auto& t : shards) t.join();
+
+  auto canonical = net.cf_server->handle_shared(query, now);
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(firsts[s].get(), canonical.get())
+        << "shard " << s << " saw a different rendering";
+  }
+  EXPECT_EQ(net.cf_server->hot_path_stats().bytes_encoded,
+            canonical->wire.size())
+      << "the encoder ran more than once for one cached entry";
+  // Racing shards may each record a miss, but only the publish winner's
+  // render is kept and counted; everything after the publish is a hit.
+  auto stats = net.cf_server->hot_path_stats();
+  EXPECT_GE(stats.response_misses, 1u);
+  EXPECT_LE(stats.response_misses, static_cast<std::uint64_t>(kShards));
+  EXPECT_GE(stats.response_hits,
+            static_cast<std::uint64_t>(kShards * kQueriesPerShard) -
+                stats.response_misses + 1);
 }
 
 TEST(SignatureCache, MemoizedSignaturesMatchComputedOnes) {

@@ -4,7 +4,7 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs all three suites, and writes a
-# machine-readable summary (default: BENCH_PR2.json in the repo root):
+# machine-readable summary (default: BENCH_PR3.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -12,16 +12,20 @@
 #   * micro_study — wall-clock seconds for one 5k-domain scan day at
 #     K = 1/2/4/8 shards plus the cross-K snapshot digest;
 #   * allocs_per_encoded_query — the fresh-encode vs reused-writer numbers
-#     the PR's allocation acceptance criterion tracks.  A `pre_pr_baseline`
+#     PR2's allocation acceptance criterion tracks.  A `pre_pr_baseline`
 #     block, if present in an existing OUT_JSON, is carried over verbatim so
-#     re-runs don't lose the one-off historical measurement.
+#     re-runs don't lose the one-off historical measurement;
+#   * decode_side_allocs_per_op — the decode/resolve-side counts PR3's
+#     shared-response work gates on (view decode, warm shared resolve),
+#     with the decode speedup vs the checked-in BENCH_PR2.json baseline.
 #
-# tools/ci.sh bench wraps this and gates on micro_study K=1 regressions.
+# tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions
+# plus exact allocs/op regressions on the pinned benchmarks.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR2.json}"
+OUT="${1:-BENCH_PR3.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
@@ -134,6 +138,27 @@ if os.path.exists(out):
     except (json.JSONDecodeError, OSError):
         pass
 
+# Decode-side allocation summary: the counters PR3's shared-response path
+# gates on, plus the decode speedup against the checked-in PR2 baseline
+# (BM_MessageDecode was the eager full decode there; it is the view-indexed
+# hot-path walk now, with the old behaviour kept as BM_MessageDecodeFull).
+decode_side = {
+    "view_decode": micro_dns.get("BM_MessageDecode", {}).get("allocs_per_op"),
+    "full_decode": micro_dns.get("BM_MessageDecodeFull", {}).get("allocs_per_op"),
+    "warm_shared_resolve":
+        micro_resolver.get("BM_RecursiveResolveWarm", {}).get("allocs_per_op"),
+}
+if os.path.exists("BENCH_PR2.json"):
+    try:
+        with open("BENCH_PR2.json") as f:
+            pr2 = json.load(f)
+        base_ns = pr2.get("micro_dns", {}).get("BM_MessageDecode", {}).get("ns_per_op")
+        now_ns = micro_dns.get("BM_MessageDecode", {}).get("ns_per_op")
+        if base_ns and now_ns:
+            decode_side["decode_speedup_vs_pr2"] = round(base_ns / now_ns, 1)
+    except (json.JSONDecodeError, OSError):
+        pass
+
 summary = {
     "schema": "httpsrr-bench-v1",
     "calib_seconds": calib,
@@ -141,6 +166,7 @@ summary = {
     "micro_resolver": micro_resolver,
     "micro_study": micro_study,
     "allocs_per_encoded_query": allocs,
+    "decode_side_allocs_per_op": decode_side,
 }
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)

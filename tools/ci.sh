@@ -49,19 +49,51 @@ threads() {
 
 bench() {
   echo "== bench: harness + micro_study regression gate =="
-  # Baseline = the checked-in BENCH_PR2.json (HEAD), read before the harness
+  # Baseline = the checked-in BENCH_PR3.json (HEAD), read before the harness
   # overwrites the working-tree copy.
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR2.json >"${baseline_file}" 2>/dev/null; then
+  if ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR2.json
+  tools/bench.sh BENCH_PR3.json
   if [[ -z "${baseline_file}" ]]; then
-    echo "bench: WARNING — no checked-in BENCH_PR2.json baseline; skipping gate"
+    echo "bench: WARNING — no checked-in BENCH_PR3.json baseline; skipping gate"
     return 0
   fi
+  # Allocation gate first: allocs/op is deterministic (a counting operator
+  # new, not a timer), so the comparison is exact-integer with no retry.
+  # Any increase on a pinned benchmark is a real regression.
+  python3 - "${baseline_file}" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    base = json.load(f)
+with open("BENCH_PR3.json") as f:
+    now = json.load(f)
+PINNED = [
+    ("micro_dns", "BM_MessageDecode"),
+    ("micro_dns", "BM_QueryEncodeReuse"),
+    ("micro_dns", "BM_MessageEncodeReuse"),
+    ("micro_resolver", "BM_RecursiveResolveWarm"),
+]
+failed = False
+for suite, name in PINNED:
+    b = base.get(suite, {}).get(name, {}).get("allocs_per_op")
+    n = now.get(suite, {}).get(name, {}).get("allocs_per_op")
+    if b is None or n is None:
+        print(f"bench: allocs gate skipping {name} (missing in "
+              f"{'baseline' if b is None else 'current run'})")
+        continue
+    b, n = round(b), round(n)
+    marker = "FAIL" if n > b else "ok"
+    print(f"bench: allocs {name}: {n}/op vs baseline {b}/op — {marker}")
+    if n > b:
+        failed = True
+if failed:
+    print("bench: FAIL — allocs/op regressed on a pinned benchmark")
+    sys.exit(1)
+PY
   # Compare host-speed-normalized ratios (micro_study seconds divided by the
   # calibration workload's seconds from the same run) so host contention on
   # this shared-CPU box inflates both sides and cancels out.  Falls back to
@@ -71,7 +103,7 @@ bench() {
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR2.json") as f:
+with open("BENCH_PR3.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]
