@@ -137,6 +137,76 @@ void BM_ScanOneDomain(benchmark::State& state) {
 }
 BENCHMARK(BM_ScanOneDomain);
 
+// Observation assembly on a warm cache: every stub query below is a
+// cache-shared hit, so allocs/op isolates what the scanner copies out of
+// the resolved answers into the HttpsObservation (SVCB records, address
+// lists).  The wire_path block in tools/bench.sh records this number.
+void BM_ScanObservationWarm(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  auto resolver = net.make_resolver();
+  resolver::StubResolver stub(*resolver);
+  scanner::HttpsScanner scanner(stub);
+  ecosystem::DomainId target = 0;
+  for (ecosystem::DomainId id = 0; id < net.domain_count(); ++id) {
+    const auto& domain = net.domain(id);
+    if (domain.publishes_https && domain.https_since <= net.now()) {
+      target = id;
+      break;
+    }
+  }
+  const dns::Name apex = net.domain(target).apex;
+  (void)scanner.scan(apex);
+  AllocScope allocs;
+  for (auto _ : state) {
+    auto obs = scanner.scan(apex);
+    benchmark::DoNotOptimize(obs);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ScanObservationWarm);
+
+// Wire-path pair: one full iterative resolution (cache off, so every
+// query really crosses the transport) over each net::Transport.  Loopback
+// hands the server's shared wire image out as an aliased shared_ptr —
+// zero copies per hop; datagram models a real UDP channel and copies each
+// datagram into a fresh buffer.  The delta is the cost of the channel
+// model, pinned in BENCH_PR4.json's wire_path block.
+void BM_ResolveOverLoopback(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  resolver::ResolverOptions options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  options.transport = resolver::TransportKind::loopback;
+  auto resolver = net.make_resolver(options);
+  const dns::Name apex = net.domain(0).apex;
+  (void)resolver->resolve_shared(apex, dns::RrType::HTTPS);  // warm servers
+  AllocScope allocs;
+  for (auto _ : state) {
+    auto resp = resolver->resolve_shared(apex, dns::RrType::HTTPS);
+    benchmark::DoNotOptimize(resp);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ResolveOverLoopback);
+
+void BM_ResolveOverDatagram(benchmark::State& state) {
+  ecosystem::Internet net(micro_config());
+  resolver::ResolverOptions options;
+  options.cache_enabled = false;
+  options.validate_dnssec = false;
+  options.transport = resolver::TransportKind::datagram;
+  auto resolver = net.make_resolver(options);
+  const dns::Name apex = net.domain(0).apex;
+  (void)resolver->resolve_shared(apex, dns::RrType::HTTPS);
+  AllocScope allocs;
+  for (auto _ : state) {
+    auto resp = resolver->resolve_shared(apex, dns::RrType::HTTPS);
+    benchmark::DoNotOptimize(resp);
+  }
+  allocs.report(state);
+}
+BENCHMARK(BM_ResolveOverDatagram);
+
 void BM_TlsHandshakePlain(benchmark::State& state) {
   net::SimNetwork network;
   tls::TlsDirectory directory;

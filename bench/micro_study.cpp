@@ -35,9 +35,9 @@ std::string snapshot_digest(const scanner::DailySnapshot& snapshot,
     blob += obs.answered ? 'A' : 'a';
     blob += obs.has_https() ? 'H' : 'h';
     blob += obs.has_ech() ? 'E' : 'e';
-    blob += static_cast<char>('0' + obs.a_records.size() % 10);
+    blob += static_cast<char>('0' + obs.a_records().size() % 10);
     blob += static_cast<char>('0' + obs.ns_records.size() % 10);
-    for (const auto& record : obs.https_records) {
+    for (const auto& record : obs.https_records()) {
       blob += record.to_presentation();
     }
   };

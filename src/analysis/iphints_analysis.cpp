@@ -31,7 +31,7 @@ void IpHintConsistency::on_day(const scanner::DailySnapshot& snapshot,
 
     // Episode tracking runs over the dynamic list (all mismatches count).
     if (apex_obs.has_https() && !apex_obs.ipv4_hints().empty() &&
-        !apex_obs.a_records.empty()) {
+        !apex_obs.a_records().empty()) {
       auto& episode = episodes_[snapshot.list[i]];
       ++episode.observed_days;
       if (!apex_obs.hints_match_a()) {

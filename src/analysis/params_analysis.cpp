@@ -33,8 +33,9 @@ void CfConfigClassifier::on_day(const scanner::DailySnapshot& snapshot,
     if (!obs.has_https()) continue;
     if (classify_ns_mix(obs, snapshot) != NsMix::full_cloudflare) continue;
 
+    auto https_records = obs.https_records();
     bool is_default = std::any_of(
-        obs.https_records.begin(), obs.https_records.end(),
+        https_records.begin(), https_records.end(),
         [&](const dns::SvcbRdata& r) {
           return is_cloudflare_default_config(
               r, snapshot.day, net.config().h3_29_retirement);
@@ -65,7 +66,7 @@ void ProviderParamProfile::on_day(const scanner::DailySnapshot& snapshot,
 
     Profile row;
     row.domains = 1;
-    for (const auto& record : obs.https_records) {
+    for (const auto& record : obs.https_records()) {
       if (record.is_service_mode()) {
         row.service_mode = 1;
         if (record.target.is_root()) row.target_self = 1;
@@ -105,7 +106,7 @@ void ParamAudit::on_day(const scanner::DailySnapshot& snapshot,
     const auto& obs = snapshot.apex[i];
     if (!obs.has_https()) continue;
     Result row;
-    for (const auto& record : obs.https_records) {
+    for (const auto& record : obs.https_records()) {
       if (record.is_service_mode()) {
         row.service_mode_domains = 1;
         if (record.priority == 1) row.priority_one = 1;

@@ -29,8 +29,6 @@ Message Message::make_response(const Message& query) {
   return m;
 }
 
-namespace {
-
 std::uint16_t pack_flags(const Header& h) {
   std::uint16_t flags = 0;
   if (h.qr) flags |= 0x8000;
@@ -57,8 +55,6 @@ void encode_rr(const Rr& rr, WireWriter& w) {
   encode_rdata(rr.rdata, w);
   w.patch_u16(len_pos, static_cast<std::uint16_t>(w.size() - rdata_start));
 }
-
-}  // namespace
 
 Bytes Message::encode() const {
   WireWriter w;

@@ -82,4 +82,10 @@ struct Message {
   [[nodiscard]] std::string to_string() const;
 };
 
+// Wire-level building blocks, shared with callers that assemble messages
+// directly into a WireWriter (RecursiveResolver::resolve_wire) instead of
+// round-tripping through a Message.
+[[nodiscard]] std::uint16_t pack_flags(const Header& h);
+void encode_rr(const Rr& rr, WireWriter& w);
+
 }  // namespace httpsrr::dns

@@ -54,6 +54,77 @@ Result<Name> name_at(std::span<const std::uint8_t> wire, std::size_t offset) {
   return r.name();
 }
 
+constexpr std::uint8_t fold(std::uint8_t c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<std::uint8_t>(c + 32) : c;
+}
+
+// Yields the next label of the wire name at `pos` (resolving compression
+// pointers in place), advancing `pos`.  An empty span is the root/end
+// marker; nullopt is a malformed name.  `jumps` caps pointer chasing.
+std::optional<std::span<const std::uint8_t>> next_wire_label(
+    std::span<const std::uint8_t> wire, std::size_t& pos, int& jumps) {
+  while (true) {
+    if (pos >= wire.size()) return std::nullopt;
+    std::uint8_t len = wire[pos];
+    if ((len & 0xc0) == 0xc0) {
+      if (pos + 1 >= wire.size() || ++jumps > 127) return std::nullopt;
+      pos = static_cast<std::size_t>((len & 0x3f) << 8) | wire[pos + 1];
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;
+    if (len == 0) return std::span<const std::uint8_t>{};
+    if (pos + 1 + len > wire.size()) return std::nullopt;
+    auto label = wire.subspan(pos + 1, len);
+    pos += 1 + len;
+    return label;
+  }
+}
+
+// Case-insensitive equality of the (possibly compressed) wire name at
+// `offset` against a Name's flat buffer, without materializing anything.
+bool wire_name_equals(std::span<const std::uint8_t> wire, std::size_t offset,
+                      const Name& n) {
+  std::string_view flat = n.flat();
+  std::size_t pos = offset;
+  std::size_t fpos = 0;
+  int jumps = 0;
+  while (true) {
+    auto label = next_wire_label(wire, pos, jumps);
+    if (!label) return false;
+    if (label->empty()) return fpos == flat.size();  // both must end here
+    if (fpos >= flat.size()) return false;
+    std::size_t flen = static_cast<std::uint8_t>(flat[fpos]);
+    if (flen != label->size() || fpos + 1 + flen > flat.size()) return false;
+    for (std::size_t i = 0; i < flen; ++i) {
+      if (fold((*label)[i]) !=
+          fold(static_cast<std::uint8_t>(flat[fpos + 1 + i]))) {
+        return false;
+      }
+    }
+    fpos += 1 + flen;
+  }
+}
+
+// Case-insensitive equality of two wire names, each resolved against its
+// own message buffer (they are usually, but not necessarily, the same).
+bool wire_names_equal(std::span<const std::uint8_t> wire_a, std::size_t a,
+                      std::span<const std::uint8_t> wire_b, std::size_t b) {
+  std::size_t pa = a;
+  std::size_t pb = b;
+  int jumps_a = 0;
+  int jumps_b = 0;
+  while (true) {
+    auto la = next_wire_label(wire_a, pa, jumps_a);
+    auto lb = next_wire_label(wire_b, pb, jumps_b);
+    if (!la || !lb) return false;
+    if (la->empty() || lb->empty()) return la->empty() && lb->empty();
+    if (la->size() != lb->size()) return false;
+    for (std::size_t i = 0; i < la->size(); ++i) {
+      if (fold((*la)[i]) != fold((*lb)[i])) return false;
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------- RecordView
@@ -118,6 +189,24 @@ Result<Name> RecordView::name_target() const {
     default:
       return Error{"record type carries no target name"};
   }
+}
+
+bool RecordView::owner_equals(const Name& n) const {
+  return wire_name_equals(msg_->wire_, ref_->owner_off, n);
+}
+
+bool RecordView::owner_equals_target_of(const RecordView& other) const {
+  switch (other.type()) {
+    case RrType::CNAME:
+    case RrType::DNAME:
+    case RrType::NS:
+    case RrType::PTR:
+      break;
+    default:
+      return false;
+  }
+  return wire_names_equal(msg_->wire_, ref_->owner_off, other.msg_->wire_,
+                          other.ref_->rdata_off);
 }
 
 // ----------------------------------------------------------- QuestionView
@@ -193,6 +282,7 @@ Result<MessageView> MessageView::parse(std::span<const std::uint8_t> wire) {
       if (section == 1) ++v.ns_;
     }
   }
+  v.parsed_size_ = pos;
   return v;
 }
 

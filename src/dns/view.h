@@ -99,6 +99,14 @@ class RecordView {
   // Target name of a CNAME/DNAME/NS/PTR record.
   [[nodiscard]] util::Result<Name> name_target() const;
 
+  // Zero-alloc wire-name comparisons (case-insensitive, compression
+  // pointers resolved in place).  Malformed names compare unequal.
+  [[nodiscard]] bool owner_equals(const Name& n) const;
+  // True when this record's owner equals the target name in `other`'s
+  // RDATA (the referral glue test: A/AAAA owner vs NS nsdname).  `other`
+  // must carry a name-valued RDATA (CNAME/DNAME/NS/PTR).
+  [[nodiscard]] bool owner_equals_target_of(const RecordView& other) const;
+
  private:
   friend class MessageView;
   struct Ref {
@@ -149,6 +157,12 @@ class MessageView {
   [[nodiscard]] const std::optional<Edns>& edns() const { return edns_; }
   [[nodiscard]] std::span<const std::uint8_t> wire() const { return wire_; }
 
+  // Octets past the last indexed record.  A well-formed message has none;
+  // strict readers (the resolver) reject replies with trailing garbage.
+  [[nodiscard]] std::size_t trailing_bytes() const {
+    return wire_.size() - parsed_size_;
+  }
+
   [[nodiscard]] std::size_t question_count() const { return questions_.size(); }
   [[nodiscard]] std::size_t answer_count() const { return an_; }
   [[nodiscard]] std::size_t authority_count() const { return ns_; }
@@ -185,6 +199,7 @@ class MessageView {
   std::span<const std::uint8_t> wire_;
   Header header_;
   std::optional<Edns> edns_;
+  std::size_t parsed_size_ = 0;  // wire offset just past the last record
   std::size_t an_ = 0;  // indexed answer count
   std::size_t ns_ = 0;  // indexed authority count
   detail::SmallIndex<QuestionView::Ref, kInlineQuestions> questions_;

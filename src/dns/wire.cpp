@@ -113,27 +113,8 @@ void WireWriter::patch_u16(std::size_t offset, std::uint16_t v) {
   buf_.at(offset + 1) = static_cast<std::uint8_t>(v);
 }
 
-Result<std::uint8_t> WireReader::u8() {
-  if (remaining() < 1) return Error{"truncated: u8"};
-  return data_[pos_++];
-}
 
-Result<std::uint16_t> WireReader::u16() {
-  if (remaining() < 2) return Error{"truncated: u16"};
-  auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
-  pos_ += 2;
-  return v;
-}
 
-Result<std::uint32_t> WireReader::u32() {
-  if (remaining() < 4) return Error{"truncated: u32"};
-  std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
-                    (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
-                    static_cast<std::uint32_t>(data_[pos_ + 3]);
-  pos_ += 4;
-  return v;
-}
 
 Result<Bytes> WireReader::bytes(std::size_t count) {
   if (remaining() < count) return Error{"truncated: bytes"};

@@ -103,9 +103,28 @@ class WireReader {
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
   void seek(std::size_t pos) { pos_ = pos; }
 
-  util::Result<std::uint8_t> u8();
-  util::Result<std::uint16_t> u16();
-  util::Result<std::uint32_t> u32();
+  // The fixed-width readers are defined inline: they run once per header
+  // word and RDATA field on the wire-true hot path, where an out-of-line
+  // call per two octets dominates the decode cost.
+  util::Result<std::uint8_t> u8() {
+    if (remaining() < 1) return util::Error{"truncated: u8"};
+    return data_[pos_++];
+  }
+  util::Result<std::uint16_t> u16() {
+    if (remaining() < 2) return util::Error{"truncated: u16"};
+    auto v = static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  util::Result<std::uint32_t> u32() {
+    if (remaining() < 4) return util::Error{"truncated: u32"};
+    std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                      (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                      static_cast<std::uint32_t>(data_[pos_ + 3]);
+    pos_ += 4;
+    return v;
+  }
   util::Result<Bytes> bytes(std::size_t count);
 
   // Reads a possibly-compressed name starting at the current position;

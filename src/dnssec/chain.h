@@ -14,6 +14,7 @@
 
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "dns/name.h"
@@ -69,7 +70,9 @@ class ChainStatusCache {
     net::SimTime expires;
   };
   net::Duration ttl_;
-  std::map<dns::Name, Entry> entries_;
+  // Hashed: one probe per validated RRset on the resolver hot path, and
+  // a study-sized cache holds thousands of zones.
+  std::unordered_map<dns::Name, Entry, dns::NameHash> entries_;
 };
 
 class ChainValidator {

@@ -1,0 +1,159 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace httpsrr::net {
+
+namespace {
+
+// DNS flag byte offsets/masks this channel needs: the TC bit lives in bit
+// 1 of the high flags byte (wire offset 2), QDCOUNT..ARCOUNT at offsets
+// 4..11.  The transport only frames messages — everything else about the
+// payload is the client's and server's business.
+constexpr std::size_t kHeaderSize = 12;
+constexpr std::uint8_t kTcMask = 0x02;
+
+// Advances `pos` past one wire name without chasing pointers (structural
+// skip only, same rules as the dns-layer decoder).  Returns false on a
+// malformed/truncated name.
+bool skip_wire_name(std::span<const std::uint8_t> data, std::size_t& pos) {
+  while (true) {
+    if (pos >= data.size()) return false;
+    std::uint8_t len = data[pos];
+    if ((len & 0xc0) == 0xc0) {
+      if (pos + 1 >= data.size()) return false;
+      pos += 2;
+      return true;
+    }
+    if ((len & 0xc0) != 0) return false;
+    if (len == 0) {
+      ++pos;
+      return true;
+    }
+    if (pos + 1 + len > data.size()) return false;
+    pos += 1 + len;
+  }
+}
+
+// Echo the query id into a reply buffer, like a real server would (the
+// service's shared wire image carries whatever id first rendered it).
+void patch_reply_id(WireBytes& reply, std::span<const std::uint8_t> query) {
+  if (reply.size() >= 2 && query.size() >= 2) {
+    reply[0] = query[0];
+    reply[1] = query[1];
+  }
+}
+
+// Builds the datagram a server actually emits when the full response does
+// not fit the client's payload limit: header + question echoed, TC=1,
+// answer/authority/additional counts zeroed (RFC 2181 §9 minimal style).
+WireBytes make_truncated_datagram(const WireBytes& full) {
+  std::size_t end = kHeaderSize;
+  std::uint16_t qdcount = 0;
+  if (full.size() >= kHeaderSize) {
+    qdcount = static_cast<std::uint16_t>((full[4] << 8) | full[5]);
+    std::size_t pos = kHeaderSize;
+    bool ok = true;
+    for (std::uint16_t i = 0; i < qdcount && ok; ++i) {
+      ok = skip_wire_name(full, pos) && pos + 4 <= full.size();
+      if (ok) pos += 4;
+    }
+    if (ok) end = pos;
+    if (!ok) qdcount = 0;
+  }
+  WireBytes out(full.begin(),
+                full.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(end, full.size())));
+  out.resize(std::max<std::size_t>(out.size(), kHeaderSize), 0);
+  out[2] |= kTcMask;
+  out[4] = static_cast<std::uint8_t>(qdcount >> 8);
+  out[5] = static_cast<std::uint8_t>(qdcount);
+  for (std::size_t off = 6; off < kHeaderSize; ++off) out[off] = 0;
+  return out;
+}
+
+}  // namespace
+
+TransportReply LoopbackTransport::exchange(const IpAddr& server,
+                                           std::span<const std::uint8_t> query,
+                                           std::size_t udp_payload_limit) {
+  TransportReply reply;
+  reply.payload = service_.serve(server, query);
+  if (!reply.payload) return reply;  // timeout
+  reply.error = ConnectError::none;
+  // Truncation is accounted, not performed: the full image is delivered in
+  // one hop, flagged as "a real channel would have retried over TCP".
+  reply.tcp_retried = reply.payload->size() > udp_payload_limit;
+  return reply;
+}
+
+bool DatagramTransport::roll(std::uint32_t permille) {
+  return permille != 0 && fault_rng_.uniform(1000) < permille;
+}
+
+TransportReply DatagramTransport::tcp_exchange(
+    const IpAddr& server, std::span<const std::uint8_t> query,
+    bool after_truncation) {
+  TransportReply reply;
+  ++stats_.tcp_queries;
+  auto full = service_.serve(server, query);
+  if (!full) return reply;  // connection never completes
+  auto owned = std::make_shared<WireBytes>(*full);
+  patch_reply_id(*owned, query);
+  reply.error = ConnectError::none;
+  reply.payload = std::move(owned);
+  reply.tcp_retried = after_truncation;
+  return reply;
+}
+
+TransportReply DatagramTransport::exchange(const IpAddr& server,
+                                           std::span<const std::uint8_t> query,
+                                           std::size_t udp_payload_limit) {
+  if (tcp_only_) return tcp_exchange(server, query, /*after_truncation=*/false);
+
+  ++stats_.udp_queries;
+  if (roll(faults_.drop_permille)) {
+    // The datagram (either direction) evaporated; the client times out.
+    ++stats_.dropped;
+    return {};
+  }
+  auto full = service_.serve(server, query);
+  if (!full) return {};
+
+  auto datagram = std::make_shared<WireBytes>();
+  if (full->size() > udp_payload_limit) {
+    ++stats_.truncated_replies;
+    *datagram = make_truncated_datagram(*full);
+  } else {
+    *datagram = *full;
+  }
+  patch_reply_id(*datagram, query);
+  if (roll(faults_.garbage_permille)) {
+    // Trailing junk after the DNS payload — strict clients must reject it.
+    ++stats_.garbage_appended;
+    std::size_t extra = 4 + fault_rng_.uniform(16);
+    for (std::size_t i = 0; i < extra; ++i) {
+      datagram->push_back(static_cast<std::uint8_t>(fault_rng_.next_u32()));
+    }
+  }
+  if (roll(faults_.duplicate_permille)) {
+    // The network delivered the datagram twice; the client reads one copy
+    // and discards the other, so only the tap ever sees the duplicate.
+    ++stats_.duplicated;
+    if (udp_tap_) udp_tap_(*datagram);
+  }
+  if (udp_tap_) udp_tap_(*datagram);
+
+  // Genuine TC handling: the decision is read from the delivered bytes.
+  const bool tc =
+      datagram->size() > 2 && ((*datagram)[2] & kTcMask) != 0;
+  if (tc) return tcp_exchange(server, query, /*after_truncation=*/true);
+
+  TransportReply reply;
+  reply.error = ConnectError::none;
+  reply.payload = std::move(datagram);
+  return reply;
+}
+
+}  // namespace httpsrr::net

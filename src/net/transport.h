@@ -1,0 +1,160 @@
+#pragma once
+
+// net::Transport — the channel every resolver↔authoritative exchange
+// travels over.  The resolver encodes its query into wire bytes, hands
+// them to a Transport, and reads the reply bytes back through
+// dns::MessageView; no in-memory Message crosses the client/server
+// boundary on this path.
+//
+// Two implementations:
+//   * LoopbackTransport — zero-copy: the reply is the server's shared
+//     immutable wire image itself (an aliasing shared_ptr, no buffer copy,
+//     no allocation).  Truncation is modelled, not performed: a reply wider
+//     than the UDP payload limit is delivered whole with `tcp_retried`
+//     set, exactly reproducing the pre-transport resolver's accounting.
+//     This is the default transport and the scan hot path.
+//   * DatagramTransport — a real UDP/TCP channel model: the UDP leg
+//     enforces the payload limit by synthesising a genuine truncated
+//     datagram (TC=1, sections dropped), the client-visible TC bit is
+//     decoded from the delivered bytes, and a truncated reply triggers a
+//     TCP re-send of the same query.  Opt-in fault hooks (drop, duplicate,
+//     trailing garbage) model a hostile/lossy path for robustness tests.
+//
+// Ownership/lifetime rule: TransportReply::payload owns (or shares) the
+// reply buffer.  A dns::MessageView parsed from TransportReply::bytes()
+// borrows that buffer — keep the TransportReply alive for as long as any
+// view into it, and assume nothing about the buffer after the next
+// exchange() on the same transport.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/network.h"
+#include "util/rng.h"
+
+namespace httpsrr::net {
+
+using WireBytes = std::vector<std::uint8_t>;
+
+// Server side of a transport: something that can answer one DNS query
+// addressed to an IP.  The returned buffer is the *full* (TCP-size)
+// response wire image, shared and immutable — transports decide what the
+// client actually sees of it (truncation, copies, faults).  nullptr means
+// nothing answered at that address: the client observes a timeout.
+class WireService {
+ public:
+  virtual ~WireService() = default;
+  [[nodiscard]] virtual std::shared_ptr<const WireBytes> serve(
+      const IpAddr& server, std::span<const std::uint8_t> query) const = 0;
+};
+
+struct TransportReply {
+  ConnectError error = ConnectError::timeout;
+  // Owns or shares the reply buffer; null unless ok().
+  std::shared_ptr<const WireBytes> payload;
+  // The UDP reply came back TC=1 and the query was re-sent over TCP;
+  // `payload` holds the TCP answer.
+  bool tcp_retried = false;
+
+  [[nodiscard]] bool ok() const {
+    return error == ConnectError::none && payload != nullptr;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const {
+    return payload ? std::span<const std::uint8_t>(*payload)
+                   : std::span<const std::uint8_t>{};
+  }
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Sends one encoded query to `server` and returns the reply bytes.
+  // `udp_payload_limit` is the client's advertised EDNS payload size (512
+  // without EDNS) — the channel, not the caller, handles truncation.
+  [[nodiscard]] virtual TransportReply exchange(
+      const IpAddr& server, std::span<const std::uint8_t> query,
+      std::size_t udp_payload_limit) = 0;
+};
+
+// Zero-copy in-process channel over the service's shared wire images.
+class LoopbackTransport final : public Transport {
+ public:
+  explicit LoopbackTransport(const WireService& service) : service_(service) {}
+
+  [[nodiscard]] TransportReply exchange(const IpAddr& server,
+                                        std::span<const std::uint8_t> query,
+                                        std::size_t udp_payload_limit) override;
+
+ private:
+  const WireService& service_;
+};
+
+// Opt-in fault injection for DatagramTransport's UDP leg, rates in
+// permille (0..1000) drawn from a deterministic per-transport stream.
+// TCP is modelled as reliable: faults only ever hit datagrams.
+struct TransportFaults {
+  std::uint32_t drop_permille = 0;       // datagram silently lost → timeout
+  std::uint32_t duplicate_permille = 0;  // reply delivered twice
+  std::uint32_t garbage_permille = 0;    // trailing junk appended to reply
+  std::uint64_t seed = 0xfa017;
+
+  [[nodiscard]] bool any() const {
+    return drop_permille != 0 || duplicate_permille != 0 ||
+           garbage_permille != 0;
+  }
+};
+
+struct DatagramStats {
+  std::uint64_t udp_queries = 0;
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t truncated_replies = 0;  // TC=1 datagrams synthesised
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t garbage_appended = 0;
+};
+
+// UDP-with-TCP-fallback channel model.  Every reply is a fresh owned
+// buffer (a real socket read), the reply id is patched to the query's (a
+// real server echoes it), and truncation produces an actual TC=1 datagram
+// that the client-side TC check decodes from the bytes.
+class DatagramTransport final : public Transport {
+ public:
+  explicit DatagramTransport(const WireService& service,
+                             TransportFaults faults = {})
+      : service_(service), faults_(faults), fault_rng_(faults.seed) {}
+
+  [[nodiscard]] TransportReply exchange(const IpAddr& server,
+                                        std::span<const std::uint8_t> query,
+                                        std::size_t udp_payload_limit) override;
+
+  // Skip the UDP leg entirely (dig's --tcp).
+  void set_tcp_only(bool tcp_only) { tcp_only_ = tcp_only; }
+
+  // Observes every UDP datagram as delivered to the client (after
+  // truncation, id patching and faults) — lets tests assert on the actual
+  // bytes, e.g. that the TC bit really was set on the wire.
+  using UdpTap = std::function<void(std::span<const std::uint8_t>)>;
+  void set_udp_tap(UdpTap tap) { udp_tap_ = std::move(tap); }
+
+  [[nodiscard]] const DatagramStats& stats() const { return stats_; }
+
+ private:
+  [[nodiscard]] TransportReply tcp_exchange(
+      const IpAddr& server, std::span<const std::uint8_t> query,
+      bool after_truncation);
+  [[nodiscard]] bool roll(std::uint32_t permille);
+
+  const WireService& service_;
+  TransportFaults faults_;
+  util::Pcg32 fault_rng_;
+  bool tcp_only_ = false;
+  UdpTap udp_tap_;
+  DatagramStats stats_;
+};
+
+}  // namespace httpsrr::net

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dns/view.h"
+
 namespace httpsrr::resolver {
 
 using dns::LookupStatus;
@@ -345,11 +347,93 @@ SharedResponse AuthoritativeServer::handle_shared(const Name& qname,
 
 namespace {
 
-// Rebuilds the per-query Message a legacy caller expects from a shared
-// response: sections and answer headers from the rendered entry, query-echo
-// fields (id, opcode, RD/CD/AD/TC bits, EDNS, question spelling) from this
-// query — exactly what compute_response's make_response would have echoed.
-Message personalize(const ServedResponse& served, const Message& query) {
+// Structural scan of the one query shape resolvers emit: QDCOUNT = 1,
+// empty answer/authority sections, uncompressed qname, at most one
+// additional record which must be an OPT.  Succeeding means the probe key
+// below sees exactly what a full parse + materialization would have seen;
+// anything irregular falls back to the MessageView path in serve_wire.
+struct ScannedQuery {
+  std::string_view qname_flat;  // views into the query buffer
+  dns::RrType qtype;
+  std::uint8_t edns_state;
+};
+
+std::optional<ScannedQuery> fast_scan_query(
+    std::span<const std::uint8_t> q) {
+  if (q.size() < 12) return std::nullopt;
+  const std::uint16_t qdcount = static_cast<std::uint16_t>((q[4] << 8) | q[5]);
+  const std::uint16_t ancount = static_cast<std::uint16_t>((q[6] << 8) | q[7]);
+  const std::uint16_t nscount = static_cast<std::uint16_t>((q[8] << 8) | q[9]);
+  const std::uint16_t arcount =
+      static_cast<std::uint16_t>((q[10] << 8) | q[11]);
+  if (qdcount != 1 || ancount != 0 || nscount != 0 || arcount > 1) {
+    return std::nullopt;
+  }
+  // Uncompressed qname: the label bytes (sans root octet) are Name's flat
+  // form verbatim, so they can key the response cache without a decode.
+  std::size_t pos = 12;
+  while (true) {
+    if (pos >= q.size()) return std::nullopt;
+    const std::uint8_t len = q[pos];
+    if (len == 0) break;
+    if ((len & 0xc0) != 0) return std::nullopt;  // compressed or reserved
+    pos += 1 + len;
+    if (pos - 12 > 255) return std::nullopt;  // name over wire limit
+  }
+  ScannedQuery out;
+  out.qname_flat = std::string_view(
+      reinterpret_cast<const char*>(q.data()) + 12, pos - 12);
+  pos += 1;  // root octet
+  if (pos + 4 > q.size()) return std::nullopt;
+  out.qtype = static_cast<dns::RrType>((q[pos] << 8) | q[pos + 1]);
+  pos += 4;  // qtype + qclass
+  out.edns_state = 0;
+  if (arcount == 1) {
+    // The only additional must be the OPT trailer: root owner, TYPE = OPT,
+    // CLASS = payload size, TTL bit 15 = DO, empty RDATA.
+    if (pos + 11 > q.size() || q[pos] != 0) return std::nullopt;
+    const auto type =
+        static_cast<dns::RrType>((q[pos + 1] << 8) | q[pos + 2]);
+    if (type != dns::RrType::OPT) return std::nullopt;
+    const bool dnssec_ok = (q[pos + 7] & 0x80) != 0;
+    out.edns_state = dnssec_ok ? 2 : 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+SharedResponse AuthoritativeServer::serve_wire(
+    std::span<const std::uint8_t> query, net::SimTime now) const {
+  // Hot path: most exchanges repeat a question the server has already
+  // rendered this virtual second, so probe the response cache straight
+  // from the wire bytes — no parse, no Name, no allocation.
+  if (caching_enabled_) {
+    if (auto scanned = fast_scan_query(query)) {
+      WireResponseKey key{scanned->qname_flat, scanned->qtype,
+                          scanned->edns_state, now.unix_seconds};
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      auto it = response_cache_.find(key);
+      if (it != response_cache_.end()) {
+        ++stats_.response_hits;
+        return it->second;
+      }
+    }
+  }
+  // Render miss (or caching off / irregular query): materialize the query
+  // once and run the shared path, which also publishes the new cache entry.
+  auto view = dns::MessageView::parse(query);
+  if (!view) return nullptr;
+  auto q = view->to_message();
+  if (!q) return nullptr;
+  return handle_shared(*q, now);
+}
+
+namespace {
+
+// Legacy-copy fallback for personalize(): full Message copy with the
+// query-echo fields rewritten, as the pre-wire implementation did.
+Message personalize_copy(const ServedResponse& served, const Message& query) {
   Message out = served.message;
   out.header.id = query.header.id;
   out.header.opcode = query.header.opcode;
@@ -362,24 +446,65 @@ Message personalize(const ServedResponse& served, const Message& query) {
   return out;
 }
 
+// Rebuilds the per-query Message a legacy caller expects as a 12-byte
+// header patch on a copy of the cached wire image: response bits (QR, AA,
+// RA, rcode) stay as rendered, query-echo bits (id, opcode, TC, RD, CD,
+// AD) are overwritten in place, UDP truncation sets TC and zeroes the
+// section counts — then one view decode of the patched bytes.  EDNS and
+// the question spelling are still taken from the query object: the cached
+// wire only carries the first renderer's copy of those query-owned fields.
+Message personalize(const ServedResponse& served, const Message& query,
+                    bool truncate) {
+  if (served.wire.size() >= 12) {
+    dns::Bytes wire = served.wire;
+    wire[0] = static_cast<std::uint8_t>(query.header.id >> 8);
+    wire[1] = static_cast<std::uint8_t>(query.header.id);
+    std::uint8_t hi = wire[2] & 0x84;  // keep QR + AA
+    hi |= static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(query.header.opcode) & 0x0f) << 3);
+    if (query.header.tc) hi |= 0x02;
+    if (query.header.rd) hi |= 0x01;
+    std::uint8_t lo = wire[3] & 0x8f;  // keep RA + rcode
+    if (query.header.ad) lo |= 0x20;
+    if (query.header.cd) lo |= 0x10;
+    wire[2] = hi;
+    wire[3] = lo;
+    if (truncate) {
+      // RFC 6891 truncation: sections dropped, question kept, TC set.  The
+      // record bytes stay in the buffer past the zeroed counts; the view's
+      // structural pass simply never indexes them.
+      wire[2] |= 0x02;
+      for (std::size_t off = 6; off < 12; ++off) wire[off] = 0;
+    }
+    if (auto view = dns::MessageView::parse(wire)) {
+      if (auto out = view->to_message()) {
+        out->edns = query.edns;
+        out->questions = query.questions;
+        return std::move(*out);
+      }
+    }
+  }
+  Message out = personalize_copy(served, query);
+  if (truncate) {
+    out.answers.clear();
+    out.authorities.clear();
+    out.additionals.clear();
+    out.header.tc = true;
+  }
+  return out;
+}
+
 }  // namespace
 
 Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
-  return personalize(*handle_shared(query, now), query);
+  return personalize(*handle_shared(query, now), query, /*truncate=*/false);
 }
 
 Message AuthoritativeServer::handle_udp(const Message& query,
                                         net::SimTime now) const {
   SharedResponse served = handle_shared(query, now);
-  Message resp = personalize(*served, query);
   std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
-  if (served->wire.size() > limit) {
-    resp.answers.clear();
-    resp.authorities.clear();
-    resp.additionals.clear();
-    resp.header.tc = true;
-  }
-  return resp;
+  return personalize(*served, query, served->wire.size() > limit);
 }
 
 }  // namespace httpsrr::resolver

@@ -20,12 +20,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "dns/message.h"
 #include "dns/zone.h"
+#include "util/strings.h"
 #include "dnssec/signer.h"
 #include "net/ip.h"
 #include "net/time.h"
@@ -137,6 +140,15 @@ class AuthoritativeServer {
                                              dns::RrType qtype,
                                              net::SimTime now) const;
 
+  // Wire-entry serve path (the transport layer's server side): reads
+  // qname/qtype/EDNS state straight off the query bytes to probe the
+  // shared-response cache — a warm hit materializes nothing but the SSO
+  // qname.  Only a render miss decodes the full query.  Returns nullptr
+  // for bytes that do not parse as a DNS message (a real server drops
+  // those silently; the client sees a timeout).
+  [[nodiscard]] SharedResponse serve_wire(std::span<const std::uint8_t> query,
+                                          net::SimTime now) const;
+
   // Pre-rendered response memoization.  Off by default: standalone fixtures
   // mutate zones directly between queries.  The ecosystem turns it on (via
   // DnsInfra::enable_response_caching) because there the "Internet frozen
@@ -167,13 +179,49 @@ class AuthoritativeServer {
 
     friend bool operator==(const ResponseKey&, const ResponseKey&) = default;
   };
+  // Allocation-free probe key for serve_wire(): the qname is a view of the
+  // query's label bytes (length-prefixed, no root octet — exactly Name's
+  // flat form), so a cache hit never materializes a Name.  Heterogeneous
+  // lookup hinges on hash/equality agreeing with the owning key's, which
+  // both functors guarantee by case-folding the same byte sequence.
+  struct WireResponseKey {
+    std::string_view qname_flat;
+    dns::RrType qtype = dns::RrType::A;
+    std::uint8_t edns_state = 0;
+    std::int64_t at = 0;
+  };
   struct ResponseKeyHash {
+    using is_transparent = void;
+    static std::size_t mix(std::size_t name_hash, const auto& k) {
+      return name_hash ^ (static_cast<std::size_t>(k.qtype) << 2) ^
+             (static_cast<std::size_t>(k.edns_state) << 18) ^
+             (static_cast<std::size_t>(k.at) * 0x9e3779b97f4a7c15ULL);
+    }
     std::size_t operator()(const ResponseKey& k) const {
-      std::size_t h = k.qname.hash();
-      h ^= (static_cast<std::size_t>(k.qtype) << 2) ^
-           (static_cast<std::size_t>(k.edns_state) << 18) ^
-           (static_cast<std::size_t>(k.at) * 0x9e3779b97f4a7c15ULL);
-      return h;
+      return mix(k.qname.hash(), k);
+    }
+    std::size_t operator()(const WireResponseKey& k) const {
+      // Same FNV-1a-over-case-folded-flat as Name::hash() — length octets
+      // are ≤ 63 and pass through ascii_lower untouched.
+      std::size_t h = 1469598103934665603ULL;
+      for (char c : k.qname_flat) {
+        h ^= static_cast<unsigned char>(util::ascii_lower(c));
+        h *= 1099511628211ULL;
+      }
+      return mix(h, k);
+    }
+  };
+  struct ResponseKeyEq {
+    using is_transparent = void;
+    bool operator()(const ResponseKey& a, const ResponseKey& b) const {
+      return a == b;
+    }
+    bool operator()(const WireResponseKey& a, const ResponseKey& b) const {
+      return a.qtype == b.qtype && a.edns_state == b.edns_state &&
+             a.at == b.at && util::iequals(a.qname_flat, b.qname.flat());
+    }
+    bool operator()(const ResponseKey& a, const WireResponseKey& b) const {
+      return (*this)(b, a);
     }
   };
   [[nodiscard]] const HostedZone* best_zone_for(const dns::Name& qname) const;
@@ -196,14 +244,18 @@ class AuthoritativeServer {
   bool supports_https_rr_ = true;
   bool offline_ = false;
   SvcbHook svcb_hook_;
-  std::map<dns::Name, HostedZone> zones_;
+  // Hashed: best_zone_for() probes one ancestor per label of the qname on
+  // every uncached render, and a provider hosting thousands of zones would
+  // pay O(log n) full Name comparisons per probe in an ordered map.
+  std::unordered_map<dns::Name, HostedZone, dns::NameHash> zones_;
 
   // Read-side memo state: logically const (handle() is a pure read of the
   // frozen Internet), hence mutable; mutex-guarded because the sharded scan
   // queries one server from many threads.
   bool caching_enabled_ = false;
   mutable std::mutex cache_mutex_;
-  mutable std::unordered_map<ResponseKey, SharedResponse, ResponseKeyHash>
+  mutable std::unordered_map<ResponseKey, SharedResponse, ResponseKeyHash,
+                             ResponseKeyEq>
       response_cache_;
   mutable HotPathStats stats_;  // response hits/misses + bytes (cache_mutex_)
   mutable dnssec::SignatureCache sig_cache_;  // own lock; pure memo

@@ -11,10 +11,13 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
 #include "dnssec/chain.h"
 #include "net/ip.h"
+#include "net/time.h"
+#include "net/transport.h"
 #include "resolver/authoritative.h"
 
 namespace httpsrr::resolver {
@@ -63,8 +66,41 @@ class DnsInfra {
  private:
   std::vector<std::unique_ptr<AuthoritativeServer>> servers_;
   std::map<net::IpAddr, AuthoritativeServer*> by_address_;
-  std::map<dns::Name, std::vector<AuthoritativeServer*>> zones_;
+  // Hashed on purpose: zone_apex() probes one candidate per label on the
+  // walk towards the root, and with thousands of registered zones an
+  // ordered map would pay O(log n) full Name comparisons per probe.
+  std::unordered_map<dns::Name, std::vector<AuthoritativeServer*>,
+                     dns::NameHash>
+      zones_;
   std::vector<net::IpAddr> roots_;
+};
+
+// WireService over the infra directory: routes query bytes to the
+// authoritative server at the destination IP and returns its shared wire
+// image (aliased into the server's SharedResponse — no copy, no extra
+// control block).  Offline or unassigned addresses answer nothing, which
+// the transport surfaces as a timeout.
+class InfraWireService final : public net::WireService {
+ public:
+  InfraWireService(const DnsInfra& infra, const net::SimClock& clock)
+      : infra_(infra), clock_(clock) {}
+
+  [[nodiscard]] std::shared_ptr<const net::WireBytes> serve(
+      const net::IpAddr& server,
+      std::span<const std::uint8_t> query) const override {
+    const AuthoritativeServer* s = infra_.server_at(server);
+    if (s == nullptr || s->offline()) return nullptr;
+    SharedResponse served = s->serve_wire(query, clock_.now());
+    if (!served) return nullptr;
+    // Aliasing share: the returned buffer keeps the whole ServedResponse
+    // alive, so holders obey the same epoch-survival contract.
+    const net::WireBytes* wire = &served->wire;
+    return std::shared_ptr<const net::WireBytes>(std::move(served), wire);
+  }
+
+ private:
+  const DnsInfra& infra_;
+  const net::SimClock& clock_;
 };
 
 // ChainSource backed by the infra: pulls DNSKEY from a zone's own servers

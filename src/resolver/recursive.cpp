@@ -2,13 +2,48 @@
 
 #include <algorithm>
 
+#include "dns/view.h"
+
 namespace httpsrr::resolver {
 
 using dns::Message;
+using dns::MessageView;
 using dns::Name;
 using dns::Rcode;
 using dns::Rr;
 using dns::RrType;
+
+namespace {
+
+std::unique_ptr<net::Transport> make_transport(const net::WireService& service,
+                                               const ResolverOptions& options) {
+  if (options.transport == TransportKind::datagram) {
+    auto t = std::make_unique<net::DatagramTransport>(service,
+                                                      options.transport_faults);
+    t->set_tcp_only(options.transport_tcp_only);
+    return t;
+  }
+  return std::make_unique<net::LoopbackTransport>(service);
+}
+
+// Materializes one view section into an owned vector.  False means some
+// record failed to decode — the reply is treated as malformed and the
+// caller moves on to another server.
+bool materialize_section(const MessageView& view, bool authority,
+                         std::vector<Rr>& out) {
+  const std::size_t n =
+      authority ? view.authority_count() : view.answer_count();
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto rr = (authority ? view.authority(i) : view.answer(i)).materialize();
+    if (!rr) return false;
+    out.push_back(std::move(*rr));
+  }
+  return true;
+}
+
+}  // namespace
 
 RecursiveResolver::RecursiveResolver(const DnsInfra& infra,
                                      const net::SimClock& clock,
@@ -19,9 +54,28 @@ RecursiveResolver::RecursiveResolver(const DnsInfra& infra,
       chain_source_(infra, clock),
       validator_(chain_source_, std::move(root_anchor)),
       options_(options),
+      wire_service_(infra, clock),
+      transport_(make_transport(wire_service_, options)),
       rng_(options.seed),
       selection_seed_(options.selection_seed != 0 ? options.selection_seed
                                                   : options.seed) {}
+
+dns::WireWriter& RecursiveResolver::query_writer(int depth) {
+  while (query_writers_.size() <= static_cast<std::size_t>(depth)) {
+    query_writers_.push_back(std::make_unique<dns::WireWriter>());
+  }
+  return *query_writers_[static_cast<std::size_t>(depth)];
+}
+
+std::shared_ptr<const std::vector<Rr>> ResolvedAnswer::answers_snapshot()
+    const {
+  if (shared_answers_) return shared_answers_;
+  if (owned_answers_.empty()) {
+    static const auto kEmpty = std::make_shared<const std::vector<Rr>>();
+    return kEmpty;
+  }
+  return std::make_shared<const std::vector<Rr>>(owned_answers_);
+}
 
 std::uint64_t RecursiveResolver::selection_stream(const Name& qname,
                                                   RrType qtype) {
@@ -293,13 +347,33 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
   // shard-count-invariance property documented in the header.
   util::Pcg32 selection(selection_stream(qname, qtype));
 
-  // One reusable upstream query; only the id changes per attempt (ids are
-  // unobservable — the shared-response cache keys on the question, not the
-  // envelope).
-  Message upstream_query =
-      Message::make_query(0, qname, qtype, options_.validate_dnssec);
-  const std::size_t udp_limit =
-      upstream_query.edns ? upstream_query.edns->udp_payload_size : 512;
+  // One reusable upstream query, encoded once into this depth's writer;
+  // only the id bytes are re-patched per attempt (ids are unobservable —
+  // the server keys its response cache on the question, not the envelope).
+  // The bytes are emitted directly — same layout Message::make_query()
+  // + encode_into() produces (RD set, one question, one OPT trailer) —
+  // because a Message temporary per iterate() costs three allocations the
+  // cold path feels.
+  const std::uint16_t udp_payload = dns::Edns{}.udp_payload_size;
+  dns::WireWriter& qw = query_writer(depth);
+  qw.clear();
+  qw.reserve(12 + qname.wire_length() + 4 + 11);
+  qw.u16(0);       // id, re-patched per attempt below
+  qw.u16(0x0100);  // flags: QUERY, RD
+  qw.u16(1);       // QDCOUNT
+  qw.u16(0);       // ANCOUNT
+  qw.u16(0);       // NSCOUNT
+  qw.u16(1);       // ARCOUNT (the OPT pseudo-RR)
+  qw.name(qname);
+  qw.u16(static_cast<std::uint16_t>(qtype));
+  qw.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
+  qw.u8(0);  // OPT: root owner
+  qw.u16(static_cast<std::uint16_t>(RrType::OPT));
+  qw.u16(udp_payload);
+  qw.u32(options_.validate_dnssec ? 0x00008000u : 0u);  // DO bit
+  qw.u16(0);  // empty OPT RDATA
+  const std::span<const std::uint8_t> query_wire(qw.data());
+  const std::size_t udp_limit = udp_payload;
 
   std::vector<net::IpAddr> candidates = infra_.root_servers();
   for (int hop = 0; hop < options_.max_referrals; ++hop) {
@@ -309,66 +383,109 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
     }
     net::IpAddr target =
         candidates[selection.uniform(static_cast<std::uint32_t>(candidates.size()))];
-    const AuthoritativeServer* server = infra_.server_at(target);
-    if (server == nullptr || server->offline()) {
-      // Drop this candidate and retry with the rest.
+    qw.patch_u16(0, static_cast<std::uint16_t>(rng_.next_u32()));
+    // The exchange travels as wire bytes both ways; the reply is read
+    // through a view over the transport-owned buffer.  `reply` must stay
+    // in scope for as long as `view` is used (see net/transport.h).
+    net::TransportReply reply =
+        transport_->exchange(target, query_wire, udp_limit);
+    if (!reply.ok()) {
+      // Timeout (offline server, dropped datagram): drop this candidate
+      // and retry with the rest.
       std::erase(candidates, target);
       continue;
     }
     ++stats_.upstream_queries;
-    upstream_query.header.id = static_cast<std::uint16_t>(rng_.next_u32());
-    SharedResponse served = server->handle_shared(upstream_query, clock_.now());
-    const Message& resp = served->message;
-    // The shared wire image is the full TCP-size encoding, so UDP
-    // truncation is a size check, not a second query: over the limit means
-    // the UDP attempt would have come back TC and forced a TCP retry.
-    if (served->wire.size() > udp_limit) ++stats_.tcp_fallbacks;
+    if (reply.tcp_retried) ++stats_.tcp_fallbacks;
 
-    if (resp.header.rcode == Rcode::REFUSED) {
+    auto parsed = MessageView::parse(reply.bytes());
+    if (!parsed || parsed->trailing_bytes() != 0) {
+      // Unparseable or garbage-trailed reply: as good as no reply.
       std::erase(candidates, target);
       continue;
     }
-    if (resp.header.rcode != Rcode::NOERROR) {
-      out.rcode = resp.header.rcode;
-      out.authorities = resp.authorities;
+    const MessageView& view = *parsed;
+    const Rcode rcode = view.header().rcode;
+
+    if (rcode == Rcode::REFUSED) {
+      std::erase(candidates, target);
+      continue;
+    }
+    if (rcode != Rcode::NOERROR) {
+      if (!materialize_section(view, /*authority=*/true, out.authorities)) {
+        out.authorities.clear();
+        std::erase(candidates, target);
+        continue;
+      }
+      out.rcode = rcode;
       return out;
     }
-    if (!resp.answers.empty() || resp.header.aa) {
+    if (view.answer_count() > 0 || view.header().aa) {
       // Authoritative answer (possibly NODATA, with its denial proof).
-      out.records = resp.answers;
-      out.authorities = resp.authorities;
+      if (!materialize_section(view, /*authority=*/false, out.records) ||
+          !materialize_section(view, /*authority=*/true, out.authorities)) {
+        out.records.clear();
+        out.authorities.clear();
+        std::erase(candidates, target);
+        continue;
+      }
       out.rcode = Rcode::NOERROR;
       return out;
     }
 
-    // Referral: gather NS targets, prefer glue.
-    std::vector<net::IpAddr> next;
-    std::vector<Name> ns_hosts;
-    for (const auto& rr : resp.authorities) {
-      if (rr.type == RrType::NS) {
-        ns_hosts.push_back(std::get<dns::NsRdata>(rr.rdata).nsdname);
-      }
+    // Referral: gather NS targets from the authority section and glue
+    // addresses from the additional section — all read straight off the
+    // wire.  Only an unglued (out-of-bailiwick) NS host materializes a
+    // name, to recurse on its address.
+    std::size_t ns_count = 0;
+    for (std::size_t i = 0; i < view.authority_count(); ++i) {
+      if (view.authority(i).type() == RrType::NS) ++ns_count;
     }
-    if (ns_hosts.empty()) {
+    if (ns_count == 0) {
       out.rcode = Rcode::SERVFAIL;
       return out;
     }
-    std::vector<Name> glued;
-    for (const auto& rr : resp.additionals) {
-      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
-        next.push_back(net::IpAddr(a->address));
-        glued.push_back(rr.owner);
-      } else if (const auto* aaaa = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
-        next.push_back(net::IpAddr(aaaa->address));
-        glued.push_back(rr.owner);
+    std::vector<net::IpAddr> next;
+    for (std::size_t i = 0; i < view.additional_count(); ++i) {
+      auto rr = view.additional(i);
+      if (auto a = rr.a_addr()) {
+        next.push_back(net::IpAddr(*a));
+      } else if (auto aaaa = rr.aaaa_addr()) {
+        next.push_back(net::IpAddr(*aaaa));
       }
     }
-    // Resolve any NS host the referral did not glue (out-of-bailiwick NS):
-    // with partial glue a resolver must still consider every listed server,
-    // or it would systematically miss providers — and the §4.2.3 mixed-
-    // provider inconsistencies with them.
-    for (const auto& host : ns_hosts) {
-      if (std::find(glued.begin(), glued.end(), host) != glued.end()) continue;
+    // Collect NS hosts the referral did not glue (matching owner names on
+    // the wire, case-folded).  Materialize them *before* recursing: the
+    // nested iterate reuses the transport, which invalidates this reply's
+    // buffer — no view access is legal past the first resolve_ns_addr.
+    std::vector<Name> unglued;
+    bool malformed = false;
+    for (std::size_t i = 0; i < view.authority_count() && !malformed; ++i) {
+      auto ns = view.authority(i);
+      if (ns.type() != RrType::NS) continue;
+      bool glued = false;
+      for (std::size_t j = 0; j < view.additional_count() && !glued; ++j) {
+        auto add = view.additional(j);
+        if (add.type() != RrType::A && add.type() != RrType::AAAA) continue;
+        glued = add.owner_equals_target_of(ns);
+      }
+      if (glued) continue;
+      auto host = ns.name_target();
+      if (!host) {
+        malformed = true;
+        break;
+      }
+      unglued.push_back(std::move(*host));
+    }
+    if (malformed) {
+      std::erase(candidates, target);
+      continue;
+    }
+    // Resolve the unglued hosts (out-of-bailiwick NS): with partial glue a
+    // resolver must still consider every listed server, or it would
+    // systematically miss providers — and the §4.2.3 mixed-provider
+    // inconsistencies with them.
+    for (const auto& host : unglued) {
       auto addrs = resolve_ns_addr(host, depth + 1);
       next.insert(next.end(), addrs.begin(), addrs.end());
     }
@@ -376,6 +493,44 @@ RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
   }
   out.rcode = Rcode::SERVFAIL;
   return out;
+}
+
+std::span<const std::uint8_t> RecursiveResolver::resolve_wire(
+    const Name& qname, RrType qtype, dns::WireWriter& w) {
+  ResolvedAnswer answer = resolve_shared(qname, qtype);
+  const auto answers = answer.answers();
+  const auto authorities = answer.authorities();
+
+  // Assemble the client-visible response directly on the wire: header,
+  // question, then the shared sections encoded in place (no Message
+  // round-trip), OPT last — the same layout Message::encode_into emits.
+  dns::Header h;
+  h.id = static_cast<std::uint16_t>(rng_.next_u32());
+  h.qr = true;
+  h.rd = true;
+  h.ra = true;
+  h.ad = answer.ad;
+  h.rcode = answer.rcode;
+
+  w.clear();
+  w.u16(h.id);
+  w.u16(dns::pack_flags(h));
+  w.u16(1);  // QDCOUNT
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(1);  // ARCOUNT: the OPT pseudo-RR
+  w.name_compressed(qname);
+  w.u16(static_cast<std::uint16_t>(qtype));
+  w.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
+  for (const auto& rr : answers) dns::encode_rr(rr, w);
+  for (const auto& rr : authorities) dns::encode_rr(rr, w);
+  // OPT (RFC 6891 §6.1): root owner, CLASS = payload size, TTL bit 15 = DO.
+  w.u8(0);
+  w.u16(static_cast<std::uint16_t>(RrType::OPT));
+  w.u16(dns::Edns{}.udp_payload_size);
+  w.u32(options_.validate_dnssec ? 0x00008000u : 0u);
+  w.u16(0);
+  return std::span<const std::uint8_t>(w.data());
 }
 
 std::vector<net::IpAddr> RecursiveResolver::resolve_ns_addr(const Name& host,

@@ -41,6 +41,7 @@
 #include "dns/message.h"
 #include "dnssec/chain.h"
 #include "net/time.h"
+#include "net/transport.h"
 #include "resolver/infra.h"
 #include "util/rng.h"
 
@@ -78,6 +79,12 @@ struct ResolverStats {
   }
 };
 
+// Which net::Transport carries the resolver's upstream exchanges.
+enum class TransportKind : std::uint8_t {
+  loopback,  // zero-copy shared wire images (default; the scan hot path)
+  datagram,  // modelled UDP/TCP channel with real truncation + faults
+};
+
 struct ResolverOptions {
   bool validate_dnssec = true;
   bool cache_enabled = true;          // ablation: disable caching entirely
@@ -91,6 +98,11 @@ struct ResolverOptions {
   std::uint64_t selection_seed = 0;
   int max_referrals = 32;
   int max_cname_chain = 8;
+  // Upstream channel selection + opt-in datagram faults (drop/duplicate/
+  // garbage — only meaningful with TransportKind::datagram).
+  TransportKind transport = TransportKind::loopback;
+  net::TransportFaults transport_faults{};
+  bool transport_tcp_only = false;  // datagram only: skip the UDP leg
 };
 
 // Allocation-lean resolve result for the scan hot path.  Sections are
@@ -120,6 +132,14 @@ class ResolvedAnswer {
     return false;
   }
 
+  // Shared handle to the answer section for observers that outlive this
+  // answer (scanner observations): the cache's own immutable vector when
+  // the answer is shared (the steady state — no record copies), a freshly
+  // frozen copy for owned sections.  Never null; empty answers share one
+  // static empty vector.
+  [[nodiscard]] std::shared_ptr<const std::vector<dns::Rr>> answers_snapshot()
+      const;
+
  private:
   friend class RecursiveResolver;
   std::shared_ptr<const std::vector<dns::Rr>> shared_answers_;
@@ -146,6 +166,25 @@ class RecursiveResolver {
   // to resolve()'s.
   [[nodiscard]] ResolvedAnswer resolve_shared(const dns::Name& qname,
                                               dns::RrType qtype);
+
+  // Wire-true client surface: resolves and encodes the full response into
+  // `w` (reused across calls — steady state allocates only what the answer
+  // sections need), returning a span over the writer's buffer.  Callers
+  // read it back through dns::MessageView; httpsrr_dig prints from this.
+  [[nodiscard]] std::span<const std::uint8_t> resolve_wire(
+      const dns::Name& qname, dns::RrType qtype, dns::WireWriter& w);
+
+  // The transport carrying upstream exchanges.  Constructed from
+  // Options::transport; tests may swap in an instrumented one (it must
+  // wrap this resolver's wire_service(), or an equivalent route to the
+  // same infra).
+  [[nodiscard]] net::Transport& transport() { return *transport_; }
+  void set_transport(std::unique_ptr<net::Transport> transport) {
+    transport_ = std::move(transport);
+  }
+  [[nodiscard]] const net::WireService& wire_service() const {
+    return wire_service_;
+  }
 
   void flush_cache() {
     cache_.clear();
@@ -209,11 +248,20 @@ class RecursiveResolver {
   [[nodiscard]] std::uint64_t selection_stream(const dns::Name& qname,
                                                dns::RrType qtype);
 
+  // Reusable query encoder for one iterate() nesting level.  iterate
+  // re-enters itself through resolve_ns_addr, so each depth owns a writer
+  // (stable addresses — the pool holds pointers) and steady-state query
+  // encoding allocates nothing.
+  [[nodiscard]] dns::WireWriter& query_writer(int depth);
+
   const DnsInfra& infra_;
   const net::SimClock& clock_;
   InfraChainSource chain_source_;
   dnssec::ChainValidator validator_;
   Options options_;
+  InfraWireService wire_service_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<dns::WireWriter>> query_writers_;
   util::Pcg32 rng_;            // unobservable state only (message ids)
   std::uint64_t selection_seed_;
   mutable dnssec::ChainStatusCache chain_cache_;

@@ -37,6 +37,24 @@ class StubResolver {
     return resp;
   }
 
+  // Wire-true variant: the response arrives as DNS bytes in `w` and the
+  // caller reads it through dns::MessageView (httpsrr_dig's print path).
+  // Same primary/backup policy — the rcode is checked in the low nibble of
+  // flags byte 3, straight off the wire.
+  [[nodiscard]] std::span<const std::uint8_t> query_wire(const dns::Name& qname,
+                                                         dns::RrType qtype,
+                                                         dns::WireWriter& w) {
+    auto bytes = primary_.resolve_wire(qname, qtype, w);
+    const bool servfail =
+        bytes.size() >= 4 &&
+        (bytes[3] & 0x0f) == static_cast<std::uint8_t>(dns::Rcode::SERVFAIL);
+    if (servfail && backup_ != nullptr) {
+      ++fallbacks_;
+      return backup_->resolve_wire(qname, qtype, w);
+    }
+    return bytes;
+  }
+
   [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
 
  private:

@@ -12,7 +12,8 @@ void ConnectivityAudit::on_day(const DailySnapshot& snapshot,
     const HttpsObservation& obs = snapshot.apex[i];
     if (!obs.has_https()) continue;
     auto hints = obs.ipv4_hints();
-    if (hints.empty() || obs.a_records.empty()) continue;
+    auto a_records = obs.a_records();
+    if (hints.empty() || a_records.empty()) continue;
 
     auto& record = domains_[snapshot.list[i]];
     ++record.observed_days;
@@ -30,9 +31,9 @@ void ConnectivityAudit::on_day(const DailySnapshot& snapshot,
     bool any_hint_ok = std::any_of(hints.begin(), hints.end(), reachable);
     bool all_hint_ok = std::all_of(hints.begin(), hints.end(), reachable);
     bool any_a_ok =
-        std::any_of(obs.a_records.begin(), obs.a_records.end(), reachable);
+        std::any_of(a_records.begin(), a_records.end(), reachable);
     bool all_a_ok =
-        std::all_of(obs.a_records.begin(), obs.a_records.end(), reachable);
+        std::all_of(a_records.begin(), a_records.end(), reachable);
 
     if (!all_hint_ok || !all_a_ok) record.any_unreachable = true;
     if (any_hint_ok && !any_a_ok) record.hint_only = true;

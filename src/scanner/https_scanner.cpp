@@ -22,11 +22,11 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
   }
 
   obs.ad = resp.ad;
-  for (const auto& rr : resp.answers()) {
+  // The observation shares the cache's immutable answer vector — no record
+  // is copied; typed access filters on read (HttpsObservation ranges).
+  obs.https_answer = resp.answers_snapshot();
+  for (const auto& rr : *obs.https_answer) {
     switch (rr.type) {
-      case RrType::HTTPS:
-        obs.https_records.push_back(std::get<dns::SvcbRdata>(rr.rdata));
-        break;
       case RrType::CNAME:
         // The resolver chased the alias for us; record that it happened.
         obs.followed_cname = true;
@@ -48,19 +48,10 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
 
 void HttpsScanner::fill_follow_ups(const dns::Name& host, HttpsObservation& obs) {
   ++queries_;
-  auto a = stub_.query_shared(host, RrType::A);
-  for (const auto& rr : a.answers()) {
-    if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
-      obs.a_records.push_back(rec->address);
-    }
-  }
+  obs.a_answer = stub_.query_shared(host, RrType::A).answers_snapshot();
   ++queries_;
-  auto aaaa = stub_.query_shared(host, RrType::AAAA);
-  for (const auto& rr : aaaa.answers()) {
-    if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
-      obs.aaaa_records.push_back(rec->address);
-    }
-  }
+  obs.aaaa_answer = stub_.query_shared(host, RrType::AAAA).answers_snapshot();
+
   ++queries_;
   auto soa = stub_.query_shared(host, RrType::SOA);
   obs.soa_present = soa.has_answer_of_type(RrType::SOA);

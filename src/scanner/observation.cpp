@@ -4,29 +4,55 @@
 
 namespace httpsrr::scanner {
 
+namespace {
+
+// Content comparison for answer-section snapshots: shards hold distinct
+// but equal cache vectors, and a never-filled section (null) must equal a
+// filled-but-empty one.
+bool sections_equal(const std::shared_ptr<const std::vector<dns::Rr>>& a,
+                    const std::shared_ptr<const std::vector<dns::Rr>>& b) {
+  static const std::vector<dns::Rr> kEmpty;
+  const auto& va = a ? *a : kEmpty;
+  const auto& vb = b ? *b : kEmpty;
+  return va == vb;
+}
+
+}  // namespace
+
+bool operator==(const HttpsObservation& a, const HttpsObservation& b) {
+  return a.answered == b.answered && a.servfail == b.servfail &&
+         a.nxdomain == b.nxdomain && a.followed_cname == b.followed_cname &&
+         a.rrsig_present == b.rrsig_present && a.ad == b.ad &&
+         a.ns_records == b.ns_records && a.soa_present == b.soa_present &&
+         sections_equal(a.https_answer, b.https_answer) &&
+         sections_equal(a.a_answer, b.a_answer) &&
+         sections_equal(a.aaaa_answer, b.aaaa_answer);
+}
+
 bool HttpsObservation::has_ech() const {
-  for (const auto& r : https_records) {
+  for (const auto& r : https_records()) {
     if (r.params.has(dns::SvcParamKey::ech)) return true;
   }
   return false;
 }
 
 std::optional<dns::Bytes> HttpsObservation::ech_config() const {
-  for (const auto& r : https_records) {
+  for (const auto& r : https_records()) {
     if (auto blob = r.params.ech()) return blob;
   }
   return std::nullopt;
 }
 
 bool HttpsObservation::alias_mode() const {
-  return !https_records.empty() &&
-         std::all_of(https_records.begin(), https_records.end(),
+  auto records = https_records();
+  return !records.empty() &&
+         std::all_of(records.begin(), records.end(),
                      [](const dns::SvcbRdata& r) { return r.is_alias_mode(); });
 }
 
 std::vector<net::Ipv4Addr> HttpsObservation::ipv4_hints() const {
   std::vector<net::Ipv4Addr> out;
-  for (const auto& r : https_records) {
+  for (const auto& r : https_records()) {
     if (auto hints = r.params.ipv4hint()) {
       out.insert(out.end(), hints->begin(), hints->end());
     }
@@ -36,7 +62,7 @@ std::vector<net::Ipv4Addr> HttpsObservation::ipv4_hints() const {
 
 std::vector<net::Ipv6Addr> HttpsObservation::ipv6_hints() const {
   std::vector<net::Ipv6Addr> out;
-  for (const auto& r : https_records) {
+  for (const auto& r : https_records()) {
     if (auto hints = r.params.ipv6hint()) {
       out.insert(out.end(), hints->begin(), hints->end());
     }
@@ -46,7 +72,7 @@ std::vector<net::Ipv6Addr> HttpsObservation::ipv6_hints() const {
 
 std::vector<std::string> HttpsObservation::alpn_protocols() const {
   std::vector<std::string> out;
-  for (const auto& r : https_records) {
+  for (const auto& r : https_records()) {
     if (auto protocols = r.params.alpn()) {
       for (auto& p : *protocols) {
         if (std::find(out.begin(), out.end(), p) == out.end()) {
@@ -61,7 +87,8 @@ std::vector<std::string> HttpsObservation::alpn_protocols() const {
 bool HttpsObservation::hints_match_a() const {
   auto hints = ipv4_hints();
   if (hints.empty()) return false;
-  std::vector<net::Ipv4Addr> a = a_records;
+  auto range = a_records();
+  std::vector<net::Ipv4Addr> a(range.begin(), range.end());
   std::sort(hints.begin(), hints.end());
   hints.erase(std::unique(hints.begin(), hints.end()), hints.end());
   std::sort(a.begin(), a.end());

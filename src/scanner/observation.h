@@ -2,10 +2,23 @@
 
 // Observation records produced by the scanning framework — the in-memory
 // equivalent of the paper's daily dataset rows (Table 1).
+//
+// Answer sections are held as *shared snapshots*: the same immutable
+// `shared_ptr<const vector<Rr>>` vectors the resolver cache serves
+// (ResolvedAnswer::answers_snapshot), so assembling an observation on a
+// warm cache copies no records.  Typed access goes through lazy filtered
+// ranges (https_records(), a_records(), ...) that walk the snapshot in
+// place.  Equality is deep — snapshots compare by content, never by
+// pointer — because shard-invariance tests compare observations produced
+// by *different* resolvers whose caches hold distinct but equal vectors.
 
+#include <cstddef>
+#include <iterator>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "dns/message.h"
@@ -16,6 +29,91 @@
 
 namespace httpsrr::scanner {
 
+namespace detail {
+
+// Forward iteration over the records of a shared answer-section snapshot
+// whose RDATA holds RdataT, projected through Proj (the full payload, or
+// one field of it).  A null snapshot iterates as empty.
+template <typename RdataT, typename Proj>
+class RdataRange {
+ public:
+  using value_type = std::remove_cvref_t<
+      decltype(Proj{}(std::declval<const RdataT&>()))>;
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using difference_type = std::ptrdiff_t;
+    using value_type = RdataRange::value_type;
+    using pointer = const value_type*;
+    using reference = const value_type&;
+
+    iterator() = default;
+    iterator(const std::vector<dns::Rr>* v, std::size_t i) : v_(v), i_(i) {
+      skip();
+    }
+    reference operator*() const {
+      return Proj{}(std::get<RdataT>((*v_)[i_].rdata));
+    }
+    pointer operator->() const { return &**this; }
+    iterator& operator++() {
+      ++i_;
+      skip();
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    friend bool operator==(const iterator&, const iterator&) = default;
+
+   private:
+    void skip() {
+      while (v_ != nullptr && i_ < v_->size() &&
+             !std::holds_alternative<RdataT>((*v_)[i_].rdata)) {
+        ++i_;
+      }
+    }
+    const std::vector<dns::Rr>* v_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  explicit RdataRange(const std::vector<dns::Rr>* v) : v_(v) {}
+  [[nodiscard]] iterator begin() const { return iterator(v_, 0); }
+  [[nodiscard]] iterator end() const {
+    return iterator(v_, v_ != nullptr ? v_->size() : 0);
+  }
+  [[nodiscard]] bool empty() const { return begin() == end(); }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (auto it = begin(); it != end(); ++it) ++n;
+    return n;
+  }
+
+ private:
+  const std::vector<dns::Rr>* v_;
+};
+
+struct IdentityProj {
+  template <typename T>
+  const T& operator()(const T& v) const {
+    return v;
+  }
+};
+struct AddressProj {
+  template <typename T>
+  const auto& operator()(const T& v) const {
+    return v.address;
+  }
+};
+
+}  // namespace detail
+
+using SvcbRange = detail::RdataRange<dns::SvcbRdata, detail::IdentityProj>;
+using Ipv4Range = detail::RdataRange<dns::ARdata, detail::AddressProj>;
+using Ipv6Range = detail::RdataRange<dns::AaaaRdata, detail::AddressProj>;
+
 // One host (apex or www) scanned on one day.
 struct HttpsObservation {
   bool answered = false;   // NOERROR response received
@@ -23,17 +121,31 @@ struct HttpsObservation {
   bool nxdomain = false;
   bool followed_cname = false;
 
-  std::vector<dns::SvcbRdata> https_records;
   bool rrsig_present = false;  // RRSIG covering the HTTPS RRset was returned
   bool ad = false;             // Authenticated Data bit in the response
 
+  // Shared answer-section snapshots (null until the lookup ran; treated as
+  // empty).  `https_answer` also carries the CNAME chain and RRSIGs of the
+  // HTTPS response; the typed ranges below filter on access.
+  std::shared_ptr<const std::vector<dns::Rr>> https_answer;
+  std::shared_ptr<const std::vector<dns::Rr>> a_answer;
+  std::shared_ptr<const std::vector<dns::Rr>> aaaa_answer;
+
   // Follow-up lookups (issued only when an HTTPS record was seen, §4.1).
-  std::vector<net::Ipv4Addr> a_records;
-  std::vector<net::Ipv6Addr> aaaa_records;
   std::vector<dns::Name> ns_records;
   bool soa_present = false;
 
-  [[nodiscard]] bool has_https() const { return !https_records.empty(); }
+  [[nodiscard]] SvcbRange https_records() const {
+    return SvcbRange(https_answer.get());
+  }
+  [[nodiscard]] Ipv4Range a_records() const {
+    return Ipv4Range(a_answer.get());
+  }
+  [[nodiscard]] Ipv6Range aaaa_records() const {
+    return Ipv6Range(aaaa_answer.get());
+  }
+
+  [[nodiscard]] bool has_https() const { return !https_records().empty(); }
   [[nodiscard]] bool has_ech() const;
   [[nodiscard]] std::optional<dns::Bytes> ech_config() const;
   [[nodiscard]] bool alias_mode() const;
@@ -45,9 +157,10 @@ struct HttpsObservation {
   // True when ipv4 hints are present and equal the A RRset as a set.
   [[nodiscard]] bool hints_match_a() const;
 
-  // Field-wise equality, used by the shard-count-invariance tests.
-  friend bool operator==(const HttpsObservation&,
-                         const HttpsObservation&) = default;
+  // Deep field-wise equality, used by the shard-count-invariance tests:
+  // section snapshots compare by record content (null == empty), so
+  // observations assembled by different shards' resolvers compare equal.
+  friend bool operator==(const HttpsObservation& a, const HttpsObservation& b);
 };
 
 // Name-server side data for one NS host name.

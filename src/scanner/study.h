@@ -52,6 +52,10 @@ struct StudyOptions {
   // Number of parallel scan shards; 0 = one per hardware thread.  Snapshot
   // contents and total_queries() are invariant across shard counts.
   std::size_t shards = 1;
+  // Per-shard resolver configuration.  Note `resolver_options.transport`
+  // (+ transport_faults / transport_tcp_only) selects the upstream channel
+  // every shard uses: loopback (default — zero-copy shared wire images)
+  // or the modelled UDP/TCP datagram transport.
   resolver::ResolverOptions resolver_options;
 };
 

@@ -275,7 +275,7 @@ TEST(Determinism, StudySnapshotsAreBitIdentical) {
         digest += snapshot.apex[i].has_https() ? '1' : '0';
         digest += snapshot.apex[i].has_ech() ? 'e' : '.';
         digest += snapshot.apex[i].rrsig_present ? 's' : '.';
-        for (const auto& record : snapshot.apex[i].https_records) {
+        for (const auto& record : snapshot.apex[i].https_records()) {
           digest += record.to_presentation();
         }
       }

@@ -44,8 +44,8 @@ TEST(HttpsScanner, ObservationFieldsPopulated) {
     auto obs = scanner.scan(d.apex);
     EXPECT_TRUE(obs.answered);
     ASSERT_TRUE(obs.has_https());
-    EXPECT_FALSE(obs.a_records.empty()) << "follow-up A lookup";
-    EXPECT_FALSE(obs.aaaa_records.empty()) << "follow-up AAAA lookup";
+    EXPECT_FALSE(obs.a_records().empty()) << "follow-up A lookup";
+    EXPECT_FALSE(obs.aaaa_records().empty()) << "follow-up AAAA lookup";
     EXPECT_FALSE(obs.ns_records.empty()) << "follow-up NS lookup";
     EXPECT_TRUE(obs.soa_present) << "follow-up SOA lookup";
     EXPECT_FALSE(obs.ipv4_hints().empty());
@@ -67,7 +67,7 @@ TEST(HttpsScanner, NoFollowUpWithoutHttps) {
     auto obs = scanner.scan(d.apex);
     EXPECT_TRUE(obs.answered);
     EXPECT_FALSE(obs.has_https());
-    EXPECT_TRUE(obs.a_records.empty());
+    EXPECT_TRUE(obs.a_records().empty());
     EXPECT_TRUE(obs.ns_records.empty());
     return;
   }

@@ -1,0 +1,318 @@
+// net::Transport: byte-equality of LoopbackTransport and DatagramTransport
+// replies across every RR type, real TC-bit truncation with TCP retry
+// decoded from actual wire bytes, and fault-hook robustness (drop /
+// duplicate / trailing garbage never crash the resolver).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dns/view.h"
+#include "dnssec/signer.h"
+#include "net/transport.h"
+#include "resolver/authoritative.h"
+#include "resolver/infra.h"
+#include "resolver/recursive.h"
+
+namespace httpsrr::resolver {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rcode;
+using dns::RrType;
+
+net::IpAddr ip(const char* text) { return *net::IpAddr::parse(text); }
+
+// One signed zone carrying every RR type the codec knows, served by a
+// single authoritative that is also the root — so a resolver pointed at it
+// answers in one hop and transport behaviour is isolated.
+struct WireNet {
+  net::SimClock clock{net::SimTime::from_string("2023-05-08")};
+  DnsInfra infra;
+  dnssec::KeyPair zone_key = dnssec::KeyPair::generate(7, 257);
+  dnssec::KeyPair child_key = dnssec::KeyPair::generate(8, 257);
+  AuthoritativeServer* server = nullptr;
+  net::IpAddr addr = ip("198.51.100.53");
+
+  WireNet() {
+    server = &infra.add_server("every-ops", addr);
+
+    dns::Zone zone(name_of("every.test"));
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.every.test");
+    soa.rname = name_of("ops.every.test");
+    soa.serial = 2023050801;
+    soa.minimum = 300;
+    ASSERT_OK(zone.add(dns::make_soa(name_of("every.test"), 3600, soa)));
+    ASSERT_OK(zone.add(dns::make_ns(name_of("every.test"), 3600,
+                                    name_of("ns1.every.test"))));
+    ASSERT_OK(zone.add(dns::make_a(name_of("ns1.every.test"), 3600,
+                                   net::Ipv4Addr(198, 51, 100, 53))));
+    ASSERT_OK(zone.add(dns::make_a(name_of("every.test"), 300,
+                                   net::Ipv4Addr(192, 0, 2, 1))));
+    ASSERT_OK(zone.add(dns::make_aaaa(name_of("every.test"), 300,
+                                      *net::Ipv6Addr::parse("2001:db8::1"))));
+    ASSERT_OK(zone.add(dns::Rr{name_of("every.test"), RrType::TXT,
+                               dns::RrClass::IN, 300,
+                               dns::TxtRdata{{"hello", "world"}}}));
+    ASSERT_OK(zone.add(dns::Rr{name_of("every.test"), RrType::MX,
+                               dns::RrClass::IN, 300,
+                               dns::MxRdata{10, name_of("mail.every.test")}}));
+    auto https = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=192.0.2.1");
+    ASSERT_OK(zone.add(dns::make_https(name_of("every.test"), 300, *https)));
+    auto svcb = dns::SvcbRdata::parse_presentation("1 svc.every.test. alpn=h3");
+    ASSERT_OK(zone.add(dns::make_svcb(name_of("_dns.every.test"), 300, *svcb)));
+    ASSERT_OK(zone.add(dns::make_cname(name_of("alias.every.test"), 300,
+                                       name_of("every.test"))));
+    ASSERT_OK(zone.add(dns::Rr{name_of("dn.every.test"), RrType::DNAME,
+                               dns::RrClass::IN, 300,
+                               dns::DnameRdata{name_of("other.every.test")}}));
+    ASSERT_OK(zone.add(dns::Rr{name_of("ptr.every.test"), RrType::PTR,
+                               dns::RrClass::IN, 300,
+                               dns::PtrRdata{name_of("host.every.test")}}));
+    ASSERT_OK(zone.add(dns::Rr{
+        name_of("child.every.test"), RrType::DS, dns::RrClass::IN, 3600,
+        dnssec::make_ds(name_of("child.every.test"), child_key.dnskey)}));
+
+    // A TXT RRset wider than the 1232-byte EDNS payload: forces genuine
+    // truncation on the datagram UDP leg.
+    dns::TxtRdata fat;
+    for (int i = 0; i < 8; ++i) fat.strings.push_back(std::string(200, 'x'));
+    ASSERT_OK(zone.add(dns::Rr{name_of("fat.every.test"), RrType::TXT,
+                               dns::RrClass::IN, 300, std::move(fat)}));
+
+    server->add_zone(std::move(zone));
+    server->enable_dnssec(name_of("every.test"), zone_key);
+    infra.register_zone(name_of("every.test"), {server});
+    infra.set_root_servers({addr});
+  }
+
+  static void ASSERT_OK(const util::Result<void>& r) {
+    ASSERT_TRUE(r.ok()) << r.error();
+  }
+
+  [[nodiscard]] RecursiveResolver make_resolver(
+      RecursiveResolver::Options options = {}) const {
+    return RecursiveResolver(infra, clock, zone_key.dnskey, options);
+  }
+};
+
+std::vector<std::uint8_t> encode_query(std::uint16_t id, const Name& qname,
+                                       RrType qtype) {
+  dns::WireWriter w;
+  dns::Message::make_query(id, qname, qtype, /*dnssec_ok=*/true).encode_into(w);
+  auto bytes = w.data();
+  return {bytes.begin(), bytes.end()};
+}
+
+constexpr std::size_t kUdpLimit = 1232;
+
+TEST(Transport, EveryRrTypeByteEqualAcrossTransports) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::LoopbackTransport loopback(service);
+  net::DatagramTransport datagram(service);
+
+  struct Q {
+    const char* qname;
+    RrType qtype;
+  };
+  const Q kQueries[] = {
+      {"every.test", RrType::A},         {"every.test", RrType::AAAA},
+      {"every.test", RrType::TXT},       {"every.test", RrType::MX},
+      {"every.test", RrType::NS},        {"every.test", RrType::SOA},
+      {"every.test", RrType::HTTPS},     {"every.test", RrType::DNSKEY},
+      {"alias.every.test", RrType::CNAME}, {"dn.every.test", RrType::DNAME},
+      {"ptr.every.test", RrType::PTR},   {"_dns.every.test", RrType::SVCB},
+      {"child.every.test", RrType::DS},  {"fat.every.test", RrType::TXT},
+  };
+
+  for (const auto& q : kQueries) {
+    SCOPED_TRACE(std::string(q.qname) + " " + dns::type_to_string(q.qtype));
+    const Name qname = name_of(q.qname);
+
+    // First exchange learns the id baked into the server's cached wire
+    // image; re-sending with that id makes the datagram id patch a no-op,
+    // so the two transports must agree on every byte.
+    auto probe = loopback.exchange(
+        net.addr, encode_query(1, qname, q.qtype), kUdpLimit);
+    ASSERT_TRUE(probe.ok());
+    ASSERT_GE(probe.bytes().size(), 12u);
+    const std::uint16_t wire_id = static_cast<std::uint16_t>(
+        (probe.bytes()[0] << 8) | probe.bytes()[1]);
+
+    auto query = encode_query(wire_id, qname, q.qtype);
+    auto via_loopback = loopback.exchange(net.addr, query, kUdpLimit);
+    auto via_datagram = datagram.exchange(net.addr, query, kUdpLimit);
+    ASSERT_TRUE(via_loopback.ok());
+    ASSERT_TRUE(via_datagram.ok());
+    EXPECT_EQ(*via_loopback.payload, *via_datagram.payload)
+        << "transports must deliver identical reply bytes";
+
+    auto view = dns::MessageView::parse(via_datagram.bytes());
+    ASSERT_TRUE(view.ok()) << view.error();
+    EXPECT_EQ(view->trailing_bytes(), 0u);
+    EXPECT_EQ(view->header().rcode, Rcode::NOERROR);
+    EXPECT_GT(view->answer_count(), 0u);
+  }
+}
+
+TEST(Transport, TruncatedUdpReplyRetriesOverTcp) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::DatagramTransport datagram(service);
+
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  datagram.set_udp_tap([&](std::span<const std::uint8_t> bytes) {
+    datagrams.emplace_back(bytes.begin(), bytes.end());
+  });
+
+  auto query = encode_query(42, name_of("fat.every.test"), RrType::TXT);
+  auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+
+  // The UDP datagram that actually travelled: TC=1 in the flags byte,
+  // within the payload limit, question preserved, record sections dropped.
+  ASSERT_EQ(datagrams.size(), 1u);
+  const auto& udp = datagrams.front();
+  ASSERT_GE(udp.size(), 12u);
+  EXPECT_LE(udp.size(), kUdpLimit);
+  EXPECT_NE(udp[2] & 0x02, 0) << "TC bit must be set on the wire";
+  EXPECT_EQ(udp[0], 0);  // id echoes the query's (42)
+  EXPECT_EQ(udp[1], 42);
+  EXPECT_EQ((udp[4] << 8) | udp[5], 1);  // QDCOUNT kept
+  for (std::size_t off = 6; off < 12; ++off) EXPECT_EQ(udp[off], 0);
+
+  // The TCP retry delivered the full answer.
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.tcp_retried);
+  EXPECT_GT(reply.bytes().size(), kUdpLimit);
+  EXPECT_EQ(datagram.stats().udp_queries, 1u);
+  EXPECT_EQ(datagram.stats().truncated_replies, 1u);
+  EXPECT_EQ(datagram.stats().tcp_queries, 1u);
+  auto view = dns::MessageView::parse(reply.bytes());
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view->header().tc, false);
+  EXPECT_GT(view->answer_count(), 0u);
+}
+
+TEST(Transport, ResolverCountsTcpFallbackFromRealBytes) {
+  WireNet net;
+  ResolverOptions options;
+  options.validate_dnssec = false;
+  options.transport = TransportKind::datagram;
+  auto resolver = net.make_resolver(options);
+
+  auto resp = resolver.resolve(name_of("fat.every.test"), RrType::TXT);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(resp.answers_of_type(RrType::TXT).empty());
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 1u)
+      << "one truncated UDP reply, one TCP retry";
+
+  // Cache hit: no further upstream traffic, fallback count unchanged.
+  auto again = resolver.resolve(name_of("fat.every.test"), RrType::TXT);
+  EXPECT_EQ(again.header.rcode, Rcode::NOERROR);
+  EXPECT_EQ(resolver.stats().tcp_fallbacks, 1u);
+
+  // A loopback resolver accounts the same fallback without the channel.
+  ResolverOptions lo_options;
+  lo_options.validate_dnssec = false;
+  auto lo_resolver = net.make_resolver(lo_options);
+  auto lo_resp = lo_resolver.resolve(name_of("fat.every.test"), RrType::TXT);
+  EXPECT_EQ(lo_resp.header.rcode, Rcode::NOERROR);
+  EXPECT_EQ(lo_resolver.stats().tcp_fallbacks, 1u);
+}
+
+TEST(Transport, DroppedDatagramsDegradeToServfail) {
+  WireNet net;
+  ResolverOptions options;
+  options.validate_dnssec = false;
+  options.transport = TransportKind::datagram;
+  options.transport_faults.drop_permille = 1000;
+  auto resolver = net.make_resolver(options);
+
+  auto resp = resolver.resolve(name_of("every.test"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL)
+      << "every datagram lost, every candidate exhausted";
+}
+
+TEST(Transport, TrailingGarbageIsRejectedNotCrashed) {
+  WireNet net;
+  ResolverOptions options;
+  options.validate_dnssec = false;
+  options.transport = TransportKind::datagram;
+  options.transport_faults.garbage_permille = 1000;
+  auto resolver = net.make_resolver(options);
+
+  // Every UDP reply arrives with trailing junk; the resolver's strict
+  // trailing_bytes() check rejects them all and degrades to SERVFAIL.
+  auto resp = resolver.resolve(name_of("every.test"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL);
+
+  // Direct exchange: the reply really does carry trailing bytes, and the
+  // lenient view parser still indexes it without reading out of bounds.
+  net::DatagramTransport datagram(
+      resolver.wire_service(),
+      net::TransportFaults{.garbage_permille = 1000});
+  auto query = encode_query(7, name_of("every.test"), RrType::A);
+  auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+  ASSERT_TRUE(reply.ok());
+  auto view = dns::MessageView::parse(reply.bytes());
+  ASSERT_TRUE(view.ok());
+  EXPECT_GT(view->trailing_bytes(), 0u);
+  EXPECT_EQ(datagram.stats().garbage_appended, 1u);
+}
+
+TEST(Transport, DuplicatedDatagramsAreHarmless) {
+  WireNet net;
+  ResolverOptions options;
+  options.validate_dnssec = false;
+  options.transport = TransportKind::datagram;
+  options.transport_faults.duplicate_permille = 1000;
+  auto resolver = net.make_resolver(options);
+
+  auto resp = resolver.resolve(name_of("every.test"), RrType::A);
+  EXPECT_EQ(resp.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(resp.answers_of_type(RrType::A).empty());
+
+  net::DatagramTransport datagram(
+      resolver.wire_service(),
+      net::TransportFaults{.duplicate_permille = 1000});
+  std::size_t delivered = 0;
+  datagram.set_udp_tap([&](std::span<const std::uint8_t>) { ++delivered; });
+  auto query = encode_query(9, name_of("every.test"), RrType::A);
+  auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(delivered, 2u) << "the duplicate really was delivered twice";
+  EXPECT_EQ(datagram.stats().duplicated, 1u);
+}
+
+TEST(Transport, TcpOnlySkipsTheUdpLeg) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::DatagramTransport datagram(service);
+  datagram.set_tcp_only(true);
+
+  auto query = encode_query(3, name_of("every.test"), RrType::A);
+  auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.tcp_retried) << "no truncation preceded the TCP query";
+  EXPECT_EQ(datagram.stats().udp_queries, 0u);
+  EXPECT_EQ(datagram.stats().tcp_queries, 1u);
+}
+
+TEST(Transport, UnknownServerTimesOut) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::LoopbackTransport loopback(service);
+  net::DatagramTransport datagram(service);
+
+  auto query = encode_query(5, name_of("every.test"), RrType::A);
+  auto nobody = ip("203.0.113.9");
+  EXPECT_FALSE(loopback.exchange(nobody, query, kUdpLimit).ok());
+  EXPECT_FALSE(datagram.exchange(nobody, query, kUdpLimit).ok());
+}
+
+}  // namespace
+}  // namespace httpsrr::resolver

@@ -4,7 +4,7 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs all three suites, and writes a
-# machine-readable summary (default: BENCH_PR3.json in the repo root):
+# machine-readable summary (default: BENCH_PR4.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -17,7 +17,11 @@
 #     re-runs don't lose the one-off historical measurement;
 #   * decode_side_allocs_per_op — the decode/resolve-side counts PR3's
 #     shared-response work gates on (view decode, warm shared resolve),
-#     with the decode speedup vs the checked-in BENCH_PR2.json baseline.
+#     with the decode speedup vs the checked-in BENCH_PR2.json baseline;
+#   * wire_path — PR4's transport-layer numbers: a full iterative resolve
+#     over LoopbackTransport vs DatagramTransport (ns/op + allocs/op) and
+#     the scanner's observation-assembly allocs before/after the shared
+#     RRset snapshot refactor.
 #
 # tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions
 # plus exact allocs/op regressions on the pinned benchmarks.
@@ -25,7 +29,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR3.json}"
+OUT="${1:-BENCH_PR4.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
@@ -159,6 +163,30 @@ if os.path.exists("BENCH_PR2.json"):
     except (json.JSONDecodeError, OSError):
         pass
 
+# Wire-path summary: the PR4 transport pair side by side, plus the
+# observation-assembly allocation drop from sharing RRset snapshots with
+# the resolver cache (before_pr4 is the one-off pre-refactor measurement,
+# carried across regenerations like the other pre-PR numbers).
+wire_path = {
+    "resolve_over_loopback": micro_resolver.get("BM_ResolveOverLoopback"),
+    "resolve_over_datagram": micro_resolver.get("BM_ResolveOverDatagram"),
+    "scan_observation_allocs_per_op": {
+        "before_pr4": 15,
+        "after": micro_resolver.get("BM_ScanObservationWarm", {})
+                               .get("allocs_per_op"),
+    },
+}
+if os.path.exists(out):
+    try:
+        with open(out) as f:
+            prev_wire = json.load(f).get("wire_path", {})
+        before = prev_wire.get("scan_observation_allocs_per_op", {}) \
+                          .get("before_pr4")
+        if before is not None:
+            wire_path["scan_observation_allocs_per_op"]["before_pr4"] = before
+    except (json.JSONDecodeError, OSError):
+        pass
+
 summary = {
     "schema": "httpsrr-bench-v1",
     "calib_seconds": calib,
@@ -167,6 +195,7 @@ summary = {
     "micro_study": micro_study,
     "allocs_per_encoded_query": allocs,
     "decode_side_allocs_per_op": decode_side,
+    "wire_path": wire_path,
 }
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)

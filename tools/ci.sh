@@ -24,14 +24,16 @@ verify() {
 }
 
 sanitize() {
+  # transport_test is in this list on purpose: the datagram fault hooks
+  # (drop/duplicate/trailing-garbage) must hold up under ASan/UBSan.
   echo "== ASan/UBSan test suite =="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target \
-    util_test dns_test dnssec_test resolver_test scanner_test \
+    util_test dns_test dnssec_test resolver_test transport_test scanner_test \
     study_parallel_test property_test
-  for t in util_test dns_test dnssec_test resolver_test scanner_test \
-           study_parallel_test property_test; do
+  for t in util_test dns_test dnssec_test resolver_test transport_test \
+           scanner_test study_parallel_test property_test; do
     "./build-asan/tests/${t}"
   done
 }
@@ -49,17 +51,20 @@ threads() {
 
 bench() {
   echo "== bench: harness + micro_study regression gate =="
-  # Baseline = the checked-in BENCH_PR3.json (HEAD), read before the harness
-  # overwrites the working-tree copy.
+  # Baseline = the checked-in BENCH_PR4.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back to the PR3 file so the gate
+  # still runs before the first PR4 summary is committed (the shared fields
+  # the gate reads are schema-stable across the two).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
+  if ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR3.json
+  tools/bench.sh BENCH_PR4.json
   if [[ -z "${baseline_file}" ]]; then
-    echo "bench: WARNING — no checked-in BENCH_PR3.json baseline; skipping gate"
+    echo "bench: WARNING — no checked-in bench baseline; skipping gate"
     return 0
   fi
   # Allocation gate first: allocs/op is deterministic (a counting operator
@@ -69,13 +74,14 @@ bench() {
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR3.json") as f:
+with open("BENCH_PR4.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
     ("micro_dns", "BM_QueryEncodeReuse"),
     ("micro_dns", "BM_MessageEncodeReuse"),
     ("micro_resolver", "BM_RecursiveResolveWarm"),
+    ("micro_resolver", "BM_ResolveOverLoopback"),
 ]
 failed = False
 for suite, name in PINNED:
@@ -103,7 +109,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR3.json") as f:
+with open("BENCH_PR4.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]

@@ -2,21 +2,30 @@
 // spin up the calibrated ecosystem and query any domain/type at any date
 // through a validating recursive resolver.
 //
+// The reply travels the wire-true path end to end: the stub hands back
+// encoded DNS bytes (StubResolver::query_wire) and everything printed
+// below is read through dns::MessageView over those bytes — this binary
+// never touches a decoded dns::Message.
+//
 // Usage:
 //   httpsrr-dig [options] <name> [type]
 //     type: A | AAAA | HTTPS | NS | SOA | DS | DNSKEY | ... (default HTTPS)
 //   options:
-//     --scale N    daily list size (default 2000)
-//     --seed N     ecosystem seed (default 2023)
-//     --date D     virtual query date, YYYY-MM-DD (default 2023-09-01)
-//     --list N     instead of a query, print the first N domains of the
-//                  day's Tranco list (to discover names to dig)
+//     --scale N      daily list size (default 2000)
+//     --seed N       ecosystem seed (default 2023)
+//     --date D       virtual query date, YYYY-MM-DD (default 2023-09-01)
+//     --transport T  upstream channel: loopback (default) | datagram
+//     --tcp          query over the datagram transport, TCP only
+//     --list N       instead of a query, print the first N domains of the
+//                    day's Tranco list (to discover names to dig)
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "dns/view.h"
 #include "ecosystem/internet.h"
+#include "resolver/stub.h"
 
 using namespace httpsrr;
 
@@ -25,8 +34,42 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale N] [--seed N] [--date YYYY-MM-DD] "
+               "[--transport loopback|datagram] [--tcp] "
                "[--list N | <name> [type]]\n",
                argv0);
+}
+
+// Mirrors Message::to_string, but reads every field through the view.
+void print_reply(const dns::MessageView& view) {
+  const dns::Header& h = view.header();
+  std::printf(";; id %u, %s, %s%s%s%s%s rcode=%s\n", h.id,
+              h.qr ? "response" : "query", h.aa ? "aa " : "",
+              h.tc ? "tc " : "", h.rd ? "rd " : "", h.ra ? "ra " : "",
+              h.ad ? "ad " : "",
+              std::string(dns::rcode_to_string(h.rcode)).c_str());
+  std::printf(";; QUESTION\n");
+  for (std::size_t i = 0; i < view.question_count(); ++i) {
+    auto q = view.question(i);
+    auto qname = q.qname();
+    std::printf(";  %s %s\n",
+                qname ? qname->to_string().c_str() : "<malformed>",
+                dns::type_to_string(q.qtype()).c_str());
+  }
+  auto dump = [](const char* title, std::size_t count, auto&& record_at) {
+    if (count == 0) return;
+    std::printf(";; %s\n", title);
+    for (std::size_t i = 0; i < count; ++i) {
+      auto rr = record_at(i).materialize();
+      if (rr) std::printf("%s\n", rr->to_string().c_str());
+      else std::printf("; <malformed record: %s>\n", rr.error().c_str());
+    }
+  };
+  dump("ANSWER", view.answer_count(),
+       [&](std::size_t i) { return view.answer(i); });
+  dump("AUTHORITY", view.authority_count(),
+       [&](std::size_t i) { return view.authority(i); });
+  dump("ADDITIONAL", view.additional_count(),
+       [&](std::size_t i) { return view.additional(i); });
 }
 
 }  // namespace
@@ -35,6 +78,8 @@ int main(int argc, char** argv) {
   std::size_t scale = 2000;
   std::uint64_t seed = 2023;
   std::string date = "2023-09-01";
+  std::string transport = "loopback";
+  bool tcp_only = false;
   std::size_t list_count = 0;
   std::string qname;
   std::string qtype = "HTTPS";
@@ -51,12 +96,19 @@ int main(int argc, char** argv) {
     if (arg == "--scale") scale = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--date") date = next();
+    else if (arg == "--transport") transport = next();
+    else if (arg == "--tcp") tcp_only = true;
     else if (arg == "--list") list_count = static_cast<std::size_t>(std::atoll(next()));
     else if (qname.empty()) qname = arg;
     else qtype = arg;
   }
   if (qname.empty() && list_count == 0) {
     usage(argv[0]);
+    return 2;
+  }
+  if (transport != "loopback" && transport != "datagram") {
+    std::fprintf(stderr, "bad transport: %s (loopback | datagram)\n",
+                 transport.c_str());
     return 2;
   }
 
@@ -91,12 +143,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto resolver = net.make_resolver();
-  auto resp = resolver->resolve(*name, *type);
-  std::printf(";; virtual date %s, %s %s via recursive resolution\n",
-              when.date().to_string().c_str(), qname.c_str(), qtype.c_str());
-  std::fputs(resp.to_string().c_str(), stdout);
-  std::printf(";; upstream queries: %llu\n",
-              static_cast<unsigned long long>(resolver->stats().upstream_queries));
-  return resp.header.rcode == dns::Rcode::NOERROR ? 0 : 1;
+  resolver::ResolverOptions options;
+  if (transport == "datagram" || tcp_only) {
+    options.transport = resolver::TransportKind::datagram;
+    options.transport_tcp_only = tcp_only;
+  }
+  auto resolver = net.make_resolver(options);
+  resolver::StubResolver stub(*resolver);
+  dns::WireWriter w;
+  auto bytes = stub.query_wire(*name, *type, w);
+
+  auto view = dns::MessageView::parse(bytes);
+  if (!view) {
+    std::fprintf(stderr, "malformed reply: %s\n", view.error().c_str());
+    return 1;
+  }
+  std::printf(";; virtual date %s, %s %s via recursive resolution (%s%s)\n",
+              when.date().to_string().c_str(), qname.c_str(), qtype.c_str(),
+              transport == "datagram" || tcp_only ? "datagram" : "loopback",
+              tcp_only ? ", tcp" : "");
+  print_reply(*view);
+  std::printf(";; reply size: %zu bytes\n", bytes.size());
+  std::printf(";; upstream queries: %llu, tcp fallbacks: %llu\n",
+              static_cast<unsigned long long>(resolver->stats().upstream_queries),
+              static_cast<unsigned long long>(resolver->stats().tcp_fallbacks));
+  return view->header().rcode == dns::Rcode::NOERROR ? 0 : 1;
 }

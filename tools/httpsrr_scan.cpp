@@ -5,6 +5,7 @@
 //
 // Usage:
 //   httpsrr-scan [--scale N] [--seed N] [--from D] [--to D] [--stride N]
+//               [--transport loopback|datagram]
 //
 // Output: one CSV row per scanned day:
 //   date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,validated_pct
@@ -57,6 +58,7 @@ int main(int argc, char** argv) {
   std::string from = "2023-05-08";
   std::string to = "2024-03-31";
   int stride = 7;
+  std::string transport = "loopback";
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: %s [--scale N] [--seed N] [--from D] [--to D] "
-                     "[--stride N]\n",
+                     "[--stride N] [--transport loopback|datagram]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -75,6 +77,12 @@ int main(int argc, char** argv) {
     else if (arg == "--from") from = next();
     else if (arg == "--to") to = next();
     else if (arg == "--stride") stride = std::atoi(next());
+    else if (arg == "--transport") transport = next();
+  }
+  if (transport != "loopback" && transport != "datagram") {
+    std::fprintf(stderr, "bad transport: %s (loopback | datagram)\n",
+                 transport.c_str());
+    return 2;
   }
 
   ecosystem::EcosystemConfig config;
@@ -83,7 +91,12 @@ int main(int argc, char** argv) {
   config.seed = seed;
   ecosystem::Internet net(config);
 
-  scanner::Study study(net);
+  scanner::StudyOptions study_options;
+  if (transport == "datagram") {
+    study_options.resolver_options.transport =
+        resolver::TransportKind::datagram;
+  }
+  scanner::Study study(net, study_options);
   CsvEmitter csv;
   study.add_observer(&csv);
 
