@@ -1,0 +1,135 @@
+// micro_engine — the pipelining payoff curve of the async resolver engine.
+//
+// Scans one virtual day over a 2k-domain list on the WAN-latency
+// DatagramTransport at in-flight depth 1, 8, 32, 128.  Depth 1 is the
+// serial baseline: every exchange blocks for its full RTT, so the day
+// costs Σ RTT of virtual time.  Deeper pipelines overlap the waits; the
+// virtual clock (deterministic, noise-free — unlike the wall clock also
+// reported) measures exactly how much.  Alongside the sweep it checks the
+// tentpole invariant at bench scale: every depth must produce the same
+// snapshot, the same query accounting, and the same per-exchange RTT
+// histogram — pipelining moves *when*, never *what*.
+//
+// tools/bench.sh runs this and records the sweep as the `engine_sweep`
+// block of BENCH_PR5.json; tools/ci.sh bench gates on depth-32 speedup
+// and on coalescing actually firing.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "ecosystem/internet.h"
+#include "net/transport.h"
+#include "scanner/study.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace httpsrr;
+
+ecosystem::EcosystemConfig bench_config() {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 2000;
+  config.universe_size = 3000;
+  config.seed = 2024;
+  return config;
+}
+
+struct RunResult {
+  scanner::DailySnapshot snapshot;
+  std::uint64_t total_queries = 0;
+  resolver::ResolverStats stats;
+  double wall_seconds = 0.0;
+};
+
+RunResult run_at(std::size_t depth) {
+  ecosystem::Internet net(bench_config());
+  scanner::StudyOptions options;
+  options.resolver_options.transport = resolver::TransportKind::datagram;
+  options.resolver_options.transport_latency = net::LatencyModel::wan();
+  options.resolver_options.max_in_flight = depth;
+  scanner::Study study(net, options);
+
+  auto begin = std::chrono::steady_clock::now();
+  RunResult result;
+  result.snapshot = study.run_day(net.config().start);
+  auto end = std::chrono::steady_clock::now();
+  result.total_queries = study.total_queries();
+  result.stats = study.resolver_stats();
+  result.wall_seconds = std::chrono::duration<double>(end - begin).count();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --json PATH: also emit a machine-readable record for tools/bench.sh.
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  const auto config = bench_config();
+  std::printf("micro_engine: one WAN-latency scan day, %zu-domain list\n",
+              config.list_size);
+  std::printf("%-8s %12s %10s %12s %10s  %s\n", "depth", "virtual_s",
+              "speedup", "coalesced", "peak", "snapshot");
+
+  RunResult serial;
+  bool all_equal = true;
+  std::string json = "{\n";
+  for (std::size_t depth : {1u, 8u, 32u, 128u}) {
+    auto result = run_at(depth);
+    if (depth == 1) {
+      serial = run_at(1);  // determinism spot-check: rerun must agree
+      if (serial.snapshot != result.snapshot ||
+          serial.stats.virtual_us != result.stats.virtual_us) {
+        std::fprintf(stderr,
+                     "micro_engine: depth-1 rerun disagreed with itself\n");
+        return 1;
+      }
+    }
+    const bool equal = result.snapshot == serial.snapshot &&
+                       result.total_queries == serial.total_queries &&
+                       result.stats.rtt_hist == serial.stats.rtt_hist;
+    all_equal = all_equal && equal;
+    const double virtual_s =
+        static_cast<double>(result.stats.virtual_us) / 1e6;
+    const double speedup =
+        static_cast<double>(serial.stats.virtual_us) /
+        static_cast<double>(result.stats.virtual_us);
+    std::printf("%-8zu %12.3f %9.2fx %12llu %10llu  %s\n", depth, virtual_s,
+                speedup,
+                static_cast<unsigned long long>(result.stats.coalesced_queries),
+                static_cast<unsigned long long>(result.stats.in_flight_peak),
+                equal ? "identical" : "MISMATCH");
+    json += util::format("  \"depth_%zu_virtual_us\": %llu,\n", depth,
+                         static_cast<unsigned long long>(
+                             result.stats.virtual_us));
+    json += util::format("  \"depth_%zu_speedup\": %.2f,\n", depth, speedup);
+    json += util::format("  \"depth_%zu_coalesced\": %llu,\n", depth,
+                         static_cast<unsigned long long>(
+                             result.stats.coalesced_queries));
+    json += util::format("  \"depth_%zu_wall_seconds\": %.4f,\n", depth,
+                         result.wall_seconds);
+  }
+  json += util::format("  \"list_size\": %zu,\n", config.list_size);
+  json += util::format("  \"invariant\": %s\n}\n", all_equal ? "true" : "false");
+
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "micro_engine: cannot write %s\n", json_path);
+      return 2;
+    }
+  }
+
+  std::printf("invariance: %s\n",
+              all_equal ? "all depths bit-identical"
+                        : "MISMATCH — pipeline depth changed the dataset");
+  return all_equal ? 0 : 1;
+}

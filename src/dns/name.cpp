@@ -209,6 +209,14 @@ Name Name::suffix(std::size_t count) const {
   return Name(flat_.substr(pos), static_cast<std::uint8_t>(count));
 }
 
+Name Name::case_folded() const {
+  // Length octets are 1..63 — never ASCII uppercase — so folding every
+  // byte of the flat buffer lowercases exactly the label bytes.
+  std::string folded = flat_;
+  for (char& c : folded) c = util::ascii_lower(c);
+  return Name(std::move(folded), count_);
+}
+
 Result<Name> Name::prepend(std::string_view label) const {
   if (label.empty()) return Error{"empty label"};
   if (label.size() > kMaxLabelLen) return Error{"label exceeds 63 octets"};

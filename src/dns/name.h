@@ -84,6 +84,12 @@ class Name {
   // overflow or a bad label.
   [[nodiscard]] util::Result<Name> prepend(std::string_view label) const;
 
+  // The name with every label lowercased — the RFC 4034 §6.2 canonical
+  // owner form.  Anything hashed or signed over a name (DS digests, RRSIG
+  // canonical RRsets) must use this, or a query's preserved spelling
+  // ("WWW.D00001.COM") leaks into the digest and breaks validation.
+  [[nodiscard]] Name case_folded() const;
+
   // Case-insensitive equality / ordering (canonical DNS ordering:
   // reversed label sequence, case-folded, per RFC 4034 §6.1).
   friend bool operator==(const Name& a, const Name& b);

@@ -57,8 +57,7 @@ Bytes RrSet::canonical_form(std::uint32_t original_ttl) const {
   std::vector<Bytes> encodings;
   encodings.reserve(records_.size());
 
-  Name folded_owner =
-      name_of(util::to_lower(owner_.to_string()));  // labels case-folded
+  Name folded_owner = owner_.case_folded();
 
   for (const auto& rr : records_) {
     WireWriter w;

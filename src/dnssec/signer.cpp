@@ -18,7 +18,10 @@ dns::Bytes signed_data(const dns::RrsigRdata& sig, const dns::RrSet& rrset) {
   w.u32(sig.expiration);
   w.u32(sig.inception);
   w.u16(sig.key_tag);
-  w.name(sig.signer);
+  // RFC 4034 §3.1.8.1: the Signer's Name is signed in canonical (folded)
+  // form.  Signer and verifier both fold here, so a mixed-case spelling
+  // carried in RRSIG RDATA cannot split them.
+  w.name(sig.signer.case_folded());
   dns::Bytes out = std::move(w).take();
   dns::Bytes canonical = rrset.canonical_form(sig.original_ttl);
   out.insert(out.end(), canonical.begin(), canonical.end());
@@ -147,8 +150,13 @@ SigCheck verify_rrsig(const dns::RrsigRdata& sig, const dns::DnskeyRdata& dnskey
 }
 
 dns::DsRdata make_ds(const dns::Name& child_zone, const dns::DnskeyRdata& dnskey) {
+  // RFC 4034 §5.1.4: the digest covers the *canonical* owner name.  The
+  // validator walks zone names in whatever spelling the query used
+  // ("COM" for a WWW.D00001.COM lookup), so hashing the preserved case
+  // would mismatch the DS the parent computed over "com" and bogus-fail
+  // the whole subtree.
   dns::WireWriter w;
-  w.name(child_zone);
+  w.name(child_zone.case_folded());
   w.u16(dnskey.flags);
   w.u8(dnskey.protocol);
   w.u8(dnskey.algorithm);

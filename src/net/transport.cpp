@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <tuple>
 
 namespace httpsrr::net {
 
@@ -73,11 +74,73 @@ WireBytes make_truncated_datagram(const WireBytes& full) {
   return out;
 }
 
+// Folds an IP address into the 64-bit key the latency model hashes from.
+std::uint64_t ip_key(const IpAddr& server) {
+  if (!server.is_v6()) return server.v4().bits();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : server.v6().bytes()) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+LatencyModel LatencyModel::lan() {
+  LatencyModel m;
+  m.enabled = true;
+  m.base_min_us = 200;
+  m.base_max_us = 900;
+  m.jitter_us = 150;
+  return m;
+}
+
+LatencyModel LatencyModel::wan() {
+  LatencyModel m;
+  m.enabled = true;
+  m.base_min_us = 5'000;
+  m.base_max_us = 60'000;
+  m.jitter_us = 4'000;
+  return m;
+}
+
+std::optional<LatencyModel> LatencyModel::from_profile(std::string_view name) {
+  if (name == "off" || name == "none") return LatencyModel{};
+  if (name == "lan") return lan();
+  if (name == "wan") return wan();
+  return std::nullopt;
+}
+
+void Transport::record_rtt(std::uint64_t rtt_us) {
+  ++timing_.exchanges;
+  std::size_t bucket = 0;
+  while (bucket + 1 < kRttBuckets && rtt_us >= (1ULL << bucket)) ++bucket;
+  ++timing_.rtt_hist[bucket];
+}
+
+SendToken Transport::send(const IpAddr& server,
+                          std::span<const std::uint8_t> query,
+                          std::size_t udp_payload_limit) {
+  AsyncReply done;
+  done.token = next_token_++;
+  done.reply = exchange(server, query, udp_payload_limit);
+  done.arrival_us = timing_.virtual_us;
+  fifo_.push_back(std::move(done));
+  return fifo_.back().token;
+}
+
+std::optional<AsyncReply> Transport::poll() {
+  if (fifo_.empty()) return std::nullopt;
+  AsyncReply out = std::move(fifo_.front());
+  fifo_.pop_front();
+  return out;
+}
 
 TransportReply LoopbackTransport::exchange(const IpAddr& server,
                                            std::span<const std::uint8_t> query,
                                            std::size_t udp_payload_limit) {
+  record_rtt(0);
   TransportReply reply;
   reply.payload = service_.serve(server, query);
   if (!reply.payload) return reply;  // timeout
@@ -107,9 +170,96 @@ TransportReply DatagramTransport::tcp_exchange(
   return reply;
 }
 
+std::uint64_t DatagramTransport::next_rtt(const IpAddr& server) {
+  if (!latency_.enabled) return 0;
+  const std::uint64_t key = ip_key(server);
+  auto [it, fresh] = server_latency_.try_emplace(key);
+  ServerLatency& lat = it->second;
+  if (fresh) {
+    lat.key = key;
+    const std::uint64_t span =
+        latency_.base_max_us >= latency_.base_min_us
+            ? latency_.base_max_us - latency_.base_min_us + 1
+            : 1;
+    lat.base_us = latency_.base_min_us +
+                  static_cast<std::uint32_t>(
+                      util::mix64(latency_.seed ^ util::mix64(key)) % span);
+  }
+  // Jitter is indexed by this server's own exchange counter, so the k-th
+  // exchange to a server costs the same no matter how queries from other
+  // resolutions interleave — timing stays a function of per-server
+  // traffic, not of engine scheduling.
+  std::uint64_t jitter = 0;
+  if (latency_.jitter_us != 0) {
+    jitter = util::mix64(lat.key ^ (0x9e3779b97f4a7c15ULL * ++lat.exchanges)) %
+             (static_cast<std::uint64_t>(latency_.jitter_us) + 1);
+  }
+  return lat.base_us + jitter;
+}
+
 TransportReply DatagramTransport::exchange(const IpAddr& server,
                                            std::span<const std::uint8_t> query,
                                            std::size_t udp_payload_limit) {
+  // A blocking caller waits out the whole round trip before the next
+  // exchange can start: serial resolution pays Σ RTT on the virtual clock.
+  const std::uint64_t rtt = next_rtt(server);
+  record_rtt(rtt);
+  timing_.virtual_us += rtt;
+  return exchange_impl(server, query, udp_payload_limit);
+}
+
+SendToken DatagramTransport::send(const IpAddr& server,
+                                  std::span<const std::uint8_t> query,
+                                  std::size_t udp_payload_limit) {
+  // The answer is computed now — the SimClock is the same at send and
+  // arrival, so serving early cannot change the reply — but it is held
+  // until vnow + RTT, which is what lets concurrent sends overlap.
+  const std::uint64_t rtt = next_rtt(server);
+  record_rtt(rtt);
+  Pending p;
+  p.arrival_us = timing_.virtual_us + rtt;
+  p.token = next_token_++;
+  p.reply = exchange_impl(server, query, udp_payload_limit);
+  in_flight_.push_back(std::move(p));
+  const SendToken token = in_flight_.back().token;
+  std::push_heap(in_flight_.begin(), in_flight_.end(),
+                 [](const Pending& a, const Pending& b) {
+                   return std::tie(a.arrival_us, a.token) >
+                          std::tie(b.arrival_us, b.token);
+                 });
+  return token;
+}
+
+std::optional<AsyncReply> DatagramTransport::poll() {
+  if (in_flight_.empty()) return std::nullopt;
+  std::pop_heap(in_flight_.begin(), in_flight_.end(),
+                [](const Pending& a, const Pending& b) {
+                  return std::tie(a.arrival_us, a.token) >
+                         std::tie(b.arrival_us, b.token);
+                });
+  Pending p = std::move(in_flight_.back());
+  in_flight_.pop_back();
+
+  // The virtual clock jumps to this arrival; an already-passed arrival
+  // (reply landed while we were processing a later poll's work) costs
+  // nothing extra.
+  if (p.arrival_us > timing_.virtual_us) timing_.virtual_us = p.arrival_us;
+  if (p.token < max_delivered_) {
+    ++timing_.reordered;
+  } else {
+    max_delivered_ = p.token;
+  }
+
+  AsyncReply out;
+  out.token = p.token;
+  out.reply = std::move(p.reply);
+  out.arrival_us = p.arrival_us;
+  return out;
+}
+
+TransportReply DatagramTransport::exchange_impl(
+    const IpAddr& server, std::span<const std::uint8_t> query,
+    std::size_t udp_payload_limit) {
   if (tcp_only_) return tcp_exchange(server, query, /*after_truncation=*/false);
 
   ++stats_.udp_queries;

@@ -26,10 +26,15 @@
 // view into it, and assume nothing about the buffer after the next
 // exchange() on the same transport.
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "net/ip.h"
@@ -69,6 +74,59 @@ struct TransportReply {
   }
 };
 
+// ---- Async surface -----------------------------------------------------
+
+// Identifies one in-flight send() on a transport; strictly increasing in
+// send order, never zero.
+using SendToken = std::uint64_t;
+
+struct AsyncReply {
+  SendToken token = 0;
+  TransportReply reply;
+  // Virtual time (µs since the transport was created) the reply landed.
+  std::uint64_t arrival_us = 0;
+};
+
+// Power-of-two RTT buckets: bucket i counts exchanges with RTT in
+// [2^(i-1), 2^i) µs, bucket 0 counts zero-latency exchanges.
+inline constexpr std::size_t kRttBuckets = 24;
+
+struct TransportTiming {
+  // The transport's own virtual clock.  It never touches the SimClock —
+  // advancing wall time would perturb TTL decay and the frozen scan epoch
+  // — it only measures how long the channel made clients wait.
+  std::uint64_t virtual_us = 0;
+  std::uint64_t exchanges = 0;
+  // Replies delivered after a later-sent reply (latency inversion).
+  std::uint64_t reordered = 0;
+  std::array<std::uint64_t, kRttBuckets> rtt_hist{};
+};
+
+// Deterministic virtual-latency model for DatagramTransport.  Each server
+// gets a base RTT drawn once from hash(server address, seed), and each
+// exchange adds per-server jitter from a counter-indexed hash — so a
+// server's k-th exchange always costs the same regardless of how queries
+// from different resolutions interleave.  Latency shapes *timing only*:
+// answers are served at send time on the frozen SimClock, so enabling the
+// model can never change what a resolver learns, only when.
+struct LatencyModel {
+  bool enabled = false;
+  std::uint32_t base_min_us = 0;   // per-server base RTT range
+  std::uint32_t base_max_us = 0;
+  std::uint32_t jitter_us = 0;     // per-exchange jitter in [0, jitter_us]
+  std::uint64_t seed = 0x1a7e;
+
+  // Same-rack authoritatives: sub-millisecond, mild jitter.
+  [[nodiscard]] static LatencyModel lan();
+  // Cross-continent mix: 5–60 ms base, heavy jitter — the regime where
+  // pipelining pays.
+  [[nodiscard]] static LatencyModel wan();
+  // Parses "off" / "lan" / "wan" (CLI --latency-profile); nullopt on
+  // anything else.
+  [[nodiscard]] static std::optional<LatencyModel> from_profile(
+      std::string_view name);
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -79,6 +137,32 @@ class Transport {
   [[nodiscard]] virtual TransportReply exchange(
       const IpAddr& server, std::span<const std::uint8_t> query,
       std::size_t udp_payload_limit) = 0;
+
+  // Async surface: send() enqueues one exchange and returns immediately;
+  // poll() yields the next completed reply in channel-arrival order, or
+  // nullopt when nothing is in flight.  The reply buffer contract matches
+  // exchange(): each AsyncReply owns (or shares) its payload.
+  //
+  // The base implementation resolves the exchange synchronously and
+  // completes FIFO at zero latency — correct for any in-process channel
+  // (loopback), and exactly equivalent to calling exchange() directly.
+  [[nodiscard]] virtual SendToken send(const IpAddr& server,
+                                       std::span<const std::uint8_t> query,
+                                       std::size_t udp_payload_limit);
+  [[nodiscard]] virtual std::optional<AsyncReply> poll();
+
+  [[nodiscard]] const TransportTiming& timing() const { return timing_; }
+
+ protected:
+  // Accounts one exchange of `rtt_us` on the shared timing block without
+  // advancing the virtual clock (arrival bookkeeping is the subclass's).
+  void record_rtt(std::uint64_t rtt_us);
+
+  TransportTiming timing_;
+  SendToken next_token_ = 1;
+
+ private:
+  std::deque<AsyncReply> fifo_;  // base-class synchronous completions
 };
 
 // Zero-copy in-process channel over the service's shared wire images.
@@ -125,12 +209,29 @@ struct DatagramStats {
 class DatagramTransport final : public Transport {
  public:
   explicit DatagramTransport(const WireService& service,
-                             TransportFaults faults = {})
-      : service_(service), faults_(faults), fault_rng_(faults.seed) {}
+                             TransportFaults faults = {},
+                             LatencyModel latency = {})
+      : service_(service),
+        faults_(faults),
+        latency_(latency),
+        fault_rng_(faults.seed) {}
 
+  // Blocking exchange: with latency enabled, the virtual clock advances by
+  // the full RTT before the reply is returned — a serial caller pays
+  // Σ RTT, which is exactly the baseline the async engine is measured
+  // against.
   [[nodiscard]] TransportReply exchange(const IpAddr& server,
                                         std::span<const std::uint8_t> query,
                                         std::size_t udp_payload_limit) override;
+
+  // Async exchange: the reply is computed at send time (answers never
+  // depend on the latency model) but arrives at vnow + RTT.  poll() pops
+  // the earliest arrival, so concurrent sends overlap their waits and
+  // replies can come back out of send order.
+  [[nodiscard]] SendToken send(const IpAddr& server,
+                               std::span<const std::uint8_t> query,
+                               std::size_t udp_payload_limit) override;
+  [[nodiscard]] std::optional<AsyncReply> poll() override;
 
   // Skip the UDP leg entirely (dig's --tcp).
   void set_tcp_only(bool tcp_only) { tcp_only_ = tcp_only; }
@@ -142,19 +243,45 @@ class DatagramTransport final : public Transport {
   void set_udp_tap(UdpTap tap) { udp_tap_ = std::move(tap); }
 
   [[nodiscard]] const DatagramStats& stats() const { return stats_; }
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
 
  private:
+  struct Pending {
+    std::uint64_t arrival_us = 0;
+    SendToken token = 0;
+    TransportReply reply;
+  };
+
+  // The full UDP/TCP fault-model exchange, no timing side effects.
+  [[nodiscard]] TransportReply exchange_impl(
+      const IpAddr& server, std::span<const std::uint8_t> query,
+      std::size_t udp_payload_limit);
   [[nodiscard]] TransportReply tcp_exchange(
       const IpAddr& server, std::span<const std::uint8_t> query,
       bool after_truncation);
   [[nodiscard]] bool roll(std::uint32_t permille);
+  // RTT of the next exchange to `server` under the latency model (0 when
+  // disabled): cached per-server base + counter-indexed jitter.
+  [[nodiscard]] std::uint64_t next_rtt(const IpAddr& server);
 
   const WireService& service_;
   TransportFaults faults_;
+  LatencyModel latency_;
   util::Pcg32 fault_rng_;
   bool tcp_only_ = false;
   UdpTap udp_tap_;
   DatagramStats stats_;
+
+  struct ServerLatency {
+    std::uint64_t key = 0;       // hash of the server address
+    std::uint32_t base_us = 0;
+    std::uint64_t exchanges = 0; // jitter counter
+  };
+  std::unordered_map<std::uint64_t, ServerLatency> server_latency_;
+  // Min-heap on (arrival_us, token) maintained with std::push_heap /
+  // std::pop_heap so completed entries can be moved out.
+  std::vector<Pending> in_flight_;
+  SendToken max_delivered_ = 0;
 };
 
 }  // namespace httpsrr::net

@@ -1,0 +1,160 @@
+#include "resolver/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace httpsrr::resolver {
+
+QueryEngine::Join QueryEngine::try_join(ResolutionTask& t,
+                                        const CacheKey& key) {
+  if (t.solo) return Join::bypass;
+  auto [it, fresh] = joins_.try_emplace(key);
+  if (fresh) {
+    it->second.owner = &t;
+    return Join::owner;
+  }
+  if (it->second.owner == &t) {
+    // Re-entrant probe from the owner's own frame stack (the serial
+    // schedule's bounded recursion): let it run, as serial would.
+    return Join::bypass;
+  }
+  it->second.waiters.push_back(&t);
+  return Join::parked;
+}
+
+void QueryEngine::release(const CacheKey& key, const RrsetResult& result) {
+  auto it = joins_.find(key);
+  if (it == joins_.end()) return;
+  // Detach before waking: a resumed waiter's re-probe must be free to
+  // register itself as the next owner of this key.
+  std::vector<ResolutionTask*> waiters = std::move(it->second.waiters);
+  joins_.erase(it);
+  std::sort(waiters.begin(), waiters.end(),
+            [](const auto* a, const auto* b) { return a->seq < b->seq; });
+  const auto& opts = resolver_.options();
+  const bool fan_out = opts.coalesce_queries && opts.cache_enabled &&
+                       result.rcode != dns::Rcode::SERVFAIL;
+  for (ResolutionTask* w : waiters) {
+    if (fan_out) {
+      resolver_.complete_parked(*w, result, this);
+    } else {
+      resolver_.resume_parked(*w);
+    }
+    ready_.push_back(w);
+  }
+}
+
+QueryEngine::ResolutionTask* QueryEngine::break_stall() {
+  ResolutionTask* victim = nullptr;
+  const CacheKey* victim_key = nullptr;
+  for (const auto& [key, entry] : joins_) {
+    for (ResolutionTask* w : entry.waiters) {
+      if (victim == nullptr || w->seq < victim->seq) {
+        victim = w;
+        victim_key = &key;
+      }
+    }
+  }
+  assert(victim != nullptr && "stalled with no parked waiter");
+  auto& waiters = joins_.find(*victim_key)->second.waiters;
+  std::erase(waiters, victim);
+  victim->solo = true;
+  resolver_.resume_parked(*victim);
+  return victim;
+}
+
+std::vector<ResolvedAnswer> QueryEngine::run(
+    std::span<const Request> requests) {
+  std::vector<ResolvedAnswer> results(requests.size());
+  const std::size_t width =
+      std::max<std::size_t>(1, resolver_.options().max_in_flight);
+  const std::size_t udp_limit = dns::Edns{}.udp_payload_size;
+
+  // Task slots are pooled and pointer-stable (the join table and token map
+  // hold raw pointers across suspensions).
+  std::vector<std::unique_ptr<ResolutionTask>> pool;
+  std::vector<ResolutionTask*> free_slots;
+  std::unordered_map<net::SendToken, ResolutionTask*> pending;
+  std::size_t next_request = 0;
+  std::uint64_t next_seq = 1;
+  std::size_t active = 0;
+  std::uint64_t peak = 0;
+
+  const auto admit = [&] {
+    while (active < width && next_request < requests.size()) {
+      ResolutionTask* t = nullptr;
+      if (!free_slots.empty()) {
+        t = free_slots.back();
+        free_slots.pop_back();
+      } else {
+        pool.push_back(std::make_unique<ResolutionTask>());
+        t = pool.back().get();
+      }
+      const Request& req = requests[next_request];
+      resolver_.task_start(*t, req.qname, req.qtype);
+      t->seq = next_seq++;
+      t->index = next_request++;
+      ++active;
+      peak = std::max<std::uint64_t>(peak, active);
+      ready_.push_back(t);
+    }
+  };
+
+  admit();
+  while (active > 0) {
+    if (!ready_.empty()) {
+      // Drain lowest admission seq first — the deterministic order.  The
+      // vector never exceeds max_in_flight entries, so a linear min-scan
+      // beats maintaining a heap.
+      auto min_it = std::min_element(
+          ready_.begin(), ready_.end(),
+          [](const auto* a, const auto* b) { return a->seq < b->seq; });
+      ResolutionTask* t = *min_it;
+      ready_.erase(min_it);
+      if (t->status == TaskStatus::running) resolver_.task_advance(*t, this);
+      switch (t->status) {
+        case TaskStatus::need_exchange:
+          t->token = resolver_.transport().send(
+              t->pending_server, resolver_.pending_query(*t), udp_limit);
+          pending.emplace(t->token, t);
+          break;
+        case TaskStatus::done:
+          results[t->index] = std::move(t->out);
+          free_slots.push_back(t);
+          --active;
+          admit();
+          break;
+        case TaskStatus::parked:
+          // Registered as a waiter; release() re-queues it.
+          break;
+        case TaskStatus::running:
+          assert(false && "task_advance returned while still runnable");
+          break;
+      }
+      continue;
+    }
+    if (pending.empty()) {
+      // Everything runnable is parked and nothing is on the wire: a
+      // waits-for cycle.  Open the valve and keep going.
+      ready_.push_back(break_stall());
+      continue;
+    }
+    auto reply = resolver_.transport().poll();
+    assert(reply.has_value() && "in-flight sends must complete");
+    auto it = pending.find(reply->token);
+    assert(it != pending.end());
+    ResolutionTask* t = it->second;
+    pending.erase(it);
+    resolver_.task_deliver(*t, reply->reply, this);
+    ready_.push_back(t);
+  }
+
+  assert(joins_.empty() && "join table must drain with the tasks");
+  ready_.clear();
+  resolver_.stats_.in_flight_peak =
+      std::max(resolver_.stats_.in_flight_peak, peak);
+  return results;
+}
+
+}  // namespace httpsrr::resolver

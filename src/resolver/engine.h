@@ -1,0 +1,96 @@
+#pragma once
+
+// resolver::QueryEngine — multiplexes many resumable resolutions over one
+// RecursiveResolver's async transport.
+//
+// The engine owns no resolution logic: every task runs the exact state
+// machine resolve_shared() drives serially.  What the engine adds is the
+// schedule — up to ResolverOptions::max_in_flight tasks are admitted in
+// request order, each one advanced until it suspends on a wire exchange,
+// the encoded query handed to Transport::send(), and the task resumed when
+// Transport::poll() delivers the reply.  With max_in_flight = 1 the
+// schedule collapses to admit → advance → exchange → deliver → … — the
+// serial order, byte for byte.
+//
+// Coalescing and the join table: two in-flight tasks probing the same
+// (qname, qtype) must not both iterate, or they would consume same-instant
+// selection repeats {0, 1} where the serial schedule gives the second task
+// a cache hit — and the answer stream would depend on scheduling.  The
+// join table therefore *always* parks the duplicate behind the in-flight
+// owner (the determinism contract needs it); ResolverOptions::
+// coalesce_queries only decides how the waiter wakes up.  Coalescing on,
+// the owner's freshly-cached answer is fanned out directly (counted as a
+// cache hit plus a coalesced_queries tick).  Coalescing off — or when the
+// owner SERVFAILed, which the serial schedule would retry — the waiter
+// re-enters at the cache probe and reads (or redoes) the lookup itself.
+//
+// Scheduling invariants that keep the engine deterministic:
+//   * tasks are admitted and advanced in ascending admission seq;
+//   * released waiters wake in ascending seq;
+//   * replies are consumed in the transport's arrival order (virtual time,
+//     then send order — itself deterministic under the latency model).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "resolver/recursive.h"
+
+namespace httpsrr::resolver {
+
+class QueryEngine {
+ public:
+  struct Request {
+    dns::Name qname;
+    dns::RrType qtype = dns::RrType::HTTPS;
+  };
+
+  explicit QueryEngine(RecursiveResolver& resolver) : resolver_(resolver) {}
+
+  // Resolves every request and returns the answers in request order.
+  // Width and coalescing come from the resolver's options; depth 1
+  // reproduces sequential resolve_shared() calls exactly.
+  [[nodiscard]] std::vector<ResolvedAnswer> run(
+      std::span<const Request> requests);
+
+ private:
+  friend class RecursiveResolver;
+
+  using CacheKey = RecursiveResolver::CacheKey;
+  using RrsetResult = RecursiveResolver::RrsetResult;
+  using ResolutionTask = RecursiveResolver::ResolutionTask;
+  using TaskStatus = RecursiveResolver::TaskStatus;
+
+  enum class Join : std::uint8_t {
+    owner,   // first in flight for this key: iterate, then release()
+    parked,  // an owner exists: suspend until its answer lands
+    bypass,  // re-entrant probe from the owner's own stack: proceed
+  };
+
+  // Called from the cache-probe stage on a miss.  Registers the frame as
+  // owner, parks the task behind an existing owner, or lets the probe
+  // through (own-stack re-entrancy, or a solo task after a cycle break).
+  Join try_join(ResolutionTask& t, const CacheKey& key);
+  // Called when the owning frame finishes: wakes every waiter in seq
+  // order, fanning out `result` (coalescing) or resuming their probes.
+  void release(const CacheKey& key, const RrsetResult& result);
+
+  struct InFlight {
+    ResolutionTask* owner = nullptr;
+    std::vector<ResolutionTask*> waiters;
+  };
+
+  // Deadlock valve: with every runnable task parked and nothing on the
+  // wire (a waits-for cycle through circular unglued-NS glue), detaches
+  // the lowest-seq waiter and reruns it solo.  Deterministic (global seq
+  // minimum) and unreachable on well-formed delegation graphs.
+  ResolutionTask* break_stall();
+
+  RecursiveResolver& resolver_;
+  std::unordered_map<CacheKey, InFlight, RecursiveResolver::CacheKeyHash>
+      joins_;
+  std::vector<ResolutionTask*> ready_;  // runnable; drained in seq order
+};
+
+}  // namespace httpsrr::resolver

@@ -1,8 +1,10 @@
 #include "resolver/recursive.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "dns/view.h"
+#include "resolver/engine.h"
 
 namespace httpsrr::resolver {
 
@@ -18,13 +20,17 @@ namespace {
 std::unique_ptr<net::Transport> make_transport(const net::WireService& service,
                                                const ResolverOptions& options) {
   if (options.transport == TransportKind::datagram) {
-    auto t = std::make_unique<net::DatagramTransport>(service,
-                                                      options.transport_faults);
+    auto t = std::make_unique<net::DatagramTransport>(
+        service, options.transport_faults, options.transport_latency);
     t->set_tcp_only(options.transport_tcp_only);
     return t;
   }
   return std::make_unique<net::LoopbackTransport>(service);
 }
+
+// The client's advertised EDNS payload size — also the UDP truncation
+// limit every upstream exchange travels under.
+const std::size_t kUdpLimit = dns::Edns{}.udp_payload_size;
 
 // Materializes one view section into an owned vector.  False means some
 // record failed to decode — the reply is treated as malformed and the
@@ -59,13 +65,6 @@ RecursiveResolver::RecursiveResolver(const DnsInfra& infra,
       rng_(options.seed),
       selection_seed_(options.selection_seed != 0 ? options.selection_seed
                                                   : options.seed) {}
-
-dns::WireWriter& RecursiveResolver::query_writer(int depth) {
-  while (query_writers_.size() <= static_cast<std::size_t>(depth)) {
-    query_writers_.push_back(std::make_unique<dns::WireWriter>());
-  }
-  return *query_writers_[static_cast<std::size_t>(depth)];
-}
 
 std::shared_ptr<const std::vector<Rr>> ResolvedAnswer::answers_snapshot()
     const {
@@ -114,63 +113,90 @@ dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
 
 ResolvedAnswer RecursiveResolver::resolve_shared(const Name& qname,
                                                  RrType qtype) {
-  ++stats_.queries;
-  ResolvedAnswer out;
-
-  bool all_validated = true;
-  Name current = qname;
-  Rcode rcode = Rcode::NOERROR;
-
-  for (int hop = 0; hop <= options_.max_cname_chain; ++hop) {
-    auto result = lookup_rrset(current, qtype, 0);
-    rcode = result.rcode;
-    if (rcode != Rcode::NOERROR || result.records->empty()) {
-      // Negative terminal (NXDOMAIN or NODATA): the denial proof decides AD.
-      out.shared_authorities_ = std::move(result.authorities);
-      all_validated = all_validated && result.validated;
-      break;
-    }
-    if (out.owned_answers_.empty() && !out.shared_answers_) {
-      // First positive RRset: keep it shared — a chain that ends here (the
-      // common case) never copies a record.
-      out.shared_answers_ = result.records;
-    } else {
-      if (out.shared_answers_) {
-        // Chain grew past one hop: degrade to an owned accumulation.
-        out.owned_answers_ = *out.shared_answers_;
-        out.shared_answers_.reset();
-      }
-      out.owned_answers_.insert(out.owned_answers_.end(),
-                                result.records->begin(),
-                                result.records->end());
-    }
-    all_validated = all_validated && result.validated;
-
-    // CNAME chasing: if we asked for something else and only got a CNAME,
-    // continue with the target.
-    if (qtype == RrType::CNAME) break;
-    bool has_final = false;
-    const dns::CnameRdata* cname = nullptr;
-    for (const auto& rr : *result.records) {
-      if (rr.type == qtype) has_final = true;
-      if (rr.type == RrType::CNAME && rr.owner == current) {
-        cname = std::get_if<dns::CnameRdata>(&rr.rdata);
-      }
-    }
-    if (has_final || cname == nullptr) break;
-    current = cname->target;
+  // Drive one machine instance synchronously: every suspension is answered
+  // with a blocking exchange on the spot.  This is the same state machine
+  // the QueryEngine multiplexes — depth 1 equals serial because there is
+  // only one implementation to agree with.
+  if (!blocking_task_) blocking_task_ = std::make_unique<ResolutionTask>();
+  ResolutionTask& t = *blocking_task_;
+  task_start(t, qname, qtype);
+  task_advance(t, nullptr);
+  while (t.status == TaskStatus::need_exchange) {
+    net::TransportReply reply =
+        transport_->exchange(t.pending_server, pending_query(t), kUdpLimit);
+    task_deliver(t, reply, nullptr);
+    task_advance(t, nullptr);
   }
-
-  out.rcode = rcode;
-  out.ad = options_.validate_dnssec && all_validated &&
-           (!out.answers().empty() || !out.authorities().empty());
-  if (rcode == Rcode::SERVFAIL) ++stats_.servfails;
-  return out;
+  assert(t.status == TaskStatus::done);
+  return std::move(t.out);
 }
 
-RecursiveResolver::RrsetResult RecursiveResolver::lookup_rrset(
-    const Name& qname, RrType qtype, int depth) {
-  CacheKey key{qname, qtype};
+// ---- Resolution state machine ------------------------------------------
+
+void RecursiveResolver::task_start(ResolutionTask& t, const Name& qname,
+                                   RrType qtype) {
+  ++stats_.queries;
+  t.qname = qname;
+  t.qtype = qtype;
+  t.current = qname;
+  t.hop = 0;
+  t.all_validated = true;
+  t.rcode = Rcode::NOERROR;
+  t.out = ResolvedAnswer{};
+  t.frame_top = 0;
+  t.token = 0;
+  t.solo = false;
+  t.status = TaskStatus::running;
+  push_frame(t, qname, qtype, /*depth=*/0);
+}
+
+void RecursiveResolver::push_frame(ResolutionTask& t, const Name& qname,
+                                   RrType qtype, int depth) {
+  if (t.frames.size() == t.frame_top) t.frames.emplace_back();
+  Frame& f = t.frames[t.frame_top++];
+  f.qname = qname;
+  f.qtype = qtype;
+  f.depth = depth;
+  f.stage = FrameStage::probe;
+  f.registered = false;
+  f.hop = 0;
+  f.candidates.clear();
+  f.result.records.clear();
+  f.result.authorities.clear();
+  f.result.rcode = Rcode::NOERROR;
+  f.result.validated = false;
+  f.next.clear();
+  f.unglued.clear();
+  f.unglued_idx = 0;
+}
+
+std::span<const std::uint8_t> RecursiveResolver::pending_query(
+    const ResolutionTask& t) const {
+  assert(t.status == TaskStatus::need_exchange && t.frame_top > 0);
+  return std::span<const std::uint8_t>(
+      t.frames[t.frame_top - 1].writer->data());
+}
+
+void RecursiveResolver::task_advance(ResolutionTask& t, QueryEngine* engine) {
+  while (t.status == TaskStatus::running) {
+    assert(t.frame_top > 0);
+    switch (t.frames[t.frame_top - 1].stage) {
+      case FrameStage::probe:
+        frame_probe(t, engine);
+        break;
+      case FrameStage::pick:
+        frame_pick(t, engine);
+        break;
+      case FrameStage::unglued:
+        frame_unglued(t);
+        break;
+    }
+  }
+}
+
+void RecursiveResolver::frame_probe(ResolutionTask& t, QueryEngine* engine) {
+  Frame& f = t.frames[t.frame_top - 1];
+  const CacheKey key{f.qname, f.qtype};
   if (options_.cache_enabled) {
     auto it = cache_.find(key);
     if (it != cache_.end() && it->second.expires > clock_.now()) {
@@ -197,16 +223,238 @@ RecursiveResolver::RrsetResult RecursiveResolver::lookup_rrset(
           *section = std::move(decayed);
         }
       }
-      return out;
+      frame_finish(t, std::move(out), engine);
+      return;
     }
-    ++stats_.cache_misses;
   }
 
-  IterativeResult result = iterate(qname, qtype, depth);
+  // Join check before the miss is recorded: a parked twin contributes a
+  // cache *hit* once the owner's answer lands, exactly like the serial
+  // schedule where the second identical query runs after the first.
+  if (engine != nullptr) {
+    switch (engine->try_join(t, key)) {
+      case QueryEngine::Join::parked:
+        t.status = TaskStatus::parked;
+        return;
+      case QueryEngine::Join::owner:
+        f.registered = true;
+        break;
+      case QueryEngine::Join::bypass:
+        break;
+    }
+  }
+  if (options_.cache_enabled) ++stats_.cache_misses;
+
+  if (f.depth > 4) {  // NS-address resolution recursion guard
+    f.result.rcode = Rcode::SERVFAIL;
+    finish_iterate(t, engine);
+    return;
+  }
+
+  // Random NS selection — the resolver behaviour §4.2.3 attributes
+  // inconsistent HTTPS activation to.  The stream is keyed on the question
+  // and the virtual instant (not on a shared sequential RNG), so the pick
+  // is independent of whatever else this resolver has resolved — the
+  // shard-count-invariance property documented in the header.
+  f.selection = util::Pcg32(selection_stream(f.qname, f.qtype));
+
+  // One reusable upstream query, encoded once into this frame's writer;
+  // only the id bytes are re-patched per attempt (ids are unobservable —
+  // the server keys its response cache on the question, not the envelope).
+  // The bytes are emitted directly — same layout Message::make_query()
+  // + encode_into() produces (RD set, one question, one OPT trailer) —
+  // because a Message temporary per lookup costs three allocations the
+  // cold path feels.
+  if (!f.writer) f.writer = std::make_unique<dns::WireWriter>();
+  dns::WireWriter& qw = *f.writer;
+  qw.clear();
+  qw.reserve(12 + f.qname.wire_length() + 4 + 11);
+  qw.u16(0);       // id, re-patched per attempt
+  qw.u16(0x0100);  // flags: QUERY, RD
+  qw.u16(1);       // QDCOUNT
+  qw.u16(0);       // ANCOUNT
+  qw.u16(0);       // NSCOUNT
+  qw.u16(1);       // ARCOUNT (the OPT pseudo-RR)
+  qw.name(f.qname);
+  qw.u16(static_cast<std::uint16_t>(f.qtype));
+  qw.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
+  qw.u8(0);  // OPT: root owner
+  qw.u16(static_cast<std::uint16_t>(RrType::OPT));
+  qw.u16(static_cast<std::uint16_t>(kUdpLimit));
+  qw.u32(options_.validate_dnssec ? 0x00008000u : 0u);  // DO bit
+  qw.u16(0);  // empty OPT RDATA
+
+  f.candidates = infra_.root_servers();
+  f.hop = 0;
+  f.stage = FrameStage::pick;
+}
+
+void RecursiveResolver::frame_pick(ResolutionTask& t, QueryEngine* engine) {
+  Frame& f = t.frames[t.frame_top - 1];
+  if (f.hop >= options_.max_referrals || f.candidates.empty()) {
+    f.result.records.clear();
+    f.result.authorities.clear();
+    f.result.rcode = Rcode::SERVFAIL;
+    finish_iterate(t, engine);
+    return;
+  }
+  f.target = f.candidates[f.selection.uniform(
+      static_cast<std::uint32_t>(f.candidates.size()))];
+  f.writer->patch_u16(0, static_cast<std::uint16_t>(rng_.next_u32()));
+  t.pending_server = f.target;
+  t.status = TaskStatus::need_exchange;
+}
+
+void RecursiveResolver::task_deliver(ResolutionTask& t,
+                                     const net::TransportReply& reply,
+                                     QueryEngine* engine) {
+  assert(t.status == TaskStatus::need_exchange && t.frame_top > 0);
+  Frame& f = t.frames[t.frame_top - 1];
+  t.status = TaskStatus::running;
+
+  // Each attempt consumed one referral hop in the old loop, whatever its
+  // outcome — keep that accounting bit-exact.
+  const auto retry = [&](Frame& frame) {
+    std::erase(frame.candidates, frame.target);
+    ++frame.hop;
+    frame.stage = FrameStage::pick;
+  };
+
+  if (!reply.ok()) {
+    // Timeout (offline server, dropped datagram): drop this candidate and
+    // retry with the rest.
+    retry(f);
+    return;
+  }
+  ++stats_.upstream_queries;
+  if (reply.tcp_retried) ++stats_.tcp_fallbacks;
+
+  auto parsed = MessageView::parse(reply.bytes());
+  if (!parsed || parsed->trailing_bytes() != 0) {
+    // Unparseable or garbage-trailed reply: as good as no reply.
+    retry(f);
+    return;
+  }
+  const MessageView& view = *parsed;
+  const Rcode rcode = view.header().rcode;
+
+  if (rcode == Rcode::REFUSED) {
+    retry(f);
+    return;
+  }
+  if (rcode != Rcode::NOERROR) {
+    if (!materialize_section(view, /*authority=*/true, f.result.authorities)) {
+      f.result.authorities.clear();
+      retry(f);
+      return;
+    }
+    f.result.rcode = rcode;
+    finish_iterate(t, engine);
+    return;
+  }
+  if (view.answer_count() > 0 || view.header().aa) {
+    // Authoritative answer (possibly NODATA, with its denial proof).
+    if (!materialize_section(view, /*authority=*/false, f.result.records) ||
+        !materialize_section(view, /*authority=*/true, f.result.authorities)) {
+      f.result.records.clear();
+      f.result.authorities.clear();
+      retry(f);
+      return;
+    }
+    f.result.rcode = Rcode::NOERROR;
+    finish_iterate(t, engine);
+    return;
+  }
+
+  // Referral: gather NS targets from the authority section and glue
+  // addresses from the additional section — all read straight off the
+  // wire.  Only an unglued (out-of-bailiwick) NS host materializes a
+  // name, to recurse on its address.
+  std::size_t ns_count = 0;
+  for (std::size_t i = 0; i < view.authority_count(); ++i) {
+    if (view.authority(i).type() == RrType::NS) ++ns_count;
+  }
+  if (ns_count == 0) {
+    f.result.rcode = Rcode::SERVFAIL;
+    finish_iterate(t, engine);
+    return;
+  }
+  f.next.clear();
+  for (std::size_t i = 0; i < view.additional_count(); ++i) {
+    auto rr = view.additional(i);
+    if (auto a = rr.a_addr()) {
+      f.next.push_back(net::IpAddr(*a));
+    } else if (auto aaaa = rr.aaaa_addr()) {
+      f.next.push_back(net::IpAddr(*aaaa));
+    }
+  }
+  // Collect NS hosts the referral did not glue (matching owner names on
+  // the wire, case-folded).  Materialize them *before* suspending: the
+  // next exchange on this transport invalidates this reply's buffer — no
+  // view access is legal once the machine moves on.
+  f.unglued.clear();
+  bool malformed = false;
+  for (std::size_t i = 0; i < view.authority_count() && !malformed; ++i) {
+    auto ns = view.authority(i);
+    if (ns.type() != RrType::NS) continue;
+    bool glued = false;
+    for (std::size_t j = 0; j < view.additional_count() && !glued; ++j) {
+      auto add = view.additional(j);
+      if (add.type() != RrType::A && add.type() != RrType::AAAA) continue;
+      glued = add.owner_equals_target_of(ns);
+    }
+    if (glued) continue;
+    auto host = ns.name_target();
+    if (!host) {
+      malformed = true;
+      break;
+    }
+    f.unglued.push_back(std::move(*host));
+  }
+  if (malformed) {
+    retry(f);
+    return;
+  }
+  if (f.unglued.empty()) {
+    f.candidates.swap(f.next);
+    ++f.hop;
+    f.stage = FrameStage::pick;
+    return;
+  }
+  // Resolve the unglued hosts (out-of-bailiwick NS): with partial glue a
+  // resolver must still consider every listed server, or it would
+  // systematically miss providers — and the §4.2.3 mixed-provider
+  // inconsistencies with them.
+  f.unglued_idx = 0;
+  f.stage = FrameStage::unglued;
+}
+
+void RecursiveResolver::frame_unglued(ResolutionTask& t) {
+  Frame& f = t.frames[t.frame_top - 1];
+  if (f.unglued_idx == f.unglued.size()) {
+    f.candidates.swap(f.next);
+    ++f.hop;
+    f.stage = FrameStage::pick;
+    return;
+  }
+  // One child lookup at a time, in listed order — the serial schedule.
+  // (Pushing may reseat t.frames; take what we need by value first.)
+  const Name host = f.unglued[f.unglued_idx];
+  const int child_depth = f.depth + 1;
+  push_frame(t, host, RrType::A, child_depth);
+}
+
+void RecursiveResolver::finish_iterate(ResolutionTask& t,
+                                       QueryEngine* engine) {
+  Frame& f = t.frames[t.frame_top - 1];
+  IterativeResult& result = f.result;
 
   // DNSSEC validation of positive answers. Answers may contain several
   // RRsets (a CNAME plus the chased target); each one is validated on its
   // own, and AD requires every RRset to be secure (RFC 4035 §4.9.3).
+  // Validation stays synchronous inside the machine: the chain source
+  // reads the infra in-process (the documented cold-path exception to the
+  // wire-true transport rule).
   if (options_.validate_dnssec && result.rcode == Rcode::NOERROR &&
       !result.records.empty()) {
     ++stats_.validations;
@@ -263,7 +511,7 @@ RecursiveResolver::RrsetResult RecursiveResolver::lookup_rrset(
     // reclassify unsigned zones as insecure at real cost (the daily scan
     // issues tens of thousands of such negatives).
     ++stats_.validations;
-    switch (validator_.validate_denial(qname, qtype, result.authorities,
+    switch (validator_.validate_denial(f.qname, f.qtype, result.authorities,
                                        clock_.now(), &chain_cache_)) {
       case dnssec::Validation::secure:
         result.validated = true;
@@ -326,173 +574,118 @@ RecursiveResolver::RrsetResult RecursiveResolver::lookup_rrset(
     entry.validated = shared.validated;
     entry.inserted = clock_.now();
     entry.expires = clock_.now() + net::Duration::secs(ttl);
-    cache_[key] = std::move(entry);
+    cache_[CacheKey{f.qname, f.qtype}] = std::move(entry);
   }
-  return shared;
+  frame_finish(t, std::move(shared), engine);
 }
 
-RecursiveResolver::IterativeResult RecursiveResolver::iterate(const Name& qname,
-                                                              RrType qtype,
-                                                              int depth) {
-  IterativeResult out;
-  if (depth > 4) {  // NS-address resolution recursion guard
-    out.rcode = Rcode::SERVFAIL;
-    return out;
+void RecursiveResolver::frame_finish(ResolutionTask& t, RrsetResult result,
+                                     QueryEngine* engine) {
+  assert(t.frame_top > 0);
+  Frame& finished = t.frames[t.frame_top - 1];
+  const bool registered = finished.registered;
+  const CacheKey key{finished.qname, finished.qtype};
+  --t.frame_top;
+
+  if (t.frame_top > 0) {
+    // Parent is resolving this frame as an unglued NS host: extract the
+    // A addresses (the old resolve_ns_addr) and move to the next host.
+    Frame& parent = t.frames[t.frame_top - 1];
+    assert(parent.stage == FrameStage::unglued);
+    for (const auto& rr : *result.records) {
+      if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
+        parent.next.push_back(net::IpAddr(a->address));
+      }
+    }
+    ++parent.unglued_idx;
+    t.status = TaskStatus::running;
+  } else {
+    // Task-level lookup complete: run one hop of the CNAME-chase loop.
+    t.rcode = result.rcode;
+    if (result.rcode != Rcode::NOERROR || result.records->empty()) {
+      // Negative terminal (NXDOMAIN or NODATA): the denial proof decides
+      // AD.
+      t.out.shared_authorities_ = result.authorities;
+      t.all_validated = t.all_validated && result.validated;
+      task_done(t);
+    } else {
+      if (t.out.owned_answers_.empty() && !t.out.shared_answers_) {
+        // First positive RRset: keep it shared — a chain that ends here
+        // (the common case) never copies a record.
+        t.out.shared_answers_ = result.records;
+      } else {
+        if (t.out.shared_answers_) {
+          // Chain grew past one hop: degrade to an owned accumulation.
+          t.out.owned_answers_ = *t.out.shared_answers_;
+          t.out.shared_answers_.reset();
+        }
+        t.out.owned_answers_.insert(t.out.owned_answers_.end(),
+                                    result.records->begin(),
+                                    result.records->end());
+      }
+      t.all_validated = t.all_validated && result.validated;
+
+      // CNAME chasing: if we asked for something else and only got a
+      // CNAME, continue with the target.
+      bool chase = false;
+      Name target;
+      if (t.qtype != RrType::CNAME) {
+        bool has_final = false;
+        const dns::CnameRdata* cname = nullptr;
+        for (const auto& rr : *result.records) {
+          if (rr.type == t.qtype) has_final = true;
+          if (rr.type == RrType::CNAME && rr.owner == t.current) {
+            cname = std::get_if<dns::CnameRdata>(&rr.rdata);
+          }
+        }
+        if (!has_final && cname != nullptr) {
+          chase = true;
+          target = cname->target;
+        }
+      }
+      if (chase && t.hop < options_.max_cname_chain) {
+        ++t.hop;
+        t.current = std::move(target);
+        t.status = TaskStatus::running;
+        push_frame(t, t.current, t.qtype, /*depth=*/0);
+      } else {
+        task_done(t);
+      }
+    }
   }
 
-  // Random NS selection — the resolver behaviour §4.2.3 attributes
-  // inconsistent HTTPS activation to.  The stream is keyed on the question
-  // and the virtual instant (not on a shared sequential RNG), so the pick
-  // is independent of whatever else this resolver has resolved — the
-  // shard-count-invariance property documented in the header.
-  util::Pcg32 selection(selection_stream(qname, qtype));
+  // Releasing wakes parked twins (possibly completing their frames in
+  // place), so it runs after this task's own state is consistent.
+  if (registered && engine != nullptr) engine->release(key, result);
+}
 
-  // One reusable upstream query, encoded once into this depth's writer;
-  // only the id bytes are re-patched per attempt (ids are unobservable —
-  // the server keys its response cache on the question, not the envelope).
-  // The bytes are emitted directly — same layout Message::make_query()
-  // + encode_into() produces (RD set, one question, one OPT trailer) —
-  // because a Message temporary per iterate() costs three allocations the
-  // cold path feels.
-  const std::uint16_t udp_payload = dns::Edns{}.udp_payload_size;
-  dns::WireWriter& qw = query_writer(depth);
-  qw.clear();
-  qw.reserve(12 + qname.wire_length() + 4 + 11);
-  qw.u16(0);       // id, re-patched per attempt below
-  qw.u16(0x0100);  // flags: QUERY, RD
-  qw.u16(1);       // QDCOUNT
-  qw.u16(0);       // ANCOUNT
-  qw.u16(0);       // NSCOUNT
-  qw.u16(1);       // ARCOUNT (the OPT pseudo-RR)
-  qw.name(qname);
-  qw.u16(static_cast<std::uint16_t>(qtype));
-  qw.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
-  qw.u8(0);  // OPT: root owner
-  qw.u16(static_cast<std::uint16_t>(RrType::OPT));
-  qw.u16(udp_payload);
-  qw.u32(options_.validate_dnssec ? 0x00008000u : 0u);  // DO bit
-  qw.u16(0);  // empty OPT RDATA
-  const std::span<const std::uint8_t> query_wire(qw.data());
-  const std::size_t udp_limit = udp_payload;
+void RecursiveResolver::complete_parked(ResolutionTask& t,
+                                        const RrsetResult& owner_result,
+                                        QueryEngine* engine) {
+  assert(t.status == TaskStatus::parked);
+  // The owner's answer is in the cache by now; handing the shared result
+  // straight over is the cache hit the serial schedule would have scored,
+  // minus the probe.
+  ++stats_.cache_hits;
+  ++stats_.coalesced_queries;
+  t.status = TaskStatus::running;
+  frame_finish(t, owner_result, engine);
+}
 
-  std::vector<net::IpAddr> candidates = infra_.root_servers();
-  for (int hop = 0; hop < options_.max_referrals; ++hop) {
-    if (candidates.empty()) {
-      out.rcode = Rcode::SERVFAIL;
-      return out;
-    }
-    net::IpAddr target =
-        candidates[selection.uniform(static_cast<std::uint32_t>(candidates.size()))];
-    qw.patch_u16(0, static_cast<std::uint16_t>(rng_.next_u32()));
-    // The exchange travels as wire bytes both ways; the reply is read
-    // through a view over the transport-owned buffer.  `reply` must stay
-    // in scope for as long as `view` is used (see net/transport.h).
-    net::TransportReply reply =
-        transport_->exchange(target, query_wire, udp_limit);
-    if (!reply.ok()) {
-      // Timeout (offline server, dropped datagram): drop this candidate
-      // and retry with the rest.
-      std::erase(candidates, target);
-      continue;
-    }
-    ++stats_.upstream_queries;
-    if (reply.tcp_retried) ++stats_.tcp_fallbacks;
+void RecursiveResolver::resume_parked(ResolutionTask& t) {
+  assert(t.status == TaskStatus::parked);
+  // Re-enter at probe: either the owner's answer is cached (plain hit) or
+  // it SERVFAILed uncached and this task runs the lookup itself, exactly
+  // like the serial schedule's second attempt.
+  t.status = TaskStatus::running;
+}
 
-    auto parsed = MessageView::parse(reply.bytes());
-    if (!parsed || parsed->trailing_bytes() != 0) {
-      // Unparseable or garbage-trailed reply: as good as no reply.
-      std::erase(candidates, target);
-      continue;
-    }
-    const MessageView& view = *parsed;
-    const Rcode rcode = view.header().rcode;
-
-    if (rcode == Rcode::REFUSED) {
-      std::erase(candidates, target);
-      continue;
-    }
-    if (rcode != Rcode::NOERROR) {
-      if (!materialize_section(view, /*authority=*/true, out.authorities)) {
-        out.authorities.clear();
-        std::erase(candidates, target);
-        continue;
-      }
-      out.rcode = rcode;
-      return out;
-    }
-    if (view.answer_count() > 0 || view.header().aa) {
-      // Authoritative answer (possibly NODATA, with its denial proof).
-      if (!materialize_section(view, /*authority=*/false, out.records) ||
-          !materialize_section(view, /*authority=*/true, out.authorities)) {
-        out.records.clear();
-        out.authorities.clear();
-        std::erase(candidates, target);
-        continue;
-      }
-      out.rcode = Rcode::NOERROR;
-      return out;
-    }
-
-    // Referral: gather NS targets from the authority section and glue
-    // addresses from the additional section — all read straight off the
-    // wire.  Only an unglued (out-of-bailiwick) NS host materializes a
-    // name, to recurse on its address.
-    std::size_t ns_count = 0;
-    for (std::size_t i = 0; i < view.authority_count(); ++i) {
-      if (view.authority(i).type() == RrType::NS) ++ns_count;
-    }
-    if (ns_count == 0) {
-      out.rcode = Rcode::SERVFAIL;
-      return out;
-    }
-    std::vector<net::IpAddr> next;
-    for (std::size_t i = 0; i < view.additional_count(); ++i) {
-      auto rr = view.additional(i);
-      if (auto a = rr.a_addr()) {
-        next.push_back(net::IpAddr(*a));
-      } else if (auto aaaa = rr.aaaa_addr()) {
-        next.push_back(net::IpAddr(*aaaa));
-      }
-    }
-    // Collect NS hosts the referral did not glue (matching owner names on
-    // the wire, case-folded).  Materialize them *before* recursing: the
-    // nested iterate reuses the transport, which invalidates this reply's
-    // buffer — no view access is legal past the first resolve_ns_addr.
-    std::vector<Name> unglued;
-    bool malformed = false;
-    for (std::size_t i = 0; i < view.authority_count() && !malformed; ++i) {
-      auto ns = view.authority(i);
-      if (ns.type() != RrType::NS) continue;
-      bool glued = false;
-      for (std::size_t j = 0; j < view.additional_count() && !glued; ++j) {
-        auto add = view.additional(j);
-        if (add.type() != RrType::A && add.type() != RrType::AAAA) continue;
-        glued = add.owner_equals_target_of(ns);
-      }
-      if (glued) continue;
-      auto host = ns.name_target();
-      if (!host) {
-        malformed = true;
-        break;
-      }
-      unglued.push_back(std::move(*host));
-    }
-    if (malformed) {
-      std::erase(candidates, target);
-      continue;
-    }
-    // Resolve the unglued hosts (out-of-bailiwick NS): with partial glue a
-    // resolver must still consider every listed server, or it would
-    // systematically miss providers — and the §4.2.3 mixed-provider
-    // inconsistencies with them.
-    for (const auto& host : unglued) {
-      auto addrs = resolve_ns_addr(host, depth + 1);
-      next.insert(next.end(), addrs.begin(), addrs.end());
-    }
-    candidates = std::move(next);
-  }
-  out.rcode = Rcode::SERVFAIL;
-  return out;
+void RecursiveResolver::task_done(ResolutionTask& t) {
+  t.out.rcode = t.rcode;
+  t.out.ad = options_.validate_dnssec && t.all_validated &&
+             (!t.out.answers().empty() || !t.out.authorities().empty());
+  if (t.rcode == Rcode::SERVFAIL) ++stats_.servfails;
+  t.status = TaskStatus::done;
 }
 
 std::span<const std::uint8_t> RecursiveResolver::resolve_wire(
@@ -531,18 +724,6 @@ std::span<const std::uint8_t> RecursiveResolver::resolve_wire(
   w.u32(options_.validate_dnssec ? 0x00008000u : 0u);
   w.u16(0);
   return std::span<const std::uint8_t>(w.data());
-}
-
-std::vector<net::IpAddr> RecursiveResolver::resolve_ns_addr(const Name& host,
-                                                            int depth) {
-  std::vector<net::IpAddr> out;
-  auto result = lookup_rrset(host, RrType::A, depth);
-  for (const auto& rr : *result.records) {
-    if (const auto* a = std::get_if<dns::ARdata>(&rr.rdata)) {
-      out.push_back(net::IpAddr(a->address));
-    }
-  }
-  return out;
 }
 
 }  // namespace httpsrr::resolver

@@ -30,6 +30,7 @@
 // resolvers produce exactly the answers a single resolver would — the
 // property the Study's shard-count-invariance test pins.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -62,6 +63,15 @@ struct ResolverStats {
   std::uint64_t auth_cache_hits = 0;
   std::uint64_t sig_cache_hits = 0;
   std::uint64_t bytes_encoded = 0;
+  // Async engine / transport surface: the most resolutions ever in flight
+  // at once, lookups answered by joining an in-flight twin instead of
+  // re-asking the wire, and the transport's virtual-latency picture
+  // (its own µs clock — the SimClock never moves for RTTs).
+  std::uint64_t in_flight_peak = 0;      // merges as max, not sum
+  std::uint64_t coalesced_queries = 0;
+  std::uint64_t virtual_us = 0;
+  std::uint64_t reordered_replies = 0;
+  std::array<std::uint64_t, net::kRttBuckets> rtt_hist{};
 
   // Merge helper: the sharded Study aggregates per-shard resolver stats.
   ResolverStats& operator+=(const ResolverStats& other) {
@@ -75,6 +85,17 @@ struct ResolverStats {
     auth_cache_hits += other.auth_cache_hits;
     sig_cache_hits += other.sig_cache_hits;
     bytes_encoded += other.bytes_encoded;
+    // Shards run side by side: the fleet's peak is the widest shard, the
+    // waits and RTT distribution accumulate.
+    if (other.in_flight_peak > in_flight_peak) {
+      in_flight_peak = other.in_flight_peak;
+    }
+    coalesced_queries += other.coalesced_queries;
+    virtual_us += other.virtual_us;
+    reordered_replies += other.reordered_replies;
+    for (std::size_t i = 0; i < rtt_hist.size(); ++i) {
+      rtt_hist[i] += other.rtt_hist[i];
+    }
     return *this;
   }
 };
@@ -103,6 +124,16 @@ struct ResolverOptions {
   TransportKind transport = TransportKind::loopback;
   net::TransportFaults transport_faults{};
   bool transport_tcp_only = false;  // datagram only: skip the UDP leg
+  // Deterministic virtual RTTs on the datagram channel (timing only —
+  // answers never change; see net::LatencyModel).
+  net::LatencyModel transport_latency{};
+  // QueryEngine defaults: how many resolutions it multiplexes over the
+  // transport at once (1 = serial, byte-identical to resolve_shared), and
+  // whether an in-flight twin's answer is fanned out to waiters
+  // (coalescing off still parks duplicates — the determinism contract
+  // requires it — but each waiter then reads the cache itself).
+  std::size_t max_in_flight = 1;
+  bool coalesce_queries = true;
 };
 
 // Allocation-lean resolve result for the scan hot path.  Sections are
@@ -148,6 +179,8 @@ class ResolvedAnswer {
   std::vector<dns::Rr> owned_authorities_;
 };
 
+class QueryEngine;
+
 class RecursiveResolver {
  public:
   using Options = ResolverOptions;
@@ -190,10 +223,21 @@ class RecursiveResolver {
     cache_.clear();
     chain_cache_.clear();
   }
-  [[nodiscard]] const ResolverStats& stats() const { return stats_; }
+  // Resolver-side counters merged with the transport's timing block, so
+  // virtual waits and the RTT histogram ride along wherever stats travel.
+  [[nodiscard]] ResolverStats stats() const {
+    ResolverStats s = stats_;
+    const net::TransportTiming& t = transport_->timing();
+    s.virtual_us = t.virtual_us;
+    s.reordered_replies = t.reordered;
+    s.rtt_hist = t.rtt_hist;
+    return s;
+  }
   [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] const Options& options() const { return options_; }
 
  private:
+  friend class QueryEngine;
   // Cached RRsets are immutable shared vectors: a zero-elapsed hit (every
   // query of a scan day — the clock only moves between days) hands the
   // stored vector out by reference.  Decay and clamping paths copy.
@@ -235,24 +279,106 @@ class RecursiveResolver {
     dns::Rcode rcode = dns::Rcode::NOERROR;
     bool validated = false;
   };
-  [[nodiscard]] RrsetResult lookup_rrset(const dns::Name& qname,
-                                         dns::RrType qtype, int depth);
-  [[nodiscard]] IterativeResult iterate(const dns::Name& qname,
-                                        dns::RrType qtype, int depth);
+  // ---- Resumable resolution state machine ------------------------------
+  //
+  // One resolution is a ResolutionTask: a stack of Frames (one per
+  // lookup_rrset activation — the root question, CNAME-chase hops, and
+  // nested NS-address lookups) plus the task-level CNAME continuation.
+  // The machine runs until it needs a transport exchange, then suspends
+  // with the encoded query ready; delivering the reply bytes resumes it.
+  // resolve_shared() drives one task with blocking exchange() — the
+  // single-implementation rule that makes engine depth 1 equal serial by
+  // construction — and QueryEngine multiplexes many over send()/poll().
 
-  // Resolves an NS host to candidate addresses (glue-free path).
-  [[nodiscard]] std::vector<net::IpAddr> resolve_ns_addr(const dns::Name& host,
-                                                         int depth);
+  enum class TaskStatus : std::uint8_t {
+    running,        // advance() has work to do
+    need_exchange,  // suspended: pending_query() must travel to pending_server
+    parked,         // engine only: waiting on an in-flight twin's answer
+    done,           // `out` is final
+  };
+  enum class FrameStage : std::uint8_t {
+    probe,    // cache lookup / join check, then iterate setup
+    pick,     // choose the next candidate server and suspend on the wire
+    unglued,  // referral with unglued NS hosts: resolving their addresses
+  };
+
+  // One lookup_rrset activation.  Frame slots (and their vectors/writer)
+  // are pooled per task: the stack index moves, capacity stays.
+  struct Frame {
+    dns::Name qname;
+    dns::RrType qtype = dns::RrType::A;
+    int depth = 0;
+    FrameStage stage = FrameStage::probe;
+    bool registered = false;  // owns the engine join-table entry for its key
+    // iterate state — exactly the locals of the old blocking loop
+    util::Pcg32 selection{0};
+    int hop = 0;
+    std::vector<net::IpAddr> candidates;
+    net::IpAddr target;                       // current attempt's server
+    std::unique_ptr<dns::WireWriter> writer;  // this frame's encoded query
+    IterativeResult result;
+    // referral-in-progress state
+    std::vector<net::IpAddr> next;
+    std::vector<dns::Name> unglued;
+    std::size_t unglued_idx = 0;
+  };
+
+  struct ResolutionTask {
+    std::uint64_t seq = 0;    // engine admission order (waiter wake order)
+    std::size_t index = 0;    // engine request slot
+    dns::Name qname;
+    dns::RrType qtype = dns::RrType::A;
+    TaskStatus status = TaskStatus::done;
+    // CNAME-chase continuation (the old resolve_shared loop locals)
+    dns::Name current;
+    int hop = 0;
+    bool all_validated = true;
+    dns::Rcode rcode = dns::Rcode::NOERROR;
+    ResolvedAnswer out;
+    // frame stack: frames[0..frame_top) live, slots above keep capacity
+    std::vector<Frame> frames;
+    std::size_t frame_top = 0;
+    net::IpAddr pending_server;
+    net::SendToken token = 0;  // engine bookkeeping
+    // Set by the engine's stall valve: this task no longer joins in-flight
+    // twins (it broke out of a waits-for cycle and must make progress).
+    bool solo = false;
+  };
+
+  void task_start(ResolutionTask& t, const dns::Name& qname,
+                  dns::RrType qtype);
+  // Runs the machine until the task suspends (need_exchange/parked) or
+  // completes.  `engine` is null on the blocking path: no join table, no
+  // parking — single-task execution is serial by definition.
+  void task_advance(ResolutionTask& t, QueryEngine* engine);
+  // Feeds the reply for the suspended exchange; caller re-advances.
+  void task_deliver(ResolutionTask& t, const net::TransportReply& reply,
+                    QueryEngine* engine);
+  [[nodiscard]] std::span<const std::uint8_t> pending_query(
+      const ResolutionTask& t) const;
+
+  void push_frame(ResolutionTask& t, const dns::Name& qname,
+                  dns::RrType qtype, int depth);
+  void frame_probe(ResolutionTask& t, QueryEngine* engine);
+  void frame_pick(ResolutionTask& t, QueryEngine* engine);
+  void frame_unglued(ResolutionTask& t);
+  // Validation + freeze + cache insert of the top frame's IterativeResult,
+  // then frame_finish — the tail of the old lookup_rrset.
+  void finish_iterate(ResolutionTask& t, QueryEngine* engine);
+  // Pops the top frame and routes `result` to the parent frame (NS-address
+  // extraction) or the task-level CNAME loop.
+  void frame_finish(ResolutionTask& t, RrsetResult result,
+                    QueryEngine* engine);
+  // Engine wake paths for a parked frame: fan out the owner's (cacheable)
+  // answer, or resume at probe to re-read the cache / re-run the lookup.
+  void complete_parked(ResolutionTask& t, const RrsetResult& owner_result,
+                       QueryEngine* engine);
+  void resume_parked(ResolutionTask& t);
+  void task_done(ResolutionTask& t);
 
   // Seeds the per-iterate selection stream for one question.
   [[nodiscard]] std::uint64_t selection_stream(const dns::Name& qname,
                                                dns::RrType qtype);
-
-  // Reusable query encoder for one iterate() nesting level.  iterate
-  // re-enters itself through resolve_ns_addr, so each depth owns a writer
-  // (stable addresses — the pool holds pointers) and steady-state query
-  // encoding allocates nothing.
-  [[nodiscard]] dns::WireWriter& query_writer(int depth);
 
   const DnsInfra& infra_;
   const net::SimClock& clock_;
@@ -261,7 +387,9 @@ class RecursiveResolver {
   Options options_;
   InfraWireService wire_service_;
   std::unique_ptr<net::Transport> transport_;
-  std::vector<std::unique_ptr<dns::WireWriter>> query_writers_;
+  // The blocking path's pooled task: resolve_shared reuses one machine
+  // instance, so warm resolves allocate exactly what the old loop did.
+  std::unique_ptr<ResolutionTask> blocking_task_;
   util::Pcg32 rng_;            // unobservable state only (message ids)
   std::uint64_t selection_seed_;
   mutable dnssec::ChainStatusCache chain_cache_;

@@ -6,19 +6,25 @@ using dns::RrType;
 
 HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
   HttpsObservation obs;
-
   ++queries_;
-  auto resp = stub_.query_shared(host, RrType::HTTPS);
+  apply_https(obs, stub_.query_shared(host, RrType::HTTPS));
+  if (!obs.has_https() || !follow_up) return obs;
+  fill_follow_ups(host, obs);
+  return obs;
+}
+
+void HttpsScanner::apply_https(HttpsObservation& obs,
+                               const resolver::ResolvedAnswer& resp) {
   switch (resp.rcode) {
     case dns::Rcode::NOERROR:
       obs.answered = true;
       break;
     case dns::Rcode::NXDOMAIN:
       obs.nxdomain = true;
-      return obs;
+      return;
     default:
       obs.servfail = true;
-      return obs;
+      return;
   }
 
   obs.ad = resp.ad;
@@ -40,29 +46,31 @@ HttpsObservation HttpsScanner::scan(const dns::Name& host, bool follow_up) {
         break;
     }
   }
-
-  if (!obs.has_https() || !follow_up) return obs;
-  fill_follow_ups(host, obs);
-  return obs;
 }
 
-void HttpsScanner::fill_follow_ups(const dns::Name& host, HttpsObservation& obs) {
-  ++queries_;
-  obs.a_answer = stub_.query_shared(host, RrType::A).answers_snapshot();
-  ++queries_;
-  obs.aaaa_answer = stub_.query_shared(host, RrType::AAAA).answers_snapshot();
-
-  ++queries_;
-  auto soa = stub_.query_shared(host, RrType::SOA);
+void HttpsScanner::apply_follow_ups(HttpsObservation& obs,
+                                    const resolver::ResolvedAnswer& a,
+                                    const resolver::ResolvedAnswer& aaaa,
+                                    const resolver::ResolvedAnswer& soa,
+                                    const resolver::ResolvedAnswer& ns) {
+  obs.a_answer = a.answers_snapshot();
+  obs.aaaa_answer = aaaa.answers_snapshot();
   obs.soa_present = soa.has_answer_of_type(RrType::SOA);
-
-  ++queries_;
-  auto ns = stub_.query_shared(host, RrType::NS);
   for (const auto& rr : ns.answers()) {
     if (const auto* rec = std::get_if<dns::NsRdata>(&rr.rdata)) {
       obs.ns_records.push_back(rec->nsdname);
     }
   }
+}
+
+void HttpsScanner::fill_follow_ups(const dns::Name& host,
+                                   HttpsObservation& obs) {
+  queries_ += 4;
+  auto a = stub_.query_shared(host, RrType::A);
+  auto aaaa = stub_.query_shared(host, RrType::AAAA);
+  auto soa = stub_.query_shared(host, RrType::SOA);
+  auto ns = stub_.query_shared(host, RrType::NS);
+  apply_follow_ups(obs, a, aaaa, soa, ns);
 }
 
 }  // namespace httpsrr::scanner

@@ -5,6 +5,11 @@
 //   2. CNAME chase when the answer aliases elsewhere;
 //   3. RRSIG / AD-bit capture from the HTTPS response;
 //   4. follow-up A / AAAA / SOA / NS lookups when an HTTPS record exists.
+//
+// The response-classification logic lives in the static apply_* helpers so
+// the serial path here and the Study's engine-batched waves (scanner/
+// study.cpp) fill observations through one implementation — batching can
+// change the schedule, never the dataset.
 
 #include "dns/message.h"
 #include "resolver/stub.h"
@@ -27,6 +32,19 @@ class HttpsScanner {
   // domains that *used to* publish HTTPS (the paper cross-references its
   // NS dataset when analysing intermittent records, §4.2.3).
   void fill_follow_ups(const dns::Name& host, HttpsObservation& obs);
+
+  // Classifies one HTTPS response into a fresh observation: rcode split,
+  // shared answer snapshot, CNAME/RRSIG walk.  NXDOMAIN/SERVFAIL leave the
+  // answer snapshot unset, exactly like scan()'s early returns.
+  static void apply_https(HttpsObservation& obs,
+                          const resolver::ResolvedAnswer& resp);
+  // Applies the four follow-up responses (A, AAAA, SOA, NS, in the order
+  // the serial scanner issues them).
+  static void apply_follow_ups(HttpsObservation& obs,
+                               const resolver::ResolvedAnswer& a,
+                               const resolver::ResolvedAnswer& aaaa,
+                               const resolver::ResolvedAnswer& soa,
+                               const resolver::ResolvedAnswer& ns);
 
   [[nodiscard]] std::uint64_t queries_sent() const { return queries_; }
 

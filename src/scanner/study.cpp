@@ -1,15 +1,50 @@
 #include "scanner/study.h"
 
 #include <algorithm>
+#include <span>
 #include <thread>
 #include <utility>
 
+#include "resolver/engine.h"
 #include "util/rng.h"
 
 namespace httpsrr::scanner {
 
 using dns::Name;
 using dns::RrType;
+using resolver::QueryEngine;
+
+namespace {
+
+// One engine wave with the stub's fallback policy, batched: every request
+// runs on the primary's engine, and any SERVFAIL answer is re-run on the
+// backup (the per-query primary→backup retry StubResolver applies, in the
+// same request order).
+std::vector<resolver::ResolvedAnswer> run_wave(
+    resolver::RecursiveResolver& primary, resolver::RecursiveResolver* backup,
+    std::span<const QueryEngine::Request> requests) {
+  QueryEngine engine(primary);
+  auto answers = engine.run(requests);
+  if (backup != nullptr) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      if (answers[i].rcode == dns::Rcode::SERVFAIL) failed.push_back(i);
+    }
+    if (!failed.empty()) {
+      std::vector<QueryEngine::Request> retry;
+      retry.reserve(failed.size());
+      for (std::size_t i : failed) retry.push_back(requests[i]);
+      QueryEngine backup_engine(*backup);
+      auto retried = backup_engine.run(retry);
+      for (std::size_t j = 0; j < failed.size(); ++j) {
+        answers[failed[j]] = std::move(retried[j]);
+      }
+    }
+  }
+  return answers;
+}
+
+}  // namespace
 
 Study::Study(ecosystem::Internet& net, Options options)
     : net_(net), options_(std::move(options)) {
@@ -64,29 +99,70 @@ void Study::for_each_shard(
 
 void Study::scan_range(Shard& shard, const DailySnapshot& snapshot,
                        std::size_t begin, std::size_t end, ShardScan& out) {
-  resolver::StubResolver stub(*shard.primary, shard.backup.get());
-  HttpsScanner scanner(stub);
-  out.apex.reserve(end - begin);
-  out.www.reserve(end - begin);
+  // The shard's slice runs as engine waves: first every HTTPS question in
+  // list order (apex then www per domain — the serial schedule's order),
+  // then every follow-up the HTTPS answers call for.  At max_in_flight = 1
+  // each wave degenerates to sequential resolve_shared calls; the whole
+  // day runs on one frozen virtual instant, so deeper pipelines and the
+  // wave regrouping change scheduling only, never an answer (the resolver
+  // determinism contract) — which is what keeps the snapshot digest
+  // byte-identical across depths and shard counts.
+  const std::size_t n = end - begin;
+  out.apex.resize(n);
+  out.www.resize(n);
+
+  std::vector<QueryEngine::Request> wave;
+  wave.reserve(2 * n);
   for (std::size_t i = begin; i < end; ++i) {
-    const ecosystem::DomainId id = snapshot.list[i];
+    const auto& domain = net_.domain(snapshot.list[i]);
+    wave.push_back({domain.apex, RrType::HTTPS});
+    wave.push_back({domain.www, RrType::HTTPS});
+  }
+  out.queries += wave.size();
+  const auto https =
+      run_wave(*shard.primary, shard.backup.get(), wave);
+
+  // Classify the HTTPS answers and collect the follow-up wave: one A/AAAA/
+  // SOA/NS quartet per host with an HTTPS record — plus the NS-tracking
+  // cohort rule.  Domains that ever published HTTPS keep their follow-ups
+  // even while the record is deactivated (§4.2.3 cross-references the NS
+  // dataset to attribute intermittent records).  The cohort set is frozen
+  // during the fan-out; today's entrants land in `joined` and are merged
+  // on the coordinating thread after the workers finish.
+  std::vector<QueryEngine::Request> follow;
+  std::vector<HttpsObservation*> follow_obs;
+  const auto queue_follow_ups = [&](const Name& host, HttpsObservation& obs) {
+    follow.push_back({host, RrType::A});
+    follow.push_back({host, RrType::AAAA});
+    follow.push_back({host, RrType::SOA});
+    follow.push_back({host, RrType::NS});
+    follow_obs.push_back(&obs);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const ecosystem::DomainId id = snapshot.list[begin + i];
     const auto& domain = net_.domain(id);
-    auto apex_obs = scanner.scan(domain.apex);
-    // Domains that ever published HTTPS stay in the NS-tracking cohort
-    // even while their record is deactivated (§4.2.3 cross-references the
-    // NS dataset to attribute intermittent records).  The cohort set is
-    // frozen during the fan-out; today's entrants land in `joined` and are
-    // merged on the coordinating thread after the workers finish.
+    HttpsObservation& apex_obs = out.apex[i];
+    HttpsScanner::apply_https(apex_obs, https[2 * i]);
     if (apex_obs.has_https()) {
       out.joined.push_back(id);
+      queue_follow_ups(domain.apex, apex_obs);
     } else if (options_.scan_ns && https_cohort_.contains(id) &&
                apex_obs.answered) {
-      scanner.fill_follow_ups(domain.apex, apex_obs);
+      queue_follow_ups(domain.apex, apex_obs);
     }
-    out.apex.push_back(std::move(apex_obs));
-    out.www.push_back(scanner.scan(domain.www));
+    HttpsObservation& www_obs = out.www[i];
+    HttpsScanner::apply_https(www_obs, https[2 * i + 1]);
+    if (www_obs.has_https()) queue_follow_ups(domain.www, www_obs);
   }
-  out.queries = scanner.queries_sent();
+  out.queries += follow.size();
+
+  const auto answers =
+      run_wave(*shard.primary, shard.backup.get(), follow);
+  for (std::size_t j = 0; j < follow_obs.size(); ++j) {
+    HttpsScanner::apply_follow_ups(*follow_obs[j], answers[4 * j],
+                                   answers[4 * j + 1], answers[4 * j + 2],
+                                   answers[4 * j + 3]);
+  }
 }
 
 DailySnapshot Study::run_day(net::SimTime day) {
@@ -144,45 +220,48 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
     }
   }
 
-  // Pass 2: probe the queue across the shards.  Each host costs one A and
-  // one AAAA stub query regardless of which shard runs it.
+  // Pass 2: probe the queue across the shards, each shard's slice as one
+  // engine wave (A then AAAA per host, in queue order).  Each host costs
+  // one A and one AAAA query regardless of which shard — or how deep a
+  // pipeline — runs it.
   std::vector<NsInfo> probed(to_probe.size());
-  for_each_shard(to_probe.size(),
-                 [&](std::size_t k, std::size_t begin, std::size_t end) {
-                   Shard& shard = shards_[k];
-                   resolver::StubResolver stub(*shard.primary,
-                                               shard.backup.get());
-                   for (std::size_t i = begin; i < end; ++i) {
-                     probed[i] = probe_ns_host(stub, to_probe[i]);
-                   }
-                 });
+  for_each_shard(
+      to_probe.size(), [&](std::size_t k, std::size_t begin, std::size_t end) {
+        Shard& shard = shards_[k];
+        std::vector<QueryEngine::Request> wave;
+        wave.reserve(2 * (end - begin));
+        for (std::size_t i = begin; i < end; ++i) {
+          wave.push_back({to_probe[i], RrType::A});
+          wave.push_back({to_probe[i], RrType::AAAA});
+        }
+        const auto answers =
+            run_wave(*shard.primary, shard.backup.get(), wave);
+        for (std::size_t i = begin; i < end; ++i) {
+          NsInfo& info = probed[i];
+          const auto& a = answers[2 * (i - begin)];
+          for (const auto& rr : a.answers()) {
+            if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
+              info.addresses.push_back(net::IpAddr(rec->address));
+            }
+          }
+          const auto& aaaa = answers[2 * (i - begin) + 1];
+          for (const auto& rr : aaaa.answers()) {
+            if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
+              info.addresses.push_back(net::IpAddr(rec->address));
+            }
+          }
+          if (!info.addresses.empty()) {
+            info.whois_org = net_.whois().lookup(info.addresses.front());
+            info.operator_name = net_.whois().attribute(info.addresses.front());
+          }
+        }
+      });
   total_queries_ += 2 * to_probe.size();
 
   for (std::size_t i = 0; i < to_probe.size(); ++i) {
     ns_cache_[to_probe[i]] = probed[i];
     snapshot.ns_info[to_probe[i]] = std::move(probed[i]);
   }
-}
-
-NsInfo Study::probe_ns_host(resolver::StubResolver& stub, const Name& host) {
-  NsInfo info;
-  auto a = stub.query_shared(host, RrType::A);
-  for (const auto& rr : a.answers()) {
-    if (const auto* rec = std::get_if<dns::ARdata>(&rr.rdata)) {
-      info.addresses.push_back(net::IpAddr(rec->address));
-    }
-  }
-  auto aaaa = stub.query_shared(host, RrType::AAAA);
-  for (const auto& rr : aaaa.answers()) {
-    if (const auto* rec = std::get_if<dns::AaaaRdata>(&rr.rdata)) {
-      info.addresses.push_back(net::IpAddr(rec->address));
-    }
-  }
-  if (!info.addresses.empty()) {
-    info.whois_org = net_.whois().lookup(info.addresses.front());
-    info.operator_name = net_.whois().attribute(info.addresses.front());
-  }
-  return info;
 }
 
 resolver::ResolverStats Study::resolver_stats() const {

@@ -95,13 +95,14 @@ class Study {
     std::uint64_t queries = 0;
   };
 
-  // Scans list positions [begin, end) with `shard`'s resolvers.
+  // Scans list positions [begin, end) with `shard`'s resolvers, feeding
+  // the slice through the shard's QueryEngine as waves (HTTPS questions,
+  // then follow-ups).  Pipeline depth comes from
+  // Options::resolver_options.max_in_flight; depth 1 reproduces the
+  // historical serial scan exactly.
   void scan_range(Shard& shard, const DailySnapshot& snapshot,
                   std::size_t begin, std::size_t end, ShardScan& out);
   void scan_name_servers(DailySnapshot& snapshot);
-  // One A + one AAAA stub query plus WHOIS attribution for one NS host.
-  [[nodiscard]] NsInfo probe_ns_host(resolver::StubResolver& stub,
-                                     const dns::Name& host);
 
   // Invokes fn(shard_index, begin, end) over `total` items split into
   // contiguous per-shard ranges — on worker threads when more than one

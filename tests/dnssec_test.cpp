@@ -8,6 +8,8 @@
 #include "dns/zone.h"
 #include "dnssec/chain.h"
 #include "dnssec/signer.h"
+#include "net/ip.h"
+#include "util/rng.h"
 
 namespace httpsrr::dnssec {
 namespace {
@@ -302,6 +304,130 @@ TEST(Chain, DenialInInsecureZoneIsInsecure) {
   ChainValidator v(fx.source, fx.root_key.dnskey);
   EXPECT_EQ(v.validate_denial(name_of("missing.a.com"), RrType::A, {}, kNow),
             Validation::insecure);
+}
+
+// ---- Case-randomized (0x20-style) validation ---------------------------
+
+// Deterministically flips label bytes to uppercase, seeded per variant —
+// the client-side query randomization of draft-vixie-dnsext-dns0x20.
+Name randomize_case(const Name& n, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::string flat(n.flat());
+  std::uint64_t bits = rng.next();
+  int left = 64;
+  for (std::size_t pos = 0; pos < flat.size();) {
+    auto len = static_cast<std::size_t>(static_cast<unsigned char>(flat[pos]));
+    for (std::size_t i = pos + 1; i <= pos + len; ++i) {
+      if (left == 0) {
+        bits = rng.next();
+        left = 64;
+      }
+      char c = flat[i];
+      if (c >= 'a' && c <= 'z' && (bits & 1) != 0) {
+        flat[i] = static_cast<char>(c - 'a' + 'A');
+      }
+      bits >>= 1;
+      --left;
+    }
+    pos += 1 + len;
+  }
+  auto name = Name::from_flat(std::move(flat));
+  EXPECT_TRUE(name.ok());
+  return *name;
+}
+
+TEST(Chain, CaseRandomizedValidationEveryRrType) {
+  // Regression for the WWW.D00001.COM SERVFAIL: a response echoes the
+  // query's spelling into record owners (name compression points at the
+  // question) and the zone-apex walk propagates it up the chain, so DS
+  // digests and RRSIG canonical forms must fold case or the whole subtree
+  // turns bogus.  One RRset per modelled data type, each signed over the
+  // zone's lowercase spelling and validated under randomized-case
+  // spellings — exactly the wire reality of a 0x20-randomizing client.
+  ChainFixture fx;
+  ChainValidator validator(fx.source, fx.root_key.dnskey);
+
+  const Name owner = name_of("host.a.com");
+  const std::vector<std::pair<RrType, dns::Rdata>> cases = {
+      {RrType::A, dns::ARdata{net::Ipv4Addr(192, 0, 2, 1)}},
+      {RrType::NS, dns::NsRdata{name_of("ns1.a.com")}},
+      {RrType::CNAME, dns::CnameRdata{name_of("target.a.com")}},
+      {RrType::SOA,
+       dns::SoaRdata{name_of("ns1.a.com"), name_of("admin.a.com"), 1, 7200,
+                     3600, 86400, 300}},
+      {RrType::PTR, dns::PtrRdata{name_of("ptr.a.com")}},
+      {RrType::MX, dns::MxRdata{10, name_of("mail.a.com")}},
+      {RrType::TXT, dns::TxtRdata{{"v=spf1 -all"}}},
+      {RrType::AAAA, dns::AaaaRdata{*net::Ipv6Addr::parse("2001:db8::1")}},
+      {RrType::DNAME, dns::DnameRdata{name_of("other.a.com")}},
+      {RrType::DS, make_ds(name_of("sub.host.a.com"), fx.a_key.dnskey)},
+      {RrType::NSEC,
+       dns::NsecRdata{name_of("z.a.com"), {RrType::A, RrType::RRSIG}}},
+      {RrType::DNSKEY, fx.a_key.dnskey},
+      {RrType::SVCB, *dns::SvcbRdata::parse_presentation("1 . alpn=h2")},
+      {RrType::HTTPS, *dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3")},
+  };
+
+  for (const auto& [type, rdata] : cases) {
+    // Sign what the zone stores: the lowercase spelling.
+    RrSet stored;
+    stored.add(Rr{owner, type, dns::RrClass::IN, 300, rdata});
+    auto sig = sign_rrset(name_of("a.com"), fx.a_key, stored, kBefore, kAfter);
+
+    for (std::uint64_t variant = 1; variant <= 3; ++variant) {
+      // Deliver what the wire carries: owners echoing the client's
+      // randomized spelling, signature unchanged.
+      Name spelled = randomize_case(owner, variant * 0x20 + variant);
+      ASSERT_NE(spelled.to_string(), owner.to_string()) << variant;
+      ASSERT_EQ(spelled, owner);
+      std::vector<Rr> records;
+      records.push_back(Rr{spelled, type, dns::RrClass::IN, 300, rdata});
+      records.push_back(Rr{spelled, RrType::RRSIG, dns::RrClass::IN, 300, sig});
+      EXPECT_EQ(validator.validate(spelled, records, kNow),
+                Validation::secure)
+          << dns::type_to_string(type) << " spelled " << spelled.to_string();
+    }
+  }
+}
+
+TEST(Chain, CaseRandomizedDenialAndZoneStatus) {
+  // The NSEC-cover path and the zone-status walk under mixed-case
+  // spellings: a denial proof signed over stored spellings must hold for a
+  // randomized-case qname, and zone_status must not flip on spelling.
+  ChainFixture fx;
+  ChainValidator v(fx.source, fx.root_key.dnskey);
+
+  dns::Zone zone(name_of("a.com"));
+  auto svcb = dns::SvcbRdata::parse_presentation("1 . alpn=h2");
+  ASSERT_TRUE(zone.add(dns::make_https(name_of("a.com"), 300, *svcb)).ok());
+  ASSERT_TRUE(zone.add(dns::make_a(name_of("zzz.a.com"), 300,
+                                   net::Ipv4Addr(1, 1, 1, 1))).ok());
+  auto nsec = zone.nsec_for(name_of("missing.a.com"), 300);
+  ASSERT_TRUE(nsec.has_value());
+
+  dns::RrSet set;
+  set.add(*nsec);
+  auto sig = sign_rrset(name_of("a.com"), fx.a_key, set, kBefore, kAfter);
+  std::vector<Rr> authorities = set.records();
+  authorities.push_back(
+      Rr{nsec->owner, RrType::RRSIG, dns::RrClass::IN, 300, sig});
+
+  for (std::uint64_t variant = 1; variant <= 3; ++variant) {
+    Name qname = randomize_case(name_of("missing.a.com"), variant);
+    EXPECT_EQ(v.validate_denial(qname, RrType::A, authorities, kNow),
+              Validation::secure)
+        << qname.to_string();
+    // Spelling still must not defeat the cover check for existing names.
+    Name existing = randomize_case(name_of("zzz.a.com"), variant);
+    EXPECT_EQ(v.validate_denial(existing, RrType::A, authorities, kNow),
+              Validation::bogus)
+        << existing.to_string();
+
+    EXPECT_EQ(v.zone_status(randomize_case(name_of("a.com"), variant), kNow),
+              Validation::secure);
+    EXPECT_EQ(v.zone_status(randomize_case(name_of("com"), variant), kNow),
+              Validation::secure);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,221 @@
+// QueryEngine: multiplexed resolution must be invisible in the answers.
+// Pins the tentpole contracts — depth and coalescing never change what a
+// resolution returns, the Study's dataset is bit-identical across pipeline
+// depth × coalescing × shard count, coalescing actually fires, and deep
+// pipelines overlap their virtual-latency waits.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ecosystem/internet.h"
+#include "resolver/engine.h"
+#include "resolver/recursive.h"
+#include "scanner/study.h"
+
+namespace httpsrr {
+namespace {
+
+using ecosystem::EcosystemConfig;
+using ecosystem::Internet;
+using resolver::QueryEngine;
+using resolver::ResolvedAnswer;
+
+EcosystemConfig engine_config() {
+  EcosystemConfig config;
+  config.list_size = 120;
+  config.universe_size = 200;
+  config.seed = 31;
+  return config;
+}
+
+// The day's HTTPS questions (apex + www in list order), the same shape the
+// Study's first wave has.
+std::vector<QueryEngine::Request> https_requests(const Internet& net) {
+  std::vector<QueryEngine::Request> requests;
+  for (ecosystem::DomainId id : net.tranco().list_for(net.config().start)) {
+    const auto& domain = net.domain(id);
+    requests.push_back({domain.apex, dns::RrType::HTTPS});
+    requests.push_back({domain.www, dns::RrType::HTTPS});
+  }
+  return requests;
+}
+
+void expect_same_answers(const ResolvedAnswer& serial,
+                         const ResolvedAnswer& engine, std::size_t i) {
+  EXPECT_EQ(serial.rcode, engine.rcode) << "request " << i;
+  EXPECT_EQ(serial.ad, engine.ad) << "request " << i;
+  ASSERT_EQ(serial.answers().size(), engine.answers().size())
+      << "request " << i;
+  for (std::size_t r = 0; r < serial.answers().size(); ++r) {
+    EXPECT_EQ(serial.answers()[r], engine.answers()[r])
+        << "request " << i << " record " << r;
+  }
+}
+
+TEST(Engine, DepthIsInvisibleInTheAnswers) {
+  // One resolver per schedule (caches are per-instance state); every depth
+  // must produce the answer stream the serial loop produces.
+  Internet net(engine_config());
+  net.advance_to(net.config().start + net::Duration::hours(3));
+  const auto requests = https_requests(net);
+
+  auto serial_resolver = net.make_resolver();
+  std::vector<ResolvedAnswer> serial;
+  serial.reserve(requests.size());
+  for (const auto& req : requests) {
+    serial.push_back(serial_resolver->resolve_shared(req.qname, req.qtype));
+  }
+
+  for (std::size_t depth : {1u, 8u, 32u}) {
+    resolver::ResolverOptions options;
+    options.max_in_flight = depth;
+    auto resolver = net.make_resolver(options);
+    QueryEngine engine(*resolver);
+    auto answers = engine.run(requests);
+    ASSERT_EQ(answers.size(), requests.size());
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      expect_same_answers(serial[i], answers[i], i);
+    }
+    const auto stats = resolver->stats();
+    EXPECT_EQ(stats.queries, requests.size());
+    if (depth == 1) {
+      EXPECT_EQ(stats.in_flight_peak, 1u);
+      EXPECT_EQ(stats.coalesced_queries, 0u);
+    } else {
+      EXPECT_GT(stats.in_flight_peak, 1u);
+    }
+  }
+}
+
+TEST(Engine, CoalescingSharesInFlightTwins) {
+  // A batch with heavy duplication: identical questions in flight together
+  // must share one wire exchange.  The join is mandatory (determinism);
+  // coalescing makes it count as cache hits.
+  Internet net(engine_config());
+  net.advance_to(net.config().start + net::Duration::hours(3));
+  const auto base = https_requests(net);
+
+  std::vector<QueryEngine::Request> requests;
+  for (int copy = 0; copy < 4; ++copy) {
+    requests.insert(requests.end(), base.begin(),
+                    base.begin() + static_cast<std::ptrdiff_t>(40));
+  }
+
+  auto serial_resolver = net.make_resolver();
+  std::vector<ResolvedAnswer> serial;
+  for (const auto& req : requests) {
+    serial.push_back(serial_resolver->resolve_shared(req.qname, req.qtype));
+  }
+  const auto serial_stats = serial_resolver->stats();
+
+  for (bool coalesce : {true, false}) {
+    resolver::ResolverOptions options;
+    options.max_in_flight = 16;
+    options.coalesce_queries = coalesce;
+    auto resolver = net.make_resolver(options);
+    QueryEngine engine(*resolver);
+    auto answers = engine.run(requests);
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      expect_same_answers(serial[i], answers[i], i);
+    }
+    const auto stats = resolver->stats();
+    // Same questions, same cache: the hit/miss split must match the serial
+    // schedule's exactly — a parked twin scores the hit its serial
+    // counterpart would have scored.
+    EXPECT_EQ(stats.cache_hits, serial_stats.cache_hits);
+    EXPECT_EQ(stats.cache_misses, serial_stats.cache_misses);
+    EXPECT_EQ(stats.upstream_queries, serial_stats.upstream_queries);
+    if (coalesce) {
+      EXPECT_GT(stats.coalesced_queries, 0u);
+    } else {
+      EXPECT_EQ(stats.coalesced_queries, 0u);
+    }
+  }
+}
+
+// Runs one scan day at the given engine configuration.
+std::pair<scanner::DailySnapshot, std::uint64_t> run_study_day(
+    std::size_t shards, std::size_t depth, bool coalesce,
+    bool latency = false) {
+  Internet net(engine_config());
+  scanner::StudyOptions options;
+  options.shards = shards;
+  options.resolver_options.max_in_flight = depth;
+  options.resolver_options.coalesce_queries = coalesce;
+  if (latency) {
+    options.resolver_options.transport = resolver::TransportKind::datagram;
+    options.resolver_options.transport_latency = net::LatencyModel::wan();
+  }
+  scanner::Study study(net, options);
+  auto snapshot = study.run_day(net.config().start);
+  return {std::move(snapshot), study.total_queries()};
+}
+
+TEST(Engine, StudyDatasetInvariantAcrossDepthCoalescingAndShards) {
+  auto [baseline, baseline_queries] = run_study_day(1, 1, true);
+  for (std::size_t shards : {1u, 4u}) {
+    for (std::size_t depth : {1u, 8u, 32u}) {
+      for (bool coalesce : {true, false}) {
+        auto [snapshot, queries] = run_study_day(shards, depth, coalesce);
+        EXPECT_EQ(snapshot, baseline)
+            << "K=" << shards << " depth=" << depth
+            << " coalesce=" << coalesce;
+        EXPECT_EQ(queries, baseline_queries)
+            << "K=" << shards << " depth=" << depth
+            << " coalesce=" << coalesce;
+      }
+    }
+  }
+}
+
+TEST(Engine, StudyCoalescesAtDepth) {
+  Internet net(engine_config());
+  scanner::StudyOptions options;
+  options.resolver_options.max_in_flight = 8;
+  scanner::Study study(net, options);
+  (void)study.run_day(net.config().start);
+  const auto stats = study.resolver_stats();
+  EXPECT_GT(stats.coalesced_queries, 0u);
+  EXPECT_GT(stats.in_flight_peak, 1u);
+  EXPECT_LE(stats.in_flight_peak, 8u);
+}
+
+TEST(Engine, PipeliningOverlapsVirtualLatency) {
+  // Same dataset over the WAN-latency datagram transport: a serial scan
+  // pays Σ RTT, a depth-32 pipeline overlaps the waits.  Answers must not
+  // move; the virtual clock must.
+  auto [serial_snapshot, serial_queries] = run_study_day(1, 1, true, true);
+  auto [piped_snapshot, piped_queries] = run_study_day(1, 32, true, true);
+  EXPECT_EQ(piped_snapshot, serial_snapshot);
+  EXPECT_EQ(piped_queries, serial_queries);
+
+  Internet serial_net(engine_config());
+  Internet piped_net(engine_config());
+  scanner::StudyOptions serial_options;
+  serial_options.resolver_options.transport = resolver::TransportKind::datagram;
+  serial_options.resolver_options.transport_latency = net::LatencyModel::wan();
+  auto piped_options = serial_options;
+  piped_options.resolver_options.max_in_flight = 32;
+  scanner::Study serial_study(serial_net, serial_options);
+  scanner::Study piped_study(piped_net, piped_options);
+  (void)serial_study.run_day(serial_net.config().start);
+  (void)piped_study.run_day(piped_net.config().start);
+
+  const auto serial_stats = serial_study.resolver_stats();
+  const auto piped_stats = piped_study.resolver_stats();
+  ASSERT_GT(serial_stats.virtual_us, 0u);
+  EXPECT_EQ(piped_stats.upstream_queries, serial_stats.upstream_queries);
+  // The exchanges and their RTTs are identical; only the overlap differs.
+  EXPECT_EQ(piped_stats.rtt_hist, serial_stats.rtt_hist);
+  EXPECT_LT(piped_stats.virtual_us * 2, serial_stats.virtual_us)
+      << "depth 32 should overlap at least half the serial wait";
+  EXPECT_GT(piped_stats.reordered_replies, 0u)
+      << "heterogeneous RTTs must reorder some replies under pipelining";
+}
+
+}  // namespace
+}  // namespace httpsrr

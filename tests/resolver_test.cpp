@@ -817,6 +817,40 @@ TEST(SignatureCache, MemoizedSignaturesMatchComputedOnes) {
   EXPECT_GE(net.cf_server->hot_path_stats().signature_hits, 1u);
 }
 
+TEST(Recursive, MixedCaseSpellingMatchesLowercase) {
+  // Regression for the WWW.D00001.COM SERVFAIL: the zone-apex walk hands
+  // validation the query's spelling, so a case-preserved DS digest or
+  // canonical form turned the whole subtree bogus.  Each spelling runs on
+  // a fresh Internet because servers cache the first spelling they echo.
+  const struct {
+    const char* lower;
+    const char* mixed;
+  } kNames[] = {
+      {"a.com", "A.CoM"},
+      {"www.a.com", "WWW.A.COM"},
+      {"b.com", "b.CoM"},
+  };
+  const RrType kTypes[] = {RrType::A, RrType::HTTPS, RrType::TXT};
+
+  for (const auto& spelling : kNames) {
+    for (RrType type : kTypes) {
+      MiniInternet plain_net;
+      auto plain_resolver = plain_net.make_resolver();
+      auto plain = plain_resolver.resolve(name_of(spelling.lower), type);
+
+      MiniInternet mixed_net;
+      auto mixed_resolver = mixed_net.make_resolver();
+      auto mixed = mixed_resolver.resolve(name_of(spelling.mixed), type);
+
+      SCOPED_TRACE(std::string(spelling.mixed) + " " +
+                   dns::type_to_string(type));
+      EXPECT_EQ(mixed.header.rcode, plain.header.rcode);
+      EXPECT_EQ(mixed.header.ad, plain.header.ad);
+      EXPECT_EQ(mixed.answers.size(), plain.answers.size());
+    }
+  }
+}
+
 TEST(SignatureCache, DnssecDisableInvalidates) {
   MiniInternet net;
   net.cf_server->set_response_caching(true);

@@ -314,5 +314,117 @@ TEST(Transport, UnknownServerTimesOut) {
   EXPECT_FALSE(datagram.exchange(nobody, query, kUdpLimit).ok());
 }
 
+// ---- Async surface + virtual-latency model -----------------------------
+
+TEST(Transport, BaseSendPollIsFifoAndByteEqualToExchange) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::LoopbackTransport sync(service);
+  net::LoopbackTransport async(service);
+
+  auto q1 = encode_query(1, name_of("every.test"), RrType::A);
+  auto q2 = encode_query(2, name_of("every.test"), RrType::TXT);
+  auto t1 = async.send(net.addr, q1, kUdpLimit);
+  auto t2 = async.send(net.addr, q2, kUdpLimit);
+  ASSERT_NE(t1, t2);
+
+  auto r1 = async.poll();
+  auto r2 = async.poll();
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_EQ(r1->token, t1);
+  EXPECT_EQ(r2->token, t2);
+  EXPECT_FALSE(async.poll().has_value());
+
+  auto direct1 = sync.exchange(net.addr, q1, kUdpLimit);
+  auto direct2 = sync.exchange(net.addr, q2, kUdpLimit);
+  ASSERT_TRUE(r1->reply.ok() && direct1.ok());
+  EXPECT_EQ(*r1->reply.payload, *direct1.payload);
+  EXPECT_EQ(*r2->reply.payload, *direct2.payload);
+  // Loopback is instantaneous: the virtual clock never moves.
+  EXPECT_EQ(async.timing().virtual_us, 0u);
+  EXPECT_EQ(async.timing().exchanges, 2u);
+}
+
+TEST(Transport, LatencyModelIsDeterministicAndTimingOnly) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  auto query = encode_query(7, name_of("every.test"), RrType::HTTPS);
+
+  net::DatagramTransport plain(service);
+  auto baseline = plain.exchange(net.addr, query, kUdpLimit);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(plain.timing().virtual_us, 0u);
+
+  std::uint64_t first_run = 0;
+  for (int run = 0; run < 2; ++run) {
+    net::DatagramTransport lagged(service, {}, net::LatencyModel::wan());
+    auto reply = lagged.exchange(net.addr, query, kUdpLimit);
+    ASSERT_TRUE(reply.ok());
+    // Latency shapes timing only — the bytes are the no-latency bytes.
+    EXPECT_EQ(*reply.payload, *baseline.payload);
+    auto rtt = lagged.timing().virtual_us;
+    EXPECT_GE(rtt, net::LatencyModel::wan().base_min_us);
+    EXPECT_LE(rtt, net::LatencyModel::wan().base_max_us +
+                       net::LatencyModel::wan().jitter_us);
+    if (run == 0) {
+      first_run = rtt;
+    } else {
+      EXPECT_EQ(rtt, first_run) << "latency must be a pure seed function";
+    }
+  }
+}
+
+TEST(Transport, ConcurrentSendsOverlapAndCanReorder) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  auto query = encode_query(9, name_of("every.test"), RrType::A);
+
+  // Spread sends over many distinct server keys so some base RTTs invert
+  // the send order.  Only every.test's server answers; the others time
+  // out, which is fine — arrival order is about timing, not payloads.
+  std::vector<net::IpAddr> servers = {net.addr};
+  for (int i = 1; i <= 7; ++i) {
+    servers.push_back(ip(("203.0.113." + std::to_string(i)).c_str()));
+  }
+
+  net::DatagramTransport serial(service, {}, net::LatencyModel::wan());
+  for (const auto& s : servers) (void)serial.exchange(s, query, kUdpLimit);
+
+  net::DatagramTransport pipelined(service, {}, net::LatencyModel::wan());
+  std::vector<net::SendToken> tokens;
+  for (const auto& s : servers) {
+    tokens.push_back(pipelined.send(s, query, kUdpLimit));
+  }
+  std::size_t delivered = 0;
+  std::uint64_t last_arrival = 0;
+  while (auto r = pipelined.poll()) {
+    ++delivered;
+    EXPECT_GE(r->arrival_us, last_arrival) << "arrivals must be in order";
+    last_arrival = r->arrival_us;
+  }
+  EXPECT_EQ(delivered, tokens.size());
+
+  // Overlapped waits: total virtual time is the max arrival, which must
+  // beat the serial Σ RTT of the same exchanges.
+  EXPECT_EQ(pipelined.timing().virtual_us, last_arrival);
+  EXPECT_LT(pipelined.timing().virtual_us, serial.timing().virtual_us);
+  EXPECT_GT(pipelined.timing().reordered, 0u)
+      << "8 servers with distinct base RTTs should invert at least once";
+
+  // The RTT histogram saw every exchange.
+  std::uint64_t hist_total = 0;
+  for (auto b : pipelined.timing().rtt_hist) hist_total += b;
+  EXPECT_EQ(hist_total, servers.size());
+}
+
+TEST(Transport, LatencyProfileParsing) {
+  EXPECT_FALSE(net::LatencyModel::from_profile("off")->enabled);
+  EXPECT_TRUE(net::LatencyModel::from_profile("lan")->enabled);
+  EXPECT_TRUE(net::LatencyModel::from_profile("wan")->enabled);
+  EXPECT_GT(net::LatencyModel::wan().base_max_us,
+            net::LatencyModel::lan().base_max_us);
+  EXPECT_FALSE(net::LatencyModel::from_profile("dsl").has_value());
+}
+
 }  // namespace
 }  // namespace httpsrr::resolver

@@ -3,8 +3,8 @@
 #
 #   tools/bench.sh [OUT_JSON]
 #
-# Builds the Release micro-benchmarks, runs all three suites, and writes a
-# machine-readable summary (default: BENCH_PR4.json in the repo root):
+# Builds the Release micro-benchmarks, runs the suites, and writes a
+# machine-readable summary (default: BENCH_PR5.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -21,21 +21,27 @@
 #   * wire_path — PR4's transport-layer numbers: a full iterative resolve
 #     over LoopbackTransport vs DatagramTransport (ns/op + allocs/op) and
 #     the scanner's observation-assembly allocs before/after the shared
-#     RRset snapshot refactor.
+#     RRset snapshot refactor;
+#   * engine_sweep — PR5's async-engine payoff curve: one WAN-latency scan
+#     day at in-flight depth 1/8/32/128, per-depth virtual seconds and
+#     speedup over the serial Σ-RTT baseline, coalesced-query counts, and
+#     the cross-depth snapshot-invariance verdict.  Virtual time is
+#     deterministic, so these numbers are noise-free.
 #
-# tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions
-# plus exact allocs/op regressions on the pinned benchmarks.
+# tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions,
+# exact allocs/op regressions on the pinned benchmarks, and the engine
+# pipelining contract (depth-32 speedup + coalescing).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR5.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD}" -j "${JOBS:-$(nproc)}" \
-  --target micro_dns micro_resolver micro_study
+  --target micro_dns micro_resolver micro_study micro_engine
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -64,6 +70,11 @@ print(f"  run {sys.argv[2]}: K=1 {d['k1_seconds']:.3f}s "
       f"(invariant={d['invariant']})")
 PY
 done
+
+# micro_engine's headline numbers are virtual-clock (deterministic), so one
+# run is enough; wall seconds ride along as context only.
+echo "== micro_engine =="
+"./${BUILD}/bench/micro_engine" --json "${TMP}/micro_engine.json"
 
 # Fixed CPU-bound calibration workload (best of 3).  Wall-clock on this kind
 # of box swings with host contention; recording how long a *constant* amount
@@ -117,6 +128,12 @@ if len(digests) != 1:
     sys.exit(1)
 micro_study = min(runs, key=lambda r: r["k1_seconds"])
 micro_study["k1_samples"] = [r["k1_seconds"] for r in runs]
+
+with open(os.path.join(tmp, "micro_engine.json")) as f:
+    engine_sweep = json.load(f)
+if not engine_sweep.get("invariant"):
+    print("micro_engine: pipeline depth changed the dataset")
+    sys.exit(1)
 
 fresh = micro_dns.get("BM_QueryEncode", {}).get("allocs_per_op")
 reused = micro_dns.get("BM_QueryEncodeReuse", {}).get("allocs_per_op")
@@ -196,6 +213,7 @@ summary = {
     "allocs_per_encoded_query": allocs,
     "decode_side_allocs_per_op": decode_side,
     "wire_path": wire_path,
+    "engine_sweep": engine_sweep,
 }
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)

@@ -4,7 +4,8 @@
 #   tools/ci.sh            # verify: Release build + full ctest
 #   tools/ci.sh sanitize   # verify + ASan/UBSan test suite
 #   tools/ci.sh threads    # verify + TSan run of the threaded scan tests
-#   tools/ci.sh bench      # benchmark harness + micro_study regression gate
+#   tools/ci.sh fuzz       # seeded wire-parser fuzz run under ASan/UBSan
+#   tools/ci.sh bench      # benchmark harness + regression gates
 #   tools/ci.sh all        # everything above (bench excluded: timing-noisy)
 #
 # Each mode uses its own build tree (build/, build-asan/, build-tsan/) so
@@ -31,11 +32,25 @@ sanitize() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target \
     util_test dns_test dnssec_test resolver_test transport_test scanner_test \
-    study_parallel_test property_test
+    study_parallel_test engine_test property_test
   for t in util_test dns_test dnssec_test resolver_test transport_test \
-           scanner_test study_parallel_test property_test; do
+           scanner_test study_parallel_test engine_test property_test; do
     "./build-asan/tests/${t}"
   done
+}
+
+fuzz() {
+  # Seeded mutation fuzzing of dns::MessageView::parse and the materialize
+  # walk behind it, under ASan/UBSan.  The budget is fixed and the mutation
+  # stream is a seeded PCG, so the run is deterministic tier-1 CI, not an
+  # open-ended campaign; crank FUZZ_ITERS (or pass a different seed through
+  # FUZZ_SEED) for longer local sessions.
+  echo "== fuzz: MessageView::parse under ASan/UBSan =="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-asan -j "${JOBS}" --target fuzz_view
+  ./build-asan/tools/fuzz_view --iters "${FUZZ_ITERS:-100000}" \
+    --seed "${FUZZ_SEED:-1}"
 }
 
 threads() {
@@ -43,26 +58,52 @@ threads() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" --target \
-    resolver_test scanner_test study_parallel_test
-  for t in resolver_test scanner_test study_parallel_test; do
+    resolver_test scanner_test study_parallel_test engine_test
+  for t in resolver_test scanner_test study_parallel_test engine_test; do
     "./build-tsan/tests/${t}"
   done
 }
 
 bench() {
-  echo "== bench: harness + micro_study regression gate =="
-  # Baseline = the checked-in BENCH_PR4.json (HEAD), read before the harness
-  # overwrites the working-tree copy; falls back to the PR3 file so the gate
-  # still runs before the first PR4 summary is committed (the shared fields
-  # the gate reads are schema-stable across the two).
+  echo "== bench: harness + regression gates =="
+  # Baseline = the checked-in BENCH_PR5.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back through the PR4/PR3 files so
+  # the gates still run before the first PR5 summary is committed (the shared
+  # fields the gates read are schema-stable across them).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
+  if ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR4.json
+  tools/bench.sh BENCH_PR5.json
+  # Pipelining gate: the engine-sweep numbers are virtual-clock, fully
+  # deterministic, and need no baseline — the contract is absolute.  At
+  # in-flight depth 32 the WAN scan day must run at least 5x faster than
+  # the serial Σ-RTT schedule, with cross-task coalescing actually firing.
+  python3 - <<'PY'
+import json, sys
+with open("BENCH_PR5.json") as f:
+    sweep = json.load(f)["engine_sweep"]
+speedup = sweep["depth_32_speedup"]
+coalesced = sweep["depth_32_coalesced"]
+print(f"bench: engine depth-32 speedup {speedup:.2f}x "
+      f"(gate >= 5x), coalesced {coalesced} (gate > 0), "
+      f"invariant={sweep['invariant']}")
+failed = []
+if speedup < 5.0:
+    failed.append("depth-32 virtual-time speedup below 5x")
+if coalesced <= 0:
+    failed.append("no queries coalesced at depth 32")
+if not sweep.get("invariant"):
+    failed.append("pipeline depth changed the dataset")
+if failed:
+    for reason in failed:
+        print(f"bench: FAIL — {reason}")
+    sys.exit(1)
+PY
   if [[ -z "${baseline_file}" ]]; then
     echo "bench: WARNING — no checked-in bench baseline; skipping gate"
     return 0
@@ -74,7 +115,7 @@ bench() {
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR4.json") as f:
+with open("BENCH_PR5.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
@@ -109,7 +150,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR4.json") as f:
+with open("BENCH_PR5.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]
@@ -180,9 +221,10 @@ case "${MODE}" in
   verify)   verify ;;
   sanitize) verify; sanitize ;;
   threads)  verify; threads ;;
+  fuzz)     fuzz ;;
   bench)    bench ;;
-  all)      verify; sanitize; threads ;;
-  *) echo "usage: tools/ci.sh [verify|sanitize|threads|bench|all]" >&2; exit 2 ;;
+  all)      verify; sanitize; threads; fuzz ;;
+  *) echo "usage: tools/ci.sh [verify|sanitize|threads|fuzz|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "== ci.sh ${MODE}: OK =="

@@ -1,0 +1,359 @@
+// fuzz_view — seeded mutation fuzzing of the wire-message parser.
+//
+// dns::MessageView::parse is the one function in the repo that reads fully
+// untrusted bytes (every reply crosses the transport as a raw datagram, and
+// DatagramTransport's fault hooks deliberately corrupt them).  This harness
+// hammers it: a corpus of well-formed messages covering every RR type the
+// study touches is mutated by a seeded PCG stream — bit flips, truncations,
+// splices from other corpus entries, compression-pointer injection, and
+// section-count / RDLENGTH tampering — and each mutant is parsed and then
+// walked as hard as the resolver ever would (owner names, typed accessors,
+// full materialize, to_message, re-encode of anything that survives).
+//
+// Build it under ASan/UBSan (tools/ci.sh fuzz does) and any out-of-bounds
+// read, overflow or leak aborts the run.  The contract under test: parse
+// and the walk may *reject* arbitrary bytes, but must never crash, hang or
+// read out of bounds on them.
+//
+// Usage: fuzz_view [--iters N] [--seed S]
+// Deterministic for a given (corpus, iters, seed) triple.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dns/message.h"
+#include "dns/rr.h"
+#include "dns/svcb.h"
+#include "dns/view.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace httpsrr;
+using dns::Message;
+using dns::Name;
+using dns::name_of;
+using dns::Rr;
+using dns::RrType;
+
+Rr opaque_rr(const Name& owner, RrType type, std::vector<std::uint8_t> data) {
+  Rr rr;
+  rr.owner = owner;
+  rr.type = type;
+  rr.ttl = 60;
+  rr.rdata = dns::OpaqueRdata{std::move(data)};
+  return rr;
+}
+
+// A corpus of structurally diverse, fully valid messages.  Every RDATA
+// variant the decoder knows appears at least once, so each mutation starts
+// one byte-flip away from a decode path instead of dying in the header.
+std::vector<std::vector<std::uint8_t>> build_corpus() {
+  std::vector<Message> corpus;
+
+  // 1. A plain query, EDNS + DO — the resolver's own outbound shape.
+  corpus.push_back(
+      Message::make_query(0x1234, name_of("www.example.com"), RrType::HTTPS));
+
+  // 2. Address answer with its RRSIG, referral authority and glue — the
+  // standard secure-response shape, compression-heavy (shared suffixes).
+  {
+    auto query = Message::make_query(7, name_of("a.example.com"), RrType::A);
+    auto m = Message::make_response(query);
+    m.header.aa = true;
+    m.answers.push_back(dns::make_a(name_of("a.example.com"), 300,
+                                    net::Ipv4Addr(192, 0, 2, 1)));
+    dns::RrsigRdata sig;
+    sig.type_covered = RrType::A;
+    sig.labels = 3;
+    sig.original_ttl = 300;
+    sig.expiration = 1700000000;
+    sig.inception = 1690000000;
+    sig.key_tag = 4711;
+    sig.signer = name_of("example.com");
+    sig.signature = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04};
+    Rr rrsig;
+    rrsig.owner = name_of("a.example.com");
+    rrsig.type = RrType::RRSIG;
+    rrsig.ttl = 300;
+    rrsig.rdata = sig;
+    m.answers.push_back(rrsig);
+    m.authorities.push_back(
+        dns::make_ns(name_of("example.com"), 86400, name_of("ns1.example.com")));
+    m.additionals.push_back(dns::make_a(name_of("ns1.example.com"), 86400,
+                                        net::Ipv4Addr(192, 0, 2, 53)));
+    m.additionals.push_back(dns::make_aaaa(
+        name_of("ns1.example.com"), 86400,
+        net::Ipv6Addr{{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+                       0, 0x53}}));
+    corpus.push_back(std::move(m));
+  }
+
+  // 3. HTTPS answer behind a CNAME, ServiceMode params — the scan's
+  // bread-and-butter reply, with the SVCB param subparser in play.
+  {
+    auto query =
+        Message::make_query(9, name_of("www.example.com"), RrType::HTTPS);
+    auto m = Message::make_response(query);
+    m.answers.push_back(dns::make_cname(name_of("www.example.com"), 300,
+                                        name_of("cdn.example.net")));
+    auto svcb = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=192.0.2.7 ipv6hint=2001:db8::7");
+    if (svcb.ok()) {
+      m.answers.push_back(
+          dns::make_https(name_of("cdn.example.net"), 300, *svcb));
+      m.answers.push_back(
+          dns::make_svcb(name_of("_dns.example.net"), 300, *svcb));
+    }
+    corpus.push_back(std::move(m));
+  }
+
+  // 4. Kitchen sink: one record of every remaining typed RDATA variant, plus
+  // an unknown type carried as opaque (RFC 3597).
+  {
+    auto query = Message::make_query(11, name_of("zoo.example"), RrType::SOA);
+    auto m = Message::make_response(query);
+    const Name owner = name_of("zoo.example");
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.zoo.example");
+    soa.rname = name_of("hostmaster.zoo.example");
+    soa.serial = 2024010101;
+    soa.refresh = 7200;
+    soa.retry = 3600;
+    soa.expire = 1209600;
+    soa.minimum = 300;
+    m.answers.push_back(dns::make_soa(owner, 3600, soa));
+    Rr dname;
+    dname.owner = owner;
+    dname.type = RrType::DNAME;
+    dname.ttl = 60;
+    dname.rdata = dns::DnameRdata{name_of("menagerie.example")};
+    m.answers.push_back(dname);
+    Rr ptr;
+    ptr.owner = name_of("1.2.0.192.in-addr.arpa");
+    ptr.type = RrType::PTR;
+    ptr.ttl = 60;
+    ptr.rdata = dns::PtrRdata{owner};
+    m.answers.push_back(ptr);
+    Rr mx;
+    mx.owner = owner;
+    mx.type = RrType::MX;
+    mx.ttl = 60;
+    mx.rdata = dns::MxRdata{10, name_of("mail.zoo.example")};
+    m.answers.push_back(mx);
+    Rr txt;
+    txt.owner = owner;
+    txt.type = RrType::TXT;
+    txt.ttl = 60;
+    txt.rdata = dns::TxtRdata{{"v=spf1 -all", "keeper=aleph"}};
+    m.answers.push_back(txt);
+    dns::DnskeyRdata key;
+    key.public_key = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08};
+    Rr dnskey;
+    dnskey.owner = owner;
+    dnskey.type = RrType::DNSKEY;
+    dnskey.ttl = 3600;
+    dnskey.rdata = key;
+    m.answers.push_back(dnskey);
+    dns::DsRdata ds;
+    ds.key_tag = 4711;
+    ds.digest = std::vector<std::uint8_t>(32, 0xab);
+    Rr ds_rr;
+    ds_rr.owner = owner;
+    ds_rr.type = RrType::DS;
+    ds_rr.ttl = 3600;
+    ds_rr.rdata = ds;
+    m.answers.push_back(ds_rr);
+    m.answers.push_back(opaque_rr(owner, RrType::SRV,
+                                  {0x00, 0x0a, 0x00, 0x14, 0x01, 0xbb}));
+    m.answers.push_back(
+        opaque_rr(owner, static_cast<RrType>(0x1337), {0xca, 0xfe}));
+    corpus.push_back(std::move(m));
+  }
+
+  // 5. Authenticated denial: SOA + NSEC + covering RRSIGs in the authority
+  // section, NXDOMAIN rcode — the negative-path shape validate() walks.
+  {
+    auto query =
+        Message::make_query(13, name_of("gone.example.com"), RrType::HTTPS);
+    auto m = Message::make_response(query);
+    m.header.rcode = dns::Rcode::NXDOMAIN;
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.example.com");
+    soa.rname = name_of("hostmaster.example.com");
+    soa.minimum = 300;
+    m.authorities.push_back(dns::make_soa(name_of("example.com"), 300, soa));
+    dns::NsecRdata nsec;
+    nsec.next = name_of("zz.example.com");
+    nsec.types = {RrType::A, RrType::NS, RrType::SOA, RrType::RRSIG,
+                  RrType::NSEC, RrType::HTTPS};
+    Rr nsec_rr;
+    nsec_rr.owner = name_of("example.com");
+    nsec_rr.type = RrType::NSEC;
+    nsec_rr.ttl = 300;
+    nsec_rr.rdata = nsec;
+    m.authorities.push_back(nsec_rr);
+    corpus.push_back(std::move(m));
+  }
+
+  // 6. A truncated-flag reply (TC=1, empty sections) — the UDP limit shape
+  // that triggers the TCP retry path.
+  {
+    auto query =
+        Message::make_query(17, name_of("big.example.com"), RrType::TXT);
+    auto m = Message::make_response(query);
+    m.header.tc = true;
+    corpus.push_back(std::move(m));
+  }
+
+  std::vector<std::vector<std::uint8_t>> wires;
+  wires.reserve(corpus.size());
+  for (const auto& m : corpus) wires.push_back(m.encode());
+  return wires;
+}
+
+// Walks a parsed view the way the resolver and scanner do, forcing every
+// lazy decode path.  Accumulates into a checksum so the work cannot be
+// optimized away.
+std::uint64_t walk(const dns::MessageView& view) {
+  std::uint64_t sum = view.header().id + view.trailing_bytes();
+  if (view.edns()) sum += view.edns()->udp_payload_size;
+  for (std::size_t i = 0; i < view.question_count(); ++i) {
+    auto q = view.question(i);
+    sum += static_cast<std::uint64_t>(q.qtype());
+    if (auto qname = q.qname(); qname.ok()) sum += qname->label_count();
+  }
+  const auto record = [&](const dns::RecordView& rv) {
+    sum += static_cast<std::uint64_t>(rv.type()) + rv.ttl();
+    sum += rv.rdata_wire().size();
+    if (auto owner = rv.owner(); owner.ok()) sum += owner->wire_length();
+    if (auto addr = rv.a_addr()) sum += addr->octets()[0];
+    if (auto addr6 = rv.aaaa_addr()) sum += addr6->bytes()[0];
+    if (auto target = rv.name_target(); target.ok()) {
+      sum += target->label_count();
+    }
+    if (auto rd = rv.rdata(); rd.ok()) sum += rd->index();
+    if (auto rr = rv.materialize(); rr.ok()) sum += rr->owner.label_count();
+  };
+  for (std::size_t i = 0; i < view.answer_count(); ++i) record(view.answer(i));
+  for (std::size_t i = 0; i < view.authority_count(); ++i) {
+    record(view.authority(i));
+  }
+  for (std::size_t i = 0; i < view.additional_count(); ++i) {
+    record(view.additional(i));
+  }
+  // Full eager decode; anything that survives must re-encode without
+  // tripping the writer either.
+  if (auto m = view.to_message(); m.ok()) sum += m->encode().size();
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t iters = 100000;
+  std::uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--iters" && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--iters N] [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto corpus = build_corpus();
+  // Corpus sanity: every seed message must parse and materialize cleanly —
+  // if the fixtures themselves are rejected, every mutant tests nothing.
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    auto view = dns::MessageView::parse(corpus[i]);
+    if (!view.ok() || !view->to_message().ok()) {
+      std::fprintf(stderr, "fuzz_view: corpus entry %zu is not valid\n", i);
+      return 1;
+    }
+  }
+
+  util::Pcg32 rng(seed);
+  std::vector<std::uint8_t> mutant;
+  std::uint64_t parsed = 0;
+  std::uint64_t checksum = 0;
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    mutant = corpus[rng.uniform(static_cast<std::uint32_t>(corpus.size()))];
+    const std::uint32_t rounds = 1 + rng.uniform(4);
+    for (std::uint32_t r = 0; r < rounds && !mutant.empty(); ++r) {
+      const auto at = [&] {
+        return rng.uniform(static_cast<std::uint32_t>(mutant.size()));
+      };
+      switch (rng.uniform(7)) {
+        case 0:  // single bit flip
+          mutant[at()] ^= static_cast<std::uint8_t>(1u << rng.uniform(8));
+          break;
+        case 1:  // byte overwrite
+          mutant[at()] = static_cast<std::uint8_t>(rng.next_u32());
+          break;
+        case 2:  // truncate (hits RDLENGTH/section boundaries)
+          mutant.resize(1 + at());
+          break;
+        case 3: {  // splice a slice of another corpus entry in place
+          const auto& donor =
+              corpus[rng.uniform(static_cast<std::uint32_t>(corpus.size()))];
+          const std::size_t dst = at();
+          const std::size_t src =
+              rng.uniform(static_cast<std::uint32_t>(donor.size()));
+          const std::size_t len =
+              std::min({static_cast<std::size_t>(1 + rng.uniform(32)),
+                        mutant.size() - dst, donor.size() - src});
+          std::memcpy(mutant.data() + dst, donor.data() + src, len);
+          break;
+        }
+        case 4: {  // compression-pointer injection (possibly cyclic)
+          const std::size_t dst = at();
+          mutant[dst] = static_cast<std::uint8_t>(0xc0 | rng.uniform(0x40));
+          if (dst + 1 < mutant.size()) {
+            mutant[dst + 1] = static_cast<std::uint8_t>(rng.next_u32());
+          }
+          break;
+        }
+        case 5: {  // section-count tampering (header counts at offsets 4..11)
+          if (mutant.size() >= 12) {
+            const std::size_t field = 4 + 2 * rng.uniform(4);
+            mutant[field] = static_cast<std::uint8_t>(rng.uniform(4));
+            mutant[field + 1] = static_cast<std::uint8_t>(rng.next_u32());
+          }
+          break;
+        }
+        default: {  // 16-bit overwrite anywhere (lands on RDLENGTH often)
+          const std::size_t dst = at();
+          const std::uint32_t v = rng.next_u32();
+          mutant[dst] = static_cast<std::uint8_t>(v >> 8);
+          if (dst + 1 < mutant.size()) {
+            mutant[dst + 1] = static_cast<std::uint8_t>(v);
+          }
+          break;
+        }
+      }
+    }
+    auto view = dns::MessageView::parse(mutant);
+    if (view.ok()) {
+      ++parsed;
+      checksum += walk(*view);
+    }
+  }
+
+  std::printf("fuzz_view: %llu mutants, %llu parsed (%.1f%%), checksum %016llx"
+              " — no crashes\n",
+              static_cast<unsigned long long>(iters),
+              static_cast<unsigned long long>(parsed),
+              iters ? 100.0 * static_cast<double>(parsed) /
+                          static_cast<double>(iters)
+                    : 0.0,
+              static_cast<unsigned long long>(checksum));
+  return 0;
+}

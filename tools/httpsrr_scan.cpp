@@ -5,7 +5,16 @@
 //
 // Usage:
 //   httpsrr-scan [--scale N] [--seed N] [--from D] [--to D] [--stride N]
-//               [--transport loopback|datagram]
+//               [--transport loopback|datagram] [--in-flight N]
+//               [--latency-profile off|lan|wan] [--drop-permille N]
+//               [--duplicate-permille N] [--garbage-permille N]
+//
+// --in-flight sets the async engine's pipeline depth (1 = the historical
+// serial scan; deeper is faster over a latency-modelled transport and
+// bit-identical by the determinism contract).  --latency-profile enables
+// the datagram transport's virtual RTT model, and the *-permille flags
+// enable its UDP fault hooks (lost / duplicated / garbage-trailed
+// datagrams); each of these implies --transport datagram.
 //
 // Output: one CSV row per scanned day:
 //   date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,validated_pct
@@ -16,6 +25,7 @@
 
 #include "analysis/series_observers.h"
 #include "ecosystem/internet.h"
+#include "net/transport.h"
 #include "scanner/study.h"
 
 using namespace httpsrr;
@@ -59,6 +69,9 @@ int main(int argc, char** argv) {
   std::string to = "2024-03-31";
   int stride = 7;
   std::string transport = "loopback";
+  std::size_t in_flight = 1;
+  std::string latency_profile = "off";
+  net::TransportFaults faults;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -66,7 +79,8 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
                      "usage: %s [--scale N] [--seed N] [--from D] [--to D] "
-                     "[--stride N] [--transport loopback|datagram]\n",
+                     "[--stride N] [--transport loopback|datagram] "
+                     "[--in-flight N] [--latency-profile off|lan|wan]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -78,12 +92,32 @@ int main(int argc, char** argv) {
     else if (arg == "--to") to = next();
     else if (arg == "--stride") stride = std::atoi(next());
     else if (arg == "--transport") transport = next();
+    else if (arg == "--in-flight") in_flight = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--latency-profile") latency_profile = next();
+    else if (arg == "--drop-permille")
+      faults.drop_permille = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--duplicate-permille")
+      faults.duplicate_permille = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--garbage-permille")
+      faults.garbage_permille = static_cast<std::uint32_t>(std::atoi(next()));
   }
   if (transport != "loopback" && transport != "datagram") {
     std::fprintf(stderr, "bad transport: %s (loopback | datagram)\n",
                  transport.c_str());
     return 2;
   }
+  auto latency = net::LatencyModel::from_profile(latency_profile);
+  if (!latency.has_value()) {
+    std::fprintf(stderr, "bad latency profile: %s (off | lan | wan)\n",
+                 latency_profile.c_str());
+    return 2;
+  }
+  if (in_flight == 0) {
+    std::fprintf(stderr, "--in-flight must be at least 1\n");
+    return 2;
+  }
+  // Latency models and fault hooks only exist on the datagram channel.
+  if (latency->enabled || faults.any()) transport = "datagram";
 
   ecosystem::EcosystemConfig config;
   config.list_size = scale;
@@ -95,7 +129,10 @@ int main(int argc, char** argv) {
   if (transport == "datagram") {
     study_options.resolver_options.transport =
         resolver::TransportKind::datagram;
+    study_options.resolver_options.transport_latency = *latency;
+    study_options.resolver_options.transport_faults = faults;
   }
+  study_options.resolver_options.max_in_flight = in_flight;
   scanner::Study study(net, study_options);
   CsvEmitter csv;
   study.add_observer(&csv);
@@ -126,5 +163,13 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr, "total scanner queries: %llu\n",
                static_cast<unsigned long long>(study.total_queries()));
+  auto final_stats = study.resolver_stats();
+  std::fprintf(stderr,
+               "engine: in_flight_peak=%llu coalesced=%llu virtual_s=%.3f "
+               "servfails=%llu\n",
+               static_cast<unsigned long long>(final_stats.in_flight_peak),
+               static_cast<unsigned long long>(final_stats.coalesced_queries),
+               static_cast<double>(final_stats.virtual_us) / 1e6,
+               static_cast<unsigned long long>(final_stats.servfails));
   return 0;
 }
