@@ -1,0 +1,203 @@
+// micro_socket — real-socket QPS over 127.0.0.1: the same signed zone the
+// transport tests serve, bound to an ephemeral UDP/TCP port through
+// resolver::SocketServer, queried by net::SocketTransport.  Reports
+// serial exchange() QPS, pipelined send()/poll() QPS at depth 16, and
+// TCP-only QPS — wall-clock numbers (real kernel round trips), unlike the
+// virtual-clock engine sweep.
+//
+//   micro_socket [--queries N] [--json OUT]
+
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "dnssec/signer.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "resolver/authoritative.h"
+#include "resolver/infra.h"
+#include "resolver/socket_server.h"
+#include "util/strings.h"
+
+using namespace httpsrr;
+
+namespace {
+
+double now_seconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) / 1e9;
+}
+
+struct World {
+  net::SimClock clock{net::SimTime::from_string("2023-05-08")};
+  resolver::DnsInfra infra;
+  dnssec::KeyPair zone_key = dnssec::KeyPair::generate(7, 257);
+  net::IpAddr addr = *net::IpAddr::parse("198.51.100.53");
+
+  World() {
+    using dns::name_of;
+    auto& server = infra.add_server("every-ops", addr);
+    dns::Zone zone(name_of("every.test"));
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.every.test");
+    soa.rname = name_of("ops.every.test");
+    soa.serial = 2023050801;
+    soa.minimum = 300;
+    (void)zone.add(dns::make_soa(name_of("every.test"), 3600, soa));
+    (void)zone.add(dns::make_ns(name_of("every.test"), 3600,
+                                name_of("ns1.every.test")));
+    (void)zone.add(dns::make_a(name_of("ns1.every.test"), 3600,
+                               net::Ipv4Addr(198, 51, 100, 53)));
+    (void)zone.add(dns::make_a(name_of("every.test"), 300,
+                               net::Ipv4Addr(192, 0, 2, 1)));
+    auto https =
+        dns::SvcbRdata::parse_presentation("1 . alpn=h2,h3 ipv4hint=192.0.2.1");
+    (void)zone.add(dns::make_https(name_of("every.test"), 300, *https));
+    server.add_zone(std::move(zone));
+    server.enable_dnssec(name_of("every.test"), zone_key);
+    infra.register_zone(name_of("every.test"), {&server});
+    infra.set_root_servers({addr});
+  }
+};
+
+std::vector<std::uint8_t> encode_query(std::uint16_t id, dns::RrType qtype) {
+  dns::WireWriter w;
+  dns::Message::make_query(id, dns::name_of("every.test"), qtype,
+                           /*dnssec_ok=*/true)
+      .encode_into(w);
+  auto bytes = w.data();
+  return {bytes.begin(), bytes.end()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t queries = 4000;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      queries = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  World world;
+  resolver::InfraWireService service(world.infra, world.clock);
+  resolver::AuthoritativeResponder responder(service, world.addr);
+  resolver::SocketServer server(responder, {});
+  if (!server.start()) {
+    std::fprintf(stderr, "micro_socket: could not bind a loopback port\n");
+    return 1;
+  }
+  server.serve_in_background();
+  std::printf("serving on %s, %zu queries per mode\n",
+              server.endpoint().to_string().c_str(), queries);
+
+  net::SocketTransportOptions options;
+  options.server = server.endpoint();
+  options.timeout_ms = 2000;
+  const dns::RrType kTypes[] = {dns::RrType::A, dns::RrType::HTTPS};
+  constexpr std::size_t kUdpLimit = 1232;
+  constexpr std::size_t kDepth = 16;
+
+  // Serial: one blocking UDP round trip at a time.
+  double serial_qps = 0;
+  {
+    net::SocketTransport client(options);
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < queries; ++i) {
+      auto q = encode_query(static_cast<std::uint16_t>(i),
+                            kTypes[i % std::size(kTypes)]);
+      auto reply = client.exchange(world.addr, q, kUdpLimit);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "micro_socket: serial query %zu timed out\n", i);
+        return 1;
+      }
+    }
+    serial_qps = static_cast<double>(queries) / (now_seconds() - t0);
+  }
+
+  // Pipelined: keep kDepth queries in flight through send()/poll().
+  double pipelined_qps = 0;
+  {
+    net::SocketTransport client(options);
+    const double t0 = now_seconds();
+    std::size_t sent = 0;
+    std::size_t done = 0;
+    std::size_t in_flight = 0;
+    while (done < queries) {
+      while (sent < queries && in_flight < kDepth) {
+        auto q = encode_query(static_cast<std::uint16_t>(sent),
+                              kTypes[sent % std::size(kTypes)]);
+        (void)client.send(world.addr, q, kUdpLimit);
+        ++sent;
+        ++in_flight;
+      }
+      auto completed = client.poll();
+      if (!completed) break;
+      if (!completed->reply.ok()) {
+        std::fprintf(stderr, "micro_socket: pipelined query timed out\n");
+        return 1;
+      }
+      --in_flight;
+      ++done;
+    }
+    if (done != queries) {
+      std::fprintf(stderr, "micro_socket: pipelined run incomplete\n");
+      return 1;
+    }
+    pipelined_qps = static_cast<double>(queries) / (now_seconds() - t0);
+  }
+
+  // TCP-only: connect + framed exchange per query.
+  double tcp_qps = 0;
+  {
+    auto tcp_options = options;
+    tcp_options.tcp_only = true;
+    net::SocketTransport client(tcp_options);
+    const std::size_t tcp_queries = queries / 4;
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < tcp_queries; ++i) {
+      auto q = encode_query(static_cast<std::uint16_t>(i),
+                            kTypes[i % std::size(kTypes)]);
+      auto reply = client.exchange(world.addr, q, kUdpLimit);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "micro_socket: tcp query %zu timed out\n", i);
+        return 1;
+      }
+    }
+    tcp_qps = static_cast<double>(tcp_queries) / (now_seconds() - t0);
+  }
+
+  server.stop();
+  const auto stats = server.stats();
+
+  std::printf("serial udp:    %10.0f qps\n", serial_qps);
+  std::printf("pipelined(%zu): %10.0f qps\n", kDepth, pipelined_qps);
+  std::printf("tcp only:      %10.0f qps\n", tcp_qps);
+  std::printf("server saw udp=%llu tcp=%llu\n",
+              static_cast<unsigned long long>(stats.udp_queries),
+              static_cast<unsigned long long>(stats.tcp_queries));
+
+  if (json_path != nullptr) {
+    std::string json = "{\n";
+    json += util::format("  \"queries\": %zu,\n", queries);
+    json += util::format("  \"serial_udp_qps\": %.0f,\n", serial_qps);
+    json += util::format("  \"pipelined_depth\": %zu,\n", kDepth);
+    json += util::format("  \"pipelined_udp_qps\": %.0f,\n", pipelined_qps);
+    json += util::format("  \"tcp_only_qps\": %.0f\n}\n", tcp_qps);
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "micro_socket: cannot write %s\n", json_path);
+      return 2;
+    }
+  }
+  return 0;
+}

@@ -42,6 +42,20 @@ struct Edns {
   friend bool operator==(const Edns&, const Edns&) = default;
 };
 
+// RFC 6891 §6.2.3-6.2.5 bounds on the advertised UDP payload size: values
+// below 512 are formally errors ("values lower than 512 MUST be treated as
+// equal to 512"), and anything above 4096 buys nothing but fragmentation
+// risk, so both the resolver's OPT emission and every server-side
+// truncation decision clamp through here.  An advertised 511 truncates
+// exactly like 512; an advertised 65535 truncates exactly like 4096.
+inline constexpr std::uint16_t kEdnsPayloadFloor = 512;
+inline constexpr std::uint16_t kEdnsPayloadCeiling = 4096;
+[[nodiscard]] constexpr std::uint16_t clamp_edns_payload(std::uint16_t v) {
+  if (v < kEdnsPayloadFloor) return kEdnsPayloadFloor;
+  if (v > kEdnsPayloadCeiling) return kEdnsPayloadCeiling;
+  return v;
+}
+
 struct Question {
   Name qname;
   RrType qtype = RrType::A;

@@ -1,0 +1,212 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+namespace httpsrr::net {
+
+namespace {
+
+struct SockAddr {
+  sockaddr_storage ss{};
+  socklen_t len = 0;
+  int family = AF_UNSPEC;
+};
+
+std::optional<SockAddr> to_sockaddr(const SocketEndpoint& endpoint) {
+  SockAddr out;
+  if (endpoint.is_v6()) {
+    auto* sin6 = reinterpret_cast<sockaddr_in6*>(&out.ss);
+    sin6->sin6_family = AF_INET6;
+    sin6->sin6_port = htons(endpoint.port);
+    if (inet_pton(AF_INET6, endpoint.host.c_str(), &sin6->sin6_addr) != 1) {
+      return std::nullopt;
+    }
+    out.len = sizeof(sockaddr_in6);
+    out.family = AF_INET6;
+  } else {
+    auto* sin = reinterpret_cast<sockaddr_in*>(&out.ss);
+    sin->sin_family = AF_INET;
+    sin->sin_port = htons(endpoint.port);
+    if (inet_pton(AF_INET, endpoint.host.c_str(), &sin->sin_addr) != 1) {
+      return std::nullopt;
+    }
+    out.len = sizeof(sockaddr_in);
+    out.family = AF_INET;
+  }
+  return out;
+}
+
+bool set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_timeouts(int fd, std::uint32_t timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  return setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0 &&
+         setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0;
+}
+
+}  // namespace
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<SocketEndpoint> SocketEndpoint::parse(std::string_view text) {
+  SocketEndpoint out;
+  std::string_view host;
+  std::string_view port;
+  if (!text.empty() && text.front() == '[') {
+    // "[v6]:port"
+    const std::size_t close = text.find(']');
+    if (close == std::string_view::npos || close + 2 > text.size() ||
+        text[close + 1] != ':') {
+      return std::nullopt;
+    }
+    host = text.substr(1, close - 1);
+    port = text.substr(close + 2);
+  } else {
+    const std::size_t colon = text.rfind(':');
+    if (colon == std::string_view::npos) return std::nullopt;
+    host = text.substr(0, colon);
+    port = text.substr(colon + 1);
+    if (host.find(':') != std::string_view::npos) {
+      return std::nullopt;  // bare v6 needs brackets
+    }
+  }
+  if (host.empty() || port.empty()) return std::nullopt;
+  std::uint32_t value = 0;
+  auto [ptr, ec] = std::from_chars(port.data(), port.data() + port.size(),
+                                   value);
+  if (ec != std::errc{} || ptr != port.data() + port.size() || value > 65535) {
+    return std::nullopt;
+  }
+  out.host = std::string(host);
+  out.port = static_cast<std::uint16_t>(value);
+  if (!to_sockaddr(out)) return std::nullopt;  // literal addresses only
+  return out;
+}
+
+std::string SocketEndpoint::to_string() const {
+  if (is_v6()) return "[" + host + "]:" + std::to_string(port);
+  return host + ":" + std::to_string(port);
+}
+
+Fd udp_socket_bound(const SocketEndpoint& endpoint) {
+  auto addr = to_sockaddr(endpoint);
+  if (!addr) return Fd{};
+  Fd fd(::socket(addr->family, SOCK_DGRAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return Fd{};
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr->ss),
+             addr->len) != 0) {
+    return Fd{};
+  }
+  return fd;
+}
+
+Fd udp_socket_connected(const SocketEndpoint& endpoint) {
+  auto addr = to_sockaddr(endpoint);
+  if (!addr) return Fd{};
+  Fd fd(::socket(addr->family, SOCK_DGRAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return Fd{};
+  // A connected UDP socket only accepts datagrams from the peer — the
+  // kernel already rejects off-path sources, the transport still rejects
+  // on-path strays by id/question.
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr->ss),
+                addr->len) != 0) {
+    return Fd{};
+  }
+  return fd;
+}
+
+Fd tcp_listener(const SocketEndpoint& endpoint, int backlog) {
+  auto addr = to_sockaddr(endpoint);
+  if (!addr) return Fd{};
+  Fd fd(::socket(addr->family, SOCK_STREAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return Fd{};
+  int one = 1;
+  setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr->ss),
+             addr->len) != 0 ||
+      ::listen(fd.get(), backlog) != 0) {
+    return Fd{};
+  }
+  return fd;
+}
+
+Fd tcp_connect(const SocketEndpoint& endpoint, std::uint32_t timeout_ms) {
+  auto addr = to_sockaddr(endpoint);
+  if (!addr) return Fd{};
+  Fd fd(::socket(addr->family, SOCK_STREAM, 0));
+  if (!fd.valid() || !set_timeouts(fd.get(), timeout_ms)) return Fd{};
+  int one = 1;
+  setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr->ss),
+                addr->len) != 0) {
+    return Fd{};
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) return 0;
+  if (ss.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&ss)->sin6_port);
+  }
+  return ntohs(reinterpret_cast<const sockaddr_in*>(&ss)->sin_port);
+}
+
+bool write_all(int fd, std::span<const std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // error or send timeout
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::span<std::uint8_t> data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::recv(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // error, EOF, or receive timeout
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint64_t monotonic_us() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1'000ULL;
+}
+
+}  // namespace httpsrr::net

@@ -1,0 +1,81 @@
+#pragma once
+
+// Thin POSIX socket helpers for the real-socket transport and server
+// (net::SocketTransport, resolver::SocketServer).  Everything else in
+// src/net models the network; this file is the one place that actually
+// opens file descriptors.  Helpers return an invalid Fd (or false) on
+// failure instead of throwing — callers surface errors their own way.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace httpsrr::net {
+
+// RAII file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+// A textual socket address: "127.0.0.1:5353", "[::1]:5353".  Only literal
+// addresses — this layer never resolves hostnames (it *is* the DNS).
+struct SocketEndpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = let the kernel pick (servers)
+
+  [[nodiscard]] static std::optional<SocketEndpoint> parse(
+      std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] bool is_v6() const {
+    return host.find(':') != std::string::npos;
+  }
+};
+
+// Socket constructors.  All sockets are created nonblocking except
+// tcp_connect's, which blocks with send/receive timeouts (the synchronous
+// TCP-fallback path wants simple blocking I/O with a deadline).
+[[nodiscard]] Fd udp_socket_bound(const SocketEndpoint& endpoint);
+[[nodiscard]] Fd udp_socket_connected(const SocketEndpoint& endpoint);
+[[nodiscard]] Fd tcp_listener(const SocketEndpoint& endpoint,
+                              int backlog = 16);
+[[nodiscard]] Fd tcp_connect(const SocketEndpoint& endpoint,
+                             std::uint32_t timeout_ms);
+
+// The port a bound socket actually landed on (resolves port 0).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+// Blocking whole-buffer I/O on a socket with SO_SNDTIMEO/SO_RCVTIMEO set
+// (tcp_connect's).  False on error, EOF, or timeout.
+[[nodiscard]] bool write_all(int fd, std::span<const std::uint8_t> data);
+[[nodiscard]] bool read_all(int fd, std::span<std::uint8_t> data);
+
+// Monotonic wall-clock microseconds (CLOCK_MONOTONIC) — the time base for
+// socket timeouts and measured RTTs.  Unrelated to SimTime: real sockets
+// wait in real time.
+[[nodiscard]] std::uint64_t monotonic_us();
+
+}  // namespace httpsrr::net

@@ -1,0 +1,256 @@
+#include "net/socket_transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace httpsrr::net {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65535;
+constexpr std::uint8_t kTcMask = 0x02;
+
+bool tc_set(std::span<const std::uint8_t> reply) {
+  return reply.size() > 2 && (reply[2] & kTcMask) != 0;
+}
+
+bool id_matches(std::span<const std::uint8_t> reply,
+                std::span<const std::uint8_t> query) {
+  return reply.size() >= 2 && query.size() >= 2 && reply[0] == query[0] &&
+         reply[1] == query[1];
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)),
+      udp_(udp_socket_connected(options_.server)),
+      epoch_us_(monotonic_us()),
+      recv_buffer_(kMaxDatagram) {}
+
+TransportReply SocketTransport::exchange(const IpAddr& server,
+                                         std::span<const std::uint8_t> query,
+                                         std::size_t udp_payload_limit) {
+  const SendToken token = send(server, query, udp_payload_limit);
+  // Drain completions until ours lands; replies for other callers stay
+  // queued for their poll()s.
+  while (true) {
+    auto it = std::find_if(completed_.begin(), completed_.end(),
+                           [&](const AsyncReply& r) { return r.token == token; });
+    if (it != completed_.end()) {
+      TransportReply reply = std::move(it->reply);
+      completed_.erase(it);
+      return reply;
+    }
+    if (pending_.empty()) return {};  // token lost — treat as timeout
+    pump();
+  }
+}
+
+SendToken SocketTransport::send(const IpAddr& /*server*/,
+                                std::span<const std::uint8_t> query,
+                                std::size_t /*udp_payload_limit*/) {
+  // Truncation is the server's decision, driven by the advertised EDNS
+  // payload inside the query bytes — the limit parameter has no client-side
+  // role on a real socket.
+  PendingQuery pending;
+  pending.token = next_token_++;
+  pending.query.assign(query.begin(), query.end());
+  pending.retransmits_left = options_.retransmits;
+  const SendToken token = pending.token;
+
+  if (!udp_.valid()) {
+    // Socket never came up: complete immediately as a timeout.
+    ++stats_.timeouts;
+    AsyncReply done;
+    done.token = token;
+    done.arrival_us = monotonic_us() - epoch_us_;
+    completed_.push_back(std::move(done));
+    return token;
+  }
+  if (options_.tcp_only) {
+    AsyncReply done;
+    done.token = token;
+    done.reply = tcp_exchange(pending.query, /*after_truncation=*/false);
+    if (!done.reply.ok()) ++stats_.timeouts;
+    done.arrival_us = monotonic_us() - epoch_us_;
+    record_rtt(done.arrival_us >= pending.sent_us
+                   ? done.arrival_us - pending.sent_us
+                   : 0);
+    completed_.push_back(std::move(done));
+    return token;
+  }
+
+  pending_.push_back(std::move(pending));
+  transmit(pending_.back());
+  return token;
+}
+
+std::optional<AsyncReply> SocketTransport::poll() {
+  while (completed_.empty() && !pending_.empty()) pump();
+  if (completed_.empty()) return std::nullopt;
+  AsyncReply out = std::move(completed_.front());
+  completed_.pop_front();
+  return out;
+}
+
+void SocketTransport::transmit(PendingQuery& pending) {
+  ++stats_.udp_queries;
+  const std::uint64_t now = monotonic_us();
+  if (pending.sent_us == 0) pending.sent_us = now - epoch_us_;
+  pending.deadline_us =
+      now + static_cast<std::uint64_t>(options_.timeout_ms) * 1000ULL;
+  // A send failure (full buffer, peer gone) is indistinguishable from a
+  // lost datagram: the deadline machinery below turns it into a
+  // retransmit, then a timeout.
+  (void)::send(udp_.get(), pending.query.data(), pending.query.size(),
+               MSG_NOSIGNAL);
+}
+
+void SocketTransport::pump() {
+  if (pending_.empty()) return;
+  const std::size_t completed_before = completed_.size();
+  while (completed_.size() == completed_before && !pending_.empty()) {
+    const std::uint64_t now = monotonic_us();
+    // Expire attempts first: retransmit if allowed, else complete as a
+    // clean timeout — poll() must always make progress.
+    for (std::size_t i = 0; i < pending_.size();) {
+      if (pending_[i].deadline_us > now) {
+        ++i;
+        continue;
+      }
+      if (pending_[i].retransmits_left > 0) {
+        --pending_[i].retransmits_left;
+        ++stats_.retransmits;
+        transmit(pending_[i]);
+        ++i;
+        continue;
+      }
+      ++stats_.timeouts;
+      complete(i, TransportReply{});  // default reply: ConnectError::timeout
+    }
+    if (completed_.size() != completed_before || pending_.empty()) return;
+
+    std::uint64_t nearest = pending_.front().deadline_us;
+    for (const PendingQuery& p : pending_) {
+      nearest = std::min(nearest, p.deadline_us);
+    }
+    const int wait_ms = nearest > now
+                            ? static_cast<int>(
+                                  std::min<std::uint64_t>(
+                                      (nearest - now + 999) / 1000, 60'000))
+                            : 0;
+    pollfd pfd{udp_.get(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0 && errno != EINTR) {
+      // Socket broke: fail everything in flight rather than spin.
+      while (!pending_.empty()) {
+        ++stats_.timeouts;
+        complete(0, TransportReply{});
+      }
+      return;
+    }
+    if (ready <= 0) continue;  // deadline pass handles expiry next loop
+    while (true) {
+      const ssize_t n =
+          ::recv(udp_.get(), recv_buffer_.data(), recv_buffer_.size(), 0);
+      if (n <= 0) break;  // EAGAIN — drained
+      deliver_datagram(
+          std::span<const std::uint8_t>(recv_buffer_.data(),
+                                        static_cast<std::size_t>(n)));
+    }
+  }
+}
+
+void SocketTransport::deliver_datagram(
+    std::span<const std::uint8_t> datagram) {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (!id_matches(datagram, pending_[i].query)) continue;
+    if (!reply_matches_query(datagram, pending_[i].query)) {
+      // Right id, wrong question (or not even a response): an off-path
+      // guess or a confused server — never accepted.
+      ++stats_.mismatched_replies;
+      return;
+    }
+    if (tc_set(datagram)) {
+      ++stats_.tcp_fallbacks;
+      TransportReply reply =
+          tcp_exchange(pending_[i].query, /*after_truncation=*/true);
+      if (!reply.ok()) ++stats_.timeouts;
+      complete(i, std::move(reply));
+      return;
+    }
+    TransportReply reply;
+    reply.error = ConnectError::none;
+    reply.payload = std::make_shared<WireBytes>(datagram.begin(),
+                                                datagram.end());
+    complete(i, std::move(reply));
+    return;
+  }
+  // No in-flight query wears this id: a late reply to an already-answered
+  // (or timed-out) query, or noise.  Dropped, counted, never delivered.
+  ++stats_.stray_replies;
+}
+
+void SocketTransport::complete(std::size_t pending_index,
+                               TransportReply reply) {
+  PendingQuery pending = std::move(pending_[pending_index]);
+  pending_.erase(pending_.begin() +
+                 static_cast<std::ptrdiff_t>(pending_index));
+  AsyncReply done;
+  done.token = pending.token;
+  done.reply = std::move(reply);
+  done.arrival_us = monotonic_us() - epoch_us_;
+  const std::uint64_t rtt = done.arrival_us >= pending.sent_us
+                                ? done.arrival_us - pending.sent_us
+                                : 0;
+  record_rtt(rtt);
+  if (done.arrival_us > timing_.virtual_us) {
+    timing_.virtual_us = done.arrival_us;  // wall-clock µs since creation
+  }
+  if (pending.token < /*max delivered so far*/ max_token_seen_) {
+    ++timing_.reordered;
+  } else {
+    max_token_seen_ = pending.token;
+  }
+  completed_.push_back(std::move(done));
+}
+
+TransportReply SocketTransport::tcp_exchange(
+    std::span<const std::uint8_t> query, bool after_truncation) {
+  TransportReply reply;
+  if (query.size() > 0xffff) return reply;
+  // Same acceptance rule as the modelled channel: the answer must echo id
+  // and question and must not be truncated; one verification retry.
+  for (int attempt = 0; attempt <= 1; ++attempt) {
+    ++stats_.tcp_queries;
+    Fd fd = tcp_connect(options_.server, options_.timeout_ms);
+    if (!fd.valid()) continue;
+    std::uint8_t frame[2] = {
+        static_cast<std::uint8_t>(query.size() >> 8),
+        static_cast<std::uint8_t>(query.size() & 0xff)};
+    if (!write_all(fd.get(), frame) || !write_all(fd.get(), query)) continue;
+    std::uint8_t len_buf[2];
+    if (!read_all(fd.get(), len_buf)) continue;
+    const std::size_t len =
+        (static_cast<std::size_t>(len_buf[0]) << 8) | len_buf[1];
+    auto payload = std::make_shared<WireBytes>(len);
+    if (len > 0 && !read_all(fd.get(), *payload)) continue;
+    if (tc_set(*payload) || !reply_matches_query(*payload, query)) {
+      ++stats_.mismatched_replies;
+      continue;
+    }
+    reply.error = ConnectError::none;
+    reply.payload = std::move(payload);
+    reply.tcp_retried = after_truncation;
+    return reply;
+  }
+  return reply;
+}
+
+}  // namespace httpsrr::net

@@ -1,0 +1,110 @@
+#pragma once
+
+// net::SocketTransport — the Transport contract over real nonblocking
+// UDP/TCP sockets.  Where LoopbackTransport and DatagramTransport model a
+// channel in-process on a virtual clock, this one puts DNS bytes on
+// 127.0.0.1 (or any reachable endpoint) and waits in wall-clock time.
+//
+// Addressing: the transport is constructed with ONE endpoint and sends
+// every query there regardless of the per-call `server` address — the
+// remote process (resolver::SocketServer) hosts the simulated Internet
+// behind a single front, either as a recursive resolver (clients act as
+// stubs, one hop per resolution) or as one authoritative server.  The
+// per-call IpAddr still exists in the Transport signature; it is simply
+// not routable on a real wire and is ignored.
+//
+// Client-side robustness (the contract the modelled DatagramTransport
+// pins in virtual time, honored here in real time):
+//   * query-id + question matching — a datagram whose id is unknown is a
+//     stray; id known but question mismatched is counted and dropped
+//     (reply_matches_query, shared with the channel model);
+//   * per-query timeout with bounded retransmits (default: one);
+//   * TC=1 → synchronous TCP fallback with 2-byte length framing, the
+//     TCP reply verified against the original query before acceptance.
+//
+// send()/poll() keep the Transport async contract QueryEngine relies on:
+// poll() blocks until SOME in-flight send completes (possibly as a clean
+// timeout reply) — it never returns empty while sends are outstanding.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/transport.h"
+
+namespace httpsrr::net {
+
+struct SocketTransportOptions {
+  SocketEndpoint server;           // where every query is sent
+  std::uint32_t timeout_ms = 500;  // per-attempt UDP wait, TCP I/O deadline
+  int retransmits = 1;             // extra UDP sends after a silent timeout
+  bool tcp_only = false;           // skip the UDP leg (dig --tcp)
+};
+
+struct SocketStats {
+  std::uint64_t udp_queries = 0;   // datagrams actually sent (incl. resends)
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;          // queries that exhausted every attempt
+  std::uint64_t tcp_fallbacks = 0;     // TC=1 replies retried over TCP
+  std::uint64_t stray_replies = 0;     // datagrams matching no in-flight id
+  std::uint64_t mismatched_replies = 0;  // id hit, question/flags mismatch
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options);
+
+  // False when the UDP socket could not be created/connected; every
+  // exchange on a !ok() transport reports a timeout.
+  [[nodiscard]] bool ok() const { return udp_.valid(); }
+
+  [[nodiscard]] TransportReply exchange(const IpAddr& server,
+                                        std::span<const std::uint8_t> query,
+                                        std::size_t udp_payload_limit) override;
+  [[nodiscard]] SendToken send(const IpAddr& server,
+                               std::span<const std::uint8_t> query,
+                               std::size_t udp_payload_limit) override;
+  [[nodiscard]] std::optional<AsyncReply> poll() override;
+
+  [[nodiscard]] const SocketStats& stats() const { return stats_; }
+  [[nodiscard]] const SocketEndpoint& endpoint() const {
+    return options_.server;
+  }
+
+ private:
+  struct PendingQuery {
+    SendToken token = 0;
+    WireBytes query;          // owned copy: retransmits + reply verification
+    std::uint64_t sent_us = 0;      // first transmit (RTT measurement)
+    std::uint64_t deadline_us = 0;  // current attempt's expiry
+    int retransmits_left = 0;
+  };
+
+  // Runs the socket loop until at least one pending query completes (or
+  // none are left).  Completions land on completed_ in completion order.
+  void pump();
+  // Transmits (or re-transmits) a pending query's datagram.
+  void transmit(PendingQuery& pending);
+  // Delivers one received datagram: match → complete (with TC fallback),
+  // no match → stray/mismatch accounting.
+  void deliver_datagram(std::span<const std::uint8_t> datagram);
+  void complete(std::size_t pending_index, TransportReply reply);
+  // Synchronous TCP exchange with framing + verification, one retry.
+  [[nodiscard]] TransportReply tcp_exchange(
+      std::span<const std::uint8_t> query, bool after_truncation);
+
+  SocketTransportOptions options_;
+  Fd udp_;
+  std::uint64_t epoch_us_ = 0;  // transport creation, arrival_us time base
+  std::vector<PendingQuery> pending_;
+  std::deque<AsyncReply> completed_;
+  std::vector<std::uint8_t> recv_buffer_;
+  SendToken max_token_seen_ = 0;  // reordered-reply accounting
+  SocketStats stats_;
+};
+
+}  // namespace httpsrr::net

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <tuple>
 
+#include "dns/message.h"
+#include "util/strings.h"
+
 namespace httpsrr::net {
 
 namespace {
@@ -46,9 +49,19 @@ void patch_reply_id(WireBytes& reply, std::span<const std::uint8_t> query) {
   }
 }
 
-// Builds the datagram a server actually emits when the full response does
-// not fit the client's payload limit: header + question echoed, TC=1,
-// answer/authority/additional counts zeroed (RFC 2181 §9 minimal style).
+// Folds an IP address into the 64-bit key the latency model hashes from.
+std::uint64_t ip_key(const IpAddr& server) {
+  if (!server.is_v6()) return server.v4().bits();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : server.v6().bytes()) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 WireBytes make_truncated_datagram(const WireBytes& full) {
   std::size_t end = kHeaderSize;
   std::uint16_t qdcount = 0;
@@ -74,18 +87,45 @@ WireBytes make_truncated_datagram(const WireBytes& full) {
   return out;
 }
 
-// Folds an IP address into the 64-bit key the latency model hashes from.
-std::uint64_t ip_key(const IpAddr& server) {
-  if (!server.is_v6()) return server.v4().bits();
-  std::uint64_t h = 1469598103934665603ULL;
-  for (std::uint8_t b : server.v6().bytes()) {
-    h ^= b;
-    h *= 1099511628211ULL;
+bool reply_matches_query(std::span<const std::uint8_t> reply,
+                         std::span<const std::uint8_t> query) {
+  if (reply.size() < kHeaderSize || query.size() < kHeaderSize) return false;
+  // id echo + QR set: a response to *this* query, not a stray question.
+  if (reply[0] != query[0] || reply[1] != query[1]) return false;
+  if ((reply[2] & 0x80) == 0) return false;
+  const std::uint16_t q_qd =
+      static_cast<std::uint16_t>((query[4] << 8) | query[5]);
+  const std::uint16_t r_qd =
+      static_cast<std::uint16_t>((reply[4] << 8) | reply[5]);
+  if (q_qd != r_qd) return false;
+  // Question-by-question compare.  Queries emit uncompressed qnames and
+  // responses echo the question first, before any compression target
+  // exists, so a structural skip sees the full label bytes on both sides.
+  std::size_t qp = kHeaderSize;
+  std::size_t rp = kHeaderSize;
+  for (std::uint16_t i = 0; i < q_qd; ++i) {
+    const std::size_t q_start = qp;
+    const std::size_t r_start = rp;
+    if (!skip_wire_name(query, qp) || !skip_wire_name(reply, rp)) return false;
+    if (qp + 4 > query.size() || rp + 4 > reply.size()) return false;
+    const std::size_t q_len = qp - q_start;
+    if (q_len != rp - r_start) return false;
+    for (std::size_t off = 0; off < q_len; ++off) {
+      // Case-insensitive qname echo (0x20-style case randomization must
+      // still match); length octets are ≤ 63, untouched by the fold.
+      if (util::ascii_lower(static_cast<char>(query[q_start + off])) !=
+          util::ascii_lower(static_cast<char>(reply[r_start + off]))) {
+        return false;
+      }
+    }
+    for (std::size_t off = 0; off < 4; ++off) {  // qtype + qclass, verbatim
+      if (query[qp + off] != reply[rp + off]) return false;
+    }
+    qp += 4;
+    rp += 4;
   }
-  return h;
+  return true;
 }
-
-}  // namespace
 
 LatencyModel LatencyModel::lan() {
   LatencyModel m;
@@ -159,15 +199,30 @@ TransportReply DatagramTransport::tcp_exchange(
     const IpAddr& server, std::span<const std::uint8_t> query,
     bool after_truncation) {
   TransportReply reply;
-  ++stats_.tcp_queries;
-  auto full = service_.serve(server, query);
-  if (!full) return reply;  // connection never completes
-  auto owned = std::make_shared<WireBytes>(*full);
-  patch_reply_id(*owned, query);
-  reply.error = ConnectError::none;
-  reply.payload = std::move(owned);
-  reply.tcp_retried = after_truncation;
-  return reply;
+  // Verification loop (RFC 5452 spirit): the TCP answer must echo this
+  // query's id and question and must not itself be truncated — a
+  // substituted or truncated-then-substituted reply is rejected, counted,
+  // and the exchange retried once before giving up.  Without this check a
+  // hostile server could force truncation on UDP and then swap in an
+  // answer for a different question on the fallback.
+  for (int attempt = 0; attempt <= 1; ++attempt) {
+    ++stats_.tcp_queries;
+    auto full = service_.serve(server, query);
+    if (!full) return reply;  // connection never completes
+    auto owned = std::make_shared<WireBytes>(*full);
+    patch_reply_id(*owned, query);
+    const bool tc_set =
+        owned->size() > 2 && ((*owned)[2] & kTcMask) != 0;
+    if (tc_set || !reply_matches_query(*owned, query)) {
+      ++stats_.mismatched_replies;
+      continue;
+    }
+    reply.error = ConnectError::none;
+    reply.payload = std::move(owned);
+    reply.tcp_retried = after_truncation;
+    return reply;
+  }
+  return reply;  // both attempts hostile: as good as no reply
 }
 
 std::uint64_t DatagramTransport::next_rtt(const IpAddr& server) {
@@ -262,14 +317,38 @@ TransportReply DatagramTransport::exchange_impl(
     std::size_t udp_payload_limit) {
   if (tcp_only_) return tcp_exchange(server, query, /*after_truncation=*/false);
 
+  // RFC 6891 clamp on the truncation decision: an advertised limit below
+  // 512 is treated as 512, above 4096 as 4096 — same rule the servers
+  // apply, so transport-level and serve_wire-level truncation agree.
+  const std::size_t limit = dns::clamp_edns_payload(static_cast<std::uint16_t>(
+      std::min<std::size_t>(udp_payload_limit, 0xffff)));
+
+  // Bounded retry: a lost datagram is retransmitted at most kMaxRetransmits
+  // times before the exchange reports a timeout.  This is the bound that
+  // keeps a 100%-loss channel from spinning the blocking resolve loop —
+  // the caller sees a clean !ok() reply and degrades to SERVFAIL.
+  for (int attempt = 0; attempt <= kMaxRetransmits; ++attempt) {
+    if (attempt > 0) ++stats_.retransmits;
+    auto reply = udp_attempt(server, query, limit);
+    if (reply) return std::move(*reply);
+  }
+  ++stats_.timeouts;
+  return {};
+}
+
+std::optional<TransportReply> DatagramTransport::udp_attempt(
+    const IpAddr& server, std::span<const std::uint8_t> query,
+    std::size_t udp_payload_limit) {
   ++stats_.udp_queries;
   if (roll(faults_.drop_permille)) {
-    // The datagram (either direction) evaporated; the client times out.
+    // The datagram (either direction) evaporated; the client waits in vain.
     ++stats_.dropped;
-    return {};
+    return std::nullopt;
   }
+  // A mute server is indistinguishable from a drop on the client side, so
+  // it too earns the retransmit before the exchange gives up.
   auto full = service_.serve(server, query);
-  if (!full) return {};
+  if (!full) return std::nullopt;
 
   auto datagram = std::make_shared<WireBytes>();
   if (full->size() > udp_payload_limit) {
@@ -289,8 +368,10 @@ TransportReply DatagramTransport::exchange_impl(
   }
   if (roll(faults_.duplicate_permille)) {
     // The network delivered the datagram twice; the client reads one copy
-    // and discards the other, so only the tap ever sees the duplicate.
+    // and discards the other as a stray — exactly one discard per
+    // duplicate, never a second delivery up the stack.
     ++stats_.duplicated;
+    ++stats_.stray_replies;
     if (udp_tap_) udp_tap_(*datagram);
   }
   if (udp_tap_) udp_tap_(*datagram);

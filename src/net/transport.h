@@ -57,6 +57,23 @@ class WireService {
       const IpAddr& server, std::span<const std::uint8_t> query) const = 0;
 };
 
+// ---- Wire-frame helpers (shared by the modelled channel, the real-socket
+// transport, and the socket server) ---------------------------------------
+
+// Builds the datagram a server actually emits when the full response does
+// not fit the client's payload limit: header + question echoed, TC=1,
+// answer/authority/additional counts zeroed (RFC 2181 §9 minimal style).
+[[nodiscard]] WireBytes make_truncated_datagram(const WireBytes& full);
+
+// Client-side reply acceptance check: the reply's id must echo the query's,
+// QR must be set, and the question section must match the query's byte for
+// byte (case-folded qname, same qtype/qclass).  This is what rejects a
+// substituted answer on the TCP fallback path and stray/late datagrams on a
+// real socket — an off-path reply that guesses the id still has to echo the
+// exact question.
+[[nodiscard]] bool reply_matches_query(std::span<const std::uint8_t> reply,
+                                       std::span<const std::uint8_t> query);
+
 struct TransportReply {
   ConnectError error = ConnectError::timeout;
   // Owns or shares the reply buffer; null unless ok().
@@ -200,6 +217,16 @@ struct DatagramStats {
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
   std::uint64_t garbage_appended = 0;
+  // Bounded-retry accounting: a lost datagram is re-sent once; losing both
+  // the original and the retransmit is a timeout the caller sees (and the
+  // resolver eventually surfaces as SERVFAIL) — never a hang.
+  std::uint64_t retransmits = 0;
+  std::uint64_t timeouts = 0;
+  // Client-side discards: the second copy of a duplicated reply (already
+  // answered, dropped as stray) and TCP-fallback replies whose id/question
+  // failed verification (rejected, retried once, then given up on).
+  std::uint64_t stray_replies = 0;
+  std::uint64_t mismatched_replies = 0;
 };
 
 // UDP-with-TCP-fallback channel model.  Every reply is a fresh owned
@@ -252,8 +279,17 @@ class DatagramTransport final : public Transport {
     TransportReply reply;
   };
 
-  // The full UDP/TCP fault-model exchange, no timing side effects.
+  // The full UDP/TCP fault-model exchange, no timing side effects.  The
+  // UDP leg retries a lost datagram at most kMaxRetransmits times before
+  // reporting a timeout — the bound that keeps a 100%-loss channel from
+  // spinning the blocking resolve loop forever.
+  static constexpr int kMaxRetransmits = 1;
   [[nodiscard]] TransportReply exchange_impl(
+      const IpAddr& server, std::span<const std::uint8_t> query,
+      std::size_t udp_payload_limit);
+  // One UDP attempt (fault rolls, truncation, TC fallback); nullopt means
+  // the datagram was lost and the caller may retransmit.
+  [[nodiscard]] std::optional<TransportReply> udp_attempt(
       const IpAddr& server, std::span<const std::uint8_t> query,
       std::size_t udp_payload_limit);
   [[nodiscard]] TransportReply tcp_exchange(

@@ -503,7 +503,11 @@ Message AuthoritativeServer::handle(const Message& query, net::SimTime now) cons
 Message AuthoritativeServer::handle_udp(const Message& query,
                                         net::SimTime now) const {
   SharedResponse served = handle_shared(query, now);
-  std::size_t limit = query.edns ? query.edns->udp_payload_size : 512;
+  // RFC 6891 clamp: an advertised 511 truncates exactly like 512, an
+  // advertised 65535 exactly like 4096 (no EDNS at all means plain 512).
+  std::size_t limit = query.edns
+                          ? dns::clamp_edns_payload(query.edns->udp_payload_size)
+                          : dns::kEdnsPayloadFloor;
   return personalize(*served, query, served->wire.size() > limit);
 }
 

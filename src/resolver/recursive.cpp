@@ -29,8 +29,11 @@ std::unique_ptr<net::Transport> make_transport(const net::WireService& service,
 }
 
 // The client's advertised EDNS payload size — also the UDP truncation
-// limit every upstream exchange travels under.
-const std::size_t kUdpLimit = dns::Edns{}.udp_payload_size;
+// limit every upstream exchange travels under.  Clamped through the RFC
+// 6891 bounds at the point of emission so an out-of-range default could
+// never leak onto the wire.
+const std::size_t kUdpLimit =
+    dns::clamp_edns_payload(dns::Edns{}.udp_payload_size);
 
 // Materializes one view section into an owned vector.  False means some
 // record failed to decode — the reply is treated as malformed and the
@@ -321,8 +324,9 @@ void RecursiveResolver::task_deliver(ResolutionTask& t,
   };
 
   if (!reply.ok()) {
-    // Timeout (offline server, dropped datagram): drop this candidate and
-    // retry with the rest.
+    // Timeout (offline server, dropped datagram, exhausted retransmits):
+    // drop this candidate and retry with the rest.
+    ++stats_.timeouts;
     retry(f);
     return;
   }
@@ -720,7 +724,7 @@ std::span<const std::uint8_t> RecursiveResolver::resolve_wire(
   // OPT (RFC 6891 §6.1): root owner, CLASS = payload size, TTL bit 15 = DO.
   w.u8(0);
   w.u16(static_cast<std::uint16_t>(RrType::OPT));
-  w.u16(dns::Edns{}.udp_payload_size);
+  w.u16(dns::clamp_edns_payload(dns::Edns{}.udp_payload_size));
   w.u32(options_.validate_dnssec ? 0x00008000u : 0u);
   w.u16(0);
   return std::span<const std::uint8_t>(w.data());

@@ -54,6 +54,7 @@ struct ResolverStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t upstream_queries = 0;
   std::uint64_t tcp_fallbacks = 0;  // truncated UDP answers retried over TCP
+  std::uint64_t timeouts = 0;       // exchanges that never produced a reply
   std::uint64_t servfails = 0;
   std::uint64_t validations = 0;
   // Server-side hot-path counters (filled in by aggregators with access to
@@ -80,6 +81,7 @@ struct ResolverStats {
     cache_misses += other.cache_misses;
     upstream_queries += other.upstream_queries;
     tcp_fallbacks += other.tcp_fallbacks;
+    timeouts += other.timeouts;
     servfails += other.servfails;
     validations += other.validations;
     auth_cache_hits += other.auth_cache_hits;

@@ -1,0 +1,275 @@
+#include "resolver/socket_server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "dns/view.h"
+
+namespace httpsrr::resolver {
+
+namespace {
+
+constexpr std::size_t kMaxDatagram = 65535;
+
+void patch_id(std::span<std::uint8_t> reply,
+              std::span<const std::uint8_t> query) {
+  if (reply.size() >= 2 && query.size() >= 2) {
+    reply[0] = query[0];
+    reply[1] = query[1];
+  }
+}
+
+// The query's advertised EDNS payload, clamped to the RFC 6891 bounds; a
+// query with no OPT (or unparseable) gets the plain-DNS 512.
+std::size_t advertised_payload(std::span<const std::uint8_t> query) {
+  auto view = dns::MessageView::parse(query);
+  if (!view || !view->edns()) return dns::kEdnsPayloadFloor;
+  return dns::clamp_edns_payload(view->edns()->udp_payload_size);
+}
+
+// Minimal FORMERR: header echoing the query id, QR set, everything empty.
+std::shared_ptr<const net::WireBytes> formerr_reply(
+    std::span<const std::uint8_t> query) {
+  auto out = std::make_shared<net::WireBytes>(12, std::uint8_t{0});
+  if (query.size() >= 2) {
+    (*out)[0] = query[0];
+    (*out)[1] = query[1];
+  }
+  (*out)[2] = 0x80;  // QR
+  (*out)[3] = 0x01;  // FORMERR
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const net::WireBytes> RecursiveResponder::respond(
+    std::span<const std::uint8_t> query) {
+  auto view = dns::MessageView::parse(query);
+  if (!view || view->question_count() != 1) return formerr_reply(query);
+  auto qname = view->question(0).qname();
+  if (!qname.ok()) return formerr_reply(query);
+  const auto bytes =
+      resolver_.resolve_wire(*qname, view->question(0).qtype(), writer_);
+  return std::make_shared<net::WireBytes>(bytes.begin(), bytes.end());
+}
+
+SocketServer::SocketServer(WireResponder& responder,
+                           SocketServerOptions options)
+    : responder_(responder),
+      options_(std::move(options)),
+      scratch_(kMaxDatagram) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::start() {
+  // UDP and TCP must share one port number.  With an ephemeral bind the
+  // kernel picks the TCP port first and the matching UDP bind can lose the
+  // race to another process — retry with a fresh ephemeral pick.
+  const int attempts = options_.bind.port == 0 ? 16 : 1;
+  for (int i = 0; i < attempts; ++i) {
+    listener_ = net::tcp_listener(options_.bind, options_.tcp_backlog);
+    if (!listener_.valid()) return false;
+    auto udp_endpoint = options_.bind;
+    if (udp_endpoint.port == 0) {
+      udp_endpoint.port = net::local_port(listener_.get());
+    }
+    udp_ = net::udp_socket_bound(udp_endpoint);
+    if (udp_.valid()) {
+      port_ = udp_endpoint.port;
+      break;
+    }
+    listener_.reset();
+  }
+  if (!udp_.valid()) return false;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return false;
+  wake_read_ = net::Fd(pipe_fds[0]);
+  wake_write_ = net::Fd(pipe_fds[1]);
+  return true;
+}
+
+void SocketServer::serve_in_background() {
+  loop_thread_ = std::thread([this] { run(); });
+}
+
+void SocketServer::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_write_.valid()) {
+    const std::uint8_t byte = 0;
+    (void)!::write(wake_write_.get(), &byte, 1);
+  }
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+SocketServerStats SocketServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void SocketServer::run() {
+  std::vector<pollfd> fds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({wake_read_.get(), POLLIN, 0});
+    fds.push_back({udp_.get(), POLLIN, 0});
+    fds.push_back({listener_.get(), POLLIN, 0});
+    for (const TcpConn& conn : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({conn.fd.get(), events, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable: exit the loop rather than spin
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // stop() woke us
+    if ((fds[1].revents & POLLIN) != 0) handle_udp_readable();
+    if ((fds[2].revents & POLLIN) != 0) handle_accept();
+    // Walk only the connections that were polled this round — handle_accept
+    // may have appended to conns_ just now, and those have no pollfd yet.
+    // Back to front so erasure keeps lower indices stable.
+    for (std::size_t i = fds.size() - 3; i-- > 0;) {
+      const pollfd& pfd = fds[3 + i];
+      bool alive = true;
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        alive = handle_tcp_readable(conns_[i]);
+      }
+      if (alive && (pfd.revents & POLLOUT) != 0) {
+        alive = handle_tcp_writable(conns_[i]);
+      }
+      if (alive && conns_[i].closing && conns_[i].out.empty()) alive = false;
+      if (!alive) {
+        conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+    }
+  }
+}
+
+void SocketServer::handle_udp_readable() {
+  while (true) {
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(udp_.get(), scratch_.data(), kMaxDatagram, 0,
+                   reinterpret_cast<sockaddr*>(&peer), &peer_len);
+    if (n <= 0) return;  // EAGAIN — drained
+    const std::span<const std::uint8_t> query(scratch_.data(),
+                                              static_cast<std::size_t>(n));
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.udp_queries;
+    }
+    auto full = responder_.respond(query);
+    if (!full) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.dropped_queries;
+      continue;
+    }
+    net::WireBytes reply;
+    if (full->size() > advertised_payload(query)) {
+      reply = net::make_truncated_datagram(*full);
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.truncated_replies;
+    } else {
+      reply = *full;
+    }
+    patch_id(reply, query);
+    (void)::sendto(udp_.get(), reply.data(), reply.size(), MSG_NOSIGNAL,
+                   reinterpret_cast<const sockaddr*>(&peer), peer_len);
+  }
+}
+
+void SocketServer::handle_accept() {
+  while (true) {
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN — drained
+    // The listener is nonblocking; accepted fds inherit blocking mode on
+    // Linux, so flip them explicitly via the listener's helper semantics.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    TcpConn conn;
+    conn.fd = net::Fd(fd);
+    conns_.push_back(std::move(conn));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.tcp_connections;
+  }
+}
+
+bool SocketServer::handle_tcp_readable(TcpConn& conn) {
+  while (true) {
+    const ssize_t n =
+        ::recv(conn.fd.get(), scratch_.data(), kMaxDatagram, 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      return false;
+    }
+    if (n == 0) {
+      // Peer finished sending: answer what's buffered, flush, then close.
+      conn.closing = true;
+      break;
+    }
+    conn.in.insert(conn.in.end(), scratch_.data(), scratch_.data() + n);
+  }
+  // Drain complete 2-byte-length frames.
+  std::size_t consumed = 0;
+  while (conn.in.size() - consumed >= 2) {
+    const std::size_t len =
+        (static_cast<std::size_t>(conn.in[consumed]) << 8) |
+        conn.in[consumed + 1];
+    if (conn.in.size() - consumed - 2 < len) break;
+    answer_tcp(conn, std::span<const std::uint8_t>(
+                         conn.in.data() + consumed + 2, len));
+    consumed += 2 + len;
+  }
+  if (consumed > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(consumed));
+  }
+  return handle_tcp_writable(conn);
+}
+
+void SocketServer::answer_tcp(TcpConn& conn,
+                              std::span<const std::uint8_t> query) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.tcp_queries;
+  }
+  auto full = responder_.respond(query);
+  if (!full || full->size() > 0xffff) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.dropped_queries;
+    return;
+  }
+  // Frame: length prefix, then the full image with the id patched in situ
+  // (appended first, patched in the out buffer — the shared image itself
+  // stays immutable).
+  conn.out.push_back(static_cast<std::uint8_t>(full->size() >> 8));
+  conn.out.push_back(static_cast<std::uint8_t>(full->size() & 0xff));
+  const std::size_t payload_at = conn.out.size();
+  conn.out.insert(conn.out.end(), full->begin(), full->end());
+  patch_id(std::span<std::uint8_t>(conn.out.data() + payload_at,
+                                   full->size()),
+           query);
+}
+
+bool SocketServer::handle_tcp_writable(TcpConn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::send(conn.fd.get(), conn.out.data(),
+                             conn.out.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK;
+    }
+    conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+  }
+  return true;
+}
+
+}  // namespace httpsrr::resolver

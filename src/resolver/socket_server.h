@@ -1,0 +1,161 @@
+#pragma once
+
+// resolver::SocketServer — a poll(2)-driven event loop that serves the
+// simulated DNS ecosystem over real UDP and TCP sockets, so a second
+// process (httpsrr_dig --server, ZDNS-style scanners, plain `dig`) can
+// query it over 127.0.0.1.
+//
+// The server binds ONE endpoint (UDP + TCP on the same port; port 0 picks
+// an ephemeral one) and answers through a WireResponder:
+//   * AuthoritativeResponder — one simulated server's serve_wire view:
+//     every query is answered exactly as the in-process LoopbackTransport
+//     would answer it at that server's address (byte-identical full wire
+//     images; the socket layer only adds id echo and UDP truncation);
+//   * RecursiveResponder — a full validating RecursiveResolver front: the
+//     recursion runs in-process over the fast loopback path, clients act
+//     as stubs and get final answers in one hop.
+//
+// Wire behaviour:
+//   * UDP replies are truncated (TC=1, sections dropped) when the full
+//     image exceeds the query's advertised EDNS payload, clamped through
+//     the RFC 6891 bounds [512, 4096] — no OPT means plain 512;
+//   * TCP uses the standard 2-byte length prefix, supports multiple
+//     queries per connection, and always carries the full image;
+//   * graceful shutdown via a self-pipe: stop() is safe from any thread
+//     and wakes the loop immediately.
+//
+// Determinism note: WHAT is answered stays a pure function of (ecosystem
+// seed, virtual date, query) — same bytes as the in-process path.  WHEN it
+// is answered is wall-clock and scheduling-dependent; only timing-free
+// facts cross this boundary.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/time.h"
+#include "net/transport.h"
+#include "resolver/recursive.h"
+
+namespace httpsrr::resolver {
+
+// One query in, one full (TCP-size) wire image out.  Called only from the
+// server's event-loop thread.  nullptr = drop the query (client times out).
+class WireResponder {
+ public:
+  virtual ~WireResponder() = default;
+  [[nodiscard]] virtual std::shared_ptr<const net::WireBytes> respond(
+      std::span<const std::uint8_t> query) = 0;
+};
+
+// The serve_wire view of one simulated server address — byte-identical to
+// what LoopbackTransport delivers for the same query at `front`.
+class AuthoritativeResponder final : public WireResponder {
+ public:
+  AuthoritativeResponder(const net::WireService& service, net::IpAddr front)
+      : service_(service), front_(front) {}
+  [[nodiscard]] std::shared_ptr<const net::WireBytes> respond(
+      std::span<const std::uint8_t> query) override {
+    return service_.serve(front_, query);
+  }
+
+ private:
+  const net::WireService& service_;
+  net::IpAddr front_;
+};
+
+// A recursive front: parses the question, resolves it in-process, and
+// returns the client-visible response (same layout as resolve_wire).
+// Malformed or non-single-question queries are answered FORMERR.
+class RecursiveResponder final : public WireResponder {
+ public:
+  explicit RecursiveResponder(RecursiveResolver& resolver)
+      : resolver_(resolver) {}
+  [[nodiscard]] std::shared_ptr<const net::WireBytes> respond(
+      std::span<const std::uint8_t> query) override;
+
+ private:
+  RecursiveResolver& resolver_;
+  dns::WireWriter writer_;
+};
+
+struct SocketServerOptions {
+  net::SocketEndpoint bind;  // default: 127.0.0.1, ephemeral port
+  int tcp_backlog = 16;
+};
+
+struct SocketServerStats {
+  std::uint64_t udp_queries = 0;
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t truncated_replies = 0;  // UDP answers sent TC=1
+  std::uint64_t dropped_queries = 0;    // responder returned nullptr
+  std::uint64_t tcp_connections = 0;
+};
+
+class SocketServer {
+ public:
+  SocketServer(WireResponder& responder, SocketServerOptions options = {});
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds UDP and TCP to the same port.  False (with sockets closed) if no
+  // port could be claimed.  Must be called before run()/serve_in_background.
+  [[nodiscard]] bool start();
+  // The bound port (resolves an ephemeral bind); 0 before start().
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] net::SocketEndpoint endpoint() const {
+    auto ep = options_.bind;
+    ep.port = port_;
+    return ep;
+  }
+
+  // Runs the event loop on the calling thread until stop().
+  void run();
+  // Runs the event loop on an internal thread; stop() joins it.
+  void serve_in_background();
+  // Signals the loop to exit (safe from any thread, idempotent) and joins
+  // the background thread if one was started.
+  void stop();
+
+  [[nodiscard]] SocketServerStats stats() const;
+
+ private:
+  struct TcpConn {
+    net::Fd fd;
+    std::vector<std::uint8_t> in;   // accumulated unparsed input
+    std::vector<std::uint8_t> out;  // pending framed output
+    bool closing = false;           // peer EOF seen, flush then close
+  };
+
+  void handle_udp_readable();
+  void handle_accept();
+  // False = close the connection.
+  bool handle_tcp_readable(TcpConn& conn);
+  bool handle_tcp_writable(TcpConn& conn);
+  void answer_tcp(TcpConn& conn, std::span<const std::uint8_t> query);
+
+  WireResponder& responder_;
+  SocketServerOptions options_;
+  net::Fd udp_;
+  net::Fd listener_;
+  net::Fd wake_read_;
+  net::Fd wake_write_;
+  std::uint16_t port_ = 0;
+  std::vector<TcpConn> conns_;
+  std::vector<std::uint8_t> scratch_;  // UDP recv + reply assembly
+  std::atomic<bool> stopping_{false};
+  std::thread loop_thread_;
+
+  // Counters live on the loop thread; stats() snapshots under the mutex so
+  // tests and the bench harness can read them while the loop runs.
+  mutable std::mutex stats_mutex_;
+  SocketServerStats stats_;
+};
+
+}  // namespace httpsrr::resolver

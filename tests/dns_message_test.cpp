@@ -122,6 +122,23 @@ TEST(Message, EdnsAbsentWithoutOpt) {
   EXPECT_FALSE(decoded->edns.has_value());
 }
 
+TEST(Message, ClampEdnsPayloadBounds) {
+  // RFC 6891 §6.2.5 sanity bounds: below 512 is treated as 512 (the
+  // pre-EDNS maximum), and we never honour more than 4096.
+  EXPECT_EQ(clamp_edns_payload(0), kEdnsPayloadFloor);
+  EXPECT_EQ(clamp_edns_payload(1), kEdnsPayloadFloor);
+  EXPECT_EQ(clamp_edns_payload(511), kEdnsPayloadFloor);
+  EXPECT_EQ(clamp_edns_payload(512), 512);
+  EXPECT_EQ(clamp_edns_payload(513), 513);
+  EXPECT_EQ(clamp_edns_payload(1232), 1232);
+  EXPECT_EQ(clamp_edns_payload(4095), 4095);
+  EXPECT_EQ(clamp_edns_payload(4096), kEdnsPayloadCeiling);
+  EXPECT_EQ(clamp_edns_payload(4097), kEdnsPayloadCeiling);
+  EXPECT_EQ(clamp_edns_payload(0xffff), kEdnsPayloadCeiling);
+  static_assert(clamp_edns_payload(100) == kEdnsPayloadFloor);
+  static_assert(clamp_edns_payload(9000) == kEdnsPayloadCeiling);
+}
+
 TEST(Message, DoBitOffRoundTrips) {
   auto q = Message::make_query(5, name_of("a.com"), RrType::A,
                                /*dnssec_ok=*/false);

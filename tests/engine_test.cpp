@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "ecosystem/internet.h"
+#include "net/transport.h"
 #include "resolver/engine.h"
 #include "resolver/recursive.h"
 #include "scanner/study.h"
@@ -135,6 +136,48 @@ TEST(Engine, CoalescingSharesInFlightTwins) {
       EXPECT_EQ(stats.coalesced_queries, 0u);
     }
   }
+}
+
+TEST(Engine, DuplicatedRepliesNeverDoubleDeliverToCoalescedWaiters) {
+  // Every UDP reply arrives twice.  The second copy must be swallowed as a
+  // stray exactly once — it must never complete a second waiter, so a
+  // coalesced batch still gets the answers a clean serial run produces.
+  Internet net(engine_config());
+  net.advance_to(net.config().start + net::Duration::hours(3));
+  const auto base = https_requests(net);
+  std::vector<QueryEngine::Request> requests;
+  for (int copy = 0; copy < 3; ++copy) {
+    requests.insert(requests.end(), base.begin(),
+                    base.begin() + static_cast<std::ptrdiff_t>(40));
+  }
+
+  auto serial_resolver = net.make_resolver();
+  std::vector<ResolvedAnswer> serial;
+  for (const auto& req : requests) {
+    serial.push_back(serial_resolver->resolve_shared(req.qname, req.qtype));
+  }
+
+  resolver::ResolverOptions options;
+  options.max_in_flight = 16;
+  options.coalesce_queries = true;
+  auto resolver = net.make_resolver(options);
+  auto transport = std::make_unique<net::DatagramTransport>(
+      resolver->wire_service(),
+      net::TransportFaults{.duplicate_permille = 1000});
+  auto* datagram = transport.get();
+  resolver->set_transport(std::move(transport));
+
+  QueryEngine engine(*resolver);
+  auto answers = engine.run(requests);
+  ASSERT_EQ(answers.size(), requests.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    expect_same_answers(serial[i], answers[i], i);
+  }
+  EXPECT_GT(resolver->stats().coalesced_queries, 0u);
+  const auto& stats = datagram->stats();
+  EXPECT_GT(stats.duplicated, 0u);
+  EXPECT_EQ(stats.stray_replies, stats.duplicated)
+      << "each duplicated reply is dropped as a stray exactly once";
 }
 
 // Runs one scan day at the given engine configuration.

@@ -1,0 +1,379 @@
+// Real-socket round trips on 127.0.0.1: byte-equality of SocketTransport
+// replies against LoopbackTransport for every RR type (UDP and TCP),
+// genuine TC=1 → TCP fallback end to end, timeout/retransmit accounting
+// against a dead port, stray/hostile datagram rejection, and the async
+// send()/poll() surface multiplexing a QueryEngine unchanged.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "dns/view.h"
+#include "dnssec/signer.h"
+#include "net/socket.h"
+#include "net/socket_transport.h"
+#include "net/transport.h"
+#include "resolver/authoritative.h"
+#include "resolver/engine.h"
+#include "resolver/infra.h"
+#include "resolver/recursive.h"
+#include "resolver/socket_server.h"
+
+namespace httpsrr::resolver {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rcode;
+using dns::RrType;
+
+net::IpAddr ip(const char* text) { return *net::IpAddr::parse(text); }
+
+// Same one-signed-zone world as transport_test's WireNet: every RR type
+// behind a single authoritative that is also the root, plus a fat TXT
+// RRset wider than the 1232-byte advertised payload.
+struct SocketNet {
+  net::SimClock clock{net::SimTime::from_string("2023-05-08")};
+  DnsInfra infra;
+  dnssec::KeyPair zone_key = dnssec::KeyPair::generate(7, 257);
+  AuthoritativeServer* server = nullptr;
+  net::IpAddr addr = ip("198.51.100.53");
+
+  SocketNet() {
+    server = &infra.add_server("every-ops", addr);
+    dns::Zone zone(name_of("every.test"));
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.every.test");
+    soa.rname = name_of("ops.every.test");
+    soa.serial = 2023050801;
+    soa.minimum = 300;
+    ASSERT_OK(zone.add(dns::make_soa(name_of("every.test"), 3600, soa)));
+    ASSERT_OK(zone.add(dns::make_ns(name_of("every.test"), 3600,
+                                    name_of("ns1.every.test"))));
+    ASSERT_OK(zone.add(dns::make_a(name_of("ns1.every.test"), 3600,
+                                   net::Ipv4Addr(198, 51, 100, 53))));
+    ASSERT_OK(zone.add(dns::make_a(name_of("every.test"), 300,
+                                   net::Ipv4Addr(192, 0, 2, 1))));
+    ASSERT_OK(zone.add(dns::make_aaaa(name_of("every.test"), 300,
+                                      *net::Ipv6Addr::parse("2001:db8::1"))));
+    ASSERT_OK(zone.add(dns::Rr{name_of("every.test"), RrType::TXT,
+                               dns::RrClass::IN, 300,
+                               dns::TxtRdata{{"hello", "world"}}}));
+    ASSERT_OK(zone.add(dns::Rr{name_of("every.test"), RrType::MX,
+                               dns::RrClass::IN, 300,
+                               dns::MxRdata{10, name_of("mail.every.test")}}));
+    auto https = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=192.0.2.1");
+    ASSERT_OK(zone.add(dns::make_https(name_of("every.test"), 300, *https)));
+    auto svcb = dns::SvcbRdata::parse_presentation("1 svc.every.test. alpn=h3");
+    ASSERT_OK(zone.add(dns::make_svcb(name_of("_dns.every.test"), 300, *svcb)));
+    ASSERT_OK(zone.add(dns::make_cname(name_of("alias.every.test"), 300,
+                                       name_of("every.test"))));
+    dns::TxtRdata fat;
+    for (int i = 0; i < 8; ++i) fat.strings.push_back(std::string(200, 'x'));
+    ASSERT_OK(zone.add(dns::Rr{name_of("fat.every.test"), RrType::TXT,
+                               dns::RrClass::IN, 300, std::move(fat)}));
+    server->add_zone(std::move(zone));
+    server->enable_dnssec(name_of("every.test"), zone_key);
+    infra.register_zone(name_of("every.test"), {server});
+    infra.set_root_servers({addr});
+  }
+
+  static void ASSERT_OK(const util::Result<void>& r) {
+    ASSERT_TRUE(r.ok()) << r.error();
+  }
+
+  [[nodiscard]] RecursiveResolver make_resolver(
+      RecursiveResolver::Options options = {}) const {
+    return RecursiveResolver(infra, clock, zone_key.dnskey, options);
+  }
+};
+
+std::vector<std::uint8_t> encode_query(std::uint16_t id, const Name& qname,
+                                       RrType qtype) {
+  dns::WireWriter w;
+  dns::Message::make_query(id, qname, qtype, /*dnssec_ok=*/true).encode_into(w);
+  auto bytes = w.data();
+  return {bytes.begin(), bytes.end()};
+}
+
+constexpr std::size_t kUdpLimit = 1232;
+
+// A server over the auth's serve_wire view on an ephemeral loopback port,
+// torn down on scope exit.
+struct ServerScope {
+  InfraWireService service;
+  AuthoritativeResponder responder;
+  SocketServer server;
+
+  explicit ServerScope(const SocketNet& net)
+      : service(net.infra, net.clock),
+        responder(service, net.addr),
+        server(responder, {}) {
+    if (server.start()) server.serve_in_background();
+  }
+  ~ServerScope() { server.stop(); }
+
+  [[nodiscard]] net::SocketTransportOptions client_options() const {
+    net::SocketTransportOptions options;
+    options.server = server.endpoint();
+    options.timeout_ms = 2000;
+    return options;
+  }
+};
+
+TEST(Socket, EveryRrTypeByteEqualToLoopbackOverUdpAndTcp) {
+  SocketNet net;
+  ServerScope scope(net);
+  ASSERT_NE(scope.server.port(), 0) << "could not bind a loopback port";
+
+  net::LoopbackTransport loopback(scope.service);
+  net::SocketTransport udp(scope.client_options());
+  auto tcp_options = scope.client_options();
+  tcp_options.tcp_only = true;
+  net::SocketTransport tcp(tcp_options);
+  ASSERT_TRUE(udp.ok());
+  ASSERT_TRUE(tcp.ok());
+
+  struct Q {
+    const char* qname;
+    RrType qtype;
+  };
+  const Q kQueries[] = {
+      {"every.test", RrType::A},           {"every.test", RrType::AAAA},
+      {"every.test", RrType::TXT},         {"every.test", RrType::MX},
+      {"every.test", RrType::NS},          {"every.test", RrType::SOA},
+      {"every.test", RrType::HTTPS},       {"every.test", RrType::DNSKEY},
+      {"alias.every.test", RrType::CNAME}, {"_dns.every.test", RrType::SVCB},
+      {"fat.every.test", RrType::TXT},
+  };
+  for (const Q& q : kQueries) {
+    SCOPED_TRACE(q.qname);
+    // Learn the wire image's rendered id from loopback first, then query
+    // the socket path with that id — the server echoes the query id, so
+    // equal ids make the replies byte-comparable.
+    auto probe = encode_query(1, name_of(q.qname), q.qtype);
+    auto lo = loopback.exchange(net.addr, probe, kUdpLimit);
+    ASSERT_TRUE(lo.ok());
+    const auto lo_bytes = lo.bytes();
+    ASSERT_GE(lo_bytes.size(), 2u);
+    const std::uint16_t wire_id =
+        static_cast<std::uint16_t>((lo_bytes[0] << 8) | lo_bytes[1]);
+
+    auto query = encode_query(wire_id, name_of(q.qname), q.qtype);
+    auto via_udp = udp.exchange(net.addr, query, kUdpLimit);
+    auto via_tcp = tcp.exchange(net.addr, query, kUdpLimit);
+    ASSERT_TRUE(via_udp.ok());
+    ASSERT_TRUE(via_tcp.ok());
+    EXPECT_TRUE(std::ranges::equal(via_udp.bytes(), lo_bytes))
+        << "UDP socket reply differs from loopback";
+    EXPECT_TRUE(std::ranges::equal(via_tcp.bytes(), lo_bytes))
+        << "TCP socket reply differs from loopback";
+  }
+}
+
+TEST(Socket, TruncatedUdpReplyFallsBackToTcpEndToEnd) {
+  SocketNet net;
+  ServerScope scope(net);
+  ASSERT_NE(scope.server.port(), 0);
+
+  net::SocketTransport client(scope.client_options());
+  auto query = encode_query(77, name_of("fat.every.test"), RrType::TXT);
+  auto reply = client.exchange(net.addr, query, kUdpLimit);
+
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.tcp_retried);
+  EXPECT_GT(reply.bytes().size(), kUdpLimit);
+  EXPECT_EQ(client.stats().udp_queries, 1u);
+  EXPECT_EQ(client.stats().tcp_queries, 1u);
+  EXPECT_EQ(client.stats().tcp_fallbacks, 1u);
+
+  auto view = dns::MessageView::parse(reply.bytes());
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_FALSE(view->header().tc);
+  EXPECT_GT(view->answer_count(), 0u);
+
+  auto server_stats = scope.server.stats();
+  EXPECT_EQ(server_stats.truncated_replies, 1u);
+  EXPECT_EQ(server_stats.tcp_queries, 1u);
+}
+
+TEST(Socket, TcpOnlySkipsTheUdpLeg) {
+  SocketNet net;
+  ServerScope scope(net);
+  ASSERT_NE(scope.server.port(), 0);
+
+  auto options = scope.client_options();
+  options.tcp_only = true;
+  net::SocketTransport client(options);
+  auto query = encode_query(3, name_of("every.test"), RrType::A);
+  auto reply = client.exchange(net.addr, query, kUdpLimit);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.tcp_retried);
+  EXPECT_EQ(client.stats().udp_queries, 0u);
+  EXPECT_EQ(client.stats().tcp_queries, 1u);
+}
+
+TEST(Socket, DeadPortTimesOutAfterBoundedRetransmits) {
+  // Claim an ephemeral UDP port, then close it — nothing answers there.
+  std::uint16_t dead_port = 0;
+  {
+    net::SocketEndpoint ephemeral;
+    auto probe = net::udp_socket_bound(ephemeral);
+    ASSERT_TRUE(probe.valid());
+    dead_port = net::local_port(probe.get());
+  }
+  net::SocketTransportOptions options;
+  options.server.port = dead_port;
+  options.timeout_ms = 40;
+  options.retransmits = 1;
+  net::SocketTransport client(options);
+  ASSERT_TRUE(client.ok());
+
+  auto query = encode_query(5, name_of("every.test"), RrType::A);
+  auto reply = client.exchange(ip("203.0.113.9"), query, kUdpLimit);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(client.stats().timeouts, 1u);
+  EXPECT_EQ(client.stats().retransmits, 1u);
+  EXPECT_EQ(client.stats().udp_queries, 2u) << "original + one retransmit";
+}
+
+TEST(Socket, AsyncSendPollMultiplexesAndMatchesIds) {
+  SocketNet net;
+  ServerScope scope(net);
+  ASSERT_NE(scope.server.port(), 0);
+
+  net::SocketTransport client(scope.client_options());
+  const RrType kTypes[] = {RrType::A,  RrType::AAAA, RrType::TXT,
+                           RrType::MX, RrType::NS,   RrType::HTTPS};
+  std::vector<net::SendToken> tokens;
+  std::vector<std::vector<std::uint8_t>> queries;
+  for (std::size_t i = 0; i < std::size(kTypes); ++i) {
+    queries.push_back(encode_query(static_cast<std::uint16_t>(100 + i),
+                                   name_of("every.test"), kTypes[i]));
+    tokens.push_back(client.send(net.addr, queries.back(), kUdpLimit));
+  }
+  // Every in-flight send completes (possibly out of order); each reply
+  // echoes its own query's id and question.
+  std::size_t delivered = 0;
+  while (auto done = client.poll()) {
+    auto it = std::find(tokens.begin(), tokens.end(), done->token);
+    ASSERT_NE(it, tokens.end());
+    const std::size_t index =
+        static_cast<std::size_t>(it - tokens.begin());
+    ASSERT_TRUE(done->reply.ok());
+    EXPECT_TRUE(net::reply_matches_query(done->reply.bytes(),
+                                         queries[index]));
+    ++delivered;
+  }
+  EXPECT_EQ(delivered, std::size(kTypes));
+}
+
+TEST(Socket, HostileRepliesAreRejectedNotDelivered) {
+  // A hand-rolled hostile server: for each query it first sends a datagram
+  // with a wrong id (a stray), then one with the right id but the wrong
+  // question (an off-path guess), then the honest echo (QR set).  The
+  // client must discard the first two and deliver only the third.
+  net::SocketEndpoint bind_ep;
+  auto server_fd = net::udp_socket_bound(bind_ep);
+  ASSERT_TRUE(server_fd.valid());
+  const std::uint16_t port = net::local_port(server_fd.get());
+
+  std::thread hostile([fd = server_fd.get()] {
+    std::uint8_t buf[512];
+    sockaddr_storage peer{};
+    socklen_t peer_len = sizeof(peer);
+    ssize_t n = -1;
+    // The socket is nonblocking: spin briefly until the query arrives.
+    for (int i = 0; i < 4000 && n < 0; ++i) {
+      peer_len = sizeof(peer);
+      n = ::recvfrom(fd, buf, sizeof(buf), 0,
+                     reinterpret_cast<sockaddr*>(&peer), &peer_len);
+      if (n < 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (n < 12) return;
+    const auto len = static_cast<std::size_t>(n);
+    std::vector<std::uint8_t> reply(buf, buf + len);
+    reply[2] |= 0x80;  // QR
+
+    auto send_copy = [&](std::vector<std::uint8_t> bytes) {
+      (void)::sendto(fd, bytes.data(), bytes.size(), 0,
+                     reinterpret_cast<const sockaddr*>(&peer), peer_len);
+    };
+    auto wrong_id = reply;
+    wrong_id[0] ^= 0xff;  // stray: unknown id
+    send_copy(wrong_id);
+    // The qtype sits right after the qname labels (the datagram *ends*
+    // with the OPT record, so offsets from the tail land in EDNS, which
+    // reply_matches_query rightly ignores).
+    std::size_t off = 12;
+    while (off < len && reply[off] != 0) off += reply[off] + 1;
+    ++off;  // past the root label
+    auto wrong_question = reply;
+    wrong_question[off + 1] ^= 0xff;  // qtype low byte: question mismatch
+    send_copy(wrong_question);
+    send_copy(reply);  // the honest echo
+  });
+
+  net::SocketTransportOptions options;
+  options.server.port = port;
+  options.timeout_ms = 4000;
+  net::SocketTransport client(options);
+  auto query = encode_query(9, name_of("every.test"), RrType::A);
+  auto reply = client.exchange(ip("203.0.113.1"), query, kUdpLimit);
+  hostile.join();
+
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(net::reply_matches_query(reply.bytes(), query));
+  EXPECT_EQ(client.stats().stray_replies, 1u);
+  EXPECT_EQ(client.stats().mismatched_replies, 1u);
+  EXPECT_EQ(client.stats().timeouts, 0u);
+}
+
+TEST(Socket, RecursiveFrontServesStubsAndQueryEngine) {
+  SocketNet net;
+  auto upstream = net.make_resolver();
+  RecursiveResponder responder(upstream);
+  SocketServer server(responder, {});
+  ASSERT_TRUE(server.start());
+  server.serve_in_background();
+
+  net::SocketTransportOptions options;
+  options.server = server.endpoint();
+  options.timeout_ms = 2000;
+
+  // A resolver whose only upstream is the socket: the remote front does
+  // the recursion, each lookup completes in one verified hop, and
+  // QueryEngine multiplexes the sends over the same Transport contract.
+  RecursiveResolver::Options resolver_options;
+  resolver_options.validate_dnssec = false;
+  auto client = net.make_resolver(resolver_options);
+  client.set_transport(std::make_unique<net::SocketTransport>(options));
+
+  auto direct = client.resolve(name_of("every.test"), RrType::HTTPS);
+  EXPECT_EQ(direct.header.rcode, Rcode::NOERROR);
+  EXPECT_FALSE(direct.answers_of_type(RrType::HTTPS).empty());
+
+  std::vector<QueryEngine::Request> requests;
+  requests.push_back({name_of("every.test"), RrType::A});
+  requests.push_back({name_of("every.test"), RrType::TXT});
+  requests.push_back({name_of("every.test"), RrType::MX});
+  requests.push_back({name_of("alias.every.test"), RrType::CNAME});
+  QueryEngine engine(client);
+  auto answers = engine.run(requests);
+  ASSERT_EQ(answers.size(), requests.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(answers[i].rcode, Rcode::NOERROR);
+    EXPECT_FALSE(answers[i].answers().empty());
+  }
+  server.stop();
+  EXPECT_GT(server.stats().udp_queries, 0u);
+}
+
+}  // namespace
+}  // namespace httpsrr::resolver

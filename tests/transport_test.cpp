@@ -82,6 +82,12 @@ struct WireNet {
     for (int i = 0; i < 8; ++i) fat.strings.push_back(std::string(200, 'x'));
     ASSERT_OK(zone.add(dns::Rr{name_of("fat.every.test"), RrType::TXT,
                                dns::RrClass::IN, 300, std::move(fat)}));
+    // And one wider than the 4096-byte EDNS ceiling, so the ceiling clamp
+    // is observable: even a huge advertised payload must still truncate.
+    dns::TxtRdata huge;
+    for (int i = 0; i < 24; ++i) huge.strings.push_back(std::string(200, 'y'));
+    ASSERT_OK(zone.add(dns::Rr{name_of("huge.every.test"), RrType::TXT,
+                               dns::RrClass::IN, 300, std::move(huge)}));
 
     server->add_zone(std::move(zone));
     server->enable_dnssec(name_of("every.test"), zone_key);
@@ -235,6 +241,124 @@ TEST(Transport, DroppedDatagramsDegradeToServfail) {
   auto resp = resolver.resolve(name_of("every.test"), RrType::A);
   EXPECT_EQ(resp.header.rcode, Rcode::SERVFAIL)
       << "every datagram lost, every candidate exhausted";
+  EXPECT_GT(resolver.stats().timeouts, 0u)
+      << "the SERVFAIL must be traceable to upstream timeouts";
+}
+
+TEST(Transport, LostDatagramsAreRetransmittedThenTimeOut) {
+  // 100% loss on a direct exchange: the transport retransmits exactly once
+  // (bounded — it must not spin), then surfaces a clean timeout with every
+  // attempt accounted.
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  net::DatagramTransport datagram(service,
+                                  net::TransportFaults{.drop_permille = 1000});
+
+  auto query = encode_query(6, name_of("every.test"), RrType::A);
+  auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(datagram.stats().udp_queries, 2u) << "original + one retransmit";
+  EXPECT_EQ(datagram.stats().retransmits, 1u);
+  EXPECT_EQ(datagram.stats().dropped, 2u);
+  EXPECT_EQ(datagram.stats().timeouts, 1u);
+  EXPECT_EQ(datagram.stats().tcp_queries, 0u)
+      << "loss is not truncation: no TCP fallback";
+}
+
+// A WireService that answers the first serve honestly (the UDP leg) and
+// substitutes an attacker-chosen reply for the next `hostile` serves (the
+// TCP retries) — the reply is well-formed DNS for a *different* question.
+class SubstitutingService final : public net::WireService {
+ public:
+  SubstitutingService(const net::WireService& inner,
+                      std::shared_ptr<const net::WireBytes> substitute,
+                      int hostile)
+      : inner_(inner), substitute_(std::move(substitute)), hostile_(hostile) {}
+
+  [[nodiscard]] std::shared_ptr<const net::WireBytes> serve(
+      const net::IpAddr& server,
+      std::span<const std::uint8_t> query) const override {
+    ++serves_;
+    if (serves_ > 1 && hostile_-- > 0) return substitute_;
+    return inner_.serve(server, query);
+  }
+
+ private:
+  const net::WireService& inner_;
+  std::shared_ptr<const net::WireBytes> substitute_;
+  mutable int serves_ = 0;
+  mutable int hostile_ = 0;
+};
+
+TEST(Transport, HostileTcpReplyIsRejectedAndRetried) {
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  // The substitute: a genuine reply for a different question entirely.
+  auto bait = service.serve(net.addr,
+                            encode_query(42, name_of("every.test"), RrType::A));
+  ASSERT_NE(bait, nullptr);
+  auto query = encode_query(42, name_of("fat.every.test"), RrType::TXT);
+
+  {
+    // One hostile TCP reply: rejected and counted, the retry delivers the
+    // honest answer.
+    SubstitutingService hostile(service, bait, 1);
+    net::DatagramTransport datagram(hostile);
+    auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply.tcp_retried);
+    EXPECT_TRUE(net::reply_matches_query(reply.bytes(), query))
+        << "the delivered reply must answer the original question";
+    EXPECT_EQ(datagram.stats().mismatched_replies, 1u);
+    EXPECT_EQ(datagram.stats().tcp_queries, 2u);
+  }
+  {
+    // Every TCP reply hostile: both attempts rejected, the exchange
+    // surfaces a timeout — a matching-id-but-wrong-question reply must
+    // never reach the resolver.
+    SubstitutingService hostile(service, bait, 1000);
+    net::DatagramTransport datagram(hostile);
+    auto reply = datagram.exchange(net.addr, query, kUdpLimit);
+    EXPECT_FALSE(reply.ok());
+    EXPECT_EQ(datagram.stats().mismatched_replies, 2u);
+    EXPECT_EQ(datagram.stats().tcp_queries, 2u);
+  }
+}
+
+TEST(Transport, EdnsPayloadClampBoundsTruncationDecisions) {
+  // RFC 6891 clamp at the truncation decision: advertised payloads below
+  // 512 behave as 512, above 4096 as 4096.  fat ≈ 1.7 KB encoded, huge
+  // > 4.1 KB — so "9000" still truncating is the ceiling clamp at work,
+  // and "0" not truncating a small answer is the floor.
+  WireNet net;
+  InfraWireService service(net.infra, net.clock);
+  struct Case {
+    const char* qname;
+    RrType qtype;
+    std::size_t advertised;
+    bool truncates;
+  };
+  const Case kCases[] = {
+      {"every.test", RrType::A, 0, false},      // floor: 0 → 512 fits
+      {"every.test", RrType::A, 511, false},    // floor boundary
+      {"fat.every.test", RrType::TXT, 511, true},
+      {"fat.every.test", RrType::TXT, 512, true},
+      {"fat.every.test", RrType::TXT, 2048, false},
+      {"huge.every.test", RrType::TXT, 4095, true},
+      {"huge.every.test", RrType::TXT, 4096, true},
+      {"huge.every.test", RrType::TXT, 9000, true},  // ceiling: 9000 → 4096
+  };
+  for (const Case& c : kCases) {
+    SCOPED_TRACE(std::string(c.qname) + " advertised " +
+                 std::to_string(c.advertised));
+    net::DatagramTransport datagram(service);
+    auto reply = datagram.exchange(
+        net.addr, encode_query(11, name_of(c.qname), c.qtype), c.advertised);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply.tcp_retried, c.truncates);
+    EXPECT_EQ(datagram.stats().truncated_replies, c.truncates ? 1u : 0u);
+    EXPECT_EQ(datagram.stats().tcp_queries, c.truncates ? 1u : 0u);
+  }
 }
 
 TEST(Transport, TrailingGarbageIsRejectedNotCrashed) {

@@ -4,7 +4,7 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs the suites, and writes a
-# machine-readable summary (default: BENCH_PR5.json in the repo root):
+# machine-readable summary (default: BENCH_PR6.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -26,7 +26,11 @@
 #     day at in-flight depth 1/8/32/128, per-depth virtual seconds and
 #     speedup over the serial Σ-RTT baseline, coalesced-query counts, and
 #     the cross-depth snapshot-invariance verdict.  Virtual time is
-#     deterministic, so these numbers are noise-free.
+#     deterministic, so these numbers are noise-free;
+#   * socket_qps — PR6's real-socket numbers: actual kernel round trips
+#     over 127.0.0.1 through resolver::SocketServer (serial UDP exchange,
+#     depth-16 pipelined send/poll, TCP-only).  Wall-clock, so noisier than
+#     the virtual-clock sweeps — context, not a regression gate.
 #
 # tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions,
 # exact allocs/op regressions on the pinned benchmarks, and the engine
@@ -35,13 +39,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR5.json}"
+OUT="${1:-BENCH_PR6.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
 cmake -B "${BUILD}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "${BUILD}" -j "${JOBS:-$(nproc)}" \
-  --target micro_dns micro_resolver micro_study micro_engine
+  --target micro_dns micro_resolver micro_study micro_engine micro_socket
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
@@ -75,6 +79,9 @@ done
 # run is enough; wall seconds ride along as context only.
 echo "== micro_engine =="
 "./${BUILD}/bench/micro_engine" --json "${TMP}/micro_engine.json"
+
+echo "== micro_socket =="
+"./${BUILD}/bench/micro_socket" --json "${TMP}/micro_socket.json"
 
 # Fixed CPU-bound calibration workload (best of 3).  Wall-clock on this kind
 # of box swings with host contention; recording how long a *constant* amount
@@ -134,6 +141,9 @@ with open(os.path.join(tmp, "micro_engine.json")) as f:
 if not engine_sweep.get("invariant"):
     print("micro_engine: pipeline depth changed the dataset")
     sys.exit(1)
+
+with open(os.path.join(tmp, "micro_socket.json")) as f:
+    socket_qps = json.load(f)
 
 fresh = micro_dns.get("BM_QueryEncode", {}).get("allocs_per_op")
 reused = micro_dns.get("BM_QueryEncodeReuse", {}).get("allocs_per_op")
@@ -214,6 +224,7 @@ summary = {
     "decode_side_allocs_per_op": decode_side,
     "wire_path": wire_path,
     "engine_sweep": engine_sweep,
+    "socket_qps": socket_qps,
 }
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)

@@ -5,6 +5,7 @@
 #   tools/ci.sh sanitize   # verify + ASan/UBSan test suite
 #   tools/ci.sh threads    # verify + TSan run of the threaded scan tests
 #   tools/ci.sh fuzz       # seeded wire-parser fuzz run under ASan/UBSan
+#   tools/ci.sh socket     # real-socket serve + scripted dig matrix
 #   tools/ci.sh bench      # benchmark harness + regression gates
 #   tools/ci.sh all        # everything above (bench excluded: timing-noisy)
 #
@@ -32,9 +33,10 @@ sanitize() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target \
     util_test dns_test dnssec_test resolver_test transport_test scanner_test \
-    study_parallel_test engine_test property_test
+    study_parallel_test engine_test socket_test property_test
   for t in util_test dns_test dnssec_test resolver_test transport_test \
-           scanner_test study_parallel_test engine_test property_test; do
+           scanner_test study_parallel_test engine_test socket_test \
+           property_test; do
     "./build-asan/tests/${t}"
   done
 }
@@ -54,38 +56,147 @@ fuzz() {
 }
 
 threads() {
-  echo "== TSan: sharded scan + resolver tests =="
+  # socket_test is in this list on purpose: the SocketServer event loop and
+  # its stats snapshot run on a background thread, and the duplicated-reply
+  # accounting must hold up under TSan.
+  echo "== TSan: sharded scan + resolver + socket tests =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" --target \
-    resolver_test scanner_test study_parallel_test engine_test
-  for t in resolver_test scanner_test study_parallel_test engine_test; do
+    resolver_test scanner_test study_parallel_test engine_test socket_test
+  for t in resolver_test scanner_test study_parallel_test engine_test \
+           socket_test; do
     "./build-tsan/tests/${t}"
   done
 }
 
+socket() {
+  # End-to-end over real 127.0.0.1 sockets: an httpsrr_serve process on an
+  # ephemeral port, driven by httpsrr_dig --server from this script — the
+  # two-process path no in-process test can cover.  The matrix exercises
+  # UDP across RR types, TCP-only, genuine TC=1 → TCP fallback (the demo
+  # zone's fat TXT), distinct exit codes (NXDOMAIN, timeout), and checks
+  # that a recursive-ecosystem serve answers byte-for-byte what the local
+  # loopback dig computes for the same scale/seed/date.
+  echo "== socket: real UDP/TCP serve + scripted dig matrix =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build build -j "${JOBS}" --target httpsrr_serve httpsrr_dig
+
+  local tmp serve_pid=""
+  tmp="$(mktemp -d)"
+  stop_serve() {
+    if [[ -n "${serve_pid}" ]]; then
+      kill "${serve_pid}" 2>/dev/null || true
+      wait "${serve_pid}" 2>/dev/null || true
+      serve_pid=""
+    fi
+  }
+  trap 'stop_serve; rm -rf "${tmp}"' RETURN
+
+  start_serve() {  # start_serve LOGFILE ARGS... — sets serve_pid and EP
+    local log="$1"; shift
+    ./build/tools/httpsrr_serve "$@" >"${log}" 2>&1 &
+    serve_pid=$!
+    EP=""
+    local i
+    for i in $(seq 1 200); do
+      EP="$(sed -n 's/^listening on //p' "${log}" | head -n 1)"
+      [[ -n "${EP}" ]] && return 0
+      kill -0 "${serve_pid}" 2>/dev/null || break
+      sleep 0.05
+    done
+    echo "socket: FAIL — serve never reported its endpoint"; cat "${log}"
+    return 1
+  }
+
+  local dig=./build/tools/httpsrr_dig rc
+
+  start_serve "${tmp}/demo.log" --zone demo --quiet
+  echo "socket: demo serve at ${EP}"
+  local t
+  for t in A AAAA TXT MX NS SOA HTTPS DNSKEY; do
+    "${dig}" --server "${EP}" every.test "${t}" >/dev/null
+  done
+  "${dig}" --server "${EP}" _dns.every.test SVCB >/dev/null
+  "${dig}" --server "${EP}" alias.every.test CNAME >/dev/null
+  "${dig}" --server "${EP}" --tcp every.test HTTPS >/dev/null
+  echo "socket: udp matrix + tcp-only ok"
+
+  # The fat TXT is wider than any UDP payload: the reply must really have
+  # travelled UDP-truncated and been fetched again over TCP.
+  "${dig}" --server "${EP}" fat.every.test TXT >"${tmp}/fat.out"
+  grep -q "(retried over tcp)" "${tmp}/fat.out" || {
+    echo "socket: FAIL — fat TXT did not fall back to TCP"; return 1; }
+  echo "socket: tc=1 -> tcp fallback ok"
+
+  rc=0; "${dig}" --server "${EP}" nowhere.every.test A >/dev/null || rc=$?
+  [[ "${rc}" -eq 3 ]] || {
+    echo "socket: FAIL — NXDOMAIN exit code ${rc}, want 3"; return 1; }
+  stop_serve
+
+  # Nothing listens here: the dig must time out with exit code 1.
+  local dead_port
+  dead_port="$(python3 - <<'PY'
+import socket
+s = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+s.bind(("127.0.0.1", 0))
+print(s.getsockname()[1])
+s.close()
+PY
+)"
+  rc=0
+  "${dig}" --server "127.0.0.1:${dead_port}" --timeout 150 every.test A \
+    >/dev/null 2>&1 || rc=$?
+  [[ "${rc}" -eq 1 ]] || {
+    echo "socket: FAIL — dead-port exit code ${rc}, want 1"; return 1; }
+  echo "socket: nxdomain/timeout exit codes ok"
+
+  # Determinism across the wire: a recursive serve over the calibrated
+  # ecosystem must print the same records the in-process loopback dig
+  # prints for the same scale/seed/date.
+  local scale=300 seed=2023 date=2023-09-01
+  start_serve "${tmp}/eco.log" --scale "${scale}" --seed "${seed}" \
+    --date "${date}" --quiet
+  echo "socket: ecosystem serve at ${EP}"
+  local domain
+  domain="$("${dig}" --scale "${scale}" --seed "${seed}" --date "${date}" \
+    --list 1 | awk '{print $2}')"
+  for t in HTTPS A; do
+    "${dig}" --server "${EP}" "${domain}" "${t}" | grep -v '^;' \
+      >"${tmp}/wire_${t}.out" || true
+    "${dig}" --scale "${scale}" --seed "${seed}" --date "${date}" \
+      "${domain}" "${t}" | grep -v '^;' >"${tmp}/local_${t}.out" || true
+    diff -u "${tmp}/local_${t}.out" "${tmp}/wire_${t}.out" || {
+      echo "socket: FAIL — ${domain} ${t} differs between wire and loopback"
+      return 1; }
+  done
+  stop_serve
+  echo "socket: wire answers match in-process loopback"
+}
+
 bench() {
   echo "== bench: harness + regression gates =="
-  # Baseline = the checked-in BENCH_PR5.json (HEAD), read before the harness
-  # overwrites the working-tree copy; falls back through the PR4/PR3 files so
-  # the gates still run before the first PR5 summary is committed (the shared
-  # fields the gates read are schema-stable across them).
+  # Baseline = the checked-in BENCH_PR6.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back through the PR5/PR4/PR3
+  # files so the gates still run before the first PR6 summary is committed
+  # (the shared fields the gates read are schema-stable across them).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
+  if ! git show HEAD:BENCH_PR6.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR5.json
+  tools/bench.sh BENCH_PR6.json
   # Pipelining gate: the engine-sweep numbers are virtual-clock, fully
   # deterministic, and need no baseline — the contract is absolute.  At
   # in-flight depth 32 the WAN scan day must run at least 5x faster than
   # the serial Σ-RTT schedule, with cross-task coalescing actually firing.
   python3 - <<'PY'
 import json, sys
-with open("BENCH_PR5.json") as f:
+with open("BENCH_PR6.json") as f:
     sweep = json.load(f)["engine_sweep"]
 speedup = sweep["depth_32_speedup"]
 coalesced = sweep["depth_32_coalesced"]
@@ -115,7 +226,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR5.json") as f:
+with open("BENCH_PR6.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
@@ -150,7 +261,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR5.json") as f:
+with open("BENCH_PR6.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]
@@ -222,9 +333,10 @@ case "${MODE}" in
   sanitize) verify; sanitize ;;
   threads)  verify; threads ;;
   fuzz)     fuzz ;;
+  socket)   socket ;;
   bench)    bench ;;
-  all)      verify; sanitize; threads; fuzz ;;
-  *) echo "usage: tools/ci.sh [verify|sanitize|threads|fuzz|bench|all]" >&2; exit 2 ;;
+  all)      verify; sanitize; threads; fuzz; socket ;;
+  *) echo "usage: tools/ci.sh [verify|sanitize|threads|fuzz|socket|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "== ci.sh ${MODE}: OK =="

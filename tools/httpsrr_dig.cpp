@@ -15,9 +15,17 @@
 //     --seed N       ecosystem seed (default 2023)
 //     --date D       virtual query date, YYYY-MM-DD (default 2023-09-01)
 //     --transport T  upstream channel: loopback (default) | datagram
-//     --tcp          query over the datagram transport, TCP only
+//     --tcp          query over TCP only (datagram transport, or --server)
+//     --server H:P   query a running httpsrr_serve over real sockets
+//                    instead of building the ecosystem in-process
+//     --payload N    advertised EDNS payload size (default 1232); the
+//                    server clamps it to [512, 4096] per RFC 6891
+//     --timeout MS   --server mode: per-attempt wait (default 1000)
 //     --list N       instead of a query, print the first N domains of the
 //                    day's Tranco list (to discover names to dig)
+//
+// Exit codes (scripted use): 0 NOERROR, 1 timeout/malformed reply,
+// 2 usage error, 3 NXDOMAIN, 4 SERVFAIL, 5 any other rcode.
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +33,8 @@
 
 #include "dns/view.h"
 #include "ecosystem/internet.h"
+#include "net/socket.h"
+#include "net/socket_transport.h"
 #include "resolver/stub.h"
 
 using namespace httpsrr;
@@ -35,8 +45,21 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--scale N] [--seed N] [--date YYYY-MM-DD] "
                "[--transport loopback|datagram] [--tcp] "
+               "[--server HOST:PORT] [--payload N] [--timeout MS] "
                "[--list N | <name> [type]]\n",
                argv0);
+}
+
+// Distinct exit codes per rcode class so scripts can branch on failure
+// kind: 3 NXDOMAIN, 4 SERVFAIL, 5 anything else nonzero (1 and 2 are
+// reserved for transport/parse failures and usage errors).
+int exit_code_for(dns::Rcode rcode) {
+  switch (rcode) {
+    case dns::Rcode::NOERROR: return 0;
+    case dns::Rcode::NXDOMAIN: return 3;
+    case dns::Rcode::SERVFAIL: return 4;
+    default: return 5;
+  }
 }
 
 // Mirrors Message::to_string, but reads every field through the view.
@@ -80,6 +103,9 @@ int main(int argc, char** argv) {
   std::string date = "2023-09-01";
   std::string transport = "loopback";
   bool tcp_only = false;
+  std::string server;
+  std::uint16_t payload = 1232;
+  std::uint32_t timeout_ms = 1000;
   std::size_t list_count = 0;
   std::string qname;
   std::string qtype = "HTTPS";
@@ -98,6 +124,9 @@ int main(int argc, char** argv) {
     else if (arg == "--date") date = next();
     else if (arg == "--transport") transport = next();
     else if (arg == "--tcp") tcp_only = true;
+    else if (arg == "--server") server = next();
+    else if (arg == "--payload") payload = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--timeout") timeout_ms = static_cast<std::uint32_t>(std::atoi(next()));
     else if (arg == "--list") list_count = static_cast<std::size_t>(std::atoll(next()));
     else if (qname.empty()) qname = arg;
     else qtype = arg;
@@ -110,6 +139,68 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad transport: %s (loopback | datagram)\n",
                  transport.c_str());
     return 2;
+  }
+
+  if (!server.empty()) {
+    // Pure stub mode: no local ecosystem — the serve process hosts the
+    // simulated Internet, this side just exchanges DNS bytes with it.
+    if (qname.empty() || list_count != 0) {
+      usage(argv[0]);
+      return 2;
+    }
+    auto endpoint = net::SocketEndpoint::parse(server);
+    if (!endpoint) {
+      std::fprintf(stderr, "bad --server endpoint: %s\n", server.c_str());
+      return 2;
+    }
+    auto name = dns::Name::parse(qname);
+    if (!name.ok()) {
+      std::fprintf(stderr, "bad name: %s\n", name.error().c_str());
+      return 2;
+    }
+    auto type = dns::type_from_string(qtype);
+    if (!type.ok()) {
+      std::fprintf(stderr, "bad type: %s\n", type.error().c_str());
+      return 2;
+    }
+
+    net::SocketTransportOptions sock_options;
+    sock_options.server = *endpoint;
+    sock_options.timeout_ms = timeout_ms;
+    sock_options.tcp_only = tcp_only;
+    net::SocketTransport sock(sock_options);
+    if (!sock.ok()) {
+      std::fprintf(stderr, ";; could not open a socket to %s\n",
+                   endpoint->to_string().c_str());
+      return 1;
+    }
+    auto msg = dns::Message::make_query(
+        static_cast<std::uint16_t>(net::monotonic_us()), *name, *type);
+    msg.edns->udp_payload_size = payload;
+    const auto query = msg.encode();
+    auto reply = sock.exchange(net::IpAddr{}, query, payload);
+    if (!reply.ok()) {
+      std::fprintf(stderr, ";; no reply from %s (timeout)\n",
+                   endpoint->to_string().c_str());
+      return 1;
+    }
+    auto view = dns::MessageView::parse(reply.bytes());
+    if (!view) {
+      std::fprintf(stderr, "malformed reply: %s\n", view.error().c_str());
+      return 1;
+    }
+    std::printf(";; %s %s via %s (%s)\n", qname.c_str(), qtype.c_str(),
+                endpoint->to_string().c_str(),
+                tcp_only ? "tcp" : "udp, tcp fallback");
+    print_reply(*view);
+    std::printf(";; reply size: %zu bytes%s\n", reply.bytes().size(),
+                reply.tcp_retried ? " (retried over tcp)" : "");
+    const auto& stats = sock.stats();
+    std::printf(";; udp queries: %llu, tcp queries: %llu, retransmits: %llu\n",
+                static_cast<unsigned long long>(stats.udp_queries),
+                static_cast<unsigned long long>(stats.tcp_queries),
+                static_cast<unsigned long long>(stats.retransmits));
+    return exit_code_for(view->header().rcode);
   }
 
   ecosystem::EcosystemConfig config;
@@ -167,5 +258,5 @@ int main(int argc, char** argv) {
   std::printf(";; upstream queries: %llu, tcp fallbacks: %llu\n",
               static_cast<unsigned long long>(resolver->stats().upstream_queries),
               static_cast<unsigned long long>(resolver->stats().tcp_fallbacks));
-  return view->header().rcode == dns::Rcode::NOERROR ? 0 : 1;
+  return exit_code_for(view->header().rcode);
 }

@@ -1,0 +1,258 @@
+// httpsrr-serve — serve the simulated DNS ecosystem over real UDP/TCP so
+// another process (httpsrr_dig --server, scripted scanners, plain dig) can
+// query it over 127.0.0.1.
+//
+// Two modes:
+//   * recursive (default): a full validating recursive resolver front —
+//     clients act as stubs and get final answers in one hop, recursion
+//     runs in-process over the fast loopback path;
+//   * auth: the serve_wire view of one simulated authoritative/infra
+//     address — replies are byte-identical to what the in-process
+//     LoopbackTransport delivers at that address (--front picks it).
+//
+// Usage:
+//   httpsrr-serve [options]
+//     --scale N      daily list size (default 2000)
+//     --seed N       ecosystem seed (default 2023)
+//     --date D       virtual serve date, YYYY-MM-DD (default 2023-09-01)
+//     --bind HOST    bind address (default 127.0.0.1)
+//     --port N       port, 0 = ephemeral (default 0)
+//     --mode M       recursive | auth (default recursive)
+//     --front IP     auth mode: the simulated address to front
+//                    ("root" = the ecosystem's first root server)
+//     --zone Z       ecosystem (default) | demo — demo serves a small
+//                    self-contained signed zone carrying every RR type
+//                    plus a TXT RRset wider than any UDP payload, so
+//                    scripted clients can exercise genuine TC=1 → TCP
+//                    fallback without hunting for a fat ecosystem reply
+//     --quiet        suppress the per-shutdown stats line
+//
+// Prints "listening on HOST:PORT" (stdout, flushed) once ready — scripts
+// parse this line to learn an ephemeral port.  SIGINT/SIGTERM shut down
+// gracefully and print the serve stats.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "dnssec/signer.h"
+#include "ecosystem/internet.h"
+#include "resolver/socket_server.h"
+
+using namespace httpsrr;
+
+namespace {
+
+resolver::SocketServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scale N] [--seed N] [--date YYYY-MM-DD] "
+               "[--bind HOST] [--port N] [--mode recursive|auth] "
+               "[--front IP|root] [--zone ecosystem|demo] [--quiet]\n",
+               argv0);
+}
+
+// The demo world: one signed zone ("every.test") carrying every RR type
+// the codec knows plus a fat TXT RRset (> 1232 bytes encoded) that forces
+// genuine truncation on any UDP payload — same shape as the transport test
+// fixture, rebuilt here so a script can drive TC=1 → TCP fallback
+// end-to-end over real sockets.
+struct DemoWorld {
+  net::SimClock clock{net::SimTime::from_string("2023-05-08")};
+  resolver::DnsInfra infra;
+  dnssec::KeyPair zone_key = dnssec::KeyPair::generate(7, 257);
+  net::IpAddr addr = *net::IpAddr::parse("198.51.100.53");
+
+  DemoWorld() {
+    auto must = [](const util::Result<void>& r) {
+      if (!r.ok()) {
+        std::fprintf(stderr, "demo zone: %s\n", r.error().c_str());
+        std::exit(1);
+      }
+    };
+    using dns::name_of;
+    using dns::RrType;
+    auto& server = infra.add_server("every-ops", addr);
+    dns::Zone zone(name_of("every.test"));
+    dns::SoaRdata soa;
+    soa.mname = name_of("ns1.every.test");
+    soa.rname = name_of("ops.every.test");
+    soa.serial = 2023050801;
+    soa.minimum = 300;
+    must(zone.add(dns::make_soa(name_of("every.test"), 3600, soa)));
+    must(zone.add(dns::make_ns(name_of("every.test"), 3600,
+                               name_of("ns1.every.test"))));
+    must(zone.add(dns::make_a(name_of("ns1.every.test"), 3600,
+                              net::Ipv4Addr(198, 51, 100, 53))));
+    must(zone.add(dns::make_a(name_of("every.test"), 300,
+                              net::Ipv4Addr(192, 0, 2, 1))));
+    must(zone.add(dns::make_aaaa(name_of("every.test"), 300,
+                                 *net::Ipv6Addr::parse("2001:db8::1"))));
+    must(zone.add(dns::Rr{name_of("every.test"), RrType::TXT,
+                          dns::RrClass::IN, 300,
+                          dns::TxtRdata{{"hello", "world"}}}));
+    must(zone.add(dns::Rr{name_of("every.test"), RrType::MX,
+                          dns::RrClass::IN, 300,
+                          dns::MxRdata{10, name_of("mail.every.test")}}));
+    auto https = dns::SvcbRdata::parse_presentation(
+        "1 . alpn=h2,h3 ipv4hint=192.0.2.1");
+    must(zone.add(dns::make_https(name_of("every.test"), 300, *https)));
+    auto svcb = dns::SvcbRdata::parse_presentation("1 svc.every.test. alpn=h3");
+    must(zone.add(dns::make_svcb(name_of("_dns.every.test"), 300, *svcb)));
+    must(zone.add(dns::make_cname(name_of("alias.every.test"), 300,
+                                  name_of("every.test"))));
+    dns::TxtRdata fat;
+    for (int i = 0; i < 8; ++i) fat.strings.push_back(std::string(200, 'x'));
+    must(zone.add(dns::Rr{name_of("fat.every.test"), RrType::TXT,
+                          dns::RrClass::IN, 300, std::move(fat)}));
+    server.add_zone(std::move(zone));
+    server.enable_dnssec(name_of("every.test"), zone_key);
+    infra.register_zone(name_of("every.test"), {&server});
+    infra.set_root_servers({addr});
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t scale = 2000;
+  std::uint64_t seed = 2023;
+  std::string date = "2023-09-01";
+  std::string bind_host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string mode = "recursive";
+  std::string front;
+  std::string zone = "ecosystem";
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") scale = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--date") date = next();
+    else if (arg == "--bind") bind_host = next();
+    else if (arg == "--port") port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--mode") mode = next();
+    else if (arg == "--front") front = next();
+    else if (arg == "--zone") zone = next();
+    else if (arg == "--quiet") quiet = true;
+    else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+  if (mode != "recursive" && mode != "auth") {
+    std::fprintf(stderr, "bad mode: %s (recursive | auth)\n", mode.c_str());
+    return 2;
+  }
+  if (zone != "ecosystem" && zone != "demo") {
+    std::fprintf(stderr, "bad zone: %s (ecosystem | demo)\n", zone.c_str());
+    return 2;
+  }
+
+  // World construction: either the calibrated ecosystem at --scale/--seed/
+  // --date, or the small self-contained demo zone.  Everything is kept
+  // alive in unique_ptrs until the server loop exits.
+  std::unique_ptr<ecosystem::Internet> internet;
+  std::unique_ptr<DemoWorld> demo;
+  std::unique_ptr<resolver::RecursiveResolver> resolver;
+  std::unique_ptr<resolver::InfraWireService> demo_service;
+  const resolver::DnsInfra* infra = nullptr;
+
+  if (zone == "demo") {
+    demo = std::make_unique<DemoWorld>();
+    infra = &demo->infra;
+    resolver = std::make_unique<resolver::RecursiveResolver>(
+        demo->infra, demo->clock, demo->zone_key.dnskey,
+        resolver::ResolverOptions{});
+    demo_service = std::make_unique<resolver::InfraWireService>(demo->infra,
+                                                                demo->clock);
+  } else {
+    ecosystem::EcosystemConfig config;
+    config.list_size = scale;
+    config.universe_size = scale * 3 / 2;
+    config.seed = seed;
+    internet = std::make_unique<ecosystem::Internet>(config);
+    auto when = net::SimTime::from_string(date);
+    if (when < config.start) when = config.start;
+    internet->advance_to(when);
+    infra = &internet->infra();
+    resolver = internet->make_resolver({});
+  }
+
+  std::unique_ptr<resolver::WireResponder> responder;
+  if (mode == "recursive") {
+    responder = std::make_unique<resolver::RecursiveResponder>(*resolver);
+  } else {
+    net::IpAddr front_addr;
+    if (front == "root" || (front.empty() && zone == "demo")) {
+      if (infra->root_servers().empty()) {
+        std::fprintf(stderr, "no root servers to front\n");
+        return 1;
+      }
+      front_addr = infra->root_servers().front();
+    } else {
+      if (front.empty()) {
+        std::fprintf(stderr, "auth mode needs --front IP (or \"root\")\n");
+        return 2;
+      }
+      auto parsed = net::IpAddr::parse(front);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --front address: %s\n",
+                     parsed.error().c_str());
+        return 2;
+      }
+      front_addr = *parsed;
+    }
+    const net::WireService& service =
+        demo_service ? static_cast<const net::WireService&>(*demo_service)
+                     : resolver->wire_service();
+    responder = std::make_unique<resolver::AuthoritativeResponder>(service,
+                                                                   front_addr);
+  }
+
+  resolver::SocketServerOptions options;
+  options.bind.host = bind_host;
+  options.bind.port = port;
+  resolver::SocketServer server(*responder, options);
+  if (!server.start()) {
+    std::fprintf(stderr, "could not bind %s:%u\n", bind_host.c_str(), port);
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::printf("listening on %s\n", server.endpoint().to_string().c_str());
+  std::fflush(stdout);
+
+  server.run();
+
+  if (!quiet) {
+    auto stats = server.stats();
+    std::fprintf(stderr,
+                 ";; served udp=%llu tcp=%llu truncated=%llu dropped=%llu "
+                 "tcp_conns=%llu\n",
+                 static_cast<unsigned long long>(stats.udp_queries),
+                 static_cast<unsigned long long>(stats.tcp_queries),
+                 static_cast<unsigned long long>(stats.truncated_replies),
+                 static_cast<unsigned long long>(stats.dropped_queries),
+                 static_cast<unsigned long long>(stats.tcp_connections));
+  }
+  return 0;
+}
