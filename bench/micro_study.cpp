@@ -1,14 +1,25 @@
 // micro_study — throughput of the sharded daily scan.
 //
-// Scans one full virtual day over a 5k-domain list at K = 1, 2, 4, 8
-// shards, reporting wall-clock domains/sec and the speedup over the serial
-// engine.  Alongside the timing it digests each run's snapshot and checks
-// every K produces bit-identical output — the tentpole invariance contract,
-// exercised here at a scale the unit tests don't reach.
+// Default mode scans one full virtual day over a 5k-domain list at
+// K = 1, 2, 4, 8 shards, reporting wall-clock domains/sec and the speedup
+// over the serial engine.  Alongside the timing it digests each run's
+// snapshot and checks every K produces bit-identical output — the
+// tentpole invariance contract, exercised here at a scale the unit tests
+// don't reach.
+//
+// --scale-1m runs the paper's actual daily volume instead: one scan day
+// over a 1,000,000-domain list (1.5M universe), reporting seconds to
+// build the ecosystem, seconds for the day, peak RSS, and the columnar
+// snapshot's bytes-per-domain + interner dedup stats.  tools/ci.sh gates
+// the RSS and bytes-per-domain numbers against checked-in budgets.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "ecosystem/internet.h"
 #include "scanner/study.h"
@@ -27,6 +38,29 @@ ecosystem::EcosystemConfig bench_config() {
   return config;
 }
 
+ecosystem::EcosystemConfig scale_1m_config() {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 1000000;
+  config.universe_size = 1500000;
+  config.seed = 2024;
+  return config;
+}
+
+// Peak resident set of this process, in MiB (0 when unavailable).
+double peak_rss_mib() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+#else
+  return 0.0;
+#endif
+}
+
 std::string snapshot_digest(const scanner::DailySnapshot& snapshot,
                             std::uint64_t total_queries) {
   std::string blob;
@@ -43,10 +77,12 @@ std::string snapshot_digest(const scanner::DailySnapshot& snapshot,
   };
   for (const auto& obs : snapshot.apex) add_obs(obs);
   for (const auto& obs : snapshot.www) add_obs(obs);
-  for (const auto& [host, info] : snapshot.ns_info) {
-    blob += host.to_string();
-    blob += static_cast<char>('0' + info.addresses.size() % 10);
-    if (info.operator_name) blob += *info.operator_name;
+  // Canonical name order — the same order the pre-columnar std::map
+  // iterated in, so the digest stays pinned across the hashed-table move.
+  for (const auto* entry : snapshot.sorted_ns_info()) {
+    blob += entry->first.to_string();
+    blob += static_cast<char>('0' + entry->second.addresses.size() % 10);
+    if (entry->second.operator_name) blob += *entry->second.operator_name;
   }
   blob += std::to_string(total_queries);
   auto digest = util::sha256(blob);
@@ -94,16 +130,95 @@ RunResult run_at(std::size_t shards) {
   return best;
 }
 
+// One 1M-domain day at K=1 (the multi-day-run steady state).  Runs once —
+// the day is minutes, not milliseconds, so repetition noise is immaterial
+// next to the RSS/bytes-per-domain numbers this mode exists to gate.
+int run_scale_1m(const char* json_path) {
+  const auto config = scale_1m_config();
+  std::printf("micro_study --scale-1m: one scan day, %zu-domain list\n",
+              config.list_size);
+
+  auto t0 = std::chrono::steady_clock::now();
+  ecosystem::Internet net(config);
+  auto t1 = std::chrono::steady_clock::now();
+  const double build_seconds = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("  ecosystem build: %.1fs\n", build_seconds);
+
+  scanner::StudyOptions options;
+  options.shards = 1;
+  options.progress = [](std::size_t done, std::size_t total) {
+    if (done % 131072 < 32768 || done == total) {
+      std::fprintf(stderr, "\r  scanned %zu/%zu (rss %.0f MiB)   ", done,
+                   total, peak_rss_mib());
+      if (done == total) std::fputc('\n', stderr);
+    }
+  };
+  scanner::Study study(net, options);
+
+  auto t2 = std::chrono::steady_clock::now();
+  auto snapshot = study.run_day(net.config().start);
+  auto t3 = std::chrono::steady_clock::now();
+  const double day_seconds = std::chrono::duration<double>(t3 - t2).count();
+
+  const auto memory = snapshot.memory_stats();
+  const double rss = peak_rss_mib();
+  std::printf("  day: %.1fs for %zu listed domains (%.0f domains/s)\n",
+              day_seconds, snapshot.size(),
+              static_cast<double>(snapshot.size()) / day_seconds);
+  std::printf("  peak rss: %.0f MiB\n", rss);
+  std::printf("  snapshot: %.1f MiB total, %.1f bytes/domain "
+              "(columns %.1f MiB, interner %.1f MiB)\n",
+              static_cast<double>(memory.bytes_total) / (1024.0 * 1024.0),
+              memory.bytes_per_domain,
+              static_cast<double>(memory.column_bytes) / (1024.0 * 1024.0),
+              static_cast<double>(memory.interner_bytes) / (1024.0 * 1024.0));
+  std::printf("  interner: %zu sections, %.4f hit rate\n",
+              memory.interned_sections, memory.intern_hit_rate);
+  std::printf("  queries: %llu\n",
+              static_cast<unsigned long long>(study.total_queries()));
+
+  std::string json = "{\n";
+  json += util::format("  \"listed\": %zu,\n", snapshot.size());
+  json += util::format("  \"build_seconds\": %.2f,\n", build_seconds);
+  json += util::format("  \"day_seconds\": %.2f,\n", day_seconds);
+  json += util::format("  \"peak_rss_mib\": %.1f,\n", rss);
+  json += util::format("  \"snapshot_bytes\": %zu,\n", memory.bytes_total);
+  json += util::format("  \"bytes_per_domain\": %.2f,\n",
+                       memory.bytes_per_domain);
+  json += util::format("  \"interned_sections\": %zu,\n",
+                       memory.interned_sections);
+  json += util::format("  \"intern_hit_rate\": %.6f,\n",
+                       memory.intern_hit_rate);
+  json += util::format("  \"total_queries\": %llu\n}\n",
+                       static_cast<unsigned long long>(study.total_queries()));
+
+  if (json_path != nullptr) {
+    if (std::FILE* f = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "micro_study: cannot write %s\n", json_path);
+      return 2;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   // --json PATH: also emit a machine-readable record for tools/bench.sh.
+  // --scale-1m: the million-domain single-day mode instead of the K sweep.
   const char* json_path = nullptr;
+  bool scale_1m = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--scale-1m") {
+      scale_1m = true;
     }
   }
+  if (scale_1m) return run_scale_1m(json_path);
 
   const auto config = bench_config();
   std::printf("micro_study: one scan day, %zu-domain list\n", config.list_size);

@@ -42,10 +42,10 @@ double TimeSeries::mean_between(net::SimTime from, net::SimTime to) const {
   return n == 0 ? 0.0 : sum / static_cast<double>(n);
 }
 
-std::set<std::string> ns_operators(const scanner::HttpsObservation& obs,
+std::set<std::string> ns_operators(const scanner::ObservationView& obs,
                                    const scanner::DailySnapshot& snapshot) {
   std::set<std::string> out;
-  for (const auto& host : obs.ns_records) {
+  for (const auto& host : obs.ns_records()) {
     auto it = snapshot.ns_info.find(host);
     if (it != snapshot.ns_info.end() && it->second.operator_name) {
       out.insert(*it->second.operator_name);
@@ -54,7 +54,7 @@ std::set<std::string> ns_operators(const scanner::HttpsObservation& obs,
   return out;
 }
 
-NsMix classify_ns_mix(const scanner::HttpsObservation& obs,
+NsMix classify_ns_mix(const scanner::ObservationView& obs,
                       const scanner::DailySnapshot& snapshot) {
   auto operators = ns_operators(obs, snapshot);
   if (operators.empty()) return NsMix::unknown;

@@ -48,11 +48,13 @@ enum class NsMix : std::uint8_t {
 };
 
 // Resolves NS host names to operator names through the snapshot's WHOIS-
-// attributed NS table.
+// attributed NS table.  Takes the zero-copy columnar view — observers read
+// rows through ObservationColumn::view(i), not materialized rows.
 [[nodiscard]] std::set<std::string> ns_operators(
-    const scanner::HttpsObservation& obs, const scanner::DailySnapshot& snapshot);
+    const scanner::ObservationView& obs,
+    const scanner::DailySnapshot& snapshot);
 
-[[nodiscard]] NsMix classify_ns_mix(const scanner::HttpsObservation& obs,
+[[nodiscard]] NsMix classify_ns_mix(const scanner::ObservationView& obs,
                                     const scanner::DailySnapshot& snapshot);
 
 // Membership bitmaps for the paper's two overlapping windows (§4.1).

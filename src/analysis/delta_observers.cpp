@@ -1,0 +1,73 @@
+#include "analysis/delta_observers.h"
+
+namespace httpsrr::analysis {
+
+using scanner::ChurnDiff;
+
+// Counts are size_t; subtraction is ±1 folded through unsigned wraparound,
+// which is exact as long as a counter never goes negative — guaranteed
+// because every subtraction removes bits previously added for that row.
+namespace {
+inline void bump(std::size_t& counter, bool on, std::size_t delta) {
+  if (on) counter += delta;
+}
+}  // namespace
+
+DeltaAdoptionCounter::Counts DeltaAdoptionCounter::recompute(
+    const scanner::DailySnapshot& snapshot) {
+  Counts out;
+  out.listed = snapshot.size();
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const std::uint8_t bits = snapshot.summary_bits(i);
+    bump(out.apex_https, bits & ChurnDiff::kApexHttps, 1);
+    bump(out.www_https, bits & ChurnDiff::kWwwHttps, 1);
+    bump(out.apex_ech, bits & ChurnDiff::kApexEch, 1);
+    bump(out.apex_signed, bits & ChurnDiff::kApexSigned, 1);
+    bump(out.apex_validated, bits & ChurnDiff::kApexValidated, 1);
+  }
+  return out;
+}
+
+void DeltaAdoptionCounter::on_day(const scanner::DailySnapshot& snapshot,
+                                  const ecosystem::Internet& net) {
+  (void)net;
+  const ChurnDiff& churn = snapshot.churn;
+  if (!churn.valid) {
+    counts_ = recompute(snapshot);
+    ++full_recomputes_;
+    rows_touched_ += snapshot.size();
+  } else {
+    const auto remove = [this](std::uint8_t bits) {
+      const std::size_t minus = static_cast<std::size_t>(-1);  // wraps exact
+      bump(counts_.apex_https, bits & ChurnDiff::kApexHttps, minus);
+      bump(counts_.www_https, bits & ChurnDiff::kWwwHttps, minus);
+      bump(counts_.apex_ech, bits & ChurnDiff::kApexEch, minus);
+      bump(counts_.apex_signed, bits & ChurnDiff::kApexSigned, minus);
+      bump(counts_.apex_validated, bits & ChurnDiff::kApexValidated, minus);
+    };
+    const auto add = [this](std::uint8_t bits) {
+      bump(counts_.apex_https, bits & ChurnDiff::kApexHttps, 1);
+      bump(counts_.www_https, bits & ChurnDiff::kWwwHttps, 1);
+      bump(counts_.apex_ech, bits & ChurnDiff::kApexEch, 1);
+      bump(counts_.apex_signed, bits & ChurnDiff::kApexSigned, 1);
+      bump(counts_.apex_validated, bits & ChurnDiff::kApexValidated, 1);
+    };
+    for (std::uint8_t bits : churn.left_prev_bits) remove(bits);
+    for (std::uint8_t bits : churn.changed_prev_bits) remove(bits);
+    for (std::uint32_t i : churn.changed) add(snapshot.summary_bits(i));
+    for (std::uint32_t i : churn.entered) add(snapshot.summary_bits(i));
+    counts_.listed = snapshot.size();
+    rows_touched_ +=
+        churn.left.size() + churn.changed.size() + churn.entered.size();
+  }
+
+  auto pct = [](std::size_t part, std::size_t whole) {
+    return whole == 0 ? 0.0
+                      : 100.0 * static_cast<double>(part) /
+                            static_cast<double>(whole);
+  };
+  apex_pct_.add(snapshot.day, pct(counts_.apex_https, counts_.listed));
+  www_pct_.add(snapshot.day, pct(counts_.www_https, counts_.listed));
+}
+
+}  // namespace httpsrr::analysis

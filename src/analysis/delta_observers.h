@@ -1,0 +1,64 @@
+#pragma once
+
+// Delta-aware observers: analysis that updates from the day-over-day churn
+// diff (DailySnapshot::churn) instead of rescanning every row.
+//
+// At the 1M-domain scale the daily snapshot is ~99% identical to
+// yesterday's — the Tranco churn tail and the handful of zone edits are
+// the only rows that move.  The Study fingerprints every domain-day and
+// hands observers the exact entered/changed/left sets with the previous
+// day's packed summary bits, so a running counter needs O(churn) work per
+// day, not O(list).  The contract: a row with an unchanged fingerprint has
+// unchanged summary bits, so
+//   today = yesterday - left_bits - changed_prev_bits
+//                     + entered_bits + changed_today_bits.
+// On a first (or otherwise churn-invalid) day the counter falls back to a
+// full O(list) recompute; the incremental path must match a full recompute
+// bit-for-bit every day, which tests/columnar_test.cpp checks.
+
+#include "analysis/common.h"
+#include "scanner/study.h"
+
+namespace httpsrr::analysis {
+
+// Running adoption counters (Fig. 2's numerators) maintained from churn
+// diffs.  Tracks the dynamic list; percentages land in TimeSeries like
+// AdoptionSeries', with the same values.
+class DeltaAdoptionCounter final : public scanner::DailyObserver {
+ public:
+  struct Counts {
+    std::size_t listed = 0;
+    std::size_t apex_https = 0;
+    std::size_t www_https = 0;
+    std::size_t apex_ech = 0;
+    std::size_t apex_signed = 0;
+    std::size_t apex_validated = 0;
+
+    friend bool operator==(const Counts&, const Counts&) = default;
+  };
+
+  void on_day(const scanner::DailySnapshot& snapshot,
+              const ecosystem::Internet& net) override;
+
+  [[nodiscard]] const Counts& counts() const { return counts_; }
+  [[nodiscard]] const TimeSeries& apex_pct() const { return apex_pct_; }
+  [[nodiscard]] const TimeSeries& www_pct() const { return www_pct_; }
+  // Rows actually touched since the start (entered + changed + left over
+  // every incremental day) — the work the churn diff saved is
+  // days*list - this.
+  [[nodiscard]] std::uint64_t rows_touched() const { return rows_touched_; }
+  [[nodiscard]] std::size_t full_recomputes() const { return full_recomputes_; }
+
+  // What a from-scratch O(list) pass over `snapshot` yields — the value
+  // the incremental path must always equal.
+  [[nodiscard]] static Counts recompute(
+      const scanner::DailySnapshot& snapshot);
+
+ private:
+  Counts counts_;
+  TimeSeries apex_pct_, www_pct_;
+  std::uint64_t rows_touched_ = 0;
+  std::size_t full_recomputes_ = 0;
+};
+
+}  // namespace httpsrr::analysis

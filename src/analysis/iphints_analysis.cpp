@@ -10,31 +10,38 @@ void IpHintConsistency::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t www_https = 0, www_hints = 0, www_match = 0;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& apex_obs = snapshot.apex[i];
-    const auto& www_obs = snapshot.www[i];
+    const auto apex_obs = snapshot.apex.view(i);
+    const auto www_obs = snapshot.www.view(i);
     bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
 
+    // Extract each host's hints once; presence, the overlapping-set match
+    // rate, and the episode tracker all reuse the same walk.
+    const auto apex_hint_list =
+        apex_obs.has_https() ? apex_obs.ipv4_hints()
+                             : std::vector<net::Ipv4Addr>{};
+    const bool apex_matches = !apex_hint_list.empty() &&
+                              apex_obs.hints_match_a(apex_hint_list);
     if (overlapping && apex_obs.has_https()) {
       ++apex_https;
-      if (!apex_obs.ipv4_hints().empty()) {
+      if (!apex_hint_list.empty()) {
         ++apex_hints;
-        if (apex_obs.hints_match_a()) ++apex_match;
+        if (apex_matches) ++apex_match;
       }
     }
     if (overlapping && www_obs.has_https()) {
       ++www_https;
-      if (!www_obs.ipv4_hints().empty()) {
+      const auto www_hint_list = www_obs.ipv4_hints();
+      if (!www_hint_list.empty()) {
         ++www_hints;
-        if (www_obs.hints_match_a()) ++www_match;
+        if (www_obs.hints_match_a(www_hint_list)) ++www_match;
       }
     }
 
     // Episode tracking runs over the dynamic list (all mismatches count).
-    if (apex_obs.has_https() && !apex_obs.ipv4_hints().empty() &&
-        !apex_obs.a_records().empty()) {
+    if (!apex_hint_list.empty() && apex_obs.a_record_count() != 0) {
       auto& episode = episodes_[snapshot.list[i]];
       ++episode.observed_days;
-      if (!apex_obs.hints_match_a()) {
+      if (!apex_matches) {
         ++episode.mismatch_days;
         ++episode.open_days;
       } else if (episode.open_days > 0) {

@@ -17,7 +17,7 @@ void NsCategoryAnalysis::on_day(const scanner::DailySnapshot& snapshot,
   Counts dyn, ovl;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     NsMix mix = classify_ns_mix(obs, snapshot);
     if (mix == NsMix::unknown) continue;
@@ -68,7 +68,7 @@ void ProviderAnalysis::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t domain_count = 0;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     auto operators = ns_operators(obs, snapshot);
     bool any_non_cf = false;
@@ -120,7 +120,7 @@ void IntermittentUse::on_day(const scanner::DailySnapshot& snapshot,
   if (snapshot.day < from_ || snapshot.day > to_) return;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     bool on = obs.has_https();
     auto& track = tracks_[snapshot.list[i]];
 
@@ -142,7 +142,7 @@ void IntermittentUse::on_day(const scanner::DailySnapshot& snapshot,
         // The Study keeps issuing NS lookups for the cohort, so an empty
         // NS set while deactivated is a real observation (the paper's 20
         // no-NS domains), as is an NXDOMAIN for the apex.
-        if (obs.nxdomain || (obs.answered && obs.ns_records.empty())) {
+        if (obs.nxdomain() || (obs.answered() && obs.ns_records().empty())) {
           track.ns_absent_while_off = true;
         }
         if (track.was_cf_before_loss && !operators.empty() &&

@@ -29,7 +29,7 @@ void CfConfigClassifier::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t ovl_total = 0, ovl_default = 0;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     if (classify_ns_mix(obs, snapshot) != NsMix::full_cloudflare) continue;
 
@@ -59,7 +59,7 @@ void ProviderParamProfile::on_day(const scanner::DailySnapshot& snapshot,
                                   const ecosystem::Internet& net) {
   (void)net;
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     auto operators = ns_operators(obs, snapshot);
     if (!operators.contains(provider_)) continue;
@@ -103,7 +103,7 @@ void ParamAudit::on_day(const scanner::DailySnapshot& snapshot,
                         const ecosystem::Internet& net) {
   (void)net;
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     Result row;
     for (const auto& record : obs.https_records()) {
@@ -141,8 +141,8 @@ void AlpnDistribution::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t non_cf = 0, non_cf_h2 = 0, non_cf_h3 = 0, non_cf_none = 0;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& apex_obs = snapshot.apex[i];
-    const auto& www_obs = snapshot.www[i];
+    const auto apex_obs = snapshot.apex.view(i);
+    const auto www_obs = snapshot.www.view(i);
     bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
 
     if (apex_obs.has_https()) {

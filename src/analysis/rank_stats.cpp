@@ -49,7 +49,7 @@ void NonCfRankStats::on_day(const scanner::DailySnapshot& snapshot,
                             const ecosystem::Internet& net) {
   (void)net;
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     if (classify_ns_mix(obs, snapshot) != NsMix::none_cloudflare) continue;
     auto& acc = ranks_[snapshot.list[i]];

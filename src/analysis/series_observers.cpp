@@ -18,8 +18,8 @@ void AdoptionSeries::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t ovl_total = 0, ovl_apex = 0, ovl_www = 0;
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    bool apex_https = snapshot.apex[i].has_https();
-    bool www_https = snapshot.www[i].has_https();
+    bool apex_https = snapshot.apex.view(i).has_https();
+    bool www_https = snapshot.www.view(i).has_https();
     if (apex_https) ++dyn_apex;
     if (www_https) ++dyn_www;
     if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
@@ -42,19 +42,21 @@ void DnssecSeries::on_day(const scanner::DailySnapshot& snapshot,
   };
   Bucket dyn_apex, dyn_www, ovl_apex, ovl_www;
 
-  auto account = [](Bucket& bucket, const scanner::HttpsObservation& obs) {
+  auto account = [](Bucket& bucket, const scanner::ObservationView& obs) {
     if (!obs.has_https()) return;
     ++bucket.https;
-    if (obs.rrsig_present) ++bucket.signed_;
-    if (obs.rrsig_present && obs.ad) ++bucket.ad;
+    if (obs.rrsig_present()) ++bucket.signed_;
+    if (obs.rrsig_present() && obs.ad()) ++bucket.ad;
   };
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    account(dyn_apex, snapshot.apex[i]);
-    account(dyn_www, snapshot.www[i]);
+    const auto apex_obs = snapshot.apex.view(i);
+    const auto www_obs = snapshot.www.view(i);
+    account(dyn_apex, apex_obs);
+    account(dyn_www, www_obs);
     if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
-      account(ovl_apex, snapshot.apex[i]);
-      account(ovl_www, snapshot.www[i]);
+      account(ovl_apex, apex_obs);
+      account(ovl_www, www_obs);
     }
   }
 
@@ -75,8 +77,8 @@ void EchSeries::on_day(const scanner::DailySnapshot& snapshot,
 
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     if (!overlap_.overlapping_on(snapshot.list[i], snapshot.day)) continue;
-    const auto& apex_obs = snapshot.apex[i];
-    const auto& www_obs = snapshot.www[i];
+    const auto apex_obs = snapshot.apex.view(i);
+    const auto www_obs = snapshot.www.view(i);
     if (apex_obs.has_https()) {
       ++apex_https;
       if (apex_obs.has_ech()) {
@@ -108,11 +110,11 @@ void EchDnssecSeries::on_day(const scanner::DailySnapshot& snapshot,
   std::size_t ech = 0, signed_count = 0, validated = 0;
   for (std::size_t i = 0; i < snapshot.size(); ++i) {
     if (!overlap_.overlapping_on(snapshot.list[i], snapshot.day)) continue;
-    const auto& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https() || !obs.has_ech()) continue;
     ++ech;
-    if (obs.rrsig_present) ++signed_count;
-    if (obs.rrsig_present && obs.ad) ++validated;
+    if (obs.rrsig_present()) ++signed_count;
+    if (obs.rrsig_present() && obs.ad()) ++validated;
   }
   if (ech > 0) {
     signed_.add(snapshot.day, pct(signed_count, ech));

@@ -79,17 +79,30 @@ bool TrancoFeed::contains(DomainId id, net::SimTime day) const {
 }
 
 std::vector<DomainId> TrancoFeed::list_for(net::SimTime day) const {
-  std::int64_t day_index = day.unix_seconds / 86400;
   std::vector<DomainId> members;
+  list_for_into(day, members);
+  return members;
+}
+
+void TrancoFeed::list_for_into(net::SimTime day,
+                               std::vector<DomainId>& out) const {
+  std::int64_t day_index = day.unix_seconds / 86400;
+
+  // Rank ordering: a stable per-domain quality score plus daily jitter;
+  // core domains score better (Fig. 8's separation).  Scores are computed
+  // once per member and sorted as (score, id) pairs: the comparator sees
+  // the same booleans the score-per-comparison sort saw, so the resulting
+  // permutation — ties included — is identical, at a third of the mix64
+  // work for a million members.
+  struct Scored {
+    std::uint64_t score;
+    DomainId id;
+  };
+  std::vector<Scored> members;
   members.reserve(options_.list_size + options_.list_size / 8);
 
   for (DomainId id = 0; id < stability_.size(); ++id) {
-    if (contains(id, day)) members.push_back(id);
-  }
-
-  // Rank ordering: a stable per-domain quality score plus daily jitter;
-  // core domains score better (Fig. 8's separation).
-  auto score = [this, day_index](DomainId id) -> std::uint64_t {
+    if (!contains(id, day)) continue;
     std::uint64_t base = util::mix64(options_.seed ^ 0xbadc0de ^ id) >> 3;
     std::uint64_t jitter =
         util::mix64(options_.seed ^ id ^ (static_cast<std::uint64_t>(day_index) << 32)) >> 8;
@@ -100,11 +113,14 @@ std::vector<DomainId> TrancoFeed::list_for(net::SimTime day) const {
       case Stability::core_phase2: bonus = 1ULL << 60; break;
       case Stability::churn: bonus = 3ULL << 60; break;
     }
-    return bonus + base / 2 + jitter / 4;
-  };
+    members.push_back({bonus + base / 2 + jitter / 4, id});
+  }
+
   std::sort(members.begin(), members.end(),
-            [&score](DomainId a, DomainId b) { return score(a) < score(b); });
-  return members;
+            [](const Scored& a, const Scored& b) { return a.score < b.score; });
+  out.clear();
+  out.reserve(members.size());
+  for (const Scored& m : members) out.push_back(m.id);
 }
 
 std::size_t TrancoFeed::rank_of(DomainId id, net::SimTime day) const {

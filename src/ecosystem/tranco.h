@@ -52,6 +52,12 @@ class TrancoFeed {
   // The ranked list for a given day (index = rank - 1).
   [[nodiscard]] std::vector<DomainId> list_for(net::SimTime day) const;
 
+  // Same list, written into a reused buffer.  Scores each member once
+  // (instead of twice per sort comparison) — the day's pull at the 1M
+  // scale is score-bound, and the permutation is unchanged because the
+  // comparator's decisions are identical.
+  void list_for_into(net::SimTime day, std::vector<DomainId>& out) const;
+
   // True if `id` is in the list on `day` (consistent with list_for).
   [[nodiscard]] bool contains(DomainId id, net::SimTime day) const;
 

@@ -1,0 +1,306 @@
+#include "scanner/columns.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace httpsrr::scanner {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::uint8_t* data,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+// Deep comparison of two refs possibly from different interners, with the
+// null==empty semantics of HttpsObservation sections.  Non-zero refs are
+// never empty (intern canonicalizes), so the kNullRef checks suffice.
+bool refs_equal(const RrsetInterner& ia, std::uint32_t ra,
+                const RrsetInterner& ib, std::uint32_t rb) {
+  if (&ia == &ib && ra == rb) return true;
+  const auto* va = ia.records(ra);
+  const auto* vb = ib.records(rb);
+  if (va == vb) return true;  // same shared vector (or both null)
+  if (va == nullptr || vb == nullptr) return false;
+  return *va == *vb;
+}
+
+}  // namespace
+
+RrsetInterner::RrsetInterner() {
+  // Entry 0: the canonical null/empty section.
+  sections_.emplace_back();
+  hashes_.push_back(0);
+  svcb_counts_.push_back(0);
+  a_counts_.push_back(0);
+  aaaa_counts_.push_back(0);
+}
+
+std::uint64_t RrsetInterner::hash_records(const std::vector<dns::Rr>& v) {
+  // Wire-encode the section into the reused scratch writer: encode_rr is
+  // deterministic for equal record content (the compression table resets
+  // with the buffer), so equal sections hash equal.  Sections that differ
+  // only in name case hash apart — that merely costs a duplicate entry;
+  // equality comparisons never trust the hash.
+  scratch_.clear();
+  for (const auto& rr : v) {
+    dns::encode_rr(rr, scratch_);
+  }
+  const auto& bytes = scratch_.data();
+  return fnv1a(kFnvOffset, bytes.data(), bytes.size());
+}
+
+std::uint32_t RrsetInterner::intern(const Section& section) {
+  if (!section || section->empty()) {
+    ++stats_.empty_hits;
+    return kNullRef;
+  }
+  auto [slot, inserted] = by_pointer_.try_emplace(section.get(), kNullRef);
+  if (!inserted) {
+    ++stats_.pointer_hits;
+    return slot->second;
+  }
+  const std::uint64_t h = hash_records(*section);
+  auto& bucket = by_content_[h];
+  for (std::uint32_t ref : bucket) {
+    if (*sections_[ref] == *section) {
+      ++stats_.content_hits;
+      slot->second = ref;
+      return ref;
+    }
+  }
+  ++stats_.misses;
+  const auto ref = static_cast<std::uint32_t>(sections_.size());
+  sections_.push_back(section);
+  hashes_.push_back(h);
+  std::uint32_t svcb = 0, a = 0, aaaa = 0;
+  for (const auto& rr : *section) {
+    if (std::holds_alternative<dns::SvcbRdata>(rr.rdata)) ++svcb;
+    else if (std::holds_alternative<dns::ARdata>(rr.rdata)) ++a;
+    else if (std::holds_alternative<dns::AaaaRdata>(rr.rdata)) ++aaaa;
+  }
+  svcb_counts_.push_back(svcb);
+  a_counts_.push_back(a);
+  aaaa_counts_.push_back(aaaa);
+  bucket.push_back(ref);
+  slot->second = ref;
+  return ref;
+}
+
+std::size_t RrsetInterner::memory_bytes() const {
+  std::size_t bytes = sections_.capacity() * sizeof(Section) +
+                      hashes_.capacity() * sizeof(std::uint64_t) +
+                      (svcb_counts_.capacity() + a_counts_.capacity() +
+                       aaaa_counts_.capacity()) * sizeof(std::uint32_t);
+  // Hash tables: entries plus bucket arrays (approximate node costs).
+  bytes += by_pointer_.size() * (sizeof(void*) * 3 + sizeof(std::uint32_t));
+  bytes += by_content_.size() * (sizeof(void*) * 3 + sizeof(std::uint64_t));
+  for (const auto& [h, refs] : by_content_) {
+    (void)h;
+    bytes += refs.capacity() * sizeof(std::uint32_t);
+  }
+  // Pinned record vectors (shared with resolver caches, counted here so
+  // bytes-per-domain reflects what the snapshot keeps alive).
+  for (const auto& section : sections_) {
+    if (section) bytes += section->capacity() * sizeof(dns::Rr);
+  }
+  return bytes;
+}
+
+void ObservationColumn::reserve(std::size_t n) {
+  flags_.reserve(n);
+  https_ref_.reserve(n);
+  a_ref_.reserve(n);
+  aaaa_ref_.reserve(n);
+  ns_offset_.reserve(n + 1);
+}
+
+void ObservationColumn::clear() {
+  flags_.clear();
+  https_ref_.clear();
+  a_ref_.clear();
+  aaaa_ref_.clear();
+  ns_offset_.assign(1, 0);
+  ns_pool_.clear();
+}
+
+void ObservationColumn::append(const HttpsObservation& row) {
+  std::uint8_t flags = 0;
+  if (row.answered) flags |= ObservationView::kAnswered;
+  if (row.servfail) flags |= ObservationView::kServfail;
+  if (row.nxdomain) flags |= ObservationView::kNxdomain;
+  if (row.followed_cname) flags |= ObservationView::kFollowedCname;
+  if (row.rrsig_present) flags |= ObservationView::kRrsigPresent;
+  if (row.ad) flags |= ObservationView::kAd;
+  if (row.soa_present) flags |= ObservationView::kSoaPresent;
+  flags_.push_back(flags);
+  https_ref_.push_back(interner_->intern(row.https_answer));
+  a_ref_.push_back(interner_->intern(row.a_answer));
+  aaaa_ref_.push_back(interner_->intern(row.aaaa_answer));
+  ns_pool_.insert(ns_pool_.end(), row.ns_records.begin(),
+                  row.ns_records.end());
+  ns_offset_.push_back(static_cast<std::uint32_t>(ns_pool_.size()));
+}
+
+void ObservationColumn::append_column(const ObservationColumn& src) {
+  const std::size_t n = src.size();
+  flags_.insert(flags_.end(), src.flags_.begin(), src.flags_.end());
+  const bool same = interner_ == src.interner_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (same) {
+      https_ref_.push_back(src.https_ref_[i]);
+      a_ref_.push_back(src.a_ref_[i]);
+      aaaa_ref_.push_back(src.aaaa_ref_[i]);
+    } else {
+      // Remap into our interner; the shared_ptrs are the same objects the
+      // shard interned, so these resolve as pointer hits after first sight.
+      https_ref_.push_back(
+          interner_->intern(src.interner_->section(src.https_ref_[i])));
+      a_ref_.push_back(
+          interner_->intern(src.interner_->section(src.a_ref_[i])));
+      aaaa_ref_.push_back(
+          interner_->intern(src.interner_->section(src.aaaa_ref_[i])));
+    }
+  }
+  const auto base = static_cast<std::uint32_t>(ns_pool_.size());
+  ns_pool_.insert(ns_pool_.end(), src.ns_pool_.begin(), src.ns_pool_.end());
+  for (std::size_t i = 1; i <= n; ++i) {
+    ns_offset_.push_back(base + src.ns_offset_[i]);
+  }
+}
+
+HttpsObservation ObservationColumn::operator[](std::size_t i) const {
+  return view(i).materialize();
+}
+
+HttpsObservation ObservationColumn::const_iterator::operator*() const {
+  return (*col_)[i_];
+}
+
+HttpsObservation ObservationView::materialize() const {
+  HttpsObservation row;
+  row.answered = answered();
+  row.servfail = servfail();
+  row.nxdomain = nxdomain();
+  row.followed_cname = followed_cname();
+  row.rrsig_present = rrsig_present();
+  row.ad = ad();
+  row.soa_present = soa_present();
+  row.https_answer = *https_handle_;
+  row.a_answer = *a_handle_;
+  row.aaaa_answer = *aaaa_handle_;
+  row.ns_records.assign(ns_.begin(), ns_.end());
+  return row;
+}
+
+std::uint64_t ObservationColumn::fingerprint(std::size_t i) const {
+  std::uint64_t h = kFnvOffset;
+  auto fold = [&h](std::uint64_t v) { h = util::mix64(h ^ v); };
+  fold(flags_[i]);
+  fold(interner_->content_hash(https_ref_[i]));
+  fold(interner_->content_hash(a_ref_[i]));
+  fold(interner_->content_hash(aaaa_ref_[i]));
+  const std::uint32_t begin = ns_offset_[i], end = ns_offset_[i + 1];
+  fold(end - begin);
+  for (std::uint32_t j = begin; j < end; ++j) {
+    fold(ns_pool_[j].hash());  // case-folded name hash
+  }
+  return h;
+}
+
+std::size_t ObservationColumn::column_bytes() const {
+  return flags_.capacity() * sizeof(std::uint8_t) +
+         (https_ref_.capacity() + a_ref_.capacity() + aaaa_ref_.capacity() +
+          ns_offset_.capacity()) * sizeof(std::uint32_t) +
+         ns_pool_.capacity() * sizeof(dns::Name);
+}
+
+bool operator==(const ObservationColumn& x, const ObservationColumn& y) {
+  if (x.size() != y.size()) return false;
+  if (x.flags_ != y.flags_) return false;
+  // NS slices: per-row lengths must agree, then names compare (Name == is
+  // case-insensitive, so the pools compare element-wise, not byte-wise).
+  if (x.ns_offset_ != y.ns_offset_) return false;
+  if (x.ns_pool_ != y.ns_pool_) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!refs_equal(*x.interner_, x.https_ref_[i], *y.interner_,
+                    y.https_ref_[i]) ||
+        !refs_equal(*x.interner_, x.a_ref_[i], *y.interner_, y.a_ref_[i]) ||
+        !refs_equal(*x.interner_, x.aaaa_ref_[i], *y.interner_,
+                    y.aaaa_ref_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DailySnapshot::DailySnapshot() {
+  auto interner = std::make_shared<RrsetInterner>();
+  apex = ObservationColumn(interner);
+  www = ObservationColumn(interner);
+}
+
+std::uint8_t DailySnapshot::summary_bits(std::size_t i) const {
+  std::uint8_t bits = 0;
+  const auto a = apex.view(i);
+  if (a.has_https()) {
+    bits |= ChurnDiff::kApexHttps;
+    if (a.has_ech()) bits |= ChurnDiff::kApexEch;
+    if (a.rrsig_present()) {
+      bits |= ChurnDiff::kApexSigned;
+      if (a.ad()) bits |= ChurnDiff::kApexValidated;
+    }
+  }
+  if (www.view(i).has_https()) bits |= ChurnDiff::kWwwHttps;
+  return bits;
+}
+
+std::vector<const std::pair<const dns::Name, NsInfo>*>
+DailySnapshot::sorted_ns_info() const {
+  std::vector<const std::pair<const dns::Name, NsInfo>*> out;
+  out.reserve(ns_info.size());
+  for (const auto& entry : ns_info) out.push_back(&entry);
+  std::sort(out.begin(), out.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return out;
+}
+
+DailySnapshot::MemoryStats DailySnapshot::memory_stats() const {
+  MemoryStats stats;
+  stats.column_bytes = apex.column_bytes() + www.column_bytes();
+  stats.interner_bytes = apex.interner().memory_bytes();
+  if (&apex.interner() != &www.interner()) {
+    stats.interner_bytes += www.interner().memory_bytes();
+  }
+  std::size_t ns_bytes = 0;
+  for (const auto& [host, info] : ns_info) {
+    (void)host;
+    ns_bytes += sizeof(dns::Name) + sizeof(NsInfo) +
+                info.addresses.capacity() * sizeof(net::IpAddr) +
+                (info.whois_org ? info.whois_org->capacity() : 0) +
+                (info.operator_name ? info.operator_name->capacity() : 0);
+  }
+  stats.bytes_total = stats.column_bytes + stats.interner_bytes + ns_bytes +
+                      list.capacity() * sizeof(ecosystem::DomainId);
+  stats.interned_sections = apex.interner().entry_count();
+  stats.intern_hit_rate = apex.interner().stats().hit_rate();
+  stats.bytes_per_domain =
+      list.empty() ? 0.0
+                   : static_cast<double>(stats.bytes_total) /
+                         static_cast<double>(list.size());
+  return stats;
+}
+
+bool operator==(const DailySnapshot& a, const DailySnapshot& b) {
+  return a.day == b.day && a.list == b.list && a.apex == b.apex &&
+         a.www == b.www && a.ns_info == b.ns_info && a.churn == b.churn;
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,372 @@
+#pragma once
+
+// Columnar backing store for a day's scan — the structure-of-arrays form
+// of the per-domain HttpsObservation rows, built for the paper's actual
+// scale (1M domains/day for months).
+//
+// Layout, per host column (apex / www):
+//   * one bit-packed flags byte per domain (answered/servfail/nxdomain/
+//     followed_cname/rrsig_present/ad/soa_present);
+//   * three 32-bit refs per domain into a deduplicated RRset interner —
+//     most of the million rows share a handful of provider RRsets, and
+//     every NOERROR-empty answer collapses to ref 0;
+//   * a prefix-offset side table into one shared dns::Name pool for the
+//     sparse NS data (most rows have none).
+//
+// That is ~17 bytes of column data per host instead of a ~200-byte row of
+// three shared_ptr control blocks and a vector header.  Reads go through
+// ObservationView (zero-copy accessor mirroring the HttpsObservation read
+// API) or the materializing operator[], which rebuilds a full row so the
+// pre-columnar call sites (`snapshot.apex[i].has_https()`, range-for over
+// a column) compile unchanged.
+//
+// Lifetime rules: an ObservationView (and the spans/ranges it hands out)
+// borrows from its column and is valid until the column is destroyed or
+// appended to.  Columns share their interner by shared_ptr; copies of a
+// snapshot therefore share interned sections, which is safe because
+// entries are append-only and immutable — but only one writer (the Study)
+// may append at a time.  Shard columns are built thread-locally and merged
+// on the coordinating thread.
+//
+// This header is layered under scanner/observation.h (which includes it at
+// the bottom); include either one.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dns/name.h"
+#include "dns/wire.h"
+#include "scanner/observation.h"  // row types + typed ranges (layered pair)
+
+namespace httpsrr::scanner {
+
+struct HttpsObservation;
+struct NsInfo;
+
+// Deduplicating store of shared answer-section snapshots.  Ref 0 is the
+// canonical "null or empty" section: the resolver's static shared empty
+// vector — and any other empty section — interns to it for free, which is
+// what collapses the ~3/4 of rows whose lookups answered with no records.
+//
+// Dedup runs in two tiers: a pointer map (shards re-serve the same cache
+// vector to thousands of domains) and a content map keyed by a hash of the
+// section's deterministic wire encoding (distinct-but-equal vectors from
+// different resolver caches).  Hash collisions fall back to a deep record
+// compare, so interning never changes equality semantics.
+class RrsetInterner {
+ public:
+  using Section = std::shared_ptr<const std::vector<dns::Rr>>;
+
+  static constexpr std::uint32_t kNullRef = 0;
+
+  struct Stats {
+    std::uint64_t pointer_hits = 0;
+    std::uint64_t content_hits = 0;
+    std::uint64_t empty_hits = 0;  // null/empty canonicalized to ref 0
+    std::uint64_t misses = 0;      // new entries
+    [[nodiscard]] double hit_rate() const {
+      auto hits = pointer_hits + content_hits + empty_hits;
+      auto total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+
+  RrsetInterner();
+
+  // Returns the ref for `section`, adding an entry on first sight.  Null
+  // and empty sections canonicalize to kNullRef.
+  std::uint32_t intern(const Section& section);
+
+  // The records behind a ref; nullptr for kNullRef (read as empty).
+  [[nodiscard]] const std::vector<dns::Rr>* records(std::uint32_t ref) const {
+    return sections_[ref].get();
+  }
+  // Shared handle for materializing rows (null for kNullRef).
+  [[nodiscard]] const Section& section(std::uint32_t ref) const {
+    return sections_[ref];
+  }
+  // Content hash of a ref (0 for kNullRef) — the churn fingerprints fold
+  // these in, so a day-over-day RRset change is one u64 compare away.
+  [[nodiscard]] std::uint64_t content_hash(std::uint32_t ref) const {
+    return hashes_[ref];
+  }
+  // Cached per-entry record counts by RDATA kind (computed once at intern
+  // time) — the O(1) answer to "how many A records" that RdataRange::size
+  // would otherwise re-walk per call.
+  [[nodiscard]] std::uint32_t svcb_count(std::uint32_t ref) const {
+    return svcb_counts_[ref];
+  }
+  [[nodiscard]] std::uint32_t a_count(std::uint32_t ref) const {
+    return a_counts_[ref];
+  }
+  [[nodiscard]] std::uint32_t aaaa_count(std::uint32_t ref) const {
+    return aaaa_counts_[ref];
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return sections_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  // Approximate heap footprint of the interner's own tables plus the
+  // record vectors it pins (shared with the resolver caches).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  [[nodiscard]] std::uint64_t hash_records(const std::vector<dns::Rr>& v);
+
+  std::vector<Section> sections_;          // [0] = null
+  std::vector<std::uint64_t> hashes_;      // [0] = 0
+  std::vector<std::uint32_t> svcb_counts_;
+  std::vector<std::uint32_t> a_counts_;
+  std::vector<std::uint32_t> aaaa_counts_;
+  std::unordered_map<const void*, std::uint32_t> by_pointer_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_content_;
+  dns::WireWriter scratch_;  // reused per hash_records call
+  Stats stats_;
+};
+
+class ObservationColumn;
+
+// Zero-copy read accessor over one row of an ObservationColumn, mirroring
+// the HttpsObservation read API as methods.  Self-contained: construction
+// resolves the flags byte, section pointers, and NS span, so hot observer
+// loops touch four cache lines per row instead of materializing a row.
+class ObservationView {
+ public:
+  [[nodiscard]] bool answered() const { return (flags_ & kAnswered) != 0; }
+  [[nodiscard]] bool servfail() const { return (flags_ & kServfail) != 0; }
+  [[nodiscard]] bool nxdomain() const { return (flags_ & kNxdomain) != 0; }
+  [[nodiscard]] bool followed_cname() const {
+    return (flags_ & kFollowedCname) != 0;
+  }
+  [[nodiscard]] bool rrsig_present() const {
+    return (flags_ & kRrsigPresent) != 0;
+  }
+  [[nodiscard]] bool ad() const { return (flags_ & kAd) != 0; }
+  [[nodiscard]] bool soa_present() const { return (flags_ & kSoaPresent) != 0; }
+
+  [[nodiscard]] std::span<const dns::Name> ns_records() const { return ns_; }
+
+  [[nodiscard]] SvcbRange https_records() const { return SvcbRange(https_); }
+  [[nodiscard]] Ipv4Range a_records() const { return Ipv4Range(a_); }
+  [[nodiscard]] Ipv6Range aaaa_records() const { return Ipv6Range(aaaa_); }
+
+  // Interned per-section record counts: O(1), no snapshot walk.
+  [[nodiscard]] std::size_t https_record_count() const { return svcb_count_; }
+  [[nodiscard]] std::size_t a_record_count() const { return a_count_; }
+  [[nodiscard]] std::size_t aaaa_record_count() const { return aaaa_count_; }
+
+  [[nodiscard]] bool has_https() const { return svcb_count_ != 0; }
+  [[nodiscard]] bool has_ech() const { return detail::section_has_ech(https_); }
+  [[nodiscard]] std::optional<dns::Bytes> ech_config() const {
+    return detail::section_ech_config(https_);
+  }
+  [[nodiscard]] bool alias_mode() const {
+    return detail::section_alias_mode(https_);
+  }
+  [[nodiscard]] std::vector<net::Ipv4Addr> ipv4_hints() const {
+    return detail::section_ipv4_hints(https_);
+  }
+  [[nodiscard]] std::vector<net::Ipv6Addr> ipv6_hints() const {
+    return detail::section_ipv6_hints(https_);
+  }
+  [[nodiscard]] std::vector<std::string> alpn_protocols() const {
+    return detail::section_alpn_protocols(https_);
+  }
+  [[nodiscard]] bool hints_match_a() const {
+    return hints_match_a(ipv4_hints());
+  }
+  [[nodiscard]] bool hints_match_a(
+      std::span<const net::Ipv4Addr> hints) const {
+    return detail::hints_match_a_section(hints, a_);
+  }
+
+  // A self-contained row copy (shares the interned section vectors).
+  [[nodiscard]] HttpsObservation materialize() const;
+
+  static constexpr std::uint8_t kAnswered = 1u << 0;
+  static constexpr std::uint8_t kServfail = 1u << 1;
+  static constexpr std::uint8_t kNxdomain = 1u << 2;
+  static constexpr std::uint8_t kFollowedCname = 1u << 3;
+  static constexpr std::uint8_t kRrsigPresent = 1u << 4;
+  static constexpr std::uint8_t kAd = 1u << 5;
+  static constexpr std::uint8_t kSoaPresent = 1u << 6;
+
+ private:
+  friend class ObservationColumn;
+  ObservationView(std::uint8_t flags, const std::vector<dns::Rr>* https,
+                  const std::vector<dns::Rr>* a,
+                  const std::vector<dns::Rr>* aaaa,
+                  std::uint32_t svcb_count, std::uint32_t a_count,
+                  std::uint32_t aaaa_count, std::span<const dns::Name> ns,
+                  const RrsetInterner::Section* https_handle,
+                  const RrsetInterner::Section* a_handle,
+                  const RrsetInterner::Section* aaaa_handle)
+      : flags_(flags), svcb_count_(svcb_count), a_count_(a_count),
+        aaaa_count_(aaaa_count), https_(https), a_(a), aaaa_(aaaa), ns_(ns),
+        https_handle_(https_handle), a_handle_(a_handle),
+        aaaa_handle_(aaaa_handle) {}
+
+  std::uint8_t flags_;
+  std::uint32_t svcb_count_, a_count_, aaaa_count_;
+  const std::vector<dns::Rr>* https_;
+  const std::vector<dns::Rr>* a_;
+  const std::vector<dns::Rr>* aaaa_;
+  std::span<const dns::Name> ns_;
+  const RrsetInterner::Section* https_handle_;  // for materialize()
+  const RrsetInterner::Section* a_handle_;
+  const RrsetInterner::Section* aaaa_handle_;
+};
+
+// One host column (all apex rows, or all www rows) of a day.
+class ObservationColumn {
+ public:
+  ObservationColumn() : ObservationColumn(std::make_shared<RrsetInterner>()) {}
+  explicit ObservationColumn(std::shared_ptr<RrsetInterner> interner)
+      : interner_(std::move(interner)), ns_offset_{0} {}
+
+  [[nodiscard]] std::size_t size() const { return flags_.size(); }
+  [[nodiscard]] bool empty() const { return flags_.empty(); }
+  void reserve(std::size_t n);
+  void clear();
+
+  // Appends a classified row, interning its sections.
+  void append(const HttpsObservation& row);
+  // Appends every row of `src`, remapping its interner refs into ours
+  // (pointer hits when src shares our interner's underlying vectors —
+  // the shard-merge fast path).
+  void append_column(const ObservationColumn& src);
+
+  [[nodiscard]] ObservationView view(std::size_t i) const {
+    return ObservationView(
+        flags_[i], interner_->records(https_ref_[i]),
+        interner_->records(a_ref_[i]), interner_->records(aaaa_ref_[i]),
+        interner_->svcb_count(https_ref_[i]),
+        interner_->a_count(a_ref_[i]), interner_->aaaa_count(aaaa_ref_[i]),
+        std::span<const dns::Name>(ns_pool_.data() + ns_offset_[i],
+                                   ns_offset_[i + 1] - ns_offset_[i]),
+        &interner_->section(https_ref_[i]), &interner_->section(a_ref_[i]),
+        &interner_->section(aaaa_ref_[i]));
+  }
+
+  // Materializing read — keeps the pre-columnar `snapshot.apex[i].field`
+  // call sites compiling (the returned row is a value; a const& binding
+  // lifetime-extends it).
+  [[nodiscard]] HttpsObservation operator[](std::size_t i) const;
+
+  // By-value iteration so range-for over a column still works.
+  class const_iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = HttpsObservation;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator(const ObservationColumn* col, std::size_t i)
+        : col_(col), i_(i) {}
+    [[nodiscard]] HttpsObservation operator*() const;
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    friend bool operator==(const const_iterator&,
+                           const const_iterator&) = default;
+
+   private:
+    const ObservationColumn* col_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size()}; }
+
+  // Content fingerprint of one row: flags + section content hashes + NS
+  // names.  Day-over-day equality of fingerprints is what the churn diff
+  // keys on; any observable change to the row changes it.
+  [[nodiscard]] std::uint64_t fingerprint(std::size_t i) const;
+
+  [[nodiscard]] const RrsetInterner& interner() const { return *interner_; }
+  [[nodiscard]] const std::shared_ptr<RrsetInterner>& interner_ptr() const {
+    return interner_;
+  }
+  // Column-side bytes only (flags, refs, NS side table) — interner bytes
+  // are accounted once per snapshot, not per column.
+  [[nodiscard]] std::size_t column_bytes() const;
+
+  // Deep row-wise equality with null==empty section semantics; columns
+  // with different interners compare by record content.
+  friend bool operator==(const ObservationColumn& x,
+                         const ObservationColumn& y);
+
+ private:
+  std::shared_ptr<RrsetInterner> interner_;
+  std::vector<std::uint8_t> flags_;
+  std::vector<std::uint32_t> https_ref_;
+  std::vector<std::uint32_t> a_ref_;
+  std::vector<std::uint32_t> aaaa_ref_;
+  std::vector<std::uint32_t> ns_offset_;  // size()+1 prefix offsets
+  std::vector<dns::Name> ns_pool_;
+};
+
+// Day-over-day churn diff, computed by the Study after each day's merge:
+// which list rows are new, which changed content, which domains left, and
+// the packed summary bits a delta-aware observer needs to update its
+// counters without rescanning the 99% of rows that didn't move.
+struct ChurnDiff {
+  // Summary bits (see DailySnapshot::summary_bits).
+  static constexpr std::uint8_t kApexHttps = 1u << 0;
+  static constexpr std::uint8_t kWwwHttps = 1u << 1;
+  static constexpr std::uint8_t kApexEch = 1u << 2;
+  static constexpr std::uint8_t kApexSigned = 1u << 3;
+  static constexpr std::uint8_t kApexValidated = 1u << 4;
+
+  bool valid = false;  // false on a study's first observed day
+  std::size_t unchanged = 0;  // rows listed both days with equal fingerprint
+  std::vector<std::uint32_t> entered;  // list indices not listed yesterday
+  std::vector<std::uint32_t> changed;  // list indices with fingerprint churn
+  std::vector<std::uint8_t> changed_prev_bits;  // parallel to `changed`
+  std::vector<ecosystem::DomainId> left;  // listed yesterday, absent today
+  std::vector<std::uint8_t> left_prev_bits;  // parallel to `left`
+
+  friend bool operator==(const ChurnDiff&, const ChurnDiff&) = default;
+};
+
+// Everything collected on one day.  `apex`/`www` share one RRset interner;
+// `list` is today's Tranco list in rank order and the columns are parallel
+// to it.
+struct DailySnapshot {
+  net::SimTime day;
+  std::vector<ecosystem::DomainId> list;
+  ObservationColumn apex;
+  ObservationColumn www;
+  std::unordered_map<dns::Name, NsInfo, dns::NameHash> ns_info;
+  ChurnDiff churn;
+
+  DailySnapshot();
+
+  [[nodiscard]] std::size_t size() const { return list.size(); }
+
+  // Packed adoption bits of row i (ChurnDiff::k* masks).
+  [[nodiscard]] std::uint8_t summary_bits(std::size_t i) const;
+
+  // ns_info entries ordered by canonical name order — the deterministic
+  // iteration the digest and reports need now that the table is hashed.
+  [[nodiscard]] std::vector<const std::pair<const dns::Name, NsInfo>*>
+  sorted_ns_info() const;
+
+  struct MemoryStats {
+    std::size_t bytes_total = 0;       // columns + interner + list + NS table
+    std::size_t column_bytes = 0;      // flags/refs/NS side tables
+    std::size_t interner_bytes = 0;    // dedup tables + pinned record vectors
+    std::size_t interned_sections = 0;
+    double intern_hit_rate = 0.0;
+    double bytes_per_domain = 0.0;
+  };
+  [[nodiscard]] MemoryStats memory_stats() const;
+
+  friend bool operator==(const DailySnapshot& a, const DailySnapshot& b);
+};
+
+}  // namespace httpsrr::scanner

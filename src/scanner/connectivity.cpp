@@ -9,15 +9,15 @@ void ConnectivityAudit::on_day(const DailySnapshot& snapshot,
   if (snapshot.day < from_ || snapshot.day > to_) return;
 
   for (std::size_t i = 0; i < snapshot.list.size(); ++i) {
-    const HttpsObservation& obs = snapshot.apex[i];
+    const auto obs = snapshot.apex.view(i);
     if (!obs.has_https()) continue;
     auto hints = obs.ipv4_hints();
     auto a_records = obs.a_records();
-    if (hints.empty() || a_records.empty()) continue;
+    if (hints.empty() || obs.a_record_count() == 0) continue;
 
     auto& record = domains_[snapshot.list[i]];
     ++record.observed_days;
-    if (obs.hints_match_a()) continue;
+    if (obs.hints_match_a(hints)) continue;
 
     ++occurrences_;
     ++record.mismatch_days;

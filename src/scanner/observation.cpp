@@ -4,11 +4,8 @@
 
 namespace httpsrr::scanner {
 
-namespace {
+namespace detail {
 
-// Content comparison for answer-section snapshots: shards hold distinct
-// but equal cache vectors, and a never-filled section (null) must equal a
-// filled-but-empty one.
 bool sections_equal(const std::shared_ptr<const std::vector<dns::Rr>>& a,
                     const std::shared_ptr<const std::vector<dns::Rr>>& b) {
   static const std::vector<dns::Rr> kEmpty;
@@ -17,42 +14,30 @@ bool sections_equal(const std::shared_ptr<const std::vector<dns::Rr>>& a,
   return va == vb;
 }
 
-}  // namespace
-
-bool operator==(const HttpsObservation& a, const HttpsObservation& b) {
-  return a.answered == b.answered && a.servfail == b.servfail &&
-         a.nxdomain == b.nxdomain && a.followed_cname == b.followed_cname &&
-         a.rrsig_present == b.rrsig_present && a.ad == b.ad &&
-         a.ns_records == b.ns_records && a.soa_present == b.soa_present &&
-         sections_equal(a.https_answer, b.https_answer) &&
-         sections_equal(a.a_answer, b.a_answer) &&
-         sections_equal(a.aaaa_answer, b.aaaa_answer);
-}
-
-bool HttpsObservation::has_ech() const {
-  for (const auto& r : https_records()) {
+bool section_has_ech(const std::vector<dns::Rr>* v) {
+  for (const auto& r : SvcbRange(v)) {
     if (r.params.has(dns::SvcParamKey::ech)) return true;
   }
   return false;
 }
 
-std::optional<dns::Bytes> HttpsObservation::ech_config() const {
-  for (const auto& r : https_records()) {
+std::optional<dns::Bytes> section_ech_config(const std::vector<dns::Rr>* v) {
+  for (const auto& r : SvcbRange(v)) {
     if (auto blob = r.params.ech()) return blob;
   }
   return std::nullopt;
 }
 
-bool HttpsObservation::alias_mode() const {
-  auto records = https_records();
+bool section_alias_mode(const std::vector<dns::Rr>* v) {
+  auto records = SvcbRange(v);
   return !records.empty() &&
          std::all_of(records.begin(), records.end(),
                      [](const dns::SvcbRdata& r) { return r.is_alias_mode(); });
 }
 
-std::vector<net::Ipv4Addr> HttpsObservation::ipv4_hints() const {
+std::vector<net::Ipv4Addr> section_ipv4_hints(const std::vector<dns::Rr>* v) {
   std::vector<net::Ipv4Addr> out;
-  for (const auto& r : https_records()) {
+  for (const auto& r : SvcbRange(v)) {
     if (auto hints = r.params.ipv4hint()) {
       out.insert(out.end(), hints->begin(), hints->end());
     }
@@ -60,9 +45,9 @@ std::vector<net::Ipv4Addr> HttpsObservation::ipv4_hints() const {
   return out;
 }
 
-std::vector<net::Ipv6Addr> HttpsObservation::ipv6_hints() const {
+std::vector<net::Ipv6Addr> section_ipv6_hints(const std::vector<dns::Rr>* v) {
   std::vector<net::Ipv6Addr> out;
-  for (const auto& r : https_records()) {
+  for (const auto& r : SvcbRange(v)) {
     if (auto hints = r.params.ipv6hint()) {
       out.insert(out.end(), hints->begin(), hints->end());
     }
@@ -70,9 +55,9 @@ std::vector<net::Ipv6Addr> HttpsObservation::ipv6_hints() const {
   return out;
 }
 
-std::vector<std::string> HttpsObservation::alpn_protocols() const {
+std::vector<std::string> section_alpn_protocols(const std::vector<dns::Rr>* v) {
   std::vector<std::string> out;
-  for (const auto& r : https_records()) {
+  for (const auto& r : SvcbRange(v)) {
     if (auto protocols = r.params.alpn()) {
       for (auto& p : *protocols) {
         if (std::find(out.begin(), out.end(), p) == out.end()) {
@@ -84,16 +69,29 @@ std::vector<std::string> HttpsObservation::alpn_protocols() const {
   return out;
 }
 
-bool HttpsObservation::hints_match_a() const {
-  auto hints = ipv4_hints();
+bool hints_match_a_section(std::span<const net::Ipv4Addr> hints,
+                           const std::vector<dns::Rr>* a) {
   if (hints.empty()) return false;
-  auto range = a_records();
-  std::vector<net::Ipv4Addr> a(range.begin(), range.end());
-  std::sort(hints.begin(), hints.end());
-  hints.erase(std::unique(hints.begin(), hints.end()), hints.end());
-  std::sort(a.begin(), a.end());
-  a.erase(std::unique(a.begin(), a.end()), a.end());
-  return hints == a;
+  auto range = Ipv4Range(a);
+  std::vector<net::Ipv4Addr> addrs(range.begin(), range.end());
+  std::vector<net::Ipv4Addr> wanted(hints.begin(), hints.end());
+  std::sort(wanted.begin(), wanted.end());
+  wanted.erase(std::unique(wanted.begin(), wanted.end()), wanted.end());
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  return wanted == addrs;
+}
+
+}  // namespace detail
+
+bool operator==(const HttpsObservation& a, const HttpsObservation& b) {
+  return a.answered == b.answered && a.servfail == b.servfail &&
+         a.nxdomain == b.nxdomain && a.followed_cname == b.followed_cname &&
+         a.rrsig_present == b.rrsig_present && a.ad == b.ad &&
+         a.ns_records == b.ns_records && a.soa_present == b.soa_present &&
+         detail::sections_equal(a.https_answer, b.https_answer) &&
+         detail::sections_equal(a.a_answer, b.a_answer) &&
+         detail::sections_equal(a.aaaa_answer, b.aaaa_answer);
 }
 
 }  // namespace httpsrr::scanner

@@ -11,12 +11,19 @@
 // place.  Equality is deep — snapshots compare by content, never by
 // pointer — because shard-invariance tests compare observations produced
 // by *different* resolvers whose caches hold distinct but equal vectors.
+//
+// `HttpsObservation` is the *row* form: the scan waves classify responses
+// into these scratch rows, and accessors materialize them back out of the
+// columnar day store (scanner/columns.h) for code that wants a
+// self-contained value.  The day-scale storage itself is columnar — see
+// DailySnapshot in scanner/columns.h, included at the bottom so existing
+// `#include "scanner/observation.h"` sites keep seeing the whole surface.
 
 #include <cstddef>
 #include <iterator>
-#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <variant>
 #include <vector>
@@ -85,6 +92,9 @@ class RdataRange {
     return iterator(v_, v_ != nullptr ? v_->size() : 0);
   }
   [[nodiscard]] bool empty() const { return begin() == end(); }
+  // One walk of the snapshot.  Callers that need the count alongside the
+  // records should walk once themselves (or read the interned per-section
+  // counts through ObservationView) instead of calling size() repeatedly.
   [[nodiscard]] std::size_t size() const {
     std::size_t n = 0;
     for (auto it = begin(); it != end(); ++it) ++n;
@@ -113,6 +123,35 @@ struct AddressProj {
 using SvcbRange = detail::RdataRange<dns::SvcbRdata, detail::IdentityProj>;
 using Ipv4Range = detail::RdataRange<dns::ARdata, detail::AddressProj>;
 using Ipv6Range = detail::RdataRange<dns::AaaaRdata, detail::AddressProj>;
+
+namespace detail {
+
+// Shared implementations of the typed HTTPS-record accessors, written over
+// a raw section pointer so the row form (HttpsObservation) and the
+// columnar view (ObservationView) classify records through one body.
+[[nodiscard]] bool section_has_ech(const std::vector<dns::Rr>* v);
+[[nodiscard]] std::optional<dns::Bytes> section_ech_config(
+    const std::vector<dns::Rr>* v);
+[[nodiscard]] bool section_alias_mode(const std::vector<dns::Rr>* v);
+[[nodiscard]] std::vector<net::Ipv4Addr> section_ipv4_hints(
+    const std::vector<dns::Rr>* v);
+[[nodiscard]] std::vector<net::Ipv6Addr> section_ipv6_hints(
+    const std::vector<dns::Rr>* v);
+[[nodiscard]] std::vector<std::string> section_alpn_protocols(
+    const std::vector<dns::Rr>* v);
+// True when `hints` is non-empty and equals the A records of `a` as a set.
+// Takes the hints precomputed so callers that need them anyway (most do)
+// walk the HTTPS section once instead of once per predicate.
+[[nodiscard]] bool hints_match_a_section(std::span<const net::Ipv4Addr> hints,
+                                         const std::vector<dns::Rr>* a);
+// Content comparison for answer-section snapshots: shards hold distinct
+// but equal cache vectors, and a never-filled section (null) must equal a
+// filled-but-empty one.
+[[nodiscard]] bool sections_equal(
+    const std::shared_ptr<const std::vector<dns::Rr>>& a,
+    const std::shared_ptr<const std::vector<dns::Rr>>& b);
+
+}  // namespace detail
 
 // One host (apex or www) scanned on one day.
 struct HttpsObservation {
@@ -146,16 +185,36 @@ struct HttpsObservation {
   }
 
   [[nodiscard]] bool has_https() const { return !https_records().empty(); }
-  [[nodiscard]] bool has_ech() const;
-  [[nodiscard]] std::optional<dns::Bytes> ech_config() const;
-  [[nodiscard]] bool alias_mode() const;
+  [[nodiscard]] bool has_ech() const {
+    return detail::section_has_ech(https_answer.get());
+  }
+  [[nodiscard]] std::optional<dns::Bytes> ech_config() const {
+    return detail::section_ech_config(https_answer.get());
+  }
+  [[nodiscard]] bool alias_mode() const {
+    return detail::section_alias_mode(https_answer.get());
+  }
   // All ipv4 hints across records.
-  [[nodiscard]] std::vector<net::Ipv4Addr> ipv4_hints() const;
-  [[nodiscard]] std::vector<net::Ipv6Addr> ipv6_hints() const;
+  [[nodiscard]] std::vector<net::Ipv4Addr> ipv4_hints() const {
+    return detail::section_ipv4_hints(https_answer.get());
+  }
+  [[nodiscard]] std::vector<net::Ipv6Addr> ipv6_hints() const {
+    return detail::section_ipv6_hints(https_answer.get());
+  }
   // Union of advertised ALPN protocol ids.
-  [[nodiscard]] std::vector<std::string> alpn_protocols() const;
-  // True when ipv4 hints are present and equal the A RRset as a set.
-  [[nodiscard]] bool hints_match_a() const;
+  [[nodiscard]] std::vector<std::string> alpn_protocols() const {
+    return detail::section_alpn_protocols(https_answer.get());
+  }
+  // True when ipv4 hints are present and equal the A RRset as a set.  The
+  // span overload takes hints the caller already extracted, so checking
+  // "has hints" and "hints match" costs one HTTPS-section walk, not three.
+  [[nodiscard]] bool hints_match_a() const {
+    return hints_match_a(ipv4_hints());
+  }
+  [[nodiscard]] bool hints_match_a(
+      std::span<const net::Ipv4Addr> hints) const {
+    return detail::hints_match_a_section(hints, a_answer.get());
+  }
 
   // Deep field-wise equality, used by the shard-count-invariance tests:
   // section snapshots compare by record content (null == empty), so
@@ -172,17 +231,9 @@ struct NsInfo {
   friend bool operator==(const NsInfo&, const NsInfo&) = default;
 };
 
-// Everything collected on one day.
-struct DailySnapshot {
-  net::SimTime day;
-  std::vector<ecosystem::DomainId> list;  // today's Tranco list (rank order)
-  std::vector<HttpsObservation> apex;     // parallel to `list`
-  std::vector<HttpsObservation> www;      // parallel to `list`
-  std::map<dns::Name, NsInfo> ns_info;    // NS hosts of HTTPS publishers
-
-  [[nodiscard]] std::size_t size() const { return list.size(); }
-
-  friend bool operator==(const DailySnapshot&, const DailySnapshot&) = default;
-};
-
 }  // namespace httpsrr::scanner
+
+// DailySnapshot and the columnar backing store live in columns.h; pulled
+// in here (after the row types above, which it builds on) so the many
+// existing includes of observation.h keep compiling unchanged.
+#include "scanner/columns.h"  // IWYU pragma: keep

@@ -16,6 +16,12 @@ using resolver::QueryEngine;
 
 namespace {
 
+// Domains classified per scan block: bounds each worker's scratch-row
+// storage (and the engine wave length) at the million-domain scale while
+// staying large enough to keep pipelines full.  Blocks are unobservable in
+// the output — see scan_range.
+constexpr std::size_t kScanBlock = 32768;
+
 // One engine wave with the stub's fallback policy, batched: every request
 // runs on the primary's engine, and any SERVFAIL answer is re-run on the
 // backup (the per-query primary→backup retry StubResolver applies, in the
@@ -99,69 +105,99 @@ void Study::for_each_shard(
 
 void Study::scan_range(Shard& shard, const DailySnapshot& snapshot,
                        std::size_t begin, std::size_t end, ShardScan& out) {
-  // The shard's slice runs as engine waves: first every HTTPS question in
-  // list order (apex then www per domain — the serial schedule's order),
-  // then every follow-up the HTTPS answers call for.  At max_in_flight = 1
-  // each wave degenerates to sequential resolve_shared calls; the whole
-  // day runs on one frozen virtual instant, so deeper pipelines and the
-  // wave regrouping change scheduling only, never an answer (the resolver
+  // The shard's slice runs block by block; inside a block, engine waves:
+  // first every HTTPS question in list order (apex then www per domain —
+  // the serial schedule's order), then every follow-up the HTTPS answers
+  // call for.  At max_in_flight = 1 each wave degenerates to sequential
+  // resolve_shared calls; the whole day runs on one frozen virtual
+  // instant, so deeper pipelines, the wave regrouping, and the block
+  // boundaries change scheduling only, never an answer (the resolver
   // determinism contract) — which is what keeps the snapshot digest
-  // byte-identical across depths and shard counts.
-  const std::size_t n = end - begin;
-  out.apex.resize(n);
-  out.www.resize(n);
+  // byte-identical across depths, shard counts, and block sizes.  The
+  // block cap is what bounds scratch-row memory: classified rows land in
+  // the columnar fragment at the end of each block, and the row buffers
+  // are recycled.
+  out.apex.reserve(end - begin);
+  out.www.reserve(end - begin);
 
+  std::vector<HttpsObservation> apex_rows;
+  std::vector<HttpsObservation> www_rows;
   std::vector<QueryEngine::Request> wave;
-  wave.reserve(2 * n);
-  for (std::size_t i = begin; i < end; ++i) {
-    const auto& domain = net_.domain(snapshot.list[i]);
-    wave.push_back({domain.apex, RrType::HTTPS});
-    wave.push_back({domain.www, RrType::HTTPS});
-  }
-  out.queries += wave.size();
-  const auto https =
-      run_wave(*shard.primary, shard.backup.get(), wave);
-
-  // Classify the HTTPS answers and collect the follow-up wave: one A/AAAA/
-  // SOA/NS quartet per host with an HTTPS record — plus the NS-tracking
-  // cohort rule.  Domains that ever published HTTPS keep their follow-ups
-  // even while the record is deactivated (§4.2.3 cross-references the NS
-  // dataset to attribute intermittent records).  The cohort set is frozen
-  // during the fan-out; today's entrants land in `joined` and are merged
-  // on the coordinating thread after the workers finish.
   std::vector<QueryEngine::Request> follow;
   std::vector<HttpsObservation*> follow_obs;
-  const auto queue_follow_ups = [&](const Name& host, HttpsObservation& obs) {
-    follow.push_back({host, RrType::A});
-    follow.push_back({host, RrType::AAAA});
-    follow.push_back({host, RrType::SOA});
-    follow.push_back({host, RrType::NS});
-    follow_obs.push_back(&obs);
-  };
-  for (std::size_t i = 0; i < n; ++i) {
-    const ecosystem::DomainId id = snapshot.list[begin + i];
-    const auto& domain = net_.domain(id);
-    HttpsObservation& apex_obs = out.apex[i];
-    HttpsScanner::apply_https(apex_obs, https[2 * i]);
-    if (apex_obs.has_https()) {
-      out.joined.push_back(id);
-      queue_follow_ups(domain.apex, apex_obs);
-    } else if (options_.scan_ns && https_cohort_.contains(id) &&
-               apex_obs.answered) {
-      queue_follow_ups(domain.apex, apex_obs);
-    }
-    HttpsObservation& www_obs = out.www[i];
-    HttpsScanner::apply_https(www_obs, https[2 * i + 1]);
-    if (www_obs.has_https()) queue_follow_ups(domain.www, www_obs);
-  }
-  out.queries += follow.size();
 
-  const auto answers =
-      run_wave(*shard.primary, shard.backup.get(), follow);
-  for (std::size_t j = 0; j < follow_obs.size(); ++j) {
-    HttpsScanner::apply_follow_ups(*follow_obs[j], answers[4 * j],
-                                   answers[4 * j + 1], answers[4 * j + 2],
-                                   answers[4 * j + 3]);
+  for (std::size_t block = begin; block < end; block += kScanBlock) {
+    const std::size_t block_end = std::min(block + kScanBlock, end);
+    const std::size_t n = block_end - block;
+    apex_rows.clear();
+    apex_rows.resize(n);
+    www_rows.clear();
+    www_rows.resize(n);
+
+    wave.clear();
+    wave.reserve(2 * n);
+    for (std::size_t i = block; i < block_end; ++i) {
+      const auto& domain = net_.domain(snapshot.list[i]);
+      wave.push_back({domain.apex, RrType::HTTPS});
+      wave.push_back({domain.www, RrType::HTTPS});
+    }
+    out.queries += wave.size();
+    const auto https = run_wave(*shard.primary, shard.backup.get(), wave);
+
+    // Classify the HTTPS answers and collect the follow-up wave: one
+    // A/AAAA/SOA/NS quartet per host with an HTTPS record — plus the
+    // NS-tracking cohort rule.  Domains that ever published HTTPS keep
+    // their follow-ups even while the record is deactivated (§4.2.3
+    // cross-references the NS dataset to attribute intermittent records).
+    // The cohort set is frozen during the fan-out; today's entrants land
+    // in `joined` and are merged on the coordinating thread after the
+    // workers finish.
+    follow.clear();
+    follow_obs.clear();
+    const auto queue_follow_ups = [&](const Name& host,
+                                      HttpsObservation& obs) {
+      follow.push_back({host, RrType::A});
+      follow.push_back({host, RrType::AAAA});
+      follow.push_back({host, RrType::SOA});
+      follow.push_back({host, RrType::NS});
+      follow_obs.push_back(&obs);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      const ecosystem::DomainId id = snapshot.list[block + i];
+      const auto& domain = net_.domain(id);
+      HttpsObservation& apex_obs = apex_rows[i];
+      HttpsScanner::apply_https(apex_obs, https[2 * i]);
+      if (apex_obs.has_https()) {
+        out.joined.push_back(id);
+        queue_follow_ups(domain.apex, apex_obs);
+      } else if (options_.scan_ns && https_cohort_.contains(id) &&
+                 apex_obs.answered) {
+        queue_follow_ups(domain.apex, apex_obs);
+      }
+      HttpsObservation& www_obs = www_rows[i];
+      HttpsScanner::apply_https(www_obs, https[2 * i + 1]);
+      if (www_obs.has_https()) queue_follow_ups(domain.www, www_obs);
+    }
+    out.queries += follow.size();
+
+    const auto answers = run_wave(*shard.primary, shard.backup.get(), follow);
+    for (std::size_t j = 0; j < follow_obs.size(); ++j) {
+      HttpsScanner::apply_follow_ups(*follow_obs[j], answers[4 * j],
+                                     answers[4 * j + 1], answers[4 * j + 2],
+                                     answers[4 * j + 3]);
+    }
+
+    // The block's rows are final: fold them into the columnar fragment
+    // (interning the shared answer sections) and recycle the buffers.
+    for (std::size_t i = 0; i < n; ++i) {
+      out.apex.append(apex_rows[i]);
+      out.www.append(www_rows[i]);
+    }
+
+    if (options_.progress) {
+      const auto done = progress_done_.fetch_add(n) + n;
+      options_.progress(done, progress_total_);
+    }
   }
 }
 
@@ -174,7 +210,9 @@ DailySnapshot Study::run_day(net::SimTime day) {
 
   DailySnapshot snapshot;
   snapshot.day = at;
-  snapshot.list = net_.tranco().list_for(at);
+  net_.tranco().list_for_into(at, snapshot.list);
+  progress_done_.store(0);
+  progress_total_ = snapshot.list.size();
 
   std::vector<ShardScan> fragments(shards_.size());
   for_each_shard(snapshot.list.size(),
@@ -182,20 +220,77 @@ DailySnapshot Study::run_day(net::SimTime day) {
                    scan_range(shards_[k], snapshot, begin, end, fragments[k]);
                  });
 
-  // Merge fragments in list order; shard boundaries vanish here.
+  // Merge fragments in list order; shard boundaries vanish here.  The
+  // append remaps shard-interner refs into the snapshot's interner — the
+  // sections are the same shared cache vectors, so this is a pointer-hit
+  // walk, not a row rebuild.
   snapshot.apex.reserve(snapshot.list.size());
   snapshot.www.reserve(snapshot.list.size());
   for (auto& fragment : fragments) {
-    for (auto& obs : fragment.apex) snapshot.apex.push_back(std::move(obs));
-    for (auto& obs : fragment.www) snapshot.www.push_back(std::move(obs));
+    snapshot.apex.append_column(fragment.apex);
+    snapshot.www.append_column(fragment.www);
     for (ecosystem::DomainId id : fragment.joined) https_cohort_.insert(id);
     total_queries_ += fragment.queries;
   }
 
   if (options_.scan_ns) scan_name_servers(snapshot);
+  compute_churn(snapshot);
 
   for (auto* observer : observers_) observer->on_day(snapshot, net_);
   return snapshot;
+}
+
+void Study::compute_churn(DailySnapshot& snapshot) {
+  const std::size_t universe = net_.domain_count();
+  if (prev_fp_.size() < universe) {
+    prev_fp_.resize(universe, 0);
+    prev_bits_.resize(universe, 0);
+    prev_member_.resize(universe, 0);
+  }
+
+  const std::size_t n = snapshot.list.size();
+  std::vector<std::uint64_t> today_fp(n);
+  std::vector<std::uint8_t> today_bits(n);
+  ChurnDiff& diff = snapshot.churn;
+  diff.valid = churn_valid_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ecosystem::DomainId id = snapshot.list[i];
+    // One content fingerprint per domain-day, folding both hosts.
+    today_fp[i] = util::mix64(snapshot.apex.fingerprint(i) ^
+                              util::mix64(snapshot.www.fingerprint(i)));
+    today_bits[i] = snapshot.summary_bits(i);
+    if (!churn_valid_) continue;
+    if (prev_member_[id] != 0) {
+      if (prev_fp_[id] == today_fp[i]) {
+        ++diff.unchanged;
+      } else {
+        diff.changed.push_back(static_cast<std::uint32_t>(i));
+        diff.changed_prev_bits.push_back(prev_bits_[id]);
+      }
+      prev_member_[id] = 2;  // seen today too
+    } else {
+      diff.entered.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  if (churn_valid_) {
+    for (const ecosystem::DomainId id : prev_list_) {
+      if (prev_member_[id] == 1) {
+        diff.left.push_back(id);
+        diff.left_prev_bits.push_back(prev_bits_[id]);
+      }
+    }
+  }
+
+  // Roll the stored state forward to today.
+  for (const ecosystem::DomainId id : prev_list_) prev_member_[id] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const ecosystem::DomainId id = snapshot.list[i];
+    prev_member_[id] = 1;
+    prev_fp_[id] = today_fp[i];
+    prev_bits_[id] = today_bits[i];
+  }
+  prev_list_ = snapshot.list;
+  churn_valid_ = true;
 }
 
 void Study::scan_name_servers(DailySnapshot& snapshot) {
@@ -207,7 +302,7 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
   // identical at every shard count.
   std::vector<Name> to_probe;
   for (std::size_t i = 0; i < snapshot.list.size(); ++i) {
-    for (const Name& host : snapshot.apex[i].ns_records) {
+    for (const Name& host : snapshot.apex.view(i).ns_records()) {
       if (snapshot.ns_info.contains(host)) continue;
       auto cached = ns_cache_.find(host);
       if (cached != ns_cache_.end() && !cached->second.addresses.empty()) {

@@ -19,14 +19,25 @@
 // is a pure function of the question (resolver/recursive.h), the merged
 // snapshot and the query accounting are byte-identical for every K —
 // K=1 reproduces the historical serial output.
+//
+// Memory model at the million-domain scale: each shard classifies its
+// slice in fixed-size blocks of scratch rows and appends them straight
+// into a columnar fragment (scanner/columns.h), so peak row storage is
+// O(block) per worker, not O(list).  Fragments merge into the day's
+// DailySnapshot columns by interner-ref remap — no row rebuilds.  After
+// the merge the Study diffs the day against the previous one into
+// `snapshot.churn` (universe-indexed fingerprints), which is what lets
+// delta-aware observers skip the ~99% of rows that did not move.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
 #include <vector>
 
+#include "dns/name.h"
 #include "ecosystem/internet.h"
 #include "resolver/stub.h"
 #include "scanner/https_scanner.h"
@@ -57,6 +68,10 @@ struct StudyOptions {
   // every shard uses: loopback (default — zero-copy shared wire images)
   // or the modelled UDP/TCP datagram transport.
   resolver::ResolverOptions resolver_options;
+  // Optional progress hook, called after each scan block with (domains
+  // scanned so far today, domains listed today).  Invoked from worker
+  // threads — the callback must be thread-safe (a stderr write is).
+  std::function<void(std::size_t, std::size_t)> progress;
 };
 
 class Study {
@@ -87,22 +102,31 @@ class Study {
     std::unique_ptr<resolver::RecursiveResolver> backup;
   };
 
-  // Per-shard fragment of one day, merged in list order after the join.
+  // Per-shard fragment of one day: columnar, with apex and www sharing one
+  // shard-local interner.  Merged in list order after the join.
   struct ShardScan {
-    std::vector<HttpsObservation> apex;
-    std::vector<HttpsObservation> www;
+    ShardScan()
+        : apex(std::make_shared<RrsetInterner>()), www(apex.interner_ptr()) {}
+    ObservationColumn apex;
+    ObservationColumn www;
     std::vector<ecosystem::DomainId> joined;  // new HTTPS-cohort entrants
     std::uint64_t queries = 0;
   };
 
   // Scans list positions [begin, end) with `shard`'s resolvers, feeding
-  // the slice through the shard's QueryEngine as waves (HTTPS questions,
-  // then follow-ups).  Pipeline depth comes from
-  // Options::resolver_options.max_in_flight; depth 1 reproduces the
-  // historical serial scan exactly.
+  // the slice through the shard's QueryEngine as fixed-size blocks of
+  // waves (HTTPS questions, then follow-ups), classifying each block into
+  // reused scratch rows and appending them to `out`'s columns.  Pipeline
+  // depth comes from Options::resolver_options.max_in_flight; answers are
+  // pure functions of the question at the day's frozen instant, so the
+  // block boundaries — like the shard split — are unobservable in the
+  // output.
   void scan_range(Shard& shard, const DailySnapshot& snapshot,
                   std::size_t begin, std::size_t end, ShardScan& out);
   void scan_name_servers(DailySnapshot& snapshot);
+  // Fills snapshot.churn from the previous day's fingerprints, then rolls
+  // the stored state forward to today.
+  void compute_churn(DailySnapshot& snapshot);
 
   // Invokes fn(shard_index, begin, end) over `total` items split into
   // contiguous per-shard ranges — on worker threads when more than one
@@ -119,9 +143,22 @@ class Study {
   // usable addresses is not re-queried; a host whose probe came back
   // empty (all address lookups failed) is re-probed on a later day so a
   // transient outage cannot poison the attribution dataset for good.
-  std::map<dns::Name, NsInfo> ns_cache_;
+  // Hashed (not ordered): it is only ever probed by key — the probe queue
+  // is built in list order, so determinism never leans on map iteration.
+  std::unordered_map<dns::Name, NsInfo, dns::NameHash> ns_cache_;
   std::vector<DailyObserver*> observers_;
   std::uint64_t total_queries_ = 0;
+
+  // Previous-day churn state, indexed by DomainId (universe index).
+  bool churn_valid_ = false;
+  std::vector<std::uint64_t> prev_fp_;
+  std::vector<std::uint8_t> prev_bits_;
+  std::vector<std::uint8_t> prev_member_;
+  std::vector<ecosystem::DomainId> prev_list_;
+
+  // Per-day progress accounting for Options::progress.
+  std::atomic<std::size_t> progress_done_{0};
+  std::size_t progress_total_ = 0;
 };
 
 }  // namespace httpsrr::scanner

@@ -33,10 +33,10 @@ sanitize() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target \
     util_test dns_test dnssec_test resolver_test transport_test scanner_test \
-    study_parallel_test engine_test socket_test property_test
+    study_parallel_test columnar_test engine_test socket_test property_test
   for t in util_test dns_test dnssec_test resolver_test transport_test \
-           scanner_test study_parallel_test engine_test socket_test \
-           property_test; do
+           scanner_test study_parallel_test columnar_test engine_test \
+           socket_test property_test; do
     "./build-asan/tests/${t}"
   done
 }
@@ -63,9 +63,10 @@ threads() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" --target \
-    resolver_test scanner_test study_parallel_test engine_test socket_test
-  for t in resolver_test scanner_test study_parallel_test engine_test \
-           socket_test; do
+    resolver_test scanner_test study_parallel_test columnar_test engine_test \
+    socket_test
+  for t in resolver_test scanner_test study_parallel_test columnar_test \
+           engine_test socket_test; do
     "./build-tsan/tests/${t}"
   done
 }
@@ -176,27 +177,46 @@ PY
 
 bench() {
   echo "== bench: harness + regression gates =="
-  # Baseline = the checked-in BENCH_PR6.json (HEAD), read before the harness
-  # overwrites the working-tree copy; falls back through the PR5/PR4/PR3
-  # files so the gates still run before the first PR6 summary is committed
+  # Baseline = the checked-in BENCH_PR7.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back through the PR6/PR5/PR4/PR3
+  # files so the gates still run before the first PR7 summary is committed
   # (the shared fields the gates read are schema-stable across them).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR6.json >"${baseline_file}" 2>/dev/null &&
+  if ! git show HEAD:BENCH_PR7.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR6.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR3.json >"${baseline_file}" 2>/dev/null; then
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR6.json
+  tools/bench.sh BENCH_PR7.json
+  # Digest gate: the 5k snapshot digest is pinned.  The columnar refactor's
+  # core promise is that storage layout, block chunking, shard count, and
+  # interning never change a single observed bit; any digest drift means
+  # the dataset itself moved and must be an explicit, reviewed decision
+  # (update the constant here in the same commit that changes generation).
+  python3 - <<'PY'
+import json, sys
+PINNED_DIGEST = "9629340ba5ae0ecf0a74c75964563f1eb28a148df4be661dea00e04d738e2b83"
+with open("BENCH_PR7.json") as f:
+    study = json.load(f)["micro_study"]
+digest = study["digest"]
+ok = digest == PINNED_DIGEST
+print(f"bench: 5k snapshot digest {digest[:16]}… "
+      f"({'matches pinned' if ok else 'DOES NOT MATCH PINNED'})")
+if not ok:
+    print(f"bench: FAIL — expected {PINNED_DIGEST[:16]}…; the dataset changed")
+    sys.exit(1)
+PY
   # Pipelining gate: the engine-sweep numbers are virtual-clock, fully
   # deterministic, and need no baseline — the contract is absolute.  At
   # in-flight depth 32 the WAN scan day must run at least 5x faster than
   # the serial Σ-RTT schedule, with cross-task coalescing actually firing.
   python3 - <<'PY'
 import json, sys
-with open("BENCH_PR6.json") as f:
+with open("BENCH_PR7.json") as f:
     sweep = json.load(f)["engine_sweep"]
 speedup = sweep["depth_32_speedup"]
 coalesced = sweep["depth_32_coalesced"]
@@ -215,6 +235,41 @@ if failed:
         print(f"bench: FAIL — {reason}")
     sys.exit(1)
 PY
+  # Million-domain memory gate: the columnar DailySnapshot is what makes a
+  # 1M-day fit on a small box, so the budget is absolute, not relative.
+  # The checked-in ceilings carry deliberate headroom over the measured run
+  # (see BENCH_PR7.json scale_1m) — the gate exists to catch the next
+  # accidental per-row allocation, not wall-clock noise.  When SCALE_1M=0
+  # skipped the run and no previous block exists, the gate is a no-op.
+  python3 - <<'PY'
+import json, sys
+# Measured on the reference box (BENCH_PR7.json): peak RSS ~17.8 GiB —
+# dominated by the 1.5M-domain ecosystem build, not the snapshot — and
+# ~438 B/domain of snapshot (26 B of column data; the rest is the
+# interner's pinned unique A/AAAA record storage and the NS side table).
+RSS_BUDGET_MIB = 20480
+BYTES_PER_DOMAIN_BUDGET = 512
+with open("BENCH_PR7.json") as f:
+    scale = json.load(f).get("scale_1m")
+if scale is None:
+    print("bench: scale_1m block absent (SCALE_1M=0 and no prior run) — "
+          "memory gate skipped")
+    sys.exit(0)
+rss = scale["peak_rss_mib"]
+bpd = scale["bytes_per_domain"]
+print(f"bench: scale_1m listed={scale['listed']} "
+      f"peak RSS {rss:.0f} MiB (budget {RSS_BUDGET_MIB}), "
+      f"snapshot {bpd:.1f} B/domain (budget {BYTES_PER_DOMAIN_BUDGET})")
+failed = []
+if rss > RSS_BUDGET_MIB:
+    failed.append(f"peak RSS {rss:.0f} MiB over {RSS_BUDGET_MIB} MiB budget")
+if bpd > BYTES_PER_DOMAIN_BUDGET:
+    failed.append(f"{bpd:.1f} B/domain over {BYTES_PER_DOMAIN_BUDGET} budget")
+if failed:
+    for reason in failed:
+        print(f"bench: FAIL — {reason}")
+    sys.exit(1)
+PY
   if [[ -z "${baseline_file}" ]]; then
     echo "bench: WARNING — no checked-in bench baseline; skipping gate"
     return 0
@@ -226,7 +281,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR6.json") as f:
+with open("BENCH_PR7.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
@@ -261,7 +316,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR6.json") as f:
+with open("BENCH_PR7.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]

@@ -4,24 +4,32 @@
 // pointed at the simulated Internet).
 //
 // Usage:
-//   httpsrr-scan [--scale N] [--seed N] [--from D] [--to D] [--stride N]
-//               [--transport loopback|datagram] [--in-flight N]
+//   httpsrr-scan [--scale N | --domains N] [--seed N] [--from D] [--to D]
+//               [--stride N] [--transport loopback|datagram] [--in-flight N]
 //               [--latency-profile off|lan|wan] [--drop-permille N]
 //               [--duplicate-permille N] [--garbage-permille N]
 //
-// --in-flight sets the async engine's pipeline depth (1 = the historical
-// serial scan; deeper is faster over a latency-modelled transport and
-// bit-identical by the determinism contract).  --latency-profile enables
-// the datagram transport's virtual RTT model, and the *-permille flags
-// enable its UDP fault hooks (lost / duplicated / garbage-trailed
-// datagrams); each of these implies --transport datagram.
+// --domains N sets the daily list size (alias of --scale, named for the
+// 1M-domain runs: `--domains 1000000`).  --in-flight sets the async
+// engine's pipeline depth (1 = the historical serial scan; deeper is
+// faster over a latency-modelled transport and bit-identical by the
+// determinism contract).  --latency-profile enables the datagram
+// transport's virtual RTT model, and the *-permille flags enable its UDP
+// fault hooks (lost / duplicated / garbage-trailed datagrams); each of
+// these implies --transport datagram.
 //
 // Output: one CSV row per scanned day:
 //   date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,validated_pct
+// plus, per day on stderr: in-scan progress (large lists), the columnar
+// snapshot's memory stats, peak RSS, and the resolver hot-path summary.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "analysis/series_observers.h"
 #include "ecosystem/internet.h"
@@ -32,6 +40,21 @@ using namespace httpsrr;
 
 namespace {
 
+// Peak resident set of this process, in MiB (0 when unavailable).
+double peak_rss_mib() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // ru_maxrss is KiB
+#else
+  return 0.0;
+#endif
+}
+
 // Per-day CSV emitter (an observer like any analysis module).
 class CsvEmitter final : public scanner::DailyObserver {
  public:
@@ -40,14 +63,14 @@ class CsvEmitter final : public scanner::DailyObserver {
     (void)net;
     std::size_t apex = 0, www = 0, ech = 0, signed_count = 0, validated = 0;
     for (std::size_t i = 0; i < snapshot.size(); ++i) {
-      const auto& obs = snapshot.apex[i];
+      const auto obs = snapshot.apex.view(i);
       if (obs.has_https()) {
         ++apex;
         if (obs.has_ech()) ++ech;
-        if (obs.rrsig_present) ++signed_count;
-        if (obs.rrsig_present && obs.ad) ++validated;
+        if (obs.rrsig_present()) ++signed_count;
+        if (obs.rrsig_present() && obs.ad()) ++validated;
       }
-      if (snapshot.www[i].has_https()) ++www;
+      if (snapshot.www.view(i).has_https()) ++www;
     }
     auto pct = [&](std::size_t n, std::size_t d) {
       return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(d);
@@ -78,15 +101,17 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
-                     "usage: %s [--scale N] [--seed N] [--from D] [--to D] "
-                     "[--stride N] [--transport loopback|datagram] "
-                     "[--in-flight N] [--latency-profile off|lan|wan]\n",
+                     "usage: %s [--scale N | --domains N] [--seed N] "
+                     "[--from D] [--to D] [--stride N] "
+                     "[--transport loopback|datagram] [--in-flight N] "
+                     "[--latency-profile off|lan|wan]\n",
                      argv[0]);
         std::exit(2);
       }
       return argv[++i];
     };
-    if (arg == "--scale") scale = static_cast<std::size_t>(std::atoll(next()));
+    if (arg == "--scale" || arg == "--domains")
+      scale = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--seed") seed = static_cast<std::uint64_t>(std::atoll(next()));
     else if (arg == "--from") from = next();
     else if (arg == "--to") to = next();
@@ -133,6 +158,16 @@ int main(int argc, char** argv) {
     study_options.resolver_options.transport_faults = faults;
   }
   study_options.resolver_options.max_in_flight = in_flight;
+  // In-scan progress for large lists: one stderr line per ~128k domains.
+  if (scale >= 100000) {
+    study_options.progress = [](std::size_t done, std::size_t total) {
+      if (done % 131072 < 32768 || done == total) {
+        std::fprintf(stderr, "\r  scanning %zu/%zu (rss %.0f MiB)   ", done,
+                     total, peak_rss_mib());
+        if (done == total) std::fputc('\n', stderr);
+      }
+    };
+  }
   scanner::Study study(net, study_options);
   CsvEmitter csv;
   study.add_observer(&csv);
@@ -144,8 +179,20 @@ int main(int argc, char** argv) {
   resolver::ResolverStats prev;
   for (auto day = start; day <= end; day = day + net::Duration::days(stride)) {
     auto snapshot = study.run_day(day);
-    // Per-day hot-path summary (stderr, so the CSV on stdout stays clean):
-    // how much work the memo layers absorbed serving this day's scan.
+    // Per-day summaries (stderr, so the CSV on stdout stays clean): the
+    // columnar snapshot's footprint + day-over-day churn, then how much
+    // work the resolver memo layers absorbed serving this day's scan.
+    const auto memory = snapshot.memory_stats();
+    std::fprintf(stderr,
+                 "%s snapshot: %.1f MiB (%.1f B/domain, %zu interned "
+                 "sections, hit %.3f) churn: %zu unchanged %zu changed "
+                 "%zu entered %zu left | peak rss %.0f MiB\n",
+                 snapshot.day.date().to_string().c_str(),
+                 static_cast<double>(memory.bytes_total) / (1024.0 * 1024.0),
+                 memory.bytes_per_domain, memory.interned_sections,
+                 memory.intern_hit_rate, snapshot.churn.unchanged,
+                 snapshot.churn.changed.size(), snapshot.churn.entered.size(),
+                 snapshot.churn.left.size(), peak_rss_mib());
     auto stats = study.resolver_stats();
     std::fprintf(stderr,
                  "%s hot-path: upstream=%llu auth_cache_hits=%llu "
