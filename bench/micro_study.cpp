@@ -7,20 +7,34 @@
 // tentpole invariance contract, exercised here at a scale the unit tests
 // don't reach.
 //
-// --scale-1m runs the paper's actual daily volume instead: one scan day
-// over a 1,000,000-domain list (1.5M universe), reporting seconds to
-// build the ecosystem, seconds for the day, peak RSS, and the columnar
-// snapshot's bytes-per-domain + interner dedup stats.  tools/ci.sh gates
-// the RSS and bytes-per-domain numbers against checked-in budgets.
+// --days N (default 1) extends both modes into a longitudinal run.  In
+// the default mode a multi-day 5k study attaches every delta-aware
+// analysis observer TWICE — incremental and force_full — and pins their
+// outputs bit-for-bit against each other (the `delta_pin` JSON block
+// tools/ci.sh gates on).  In --scale-1m mode the added days measure the
+// steady state of the million-domain study: per-day seconds + peak RSS,
+// with the delta observers attached once and their numerators verified
+// (untimed) against a full recompute after every day.
+//
+// --scale-1m runs the paper's actual daily volume: a 1,000,000-domain
+// list (1.5M universe), reporting seconds to build the ecosystem, seconds
+// per scan day, peak RSS, and the columnar snapshot's bytes-per-domain +
+// interner dedup stats.  tools/ci.sh gates the RSS, build-seconds and
+// bytes-per-domain numbers against checked-in budgets.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
 
+#include "analysis/delta_observers.h"
+#include "analysis/iphints_analysis.h"
+#include "analysis/ns_analysis.h"
+#include "analysis/params_analysis.h"
 #include "ecosystem/internet.h"
 #include "scanner/study.h"
 #include "util/sha256.h"
@@ -43,6 +57,12 @@ ecosystem::EcosystemConfig scale_1m_config() {
   config.list_size = 1000000;
   config.universe_size = 1500000;
   config.seed = 2024;
+  // Columnar build: zones are flyweight templates stamped out on demand at
+  // the lookup boundary, so nothing is prewarmed and the materialization /
+  // response memos are capped instead of caching one entry per domain.
+  config.prewarm_zones = false;
+  config.zone_cache_limit = 65536;
+  config.response_cache_limit = 262144;
   return config;
 }
 
@@ -130,19 +150,152 @@ RunResult run_at(std::size_t shards) {
   return best;
 }
 
-// One 1M-domain day at K=1 (the multi-day-run steady state).  Runs once —
-// the day is minutes, not milliseconds, so repetition noise is immaterial
-// next to the RSS/bytes-per-domain numbers this mode exists to gate.
-int run_scale_1m(const char* json_path) {
+// The delta-aware observer set, instantiated either incrementally (the
+// production path) or with force_full = true (the historical full-rescan
+// path the delta one must equal bit-for-bit).
+struct AnalysisSet {
+  analysis::DeltaAdoptionCounter adoption;
+  analysis::NsCategoryAnalysis ns_category;
+  analysis::ProviderAnalysis providers;
+  analysis::IntermittentUse intermittent;
+  analysis::CfConfigClassifier cf_config;
+  analysis::ProviderParamProfile profile;
+  analysis::ParamAudit audit;
+  analysis::AlpnDistribution alpn;
+  analysis::IpHintConsistency hints;
+
+  AnalysisSet(net::SimTime from, net::SimTime to, bool force_full)
+      : ns_category(from, to, force_full),
+        providers(from, to, force_full),
+        intermittent(from, to, force_full),
+        cf_config(force_full),
+        profile("godaddy", force_full),
+        audit(force_full),
+        alpn(force_full),
+        hints(force_full) {}
+
+  void attach(scanner::Study& study) {
+    for (scanner::DailyObserver* observer :
+         std::initializer_list<scanner::DailyObserver*>{
+             &adoption, &ns_category, &providers, &intermittent, &cf_config,
+             &profile, &audit, &alpn, &hints}) {
+      study.add_observer(observer);
+    }
+  }
+
+  [[nodiscard]] std::size_t rows_touched() const {
+    return static_cast<std::size_t>(adoption.rows_touched()) +
+           ns_category.rows_touched() + providers.rows_touched() +
+           intermittent.rows_touched() + cf_config.rows_touched() +
+           profile.rows_touched() + audit.rows_touched() +
+           alpn.rows_touched() + hints.rows_touched();
+  }
+};
+
+// Bit-for-bit comparison of everything the analyses report; mirrors the
+// (finer-grained) assertions in tests/delta_analysis_test.cpp.
+bool sets_match(const AnalysisSet& a, const AnalysisSet& b, net::SimTime from,
+                net::SimTime to) {
+  auto shares_eq = [](const analysis::NsCategoryAnalysis::Shares& x,
+                      const analysis::NsCategoryAnalysis::Shares& y) {
+    return x.full_mean == y.full_mean && x.full_std == y.full_std &&
+           x.partial_mean == y.partial_mean && x.partial_std == y.partial_std &&
+           x.none_mean == y.none_mean && x.none_std == y.none_std;
+  };
+  const auto ra = a.intermittent.result(), rb = b.intermittent.result();
+  const auto pa = a.profile.profile(), pb = b.profile.profile();
+  const auto aa = a.audit.result(), ab = b.audit.result();
+  bool ok =
+      a.adoption.counts() == b.adoption.counts() &&
+      shares_eq(a.ns_category.dynamic_shares(), b.ns_category.dynamic_shares()) &&
+      shares_eq(a.ns_category.overlapping_shares(),
+                b.ns_category.overlapping_shares()) &&
+      a.providers.daily_provider_count().points() ==
+          b.providers.daily_provider_count().points() &&
+      a.providers.daily_domain_count().points() ==
+          b.providers.daily_domain_count().points() &&
+      a.providers.top_dynamic(10) == b.providers.top_dynamic(10) &&
+      a.providers.top_overlapping(10) == b.providers.top_overlapping(10) &&
+      ra.intermittent_domains == rb.intermittent_domains &&
+      ra.same_ns_throughout == rb.same_ns_throughout &&
+      ra.changed_ns == rb.changed_ns &&
+      ra.lost_https_after_ns_change == rb.lost_https_after_ns_change &&
+      a.cf_config.dynamic_series().points() ==
+          b.cf_config.dynamic_series().points() &&
+      a.cf_config.default_pct_overlapping() ==
+          b.cf_config.default_pct_overlapping() &&
+      pa.domains == pb.domains && pa.service_mode == pb.service_mode &&
+      pa.with_alpn == pb.with_alpn && pa.with_ipv4hint == pb.with_ipv4hint &&
+      aa.service_mode_domains == ab.service_mode_domains &&
+      aa.service_without_params == ab.service_without_params &&
+      aa.priority_one == ab.priority_one &&
+      a.alpn.non_cf_no_alpn_pct() == b.alpn.non_cf_no_alpn_pct() &&
+      a.hints.hint_utilisation_apex().points() ==
+          b.hints.hint_utilisation_apex().points() &&
+      a.hints.match_ratio_apex().points() ==
+          b.hints.match_ratio_apex().points() &&
+      a.hints.mismatch_duration_histogram() ==
+          b.hints.mismatch_duration_histogram();
+  for (const char* protocol : {"h2", "h3", "h3-29"}) {
+    ok = ok &&
+         a.alpn.protocol_pct(protocol, from, to) ==
+             b.alpn.protocol_pct(protocol, from, to) &&
+         a.alpn.non_cf_protocol_pct(protocol) ==
+             b.alpn.non_cf_protocol_pct(protocol);
+  }
+  return ok;
+}
+
+// Multi-day 5k study: incremental vs force_full observer twins on the same
+// snapshots.  Returns the `delta_pin` JSON fragment and prints a summary.
+std::string run_delta_pin(std::size_t days, bool& match_out) {
+  ecosystem::Internet net(bench_config());
+  scanner::Study study(net);
+  const auto from = net.config().start;
+  const auto to = from + net::Duration::days(days - 1);
+  const auto window_to = from + net::Duration::days(days + 30);
+
+  AnalysisSet delta(from, window_to, /*force_full=*/false);
+  AnalysisSet full(from, window_to, /*force_full=*/true);
+  delta.attach(study);
+  full.attach(study);
+  study.run(from, to);
+
+  match_out = sets_match(delta, full, from, window_to);
+  std::printf(
+      "delta pin: %zu days, %s (delta touched %zu rows, full %zu; "
+      "%zu full recomputes)\n",
+      days, match_out ? "all observers bit-identical" : "MISMATCH",
+      delta.rows_touched(), full.rows_touched(),
+      delta.adoption.full_recomputes() + delta.ns_category.full_recomputes() +
+          delta.hints.full_recomputes());
+
+  std::string json;
+  json += util::format("  \"delta_pin_days\": %zu,\n", days);
+  json += util::format("  \"delta_pin_match\": %s,\n",
+                       match_out ? "true" : "false");
+  json += util::format("  \"delta_rows_touched\": %zu,\n",
+                       delta.rows_touched());
+  json += util::format("  \"full_rows_touched\": %zu,\n", full.rows_touched());
+  return json;
+}
+
+// One 1M-domain study at K=1.  Day 1 is the cold-cache scan; later days
+// measure the steady state the longitudinal run lives in (warm flyweight
+// caches, delta-aware analyses).  Runs once — a day is minutes, not
+// milliseconds, so repetition noise is immaterial next to the RSS and
+// per-day numbers this mode exists to gate.
+int run_scale_1m(const char* json_path, std::size_t days) {
   const auto config = scale_1m_config();
-  std::printf("micro_study --scale-1m: one scan day, %zu-domain list\n",
-              config.list_size);
+  std::printf("micro_study --scale-1m: %zu scan day(s), %zu-domain list\n",
+              days, config.list_size);
 
   auto t0 = std::chrono::steady_clock::now();
   ecosystem::Internet net(config);
   auto t1 = std::chrono::steady_clock::now();
   const double build_seconds = std::chrono::duration<double>(t1 - t0).count();
-  std::printf("  ecosystem build: %.1fs\n", build_seconds);
+  std::printf("  ecosystem build: %.1fs (rss %.0f MiB)\n", build_seconds,
+              peak_rss_mib());
 
   scanner::StudyOptions options;
   options.shards = 1;
@@ -155,16 +308,42 @@ int run_scale_1m(const char* json_path) {
   };
   scanner::Study study(net, options);
 
-  auto t2 = std::chrono::steady_clock::now();
-  auto snapshot = study.run_day(net.config().start);
-  auto t3 = std::chrono::steady_clock::now();
-  const double day_seconds = std::chrono::duration<double>(t3 - t2).count();
+  const auto from = net.config().start;
+  AnalysisSet analyses(from, from + net::Duration::days(days + 30),
+                       /*force_full=*/false);
+  analyses.attach(study);
 
-  const auto memory = snapshot.memory_stats();
+  std::vector<double> day_seconds;
+  bool delta_verified = true;
+  scanner::DailySnapshot::MemoryStats memory{};
+  std::uint64_t day1_queries = 0;
+  std::string digest;
+  for (std::size_t d = 0; d < days; ++d) {
+    auto t2 = std::chrono::steady_clock::now();
+    auto snapshot = study.run_day(from + net::Duration::days(d));
+    auto t3 = std::chrono::steady_clock::now();
+    day_seconds.push_back(std::chrono::duration<double>(t3 - t2).count());
+
+    // Untimed cross-check: the incremental adoption numerators must equal
+    // a from-scratch pass over today's snapshot (the same equivalence the
+    // 5k delta-pin block checks for every observer).
+    if (analyses.adoption.counts() !=
+        analysis::DeltaAdoptionCounter::recompute(snapshot)) {
+      delta_verified = false;
+    }
+    if (d == 0) {
+      memory = snapshot.memory_stats();
+      day1_queries = study.total_queries();
+      digest = snapshot_digest(snapshot, day1_queries);
+    }
+    std::printf("  day %zu: %.1fs for %zu listed domains (%.0f domains/s, "
+                "peak rss %.0f MiB)\n",
+                d + 1, day_seconds.back(), snapshot.size(),
+                static_cast<double>(snapshot.size()) / day_seconds.back(),
+                peak_rss_mib());
+  }
+
   const double rss = peak_rss_mib();
-  std::printf("  day: %.1fs for %zu listed domains (%.0f domains/s)\n",
-              day_seconds, snapshot.size(),
-              static_cast<double>(snapshot.size()) / day_seconds);
   std::printf("  peak rss: %.0f MiB\n", rss);
   std::printf("  snapshot: %.1f MiB total, %.1f bytes/domain "
               "(columns %.1f MiB, interner %.1f MiB)\n",
@@ -174,13 +353,28 @@ int run_scale_1m(const char* json_path) {
               static_cast<double>(memory.interner_bytes) / (1024.0 * 1024.0));
   std::printf("  interner: %zu sections, %.4f hit rate\n",
               memory.interned_sections, memory.intern_hit_rate);
-  std::printf("  queries: %llu\n",
-              static_cast<unsigned long long>(study.total_queries()));
+  std::printf("  day-1 queries: %llu\n",
+              static_cast<unsigned long long>(day1_queries));
+  std::printf("  delta observers: %s (%zu rows touched over %zu days)\n",
+              delta_verified ? "verified against full recompute"
+                             : "MISMATCH vs full recompute",
+              analyses.rows_touched(), days);
 
   std::string json = "{\n";
-  json += util::format("  \"listed\": %zu,\n", snapshot.size());
+  json += util::format("  \"listed\": %zu,\n", config.list_size);
   json += util::format("  \"build_seconds\": %.2f,\n", build_seconds);
-  json += util::format("  \"day_seconds\": %.2f,\n", day_seconds);
+  json += util::format("  \"day_seconds\": %.2f,\n", day_seconds.front());
+  json += util::format("  \"days\": %zu,\n", days);
+  json += "  \"day_seconds_all\": [";
+  for (std::size_t d = 0; d < day_seconds.size(); ++d) {
+    json += util::format("%s%.2f", d == 0 ? "" : ", ", day_seconds[d]);
+  }
+  json += "],\n";
+  json += util::format("  \"day_last_seconds\": %.2f,\n", day_seconds.back());
+  json += util::format("  \"delta_verified\": %s,\n",
+                       delta_verified ? "true" : "false");
+  json += util::format("  \"delta_rows_touched\": %zu,\n",
+                       analyses.rows_touched());
   json += util::format("  \"peak_rss_mib\": %.1f,\n", rss);
   json += util::format("  \"snapshot_bytes\": %zu,\n", memory.bytes_total);
   json += util::format("  \"bytes_per_domain\": %.2f,\n",
@@ -190,7 +384,7 @@ int run_scale_1m(const char* json_path) {
   json += util::format("  \"intern_hit_rate\": %.6f,\n",
                        memory.intern_hit_rate);
   json += util::format("  \"total_queries\": %llu\n}\n",
-                       static_cast<unsigned long long>(study.total_queries()));
+                       static_cast<unsigned long long>(day1_queries));
 
   if (json_path != nullptr) {
     if (std::FILE* f = std::fopen(json_path, "w")) {
@@ -201,24 +395,29 @@ int run_scale_1m(const char* json_path) {
       return 2;
     }
   }
-  return 0;
+  return delta_verified ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // --json PATH: also emit a machine-readable record for tools/bench.sh.
-  // --scale-1m: the million-domain single-day mode instead of the K sweep.
+  // --scale-1m: the million-domain mode instead of the K sweep.
+  // --days N: longitudinal depth for either mode (default 1).
   const char* json_path = nullptr;
   bool scale_1m = false;
+  std::size_t days = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::string(argv[i]) == "--scale-1m") {
       scale_1m = true;
+    } else if (std::string(argv[i]) == "--days" && i + 1 < argc) {
+      days = static_cast<std::size_t>(std::stoul(argv[++i]));
+      if (days == 0) days = 1;
     }
   }
-  if (scale_1m) return run_scale_1m(json_path);
+  if (scale_1m) return run_scale_1m(json_path, days);
 
   const auto config = bench_config();
   std::printf("micro_study: one scan day, %zu-domain list\n", config.list_size);
@@ -237,6 +436,13 @@ int main(int argc, char** argv) {
                 serial.seconds / result.seconds, result.digest.c_str());
     json += util::format("  \"k%zu_seconds\": %.4f,\n", shards, result.seconds);
   }
+
+  // Longitudinal delta-vs-full pin over the same 5k list (at least three
+  // days even when --days was left at 1: a single day never exercises the
+  // incremental path, and ci.sh gates on this block).
+  bool pin_match = false;
+  json += run_delta_pin(days > 3 ? days : 3, pin_match);
+
   json += util::format("  \"list_size\": %zu,\n", config.list_size);
   json += util::format("  \"digest\": \"%s\",\n", serial.digest.c_str());
   json += util::format("  \"invariant\": %s\n}\n", all_equal ? "true" : "false");
@@ -254,5 +460,5 @@ int main(int argc, char** argv) {
   std::printf("invariance: %s\n",
               all_equal ? "all shard counts bit-identical"
                         : "MISMATCH — shard count changed the dataset");
-  return all_equal ? 0 : 1;
+  return (all_equal && pin_match) ? 0 : 1;
 }

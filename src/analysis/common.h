@@ -4,6 +4,7 @@
 // Cloudflare-NS classification of Table 2, and the overlapping-domain
 // membership sets of §4.1.
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -69,6 +70,12 @@ class OverlapSets {
   [[nodiscard]] bool overlapping_on(ecosystem::DomainId id, net::SimTime day) const {
     return day < source_change_ ? in_phase1(id) : in_phase2(id);
   }
+  // Which overlap phase a day falls in — day-context input for the delta
+  // observers: the phase edge changes overlapping_on() for every row at
+  // once, so crossing it must trigger a full recompute.
+  [[nodiscard]] bool phase2_on(net::SimTime day) const {
+    return !(day < source_change_);
+  }
   [[nodiscard]] std::size_t phase1_count() const { return phase1_count_; }
   [[nodiscard]] std::size_t phase2_count() const { return phase2_count_; }
 
@@ -79,6 +86,64 @@ class OverlapSets {
   std::vector<bool> phase2_;
   std::size_t phase1_count_ = 0;
   std::size_t phase2_count_ = 0;
+};
+
+// Shared bookkeeping for delta-aware observers (the DeltaAdoptionCounter
+// pattern generalized): decides per day whether the O(churn) incremental
+// path is safe or the day must run as a full pass, and accounts how much
+// work each path did.  The equivalence rule:
+//
+//   * first processed day (or first day back inside a windowed observer's
+//     [from, to], or after any skipped day) — full pass, because the
+//     observer's running state does not describe the previous snapshot;
+//   * !churn.valid — full pass, the Study had no baseline;
+//   * churn.ns_info_refreshed and the observer reads the NS side-channel —
+//     full pass, because attribution can move under unchanged fingerprints;
+//   * any day-context input changed (overlap phase, h3-29 retirement side)
+//     — full pass, because per-row classifications shift in bulk;
+//   * otherwise the day's figures update from churn.left/changed/entered
+//     alone, bit-for-bit equal to the full rescan.
+class DeltaGate {
+ public:
+  explicit DeltaGate(bool force_full) : force_full_(force_full) {}
+
+  // Call once per processed day *before* needs_full: reports whether the
+  // packed day-context differs from the last processed day's, and stores
+  // it.  Always false on an unprimed day (where a full pass runs anyway).
+  [[nodiscard]] bool context_changed(std::uint32_t context) {
+    const bool changed = primed_ && context != last_context_;
+    last_context_ = context;
+    return changed;
+  }
+
+  [[nodiscard]] bool needs_full(const scanner::ChurnDiff& churn,
+                                bool ns_dependent, bool context_flip) const {
+    return force_full_ || !churn.valid || !primed_ ||
+           (ns_dependent && churn.ns_info_refreshed) || context_flip;
+  }
+
+  void account_full(std::size_t rows) {
+    primed_ = true;
+    ++full_recomputes_;
+    rows_touched_ += rows;
+  }
+  void account_delta(const scanner::ChurnDiff& churn) {
+    primed_ = true;
+    rows_touched_ +=
+        churn.left.size() + churn.changed.size() + churn.entered.size();
+  }
+  // Out-of-window day: the delta chain is broken until the next full pass.
+  void skip() { primed_ = false; }
+
+  [[nodiscard]] std::size_t rows_touched() const { return rows_touched_; }
+  [[nodiscard]] std::size_t full_recomputes() const { return full_recomputes_; }
+
+ private:
+  bool force_full_;
+  bool primed_ = false;
+  std::uint32_t last_context_ = 0;
+  std::size_t rows_touched_ = 0;
+  std::size_t full_recomputes_ = 0;
 };
 
 }  // namespace httpsrr::analysis

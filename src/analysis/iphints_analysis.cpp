@@ -2,68 +2,181 @@
 
 namespace httpsrr::analysis {
 
+namespace {
+
+double pct_of(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+constexpr std::size_t kMinus = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+IpHintConsistency::RowFacts IpHintConsistency::classify_row(
+    const scanner::DailySnapshot& snapshot, std::size_t i) {
+  RowFacts facts;
+  const auto apex_obs = snapshot.apex.view(i);
+  // Extract each host's hints once; presence, the overlapping-set match
+  // rate, and the episode state all reuse the same walk.
+  const auto apex_hint_list = apex_obs.has_https()
+                                  ? apex_obs.ipv4_hints()
+                                  : std::vector<net::Ipv4Addr>{};
+  const bool apex_matches =
+      !apex_hint_list.empty() && apex_obs.hints_match_a(apex_hint_list);
+  if (apex_obs.has_https()) {
+    facts.bits |= kApexHttps;
+    if (!apex_hint_list.empty()) {
+      facts.bits |= kApexHints;
+      if (apex_matches) facts.bits |= kApexMatch;
+    }
+  }
+  const auto www_obs = snapshot.www.view(i);
+  if (www_obs.has_https()) {
+    facts.bits |= kWwwHttps;
+    const auto www_hint_list = www_obs.ipv4_hints();
+    if (!www_hint_list.empty()) {
+      facts.bits |= kWwwHints;
+      if (www_obs.hints_match_a(www_hint_list)) facts.bits |= kWwwMatch;
+    }
+  }
+  // Episode tracking runs over the dynamic list (all mismatches count):
+  // a row is observed when it carries hints alongside an A answer.
+  if (!apex_hint_list.empty() && apex_obs.a_record_count() != 0) {
+    facts.ep_state = apex_matches ? kMatchRun : kMismatchRun;
+  }
+  return facts;
+}
+
+void IpHintConsistency::apply(std::uint8_t bits, bool overlapping,
+                              std::size_t delta) {
+  if (!overlapping || bits == 0) return;
+  if (bits & kApexHttps) {
+    apex_https_run_ += delta;
+    if (bits & kApexHints) {
+      apex_hints_run_ += delta;
+      if (bits & kApexMatch) apex_match_run_ += delta;
+    }
+  }
+  if (bits & kWwwHttps) {
+    www_https_run_ += delta;
+    if (bits & kWwwHints) {
+      www_hints_run_ += delta;
+      if (bits & kWwwMatch) www_match_run_ += delta;
+    }
+  }
+}
+
+void IpHintConsistency::settle(ecosystem::DomainId id, EpState& st,
+                               int today) {
+  const int elapsed = today - st.since;
+  st.since = today;
+  if (st.state == kUnobserved || elapsed <= 0) return;
+  Episode& episode = episodes_[id];
+  episode.observed_days += elapsed;
+  if (st.state == kMismatchRun) {
+    episode.mismatch_days += elapsed;
+    episode.open_days += elapsed;
+  }
+}
+
+void IpHintConsistency::transition(ecosystem::DomainId id,
+                                   std::uint8_t new_state, int today) {
+  if (new_state == kUnobserved && !ep_state_.contains(id)) return;
+  EpState& st = ep_state_[id];
+  if (st.state == new_state) return;
+  settle(id, st, today);
+  // An open mismatch stretch survives unobserved gaps; only an observed
+  // match day closes it — the same rule as the per-day tracker.
+  if (new_state == kMatchRun) {
+    Episode& episode = episodes_[id];
+    if (episode.open_days > 0) {
+      episode.closed.push_back(episode.open_days);
+      episode.open_days = 0;
+    }
+  }
+  st.state = new_state;
+}
+
 void IpHintConsistency::on_day(const scanner::DailySnapshot& snapshot,
                                const ecosystem::Internet& net) {
   overlap_.ensure(net);
+  if (bits_.size() < net.domain_count()) bits_.resize(net.domain_count(), 0);
 
-  std::size_t apex_https = 0, apex_hints = 0, apex_match = 0;
-  std::size_t www_https = 0, www_hints = 0, www_match = 0;
-
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto apex_obs = snapshot.apex.view(i);
-    const auto www_obs = snapshot.www.view(i);
-    bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
-
-    // Extract each host's hints once; presence, the overlapping-set match
-    // rate, and the episode tracker all reuse the same walk.
-    const auto apex_hint_list =
-        apex_obs.has_https() ? apex_obs.ipv4_hints()
-                             : std::vector<net::Ipv4Addr>{};
-    const bool apex_matches = !apex_hint_list.empty() &&
-                              apex_obs.hints_match_a(apex_hint_list);
-    if (overlapping && apex_obs.has_https()) {
-      ++apex_https;
-      if (!apex_hint_list.empty()) {
-        ++apex_hints;
-        if (apex_matches) ++apex_match;
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  const bool flip =
+      gate_.context_changed(overlap_.phase2_on(snapshot.day) ? 1 : 0);
+  const int today = day_index_++;
+  if (gate_.needs_full(churn, /*ns_dependent=*/false, flip)) {
+    apex_https_run_ = apex_hints_run_ = apex_match_run_ = 0;
+    www_https_run_ = www_hints_run_ = www_match_run_ = 0;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const RowFacts facts = classify_row(snapshot, i);
+      bits_[id] = facts.bits;
+      apply(facts.bits, overlap_.overlapping_on(id, snapshot.day), 1);
+      transition(id, facts.ep_state, today);
+    }
+    // Domains that dropped off the list still end their episode runs; the
+    // counters were rebuilt from scratch, so only the state machine cares.
+    if (churn.valid) {
+      for (const ecosystem::DomainId id : churn.left) {
+        transition(id, kUnobserved, today);
       }
     }
-    if (overlapping && www_obs.has_https()) {
-      ++www_https;
-      const auto www_hint_list = www_obs.ipv4_hints();
-      if (!www_hint_list.empty()) {
-        ++www_hints;
-        if (www_obs.hints_match_a(www_hint_list)) ++www_match;
-      }
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const ecosystem::DomainId id : churn.left) {
+      apply(bits_[id], overlap_.overlapping_on(id, snapshot.day), kMinus);
+      bits_[id] = 0;
+      transition(id, kUnobserved, today);
     }
-
-    // Episode tracking runs over the dynamic list (all mismatches count).
-    if (!apex_hint_list.empty() && apex_obs.a_record_count() != 0) {
-      auto& episode = episodes_[snapshot.list[i]];
-      ++episode.observed_days;
-      if (!apex_matches) {
-        ++episode.mismatch_days;
-        ++episode.open_days;
-      } else if (episode.open_days > 0) {
-        episode.closed.push_back(episode.open_days);
-        episode.open_days = 0;
-      }
+    for (const std::uint32_t i : churn.changed) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const bool overlapping = overlap_.overlapping_on(id, snapshot.day);
+      apply(bits_[id], overlapping, kMinus);
+      const RowFacts facts = classify_row(snapshot, i);
+      bits_[id] = facts.bits;
+      apply(facts.bits, overlapping, 1);
+      transition(id, facts.ep_state, today);
     }
+    for (const std::uint32_t i : churn.entered) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const RowFacts facts = classify_row(snapshot, i);
+      bits_[id] = facts.bits;
+      apply(facts.bits, overlap_.overlapping_on(id, snapshot.day), 1);
+      transition(id, facts.ep_state, today);
+    }
+    gate_.account_delta(churn);
   }
 
-  auto pct = [](std::size_t part, std::size_t whole) {
-    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
-                                  static_cast<double>(whole);
-  };
-  use_apex_.add(snapshot.day, pct(apex_hints, apex_https));
-  use_www_.add(snapshot.day, pct(www_hints, www_https));
-  match_apex_.add(snapshot.day, pct(apex_match, apex_hints));
-  match_www_.add(snapshot.day, pct(www_match, www_hints));
+  use_apex_.add(snapshot.day, pct_of(apex_hints_run_, apex_https_run_));
+  use_www_.add(snapshot.day, pct_of(www_hints_run_, www_https_run_));
+  match_apex_.add(snapshot.day, pct_of(apex_match_run_, apex_hints_run_));
+  match_www_.add(snapshot.day, pct_of(www_match_run_, www_hints_run_));
+}
+
+std::map<ecosystem::DomainId, IpHintConsistency::Episode>
+IpHintConsistency::settled_episodes() const {
+  auto out = episodes_;
+  for (const auto& [id, st] : ep_state_) {
+    if (st.state == kUnobserved) continue;
+    const int elapsed = day_index_ - st.since;
+    if (elapsed <= 0) continue;
+    Episode& episode = out[id];
+    episode.observed_days += elapsed;
+    if (st.state == kMismatchRun) {
+      episode.mismatch_days += elapsed;
+      episode.open_days += elapsed;
+    }
+  }
+  return out;
 }
 
 std::map<int, int> IpHintConsistency::mismatch_duration_histogram() const {
   std::map<int, int> histogram;
-  for (const auto& [id, episode] : episodes_) {
+  for (const auto& [id, episode] : settled_episodes()) {
     (void)id;
     for (int days : episode.closed) ++histogram[days];
     if (episode.open_days > 0) ++histogram[episode.open_days];
@@ -74,7 +187,7 @@ std::map<int, int> IpHintConsistency::mismatch_duration_histogram() const {
 double IpHintConsistency::mean_mismatch_days() const {
   double sum = 0.0;
   std::size_t count = 0;
-  for (const auto& [id, episode] : episodes_) {
+  for (const auto& [id, episode] : settled_episodes()) {
     (void)id;
     for (int days : episode.closed) {
       sum += days;
@@ -90,7 +203,7 @@ double IpHintConsistency::mean_mismatch_days() const {
 
 std::size_t IpHintConsistency::chronic_mismatchers() const {
   std::size_t out = 0;
-  for (const auto& [id, episode] : episodes_) {
+  for (const auto& [id, episode] : settled_episodes()) {
     (void)id;
     if (episode.observed_days >= 30 &&
         episode.mismatch_days == episode.observed_days) {

@@ -4,8 +4,19 @@
 //   * daily utilisation of ipv4hint/ipv6hint among HTTPS publishers;
 //   * daily match ratio between hints and A records;
 //   * per-domain mismatch episode durations (histogram).
+//
+// Delta-aware (DeltaGate, common.h).  The daily counters update off
+// ChurnDiff from per-row cached bits; the episode tracker stores each
+// domain's current state (unobserved / match / mismatch) as a run and
+// settles elapsed days on state transitions, which only changed / entered
+// / left rows can cause — runs partition a domain's observed days, so the
+// settled totals equal the historical per-day increments exactly.
+// force_full = true pins the full-rescan counter path (episodes share the
+// run-length machinery; transitions fire identically either way).
 
+#include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/common.h"
@@ -15,6 +26,8 @@ namespace httpsrr::analysis {
 
 class IpHintConsistency final : public scanner::DailyObserver {
  public:
+  explicit IpHintConsistency(bool force_full = false) : gate_(force_full) {}
+
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
 
@@ -30,6 +43,11 @@ class IpHintConsistency final : public scanner::DailyObserver {
   // Domains mismatched on every day they were observed.
   [[nodiscard]] std::size_t chronic_mismatchers() const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
   struct Episode {
     int open_days = 0;
@@ -37,8 +55,44 @@ class IpHintConsistency final : public scanner::DailyObserver {
     int observed_days = 0;
     int mismatch_days = 0;
   };
+  // Episode state machine: which run the domain is currently in.
+  enum : std::uint8_t { kUnobserved = 0, kMatchRun = 1, kMismatchRun = 2 };
+  struct EpState {
+    std::uint8_t state = kUnobserved;
+    int since = 0;  // day index the current run started
+  };
+  // Daily-counter bits cached per row (overlap membership is re-derived,
+  // stable inside a phase).
+  enum : std::uint8_t {
+    kApexHttps = 1u << 0,
+    kApexHints = 1u << 1,
+    kApexMatch = 1u << 2,
+    kWwwHttps = 1u << 3,
+    kWwwHints = 1u << 4,
+    kWwwMatch = 1u << 5,
+  };
+
+  struct RowFacts {
+    std::uint8_t bits = 0;
+    std::uint8_t ep_state = kUnobserved;
+  };
+  [[nodiscard]] static RowFacts classify_row(
+      const scanner::DailySnapshot& snapshot, std::size_t i);
+
+  void apply(std::uint8_t bits, bool overlapping, std::size_t delta);
+  // Folds the current run's elapsed days into the domain's episode.
+  void settle(ecosystem::DomainId id, EpState& st, int today);
+  void transition(ecosystem::DomainId id, std::uint8_t new_state, int today);
+  [[nodiscard]] std::map<ecosystem::DomainId, Episode> settled_episodes() const;
 
   OverlapSets overlap_;
+  DeltaGate gate_;
+  // Running per-day counters.
+  std::size_t apex_https_run_ = 0, apex_hints_run_ = 0, apex_match_run_ = 0;
+  std::size_t www_https_run_ = 0, www_hints_run_ = 0, www_match_run_ = 0;
+  std::vector<std::uint8_t> bits_;  // per-domain cached counter bits
+  int day_index_ = 0;               // processed-day counter for run lengths
+  std::unordered_map<ecosystem::DomainId, EpState> ep_state_;
   TimeSeries use_apex_, use_www_, match_apex_, match_www_;
   std::map<ecosystem::DomainId, Episode> episodes_;
 };

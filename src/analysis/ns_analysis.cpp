@@ -6,45 +6,110 @@
 
 namespace httpsrr::analysis {
 
+namespace {
+
+// The per-row classification the running counters cache: 0 = contributes
+// nothing (no HTTPS record, or unattributable NS), else the NsMix bucket.
+constexpr std::uint8_t kNone = 0;
+constexpr std::uint8_t kFullCf = 1;
+constexpr std::uint8_t kPartialCf = 2;
+constexpr std::uint8_t kNonCf = 3;
+
+std::uint8_t mix_code(const scanner::ObservationView& obs,
+                      const scanner::DailySnapshot& snapshot) {
+  if (!obs.has_https()) return kNone;
+  switch (classify_ns_mix(obs, snapshot)) {
+    case NsMix::full_cloudflare: return kFullCf;
+    case NsMix::partial_cloudflare: return kPartialCf;
+    case NsMix::none_cloudflare: return kNonCf;
+    case NsMix::unknown: return kNone;
+  }
+  return kNone;
+}
+
+double pct_of(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+// Unsigned ±1: removal passes size_t(-1), exact through wraparound because
+// every removal undoes an addition previously made for the same row.
+constexpr std::size_t kMinus = static_cast<std::size_t>(-1);
+
+}  // namespace
+
+void NsCategoryAnalysis::apply(std::uint8_t code, bool overlapping,
+                               std::size_t delta) {
+  if (code == kNone) return;
+  const auto bump_in = [code, delta](Counts& c) {
+    c.total += delta;
+    switch (code) {
+      case kFullCf: c.full += delta; break;
+      case kPartialCf: c.partial += delta; break;
+      case kNonCf: c.none += delta; break;
+      default: break;
+    }
+  };
+  bump_in(dyn_);
+  if (overlapping) bump_in(ovl_);
+}
+
+void NsCategoryAnalysis::emit(net::SimTime day) {
+  dyn_full_.add(day, pct_of(dyn_.full, dyn_.total));
+  dyn_partial_.add(day, pct_of(dyn_.partial, dyn_.total));
+  dyn_none_.add(day, pct_of(dyn_.none, dyn_.total));
+  ovl_full_.add(day, pct_of(ovl_.full, ovl_.total));
+  ovl_partial_.add(day, pct_of(ovl_.partial, ovl_.total));
+  ovl_none_.add(day, pct_of(ovl_.none, ovl_.total));
+}
+
 void NsCategoryAnalysis::on_day(const scanner::DailySnapshot& snapshot,
                                 const ecosystem::Internet& net) {
-  if (snapshot.day < from_ || snapshot.day > to_) return;
-  overlap_.ensure(net);
-
-  struct Counts {
-    std::size_t full = 0, partial = 0, none = 0, total = 0;
-  };
-  Counts dyn, ovl;
-
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto obs = snapshot.apex.view(i);
-    if (!obs.has_https()) continue;
-    NsMix mix = classify_ns_mix(obs, snapshot);
-    if (mix == NsMix::unknown) continue;
-
-    auto count_in = [mix](Counts& c) {
-      ++c.total;
-      switch (mix) {
-        case NsMix::full_cloudflare: ++c.full; break;
-        case NsMix::partial_cloudflare: ++c.partial; break;
-        case NsMix::none_cloudflare: ++c.none; break;
-        case NsMix::unknown: break;
-      }
-    };
-    count_in(dyn);
-    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) count_in(ovl);
+  if (snapshot.day < from_ || snapshot.day > to_) {
+    gate_.skip();
+    return;
   }
+  overlap_.ensure(net);
+  if (coded_.size() < net.domain_count()) coded_.resize(net.domain_count(), 0);
 
-  auto pct = [](std::size_t part, std::size_t whole) {
-    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
-                                  static_cast<double>(whole);
-  };
-  dyn_full_.add(snapshot.day, pct(dyn.full, dyn.total));
-  dyn_partial_.add(snapshot.day, pct(dyn.partial, dyn.total));
-  dyn_none_.add(snapshot.day, pct(dyn.none, dyn.total));
-  ovl_full_.add(snapshot.day, pct(ovl.full, ovl.total));
-  ovl_partial_.add(snapshot.day, pct(ovl.partial, ovl.total));
-  ovl_none_.add(snapshot.day, pct(ovl.none, ovl.total));
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  const bool flip =
+      gate_.context_changed(overlap_.phase2_on(snapshot.day) ? 1 : 0);
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, flip)) {
+    dyn_ = Counts{};
+    ovl_ = Counts{};
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const std::uint8_t code = mix_code(snapshot.apex.view(i), snapshot);
+      coded_[id] = code;
+      apply(code, overlap_.overlapping_on(id, snapshot.day), 1);
+    }
+    gate_.account_full(snapshot.size());
+  } else {
+    // overlapping_on is stable inside a phase (a flip forced a full pass
+    // above), so removal re-derives the same membership the addition used.
+    for (const ecosystem::DomainId id : churn.left) {
+      apply(coded_[id], overlap_.overlapping_on(id, snapshot.day), kMinus);
+      coded_[id] = kNone;
+    }
+    for (const std::uint32_t i : churn.changed) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const bool overlapping = overlap_.overlapping_on(id, snapshot.day);
+      apply(coded_[id], overlapping, kMinus);
+      const std::uint8_t code = mix_code(snapshot.apex.view(i), snapshot);
+      coded_[id] = code;
+      apply(code, overlapping, 1);
+    }
+    for (const std::uint32_t i : churn.entered) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const std::uint8_t code = mix_code(snapshot.apex.view(i), snapshot);
+      coded_[id] = code;
+      apply(code, overlap_.overlapping_on(id, snapshot.day), 1);
+    }
+    gate_.account_delta(churn);
+  }
+  emit(snapshot.day);
 }
 
 NsCategoryAnalysis::Shares NsCategoryAnalysis::dynamic_shares() const {
@@ -59,34 +124,100 @@ NsCategoryAnalysis::Shares NsCategoryAnalysis::overlapping_shares() const {
                 ovl_partial_.stddev()};
 }
 
+void ProviderAnalysis::add(ecosystem::DomainId id,
+                           const std::vector<std::string>& ops,
+                           net::SimTime day) {
+  if (ops.empty()) return;
+  const bool overlapping = overlap_.overlapping_on(id, day);
+  for (const auto& op : ops) {
+    ++live_ops_[op];
+    providers_dynamic_.insert(op);
+    domains_dynamic_[op].insert(id);
+    if (overlapping) {
+      providers_overlapping_.insert(op);
+      domains_overlapping_[op].insert(id);
+    }
+  }
+  ++live_domains_;
+}
+
+void ProviderAnalysis::remove(ecosystem::DomainId id,
+                              const std::vector<std::string>& ops) {
+  (void)id;
+  if (ops.empty()) return;
+  for (const auto& op : ops) {
+    auto it = live_ops_.find(op);
+    if (--it->second == 0) live_ops_.erase(it);
+  }
+  --live_domains_;
+}
+
 void ProviderAnalysis::on_day(const scanner::DailySnapshot& snapshot,
                               const ecosystem::Internet& net) {
-  if (snapshot.day < from_ || snapshot.day > to_) return;
+  if (snapshot.day < from_ || snapshot.day > to_) {
+    gate_.skip();
+    return;
+  }
   overlap_.ensure(net);
 
-  std::set<std::string> today;
-  std::size_t domain_count = 0;
-
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+  // A row's contribution: its sorted non-CF operator names (empty when the
+  // domain has no HTTPS record or only Cloudflare NS).
+  const auto row_ops = [&snapshot](std::size_t i) {
+    std::vector<std::string> out;
     const auto obs = snapshot.apex.view(i);
-    if (!obs.has_https()) continue;
-    auto operators = ns_operators(obs, snapshot);
-    bool any_non_cf = false;
-    for (const auto& op : operators) {
-      if (op == "cloudflare") continue;
-      any_non_cf = true;
-      today.insert(op);
-      providers_dynamic_.insert(op);
-      domains_dynamic_[op].insert(snapshot.list[i]);
-      if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
-        providers_overlapping_.insert(op);
-        domains_overlapping_[op].insert(snapshot.list[i]);
+    if (!obs.has_https()) return out;
+    for (const auto& op : ns_operators(obs, snapshot)) {
+      if (op != "cloudflare") out.push_back(op);
+    }
+    return out;
+  };
+
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  // The accumulating window sets insert under the day's overlap phase, so
+  // a phase edge must re-run every row once (delta days would never
+  // re-insert unchanged rows under the new phase's membership).
+  const bool flip =
+      gate_.context_changed(overlap_.phase2_on(snapshot.day) ? 1 : 0);
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, flip)) {
+    live_ops_.clear();
+    live_domains_ = 0;
+    ops_.clear();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      auto ops = row_ops(i);
+      add(snapshot.list[i], ops, snapshot.day);
+      if (!ops.empty()) ops_[snapshot.list[i]] = std::move(ops);
+    }
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const ecosystem::DomainId id : churn.left) {
+      auto it = ops_.find(id);
+      if (it != ops_.end()) {
+        remove(id, it->second);
+        ops_.erase(it);
       }
     }
-    if (any_non_cf) ++domain_count;
+    for (const std::uint32_t i : churn.changed) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      auto it = ops_.find(id);
+      if (it != ops_.end()) {
+        remove(id, it->second);
+        ops_.erase(it);
+      }
+      auto ops = row_ops(i);
+      add(id, ops, snapshot.day);
+      if (!ops.empty()) ops_[id] = std::move(ops);
+    }
+    for (const std::uint32_t i : churn.entered) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      auto ops = row_ops(i);
+      add(id, ops, snapshot.day);
+      if (!ops.empty()) ops_[id] = std::move(ops);
+    }
+    gate_.account_delta(churn);
   }
-  provider_count_.add(snapshot.day, static_cast<double>(today.size()));
-  domain_count_.add(snapshot.day, static_cast<double>(domain_count));
+
+  provider_count_.add(snapshot.day, static_cast<double>(live_ops_.size()));
+  domain_count_.add(snapshot.day, static_cast<double>(live_domains_));
 }
 
 std::vector<std::pair<std::string, std::size_t>> ProviderAnalysis::top_of(
@@ -114,44 +245,62 @@ std::vector<std::pair<std::string, std::size_t>> ProviderAnalysis::top_overlappi
   return top_of(domains_overlapping_, k);
 }
 
+void IntermittentUse::track_row(const scanner::DailySnapshot& snapshot,
+                                std::size_t i) {
+  const auto obs = snapshot.apex.view(i);
+  bool on = obs.has_https();
+  auto& track = tracks_[snapshot.list[i]];
+
+  auto operators = ns_operators(obs, snapshot);
+  if (!operators.empty()) {
+    std::vector<std::string> sorted(operators.begin(), operators.end());
+    track.operator_sets_seen.insert(util::join(sorted, "+"));
+  }
+
+  if (on) {
+    if (track.saw_gap) track.reactivated_after_gap = true;
+    track.ever_on = true;
+    track.currently_on = true;
+    track.was_cf_before_loss = operators.contains("cloudflare");
+    track.last_operators = operators;
+  } else {
+    if (track.ever_on) {
+      track.saw_gap = true;
+      // The Study keeps issuing NS lookups for the cohort, so an empty
+      // NS set while deactivated is a real observation (the paper's 20
+      // no-NS domains), as is an NXDOMAIN for the apex.
+      if (obs.nxdomain() || (obs.answered() && obs.ns_records().empty())) {
+        track.ns_absent_while_off = true;
+      }
+      if (track.was_cf_before_loss && !operators.empty() &&
+          !operators.contains("cloudflare")) {
+        track.lost_https_on_migration = true;
+      }
+    }
+    track.currently_on = false;
+  }
+}
+
 void IntermittentUse::on_day(const scanner::DailySnapshot& snapshot,
                              const ecosystem::Internet& net) {
   (void)net;
-  if (snapshot.day < from_ || snapshot.day > to_) return;
+  if (snapshot.day < from_ || snapshot.day > to_) {
+    gate_.skip();
+    return;
+  }
 
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto obs = snapshot.apex.view(i);
-    bool on = obs.has_https();
-    auto& track = tracks_[snapshot.list[i]];
-
-    auto operators = ns_operators(obs, snapshot);
-    if (!operators.empty()) {
-      std::vector<std::string> sorted(operators.begin(), operators.end());
-      track.operator_sets_seen.insert(util::join(sorted, "+"));
-    }
-
-    if (on) {
-      if (track.saw_gap) track.reactivated_after_gap = true;
-      track.ever_on = true;
-      track.currently_on = true;
-      track.was_cf_before_loss = operators.contains("cloudflare");
-      track.last_operators = operators;
-    } else {
-      if (track.ever_on) {
-        track.saw_gap = true;
-        // The Study keeps issuing NS lookups for the cohort, so an empty
-        // NS set while deactivated is a real observation (the paper's 20
-        // no-NS domains), as is an NXDOMAIN for the apex.
-        if (obs.nxdomain() || (obs.answered() && obs.ns_records().empty())) {
-          track.ns_absent_while_off = true;
-        }
-        if (track.was_cf_before_loss && !operators.empty() &&
-            !operators.contains("cloudflare")) {
-          track.lost_https_on_migration = true;
-        }
-      }
-      track.currently_on = false;
-    }
+  // The per-row update is idempotent for an unchanged row (every assignment
+  // re-derives the same value; every flag is sticky and its condition is a
+  // pure function of row + NS attribution), and a domain off the list is
+  // never touched — so the delta path only needs changed + entered rows.
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, /*context_flip=*/false)) {
+    for (std::size_t i = 0; i < snapshot.size(); ++i) track_row(snapshot, i);
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const std::uint32_t i : churn.changed) track_row(snapshot, i);
+    for (const std::uint32_t i : churn.entered) track_row(snapshot, i);
+    gate_.account_delta(churn);
   }
 }
 

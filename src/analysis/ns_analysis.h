@@ -8,10 +8,17 @@
 //   * IntermittentUse     — §4.2.3: domains whose HTTPS record comes and
 //                           goes, attributed to same-NS toggling, NS
 //                           migration, vanished NS, or mixed providers.
+//
+// All three are delta-aware: on churn-valid days they update their running
+// figures from ChurnDiff's left/changed/entered partitions instead of
+// rescanning the full list, falling back to a full pass per the DeltaGate
+// equivalence rule (common.h).  Construct with force_full = true to pin
+// the historical full-rescan path (the tests compare both bit-for-bit).
 
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/common.h"
@@ -22,7 +29,8 @@ namespace httpsrr::analysis {
 class NsCategoryAnalysis final : public scanner::DailyObserver {
  public:
   // Observation is restricted to the paper's NS window.
-  NsCategoryAnalysis(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+  NsCategoryAnalysis(net::SimTime from, net::SimTime to, bool force_full = false)
+      : from_(from), to_(to), gate_(force_full) {}
 
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
@@ -35,16 +43,33 @@ class NsCategoryAnalysis final : public scanner::DailyObserver {
   [[nodiscard]] Shares dynamic_shares() const;
   [[nodiscard]] Shares overlapping_shares() const;
 
+  [[nodiscard]] const TimeSeries& dynamic_full_series() const { return dyn_full_; }
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
+  struct Counts {
+    std::size_t full = 0, partial = 0, none = 0, total = 0;
+  };
+
+  void apply(std::uint8_t code, bool overlapping, std::size_t delta);
+  void emit(net::SimTime day);
+
   net::SimTime from_, to_;
   OverlapSets overlap_;
+  DeltaGate gate_;
+  Counts dyn_, ovl_;
+  std::vector<std::uint8_t> coded_;  // per-domain cached classification
   TimeSeries dyn_full_, dyn_none_, dyn_partial_;
   TimeSeries ovl_full_, ovl_none_, ovl_partial_;
 };
 
 class ProviderAnalysis final : public scanner::DailyObserver {
  public:
-  ProviderAnalysis(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+  ProviderAnalysis(net::SimTime from, net::SimTime to, bool force_full = false)
+      : from_(from), to_(to), gate_(force_full) {}
 
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
@@ -71,15 +96,33 @@ class ProviderAnalysis final : public scanner::DailyObserver {
   [[nodiscard]] std::vector<std::pair<std::string, std::size_t>> top_overlapping(
       std::size_t k) const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
   static std::vector<std::pair<std::string, std::size_t>> top_of(
       const std::map<std::string, std::set<ecosystem::DomainId>>& table,
       std::size_t k);
 
+  void add(ecosystem::DomainId id, const std::vector<std::string>& ops,
+           net::SimTime day);
+  void remove(ecosystem::DomainId id, const std::vector<std::string>& ops);
+
   net::SimTime from_, to_;
   OverlapSets overlap_;
+  DeltaGate gate_;
   TimeSeries provider_count_;
   TimeSeries domain_count_;
+  // Running per-day state: refcounted non-CF operators and the count of
+  // domains contributing any — live_ops_.size() is the eager loop's
+  // `today.size()` because keys are erased when their refcount hits zero.
+  std::map<std::string, std::size_t> live_ops_;
+  std::size_t live_domains_ = 0;
+  // Per-domain cached contribution (sorted non-CF operators; absent =
+  // nothing contributed).
+  std::unordered_map<ecosystem::DomainId, std::vector<std::string>> ops_;
   std::set<std::string> providers_dynamic_;
   std::set<std::string> providers_overlapping_;
   std::map<std::string, std::set<ecosystem::DomainId>> domains_dynamic_;
@@ -88,7 +131,8 @@ class ProviderAnalysis final : public scanner::DailyObserver {
 
 class IntermittentUse final : public scanner::DailyObserver {
  public:
-  IntermittentUse(net::SimTime from, net::SimTime to) : from_(from), to_(to) {}
+  IntermittentUse(net::SimTime from, net::SimTime to, bool force_full = false)
+      : from_(from), to_(to), gate_(force_full) {}
 
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
@@ -104,6 +148,11 @@ class IntermittentUse final : public scanner::DailyObserver {
   };
   [[nodiscard]] Result result() const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
   struct Track {
     bool ever_on = false;
@@ -117,7 +166,10 @@ class IntermittentUse final : public scanner::DailyObserver {
     std::set<std::string> last_operators;
   };
 
+  void track_row(const scanner::DailySnapshot& snapshot, std::size_t i);
+
   net::SimTime from_, to_;
+  DeltaGate gate_;
   std::map<ecosystem::DomainId, Track> tracks_;
 };
 

@@ -4,6 +4,18 @@
 
 namespace httpsrr::analysis {
 
+namespace {
+
+double pct_of(std::size_t part, std::size_t whole) {
+  return whole == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(whole);
+}
+
+constexpr std::size_t kMinus = static_cast<std::size_t>(-1);
+
+}  // namespace
+
 bool is_cloudflare_default_config(const dns::SvcbRdata& record, net::SimTime day,
                                   net::SimTime h3_29_retirement) {
   if (!record.is_service_mode() || record.priority != 1) return false;
@@ -22,64 +34,118 @@ bool is_cloudflare_default_config(const dns::SvcbRdata& record, net::SimTime day
   return true;
 }
 
+void CfConfigClassifier::apply(std::uint8_t code, bool overlapping,
+                               std::size_t delta) {
+  if (code == 0) return;
+  dyn_total_ += delta;
+  if (code == 2) dyn_defaults_ += delta;
+  if (overlapping) {
+    ovl_total_ += delta;
+    if (code == 2) ovl_defaults_ += delta;
+  }
+}
+
 void CfConfigClassifier::on_day(const scanner::DailySnapshot& snapshot,
                                 const ecosystem::Internet& net) {
   overlap_.ensure(net);
-  std::size_t dyn_total = 0, dyn_default = 0;
-  std::size_t ovl_total = 0, ovl_default = 0;
+  if (coded_.size() < net.domain_count()) coded_.resize(net.domain_count(), 0);
 
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+  const auto code_of = [&](std::size_t i) -> std::uint8_t {
     const auto obs = snapshot.apex.view(i);
-    if (!obs.has_https()) continue;
-    if (classify_ns_mix(obs, snapshot) != NsMix::full_cloudflare) continue;
-
+    if (!obs.has_https()) return 0;
+    if (classify_ns_mix(obs, snapshot) != NsMix::full_cloudflare) return 0;
     auto https_records = obs.https_records();
-    bool is_default = std::any_of(
+    const bool is_default = std::any_of(
         https_records.begin(), https_records.end(),
         [&](const dns::SvcbRdata& r) {
           return is_cloudflare_default_config(
               r, snapshot.day, net.config().h3_29_retirement);
         });
-    ++dyn_total;
-    if (is_default) ++dyn_default;
-    if (overlap_.overlapping_on(snapshot.list[i], snapshot.day)) {
-      ++ovl_total;
-      if (is_default) ++ovl_default;
-    }
-  }
-  auto pct = [](std::size_t part, std::size_t whole) {
-    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
-                                  static_cast<double>(whole);
+    return is_default ? 2 : 1;
   };
-  dyn_default_.add(snapshot.day, pct(dyn_default, dyn_total));
-  ovl_default_.add(snapshot.day, pct(ovl_default, ovl_total));
+
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  // Day context: the overlap phase and which side of the h3-29 retirement
+  // the day falls on (the default-config test flips for every unchanged
+  // Cloudflare row when the retirement date passes).
+  const std::uint32_t context =
+      (overlap_.phase2_on(snapshot.day) ? 1u : 0u) |
+      (snapshot.day < net.config().h3_29_retirement ? 2u : 0u);
+  const bool flip = gate_.context_changed(context);
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, flip)) {
+    dyn_total_ = dyn_defaults_ = ovl_total_ = ovl_defaults_ = 0;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const std::uint8_t code = code_of(i);
+      coded_[id] = code;
+      apply(code, overlap_.overlapping_on(id, snapshot.day), 1);
+    }
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const ecosystem::DomainId id : churn.left) {
+      apply(coded_[id], overlap_.overlapping_on(id, snapshot.day), kMinus);
+      coded_[id] = 0;
+    }
+    for (const std::uint32_t i : churn.changed) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const bool overlapping = overlap_.overlapping_on(id, snapshot.day);
+      apply(coded_[id], overlapping, kMinus);
+      const std::uint8_t code = code_of(i);
+      coded_[id] = code;
+      apply(code, overlapping, 1);
+    }
+    for (const std::uint32_t i : churn.entered) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const std::uint8_t code = code_of(i);
+      coded_[id] = code;
+      apply(code, overlap_.overlapping_on(id, snapshot.day), 1);
+    }
+    gate_.account_delta(churn);
+  }
+
+  dyn_default_.add(snapshot.day, pct_of(dyn_defaults_, dyn_total_));
+  ovl_default_.add(snapshot.day, pct_of(ovl_defaults_, ovl_total_));
+}
+
+void ProviderParamProfile::profile_row(const scanner::DailySnapshot& snapshot,
+                                       std::size_t i) {
+  const auto obs = snapshot.apex.view(i);
+  if (!obs.has_https()) return;
+  auto operators = ns_operators(obs, snapshot);
+  if (!operators.contains(provider_)) return;
+
+  Profile row;
+  row.domains = 1;
+  for (const auto& record : obs.https_records()) {
+    if (record.is_service_mode()) {
+      row.service_mode = 1;
+      if (record.target.is_root()) row.target_self = 1;
+      else row.target_other = 1;
+    } else {
+      row.alias_mode = 1;
+      row.target_other = 1;
+    }
+    if (record.params.has(dns::SvcParamKey::alpn)) row.with_alpn = 1;
+    if (record.params.has(dns::SvcParamKey::ipv4hint)) row.with_ipv4hint = 1;
+    if (record.params.has(dns::SvcParamKey::ipv6hint)) row.with_ipv6hint = 1;
+  }
+  per_domain_[snapshot.list[i]] = row;
 }
 
 void ProviderParamProfile::on_day(const scanner::DailySnapshot& snapshot,
                                   const ecosystem::Internet& net) {
   (void)net;
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto obs = snapshot.apex.view(i);
-    if (!obs.has_https()) continue;
-    auto operators = ns_operators(obs, snapshot);
-    if (!operators.contains(provider_)) continue;
-
-    Profile row;
-    row.domains = 1;
-    for (const auto& record : obs.https_records()) {
-      if (record.is_service_mode()) {
-        row.service_mode = 1;
-        if (record.target.is_root()) row.target_self = 1;
-        else row.target_other = 1;
-      } else {
-        row.alias_mode = 1;
-        row.target_other = 1;
-      }
-      if (record.params.has(dns::SvcParamKey::alpn)) row.with_alpn = 1;
-      if (record.params.has(dns::SvcParamKey::ipv4hint)) row.with_ipv4hint = 1;
-      if (record.params.has(dns::SvcParamKey::ipv6hint)) row.with_ipv6hint = 1;
-    }
-    per_domain_[snapshot.list[i]] = row;
+  // The per-row update overwrites per_domain_[id] with a pure function of
+  // row + attribution, so unchanged rows are no-ops and unlisted domains
+  // keep their last profile — only changed + entered rows need replaying.
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, /*context_flip=*/false)) {
+    for (std::size_t i = 0; i < snapshot.size(); ++i) profile_row(snapshot, i);
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const std::uint32_t i : churn.changed) profile_row(snapshot, i);
+    for (const std::uint32_t i : churn.entered) profile_row(snapshot, i);
+    gate_.account_delta(churn);
   }
 }
 
@@ -99,24 +165,37 @@ ProviderParamProfile::Profile ProviderParamProfile::profile() const {
   return out;
 }
 
+void ParamAudit::audit_row(const scanner::DailySnapshot& snapshot,
+                           std::size_t i) {
+  const auto obs = snapshot.apex.view(i);
+  if (!obs.has_https()) return;
+  Result row;
+  for (const auto& record : obs.https_records()) {
+    if (record.is_service_mode()) {
+      row.service_mode_domains = 1;
+      if (record.priority == 1) row.priority_one = 1;
+      if (record.params.empty()) row.service_without_params = 1;
+    } else {
+      row.alias_mode_domains = 1;
+      if (record.target.is_root()) row.alias_target_self = 1;
+    }
+  }
+  per_domain_[snapshot.list[i]] = row;
+}
+
 void ParamAudit::on_day(const scanner::DailySnapshot& snapshot,
                         const ecosystem::Internet& net) {
   (void)net;
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto obs = snapshot.apex.view(i);
-    if (!obs.has_https()) continue;
-    Result row;
-    for (const auto& record : obs.https_records()) {
-      if (record.is_service_mode()) {
-        row.service_mode_domains = 1;
-        if (record.priority == 1) row.priority_one = 1;
-        if (record.params.empty()) row.service_without_params = 1;
-      } else {
-        row.alias_mode_domains = 1;
-        if (record.target.is_root()) row.alias_target_self = 1;
-      }
-    }
-    per_domain_[snapshot.list[i]] = row;
+  // Same overwrite idempotence as ProviderParamProfile, and no NS input at
+  // all — the audit reads record shapes only.
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  if (gate_.needs_full(churn, /*ns_dependent=*/false, /*context_flip=*/false)) {
+    for (std::size_t i = 0; i < snapshot.size(); ++i) audit_row(snapshot, i);
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const std::uint32_t i : churn.changed) audit_row(snapshot, i);
+    for (const std::uint32_t i : churn.entered) audit_row(snapshot, i);
+    gate_.account_delta(churn);
   }
 }
 
@@ -133,60 +212,132 @@ ParamAudit::Result ParamAudit::result() const {
   return out;
 }
 
+AlpnDistribution::RowAlpn AlpnDistribution::classify_row(
+    const scanner::DailySnapshot& snapshot, std::size_t i) const {
+  RowAlpn row;
+  const auto apex_obs = snapshot.apex.view(i);
+  if (apex_obs.has_https()) {
+    row.apex_https = true;
+    row.apex_protocols = apex_obs.alpn_protocols();
+    // §4.3.4 measures alpn advertisement among *ServiceMode* records —
+    // AliasMode cannot carry SvcParams, so alias-only domains (GoDaddy's
+    // bulk) are excluded from the denominator.
+    if (!apex_obs.alias_mode() &&
+        classify_ns_mix(apex_obs, snapshot) == NsMix::none_cloudflare) {
+      row.non_cf = true;
+      for (const auto& p : row.apex_protocols) {
+        if (p == "h2") row.h2 = true;
+        if (p == "h3") row.h3 = true;
+      }
+      row.no_alpn = row.apex_protocols.empty();
+    }
+  }
+  const auto www_obs = snapshot.www.view(i);
+  if (www_obs.has_https()) {
+    row.www_https = true;
+    row.www_protocols = www_obs.alpn_protocols();
+  }
+  return row;
+}
+
+void AlpnDistribution::add(const RowAlpn& row, bool overlapping) {
+  if (overlapping && row.apex_https) {
+    ++apex_https_run_;
+    for (const auto& p : row.apex_protocols) ++apex_counts_run_[p];
+  }
+  if (row.non_cf) {
+    ++non_cf_run_;
+    if (row.h2) ++non_cf_h2_run_;
+    if (row.h3) ++non_cf_h3_run_;
+    if (row.no_alpn) ++non_cf_none_run_;
+  }
+  if (overlapping && row.www_https) {
+    ++www_https_run_;
+    for (const auto& p : row.www_protocols) ++www_counts_run_[p];
+  }
+}
+
+void AlpnDistribution::remove(const RowAlpn& row, bool overlapping) {
+  const auto drop = [](std::map<std::string, std::size_t>& counts,
+                       const std::string& p) {
+    auto it = counts.find(p);
+    if (--it->second == 0) counts.erase(it);
+  };
+  if (overlapping && row.apex_https) {
+    --apex_https_run_;
+    for (const auto& p : row.apex_protocols) drop(apex_counts_run_, p);
+  }
+  if (row.non_cf) {
+    --non_cf_run_;
+    if (row.h2) --non_cf_h2_run_;
+    if (row.h3) --non_cf_h3_run_;
+    if (row.no_alpn) --non_cf_none_run_;
+  }
+  if (overlapping && row.www_https) {
+    --www_https_run_;
+    for (const auto& p : row.www_protocols) drop(www_counts_run_, p);
+  }
+}
+
 void AlpnDistribution::on_day(const scanner::DailySnapshot& snapshot,
                               const ecosystem::Internet& net) {
   overlap_.ensure(net);
-  std::map<std::string, std::size_t> apex_counts, www_counts;
-  std::size_t apex_https = 0, www_https = 0;
-  std::size_t non_cf = 0, non_cf_h2 = 0, non_cf_h3 = 0, non_cf_none = 0;
 
-  for (std::size_t i = 0; i < snapshot.size(); ++i) {
-    const auto apex_obs = snapshot.apex.view(i);
-    const auto www_obs = snapshot.www.view(i);
-    bool overlapping = overlap_.overlapping_on(snapshot.list[i], snapshot.day);
-
-    if (apex_obs.has_https()) {
-      auto protocols = apex_obs.alpn_protocols();
-      if (overlapping) {
-        ++apex_https;
-        for (const auto& p : protocols) ++apex_counts[p];
-      }
-      // §4.3.4 measures alpn advertisement among *ServiceMode* records —
-      // AliasMode cannot carry SvcParams, so alias-only domains (GoDaddy's
-      // bulk) are excluded from the denominator.
-      if (!apex_obs.alias_mode() &&
-          classify_ns_mix(apex_obs, snapshot) == NsMix::none_cloudflare) {
-        ++non_cf;
-        bool h2 = false, h3 = false;
-        for (const auto& p : protocols) {
-          if (p == "h2") h2 = true;
-          if (p == "h3") h3 = true;
-        }
-        if (h2) ++non_cf_h2;
-        if (h3) ++non_cf_h3;
-        if (protocols.empty()) ++non_cf_none;
+  const scanner::ChurnDiff& churn = snapshot.churn;
+  const bool flip =
+      gate_.context_changed(overlap_.phase2_on(snapshot.day) ? 1 : 0);
+  if (gate_.needs_full(churn, /*ns_dependent=*/true, flip)) {
+    apex_counts_run_.clear();
+    www_counts_run_.clear();
+    apex_https_run_ = www_https_run_ = 0;
+    non_cf_run_ = non_cf_h2_run_ = non_cf_h3_run_ = non_cf_none_run_ = 0;
+    cache_.clear();
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      RowAlpn row = classify_row(snapshot, i);
+      const ecosystem::DomainId id = snapshot.list[i];
+      add(row, overlap_.overlapping_on(id, snapshot.day));
+      if (row.apex_https || row.www_https) cache_[id] = std::move(row);
+    }
+    gate_.account_full(snapshot.size());
+  } else {
+    for (const ecosystem::DomainId id : churn.left) {
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        remove(it->second, overlap_.overlapping_on(id, snapshot.day));
+        cache_.erase(it);
       }
     }
-    if (overlapping && www_obs.has_https()) {
-      ++www_https;
-      for (const auto& p : www_obs.alpn_protocols()) ++www_counts[p];
+    for (const std::uint32_t i : churn.changed) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      const bool overlapping = overlap_.overlapping_on(id, snapshot.day);
+      auto it = cache_.find(id);
+      if (it != cache_.end()) {
+        remove(it->second, overlapping);
+        cache_.erase(it);
+      }
+      RowAlpn row = classify_row(snapshot, i);
+      add(row, overlapping);
+      if (row.apex_https || row.www_https) cache_[id] = std::move(row);
     }
+    for (const std::uint32_t i : churn.entered) {
+      const ecosystem::DomainId id = snapshot.list[i];
+      RowAlpn row = classify_row(snapshot, i);
+      add(row, overlap_.overlapping_on(id, snapshot.day));
+      if (row.apex_https || row.www_https) cache_[id] = std::move(row);
+    }
+    gate_.account_delta(churn);
   }
 
-  auto pct = [](std::size_t part, std::size_t whole) {
-    return whole == 0 ? 0.0 : 100.0 * static_cast<double>(part) /
-                                  static_cast<double>(whole);
-  };
-  for (const auto& [protocol, count] : apex_counts) {
-    apex_series_[protocol].add(snapshot.day, pct(count, apex_https));
+  for (const auto& [protocol, count] : apex_counts_run_) {
+    apex_series_[protocol].add(snapshot.day, pct_of(count, apex_https_run_));
   }
-  for (const auto& [protocol, count] : www_counts) {
-    www_series_[protocol].add(snapshot.day, pct(count, www_https));
+  for (const auto& [protocol, count] : www_counts_run_) {
+    www_series_[protocol].add(snapshot.day, pct_of(count, www_https_run_));
   }
-  if (non_cf > 0) {
-    non_cf_h2_.add(snapshot.day, pct(non_cf_h2, non_cf));
-    non_cf_h3_.add(snapshot.day, pct(non_cf_h3, non_cf));
-    non_cf_none_.add(snapshot.day, pct(non_cf_none, non_cf));
+  if (non_cf_run_ > 0) {
+    non_cf_h2_.add(snapshot.day, pct_of(non_cf_h2_run_, non_cf_run_));
+    non_cf_h3_.add(snapshot.day, pct_of(non_cf_h3_run_, non_cf_run_));
+    non_cf_none_.add(snapshot.day, pct_of(non_cf_none_run_, non_cf_run_));
   }
 }
 

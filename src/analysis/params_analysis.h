@@ -5,10 +5,19 @@
 //   * ProviderParamProfile — Table 5: per-provider configuration shapes.
 //   * ParamAudit           — §4.3.3: SvcPriority/TargetName oddities.
 //   * AlpnDistribution     — §4.3.4 + Table 8: protocol shares over time.
+//
+// All four are delta-aware (DeltaGate, common.h): churn-valid days update
+// running state off ChurnDiff in O(churn); full passes run on baseline /
+// NS-refresh / day-context-flip days (for CfConfigClassifier the h3-29
+// retirement date is a context input: crossing it re-classifies every
+// unchanged Cloudflare row).  force_full = true pins the full-rescan path.
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "analysis/common.h"
 #include "scanner/study.h"
@@ -24,6 +33,8 @@ namespace httpsrr::analysis {
 
 class CfConfigClassifier final : public scanner::DailyObserver {
  public:
+  explicit CfConfigClassifier(bool force_full = false) : gate_(force_full) {}
+
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
 
@@ -31,14 +42,30 @@ class CfConfigClassifier final : public scanner::DailyObserver {
   [[nodiscard]] double default_pct_dynamic() const { return dyn_default_.mean(); }
   [[nodiscard]] double default_pct_overlapping() const { return ovl_default_.mean(); }
 
+  [[nodiscard]] const TimeSeries& dynamic_series() const { return dyn_default_; }
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
+  void apply(std::uint8_t code, bool overlapping, std::size_t delta);
+
   OverlapSets overlap_;
+  DeltaGate gate_;
+  // Running per-day counters and the per-domain cached classification:
+  // 0 = not a full-Cloudflare HTTPS publisher, 1 = counted (customised),
+  // 2 = counted (default config).
+  std::size_t dyn_total_ = 0, dyn_defaults_ = 0;
+  std::size_t ovl_total_ = 0, ovl_defaults_ = 0;
+  std::vector<std::uint8_t> coded_;
   TimeSeries dyn_default_, ovl_default_;
 };
 
 class ProviderParamProfile final : public scanner::DailyObserver {
  public:
-  explicit ProviderParamProfile(std::string provider) : provider_(std::move(provider)) {}
+  explicit ProviderParamProfile(std::string provider, bool force_full = false)
+      : provider_(std::move(provider)), gate_(force_full) {}
 
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
@@ -62,13 +89,23 @@ class ProviderParamProfile final : public scanner::DailyObserver {
   // Aggregated over distinct domains across the whole run.
   [[nodiscard]] Profile profile() const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
+  void profile_row(const scanner::DailySnapshot& snapshot, std::size_t i);
+
   std::string provider_;
+  DeltaGate gate_;
   std::map<ecosystem::DomainId, Profile> per_domain_;  // domains==1 rows
 };
 
 class ParamAudit final : public scanner::DailyObserver {
  public:
+  explicit ParamAudit(bool force_full = false) : gate_(force_full) {}
+
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
 
@@ -81,12 +118,22 @@ class ParamAudit final : public scanner::DailyObserver {
   };
   [[nodiscard]] Result result() const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
+  void audit_row(const scanner::DailySnapshot& snapshot, std::size_t i);
+
+  DeltaGate gate_;
   std::map<ecosystem::DomainId, Result> per_domain_;
 };
 
 class AlpnDistribution final : public scanner::DailyObserver {
  public:
+  explicit AlpnDistribution(bool force_full = false) : gate_(force_full) {}
+
   void on_day(const scanner::DailySnapshot& snapshot,
               const ecosystem::Internet& net) override;
 
@@ -99,8 +146,36 @@ class AlpnDistribution final : public scanner::DailyObserver {
   [[nodiscard]] double non_cf_protocol_pct(const std::string& protocol) const;
   [[nodiscard]] double non_cf_no_alpn_pct() const;
 
+  [[nodiscard]] std::size_t rows_touched() const { return gate_.rows_touched(); }
+  [[nodiscard]] std::size_t full_recomputes() const {
+    return gate_.full_recomputes();
+  }
+
  private:
+  // One row's cached contribution to the running counters.
+  struct RowAlpn {
+    std::vector<std::string> apex_protocols;
+    std::vector<std::string> www_protocols;
+    bool apex_https = false;
+    bool www_https = false;
+    bool non_cf = false;  // ServiceMode publisher on none-Cloudflare NS
+    bool h2 = false, h3 = false, no_alpn = false;
+  };
+
+  [[nodiscard]] RowAlpn classify_row(const scanner::DailySnapshot& snapshot,
+                                     std::size_t i) const;
+  void add(const RowAlpn& row, bool overlapping);
+  void remove(const RowAlpn& row, bool overlapping);
+
   OverlapSets overlap_;
+  DeltaGate gate_;
+  // Running per-day state; protocol keys are erased at refcount zero so
+  // the emitted key set matches the eager loop's per-day maps.
+  std::map<std::string, std::size_t> apex_counts_run_, www_counts_run_;
+  std::size_t apex_https_run_ = 0, www_https_run_ = 0;
+  std::size_t non_cf_run_ = 0, non_cf_h2_run_ = 0, non_cf_h3_run_ = 0,
+              non_cf_none_run_ = 0;
+  std::unordered_map<ecosystem::DomainId, RowAlpn> cache_;
   std::map<std::string, TimeSeries> apex_series_;
   std::map<std::string, TimeSeries> www_series_;
   TimeSeries non_cf_h2_, non_cf_h3_, non_cf_none_;

@@ -398,6 +398,11 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
   out.target = std::move(*target);
 
   std::string scratch;  // escape-resolution buffer, reused across items
+  WireWriter w;         // wire-value staging buffer, reused across params
+  w.reserve(64);
+  // Snapshots the staged bytes as an exact-size value (the writer keeps
+  // its capacity for the next param).
+  auto staged = [&w] { return Bytes(w.data().begin(), w.data().end()); };
   while (next_token(text, pos, tok)) {
     std::string_view key_str = tok;
     std::string_view value;
@@ -440,7 +445,7 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
         if (!has_value || value.empty()) return Error{"alpn needs a value"};
         // Build the wire image directly: length-prefixed protocol ids
         // (what set_alpn would produce from a string vector).
-        WireWriter w;
+        w.clear();
         (void)for_each_list_item(value, scratch, [&](std::string_view item) {
           item = item.substr(0, 255);
           w.u8(static_cast<std::uint8_t>(item.size()));
@@ -448,7 +453,7 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
           return true;
         });
         out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::alpn),
-                           std::move(w).take());
+                           staged());
         break;
       }
       case SvcParamKey::no_default_alpn: {
@@ -466,7 +471,7 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
       }
       case SvcParamKey::ipv4hint: {
         if (!has_value || value.empty()) return Error{"ipv4hint needs a value"};
-        WireWriter w;
+        w.clear();
         Error err;
         bool ok = for_each_list_item(value, scratch, [&](std::string_view item) {
           auto a = net::Ipv4Addr::parse(item);
@@ -479,12 +484,12 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
         });
         if (!ok) return err;
         out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::ipv4hint),
-                           std::move(w).take());
+                           staged());
         break;
       }
       case SvcParamKey::ipv6hint: {
         if (!has_value || value.empty()) return Error{"ipv6hint needs a value"};
-        WireWriter w;
+        w.clear();
         Error err;
         bool ok = for_each_list_item(value, scratch, [&](std::string_view item) {
           auto a = net::Ipv6Addr::parse(item);
@@ -497,7 +502,7 @@ Result<SvcbRdata> SvcbRdata::parse_presentation(std::string_view text) {
         });
         if (!ok) return err;
         out.params.set_raw(static_cast<std::uint16_t>(SvcParamKey::ipv6hint),
-                           std::move(w).take());
+                           staged());
         break;
       }
       case SvcParamKey::ech: {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 
 #include "util/rng.h"
 #include "util/strings.h"
@@ -49,6 +50,128 @@ net::Ipv6Addr web_address6(DomainId id) {
 
 }  // namespace
 
+// ---------------------------------------------------- flyweight zone sources
+//
+// The eager build stored one Zone per domain (plus a delegation node per
+// domain inside the TLD zones) — the dominant share of the 1M-scale RSS.
+// The flyweight build stores none of it: a DomainZoneSource per provider
+// stamps a domain's hosted zone from the provider template + DomainState
+// deltas when the AuthoritativeServer needs it, and a TldZoneSource on the
+// gTLD server stamps the single-domain slice of the TLD zone (delegation
+// NS, DS, in-bailiwick glue).  Both keep mutex-guarded caches keyed by
+// DomainId and stamped with domain_version_, so within a frozen epoch each
+// zone is built at most once and a per-domain event invalidates exactly
+// that domain's entries.
+
+class Internet::DomainZoneSource final : public resolver::ZoneSource {
+ public:
+  DomainZoneSource(const Internet* net, std::size_t provider)
+      : net_(net), provider_(provider) {}
+
+  [[nodiscard]] std::shared_ptr<const resolver::HostedZone> zone_for(
+      const Name& qname) const override {
+    if (qname.label_count() < 2) return nullptr;
+    const DomainState* d = net_->domain_by_name(qname.suffix(2));
+    if (d == nullptr) return nullptr;
+    // Hosting predicate: the primary provider always serves; a second
+    // provider only when permanently mixed in (the temporary multi-NS
+    // provider2 is a lame delegation, as in the eager build).
+    if (d->provider != provider_ &&
+        !(d->provider2 == provider_ &&
+          d->quirk == DomainState::Quirk::mixed_provider)) {
+      return nullptr;
+    }
+    const std::uint32_t version = net_->domain_version_[d->id];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(d->id);
+      if (it != cache_.end() && it->second.version == version) {
+        return it->second.zone;
+      }
+    }
+    auto zone = std::make_shared<const resolver::HostedZone>(
+        net_->materialize_domain_zone(*d, provider_));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (net_->config_.zone_cache_limit != 0 &&
+        cache_.size() >= net_->config_.zone_cache_limit) {
+      cache_.clear();  // generational: a scan touches each domain in a burst
+    }
+    cache_[d->id] = Entry{version, zone};
+    return zone;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t version = 0;
+    std::shared_ptr<const resolver::HostedZone> zone;
+  };
+  const Internet* net_;
+  std::size_t provider_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<DomainId, Entry> cache_;
+};
+
+class Internet::TldZoneSource final : public resolver::ZoneSource {
+ public:
+  explicit TldZoneSource(const Internet* net) : net_(net) {}
+
+  [[nodiscard]] std::shared_ptr<const resolver::HostedZone> zone_for(
+      const Name& qname) const override {
+    if (qname.label_count() < 2) return nullptr;  // TLD apex: static zone
+    const DomainState* d = net_->domain_by_name(qname.suffix(2));
+    if (d == nullptr) return nullptr;  // provider glue etc.: static zone
+    const std::uint32_t version = net_->domain_version_[d->id];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(d->id);
+      if (it != cache_.end() && it->second.version == version) {
+        return it->second.zone;  // may be null: fall through to the static zone
+      }
+    }
+    auto built = net_->materialize_tld_delegation(*d);
+    // An empty slice (vanished unsigned domain whose providers have no
+    // in-bailiwick glue) falls through to the static TLD zone, whose anchor
+    // node keeps denial proofs well-formed.
+    std::shared_ptr<const resolver::HostedZone> zone;
+    if (built.zone.record_count() != 0) {
+      zone = std::make_shared<const resolver::HostedZone>(std::move(built));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (net_->config_.zone_cache_limit != 0 &&
+        cache_.size() >= net_->config_.zone_cache_limit) {
+      cache_.clear();
+    }
+    cache_[d->id] = Entry{version, std::move(zone)};
+    auto it = cache_.find(d->id);
+    return it->second.zone;
+  }
+
+ private:
+  struct Entry {
+    std::uint32_t version = 0;
+    std::shared_ptr<const resolver::HostedZone> zone;
+  };
+  const Internet* net_;
+  mutable std::mutex mu_;
+  mutable std::unordered_map<DomainId, Entry> cache_;
+};
+
+const std::vector<AuthoritativeServer*>* Internet::servers_for(
+    const Name& apex) const {
+  auto it = by_name_.find(apex);
+  if (it == by_name_.end()) return nullptr;
+  const DomainState& d = domains_[it->second];
+  if (!(d.apex == apex)) return nullptr;  // www names are not zone apexes
+  static thread_local std::vector<AuthoritativeServer*> scratch;
+  scratch.clear();
+  scratch.push_back(provider_server(d.provider));
+  if (d.provider2 != SIZE_MAX &&
+      d.quirk == DomainState::Quirk::mixed_provider) {
+    scratch.push_back(provider_server(d.provider2));
+  }
+  return &scratch;
+}
+
 Internet::Internet(EcosystemConfig config)
     : config_(config),
       clock_(config.start),
@@ -71,14 +194,41 @@ Internet::Internet(EcosystemConfig config)
 
   build_population();
   build_infrastructure();
-  for (const auto& d : domains_) build_zone(d);
   schedule_events();
+
+  // Web reachability (formerly part of the per-zone build): every apex
+  // answers on 443 at its address; chronic mismatchers also listen on the
+  // stale hint address.
+  for (const auto& d : domains_) {
+    (void)network_.listen(net::Endpoint{net::IpAddr(d.address), 443});
+    if (!(d.hint_address == d.address)) {
+      (void)network_.listen(net::Endpoint{net::IpAddr(d.hint_address), 443});
+    }
+  }
+
+  if (config_.prewarm_zones) prewarm_all_zones();
 
   // Construction is done mutating: from here on the frozen-epoch contract
   // holds (nothing changes outside advance_to), so the authoritative
   // servers may memoize rendered responses and signatures.  advance_to
   // opens every epoch edge by dropping those memos before events apply.
   infra_.enable_response_caching();
+  if (config_.response_cache_limit != 0) {
+    infra_.set_response_cache_limit(config_.response_cache_limit);
+  }
+}
+
+Internet::~Internet() = default;
+
+void Internet::prewarm_all_zones() {
+  for (const auto& d : domains_) {
+    (void)domain_sources_[d.provider]->zone_for(d.apex);
+    if (d.provider2 != SIZE_MAX &&
+        d.quirk == DomainState::Quirk::mixed_provider) {
+      (void)domain_sources_[d.provider2]->zone_for(d.apex);
+    }
+    (void)tld_source_->zone_for(d.apex);
+  }
 }
 
 dns::Name Internet::tld_of(const DomainState& d) const {
@@ -287,6 +437,15 @@ void Internet::build_population() {
       d.hint_address = web_address(id, 7);  // permanently different
     }
   }
+
+  // Flyweight deltas: whether HTTPS records exist in the zone right now —
+  // exactly the eager build's write condition at construction time — and
+  // the version stamps the zone-source caches compare against.
+  for (DomainId id = 0; id < universe; ++id) {
+    DomainState& d = domains_[id];
+    d.https_written = d.publishes_https && d.https_since <= config_.start;
+  }
+  domain_version_.assign(universe, 0);
 }
 
 // ----------------------------------------------------------- infrastructure
@@ -331,6 +490,8 @@ void Internet::build_infrastructure() {
     server.set_supports_https_rr(spec.supports_https_rr);
     server.set_svcb_hook(hook);
     provider_servers_.push_back(&server);
+    domain_sources_.push_back(std::make_unique<DomainZoneSource>(this, p));
+    server.set_zone_source(domain_sources_.back().get());
 
     // Glue for ns1/ns2.<ns_domain> in the matching TLD zone.
     Name ns_parent = name_of(spec.ns_domain);
@@ -350,232 +511,218 @@ void Internet::build_infrastructure() {
       whois_.add_manual_override("mega-cloud-hosting", spec.name);
     }
   }
-}
 
-// ------------------------------------------------------------ zone building
+  // Per-domain zones and delegations are materialized on demand from here
+  // on: the TLD server stamps delegation slices, each provider server
+  // stamps hosted zones, and zone-cut discovery goes through the
+  // ZoneDirectory answered from DomainState.
+  tld_source_ = std::make_unique<TldZoneSource>(this);
+  tld_server_->set_zone_source(tld_source_.get());
+  infra_.set_zone_directory(this);
 
-void Internet::sync_delegation(const DomainState& d, bool include_ns) {
-  // The NS set lives in two places: the TLD delegation and the zone's own
-  // apex NS RRset (what an NS query through the resolver returns). Both
-  // must reflect provider changes for the scanner to observe them.
-  Name tld = tld_of(d);
-  auto* tld_zone = tld_server_->find_zone(tld);
-  tld_zone->remove(d.apex, RrType::NS);
-
-  std::vector<dns::Zone*> hosted;
-  if (auto* zone = provider_server(d.provider)->find_zone(d.apex)) {
-    hosted.push_back(zone);
-  }
-  if (d.provider2 != SIZE_MAX) {
-    if (auto* zone = provider_server(d.provider2)->find_zone(d.apex)) {
-      hosted.push_back(zone);
+  // Every static TLD zone still needs at least one node below its apex:
+  // NXDOMAIN/NODATA denial proofs and the empty-non-terminal check at the
+  // TLD apex (which DNSKEY synthesis depends on) require a non-empty node
+  // map.  TLDs without in-bailiwick provider glue (org) get an anchor node
+  // whose name sorts canonically before the d***** population names.
+  for (const auto& tld : tlds_) {
+    auto* zone = tld_server_->find_zone(tld);
+    if (zone->record_count() == 0) {
+      (void)zone->add(dns::make_a(*tld.prepend("anchor"), kNsTtl,
+                                  net::Ipv4Addr(192, 0, 2, 53)));
     }
   }
-  for (auto* zone : hosted) zone->remove(d.apex, RrType::NS);
-  if (!include_ns) return;
-
-  auto add_ns_for = [&](std::size_t provider_index) {
-    const auto& spec = catalog_.providers[provider_index];
-    Name ns_parent = name_of(spec.ns_domain);
-    for (int n = 1; n <= spec.ns_count; ++n) {
-      Name host = *ns_parent.prepend(util::format("ns%d", n));
-      (void)tld_zone->add(dns::make_ns(d.apex, kNsTtl, host));
-      for (auto* zone : hosted) {
-        (void)zone->add(dns::make_ns(d.apex, kNsTtl, host));
-      }
-    }
-  };
-  add_ns_for(d.provider);
-  if (d.provider2 != SIZE_MAX) add_ns_for(d.provider2);
 }
 
-void Internet::update_address_records(const DomainState& d) {
-  auto update_in = [&](AuthoritativeServer* server) {
-    auto* zone = server->find_zone(d.apex);
-    if (zone == nullptr) return;
-    zone->remove(d.apex, RrType::A);
-    (void)zone->add(dns::make_a(d.apex, kApexTtl, d.address));
-    if (zone->records_at(d.www, RrType::CNAME).empty()) {
-      zone->remove(d.www, RrType::A);
-      (void)zone->add(dns::make_a(d.www, kApexTtl, d.address));
-    }
-  };
-  update_in(provider_server(d.provider));
-  if (d.provider2 != SIZE_MAX) update_in(provider_server(d.provider2));
+// ------------------------------------------------------ zone materialization
+
+bool Internet::www_is_cname(const DomainState& d) const {
+  // A share of zones publish www as a CNAME to the apex (the shape the
+  // paper's scanner chases, §4.1); the rest give www its own A record.
+  return draw(config_.seed, d.id, 70) < 0.25;
 }
 
-void Internet::write_https_records(const DomainState& d) {
+dns::SvcbRdata Internet::make_https_record(const DomainState& d) const {
   const std::uint64_t seed = config_.seed;
   const auto& spec = catalog_.providers[d.provider];
 
-  auto make_record = [&]() -> dns::SvcbRdata {
-    dns::SvcbRdata svcb;
-    svcb.priority = 1;  // ServiceMode, TargetName "."
-    if (d.on_cloudflare) {
-      if (!d.cf_customized) return svcb;  // placeholder: hook fills params
+  dns::SvcbRdata svcb;
+  svcb.priority = 1;  // ServiceMode, TargetName "."
+  if (d.on_cloudflare) {
+    if (!d.cf_customized) return svcb;  // placeholder: hook fills params
 
-      // Customised Cloudflare configurations (§4.3.3 / Appendix E.1).
-      // Nearly all still carry hints (97% hint utilisation, Fig. 11).
-      double shape = draw(seed, d.id, 20);
-      if (shape < 0.62) {
+    // Customised Cloudflare configurations (§4.3.3 / Appendix E.1).
+    // Nearly all still carry hints (97% hint utilisation, Fig. 11).
+    double shape = draw(seed, d.id, 20);
+    if (shape < 0.62) {
+      svcb.params.set_alpn({"h2"});
+      svcb.params.set_ipv4hint({d.hint_address});
+      svcb.params.set_ipv6hint({d.address6});
+    } else if (shape < 0.88) {
+      // Customised with h3 but only a v4 hint (distinguishable from the
+      // default, which always carries both hint families).
+      svcb.params.set_alpn({"h2", "h3"});
+      svcb.params.set_ipv4hint({d.hint_address});
+    } else if (shape < 0.93) {
+      // ServiceMode without any SvcParams (the 202-domain cohort).
+    } else if (shape < 0.98) {
+      svcb.priority = 0;  // AliasMode
+      svcb.target = d.www;
+    } else {
+      svcb.priority = 0;  // broken: AliasMode pointing at itself
+    }
+    return svcb;
+  }
+
+  switch (spec.style) {
+    case HttpsRecordStyle::service_no_params: {
+      double shape = draw(seed, d.id, 21);
+      if (shape < 0.05) {
         svcb.params.set_alpn({"h2"});
-        svcb.params.set_ipv4hint({d.hint_address});
-        svcb.params.set_ipv6hint({d.address6});
-      } else if (shape < 0.88) {
-        // Customised with h3 but only a v4 hint (distinguishable from the
-        // default, which always carries both hint families).
-        svcb.params.set_alpn({"h2", "h3"});
-        svcb.params.set_ipv4hint({d.hint_address});
-      } else if (shape < 0.93) {
-        // ServiceMode without any SvcParams (the 202-domain cohort).
-      } else if (shape < 0.98) {
-        svcb.priority = 0;  // AliasMode
-        svcb.target = d.www;
-      } else {
-        svcb.priority = 0;  // broken: AliasMode pointing at itself
+      } else if (shape < 0.07) {
+        svcb.params.set_ipv4hint({d.address});
       }
       return svcb;
     }
-
-    switch (spec.style) {
-      case HttpsRecordStyle::service_no_params: {
-        double shape = draw(seed, d.id, 21);
-        if (shape < 0.05) {
-          svcb.params.set_alpn({"h2"});
-        } else if (shape < 0.07) {
-          svcb.params.set_ipv4hint({d.address});
-        }
-        return svcb;
+    case HttpsRecordStyle::alias_to_endpoint: {
+      double shape = draw(seed, d.id, 22);
+      if (shape < 0.99) {
+        svcb.priority = 0;
+        svcb.target = name_of(
+            util::format("site%u.hosting.%s", d.id, spec.ns_domain.c_str()));
+      } else {
+        svcb.params.set_alpn({"h3", "h2"});
+        svcb.params.set_ipv4hint({d.address});
+        svcb.params.set_ipv6hint({d.address6});
       }
-      case HttpsRecordStyle::alias_to_endpoint: {
-        double shape = draw(seed, d.id, 22);
-        if (shape < 0.99) {
-          svcb.priority = 0;
-          svcb.target = name_of(
-              util::format("site%u.hosting.%s", d.id, spec.ns_domain.c_str()));
-        } else {
-          svcb.params.set_alpn({"h3", "h2"});
-          svcb.params.set_ipv4hint({d.address});
-          svcb.params.set_ipv6hint({d.address6});
-        }
-        return svcb;
-      }
-      case HttpsRecordStyle::service_full:
-      default: {
-        double shape = draw(seed, d.id, 23);
-        if (shape < 0.084) {
-          // no alpn at all (8.44%, §4.3.4)
-        } else if (shape < 0.084 + 0.268) {
-          svcb.params.set_alpn({"h2", "h3"});
-        } else if (shape < 0.98) {
-          svcb.params.set_alpn({"h2"});
-        } else if (shape < 0.99) {
-          svcb.params.set_alpn({"http/1.1"});  // the 6-domain oddity
-        } else {
-          svcb.params.set_alpn({"h3-27", "h3-29"});  // the gentoo.org oddity
-        }
-        if (draw(seed, d.id, 24) < 0.5) {
-          svcb.params.set_ipv4hint({d.hint_address});
-        }
-        return svcb;
-      }
-      case HttpsRecordStyle::none:
-      case HttpsRecordStyle::cloudflare_default:
-        return svcb;
+      return svcb;
     }
-  };
-
-  auto write_in = [&](AuthoritativeServer* server) {
-    auto* zone = server->find_zone(d.apex);
-    if (zone == nullptr) return;
-    zone->remove(d.apex, RrType::HTTPS);
-    zone->remove(d.www, RrType::HTTPS);
-    dns::SvcbRdata record = make_record();
-    (void)zone->add(dns::make_https(d.apex, kApexTtl, record));
-    bool www_is_cname = !zone->records_at(d.www, dns::RrType::CNAME).empty();
-    if (d.www_has_https && !www_is_cname) {
-      (void)zone->add(dns::make_https(d.www, kApexTtl, record));
+    case HttpsRecordStyle::service_full:
+    default: {
+      double shape = draw(seed, d.id, 23);
+      if (shape < 0.084) {
+        // no alpn at all (8.44%, §4.3.4)
+      } else if (shape < 0.084 + 0.268) {
+        svcb.params.set_alpn({"h2", "h3"});
+      } else if (shape < 0.98) {
+        svcb.params.set_alpn({"h2"});
+      } else if (shape < 0.99) {
+        svcb.params.set_alpn({"http/1.1"});  // the 6-domain oddity
+      } else {
+        svcb.params.set_alpn({"h3-27", "h3-29"});  // the gentoo.org oddity
+      }
+      if (draw(seed, d.id, 24) < 0.5) {
+        svcb.params.set_ipv4hint({d.hint_address});
+      }
+      return svcb;
     }
-  };
-  write_in(provider_server(d.provider));
-  if (d.provider2 != SIZE_MAX) write_in(provider_server(d.provider2));
+    case HttpsRecordStyle::none:
+    case HttpsRecordStyle::cloudflare_default:
+      return svcb;
+  }
 }
 
-void Internet::remove_https_records(const DomainState& d) {
-  auto remove_in = [&](AuthoritativeServer* server) {
-    auto* zone = server->find_zone(d.apex);
-    if (zone == nullptr) return;
-    zone->remove(d.apex, RrType::HTTPS);
-    zone->remove(d.www, RrType::HTTPS);
-  };
-  remove_in(provider_server(d.provider));
-  if (d.provider2 != SIZE_MAX) remove_in(provider_server(d.provider2));
+resolver::HostedZone Internet::materialize_domain_zone(
+    const DomainState& d, std::size_t provider_index) const {
+  const auto& spec = catalog_.providers[provider_index];
+  resolver::HostedZone hosted{dns::Zone(d.apex)};
+  auto& zone = hosted.zone;
+
+  dns::SoaRdata soa;
+  soa.mname = *name_of(spec.ns_domain).prepend("ns1");
+  soa.rname = *d.apex.prepend("hostmaster");
+  soa.serial = 2023050801;
+  soa.refresh = 7200;
+  soa.retry = 3600;
+  soa.expire = 1209600;
+  soa.minimum = 300;
+  (void)zone.add(dns::make_soa(d.apex, kNsTtl, std::move(soa)));
+
+  // The apex NS RRset mirrors the delegation: the primary provider's hosts
+  // first, then the second provider's while one is mixed in.
+  if (d.ns_present) {
+    auto add_ns_for = [&](std::size_t p) {
+      const auto& pspec = catalog_.providers[p];
+      Name ns_parent = name_of(pspec.ns_domain);
+      for (int n = 1; n <= pspec.ns_count; ++n) {
+        (void)zone.add(dns::make_ns(
+            d.apex, kNsTtl, *ns_parent.prepend(util::format("ns%d", n))));
+      }
+    };
+    add_ns_for(d.provider);
+    if (d.provider2 != SIZE_MAX) add_ns_for(d.provider2);
+  }
+
+  (void)zone.add(dns::make_a(d.apex, kApexTtl, d.address));
+  (void)zone.add(dns::make_aaaa(d.apex, kApexTtl, d.address6));
+  if (www_is_cname(d)) {
+    (void)zone.add(dns::make_cname(d.www, kApexTtl, d.apex));
+  } else {
+    (void)zone.add(dns::make_a(d.www, kApexTtl, d.address));
+  }
+
+  if (d.https_written) {
+    dns::SvcbRdata record = make_https_record(d);
+    (void)zone.add(dns::make_https(d.apex, kApexTtl, record));
+    if (d.www_has_https && !www_is_cname(d)) {
+      (void)zone.add(dns::make_https(d.www, kApexTtl, record));
+    }
+  }
+
+  if (d.dnssec_signed && d.signs_from <= clock_.now()) {
+    hosted.key = dnssec::KeyPair::generate(config_.seed ^ d.id, 257);
+  }
+  return hosted;
 }
 
-void Internet::build_zone(const DomainState& d) {
-  auto build_on = [&](std::size_t provider_index) {
-    const auto& spec = catalog_.providers[provider_index];
-    AuthoritativeServer* server = provider_server(provider_index);
+resolver::HostedZone Internet::materialize_tld_delegation(
+    const DomainState& d) const {
+  Name tld = tld_of(d);
+  resolver::HostedZone hosted{dns::Zone(tld)};
+  auto& zone = hosted.zone;
 
-    dns::Zone zone(d.apex);
-    dns::SoaRdata soa;
-    soa.mname = *name_of(spec.ns_domain).prepend("ns1");
-    soa.rname = *d.apex.prepend("hostmaster");
-    soa.serial = 2023050801;
-    soa.refresh = 7200;
-    soa.retry = 3600;
-    soa.expire = 1209600;
-    soa.minimum = 300;
-    (void)zone.add(dns::make_soa(d.apex, kNsTtl, std::move(soa)));
-
-    Name ns_parent = name_of(spec.ns_domain);
-    for (int n = 1; n <= spec.ns_count; ++n) {
-      (void)zone.add(dns::make_ns(d.apex, kNsTtl,
-                                  *ns_parent.prepend(util::format("ns%d", n))));
-    }
-    (void)zone.add(dns::make_a(d.apex, kApexTtl, d.address));
-    (void)zone.add(dns::make_aaaa(d.apex, kApexTtl, d.address6));
-    // A share of zones publish www as a CNAME to the apex (the shape the
-    // paper's scanner chases, §4.1); the rest give www its own A record.
-    if (draw(config_.seed, d.id, 70) < 0.25) {
-      (void)zone.add(dns::make_cname(d.www, kApexTtl, d.apex));
-    } else {
-      (void)zone.add(dns::make_a(d.www, kApexTtl, d.address));
-    }
-
-    server->add_zone(std::move(zone));
-
-    if (d.dnssec_signed && d.signs_from <= clock_.now()) {
-      server->enable_dnssec(d.apex,
-                            dnssec::KeyPair::generate(config_.seed ^ d.id, 257));
-      if (d.ds_uploaded) {
-        auto* tld_zone = tld_server_->find_zone(tld_of(d));
-        const auto* key = server->zone_key(d.apex);
-        (void)tld_zone->add(Rr{d.apex, RrType::DS, dns::RrClass::IN, kNsTtl,
-                               dnssec::make_ds(d.apex, key->dnskey)});
+  if (d.ns_present) {
+    auto add_ns_for = [&](std::size_t p) {
+      const auto& pspec = catalog_.providers[p];
+      Name ns_parent = name_of(pspec.ns_domain);
+      for (int n = 1; n <= pspec.ns_count; ++n) {
+        (void)zone.add(dns::make_ns(
+            d.apex, kNsTtl, *ns_parent.prepend(util::format("ns%d", n))));
       }
+    };
+    add_ns_for(d.provider);
+    if (d.provider2 != SIZE_MAX) add_ns_for(d.provider2);
+  }
+
+  if (d.dnssec_signed && d.ds_uploaded && d.signs_from <= clock_.now()) {
+    auto key = dnssec::KeyPair::generate(config_.seed ^ d.id, 257);
+    (void)zone.add(Rr{d.apex, RrType::DS, dns::RrClass::IN, kNsTtl,
+                      dnssec::make_ds(d.apex, key.dnskey)});
+  }
+
+  // In-bailiwick glue for the providers' NS hosts (Zone::add drops
+  // out-of-zone owners, exactly like the eager shared-glue build).  Added
+  // even while the NS set has vanished: the eager TLD zone kept its shared
+  // glue, and a non-empty slice is what anchors denial proofs.
+  auto add_glue_for = [&](std::size_t p) {
+    const auto& pspec = catalog_.providers[p];
+    Name ns_parent = name_of(pspec.ns_domain);
+    auto v4 = provider_server(p)->address().v4();
+    for (int n = 1; n <= pspec.ns_count; ++n) {
+      (void)zone.add(dns::make_a(
+          *ns_parent.prepend(util::format("ns%d", n)), kNsTtl, v4));
     }
   };
+  add_glue_for(d.provider);
+  if (d.provider2 != SIZE_MAX) add_glue_for(d.provider2);
 
-  build_on(d.provider);
-  std::vector<AuthoritativeServer*> hosts = {provider_server(d.provider)};
-  if (d.provider2 != SIZE_MAX) {
-    build_on(d.provider2);
-    hosts.push_back(provider_server(d.provider2));
+  for (std::size_t i = 0; i < tlds_.size(); ++i) {
+    if (tlds_[i] == tld) {
+      hosted.key = tld_keys_[i];
+      break;
+    }
   }
-  infra_.register_zone(d.apex, std::move(hosts));
-
-  sync_delegation(d, /*include_ns=*/true);
-  if (d.publishes_https && d.https_since <= clock_.now()) {
-    write_https_records(d);
-  }
-
-  // Web reachability: the apex answers on 443 at its address; chronic
-  // mismatchers also listen on the stale hint address.
-  (void)network_.listen(net::Endpoint{net::IpAddr(d.address), 443});
-  if (!(d.hint_address == d.address)) {
-    (void)network_.listen(net::Endpoint{net::IpAddr(d.hint_address), 443});
-  }
+  return hosted;
 }
 
 // -------------------------------------------------------------- the hook
@@ -742,55 +889,53 @@ void Internet::schedule_events() {
 }
 
 void Internet::apply(const Event& event) {
+  // Events are pure state mutations now: zones are stamped from DomainState
+  // on demand, so "edit the zone" collapses to "flip the delta bit and bump
+  // the domain's version" (which invalidates its cached materializations).
+  // Only the network keeps imperative side effects.
   DomainState& d = domains_[event.domain];
   switch (event.type) {
     case EventType::https_activate:
       if (d.publishes_https && (!d.on_cloudflare || d.cf_proxied)) {
-        write_https_records(d);
+        d.https_written = true;
       }
       break;
-    case EventType::proxied_off: {
+    case EventType::proxied_off:
       d.cf_proxied = false;
-      remove_https_records(d);
+      d.https_written = false;
       if (event.payload == 1) {
         // Temporarily mix in a second provider's NS (§4.2.3).
         d.provider2 = catalog_.providers.size() - 4;
-        sync_delegation(d, true);
       }
       break;
-    }
-    case EventType::proxied_on: {
+    case EventType::proxied_on:
       d.cf_proxied = true;
       if (d.quirk == DomainState::Quirk::multi_ns_deactivation &&
           d.provider2 != SIZE_MAX) {
         d.provider2 = SIZE_MAX;
-        sync_delegation(d, true);
       }
-      if (d.publishes_https) write_https_records(d);
+      if (d.publishes_https) d.https_written = true;
       break;
-    }
-    case EventType::ns_migrate: {
-      remove_https_records(d);
-      provider_server(d.provider)->remove_zone(d.apex);
+    case EventType::ns_migrate:
+      // The old provider's source stops claiming the apex, the new bulk
+      // provider's starts — serving a fresh HTTPS-less zone.
       d.on_cloudflare = false;
       d.cf_proxied = false;
       d.publishes_https = false;
-      d.provider = event.payload;
-      build_zone(d);
+      d.https_written = false;
+      d.provider = static_cast<std::size_t>(event.payload);
       break;
-    }
     case EventType::ns_vanish:
-      sync_delegation(d, false);
+      d.ns_present = false;
       break;
     case EventType::ns_restore:
-      sync_delegation(d, true);
+      d.ns_present = true;
       break;
     case EventType::renumber: {
       net::Ipv4Addr old_address = d.address;
       std::uint64_t generation = event.payload & 0xff;
       bool pool_event = (event.payload & 0x100) != 0;
       d.address = web_address(d.id, generation);
-      update_address_records(d);
 
       // Reachability consequences (§4.3.5 connectivity experiment).
       double p_dead_a =
@@ -816,26 +961,18 @@ void Internet::apply(const Event& event) {
         d.hint_address = d.address;
       }
       break;
-    case EventType::sign_on: {
-      auto* server = provider_server(d.provider);
-      server->enable_dnssec(d.apex,
-                            dnssec::KeyPair::generate(config_.seed ^ d.id, 257));
-      if (d.ds_uploaded) {
-        auto* tld_zone = tld_server_->find_zone(tld_of(d));
-        const auto* key = server->zone_key(d.apex);
-        tld_zone->remove(d.apex, RrType::DS);
-        (void)tld_zone->add(Rr{d.apex, RrType::DS, dns::RrClass::IN, kNsTtl,
-                               dnssec::make_ds(d.apex, key->dnskey)});
-      }
+    case EventType::sign_on:
+      // signs_from <= now from here on: materialization turns the zone key
+      // and the delegation-side DS on by itself.
       break;
-    }
     case EventType::ech_shutdown:
       ech_active_ = false;
-      break;
+      return;  // global: no per-domain version to bump
     case EventType::alpn_google_quic:
       google_quic_domains_.push_back(event.domain);
       break;
   }
+  ++domain_version_[event.domain];
 }
 
 void Internet::advance_to(net::SimTime t) {

@@ -114,6 +114,17 @@ struct EcosystemConfig {
   net::Duration ech_rotation_period = net::Duration::hours(1);
   net::Duration ech_rotation_jitter = net::Duration::minutes(31);
 
+  // --- flyweight build knobs (columnar ecosystem, PR 8) -------------------
+  // Per-domain zones are no longer stored: they are stamped from provider
+  // templates + DomainState deltas at the AuthoritativeServer lookup
+  // boundary.  prewarm_zones materializes every domain's zones into the
+  // source caches at construction so a timed first scan day pays no build
+  // cost (the historical profile); million-domain runs turn it off and cap
+  // the caches instead, trading a little rebuild work for bounded RSS.
+  bool prewarm_zones = true;
+  std::size_t zone_cache_limit = 0;      // materialized zones kept (0 = all)
+  std::size_t response_cache_limit = 0;  // rendered responses kept (0 = all)
+
   [[nodiscard]] double scale() const {
     return static_cast<double>(list_size) / 1e6;
   }
@@ -149,6 +160,11 @@ struct DomainState {
   net::Ipv4Addr hint_address;   // current ipv4hint (lags address on renumber)
   bool www_has_https = false;
 
+  // Flyweight zone deltas: zones are stamped from these bits on demand, so
+  // what used to be zone edits is now plain state here (+ a version bump).
+  bool ns_present = true;       // false while the NS set has vanished
+  bool https_written = false;   // HTTPS RRs currently exist in the zone
+
   enum class Quirk : std::uint8_t {
     none,
     proxied_toggler,
@@ -161,9 +177,25 @@ struct DomainState {
   Quirk quirk = Quirk::none;
 };
 
-class Internet {
+// The Internet implements resolver::ZoneDirectory so zone-cut discovery
+// (zone_servers/zone_apex) works without a million-entry registry: root and
+// TLD zones stay eagerly registered, per-domain apexes are answered from
+// DomainState.  Per-domain zones themselves are materialized on demand at
+// the AuthoritativeServer lookup boundary (resolver::ZoneSource) from
+// provider templates + the per-domain delta bits, with version-checked
+// caches so a frozen epoch serves each zone build at most once.
+class Internet : public resolver::ZoneDirectory {
  public:
   explicit Internet(EcosystemConfig config);
+  ~Internet() override;
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+
+  // resolver::ZoneDirectory — who serves `apex`?  Returns thread-local
+  // scratch (valid until the next call on the same thread), or nullptr
+  // when the name is not a domain apex in the population.
+  [[nodiscard]] const std::vector<resolver::AuthoritativeServer*>* servers_for(
+      const dns::Name& apex) const override;
 
   // Advances virtual time, applying every scheduled event in between and
   // ticking the shared ECH key manager.
@@ -212,17 +244,24 @@ class Internet {
     std::uint64_t payload = 0;
   };
 
+  class DomainZoneSource;  // per-provider ZoneSource (defined in internet.cpp)
+  class TldZoneSource;     // per-TLD delegation ZoneSource
+
   void build_population();
   void build_infrastructure();
-  void build_zone(const DomainState& d);
   void schedule_events();
   void apply(const Event& event);
+  void prewarm_all_zones();
 
-  // Zone-content helpers used at build time and by events.
-  void write_https_records(const DomainState& d);
-  void remove_https_records(const DomainState& d);
-  void sync_delegation(const DomainState& d, bool include_ns);
-  void update_address_records(const DomainState& d);
+  // Flyweight materialization: stamp a domain's zone (or its slice of the
+  // TLD delegation) from provider templates + DomainState, reproducing the
+  // exact net effect the eager per-zone build used to store.
+  [[nodiscard]] resolver::HostedZone materialize_domain_zone(
+      const DomainState& d, std::size_t provider_index) const;
+  [[nodiscard]] resolver::HostedZone materialize_tld_delegation(
+      const DomainState& d) const;
+  [[nodiscard]] dns::SvcbRdata make_https_record(const DomainState& d) const;
+  [[nodiscard]] bool www_is_cname(const DomainState& d) const;
 
   // The dynamic-parameter hook for Cloudflare-default records.
   void svcb_hook(const dns::Name& owner, dns::SvcbRdata& svcb,
@@ -248,6 +287,11 @@ class Internet {
 
   std::vector<DomainState> domains_;
   std::unordered_map<dns::Name, DomainId, dns::NameHash> by_name_;
+  // Bumped on every per-domain event; the zone-source caches compare it so
+  // a stale materialized zone is rebuilt exactly when state changed.
+  std::vector<std::uint32_t> domain_version_;
+  std::vector<std::unique_ptr<DomainZoneSource>> domain_sources_;
+  std::unique_ptr<TldZoneSource> tld_source_;
   std::vector<Event> events_;
   std::size_t next_event_ = 0;
 

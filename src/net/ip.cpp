@@ -8,15 +8,28 @@ using util::Error;
 using util::Result;
 
 Result<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
-  auto parts = util::split(text, '.');
-  if (parts.size() != 4) return Error{"IPv4 address must have four octets"};
+  // Manual octet walk: this runs on hint-validation hot paths, so it must
+  // not allocate (util::split builds a string vector).
   std::uint32_t bits = 0;
-  for (const auto& part : parts) {
+  std::size_t start = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    const bool last = octet == 3;
+    std::size_t dot = last ? std::string_view::npos : text.find('.', start);
+    if (!last && dot == std::string_view::npos) {
+      return Error{"IPv4 address must have four octets"};
+    }
+    std::string_view part = text.substr(
+        start, dot == std::string_view::npos ? std::string_view::npos
+                                             : dot - start);
+    if (last && part.find('.') != std::string_view::npos) {
+      return Error{"IPv4 address must have four octets"};
+    }
     if (part.empty() || part.size() > 3) return Error{"bad IPv4 octet"};
     if (part.size() > 1 && part[0] == '0') return Error{"IPv4 octet has leading zero"};
     std::uint64_t v = 0;
     if (!util::parse_u64(part, v, 255)) return Error{"IPv4 octet out of range"};
     bits = (bits << 8) | static_cast<std::uint32_t>(v);
+    start = dot + 1;
   }
   return Ipv4Addr(bits);
 }
@@ -86,41 +99,50 @@ Result<Ipv6Addr> Ipv6Addr::parse(std::string_view text) {
     }
   }
 
-  auto parse_side = [](std::string_view side,
-                       std::vector<std::uint16_t>& groups) -> Result<void> {
+  // Each side holds at most eight groups, so fixed arrays suffice — the
+  // parse is allocation-free on every path (hot in hint validation).
+  auto parse_side = [](std::string_view side, std::array<std::uint16_t, 9>& groups,
+                       std::size_t& count) -> Result<void> {
+    count = 0;
     if (side.empty()) return {};
-    auto parts = util::split(side, ':');
-    for (std::size_t i = 0; i < parts.size(); ++i) {
-      const std::string& p = parts[i];
-      if (p.find('.') != std::string::npos) {
+    std::size_t start = 0;
+    while (true) {
+      std::size_t colon = side.find(':', start);
+      const bool last = colon == std::string_view::npos;
+      std::string_view p = side.substr(
+          start, last ? std::string_view::npos : colon - start);
+      if (count >= 8) return Error{"IPv6 address must have eight groups"};
+      if (p.find('.') != std::string_view::npos) {
         // Embedded IPv4 — only valid as the final two groups.
-        if (i + 1 != parts.size()) return Error{"embedded IPv4 must be last"};
+        if (!last) return Error{"embedded IPv4 must be last"};
         auto v4 = Ipv4Addr::parse(p);
         if (!v4) return Error{v4.error()};
         std::uint32_t bits = v4->bits();
-        groups.push_back(static_cast<std::uint16_t>(bits >> 16));
-        groups.push_back(static_cast<std::uint16_t>(bits & 0xffff));
-        continue;
+        groups[count++] = static_cast<std::uint16_t>(bits >> 16);
+        groups[count++] = static_cast<std::uint16_t>(bits & 0xffff);
+        return {};
       }
       int g = parse_hex_group(p);
       if (g < 0) return Error{"bad IPv6 group"};
-      groups.push_back(static_cast<std::uint16_t>(g));
+      groups[count++] = static_cast<std::uint16_t>(g);
+      if (last) return {};
+      start = colon + 1;
     }
-    return {};
   };
 
-  std::vector<std::uint16_t> head_groups;
-  std::vector<std::uint16_t> tail_groups;
-  if (auto r = parse_side(head, head_groups); !r) return Error{r.error()};
-  if (auto r = parse_side(tail, tail_groups); !r) return Error{r.error()};
+  std::array<std::uint16_t, 9> head_groups;  // one slot of slack: v4 is 2 wide
+  std::array<std::uint16_t, 9> tail_groups;
+  std::size_t head_count = 0, tail_count = 0;
+  if (auto r = parse_side(head, head_groups, head_count); !r) return Error{r.error()};
+  if (auto r = parse_side(tail, tail_groups, tail_count); !r) return Error{r.error()};
 
   std::array<std::uint16_t, 8> groups{};
-  std::size_t total = head_groups.size() + tail_groups.size();
+  std::size_t total = head_count + tail_count;
   if (has_compression) {
     if (total >= 8) return Error{"'::' must compress at least one group"};
-    for (std::size_t i = 0; i < head_groups.size(); ++i) groups[i] = head_groups[i];
-    for (std::size_t i = 0; i < tail_groups.size(); ++i) {
-      groups[8 - tail_groups.size() + i] = tail_groups[i];
+    for (std::size_t i = 0; i < head_count; ++i) groups[i] = head_groups[i];
+    for (std::size_t i = 0; i < tail_count; ++i) {
+      groups[8 - tail_count + i] = tail_groups[i];
     }
   } else {
     if (total != 8) return Error{"IPv6 address must have eight groups"};

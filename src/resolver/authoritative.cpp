@@ -72,6 +72,16 @@ void AuthoritativeServer::set_response_caching(bool enabled) {
   caching_enabled_ = enabled;
 }
 
+void AuthoritativeServer::set_zone_source(const ZoneSource* source) {
+  invalidate_caches();
+  zone_source_ = source;
+}
+
+void AuthoritativeServer::set_response_cache_limit(std::size_t limit) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  response_cache_limit_ = limit;
+}
+
 void AuthoritativeServer::invalidate_caches() {
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -98,7 +108,7 @@ const dnssec::KeyPair* AuthoritativeServer::zone_key(const Name& apex) const {
   return &*it->second.key;
 }
 
-const AuthoritativeServer::HostedZone* AuthoritativeServer::best_zone_for(
+const HostedZone* AuthoritativeServer::best_zone_for(
     const Name& qname) const {
   // Longest-suffix match among hosted zones: walk qname towards the root,
   // probing the zone map at each ancestor (O(labels · log zones)).
@@ -162,7 +172,15 @@ Message AuthoritativeServer::compute_response(const Message& query,
     return resp;
   }
   const auto& q = query.questions.front();
-  const HostedZone* hz = best_zone_for(q.qname);
+  // The zone source (on-demand materialization) wins over the eager zone
+  // table; the shared_ptr pins the materialized zone for this response.
+  std::shared_ptr<const HostedZone> lazy;
+  const HostedZone* hz = nullptr;
+  if (zone_source_ != nullptr) {
+    lazy = zone_source_->zone_for(q.qname);
+    hz = lazy.get();
+  }
+  if (hz == nullptr) hz = best_zone_for(q.qname);
   if (hz == nullptr) {
     resp.header.rcode = dns::Rcode::REFUSED;
     return resp;
@@ -329,6 +347,15 @@ SharedResponse AuthoritativeServer::handle_shared(const Message& query,
   SharedResponse served = render_response(query, now);
   std::lock_guard<std::mutex> lock(cache_mutex_);
   ++stats_.response_misses;
+  if (response_cache_limit_ != 0 &&
+      response_cache_.size() >= response_cache_limit_) {
+    // At the cap: serve the fresh render without publishing it.  A racing
+    // shard may have published this key meanwhile — adopt that if so.
+    auto it = response_cache_.find(key);
+    if (it != response_cache_.end()) return it->second;
+    stats_.bytes_encoded += served->wire.size();
+    return served;
+  }
   auto [it, inserted] = response_cache_.try_emplace(std::move(key), served);
   if (!inserted) {
     // Lost a render race with another shard; adopt the published entry so

@@ -35,6 +35,37 @@
 
 namespace httpsrr::resolver {
 
+// One hosted zone plus its signing configuration.  AuthoritativeServer
+// stores these for eagerly added zones; a ZoneSource materializes them on
+// demand at the lookup boundary (the flyweight ecosystem build).
+struct HostedZone {
+  dns::Zone zone;
+  std::optional<dnssec::KeyPair> key;
+  net::Duration sig_validity = net::Duration::days(14);
+};
+
+// ZoneSource — on-demand zone materialization at the lookup boundary.
+//
+// A server with a source probes it *before* its own zone table: the source
+// either returns the hosted zone that should answer `qname` (typically
+// stamped from a shared provider template plus per-domain deltas) or
+// nullptr to fall through to the eagerly added zones.  The returned
+// shared_ptr pins the materialized zone for the duration of one response
+// computation, so a concurrent cache eviction inside the source can never
+// pull the zone out from under an in-flight answer.
+//
+// Contract: for a fixed virtual instant the source must be a pure function
+// of qname — repeated calls return content-identical zones — and any state
+// change that would alter a returned zone must be accompanied by a response
+// -cache invalidation on the servers it feeds (the ecosystem routes every
+// mutation through Internet::advance_to, which bumps the epoch first).
+class ZoneSource {
+ public:
+  virtual ~ZoneSource() = default;
+  [[nodiscard]] virtual std::shared_ptr<const HostedZone> zone_for(
+      const dns::Name& qname) const = 0;
+};
+
 // Hot-path counters for the read-side memo layers (response cache,
 // signature cache) and the server-side encoder. Aggregated across servers
 // by DnsInfra::hot_path_stats() and surfaced through ResolverStats.
@@ -162,13 +193,19 @@ class AuthoritativeServer {
   void invalidate_caches();
   [[nodiscard]] HotPathStats hot_path_stats() const;
 
- private:
-  struct HostedZone {
-    dns::Zone zone;
-    std::optional<dnssec::KeyPair> key;
-    net::Duration sig_validity = net::Duration::days(14);
-  };
+  // On-demand zone materialization: when set, compute_response consults the
+  // source ahead of the server's own zone table (longest-match inside the
+  // source).  The source must outlive the server; pass nullptr to detach.
+  void set_zone_source(const ZoneSource* source);
+  [[nodiscard]] const ZoneSource* zone_source() const { return zone_source_; }
 
+  // Bounds the pre-rendered response cache (0 = unlimited).  At the cap a
+  // render miss returns its freshly rendered response without publishing it
+  // — output-invariant, only the hit rate moves.  This is what keeps the
+  // million-domain day inside a fixed memory budget.
+  void set_response_cache_limit(std::size_t limit);
+
+ private:
   // Response-cache key: EDNS state folds presence and the DO bit into one
   // discriminant (content depends on DO; wire size also on OPT presence).
   struct ResponseKey {
@@ -243,6 +280,7 @@ class AuthoritativeServer {
   net::IpAddr address_;
   bool supports_https_rr_ = true;
   bool offline_ = false;
+  const ZoneSource* zone_source_ = nullptr;
   SvcbHook svcb_hook_;
   // Hashed: best_zone_for() probes one ancestor per label of the qname on
   // every uncached render, and a provider hosting thousands of zones would
@@ -253,6 +291,7 @@ class AuthoritativeServer {
   // frozen Internet), hence mutable; mutex-guarded because the sharded scan
   // queries one server from many threads.
   bool caching_enabled_ = false;
+  std::size_t response_cache_limit_ = 0;  // 0 = unlimited
   mutable std::mutex cache_mutex_;
   mutable std::unordered_map<ResponseKey, SharedResponse, ResponseKeyHash,
                              ResponseKeyEq>

@@ -31,14 +31,22 @@ void DnsInfra::unregister_zone(const dns::Name& apex) { zones_.erase(apex); }
 const std::vector<AuthoritativeServer*>* DnsInfra::zone_servers(
     const dns::Name& apex) const {
   auto it = zones_.find(apex);
-  return it == zones_.end() ? nullptr : &it->second;
+  if (it != zones_.end()) return &it->second;
+  if (directory_ != nullptr) return directory_->servers_for(apex);
+  return nullptr;
 }
 
 std::optional<dns::Name> DnsInfra::zone_apex(const dns::Name& name) const {
   // Walk from the name towards the root; the first registered apex wins.
+  // The flyweight directory is probed at each step so per-domain apexes
+  // that are no longer eagerly registered still resolve.
   dns::Name candidate = name;
   while (true) {
     if (zones_.contains(candidate)) return candidate;
+    if (directory_ != nullptr &&
+        directory_->servers_for(candidate) != nullptr) {
+      return candidate;
+    }
     if (candidate.is_root()) return std::nullopt;
     candidate = candidate.parent();
   }
@@ -48,6 +56,13 @@ void DnsInfra::enable_response_caching() {
   for (auto& [addr, server] : by_address_) {
     (void)addr;
     server->set_response_caching(true);
+  }
+}
+
+void DnsInfra::set_response_cache_limit(std::size_t limit) {
+  for (auto& [addr, server] : by_address_) {
+    (void)addr;
+    server->set_response_cache_limit(limit);
   }
 }
 

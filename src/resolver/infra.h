@@ -22,6 +22,22 @@
 
 namespace httpsrr::resolver {
 
+// Directory extension for flyweight zone hosting: when the ecosystem stops
+// registering one zone entry per domain (a million-entry map), it installs a
+// ZoneDirectory instead, which answers "who serves this apex?" from compact
+// per-domain state.  The returned pointer may reference thread-local scratch
+// and is only valid until the next servers_for() call on the same thread —
+// callers must consume it immediately (every current caller does).
+class ZoneDirectory {
+ public:
+  virtual ~ZoneDirectory() = default;
+
+  // Servers authoritative for `apex`, or nullptr when the directory does not
+  // know the name as a zone apex.
+  [[nodiscard]] virtual const std::vector<AuthoritativeServer*>* servers_for(
+      const dns::Name& apex) const = 0;
+};
+
 class DnsInfra {
  public:
   DnsInfra() = default;
@@ -45,6 +61,13 @@ class DnsInfra {
   // Closest enclosing registered zone apex for a name.
   [[nodiscard]] std::optional<dns::Name> zone_apex(const dns::Name& name) const;
 
+  // Installs a fallback directory consulted by zone_servers()/zone_apex()
+  // whenever the eager registry misses. Explicitly registered zones (root,
+  // TLDs) keep priority. The directory must outlive the infra's use of it.
+  void set_zone_directory(const ZoneDirectory* directory) {
+    directory_ = directory;
+  }
+
   void set_root_servers(std::vector<net::IpAddr> addrs) { roots_ = std::move(addrs); }
   [[nodiscard]] const std::vector<net::IpAddr>& root_servers() const { return roots_; }
 
@@ -55,6 +78,11 @@ class DnsInfra {
   // call bump_epoch() before any state change — ecosystem::Internet does
   // both (enable at construction, bump inside advance_to).
   void enable_response_caching();
+
+  // Caps every server's rendered-response memo at `limit` entries (0 =
+  // unlimited). At the cap a server serves fresh renders without publishing
+  // them; the next bump_epoch() clears the memo and admission restarts.
+  void set_response_cache_limit(std::size_t limit);
 
   // Epoch edge: drops every memoized response and signature across the
   // directory. Cheap when nothing is cached.
@@ -72,6 +100,7 @@ class DnsInfra {
   std::unordered_map<dns::Name, std::vector<AuthoritativeServer*>,
                      dns::NameHash>
       zones_;
+  const ZoneDirectory* directory_ = nullptr;
   std::vector<net::IpAddr> roots_;
 };
 

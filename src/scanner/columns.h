@@ -323,6 +323,11 @@ struct ChurnDiff {
   static constexpr std::uint8_t kApexValidated = 1u << 4;
 
   bool valid = false;  // false on a study's first observed day
+  // True when a cross-day NS re-probe overwrote a cached NsInfo entry with
+  // different content.  Row fingerprints do not cover the NS side-channel,
+  // so on such a day an *unchanged* row can still change its WHOIS-based
+  // attribution — ns-dependent delta observers must run a full pass.
+  bool ns_info_refreshed = false;
   std::size_t unchanged = 0;  // rows listed both days with equal fingerprint
   std::vector<std::uint32_t> entered;  // list indices not listed yesterday
   std::vector<std::uint32_t> changed;  // list indices with fingerprint churn

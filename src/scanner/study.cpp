@@ -354,6 +354,13 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
   total_queries_ += 2 * to_probe.size();
 
   for (std::size_t i = 0; i < to_probe.size(); ++i) {
+    // A re-probe that changed a cached entry (an earlier empty-handed day
+    // recovering, typically) can alter the attribution of rows whose
+    // fingerprints did not move — flag the day for delta observers.
+    auto cached = ns_cache_.find(to_probe[i]);
+    if (cached != ns_cache_.end() && !(cached->second == probed[i])) {
+      snapshot.churn.ns_info_refreshed = true;
+    }
     ns_cache_[to_probe[i]] = probed[i];
     snapshot.ns_info[to_probe[i]] = std::move(probed[i]);
   }

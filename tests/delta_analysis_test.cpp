@@ -1,0 +1,312 @@
+// Delta-aware analysis observers (ns/params/iphints): the incremental
+// O(churn) path must be bit-for-bit equal to the historical full-rescan
+// path — across plain churn days, the h3-29 retirement context flip, the
+// overlap-phase edge at the list source change, and list leave/re-enter
+// churn.  Also covers the ChurnDiff edge cases the delta path leans on:
+// the first-day empty baseline and a domain leaving then re-entering.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/delta_observers.h"
+#include "analysis/iphints_analysis.h"
+#include "analysis/ns_analysis.h"
+#include "analysis/params_analysis.h"
+#include "ecosystem/internet.h"
+#include "scanner/study.h"
+
+namespace httpsrr {
+namespace {
+
+using ecosystem::EcosystemConfig;
+using ecosystem::Internet;
+
+EcosystemConfig small_config() {
+  EcosystemConfig config;
+  config.list_size = 800;
+  config.universe_size = 1200;
+  config.seed = 11;
+  return config;
+}
+
+void expect_shares_equal(const analysis::NsCategoryAnalysis::Shares& a,
+                         const analysis::NsCategoryAnalysis::Shares& b) {
+  EXPECT_EQ(a.full_mean, b.full_mean);
+  EXPECT_EQ(a.full_std, b.full_std);
+  EXPECT_EQ(a.partial_mean, b.partial_mean);
+  EXPECT_EQ(a.partial_std, b.partial_std);
+  EXPECT_EQ(a.none_mean, b.none_mean);
+  EXPECT_EQ(a.none_std, b.none_std);
+}
+
+void expect_intermittent_equal(const analysis::IntermittentUse::Result& a,
+                               const analysis::IntermittentUse::Result& b) {
+  EXPECT_EQ(a.intermittent_domains, b.intermittent_domains);
+  EXPECT_EQ(a.same_ns_throughout, b.same_ns_throughout);
+  EXPECT_EQ(a.same_ns_cloudflare_only, b.same_ns_cloudflare_only);
+  EXPECT_EQ(a.same_ns_other, b.same_ns_other);
+  EXPECT_EQ(a.changed_ns, b.changed_ns);
+  EXPECT_EQ(a.lost_https_after_ns_change, b.lost_https_after_ns_change);
+  EXPECT_EQ(a.no_ns_while_inactive, b.no_ns_while_inactive);
+}
+
+void expect_audit_equal(const analysis::ParamAudit::Result& a,
+                        const analysis::ParamAudit::Result& b) {
+  EXPECT_EQ(a.service_mode_domains, b.service_mode_domains);
+  EXPECT_EQ(a.alias_mode_domains, b.alias_mode_domains);
+  EXPECT_EQ(a.service_without_params, b.service_without_params);
+  EXPECT_EQ(a.alias_target_self, b.alias_target_self);
+  EXPECT_EQ(a.priority_one, b.priority_one);
+}
+
+void expect_profile_equal(const analysis::ProviderParamProfile::Profile& a,
+                          const analysis::ProviderParamProfile::Profile& b) {
+  EXPECT_EQ(a.domains, b.domains);
+  EXPECT_EQ(a.service_mode, b.service_mode);
+  EXPECT_EQ(a.alias_mode, b.alias_mode);
+  EXPECT_EQ(a.target_self, b.target_self);
+  EXPECT_EQ(a.target_other, b.target_other);
+  EXPECT_EQ(a.with_alpn, b.with_alpn);
+  EXPECT_EQ(a.with_ipv4hint, b.with_ipv4hint);
+  EXPECT_EQ(a.with_ipv6hint, b.with_ipv6hint);
+}
+
+TEST(DeltaAnalysis, IncrementalEqualsFullRescanAcrossChurnDays) {
+  Internet net(small_config());
+  scanner::Study study(net);
+  const auto start = net.config().start;
+  const auto window_end = start + net::Duration::days(40);
+
+  analysis::NsCategoryAnalysis ns_delta(start, window_end);
+  analysis::NsCategoryAnalysis ns_full(start, window_end, /*force_full=*/true);
+  analysis::ProviderAnalysis prov_delta(start, window_end);
+  analysis::ProviderAnalysis prov_full(start, window_end, /*force_full=*/true);
+  analysis::IntermittentUse inter_delta(start, window_end);
+  analysis::IntermittentUse inter_full(start, window_end, /*force_full=*/true);
+  analysis::CfConfigClassifier cf_delta;
+  analysis::CfConfigClassifier cf_full(/*force_full=*/true);
+  analysis::ProviderParamProfile prof_delta("godaddy");
+  analysis::ProviderParamProfile prof_full("godaddy", /*force_full=*/true);
+  analysis::ParamAudit audit_delta;
+  analysis::ParamAudit audit_full(/*force_full=*/true);
+  analysis::AlpnDistribution alpn_delta;
+  analysis::AlpnDistribution alpn_full(/*force_full=*/true);
+  analysis::IpHintConsistency hints_delta;
+  analysis::IpHintConsistency hints_full(/*force_full=*/true);
+
+  for (auto* observer : std::initializer_list<scanner::DailyObserver*>{
+           &ns_delta, &ns_full, &prov_delta, &prov_full, &inter_delta,
+           &inter_full, &cf_delta, &cf_full, &prof_delta, &prof_full,
+           &audit_delta, &audit_full, &alpn_delta, &alpn_full, &hints_delta,
+           &hints_full}) {
+    study.add_observer(observer);
+  }
+
+  constexpr int kDays = 8;
+  study.run(start, start + net::Duration::days(kDays - 1));
+
+  expect_shares_equal(ns_delta.dynamic_shares(), ns_full.dynamic_shares());
+  expect_shares_equal(ns_delta.overlapping_shares(),
+                      ns_full.overlapping_shares());
+  EXPECT_EQ(ns_delta.dynamic_full_series().points(),
+            ns_full.dynamic_full_series().points());
+
+  EXPECT_EQ(prov_delta.daily_provider_count().points(),
+            prov_full.daily_provider_count().points());
+  EXPECT_EQ(prov_delta.daily_domain_count().points(),
+            prov_full.daily_domain_count().points());
+  EXPECT_EQ(prov_delta.distinct_providers_dynamic(),
+            prov_full.distinct_providers_dynamic());
+  EXPECT_EQ(prov_delta.distinct_providers_overlapping(),
+            prov_full.distinct_providers_overlapping());
+  EXPECT_EQ(prov_delta.top_dynamic(10), prov_full.top_dynamic(10));
+  EXPECT_EQ(prov_delta.top_overlapping(10), prov_full.top_overlapping(10));
+
+  expect_intermittent_equal(inter_delta.result(), inter_full.result());
+
+  EXPECT_EQ(cf_delta.default_pct_dynamic(), cf_full.default_pct_dynamic());
+  EXPECT_EQ(cf_delta.default_pct_overlapping(),
+            cf_full.default_pct_overlapping());
+  EXPECT_EQ(cf_delta.dynamic_series().points(),
+            cf_full.dynamic_series().points());
+
+  expect_profile_equal(prof_delta.profile(), prof_full.profile());
+  expect_audit_equal(audit_delta.result(), audit_full.result());
+
+  for (const char* protocol : {"h2", "h3", "h3-29"}) {
+    EXPECT_EQ(alpn_delta.protocol_pct(protocol, start, window_end),
+              alpn_full.protocol_pct(protocol, start, window_end));
+    EXPECT_EQ(alpn_delta.protocol_pct(protocol, start, window_end, true),
+              alpn_full.protocol_pct(protocol, start, window_end, true));
+    EXPECT_EQ(alpn_delta.non_cf_protocol_pct(protocol),
+              alpn_full.non_cf_protocol_pct(protocol));
+  }
+  EXPECT_EQ(alpn_delta.non_cf_no_alpn_pct(), alpn_full.non_cf_no_alpn_pct());
+
+  EXPECT_EQ(hints_delta.hint_utilisation_apex().points(),
+            hints_full.hint_utilisation_apex().points());
+  EXPECT_EQ(hints_delta.hint_utilisation_www().points(),
+            hints_full.hint_utilisation_www().points());
+  EXPECT_EQ(hints_delta.match_ratio_apex().points(),
+            hints_full.match_ratio_apex().points());
+  EXPECT_EQ(hints_delta.match_ratio_www().points(),
+            hints_full.match_ratio_www().points());
+  EXPECT_EQ(hints_delta.mismatch_duration_histogram(),
+            hints_full.mismatch_duration_histogram());
+  EXPECT_EQ(hints_delta.mean_mismatch_days(), hints_full.mean_mismatch_days());
+  EXPECT_EQ(hints_delta.chronic_mismatchers(), hints_full.chronic_mismatchers());
+
+  // The incremental path must actually be incremental: fewer rows touched
+  // than the full-rescan twin, and full recomputes only on fallback days
+  // (baseline, NS refresh) — never every day.
+  const std::size_t days = kDays;
+  EXPECT_EQ(ns_full.full_recomputes(), days);
+  EXPECT_LT(ns_delta.full_recomputes(), days);
+  EXPECT_LT(ns_delta.rows_touched(), ns_full.rows_touched());
+  EXPECT_LT(cf_delta.rows_touched(), cf_full.rows_touched());
+  EXPECT_LT(alpn_delta.rows_touched(), alpn_full.rows_touched());
+  EXPECT_LT(hints_delta.rows_touched(), hints_full.rows_touched());
+  EXPECT_LT(audit_delta.rows_touched(), audit_full.rows_touched());
+  EXPECT_LT(inter_delta.rows_touched(), inter_full.rows_touched());
+  EXPECT_LT(prov_delta.rows_touched(), prov_full.rows_touched());
+  EXPECT_LT(prof_delta.rows_touched(), prof_full.rows_touched());
+}
+
+TEST(DeltaAnalysis, H329RetirementFlipForcesConsistentRecompute) {
+  // Cross the h3-29 retirement date mid-run: every unchanged Cloudflare
+  // row re-classifies at once, which the delta path must absorb via a
+  // context-flip full pass.
+  Internet net(small_config());
+  scanner::Study study(net);
+  const auto retirement = net.config().h3_29_retirement;
+  const auto from = retirement - net::Duration::days(2);
+
+  analysis::CfConfigClassifier cf_delta;
+  analysis::CfConfigClassifier cf_full(/*force_full=*/true);
+  study.add_observer(&cf_delta);
+  study.add_observer(&cf_full);
+  study.run(from, retirement + net::Duration::days(1));
+
+  EXPECT_EQ(cf_delta.dynamic_series().points(),
+            cf_full.dynamic_series().points());
+  EXPECT_EQ(cf_delta.default_pct_dynamic(), cf_full.default_pct_dynamic());
+  EXPECT_EQ(cf_delta.default_pct_overlapping(),
+            cf_full.default_pct_overlapping());
+  ASSERT_EQ(cf_delta.dynamic_series().points().size(), 4u);
+  // Exactly two full passes: the day-1 baseline and the retirement-day
+  // context flip; the other two days stay incremental.
+  EXPECT_EQ(cf_delta.full_recomputes(), 2u);
+}
+
+TEST(DeltaAnalysis, OverlapPhaseEdgeForcesConsistentRecompute) {
+  // Cross the Aug 1 list source change: overlapping_on() membership flips
+  // for every row, and the accumulating window sets must re-observe
+  // unchanged rows under the new phase.
+  Internet net(small_config());
+  scanner::Study study(net);
+  const auto change = net.config().source_change;
+  const auto from = change - net::Duration::days(2);
+  const auto to = change + net::Duration::days(1);
+
+  analysis::NsCategoryAnalysis ns_delta(from, to);
+  analysis::NsCategoryAnalysis ns_full(from, to, /*force_full=*/true);
+  analysis::ProviderAnalysis prov_delta(from, to);
+  analysis::ProviderAnalysis prov_full(from, to, /*force_full=*/true);
+  analysis::IpHintConsistency hints_delta;
+  analysis::IpHintConsistency hints_full(/*force_full=*/true);
+  for (auto* observer : std::initializer_list<scanner::DailyObserver*>{
+           &ns_delta, &ns_full, &prov_delta, &prov_full, &hints_delta,
+           &hints_full}) {
+    study.add_observer(observer);
+  }
+  study.run(from, to);
+
+  expect_shares_equal(ns_delta.overlapping_shares(),
+                      ns_full.overlapping_shares());
+  EXPECT_EQ(prov_delta.distinct_providers_overlapping(),
+            prov_full.distinct_providers_overlapping());
+  EXPECT_EQ(prov_delta.top_overlapping(10), prov_full.top_overlapping(10));
+  EXPECT_EQ(hints_delta.hint_utilisation_apex().points(),
+            hints_full.hint_utilisation_apex().points());
+  EXPECT_EQ(hints_delta.match_ratio_apex().points(),
+            hints_full.match_ratio_apex().points());
+}
+
+TEST(ChurnDiffEdge, FirstDayIsAnEmptyBaselineFullPass) {
+  // Day 1 has no previous day: the diff is invalid (conceptually every row
+  // "entered"), and every delta observer answers with exactly one full
+  // pass whose numerators match the full-rescan twin.
+  Internet net(small_config());
+  scanner::Study study(net);
+  analysis::DeltaAdoptionCounter adoption;
+  analysis::ParamAudit audit_delta;
+  analysis::ParamAudit audit_full(/*force_full=*/true);
+  analysis::IpHintConsistency hints_delta;
+  analysis::IpHintConsistency hints_full(/*force_full=*/true);
+  study.add_observer(&adoption);
+  study.add_observer(&audit_delta);
+  study.add_observer(&audit_full);
+  study.add_observer(&hints_delta);
+  study.add_observer(&hints_full);
+
+  auto day0 = study.run_day(net.config().start);
+  EXPECT_FALSE(day0.churn.valid);
+  EXPECT_TRUE(day0.churn.entered.empty());  // invalid diff carries no lists
+
+  // The all-entered interpretation: a full pass over the day equals the
+  // delta observers' numerators.
+  EXPECT_EQ(adoption.counts(), analysis::DeltaAdoptionCounter::recompute(day0));
+  expect_audit_equal(audit_delta.result(), audit_full.result());
+  EXPECT_EQ(hints_delta.hint_utilisation_apex().points(),
+            hints_full.hint_utilisation_apex().points());
+  EXPECT_EQ(audit_delta.full_recomputes(), 1u);
+  EXPECT_EQ(audit_delta.rows_touched(), day0.size());
+  EXPECT_EQ(hints_delta.full_recomputes(), 1u);
+}
+
+TEST(ChurnDiffEdge, LeaveAndReenterRoundTripsThroughDelta) {
+  // A churn-tail domain drops off the list and comes back days later: it
+  // must surface in `left` (with its previous bits) when it goes, in
+  // `entered` when it returns, and the delta observers must stay pinned to
+  // the full-rescan twins through both edges.
+  Internet net(small_config());
+  scanner::Study study(net);
+  analysis::DeltaAdoptionCounter adoption;
+  analysis::ParamAudit audit_delta;
+  analysis::ParamAudit audit_full(/*force_full=*/true);
+  study.add_observer(&adoption);
+  study.add_observer(&audit_delta);
+  study.add_observer(&audit_full);
+
+  const auto start = net.config().start;
+  auto day0 = study.run_day(start);
+  auto day1 = study.run_day(start + net::Duration::days(1));
+  ASSERT_TRUE(day1.churn.valid);
+  ASSERT_FALSE(day1.churn.left.empty());
+  const ecosystem::DomainId gone = day1.churn.left.front();
+
+  bool reentered = false;
+  for (int d = 2; d <= 12 && !reentered; ++d) {
+    auto day = study.run_day(start + net::Duration::days(d));
+    std::set<ecosystem::DomainId> entered_ids;
+    for (std::uint32_t i : day.churn.entered) entered_ids.insert(day.list[i]);
+    const bool listed =
+        std::find(day.list.begin(), day.list.end(), gone) != day.list.end();
+    if (listed) {
+      // First day back must be classified as entered, not changed.
+      EXPECT_TRUE(entered_ids.contains(gone));
+      reentered = true;
+    } else {
+      EXPECT_FALSE(entered_ids.contains(gone));
+    }
+    // Numerators stay pinned through the leave and the re-entry.
+    EXPECT_EQ(adoption.counts(),
+              analysis::DeltaAdoptionCounter::recompute(day));
+    expect_audit_equal(audit_delta.result(), audit_full.result());
+  }
+  EXPECT_TRUE(reentered);
+}
+
+}  // namespace
+}  // namespace httpsrr

@@ -325,8 +325,13 @@ TEST(Determinism, ZoneTextRoundTripPreservesEcosystemZones) {
     const auto& d = net.domain(id);
     const auto* servers = net.infra().zone_servers(d.apex);
     ASSERT_NE(servers, nullptr);
-    const auto* zone = servers->front()->find_zone(d.apex);
-    ASSERT_NE(zone, nullptr);
+    // Domain zones are materialized on demand at the lookup boundary now;
+    // pull the hosted zone through the server's ZoneSource.
+    const auto* source = servers->front()->zone_source();
+    ASSERT_NE(source, nullptr);
+    auto hosted = source->zone_for(d.apex);
+    ASSERT_NE(hosted, nullptr);
+    const auto* zone = &hosted->zone;
     auto text = zone->to_text();
     auto reparsed = dns::Zone::parse(d.apex, text);
     ASSERT_TRUE(reparsed.ok()) << d.apex.to_string() << ": " << reparsed.error();

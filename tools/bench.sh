@@ -4,13 +4,16 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs the suites, and writes a
-# machine-readable summary (default: BENCH_PR7.json in the repo root):
+# machine-readable summary (default: BENCH_PR8.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
 #     bench/alloc_counter.h);
 #   * micro_study — wall-clock seconds for one 5k-domain scan day at
-#     K = 1/2/4/8 shards plus the cross-K snapshot digest;
+#     K = 1/2/4/8 shards plus the cross-K snapshot digest, and the
+#     `delta_pin` fields (PR8): a multi-day 5k run with every delta-aware
+#     analysis observer attached twice (incremental vs force_full) and
+#     compared bit-for-bit;
 #   * allocs_per_encoded_query — the fresh-encode vs reused-writer numbers
 #     PR2's allocation acceptance criterion tracks.  A `pre_pr_baseline`
 #     block, if present in an existing OUT_JSON, is carried over verbatim so
@@ -32,11 +35,15 @@
 #     depth-16 pipelined send/poll, TCP-only).  Wall-clock, so noisier than
 #     the virtual-clock sweeps — context, not a regression gate;
 #   * scale_1m — PR7's million-domain scan day against the columnar
-#     DailySnapshot: wall seconds to build the ecosystem and run one K=1
-#     day over ~1M listed domains, peak RSS, snapshot bytes/domain, and the
-#     interner dedup rate.  One day takes several minutes, so set SCALE_1M=0
+#     DailySnapshot, multi-day since PR8 (SCALE_1M_DAYS, default 3): wall
+#     seconds to build the (now flyweight) ecosystem and run K=1 days over
+#     ~1M listed domains, peak RSS, snapshot bytes/domain, and the
+#     interner dedup rate.  The run takes minutes, so set SCALE_1M=0
 #     to skip it (the assembler then carries the block over from an existing
-#     OUT_JSON so regenerations don't silently drop the measurement).
+#     OUT_JSON so regenerations don't silently drop the measurement);
+#   * scale_1m_days — PR8's longitudinal view of the same run: per-day
+#     seconds, the day-1 vs day-N cost ratio the multi-day gate reads, and
+#     the untimed delta-observer verification verdict.
 #
 # tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions,
 # exact allocs/op regressions on the pinned benchmarks, the engine
@@ -46,7 +53,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR7.json}"
+OUT="${1:-BENCH_PR8.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
@@ -95,8 +102,9 @@ echo "== micro_socket =="
 # peak RSS and bytes/domain are what tools/ci.sh gates on, and those are
 # stable across runs (the dataset is a pure function of the seed).
 if [[ "${SCALE_1M:-1}" != "0" ]]; then
-  echo "== micro_study --scale-1m (one ~1M-domain day) =="
-  "./${BUILD}/bench/micro_study" --scale-1m --json "${TMP}/scale_1m.json"
+  echo "== micro_study --scale-1m (~1M-domain days) =="
+  "./${BUILD}/bench/micro_study" --scale-1m \
+    --days "${SCALE_1M_DAYS:-3}" --json "${TMP}/scale_1m.json"
 fi
 
 # Fixed CPU-bound calibration workload (best of 3).  Wall-clock on this kind
@@ -162,9 +170,10 @@ with open(os.path.join(tmp, "micro_socket.json")) as f:
     socket_qps = json.load(f)
 
 # scale_1m is opt-out (it costs minutes); when skipped, carry the previous
-# measurement forward so regenerating the summary never drops the block the
-# memory gates read.
+# measurement forward so regenerating the summary never drops the blocks the
+# memory and multi-day gates read.
 scale_1m = None
+scale_1m_days = None
 scale_1m_path = os.path.join(tmp, "scale_1m.json")
 if os.path.exists(scale_1m_path):
     with open(scale_1m_path) as f:
@@ -172,11 +181,28 @@ if os.path.exists(scale_1m_path):
 elif os.path.exists(out):
     try:
         with open(out) as f:
-            scale_1m = json.load(f).get("scale_1m")
+            prev_summary = json.load(f)
+        scale_1m = prev_summary.get("scale_1m")
+        scale_1m_days = prev_summary.get("scale_1m_days")
         if scale_1m is not None:
             print("scale_1m skipped this run; carrying previous block forward")
     except (json.JSONDecodeError, OSError):
         pass
+
+# The longitudinal view of the same run, split out for the multi-day gate:
+# per-day seconds, day-N/day-1 ratio, and the delta-observer verdict.
+if scale_1m is not None and scale_1m_days is None and "days" in scale_1m:
+    per_day = scale_1m.get("day_seconds_all", [])
+    scale_1m_days = {
+        "days": scale_1m["days"],
+        "day_seconds_all": per_day,
+        "day1_seconds": per_day[0] if per_day else None,
+        "day_last_seconds": scale_1m.get("day_last_seconds"),
+        "day_last_vs_day1":
+            round(per_day[-1] / per_day[0], 3) if len(per_day) > 1 else None,
+        "delta_verified": scale_1m.get("delta_verified"),
+        "delta_rows_touched": scale_1m.get("delta_rows_touched"),
+    }
 
 fresh = micro_dns.get("BM_QueryEncode", {}).get("allocs_per_op")
 reused = micro_dns.get("BM_QueryEncodeReuse", {}).get("allocs_per_op")
@@ -261,6 +287,8 @@ summary = {
 }
 if scale_1m is not None:
     summary["scale_1m"] = scale_1m
+if scale_1m_days is not None:
+    summary["scale_1m_days"] = scale_1m_days
 with open(out, "w") as f:
     json.dump(summary, f, indent=2)
     f.write("\n")

@@ -33,10 +33,11 @@ sanitize() {
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target \
     util_test dns_test dnssec_test resolver_test transport_test scanner_test \
-    study_parallel_test columnar_test engine_test socket_test property_test
+    study_parallel_test columnar_test delta_analysis_test engine_test \
+    socket_test property_test
   for t in util_test dns_test dnssec_test resolver_test transport_test \
-           scanner_test study_parallel_test columnar_test engine_test \
-           socket_test property_test; do
+           scanner_test study_parallel_test columnar_test \
+           delta_analysis_test engine_test socket_test property_test; do
     "./build-asan/tests/${t}"
   done
 }
@@ -177,13 +178,14 @@ PY
 
 bench() {
   echo "== bench: harness + regression gates =="
-  # Baseline = the checked-in BENCH_PR7.json (HEAD), read before the harness
-  # overwrites the working-tree copy; falls back through the PR6/PR5/PR4/PR3
-  # files so the gates still run before the first PR7 summary is committed
+  # Baseline = the checked-in BENCH_PR8.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back through the PR7..PR3
+  # files so the gates still run before the first PR8 summary is committed
   # (the shared fields the gates read are schema-stable across them).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR7.json >"${baseline_file}" 2>/dev/null &&
+  if ! git show HEAD:BENCH_PR8.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR7.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR6.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR4.json >"${baseline_file}" 2>/dev/null &&
@@ -191,7 +193,7 @@ bench() {
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR7.json
+  tools/bench.sh BENCH_PR8.json
   # Digest gate: the 5k snapshot digest is pinned.  The columnar refactor's
   # core promise is that storage layout, block chunking, shard count, and
   # interning never change a single observed bit; any digest drift means
@@ -200,7 +202,7 @@ bench() {
   python3 - <<'PY'
 import json, sys
 PINNED_DIGEST = "9629340ba5ae0ecf0a74c75964563f1eb28a148df4be661dea00e04d738e2b83"
-with open("BENCH_PR7.json") as f:
+with open("BENCH_PR8.json") as f:
     study = json.load(f)["micro_study"]
 digest = study["digest"]
 ok = digest == PINNED_DIGEST
@@ -216,7 +218,7 @@ PY
   # the serial Σ-RTT schedule, with cross-task coalescing actually firing.
   python3 - <<'PY'
 import json, sys
-with open("BENCH_PR7.json") as f:
+with open("BENCH_PR8.json") as f:
     sweep = json.load(f)["engine_sweep"]
 speedup = sweep["depth_32_speedup"]
 coalesced = sweep["depth_32_coalesced"]
@@ -235,21 +237,25 @@ if failed:
         print(f"bench: FAIL — {reason}")
     sys.exit(1)
 PY
-  # Million-domain memory gate: the columnar DailySnapshot is what makes a
-  # 1M-day fit on a small box, so the budget is absolute, not relative.
+  # Million-domain memory + build gate: the columnar DailySnapshot (PR7)
+  # and the flyweight ecosystem build (PR8) are what make a 1M multi-day
+  # run fit on a small box, so the budgets are absolute, not relative.
   # The checked-in ceilings carry deliberate headroom over the measured run
-  # (see BENCH_PR7.json scale_1m) — the gate exists to catch the next
+  # (see BENCH_PR8.json scale_1m) — the gate exists to catch the next
   # accidental per-row allocation, not wall-clock noise.  When SCALE_1M=0
   # skipped the run and no previous block exists, the gate is a no-op.
   python3 - <<'PY'
 import json, sys
-# Measured on the reference box (BENCH_PR7.json): peak RSS ~17.8 GiB —
-# dominated by the 1.5M-domain ecosystem build, not the snapshot — and
-# ~438 B/domain of snapshot (26 B of column data; the rest is the
-# interner's pinned unique A/AAAA record storage and the NS side table).
-RSS_BUDGET_MIB = 20480
+# Measured on the reference box (BENCH_PR8.json): peak RSS ~6.1 GiB across
+# a 3-day 1M run — the 1.5M-domain ecosystem build used to dominate at
+# ~17.8 GiB before zones went flyweight (PR8); the rest is the snapshot
+# (~438 B/domain: 26 B of column data + the interner's pinned unique
+# A/AAAA record storage and the NS side table) and the capped
+# zone/response caches.  Build went 61 s -> ~5 s with prewarm_zones off.
+RSS_BUDGET_MIB = 8192
 BYTES_PER_DOMAIN_BUDGET = 512
-with open("BENCH_PR7.json") as f:
+BUILD_SECONDS_BUDGET = 20.0
+with open("BENCH_PR8.json") as f:
     scale = json.load(f).get("scale_1m")
 if scale is None:
     print("bench: scale_1m block absent (SCALE_1M=0 and no prior run) — "
@@ -257,14 +263,66 @@ if scale is None:
     sys.exit(0)
 rss = scale["peak_rss_mib"]
 bpd = scale["bytes_per_domain"]
+build = scale["build_seconds"]
 print(f"bench: scale_1m listed={scale['listed']} "
       f"peak RSS {rss:.0f} MiB (budget {RSS_BUDGET_MIB}), "
-      f"snapshot {bpd:.1f} B/domain (budget {BYTES_PER_DOMAIN_BUDGET})")
+      f"snapshot {bpd:.1f} B/domain (budget {BYTES_PER_DOMAIN_BUDGET}), "
+      f"build {build:.1f}s (budget {BUILD_SECONDS_BUDGET:.0f}s)")
 failed = []
 if rss > RSS_BUDGET_MIB:
     failed.append(f"peak RSS {rss:.0f} MiB over {RSS_BUDGET_MIB} MiB budget")
 if bpd > BYTES_PER_DOMAIN_BUDGET:
     failed.append(f"{bpd:.1f} B/domain over {BYTES_PER_DOMAIN_BUDGET} budget")
+if build > BUILD_SECONDS_BUDGET:
+    failed.append(f"build {build:.1f}s over {BUILD_SECONDS_BUDGET:.0f}s budget")
+if failed:
+    for reason in failed:
+        print(f"bench: FAIL — {reason}")
+    sys.exit(1)
+PY
+  # Delta-observer gates: (a) the 5k delta_pin block — every analysis
+  # observer run twice (incremental vs force_full) over a multi-day study
+  # must agree bit-for-bit, with the incremental side touching fewer rows;
+  # (b) the multi-day 1M block — the per-day numerators verified against a
+  # full recompute inside the run, and later days must stay within 1.35x
+  # of day 1 (measured 1.21x: days 2+ ride warm flyweight zone caches and
+  # O(churn) analyses but pay for interner growth and capped-cache
+  # evictions as churn accrues; a blow-up past the budget means a
+  # day-context fallback is firing every day or a cache stopped surviving
+  # advance_to).
+  python3 - <<'PY'
+import json, sys
+with open("BENCH_PR8.json") as f:
+    summary = json.load(f)
+study = summary["micro_study"]
+failed = []
+if "delta_pin_match" in study:
+    match = study["delta_pin_match"]
+    delta_rows = study["delta_rows_touched"]
+    full_rows = study["full_rows_touched"]
+    print(f"bench: delta_pin {study['delta_pin_days']} days — "
+          f"{'bit-identical' if match else 'MISMATCH'}, "
+          f"rows {delta_rows} (delta) vs {full_rows} (full)")
+    if not match:
+        failed.append("delta observers diverged from force_full twins at 5k")
+    if delta_rows >= full_rows:
+        failed.append("incremental path touched no fewer rows than full")
+else:
+    print("bench: delta_pin block absent — gate skipped")
+days = summary.get("scale_1m_days")
+if days is not None:
+    per_day = days.get("day_seconds_all") or []
+    print(f"bench: scale_1m_days {days.get('days')} days "
+          f"{[round(s, 1) for s in per_day]}s "
+          f"delta_verified={days.get('delta_verified')}")
+    if days.get("delta_verified") is False:
+        failed.append("1M delta numerators diverged from full recompute")
+    if len(per_day) > 1 and per_day[-1] > per_day[0] * 1.35:
+        failed.append(
+            f"steady-state day {per_day[-1]:.1f}s exceeds "
+            f"day-1 {per_day[0]:.1f}s by more than 35%")
+else:
+    print("bench: scale_1m_days block absent — multi-day gate skipped")
 if failed:
     for reason in failed:
         print(f"bench: FAIL — {reason}")
@@ -281,16 +339,34 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR7.json") as f:
+with open("BENCH_PR8.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
     ("micro_dns", "BM_QueryEncodeReuse"),
     ("micro_dns", "BM_MessageEncodeReuse"),
+    ("micro_dns", "BM_SvcbParsePresentation"),
     ("micro_resolver", "BM_RecursiveResolveWarm"),
     ("micro_resolver", "BM_ResolveOverLoopback"),
 ]
+# Absolute pins on top of the baseline comparison: these counts are exact
+# by construction and any drift — up or down — should be a reviewed,
+# deliberate change of this constant.  PR8 took SVCB presentation parsing
+# from 21 allocs/op to 7 (alloc-free IPv4/IPv6 text parsing + one reused
+# wire-staging writer: 1 writer buffer + 3 exact-size params + 3 map
+# nodes).
+ABSOLUTE = {("micro_dns", "BM_SvcbParsePresentation"): 7}
 failed = False
+for (suite, name), want in ABSOLUTE.items():
+    n = now.get(suite, {}).get(name, {}).get("allocs_per_op")
+    if n is None:
+        print(f"bench: absolute alloc pin skipping {name} (missing)")
+        continue
+    n = round(n)
+    marker = "ok" if n == want else "FAIL"
+    print(f"bench: allocs {name}: {n}/op vs absolute pin {want}/op — {marker}")
+    if n != want:
+        failed = True
 for suite, name in PINNED:
     b = base.get(suite, {}).get(name, {}).get("allocs_per_op")
     n = now.get(suite, {}).get(name, {}).get("allocs_per_op")
@@ -316,7 +392,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR7.json") as f:
+with open("BENCH_PR8.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]
