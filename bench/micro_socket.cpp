@@ -5,20 +5,32 @@
 // TCP-only QPS — wall-clock numbers (real kernel round trips), unlike the
 // virtual-clock engine sweep.
 //
+// Also runs the scan_over_socket block: one pinned 5k scan day end to end,
+// three ways — the in-process EngineEndpoint baseline, a K=1 SocketEndpoint
+// scan against a fresh ScanResponder server, and a K=4 multi-socket scan
+// (one UDP socket per shard against one server process).  The timings are
+// context (wall clock); the cross-endpoint digest verdict is deterministic
+// and tools/ci.sh bench gates on it.
+//
 //   micro_socket [--queries N] [--json OUT]
 
 #include <cstdio>
 #include <cstring>
 #include <ctime>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dnssec/signer.h"
+#include "ecosystem/internet.h"
 #include "net/socket_transport.h"
 #include "net/transport.h"
 #include "resolver/authoritative.h"
+#include "resolver/endpoint.h"
 #include "resolver/infra.h"
 #include "resolver/socket_server.h"
+#include "scanner/digest.h"
+#include "scanner/study.h"
 #include "util/strings.h"
 
 using namespace httpsrr;
@@ -71,6 +83,71 @@ std::vector<std::uint8_t> encode_query(std::uint16_t id, dns::RrType qtype) {
       .encode_into(w);
   auto bytes = w.data();
   return {bytes.begin(), bytes.end()};
+}
+
+// One 5k scan day at the pinned digest workload (list 5000, universe 7500,
+// seed 2024), either in-process (EngineEndpoint) or as a real DNS client
+// over K per-shard sockets against a ScanResponder server.  Each run gets
+// its OWN fresh server world: a replayed scan day would re-ask questions
+// whose same-instant repeat counts the previous run already consumed.
+struct ScanRun {
+  double seconds = 0;
+  double qps = 0;
+  std::string digest;
+};
+
+ScanRun run_scan_day(std::size_t shards, bool over_socket) {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 5000;
+  config.universe_size = 7500;
+  config.seed = 2024;
+
+  std::unique_ptr<ecosystem::Internet> server_net;
+  std::unique_ptr<resolver::ScanResponder> responder;
+  std::unique_ptr<resolver::SocketServer> server;
+  scanner::StudyOptions options;
+  options.shards = shards;
+  if (over_socket) {
+    server_net = std::make_unique<ecosystem::Internet>(config);
+    ecosystem::Internet* world = server_net.get();
+    responder = std::make_unique<resolver::ScanResponder>(
+        [world](std::uint16_t shard, bool backup) {
+          const auto pair = scanner::Study::shard_pair_options({}, shard);
+          return world->make_resolver(backup ? pair.backup : pair.primary);
+        },
+        [world](std::uint64_t unix_seconds) {
+          world->advance_to(
+              net::SimTime{static_cast<std::int64_t>(unix_seconds)});
+        });
+    server = std::make_unique<resolver::SocketServer>(
+        *responder, resolver::SocketServerOptions{});
+    if (!server->start()) {
+      std::fprintf(stderr, "micro_socket: scan server could not bind\n");
+      return {};
+    }
+    server->serve_in_background();
+    const net::SocketEndpoint target = server->endpoint();
+    options.endpoint_factory =
+        [target](std::size_t shard, const resolver::ResolverOptions&,
+                 const resolver::ResolverOptions&)
+        -> std::unique_ptr<resolver::Endpoint> {
+      resolver::SocketEndpointOptions socket_options;
+      socket_options.server = target;
+      socket_options.shard = static_cast<std::uint16_t>(shard);
+      return std::make_unique<resolver::SocketEndpoint>(socket_options);
+    };
+  }
+
+  ecosystem::Internet client(config);
+  scanner::Study study(client, options);
+  const double t0 = now_seconds();
+  const auto& snapshot = study.run_day(net::SimTime::from_string("2023-05-08"));
+  ScanRun out;
+  out.seconds = now_seconds() - t0;
+  out.qps = static_cast<double>(study.total_queries()) / out.seconds;
+  out.digest = scanner::snapshot_digest(snapshot, study.total_queries());
+  if (server) server->stop();
+  return out;
 }
 
 }  // namespace
@@ -184,13 +261,47 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.udp_queries),
               static_cast<unsigned long long>(stats.tcp_queries));
 
+  // The scan_over_socket block: full 5k scan days across the endpoint
+  // boundary.  The digests must agree — that part is deterministic.
+  std::printf("scan_over_socket (5k day):\n");
+  const ScanRun scan_engine = run_scan_day(1, /*over_socket=*/false);
+  const ScanRun scan_socket_k1 = run_scan_day(1, /*over_socket=*/true);
+  const ScanRun scan_socket_k4 = run_scan_day(4, /*over_socket=*/true);
+  const bool scan_digest_match = !scan_engine.digest.empty() &&
+                                 scan_engine.digest == scan_socket_k1.digest &&
+                                 scan_engine.digest == scan_socket_k4.digest;
+  std::printf("  in-process:  %6.2f s  %8.0f scan-qps\n", scan_engine.seconds,
+              scan_engine.qps);
+  std::printf("  socket K=1:  %6.2f s  %8.0f scan-qps\n",
+              scan_socket_k1.seconds, scan_socket_k1.qps);
+  std::printf("  socket K=4:  %6.2f s  %8.0f scan-qps\n",
+              scan_socket_k4.seconds, scan_socket_k4.qps);
+  std::printf("  digest %s\n",
+              scan_digest_match ? "bit-identical across endpoints"
+                                : "MISMATCH across endpoints");
+
   if (json_path != nullptr) {
     std::string json = "{\n";
     json += util::format("  \"queries\": %zu,\n", queries);
     json += util::format("  \"serial_udp_qps\": %.0f,\n", serial_qps);
     json += util::format("  \"pipelined_depth\": %zu,\n", kDepth);
     json += util::format("  \"pipelined_udp_qps\": %.0f,\n", pipelined_qps);
-    json += util::format("  \"tcp_only_qps\": %.0f\n}\n", tcp_qps);
+    json += util::format("  \"tcp_only_qps\": %.0f,\n", tcp_qps);
+    json += "  \"scan_over_socket\": {\n";
+    json += util::format("    \"scale\": %d,\n", 5000);
+    json += util::format("    \"engine_seconds\": %.3f,\n",
+                         scan_engine.seconds);
+    json += util::format("    \"engine_scan_qps\": %.0f,\n", scan_engine.qps);
+    json += util::format("    \"socket_k1_seconds\": %.3f,\n",
+                         scan_socket_k1.seconds);
+    json += util::format("    \"socket_k1_scan_qps\": %.0f,\n",
+                         scan_socket_k1.qps);
+    json += util::format("    \"socket_k4_seconds\": %.3f,\n",
+                         scan_socket_k4.seconds);
+    json += util::format("    \"socket_k4_scan_qps\": %.0f,\n",
+                         scan_socket_k4.qps);
+    json += util::format("    \"digest_match\": %s\n  }\n}\n",
+                         scan_digest_match ? "true" : "false");
     if (std::FILE* f = std::fopen(json_path, "w")) {
       std::fputs(json.c_str(), f);
       std::fclose(f);

@@ -1,0 +1,76 @@
+#include "dns/edns.h"
+
+namespace httpsrr::dns {
+
+void append_scan_meta(WireWriter& w, const ScanMeta& meta) {
+  std::uint8_t flags = 0;
+  if (meta.backup) flags |= kScanMetaFlagBackup;
+  if (meta.virtual_time) flags |= kScanMetaFlagTime;
+  if (meta.shard) flags |= kScanMetaFlagShard;
+  const std::uint16_t payload_len = static_cast<std::uint16_t>(
+      2 + (meta.virtual_time ? 8 : 0) + (meta.shard ? 2 : 0));
+  w.u16(kScanMetaOptionCode);
+  w.u16(payload_len);
+  w.u8(kScanMetaVersion);
+  w.u8(flags);
+  if (meta.virtual_time) {
+    const std::uint64_t t = *meta.virtual_time;
+    w.u32(static_cast<std::uint32_t>(t >> 32));
+    w.u32(static_cast<std::uint32_t>(t & 0xffffffffu));
+  }
+  if (meta.shard) w.u16(*meta.shard);
+}
+
+std::size_t scan_meta_wire_size(const ScanMeta& meta) {
+  return 4 + 2 + (meta.virtual_time ? 8 : 0) + (meta.shard ? 2 : 0);
+}
+
+ScanMetaStatus parse_scan_meta(std::span<const std::uint8_t> opt_rdata,
+                               ScanMeta& out) {
+  bool seen = false;
+  std::size_t pos = 0;
+  while (pos < opt_rdata.size()) {
+    // Option header: u16 code, u16 length.  A dangling partial header is
+    // malformed no matter whose option it would have been.
+    if (pos + 4 > opt_rdata.size()) return ScanMetaStatus::kMalformed;
+    const std::uint16_t code =
+        static_cast<std::uint16_t>((opt_rdata[pos] << 8) | opt_rdata[pos + 1]);
+    const std::uint16_t len = static_cast<std::uint16_t>(
+        (opt_rdata[pos + 2] << 8) | opt_rdata[pos + 3]);
+    pos += 4;
+    if (pos + len > opt_rdata.size()) return ScanMetaStatus::kMalformed;
+    const std::span<const std::uint8_t> payload = opt_rdata.subspan(pos, len);
+    pos += len;
+
+    if (code != kScanMetaOptionCode) continue;  // foreign option: skip
+
+    if (seen) return ScanMetaStatus::kMalformed;  // duplicated scan-meta
+    seen = true;
+
+    if (payload.size() < 2) return ScanMetaStatus::kMalformed;
+    if (payload[0] != kScanMetaVersion) return ScanMetaStatus::kMalformed;
+    const std::uint8_t flags = payload[1];
+    if ((flags & ~kScanMetaKnownFlags) != 0) return ScanMetaStatus::kMalformed;
+    const std::size_t want = 2 + ((flags & kScanMetaFlagTime) ? 8 : 0) +
+                             ((flags & kScanMetaFlagShard) ? 2 : 0);
+    if (payload.size() != want) return ScanMetaStatus::kMalformed;
+
+    ScanMeta meta;
+    meta.backup = (flags & kScanMetaFlagBackup) != 0;
+    std::size_t at = 2;
+    if (flags & kScanMetaFlagTime) {
+      std::uint64_t t = 0;
+      for (int i = 0; i < 8; ++i) t = (t << 8) | payload[at + i];
+      meta.virtual_time = t;
+      at += 8;
+    }
+    if (flags & kScanMetaFlagShard) {
+      meta.shard =
+          static_cast<std::uint16_t>((payload[at] << 8) | payload[at + 1]);
+    }
+    out = meta;
+  }
+  return seen ? ScanMetaStatus::kOk : ScanMetaStatus::kAbsent;
+}
+
+}  // namespace httpsrr::dns

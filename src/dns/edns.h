@@ -1,0 +1,93 @@
+#pragma once
+
+// EDNS(0) options used by the wire-true scan boundary.
+//
+// The scanner and `httpsrr_serve` speak plain DNS plus exactly one private
+// option: "scan-meta", carried in the OPT RDATA of both queries and
+// replies.  It is the thin, versioned side channel for the two things the
+// base message format cannot express:
+//
+//   query direction:  the scan's virtual clock (so a recursive process in
+//                     another address space advances its simulated Internet
+//                     to the client's scan instant), a route-to-backup
+//                     flag (the stub's SERVFAIL fallback re-targets the
+//                     server's backup resolver without a second endpoint),
+//                     and the client's shard index (the server keeps one
+//                     resolver pair per shard, so a K-shard scan over
+//                     sockets is the same K resolver pairs the in-process
+//                     Study would build — the cross-K digest invariance
+//                     carries over by construction).
+//   reply direction:  a served-by-backup flag, so the client's fallback
+//                     accounting stays byte-identical to the in-process
+//                     path.
+//
+// Format (option-code 65280, from the RFC 6891 experimental/local range):
+//
+//   +0  version   u8   must be 0
+//   +1  flags     u8   0x01 = virtual time present
+//                      0x02 = query: route to backup / reply: from backup
+//                      0x04 = shard index present
+//                      all other bits must be zero
+//   +2  time      u64  big-endian unix seconds, present iff flags & 0x01
+//   +N  shard     u16  big-endian shard index, present iff flags & 0x04
+//                      (follows the time field when both are present)
+//
+// Parsing is strict: a truncated option, an unknown version, unknown flag
+// bits, a length that disagrees with the flags, or a duplicated scan-meta
+// option all reject the whole OPT RDATA as malformed.  Callers treat a
+// malformed reply like any other unparseable datagram (drop / SERVFAIL);
+// a malformed query earns FORMERR.  Unknown *other* option codes are
+// skipped per RFC 6891 — strictness applies to our option, not theirs.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "dns/wire.h"
+
+namespace httpsrr::dns {
+
+// Private-use option code (RFC 6891 §9 reserves 65001-65534 for
+// local/experimental use).
+inline constexpr std::uint16_t kScanMetaOptionCode = 65280;
+inline constexpr std::uint8_t kScanMetaVersion = 0;
+
+inline constexpr std::uint8_t kScanMetaFlagTime = 0x01;
+inline constexpr std::uint8_t kScanMetaFlagBackup = 0x02;
+inline constexpr std::uint8_t kScanMetaFlagShard = 0x04;
+inline constexpr std::uint8_t kScanMetaKnownFlags =
+    kScanMetaFlagTime | kScanMetaFlagBackup | kScanMetaFlagShard;
+
+struct ScanMeta {
+  // Query: route this resolution to the server's backup resolver.
+  // Reply: this answer was produced by the backup resolver.
+  bool backup = false;
+  // Query only: the scan's virtual clock, unix seconds.
+  std::optional<std::uint64_t> virtual_time;
+  // Query only: the client's scan-shard index.
+  std::optional<std::uint16_t> shard;
+
+  friend bool operator==(const ScanMeta&, const ScanMeta&) = default;
+};
+
+// Appends the option (option-code, option-length, payload) to `w`.  The
+// caller is in the middle of writing an OPT RDATA and accounts for the
+// emitted size in the OPT's RDLENGTH.
+void append_scan_meta(WireWriter& w, const ScanMeta& meta);
+
+// Encoded size of the option including the 4-byte option header.
+[[nodiscard]] std::size_t scan_meta_wire_size(const ScanMeta& meta);
+
+enum class ScanMetaStatus : std::uint8_t {
+  kAbsent,     // well-formed OPT RDATA, no scan-meta option present
+  kOk,         // exactly one well-formed scan-meta option, `out` filled
+  kMalformed,  // reject the whole message
+};
+
+// Walks a full OPT RDATA (a sequence of {code, len, payload} options) and
+// extracts the scan-meta option if present.  Strict v0 parse; see the
+// header comment for the reject rules.
+[[nodiscard]] ScanMetaStatus parse_scan_meta(
+    std::span<const std::uint8_t> opt_rdata, ScanMeta& out);
+
+}  // namespace httpsrr::dns

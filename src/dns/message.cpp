@@ -90,11 +90,12 @@ void Message::encode_into(WireWriter& w) const {
   for (const auto& rr : additionals) encode_rr(rr, w);
   if (edns) {
     // OPT pseudo-RR (RFC 6891 §6.1): root owner, CLASS = payload size,
-    // TTL = extended flags (DO is bit 15 of the high 16 TTL bits).
+    // TTL = [extended-rcode:8][version:8][DO:1][Z:15].
     w.u8(0);  // root name
     w.u16(static_cast<std::uint16_t>(RrType::OPT));
     w.u16(edns->udp_payload_size);
-    w.u32(edns->dnssec_ok ? 0x00008000u : 0u);
+    w.u32((static_cast<std::uint32_t>(edns->extended_rcode) << 24) |
+          (edns->dnssec_ok ? 0x00008000u : 0u));
     w.u16(0);  // empty RDATA
   }
 }

@@ -38,6 +38,10 @@ struct Header {
 struct Edns {
   std::uint16_t udp_payload_size = 1232;  // the modern DNS-flag-day default
   bool dnssec_ok = false;                 // DO bit: send RRSIGs in answers
+  // Upper 8 bits of the 12-bit extended RCODE (RFC 6891 §6.1.3), from the
+  // OPT TTL.  Header::rcode stays the low nibble; combine the two when the
+  // full value matters (MessageView::extended_rcode does).
+  std::uint8_t extended_rcode = 0;
 
   friend bool operator==(const Edns&, const Edns&) = default;
 };

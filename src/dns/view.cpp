@@ -274,7 +274,10 @@ Result<MessageView> MessageView::parse(std::span<const std::uint8_t> wire) {
         Edns edns;
         edns.udp_payload_size = ref.klass;
         edns.dnssec_ok = (ref.ttl & 0x00008000u) != 0;
+        edns.extended_rcode = static_cast<std::uint8_t>(ref.ttl >> 24);
         v.edns_ = edns;
+        v.opt_rdata_off_ = ref.rdata_off;
+        v.opt_rdata_len_ = ref.rdata_len;
         continue;
       }
       v.records_.push_back(ref);

@@ -157,6 +157,22 @@ class MessageView {
   [[nodiscard]] const std::optional<Edns>& edns() const { return edns_; }
   [[nodiscard]] std::span<const std::uint8_t> wire() const { return wire_; }
 
+  // The 12-bit RCODE: header low nibble combined with the OPT TTL's upper
+  // 8 bits (zero without EDNS).  Returned as the raw value, not Rcode —
+  // extended values have no enum name.
+  [[nodiscard]] std::uint16_t extended_rcode() const {
+    const std::uint16_t hi = edns_ ? edns_->extended_rcode : 0;
+    return static_cast<std::uint16_t>((hi << 4) |
+                                      static_cast<std::uint8_t>(header_.rcode));
+  }
+
+  // Raw RDATA of the lifted OPT pseudo-RR — the EDNS option sequence
+  // (empty span when there is no OPT or it carried no options).  Feed to
+  // dns::parse_scan_meta.
+  [[nodiscard]] std::span<const std::uint8_t> opt_rdata() const {
+    return wire_.subspan(opt_rdata_off_, opt_rdata_len_);
+  }
+
   // Octets past the last indexed record.  A well-formed message has none;
   // strict readers (the resolver) reject replies with trailing garbage.
   [[nodiscard]] std::size_t trailing_bytes() const {
@@ -199,6 +215,8 @@ class MessageView {
   std::span<const std::uint8_t> wire_;
   Header header_;
   std::optional<Edns> edns_;
+  std::uint32_t opt_rdata_off_ = 0;  // lifted OPT RDATA bounds (0/0 if none)
+  std::uint16_t opt_rdata_len_ = 0;
   std::size_t parsed_size_ = 0;  // wire offset just past the last record
   std::size_t an_ = 0;  // indexed answer count
   std::size_t ns_ = 0;  // indexed authority count

@@ -165,6 +165,21 @@ Fd tcp_connect(const SocketEndpoint& endpoint, std::uint32_t timeout_ms) {
   return fd;
 }
 
+Fd tcp_connect_nonblocking(const SocketEndpoint& endpoint) {
+  auto addr = to_sockaddr(endpoint);
+  if (!addr) return Fd{};
+  Fd fd(::socket(addr->family, SOCK_STREAM, 0));
+  if (!fd.valid() || !set_nonblocking(fd.get())) return Fd{};
+  int one = 1;
+  setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr->ss),
+                addr->len) != 0 &&
+      errno != EINPROGRESS) {
+    return Fd{};
+  }
+  return fd;
+}
+
 std::uint16_t local_port(int fd) {
   sockaddr_storage ss{};
   socklen_t len = sizeof(ss);

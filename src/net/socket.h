@@ -56,14 +56,18 @@ struct SocketEndpoint {
 };
 
 // Socket constructors.  All sockets are created nonblocking except
-// tcp_connect's, which blocks with send/receive timeouts (the synchronous
-// TCP-fallback path wants simple blocking I/O with a deadline).
+// tcp_connect's, which blocks with send/receive timeouts (simple
+// synchronous TCP with a deadline, for scripted one-shot exchanges).
+// tcp_connect_nonblocking starts a connect-in-progress instead: the fd
+// comes back immediately and the caller tracks completion via poll()'s
+// POLLOUT + SO_ERROR — the transport's pipelined TCP-fallback path.
 [[nodiscard]] Fd udp_socket_bound(const SocketEndpoint& endpoint);
 [[nodiscard]] Fd udp_socket_connected(const SocketEndpoint& endpoint);
 [[nodiscard]] Fd tcp_listener(const SocketEndpoint& endpoint,
                               int backlog = 16);
 [[nodiscard]] Fd tcp_connect(const SocketEndpoint& endpoint,
                              std::uint32_t timeout_ms);
+[[nodiscard]] Fd tcp_connect_nonblocking(const SocketEndpoint& endpoint);
 
 // The port a bound socket actually landed on (resolves port 0).
 [[nodiscard]] std::uint16_t local_port(int fd);

@@ -74,15 +74,11 @@ SendToken SocketTransport::send(const IpAddr& /*server*/,
     return token;
   }
   if (options_.tcp_only) {
-    AsyncReply done;
-    done.token = token;
-    done.reply = tcp_exchange(pending.query, /*after_truncation=*/false);
-    if (!done.reply.ok()) ++stats_.timeouts;
-    done.arrival_us = monotonic_us() - epoch_us_;
-    record_rtt(done.arrival_us >= pending.sent_us
-                   ? done.arrival_us - pending.sent_us
-                   : 0);
-    completed_.push_back(std::move(done));
+    // Straight onto the TCP state machine — no UDP leg.  The connect is
+    // nonblocking like the TC=1 fallback's, so even tcp_only queries
+    // pipeline across independent connections.
+    pending_.push_back(std::move(pending));
+    start_tcp(pending_.size() - 1, /*after_truncation=*/false);
     return token;
   }
 
@@ -117,11 +113,18 @@ void SocketTransport::pump() {
   const std::size_t completed_before = completed_.size();
   while (completed_.size() == completed_before && !pending_.empty()) {
     const std::uint64_t now = monotonic_us();
-    // Expire attempts first: retransmit if allowed, else complete as a
-    // clean timeout — poll() must always make progress.
+    // Expire attempts first: retransmit (UDP) or reconnect (TCP) if
+    // allowed, else complete as a clean timeout — poll() must always make
+    // progress.
     for (std::size_t i = 0; i < pending_.size();) {
       if (pending_[i].deadline_us > now) {
         ++i;
+        continue;
+      }
+      if (pending_[i].tcp_stage != TcpStage::kNone) {
+        const SendToken token = pending_[i].token;
+        tcp_fail(i);  // fresh connection if attempts remain, else timeout
+        if (i < pending_.size() && pending_[i].token == token) ++i;
         continue;
       }
       if (pending_[i].retransmits_left > 0) {
@@ -145,10 +148,23 @@ void SocketTransport::pump() {
                                   std::min<std::uint64_t>(
                                       (nearest - now + 999) / 1000, 60'000))
                             : 0;
-    pollfd pfd{udp_.get(), POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, wait_ms);
+    // One poll set: the shared UDP socket plus every in-flight TCP leg's
+    // own fd (connecting/sending legs wait for writability, reading legs
+    // for data) — progress on any of them wakes the loop.
+    std::vector<pollfd> pfds;
+    std::vector<SendToken> tcp_tokens;
+    pfds.push_back(pollfd{udp_.get(), POLLIN, 0});
+    for (const PendingQuery& p : pending_) {
+      if (p.tcp_stage == TcpStage::kNone) continue;
+      const short events =
+          p.tcp_stage == TcpStage::kReading ? POLLIN : POLLOUT;
+      pfds.push_back(pollfd{p.tcp_fd.get(), events, 0});
+      tcp_tokens.push_back(p.token);
+    }
+    const int ready =
+        ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), wait_ms);
     if (ready < 0 && errno != EINTR) {
-      // Socket broke: fail everything in flight rather than spin.
+      // Poll itself broke: fail everything in flight rather than spin.
       while (!pending_.empty()) {
         ++stats_.timeouts;
         complete(0, TransportReply{});
@@ -156,15 +172,32 @@ void SocketTransport::pump() {
       return;
     }
     if (ready <= 0) continue;  // deadline pass handles expiry next loop
-    while (true) {
-      const ssize_t n =
-          ::recv(udp_.get(), recv_buffer_.data(), recv_buffer_.size(), 0);
-      if (n <= 0) break;  // EAGAIN — drained
-      deliver_datagram(
-          std::span<const std::uint8_t>(recv_buffer_.data(),
-                                        static_cast<std::size_t>(n)));
+    // Advance TCP legs first, re-finding each by token: a step can
+    // complete (erasing a pending) or reconnect, so raw indices from the
+    // poll set would go stale.
+    for (std::size_t j = 1; j < pfds.size(); ++j) {
+      if (pfds[j].revents == 0) continue;
+      const std::size_t i = pending_index_of(tcp_tokens[j - 1]);
+      if (i != pending_.size()) tcp_step(i, pfds[j].revents);
+    }
+    if (pfds[0].revents != 0) {
+      while (true) {
+        const ssize_t n =
+            ::recv(udp_.get(), recv_buffer_.data(), recv_buffer_.size(), 0);
+        if (n <= 0) break;  // EAGAIN — drained
+        deliver_datagram(
+            std::span<const std::uint8_t>(recv_buffer_.data(),
+                                          static_cast<std::size_t>(n)));
+      }
     }
   }
+}
+
+std::size_t SocketTransport::pending_index_of(SendToken token) const {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].token == token) return i;
+  }
+  return pending_.size();
 }
 
 void SocketTransport::deliver_datagram(
@@ -178,11 +211,10 @@ void SocketTransport::deliver_datagram(
       return;
     }
     if (tc_set(datagram)) {
+      // Truncated: hand the query to the nonblocking TCP state machine
+      // and keep pumping — other in-flight queries are not held up.
       ++stats_.tcp_fallbacks;
-      TransportReply reply =
-          tcp_exchange(pending_[i].query, /*after_truncation=*/true);
-      if (!reply.ok()) ++stats_.timeouts;
-      complete(i, std::move(reply));
+      start_tcp(i, /*after_truncation=*/true);
       return;
     }
     TransportReply reply;
@@ -221,36 +253,123 @@ void SocketTransport::complete(std::size_t pending_index,
   completed_.push_back(std::move(done));
 }
 
-TransportReply SocketTransport::tcp_exchange(
-    std::span<const std::uint8_t> query, bool after_truncation) {
-  TransportReply reply;
-  if (query.size() > 0xffff) return reply;
-  // Same acceptance rule as the modelled channel: the answer must echo id
-  // and question and must not be truncated; one verification retry.
-  for (int attempt = 0; attempt <= 1; ++attempt) {
-    ++stats_.tcp_queries;
-    Fd fd = tcp_connect(options_.server, options_.timeout_ms);
-    if (!fd.valid()) continue;
-    std::uint8_t frame[2] = {
-        static_cast<std::uint8_t>(query.size() >> 8),
-        static_cast<std::uint8_t>(query.size() & 0xff)};
-    if (!write_all(fd.get(), frame) || !write_all(fd.get(), query)) continue;
-    std::uint8_t len_buf[2];
-    if (!read_all(fd.get(), len_buf)) continue;
-    const std::size_t len =
-        (static_cast<std::size_t>(len_buf[0]) << 8) | len_buf[1];
-    auto payload = std::make_shared<WireBytes>(len);
-    if (len > 0 && !read_all(fd.get(), *payload)) continue;
-    if (tc_set(*payload) || !reply_matches_query(*payload, query)) {
-      ++stats_.mismatched_replies;
-      continue;
-    }
-    reply.error = ConnectError::none;
-    reply.payload = std::move(payload);
-    reply.tcp_retried = after_truncation;
-    return reply;
+void SocketTransport::start_tcp(std::size_t index, bool after_truncation) {
+  PendingQuery& p = pending_[index];
+  if (p.query.size() > 0xffff) {
+    ++stats_.timeouts;
+    complete(index, TransportReply{});
+    return;
   }
-  return reply;
+  p.tcp_after_truncation = after_truncation;
+  p.tcp_attempts_left = 1;  // one fresh-connection retry, as before
+  if (p.sent_us == 0) p.sent_us = monotonic_us() - epoch_us_;
+  p.tcp_out.clear();
+  p.tcp_out.reserve(p.query.size() + 2);
+  p.tcp_out.push_back(static_cast<std::uint8_t>(p.query.size() >> 8));
+  p.tcp_out.push_back(static_cast<std::uint8_t>(p.query.size() & 0xff));
+  p.tcp_out.insert(p.tcp_out.end(), p.query.begin(), p.query.end());
+  tcp_attempt(index);
+}
+
+void SocketTransport::tcp_attempt(std::size_t index) {
+  PendingQuery& p = pending_[index];
+  ++stats_.tcp_queries;
+  p.tcp_out_off = 0;
+  p.tcp_in.clear();
+  p.deadline_us = monotonic_us() +
+                  static_cast<std::uint64_t>(options_.timeout_ms) * 1000ULL;
+  p.tcp_fd = tcp_connect_nonblocking(options_.server);
+  if (!p.tcp_fd.valid()) {
+    tcp_fail(index);
+    return;
+  }
+  p.tcp_stage = TcpStage::kConnecting;
+}
+
+void SocketTransport::tcp_fail(std::size_t index) {
+  PendingQuery& p = pending_[index];
+  p.tcp_fd.reset();
+  p.tcp_stage = TcpStage::kNone;
+  if (p.tcp_attempts_left > 0) {
+    --p.tcp_attempts_left;
+    tcp_attempt(index);
+    return;
+  }
+  ++stats_.timeouts;
+  complete(index, TransportReply{});
+}
+
+void SocketTransport::tcp_step(std::size_t index, short revents) {
+  PendingQuery& p = pending_[index];
+  if (p.tcp_stage == TcpStage::kConnecting) {
+    // Writability (or an error event) means the connect resolved.
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (getsockopt(p.tcp_fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) !=
+            0 ||
+        so_error != 0) {
+      tcp_fail(index);
+      return;
+    }
+    p.tcp_stage = TcpStage::kSending;
+    // Fall through: the socket is writable right now.
+  }
+  if (p.tcp_stage == TcpStage::kSending) {
+    while (p.tcp_out_off < p.tcp_out.size()) {
+      const ssize_t n =
+          ::send(p.tcp_fd.get(), p.tcp_out.data() + p.tcp_out_off,
+                 p.tcp_out.size() - p.tcp_out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        p.tcp_out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      tcp_fail(index);
+      return;
+    }
+    p.tcp_stage = TcpStage::kReading;
+    return;  // wait for POLLIN
+  }
+  if ((revents & POLLIN) == 0 && (revents & (POLLERR | POLLHUP)) != 0) {
+    tcp_fail(index);  // peer vanished with nothing readable
+    return;
+  }
+  // kReading: accumulate the 2-byte frame, then the framed reply.
+  while (true) {
+    const ssize_t n = ::recv(p.tcp_fd.get(), recv_buffer_.data(),
+                             recv_buffer_.size(), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      tcp_fail(index);  // error, or EOF before the full frame
+      return;
+    }
+    p.tcp_in.insert(p.tcp_in.end(), recv_buffer_.data(),
+                    recv_buffer_.data() + n);
+    if (p.tcp_in.size() < 2) continue;
+    const std::size_t frame_len =
+        (static_cast<std::size_t>(p.tcp_in[0]) << 8) | p.tcp_in[1];
+    if (p.tcp_in.size() < 2 + frame_len) continue;
+    // Same acceptance rule as the modelled channel: the answer must echo
+    // id and question and must not be truncated; one verification retry
+    // on a fresh connection.
+    const std::span<const std::uint8_t> payload_bytes(p.tcp_in.data() + 2,
+                                                      frame_len);
+    if (tc_set(payload_bytes) ||
+        !reply_matches_query(payload_bytes, p.query)) {
+      ++stats_.mismatched_replies;
+      tcp_fail(index);
+      return;
+    }
+    TransportReply reply;
+    reply.error = ConnectError::none;
+    reply.payload = std::make_shared<WireBytes>(payload_bytes.begin(),
+                                                payload_bytes.end());
+    reply.tcp_retried = p.tcp_after_truncation;
+    complete(index, std::move(reply));
+    return;
+  }
 }
 
 }  // namespace httpsrr::net

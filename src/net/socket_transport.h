@@ -19,8 +19,14 @@
 //     stray; id known but question mismatched is counted and dropped
 //     (reply_matches_query, shared with the channel model);
 //   * per-query timeout with bounded retransmits (default: one);
-//   * TC=1 → synchronous TCP fallback with 2-byte length framing, the
+//   * TC=1 → nonblocking TCP fallback with 2-byte length framing, the
 //     TCP reply verified against the original query before acceptance.
+//     The TCP leg is a per-query state machine (connect-in-progress →
+//     send → read) advanced by the same poll() loop that watches the UDP
+//     socket, so one truncated reply never serializes a pipelined shard:
+//     other in-flight UDP queries keep completing while the TCP
+//     connection makes progress, and several TCP fallbacks can be in
+//     flight at once on independent fds.
 //
 // send()/poll() keep the Transport async contract QueryEngine relies on:
 // poll() blocks until SOME in-flight send completes (possibly as a clean
@@ -76,12 +82,30 @@ class SocketTransport final : public Transport {
   }
 
  private:
+  // The nonblocking TCP leg's stage, per pending query.  kNone = the
+  // query lives on the UDP socket; anything else = it owns a TCP fd that
+  // pump() watches alongside UDP.
+  enum class TcpStage : std::uint8_t {
+    kNone,
+    kConnecting,  // connect() in progress — waiting for POLLOUT
+    kSending,     // writing frame + query
+    kReading,     // reading length prefix, then the framed reply
+  };
+
   struct PendingQuery {
     SendToken token = 0;
     WireBytes query;          // owned copy: retransmits + reply verification
     std::uint64_t sent_us = 0;      // first transmit (RTT measurement)
     std::uint64_t deadline_us = 0;  // current attempt's expiry
     int retransmits_left = 0;
+    // TCP fallback state machine (TC=1 retries and tcp_only queries).
+    TcpStage tcp_stage = TcpStage::kNone;
+    Fd tcp_fd;
+    WireBytes tcp_out;             // 2-byte frame + query
+    std::size_t tcp_out_off = 0;   // bytes of tcp_out already written
+    WireBytes tcp_in;              // accumulated frame + reply bytes
+    int tcp_attempts_left = 0;     // fresh-connection retries remaining
+    bool tcp_after_truncation = false;
   };
 
   // Runs the socket loop until at least one pending query completes (or
@@ -89,13 +113,21 @@ class SocketTransport final : public Transport {
   void pump();
   // Transmits (or re-transmits) a pending query's datagram.
   void transmit(PendingQuery& pending);
-  // Delivers one received datagram: match → complete (with TC fallback),
-  // no match → stray/mismatch accounting.
+  // Delivers one received datagram: match → complete (or TC fallback →
+  // TCP state machine), no match → stray/mismatch accounting.
   void deliver_datagram(std::span<const std::uint8_t> datagram);
   void complete(std::size_t pending_index, TransportReply reply);
-  // Synchronous TCP exchange with framing + verification, one retry.
-  [[nodiscard]] TransportReply tcp_exchange(
-      std::span<const std::uint8_t> query, bool after_truncation);
+  // TCP state machine.  start_tcp enters it (TC=1 or tcp_only);
+  // tcp_attempt opens a fresh nonblocking connection; tcp_step advances
+  // one pending on poll() readiness; tcp_fail retries on a fresh
+  // connection or completes the query as a timeout.  Any of these may
+  // erase the pending at `index`.
+  void start_tcp(std::size_t index, bool after_truncation);
+  void tcp_attempt(std::size_t index);
+  void tcp_step(std::size_t index, short revents);
+  void tcp_fail(std::size_t index);
+  // Index of the in-flight query wearing `token`, or npos.
+  [[nodiscard]] std::size_t pending_index_of(SendToken token) const;
 
   SocketTransportOptions options_;
   Fd udp_;

@@ -1,0 +1,370 @@
+#include "resolver/endpoint.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "dns/view.h"
+
+namespace httpsrr::resolver {
+
+using dns::MessageView;
+using dns::Rcode;
+using dns::RrType;
+using dns::ScanMeta;
+using dns::ScanMetaStatus;
+using util::Error;
+
+namespace {
+
+// Advertised payload on every endpoint query — and therefore the socket
+// server's UDP truncation limit for the reply (clamped through RFC 6891
+// bounds on both ends).  Replies wider than this ride the TC=1 → TCP leg.
+const std::size_t kUdpLimit =
+    dns::clamp_edns_payload(dns::Edns{}.udp_payload_size);
+
+ResolvedAnswer servfail_answer() {
+  return ResolvedAnswer::from_parts(Rcode::SERVFAIL, false, {}, {});
+}
+
+// Minimal FORMERR: header echoing the query id, QR set, everything empty.
+std::shared_ptr<const net::WireBytes> formerr_reply(
+    std::span<const std::uint8_t> query) {
+  auto out = std::make_shared<net::WireBytes>(12, std::uint8_t{0});
+  if (query.size() >= 2) {
+    (*out)[0] = query[0];
+    (*out)[1] = query[1];
+  }
+  (*out)[2] = 0x80;  // QR
+  (*out)[3] = 0x01;  // FORMERR
+  return out;
+}
+
+bool materialize_section(const MessageView& view, bool authority,
+                         std::vector<dns::Rr>& out) {
+  const std::size_t n =
+      authority ? view.authority_count() : view.answer_count();
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto rr = (authority ? view.authority(i) : view.answer(i)).materialize();
+    if (!rr) return false;
+    out.push_back(std::move(*rr));
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- Wire codec ----------------------------------------------------------
+
+void encode_endpoint_query(dns::WireWriter& w, std::uint16_t id,
+                           const dns::Name& qname, dns::RrType qtype,
+                           const ScanMeta& meta) {
+  dns::Header h;  // rd=true by default; everything else clear
+  h.id = id;
+  w.clear();
+  w.u16(h.id);
+  w.u16(dns::pack_flags(h));
+  w.u16(1);  // QDCOUNT
+  w.u16(0);
+  w.u16(0);
+  w.u16(1);  // ARCOUNT: the OPT pseudo-RR
+  w.name_compressed(qname);
+  w.u16(static_cast<std::uint16_t>(qtype));
+  w.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
+  // OPT with DO set and the scan-meta option as its only RDATA content.
+  w.u8(0);  // root owner
+  w.u16(static_cast<std::uint16_t>(dns::RrType::OPT));
+  w.u16(static_cast<std::uint16_t>(kUdpLimit));
+  w.u32(0x00008000u);  // DO
+  w.u16(static_cast<std::uint16_t>(dns::scan_meta_wire_size(meta)));
+  dns::append_scan_meta(w, meta);
+}
+
+void encode_endpoint_reply(dns::WireWriter& w, std::uint16_t id,
+                           const dns::Name& qname, dns::RrType qtype,
+                           const ResolvedAnswer& answer, bool dnssec_ok,
+                           bool from_backup) {
+  const auto answers = answer.answers();
+  const auto authorities = answer.authorities();
+
+  dns::Header h;
+  h.id = id;
+  h.qr = true;
+  h.rd = true;
+  h.ra = true;
+  h.ad = answer.ad;
+  h.rcode = answer.rcode;  // low nibble; the high byte rides the OPT TTL
+  const auto extended =
+      static_cast<std::uint8_t>(static_cast<std::uint16_t>(answer.rcode) >> 4);
+
+  w.clear();
+  w.u16(h.id);
+  w.u16(dns::pack_flags(h));
+  w.u16(1);  // QDCOUNT
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authorities.size()));
+  w.u16(1);  // ARCOUNT: the OPT pseudo-RR
+  w.name_compressed(qname);
+  w.u16(static_cast<std::uint16_t>(qtype));
+  w.u16(static_cast<std::uint16_t>(dns::RrClass::IN));
+  for (const auto& rr : answers) dns::encode_rr(rr, w);
+  for (const auto& rr : authorities) dns::encode_rr(rr, w);
+  // OPT: TTL = [extended-rcode:8][version:8][DO:1][Z:15]; RDATA carries
+  // the scan-meta option only when there is something to say.
+  w.u8(0);
+  w.u16(static_cast<std::uint16_t>(RrType::OPT));
+  w.u16(static_cast<std::uint16_t>(kUdpLimit));
+  w.u32((static_cast<std::uint32_t>(extended) << 24) |
+        (dnssec_ok ? 0x00008000u : 0u));
+  if (from_backup) {
+    ScanMeta meta;
+    meta.backup = true;
+    w.u16(static_cast<std::uint16_t>(dns::scan_meta_wire_size(meta)));
+    dns::append_scan_meta(w, meta);
+  } else {
+    w.u16(0);
+  }
+}
+
+util::Result<DecodedReply> decode_endpoint_reply(
+    std::span<const std::uint8_t> wire) {
+  auto view = MessageView::parse(wire);
+  if (!view) return Error{view.error()};
+  if (view->trailing_bytes() != 0) return Error{"trailing bytes"};
+  if (!view->header().qr) return Error{"not a response"};
+
+  ScanMeta meta;
+  const ScanMetaStatus status = dns::parse_scan_meta(view->opt_rdata(), meta);
+  if (status == ScanMetaStatus::kMalformed) {
+    return Error{"malformed scan-meta option"};
+  }
+
+  std::vector<dns::Rr> answers;
+  std::vector<dns::Rr> authorities;
+  if (!materialize_section(*view, false, answers) ||
+      !materialize_section(*view, true, authorities)) {
+    return Error{"malformed record"};
+  }
+
+  DecodedReply out;
+  out.answer = ResolvedAnswer::from_parts(
+      static_cast<Rcode>(view->extended_rcode() & 0xff), view->header().ad,
+      std::move(answers), std::move(authorities));
+  out.from_backup = status == ScanMetaStatus::kOk && meta.backup;
+  return out;
+}
+
+// ---- EngineEndpoint ------------------------------------------------------
+
+EngineEndpoint::EngineEndpoint(std::unique_ptr<RecursiveResolver> primary,
+                               std::unique_ptr<RecursiveResolver> backup)
+    : owned_primary_(std::move(primary)),
+      owned_backup_(std::move(backup)),
+      primary_(owned_primary_.get()),
+      backup_(owned_backup_.get()) {}
+
+EngineEndpoint::EngineEndpoint(RecursiveResolver& primary,
+                               RecursiveResolver* backup)
+    : primary_(&primary), backup_(backup) {}
+
+std::vector<ResolvedAnswer> EngineEndpoint::run_wave(
+    std::span<const QueryEngine::Request> requests,
+    std::vector<bool>* fell_back) {
+  // One engine wave with the stub's fallback policy, batched: every
+  // request runs on the primary's engine, and any SERVFAIL answer is
+  // re-run on the backup in the same request order.
+  QueryEngine engine(*primary_);
+  auto answers = engine.run(requests);
+  if (fell_back != nullptr) fell_back->assign(requests.size(), false);
+  if (backup_ != nullptr) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < answers.size(); ++i) {
+      if (answers[i].rcode == Rcode::SERVFAIL) failed.push_back(i);
+    }
+    if (!failed.empty()) {
+      fallbacks_ += failed.size();
+      std::vector<QueryEngine::Request> retry;
+      retry.reserve(failed.size());
+      for (std::size_t i : failed) retry.push_back(requests[i]);
+      QueryEngine backup_engine(*backup_);
+      auto retried = backup_engine.run(retry);
+      for (std::size_t j = 0; j < failed.size(); ++j) {
+        answers[failed[j]] = std::move(retried[j]);
+        if (fell_back != nullptr) (*fell_back)[failed[j]] = true;
+      }
+    }
+  }
+  return answers;
+}
+
+std::vector<ResolvedAnswer> EngineEndpoint::run(
+    std::span<const QueryEngine::Request> requests) {
+  return run_wave(requests, nullptr);
+}
+
+ResolverStats EngineEndpoint::stats() const {
+  ResolverStats total = primary_->stats();
+  if (backup_ != nullptr) total += backup_->stats();
+  return total;
+}
+
+// ---- LocalEndpoint -------------------------------------------------------
+
+std::vector<ResolvedAnswer> LocalEndpoint::run(
+    std::span<const QueryEngine::Request> requests) {
+  std::vector<bool> fell_back;
+  auto answers = run_wave(requests, &fell_back);
+  const bool dnssec_ok = primary().options().validate_dnssec;
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    encode_endpoint_reply(writer_, /*id=*/0, requests[i].qname,
+                          requests[i].qtype, answers[i], dnssec_ok,
+                          fell_back[i]);
+    auto decoded = decode_endpoint_reply(writer_.data());
+    // A round-trip failure would mean the codec cannot carry one of our
+    // own answers; surface it like a lost reply rather than crashing.
+    answers[i] = decoded ? std::move(decoded->answer) : servfail_answer();
+  }
+  return answers;
+}
+
+// ---- SocketEndpoint ------------------------------------------------------
+
+namespace {
+
+net::SocketTransportOptions transport_options(
+    const SocketEndpointOptions& options) {
+  net::SocketTransportOptions t;
+  t.server = options.server;
+  t.timeout_ms = options.timeout_ms;
+  t.retransmits = options.retransmits;
+  return t;
+}
+
+}  // namespace
+
+SocketEndpoint::SocketEndpoint(SocketEndpointOptions options)
+    : options_(options), transport_(transport_options(options)) {}
+
+void SocketEndpoint::pass(std::span<const QueryEngine::Request> requests,
+                          const std::vector<std::size_t>* indices,
+                          bool to_backup, std::vector<ResolvedAnswer>& answers,
+                          std::vector<bool>* servfailed) {
+  const std::size_t total =
+      indices != nullptr ? indices->size() : requests.size();
+  const std::size_t window = std::max<std::size_t>(1, options_.max_in_flight);
+  // The per-call server address is ignored by SocketTransport (it is
+  // constructed with the one endpoint it talks to).
+  const net::IpAddr addr{};
+
+  ScanMeta meta;
+  meta.backup = to_backup;
+  meta.virtual_time = virtual_time_;
+  meta.shard = options_.shard;
+
+  std::unordered_map<net::SendToken, std::size_t> in_flight;
+  std::size_t sent = 0;
+  while (sent < total || !in_flight.empty()) {
+    while (sent < total && in_flight.size() < window) {
+      const std::size_t slot =
+          indices != nullptr ? (*indices)[sent] : sent;
+      // Ids only need to be unique among in-flight queries; a 16-bit
+      // counter with a window far below 65536 guarantees that.
+      encode_endpoint_query(writer_, next_id_++, requests[slot].qname,
+                            requests[slot].qtype, meta);
+      in_flight.emplace(transport_.send(addr, writer_.data(), kUdpLimit),
+                        slot);
+      ++sent;
+    }
+    auto completed = transport_.poll();
+    if (!completed) break;  // transport drained (should not outrun us)
+    auto it = in_flight.find(completed->token);
+    if (it == in_flight.end()) continue;
+    const std::size_t slot = it->second;
+    in_flight.erase(it);
+
+    ResolvedAnswer out = servfail_answer();
+    if (completed->reply.ok()) {
+      if (auto decoded = decode_endpoint_reply(completed->reply.bytes())) {
+        out = std::move(decoded->answer);
+      }
+    }
+    if (servfailed != nullptr) {
+      (*servfailed)[slot] = out.rcode == Rcode::SERVFAIL;
+    }
+    answers[slot] = std::move(out);
+  }
+}
+
+std::vector<ResolvedAnswer> SocketEndpoint::run(
+    std::span<const QueryEngine::Request> requests) {
+  stats_.queries += requests.size();
+  std::vector<ResolvedAnswer> answers(requests.size());
+  std::vector<bool> servfailed(requests.size(), false);
+  pass(requests, nullptr, /*to_backup=*/false, answers, &servfailed);
+  if (options_.backup) {
+    std::vector<std::size_t> failed;
+    for (std::size_t i = 0; i < servfailed.size(); ++i) {
+      if (servfailed[i]) failed.push_back(i);
+    }
+    if (!failed.empty()) {
+      fallbacks_ += failed.size();
+      pass(requests, &failed, /*to_backup=*/true, answers, nullptr);
+    }
+  }
+  for (const auto& answer : answers) {
+    if (answer.rcode == Rcode::SERVFAIL) ++stats_.servfails;
+  }
+  return answers;
+}
+
+ResolverStats SocketEndpoint::stats() const {
+  ResolverStats s = stats_;
+  const net::SocketStats& t = transport_.stats();
+  s.upstream_queries = t.udp_queries + t.tcp_queries;
+  s.tcp_fallbacks = t.tcp_fallbacks;
+  s.timeouts = t.timeouts;
+  return s;
+}
+
+// ---- ScanResponder -------------------------------------------------------
+
+RecursiveResolver& ScanResponder::resolver_for(std::uint16_t shard,
+                                               bool backup) {
+  Pair& pair = pool_[shard];
+  if (!pair.primary) pair.primary = factory_(shard, false);
+  if (backup) {
+    if (!pair.backup) pair.backup = factory_(shard, true);
+    if (pair.backup) return *pair.backup;  // else: no backup configured
+  }
+  return *pair.primary;
+}
+
+std::shared_ptr<const net::WireBytes> ScanResponder::respond(
+    std::span<const std::uint8_t> query) {
+  auto view = MessageView::parse(query);
+  if (!view || view->question_count() != 1 || view->trailing_bytes() != 0) {
+    return formerr_reply(query);
+  }
+  ScanMeta meta;
+  const ScanMetaStatus status = dns::parse_scan_meta(view->opt_rdata(), meta);
+  if (status == ScanMetaStatus::kMalformed) return formerr_reply(query);
+  auto qname = view->question(0).qname();
+  if (!qname.ok()) return formerr_reply(query);
+
+  // Advance the hosting process's virtual clock before resolving, so the
+  // cache and the zone epochs are at the client's scan instant.
+  if (meta.virtual_time && advance_) advance_(*meta.virtual_time);
+
+  RecursiveResolver& resolver =
+      resolver_for(meta.shard.value_or(0), meta.backup);
+  const ResolvedAnswer answer =
+      resolver.resolve_shared(*qname, view->question(0).qtype());
+  encode_endpoint_reply(writer_, /*id=*/0, *qname, view->question(0).qtype(),
+                        answer, resolver.options().validate_dnssec,
+                        meta.backup);
+  const auto bytes = writer_.data();
+  return std::make_shared<net::WireBytes>(bytes.begin(), bytes.end());
+}
+
+}  // namespace httpsrr::resolver

@@ -1,0 +1,266 @@
+#pragma once
+
+// resolver::Endpoint — the wire-true stub↔scanner boundary.
+//
+// The scanner used to consume in-process ResolvedAnswer objects straight
+// from a RecursiveResolver pair: the last seam in the pipeline where no
+// DNS bytes flowed.  An Endpoint closes that gap.  The scanner hands a
+// wave of questions to exactly one interface; under it, queries travel as
+// encoded DNS messages and replies come back as wire bytes that the client
+// reads through dns::MessageView — ResolvedAnswer is reconstructed *from
+// bytes* (ResolvedAnswer::from_parts), with everything the scan needs
+// carried in the reply itself:
+//
+//   * AD bit            — the standard header flag;
+//   * rcode             — header low nibble + the OPT TTL's extended byte;
+//   * per-RRset TTLs    — each record's TTL field at resolution time
+//                         (cache decay included: the server encodes the
+//                         decayed remainder, not the zone TTL);
+//   * fallback metadata — the scan-meta EDNS option (dns/edns.h): the
+//                         reply says whether the backup resolver answered,
+//                         the query says which resolver to ask and at what
+//                         virtual instant.
+//
+// Three interchangeable endpoints:
+//
+//   EngineEndpoint — the existing engine path, unchanged underneath: waves
+//     run through resolver::QueryEngine on an in-process resolver pair and
+//     the answers are handed across directly.  The scan-default (the bench
+//     gate holds this path to the historical allocation/time budget).
+//   LocalEndpoint  — the determinism baseline for the wire format: same
+//     resolver pair, but every answer makes the full byte round-trip
+//     (encode_endpoint_reply → MessageView → decode_endpoint_reply)
+//     before the scanner sees it.  The 5k digest must not move.
+//   SocketEndpoint — real sockets: queries go to an httpsrr_serve
+//     recursive process over net::SocketTransport (per-shard transport,
+//     own fds), replies are the server's enriched wire images.  A K-shard
+//     Study multiplexes K SocketEndpoints against one server process.
+//
+// Determinism rules (DESIGN.md "Wire-true stub boundary" has the full
+// argument): a shard's question stream is issued in request order; the
+// scan-meta shard index keys a dedicated resolver pair inside the server,
+// so the K-shard socket scan runs the very resolver instances the
+// in-process Study would have built, fed the same per-shard streams in the
+// same order — and the snapshot digest is invariant across {engine, local,
+// socket} × shard count.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/edns.h"
+#include "net/socket_transport.h"
+#include "resolver/engine.h"
+#include "resolver/recursive.h"
+#include "resolver/socket_server.h"
+#include "util/result.h"
+
+namespace httpsrr::resolver {
+
+// ---- Wire codec shared by clients (endpoints) and the server -------------
+
+// Encodes a stub query: standard recursive-desired question with EDNS
+// (DO=1, default payload size) whose OPT RDATA carries `meta`.
+void encode_endpoint_query(dns::WireWriter& w, std::uint16_t id,
+                           const dns::Name& qname, dns::RrType qtype,
+                           const dns::ScanMeta& meta);
+
+// Encodes the enriched client-visible response: resolve_wire's layout
+// (header, question, answer/authority sections, OPT last) plus the
+// extended-rcode byte in the OPT TTL and — when `from_backup` — the
+// scan-meta option in the OPT RDATA.  `id` is echoed in the header (the
+// socket server patches the client's id over it anyway).
+void encode_endpoint_reply(dns::WireWriter& w, std::uint16_t id,
+                           const dns::Name& qname, dns::RrType qtype,
+                           const ResolvedAnswer& answer, bool dnssec_ok,
+                           bool from_backup);
+
+struct DecodedReply {
+  ResolvedAnswer answer;
+  bool from_backup = false;
+};
+
+// Parses an enriched reply back into a ResolvedAnswer: sections
+// materialized from the bytes, AD from the header, rcode from the
+// extended-rcode accessor, fallback metadata from the scan-meta option.
+// Any malformation — unparseable message, trailing bytes, a record that
+// fails to materialize, a hostile scan-meta option — is an error; callers
+// treat it like a lost reply (SERVFAIL).
+[[nodiscard]] util::Result<DecodedReply> decode_endpoint_reply(
+    std::span<const std::uint8_t> wire);
+
+// ---- The seam ------------------------------------------------------------
+
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  // Resolves every request with the stub fallback policy (primary first,
+  // SERVFAILs retried on the backup when one exists) and returns answers
+  // in request order.
+  [[nodiscard]] virtual std::vector<ResolvedAnswer> run(
+      std::span<const QueryEngine::Request> requests) = 0;
+
+  // The scan's virtual clock (unix seconds).  In-process endpoints ignore
+  // it — they share the client's SimClock; SocketEndpoint forwards it in
+  // every query so the server process advances its own Internet.
+  virtual void set_virtual_time(std::uint64_t unix_seconds) {
+    (void)unix_seconds;
+  }
+
+  // Client-observed resolver counters for this endpoint (Study aggregates
+  // them across shards).
+  [[nodiscard]] virtual ResolverStats stats() const = 0;
+
+  // Requests that SERVFAILed on the primary and were retried on the
+  // backup.
+  [[nodiscard]] virtual std::uint64_t fallbacks() const = 0;
+};
+
+// ---- In-process endpoints ------------------------------------------------
+
+// The engine path: QueryEngine waves over an owned or borrowed resolver
+// pair, answers handed across in process.  This is byte-for-byte the
+// pre-endpoint Study wave (and the StubResolver policy at wave size 1).
+class EngineEndpoint : public Endpoint {
+ public:
+  EngineEndpoint(std::unique_ptr<RecursiveResolver> primary,
+                 std::unique_ptr<RecursiveResolver> backup);
+  // Borrowing form for callers that keep ownership (StubResolver's legacy
+  // constructor, tools that flush the resolver cache between rounds).
+  EngineEndpoint(RecursiveResolver& primary, RecursiveResolver* backup);
+
+  [[nodiscard]] std::vector<ResolvedAnswer> run(
+      std::span<const QueryEngine::Request> requests) override;
+  [[nodiscard]] ResolverStats stats() const override;
+  [[nodiscard]] std::uint64_t fallbacks() const override { return fallbacks_; }
+
+  [[nodiscard]] RecursiveResolver& primary() { return *primary_; }
+  [[nodiscard]] RecursiveResolver* backup() { return backup_; }
+
+ protected:
+  // The wave with per-request fallback provenance: fell_back (when non
+  // null) is resized to the request count, true where the backup answered.
+  [[nodiscard]] std::vector<ResolvedAnswer> run_wave(
+      std::span<const QueryEngine::Request> requests,
+      std::vector<bool>* fell_back);
+
+ private:
+  std::unique_ptr<RecursiveResolver> owned_primary_;
+  std::unique_ptr<RecursiveResolver> owned_backup_;
+  RecursiveResolver* primary_;
+  RecursiveResolver* backup_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+// The determinism baseline for the wire format: the same engine waves,
+// but every answer is encoded into an enriched reply and decoded back
+// before the scanner sees it — byte round-trip without a socket.
+class LocalEndpoint final : public EngineEndpoint {
+ public:
+  using EngineEndpoint::EngineEndpoint;
+
+  [[nodiscard]] std::vector<ResolvedAnswer> run(
+      std::span<const QueryEngine::Request> requests) override;
+
+ private:
+  dns::WireWriter writer_;
+};
+
+// ---- The socket endpoint -------------------------------------------------
+
+struct SocketEndpointOptions {
+  net::SocketEndpoint server;      // the httpsrr_serve process
+  std::uint16_t shard = 0;         // scan-meta shard index
+  bool backup = true;              // server hosts a backup: retry SERVFAILs
+  std::size_t max_in_flight = 32;  // pipelined queries per pass
+  std::uint32_t timeout_ms = 5000;
+  int retransmits = 2;
+};
+
+// One shard's client leg: an owned SocketTransport (independent sockets
+// and fds per shard), pipelined up to max_in_flight, queries carrying the
+// scan-meta option (virtual time + shard + backup routing), replies decoded
+// from the wire.  A transport-level timeout or a malformed reply becomes a
+// SERVFAIL answer — the same surface an unreachable upstream has on the
+// in-process path.
+class SocketEndpoint final : public Endpoint {
+ public:
+  explicit SocketEndpoint(SocketEndpointOptions options);
+
+  [[nodiscard]] bool ok() const { return transport_.ok(); }
+
+  [[nodiscard]] std::vector<ResolvedAnswer> run(
+      std::span<const QueryEngine::Request> requests) override;
+  void set_virtual_time(std::uint64_t unix_seconds) override {
+    virtual_time_ = unix_seconds;
+  }
+  [[nodiscard]] ResolverStats stats() const override;
+  [[nodiscard]] std::uint64_t fallbacks() const override { return fallbacks_; }
+
+  [[nodiscard]] const net::SocketStats& socket_stats() const {
+    return transport_.stats();
+  }
+
+ private:
+  // Sends requests[indices] (all of them when `indices` is null) with the
+  // given backup flag and stores decoded answers at their request slots.
+  void pass(std::span<const QueryEngine::Request> requests,
+            const std::vector<std::size_t>* indices, bool to_backup,
+            std::vector<ResolvedAnswer>& answers,
+            std::vector<bool>* servfailed);
+
+  SocketEndpointOptions options_;
+  net::SocketTransport transport_;
+  dns::WireWriter writer_;
+  std::optional<std::uint64_t> virtual_time_;
+  std::uint16_t next_id_ = 1;
+  std::uint64_t fallbacks_ = 0;
+  ResolverStats stats_;
+};
+
+// ---- The server side -----------------------------------------------------
+
+// WireResponder for httpsrr_serve's recursive scan mode: parses the
+// scan-meta option off each query, advances the hosting process's virtual
+// clock, routes to the (shard, primary/backup) resolver — pairs built
+// lazily through the factory, so the server materializes exactly the
+// resolver instances the client shards address — and answers with the
+// enriched reply encoding.  Malformed queries (including hostile scan-meta
+// options) earn FORMERR.  Single-threaded like every WireResponder: called
+// only from the SocketServer event loop.
+class ScanResponder final : public WireResponder {
+ public:
+  // factory(shard, backup) builds the resolver for one pool slot.
+  using ResolverFactory = std::function<std::unique_ptr<RecursiveResolver>(
+      std::uint16_t shard, bool backup)>;
+  // advance(unix_seconds) moves the hosting process's simulated Internet
+  // forward (never backward — implementations must ignore the past).
+  using AdvanceFn = std::function<void(std::uint64_t unix_seconds)>;
+
+  ScanResponder(ResolverFactory factory, AdvanceFn advance)
+      : factory_(std::move(factory)), advance_(std::move(advance)) {}
+
+  [[nodiscard]] std::shared_ptr<const net::WireBytes> respond(
+      std::span<const std::uint8_t> query) override;
+
+  [[nodiscard]] std::size_t pool_size() const { return pool_.size(); }
+
+ private:
+  struct Pair {
+    std::unique_ptr<RecursiveResolver> primary;
+    std::unique_ptr<RecursiveResolver> backup;
+  };
+  [[nodiscard]] RecursiveResolver& resolver_for(std::uint16_t shard,
+                                                bool backup);
+
+  ResolverFactory factory_;
+  AdvanceFn advance_;
+  std::unordered_map<std::uint16_t, Pair> pool_;
+  dns::WireWriter writer_;
+};
+
+}  // namespace httpsrr::resolver

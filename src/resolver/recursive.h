@@ -173,6 +173,20 @@ class ResolvedAnswer {
   [[nodiscard]] std::shared_ptr<const std::vector<dns::Rr>> answers_snapshot()
       const;
 
+  // Reassembles an answer from owned sections — the wire-true endpoint
+  // path, where the sections were just materialized out of a reply's
+  // bytes (resolver/endpoint.h) rather than handed over in process.
+  [[nodiscard]] static ResolvedAnswer from_parts(
+      dns::Rcode rcode, bool ad, std::vector<dns::Rr> answers,
+      std::vector<dns::Rr> authorities) {
+    ResolvedAnswer out;
+    out.rcode = rcode;
+    out.ad = ad;
+    out.owned_answers_ = std::move(answers);
+    out.owned_authorities_ = std::move(authorities);
+    return out;
+  }
+
  private:
   friend class RecursiveResolver;
   std::shared_ptr<const std::vector<dns::Rr>> shared_answers_;

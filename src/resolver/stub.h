@@ -1,40 +1,83 @@
 #pragma once
 
 // StubResolver — the client-side stub used by the scanner and the browser
-// models: queries a primary public resolver and falls back to a backup on
-// failure, mirroring the paper's Google-primary / Cloudflare-backup setup.
+// models, mirroring the paper's Google-primary / Cloudflare-backup setup.
+//
+// The stub is an Endpoint client: query_shared() runs a one-question wave
+// through resolver::Endpoint, so the fallback policy (primary first,
+// SERVFAIL retried on the backup) lives in exactly one place and the stub
+// works over any endpoint — the in-process engine, the local byte
+// round-trip, or a socket to another process.  The legacy constructor
+// keeps the old surface alive by wrapping a borrowed resolver pair in an
+// EngineEndpoint; it also retains direct resolver access for the two
+// Message-shaped conveniences (query / query_wire) that predate the seam.
+
+#include <memory>
 
 #include "dns/message.h"
+#include "resolver/endpoint.h"
 #include "resolver/recursive.h"
 
 namespace httpsrr::resolver {
 
 class StubResolver {
  public:
+  // Endpoint-backed stub: every query_shared travels through `endpoint`.
+  explicit StubResolver(Endpoint& endpoint) : endpoint_(&endpoint) {}
+
+  // Legacy form: borrow a resolver pair and wrap it in an EngineEndpoint.
   explicit StubResolver(RecursiveResolver& primary,
                         RecursiveResolver* backup = nullptr)
-      : primary_(primary), backup_(backup) {}
+      : owned_(std::make_unique<EngineEndpoint>(primary, backup)),
+        endpoint_(owned_.get()),
+        primary_(&primary),
+        backup_(backup) {}
 
   [[nodiscard]] dns::Message query(const dns::Name& qname, dns::RrType qtype) {
-    dns::Message resp = primary_.resolve(qname, qtype);
-    if (resp.header.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
-      ++fallbacks_;
-      return backup_->resolve(qname, qtype);
+    if (primary_ != nullptr) {
+      dns::Message resp = primary_->resolve(qname, qtype);
+      if (resp.header.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
+        ++direct_fallbacks_;
+        return backup_->resolve(qname, qtype);
+      }
+      return resp;
     }
+    // Endpoint-backed: assemble the response message from the decoded
+    // answer (id 0 — there is no client-side rng stream to draw from).
+    const QueryEngine::Request request{qname, qtype};
+    auto answers = endpoint_->run({&request, 1});
+    dns::Message resp =
+        dns::Message::make_response(dns::Message::make_query(0, qname, qtype));
+    const auto& answer = answers.front();
+    auto section = answer.answers();
+    resp.answers.assign(section.begin(), section.end());
+    auto authorities = answer.authorities();
+    resp.authorities.assign(authorities.begin(), authorities.end());
+    resp.header.rcode = answer.rcode;
+    resp.header.ad = answer.ad;
     return resp;
   }
 
   // Allocation-lean variant for the scan hot path: same primary/backup
-  // policy, but the answer sections stay shared with the resolver cache
-  // instead of being copied into a Message.
+  // policy (applied inside the endpoint), answer sections shared with the
+  // resolver cache on the in-process engine path.  The legacy-constructed
+  // stub takes the direct resolve_shared route — byte-identical to a
+  // one-request engine wave (the engine's own depth-1 contract) without
+  // the per-call wave bookkeeping, which keeps the warm-scan allocs/op
+  // pins intact.
   [[nodiscard]] ResolvedAnswer query_shared(const dns::Name& qname,
                                             dns::RrType qtype) {
-    ResolvedAnswer resp = primary_.resolve_shared(qname, qtype);
-    if (resp.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
-      ++fallbacks_;
-      return backup_->resolve_shared(qname, qtype);
+    if (primary_ != nullptr) {
+      ResolvedAnswer resp = primary_->resolve_shared(qname, qtype);
+      if (resp.rcode == dns::Rcode::SERVFAIL && backup_ != nullptr) {
+        ++direct_fallbacks_;
+        return backup_->resolve_shared(qname, qtype);
+      }
+      return resp;
     }
-    return resp;
+    const QueryEngine::Request request{qname, qtype};
+    auto answers = endpoint_->run({&request, 1});
+    return std::move(answers.front());
   }
 
   // Wire-true variant: the response arrives as DNS bytes in `w` and the
@@ -44,23 +87,40 @@ class StubResolver {
   [[nodiscard]] std::span<const std::uint8_t> query_wire(const dns::Name& qname,
                                                          dns::RrType qtype,
                                                          dns::WireWriter& w) {
-    auto bytes = primary_.resolve_wire(qname, qtype, w);
-    const bool servfail =
-        bytes.size() >= 4 &&
-        (bytes[3] & 0x0f) == static_cast<std::uint8_t>(dns::Rcode::SERVFAIL);
-    if (servfail && backup_ != nullptr) {
-      ++fallbacks_;
-      return backup_->resolve_wire(qname, qtype, w);
+    if (primary_ != nullptr) {
+      auto bytes = primary_->resolve_wire(qname, qtype, w);
+      const bool servfail =
+          bytes.size() >= 4 &&
+          (bytes[3] & 0x0f) == static_cast<std::uint8_t>(dns::Rcode::SERVFAIL);
+      if (servfail && backup_ != nullptr) {
+        ++direct_fallbacks_;
+        return backup_->resolve_wire(qname, qtype, w);
+      }
+      return bytes;
     }
-    return bytes;
+    // Endpoint-backed: re-encode the decoded answer in the enriched reply
+    // layout (the bytes the endpoint itself read, minus the transport).
+    const QueryEngine::Request request{qname, qtype};
+    auto answers = endpoint_->run({&request, 1});
+    encode_endpoint_reply(w, 0, qname, qtype, answers.front(),
+                          /*dnssec_ok=*/true, /*from_backup=*/false);
+    return std::span<const std::uint8_t>(w.data());
   }
 
-  [[nodiscard]] std::uint64_t fallbacks() const { return fallbacks_; }
+  [[nodiscard]] std::uint64_t fallbacks() const {
+    return direct_fallbacks_ + endpoint_->fallbacks();
+  }
+
+  [[nodiscard]] Endpoint& endpoint() { return *endpoint_; }
 
  private:
-  RecursiveResolver& primary_;
-  RecursiveResolver* backup_;
-  std::uint64_t fallbacks_ = 0;
+  std::unique_ptr<EngineEndpoint> owned_;  // legacy-ctor wrapper
+  Endpoint* endpoint_;
+  // Legacy direct access for query()/query_wire(); null when endpoint-
+  // constructed.
+  RecursiveResolver* primary_ = nullptr;
+  RecursiveResolver* backup_ = nullptr;
+  std::uint64_t direct_fallbacks_ = 0;
 };
 
 }  // namespace httpsrr::resolver

@@ -1,0 +1,36 @@
+#include "scanner/digest.h"
+
+#include "util/sha256.h"
+#include "util/strings.h"
+
+namespace httpsrr::scanner {
+
+std::string snapshot_digest(const DailySnapshot& snapshot,
+                            std::uint64_t total_queries) {
+  std::string blob;
+  blob.reserve(snapshot.size() * 8);
+  auto add_obs = [&](const HttpsObservation& obs) {
+    blob += obs.answered ? 'A' : 'a';
+    blob += obs.has_https() ? 'H' : 'h';
+    blob += obs.has_ech() ? 'E' : 'e';
+    blob += static_cast<char>('0' + obs.a_records().size() % 10);
+    blob += static_cast<char>('0' + obs.ns_records.size() % 10);
+    for (const auto& record : obs.https_records()) {
+      blob += record.to_presentation();
+    }
+  };
+  for (const auto& obs : snapshot.apex) add_obs(obs);
+  for (const auto& obs : snapshot.www) add_obs(obs);
+  // Canonical name order — the same order the pre-columnar std::map
+  // iterated in, so the digest stays pinned across the hashed-table move.
+  for (const auto* entry : snapshot.sorted_ns_info()) {
+    blob += entry->first.to_string();
+    blob += static_cast<char>('0' + entry->second.addresses.size() % 10);
+    if (entry->second.operator_name) blob += *entry->second.operator_name;
+  }
+  blob += std::to_string(total_queries);
+  auto digest = util::sha256(blob);
+  return util::hex_encode(digest.data(), digest.size());
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,25 @@
+#pragma once
+
+// Snapshot digest — the canonical fingerprint of one day's scan output.
+//
+// Every determinism gate in the repo (micro_study's cross-K check, the
+// ci.sh socket gate's in-process vs cross-process comparison, the
+// endpoint equivalence tests) hashes a snapshot through this one
+// function, so "bit-identical output" means the same thing everywhere.
+// The digest folds the classified observation rows (flags, record
+// counts, HTTPS presentation text), the NS attribution table in
+// canonical name order, and the study's total query count.  TTLs are
+// deliberately excluded: they decay with resolution time, which is a
+// transport property, not scan content.
+
+#include <cstdint>
+#include <string>
+
+#include "scanner/observation.h"
+
+namespace httpsrr::scanner {
+
+[[nodiscard]] std::string snapshot_digest(const DailySnapshot& snapshot,
+                                          std::uint64_t total_queries);
+
+}  // namespace httpsrr::scanner

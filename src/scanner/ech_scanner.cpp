@@ -11,8 +11,13 @@ HourlyEchScanner::Result HourlyEchScanner::run(ecosystem::Internet& net,
                                                std::size_t sample_limit) {
   Result result;
 
+  // Wire-true vantage: the stub talks to the borrowed resolver through a
+  // LocalEndpoint, so every hourly observation — including the ECH config
+  // blobs being fingerprinted — survives an encode/decode round trip.
+  // Cache flushes still address the resolver instance directly.
   auto resolver = net.make_resolver();
-  resolver::StubResolver stub(*resolver);
+  resolver::LocalEndpoint endpoint(*resolver, /*backup=*/nullptr);
+  resolver::StubResolver stub(endpoint);
   HttpsScanner scanner(stub);
 
   // Identify the tracked population at the first scan: every listed apex

@@ -22,35 +22,27 @@ namespace {
 // the output — see scan_range.
 constexpr std::size_t kScanBlock = 32768;
 
-// One engine wave with the stub's fallback policy, batched: every request
-// runs on the primary's engine, and any SERVFAIL answer is re-run on the
-// backup (the per-query primary→backup retry StubResolver applies, in the
-// same request order).
-std::vector<resolver::ResolvedAnswer> run_wave(
-    resolver::RecursiveResolver& primary, resolver::RecursiveResolver* backup,
-    std::span<const QueryEngine::Request> requests) {
-  QueryEngine engine(primary);
-  auto answers = engine.run(requests);
-  if (backup != nullptr) {
-    std::vector<std::size_t> failed;
-    for (std::size_t i = 0; i < answers.size(); ++i) {
-      if (answers[i].rcode == dns::Rcode::SERVFAIL) failed.push_back(i);
-    }
-    if (!failed.empty()) {
-      std::vector<QueryEngine::Request> retry;
-      retry.reserve(failed.size());
-      for (std::size_t i : failed) retry.push_back(requests[i]);
-      QueryEngine backup_engine(*backup);
-      auto retried = backup_engine.run(retry);
-      for (std::size_t j = 0; j < failed.size(); ++j) {
-        answers[failed[j]] = std::move(retried[j]);
-      }
-    }
-  }
-  return answers;
-}
-
 }  // namespace
+
+Study::PairOptions Study::shard_pair_options(
+    const resolver::ResolverOptions& base, std::size_t shard) {
+  // Every shard shares the *selection* seeds — which authoritative server a
+  // question lands on never depends on the shard that asked it — while the
+  // per-shard `seed` (message-id RNG, unobservable) is perturbed so shards
+  // are distinct resolver instances.
+  PairOptions pair{base, base};
+  pair.primary.seed ^= 0x900913;  // the "Google" resolver
+  if (pair.primary.selection_seed == 0) {
+    pair.primary.selection_seed = pair.primary.seed;
+  }
+  pair.backup.seed ^= 0x1111;  // the "Cloudflare" backup resolver
+  if (pair.backup.selection_seed == 0) {
+    pair.backup.selection_seed = pair.backup.seed;
+  }
+  pair.primary.seed = util::mix64(pair.primary.seed + shard);
+  pair.backup.seed = util::mix64(pair.backup.seed + shard);
+  return pair;
+}
 
 Study::Study(ecosystem::Internet& net, Options options)
     : net_(net), options_(std::move(options)) {
@@ -58,28 +50,16 @@ Study::Study(ecosystem::Internet& net, Options options)
   if (shard_count == 0) {
     shard_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
-  // Every shard shares the *selection* seeds — which authoritative server a
-  // question lands on never depends on the shard that asked it — while the
-  // per-shard `seed` (message-id RNG, unobservable) is perturbed so shards
-  // are distinct resolver instances.
-  auto primary_base = options_.resolver_options;
-  primary_base.seed ^= 0x900913;  // the "Google" resolver
-  if (primary_base.selection_seed == 0) {
-    primary_base.selection_seed = primary_base.seed;
-  }
-  auto backup_base = options_.resolver_options;
-  backup_base.seed ^= 0x1111;  // the "Cloudflare" backup resolver
-  if (backup_base.selection_seed == 0) {
-    backup_base.selection_seed = backup_base.seed;
-  }
   shards_.reserve(shard_count);
   for (std::size_t k = 0; k < shard_count; ++k) {
-    auto primary_options = primary_base;
-    primary_options.seed = util::mix64(primary_base.seed + k);
-    auto backup_options = backup_base;
-    backup_options.seed = util::mix64(backup_base.seed + k);
-    shards_.push_back(Shard{net_.make_resolver(primary_options),
-                            net_.make_resolver(backup_options)});
+    const PairOptions pair = shard_pair_options(options_.resolver_options, k);
+    if (options_.endpoint_factory) {
+      shards_.push_back(
+          Shard{options_.endpoint_factory(k, pair.primary, pair.backup)});
+    } else {
+      shards_.push_back(Shard{std::make_unique<resolver::EngineEndpoint>(
+          net_.make_resolver(pair.primary), net_.make_resolver(pair.backup))});
+    }
   }
 }
 
@@ -142,7 +122,7 @@ void Study::scan_range(Shard& shard, const DailySnapshot& snapshot,
       wave.push_back({domain.www, RrType::HTTPS});
     }
     out.queries += wave.size();
-    const auto https = run_wave(*shard.primary, shard.backup.get(), wave);
+    const auto https = shard.endpoint->run(wave);
 
     // Classify the HTTPS answers and collect the follow-up wave: one
     // A/AAAA/SOA/NS quartet per host with an HTTPS record — plus the
@@ -180,7 +160,7 @@ void Study::scan_range(Shard& shard, const DailySnapshot& snapshot,
     }
     out.queries += follow.size();
 
-    const auto answers = run_wave(*shard.primary, shard.backup.get(), follow);
+    const auto answers = shard.endpoint->run(follow);
     for (std::size_t j = 0; j < follow_obs.size(); ++j) {
       HttpsScanner::apply_follow_ups(*follow_obs[j], answers[4 * j],
                                      answers[4 * j + 1], answers[4 * j + 2],
@@ -207,6 +187,11 @@ DailySnapshot Study::run_day(net::SimTime day) {
   // one frozen Internet, which is what makes the shard split invisible.
   net::SimTime at{day.unix_seconds - day.seconds_of_day()};
   net_.advance_to(at + options_.scan_time);
+  // Socket-backed endpoints carry the day's instant to the serve process in
+  // every query's scan-meta option; the in-process default ignores this.
+  for (auto& shard : shards_) {
+    shard.endpoint->set_virtual_time((at + options_.scan_time).unix_seconds);
+  }
 
   DailySnapshot snapshot;
   snapshot.day = at;
@@ -329,8 +314,7 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
           wave.push_back({to_probe[i], RrType::A});
           wave.push_back({to_probe[i], RrType::AAAA});
         }
-        const auto answers =
-            run_wave(*shard.primary, shard.backup.get(), wave);
+        const auto answers = shard.endpoint->run(wave);
         for (std::size_t i = begin; i < end; ++i) {
           NsInfo& info = probed[i];
           const auto& a = answers[2 * (i - begin)];
@@ -369,8 +353,7 @@ void Study::scan_name_servers(DailySnapshot& snapshot) {
 resolver::ResolverStats Study::resolver_stats() const {
   resolver::ResolverStats total;
   for (const auto& shard : shards_) {
-    total += shard.primary->stats();
-    total += shard.backup->stats();
+    total += shard.endpoint->stats();
   }
   // Server-side hot-path counters live in the shared infra, not in any
   // single resolver; fold them in once.

@@ -39,6 +39,7 @@
 
 #include "dns/name.h"
 #include "ecosystem/internet.h"
+#include "resolver/endpoint.h"
 #include "resolver/stub.h"
 #include "scanner/https_scanner.h"
 #include "scanner/observation.h"
@@ -68,6 +69,14 @@ struct StudyOptions {
   // every shard uses: loopback (default — zero-copy shared wire images)
   // or the modelled UDP/TCP datagram transport.
   resolver::ResolverOptions resolver_options;
+  // Endpoint seam: when set, each shard's endpoint comes from this factory
+  // (shard index + the exact per-shard resolver-pair options the default
+  // path would use — a socket factory forwards the index, a local factory
+  // builds the pair).  Null = the default in-process EngineEndpoint.
+  std::function<std::unique_ptr<resolver::Endpoint>(
+      std::size_t shard, const resolver::ResolverOptions& primary,
+      const resolver::ResolverOptions& backup)>
+      endpoint_factory;
   // Optional progress hook, called after each scan block with (domains
   // scanned so far today, domains listed today).  Invoked from worker
   // threads — the callback must be thread-safe (a stderr write is).
@@ -91,15 +100,29 @@ class Study {
   [[nodiscard]] std::uint64_t total_queries() const { return total_queries_; }
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
-  // Aggregated resolver stats across every shard's primary + backup.
+  // Aggregated resolver stats across every shard's endpoint.
   [[nodiscard]] resolver::ResolverStats resolver_stats() const;
 
+  // The per-shard (primary, backup) resolver options the Study derives
+  // from one base configuration: primary seed ^= 0x900913 ("Google"),
+  // backup seed ^= 0x1111 ("Cloudflare"), selection seeds defaulted from
+  // the post-XOR seeds (shared across shards — which authoritative server
+  // answers a question never depends on the asking shard), then the
+  // per-shard unobservable seed mixed in.  Exposed so httpsrr_serve can
+  // host the exact resolver pairs a K-shard client study addresses.
+  struct PairOptions {
+    resolver::ResolverOptions primary;
+    resolver::ResolverOptions backup;
+  };
+  [[nodiscard]] static PairOptions shard_pair_options(
+      const resolver::ResolverOptions& base, std::size_t shard);
+
  private:
-  // One worker's scanning context: a dedicated resolver pair whose caches
-  // and stats persist across days, like the paper's long-running vantage.
+  // One worker's scanning context: an endpoint whose resolver state (in
+  // process or in the serve process) persists across days, like the
+  // paper's long-running vantage.
   struct Shard {
-    std::unique_ptr<resolver::RecursiveResolver> primary;
-    std::unique_ptr<resolver::RecursiveResolver> backup;
+    std::unique_ptr<resolver::Endpoint> endpoint;
   };
 
   // Per-shard fragment of one day: columnar, with apex and www sharing one
@@ -113,8 +136,8 @@ class Study {
     std::uint64_t queries = 0;
   };
 
-  // Scans list positions [begin, end) with `shard`'s resolvers, feeding
-  // the slice through the shard's QueryEngine as fixed-size blocks of
+  // Scans list positions [begin, end) with `shard`'s endpoint, feeding
+  // the slice through it as fixed-size blocks of
   // waves (HTTPS questions, then follow-ups), classifying each block into
   // reused scratch rows and appending them to `out`'s columns.  Pipeline
   // depth comes from Options::resolver_options.max_in_flight; answers are

@@ -1,0 +1,346 @@
+// The wire-true stub boundary: scan-meta EDNS option codec (including
+// hostile inputs — truncated, unknown version/flags, duplicated), the
+// enriched endpoint reply round trip (extended rcode, AD, from-backup),
+// and scan-digest equality of the same multi-day study run over the
+// in-process EngineEndpoint, the byte-round-trip LocalEndpoint, and a
+// SocketEndpoint against a ScanResponder server at K = 1, 2, 4 shards.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dns/edns.h"
+#include "dns/view.h"
+#include "dns/wire.h"
+#include "ecosystem/internet.h"
+#include "net/socket_transport.h"
+#include "resolver/endpoint.h"
+#include "resolver/socket_server.h"
+#include "scanner/digest.h"
+#include "scanner/study.h"
+
+namespace httpsrr::resolver {
+namespace {
+
+using dns::Name;
+using dns::name_of;
+using dns::Rcode;
+using dns::RrType;
+using dns::ScanMeta;
+using dns::ScanMetaStatus;
+
+// ---- scan-meta option codec ---------------------------------------------
+
+std::vector<std::uint8_t> encode_meta(const ScanMeta& meta) {
+  dns::WireWriter w;
+  dns::append_scan_meta(w, meta);
+  auto bytes = w.data();
+  EXPECT_EQ(bytes.size(), dns::scan_meta_wire_size(meta));
+  return {bytes.begin(), bytes.end()};
+}
+
+TEST(ScanMeta, RoundTripsEveryFieldCombination) {
+  const std::vector<ScanMeta> cases = {
+      {},
+      {.backup = true},
+      {.virtual_time = 1683500400},
+      {.shard = 3},
+      {.backup = true, .virtual_time = 0, .shard = 0},
+      {.backup = false, .virtual_time = 0xffffffffffffffffULL,
+       .shard = 0xffff},
+  };
+  for (const ScanMeta& meta : cases) {
+    ScanMeta out;
+    EXPECT_EQ(dns::parse_scan_meta(encode_meta(meta), out),
+              ScanMetaStatus::kOk);
+    EXPECT_EQ(out, meta);
+  }
+}
+
+TEST(ScanMeta, AbsentOnEmptyRdataAndForeignOptions) {
+  ScanMeta out;
+  EXPECT_EQ(dns::parse_scan_meta({}, out), ScanMetaStatus::kAbsent);
+
+  // A foreign option (DNS cookie, code 10) is skipped, not rejected.
+  dns::WireWriter w;
+  w.u16(10);
+  w.u16(8);
+  for (int i = 0; i < 8; ++i) w.u8(0xab);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kAbsent);
+
+  // Foreign option followed by a valid scan-meta: still found.
+  ScanMeta meta;
+  meta.shard = 7;
+  dns::append_scan_meta(w, meta);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kOk);
+  EXPECT_EQ(out, meta);
+}
+
+TEST(ScanMeta, TruncatedOptionHeaderRejected) {
+  ScanMeta out;
+  // Partial option header (3 of 4 bytes).
+  const std::uint8_t partial[] = {0xff, 0x00, 0x00};
+  EXPECT_EQ(dns::parse_scan_meta(partial, out), ScanMetaStatus::kMalformed);
+
+  // Declared length runs past the end of the RDATA.
+  dns::WireWriter w;
+  w.u16(dns::kScanMetaOptionCode);
+  w.u16(40);
+  w.u8(0);
+  w.u8(0);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+}
+
+TEST(ScanMeta, TruncatedPayloadRejected) {
+  ScanMeta out;
+  dns::WireWriter w;  // version byte only — no flags
+  w.u16(dns::kScanMetaOptionCode);
+  w.u16(1);
+  w.u8(0);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+}
+
+TEST(ScanMeta, UnknownVersionRejected) {
+  ScanMeta out;
+  dns::WireWriter w;
+  w.u16(dns::kScanMetaOptionCode);
+  w.u16(2);
+  w.u8(dns::kScanMetaVersion + 1);
+  w.u8(0);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+}
+
+TEST(ScanMeta, UnknownFlagBitsRejected) {
+  ScanMeta out;
+  dns::WireWriter w;
+  w.u16(dns::kScanMetaOptionCode);
+  w.u16(2);
+  w.u8(0);
+  w.u8(static_cast<std::uint8_t>(~dns::kScanMetaKnownFlags));
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+}
+
+TEST(ScanMeta, LengthFlagsDisagreementRejected) {
+  ScanMeta out;
+  dns::WireWriter w;  // time flag set, but no time payload
+  w.u16(dns::kScanMetaOptionCode);
+  w.u16(2);
+  w.u8(0);
+  w.u8(dns::kScanMetaFlagTime);
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+
+  dns::WireWriter w2;  // no flags, but trailing payload bytes
+  w2.u16(dns::kScanMetaOptionCode);
+  w2.u16(4);
+  w2.u8(0);
+  w2.u8(0);
+  w2.u16(0);
+  EXPECT_EQ(dns::parse_scan_meta(w2.data(), out), ScanMetaStatus::kMalformed);
+}
+
+TEST(ScanMeta, DuplicatedOptionRejected) {
+  ScanMeta meta;
+  meta.backup = true;
+  dns::WireWriter w;
+  dns::append_scan_meta(w, meta);
+  dns::append_scan_meta(w, meta);
+  ScanMeta out;
+  EXPECT_EQ(dns::parse_scan_meta(w.data(), out), ScanMetaStatus::kMalformed);
+}
+
+// ---- enriched endpoint reply codec --------------------------------------
+
+TEST(EndpointCodec, ReplyCarriesExtendedRcodeAdAndBackupFlag) {
+  // An answer whose rcode does not fit the 4-bit header field (BADVERS-ish
+  // value 23 = 0b10111): low nibble in the header, high byte in the OPT.
+  auto answer = ResolvedAnswer::from_parts(
+      static_cast<Rcode>(23), /*ad=*/true,
+      {dns::make_a(name_of("a.test"), 300, net::Ipv4Addr(192, 0, 2, 9))},
+      {});
+
+  dns::WireWriter w;
+  encode_endpoint_reply(w, /*id=*/42, name_of("a.test"), RrType::A, answer,
+                        /*dnssec_ok=*/true, /*from_backup=*/true);
+
+  auto view = dns::MessageView::parse(w.data());
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_EQ(view->header().id, 42);
+  EXPECT_TRUE(view->header().ad);
+  EXPECT_EQ(static_cast<std::uint8_t>(view->header().rcode), 23 & 0x0f);
+  EXPECT_EQ(view->extended_rcode(), 23);
+
+  auto decoded = decode_endpoint_reply(w.data());
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_TRUE(decoded->from_backup);
+  EXPECT_TRUE(decoded->answer.ad);
+  EXPECT_EQ(static_cast<std::uint16_t>(decoded->answer.rcode), 23);
+  ASSERT_EQ(decoded->answer.answers().size(), 1u);
+  EXPECT_EQ(decoded->answer.answers().front().owner, name_of("a.test"));
+}
+
+TEST(EndpointCodec, HostileScanMetaInReplyRejected) {
+  auto answer = ResolvedAnswer::from_parts(Rcode::NOERROR, false, {}, {});
+  dns::WireWriter w;
+  encode_endpoint_reply(w, 1, name_of("a.test"), RrType::A, answer,
+                        /*dnssec_ok=*/false, /*from_backup=*/true);
+  ASSERT_TRUE(decode_endpoint_reply(w.data()).ok());
+
+  // The scan-meta option is the OPT RDATA's tail: corrupt the version
+  // byte (second-to-last) — the whole reply must be rejected, cleanly.
+  std::vector<std::uint8_t> bad(w.data().begin(), w.data().end());
+  bad[bad.size() - 2] ^= 0x55;
+  EXPECT_FALSE(decode_endpoint_reply(bad).ok());
+}
+
+TEST(EndpointCodec, QueryCarriesMetaThroughScanResponderFormerrOnHostile) {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 50;
+  config.universe_size = 75;
+  config.seed = 7;
+  ecosystem::Internet net(config);
+  ecosystem::Internet* world = &net;
+
+  ScanResponder responder(
+      [world](std::uint16_t shard, bool backup) {
+        const auto pair = scanner::Study::shard_pair_options({}, shard);
+        return world->make_resolver(backup ? pair.backup : pair.primary);
+      },
+      /*advance=*/nullptr);
+
+  // A well-formed endpoint query resolves.
+  ScanMeta meta;
+  meta.shard = 2;
+  dns::WireWriter w;
+  encode_endpoint_query(w, 7, net.domain(net.tranco().list_for(config.start)[0]).apex,
+                        RrType::HTTPS, meta);
+  auto reply = responder.respond(w.data());
+  ASSERT_NE(reply, nullptr);
+  auto view = dns::MessageView::parse(*reply);
+  ASSERT_TRUE(view.ok()) << view.error();
+  EXPECT_TRUE(view->header().qr);
+  EXPECT_NE(view->header().rcode, Rcode::FORMERR);
+  EXPECT_EQ(responder.pool_size(), 1u);  // shard 2's pair, lazily built
+
+  // Corrupting the scan-meta version byte earns FORMERR, not a crash.
+  std::vector<std::uint8_t> bad(w.data().begin(), w.data().end());
+  bad[bad.size() - dns::scan_meta_wire_size(meta) + 4] ^= 0x55;
+  auto formerr = responder.respond(bad);
+  ASSERT_NE(formerr, nullptr);
+  ASSERT_GE(formerr->size(), 4u);
+  EXPECT_EQ((*formerr)[3] & 0x0f,
+            static_cast<std::uint8_t>(Rcode::FORMERR));
+
+  // Trailing garbage after the message also earns FORMERR.
+  std::vector<std::uint8_t> trailing(w.data().begin(), w.data().end());
+  trailing.push_back(0xde);
+  auto formerr2 = responder.respond(trailing);
+  ASSERT_NE(formerr2, nullptr);
+  EXPECT_EQ((*formerr2)[3] & 0x0f,
+            static_cast<std::uint8_t>(Rcode::FORMERR));
+}
+
+// ---- multi-day digest equality across endpoints -------------------------
+
+ecosystem::EcosystemConfig study_config() {
+  ecosystem::EcosystemConfig config;
+  config.list_size = 5000;
+  config.universe_size = 7500;
+  config.seed = 2024;
+  return config;
+}
+
+constexpr int kDays = 2;
+
+// Runs a kDays-day study with the given options and returns one snapshot
+// digest per day (each folding the cumulative query count, so fallback
+// accounting differences would show).
+std::vector<std::string> run_study(ecosystem::Internet& net,
+                                   scanner::StudyOptions options) {
+  scanner::Study study(net, std::move(options));
+  std::vector<std::string> digests;
+  for (int d = 0; d < kDays; ++d) {
+    auto snapshot =
+        study.run_day(net.config().start + net::Duration::days(d));
+    digests.push_back(
+        scanner::snapshot_digest(snapshot, study.total_queries()));
+  }
+  return digests;
+}
+
+std::vector<std::string> engine_baseline() {
+  ecosystem::Internet net(study_config());
+  return run_study(net, {});
+}
+
+TEST(EndpointStudy, LocalEndpointDigestMatchesEngineMultiDay) {
+  const auto baseline = engine_baseline();
+
+  ecosystem::Internet net(study_config());
+  ecosystem::Internet* world = &net;
+  scanner::StudyOptions options;
+  options.endpoint_factory = [world](std::size_t,
+                                     const ResolverOptions& primary,
+                                     const ResolverOptions& backup)
+      -> std::unique_ptr<Endpoint> {
+    return std::make_unique<LocalEndpoint>(world->make_resolver(primary),
+                                           world->make_resolver(backup));
+  };
+  EXPECT_EQ(run_study(net, std::move(options)), baseline);
+}
+
+// One serve process-equivalent per scan: a fresh server-side Internet and
+// ScanResponder each time, because a replayed scan day would re-ask
+// questions whose same-instant repeat count the first run already
+// consumed (SERVFAIL answers are never cached).
+std::vector<std::string> run_socket_study(std::size_t shards) {
+  ecosystem::Internet server_net(study_config());
+  ecosystem::Internet* server_world = &server_net;
+  ScanResponder responder(
+      [server_world](std::uint16_t shard, bool backup) {
+        const auto pair = scanner::Study::shard_pair_options({}, shard);
+        return server_world->make_resolver(backup ? pair.backup
+                                                  : pair.primary);
+      },
+      [server_world](std::uint64_t unix_seconds) {
+        server_world->advance_to(
+            net::SimTime{static_cast<std::int64_t>(unix_seconds)});
+      });
+  SocketServer server(responder, {});
+  if (!server.start()) {
+    ADD_FAILURE() << "could not bind a loopback port";
+    return {};
+  }
+  server.serve_in_background();
+
+  ecosystem::Internet client_net(study_config());
+  scanner::StudyOptions options;
+  options.shards = shards;
+  const net::SocketEndpoint target = server.endpoint();
+  options.endpoint_factory = [target](std::size_t shard,
+                                      const ResolverOptions&,
+                                      const ResolverOptions&)
+      -> std::unique_ptr<Endpoint> {
+    SocketEndpointOptions socket_options;
+    socket_options.server = target;
+    socket_options.shard = static_cast<std::uint16_t>(shard);
+    auto endpoint = std::make_unique<resolver::SocketEndpoint>(socket_options);
+    EXPECT_TRUE(endpoint->ok());
+    return endpoint;
+  };
+  auto digests = run_study(client_net, std::move(options));
+  server.stop();
+  return digests;
+}
+
+TEST(EndpointStudy, SocketEndpointDigestMatchesEngineAcrossShardCounts) {
+  const auto baseline = engine_baseline();
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_EQ(run_socket_study(shards), baseline);
+  }
+}
+
+}  // namespace
+}  // namespace httpsrr::resolver

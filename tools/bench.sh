@@ -4,7 +4,7 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs the suites, and writes a
-# machine-readable summary (default: BENCH_PR8.json in the repo root):
+# machine-readable summary (default: BENCH_PR9.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -32,8 +32,12 @@
 #     deterministic, so these numbers are noise-free;
 #   * socket_qps — PR6's real-socket numbers: actual kernel round trips
 #     over 127.0.0.1 through resolver::SocketServer (serial UDP exchange,
-#     depth-16 pipelined send/poll, TCP-only).  Wall-clock, so noisier than
-#     the virtual-clock sweeps — context, not a regression gate;
+#     depth-16 pipelined send/poll, TCP-only), plus PR9's scan_over_socket
+#     block: one pinned 5k scan day in-process vs over K=1 and K=4
+#     per-shard sockets against a ScanResponder server.  Wall-clock, so
+#     noisier than the virtual-clock sweeps — context, not a regression
+#     gate, except the scan block's cross-endpoint digest_match verdict
+#     (deterministic, gated by tools/ci.sh bench);
 #   * scale_1m — PR7's million-domain scan day against the columnar
 #     DailySnapshot, multi-day since PR8 (SCALE_1M_DAYS, default 3): wall
 #     seconds to build the (now flyweight) ecosystem and run K=1 days over
@@ -53,7 +57,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR8.json}"
+OUT="${1:-BENCH_PR9.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 

@@ -34,21 +34,24 @@ sanitize() {
   cmake --build build-asan -j "${JOBS}" --target \
     util_test dns_test dnssec_test resolver_test transport_test scanner_test \
     study_parallel_test columnar_test delta_analysis_test engine_test \
-    socket_test property_test
+    socket_test endpoint_test property_test
   for t in util_test dns_test dnssec_test resolver_test transport_test \
            scanner_test study_parallel_test columnar_test \
-           delta_analysis_test engine_test socket_test property_test; do
+           delta_analysis_test engine_test socket_test endpoint_test \
+           property_test; do
     "./build-asan/tests/${t}"
   done
 }
 
 fuzz() {
-  # Seeded mutation fuzzing of dns::MessageView::parse and the materialize
-  # walk behind it, under ASan/UBSan.  The budget is fixed and the mutation
-  # stream is a seeded PCG, so the run is deterministic tier-1 CI, not an
-  # open-ended campaign; crank FUZZ_ITERS (or pass a different seed through
+  # Seeded mutation fuzzing of dns::MessageView::parse, the materialize
+  # walk behind it, the scan-meta EDNS option parser (two corpus seeds
+  # carry the option in OPT RDATA) and resolver::decode_endpoint_reply,
+  # under ASan/UBSan.  The budget is fixed and the mutation stream is a
+  # seeded PCG, so the run is deterministic tier-1 CI, not an open-ended
+  # campaign; crank FUZZ_ITERS (or pass a different seed through
   # FUZZ_SEED) for longer local sessions.
-  echo "== fuzz: MessageView::parse under ASan/UBSan =="
+  echo "== fuzz: wire parsers (MessageView + endpoint reply) under ASan/UBSan =="
   cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-asan -j "${JOBS}" --target fuzz_view
@@ -65,9 +68,9 @@ threads() {
     -DCMAKE_CXX_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j "${JOBS}" --target \
     resolver_test scanner_test study_parallel_test columnar_test engine_test \
-    socket_test
+    socket_test endpoint_test
   for t in resolver_test scanner_test study_parallel_test columnar_test \
-           engine_test socket_test; do
+           engine_test socket_test endpoint_test; do
     "./build-tsan/tests/${t}"
   done
 }
@@ -77,12 +80,16 @@ socket() {
   # ephemeral port, driven by httpsrr_dig --server from this script — the
   # two-process path no in-process test can cover.  The matrix exercises
   # UDP across RR types, TCP-only, genuine TC=1 → TCP fallback (the demo
-  # zone's fat TXT), distinct exit codes (NXDOMAIN, timeout), and checks
-  # that a recursive-ecosystem serve answers byte-for-byte what the local
-  # loopback dig computes for the same scale/seed/date.
+  # zone's fat TXT), distinct exit codes (NXDOMAIN, timeout), checks that a
+  # recursive-ecosystem serve answers byte-for-byte what the local loopback
+  # dig computes for the same scale/seed/date, and gates the cross-process
+  # scan digest: the pinned 5k scan day must come out bit-identical whether
+  # the resolver pairs live in-process or behind httpsrr_serve, at K=1 and
+  # K>1 shards.
   echo "== socket: real UDP/TCP serve + scripted dig matrix =="
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-  cmake --build build -j "${JOBS}" --target httpsrr_serve httpsrr_dig
+  cmake --build build -j "${JOBS}" --target httpsrr_serve httpsrr_dig \
+    httpsrr_scan
 
   local tmp serve_pid=""
   tmp="$(mktemp -d)"
@@ -174,17 +181,50 @@ PY
   done
   stop_serve
   echo "socket: wire answers match in-process loopback"
+
+  # Cross-process scan digest gate (the wire-true stub boundary's headline
+  # invariant): the pinned 5k scan day — same constant tools/ci.sh bench
+  # pins for micro_study — must fall out of `httpsrr_scan --server` exactly,
+  # at K=1 and K>1 shards, with resolution running in a separate
+  # httpsrr_serve process.  One FRESH serve per scan run: a replayed day
+  # re-asks questions whose same-instant repeat counts the previous run's
+  # resolver pairs already consumed (SERVFAIL answers are never cached), so
+  # sharing a server across runs would diverge by design, not by bug.
+  local pinned="9629340ba5ae0ecf0a74c75964563f1eb28a148df4be661dea00e04d738e2b83"
+  local sscale=5000 sseed=2024 sdate=2023-05-08 line digest shards
+  line="$(./build/tools/httpsrr_scan --scale "${sscale}" --seed "${sseed}" \
+    --from "${sdate}" --to "${sdate}" --digest 2>/dev/null)"
+  digest="${line##*,}"
+  [[ "${digest}" == "${pinned}" ]] || {
+    echo "socket: FAIL — in-process scan digest ${digest} != pinned"
+    return 1; }
+  echo "socket: in-process 5k scan digest matches pinned"
+  for shards in 1 2 4; do
+    start_serve "${tmp}/scan_k${shards}.log" --scale "${sscale}" \
+      --seed "${sseed}" --date "${sdate}" --quiet
+    line="$(./build/tools/httpsrr_scan --scale "${sscale}" --seed "${sseed}" \
+      --from "${sdate}" --to "${sdate}" --server "${EP}" \
+      --shards "${shards}" --digest 2>/dev/null)"
+    stop_serve
+    digest="${line##*,}"
+    [[ "${digest}" == "${pinned}" ]] || {
+      echo "socket: FAIL — K=${shards} cross-process scan digest ${digest}" \
+           "!= pinned"
+      return 1; }
+    echo "socket: K=${shards} cross-process 5k scan digest matches pinned"
+  done
 }
 
 bench() {
   echo "== bench: harness + regression gates =="
-  # Baseline = the checked-in BENCH_PR8.json (HEAD), read before the harness
-  # overwrites the working-tree copy; falls back through the PR7..PR3
-  # files so the gates still run before the first PR8 summary is committed
+  # Baseline = the checked-in BENCH_PR9.json (HEAD), read before the harness
+  # overwrites the working-tree copy; falls back through the PR8..PR3
+  # files so the gates still run before the first PR9 summary is committed
   # (the shared fields the gates read are schema-stable across them).
   local baseline_file
   baseline_file="$(mktemp)"
-  if ! git show HEAD:BENCH_PR8.json >"${baseline_file}" 2>/dev/null &&
+  if ! git show HEAD:BENCH_PR9.json >"${baseline_file}" 2>/dev/null &&
+     ! git show HEAD:BENCH_PR8.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR7.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR6.json >"${baseline_file}" 2>/dev/null &&
      ! git show HEAD:BENCH_PR5.json >"${baseline_file}" 2>/dev/null &&
@@ -193,7 +233,7 @@ bench() {
     rm -f "${baseline_file}"
     baseline_file=""
   fi
-  tools/bench.sh BENCH_PR8.json
+  tools/bench.sh BENCH_PR9.json
   # Digest gate: the 5k snapshot digest is pinned.  The columnar refactor's
   # core promise is that storage layout, block chunking, shard count, and
   # interning never change a single observed bit; any digest drift means
@@ -202,8 +242,9 @@ bench() {
   python3 - <<'PY'
 import json, sys
 PINNED_DIGEST = "9629340ba5ae0ecf0a74c75964563f1eb28a148df4be661dea00e04d738e2b83"
-with open("BENCH_PR8.json") as f:
-    study = json.load(f)["micro_study"]
+with open("BENCH_PR9.json") as f:
+    summary = json.load(f)
+study = summary["micro_study"]
 digest = study["digest"]
 ok = digest == PINNED_DIGEST
 print(f"bench: 5k snapshot digest {digest[:16]}… "
@@ -211,6 +252,18 @@ print(f"bench: 5k snapshot digest {digest[:16]}… "
 if not ok:
     print(f"bench: FAIL — expected {PINNED_DIGEST[:16]}…; the dataset changed")
     sys.exit(1)
+# Scan-over-socket digest verdict from micro_socket: the timings are
+# wall-clock context, but digest agreement across the endpoint boundary is
+# deterministic and must hold.
+scan = summary.get("socket_qps", {}).get("scan_over_socket")
+if scan is not None:
+    match = scan.get("digest_match")
+    print(f"bench: scan_over_socket 5k day — engine {scan['engine_seconds']}s,"
+          f" socket K=1 {scan['socket_k1_seconds']}s,"
+          f" K=4 {scan['socket_k4_seconds']}s, digest_match={match}")
+    if not match:
+        print("bench: FAIL — socket scan digest diverged from in-process")
+        sys.exit(1)
 PY
   # Pipelining gate: the engine-sweep numbers are virtual-clock, fully
   # deterministic, and need no baseline — the contract is absolute.  At
@@ -218,7 +271,7 @@ PY
   # the serial Σ-RTT schedule, with cross-task coalescing actually firing.
   python3 - <<'PY'
 import json, sys
-with open("BENCH_PR8.json") as f:
+with open("BENCH_PR9.json") as f:
     sweep = json.load(f)["engine_sweep"]
 speedup = sweep["depth_32_speedup"]
 coalesced = sweep["depth_32_coalesced"]
@@ -255,7 +308,7 @@ import json, sys
 RSS_BUDGET_MIB = 8192
 BYTES_PER_DOMAIN_BUDGET = 512
 BUILD_SECONDS_BUDGET = 20.0
-with open("BENCH_PR8.json") as f:
+with open("BENCH_PR9.json") as f:
     scale = json.load(f).get("scale_1m")
 if scale is None:
     print("bench: scale_1m block absent (SCALE_1M=0 and no prior run) — "
@@ -292,7 +345,7 @@ PY
   # advance_to).
   python3 - <<'PY'
 import json, sys
-with open("BENCH_PR8.json") as f:
+with open("BENCH_PR9.json") as f:
     summary = json.load(f)
 study = summary["micro_study"]
 failed = []
@@ -339,7 +392,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR8.json") as f:
+with open("BENCH_PR9.json") as f:
     now = json.load(f)
 PINNED = [
     ("micro_dns", "BM_MessageDecode"),
@@ -392,7 +445,7 @@ PY
 import json, sys
 with open(sys.argv[1]) as f:
     base = json.load(f)
-with open("BENCH_PR8.json") as f:
+with open("BENCH_PR9.json") as f:
     now = json.load(f)
 base_k1 = base["micro_study"]["k1_seconds"]
 now_k1 = now["micro_study"]["k1_seconds"]

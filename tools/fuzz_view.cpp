@@ -10,6 +10,12 @@
 // walked as hard as the resolver ever would (owner names, typed accessors,
 // full materialize, to_message, re-encode of anything that survives).
 //
+// The wire-true stub boundary added two more untrusted surfaces, both fed
+// here: the scan-meta EDNS option parser (dns::parse_scan_meta walks every
+// surviving OPT RDATA; two corpus seeds carry the option so mutants land
+// inside it) and resolver::decode_endpoint_reply, which every mutant is
+// pushed through end to end.
+//
 // Build it under ASan/UBSan (tools/ci.sh fuzz does) and any out-of-bounds
 // read, overflow or leak aborts the run.  The contract under test: parse
 // and the walk may *reject* arbitrary bytes, but must never crash, hang or
@@ -25,10 +31,12 @@
 #include <string>
 #include <vector>
 
+#include "dns/edns.h"
 #include "dns/message.h"
 #include "dns/rr.h"
 #include "dns/svcb.h"
 #include "dns/view.h"
+#include "resolver/endpoint.h"
 #include "util/rng.h"
 
 namespace {
@@ -211,8 +219,55 @@ std::vector<std::vector<std::uint8_t>> build_corpus() {
   }
 
   std::vector<std::vector<std::uint8_t>> wires;
-  wires.reserve(corpus.size());
+  wires.reserve(corpus.size() + 2);
   for (const auto& m : corpus) wires.push_back(m.encode());
+
+  // 7. An endpoint query as the socket scanner emits it: OPT carrying the
+  // scan-meta option with every field present (time + shard + backup), so
+  // mutations land inside the option payload, not just around it.
+  {
+    dns::WireWriter w;
+    dns::ScanMeta meta;
+    meta.backup = true;
+    meta.virtual_time = 1683514800;  // 2023-05-08 03:00 — a scan instant
+    meta.shard = 3;
+    resolver::encode_endpoint_query(w, 0x2345, name_of("scan.example.com"),
+                                    RrType::HTTPS, meta);
+    wires.push_back(std::move(w).take());
+  }
+
+  // 8. A reply-shaped message whose OPT RDATA mixes a foreign option (a
+  // COOKIE the parser must skip per RFC 6891) with a scan-meta option, and
+  // whose OPT TTL carries a nonzero extended-rcode byte — the skip loop,
+  // the flags/length agreement check and the extended-rcode lift all start
+  // one byte-flip away.
+  {
+    dns::WireWriter w;
+    w.u16(0x4242);
+    w.u16(0x8180);  // qr, rd, ra
+    w.u16(1);       // QDCOUNT
+    w.u16(0);
+    w.u16(0);
+    w.u16(1);  // ARCOUNT: the OPT
+    w.name_compressed(name_of("meta.example.com"));
+    w.u16(static_cast<std::uint16_t>(RrType::HTTPS));
+    w.u16(1);       // IN
+    w.u8(0);        // OPT owner: root
+    w.u16(41);      // TYPE = OPT
+    w.u16(1232);    // CLASS = advertised UDP payload
+    w.u32(0x17u << 24);  // TTL byte 0: extended-rcode high bits
+    const std::size_t rdlen_at = w.size();
+    w.u16(0);  // RDLENGTH, patched below
+    w.u16(10);  // COOKIE — a foreign option code
+    w.u16(8);
+    for (std::uint8_t i = 0; i < 8; ++i) w.u8(i);
+    dns::ScanMeta meta;
+    meta.backup = true;
+    dns::append_scan_meta(w, meta);
+    w.patch_u16(rdlen_at, static_cast<std::uint16_t>(w.size() - rdlen_at - 2));
+    wires.push_back(std::move(w).take());
+  }
+
   return wires;
 }
 
@@ -221,7 +276,16 @@ std::vector<std::vector<std::uint8_t>> build_corpus() {
 // optimized away.
 std::uint64_t walk(const dns::MessageView& view) {
   std::uint64_t sum = view.header().id + view.trailing_bytes();
-  if (view.edns()) sum += view.edns()->udp_payload_size;
+  if (view.edns()) {
+    sum += view.edns()->udp_payload_size + view.extended_rcode();
+    // The strict scan-meta parser sees every surviving OPT RDATA.
+    dns::ScanMeta meta;
+    sum += static_cast<std::uint64_t>(dns::parse_scan_meta(view.opt_rdata(),
+                                                           meta));
+    if (meta.virtual_time) sum += *meta.virtual_time;
+    if (meta.shard) sum += *meta.shard;
+    if (meta.backup) ++sum;
+  }
   for (std::size_t i = 0; i < view.question_count(); ++i) {
     auto q = view.question(i);
     sum += static_cast<std::uint64_t>(q.qtype());
@@ -344,6 +408,13 @@ int main(int argc, char** argv) {
     if (view.ok()) {
       ++parsed;
       checksum += walk(*view);
+    }
+    // The endpoint reply decoder is the other consumer of raw datagrams —
+    // it must reject or survive every mutant too.
+    if (auto reply = resolver::decode_endpoint_reply(mutant); reply.ok()) {
+      checksum += static_cast<std::uint64_t>(reply->answer.rcode) +
+                  (reply->answer.ad ? 1 : 0) + (reply->from_backup ? 1 : 0) +
+                  reply->answer.answers().size();
     }
   }
 

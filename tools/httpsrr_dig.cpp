@@ -193,6 +193,13 @@ int main(int argc, char** argv) {
                 endpoint->to_string().c_str(),
                 tcp_only ? "tcp" : "udp, tcp fallback");
     print_reply(*view);
+    // The security bits as they actually arrived: AD straight from the
+    // header flags, the full 12-bit rcode reassembled from the header's
+    // low nibble plus the OPT TTL's extended-rcode byte.
+    const auto wire_rcode = static_cast<dns::Rcode>(view->extended_rcode());
+    std::printf(";; wire: ad=%d, extended rcode=%u (%s)\n",
+                view->header().ad ? 1 : 0, view->extended_rcode(),
+                std::string(dns::rcode_to_string(wire_rcode)).c_str());
     std::printf(";; reply size: %zu bytes%s\n", reply.bytes().size(),
                 reply.tcp_retried ? " (retried over tcp)" : "");
     const auto& stats = sock.stats();
@@ -200,7 +207,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.udp_queries),
                 static_cast<unsigned long long>(stats.tcp_queries),
                 static_cast<unsigned long long>(stats.retransmits));
-    return exit_code_for(view->header().rcode);
+    return exit_code_for(wire_rcode);
   }
 
   ecosystem::EcosystemConfig config;

@@ -8,6 +8,8 @@
 //               [--stride N] [--transport loopback|datagram] [--in-flight N]
 //               [--latency-profile off|lan|wan] [--drop-permille N]
 //               [--duplicate-permille N] [--garbage-permille N]
+//               [--shards K] [--endpoint engine|local]
+//               [--server HOST:PORT] [--digest]
 //
 // --domains N sets the daily list size (alias of --scale, named for the
 // 1M-domain runs: `--domains 1000000`).  --in-flight sets the async
@@ -18,6 +20,25 @@
 // fault hooks (lost / duplicated / garbage-trailed datagrams); each of
 // these implies --transport datagram.
 //
+// Endpoint selection (the wire-true stub boundary):
+//   --endpoint engine   in-process resolver pairs, answers handed across
+//                       directly (default — the historical path);
+//   --endpoint local    in-process pairs, but every answer makes an
+//                       encode → decode round trip through the endpoint
+//                       reply codec (wire-true determinism check);
+//   --server HOST:PORT  no local resolution at all: each of the K shards
+//                       opens its own socket to a running
+//                       `httpsrr_serve --mode recursive` process built at
+//                       the same --scale/--seed, and the scan is a real
+//                       DNS client against it.  The serve process hosts
+//                       the per-shard resolver pairs (scan-meta routing),
+//                       so the snapshot is bit-identical to the
+//                       in-process scan at every K.
+// --shards K runs K scan shards (default 1).  --digest prints one
+// `digest,<date>,<hex>` line per day (scanner/digest.h over the snapshot
+// + cumulative query count) instead of the CSV row — the line ci.sh's
+// cross-process gate compares across endpoints.
+//
 // Output: one CSV row per scanned day:
 //   date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,validated_pct
 // plus, per day on stderr: in-scan progress (large lists), the columnar
@@ -25,6 +46,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -33,7 +55,10 @@
 
 #include "analysis/series_observers.h"
 #include "ecosystem/internet.h"
+#include "net/socket.h"
 #include "net/transport.h"
+#include "resolver/endpoint.h"
+#include "scanner/digest.h"
 #include "scanner/study.h"
 
 using namespace httpsrr;
@@ -95,6 +120,10 @@ int main(int argc, char** argv) {
   std::size_t in_flight = 1;
   std::string latency_profile = "off";
   net::TransportFaults faults;
+  std::size_t shards = 1;
+  std::string endpoint_kind = "engine";
+  std::string server;
+  bool digest = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -104,7 +133,9 @@ int main(int argc, char** argv) {
                      "usage: %s [--scale N | --domains N] [--seed N] "
                      "[--from D] [--to D] [--stride N] "
                      "[--transport loopback|datagram] [--in-flight N] "
-                     "[--latency-profile off|lan|wan]\n",
+                     "[--latency-profile off|lan|wan] [--shards K] "
+                     "[--endpoint engine|local] [--server HOST:PORT] "
+                     "[--digest]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -125,6 +156,11 @@ int main(int argc, char** argv) {
       faults.duplicate_permille = static_cast<std::uint32_t>(std::atoi(next()));
     else if (arg == "--garbage-permille")
       faults.garbage_permille = static_cast<std::uint32_t>(std::atoi(next()));
+    else if (arg == "--shards")
+      shards = static_cast<std::size_t>(std::atoll(next()));
+    else if (arg == "--endpoint") endpoint_kind = next();
+    else if (arg == "--server") server = next();
+    else if (arg == "--digest") digest = true;
   }
   if (transport != "loopback" && transport != "datagram") {
     std::fprintf(stderr, "bad transport: %s (loopback | datagram)\n",
@@ -143,6 +179,20 @@ int main(int argc, char** argv) {
   }
   // Latency models and fault hooks only exist on the datagram channel.
   if (latency->enabled || faults.any()) transport = "datagram";
+  if (endpoint_kind != "engine" && endpoint_kind != "local") {
+    std::fprintf(stderr, "bad endpoint: %s (engine | local)\n",
+                 endpoint_kind.c_str());
+    return 2;
+  }
+  if (shards == 0) shards = 1;
+  std::optional<net::SocketEndpoint> server_endpoint;
+  if (!server.empty()) {
+    server_endpoint = net::SocketEndpoint::parse(server);
+    if (!server_endpoint) {
+      std::fprintf(stderr, "bad --server endpoint: %s\n", server.c_str());
+      return 2;
+    }
+  }
 
   ecosystem::EcosystemConfig config;
   config.list_size = scale;
@@ -158,6 +208,42 @@ int main(int argc, char** argv) {
     study_options.resolver_options.transport_faults = faults;
   }
   study_options.resolver_options.max_in_flight = in_flight;
+  study_options.shards = shards;
+  if (server_endpoint) {
+    // Socket endpoints: each shard multiplexes its own UDP/TCP transport
+    // against the serve process, tagging every query with its shard index
+    // and the day's virtual time (the scan-meta EDNS option).  Resolution
+    // happens entirely in the other process.
+    const net::SocketEndpoint target = *server_endpoint;
+    const std::size_t window = std::max<std::size_t>(in_flight, 32);
+    study_options.endpoint_factory =
+        [target, window](std::size_t shard, const resolver::ResolverOptions&,
+                         const resolver::ResolverOptions&)
+        -> std::unique_ptr<resolver::Endpoint> {
+      resolver::SocketEndpointOptions options;
+      options.server = target;
+      options.shard = static_cast<std::uint16_t>(shard);
+      options.max_in_flight = window;
+      auto endpoint = std::make_unique<resolver::SocketEndpoint>(options);
+      if (!endpoint->ok()) {
+        std::fprintf(stderr, "could not open a socket to %s\n",
+                     target.to_string().c_str());
+        std::exit(1);
+      }
+      return endpoint;
+    };
+  } else if (endpoint_kind == "local") {
+    // Wire-true in-process endpoint: same resolver pairs as the default,
+    // every answer reconstructed from encoded reply bytes.
+    ecosystem::Internet* world = &net;
+    study_options.endpoint_factory =
+        [world](std::size_t, const resolver::ResolverOptions& primary,
+                const resolver::ResolverOptions& backup)
+        -> std::unique_ptr<resolver::Endpoint> {
+      return std::make_unique<resolver::LocalEndpoint>(
+          world->make_resolver(primary), world->make_resolver(backup));
+    };
+  }
   // In-scan progress for large lists: one stderr line per ~128k domains.
   if (scale >= 100000) {
     study_options.progress = [](std::size_t done, std::size_t total) {
@@ -170,15 +256,23 @@ int main(int argc, char** argv) {
   }
   scanner::Study study(net, study_options);
   CsvEmitter csv;
-  study.add_observer(&csv);
-
-  std::printf("date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,"
-              "validated_pct\n");
+  if (!digest) {
+    study.add_observer(&csv);
+    std::printf("date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,"
+                "validated_pct\n");
+  }
   auto start = net::SimTime::from_string(from);
   auto end = net::SimTime::from_string(to);
   resolver::ResolverStats prev;
   for (auto day = start; day <= end; day = day + net::Duration::days(stride)) {
     auto snapshot = study.run_day(day);
+    if (digest) {
+      // The canonical day fingerprint the cross-endpoint gates compare.
+      std::printf("digest,%s,%s\n", snapshot.day.date().to_string().c_str(),
+                  scanner::snapshot_digest(snapshot, study.total_queries())
+                      .c_str());
+      std::fflush(stdout);
+    }
     // Per-day summaries (stderr, so the CSV on stdout stays clean): the
     // columnar snapshot's footprint + day-over-day churn, then how much
     // work the resolver memo layers absorbed serving this day's scan.

@@ -5,7 +5,14 @@
 // Two modes:
 //   * recursive (default): a full validating recursive resolver front —
 //     clients act as stubs and get final answers in one hop, recursion
-//     runs in-process over the fast loopback path;
+//     runs in-process over the fast loopback path.  The front is a
+//     resolver::ScanResponder: plain clients (dig, scripts) land on the
+//     shard-0 primary, while scanners carrying the scan-meta EDNS option
+//     are routed to per-shard Google/Cloudflare resolver pairs derived
+//     exactly as a K-shard in-process Study derives them
+//     (Study::shard_pair_options), with the client's virtual scan time
+//     applied before resolving — so a cross-process scan reproduces the
+//     in-process snapshot bit for bit;
 //   * auth: the serve_wire view of one simulated authoritative/infra
 //     address — replies are byte-identical to what the in-process
 //     LoopbackTransport delivers at that address (--front picks it).
@@ -40,7 +47,9 @@
 
 #include "dnssec/signer.h"
 #include "ecosystem/internet.h"
+#include "resolver/endpoint.h"
 #include "resolver/socket_server.h"
+#include "scanner/study.h"
 
 using namespace httpsrr;
 
@@ -197,7 +206,37 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<resolver::WireResponder> responder;
   if (mode == "recursive") {
-    responder = std::make_unique<resolver::RecursiveResponder>(*resolver);
+    // Scan-aware recursive front: resolver pairs are built lazily per
+    // client shard with the exact options an in-process K-shard Study
+    // would derive, so the cross-process scan digest matches the
+    // in-process one at every K.  Plain clients (no scan-meta option)
+    // share the shard-0 primary.
+    resolver::ScanResponder::ResolverFactory factory;
+    resolver::ScanResponder::AdvanceFn advance;
+    if (zone == "demo") {
+      DemoWorld* world = demo.get();
+      factory = [world](std::uint16_t shard, bool backup) {
+        const auto pair = scanner::Study::shard_pair_options(
+            resolver::ResolverOptions{}, shard);
+        return std::make_unique<resolver::RecursiveResolver>(
+            world->infra, world->clock, world->zone_key.dnskey,
+            backup ? pair.backup : pair.primary);
+      };
+      // The demo clock is pinned; scanners are not expected here.
+    } else {
+      ecosystem::Internet* world = internet.get();
+      factory = [world](std::uint16_t shard, bool backup) {
+        const auto pair = scanner::Study::shard_pair_options(
+            resolver::ResolverOptions{}, shard);
+        return world->make_resolver(backup ? pair.backup : pair.primary);
+      };
+      advance = [world](std::uint64_t unix_seconds) {
+        world->advance_to(
+            net::SimTime{static_cast<std::int64_t>(unix_seconds)});
+      };
+    }
+    responder = std::make_unique<resolver::ScanResponder>(std::move(factory),
+                                                          std::move(advance));
   } else {
     net::IpAddr front_addr;
     if (front == "root" || (front.empty() && zone == "demo")) {
