@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,7 +38,9 @@
 #include "analysis/params_analysis.h"
 #include "ecosystem/internet.h"
 #include "scanner/digest.h"
+#include "scanner/series.h"
 #include "scanner/study.h"
+#include "util/sha256.h"
 #include "util/strings.h"
 
 namespace {
@@ -81,7 +84,109 @@ double peak_rss_mib() {
 #endif
 }
 
+// Cumulative process CPU time (user + system), in seconds.  Per-day deltas
+// of this are the noise-free cost signal on a shared box: wall clock picks
+// up co-tenant memory contention and scheduler steal that a compute-bound
+// calibration loop cannot see, but CPU time only counts our own work.
+double process_cpu_seconds() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  auto tv = [](const struct timeval& t) {
+    return static_cast<double>(t.tv_sec) +
+           static_cast<double>(t.tv_usec) / 1e6;
+  };
+  return tv(usage.ru_utime) + tv(usage.ru_stime);
+#else
+  return 0.0;
+#endif
+}
+
 using scanner::snapshot_digest;
+
+// Fixed CPU-bound workload, best of 3 (same idea as tools/bench.sh's
+// calibration but sampled per scan day): host contention on a shared box
+// drifts over a minutes-long multi-day run, so the flat-curve gate in
+// tools/ci.sh compares day_N/calib_N ratios, not raw seconds.
+double calibration_seconds() {
+  std::vector<std::uint8_t> blob(4096, 'x');
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < 2000; ++i) {
+      auto digest = util::sha256(blob.data(), blob.size());
+      blob[0] = digest[0];  // serialize the loop against reordering
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || dt < best) best = dt;
+  }
+  return best;
+}
+
+// One longitudinal series row, assembled from the day's snapshot, the
+// Study's GC counters, and the driver's wall clock.
+scanner::DayPoint make_day_point(const scanner::DailySnapshot& snapshot,
+                                 const scanner::Study& study, std::size_t day,
+                                 double seconds) {
+  scanner::DayPoint point;
+  point.day_index = day;
+  point.date = snapshot.day.date().to_string();
+  point.listed = snapshot.size();
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot.apex.view(i).has_https()) ++point.apex_https;
+    if (snapshot.www.view(i).has_https()) ++point.www_https;
+  }
+  point.churn_unchanged = snapshot.churn.unchanged;
+  point.churn_changed = snapshot.churn.changed.size();
+  point.churn_entered = snapshot.churn.entered.size();
+  point.churn_left = snapshot.churn.left.size();
+  point.seconds = seconds;
+  point.rss_mib = peak_rss_mib();
+  point.intern_hit_rate = snapshot.memory_stats().intern_hit_rate;
+  const auto& gc = study.gc_stats();
+  point.interner_entries = gc.interner_entries;
+  point.interner_live = gc.live_refs;
+  point.interner_tombstones = gc.tombstones;
+  point.compactions = gc.compactions;
+  point.compaction_freed = gc.compaction_freed;
+  point.resolver_swept = gc.resolver_swept;
+  point.zone_swept = gc.zone_swept;
+  return point;
+}
+
+// The per-day interner-health stderr line (tentpole instrumentation: the
+// flat-curve run is legible day by day, not just in the final JSON).
+void print_gc_line(const scanner::Study& study, std::size_t day,
+                   double seconds) {
+  const auto& gc = study.gc_stats();
+  std::fprintf(
+      stderr,
+      "  gc day %zu: interner %llu entries (%llu live, %llu tombstones), "
+      "%llu compactions freed %llu, swept resolver=%llu zone=%llu "
+      "(%.1fs, rss %.0f MiB)\n",
+      day + 1, static_cast<unsigned long long>(gc.interner_entries),
+      static_cast<unsigned long long>(gc.live_refs),
+      static_cast<unsigned long long>(gc.tombstones),
+      static_cast<unsigned long long>(gc.compactions),
+      static_cast<unsigned long long>(gc.compaction_freed),
+      static_cast<unsigned long long>(gc.resolver_swept),
+      static_cast<unsigned long long>(gc.zone_swept), seconds, peak_rss_mib());
+  const auto& t = study.day_timing();
+  std::fprintf(stderr,
+               "    phases: advance %.1fs sweep %.1fs compact %.1fs "
+               "scan %.1fs ns %.1fs churn %.1fs observers %.1fs\n",
+               t.advance, t.sweep, t.compact, t.scan, t.ns, t.churn,
+               t.observers);
+  const auto& is = study.interner_stats();
+  std::fprintf(stderr,
+               "    intern (cumulative): ptr=%llu content=%llu empty=%llu "
+               "miss=%llu\n",
+               static_cast<unsigned long long>(is.pointer_hits),
+               static_cast<unsigned long long>(is.content_hits),
+               static_cast<unsigned long long>(is.empty_hits),
+               static_cast<unsigned long long>(is.misses));
+}
 
 struct RunResult {
   double seconds = 0.0;
@@ -222,18 +327,27 @@ bool sets_match(const AnalysisSet& a, const AnalysisSet& b, net::SimTime from,
 
 // Multi-day 5k study: incremental vs force_full observer twins on the same
 // snapshots.  Returns the `delta_pin` JSON fragment and prints a summary.
-std::string run_delta_pin(std::size_t days, bool& match_out) {
+std::string run_delta_pin(std::size_t days, bool& match_out,
+                          scanner::DaySeriesWriter* series) {
   ecosystem::Internet net(bench_config());
   scanner::Study study(net);
   const auto from = net.config().start;
-  const auto to = from + net::Duration::days(days - 1);
   const auto window_to = from + net::Duration::days(days + 30);
 
   AnalysisSet delta(from, window_to, /*force_full=*/false);
   AnalysisSet full(from, window_to, /*force_full=*/true);
   delta.attach(study);
   full.attach(study);
-  study.run(from, to);
+  for (std::size_t d = 0; d < days; ++d) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto snapshot = study.run_day(from + net::Duration::days(d));
+    auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    print_gc_line(study, d, seconds);
+    if (series != nullptr) {
+      series->append(make_day_point(snapshot, study, d, seconds));
+    }
+  }
 
   match_out = sets_match(delta, full, from, window_to);
   std::printf(
@@ -259,7 +373,8 @@ std::string run_delta_pin(std::size_t days, bool& match_out) {
 // caches, delta-aware analyses).  Runs once — a day is minutes, not
 // milliseconds, so repetition noise is immaterial next to the RSS and
 // per-day numbers this mode exists to gate.
-int run_scale_1m(const char* json_path, std::size_t days) {
+int run_scale_1m(const char* json_path, std::size_t days,
+                 scanner::DaySeriesWriter* series) {
   const auto config = scale_1m_config();
   std::printf("micro_study --scale-1m: %zu scan day(s), %zu-domain list\n",
               days, config.list_size);
@@ -288,15 +403,21 @@ int run_scale_1m(const char* json_path, std::size_t days) {
   analyses.attach(study);
 
   std::vector<double> day_seconds;
+  std::vector<double> day_cpu;
+  std::vector<double> day_rss;
+  std::vector<double> day_calib;
   bool delta_verified = true;
   scanner::DailySnapshot::MemoryStats memory{};
   std::uint64_t day1_queries = 0;
   std::string digest;
   for (std::size_t d = 0; d < days; ++d) {
+    day_calib.push_back(calibration_seconds());
+    const double cpu0 = process_cpu_seconds();
     auto t2 = std::chrono::steady_clock::now();
     auto snapshot = study.run_day(from + net::Duration::days(d));
     auto t3 = std::chrono::steady_clock::now();
     day_seconds.push_back(std::chrono::duration<double>(t3 - t2).count());
+    day_cpu.push_back(process_cpu_seconds() - cpu0);
 
     // Untimed cross-check: the incremental adoption numerators must equal
     // a from-scratch pass over today's snapshot (the same equivalence the
@@ -310,11 +431,16 @@ int run_scale_1m(const char* json_path, std::size_t days) {
       day1_queries = study.total_queries();
       digest = snapshot_digest(snapshot, day1_queries);
     }
-    std::printf("  day %zu: %.1fs for %zu listed domains (%.0f domains/s, "
-                "peak rss %.0f MiB)\n",
-                d + 1, day_seconds.back(), snapshot.size(),
+    day_rss.push_back(peak_rss_mib());
+    std::printf("  day %zu: %.1fs wall, %.1fs cpu for %zu listed domains "
+                "(%.0f domains/s, peak rss %.0f MiB)\n",
+                d + 1, day_seconds.back(), day_cpu.back(), snapshot.size(),
                 static_cast<double>(snapshot.size()) / day_seconds.back(),
-                peak_rss_mib());
+                day_rss.back());
+    print_gc_line(study, d, day_seconds.back());
+    if (series != nullptr) {
+      series->append(make_day_point(snapshot, study, d, day_seconds.back()));
+    }
   }
 
   const double rss = peak_rss_mib();
@@ -344,7 +470,35 @@ int run_scale_1m(const char* json_path, std::size_t days) {
     json += util::format("%s%.2f", d == 0 ? "" : ", ", day_seconds[d]);
   }
   json += "],\n";
+  json += "  \"day_cpu_all\": [";
+  for (std::size_t d = 0; d < day_cpu.size(); ++d) {
+    json += util::format("%s%.2f", d == 0 ? "" : ", ", day_cpu[d]);
+  }
+  json += "],\n";
+  json += "  \"day_calib_all\": [";
+  for (std::size_t d = 0; d < day_calib.size(); ++d) {
+    json += util::format("%s%.4f", d == 0 ? "" : ", ", day_calib[d]);
+  }
+  json += "],\n";
+  json += "  \"day_rss_all\": [";
+  for (std::size_t d = 0; d < day_rss.size(); ++d) {
+    json += util::format("%s%.1f", d == 0 ? "" : ", ", day_rss[d]);
+  }
+  json += "],\n";
   json += util::format("  \"day_last_seconds\": %.2f,\n", day_seconds.back());
+  const auto& gc = study.gc_stats();
+  json += util::format("  \"interner_entries\": %llu,\n",
+                       static_cast<unsigned long long>(gc.interner_entries));
+  json += util::format("  \"interner_live\": %llu,\n",
+                       static_cast<unsigned long long>(gc.live_refs));
+  json += util::format("  \"compactions\": %llu,\n",
+                       static_cast<unsigned long long>(gc.compactions));
+  json += util::format("  \"compaction_freed\": %llu,\n",
+                       static_cast<unsigned long long>(gc.compaction_freed));
+  json += util::format("  \"resolver_swept\": %llu,\n",
+                       static_cast<unsigned long long>(gc.resolver_swept));
+  json += util::format("  \"zone_swept\": %llu,\n",
+                       static_cast<unsigned long long>(gc.zone_swept));
   json += util::format("  \"delta_verified\": %s,\n",
                        delta_verified ? "true" : "false");
   json += util::format("  \"delta_rows_touched\": %zu,\n",
@@ -378,12 +532,16 @@ int main(int argc, char** argv) {
   // --json PATH: also emit a machine-readable record for tools/bench.sh.
   // --scale-1m: the million-domain mode instead of the K sweep.
   // --days N: longitudinal depth for either mode (default 1).
+  // --series PATH: per-day longitudinal series (.jsonl or CSV by extension).
   const char* json_path = nullptr;
+  const char* series_path = nullptr;
   bool scale_1m = false;
   std::size_t days = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::string(argv[i]) == "--series" && i + 1 < argc) {
+      series_path = argv[++i];
     } else if (std::string(argv[i]) == "--scale-1m") {
       scale_1m = true;
     } else if (std::string(argv[i]) == "--days" && i + 1 < argc) {
@@ -391,7 +549,15 @@ int main(int argc, char** argv) {
       if (days == 0) days = 1;
     }
   }
-  if (scale_1m) return run_scale_1m(json_path, days);
+  std::unique_ptr<scanner::DaySeriesWriter> series;
+  if (series_path != nullptr) {
+    series = std::make_unique<scanner::DaySeriesWriter>(series_path);
+    if (!series->ok()) {
+      std::fprintf(stderr, "micro_study: cannot write %s\n", series_path);
+      series.reset();
+    }
+  }
+  if (scale_1m) return run_scale_1m(json_path, days, series.get());
 
   const auto config = bench_config();
   std::printf("micro_study: one scan day, %zu-domain list\n", config.list_size);
@@ -415,7 +581,7 @@ int main(int argc, char** argv) {
   // days even when --days was left at 1: a single day never exercises the
   // incremental path, and ci.sh gates on this block).
   bool pin_match = false;
-  json += run_delta_pin(days > 3 ? days : 3, pin_match);
+  json += run_delta_pin(days > 3 ? days : 3, pin_match, series.get());
 
   json += util::format("  \"list_size\": %zu,\n", config.list_size);
   json += util::format("  \"digest\": \"%s\",\n", serial.digest.c_str());

@@ -289,18 +289,20 @@ Result<MessageView> MessageView::parse(std::span<const std::uint8_t> wire) {
   return v;
 }
 
-Result<Message> MessageView::to_message() const {
+Result<Message> MessageView::to_message(bool include_questions) const {
   Message m;
   m.header = header_;
   m.edns = edns_;
 
-  m.questions.reserve(questions_.size());
-  for (std::size_t i = 0; i < questions_.size(); ++i) {
-    QuestionView q = question(i);
-    auto qname = q.qname();
-    if (!qname) return Error{qname.error()};
-    m.questions.push_back(
-        Question{std::move(*qname), q.qtype(), q.qclass()});
+  if (include_questions) {
+    m.questions.reserve(questions_.size());
+    for (std::size_t i = 0; i < questions_.size(); ++i) {
+      QuestionView q = question(i);
+      auto qname = q.qname();
+      if (!qname) return Error{qname.error()};
+      m.questions.push_back(
+          Question{std::move(*qname), q.qtype(), q.qclass()});
+    }
   }
 
   auto fill = [this](std::size_t begin, std::size_t count,

@@ -200,7 +200,11 @@ class MessageView {
   }
 
   // Materializes the whole message (every name and RDATA validated).
-  [[nodiscard]] util::Result<Message> to_message() const;
+  // `include_questions = false` skips the question section (no qname
+  // allocation) for callers that overwrite it with their own copy anyway —
+  // the authoritative personalize path echoes the query's spelling.
+  [[nodiscard]] util::Result<Message> to_message(
+      bool include_questions = true) const;
 
  private:
   friend class RecordView;

@@ -72,6 +72,12 @@ void ChainStatusCache::put(const dns::Name& zone, Validation status,
   entries_[zone] = Entry{status, now + ttl_};
 }
 
+std::size_t ChainStatusCache::sweep(net::SimTime now, net::Duration grace) {
+  return std::erase_if(entries_, [now, grace](const auto& kv) {
+    return kv.second.expires + grace <= now;
+  });
+}
+
 Validation ChainValidator::zone_status(const dns::Name& zone, net::SimTime now,
                                        ChainStatusCache* cache) const {
   return zone_status_impl(zone, now, 0, cache);

@@ -62,6 +62,12 @@ class ChainStatusCache {
                                               net::SimTime now) const;
   void put(const dns::Name& zone, Validation status, net::SimTime now);
   void clear() { entries_.clear(); }
+  // Erases entries expired for longer than `grace` (get() already refuses
+  // anything expired — sweeping is unobservable); returns how many were
+  // dropped.  A grace window keeps recently-expired nodes in place for
+  // overwrite-on-refresh instead of erase + re-insert.
+  std::size_t sweep(net::SimTime now,
+                    net::Duration grace = net::Duration::secs(0));
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:

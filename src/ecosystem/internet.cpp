@@ -100,6 +100,15 @@ class Internet::DomainZoneSource final : public resolver::ZoneSource {
     return zone;
   }
 
+  // Drops entries whose stamped version fell behind the domain's current
+  // one — unreachable through the version check above, so unobservable.
+  std::size_t sweep_stale() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::erase_if(cache_, [this](const auto& kv) {
+      return kv.second.version != net_->domain_version_[kv.first];
+    });
+  }
+
  private:
   struct Entry {
     std::uint32_t version = 0;
@@ -144,6 +153,13 @@ class Internet::TldZoneSource final : public resolver::ZoneSource {
     cache_[d->id] = Entry{version, std::move(zone)};
     auto it = cache_.find(d->id);
     return it->second.zone;
+  }
+
+  std::size_t sweep_stale() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::erase_if(cache_, [this](const auto& kv) {
+      return kv.second.version != net_->domain_version_[kv.first];
+    });
   }
 
  private:
@@ -973,6 +989,13 @@ void Internet::apply(const Event& event) {
       break;
   }
   ++domain_version_[event.domain];
+}
+
+std::size_t Internet::sweep_zone_caches() {
+  std::size_t dropped = 0;
+  for (auto& source : domain_sources_) dropped += source->sweep_stale();
+  if (tld_source_) dropped += tld_source_->sweep_stale();
+  return dropped;
 }
 
 void Internet::advance_to(net::SimTime t) {

@@ -201,6 +201,14 @@ class Internet : public resolver::ZoneDirectory {
   // ticking the shared ECH key manager.
   void advance_to(net::SimTime t);
 
+  // Day-boundary GC: drops flyweight zone-cache entries whose stamped
+  // version is no longer the domain's current one.  zone_for() refuses a
+  // stale-version entry (it rebuilds and overwrites), so the sweep is
+  // unobservable; without it a longitudinal run accretes one dead zone
+  // materialization per churn event until the generational cap clears
+  // everything at once.  Returns the number of entries dropped.
+  std::size_t sweep_zone_caches();
+
   [[nodiscard]] net::SimTime now() const { return clock_.now(); }
   [[nodiscard]] const EcosystemConfig& config() const { return config_; }
   [[nodiscard]] const net::SimClock& clock() const { return clock_; }

@@ -156,11 +156,6 @@ void AuthoritativeServer::append_signed(const HostedZone& hz,
   }
 }
 
-Message AuthoritativeServer::handle(const Name& qname, RrType qtype,
-                                    net::SimTime now) const {
-  return handle(Message::make_query(0, qname, qtype), now);
-}
-
 Message AuthoritativeServer::compute_response(const Message& query,
                                               net::SimTime now) const {
   Message resp = Message::make_response(query);
@@ -460,7 +455,7 @@ namespace {
 
 // Legacy-copy fallback for personalize(): full Message copy with the
 // query-echo fields rewritten, as the pre-wire implementation did.
-Message personalize_copy(const ServedResponse& served, const Message& query) {
+Message personalize_copy(const ServedResponse& served, Message&& query) {
   Message out = served.message;
   out.header.id = query.header.id;
   out.header.opcode = query.header.opcode;
@@ -468,50 +463,47 @@ Message personalize_copy(const ServedResponse& served, const Message& query) {
   out.header.cd = query.header.cd;
   out.header.ad = query.header.ad;
   out.header.tc = query.header.tc;
-  out.edns = query.edns;
-  out.questions = query.questions;
+  out.edns = std::move(query.edns);
+  out.questions = std::move(query.questions);
   return out;
 }
 
-// Rebuilds the per-query Message a legacy caller expects as a 12-byte
-// header patch on a copy of the cached wire image: response bits (QR, AA,
-// RA, rcode) stay as rendered, query-echo bits (id, opcode, TC, RD, CD,
-// AD) are overwritten in place, UDP truncation sets TC and zeroes the
-// section counts — then one view decode of the patched bytes.  EDNS and
-// the question spelling are still taken from the query object: the cached
-// wire only carries the first renderer's copy of those query-owned fields.
-Message personalize(const ServedResponse& served, const Message& query,
+// Rebuilds the per-query Message a legacy caller expects by decoding the
+// cached wire image in place — no scratch copy.  The view decode carries
+// the response bits (QR, AA, RA, rcode) and the record sections; the
+// query-echo fields (id, opcode, TC, RD, CD, AD, EDNS, question spelling)
+// are patched onto the decoded Message afterwards, which is where the old
+// 12-byte wire patch routed them anyway.  UDP truncation clears the
+// record sections and sets TC — the question survives, per RFC 6891.
+//
+// The query arrives by value: the convenience handle(qname, qtype)
+// overload hands over a temporary whose question and EDNS move straight
+// into the response; Message-borrowing callers pay one query copy, the
+// same fields the old signature copied one at a time.
+Message personalize(const ServedResponse& served, Message query,
                     bool truncate) {
   if (served.wire.size() >= 12) {
-    dns::Bytes wire = served.wire;
-    wire[0] = static_cast<std::uint8_t>(query.header.id >> 8);
-    wire[1] = static_cast<std::uint8_t>(query.header.id);
-    std::uint8_t hi = wire[2] & 0x84;  // keep QR + AA
-    hi |= static_cast<std::uint8_t>(
-        (static_cast<std::uint8_t>(query.header.opcode) & 0x0f) << 3);
-    if (query.header.tc) hi |= 0x02;
-    if (query.header.rd) hi |= 0x01;
-    std::uint8_t lo = wire[3] & 0x8f;  // keep RA + rcode
-    if (query.header.ad) lo |= 0x20;
-    if (query.header.cd) lo |= 0x10;
-    wire[2] = hi;
-    wire[3] = lo;
-    if (truncate) {
-      // RFC 6891 truncation: sections dropped, question kept, TC set.  The
-      // record bytes stay in the buffer past the zeroed counts; the view's
-      // structural pass simply never indexes them.
-      wire[2] |= 0x02;
-      for (std::size_t off = 6; off < 12; ++off) wire[off] = 0;
-    }
-    if (auto view = dns::MessageView::parse(wire)) {
-      if (auto out = view->to_message()) {
-        out->edns = query.edns;
-        out->questions = query.questions;
+    if (auto view = dns::MessageView::parse(served.wire)) {
+      if (auto out = view->to_message(/*include_questions=*/false)) {
+        out->header.id = query.header.id;
+        out->header.opcode = query.header.opcode;
+        out->header.tc = query.header.tc;
+        out->header.rd = query.header.rd;
+        out->header.cd = query.header.cd;
+        out->header.ad = query.header.ad;
+        if (truncate) {
+          out->answers.clear();
+          out->authorities.clear();
+          out->additionals.clear();
+          out->header.tc = true;
+        }
+        out->edns = std::move(query.edns);
+        out->questions = std::move(query.questions);
         return std::move(*out);
       }
     }
   }
-  Message out = personalize_copy(served, query);
+  Message out = personalize_copy(served, std::move(query));
   if (truncate) {
     out.answers.clear();
     out.authorities.clear();
@@ -525,6 +517,15 @@ Message personalize(const ServedResponse& served, const Message& query,
 
 Message AuthoritativeServer::handle(const Message& query, net::SimTime now) const {
   return personalize(*handle_shared(query, now), query, /*truncate=*/false);
+}
+
+Message AuthoritativeServer::handle(const Name& qname, RrType qtype,
+                                    net::SimTime now) const {
+  // Build the query once and let personalize() move its question + EDNS
+  // into the response instead of copying them (the hot scan path).
+  Message query = Message::make_query(0, qname, qtype);
+  SharedResponse served = handle_shared(query, now);
+  return personalize(*served, std::move(query), /*truncate=*/false);
 }
 
 Message AuthoritativeServer::handle_udp(const Message& query,

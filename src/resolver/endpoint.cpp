@@ -203,6 +203,17 @@ std::vector<ResolvedAnswer> EngineEndpoint::run(
   return run_wave(requests, nullptr);
 }
 
+std::uint64_t EngineEndpoint::collect_expired() {
+  // One virtual day of grace: entries the scan refreshed yesterday stay in
+  // place for in-place overwrite today; only keys no longer asked about
+  // (churned-out domains) are evicted.  Mirrors the study's 2-deep
+  // retention ring.
+  const net::Duration grace = net::Duration::days(1);
+  std::uint64_t dropped = primary_->sweep_expired(grace);
+  if (backup_ != nullptr) dropped += backup_->sweep_expired(grace);
+  return dropped;
+}
+
 ResolverStats EngineEndpoint::stats() const {
   ResolverStats total = primary_->stats();
   if (backup_ != nullptr) total += backup_->stats();
@@ -353,8 +364,24 @@ std::shared_ptr<const net::WireBytes> ScanResponder::respond(
   if (!qname.ok()) return formerr_reply(query);
 
   // Advance the hosting process's virtual clock before resolving, so the
-  // cache and the zone epochs are at the client's scan instant.
-  if (meta.virtual_time && advance_) advance_(*meta.virtual_time);
+  // cache and the zone epochs are at the client's scan instant.  A forward
+  // move is the server-side day boundary: expire-sweep the resolver pool
+  // exactly like the in-process endpoints do (behavior-neutral — the
+  // digest must not depend on which process hosts the resolvers).
+  if (meta.virtual_time && advance_) {
+    advance_(*meta.virtual_time);
+    if (last_virtual_time_ && *meta.virtual_time > *last_virtual_time_) {
+      for (auto& [shard, pair] : pool_) {
+        (void)shard;
+        const net::Duration grace = net::Duration::days(1);
+        if (pair.primary) swept_ += pair.primary->sweep_expired(grace);
+        if (pair.backup) swept_ += pair.backup->sweep_expired(grace);
+      }
+    }
+    if (!last_virtual_time_ || *meta.virtual_time > *last_virtual_time_) {
+      last_virtual_time_ = *meta.virtual_time;
+    }
+  }
 
   RecursiveResolver& resolver =
       resolver_for(meta.shard.value_or(0), meta.backup);

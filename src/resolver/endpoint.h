@@ -111,6 +111,15 @@ class Endpoint {
     (void)unix_seconds;
   }
 
+  // Day-boundary maintenance: drops resolver state that expiry has made
+  // unobservable (RecursiveResolver::sweep_expired).  In-process endpoints
+  // sweep their pair right here and return the evicted-entry count; the
+  // socket endpoint returns 0 — its serve process runs the same sweep when
+  // a query's scan-meta virtual time advances past the previous instant.
+  // Behavior-neutral on every endpoint, which is what keeps the snapshot
+  // digest invariant across {engine, local, socket} with GC on.
+  virtual std::uint64_t collect_expired() { return 0; }
+
   // Client-observed resolver counters for this endpoint (Study aggregates
   // them across shards).
   [[nodiscard]] virtual ResolverStats stats() const = 0;
@@ -135,6 +144,7 @@ class EngineEndpoint : public Endpoint {
 
   [[nodiscard]] std::vector<ResolvedAnswer> run(
       std::span<const QueryEngine::Request> requests) override;
+  std::uint64_t collect_expired() override;
   [[nodiscard]] ResolverStats stats() const override;
   [[nodiscard]] std::uint64_t fallbacks() const override { return fallbacks_; }
 
@@ -244,6 +254,9 @@ class ScanResponder final : public WireResponder {
   ScanResponder(ResolverFactory factory, AdvanceFn advance)
       : factory_(std::move(factory)), advance_(std::move(advance)) {}
 
+  // Cumulative entries dropped by the server-side day-boundary sweeps.
+  [[nodiscard]] std::uint64_t swept_entries() const { return swept_; }
+
   [[nodiscard]] std::shared_ptr<const net::WireBytes> respond(
       std::span<const std::uint8_t> query) override;
 
@@ -261,6 +274,11 @@ class ScanResponder final : public WireResponder {
   AdvanceFn advance_;
   std::unordered_map<std::uint16_t, Pair> pool_;
   dns::WireWriter writer_;
+  // Server-side mirror of the client's day boundary: when a query carries a
+  // later scan-meta instant than every query before it, the pool's resolver
+  // caches just crossed their TTL horizon — sweep them.
+  std::optional<std::uint64_t> last_virtual_time_;
+  std::uint64_t swept_ = 0;
 };
 
 }  // namespace httpsrr::resolver

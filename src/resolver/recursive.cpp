@@ -96,6 +96,23 @@ std::uint64_t RecursiveResolver::selection_stream(const Name& qname,
   return stream;
 }
 
+std::uint64_t RecursiveResolver::sweep_expired(net::Duration grace) {
+  const net::SimTime now = clock_.now();
+  std::uint64_t dropped = 0;
+  dropped += std::erase_if(cache_, [now, grace](const auto& kv) {
+    return !(kv.second.expires + grace > now);
+  });
+  // Sequence counters are only live at one instant; the composite test
+  // keeps recently-stale nodes (reset in place on the next touch) while
+  // still dropping keys the scan stopped asking about.  grace == 0
+  // reproduces the original drop-everything-stale behavior exactly.
+  dropped += std::erase_if(iterate_seq_, [now, grace](const auto& kv) {
+    return kv.second.at != now && now > kv.second.at + grace;
+  });
+  dropped += chain_cache_.sweep(now, grace);
+  return dropped;
+}
+
 dns::Message RecursiveResolver::resolve(const Name& qname, RrType qtype) {
   // Query/response skeletons exist for API parity (id draw included — the
   // rng_ stream is unobservable state, but tests may rely on the echoed

@@ -239,6 +239,24 @@ class RecursiveResolver {
     cache_.clear();
     chain_cache_.clear();
   }
+  // Day-boundary GC: erases state that expiry has made unobservable — cache
+  // entries whose TTL horizon passed (the hit check requires expires > now,
+  // so they can only be overwritten, never served), same-instant selection
+  // counters from an earlier instant (the next touch resets them anyway),
+  // and expired chain statuses.  Answers, query accounting, and the scan
+  // digest are bit-identical with or without the sweep; what changes is
+  // that a longitudinal run stops accreting entries for churned-away
+  // questions.  Returns the number of entries dropped.
+  //
+  // `grace` widens the eviction horizon: only entries expired for longer
+  // than the grace window are dropped.  A recently-expired entry is
+  // unreachable for reads either way (get paths require expires > now),
+  // but leaving it in place lets the next refresh overwrite the node
+  // in-place instead of paying an erase + re-insert cycle — with a daily
+  // full-list scan, grace of one day turns millions of node frees and
+  // re-allocations per day into assignments, and only keys the scan never
+  // touched again (churned-out domains) are actually evicted.
+  std::uint64_t sweep_expired(net::Duration grace = net::Duration::secs(0));
   // Resolver-side counters merged with the transport's timing block, so
   // virtual waits and the RTT histogram ride along wherever stats travel.
   [[nodiscard]] ResolverStats stats() const {

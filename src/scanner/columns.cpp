@@ -41,6 +41,7 @@ RrsetInterner::RrsetInterner() {
   svcb_counts_.push_back(0);
   a_counts_.push_back(0);
   aaaa_counts_.push_back(0);
+  last_used_.push_back(0);
 }
 
 std::uint64_t RrsetInterner::hash_records(const std::vector<dns::Rr>& v) {
@@ -57,29 +58,9 @@ std::uint64_t RrsetInterner::hash_records(const std::vector<dns::Rr>& v) {
   return fnv1a(kFnvOffset, bytes.data(), bytes.size());
 }
 
-std::uint32_t RrsetInterner::intern(const Section& section) {
-  if (!section || section->empty()) {
-    ++stats_.empty_hits;
-    return kNullRef;
-  }
-  auto [slot, inserted] = by_pointer_.try_emplace(section.get(), kNullRef);
-  if (!inserted) {
-    ++stats_.pointer_hits;
-    return slot->second;
-  }
-  const std::uint64_t h = hash_records(*section);
-  auto& bucket = by_content_[h];
-  for (std::uint32_t ref : bucket) {
-    if (*sections_[ref] == *section) {
-      ++stats_.content_hits;
-      slot->second = ref;
-      return ref;
-    }
-  }
-  ++stats_.misses;
-  const auto ref = static_cast<std::uint32_t>(sections_.size());
+void RrsetInterner::push_entry(const Section& section, std::uint64_t hash) {
   sections_.push_back(section);
-  hashes_.push_back(h);
+  hashes_.push_back(hash);
   std::uint32_t svcb = 0, a = 0, aaaa = 0;
   for (const auto& rr : *section) {
     if (std::holds_alternative<dns::SvcbRdata>(rr.rdata)) ++svcb;
@@ -89,23 +70,120 @@ std::uint32_t RrsetInterner::intern(const Section& section) {
   svcb_counts_.push_back(svcb);
   a_counts_.push_back(a);
   aaaa_counts_.push_back(aaaa);
-  bucket.push_back(ref);
-  slot->second = ref;
+  last_used_.push_back(generation_);
+}
+
+std::uint32_t RrsetInterner::intern(const Section& section) {
+  if (!section || section->empty()) {
+    ++stats_.empty_hits;
+    return kNullRef;
+  }
+  const std::uint64_t pkey = pointer_key(section.get());
+  FlatRefTable::Cursor pc;
+  if (const std::uint32_t hit = by_pointer_.first(pkey, pc);
+      hit != FlatRefTable::kAbsent) {
+    ++stats_.pointer_hits;
+    last_used_[hit] = generation_;
+    return hit;
+  }
+  const std::uint64_t h = hash_records(*section);
+  FlatRefTable::Cursor cc;
+  for (std::uint32_t ref = by_content_.first(h, cc);
+       ref != FlatRefTable::kAbsent; ref = by_content_.next(h, cc)) {
+    if (*sections_[ref] == *section) {
+      ++stats_.content_hits;
+      if (pointer_tier_active()) {
+        by_pointer_.insert(pkey, ref);
+        // The key vector is a duplicate the caller may free: pin it, or a
+        // later allocation reusing the address would falsely pointer-hit.
+        pinned_.push_back(section);
+      }
+      last_used_[ref] = generation_;
+      return ref;
+    }
+  }
+  ++stats_.misses;
+  const auto ref = static_cast<std::uint32_t>(sections_.size());
+  push_entry(section, h);
+  by_content_.insert(h, ref);
+  if (pointer_tier_active()) by_pointer_.insert(pkey, ref);
   return ref;
+}
+
+RrsetInterner::Health RrsetInterner::health(
+    std::uint32_t min_generation) const {
+  Health h;
+  h.entries = sections_.size() - 1;  // skip the null entry
+  for (std::size_t i = 1; i < last_used_.size(); ++i) {
+    if (last_used_[i] >= min_generation) ++h.live;
+  }
+  h.tombstones = h.entries - h.live;
+  return h;
+}
+
+RrsetInterner::Compaction RrsetInterner::compact_into(
+    std::uint32_t min_generation) const {
+  Compaction out;
+  auto dense = std::make_shared<RrsetInterner>();
+  out.remap.assign(sections_.size(), kNullRef);
+  // Pre-count survivors so the dense copy allocates once.  The headroom
+  // (half again the live count) covers the coming day's churn inserts
+  // without a mid-scan rehash of the rebuilt tables — the rehash storms of
+  // growing two node-based maps from empty were most of compaction's cost.
+  std::size_t live = 0;
+  for (std::size_t i = 1; i < sections_.size(); ++i) {
+    if (last_used_[i] >= min_generation) ++live;
+  }
+  const std::size_t headroom = live + 1 + live / 2;
+  dense->sections_.reserve(headroom);
+  dense->hashes_.reserve(headroom);
+  dense->svcb_counts_.reserve(headroom);
+  dense->a_counts_.reserve(headroom);
+  dense->aaaa_counts_.reserve(headroom);
+  dense->last_used_.reserve(headroom);
+  const bool reseed_pointers = pointer_tier_active();
+  if (reseed_pointers) dense->by_pointer_.reserve(headroom);
+  dense->by_content_.reserve(headroom);
+  for (std::size_t i = 1; i < sections_.size(); ++i) {
+    if (last_used_[i] < min_generation) {
+      ++out.freed;
+      continue;
+    }
+    const auto ref = static_cast<std::uint32_t>(dense->sections_.size());
+    dense->sections_.push_back(sections_[i]);
+    dense->hashes_.push_back(hashes_[i]);
+    dense->svcb_counts_.push_back(svcb_counts_[i]);
+    dense->a_counts_.push_back(a_counts_[i]);
+    dense->aaaa_counts_.push_back(aaaa_counts_[i]);
+    dense->last_used_.push_back(last_used_[i]);  // keep the original stamp
+    dense->by_content_.insert(hashes_[i], ref);
+    // Canonical sections are pinned by the table itself — their pointer
+    // keys can never dangle, so the next day's cache-shared vectors keep
+    // their pointer-hit fast path.  Duplicate (pinned_) keys are dropped:
+    // they re-enter as content hits on their next sighting.  A retired
+    // pointer tier (see pointer_tier_active) is not reseeded at all.
+    if (reseed_pointers) {
+      dense->by_pointer_.insert(pointer_key(sections_[i].get()), ref);
+    }
+    out.remap[i] = ref;
+  }
+  dense->generation_ = generation_;
+  dense->stats_ = stats_;
+  ++dense->stats_.compactions;
+  dense->stats_.compaction_freed += out.freed;
+  out.interner = std::move(dense);
+  return out;
 }
 
 std::size_t RrsetInterner::memory_bytes() const {
   std::size_t bytes = sections_.capacity() * sizeof(Section) +
                       hashes_.capacity() * sizeof(std::uint64_t) +
                       (svcb_counts_.capacity() + a_counts_.capacity() +
-                       aaaa_counts_.capacity()) * sizeof(std::uint32_t);
-  // Hash tables: entries plus bucket arrays (approximate node costs).
-  bytes += by_pointer_.size() * (sizeof(void*) * 3 + sizeof(std::uint32_t));
-  bytes += by_content_.size() * (sizeof(void*) * 3 + sizeof(std::uint64_t));
-  for (const auto& [h, refs] : by_content_) {
-    (void)h;
-    bytes += refs.capacity() * sizeof(std::uint32_t);
-  }
+                       aaaa_counts_.capacity() + last_used_.capacity()) *
+                          sizeof(std::uint32_t) +
+                      pinned_.capacity() * sizeof(Section);
+  // Flat dedup tables: one slot array each, no per-node heap cost.
+  bytes += by_pointer_.memory_bytes() + by_content_.memory_bytes();
   // Pinned record vectors (shared with resolver caches, counted here so
   // bytes-per-domain reflects what the snapshot keeps alive).
   for (const auto& section : sections_) {
@@ -155,6 +233,12 @@ void ObservationColumn::append_column(const ObservationColumn& src) {
   const bool same = interner_ == src.interner_;
   for (std::size_t i = 0; i < n; ++i) {
     if (same) {
+      // Refs re-emitted without an intern() call still count as uses: the
+      // liveness stamp must cover them or a compaction could evict an
+      // entry this column references.
+      interner_->touch(src.https_ref_[i]);
+      interner_->touch(src.a_ref_[i]);
+      interner_->touch(src.aaaa_ref_[i]);
       https_ref_.push_back(src.https_ref_[i]);
       a_ref_.push_back(src.a_ref_[i]);
       aaaa_ref_.push_back(src.aaaa_ref_[i]);
@@ -174,6 +258,16 @@ void ObservationColumn::append_column(const ObservationColumn& src) {
   for (std::size_t i = 1; i <= n; ++i) {
     ns_offset_.push_back(base + src.ns_offset_[i]);
   }
+}
+
+void ObservationColumn::rebind(const RrsetInterner::Compaction& compaction) {
+  const auto apply = [&compaction](std::vector<std::uint32_t>& refs) {
+    for (auto& ref : refs) ref = compaction.remap[ref];
+  };
+  apply(https_ref_);
+  apply(a_ref_);
+  apply(aaaa_ref_);
+  interner_ = compaction.interner;
 }
 
 HttpsObservation ObservationColumn::operator[](std::size_t i) const {
@@ -241,10 +335,11 @@ bool operator==(const ObservationColumn& x, const ObservationColumn& y) {
   return true;
 }
 
-DailySnapshot::DailySnapshot() {
-  auto interner = std::make_shared<RrsetInterner>();
+DailySnapshot::DailySnapshot() : DailySnapshot(std::make_shared<RrsetInterner>()) {}
+
+DailySnapshot::DailySnapshot(std::shared_ptr<RrsetInterner> interner) {
   apex = ObservationColumn(interner);
-  www = ObservationColumn(interner);
+  www = ObservationColumn(std::move(interner));
 }
 
 std::uint8_t DailySnapshot::summary_bits(std::size_t i) const {

@@ -41,11 +41,88 @@
 #include "dns/name.h"
 #include "dns/wire.h"
 #include "scanner/observation.h"  // row types + typed ranges (layered pair)
+#include "util/rng.h"             // mix64 for the flat-table probe sequence
 
 namespace httpsrr::scanner {
 
 struct HttpsObservation;
 struct NsInfo;
+
+// Flat open-addressing key→ref table (linear probing, power-of-two sized,
+// duplicate keys allowed, no erase — compaction rebuilds from scratch).
+// One contiguous slot array instead of a node per entry: interning a
+// million sections costs zero map-node allocations, a probe touches one
+// cache line in the common case, and tearing a table down after a
+// compaction is a single free instead of millions — the node-based maps
+// this replaces made the interner's daily rebuild-and-discard cycle the
+// second-largest line in the day's time budget.
+class FlatRefTable {
+ public:
+  static constexpr std::uint32_t kAbsent = 0xffffffffu;
+  struct Cursor {
+    std::size_t idx = 0;
+  };
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  // Pre-sizes for n entries at under 3/4 load (never shrinks).
+  void reserve(std::size_t n) {
+    std::size_t want = 16;
+    while (want * 3 < n * 4) want <<= 1;
+    if (want > slots_.size()) rehash(want);
+  }
+
+  // Duplicate-key iteration: first() starts the probe walk, next()
+  // resumes it past the previously returned slot.  kAbsent ends the walk.
+  [[nodiscard]] std::uint32_t first(std::uint64_t key, Cursor& c) const {
+    if (slots_.empty()) return kAbsent;
+    c.idx = util::mix64(key) & (slots_.size() - 1);
+    return scan(key, c);
+  }
+  [[nodiscard]] std::uint32_t next(std::uint64_t key, Cursor& c) const {
+    if (slots_.empty()) return kAbsent;
+    c.idx = (c.idx + 1) & (slots_.size() - 1);
+    return scan(key, c);
+  }
+  void insert(std::uint64_t key, std::uint32_t val) {
+    if (slots_.empty() || (count_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = util::mix64(key) & mask;
+    while (slots_[i].val != kAbsent) i = (i + 1) & mask;
+    slots_[i] = Slot{key, val};
+    ++count_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return slots_.capacity() * sizeof(Slot);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key;
+    std::uint32_t val;
+  };
+  [[nodiscard]] std::uint32_t scan(std::uint64_t key, Cursor& c) const {
+    const std::size_t mask = slots_.size() - 1;
+    while (slots_[c.idx].val != kAbsent) {
+      if (slots_[c.idx].key == key) return slots_[c.idx].val;
+      c.idx = (c.idx + 1) & mask;
+    }
+    return kAbsent;
+  }
+  void rehash(std::size_t n) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(n, Slot{0, kAbsent});
+    for (const auto& s : old) {
+      if (s.val == kAbsent) continue;
+      std::size_t i = util::mix64(s.key) & (n - 1);
+      while (slots_[i].val != kAbsent) i = (i + 1) & (n - 1);
+      slots_[i] = s;
+    }
+  }
+  std::vector<Slot> slots_;
+  std::size_t count_ = 0;
+};
 
 // Deduplicating store of shared answer-section snapshots.  Ref 0 is the
 // canonical "null or empty" section: the resolver's static shared empty
@@ -68,6 +145,8 @@ class RrsetInterner {
     std::uint64_t content_hits = 0;
     std::uint64_t empty_hits = 0;  // null/empty canonicalized to ref 0
     std::uint64_t misses = 0;      // new entries
+    std::uint64_t compactions = 0;       // compact_into() passes survived
+    std::uint64_t compaction_freed = 0;  // entries dropped across all passes
     [[nodiscard]] double hit_rate() const {
       auto hits = pointer_hits + content_hits + empty_hits;
       auto total = hits + misses;
@@ -77,11 +156,57 @@ class RrsetInterner {
     }
   };
 
+  // Table health for the per-day report lines: hit_rate alone hides a
+  // table full of dead weight, so liveness is broken out explicitly.
+  struct Health {
+    std::size_t entries = 0;     // table entries (the null entry excluded)
+    std::size_t live = 0;        // referenced at generation >= min_generation
+    std::size_t tombstones = 0;  // dead weight the next compaction frees
+  };
+
   RrsetInterner();
 
   // Returns the ref for `section`, adding an entry on first sight.  Null
-  // and empty sections canonicalize to kNullRef.
+  // and empty sections canonicalize to kNullRef.  The returned ref's entry
+  // is stamped with the current generation (see begin_generation).
   std::uint32_t intern(const Section& section);
+
+  // ---- Liveness & compaction (longitudinal GC, see DESIGN.md) ----------
+  //
+  // The Study scans every day into one persistent interner; a generation
+  // is one scan day.  Every intern()/touch() stamps the entry with the
+  // current generation, and compact_into() rebuilds the table densely from
+  // the entries a retained window still references — evicted refs remap to
+  // kNullRef, surviving refs get contiguous new values, and per-entry
+  // content hashes ride along unchanged, which is what keeps churn
+  // fingerprints and delta-observer numerators bit-identical across a
+  // compaction.
+
+  void begin_generation(std::uint32_t generation) { generation_ = generation; }
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+  // Re-stamps a ref emitted without an intern() call (the same-interner
+  // append_column fast path).
+  void touch(std::uint32_t ref) {
+    if (ref != kNullRef) last_used_[ref] = generation_;
+  }
+  [[nodiscard]] std::uint32_t last_used(std::uint32_t ref) const {
+    return last_used_[ref];
+  }
+
+  [[nodiscard]] Health health(std::uint32_t min_generation) const;
+
+  struct Compaction {
+    std::shared_ptr<RrsetInterner> interner;  // dense rebuild, survivors only
+    std::vector<std::uint32_t> remap;  // old ref -> new ref; dead -> kNullRef
+    std::size_t freed = 0;
+  };
+  // Copy-on-compact: builds a fresh interner holding only the entries last
+  // referenced at generation >= min_generation (ref 0 always survives) and
+  // the remap to rebind retained columns.  `this` is left untouched — any
+  // snapshot still holding it stays valid and keeps the old entries alive
+  // until its last holder lets go; that shared_ptr hand-off is the whole
+  // "who may hold a Section across a compaction" story.
+  [[nodiscard]] Compaction compact_into(std::uint32_t min_generation) const;
 
   // The records behind a ref; nullptr for kNullRef (read as empty).
   [[nodiscard]] const std::vector<dns::Rr>* records(std::uint32_t ref) const {
@@ -117,15 +242,47 @@ class RrsetInterner {
 
  private:
   [[nodiscard]] std::uint64_t hash_records(const std::vector<dns::Rr>& v);
+  void push_entry(const Section& section, std::uint64_t hash);
+
+  // The pointer memo is a bet that callers re-present the same vector
+  // address (response flyweights held by memo caches, shard canonicals
+  // walked twice during a merge).  At the million-domain scale that bet
+  // never pays: the response memos thrash and every serve is a fresh
+  // vector, so the tier's upkeep — an insert per miss, an insert plus a
+  // pin-until-compaction keepalive per content hit — is pure waste.
+  // Retire it adaptively: once a large probe sample has gone essentially
+  // unanswered, stop registering.  Deterministic (a pure function of the
+  // intern-call sequence, carried across compactions with stats_), and
+  // unobservable in output: dedup decisions fall through to the content
+  // tier with identical results.  The 64Ki floor keeps small studies —
+  // where the memo caches do hold and pointer hits dominate — active
+  // forever.
+  [[nodiscard]] bool pointer_tier_active() const {
+    return stats_.pointer_hits * 8 + 65536 >= stats_.content_hits + stats_.misses;
+  }
 
   std::vector<Section> sections_;          // [0] = null
   std::vector<std::uint64_t> hashes_;      // [0] = 0
   std::vector<std::uint32_t> svcb_counts_;
   std::vector<std::uint32_t> a_counts_;
   std::vector<std::uint32_t> aaaa_counts_;
-  std::unordered_map<const void*, std::uint32_t> by_pointer_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_content_;
+  std::vector<std::uint32_t> last_used_;   // generation of last intern/touch
+  // Pointer addresses and content hashes both key into flat tables: ref
+  // values are always >= 1 here (null/empty short-circuits), so kAbsent is
+  // never a stored value.
+  static std::uint64_t pointer_key(const void* p) {
+    return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+  }
+  FlatRefTable by_pointer_;
+  FlatRefTable by_content_;
+  // Keepalives for the pointer map's content-hit entries: a key whose
+  // vector is NOT the canonical section must be pinned, or the caller may
+  // free it and a later allocation at the same address would alias into a
+  // false pointer hit.  Cleared (with by_pointer_) on every compaction —
+  // pointer identity only pays within a day anyway.
+  std::vector<Section> pinned_;
   dns::WireWriter scratch_;  // reused per hash_records call
+  std::uint32_t generation_ = 0;
   Stats stats_;
 };
 
@@ -240,6 +397,12 @@ class ObservationColumn {
   // (pointer hits when src shares our interner's underlying vectors —
   // the shard-merge fast path).
   void append_column(const ObservationColumn& src);
+  // Applies a compaction remap: every ref rewritten to its new value and
+  // the column rebound to the compacted interner.  The remap must cover
+  // every ref this column holds with a live (non-kNullRef) target for
+  // non-null refs — i.e. the column must be inside the retained window the
+  // compaction was computed for.
+  void rebind(const RrsetInterner::Compaction& compaction);
 
   [[nodiscard]] ObservationView view(std::size_t i) const {
     return ObservationView(
@@ -350,6 +513,10 @@ struct DailySnapshot {
   ChurnDiff churn;
 
   DailySnapshot();
+  // Longitudinal form: both columns ride the caller's (persistent) interner
+  // — the Study's day snapshots share one interner across days so the
+  // retained ring and today's scan dedup against each other.
+  explicit DailySnapshot(std::shared_ptr<RrsetInterner> interner);
 
   [[nodiscard]] std::size_t size() const { return list.size(); }
 

@@ -1,0 +1,94 @@
+#include "scanner/series.h"
+
+#include "util/strings.h"
+
+namespace httpsrr::scanner {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+DaySeriesWriter::DaySeriesWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")), jsonl_(ends_with(path, ".jsonl")) {}
+
+DaySeriesWriter::~DaySeriesWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void DaySeriesWriter::append(const DayPoint& point) {
+  if (file_ == nullptr) return;
+  const auto pct = [](std::uint64_t n, std::uint64_t d) {
+    return d == 0 ? 0.0 : 100.0 * static_cast<double>(n) / static_cast<double>(d);
+  };
+  std::string line;
+  if (jsonl_) {
+    line = util::format(
+        "{\"day\": %llu, \"date\": \"%s\", \"listed\": %llu, "
+        "\"apex_https\": %llu, \"www_https\": %llu, "
+        "\"apex_https_pct\": %.4f, \"www_https_pct\": %.4f, "
+        "\"churn_unchanged\": %llu, \"churn_changed\": %llu, "
+        "\"churn_entered\": %llu, \"churn_left\": %llu, "
+        "\"seconds\": %.3f, \"rss_mib\": %.1f, \"intern_hit_rate\": %.6f, "
+        "\"interner_entries\": %llu, \"interner_live\": %llu, "
+        "\"interner_tombstones\": %llu, \"compactions\": %llu, "
+        "\"compaction_freed\": %llu, \"resolver_swept\": %llu, "
+        "\"zone_swept\": %llu}\n",
+        static_cast<unsigned long long>(point.day_index), point.date.c_str(),
+        static_cast<unsigned long long>(point.listed),
+        static_cast<unsigned long long>(point.apex_https),
+        static_cast<unsigned long long>(point.www_https),
+        pct(point.apex_https, point.listed), pct(point.www_https, point.listed),
+        static_cast<unsigned long long>(point.churn_unchanged),
+        static_cast<unsigned long long>(point.churn_changed),
+        static_cast<unsigned long long>(point.churn_entered),
+        static_cast<unsigned long long>(point.churn_left), point.seconds,
+        point.rss_mib, point.intern_hit_rate,
+        static_cast<unsigned long long>(point.interner_entries),
+        static_cast<unsigned long long>(point.interner_live),
+        static_cast<unsigned long long>(point.interner_tombstones),
+        static_cast<unsigned long long>(point.compactions),
+        static_cast<unsigned long long>(point.compaction_freed),
+        static_cast<unsigned long long>(point.resolver_swept),
+        static_cast<unsigned long long>(point.zone_swept));
+  } else {
+    if (!wrote_header_) {
+      std::fputs(
+          "day,date,listed,apex_https,www_https,apex_https_pct,www_https_pct,"
+          "churn_unchanged,churn_changed,churn_entered,churn_left,"
+          "seconds,rss_mib,intern_hit_rate,interner_entries,interner_live,"
+          "interner_tombstones,compactions,compaction_freed,resolver_swept,"
+          "zone_swept\n",
+          file_);
+      wrote_header_ = true;
+    }
+    line = util::format(
+        "%llu,%s,%llu,%llu,%llu,%.4f,%.4f,%llu,%llu,%llu,%llu,"
+        "%.3f,%.1f,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu\n",
+        static_cast<unsigned long long>(point.day_index), point.date.c_str(),
+        static_cast<unsigned long long>(point.listed),
+        static_cast<unsigned long long>(point.apex_https),
+        static_cast<unsigned long long>(point.www_https),
+        pct(point.apex_https, point.listed), pct(point.www_https, point.listed),
+        static_cast<unsigned long long>(point.churn_unchanged),
+        static_cast<unsigned long long>(point.churn_changed),
+        static_cast<unsigned long long>(point.churn_entered),
+        static_cast<unsigned long long>(point.churn_left), point.seconds,
+        point.rss_mib, point.intern_hit_rate,
+        static_cast<unsigned long long>(point.interner_entries),
+        static_cast<unsigned long long>(point.interner_live),
+        static_cast<unsigned long long>(point.interner_tombstones),
+        static_cast<unsigned long long>(point.compactions),
+        static_cast<unsigned long long>(point.compaction_freed),
+        static_cast<unsigned long long>(point.resolver_swept),
+        static_cast<unsigned long long>(point.zone_swept));
+  }
+  std::fputs(line.c_str(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace httpsrr::scanner

@@ -1,0 +1,65 @@
+#pragma once
+
+// DaySeriesWriter — per-day longitudinal series emitter for the scan
+// drivers (bench/micro_study --days, tools/httpsrr_scan --series).  One
+// line per scanned day: adoption, churn, wall-clock cost, memory, and the
+// day-boundary GC counters (Study::gc_stats()) — the data behind the
+// "day 300 costs the same as day 1" flat-curve claim.
+//
+// The output format follows the file extension: `.jsonl` writes one JSON
+// object per line (machine-friendly, schema-free appends); anything else
+// writes CSV with a header row.  Lines are flushed as they are written so
+// a long run tailed mid-flight shows every completed day.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace httpsrr::scanner {
+
+// One scanned day, as the drivers assemble it from the snapshot, the
+// Study counters, and their own wall clock.
+struct DayPoint {
+  std::uint64_t day_index = 0;     // 0-based position in the run
+  std::string date;                // calendar date, YYYY-MM-DD
+  std::uint64_t listed = 0;        // domains on the day's list
+  std::uint64_t apex_https = 0;    // apex rows with an HTTPS RRset
+  std::uint64_t www_https = 0;     // www rows with an HTTPS RRset
+  std::uint64_t churn_unchanged = 0;
+  std::uint64_t churn_changed = 0;
+  std::uint64_t churn_entered = 0;
+  std::uint64_t churn_left = 0;
+  double seconds = 0.0;            // wall-clock cost of the day
+  double rss_mib = 0.0;            // peak RSS after the day, MiB
+  double intern_hit_rate = 0.0;
+  // Study::GcStats, sampled after the day completed.
+  std::uint64_t interner_entries = 0;
+  std::uint64_t interner_live = 0;
+  std::uint64_t interner_tombstones = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t compaction_freed = 0;
+  std::uint64_t resolver_swept = 0;
+  std::uint64_t zone_swept = 0;
+};
+
+class DaySeriesWriter {
+ public:
+  // Opens `path` for writing (truncates).  `ok()` reports open failure —
+  // the drivers warn and continue unrecorded rather than aborting a run
+  // that may be hours deep.
+  explicit DaySeriesWriter(const std::string& path);
+  ~DaySeriesWriter();
+
+  DaySeriesWriter(const DaySeriesWriter&) = delete;
+  DaySeriesWriter& operator=(const DaySeriesWriter&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  void append(const DayPoint& point);
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool jsonl_ = false;
+  bool wrote_header_ = false;
+};
+
+}  // namespace httpsrr::scanner

@@ -1,9 +1,14 @@
 #include "scanner/study.h"
 
 #include <algorithm>
+#include <chrono>
 #include <span>
 #include <thread>
 #include <utility>
+
+#if defined(__GLIBC__)
+#include <malloc.h>  // malloc_trim at the day boundary
+#endif
 
 #include "resolver/engine.h"
 #include "util/rng.h"
@@ -45,7 +50,9 @@ Study::PairOptions Study::shard_pair_options(
 }
 
 Study::Study(ecosystem::Internet& net, Options options)
-    : net_(net), options_(std::move(options)) {
+    : net_(net),
+      options_(std::move(options)),
+      interner_(std::make_shared<RrsetInterner>()) {
   std::size_t shard_count = options_.shards;
   if (shard_count == 0) {
     shard_count = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -186,19 +193,35 @@ DailySnapshot Study::run_day(net::SimTime day) {
   // not move again until the next run_day call: the whole day's scan sees
   // one frozen Internet, which is what makes the shard split invisible.
   net::SimTime at{day.unix_seconds - day.seconds_of_day()};
+  timing_ = DayTiming{};
+  const auto clock = [] { return std::chrono::steady_clock::now(); };
+  const auto lap = [&clock](std::chrono::steady_clock::time_point& mark) {
+    const auto now = clock();
+    const double seconds = std::chrono::duration<double>(now - mark).count();
+    mark = now;
+    return seconds;
+  };
+  auto mark = clock();
   net_.advance_to(at + options_.scan_time);
+  timing_.advance = lap(mark);
   // Socket-backed endpoints carry the day's instant to the serve process in
   // every query's scan-meta option; the in-process default ignores this.
   for (auto& shard : shards_) {
     shard.endpoint->set_virtual_time((at + options_.scan_time).unix_seconds);
   }
+  // Day-boundary GC, after the clock moved (expiry checks need today's
+  // instant) and before any of today's queries run.
+  collect_garbage();
+  timing_.compact = lap(mark) - timing_.sweep;
+  interner_->begin_generation(day_index_);
 
-  DailySnapshot snapshot;
+  DailySnapshot snapshot(interner_);
   snapshot.day = at;
   net_.tranco().list_for_into(at, snapshot.list);
   progress_done_.store(0);
   progress_total_ = snapshot.list.size();
 
+  mark = clock();
   std::vector<ShardScan> fragments(shards_.size());
   for_each_shard(snapshot.list.size(),
                  [&](std::size_t k, std::size_t begin, std::size_t end) {
@@ -218,11 +241,80 @@ DailySnapshot Study::run_day(net::SimTime day) {
     total_queries_ += fragment.queries;
   }
 
+  timing_.scan = lap(mark);
   if (options_.scan_ns) scan_name_servers(snapshot);
+  timing_.ns = lap(mark);
   compute_churn(snapshot);
+  timing_.churn = lap(mark);
 
   for (auto* observer : observers_) observer->on_day(snapshot, net_);
+  timing_.observers = lap(mark);
+
+  // Roll the retention ring: yesterday's columns are replaced by today's
+  // (releasing the older fragments and their NS name pool), and the day
+  // counter moves so the next boundary knows the live generation window.
+  prev_apex_ = snapshot.apex;
+  prev_www_ = snapshot.www;
+  prev_day_ = snapshot.day;
+  have_prev_ = true;
+  ++day_index_;
+
+  const std::uint32_t window = std::max<std::uint32_t>(options_.retention_days, 2);
+  const std::uint32_t min_gen =
+      day_index_ >= window ? day_index_ - window + 1 : 0;
+  const auto health = interner_->health(min_gen);
+  gc_.interner_entries = health.entries;
+  gc_.live_refs = health.live;
+  gc_.tombstones = health.tombstones;
+  gc_.compactions = interner_->stats().compactions;
+  gc_.compaction_freed = interner_->stats().compaction_freed;
+
   return snapshot;
+}
+
+void Study::collect_garbage() {
+  if (day_index_ == 0) return;  // nothing accreted before the first day
+  if (options_.sweep_caches) {
+    const auto sweep_start = std::chrono::steady_clock::now();
+    for (auto& shard : shards_) {
+      gc_.resolver_swept += shard.endpoint->collect_expired();
+    }
+    gc_.zone_swept += net_.sweep_zone_caches();
+    timing_.sweep = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - sweep_start)
+                        .count();
+  }
+  if (options_.interner_gc) {
+    // Evict entries no generation in the retained window referenced.  The
+    // window is the 2-deep ring: yesterday (generation day_index_ - 1) and
+    // the day about to run; a larger retention_days widens it.
+    const std::uint32_t window =
+        std::max<std::uint32_t>(options_.retention_days, 2);
+    const std::uint32_t min_gen =
+        day_index_ >= window - 1 ? day_index_ - (window - 1) : 0;
+    // A compaction that frees nothing is a pure copy — skip it.  Day 2
+    // always lands here (every entry is still inside the window), as does
+    // any day after a churn-free one.
+    if (interner_->health(min_gen).tombstones != 0) {
+      auto compaction = interner_->compact_into(min_gen);
+      if (have_prev_) {
+        prev_apex_.rebind(compaction);
+        prev_www_.rebind(compaction);
+      }
+      // The swap releases the Study's reference to the pre-compaction
+      // interner; snapshots still held by callers keep it — and every
+      // Section it pins — alive until they let go.
+      interner_ = std::move(compaction.interner);
+    }
+  }
+#if defined(__GLIBC__)
+  // A day boundary retires a full day of short-lived state (yesterday's
+  // fragments, swept cache nodes, the pre-compaction interner) scattered
+  // through the arena.  Hand the freed tail back to the OS so steady-state
+  // peak RSS measures live data, not accumulated fragmentation — without
+  // this the day-300 footprint ratchets up a little every day.
+  if (options_.sweep_caches || options_.interner_gc) malloc_trim(0);
+#endif
 }
 
 void Study::compute_churn(DailySnapshot& snapshot) {

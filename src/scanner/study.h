@@ -81,6 +81,21 @@ struct StudyOptions {
   // scanned so far today, domains listed today).  Invoked from worker
   // threads — the callback must be thread-safe (a stderr write is).
   std::function<void(std::size_t, std::size_t)> progress;
+
+  // ---- Longitudinal retention & interner GC (DESIGN.md) ------------------
+  // The Study scans every day into one persistent RrsetInterner and keeps a
+  // 2-deep snapshot ring (yesterday's merged columns + the day being
+  // built).  Between days it compacts the interner down to the ring's live
+  // refs and sweeps resolver/zone caches of entries expiry already made
+  // unobservable.  Both switches are behavior-neutral: snapshots, churn,
+  // digests, and query accounting are bit-identical with GC forced every
+  // day or never (pinned by tests/retention_test.cpp) — only the day-300
+  // memory and hashing cost differ.
+  bool interner_gc = true;   // compact the shared interner between days
+  bool sweep_caches = true;  // day-boundary expired-state sweeps
+  // Generations the compactor retains (the snapshot ring is always 2 deep:
+  // values below 2 are clamped so the ring can never dangle).
+  std::uint32_t retention_days = 2;
 };
 
 class Study {
@@ -102,6 +117,48 @@ class Study {
 
   // Aggregated resolver stats across every shard's endpoint.
   [[nodiscard]] resolver::ResolverStats resolver_stats() const;
+
+  // Day-boundary GC counters, refreshed at the end of every run_day — the
+  // longitudinal health line micro_study --days and httpsrr_scan print.
+  struct GcStats {
+    std::uint64_t interner_entries = 0;  // table entries after the last day
+    std::uint64_t live_refs = 0;         // referenced by the retained window
+    std::uint64_t tombstones = 0;        // dead weight the next pass frees
+    std::uint64_t compactions = 0;       // passes run so far
+    std::uint64_t compaction_freed = 0;  // cumulative entries freed
+    std::uint64_t resolver_swept = 0;    // cumulative resolver-cache drops
+    std::uint64_t zone_swept = 0;        // cumulative stale zone-cache drops
+  };
+  [[nodiscard]] const GcStats& gc_stats() const { return gc_; }
+
+  // Wall-clock breakdown of the most recent run_day, for the flat-curve
+  // work: shows where a steady-state day spends time that day 1 does not.
+  struct DayTiming {
+    double advance = 0;    // virtual-clock advance + churn application
+    double sweep = 0;      // expired-cache sweeps at the day boundary
+    double compact = 0;    // interner compaction + ring rebind
+    double scan = 0;       // the sharded domain scan itself
+    double ns = 0;         // name-server follow-up scan
+    double churn = 0;      // fingerprint diff vs the retained ring
+    double observers = 0;  // attached analysis observers
+  };
+  [[nodiscard]] const DayTiming& day_timing() const { return timing_; }
+  // Cumulative dedup-path counters of the persistent interner.
+  [[nodiscard]] const RrsetInterner::Stats& interner_stats() const {
+    return interner_->stats();
+  }
+
+  // The retained snapshot ring: yesterday's merged columns, rebound across
+  // interner compactions (fingerprints identical before and after — the
+  // remap invariant).  Null before the first completed day; valid until the
+  // next run_day returns.
+  [[nodiscard]] const ObservationColumn* previous_apex() const {
+    return have_prev_ ? &prev_apex_ : nullptr;
+  }
+  [[nodiscard]] const ObservationColumn* previous_www() const {
+    return have_prev_ ? &prev_www_ : nullptr;
+  }
+  [[nodiscard]] net::SimTime previous_day() const { return prev_day_; }
 
   // The per-shard (primary, backup) resolver options the Study derives
   // from one base configuration: primary seed ^= 0x900913 ("Google"),
@@ -150,6 +207,10 @@ class Study {
   // Fills snapshot.churn from the previous day's fingerprints, then rolls
   // the stored state forward to today.
   void compute_churn(DailySnapshot& snapshot);
+  // Day-boundary GC, run after advance_to (expiry needs the moved clock)
+  // and before the day's scan: cache sweeps + interner compaction with the
+  // retained ring rebound through the remap.
+  void collect_garbage();
 
   // Invokes fn(shard_index, begin, end) over `total` items split into
   // contiguous per-shard ranges — on worker threads when more than one
@@ -178,6 +239,20 @@ class Study {
   std::vector<std::uint8_t> prev_bits_;
   std::vector<std::uint8_t> prev_member_;
   std::vector<ecosystem::DomainId> prev_list_;
+
+  // Longitudinal retention state: the persistent interner every day's
+  // snapshot scans into, the day counter that drives its generations, and
+  // the 2-deep ring (yesterday's columns — today's live inside run_day).
+  // Assigning the ring each day releases the older day's column fragments
+  // and the NS name-pool slab they pinned.
+  std::shared_ptr<RrsetInterner> interner_;
+  std::uint32_t day_index_ = 0;
+  bool have_prev_ = false;
+  ObservationColumn prev_apex_;
+  ObservationColumn prev_www_;
+  net::SimTime prev_day_{};
+  GcStats gc_;
+  DayTiming timing_;
 
   // Per-day progress accounting for Options::progress.
   std::atomic<std::size_t> progress_done_{0};

@@ -4,7 +4,7 @@
 #   tools/bench.sh [OUT_JSON]
 #
 # Builds the Release micro-benchmarks, runs the suites, and writes a
-# machine-readable summary (default: BENCH_PR9.json in the repo root):
+# machine-readable summary (default: BENCH_PR10.json in the repo root):
 #
 #   * micro_dns / micro_resolver — ns/op and heap allocs/op per benchmark
 #     (allocation counts come from the counting operator new in
@@ -39,15 +39,19 @@
 #     gate, except the scan block's cross-endpoint digest_match verdict
 #     (deterministic, gated by tools/ci.sh bench);
 #   * scale_1m — PR7's million-domain scan day against the columnar
-#     DailySnapshot, multi-day since PR8 (SCALE_1M_DAYS, default 3): wall
-#     seconds to build the (now flyweight) ecosystem and run K=1 days over
-#     ~1M listed domains, peak RSS, snapshot bytes/domain, and the
-#     interner dedup rate.  The run takes minutes, so set SCALE_1M=0
-#     to skip it (the assembler then carries the block over from an existing
-#     OUT_JSON so regenerations don't silently drop the measurement);
-#   * scale_1m_days — PR8's longitudinal view of the same run: per-day
-#     seconds, the day-1 vs day-N cost ratio the multi-day gate reads, and
-#     the untimed delta-observer verification verdict.
+#     DailySnapshot, multi-day since PR8 (SCALE_1M_DAYS, default 6 since
+#     PR10): wall seconds to build the (now flyweight) ecosystem and run
+#     K=1 days over ~1M listed domains, peak RSS, snapshot bytes/domain,
+#     the interner dedup rate, and the PR10 GC counters (interner
+#     entries/live, compactions + entries freed, cache sweeps).  The run
+#     takes minutes, so set SCALE_1M=0 to skip it (the assembler then
+#     carries the block over from an existing OUT_JSON so regenerations
+#     don't silently drop the measurement);
+#   * scale_1m_days — the longitudinal view of the same run: per-day
+#     seconds + per-day RSS + per-day host-calibration samples, the
+#     normalized day-1 vs day-N cost ratio and the day-2 vs day-last RSS
+#     plateau the PR10 flat-curve gates read, and the untimed
+#     delta-observer verification verdict.
 #
 # tools/ci.sh bench wraps this and gates on micro_study K=1 time regressions,
 # exact allocs/op regressions on the pinned benchmarks, the engine
@@ -57,7 +61,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_PR9.json}"
+OUT="${1:-BENCH_PR10.json}"
 BUILD="${BUILD_DIR:-build}"
 MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
@@ -108,7 +112,7 @@ echo "== micro_socket =="
 if [[ "${SCALE_1M:-1}" != "0" ]]; then
   echo "== micro_study --scale-1m (~1M-domain days) =="
   "./${BUILD}/bench/micro_study" --scale-1m \
-    --days "${SCALE_1M_DAYS:-3}" --json "${TMP}/scale_1m.json"
+    --days "${SCALE_1M_DAYS:-6}" --json "${TMP}/scale_1m.json"
 fi
 
 # Fixed CPU-bound calibration workload (best of 3).  Wall-clock on this kind
@@ -193,17 +197,54 @@ elif os.path.exists(out):
     except (json.JSONDecodeError, OSError):
         pass
 
-# The longitudinal view of the same run, split out for the multi-day gate:
-# per-day seconds, day-N/day-1 ratio, and the delta-observer verdict.
+# The longitudinal view of the same run, split out for the multi-day gates:
+# per-day seconds/CPU/RSS, the steady-state flatness ratio (last day vs the
+# median of days 3+), the warm-step ratio that bounds the steady premium
+# over day 1, the day-3 vs day-last RSS plateau, and the delta-observer
+# verdict.  Days 3+ are the steady state: day 1 applies no churn and its
+# boundary GC is a no-op, day 2 adds churn and sweeps but skips compaction
+# (nothing to free yet).  The median anchor is robust to one noise-inflated
+# day; a real growth trend still pushes the last day above it.  CPU time is
+# the cost signal when available: wall clock on a shared host swings with
+# co-tenant memory traffic; CPU swings far less (though stalls from
+# co-tenant cache pressure still count).
 if scale_1m is not None and scale_1m_days is None and "days" in scale_1m:
     per_day = scale_1m.get("day_seconds_all", [])
+    per_cpu = scale_1m.get("day_cpu_all", [])
+    per_rss = scale_1m.get("day_rss_all", [])
+    per_calib = scale_1m.get("day_calib_all", [])
+    cost = per_cpu if len(per_cpu) == len(per_day) and per_cpu else per_day
+    ratio = round(cost[-1] / cost[0], 3) if len(cost) > 1 else None
+    flat_ratio = None   # last day vs the steady median (flatness/trend)
+    warm_step = None    # steady median vs cold day 1 (bounded premium)
+    if len(cost) > 3:
+        steady = sorted(cost[2:])
+        median = (steady[(len(steady) - 1) // 2] +
+                  steady[len(steady) // 2]) / 2
+        if median:
+            flat_ratio = round(cost[-1] / median, 3)
+            warm_step = round(median / cost[0], 3)
+    rss_plateau = None
+    if len(per_rss) > 3 and per_rss[2]:
+        rss_plateau = round(per_rss[-1] / per_rss[2], 4)
     scale_1m_days = {
         "days": scale_1m["days"],
         "day_seconds_all": per_day,
+        "day_cpu_all": per_cpu,
+        "day_rss_all": per_rss,
+        "day_calib_all": per_calib,
         "day1_seconds": per_day[0] if per_day else None,
         "day_last_seconds": scale_1m.get("day_last_seconds"),
-        "day_last_vs_day1":
-            round(per_day[-1] / per_day[0], 3) if len(per_day) > 1 else None,
+        "day_last_vs_day1": ratio,
+        "day_last_vs_steady_median": flat_ratio,
+        "steady_median_vs_day1": warm_step,
+        "day_last_rss_vs_day3": rss_plateau,
+        "interner_entries": scale_1m.get("interner_entries"),
+        "interner_live": scale_1m.get("interner_live"),
+        "compactions": scale_1m.get("compactions"),
+        "compaction_freed": scale_1m.get("compaction_freed"),
+        "resolver_swept": scale_1m.get("resolver_swept"),
+        "zone_swept": scale_1m.get("zone_swept"),
         "delta_verified": scale_1m.get("delta_verified"),
         "delta_rows_touched": scale_1m.get("delta_rows_touched"),
     }

@@ -9,7 +9,7 @@
 //               [--latency-profile off|lan|wan] [--drop-permille N]
 //               [--duplicate-permille N] [--garbage-permille N]
 //               [--shards K] [--endpoint engine|local]
-//               [--server HOST:PORT] [--digest]
+//               [--server HOST:PORT] [--digest] [--series PATH]
 //
 // --domains N sets the daily list size (alias of --scale, named for the
 // 1M-domain runs: `--domains 1000000`).  --in-flight sets the async
@@ -44,8 +44,10 @@
 // plus, per day on stderr: in-scan progress (large lists), the columnar
 // snapshot's memory stats, peak RSS, and the resolver hot-path summary.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -59,6 +61,7 @@
 #include "net/transport.h"
 #include "resolver/endpoint.h"
 #include "scanner/digest.h"
+#include "scanner/series.h"
 #include "scanner/study.h"
 
 using namespace httpsrr;
@@ -123,6 +126,7 @@ int main(int argc, char** argv) {
   std::size_t shards = 1;
   std::string endpoint_kind = "engine";
   std::string server;
+  std::string series_path;
   bool digest = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -135,7 +139,7 @@ int main(int argc, char** argv) {
                      "[--transport loopback|datagram] [--in-flight N] "
                      "[--latency-profile off|lan|wan] [--shards K] "
                      "[--endpoint engine|local] [--server HOST:PORT] "
-                     "[--digest]\n",
+                     "[--digest] [--series PATH]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -160,6 +164,7 @@ int main(int argc, char** argv) {
       shards = static_cast<std::size_t>(std::atoll(next()));
     else if (arg == "--endpoint") endpoint_kind = next();
     else if (arg == "--server") server = next();
+    else if (arg == "--series") series_path = next();
     else if (arg == "--digest") digest = true;
   }
   if (transport != "loopback" && transport != "datagram") {
@@ -261,11 +266,26 @@ int main(int argc, char** argv) {
     std::printf("date,listed,apex_https_pct,www_https_pct,ech_pct,signed_pct,"
                 "validated_pct\n");
   }
+  // --series PATH: per-day longitudinal series (.jsonl or CSV by
+  // extension) with adoption, churn, cost, RSS, and the GC counters.
+  std::unique_ptr<scanner::DaySeriesWriter> series;
+  if (!series_path.empty()) {
+    series = std::make_unique<scanner::DaySeriesWriter>(series_path);
+    if (!series->ok()) {
+      std::fprintf(stderr, "cannot write --series %s\n", series_path.c_str());
+      series.reset();
+    }
+  }
   auto start = net::SimTime::from_string(from);
   auto end = net::SimTime::from_string(to);
   resolver::ResolverStats prev;
+  std::uint64_t day_index = 0;
   for (auto day = start; day <= end; day = day + net::Duration::days(stride)) {
+    auto wall0 = std::chrono::steady_clock::now();
     auto snapshot = study.run_day(day);
+    auto wall1 = std::chrono::steady_clock::now();
+    const double day_wall =
+        std::chrono::duration<double>(wall1 - wall0).count();
     if (digest) {
       // The canonical day fingerprint the cross-endpoint gates compare.
       std::printf("digest,%s,%s\n", snapshot.day.date().to_string().c_str(),
@@ -287,6 +307,46 @@ int main(int argc, char** argv) {
                  memory.intern_hit_rate, snapshot.churn.unchanged,
                  snapshot.churn.changed.size(), snapshot.churn.entered.size(),
                  snapshot.churn.left.size(), peak_rss_mib());
+    // The day-boundary GC health line (interner liveness + sweep totals).
+    const auto& gc = study.gc_stats();
+    std::fprintf(stderr,
+                 "%s gc: interner %llu entries (%llu live, %llu tombstones), "
+                 "%llu compactions freed %llu, swept resolver=%llu zone=%llu "
+                 "(%.1fs)\n",
+                 snapshot.day.date().to_string().c_str(),
+                 static_cast<unsigned long long>(gc.interner_entries),
+                 static_cast<unsigned long long>(gc.live_refs),
+                 static_cast<unsigned long long>(gc.tombstones),
+                 static_cast<unsigned long long>(gc.compactions),
+                 static_cast<unsigned long long>(gc.compaction_freed),
+                 static_cast<unsigned long long>(gc.resolver_swept),
+                 static_cast<unsigned long long>(gc.zone_swept), day_wall);
+    if (series != nullptr) {
+      scanner::DayPoint point;
+      point.day_index = day_index;
+      point.date = snapshot.day.date().to_string();
+      point.listed = snapshot.size();
+      for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        if (snapshot.apex.view(i).has_https()) ++point.apex_https;
+        if (snapshot.www.view(i).has_https()) ++point.www_https;
+      }
+      point.churn_unchanged = snapshot.churn.unchanged;
+      point.churn_changed = snapshot.churn.changed.size();
+      point.churn_entered = snapshot.churn.entered.size();
+      point.churn_left = snapshot.churn.left.size();
+      point.seconds = day_wall;
+      point.rss_mib = peak_rss_mib();
+      point.intern_hit_rate = memory.intern_hit_rate;
+      point.interner_entries = gc.interner_entries;
+      point.interner_live = gc.live_refs;
+      point.interner_tombstones = gc.tombstones;
+      point.compactions = gc.compactions;
+      point.compaction_freed = gc.compaction_freed;
+      point.resolver_swept = gc.resolver_swept;
+      point.zone_swept = gc.zone_swept;
+      series->append(point);
+    }
+    ++day_index;
     auto stats = study.resolver_stats();
     std::fprintf(stderr,
                  "%s hot-path: upstream=%llu auth_cache_hits=%llu "
